@@ -1,0 +1,49 @@
+//! CTL model-checker throughput: the cost of discharging rewrite-rule side
+//! conditions (§2.2) and of the `lives` formula against the classic
+//! dataflow implementation it is cross-checked with.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctl::{lives, Checker, LivenessOracle};
+use tinylang::{parse_program, Program, Var};
+
+fn looped_program(extra_assigns: usize) -> Program {
+    let mut src = String::from("in x n\ni := 0\ns := 0\n");
+    for k in 0..extra_assigns {
+        src.push_str(&format!("a{k} := x + {k}\n"));
+    }
+    let loop_head = 4 + extra_assigns;
+    let out_point = loop_head + 4;
+    src.push_str(&format!(
+        "if (i >= n) goto {out_point}\ns := s + x\ni := i + 1\ngoto {loop_head}\nout s"
+    ));
+    parse_program(&src).expect("generated program parses")
+}
+
+fn bench_ctl(c: &mut Criterion) {
+    let p = looped_program(60);
+    let x = Var::new("x");
+    c.bench_function("ctl_lives_formula", |b| {
+        let checker = Checker::new(&p);
+        let f = lives(&x);
+        b.iter(|| checker.sat_set(&f))
+    });
+    c.bench_function("dataflow_liveness_oracle", |b| {
+        b.iter(|| LivenessOracle::new(&p))
+    });
+    c.bench_function("checker_construction", |b| b.iter(|| Checker::new(&p)));
+}
+
+fn bench_rule_engine(c: &mut Criterion) {
+    let p = looped_program(20);
+    c.bench_function("cp_rule_matching", |b| {
+        let rule = rewrite::cp_rule();
+        b.iter(|| rule.matches(&p).len())
+    });
+    c.bench_function("dce_direct_fixpoint", |b| {
+        use rewrite::LveTransform;
+        b.iter(|| rewrite::DeadCodeElim.apply_fixpoint(&p, 100))
+    });
+}
+
+criterion_group!(benches, bench_ctl, bench_rule_engine);
+criterion_main!(benches);

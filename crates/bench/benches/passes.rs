@@ -1,0 +1,35 @@
+//! Pass-pipeline throughput with the OSR instrumentation enabled: the cost
+//! of `apply` (clone + optimize + action tracking, §5.1), per kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssair::passes::Pipeline;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for name in ["soplex", "fhourstones", "vp8", "bzip2"] {
+        let kernel = workloads::kernel_source(name).expect("kernel exists");
+        let module = minic::compile(&kernel.source).expect("compiles");
+        let base = module.get(kernel.entry).expect("entry").clone();
+        group.bench_with_input(BenchmarkId::new("optimize", name), &base, |b, base| {
+            let pipeline = Pipeline::standard();
+            b.iter(|| pipeline.optimize(base))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mem2reg(c: &mut Criterion) {
+    let kernel = workloads::kernel_source("bzip2").expect("kernel");
+    let module = minic::compile_no_mem2reg(&kernel.source).expect("compiles");
+    let base = module.get(kernel.entry).expect("entry").clone();
+    c.bench_function("mem2reg_bzip2", |b| {
+        b.iter(|| {
+            let mut f = base.clone();
+            ssair::mem2reg::mem2reg(&mut f)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_mem2reg);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Compensation-code generation latency (§9 claims `reconstruct` runs in
+//! O(1)-ish time per point: it touches only the recursively needed defs,
+//! not the whole function).  Measures `build_entry` across kernels of very
+//! different sizes, plus mapping construction at the formal level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssair::feasibility::{landing_site, osr_points};
+use ssair::passes::Pipeline;
+use ssair::reconstruct::{Direction, OsrPair, Variant};
+
+fn bench_ssa_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa_reconstruct");
+    for name in ["soplex", "fhourstones", "bzip2", "sjeng"] {
+        let kernel = workloads::kernel_source(name).expect("kernel exists");
+        let module = minic::compile(&kernel.source).expect("compiles");
+        let base = module.get(kernel.entry).expect("entry").clone();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        let pair = OsrPair::new(&base, &opt, &cm);
+        // A fixed mid-function point with a valid landing site.
+        let points = osr_points(&base);
+        let p = points[points.len() / 2];
+        let landing = landing_site(&base, &opt, &cm, p).expect("landing");
+        group.bench_with_input(BenchmarkId::new("avail_entry", name), &p, |b, &p| {
+            b.iter(|| {
+                pair.build_entry_with_edge(
+                    Direction::Forward,
+                    p,
+                    landing.loc,
+                    Variant::Avail,
+                    landing.entry_edge,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_formal_reconstruct(c: &mut Criterion) {
+    let p = tinylang::parse_program(
+        "in x
+         k := 7
+         y := x + k
+         t := y * y
+         z := t + k
+         out z",
+    )
+    .expect("parses");
+    let (popt, _) = {
+        use rewrite::LveTransform;
+        rewrite::ConstProp.apply_fixpoint(&p, 100)
+    };
+    c.bench_function("tinylang_build_entry", |b| {
+        b.iter(|| {
+            osr::build_entry(
+                &p,
+                tinylang::Point::new(4),
+                &popt,
+                tinylang::Point::new(4),
+                osr::Variant::Avail,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_ssa_reconstruct, bench_formal_reconstruct);
+criterion_main!(benches);

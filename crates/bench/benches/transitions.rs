@@ -1,0 +1,75 @@
+//! OSR transition cost: running a hot loop with a fired OSR versus running
+//! either version alone (the steady-state overhead should be dominated by
+//! the one-off compensation, §5.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssair::interp::Val;
+use tinyvm::runtime::{OsrPolicy, Vm};
+use tinyvm::FunctionVersions;
+
+fn setup() -> (Vm, FunctionVersions) {
+    let module = minic::compile(
+        "fn work(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 var k = x * x + 17;
+                 acc = (acc + i * k) % 65521;
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles");
+    let versions = FunctionVersions::standard(module.get("work").expect("exists").clone());
+    (Vm::new(module), versions)
+}
+
+fn bench_transition(c: &mut Criterion) {
+    let (mut vm, versions) = setup();
+    let args = [Val::Int(9), Val::Int(2_000)];
+
+    c.bench_function("run_base_plain", |b| {
+        b.iter(|| vm.run_plain(&versions.base, &args).expect("runs"))
+    });
+    c.bench_function("run_opt_plain", |b| {
+        b.iter(|| vm.run_plain(&versions.opt, &args).expect("runs"))
+    });
+    let policy_frame = OsrPolicy {
+        hotness_threshold: 100,
+        use_continuation: false,
+        ..OsrPolicy::default()
+    };
+    c.bench_function("run_with_osr_frame_surgery", |b| {
+        b.iter(|| {
+            vm.run_with_osr(&versions, &args, &policy_frame)
+                .expect("runs")
+        })
+    });
+    let policy_cont = OsrPolicy {
+        hotness_threshold: 100,
+        use_continuation: true,
+        ..OsrPolicy::default()
+    };
+    c.bench_function("run_with_osr_continuation", |b| {
+        b.iter(|| {
+            vm.run_with_osr(&versions, &args, &policy_cont)
+                .expect("runs")
+        })
+    });
+}
+
+fn bench_continuation_generation(c: &mut Criterion) {
+    let (_, versions) = setup();
+    let landing = tinyvm::runtime::loop_header_points(&versions.opt)
+        .first()
+        .copied()
+        .expect("loop header");
+    let cfg = ssair::cfg::Cfg::compute(&versions.opt);
+    let lv = ssair::liveness::Liveness::compute(&versions.opt, &cfg);
+    let live: Vec<ssair::ValueId> = lv.live_before(&versions.opt, landing).into_iter().collect();
+    c.bench_function("extract_continuation", |b| {
+        b.iter(|| tinyvm::continuation::extract_continuation(&versions.opt, landing, &live))
+    });
+}
+
+criterion_group!(benches, bench_transition, bench_continuation_generation);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tables -- all
+//! cargo run --release -p bench --bin tables -- table2 fig7 fig8
+//! cargo run --release -p bench --bin tables -- table4 --scale 50
+//! ```
+
+use bench::{analyze_all_kernels, fmt_f, KernelResult};
+use debugger::{analyze_function, FunctionReport, StudySummary};
+use ssair::passes::{Pass, Pipeline};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 10usize;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs an integer");
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = ["table1", "table2", "fig7", "fig8", "table3", "table4", "fig9", "table5"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+    }
+
+    let needs_kernels = selected
+        .iter()
+        .any(|s| ["table2", "fig7", "fig8", "table3"].contains(&s.as_str()));
+    let kernels = if needs_kernels {
+        eprintln!("analyzing the 12 kernels …");
+        analyze_all_kernels()
+    } else {
+        Vec::new()
+    };
+
+    let needs_corpus = selected
+        .iter()
+        .any(|s| ["table4", "fig9", "table5"].contains(&s.as_str()));
+    let corpus = if needs_corpus {
+        eprintln!("running the debugging study (scale 1/{scale}) …");
+        run_study(scale)
+    } else {
+        Vec::new()
+    };
+
+    for s in &selected {
+        match s.as_str() {
+            "table1" => table1(),
+            "table2" => table2(&kernels),
+            "fig7" => figure_feasibility(&kernels, true),
+            "fig8" => figure_feasibility(&kernels, false),
+            "table3" => table3(&kernels),
+            "table4" => table4(&corpus),
+            "fig9" => fig9(&corpus),
+            "table5" => table5(&corpus),
+            other => eprintln!("unknown table/figure `{other}` (skipped)"),
+        }
+    }
+}
+
+/// Table 1: instrumentation inventory per OSR-aware pass (our analogue of
+/// the paper's "edits performed to original LLVM passes").
+fn table1() {
+    println!("\nTable 1: CodeMapper instrumentation per pass");
+    println!("(hook sites = distinct CodeMapper call sites in the pass implementation)\n");
+    println!("{:<8} {:>12}", "pass", "hook sites");
+    let pipeline = Pipeline::standard();
+    for p in pipeline.passes() {
+        println!("{:<8} {:>12}", p.name(), p.hook_sites());
+    }
+}
+
+/// Table 2: IR features of the analyzed code.
+fn table2(kernels: &[KernelResult]) {
+    println!("\nTable 2: IR features of analyzed code");
+    println!(
+        "\n{:<12} {:>7} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>5} {:>8}",
+        "benchmark", "|fbase|", "|phib|", "|fopt|", "|phio|", "add", "delete", "hoist", "sink", "replace"
+    );
+    for k in kernels {
+        let f = &k.features;
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>5} {:>8}",
+            k.name,
+            f.base_insts,
+            f.base_phis,
+            f.opt_insts,
+            f.opt_phis,
+            f.actions.add,
+            f.actions.delete,
+            f.actions.hoist,
+            f.actions.sink,
+            f.actions.replace
+        );
+    }
+}
+
+/// Figures 7 and 8: breakdown of feasible OSR points.
+fn figure_feasibility(kernels: &[KernelResult], forward: bool) {
+    let (label, title) = if forward {
+        ("fbase -> fopt", "Figure 7")
+    } else {
+        ("fopt -> fbase", "Figure 8")
+    };
+    println!("\n{title}: breakdown of feasible {label} OSR points (% of program points)");
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>8} {:>10} {:>7}",
+        "benchmark", "c=<>", "live", "avail", "infeasible", "points"
+    );
+    for k in kernels {
+        let s = if forward { &k.forward } else { &k.backward };
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}% {:>7}",
+            k.name,
+            100.0 * s.frac_empty(),
+            100.0 * s.frac_live(),
+            100.0 * s.frac_avail(),
+            100.0 * (1.0 - s.frac_avail()),
+            s.total_points
+        );
+    }
+}
+
+/// Table 3: compensation-code sizes and keep-set sizes.
+fn table3(kernels: &[KernelResult]) {
+    println!("\nTable 3: average and peak |c| per reconstruct version, and |K_avail|");
+    println!(
+        "\n{:<12} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "f->o", "", "", "", "", "", "o->f", "", "", "", "", ""
+    );
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark",
+        "liveAvg", "liveMax", "avAvg", "avMax", "KAvg", "KMax",
+        "liveAvg", "liveMax", "avAvg", "avMax", "KAvg", "KMax"
+    );
+    for k in kernels {
+        let f = &k.forward;
+        let b = &k.backward;
+        println!(
+            "{:<12} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            k.name,
+            fmt_f(f.avg_live_comp(), 2),
+            f.max_live_comp(),
+            fmt_f(f.avg_avail_comp(), 2),
+            f.max_avail_comp(),
+            fmt_f(f.avg_keep(), 2),
+            f.max_keep(),
+            fmt_f(b.avg_live_comp(), 2),
+            b.max_live_comp(),
+            fmt_f(b.avg_avail_comp(), 2),
+            b.max_avail_comp(),
+            fmt_f(b.avg_keep(), 2),
+            b.max_keep(),
+        );
+    }
+}
+
+struct StudyRow {
+    name: &'static str,
+    reports: Vec<FunctionReport>,
+    weights: Vec<usize>,
+    summary: StudySummary,
+}
+
+fn run_study(scale: usize) -> Vec<StudyRow> {
+    let mut rows = Vec::new();
+    for spec in workloads::corpus_benchmarks() {
+        let module = workloads::generate_corpus(&spec, scale);
+        let mut reports = Vec::new();
+        let mut weights = Vec::new();
+        for (_name, base) in &module.functions {
+            let (opt, cm, _) = Pipeline::standard().optimize(base);
+            reports.push(analyze_function(base, &opt, &cm));
+            weights.push(base.live_inst_count());
+        }
+        let summary = StudySummary::aggregate(&reports, &weights);
+        rows.push(StudyRow {
+            name: spec.name,
+            reports,
+            weights,
+            summary,
+        });
+        eprintln!("  {} done ({} functions)", spec.name, reports_len(&rows));
+    }
+    rows
+}
+
+fn reports_len(rows: &[StudyRow]) -> usize {
+    rows.last().map_or(0, |r| r.reports.len())
+}
+
+/// Table 4: endangered functions in the SPEC-like corpus.
+fn table4(rows: &[StudyRow]) {
+    println!("\nTable 4: endangered functions (SPEC-like corpus)");
+    println!(
+        "\n{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5}",
+        "benchmark", "|Ftot|", "|Fopt|", "|Fend|", "AvgW", "AvgU", "Avg", "SD", "Max"
+    );
+    for r in rows {
+        let s = &r.summary;
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>5}",
+            r.name,
+            s.total_functions,
+            s.optimized_functions,
+            s.endangered_functions,
+            fmt_f(s.avg_affected_weighted, 2),
+            fmt_f(s.avg_affected_unweighted, 2),
+            fmt_f(s.avg_endangered, 2),
+            fmt_f(s.sd_endangered, 2),
+            s.max_endangered
+        );
+        let _ = &r.weights;
+    }
+}
+
+/// Figure 9: global average recoverability ratio.
+fn fig9(rows: &[StudyRow]) {
+    println!("\nFigure 9: global average recoverability ratio (weighted by |fbase|)");
+    println!("\n{:<12} {:>8} {:>8}", "benchmark", "live", "avail");
+    for r in rows {
+        println!(
+            "{:<12} {:>8} {:>8}",
+            r.name,
+            fmt_f(r.summary.recoverability_live, 3),
+            fmt_f(r.summary.recoverability_avail, 3)
+        );
+    }
+}
+
+/// Table 5: values to preserve for the avail variant.
+fn table5(rows: &[StudyRow]) {
+    println!("\nTable 5: values to be preserved for avail (per endangered function)");
+    println!("\n{:<12} {:>7} {:>7} {:>7}", "benchmark", "frac", "avg", "sd");
+    for r in rows {
+        let s = &r.summary;
+        println!(
+            "{:<12} {:>7} {:>7} {:>7}",
+            r.name,
+            fmt_f(s.keep_fraction, 2),
+            fmt_f(s.keep_avg, 2),
+            fmt_f(s.keep_sd, 2)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The `tables` binary (`cargo run -p bench --bin tables -- all`) prints
+//! every table and figure of the evaluation; this library holds the
+//! reusable computation so that Criterion benches and integration tests
+//! can call the same code.
+
+use ssair::feasibility::{classify_function_with_extension, ir_features, IrFeatures};
+use ssair::passes::Pipeline;
+use ssair::reconstruct::Direction;
+use ssair::Function;
+use workloads::Kernel;
+
+pub use osr::FeasibilitySummary;
+
+/// Everything the Table 2 / Figure 7–8 / Table 3 rows need for one kernel.
+pub struct KernelResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `fbase`.
+    pub base: Function,
+    /// `fopt`.
+    pub opt: Function,
+    /// The action record.
+    pub cm: ssair::SsaMapper,
+    /// Table 2 metrics.
+    pub features: IrFeatures,
+    /// Figure 7 / Table 3 left half (`fbase → fopt`).
+    pub forward: FeasibilitySummary,
+    /// Figure 8 / Table 3 right half (`fopt → fbase`).
+    pub backward: FeasibilitySummary,
+}
+
+/// Compiles, optimizes and analyzes one kernel.
+///
+/// # Panics
+///
+/// Panics if the kernel source fails to compile — kernels are fixed inputs,
+/// so that is a build error, not a runtime condition.
+pub fn analyze_kernel(kernel: &Kernel) -> KernelResult {
+    let module = minic::compile(&kernel.source)
+        .unwrap_or_else(|e| panic!("kernel {}: {e}", kernel.name));
+    let base = module
+        .get(kernel.entry)
+        .unwrap_or_else(|| panic!("kernel {} lacks entry {}", kernel.name, kernel.entry))
+        .clone();
+    let (opt, cm, _) = Pipeline::standard().optimize(&base);
+    let features = ir_features(&base, &opt, &cm);
+    // Forward (optimizing) OSR reads the *baseline* frame, where every
+    // value is already available — no liveness extension applies.
+    let pair = ssair::reconstruct::OsrPair::new(&base, &opt, &cm);
+    let forward = ssair::feasibility::classify_function(&pair, Direction::Forward);
+    // Deoptimizing OSR uses the §5.2/§7.4 liveness extension: failed
+    // points are retried against a version recompiled with the needed
+    // values kept alive (up to 3 recompilations).
+    let backward = classify_function_with_extension(&base, Direction::Backward, 3);
+    KernelResult {
+        name: kernel.name,
+        base,
+        opt,
+        cm,
+        features,
+        forward,
+        backward,
+    }
+}
+
+/// Analyzes all twelve kernels (the full §6 evaluation).
+pub fn analyze_all_kernels() -> Vec<KernelResult> {
+    workloads::all_kernels().iter().map(analyze_kernel).collect()
+}
+
+/// Formats a float with fixed precision, rendering exact zeros as `0`.
+pub fn fmt_f(x: f64, prec: usize) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.prec$}")
+    }
+}

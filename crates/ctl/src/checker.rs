@@ -1,0 +1,322 @@
+use tinylang::{Point, Program};
+
+use crate::{Atom, Formula};
+
+/// A CTL model checker for a fixed program.
+///
+/// The checker pre-computes the successor and predecessor relations of the
+/// control-flow graph once; each [`Checker::sat_set`] query then runs the
+/// standard fix-point labelling algorithm (Clarke–Emerson–Sistla) in
+/// `O(|formula| · |p| · |edges|)`.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ctl::{Atom, Checker, Formula};
+/// use tinylang::{parse_program, Point, Var};
+///
+/// let p = parse_program("in x\nskip\nout x")?;
+/// let c = Checker::new(&p);
+/// // Every path from point 1 eventually reaches the `out` (a use of x).
+/// let f = Formula::au(Formula::True, Formula::atom(Atom::Use(Var::new("x"))));
+/// assert!(c.holds_at(&f, Point::new(1)));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Checker<'p> {
+    program: &'p Program,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl<'p> Checker<'p> {
+    /// Builds a checker for `program`, precomputing the CFG relations.
+    pub fn new(program: &'p Program) -> Self {
+        let n = program.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for l in program.points() {
+            for s in program.successors(l) {
+                succs[l.get() - 1].push(s.get() - 1);
+                preds[s.get() - 1].push(l.get() - 1);
+            }
+        }
+        Checker {
+            program,
+            succs,
+            preds,
+        }
+    }
+
+    /// The program this checker analyzes.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// Whether `p, l ⊨ φ`.
+    pub fn holds_at(&self, formula: &Formula, l: Point) -> bool {
+        self.sat_set(formula)[l.get() - 1]
+    }
+
+    /// The set of points satisfying `φ`, as a boolean vector indexed by
+    /// `point - 1`.
+    pub fn sat_set(&self, formula: &Formula) -> Vec<bool> {
+        let n = self.program.len();
+        match formula {
+            Formula::True => vec![true; n],
+            Formula::False => vec![false; n],
+            Formula::Atom(a) => (1..=n)
+                .map(|i| self.atom_holds(a, Point::new(i)))
+                .collect(),
+            Formula::Not(f) => self.sat_set(f).into_iter().map(|b| !b).collect(),
+            Formula::And(a, b) => zip_with(self.sat_set(a), self.sat_set(b), |x, y| x && y),
+            Formula::Or(a, b) => zip_with(self.sat_set(a), self.sat_set(b), |x, y| x || y),
+            Formula::Ax(f) => self.next_all(&self.sat_set(f), &self.succs),
+            Formula::Ex(f) => self.next_some(&self.sat_set(f), &self.succs),
+            Formula::Au(phi, psi) => {
+                self.until_all(&self.sat_set(phi), &self.sat_set(psi), &self.succs)
+            }
+            Formula::Eu(phi, psi) => {
+                self.until_some(&self.sat_set(phi), &self.sat_set(psi), &self.succs)
+            }
+            Formula::Bax(f) => self.next_all(&self.sat_set(f), &self.preds),
+            Formula::Bex(f) => self.next_some(&self.sat_set(f), &self.preds),
+            Formula::Bau(phi, psi) => {
+                self.until_all(&self.sat_set(phi), &self.sat_set(psi), &self.preds)
+            }
+            Formula::Beu(phi, psi) => {
+                self.until_some(&self.sat_set(phi), &self.sat_set(psi), &self.preds)
+            }
+        }
+    }
+
+    fn atom_holds(&self, atom: &Atom, l: Point) -> bool {
+        let instr = self.program.instr_at(l);
+        match atom {
+            Atom::Def(x) => instr.defines(x),
+            Atom::Use(x) => instr.uses_var(x),
+            Atom::Stmt(i) => instr == i,
+            Atom::Point(m) => *m == l,
+            Atom::Trans(e) => instr.is_transparent_for(e),
+        }
+    }
+
+    /// `{l : ∀ next ∈ rel(l), sat[next]}` — vacuously true without nexts.
+    fn next_all(&self, sat: &[bool], rel: &[Vec<usize>]) -> Vec<bool> {
+        rel.iter()
+            .map(|nexts| nexts.iter().all(|&m| sat[m]))
+            .collect()
+    }
+
+    /// `{l : ∃ next ∈ rel(l), sat[next]}`.
+    fn next_some(&self, sat: &[bool], rel: &[Vec<usize>]) -> Vec<bool> {
+        rel.iter()
+            .map(|nexts| nexts.iter().any(|&m| sat[m]))
+            .collect()
+    }
+
+    /// `A(φ U ψ)` (non-strict) over *finite maximal paths* (§2.2 interprets
+    /// analyses such as liveness over the finite maximal paths of the CFG).
+    ///
+    /// A point violates the formula iff some maximal finite path from it
+    /// stays in `¬ψ` states and either hits a `¬φ ∧ ¬ψ` state or ends at a
+    /// successor-less `¬ψ` state.  Infinite (cyclic) `ψ`-free paths are not
+    /// violations under this semantics.  Computed by backward reachability
+    /// from the immediate-violation set through `¬ψ` states.
+    fn until_all(&self, phi: &[bool], psi: &[bool], rel: &[Vec<usize>]) -> Vec<bool> {
+        let n = rel.len();
+        let mut bad = vec![false; n];
+        let mut work = Vec::new();
+        for l in 0..n {
+            if !psi[l] && (!phi[l] || rel[l].is_empty()) {
+                bad[l] = true;
+                work.push(l);
+            }
+        }
+        let mut inv = vec![Vec::new(); n];
+        for (l, nexts) in rel.iter().enumerate() {
+            for &m in nexts {
+                inv[m].push(l);
+            }
+        }
+        while let Some(m) = work.pop() {
+            for &l in &inv[m] {
+                if !bad[l] && !psi[l] {
+                    bad[l] = true;
+                    work.push(l);
+                }
+            }
+        }
+        bad.into_iter().map(|b| !b).collect()
+    }
+
+    /// Least fix-point for `E(φ U ψ)` (non-strict): `X = ψ ∨ (φ ∧ EX X)`.
+    fn until_some(&self, phi: &[bool], psi: &[bool], rel: &[Vec<usize>]) -> Vec<bool> {
+        let mut x = psi.to_vec();
+        let mut work: Vec<usize> = (0..x.len()).filter(|&l| x[l]).collect();
+        // Propagate against the relation: if x[m] and l —rel→ m with φ(l),
+        // then x[l].  Invert `rel` on the fly.
+        let mut inv = vec![Vec::new(); rel.len()];
+        for (l, nexts) in rel.iter().enumerate() {
+            for &m in nexts {
+                inv[m].push(l);
+            }
+        }
+        while let Some(m) = work.pop() {
+            for &l in &inv[m] {
+                if !x[l] && phi[l] {
+                    x[l] = true;
+                    work.push(l);
+                }
+            }
+        }
+        x
+    }
+}
+
+fn zip_with(a: Vec<bool>, b: Vec<bool>, f: impl Fn(bool, bool) -> bool) -> Vec<bool> {
+    a.into_iter().zip(b).map(|(x, y)| f(x, y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::{parse_program, Var};
+
+    fn checker_points(p: &Program, f: &Formula) -> Vec<usize> {
+        let c = Checker::new(p);
+        c.sat_set(f)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i + 1))
+            .collect()
+    }
+
+    #[test]
+    fn atoms_def_use() {
+        let p = parse_program(
+            "in x
+             y := x + 1
+             out y",
+        )
+        .unwrap();
+        let def_y = Formula::atom(Atom::Def(Var::new("y")));
+        assert_eq!(checker_points(&p, &def_y), vec![2]);
+        let use_x = Formula::atom(Atom::Use(Var::new("x")));
+        assert_eq!(checker_points(&p, &use_x), vec![2]);
+        let def_x = Formula::atom(Atom::Def(Var::new("x")));
+        assert_eq!(checker_points(&p, &def_x), vec![1]);
+    }
+
+    #[test]
+    fn eu_reaches_through_loop() {
+        // x used at 5 (out); E(true U use(x)) should hold everywhere the
+        // out is reachable from.
+        let p = parse_program(
+            "in x n
+             n := n - 1
+             if (n > 0) goto 2
+             skip
+             out x",
+        )
+        .unwrap();
+        let f = Formula::eu(Formula::True, Formula::atom(Atom::Use(Var::new("x"))));
+        assert_eq!(checker_points(&p, &f), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn au_fails_on_diverging_path() {
+        // Points inside the potentially-infinite loop do NOT satisfy
+        // A(true U use(y)) because the loop may never exit... but in CTL
+        // over the CFG all maximal paths are considered; the loop has an
+        // exit edge and a cycle, so the cyclic path never reaches the use.
+        let p = parse_program(
+            "in x
+             if (x) goto 2
+             out x",
+        )
+        .unwrap();
+        let f = Formula::au(Formula::True, Formula::atom(Atom::Use(Var::new("x"))));
+        // Point 2 uses x itself → ψ holds there (non-strict until).
+        // Point 1: successor is 2 where ψ holds → AU holds.
+        assert_eq!(checker_points(&p, &f), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn au_over_finite_maximal_paths_ignores_cycles() {
+        let p = parse_program(
+            "in x
+             skip
+             if (x) goto 2
+             out x",
+        )
+        .unwrap();
+        let f = Formula::au(Formula::True, Formula::atom(Atom::Point(Point::new(4))));
+        // Every *finite maximal* path ends at 4 (the only exit), so AU holds
+        // everywhere; the cyclic path 2→3→2→… is infinite and thus ignored.
+        assert_eq!(checker_points(&p, &f), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn au_fails_when_some_finite_path_misses_psi() {
+        let p = parse_program(
+            "in x
+             if (x) goto 4
+             goto 5
+             abort
+             out x",
+        )
+        .unwrap();
+        // abort at 4 is a terminal ¬ψ point: the finite path 1→2→4 violates
+        // A(true U point(5)) at points 1 and 2.
+        let f = Formula::au(Formula::True, Formula::atom(Atom::Point(Point::new(5))));
+        assert_eq!(checker_points(&p, &f), vec![3, 5]);
+    }
+
+    #[test]
+    fn backward_operators() {
+        let p = parse_program(
+            "in x
+             y := x
+             out y",
+        )
+        .unwrap();
+        // ~A(true U def(x)) at point 3: on all backward paths a def of x
+        // occurs (at point 1).
+        let f = Formula::bau(Formula::True, Formula::atom(Atom::Def(Var::new("x"))));
+        assert_eq!(checker_points(&p, &f), vec![1, 2, 3]);
+        // ~AX def(y) holds at 3 (its only predecessor defines y) and at 1
+        // (vacuously: no predecessors).
+        let f2 = Formula::bax(Formula::atom(Atom::Def(Var::new("y"))));
+        assert_eq!(checker_points(&p, &f2), vec![1, 3]);
+    }
+
+    #[test]
+    fn trans_atom() {
+        let p = parse_program(
+            "in x
+             x := x + 1
+             y := 2
+             out y",
+        )
+        .unwrap();
+        let e = tinylang::parse_expr("x * 3").unwrap();
+        let f = Formula::atom(Atom::Trans(e));
+        // Points 1 (in defines x) and 2 (assigns x) are not transparent.
+        assert_eq!(checker_points(&p, &f), vec![3, 4]);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = parse_program("in x\nskip\nout x").unwrap();
+        let f = Formula::or(
+            Formula::atom(Atom::Point(Point::new(1))),
+            Formula::atom(Atom::Point(Point::new(3))),
+        );
+        assert_eq!(checker_points(&p, &f), vec![1, 3]);
+        let g = Formula::not(f);
+        assert_eq!(checker_points(&p, &g), vec![2]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Classic iterative dataflow analyses over `tinylang` programs.
+//!
+//! These serve two purposes: they are the *efficient* implementations used
+//! by [`crate::live_vars`] and [`crate::unique_reaching_def`], and they act
+//! as independent oracles against which the CTL formulations are
+//! cross-checked in tests.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tinylang::{Point, Program, Var};
+
+/// Per-point result of the backward live-variable analysis.
+///
+/// `live_in[l]` is the set of variables live *before* executing the
+/// instruction at `l` — the notion of liveness OSR transfers at a point `l`
+/// care about, since the instruction at `l` has not yet executed.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<Var>>,
+    live_out: Vec<BTreeSet<Var>>,
+}
+
+impl Liveness {
+    /// Runs the analysis on `p`.
+    pub fn compute(p: &Program) -> Liveness {
+        let n = p.len();
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        let uses: Vec<BTreeSet<Var>> = p.instrs().iter().map(|i| i.uses()).collect();
+        let defs: Vec<BTreeSet<Var>> = p.instrs().iter().map(|i| i.defs()).collect();
+        loop {
+            let mut changed = false;
+            for l in (0..n).rev() {
+                let point = Point::new(l + 1);
+                let mut out = BTreeSet::new();
+                for s in p.successors(point) {
+                    out.extend(live_in[s.get() - 1].iter().cloned());
+                }
+                let mut inn: BTreeSet<Var> = uses[l].clone();
+                inn.extend(out.difference(&defs[l]).cloned());
+                if inn != live_in[l] || out != live_out[l] {
+                    live_in[l] = inn;
+                    live_out[l] = out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Liveness { live_in, live_out };
+            }
+        }
+    }
+
+    /// Variables live before the instruction at `l`.
+    pub fn live_in(&self, l: Point) -> &BTreeSet<Var> {
+        &self.live_in[l.get() - 1]
+    }
+
+    /// Variables live after the instruction at `l`.
+    pub fn live_out(&self, l: Point) -> &BTreeSet<Var> {
+        &self.live_out[l.get() - 1]
+    }
+}
+
+/// Forward *must-defined* analysis: `defined_in[l]` holds the variables that
+/// are defined on **every** path from the entry to `l` (not counting `l`'s
+/// own definition).
+#[derive(Clone, Debug)]
+pub struct MustDefined {
+    defined_in: Vec<BTreeSet<Var>>,
+    defined_out: Vec<BTreeSet<Var>>,
+}
+
+impl MustDefined {
+    /// Runs the analysis on `p`.
+    pub fn compute(p: &Program) -> MustDefined {
+        let n = p.len();
+        let all_vars: BTreeSet<Var> = all_vars(p);
+        // Initialize to ⊤ (all vars) except the entry; intersect over preds.
+        let mut defined_in = vec![all_vars.clone(); n];
+        defined_in[0] = BTreeSet::new();
+        let mut defined_out = vec![all_vars.clone(); n];
+        let defs: Vec<BTreeSet<Var>> = p.instrs().iter().map(|i| i.defs()).collect();
+        let preds: Vec<Vec<usize>> = (0..n)
+            .map(|l| {
+                p.predecessors(Point::new(l + 1))
+                    .into_iter()
+                    .map(|m| m.get() - 1)
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for l in 0..n {
+                let inn = if l == 0 {
+                    BTreeSet::new()
+                } else if preds[l].is_empty() {
+                    // Unreachable point: keep ⊤ so it never blocks anything.
+                    all_vars.clone()
+                } else {
+                    let mut acc: Option<BTreeSet<Var>> = None;
+                    for &m in &preds[l] {
+                        acc = Some(match acc {
+                            None => defined_out[m].clone(),
+                            Some(a) => a.intersection(&defined_out[m]).cloned().collect(),
+                        });
+                    }
+                    acc.unwrap_or_default()
+                };
+                let mut out = inn.clone();
+                out.extend(defs[l].iter().cloned());
+                if inn != defined_in[l] || out != defined_out[l] {
+                    defined_in[l] = inn;
+                    defined_out[l] = out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return MustDefined {
+                    defined_in,
+                    defined_out,
+                };
+            }
+        }
+    }
+
+    /// Variables defined on every path reaching `l` (before executing `l`).
+    pub fn defined_in(&self, l: Point) -> &BTreeSet<Var> {
+        &self.defined_in[l.get() - 1]
+    }
+
+    /// Variables defined on every path after executing `l`.
+    pub fn defined_out(&self, l: Point) -> &BTreeSet<Var> {
+        &self.defined_out[l.get() - 1]
+    }
+}
+
+/// Forward *reaching definitions* (may) analysis.
+///
+/// `reaching_in[l]` maps each variable to the set of points whose definition
+/// of that variable may reach `l` (before executing `l`).
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    reaching_in: Vec<BTreeMap<Var, BTreeSet<Point>>>,
+}
+
+impl ReachingDefs {
+    /// Runs the analysis on `p`.
+    pub fn compute(p: &Program) -> ReachingDefs {
+        let n = p.len();
+        let defs: Vec<BTreeSet<Var>> = p.instrs().iter().map(|i| i.defs()).collect();
+        let mut reaching_in: Vec<BTreeMap<Var, BTreeSet<Point>>> = vec![BTreeMap::new(); n];
+        loop {
+            let mut changed = false;
+            for l in 0..n {
+                // out[l] = gen[l] ∪ (in[l] \ kill[l])
+                let mut out = reaching_in[l].clone();
+                for d in &defs[l] {
+                    out.insert(d.clone(), BTreeSet::from([Point::new(l + 1)]));
+                }
+                for s in p.successors(Point::new(l + 1)) {
+                    let sin = &mut reaching_in[s.get() - 1];
+                    for (v, pts) in &out {
+                        let entry = sin.entry(v.clone()).or_default();
+                        for pt in pts {
+                            if entry.insert(*pt) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return ReachingDefs { reaching_in };
+            }
+        }
+    }
+
+    /// Definition points of `x` that may reach `l`.
+    pub fn reaching(&self, x: &Var, l: Point) -> BTreeSet<Point> {
+        self.reaching_in[l.get() - 1]
+            .get(x)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Every variable mentioned anywhere in `p`.
+pub fn all_vars(p: &Program) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    for i in p.instrs() {
+        out.extend(i.defs());
+        out.extend(i.uses());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::parse_program;
+
+    #[test]
+    fn liveness_diamond() {
+        let p = parse_program(
+            "in x c
+             if (c) goto 4
+             goto 5
+             x := 0
+             y := x + 1
+             out y",
+        )
+        .unwrap();
+        let lv = Liveness::compute(&p);
+        // Before point 4 (x := 0), x is not live (it is redefined).
+        assert!(!lv.live_in(Point::new(4)).contains("x"));
+        // Before point 3 (the goto on the path keeping x), x is live.
+        assert!(lv.live_in(Point::new(3)).contains("x"));
+        // c is dead after the branch.
+        assert!(!lv.live_in(Point::new(3)).contains("c"));
+    }
+
+    #[test]
+    fn must_defined_join() {
+        let p = parse_program(
+            "in c
+             if (c) goto 4
+             goto 5
+             t := 1
+             out c",
+        )
+        .unwrap();
+        let md = MustDefined::compute(&p);
+        // t is defined only on the path through 4, so not must-defined at 5.
+        assert!(!md.defined_in(Point::new(5)).contains("t"));
+        assert!(md.defined_in(Point::new(5)).contains("c"));
+        assert!(md.defined_out(Point::new(4)).contains("t"));
+    }
+
+    #[test]
+    fn reaching_defs_loop() {
+        let p = parse_program(
+            "in n
+             i := 0
+             i := i + 1
+             if (i < n) goto 3
+             out i",
+        )
+        .unwrap();
+        let rd = ReachingDefs::compute(&p);
+        // At point 3, defs of i from point 2 and point 3 (around the loop).
+        assert_eq!(
+            rd.reaching(&Var::new("i"), Point::new(3)),
+            BTreeSet::from([Point::new(2), Point::new(3)])
+        );
+        // At the out, only the loop def reaches.
+        assert_eq!(
+            rd.reaching(&Var::new("i"), Point::new(5)),
+            BTreeSet::from([Point::new(3)])
+        );
+    }
+
+    #[test]
+    fn all_vars_collects() {
+        let p = parse_program("in a\nb := a + 1\nout b").unwrap();
+        let vars = all_vars(&p);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains("a") && vars.contains("b"));
+    }
+}

@@ -1,0 +1,194 @@
+use std::fmt;
+
+use tinylang::{Expr, Instr, Point, Var};
+
+/// A local predicate of Figure 3, evaluated at a single program point.
+///
+/// Atoms are *ground*: meta-variables have already been substituted by the
+/// rewrite engine before a formula reaches the checker.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Atom {
+    /// `def(x)`: the instruction at this point defines `x`.
+    Def(Var),
+    /// `use(x)`: the instruction at this point uses `x`.
+    Use(Var),
+    /// `stmt(I)`: the instruction at this point is exactly `I`.
+    Stmt(Instr),
+    /// `point(m)`: this point is `m`.
+    Point(Point),
+    /// `trans(e)`: no constituent of `e` is modified by the instruction at
+    /// this point.
+    Trans(Expr),
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Def(x) => write!(f, "def({x})"),
+            Atom::Use(x) => write!(f, "use({x})"),
+            Atom::Stmt(i) => write!(f, "stmt({i})"),
+            Atom::Point(m) => write!(f, "point({m})"),
+            Atom::Trans(e) => write!(f, "trans({e})"),
+        }
+    }
+}
+
+/// A CTL formula over program points (§2.2).
+///
+/// Forward operators (`AX`, `EX`, `AU`, `EU`) quantify over control-flow
+/// successors; the `B`-prefixed duals (`←AX`, `←EX`, `←A`, `←E` in the
+/// paper) quantify over predecessors.  Until is *non-strict*: `φ U ψ` is
+/// satisfied at a point where `ψ` already holds.
+///
+/// # Examples
+///
+/// ```
+/// use ctl::{Atom, Formula};
+/// use tinylang::Var;
+///
+/// // →E(¬def(x) U use(x)) — the forward half of liveness.
+/// let x = Var::new("x");
+/// let f = Formula::eu(
+///     Formula::not(Formula::atom(Atom::Def(x.clone()))),
+///     Formula::atom(Atom::Use(x)),
+/// );
+/// assert_eq!(f.to_string(), "E(!def(x) U use(x))");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A local predicate.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// `→AX φ`: φ holds at all immediate successors.
+    Ax(Box<Formula>),
+    /// `→EX φ`: φ holds at some immediate successor.
+    Ex(Box<Formula>),
+    /// `→A(φ U ψ)`: on all forward paths, φ until ψ.
+    Au(Box<Formula>, Box<Formula>),
+    /// `→E(φ U ψ)`: on some forward path, φ until ψ.
+    Eu(Box<Formula>, Box<Formula>),
+    /// `←AX φ`: φ holds at all immediate predecessors.
+    Bax(Box<Formula>),
+    /// `←EX φ`: φ holds at some immediate predecessor.
+    Bex(Box<Formula>),
+    /// `←A(φ U ψ)`: on all backward paths, φ until ψ.
+    Bau(Box<Formula>, Box<Formula>),
+    /// `←E(φ U ψ)`: on some backward path, φ until ψ.
+    Beu(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Lifts an atom into a formula.
+    pub fn atom(a: Atom) -> Formula {
+        Formula::Atom(a)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Conjunction.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `→AX φ`.
+    pub fn ax(f: Formula) -> Formula {
+        Formula::Ax(Box::new(f))
+    }
+
+    /// `→EX φ`.
+    pub fn ex(f: Formula) -> Formula {
+        Formula::Ex(Box::new(f))
+    }
+
+    /// `→A(φ U ψ)`.
+    pub fn au(phi: Formula, psi: Formula) -> Formula {
+        Formula::Au(Box::new(phi), Box::new(psi))
+    }
+
+    /// `→E(φ U ψ)`.
+    pub fn eu(phi: Formula, psi: Formula) -> Formula {
+        Formula::Eu(Box::new(phi), Box::new(psi))
+    }
+
+    /// `←AX φ`.
+    pub fn bax(f: Formula) -> Formula {
+        Formula::Bax(Box::new(f))
+    }
+
+    /// `←EX φ`.
+    pub fn bex(f: Formula) -> Formula {
+        Formula::Bex(Box::new(f))
+    }
+
+    /// `←A(φ U ψ)`.
+    pub fn bau(phi: Formula, psi: Formula) -> Formula {
+        Formula::Bau(Box::new(phi), Box::new(psi))
+    }
+
+    /// `←E(φ U ψ)`.
+    pub fn beu(phi: Formula, psi: Formula) -> Formula {
+        Formula::Beu(Box::new(phi), Box::new(psi))
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(x) => write!(f, "!{x}"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Ax(x) => write!(f, "AX {x}"),
+            Formula::Ex(x) => write!(f, "EX {x}"),
+            Formula::Au(a, b) => write!(f, "A({a} U {b})"),
+            Formula::Eu(a, b) => write!(f, "E({a} U {b})"),
+            Formula::Bax(x) => write!(f, "~AX {x}"),
+            Formula::Bex(x) => write!(f, "~EX {x}"),
+            Formula::Bau(a, b) => write!(f, "~A({a} U {b})"),
+            Formula::Beu(a, b) => write!(f, "~E({a} U {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nesting() {
+        let f = Formula::and(
+            Formula::bax(Formula::bau(
+                Formula::True,
+                Formula::atom(Atom::Def(Var::new("x"))),
+            )),
+            Formula::eu(
+                Formula::not(Formula::atom(Atom::Def(Var::new("x")))),
+                Formula::atom(Atom::Use(Var::new("x"))),
+            ),
+        );
+        assert_eq!(
+            f.to_string(),
+            "(~AX ~A(true U def(x)) & E(!def(x) U use(x)))"
+        );
+    }
+}

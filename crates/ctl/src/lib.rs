@@ -1,0 +1,47 @@
+//! First-order CTL machinery of *On-Stack Replacement, Distilled* §2.2.
+//!
+//! Program properties are expressed as [`Formula`]s over the (finite) set of
+//! program points of a [`tinylang::Program`], combining the local predicates
+//! of Figure 3 ([`Atom`]) with forward and backward temporal operators
+//! (`AX`, `EX`, `A U`, `E U` and their backward duals).
+//!
+//! [`Checker`] implements standard finite-state CTL model checking by
+//! fix-point iteration over the control-flow graph.  The derived analyses —
+//! live variables (Definition 2.7), reaching definitions, and the unique
+//! reaching definition predicate `ud` of Algorithm 1 — are available both
+//! through CTL formulas and through classic iterative dataflow
+//! ([`dataflow`]); the test-suite cross-checks the two implementations
+//! against each other.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use ctl::{lives, Checker};
+//! use tinylang::{parse_program, Point, Var};
+//!
+//! let p = parse_program(
+//!     "in x
+//!      y := x + 1
+//!      out y",
+//! )?;
+//! let checker = Checker::new(&p);
+//! // x is live at point 2 (about to be read), but dead at point 3.
+//! assert!(checker.holds_at(&lives(&Var::new("x")), Point::new(2)));
+//! assert!(!checker.holds_at(&lives(&Var::new("x")), Point::new(3)));
+//! # Ok(())
+//! # }
+//! ```
+
+mod checker;
+pub mod dataflow;
+mod formula;
+mod predicates;
+
+pub use checker::Checker;
+pub use formula::{Atom, Formula};
+pub use predicates::{
+    defined_before, live_vars, live_vars_ctl, lives, ud, ud_ctl, unique_reaching_def,
+    LivenessOracle, ReachingOracle,
+};

@@ -1,0 +1,211 @@
+//! Source-variable → SSA-value binding analysis.
+//!
+//! `mem2reg` materializes a `DbgValue { var, value }` pseudo-instruction
+//! after every promoted store (§7.2).  This forward dataflow computes, for
+//! every program location, the unique binding of each source variable —
+//! or ⊤ when different paths disagree (the debugger then cannot report the
+//! variable, mirroring LLVM's dropped `dbg.value` at merges).
+
+use std::collections::BTreeMap;
+
+use ssair::cfg::Cfg;
+use ssair::{BlockId, Function, InstId, InstKind, ValueId};
+
+/// Binding lattice: unknown (no binding seen), a unique value, or
+/// conflicting values (⊤).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Binding {
+    /// No binding reaches this point.
+    Unbound,
+    /// A unique SSA value holds the variable.
+    Value(ValueId),
+    /// Different paths bind different values.
+    Conflict,
+}
+
+impl Binding {
+    fn meet(self, other: Binding) -> Binding {
+        match (self, other) {
+            (Binding::Unbound, x) | (x, Binding::Unbound) => x,
+            (Binding::Value(a), Binding::Value(b)) if a == b => Binding::Value(a),
+            _ => Binding::Conflict,
+        }
+    }
+
+    /// The bound value, if unique.
+    pub fn value(self) -> Option<ValueId> {
+        match self {
+            Binding::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+type Env = BTreeMap<String, Binding>;
+
+/// Per-block binding environments with per-location queries.
+pub struct BindingAnalysis {
+    block_in: BTreeMap<BlockId, Env>,
+    /// Every variable name with at least one binding.
+    pub variables: Vec<String>,
+}
+
+impl BindingAnalysis {
+    /// Runs the analysis on `f` (typically the baseline version).
+    pub fn compute(f: &Function) -> BindingAnalysis {
+        let cfg = Cfg::compute(f);
+        let mut variables: Vec<String> = Vec::new();
+        for (_, i) in f.inst_iter() {
+            if let InstKind::DbgValue { var, .. } = &f.inst(i).kind {
+                if !variables.contains(var) {
+                    variables.push(var.clone());
+                }
+            }
+        }
+        let mut block_in: BTreeMap<BlockId, Env> = BTreeMap::new();
+        let mut block_out: BTreeMap<BlockId, Env> = BTreeMap::new();
+        for b in f.block_ids() {
+            block_in.insert(b, Env::new());
+            block_out.insert(b, Env::new());
+        }
+        loop {
+            let mut changed = false;
+            for &b in &cfg.rpo {
+                let mut inn = Env::new();
+                let preds = cfg.preds_of(b);
+                for (k, p) in preds.iter().enumerate() {
+                    let pout = &block_out[p];
+                    if k == 0 {
+                        inn = pout.clone();
+                    } else {
+                        let mut merged = Env::new();
+                        for var in &variables {
+                            let a = inn.get(var).copied().unwrap_or(Binding::Unbound);
+                            let bv = pout.get(var).copied().unwrap_or(Binding::Unbound);
+                            merged.insert(var.clone(), a.meet(bv));
+                        }
+                        inn = merged;
+                    }
+                }
+                let mut out = inn.clone();
+                for &i in &f.block(b).insts {
+                    if let InstKind::DbgValue { var, value } = &f.inst(i).kind {
+                        out.insert(var.clone(), Binding::Value(*value));
+                    }
+                }
+                if block_in[&b] != inn || block_out[&b] != out {
+                    block_in.insert(b, inn);
+                    block_out.insert(b, out);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return BindingAnalysis {
+                    block_in,
+                    variables,
+                };
+            }
+        }
+    }
+
+    /// The binding environment just before instruction `at` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` has been removed from the function.
+    pub fn bindings_before(&self, f: &Function, at: InstId) -> Env {
+        let b = f.block_of(at).expect("live instruction");
+        let mut env = self
+            .block_in
+            .get(&b)
+            .cloned()
+            .unwrap_or_default();
+        for &i in &f.block(b).insts {
+            if i == at {
+                break;
+            }
+            if let InstKind::DbgValue { var, value } = &f.inst(i).kind {
+                env.insert(var.clone(), Binding::Value(*value));
+            }
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_bindings() {
+        let m = minic::compile(
+            "fn f(x) {
+                 var y = x + 1;
+                 var z = y * 2;
+                 return z;
+             }",
+        )
+        .unwrap();
+        let f = m.get("f").unwrap();
+        let ba = BindingAnalysis::compute(f);
+        assert!(ba.variables.contains(&"y".to_string()));
+        // At the binding of z, y is already bound.
+        let z_dbg = f
+            .inst_iter()
+            .map(|(_, i)| i)
+            .find(|i| matches!(&f.inst(*i).kind, InstKind::DbgValue { var, .. } if var == "z"))
+            .expect("dbg for z");
+        let env = ba.bindings_before(f, z_dbg);
+        assert!(env.get("y").and_then(|b| b.value()).is_some());
+        assert!(env.get("x").and_then(|b| b.value()).is_some());
+    }
+
+    #[test]
+    fn merge_conflict_detected() {
+        let m = minic::compile(
+            "fn f(c, x) {
+                 var r = 0;
+                 if (c) { r = x + 1; } else { r = x - 1; }
+                 var q = r * 2;
+                 return q;
+             }",
+        )
+        .unwrap();
+        let f = m.get("f").unwrap();
+        let ba = BindingAnalysis::compute(f);
+        // After the merge, r's binding depends on the φ: the two dbg
+        // bindings conflict (LLVM would likewise lose the dbg.value).
+        let q_dbg = f
+            .inst_iter()
+            .map(|(_, i)| i)
+            .find(|i| matches!(&f.inst(*i).kind, InstKind::DbgValue { var, .. } if var == "q"))
+            .expect("dbg for q");
+        let env = ba.bindings_before(f, q_dbg);
+        assert_eq!(env.get("r"), Some(&Binding::Conflict));
+        // x stays uniquely bound throughout.
+        assert!(env.get("x").and_then(|b| b.value()).is_some());
+    }
+
+    #[test]
+    fn loop_binding_conflict() {
+        let m = minic::compile(
+            "fn f(n) {
+                 var s = 0;
+                 var i = 0;
+                 while (i < n) { s = s + i; i = i + 1; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let f = m.get("f").unwrap();
+        let ba = BindingAnalysis::compute(f);
+        // Inside the loop the binding of s from entry conflicts with the
+        // one from the latch.
+        let in_loop = f
+            .inst_iter()
+            .map(|(_, i)| i)
+            .find(|i| matches!(&f.inst(*i).kind, InstKind::DbgValue { var, .. } if var == "s")
+                && f.inst(*i).line.is_some());
+        assert!(in_loop.is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! Symbolic debugging of optimized code (§7 of *On-Stack Replacement,
+//! Distilled*): endangered-variable analysis and state recovery.
+//!
+//! The study works on a `(fbase, fopt, CodeMapper)` triple:
+//!
+//! 1. [`bindings::BindingAnalysis`] recovers, for every location of the
+//!    baseline function, which SSA value each **source variable** holds —
+//!    from the `DbgValue` pseudo-instructions `mem2reg` materialized
+//!    (the `llvm.dbg.value` analogue);
+//! 2. for every location of the optimized function that has a source-level
+//!    location in `fbase` as its OSR landing pad, [`analyze_function`]
+//!    checks which user variables are *endangered* — their expected value
+//!    is not directly available in the optimized frame — and whether
+//!    `reconstruct` can recover them, in both the `live` and `avail`
+//!    variants (§7.2, §7.4);
+//! 3. the per-function [`FunctionReport`]s aggregate into the
+//!    [`StudySummary`] rows of Table 4, Figure 9, and Table 5.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use debugger::analyze_function;
+//! use ssair::passes::Pipeline;
+//!
+//! let m = minic::compile(
+//!     "fn f(x, n) {
+//!          var s = 0;
+//!          for (var i = 0; i < n; i = i + 1) { s = s + x * x; }
+//!          return s;
+//!      }",
+//! )?;
+//! let base = m.get("f").unwrap().clone();
+//! let (opt, cm, _) = Pipeline::standard().optimize(&base);
+//! let report = analyze_function(&base, &opt, &cm);
+//! // Every endangered variable in this function is recoverable.
+//! assert_eq!(report.recoverable_avail, report.endangered_total);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bindings;
+mod study;
+
+pub use study::{analyze_function, FunctionReport, StudySummary};

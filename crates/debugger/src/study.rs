@@ -1,0 +1,356 @@
+//! The §7 feasibility study: endangered user variables at breakpoints in
+//! optimized code, and their recovery via `reconstruct`.
+
+use std::collections::BTreeSet;
+
+use ssair::feasibility::{landing_site, osr_points};
+use ssair::reconstruct::{Direction, OsrPair, Variant};
+use ssair::{Function, SsaMapper, ValueId};
+
+use crate::bindings::BindingAnalysis;
+
+/// Per-function results of the endangered-variable analysis (one function's
+/// contribution to Table 4, Figure 9, and Table 5).
+#[derive(Clone, Debug, Default)]
+pub struct FunctionReport {
+    /// Whether the optimizer changed the function at all.
+    pub optimized: bool,
+    /// Breakpoint locations analyzed (optimized-code points whose landing
+    /// pad is a source-level location).
+    pub total_points: usize,
+    /// Points with at least one endangered user variable.
+    pub affected_points: usize,
+    /// Number of endangered user variables at each affected point.
+    pub endangered_per_point: Vec<usize>,
+    /// Total endangered (variable, point) observations.
+    pub endangered_total: usize,
+    /// Observations recoverable by the `live` variant.
+    pub recoverable_live: usize,
+    /// Observations recoverable by the `avail` variant (superset of live).
+    pub recoverable_avail: usize,
+    /// Values the `avail` variant must keep available in the optimized
+    /// frame, over all analyzed points (the keep set of Table 5).
+    pub keep_set: BTreeSet<ValueId>,
+}
+
+impl FunctionReport {
+    /// Whether the function contains endangered user variables (the
+    /// `|F_end|` membership of Table 4).
+    pub fn is_endangered(&self) -> bool {
+        self.affected_points > 0
+    }
+
+    /// Fraction of analyzed points with endangered variables.
+    pub fn affected_fraction(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.affected_points as f64 / self.total_points as f64
+        }
+    }
+
+    /// Average endangered variables per affected point.
+    pub fn avg_endangered_per_affected(&self) -> f64 {
+        if self.endangered_per_point.is_empty() {
+            0.0
+        } else {
+            self.endangered_per_point.iter().sum::<usize>() as f64
+                / self.endangered_per_point.len() as f64
+        }
+    }
+
+    /// Peak endangered variables at a single point.
+    pub fn max_endangered(&self) -> usize {
+        self.endangered_per_point.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average recoverability ratio for a variant's counts.
+    pub fn recoverability(&self, avail: bool) -> f64 {
+        if self.endangered_total == 0 {
+            1.0
+        } else {
+            let r = if avail {
+                self.recoverable_avail
+            } else {
+                self.recoverable_live
+            };
+            r as f64 / self.endangered_total as f64
+        }
+    }
+}
+
+/// Runs the endangered-variable analysis for one `(fbase, fopt, mapper)`
+/// triple.
+///
+/// For every optimized-code location whose OSR landing pad is a baseline
+/// location carrying a source line, the user variables bound at the landing
+/// pad are checked: a variable is *endangered* when its expected SSA value
+/// is not live in the optimized frame at the breakpoint; recovery is then
+/// attempted with `reconstruct` in the `live` and `avail` variants (§7.2).
+pub fn analyze_function(base: &Function, opt: &Function, cm: &SsaMapper) -> FunctionReport {
+    let pair = OsrPair::new(base, opt, cm);
+    let binding = BindingAnalysis::compute(base);
+    let mut report = FunctionReport {
+        optimized: cm.counts().total() > 0,
+        ..FunctionReport::default()
+    };
+    for p in osr_points(opt) {
+        // Only optimized-code locations that correspond to a source line.
+        if opt.inst(p).line.is_none() {
+            continue;
+        }
+        let Some(landing) = landing_site(opt, base, cm, p) else {
+            continue;
+        };
+        if base.inst(landing.loc).line.is_none() {
+            continue;
+        }
+        report.total_points += 1;
+
+        let env = binding.bindings_before(base, landing.loc);
+        let src_live = pair.opt.live.live_before(opt, p);
+        let dst_live = pair.base.live.live_before(base, landing.loc);
+
+        let mut endangered_here = 0;
+        for (_var, b) in env.iter() {
+            let Some(v) = b.value() else { continue };
+            // The paper's analysis considers user variables whose value is
+            // live at the *destination* (§7.2): a variable the debugger
+            // could not report even in unoptimized code is out of scope.
+            if !dst_live.contains(&v) {
+                continue;
+            }
+            // Is the expected value directly available in the optimized
+            // frame?  (Its counterpart is live at the breakpoint.)
+            let counterpart_live = {
+                let r = cm.resolve_value(v);
+                src_live.contains(&r)
+            };
+            if counterpart_live {
+                continue; // reported correctly without any work
+            }
+            endangered_here += 1;
+            report.endangered_total += 1;
+            if pair
+                .reconstruct_value(Direction::Backward, p, landing.loc, Variant::Live, v)
+                .is_ok()
+            {
+                report.recoverable_live += 1;
+            }
+            match pair.reconstruct_value(Direction::Backward, p, landing.loc, Variant::Avail, v) {
+                Ok(entry) => {
+                    report.recoverable_avail += 1;
+                    report.keep_set.extend(entry.keep.iter().copied());
+                }
+                Err(_) => {}
+            }
+        }
+        if endangered_here > 0 {
+            report.affected_points += 1;
+            report.endangered_per_point.push(endangered_here);
+        }
+    }
+    report
+}
+
+/// Aggregate over a corpus of functions: the rows of Table 4, Figure 9, and
+/// Table 5 for one benchmark.
+#[derive(Clone, Debug, Default)]
+pub struct StudySummary {
+    /// `|F_tot|`: functions analyzed.
+    pub total_functions: usize,
+    /// `|F_opt|`: functions the optimizer changed.
+    pub optimized_functions: usize,
+    /// `|F_end|`: functions with endangered user variables.
+    pub endangered_functions: usize,
+    /// Weighted average (by `|f_base|`) of affected-point fractions.
+    pub avg_affected_weighted: f64,
+    /// Unweighted average of affected-point fractions.
+    pub avg_affected_unweighted: f64,
+    /// Mean endangered variables per affected point.
+    pub avg_endangered: f64,
+    /// Standard deviation of endangered variables per affected point.
+    pub sd_endangered: f64,
+    /// Peak endangered variables at a point.
+    pub max_endangered: usize,
+    /// Global average recoverability ratio, `live` variant (weighted).
+    pub recoverability_live: f64,
+    /// Global average recoverability ratio, `avail` variant (weighted).
+    pub recoverability_avail: f64,
+    /// Fraction of endangered functions with a non-empty keep set.
+    pub keep_fraction: f64,
+    /// Average keep-set size over functions with non-empty keep sets.
+    pub keep_avg: f64,
+    /// Standard deviation of keep-set sizes over those functions.
+    pub keep_sd: f64,
+}
+
+impl StudySummary {
+    /// Aggregates per-function reports; `weights[i]` is `|f_base|` of
+    /// function `i` (the paper weights by baseline size).
+    pub fn aggregate(reports: &[FunctionReport], weights: &[usize]) -> StudySummary {
+        assert_eq!(reports.len(), weights.len(), "one weight per report");
+        let mut s = StudySummary {
+            total_functions: reports.len(),
+            ..StudySummary::default()
+        };
+        let mut frac_w_num = 0.0;
+        let mut frac_w_den = 0.0;
+        let mut frac_u = Vec::new();
+        let mut all_counts: Vec<usize> = Vec::new();
+        let mut rec_live_num = 0.0;
+        let mut rec_avail_num = 0.0;
+        let mut rec_den = 0.0;
+        let mut keeps: Vec<usize> = Vec::new();
+        for (r, &w) in reports.iter().zip(weights) {
+            if r.optimized {
+                s.optimized_functions += 1;
+            }
+            if r.is_endangered() {
+                s.endangered_functions += 1;
+                frac_w_num += r.affected_fraction() * w as f64;
+                frac_w_den += w as f64;
+                frac_u.push(r.affected_fraction());
+                all_counts.extend(r.endangered_per_point.iter().copied());
+                rec_live_num += r.recoverability(false) * w as f64;
+                rec_avail_num += r.recoverability(true) * w as f64;
+                rec_den += w as f64;
+                keeps.push(r.keep_set.len());
+            }
+        }
+        if frac_w_den > 0.0 {
+            s.avg_affected_weighted = frac_w_num / frac_w_den;
+        }
+        if !frac_u.is_empty() {
+            s.avg_affected_unweighted = frac_u.iter().sum::<f64>() / frac_u.len() as f64;
+        }
+        if !all_counts.is_empty() {
+            let mean = all_counts.iter().sum::<usize>() as f64 / all_counts.len() as f64;
+            s.avg_endangered = mean;
+            let var = all_counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / all_counts.len() as f64;
+            s.sd_endangered = var.sqrt();
+            s.max_endangered = all_counts.iter().copied().max().unwrap_or(0);
+        }
+        if rec_den > 0.0 {
+            s.recoverability_live = rec_live_num / rec_den;
+            s.recoverability_avail = rec_avail_num / rec_den;
+        }
+        let nonzero: Vec<usize> = keeps.iter().copied().filter(|k| *k > 0).collect();
+        if !keeps.is_empty() {
+            s.keep_fraction = nonzero.len() as f64 / keeps.len() as f64;
+        }
+        if !nonzero.is_empty() {
+            let mean = nonzero.iter().sum::<usize>() as f64 / nonzero.len() as f64;
+            s.keep_avg = mean;
+            let var = nonzero
+                .iter()
+                .map(|&k| (k as f64 - mean).powi(2))
+                .sum::<f64>()
+                / nonzero.len() as f64;
+            s.keep_sd = var.sqrt();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssair::passes::Pipeline;
+
+    fn study(src: &str, name: &str) -> FunctionReport {
+        let m = minic::compile(src).unwrap();
+        let base = m.get(name).unwrap().clone();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        analyze_function(&base, &opt, &cm)
+    }
+
+    #[test]
+    fn hoisted_code_creates_endangered_vars() {
+        // t = x*x is invariant and hoisted; inside the loop the user's `t`
+        // and loop counters remain inspectable, but intermediate dead
+        // values can become endangered.
+        let r = study(
+            "fn f(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     var t = x * x;
+                     s = s + t + i;
+                 }
+                 return s;
+             }",
+            "f",
+        );
+        assert!(r.optimized);
+        assert!(r.total_points > 0);
+        // Everything endangered must be avail-recoverable here.
+        assert_eq!(r.recoverable_avail, r.endangered_total, "{r:?}");
+    }
+
+    #[test]
+    fn unoptimized_function_has_no_endangered_vars() {
+        let r = study(
+            "fn id(x) {
+                 return x;
+             }",
+            "id",
+        );
+        assert_eq!(r.endangered_total, 0);
+        assert!((r.recoverability(true) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn dead_user_variable_is_endangered_and_recoverable() {
+        // `dead` is computed but unused afterwards: ADCE removes it; at a
+        // breakpoint after its assignment the debugger must reconstruct it.
+        let r = study(
+            "fn f(x) {
+                 var dead = x * 3;
+                 var y = x + 1;
+                 var z = y + 1;
+                 return z;
+             }",
+            "f",
+        );
+        assert!(r.optimized);
+        if r.endangered_total > 0 {
+            assert!(
+                r.recoverable_avail >= r.recoverable_live,
+                "avail dominates live"
+            );
+            assert!(r.recoverability(true) > 0.0);
+        }
+    }
+
+    #[test]
+    fn summary_aggregation() {
+        let r1 = FunctionReport {
+            optimized: true,
+            total_points: 10,
+            affected_points: 5,
+            endangered_per_point: vec![1, 2, 1, 1, 2],
+            endangered_total: 7,
+            recoverable_live: 5,
+            recoverable_avail: 7,
+            keep_set: [ValueId(1), ValueId(2)].into_iter().collect(),
+        };
+        let r2 = FunctionReport {
+            optimized: true,
+            ..FunctionReport::default()
+        };
+        let s = StudySummary::aggregate(&[r1, r2], &[100, 50]);
+        assert_eq!(s.total_functions, 2);
+        assert_eq!(s.optimized_functions, 2);
+        assert_eq!(s.endangered_functions, 1);
+        assert!((s.avg_affected_weighted - 0.5).abs() < 1e-9);
+        assert!((s.recoverability_avail - 1.0).abs() < 1e-9);
+        assert!(s.recoverability_live < 1.0);
+        assert_eq!(s.max_endangered, 2);
+        assert!((s.keep_fraction - 1.0).abs() < 1e-9);
+        assert!((s.keep_avg - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Abstract syntax of MiniC.
+
+use std::fmt;
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+}
+
+/// Binary operators (C precedence, integer semantics).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinExprOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (division by zero yields 0)
+    Div,
+    /// `%` (modulo zero yields 0)
+    Rem,
+    /// `&` bitwise and
+    BitAnd,
+    /// `|` bitwise or
+    BitOr,
+    /// `^` bitwise xor
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuiting)
+    And,
+    /// `||` (short-circuiting)
+    Or,
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Scalar variable read.
+    Var(String),
+    /// Array element read `a[i]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinExprOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements; each carries its 1-based source line (the breakpoint
+/// granularity of the §7 study).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `var x = e;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `var a[n];`
+    ArrayDecl {
+        /// Array name.
+        name: String,
+        /// Compile-time size.
+        size: u32,
+        /// Source line.
+        line: u32,
+    },
+    /// `x = e;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `a[i] = e;`
+    IndexAssign {
+        /// Array name.
+        name: String,
+        /// Element index.
+        index: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `break;`
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// `continue;`
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+    /// `return e;`
+    Return {
+        /// Returned value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for effect (e.g. a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A function declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FunDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Function declarations in source order.
+    pub functions: Vec<FunDecl>,
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fun in &self.functions {
+            writeln!(f, "fn {}({})", fun.name, fun.params.join(", "))?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,258 @@
+//! Hand-written lexer.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// Integer literal.
+    Num(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword `fn`.
+    Fn,
+    /// Keyword `var`.
+    Var,
+    /// Keyword `if`.
+    If,
+    /// Keyword `else`.
+    Else,
+    /// Keyword `while`.
+    While,
+    /// Keyword `for`.
+    For,
+    /// Keyword `return`.
+    Return,
+    /// Keyword `break`.
+    Break,
+    /// Keyword `continue`.
+    Continue,
+    /// A punctuation or operator token (e.g. `"+"`, `"<="`, `"{"`).
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Num(n) => write!(f, "{n}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+            kw => write!(f, "{}", format!("{kw:?}").to_lowercase()),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Streaming lexer over MiniC source.
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+const PUNCTS2: [&str; 10] = ["<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+=", "-="];
+const PUNCTS1: [&str; 18] = [
+    "+", "-", "*", "/", "%", "<", ">", "!", "=", "(", ")", "{", "}", "[", "]", ",", ";", "&",
+];
+const PUNCTS1B: [&str; 2] = ["|", "^"];
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Lexes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// Returns `(line, message)` on an unexpected character or malformed
+    /// literal.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (u32, String)> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Token, (u32, String)> {
+        // Skip whitespace and comments.
+        loop {
+            match self.peek() {
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(c) if c.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let line = self.line;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                line,
+            });
+        };
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+            let n: i64 = text
+                .parse()
+                .map_err(|_| (line, format!("integer literal `{text}` overflows i64")))?;
+            return Ok(Token {
+                kind: TokenKind::Num(n),
+                line,
+            });
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident");
+            let kind = match text {
+                "fn" => TokenKind::Fn,
+                "var" => TokenKind::Var,
+                "if" => TokenKind::If,
+                "else" => TokenKind::Else,
+                "while" => TokenKind::While,
+                "for" => TokenKind::For,
+                "return" => TokenKind::Return,
+                "break" => TokenKind::Break,
+                "continue" => TokenKind::Continue,
+                _ => TokenKind::Ident(text.to_string()),
+            };
+            return Ok(Token { kind, line });
+        }
+        // Punctuation: two-char first.
+        if self.pos + 1 < self.src.len() {
+            let two = &self.src[self.pos..self.pos + 2];
+            if let Some(p) = PUNCTS2.iter().find(|p| p.as_bytes() == two) {
+                self.pos += 2;
+                return Ok(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                });
+            }
+        }
+        let one = &self.src[self.pos..self.pos + 1];
+        if let Some(p) = PUNCTS1
+            .iter()
+            .chain(PUNCTS1B.iter())
+            .find(|p| p.as_bytes() == one)
+        {
+            self.pos += 1;
+            return Ok(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
+        }
+        Err((line, format!("unexpected character `{}`", c as char)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo var iffy"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Var,
+                TokenKind::Ident("iffy".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("<= == && >>"),
+            vec![
+                TokenKind::Punct("<="),
+                TokenKind::Punct("=="),
+                TokenKind::Punct("&&"),
+                TokenKind::Punct(">>"),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_lines_and_skips_comments() {
+        let toks = Lexer::new("a // comment\nb\nc").tokenize().unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn rejects_bad_character() {
+        assert!(Lexer::new("a @ b").tokenize().is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 123456789"),
+            vec![
+                TokenKind::Num(0),
+                TokenKind::Num(42),
+                TokenKind::Num(123_456_789),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

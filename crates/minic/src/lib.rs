@@ -1,0 +1,82 @@
+//! MiniC: a small C-like front-end for the `ssair` substrate.
+//!
+//! MiniC plays the role clang plays in the paper (§5.4, §7): every source
+//! variable lives in a named stack slot (`alloca`), reads and writes go
+//! through loads and stores, and statements carry line numbers.  Running
+//! [`ssair::mem2reg`] on the lowered output yields the `fbase` version the
+//! evaluation starts from, with `DbgValue` bindings preserving the
+//! source-variable ↔ SSA-value mapping the §7 debugging study needs.
+//!
+//! # Language
+//!
+//! ```c
+//! fn gcd(a, b) {
+//!     while (b != 0) {
+//!         var t = b;
+//!         b = a % b;
+//!         a = t;
+//!     }
+//!     return a;
+//! }
+//! ```
+//!
+//! Integers only (`i64`); local arrays (`var buf[16];`) lower to multi-cell
+//! allocas accessed through `gep`; functions call each other by name.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use minic::compile;
+//! use ssair::interp::{run_function, Val};
+//!
+//! let module = compile("fn double(x) { return 2 * x; }")?;
+//! let f = module.get("double").expect("compiled");
+//! let out = run_function(f, &[Val::Int(21)], &module, 1_000)?;
+//! assert_eq!(out, Some(Val::Int(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use ast::{BinExprOp, Expr, FunDecl, Program, Stmt, UnOp};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::{parse, ParseError};
+
+use ssair::Module;
+
+/// Compiles MiniC source into an [`ssair::Module`] of *baseline* functions:
+/// lowered with allocas, then promoted to SSA by `mem2reg` (the paper's
+/// `clang -O0` + `mem2reg` recipe).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors; lowering cannot fail on a
+/// parsed program.
+pub fn compile(src: &str) -> Result<Module, ParseError> {
+    let prog = parse(src)?;
+    let mut module = lower_program(&prog);
+    let names: Vec<String> = module.functions.keys().cloned().collect();
+    for n in names {
+        let f = module.functions.get_mut(&n).expect("listed");
+        ssair::mem2reg::mem2reg(f);
+        debug_assert!(ssair::verify(f).is_ok(), "mem2reg broke {n}");
+    }
+    Ok(module)
+}
+
+/// Compiles without promoting to SSA (allocas and loads/stores remain) —
+/// the `-O0` form, useful for testing `mem2reg` itself.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors.
+pub fn compile_no_mem2reg(src: &str) -> Result<Module, ParseError> {
+    Ok(lower_program(&parse(src)?))
+}

@@ -1,0 +1,537 @@
+//! Recursive-descent parser.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{BinExprOp, Expr, FunDecl, Program, Stmt, UnOp};
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// A parse failure with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Parses a MiniC program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src)
+        .tokenize()
+        .map_err(|(line, message)| ParseError { line, message })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut functions = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        functions.push(p.function()?);
+    }
+    Ok(Program { functions })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.peek().line,
+            message: message.into(),
+        })
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Punct(p) {
+            self.advance();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found `{}`", self.peek().kind))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if self.peek().kind == TokenKind::Punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    fn function(&mut self) -> Result<FunDecl, ParseError> {
+        if self.peek().kind != TokenKind::Fn {
+            return self.err("expected `fn`");
+        }
+        self.advance();
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(FunDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().kind == TokenKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            stmts.push(self.statement()?);
+        }
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.peek().line;
+        match self.peek().kind.clone() {
+            TokenKind::Var => {
+                self.advance();
+                let name = self.ident()?;
+                if self.eat_punct("[") {
+                    let size = match self.advance().kind {
+                        TokenKind::Num(n) if n > 0 && n < (1 << 20) => n as u32,
+                        other => {
+                            return self.err(format!(
+                                "expected positive array size, found `{other}`"
+                            ))
+                        }
+                    };
+                    self.expect_punct("]")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::ArrayDecl { name, size, line })
+                } else {
+                    self.expect_punct("=")?;
+                    let init = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::VarDecl { name, init, line })
+                }
+            }
+            TokenKind::If => {
+                self.advance();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then_body = self.block()?;
+                let else_body = if self.peek().kind == TokenKind::Else {
+                    self.advance();
+                    if self.peek().kind == TokenKind::If {
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            TokenKind::While => {
+                self.advance();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::For => {
+                // for (init; cond; step) body  ≡  init; while (cond) { body; step; }
+                self.advance();
+                self.expect_punct("(")?;
+                let init = self.statement()?; // consumes the `;`
+                let cond = self.expr()?;
+                self.expect_punct(";")?;
+                let step = self.simple_assign()?;
+                self.expect_punct(")")?;
+                let mut body = self.block()?;
+                body.push(step);
+                let whole = Stmt::While { cond, body, line };
+                Ok(Stmt::If {
+                    cond: Expr::Num(1),
+                    then_body: vec![init, whole],
+                    else_body: Vec::new(),
+                    line,
+                })
+            }
+            TokenKind::Return => {
+                self.advance();
+                let value = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Return { value, line })
+            }
+            TokenKind::Break => {
+                self.advance();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break { line })
+            }
+            TokenKind::Continue => {
+                self.advance();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue { line })
+            }
+            _ => {
+                let stmt = self.simple_assign()?;
+                self.expect_punct(";")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    /// An assignment or expression statement without the trailing `;`.
+    fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.peek().line;
+        if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            let save = self.pos;
+            self.advance();
+            if self.eat_punct("=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign { name, value, line });
+            }
+            if self.eat_punct("+=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign {
+                    name: name.clone(),
+                    value: Expr::Binary(
+                        BinExprOp::Add,
+                        Box::new(Expr::Var(name)),
+                        Box::new(value),
+                    ),
+                    line,
+                });
+            }
+            if self.eat_punct("-=") {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign {
+                    name: name.clone(),
+                    value: Expr::Binary(
+                        BinExprOp::Sub,
+                        Box::new(Expr::Var(name)),
+                        Box::new(value),
+                    ),
+                    line,
+                });
+            }
+            if self.eat_punct("[") {
+                let index = self.expr()?;
+                self.expect_punct("]")?;
+                if self.eat_punct("=") {
+                    let value = self.expr()?;
+                    return Ok(Stmt::IndexAssign {
+                        name,
+                        index,
+                        value,
+                        line,
+                    });
+                }
+            }
+            self.pos = save;
+        }
+        let expr = self.expr()?;
+        Ok(Stmt::ExprStmt { expr, line })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinExprOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitor_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.bitor_expr()?;
+            lhs = Expr::Binary(BinExprOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.eat_punct("|") {
+            let rhs = self.bitxor_expr()?;
+            lhs = Expr::Binary(BinExprOp::BitOr, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bitand_expr()?;
+        while self.eat_punct("^") {
+            let rhs = self.bitand_expr()?;
+            lhs = Expr::Binary(BinExprOp::BitXor, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinExprOp::BitAnd, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.shift_expr()?;
+        for (p, op) in [
+            ("<=", BinExprOp::Le),
+            (">=", BinExprOp::Ge),
+            ("==", BinExprOp::Eq),
+            ("!=", BinExprOp::Ne),
+            ("<", BinExprOp::Lt),
+            (">", BinExprOp::Gt),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.shift_expr()?;
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            if self.eat_punct("<<") {
+                let rhs = self.add_expr()?;
+                lhs = Expr::Binary(BinExprOp::Shl, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct(">>") {
+                let rhs = self.add_expr()?;
+                lhs = Expr::Binary(BinExprOp::Shr, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary(BinExprOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("-") {
+                let rhs = self.mul_expr()?;
+                lhs = Expr::Binary(BinExprOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinExprOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("/") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinExprOp::Div, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("%") {
+                let rhs = self.unary_expr()?;
+                lhs = Expr::Binary(BinExprOp::Rem, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Num(n) => {
+                self.advance();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gcd() {
+        let p = parse(
+            "fn gcd(a, b) {
+                 while (b != 0) {
+                     var t = b;
+                     b = a % b;
+                     a = t;
+                 }
+                 return a;
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+        assert_eq!(p.functions[0].body.len(), 2);
+    }
+
+    #[test]
+    fn parses_for_loop_desugared() {
+        let p = parse(
+            "fn f(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        // for desugars to if(1){init; while}.
+        assert!(matches!(p.functions[0].body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_arrays_and_calls() {
+        let p = parse(
+            "fn f(x) {
+                 var buf[8];
+                 buf[0] = x;
+                 buf[x % 8] = g(x, buf[0]);
+                 return buf[0];
+             }",
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        assert!(matches!(body[0], Stmt::ArrayDecl { size: 8, .. }));
+        assert!(matches!(body[2], Stmt::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse("fn f(a, b) { return a + b * 2 < a << 1; }").unwrap();
+        let Stmt::Return { value, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        // (a + (b*2)) < (a << 1)
+        assert!(matches!(value, Expr::Binary(BinExprOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let p = parse("fn f(a) { a += 2; a -= 1; return a; }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[0],
+            Stmt::Assign { .. }
+        ));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("fn f() {\n  var = 3;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse(
+            "fn f(x) {
+                 if (x > 10) { return 1; }
+                 else if (x > 5) { return 2; }
+                 else { return 3; }
+             }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+}

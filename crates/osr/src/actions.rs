@@ -1,0 +1,342 @@
+//! The five primitive IR-manipulation actions of §5.1 and the `CodeMapper`
+//! object that passes use to record them (cf. Figure 6).
+//!
+//! The mapper is generic over the location (`L`) and value (`V`) identifier
+//! types so that both the abstract `tinylang` level (`L = Point`,
+//! `V = Var`) and the SSA substrate (`L = InstId`, `V = ValueId`) can use
+//! it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A primitive action performed by an OSR-aware transformation (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action<L, V> {
+    /// `add(inst, loc)`: a new instruction was inserted at `loc`.
+    Add {
+        /// Location of the inserted instruction.
+        loc: L,
+    },
+    /// `delete(loc)`: the instruction at `loc` was deleted.
+    Delete {
+        /// Location of the removed instruction.
+        loc: L,
+    },
+    /// `hoist(loc, newLoc)`: the instruction moved up from `loc` to
+    /// `new_loc`.
+    Hoist {
+        /// Original location.
+        loc: L,
+        /// Destination location.
+        new_loc: L,
+    },
+    /// `sink(loc, newLoc)`: the instruction moved down from `loc` to
+    /// `new_loc`.
+    Sink {
+        /// Original location.
+        loc: L,
+        /// Destination location.
+        new_loc: L,
+    },
+    /// `replace(oldOp, newOp)`: uses of `old` were replaced with `new`
+    /// (LLVM's RAUW).
+    Replace {
+        /// The replaced operand.
+        old: V,
+        /// Its replacement.
+        new: V,
+    },
+}
+
+/// Per-kind action counts — the `add/delete/hoist/sink/replace` columns of
+/// Table 2.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ActionCounts {
+    /// Number of `add` actions.
+    pub add: usize,
+    /// Number of `delete` actions.
+    pub delete: usize,
+    /// Number of `hoist` actions.
+    pub hoist: usize,
+    /// Number of `sink` actions.
+    pub sink: usize,
+    /// Number of `replace` actions.
+    pub replace: usize,
+}
+
+impl ActionCounts {
+    /// Total number of recorded actions.
+    pub fn total(&self) -> usize {
+        self.add + self.delete + self.hoist + self.sink + self.replace
+    }
+}
+
+impl fmt::Display for ActionCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "add={} delete={} hoist={} sink={} replace={}",
+            self.add, self.delete, self.hoist, self.sink, self.replace
+        )
+    }
+}
+
+/// Records the history of primitive actions applied while optimizing a
+/// cloned function, and answers correspondence queries between the base
+/// and optimized versions (§5.1, §5.4).
+///
+/// Conventions (matching how the SSA substrate clones functions):
+/// locations and values of the optimized clone initially coincide with the
+/// base version's; every edit is then recorded here.
+///
+/// # Examples
+///
+/// ```
+/// use osr::CodeMapper;
+///
+/// let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+/// cm.delete(5);
+/// cm.replace(3, 7);
+/// assert!(cm.is_deleted(5));
+/// assert_eq!(cm.resolve_value(3), 7);
+/// assert_eq!(cm.counts().delete, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CodeMapper<L: Ord + Copy, V: Ord + Copy> {
+    log: Vec<Action<L, V>>,
+    deleted: BTreeSet<L>,
+    added: BTreeSet<L>,
+    moved: BTreeMap<L, L>,
+    replaced: BTreeMap<V, V>,
+}
+
+impl<L: Ord + Copy, V: Ord + Copy> CodeMapper<L, V> {
+    /// Creates an empty mapper (identity correspondence).
+    pub fn new() -> Self {
+        CodeMapper {
+            log: Vec::new(),
+            deleted: BTreeSet::new(),
+            added: BTreeSet::new(),
+            moved: BTreeMap::new(),
+            replaced: BTreeMap::new(),
+        }
+    }
+
+    /// Records insertion of a new instruction at `loc`.
+    pub fn add(&mut self, loc: L) {
+        self.log.push(Action::Add { loc });
+        self.added.insert(loc);
+    }
+
+    /// Records deletion of the instruction at `loc`.
+    pub fn delete(&mut self, loc: L) {
+        self.log.push(Action::Delete { loc });
+        if !self.added.remove(&loc) {
+            self.deleted.insert(loc);
+        }
+        self.moved.remove(&loc);
+    }
+
+    /// Records an upward move of the instruction at `loc` to `new_loc`.
+    pub fn hoist(&mut self, loc: L, new_loc: L) {
+        self.log.push(Action::Hoist { loc, new_loc });
+        self.record_move(loc, new_loc);
+    }
+
+    /// Records a downward move of the instruction at `loc` to `new_loc`.
+    pub fn sink(&mut self, loc: L, new_loc: L) {
+        self.log.push(Action::Sink { loc, new_loc });
+        self.record_move(loc, new_loc);
+    }
+
+    fn record_move(&mut self, loc: L, new_loc: L) {
+        // If `loc` was itself the destination of an earlier move, chain.
+        let origin = self
+            .moved
+            .iter()
+            .find_map(|(o, n)| (*n == loc).then_some(*o));
+        match origin {
+            Some(o) => {
+                self.moved.insert(o, new_loc);
+            }
+            None => {
+                self.moved.insert(loc, new_loc);
+            }
+        }
+    }
+
+    /// Records replacement of every use of `old` with `new`.
+    pub fn replace(&mut self, old: V, new: V) {
+        self.log.push(Action::Replace { old, new });
+        // Keep chains flat: anything mapping to `old` now maps to `new`.
+        let mut new_resolved = self.resolve_value(new);
+        if new_resolved == old {
+            // `new` had itself been (partially) replaced by `old` earlier;
+            // this full replacement makes `new` the canonical value again.
+            self.replaced.remove(&new);
+            new_resolved = new;
+        }
+        for v in self.replaced.values_mut() {
+            if *v == old {
+                *v = new_resolved;
+            }
+        }
+        if old != new_resolved {
+            self.replaced.insert(old, new_resolved);
+        }
+    }
+
+    /// Records a *scoped* replacement: only some uses of `old` were
+    /// rewritten (e.g. LCSSA rewrites uses outside the loop only).  The
+    /// action is logged for the Table 2 statistics, but `old` remains the
+    /// canonical value — both values stay alive in the function.
+    pub fn replace_scoped(&mut self, old: V, new: V) {
+        self.log.push(Action::Replace { old, new });
+    }
+
+    /// Whether the instruction originally at `loc` was moved (hoisted or
+    /// sunk) — its location is no longer control-equivalent to the base
+    /// version's.
+    pub fn is_moved(&self, loc: L) -> bool {
+        self.moved.contains_key(&loc)
+    }
+
+    /// Whether the base instruction at `loc` no longer exists in the
+    /// optimized version.
+    pub fn is_deleted(&self, loc: L) -> bool {
+        self.deleted.contains(&loc)
+    }
+
+    /// Whether the instruction at `loc` is new in the optimized version.
+    pub fn is_added(&self, loc: L) -> bool {
+        self.added.contains(&loc)
+    }
+
+    /// Where the base instruction originally at `loc` now lives.
+    ///
+    /// Returns `None` for deleted instructions; unmoved instructions map to
+    /// themselves.
+    pub fn current_location(&self, loc: L) -> Option<L> {
+        if self.is_deleted(loc) {
+            return None;
+        }
+        Some(self.moved.get(&loc).copied().unwrap_or(loc))
+    }
+
+    /// Resolves a value through the recorded `replace` chain: the value
+    /// that stands for `v` in the optimized version.
+    pub fn resolve_value(&self, v: V) -> V {
+        let mut cur = v;
+        let mut hops = 0;
+        while let Some(&next) = self.replaced.get(&cur) {
+            cur = next;
+            hops += 1;
+            if hops > self.replaced.len() {
+                break; // defensive: cycles cannot happen, but never loop
+            }
+        }
+        cur
+    }
+
+    /// The inverse image of `v` under the replacement map: every base value
+    /// that `v` now stands for (including `v` itself).
+    pub fn aliases_of(&self, v: V) -> BTreeSet<V> {
+        let mut out = BTreeSet::from([v]);
+        loop {
+            let before = out.len();
+            for (old, new) in &self.replaced {
+                if out.contains(new) {
+                    out.insert(*old);
+                }
+            }
+            if out.len() == before {
+                return out;
+            }
+        }
+    }
+
+    /// Per-kind action counts (Table 2 columns).
+    pub fn counts(&self) -> ActionCounts {
+        let mut c = ActionCounts::default();
+        for a in &self.log {
+            match a {
+                Action::Add { .. } => c.add += 1,
+                Action::Delete { .. } => c.delete += 1,
+                Action::Hoist { .. } => c.hoist += 1,
+                Action::Sink { .. } => c.sink += 1,
+                Action::Replace { .. } => c.replace += 1,
+            }
+        }
+        c
+    }
+
+    /// The raw action log, in application order.
+    pub fn log(&self) -> &[Action<L, V>] {
+        &self.log
+    }
+
+    /// Locations deleted from the base version.
+    pub fn deleted_locations(&self) -> impl Iterator<Item = L> + '_ {
+        self.deleted.iter().copied()
+    }
+
+    /// Locations added by the optimizer.
+    pub fn added_locations(&self) -> impl Iterator<Item = L> + '_ {
+        self.added.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_delete_cancels() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.add(9);
+        assert!(cm.is_added(9));
+        cm.delete(9);
+        assert!(!cm.is_added(9));
+        assert!(!cm.is_deleted(9), "deleting an added inst is not a base deletion");
+        assert_eq!(cm.counts().total(), 2);
+    }
+
+    #[test]
+    fn move_chains_compose() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.hoist(10, 5);
+        cm.hoist(5, 2);
+        assert_eq!(cm.current_location(10), Some(2));
+    }
+
+    #[test]
+    fn replace_chains_flatten() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.replace(1, 2);
+        cm.replace(2, 3);
+        assert_eq!(cm.resolve_value(1), 3);
+        assert_eq!(cm.resolve_value(2), 3);
+        assert_eq!(cm.aliases_of(3), BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn deleted_location_has_no_current() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.delete(4);
+        assert_eq!(cm.current_location(4), None);
+        assert_eq!(cm.current_location(5), Some(5));
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.add(1);
+        cm.delete(2);
+        cm.delete(3);
+        cm.hoist(4, 1);
+        cm.sink(5, 9);
+        cm.replace(1, 2);
+        let c = cm.counts();
+        assert_eq!((c.add, c.delete, c.hoist, c.sink, c.replace), (1, 2, 1, 1, 1));
+    }
+}

@@ -1,0 +1,192 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tinylang::{Expr, Instr, Program, ProgramError, Store, Var};
+
+/// Compensation code `c`: an ordered sequence of assignments that computes
+/// the values live at the OSR landing point from the values live (or kept
+/// alive) at the OSR source.
+///
+/// Per §5.4 the code is straight-line, executed once, at the entry of the
+/// continuation function; [`CompCode::to_program`] embeds it into a
+/// stand-alone [`Program`] so that composition (Theorem 3.4) is ordinary
+/// program composition.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct CompCode {
+    assigns: Vec<(Var, Expr)>,
+}
+
+impl CompCode {
+    /// The empty compensation code `⟨⟩`.
+    pub fn empty() -> Self {
+        CompCode::default()
+    }
+
+    /// Builds compensation code from an assignment list.
+    pub fn from_assigns(assigns: Vec<(Var, Expr)>) -> Self {
+        CompCode { assigns }
+    }
+
+    /// Appends an assignment (line 8 of Algorithm 1).
+    pub fn push(&mut self, var: Var, expr: Expr) {
+        self.assigns.push((var, expr));
+    }
+
+    /// Number of assignments `|c|` — the size metric of Table 3.
+    pub fn len(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Whether `c = ⟨⟩`.
+    pub fn is_empty(&self) -> bool {
+        self.assigns.is_empty()
+    }
+
+    /// The assignments in execution order.
+    pub fn assigns(&self) -> &[(Var, Expr)] {
+        &self.assigns
+    }
+
+    /// Sequential composition `c ∘ c'` (used by Theorem 3.4).
+    #[must_use]
+    pub fn compose(&self, other: &CompCode) -> CompCode {
+        let mut assigns = self.assigns.clone();
+        assigns.extend(other.assigns.iter().cloned());
+        CompCode { assigns }
+    }
+
+    /// Executes the compensation code on (a copy of) `store` — the `[[c]]`
+    /// of Definition 3.1.
+    ///
+    /// Returns `None` if an assignment reads an undefined variable, which
+    /// signals a bug in mapping construction (validation treats it as a
+    /// failure).
+    pub fn eval(&self, store: &Store) -> Option<Store> {
+        let mut s = store.clone();
+        for (x, e) in &self.assigns {
+            let v = e.eval(&s)?;
+            s.set(x.clone(), v);
+        }
+        Some(s)
+    }
+
+    /// Embeds the code into a stand-alone program
+    /// `in inputs… ; assigns… ; out outputs…`, making it composable with
+    /// other compensation programs via [`Program::compose`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProgramError`] if the resulting program is ill-formed
+    /// (e.g. an output neither transferred nor assigned).
+    pub fn to_program<I, O>(&self, inputs: I, outputs: O) -> Result<Program, ProgramError>
+    where
+        I: IntoIterator<Item = Var>,
+        O: IntoIterator<Item = Var>,
+    {
+        let mut instrs = vec![Instr::In(inputs.into_iter().collect())];
+        for (x, e) in &self.assigns {
+            instrs.push(Instr::Assign(x.clone(), e.clone()));
+        }
+        instrs.push(Instr::Out(outputs.into_iter().collect()));
+        Program::new(instrs)
+    }
+
+    /// Variables read by the code before they are assigned within it — the
+    /// values that must be supplied by the OSR source frame.
+    pub fn external_reads(&self) -> BTreeSet<Var> {
+        let mut defined: BTreeSet<Var> = BTreeSet::new();
+        let mut reads = BTreeSet::new();
+        for (x, e) in &self.assigns {
+            for v in e.free_vars() {
+                if !defined.contains(&v) {
+                    reads.insert(v);
+                }
+            }
+            defined.insert(x.clone());
+        }
+        reads
+    }
+}
+
+impl fmt::Display for CompCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.assigns.is_empty() {
+            return write!(f, "⟨⟩");
+        }
+        for (i, (x, e)) in self.assigns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{x} := {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::parse_expr;
+
+    #[test]
+    fn eval_in_order() {
+        let mut c = CompCode::empty();
+        c.push(Var::new("a"), parse_expr("x + 1").unwrap());
+        c.push(Var::new("b"), parse_expr("a * 2").unwrap());
+        let s = Store::new().with("x", 4);
+        let out = c.eval(&s).unwrap();
+        assert_eq!(out.get("a"), Some(5));
+        assert_eq!(out.get("b"), Some(10));
+    }
+
+    #[test]
+    fn eval_undefined_read_is_none() {
+        let mut c = CompCode::empty();
+        c.push(Var::new("a"), parse_expr("missing + 1").unwrap());
+        assert!(c.eval(&Store::new()).is_none());
+    }
+
+    #[test]
+    fn compose_concatenates() {
+        let mut c1 = CompCode::empty();
+        c1.push(Var::new("a"), parse_expr("1").unwrap());
+        let mut c2 = CompCode::empty();
+        c2.push(Var::new("b"), parse_expr("a + 1").unwrap());
+        let c = c1.compose(&c2);
+        assert_eq!(c.len(), 2);
+        let out = c.eval(&Store::new()).unwrap();
+        assert_eq!(out.get("b"), Some(2));
+    }
+
+    #[test]
+    fn external_reads_skips_internally_defined() {
+        let mut c = CompCode::empty();
+        c.push(Var::new("a"), parse_expr("x + y").unwrap());
+        c.push(Var::new("b"), parse_expr("a + z").unwrap());
+        let reads = c.external_reads();
+        assert_eq!(
+            reads,
+            BTreeSet::from([Var::new("x"), Var::new("y"), Var::new("z")])
+        );
+    }
+
+    #[test]
+    fn to_program_round_trips() {
+        let mut c = CompCode::empty();
+        c.push(Var::new("y"), parse_expr("x * 3").unwrap());
+        let p = c
+            .to_program([Var::new("x")], [Var::new("y")])
+            .unwrap();
+        let s = Store::new().with("x", 2);
+        let out = tinylang::semantics::run(&p, &s, 100).completed().unwrap();
+        assert_eq!(out.get("y"), Some(6));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CompCode::empty().to_string(), "⟨⟩");
+        let mut c = CompCode::empty();
+        c.push(Var::new("a"), parse_expr("1").unwrap());
+        assert_eq!(c.to_string(), "a := 1");
+    }
+}

@@ -1,0 +1,290 @@
+//! Per-point OSR feasibility classification and the aggregate statistics of
+//! Figures 7–8 and Table 3, at the abstract (`tinylang`) level.
+//!
+//! The SSA substrate has its own implementation of this analysis
+//! (`ssair::feasibility`) used for the paper-scale evaluation; this module
+//! provides the same classification for the formal language so that the
+//! statistics machinery can be tested end-to-end on small programs.
+
+use std::collections::BTreeSet;
+
+use ctl::{LivenessOracle, ReachingOracle};
+use tinylang::{Point, Program, Var};
+
+use crate::reconstruct::{build_entry_with, ReconstructCtx};
+use crate::{ReconstructError, Variant};
+
+/// How an OSR point pair can be served (the bar categories of Figures 7–8).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Feasibility {
+    /// `c = ⟨⟩`: no compensation code needed at all.
+    EmptyComp,
+    /// Compensation code built from live variables only.
+    Live {
+        /// `|c|`.
+        comp_size: usize,
+    },
+    /// Compensation code requiring artificially kept-alive values.
+    Avail {
+        /// `|c|`.
+        comp_size: usize,
+        /// `K_avail`.
+        keep: BTreeSet<Var>,
+    },
+    /// Neither variant can build compensation code.
+    Infeasible {
+        /// Why the `avail` variant failed.
+        reason: ReconstructError,
+    },
+}
+
+impl Feasibility {
+    /// Whether an OSR can fire here at all.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, Feasibility::Infeasible { .. })
+    }
+}
+
+/// Classifies the OSR point pair `(l, l)` between `src` and `dst`
+/// (identity `Δ`): tries `live` first, then falls back to `avail`.
+pub fn classify_point(src: &Program, dst: &Program, l: Point) -> Feasibility {
+    let src_live = LivenessOracle::new(src);
+    let dst_live = LivenessOracle::new(dst);
+    let src_reach = ReachingOracle::new(src);
+    let dst_reach = ReachingOracle::new(dst);
+    classify_with(src, dst, &src_live, &dst_live, &src_reach, &dst_reach, l)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify_with(
+    src: &Program,
+    dst: &Program,
+    src_live: &LivenessOracle,
+    dst_live: &LivenessOracle,
+    src_reach: &ReachingOracle,
+    dst_reach: &ReachingOracle,
+    l: Point,
+) -> Feasibility {
+    let live_ctx = ReconstructCtx {
+        src,
+        dst,
+        src_live,
+        dst_live,
+        src_reach,
+        dst_reach,
+        variant: Variant::Live,
+    };
+    match build_entry_with(&live_ctx, l, l) {
+        Ok(entry) if entry.comp.is_empty() => Feasibility::EmptyComp,
+        Ok(entry) => Feasibility::Live {
+            comp_size: entry.comp.len(),
+        },
+        Err(_) => {
+            let avail_ctx = ReconstructCtx {
+                variant: Variant::Avail,
+                ..live_ctx
+            };
+            match build_entry_with(&avail_ctx, l, l) {
+                Ok(entry) => Feasibility::Avail {
+                    comp_size: entry.comp.len(),
+                    keep: entry.keep,
+                },
+                Err(reason) => Feasibility::Infeasible { reason },
+            }
+        }
+    }
+}
+
+/// Aggregate feasibility statistics for one direction (one bar of
+/// Figure 7/8 plus the corresponding Table 3 row fragment).
+#[derive(Clone, Default, Debug)]
+pub struct FeasibilitySummary {
+    /// Total OSR points considered (`|p| - 1`; point 1 is excluded).
+    pub total_points: usize,
+    /// Points needing no compensation code.
+    pub empty: usize,
+    /// Points served by the `live` variant (with non-empty `c`).
+    pub live: usize,
+    /// Points additionally served by `avail`.
+    pub avail: usize,
+    /// Points not served by either variant.
+    pub infeasible: usize,
+    /// Sizes `|c|` produced by `live` (includes empty-comp points as 0).
+    pub live_comp_sizes: Vec<usize>,
+    /// Sizes `|c|` produced by `avail` at avail-only points.
+    pub avail_comp_sizes: Vec<usize>,
+    /// Keep-set sizes `|K_avail|` at avail-only points.
+    pub keep_sizes: Vec<usize>,
+}
+
+impl FeasibilitySummary {
+    /// Fraction of points with `c = ⟨⟩`.
+    pub fn frac_empty(&self) -> f64 {
+        ratio(self.empty, self.total_points)
+    }
+
+    /// Fraction of points feasible with `live` (including empty).
+    pub fn frac_live(&self) -> f64 {
+        ratio(self.empty + self.live, self.total_points)
+    }
+
+    /// Fraction of points feasible with `avail` (cumulative).
+    pub fn frac_avail(&self) -> f64 {
+        ratio(self.empty + self.live + self.avail, self.total_points)
+    }
+
+    /// Average of `live` compensation-code sizes (Table 3 `|c| live Avg`).
+    pub fn avg_live_comp(&self) -> f64 {
+        mean(&self.live_comp_sizes)
+    }
+
+    /// Peak `live` compensation-code size (Table 3 `|c| live Max`).
+    pub fn max_live_comp(&self) -> usize {
+        self.live_comp_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average `avail` compensation-code size.
+    pub fn avg_avail_comp(&self) -> f64 {
+        mean(&self.avail_comp_sizes)
+    }
+
+    /// Peak `avail` compensation-code size.
+    pub fn max_avail_comp(&self) -> usize {
+        self.avail_comp_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average keep-set size (Table 3 `|K_avail| Avg`).
+    pub fn avg_keep(&self) -> f64 {
+        mean(&self.keep_sizes)
+    }
+
+    /// Peak keep-set size.
+    pub fn max_keep(&self) -> usize {
+        self.keep_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+fn ratio(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+fn mean(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<usize>() as f64 / xs.len() as f64
+    }
+}
+
+/// Classifies every OSR point from `src` to `dst` and aggregates the
+/// Figure 7/8 + Table 3 statistics.
+pub fn classify_program(src: &Program, dst: &Program) -> FeasibilitySummary {
+    let src_live = LivenessOracle::new(src);
+    let dst_live = LivenessOracle::new(dst);
+    let src_reach = ReachingOracle::new(src);
+    let dst_reach = ReachingOracle::new(dst);
+    let mut s = FeasibilitySummary::default();
+    let n = src.len().min(dst.len());
+    for i in 2..=n {
+        let l = Point::new(i);
+        s.total_points += 1;
+        match classify_with(src, dst, &src_live, &dst_live, &src_reach, &dst_reach, l) {
+            Feasibility::EmptyComp => {
+                s.empty += 1;
+                s.live_comp_sizes.push(0);
+            }
+            Feasibility::Live { comp_size } => {
+                s.live += 1;
+                s.live_comp_sizes.push(comp_size);
+            }
+            Feasibility::Avail { comp_size, keep } => {
+                s.avail += 1;
+                s.avail_comp_sizes.push(comp_size);
+                s.keep_sizes.push(keep.len());
+            }
+            Feasibility::Infeasible { .. } => s.infeasible += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewrite::{ConstProp, Hoist, LveTransform};
+    use tinylang::parse_program;
+
+    #[test]
+    fn identical_programs_are_all_empty() {
+        let p = parse_program(
+            "in x
+             y := x + 1
+             z := y * 2
+             out z",
+        )
+        .unwrap();
+        let s = classify_program(&p, &p);
+        assert_eq!(s.total_points, 3);
+        assert_eq!(s.empty, 3);
+        assert_eq!(s.frac_avail(), 1.0);
+    }
+
+    #[test]
+    fn hoist_creates_reconstruction_points() {
+        let p = parse_program(
+            "in x n
+             i := 0
+             skip
+             t := x * x
+             i := i + t
+             if (i < n) goto 4
+             out i",
+        )
+        .unwrap();
+        let (popt, _) = Hoist.apply_once(&p).unwrap();
+        let fwd = classify_program(&p, &popt);
+        // At point 4 the hoisted t must be made available somehow.
+        assert!(fwd.live + fwd.avail >= 1, "summary: {fwd:?}");
+        let point4 = classify_point(&p, &popt, Point::new(4));
+        assert!(point4.is_feasible());
+    }
+
+    #[test]
+    fn cp_keeps_everything_feasible() {
+        let p = parse_program(
+            "in x
+             k := 7
+             y := x + k
+             z := y * k
+             out z",
+        )
+        .unwrap();
+        let (popt, _) = ConstProp.apply_fixpoint(&p, 100);
+        let s = classify_program(&p, &popt);
+        assert_eq!(s.infeasible, 0, "{s:?}");
+        let back = classify_program(&popt, &p);
+        assert_eq!(back.infeasible, 0, "{back:?}");
+    }
+
+    #[test]
+    fn summary_statistics_sane() {
+        let mut s = FeasibilitySummary::default();
+        s.total_points = 4;
+        s.empty = 1;
+        s.live = 2;
+        s.avail = 1;
+        s.live_comp_sizes = vec![0, 2, 4];
+        s.avail_comp_sizes = vec![3];
+        s.keep_sizes = vec![2];
+        assert_eq!(s.frac_empty(), 0.25);
+        assert_eq!(s.frac_live(), 0.75);
+        assert_eq!(s.frac_avail(), 1.0);
+        assert_eq!(s.avg_live_comp(), 2.0);
+        assert_eq!(s.max_avail_comp(), 3);
+        assert_eq!(s.max_keep(), 2);
+    }
+}

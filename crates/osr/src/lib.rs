@@ -1,0 +1,62 @@
+//! The core contribution of *On-Stack Replacement, Distilled* (PLDI 2018):
+//! OSR mappings with compensation code, automatic mapping generation for
+//! live-variable-equivalent (LVE) transformations, and mapping composition.
+//!
+//! * [`CompCode`] — straight-line compensation code `c` fixing up the store
+//!   so execution can continue in the target program version;
+//! * [`OsrMapping`] — a (possibly partial) map from source program points to
+//!   `(target point, compensation code)` pairs (Definition 3.1), composable
+//!   per Theorem 3.4;
+//! * [`reconstruct`] / [`build_entry`] — Algorithm 1, in both the `live` and
+//!   `avail` variants of §5.2;
+//! * [`osr_trans`] — the `OSR_trans(p, T) → (p', M_pp', M_p'p)` driver of
+//!   §4.2 for LVE transformations with identity point mapping
+//!   (Theorem 4.6);
+//! * [`execute_transition`] — actually performs an OSR transition between
+//!   two running programs;
+//! * [`validate_mapping`] — an executable check of Definition 3.1 used by
+//!   tests and property tests;
+//! * [`CodeMapper`] — the §5.1 primitive-action tracker
+//!   (`add`/`delete`/`hoist`/`sink`/`replace`), generic over location and
+//!   value identifiers so the SSA substrate can reuse it.
+//!
+//! # Examples
+//!
+//! Make constant propagation OSR-aware and jump between versions mid-run:
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use osr::{osr_trans, Variant};
+//! use rewrite::ConstProp;
+//! use tinylang::{parse_program, Point, Store};
+//!
+//! let p = parse_program(
+//!     "in x
+//!      k := 7
+//!      y := x + k
+//!      z := y * k
+//!      out z",
+//! )?;
+//! let result = osr_trans(&p, &ConstProp, Variant::Live);
+//! // A forward mapping entry exists for (almost) every program point.
+//! assert!(result.forward.get(Point::new(3)).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+mod actions;
+mod compcode;
+mod feasibility;
+mod mapping;
+mod reconstruct;
+mod transition;
+mod validate;
+
+pub use actions::{Action, ActionCounts, CodeMapper};
+pub use compcode::CompCode;
+pub use feasibility::{classify_point, classify_program, Feasibility, FeasibilitySummary};
+pub use mapping::{MappingEntry, OsrMapping};
+pub use reconstruct::{build_entry, reconstruct, ReconstructError, Variant};
+pub use transition::{execute_transition, osr_trans, osr_trans_seq, OsrTransResult, SeqResult};
+pub use validate::{validate_mapping, ValidationFailure};

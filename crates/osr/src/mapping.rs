@@ -1,0 +1,232 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use tinylang::{Point, Var};
+
+use crate::CompCode;
+
+/// One entry of an OSR mapping: the landing point `l'`, the compensation
+/// code `c`, and the set of variables `avail` keeps artificially alive at
+/// the source (empty for the `live` variant).
+#[derive(Clone, PartialEq, Debug)]
+pub struct MappingEntry {
+    /// OSR landing point in the target program.
+    pub target: Point,
+    /// Compensation code run before resuming at `target`.
+    pub comp: CompCode,
+    /// Variables not live at the source that must be kept available to
+    /// support this entry (`K_avail` of Table 3).
+    pub keep: BTreeSet<Var>,
+    /// The variables live at `target` — what this entry guarantees to be
+    /// correct after running `comp` (used to check composability).
+    pub target_live: BTreeSet<Var>,
+}
+
+impl MappingEntry {
+    /// The variables this entry guarantees correct values for after its
+    /// compensation code has run: everything live at the landing point plus
+    /// everything the compensation code assigns.
+    pub fn provides(&self) -> BTreeSet<Var> {
+        let mut out = self.target_live.clone();
+        out.extend(self.comp.assigns().iter().map(|(x, _)| x.clone()));
+        out
+    }
+}
+
+/// An OSR mapping `M_pp' : [1, |p|] ⇀ [1, |p'|] × Prog` (Definition 3.1).
+///
+/// The mapping may be partial: points where compensation code could not be
+/// built have no entry.
+///
+/// # Examples
+///
+/// ```
+/// use osr::{CompCode, MappingEntry, OsrMapping};
+/// use tinylang::Point;
+///
+/// let mut m = OsrMapping::new();
+/// m.insert(
+///     Point::new(2),
+///     MappingEntry {
+///         target: Point::new(2),
+///         comp: CompCode::empty(),
+///         keep: Default::default(),
+///         target_live: Default::default(),
+///     },
+/// );
+/// assert_eq!(m.get(Point::new(2)).unwrap().target, Point::new(2));
+/// assert!(m.get(Point::new(3)).is_none());
+/// ```
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct OsrMapping {
+    entries: BTreeMap<Point, MappingEntry>,
+}
+
+impl OsrMapping {
+    /// Creates an empty (nowhere-defined) mapping.
+    pub fn new() -> Self {
+        OsrMapping::default()
+    }
+
+    /// Adds or replaces the entry for source point `l`.
+    pub fn insert(&mut self, l: Point, entry: MappingEntry) {
+        self.entries.insert(l, entry);
+    }
+
+    /// The entry for source point `l`, if the mapping is defined there.
+    pub fn get(&self, l: Point) -> Option<&MappingEntry> {
+        self.entries.get(&l)
+    }
+
+    /// The domain of the mapping, in increasing point order.
+    pub fn domain(&self) -> impl Iterator<Item = Point> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Iterates over `(source point, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, &MappingEntry)> + '_ {
+        self.entries.iter().map(|(l, e)| (*l, e))
+    }
+
+    /// Number of points where the mapping is defined.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mapping is defined nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Mapping composition `M_pp' ∘ M_p'p''` (Theorem 3.4): defined at `l`
+    /// iff `self` is defined at `l` and `other` at `self(l).target`;
+    /// compensation codes compose sequentially.
+    ///
+    /// One refinement over the bare statement of Theorem 3.4 is needed for
+    /// the `avail` variant: the second mapping's keep-set refers to values
+    /// available in the *intermediate* program version, which the composed
+    /// source may never compute.  An entry is therefore composed only when
+    /// the first stage guarantees every such value
+    /// (`e2.keep ⊆ e1.provides()`); other points are dropped, keeping the
+    /// mapping partial-but-correct.  `live`-variant mappings always pass
+    /// this check (their keep-sets are empty).
+    #[must_use]
+    pub fn compose(&self, other: &OsrMapping) -> OsrMapping {
+        let mut out = OsrMapping::new();
+        for (l, e1) in self.iter() {
+            if let Some(e2) = other.get(e1.target) {
+                if !e2.keep.is_subset(&e1.provides()) {
+                    continue;
+                }
+                out.insert(
+                    l,
+                    MappingEntry {
+                        target: e2.target,
+                        comp: e1.comp.compose(&e2.comp),
+                        keep: e1.keep.clone(),
+                        target_live: e2.target_live.clone(),
+                    },
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for OsrMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, e) in self.iter() {
+            writeln!(f, "{l} -> {} with c = {}", e.target, e.comp)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(Point, MappingEntry)> for OsrMapping {
+    fn from_iter<T: IntoIterator<Item = (Point, MappingEntry)>>(iter: T) -> Self {
+        OsrMapping {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::parse_expr;
+
+    fn entry(target: usize, assigns: &[(&str, &str)]) -> MappingEntry {
+        let mut comp = CompCode::empty();
+        for (v, e) in assigns {
+            comp.push(Var::new(*v), parse_expr(e).unwrap());
+        }
+        MappingEntry {
+            target: Point::new(target),
+            comp,
+            keep: BTreeSet::new(),
+            target_live: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn compose_follows_targets() {
+        let mut m1 = OsrMapping::new();
+        m1.insert(Point::new(2), entry(3, &[("a", "x + 1")]));
+        m1.insert(Point::new(4), entry(5, &[]));
+        let mut m2 = OsrMapping::new();
+        m2.insert(Point::new(3), entry(7, &[("b", "a * 2")]));
+        let m = m1.compose(&m2);
+        // Only point 2 survives: m2 is undefined at 5.
+        assert_eq!(m.len(), 1);
+        let e = m.get(Point::new(2)).unwrap();
+        assert_eq!(e.target, Point::new(7));
+        assert_eq!(e.comp.len(), 2);
+    }
+
+    #[test]
+    fn compose_keeps_source_obligations_only() {
+        let mut m1 = OsrMapping::new();
+        let mut e1 = entry(2, &[]);
+        e1.keep.insert(Var::new("k1"));
+        // Stage one guarantees k2 at its landing point…
+        e1.target_live.insert(Var::new("k2"));
+        m1.insert(Point::new(1), e1);
+        let mut m2 = OsrMapping::new();
+        let mut e2 = entry(3, &[]);
+        e2.keep.insert(Var::new("k2"));
+        m2.insert(Point::new(2), e2);
+        let m = m1.compose(&m2);
+        let e = m.get(Point::new(1)).unwrap();
+        // …so the composed entry only carries the true-source obligation.
+        assert!(e.keep.contains("k1") && !e.keep.contains("k2"));
+    }
+
+    #[test]
+    fn compose_drops_unprovided_keep_sets() {
+        let mut m1 = OsrMapping::new();
+        m1.insert(Point::new(1), entry(2, &[]));
+        let mut m2 = OsrMapping::new();
+        let mut e2 = entry(3, &[]);
+        e2.keep.insert(Var::new("ghost"));
+        m2.insert(Point::new(2), e2);
+        // Stage one does not provide `ghost`, so the point is dropped.
+        assert!(m1.compose(&m2).is_empty());
+    }
+
+    #[test]
+    fn compose_accepts_keep_provided_by_comp_code() {
+        let mut m1 = OsrMapping::new();
+        m1.insert(Point::new(1), entry(2, &[("ghost", "1 + 1")]));
+        let mut m2 = OsrMapping::new();
+        let mut e2 = entry(3, &[]);
+        e2.keep.insert(Var::new("ghost"));
+        m2.insert(Point::new(2), e2);
+        assert_eq!(m1.compose(&m2).len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_builds_mapping() {
+        let m: OsrMapping = [(Point::new(1), entry(1, &[]))].into_iter().collect();
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,445 @@
+//! Algorithm 1: value reconstruction for LVE-transformed programs, in the
+//! `live` and `avail` variants of §5.2.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use ctl::{LivenessOracle, ReachingOracle};
+use tinylang::{Instr, Point, Program, Var};
+
+use crate::{CompCode, MappingEntry};
+
+/// Which flavour of `reconstruct` to run (§5.2).
+///
+/// * `Live` uses only variables live at the OSR source; it may fail where
+///   a needed value is no longer live.
+/// * `Avail` may additionally read values that are *available* at the
+///   source (computed on every incoming path and not overwritten) even when
+///   dead, recording them in the keep-set `K_avail`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Only live variables at the source may seed reconstruction.
+    Live,
+    /// Available-but-dead values may be kept alive to seed reconstruction.
+    Avail,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variant::Live => write!(f, "live"),
+            Variant::Avail => write!(f, "avail"),
+        }
+    }
+}
+
+/// Why reconstruction failed (the `throw undef` of Algorithm 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReconstructError {
+    /// The variable has zero or multiple reaching definitions at the query
+    /// point (line 9).
+    NoUniqueDef {
+        /// The variable being reconstructed.
+        var: Var,
+        /// The point the definition had to reach.
+        at: Point,
+    },
+    /// The unique definition is the `in` instruction, but the input value is
+    /// no longer retrievable at the OSR source.
+    InputNotAvailable {
+        /// The input variable.
+        var: Var,
+    },
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::NoUniqueDef { var, at } => {
+                write!(f, "no unique reaching definition for `{var}` at {at}")
+            }
+            ReconstructError::InputNotAvailable { var } => {
+                write!(f, "input variable `{var}` not retrievable at the OSR source")
+            }
+        }
+    }
+}
+
+impl Error for ReconstructError {}
+
+/// Analysis context shared across the reconstruction of all variables of
+/// one OSR point pair.
+pub(crate) struct ReconstructCtx<'a> {
+    #[allow(dead_code)] // kept for symmetry with `dst`; used by diagnostics
+    pub src: &'a Program,
+    pub dst: &'a Program,
+    pub src_live: &'a LivenessOracle,
+    pub dst_live: &'a LivenessOracle,
+    pub src_reach: &'a ReachingOracle,
+    pub dst_reach: &'a ReachingOracle,
+    pub variant: Variant,
+}
+
+struct Builder<'a, 'b> {
+    ctx: &'b ReconstructCtx<'a>,
+    l: Point,
+    l_dst: Point,
+    visited: BTreeSet<Point>,
+    comp: CompCode,
+    keep: BTreeSet<Var>,
+}
+
+impl Builder<'_, '_> {
+    /// Algorithm 1, `reconstruct(x, p, l, p', l', l'at)`.
+    fn reconstruct(&mut self, x: &Var, l_at: Point) -> Result<(), ReconstructError> {
+        // Line 1: unique reaching definition of x at l'at in p'.
+        let Some(l_def) = self.ctx.dst_reach.unique_reaching_def(x, l_at) else {
+            return Err(ReconstructError::NoUniqueDef {
+                var: x.clone(),
+                at: l_at,
+            });
+        };
+        // Lines 2–3: avoid re-emitting the same definition.
+        if !self.visited.insert(l_def) {
+            return Ok(());
+        }
+        // Line 4 (base case): if the same definition site uniquely reaches
+        // both the source point (in p) and the landing point (in p'), the
+        // value can be read straight from the source frame.  The `live`
+        // variant additionally requires x to be live at both points (the
+        // LVB hypothesis then guarantees equality); `avail` keeps the value
+        // alive artificially instead.
+        let src_ud = self.ctx.src_reach.unique_reaching_def(x, self.l) == Some(l_def);
+        let dst_ud = self.ctx.dst_reach.unique_reaching_def(x, self.l_dst) == Some(l_def);
+        if src_ud && dst_ud {
+            let live_both = self.ctx.src_live.live_at(self.l).contains(x)
+                && self.ctx.dst_live.live_at(self.l_dst).contains(x);
+            match self.ctx.variant {
+                Variant::Live if live_both => return Ok(()),
+                Variant::Avail => {
+                    if !self.ctx.src_live.live_at(self.l).contains(x) {
+                        self.keep.insert(x.clone());
+                    }
+                    return Ok(());
+                }
+                Variant::Live => {}
+            }
+        }
+        // Lines 5–8: re-emit the defining assignment, reconstructing its
+        // constituents first.
+        match self.ctx.dst.instr_at(l_def) {
+            Instr::Assign(_, e) => {
+                for y in e.free_vars() {
+                    self.reconstruct(&y, l_def)?;
+                }
+                self.comp.push(x.clone(), e.clone());
+                Ok(())
+            }
+            // The unique definition is the `in` instruction: input values
+            // cannot be recomputed, only carried over — and the carry-over
+            // case was handled by the base case above.
+            Instr::In(_) => Err(ReconstructError::InputNotAvailable { var: x.clone() }),
+            other => unreachable!("definition site holds non-defining instruction {other}"),
+        }
+    }
+}
+
+/// Runs `reconstruct` (Algorithm 1) for a single variable `x`, building the
+/// compensation code that assigns `x` the value it would have had at `l_at`
+/// just before reaching `l_dst`, had execution been carried on in `dst`.
+///
+/// This is the entry point used by exploratory code and the debugger; OSR
+/// mapping construction uses [`build_entry`], which shares the visited set
+/// across all live variables of the landing point.
+///
+/// # Errors
+///
+/// Returns a [`ReconstructError`] if a needed value has no unique reaching
+/// definition or bottoms out at a lost input value.
+#[allow(clippy::too_many_arguments)]
+pub fn reconstruct(
+    x: &Var,
+    src: &Program,
+    l: Point,
+    dst: &Program,
+    l_dst: Point,
+    l_at: Point,
+    variant: Variant,
+) -> Result<(CompCode, BTreeSet<Var>), ReconstructError> {
+    let src_live = LivenessOracle::new(src);
+    let dst_live = LivenessOracle::new(dst);
+    let src_reach = ReachingOracle::new(src);
+    let dst_reach = ReachingOracle::new(dst);
+    let ctx = ReconstructCtx {
+        src,
+        dst,
+        src_live: &src_live,
+        dst_live: &dst_live,
+        src_reach: &src_reach,
+        dst_reach: &dst_reach,
+        variant,
+    };
+    let mut b = Builder {
+        ctx: &ctx,
+        l,
+        l_dst,
+        visited: BTreeSet::new(),
+        comp: CompCode::empty(),
+        keep: BTreeSet::new(),
+    };
+    b.reconstruct(x, l_at)?;
+    Ok((b.comp, b.keep))
+}
+
+/// Builds the full OSR mapping entry for the point pair `(l, l_dst)`:
+/// compensation code for every variable live at the landing point that is
+/// not directly transferable, sharing the visited set across variables.
+///
+/// # Errors
+///
+/// Returns the first [`ReconstructError`] hit; the mapping is then left
+/// undefined at `l` (the mapping is partial, Definition 3.1).
+pub(crate) fn build_entry_with(
+    ctx: &ReconstructCtx<'_>,
+    l: Point,
+    l_dst: Point,
+) -> Result<MappingEntry, ReconstructError> {
+    let mut b = Builder {
+        ctx,
+        l,
+        l_dst,
+        visited: BTreeSet::new(),
+        comp: CompCode::empty(),
+        keep: BTreeSet::new(),
+    };
+    let dst_live_set = ctx.dst_live.live_at(l_dst);
+    let src_live_set = ctx.src_live.live_at(l);
+    for x in &dst_live_set {
+        // Variables live at both ends transfer directly (LVB hypothesis);
+        // reconstruct is only invoked for the others (§4.2).
+        if src_live_set.contains(x) {
+            continue;
+        }
+        b.reconstruct(x, l_dst)?;
+    }
+    Ok(MappingEntry {
+        target: l_dst,
+        comp: b.comp,
+        keep: b.keep,
+        target_live: dst_live_set.clone(),
+    })
+}
+
+/// Convenience wrapper around [`build_entry_with`] that computes the
+/// analyses on the fly.  Use [`crate::osr_trans`] to build whole mappings.
+///
+/// # Errors
+///
+/// See [`build_entry_with`].
+pub fn build_entry(
+    src: &Program,
+    l: Point,
+    dst: &Program,
+    l_dst: Point,
+    variant: Variant,
+) -> Result<MappingEntry, ReconstructError> {
+    let src_live = LivenessOracle::new(src);
+    let dst_live = LivenessOracle::new(dst);
+    let src_reach = ReachingOracle::new(src);
+    let dst_reach = ReachingOracle::new(dst);
+    let ctx = ReconstructCtx {
+        src,
+        dst,
+        src_live: &src_live,
+        dst_live: &dst_live,
+        src_reach: &src_reach,
+        dst_reach: &dst_reach,
+        variant,
+    };
+    build_entry_with(&ctx, l, l_dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewrite::{DeadCodeElim, Hoist, LveTransform};
+    use tinylang::parse_program;
+
+    #[test]
+    fn hoisted_value_is_reconstructed_on_osr_in() {
+        // Hoist moves t := x*x from point 4 up to the skip at point 3.  An
+        // optimizing OSR (p → p') at point 4 — between the two locations —
+        // must *reconstruct* t, whose defining expression reads x.  x is
+        // dead in p' at that point, so the `live` variant gives up
+        // (Algorithm 1 line 4 requires liveness at both ends) while `avail`
+        // succeeds by reading x from the source frame.
+        let p = parse_program(
+            "in x n
+             i := 0
+             skip
+             t := x * x
+             i := i + t
+             if (i < n) goto 4
+             out i",
+        )
+        .unwrap();
+        let (popt, edit) = Hoist.apply_once(&p).unwrap();
+        assert_eq!(
+            edit,
+            rewrite::Edit::Hoist {
+                from: Point::new(4),
+                to: Point::new(3)
+            }
+        );
+        let live = build_entry(&p, Point::new(4), &popt, Point::new(4), Variant::Live);
+        assert!(matches!(
+            live,
+            Err(ReconstructError::InputNotAvailable { .. })
+        ));
+        let avail =
+            build_entry(&p, Point::new(4), &popt, Point::new(4), Variant::Avail).unwrap();
+        assert_eq!(avail.comp.len(), 1);
+        assert_eq!(avail.comp.assigns()[0].0, Var::new("t"));
+        assert!(avail.keep.is_empty(), "x is live at the source");
+    }
+
+    #[test]
+    fn dce_deopt_direction_needs_no_code() {
+        let p = parse_program(
+            "in x
+             t := x * x
+             y := x + 1
+             out y",
+        )
+        .unwrap();
+        let (popt, _) = DeadCodeElim.apply_fixpoint(&p, 10);
+        // Forward OSR p → popt: t is dead in popt, so nothing to build.
+        for l in 2..=4 {
+            let e = build_entry(&p, Point::new(l), &popt, Point::new(l), Variant::Live).unwrap();
+            assert!(e.comp.is_empty(), "no compensation needed at {l}");
+        }
+        // Backward OSR popt → p: t is dead in p at 3 as well (t unused), so
+        // still empty.
+        let e = build_entry(&popt, Point::new(3), &p, Point::new(3), Variant::Live).unwrap();
+        assert!(e.comp.is_empty());
+    }
+
+    #[test]
+    fn avail_keeps_dead_source_value() {
+        // In p, t is computed then dead; in p' (hand-written), t is used
+        // later.  Transferring from p to p' at point 4 needs t: live fails
+        // (t dead at source), avail reads it and records the keep-set.
+        let p = parse_program(
+            "in x
+             t := x * x
+             y := x + 1
+             skip
+             out y x",
+        )
+        .unwrap();
+        let q = parse_program(
+            "in x
+             t := x * x
+             y := x + 1
+             y := y + t
+             out y x",
+        )
+        .unwrap();
+        // Note: p and q are NOT equivalent; this exercises the mechanics of
+        // Algorithm 1 on a non-strict mapping (Definition 3.1 allows it).
+        let live = build_entry(&p, Point::new(4), &q, Point::new(4), Variant::Live);
+        // t's unique def site (2) matches in both programs, so live-variant
+        // reconstruction re-emits t := x*x from x (live at both).
+        let live = live.unwrap();
+        assert_eq!(live.comp.len(), 1);
+        let avail = build_entry(&p, Point::new(4), &q, Point::new(4), Variant::Avail).unwrap();
+        assert!(avail.comp.is_empty());
+        assert_eq!(avail.keep, BTreeSet::from([Var::new("t")]));
+    }
+
+    #[test]
+    fn multiple_reaching_defs_fail() {
+        // t has two reaching definitions (points 2 and 4) at point 6 in the
+        // destination; a source version without t cannot reconstruct it.
+        let p = parse_program(
+            "in x c
+             t := 1
+             if (c) goto 5
+             t := 2
+             skip
+             y := t + x
+             out y",
+        )
+        .unwrap();
+        let q = parse_program(
+            "in x c
+             skip
+             if (c) goto 5
+             skip
+             skip
+             y := x
+             out y",
+        )
+        .unwrap();
+        let err = build_entry(&q, Point::new(6), &p, Point::new(6), Variant::Live).unwrap_err();
+        assert!(matches!(err, ReconstructError::NoUniqueDef { .. }));
+    }
+
+    #[test]
+    fn input_not_available_when_overwritten() {
+        // In the source, x is overwritten and then dead; the destination
+        // still needs the original input value at point 4 → irrecoverable.
+        let p = parse_program(
+            "in x
+             x := 0
+             y := x + 1
+             skip
+             out y",
+        )
+        .unwrap();
+        let q = parse_program(
+            "in x
+             skip
+             y := x + 1
+             y := y + x
+             out y",
+        )
+        .unwrap();
+        let err = build_entry(&p, Point::new(4), &q, Point::new(4), Variant::Avail).unwrap_err();
+        assert!(matches!(err, ReconstructError::InputNotAvailable { .. }));
+    }
+
+    #[test]
+    fn single_var_reconstruct_api() {
+        let p = parse_program(
+            "in x
+             skip
+             y := x + 1
+             out y x",
+        )
+        .unwrap();
+        let q = parse_program(
+            "in x
+             y := x + 1
+             skip
+             out y x",
+        )
+        .unwrap();
+        // q computed y early; OSR p→q at point 3 needs y.
+        let (comp, keep) = reconstruct(
+            &Var::new("y"),
+            &p,
+            Point::new(3),
+            &q,
+            Point::new(3),
+            Point::new(3),
+            Variant::Live,
+        )
+        .unwrap();
+        assert_eq!(comp.len(), 1);
+        assert!(keep.is_empty());
+        let out = comp.eval(&tinylang::Store::new().with("x", 5)).unwrap();
+        assert_eq!(out.get("y"), Some(6));
+    }
+}

@@ -1,0 +1,289 @@
+//! `OSR_trans` (§4.2) and runtime transition execution.
+
+use ctl::{LivenessOracle, ReachingOracle};
+use rewrite::{Edit, LveTransform, TransformSeq};
+use tinylang::semantics::State;
+use tinylang::{Point, Program};
+
+use crate::reconstruct::{build_entry_with, ReconstructCtx};
+use crate::{OsrMapping, Variant};
+
+/// Result of `OSR_trans(p, T) → (p', M_pp', M_p'p)`.
+#[derive(Clone, Debug)]
+pub struct OsrTransResult {
+    /// The transformed program `p' = ⌈T⌉(p)`.
+    pub optimized: Program,
+    /// Forward mapping `M_pp'`.
+    pub forward: OsrMapping,
+    /// Backward mapping `M_p'p`.
+    pub backward: OsrMapping,
+    /// The rewrites performed by the transformation.
+    pub edits: Vec<Edit>,
+}
+
+/// Builds an OSR mapping between two LVE-related program versions with the
+/// identity point mapping `Δ` (Theorem 4.6): for every point `l ∈ [2, n]`
+/// a compensation code is attempted via Algorithm 1; points where
+/// reconstruction fails are left out of the (partial) mapping.
+///
+/// Point `1` is excluded: OSR-ing to the `in` instruction would re-check
+/// inputs that are no longer live (re-entering a program from the start is
+/// an ordinary call, not an OSR).
+pub fn build_mapping(src: &Program, dst: &Program, variant: Variant) -> OsrMapping {
+    let src_live = LivenessOracle::new(src);
+    let dst_live = LivenessOracle::new(dst);
+    let src_reach = ReachingOracle::new(src);
+    let dst_reach = ReachingOracle::new(dst);
+    let ctx = ReconstructCtx {
+        src,
+        dst,
+        src_live: &src_live,
+        dst_live: &dst_live,
+        src_reach: &src_reach,
+        dst_reach: &dst_reach,
+        variant,
+    };
+    let mut mapping = OsrMapping::new();
+    let n = src.len().min(dst.len());
+    for i in 2..=n {
+        let l = Point::new(i);
+        if let Ok(entry) = build_entry_with(&ctx, l, l) {
+            mapping.insert(l, entry);
+        }
+    }
+    mapping
+}
+
+/// `OSR_trans(p, T) → (p', M_pp', M_p'p)` for a single LVE transformation,
+/// applied to a fix-point (§4.2, Theorem 4.6).
+pub fn osr_trans(p: &Program, t: &dyn LveTransform, variant: Variant) -> OsrTransResult {
+    let (optimized, edits) = t.apply_fixpoint(p, 10_000);
+    let forward = build_mapping(p, &optimized, variant);
+    let backward = build_mapping(&optimized, p, variant);
+    OsrTransResult {
+        optimized,
+        forward,
+        backward,
+        edits,
+    }
+}
+
+/// Result of applying a whole transformation pipeline with per-stage OSR
+/// mappings and their composition (Theorem 3.4).
+#[derive(Clone, Debug)]
+pub struct SeqResult {
+    /// Every program version: `versions[0]` is the input, `versions.last()`
+    /// the fully optimized program.
+    pub versions: Vec<Program>,
+    /// `forward[i]` maps `versions[i]` to `versions[i+1]`.
+    pub forward: Vec<OsrMapping>,
+    /// `backward[i]` maps `versions[i+1]` to `versions[i]`.
+    pub backward: Vec<OsrMapping>,
+}
+
+impl SeqResult {
+    /// The composed end-to-end forward mapping
+    /// `M_p0,p1 ∘ M_p1,p2 ∘ ⋯` (Theorem 3.4).
+    pub fn composed_forward(&self) -> OsrMapping {
+        compose_chain(&self.forward)
+    }
+
+    /// The composed end-to-end backward mapping.
+    pub fn composed_backward(&self) -> OsrMapping {
+        let reversed: Vec<OsrMapping> = self.backward.iter().rev().cloned().collect();
+        compose_chain(&reversed)
+    }
+
+    /// The fully optimized program.
+    pub fn optimized(&self) -> &Program {
+        self.versions.last().expect("at least the input version")
+    }
+}
+
+fn compose_chain(maps: &[OsrMapping]) -> OsrMapping {
+    match maps.split_first() {
+        None => OsrMapping::new(),
+        Some((first, rest)) => {
+            let mut acc = first.clone();
+            for m in rest {
+                acc = acc.compose(m);
+            }
+            acc
+        }
+    }
+}
+
+/// Applies a [`TransformSeq`] stage by stage, building per-stage forward
+/// and backward OSR mappings — transformations are made OSR-aware *in
+/// isolation* and composed afterwards, the central workflow of §3.2.
+pub fn osr_trans_seq(p: &Program, seq: &TransformSeq, variant: Variant) -> SeqResult {
+    let (versions, _) = seq.apply_staged(p);
+    let mut forward = Vec::new();
+    let mut backward = Vec::new();
+    for w in versions.windows(2) {
+        forward.push(build_mapping(&w[0], &w[1], variant));
+        backward.push(build_mapping(&w[1], &w[0], variant));
+    }
+    SeqResult {
+        versions,
+        forward,
+        backward,
+    }
+}
+
+/// Performs an OSR transition: given the current state `(σ, l)` of the
+/// source program and a mapping entry for `l`, produces the state from
+/// which the *destination* program resumes.
+///
+/// The compensation code runs on the source store; the resulting store is
+/// restricted to the variables live at the landing point (Theorem 3.2
+/// guarantees this cannot change the final output).
+///
+/// Returns `None` if the mapping is undefined at the current point or the
+/// compensation code reads an undefined variable (either indicates a bug in
+/// mapping construction).
+pub fn execute_transition(
+    state: &State,
+    mapping: &OsrMapping,
+    dst: &Program,
+) -> Option<State> {
+    let entry = mapping.get(state.point)?;
+    let fixed = entry.comp.eval(&state.store)?;
+    let live = ctl::live_vars(dst, entry.target);
+    let store = fixed.restrict(live.iter().map(|v| v.as_str()));
+    Some(State {
+        store,
+        point: entry.target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewrite::bisim::input_grid;
+    use rewrite::{ConstProp, DeadCodeElim};
+    use tinylang::semantics::{resume, run, trace, Outcome};
+    use tinylang::parse_program;
+
+    const FUEL: usize = 100_000;
+
+    fn sample() -> Program {
+        parse_program(
+            "in x
+             k := 7
+             y := x + k
+             t := y * y
+             z := y + k
+             out z",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn osr_trans_builds_bidirectional_mappings() {
+        let p = sample();
+        let r = osr_trans(&p, &ConstProp, Variant::Live);
+        assert!(!r.edits.is_empty());
+        assert!(r.forward.len() >= 3, "forward:\n{}", r.forward);
+        assert!(r.backward.len() >= 3, "backward:\n{}", r.backward);
+    }
+
+    #[test]
+    fn transition_mid_run_preserves_output() {
+        let p = sample();
+        let r = osr_trans(&p, &ConstProp, Variant::Live);
+        for store in input_grid(&p, -3, 3) {
+            let expected = run(&p, &store, FUEL);
+            // Fire the OSR at every mapped point of the trace.
+            for state in trace(&p, &store, FUEL) {
+                if r.forward.get(state.point).is_none() {
+                    continue;
+                }
+                let landed = execute_transition(&state, &r.forward, &r.optimized)
+                    .expect("mapped transition must execute");
+                let got = resume(&r.optimized, landed, FUEL);
+                assert_eq!(got, expected, "OSR at {} diverged", state.point);
+            }
+        }
+    }
+
+    #[test]
+    fn deopt_transition_round_trip() {
+        let p = sample();
+        let r = osr_trans(&p, &DeadCodeElim, Variant::Live);
+        for store in input_grid(&p, -2, 2) {
+            let expected = run(&p, &store, FUEL);
+            for state in trace(&r.optimized, &store, FUEL) {
+                if r.backward.get(state.point).is_none() {
+                    continue;
+                }
+                let landed = execute_transition(&state, &r.backward, &p)
+                    .expect("mapped transition must execute");
+                let got = resume(&p, landed, FUEL);
+                assert_eq!(got, expected, "deopt at {} diverged", state.point);
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_mappings_compose() {
+        let p = sample();
+        let seq = TransformSeq::standard();
+        let r = osr_trans_seq(&p, &seq, Variant::Live);
+        let composed = r.composed_forward();
+        assert!(!composed.is_empty());
+        let opt = r.optimized().clone();
+        for store in input_grid(&p, -2, 2) {
+            let expected = run(&p, &store, FUEL);
+            for state in trace(&p, &store, FUEL) {
+                if composed.get(state.point).is_none() {
+                    continue;
+                }
+                let landed =
+                    execute_transition(&state, &composed, &opt).expect("composed transition");
+                let got = resume(&opt, landed, FUEL);
+                assert_eq!(got, expected, "composed OSR at {} diverged", state.point);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_domain_transition_is_none() {
+        let p = sample();
+        let r = osr_trans(&p, &ConstProp, Variant::Live);
+        let state = State {
+            store: tinylang::Store::new(),
+            point: Point::new(1),
+        };
+        assert!(execute_transition(&state, &r.forward, &r.optimized).is_none());
+    }
+
+    #[test]
+    fn loop_program_transitions() {
+        let p = parse_program(
+            "in n
+             k := 3
+             i := 0
+             s := 0
+             if (i >= n) goto 9
+             s := s + k
+             i := i + 1
+             goto 5
+             out s",
+        )
+        .unwrap();
+        let r = osr_trans(&p, &ConstProp, Variant::Live);
+        for n in 0..6 {
+            let store = tinylang::Store::new().with("n", n);
+            let expected = run(&p, &store, FUEL);
+            assert!(matches!(expected, Outcome::Completed(_)));
+            for state in trace(&p, &store, FUEL) {
+                if r.forward.get(state.point).is_none() {
+                    continue;
+                }
+                let landed = execute_transition(&state, &r.forward, &r.optimized).unwrap();
+                assert_eq!(resume(&r.optimized, landed, FUEL), expected);
+            }
+        }
+    }
+}

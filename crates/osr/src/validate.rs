@@ -1,0 +1,180 @@
+//! Executable validation of Definition 3.1: an OSR mapping is correct if
+//! firing it at any realizable state leads, after compensation, to a state
+//! from which the target program produces the same output the source
+//! program would have produced.
+
+use std::fmt;
+
+use tinylang::semantics::{resume, run, trace, Outcome, State};
+use tinylang::{Program, Store};
+
+use crate::{execute_transition, OsrMapping};
+
+/// A counterexample found by [`validate_mapping`].
+#[derive(Clone, Debug)]
+pub struct ValidationFailure {
+    /// The initial store exhibiting the failure.
+    pub store: Store,
+    /// The state at which the OSR was fired.
+    pub fired_at: State,
+    /// Expected outcome (running the source program to completion).
+    pub expected: Outcome,
+    /// Outcome obtained by transitioning and resuming in the target.
+    pub got: Option<Outcome>,
+}
+
+impl fmt::Display for ValidationFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OSR fired at {} on input {} expected {:?}, got {:?}",
+            self.fired_at.point, self.store, self.expected, self.got
+        )
+    }
+}
+
+/// Validates `mapping` (from `src` to `dst`) on the given input stores: for
+/// every store, fires the OSR at **every** state of the source trace where
+/// the mapping is defined and checks that resuming in `dst` yields the same
+/// outcome as running `src` to completion.
+///
+/// This is the effective counterpart of Definition 3.1 for
+/// semantics-preserving transformations (by Theorem 3.2, output equality is
+/// the observable consequence of landing in a live-variable-correct state).
+///
+/// # Errors
+///
+/// Returns the first [`ValidationFailure`] found.
+pub fn validate_mapping(
+    src: &Program,
+    dst: &Program,
+    mapping: &OsrMapping,
+    stores: &[Store],
+    fuel: usize,
+) -> Result<usize, Box<ValidationFailure>> {
+    let mut fired = 0;
+    for store in stores {
+        let expected = run(src, store, fuel);
+        if matches!(expected, Outcome::OutOfFuel) {
+            continue; // cannot judge non-terminating runs
+        }
+        for state in trace(src, store, fuel) {
+            if mapping.get(state.point).is_none() {
+                continue;
+            }
+            let Some(landed) = execute_transition(&state, mapping, dst) else {
+                return Err(Box::new(ValidationFailure {
+                    store: store.clone(),
+                    fired_at: state,
+                    expected,
+                    got: None,
+                }));
+            };
+            let got = resume(dst, landed, fuel);
+            if got != expected {
+                return Err(Box::new(ValidationFailure {
+                    store: store.clone(),
+                    fired_at: state,
+                    expected,
+                    got: Some(got),
+                }));
+            }
+            fired += 1;
+        }
+    }
+    Ok(fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{osr_trans, Variant};
+    use rewrite::bisim::input_grid;
+    use rewrite::{ConstProp, DeadCodeElim, Hoist, TransformSeq};
+    use tinylang::parse_program;
+
+    const FUEL: usize = 100_000;
+
+    #[test]
+    fn validates_cp_mappings_both_ways() {
+        let p = parse_program(
+            "in x
+             k := 7
+             y := x + k
+             z := y * k
+             out z",
+        )
+        .unwrap();
+        for variant in [Variant::Live, Variant::Avail] {
+            let r = osr_trans(&p, &ConstProp, variant);
+            let stores = input_grid(&p, -4, 4);
+            let fired = validate_mapping(&p, &r.optimized, &r.forward, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("forward {variant}: {e}"));
+            assert!(fired > 0);
+            let fired = validate_mapping(&r.optimized, &p, &r.backward, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("backward {variant}: {e}"));
+            assert!(fired > 0);
+        }
+    }
+
+    #[test]
+    fn validates_hoist_mappings_with_loop() {
+        let p = parse_program(
+            "in x n
+             i := 0
+             skip
+             t := x * x
+             i := i + t
+             if (i < n) goto 4
+             out i",
+        )
+        .unwrap();
+        for variant in [Variant::Live, Variant::Avail] {
+            let r = osr_trans(&p, &Hoist, variant);
+            assert!(!r.edits.is_empty());
+            let stores = input_grid(&p, -2, 3);
+            validate_mapping(&p, &r.optimized, &r.forward, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("forward {variant}: {e}"));
+            validate_mapping(&r.optimized, &p, &r.backward, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("backward {variant}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validates_full_pipeline_composition() {
+        let p = parse_program(
+            "in x
+             a := 5
+             b := a + 1
+             c := b * x
+             d := x * x
+             e := c + a
+             out e",
+        )
+        .unwrap();
+        let r = crate::osr_trans_seq(&p, &TransformSeq::standard(), Variant::Avail);
+        let stores = input_grid(&p, -3, 3);
+        let composed = r.composed_forward();
+        validate_mapping(&p, r.optimized(), &composed, &stores, FUEL)
+            .unwrap_or_else(|e| panic!("composed forward: {e}"));
+        let composed_back = r.composed_backward();
+        validate_mapping(r.optimized(), &p, &composed_back, &stores, FUEL)
+            .unwrap_or_else(|e| panic!("composed backward: {e}"));
+    }
+
+    #[test]
+    fn dce_backward_mapping_validates() {
+        let p = parse_program(
+            "in x
+             t := x * x
+             u := t + t
+             y := x + 1
+             out y",
+        )
+        .unwrap();
+        let r = osr_trans(&p, &DeadCodeElim, Variant::Live);
+        let stores = input_grid(&p, -3, 3);
+        validate_mapping(&r.optimized, &p, &r.backward, &stores, FUEL)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The rewrite-rule engine of Definitions 2.8–2.9: matching, side-condition
+//! enumeration, model checking, and rule application.
+
+use std::collections::BTreeSet;
+
+use ctl::Checker;
+use tinylang::{Expr, Instr, Point, Program, Var};
+
+use crate::pattern::{match_instr, CtlPat, ExprTerm, InstrPat, PatAtom, PointTerm, Subst, VarTerm};
+
+/// A side condition `ϕ` of a rewrite rule.
+///
+/// Fig. 5 conditions combine point-anchored CTL formulas (`m ⊨ φ`) with the
+/// global predicates `conlit(c)` and `freevar(x, e)`.
+#[derive(Clone, Debug)]
+pub enum SideCond {
+    /// Always satisfied.
+    True,
+    /// Conjunction.
+    And(Box<SideCond>, Box<SideCond>),
+    /// `conlit(c)`: the expression term is a constant literal.
+    ConLit(ExprTerm),
+    /// `¬freevar(x, e)`: `x` does not occur free in `e`.
+    NotFreeVar(VarTerm, ExprTerm),
+    /// `m ⊨ φ`: the CTL formula holds at the point bound to `m`.
+    At(String, CtlPat),
+}
+
+impl SideCond {
+    /// Conjunction helper.
+    pub fn and(a: SideCond, b: SideCond) -> SideCond {
+        SideCond::And(Box::new(a), Box::new(b))
+    }
+
+    fn eval(&self, checker: &Checker<'_>, subst: &Subst) -> Option<bool> {
+        match self {
+            SideCond::True => Some(true),
+            SideCond::And(a, b) => Some(a.eval(checker, subst)? && b.eval(checker, subst)?),
+            SideCond::ConLit(t) => Some(subst.ground_expr(t)?.is_const_literal()),
+            SideCond::NotFreeVar(v, e) => {
+                let var = match v {
+                    VarTerm::Meta(n) => subst.var(n)?.clone(),
+                    VarTerm::Concrete(c) => c.clone(),
+                };
+                Some(!subst.ground_expr(e)?.has_free_var(&var))
+            }
+            SideCond::At(m, pat) => {
+                let point = subst.point(m)?;
+                let formula = pat.ground(subst)?;
+                Some(checker.holds_at(&formula, point))
+            }
+        }
+    }
+
+    fn collect_metas(&self, metas: &mut MetaInventory) {
+        match self {
+            SideCond::True => {}
+            SideCond::And(a, b) => {
+                a.collect_metas(metas);
+                b.collect_metas(metas);
+            }
+            SideCond::ConLit(t) | SideCond::NotFreeVar(_, t) => {
+                metas.expr_term(t);
+                if let SideCond::NotFreeVar(v, _) = self {
+                    metas.var_term(v);
+                }
+            }
+            SideCond::At(m, pat) => {
+                metas.points.insert(m.clone());
+                metas.ctl_pat(pat);
+            }
+        }
+    }
+}
+
+/// A rewrite rule `T = m₁ : Iˆ₁ ⇒ Iˆ'₁ ⋯ mᵣ : Iˆᵣ ⇒ Iˆ'ᵣ if ϕ`
+/// (Definition 2.8).
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Human-readable rule name.
+    pub name: String,
+    /// Left-hand sides: `(point meta-variable, instruction pattern)` pairs.
+    pub lhs: Vec<(String, InstrPat)>,
+    /// Right-hand sides, one per left-hand side.
+    pub rhs: Vec<InstrPat>,
+    /// The side condition `ϕ`.
+    pub cond: SideCond,
+}
+
+/// A successful application of a rule.
+#[derive(Clone, Debug)]
+pub struct ApplyOutcome {
+    /// The rewritten program `p' = ⌈T⌉(p)`.
+    pub program: Program,
+    /// The substitution `θ` that was used.
+    pub subst: Subst,
+    /// The rewritten points, in rule order.
+    pub points: Vec<Point>,
+}
+
+/// Inventory of meta-variable names appearing in a side condition, used to
+/// enumerate candidates for names not bound by LHS matching.
+#[derive(Default)]
+struct MetaInventory {
+    vars: BTreeSet<String>,
+    exprs: BTreeSet<String>,
+    points: BTreeSet<String>,
+    nums: BTreeSet<String>,
+}
+
+impl MetaInventory {
+    fn var_term(&mut self, t: &VarTerm) {
+        if let VarTerm::Meta(n) = t {
+            self.vars.insert(n.clone());
+        }
+    }
+
+    fn point_term(&mut self, t: &PointTerm) {
+        if let PointTerm::Meta(n) = t {
+            self.points.insert(n.clone());
+        }
+    }
+
+    fn expr_term(&mut self, t: &ExprTerm) {
+        match t {
+            ExprTerm::Meta(n) => {
+                self.exprs.insert(n.clone());
+            }
+            ExprTerm::MetaWithVar(n, v) => {
+                self.exprs.insert(n.clone());
+                self.var_term(v);
+            }
+            ExprTerm::NumMeta(n) => {
+                self.nums.insert(n.clone());
+            }
+            ExprTerm::Var(v) => self.var_term(v),
+            ExprTerm::Bin(_, a, b) => {
+                self.expr_term(a);
+                self.expr_term(b);
+            }
+            ExprTerm::SubstInto {
+                expr_meta,
+                var,
+                replacement,
+            } => {
+                self.exprs.insert(expr_meta.clone());
+                self.var_term(var);
+                self.expr_term(replacement);
+            }
+            ExprTerm::Num(_) => {}
+        }
+    }
+
+    fn instr_pat(&mut self, p: &InstrPat) {
+        match p {
+            InstrPat::Assign(v, e) => {
+                self.var_term(v);
+                self.expr_term(e);
+            }
+            InstrPat::IfGoto(e, m) => {
+                self.expr_term(e);
+                self.point_term(m);
+            }
+            InstrPat::Goto(m) => self.point_term(m),
+            InstrPat::Skip | InstrPat::Abort | InstrPat::Any => {}
+        }
+    }
+
+    fn ctl_pat(&mut self, p: &CtlPat) {
+        match p {
+            CtlPat::True => {}
+            CtlPat::Atom(a) => match a {
+                PatAtom::Def(v) | PatAtom::Use(v) => self.var_term(v),
+                PatAtom::Stmt(i) => self.instr_pat(i),
+                PatAtom::Point(m) => self.point_term(m),
+                PatAtom::Trans(e) => self.expr_term(e),
+            },
+            CtlPat::Not(f) | CtlPat::Ax(f) | CtlPat::Ex(f) | CtlPat::Bax(f) | CtlPat::Bex(f) => {
+                self.ctl_pat(f)
+            }
+            CtlPat::And(a, b)
+            | CtlPat::Or(a, b)
+            | CtlPat::Au(a, b)
+            | CtlPat::Eu(a, b)
+            | CtlPat::Bau(a, b)
+            | CtlPat::Beu(a, b) => {
+                self.ctl_pat(a);
+                self.ctl_pat(b);
+            }
+        }
+    }
+}
+
+impl Rule {
+    /// Finds every substitution under which the rule applies to `p`, in a
+    /// deterministic order.
+    ///
+    /// This is the model-checking step of Definition 2.9: LHS patterns are
+    /// matched at every tuple of distinct program points, remaining
+    /// meta-variables in the side condition are enumerated over program
+    /// objects (variables, points, and constant literals / expressions
+    /// occurring in `p`), and the side condition is discharged by the CTL
+    /// checker.
+    pub fn matches(&self, p: &Program) -> Vec<ApplyOutcome> {
+        let checker = Checker::new(p);
+        let mut outcomes = Vec::new();
+        let mut partial = vec![(Subst::new(), Vec::<Point>::new())];
+        for (point_meta, pat) in &self.lhs {
+            let mut next = Vec::new();
+            for (subst, chosen) in &partial {
+                for (l, instr) in p.iter() {
+                    if chosen.contains(&l) {
+                        continue;
+                    }
+                    let mut s0 = subst.clone();
+                    if !s0.bind_point(point_meta, l) {
+                        continue;
+                    }
+                    for s in match_instr(pat, instr, &s0) {
+                        let mut c = chosen.clone();
+                        c.push(l);
+                        next.push((s, c));
+                    }
+                }
+            }
+            partial = next;
+        }
+        for (subst, points) in partial {
+            for full in self.enumerate_cond_metas(p, &subst) {
+                if self.cond.eval(&checker, &full) == Some(true) {
+                    if let Some(program) = self.rewrite(p, &full, &points) {
+                        outcomes.push(ApplyOutcome {
+                            program,
+                            subst: full,
+                            points: points.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Applies the rule once (first match in deterministic order), i.e. the
+    /// transformation function `⌈T⌉` of Definition 2.9.
+    pub fn apply_once(&self, p: &Program) -> Option<ApplyOutcome> {
+        self.matches(p).into_iter().next()
+    }
+
+    fn rewrite(&self, p: &Program, subst: &Subst, points: &[Point]) -> Option<Program> {
+        let mut instrs: Vec<Instr> = p.instrs().to_vec();
+        for (pat, l) in self.rhs.iter().zip(points) {
+            let instr = subst.ground_instr(pat)?;
+            instrs[l.get() - 1] = instr;
+        }
+        Program::new(instrs).ok()
+    }
+
+    /// Enumerates bindings for side-condition meta-variables not bound by
+    /// the LHS match.
+    fn enumerate_cond_metas(&self, p: &Program, subst: &Subst) -> Vec<Subst> {
+        let mut inv = MetaInventory::default();
+        self.cond.collect_metas(&mut inv);
+
+        let program_vars: Vec<Var> = ctl::dataflow::all_vars(p).into_iter().collect();
+        let program_points: Vec<Point> = p.points().collect();
+        let constants: Vec<i64> = p
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Assign(_, Expr::Num(n)) => Some(*n),
+                _ => None,
+            })
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let exprs: Vec<Expr> = p
+            .instrs()
+            .iter()
+            .filter_map(Instr::expr)
+            .cloned()
+            .collect::<Vec<_>>();
+
+        let mut substs = vec![subst.clone()];
+        for name in &inv.vars {
+            if subst.var(name).is_some() {
+                continue;
+            }
+            substs = product(substs, &program_vars, |s, v| s.bind_var(name, v.clone()));
+        }
+        for name in &inv.points {
+            if subst.point(name).is_some() {
+                continue;
+            }
+            substs = product(substs, &program_points, |s, l| s.bind_point(name, *l));
+        }
+        for name in &inv.nums {
+            if subst.num(name).is_some() {
+                continue;
+            }
+            substs = product(substs, &constants, |s, n| s.bind_num(name, *n));
+        }
+        for name in &inv.exprs {
+            if subst.expr(name).is_some() {
+                continue;
+            }
+            substs = product(substs, &exprs, |s, e| s.bind_expr(name, e.clone()));
+        }
+        substs
+    }
+}
+
+fn product<T>(substs: Vec<Subst>, candidates: &[T], bind: impl Fn(&mut Subst, &T) -> bool) -> Vec<Subst> {
+    let mut out = Vec::new();
+    for s in substs {
+        for c in candidates {
+            let mut s2 = s.clone();
+            if bind(&mut s2, c) {
+                out.push(s2);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::parse_program;
+
+    /// The paper's example: `m : y := 2 * x ⇒ y := x + x if true`.
+    fn strength_reduction() -> Rule {
+        use tinylang::BinOp;
+        Rule {
+            name: "strength-reduction".into(),
+            lhs: vec![(
+                "m".into(),
+                InstrPat::Assign(
+                    VarTerm::Meta("y".into()),
+                    ExprTerm::Bin(
+                        BinOp::Mul,
+                        Box::new(ExprTerm::Num(2)),
+                        Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+                    ),
+                ),
+            )],
+            rhs: vec![InstrPat::Assign(
+                VarTerm::Meta("y".into()),
+                ExprTerm::Bin(
+                    BinOp::Add,
+                    Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+                    Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+                ),
+            )],
+            cond: SideCond::True,
+        }
+    }
+
+    #[test]
+    fn strength_reduction_applies() {
+        let p = parse_program(
+            "in a
+             b := 2 * a
+             out b",
+        )
+        .unwrap();
+        let out = strength_reduction().apply_once(&p).expect("rule applies");
+        assert_eq!(out.points, vec![Point::new(2)]);
+        assert!(out.program.to_string().contains("(a + a)"));
+    }
+
+    #[test]
+    fn rule_without_match_returns_none() {
+        let p = parse_program("in a\nb := 3 * a\nout b").unwrap();
+        assert!(strength_reduction().apply_once(&p).is_none());
+    }
+
+    #[test]
+    fn rewritten_program_is_equivalent() {
+        let p = parse_program(
+            "in a
+             b := 2 * a
+             out b",
+        )
+        .unwrap();
+        let out = strength_reduction().apply_once(&p).unwrap();
+        for x in -5..5 {
+            let mut s = tinylang::Store::new();
+            s.set("a", x);
+            assert_eq!(
+                tinylang::semantics::run(&p, &s, 100),
+                tinylang::semantics::run(&out.program, &s, 100)
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Program transformations as rewrite rules with CTL side conditions
+//! (*On-Stack Replacement, Distilled* §2.2 and §4.1).
+//!
+//! Two layers are provided:
+//!
+//! * a general [`Rule`] engine (Definitions 2.8–2.9): instruction patterns
+//!   with meta-variables are matched against a concrete program, candidate
+//!   substitutions are enumerated, and side conditions are discharged by the
+//!   [`ctl`] model checker;
+//! * direct implementations of the three live-variable-equivalent (LVE)
+//!   transformations of Figure 5 — [`ConstProp`], [`DeadCodeElim`] and
+//!   [`Hoist`] — via the [`LveTransform`] trait.  These are the
+//!   transformations `OSR_trans` (crate `osr`) makes OSR-aware.
+//!
+//! All three transformations preserve the program-point numbering (DCE
+//! rewrites to `skip`; Hoist swaps an assignment with an existing `skip`),
+//! so the `Δ` point mappings of Theorem 4.6 are the identity.
+//!
+//! The [`bisim`] module implements a bounded checker for live-variable
+//! bisimilarity (Definition 4.3), used to validate Theorem 4.5 in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use rewrite::{ConstProp, LveTransform};
+//! use tinylang::parse_program;
+//!
+//! let p = parse_program(
+//!     "in x
+//!      k := 7
+//!      y := x + k
+//!      out y",
+//! )?;
+//! let (p2, edit) = ConstProp.apply_once(&p).expect("CP applies");
+//! assert_eq!(p2.to_string().contains("(x + 7)"), true);
+//! println!("rewrote point {:?}", edit);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bisim;
+mod engine;
+mod lve;
+mod pattern;
+mod rules;
+
+pub use engine::{ApplyOutcome, Rule, SideCond};
+pub use lve::{
+    ConstProp, DeadCodeElim, Edit, Hoist, LveTransform, TransformSeq,
+};
+pub use pattern::{CtlPat, ExprTerm, InstrPat, PatAtom, PointTerm, Subst, VarTerm};
+pub use rules::{cp_rule, dce_rule, hoist_rule, strength_reduction_rule};

@@ -1,0 +1,458 @@
+//! Direct implementations of the live-variable-equivalent transformations
+//! of Figure 5.
+//!
+//! These perform the same rewrites as the declarative rules in
+//! [`crate::rules`] but compute side conditions with dedicated dataflow
+//! analyses instead of meta-variable enumeration, making them fast enough
+//! to drive the evaluation harness.  All three preserve program-point
+//! numbering, so `apply(p, T)` yields the identity point mapping `Δ`
+//! required by Theorem 4.6.
+
+use ctl::dataflow::{MustDefined, ReachingDefs};
+use ctl::{Atom, Checker, Formula};
+use tinylang::{Expr, Instr, Point, Program, Var};
+
+/// A single rewrite performed by an LVE transformation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Edit {
+    /// Constant `constant` propagated into the expression at `point`,
+    /// replacing variable `var`.
+    ConstProp {
+        /// Rewritten point.
+        point: Point,
+        /// The propagated-away variable.
+        var: Var,
+        /// The constant it was replaced by.
+        constant: i64,
+    },
+    /// The dead assignment to `var` at `point` was replaced by `skip`.
+    DeadCode {
+        /// Rewritten point.
+        point: Point,
+        /// The variable whose assignment died.
+        var: Var,
+    },
+    /// The assignment at `from` was hoisted to the `skip` at `to`.
+    Hoist {
+        /// Original location of the assignment.
+        from: Point,
+        /// The `skip` it was moved to.
+        to: Point,
+    },
+}
+
+/// A live-variable-equivalent program transformation (Definition 4.4).
+///
+/// Implementations guarantee (Theorem 4.5) that `p` and `apply_once(p)` are
+/// live-variable bisimilar with the identity point mapping, which is what
+/// `osr::osr_trans` relies on to build strict forward and backward OSR
+/// mappings (Theorem 4.6).
+pub trait LveTransform {
+    /// Short name used in diagnostics and evaluation tables.
+    fn name(&self) -> &'static str;
+
+    /// Applies the transformation at the first applicable point, returning
+    /// the rewritten program and a description of the edit, or `None` if the
+    /// transformation does not apply anywhere.
+    fn apply_once(&self, p: &Program) -> Option<(Program, Edit)>;
+
+    /// Applies the transformation repeatedly (at most `max` times) until it
+    /// no longer fires.
+    fn apply_fixpoint(&self, p: &Program, max: usize) -> (Program, Vec<Edit>) {
+        let mut current = p.clone();
+        let mut edits = Vec::new();
+        for _ in 0..max {
+            match self.apply_once(&current) {
+                Some((next, edit)) => {
+                    current = next;
+                    edits.push(edit);
+                }
+                None => break,
+            }
+        }
+        (current, edits)
+    }
+}
+
+/// Constant propagation (`CP` in Figure 5).
+///
+/// Rewrites `x := e[v]` to `x := e[c]` when every definition of `v` reaching
+/// the point is the same constant assignment `v := c` (and `v` is defined on
+/// every incoming path).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ConstProp;
+
+impl LveTransform for ConstProp {
+    fn name(&self) -> &'static str {
+        "CP"
+    }
+
+    fn apply_once(&self, p: &Program) -> Option<(Program, Edit)> {
+        let rd = ReachingDefs::compute(p);
+        let md = MustDefined::compute(p);
+        for (m, instr) in p.iter() {
+            let Instr::Assign(x, e) = instr else {
+                continue;
+            };
+            for v in e.free_vars() {
+                // The Fig. 5 condition is anchored at m with non-strict
+                // until, so def(v) must not hold at m itself: v ≠ x.
+                if v == *x {
+                    continue;
+                }
+                if !md.defined_in(m).contains(&v) {
+                    continue;
+                }
+                let defs = rd.reaching(&v, m);
+                let mut constant: Option<i64> = None;
+                let all_same_const = !defs.is_empty()
+                    && defs.iter().all(|d| match p.instr_at(*d) {
+                        Instr::Assign(dv, Expr::Num(c)) if dv == &v => match constant {
+                            None => {
+                                constant = Some(*c);
+                                true
+                            }
+                            Some(prev) => prev == *c,
+                        },
+                        _ => false,
+                    });
+                if all_same_const {
+                    let c = constant.expect("set when all_same_const");
+                    let new_e = e.substitute(&v, &Expr::Num(c));
+                    let p2 = p
+                        .with_instr(m, Instr::Assign(x.clone(), new_e))
+                        .expect("assign-for-assign swap keeps the program well-formed");
+                    return Some((
+                        p2,
+                        Edit::ConstProp {
+                            point: m,
+                            var: v,
+                            constant: c,
+                        },
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Dead code elimination (`DCE` in Figure 5).
+///
+/// Rewrites `x := e` to `skip` when **no** use of `x` is forward-reachable
+/// from any successor — the paper's condition `→AX ¬→E(true U use(x))`,
+/// which is deliberately stronger than classic liveness-based DCE (a use
+/// behind a redefinition still blocks it).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct DeadCodeElim;
+
+impl LveTransform for DeadCodeElim {
+    fn name(&self) -> &'static str {
+        "DCE"
+    }
+
+    fn apply_once(&self, p: &Program) -> Option<(Program, Edit)> {
+        let checker = Checker::new(p);
+        for (m, instr) in p.iter() {
+            let Instr::Assign(x, _) = instr else {
+                continue;
+            };
+            let cond = Formula::ax(Formula::not(Formula::eu(
+                Formula::True,
+                Formula::atom(Atom::Use(x.clone())),
+            )));
+            if checker.holds_at(&cond, m) {
+                let p2 = p
+                    .with_instr(m, Instr::Skip)
+                    .expect("skip-for-assign swap keeps the program well-formed");
+                return Some((
+                    p2,
+                    Edit::DeadCode {
+                        point: m,
+                        var: x.clone(),
+                    },
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Code hoisting (`Hoist` in Figure 5).
+///
+/// Moves an assignment `x := e` at `q` up to an existing `skip` at `p`,
+/// provided no path from `p` uses `x` before reaching `q`, and on every
+/// backward path from `q` to `p` neither `x` nor any constituent of `e` is
+/// modified.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Hoist;
+
+impl LveTransform for Hoist {
+    fn name(&self) -> &'static str {
+        "Hoist"
+    }
+
+    fn apply_once(&self, p: &Program) -> Option<(Program, Edit)> {
+        let checker = Checker::new(p);
+        for (to, skip_instr) in p.iter() {
+            if !matches!(skip_instr, Instr::Skip) {
+                continue;
+            }
+            for (from, instr) in p.iter() {
+                let Instr::Assign(x, e) = instr else {
+                    continue;
+                };
+                if from == to {
+                    continue;
+                }
+                // p ⊨ →A(¬use(x) U point(q))
+                let fwd = Formula::au(
+                    Formula::not(Formula::atom(Atom::Use(x.clone()))),
+                    Formula::atom(Atom::Point(from)),
+                );
+                if !checker.holds_at(&fwd, to) {
+                    continue;
+                }
+                // q ⊨ ←A((¬def(x) ∨ point(q)) ∧ trans(e) U point(p))
+                let bwd = Formula::bau(
+                    Formula::and(
+                        Formula::or(
+                            Formula::not(Formula::atom(Atom::Def(x.clone()))),
+                            Formula::atom(Atom::Point(from)),
+                        ),
+                        Formula::atom(Atom::Trans(e.clone())),
+                    ),
+                    Formula::atom(Atom::Point(to)),
+                );
+                if !checker.holds_at(&bwd, from) {
+                    continue;
+                }
+                let p2 = p
+                    .with_instr(to, instr.clone())
+                    .and_then(|p2| p2.with_instr(from, Instr::Skip))
+                    .expect("swapping skip and assignment keeps the program well-formed");
+                return Some((p2, Edit::Hoist { from, to }));
+            }
+        }
+        None
+    }
+}
+
+/// A sequence of LVE transformations, applied left-to-right, each to a
+/// fix-point.
+///
+/// The paper composes OSR mappings transformation-by-transformation
+/// (Theorem 3.4); `TransformSeq` is the workload driver for that: it
+/// records every intermediate program so that per-step mappings can be
+/// built and composed.
+pub struct TransformSeq {
+    transforms: Vec<Box<dyn LveTransform>>,
+    /// Bound on rewrites per transformation, to guarantee termination.
+    pub max_steps: usize,
+}
+
+impl TransformSeq {
+    /// Creates the sequence.
+    pub fn new(transforms: Vec<Box<dyn LveTransform>>) -> Self {
+        TransformSeq {
+            transforms,
+            max_steps: 10_000,
+        }
+    }
+
+    /// The standard pipeline used in the evaluation: CP → DCE → Hoist → CP →
+    /// DCE.
+    pub fn standard() -> Self {
+        TransformSeq::new(vec![
+            Box::new(ConstProp),
+            Box::new(DeadCodeElim),
+            Box::new(Hoist),
+            Box::new(ConstProp),
+            Box::new(DeadCodeElim),
+        ])
+    }
+
+    /// Applies the whole sequence, returning every intermediate program
+    /// (`result[0]` is the input; `result.last()` the fully optimized
+    /// program) together with the edits of each stage.
+    pub fn apply_staged(&self, p: &Program) -> (Vec<Program>, Vec<Vec<Edit>>) {
+        let mut programs = vec![p.clone()];
+        let mut all_edits = Vec::new();
+        for t in &self.transforms {
+            let (next, edits) = t.apply_fixpoint(programs.last().expect("non-empty"), self.max_steps);
+            programs.push(next);
+            all_edits.push(edits);
+        }
+        (programs, all_edits)
+    }
+
+    /// Applies the whole sequence and returns only the final program and the
+    /// flattened edit list.
+    pub fn apply(&self, p: &Program) -> (Program, Vec<Edit>) {
+        let (programs, edits) = self.apply_staged(p);
+        (
+            programs.into_iter().last().expect("non-empty"),
+            edits.into_iter().flatten().collect(),
+        )
+    }
+}
+
+impl std::fmt::Debug for TransformSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<_> = self.transforms.iter().map(|t| t.name()).collect();
+        write!(f, "TransformSeq({names:?})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::{parse_program, semantics::run, Store};
+
+    fn stores_over(vars: &[&str], lo: i64, hi: i64) -> Vec<Store> {
+        let mut out = vec![Store::new()];
+        for v in vars {
+            let mut next = Vec::new();
+            for s in &out {
+                for val in lo..=hi {
+                    next.push(s.with(*v, val));
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn assert_equivalent(p1: &Program, p2: &Program, vars: &[&str]) {
+        for s in stores_over(vars, -3, 3) {
+            assert_eq!(run(p1, &s, 10_000), run(p2, &s, 10_000), "input {s}");
+        }
+    }
+
+    #[test]
+    fn const_prop_direct_matches_rule_engine() {
+        let srcs = [
+            "in x\nk := 7\ny := x + k\nout y",
+            "in x\nk := 2\nk := 2\ny := k * x\nout y",
+            "in x c\nk := 7\nif (c) goto 5\nk := x\ny := x + k\nout y",
+        ];
+        for src in srcs {
+            let p = parse_program(src).unwrap();
+            let direct = ConstProp.apply_once(&p).map(|(p2, _)| p2);
+            let engine = crate::rules::cp_rule().apply_once(&p).map(|o| o.program);
+            assert_eq!(direct, engine, "CP mismatch on:\n{p}");
+        }
+    }
+
+    #[test]
+    fn dce_direct_matches_rule_engine() {
+        let srcs = [
+            "in x\nt := x * x\ny := x + 1\nout y",
+            "in x\nt := 1\nt := 2\nout t",
+            "in x\ny := x\nout y",
+        ];
+        for src in srcs {
+            let p = parse_program(src).unwrap();
+            let direct = DeadCodeElim.apply_once(&p).map(|(p2, _)| p2);
+            let engine = crate::rules::dce_rule().apply_once(&p).map(|o| o.program);
+            assert_eq!(direct, engine, "DCE mismatch on:\n{p}");
+        }
+    }
+
+    #[test]
+    fn hoist_direct_matches_rule_engine() {
+        let srcs = [
+            "in x n
+             skip
+             i := 0
+             t := x * x
+             i := i + t
+             if (i < n) goto 4
+             out i",
+            "in a
+             skip
+             b := a + 1
+             out b",
+        ];
+        for src in srcs {
+            let p = parse_program(src).unwrap();
+            let direct = Hoist.apply_once(&p).map(|(p2, _)| p2);
+            let engine = crate::rules::hoist_rule().apply_once(&p).map(|o| o.program);
+            assert_eq!(direct, engine, "Hoist mismatch on:\n{p}");
+        }
+    }
+
+    #[test]
+    fn fixpoint_terminates_and_preserves_semantics() {
+        let p = parse_program(
+            "in x
+             a := 5
+             b := a + 1
+             c := b * 2
+             d := x * x
+             out c",
+        )
+        .unwrap();
+        let seq = TransformSeq::standard();
+        let (opt, edits) = seq.apply(&p);
+        assert!(!edits.is_empty());
+        assert_equivalent(&p, &opt, &["x"]);
+        // d := x*x is dead and must be gone.
+        assert!(
+            opt.iter()
+                .all(|(_, i)| !i.defines(&Var::new("d"))
+                    || matches!(i, Instr::Skip)),
+            "dead store to d must be eliminated:\n{opt}"
+        );
+    }
+
+    #[test]
+    fn cp_propagates_through_chain() {
+        let p = parse_program(
+            "in x
+             a := 5
+             b := a + 1
+             out b",
+        )
+        .unwrap();
+        let (opt, edits) = ConstProp.apply_fixpoint(&p, 100);
+        assert_eq!(edits.len(), 1);
+        assert!(opt.to_string().contains("(5 + 1)"));
+    }
+
+    #[test]
+    fn hoist_into_loop_preheader_skip() {
+        let p = parse_program(
+            "in x n
+             skip
+             i := 0
+             t := x * x
+             i := i + t
+             if (i < n) goto 4
+             out i",
+        )
+        .unwrap();
+        let (opt, edit) = Hoist.apply_once(&p).unwrap();
+        assert_equivalent(&p, &opt, &["x", "n"]);
+        match edit {
+            Edit::Hoist { from, to } => {
+                assert!(to < from);
+            }
+            other => panic!("expected hoist edit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_program_length() {
+        let p = parse_program(
+            "in x
+             a := 5
+             b := a + 1
+             c := x * 2
+             out c",
+        )
+        .unwrap();
+        let (opt, _) = TransformSeq::standard().apply(&p);
+        assert_eq!(p.len(), opt.len(), "LVE transforms preserve point count");
+    }
+}

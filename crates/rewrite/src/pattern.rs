@@ -1,0 +1,529 @@
+//! Meta-variable patterns over instructions, expressions, and formulas
+//! (the `Iˆ`, `e`, `m` of Definition 2.8).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tinylang::{BinOp, Expr, Instr, Point, Var};
+
+/// A term standing for a program variable: either a meta-variable to be
+/// bound by matching, or a concrete variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarTerm {
+    /// Meta-variable, e.g. `x` in the rule `m : y := 2*x ⇒ y := x + x`.
+    Meta(String),
+    /// A concrete program variable.
+    Concrete(Var),
+}
+
+/// A term standing for a program point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PointTerm {
+    /// Meta-variable over program points.
+    Meta(String),
+    /// A concrete point.
+    Concrete(Point),
+}
+
+/// A term standing for an expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExprTerm {
+    /// Meta-variable matching any expression.
+    Meta(String),
+    /// Meta-variable matching any expression that contains the given
+    /// variable free — the `e[v]` notation of the paper.
+    MetaWithVar(String, Box<VarTerm>),
+    /// A concrete integer literal.
+    Num(i64),
+    /// A meta-variable ranging over constant literals only (`c` with
+    /// side-condition `conlit(c)`).
+    NumMeta(String),
+    /// A variable reference.
+    Var(VarTerm),
+    /// A binary operation pattern.
+    Bin(BinOp, Box<ExprTerm>, Box<ExprTerm>),
+    /// RHS-only: instantiate the named expression meta-variable, then
+    /// substitute `var ↦ replacement` inside it — the `e[c/v]` used by the
+    /// constant-propagation rule's right-hand side.
+    SubstInto {
+        /// Name of a bound expression meta-variable.
+        expr_meta: String,
+        /// The variable to replace.
+        var: VarTerm,
+        /// The replacement expression term.
+        replacement: Box<ExprTerm>,
+    },
+}
+
+/// An instruction pattern (`Iˆ` in Definition 2.8).
+#[derive(Clone, PartialEq, Debug)]
+pub enum InstrPat {
+    /// `x := e`.
+    Assign(VarTerm, ExprTerm),
+    /// `if (e) goto m`.
+    IfGoto(ExprTerm, PointTerm),
+    /// `goto m`.
+    Goto(PointTerm),
+    /// `skip`.
+    Skip,
+    /// `abort`.
+    Abort,
+    /// Wildcard matching any instruction.
+    Any,
+}
+
+/// A substitution `θ` binding meta-variables to program objects.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct Subst {
+    vars: BTreeMap<String, Var>,
+    exprs: BTreeMap<String, Expr>,
+    points: BTreeMap<String, Point>,
+    nums: BTreeMap<String, i64>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Binds a variable meta-variable, failing on conflicting rebinding.
+    pub fn bind_var(&mut self, name: &str, v: Var) -> bool {
+        match self.vars.get(name) {
+            Some(old) => *old == v,
+            None => {
+                self.vars.insert(name.to_string(), v);
+                true
+            }
+        }
+    }
+
+    /// Binds an expression meta-variable.
+    pub fn bind_expr(&mut self, name: &str, e: Expr) -> bool {
+        match self.exprs.get(name) {
+            Some(old) => *old == e,
+            None => {
+                self.exprs.insert(name.to_string(), e);
+                true
+            }
+        }
+    }
+
+    /// Binds a point meta-variable.
+    pub fn bind_point(&mut self, name: &str, p: Point) -> bool {
+        match self.points.get(name) {
+            Some(old) => *old == p,
+            None => {
+                self.points.insert(name.to_string(), p);
+                true
+            }
+        }
+    }
+
+    /// Binds a numeric (constant-literal) meta-variable.
+    pub fn bind_num(&mut self, name: &str, n: i64) -> bool {
+        match self.nums.get(name) {
+            Some(old) => *old == n,
+            None => {
+                self.nums.insert(name.to_string(), n);
+                true
+            }
+        }
+    }
+
+    /// Looks up a bound variable meta-variable.
+    pub fn var(&self, name: &str) -> Option<&Var> {
+        self.vars.get(name)
+    }
+
+    /// Looks up a bound expression meta-variable.
+    pub fn expr(&self, name: &str) -> Option<&Expr> {
+        self.exprs.get(name)
+    }
+
+    /// Looks up a bound point meta-variable.
+    pub fn point(&self, name: &str) -> Option<Point> {
+        self.points.get(name).copied()
+    }
+
+    /// Looks up a bound numeric meta-variable.
+    pub fn num(&self, name: &str) -> Option<i64> {
+        self.nums.get(name).copied()
+    }
+
+    fn resolve_var(&self, t: &VarTerm) -> Option<Var> {
+        match t {
+            VarTerm::Meta(n) => self.var(n).cloned(),
+            VarTerm::Concrete(v) => Some(v.clone()),
+        }
+    }
+
+    fn resolve_point(&self, t: &PointTerm) -> Option<Point> {
+        match t {
+            PointTerm::Meta(n) => self.point(n),
+            PointTerm::Concrete(p) => Some(*p),
+        }
+    }
+
+    /// Grounds an expression term under this substitution.
+    ///
+    /// Returns `None` if any meta-variable in the term is unbound.
+    pub fn ground_expr(&self, t: &ExprTerm) -> Option<Expr> {
+        match t {
+            ExprTerm::Meta(n) => self.expr(n).cloned(),
+            ExprTerm::MetaWithVar(n, _) => self.expr(n).cloned(),
+            ExprTerm::Num(k) => Some(Expr::Num(*k)),
+            ExprTerm::NumMeta(n) => self.num(n).map(Expr::Num),
+            ExprTerm::Var(v) => self.resolve_var(v).map(Expr::Var),
+            ExprTerm::Bin(op, a, b) => Some(Expr::bin(
+                *op,
+                self.ground_expr(a)?,
+                self.ground_expr(b)?,
+            )),
+            ExprTerm::SubstInto {
+                expr_meta,
+                var,
+                replacement,
+            } => {
+                let e = self.expr(expr_meta)?.clone();
+                let v = self.resolve_var(var)?;
+                let r = self.ground_expr(replacement)?;
+                Some(e.substitute(&v, &r))
+            }
+        }
+    }
+
+    /// Grounds an instruction pattern under this substitution.
+    ///
+    /// Returns `None` if any meta-variable is unbound (wildcards cannot be
+    /// grounded).
+    pub fn ground_instr(&self, pat: &InstrPat) -> Option<Instr> {
+        match pat {
+            InstrPat::Assign(x, e) => Some(Instr::Assign(
+                self.resolve_var(x)?,
+                self.ground_expr(e)?,
+            )),
+            InstrPat::IfGoto(e, m) => Some(Instr::IfGoto(
+                self.ground_expr(e)?,
+                self.resolve_point(m)?,
+            )),
+            InstrPat::Goto(m) => Some(Instr::Goto(self.resolve_point(m)?)),
+            InstrPat::Skip => Some(Instr::Skip),
+            InstrPat::Abort => Some(Instr::Abort),
+            InstrPat::Any => None,
+        }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "θ{{")?;
+        let mut first = true;
+        let mut item = |f: &mut fmt::Formatter<'_>, s: String| -> fmt::Result {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{s}")
+        };
+        for (k, v) in &self.vars {
+            item(f, format!("{k}↦{v}"))?;
+        }
+        for (k, v) in &self.exprs {
+            item(f, format!("{k}↦{v}"))?;
+        }
+        for (k, v) in &self.points {
+            item(f, format!("{k}↦{v}"))?;
+        }
+        for (k, v) in &self.nums {
+            item(f, format!("{k}↦{v}"))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Matches `pat` against a concrete expression, extending `subst`.
+///
+/// Returns every consistent extension (the `e[v]` pattern can bind its
+/// variable meta-term to any free variable of the matched expression, so a
+/// single match may yield several substitutions).
+pub fn match_expr(pat: &ExprTerm, e: &Expr, subst: &Subst) -> Vec<Subst> {
+    match pat {
+        ExprTerm::Meta(n) => {
+            let mut s = subst.clone();
+            if s.bind_expr(n, e.clone()) {
+                vec![s]
+            } else {
+                vec![]
+            }
+        }
+        ExprTerm::MetaWithVar(n, vt) => {
+            let mut out = Vec::new();
+            for v in e.free_vars() {
+                let mut s = subst.clone();
+                let var_ok = match &**vt {
+                    VarTerm::Meta(vn) => s.bind_var(vn, v.clone()),
+                    VarTerm::Concrete(cv) => *cv == v,
+                };
+                if var_ok && s.bind_expr(n, e.clone()) {
+                    out.push(s);
+                }
+            }
+            out
+        }
+        ExprTerm::Num(k) => match e {
+            Expr::Num(n) if n == k => vec![subst.clone()],
+            _ => vec![],
+        },
+        ExprTerm::NumMeta(name) => match e {
+            Expr::Num(n) => {
+                let mut s = subst.clone();
+                if s.bind_num(name, *n) {
+                    vec![s]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        },
+        ExprTerm::Var(vt) => match e {
+            Expr::Var(v) => {
+                let mut s = subst.clone();
+                let ok = match vt {
+                    VarTerm::Meta(n) => s.bind_var(n, v.clone()),
+                    VarTerm::Concrete(cv) => cv == v,
+                };
+                if ok {
+                    vec![s]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        },
+        ExprTerm::Bin(op, pa, pb) => match e {
+            Expr::Bin(eop, ea, eb) if eop == op => {
+                let mut out = Vec::new();
+                for s1 in match_expr(pa, ea, subst) {
+                    out.extend(match_expr(pb, eb, &s1));
+                }
+                out
+            }
+            _ => vec![],
+        },
+        ExprTerm::SubstInto { .. } => Vec::new(), // RHS-only construct
+    }
+}
+
+/// Matches an instruction pattern against a concrete instruction.
+pub fn match_instr(pat: &InstrPat, instr: &Instr, subst: &Subst) -> Vec<Subst> {
+    match (pat, instr) {
+        (InstrPat::Any, _) => vec![subst.clone()],
+        (InstrPat::Skip, Instr::Skip) => vec![subst.clone()],
+        (InstrPat::Abort, Instr::Abort) => vec![subst.clone()],
+        (InstrPat::Assign(xt, et), Instr::Assign(x, e)) => {
+            let mut s = subst.clone();
+            let ok = match xt {
+                VarTerm::Meta(n) => s.bind_var(n, x.clone()),
+                VarTerm::Concrete(cv) => cv == x,
+            };
+            if ok {
+                match_expr(et, e, &s)
+            } else {
+                vec![]
+            }
+        }
+        (InstrPat::IfGoto(et, mt), Instr::IfGoto(e, m)) => {
+            let mut s = subst.clone();
+            let ok = match mt {
+                PointTerm::Meta(n) => s.bind_point(n, *m),
+                PointTerm::Concrete(cp) => cp == m,
+            };
+            if ok {
+                match_expr(et, e, &s)
+            } else {
+                vec![]
+            }
+        }
+        (InstrPat::Goto(mt), Instr::Goto(m)) => {
+            let mut s = subst.clone();
+            let ok = match mt {
+                PointTerm::Meta(n) => s.bind_point(n, *m),
+                PointTerm::Concrete(cp) => cp == m,
+            };
+            if ok {
+                vec![s]
+            } else {
+                vec![]
+            }
+        }
+        _ => vec![],
+    }
+}
+
+/// A CTL formula pattern: [`ctl::Formula`] with meta-terms at the atoms.
+///
+/// Grounded under a substitution by [`CtlPat::ground`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum CtlPat {
+    /// Constant truth.
+    True,
+    /// A local-predicate atom with meta-terms.
+    Atom(PatAtom),
+    /// Negation.
+    Not(Box<CtlPat>),
+    /// Conjunction.
+    And(Box<CtlPat>, Box<CtlPat>),
+    /// Disjunction.
+    Or(Box<CtlPat>, Box<CtlPat>),
+    /// `→AX`.
+    Ax(Box<CtlPat>),
+    /// `→EX`.
+    Ex(Box<CtlPat>),
+    /// `→A(_ U _)`.
+    Au(Box<CtlPat>, Box<CtlPat>),
+    /// `→E(_ U _)`.
+    Eu(Box<CtlPat>, Box<CtlPat>),
+    /// `←AX`.
+    Bax(Box<CtlPat>),
+    /// `←EX`.
+    Bex(Box<CtlPat>),
+    /// `←A(_ U _)`.
+    Bau(Box<CtlPat>, Box<CtlPat>),
+    /// `←E(_ U _)`.
+    Beu(Box<CtlPat>, Box<CtlPat>),
+}
+
+/// Atom patterns mirroring [`ctl::Atom`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum PatAtom {
+    /// `def(x)`.
+    Def(VarTerm),
+    /// `use(x)`.
+    Use(VarTerm),
+    /// `stmt(Iˆ)`.
+    Stmt(InstrPat),
+    /// `point(m)`.
+    Point(PointTerm),
+    /// `trans(e)`.
+    Trans(ExprTerm),
+}
+
+impl CtlPat {
+    /// Grounds the pattern into a checkable [`ctl::Formula`].
+    ///
+    /// Returns `None` if any meta-variable is unbound.
+    pub fn ground(&self, subst: &Subst) -> Option<ctl::Formula> {
+        use ctl::Formula as F;
+        Some(match self {
+            CtlPat::True => F::True,
+            CtlPat::Atom(a) => F::Atom(match a {
+                PatAtom::Def(v) => ctl::Atom::Def(subst.resolve_var(v)?),
+                PatAtom::Use(v) => ctl::Atom::Use(subst.resolve_var(v)?),
+                PatAtom::Stmt(pat) => ctl::Atom::Stmt(subst.ground_instr(pat)?),
+                PatAtom::Point(m) => ctl::Atom::Point(subst.resolve_point(m)?),
+                PatAtom::Trans(e) => ctl::Atom::Trans(subst.ground_expr(e)?),
+            }),
+            CtlPat::Not(f) => F::not(f.ground(subst)?),
+            CtlPat::And(a, b) => F::and(a.ground(subst)?, b.ground(subst)?),
+            CtlPat::Or(a, b) => F::or(a.ground(subst)?, b.ground(subst)?),
+            CtlPat::Ax(f) => F::ax(f.ground(subst)?),
+            CtlPat::Ex(f) => F::ex(f.ground(subst)?),
+            CtlPat::Au(a, b) => F::au(a.ground(subst)?, b.ground(subst)?),
+            CtlPat::Eu(a, b) => F::eu(a.ground(subst)?, b.ground(subst)?),
+            CtlPat::Bax(f) => F::bax(f.ground(subst)?),
+            CtlPat::Bex(f) => F::bex(f.ground(subst)?),
+            CtlPat::Bau(a, b) => F::bau(a.ground(subst)?, b.ground(subst)?),
+            CtlPat::Beu(a, b) => F::beu(a.ground(subst)?, b.ground(subst)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinylang::parse_expr;
+
+    #[test]
+    fn match_binary_pattern() {
+        // Pattern: y := 2 * x   (strength reduction LHS)
+        let pat = InstrPat::Assign(
+            VarTerm::Meta("y".into()),
+            ExprTerm::Bin(
+                BinOp::Mul,
+                Box::new(ExprTerm::Num(2)),
+                Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+            ),
+        );
+        let instr = Instr::Assign(Var::new("a"), parse_expr("2 * b").unwrap());
+        let matches = match_instr(&pat, &instr, &Subst::new());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].var("y"), Some(&Var::new("a")));
+        assert_eq!(matches[0].var("x"), Some(&Var::new("b")));
+    }
+
+    #[test]
+    fn meta_with_var_enumerates_free_vars() {
+        // e[v] against `a + b` binds v to a and to b.
+        let pat = InstrPat::Assign(
+            VarTerm::Meta("x".into()),
+            ExprTerm::MetaWithVar("e".into(), Box::new(VarTerm::Meta("v".into()))),
+        );
+        let instr = Instr::Assign(Var::new("t"), parse_expr("a + b").unwrap());
+        let matches = match_instr(&pat, &instr, &Subst::new());
+        let bound: Vec<_> = matches
+            .iter()
+            .map(|s| s.var("v").unwrap().as_str().to_string())
+            .collect();
+        assert_eq!(bound, ["a", "b"]);
+    }
+
+    #[test]
+    fn conflicting_rebinding_fails() {
+        // Pattern x + x against a + b must fail; against a + a succeeds.
+        let pat = ExprTerm::Bin(
+            BinOp::Add,
+            Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+            Box::new(ExprTerm::Var(VarTerm::Meta("x".into()))),
+        );
+        assert!(match_expr(&pat, &parse_expr("a + b").unwrap(), &Subst::new()).is_empty());
+        assert_eq!(
+            match_expr(&pat, &parse_expr("a + a").unwrap(), &Subst::new()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn ground_subst_into() {
+        let mut s = Subst::new();
+        assert!(s.bind_expr("e", parse_expr("v * w").unwrap()));
+        assert!(s.bind_var("v", Var::new("v")));
+        assert!(s.bind_num("c", 3));
+        let rhs = ExprTerm::SubstInto {
+            expr_meta: "e".into(),
+            var: VarTerm::Meta("v".into()),
+            replacement: Box::new(ExprTerm::NumMeta("c".into())),
+        };
+        assert_eq!(s.ground_expr(&rhs).unwrap().to_string(), "(3 * w)");
+    }
+
+    #[test]
+    fn ground_ctl_pattern() {
+        let mut s = Subst::new();
+        assert!(s.bind_var("x", Var::new("q")));
+        let pat = CtlPat::Eu(
+            Box::new(CtlPat::Not(Box::new(CtlPat::Atom(PatAtom::Def(
+                VarTerm::Meta("x".into()),
+            ))))),
+            Box::new(CtlPat::Atom(PatAtom::Use(VarTerm::Meta("x".into())))),
+        );
+        let f = pat.ground(&s).unwrap();
+        assert_eq!(f.to_string(), "E(!def(q) U use(q))");
+    }
+
+    #[test]
+    fn unbound_meta_fails_to_ground() {
+        let pat = CtlPat::Atom(PatAtom::Def(VarTerm::Meta("nope".into())));
+        assert!(pat.ground(&Subst::new()).is_none());
+    }
+}

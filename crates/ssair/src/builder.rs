@@ -1,0 +1,235 @@
+//! Ergonomic construction of SSA functions.
+
+use crate::ir::{BinOp, BlockId, Function, InstKind, Terminator, Ty, ValueId};
+
+/// Builds a [`Function`] block by block.
+///
+/// The builder starts with an implicit `entry` block selected.  Every
+/// instruction-creating method appends to the current block and returns the
+/// result value.
+///
+/// # Examples
+///
+/// ```
+/// use ssair::{BinOp, FunctionBuilder, Ty};
+///
+/// let mut b = FunctionBuilder::new("abs", &[("x", Ty::I64)]);
+/// let x = b.param(0);
+/// let zero = b.const_i64(0);
+/// let neg = b.binop(BinOp::Lt, x, zero);
+/// let (then_bb, else_bb, join) = (b.create_block("neg"), b.create_block("pos"), b.create_block("join"));
+/// b.cond_br(neg, then_bb, else_bb);
+/// b.switch_to(then_bb);
+/// let nx = b.neg(x);
+/// b.br(join);
+/// b.switch_to(else_bb);
+/// b.br(join);
+/// b.switch_to(join);
+/// let r = b.phi(&[(then_bb, nx), (else_bb, x)]);
+/// b.ret(Some(r));
+/// let f = b.finish();
+/// assert!(ssair::verify(&f).is_ok());
+/// ```
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    line: Option<u32>,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function with the given parameters, creating and
+    /// selecting the entry block.
+    pub fn new(name: &str, params: &[(&str, Ty)]) -> Self {
+        let mut func = Function::new(name, params);
+        let entry = func.create_block("entry");
+        func.entry = entry;
+        FunctionBuilder {
+            func,
+            current: entry,
+            line: None,
+        }
+    }
+
+    /// The value of parameter `i`.
+    pub fn param(&self, i: usize) -> ValueId {
+        self.func.param_value(i)
+    }
+
+    /// Creates (but does not select) a new block.
+    pub fn create_block(&mut self, name: &str) -> BlockId {
+        self.func.create_block(name)
+    }
+
+    /// Selects the block new instructions are appended to.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = b;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Sets the source line attached to subsequently created instructions.
+    pub fn set_line(&mut self, line: u32) {
+        self.line = Some(line);
+    }
+
+    /// Clears the source line.
+    pub fn clear_line(&mut self) {
+        self.line = None;
+    }
+
+    fn emit(&mut self, kind: InstKind) -> ValueId {
+        let (_, res) = self.func.append_new_inst(self.current, kind, self.line);
+        res.expect("instruction produces a result")
+    }
+
+    fn emit_void(&mut self, kind: InstKind) {
+        self.func.append_new_inst(self.current, kind, self.line);
+    }
+
+    /// Integer constant.
+    pub fn const_i64(&mut self, n: i64) -> ValueId {
+        self.emit(InstKind::Const(n))
+    }
+
+    /// Binary operation.
+    pub fn binop(&mut self, op: BinOp, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(InstKind::Binop(op, a, b))
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&mut self, a: ValueId) -> ValueId {
+        self.emit(InstKind::Neg(a))
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, a: ValueId) -> ValueId {
+        self.emit(InstKind::Not(a))
+    }
+
+    /// `select cond, a, b`.
+    pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId) -> ValueId {
+        self.emit(InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        })
+    }
+
+    /// φ-node over `(predecessor, value)` pairs.
+    pub fn phi(&mut self, incomings: &[(BlockId, ValueId)]) -> ValueId {
+        self.emit(InstKind::Phi(incomings.to_vec()))
+    }
+
+    /// Anonymous stack slot of `size` cells.
+    pub fn alloca(&mut self, size: u32) -> ValueId {
+        self.emit(InstKind::Alloca { size, name: None })
+    }
+
+    /// Stack slot backing the named source variable.
+    pub fn alloca_named(&mut self, size: u32, name: &str) -> ValueId {
+        self.emit(InstKind::Alloca {
+            size,
+            name: Some(name.to_string()),
+        })
+    }
+
+    /// Load through a pointer.
+    pub fn load(&mut self, addr: ValueId) -> ValueId {
+        self.emit(InstKind::Load { addr })
+    }
+
+    /// Store through a pointer.
+    pub fn store(&mut self, addr: ValueId, value: ValueId) {
+        self.emit_void(InstKind::Store { addr, value });
+    }
+
+    /// Pointer arithmetic.
+    pub fn gep(&mut self, base: ValueId, index: ValueId) -> ValueId {
+        self.emit(InstKind::Gep { base, index })
+    }
+
+    /// Call a module function.
+    pub fn call(&mut self, callee: &str, args: &[ValueId]) -> ValueId {
+        self.emit(InstKind::Call {
+            callee: callee.to_string(),
+            args: args.to_vec(),
+        })
+    }
+
+    /// Debug binding pseudo-instruction.
+    pub fn dbg_value(&mut self, var: &str, value: ValueId) {
+        self.emit_void(InstKind::DbgValue {
+            var: var.to_string(),
+            value,
+        });
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.block_mut(self.current).term = Terminator::Br(target);
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        self.func.block_mut(self.current).term = Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<ValueId>) {
+        self.func.block_mut(self.current).term = Terminator::Ret(value);
+    }
+
+    /// Finishes construction and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::Module;
+
+    #[test]
+    fn builds_loop_function() {
+        // sum(n) = 0 + 1 + … + (n-1)
+        let mut b = FunctionBuilder::new("sum", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(b.current_block(), zero)]); // placeholder fixed below
+        let s = b.phi(&[(b.current_block(), zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let s2 = b.binop(BinOp::Add, s, i);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        // Fix up φ incomings now that all blocks exist.
+        let entry = f.entry;
+        let phi_i = f.block(header).insts[0];
+        let phi_s = f.block(header).insts[1];
+        f.inst_mut(phi_i).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        f.inst_mut(phi_s).kind = InstKind::Phi(vec![(entry, zero), (body, s2)]);
+        crate::verify(&f).unwrap();
+        let m = Module::new();
+        let out = run_function(&f, &[Val::Int(5)], &m, 10_000).unwrap();
+        assert_eq!(out, Some(Val::Int(10)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Control-flow-graph utilities: successors, predecessors, reverse
+//! post-order, and reachability.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{BlockId, Function};
+
+/// Precomputed CFG relations for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Successor lists.
+    pub succs: BTreeMap<BlockId, Vec<BlockId>>,
+    /// Predecessor lists.
+    pub preds: BTreeMap<BlockId, Vec<BlockId>>,
+    /// Blocks in reverse post-order from the entry (unreachable blocks are
+    /// absent).
+    pub rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let mut succs: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        let mut preds: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for b in f.block_ids() {
+            preds.entry(b).or_default();
+        }
+        for b in f.block_ids() {
+            let ss = f.block(b).term.successors();
+            for s in &ss {
+                preds.entry(*s).or_default().push(b);
+            }
+            succs.insert(b, ss);
+        }
+        // Post-order DFS from entry.
+        let mut post = Vec::new();
+        let mut state: BTreeMap<BlockId, u8> = BTreeMap::new(); // 0 unseen, 1 visiting, 2 done
+        let mut stack = vec![(f.entry, 0usize)];
+        state.insert(f.entry, 1);
+        while let Some((b, child)) = stack.pop() {
+            let ss = &succs[&b];
+            if child < ss.len() {
+                stack.push((b, child + 1));
+                let s = ss[child];
+                if state.get(&s).copied().unwrap_or(0) == 0 {
+                    state.insert(s, 1);
+                    stack.push((s, 0));
+                }
+            } else {
+                state.insert(b, 2);
+                post.push(b);
+            }
+        }
+        post.reverse();
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+        }
+    }
+
+    /// Predecessors of `b` (empty for unknown blocks).
+    pub fn preds_of(&self, b: BlockId) -> &[BlockId] {
+        self.preds.get(&b).map_or(&[], Vec::as_slice)
+    }
+
+    /// Successors of `b`.
+    pub fn succs_of(&self, b: BlockId) -> &[BlockId] {
+        self.succs.get(&b).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// The set of blocks on some path from `from` to `to` (inclusive),
+    /// i.e. reachable from `from` and co-reachable from `to`.
+    pub fn blocks_between(&self, from: BlockId, to: BlockId) -> Vec<BlockId> {
+        let fwd = self.reachable_from(from);
+        let bwd = self.co_reachable(to);
+        fwd.into_iter().filter(|b| bwd.contains(b)).collect()
+    }
+
+    /// Blocks reachable from `b` (including `b`).
+    pub fn reachable_from(&self, b: BlockId) -> Vec<BlockId> {
+        let mut seen = vec![b];
+        let mut work = vec![b];
+        while let Some(x) = work.pop() {
+            for &s in self.succs_of(x) {
+                if !seen.contains(&s) {
+                    seen.push(s);
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Blocks from which `b` is reachable (including `b`).
+    pub fn co_reachable(&self, b: BlockId) -> Vec<BlockId> {
+        let mut seen = vec![b];
+        let mut work = vec![b];
+        while let Some(x) = work.pop() {
+            for &p in self.preds_of(x) {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    work.push(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Ty};
+
+    fn diamond() -> (Function, [BlockId; 4]) {
+        let mut b = FunctionBuilder::new("d", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        let entry = b.current_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        (b.finish(), [entry, t, e, j])
+    }
+
+    #[test]
+    fn diamond_relations() {
+        let (f, [entry, t, e, j]) = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs_of(entry), &[t, e]);
+        assert_eq!(cfg.preds_of(j), &[t, e]);
+        assert_eq!(cfg.rpo[0], entry);
+        assert_eq!(*cfg.rpo.last().unwrap(), j);
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn blocks_between_diamond() {
+        let (f, [entry, t, _e, j]) = diamond();
+        let cfg = Cfg::compute(&f);
+        let mut between = cfg.blocks_between(entry, j);
+        between.sort();
+        assert_eq!(between.len(), 4);
+        let mut tt = cfg.blocks_between(t, j);
+        tt.sort();
+        assert_eq!(tt, vec![t, j]);
+    }
+
+    #[test]
+    fn unreachable_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("u", &[]);
+        let dead = b.create_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo.len(), 1);
+    }
+}

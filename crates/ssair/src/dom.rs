@@ -1,0 +1,224 @@
+//! Dominator tree (Cooper–Harvey–Kennedy) and dominance frontiers.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::Cfg;
+use crate::ir::{BlockId, Function};
+
+/// Dominator tree plus dominance frontiers for one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: BTreeMap<BlockId, BlockId>,
+    /// Children in the dominator tree.
+    pub children: BTreeMap<BlockId, Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: BTreeMap<BlockId, Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators over the reachable CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> DomTree {
+        let rpo = &cfg.rpo;
+        let rpo_index: BTreeMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let mut idom: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+        idom.insert(f.entry, f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds_of(b) {
+                    if !idom.contains_key(&p) {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut children: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for (&b, &d) in &idom {
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        // Dominance frontiers (Cytron et al.).
+        let mut frontier: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for &b in rpo {
+            let preds = cfg.preds_of(b);
+            if preds.len() >= 2 {
+                for &p in preds {
+                    if !idom.contains_key(&p) {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while runner != idom[&b] {
+                        let entry = frontier.entry(runner).or_default();
+                        if !entry.contains(&b) {
+                            entry.push(b);
+                        }
+                        runner = idom[&runner];
+                    }
+                }
+            }
+        }
+        let _ = rpo_index;
+        DomTree {
+            idom,
+            children,
+            frontier,
+            entry: f.entry,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom.get(&b).copied()
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable (has dominator information).
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom.contains_key(&b)
+    }
+
+    /// Blocks in dominator-tree preorder starting at the entry.
+    pub fn preorder(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.entry];
+        while let Some(b) = stack.pop() {
+            out.push(b);
+            if let Some(cs) = self.children.get(&b) {
+                for &c in cs.iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterated dominance frontier of a set of blocks (for φ placement).
+    pub fn iterated_frontier(&self, blocks: &[BlockId]) -> Vec<BlockId> {
+        let mut out: Vec<BlockId> = Vec::new();
+        let mut work: Vec<BlockId> = blocks.to_vec();
+        while let Some(b) = work.pop() {
+            if let Some(df) = self.frontier.get(&b) {
+                for &d in df {
+                    if !out.contains(&d) {
+                        out.push(d);
+                        work.push(d);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &BTreeMap<BlockId, BlockId>,
+    rpo_index: &BTreeMap<BlockId, usize>,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Ty};
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = FunctionBuilder::new("d", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        let entry = b.current_block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom(t), Some(entry));
+        assert_eq!(dt.idom(e), Some(entry));
+        assert_eq!(dt.idom(j), Some(entry));
+        assert!(dt.dominates(entry, j));
+        assert!(!dt.dominates(t, j));
+        // Frontiers: t and e have {j}.
+        assert_eq!(dt.frontier.get(&t), Some(&vec![j]));
+        assert_eq!(dt.frontier.get(&e), Some(&vec![j]));
+    }
+
+    #[test]
+    fn loop_dominators_and_idf() {
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(n, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        assert_eq!(dt.idom(header), Some(entry));
+        assert_eq!(dt.idom(body), Some(header));
+        assert_eq!(dt.idom(exit), Some(header));
+        assert!(dt.dominates(header, body));
+        // A definition in `body` has iterated frontier {header}.
+        assert_eq!(dt.iterated_frontier(&[body]), vec![header]);
+        let pre = dt.preorder();
+        assert_eq!(pre[0], entry);
+        assert_eq!(pre.len(), 4);
+    }
+}

@@ -1,0 +1,478 @@
+//! OSR feasibility classification over whole functions — the analysis
+//! behind Figures 7–8 and Tables 2–3 of the evaluation.
+
+use osr::FeasibilitySummary;
+
+use crate::ir::{Function, InstId, Terminator};
+use crate::reconstruct::{Direction, OsrPair, Variant};
+use crate::SsaMapper;
+
+/// How an OSR point can be served (the bar categories of Figures 7–8).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PointClass {
+    /// `c = ⟨⟩`: live-state transfer only, no generated instructions.
+    EmptyComp,
+    /// Served by the `live` variant with `|c|` generated instructions.
+    Live {
+        /// Number of generated compensation instructions.
+        comp_size: usize,
+    },
+    /// Served only by the `avail` variant.
+    Avail {
+        /// Number of generated compensation instructions.
+        comp_size: usize,
+        /// Size of the keep-set `K_avail`.
+        keep: usize,
+    },
+    /// Not served by either variant.
+    Infeasible,
+}
+
+/// The OSR program points of a function version: every non-φ, non-debug
+/// instruction location.
+pub fn osr_points(f: &Function) -> Vec<InstId> {
+    f.inst_iter()
+        .map(|(_, i)| i)
+        .filter(|i| {
+            let k = &f.inst(*i).kind;
+            !k.is_phi() && !k.is_dbg()
+        })
+        .collect()
+}
+
+/// A resolved OSR landing site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Landing {
+    /// The landing instruction in the target version.
+    pub loc: InstId,
+    /// When the anchor walk crossed into the landing block via an
+    /// unconditional-branch chain, the corresponding predecessor block in
+    /// the **target** function — the φ-nodes of the landing block must be
+    /// bound along this edge.
+    pub entry_edge: Option<crate::BlockId>,
+}
+
+/// Resolves the landing location in the target version for a point of the
+/// source version.
+///
+/// The anchor is the first instruction at or after `from` (in source block
+/// order, following unconditional branches) that exists in the target and
+/// was **not moved** by the optimizer — moved instructions keep their id
+/// but their location is no longer control-equivalent.
+///
+/// Returns `None` when the walk ends at a conditional branch or return
+/// before an anchor is found, or when the landing block has φ-nodes and the
+/// entry edge cannot be translated into the target CFG (no unambiguous
+/// landing state — such points count as OSR-infeasible, as in the paper).
+pub fn landing_site(
+    points_fn: &Function,
+    target_fn: &Function,
+    cm: &SsaMapper,
+    from: InstId,
+) -> Option<Landing> {
+    let anchor_ok = |i: InstId| {
+        (i.0 as usize) < target_fn.inst_id_count() && target_fn.inst_is_live(i) && !cm.is_moved(i)
+    };
+    let start_block = points_fn.block_of(from)?;
+    let mut block = start_block;
+    let mut start = points_fn
+        .block(block)
+        .insts
+        .iter()
+        .position(|i| *i == from)?;
+    let mut chain: Vec<crate::BlockId> = vec![block];
+    let mut hops = 0;
+    loop {
+        let insts = &points_fn.block(block).insts;
+        for &i in &insts[start..] {
+            let k = &points_fn.inst(i).kind;
+            if !k.is_phi() && !k.is_dbg() && anchor_ok(i) {
+                if block == start_block {
+                    return Some(Landing {
+                        loc: i,
+                        entry_edge: None,
+                    });
+                }
+                // Crossed at least one block boundary: if the landing block
+                // has φs in the target, translate the entry edge.
+                let landing_block = target_fn.block_of(i)?;
+                let has_phis = target_fn
+                    .block(landing_block)
+                    .insts
+                    .first()
+                    .is_some_and(|fi| target_fn.inst(*fi).kind.is_phi());
+                if !has_phis {
+                    return Some(Landing {
+                        loc: i,
+                        entry_edge: None,
+                    });
+                }
+                // The nearest chain block (before the landing block) that
+                // exists in the target and appears among the φ incomings.
+                let phi_preds: Vec<crate::BlockId> = match &target_fn
+                    .inst(target_fn.block(landing_block).insts[0])
+                    .kind
+                {
+                    crate::InstKind::Phi(incs) => incs.iter().map(|(p, _)| *p).collect(),
+                    _ => unreachable!("has_phis"),
+                };
+                let edge = chain
+                    .iter()
+                    .rev()
+                    .skip(1) // skip the landing block itself
+                    .find(|b| phi_preds.contains(b))
+                    .copied();
+                return edge.map(|e| Landing {
+                    loc: i,
+                    entry_edge: Some(e),
+                });
+            }
+        }
+        match points_fn.block(block).term {
+            Terminator::Br(next) => {
+                block = next;
+                start = 0;
+                chain.push(block);
+                hops += 1;
+                if hops > points_fn.block_ids().len() {
+                    return None; // cycle of emptied blocks
+                }
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Classifies one OSR point pair, trying `live` first and falling back to
+/// `avail` (the cumulative bars of Figures 7–8).
+pub fn classify_point(
+    pair: &OsrPair<'_>,
+    dir: Direction,
+    src_loc: InstId,
+    landing: Landing,
+) -> PointClass {
+    match pair.build_entry_with_edge(dir, src_loc, landing.loc, Variant::Live, landing.entry_edge)
+    {
+        Ok(entry) => {
+            let size = entry.comp.emit_count();
+            if size == 0 {
+                PointClass::EmptyComp
+            } else {
+                PointClass::Live { comp_size: size }
+            }
+        }
+        Err(_) => match pair.build_entry_with_edge(
+            dir,
+            src_loc,
+            landing.loc,
+            Variant::Avail,
+            landing.entry_edge,
+        ) {
+            Ok(entry) => PointClass::Avail {
+                comp_size: entry.comp.emit_count(),
+                keep: entry.keep.len(),
+            },
+            Err(_) => PointClass::Infeasible,
+        },
+    }
+}
+
+/// Classifies every OSR point of the source version in direction `dir`,
+/// producing the aggregate statistics of Figures 7–8 / Table 3.
+pub fn classify_function(pair: &OsrPair<'_>, dir: Direction) -> FeasibilitySummary {
+    let (src_fn, dst_fn) = match dir {
+        Direction::Forward => (pair.base.f, pair.opt.f),
+        Direction::Backward => (pair.opt.f, pair.base.f),
+    };
+    let mut s = FeasibilitySummary::default();
+    for p in osr_points(src_fn) {
+        s.total_points += 1;
+        // The source location is `p` in src_fn; the landing site lives in
+        // dst_fn.
+        let Some(landing) = landing_site(src_fn, dst_fn, pair.cm, p) else {
+            s.infeasible += 1;
+            continue;
+        };
+        match classify_point(pair, dir, p, landing) {
+            PointClass::EmptyComp => {
+                s.empty += 1;
+                s.live_comp_sizes.push(0);
+            }
+            PointClass::Live { comp_size } => {
+                s.live += 1;
+                s.live_comp_sizes.push(comp_size);
+            }
+            PointClass::Avail { comp_size, keep } => {
+                s.avail += 1;
+                s.avail_comp_sizes.push(comp_size);
+                s.keep_sizes.push(keep);
+            }
+            PointClass::Infeasible => s.infeasible += 1,
+        }
+    }
+    s
+}
+
+/// Classifies every OSR point with the §5.2 liveness extension: when the
+/// `avail` variant fails at a point because a needed value was optimized
+/// away entirely, the function is *re-optimized* with those values kept
+/// alive (ADCE treats them as roots) and the failed points are retried —
+/// the "recompile the function when the user inserts a breakpoint,
+/// extending the liveness range for available values" strategy of §7.4.
+///
+/// Up to `max_rounds` recompilations are performed; each round adds the
+/// values whose absence blocked reconstruction to the keep-set.  The
+/// summary of the final round is returned.
+pub fn classify_function_with_extension(
+    base: &Function,
+    dir: Direction,
+    max_rounds: usize,
+) -> FeasibilitySummary {
+    use crate::passes::Pipeline;
+    use crate::ValueId;
+    use std::collections::BTreeSet;
+
+    let mut keep: BTreeSet<ValueId> = BTreeSet::new();
+    let mut last = FeasibilitySummary::default();
+    for _round in 0..=max_rounds {
+        let (opt, cm, _) = Pipeline::standard_keeping(keep.clone()).optimize(base);
+        let pair = OsrPair::new(base, &opt, &cm);
+        let (summary, wanted) = classify_collecting(&pair, dir);
+        let new_values: BTreeSet<ValueId> = wanted
+            .into_iter()
+            .filter(|v| {
+                (v.0 as usize) < base.value_count()
+                    && match base.value_def(*v) {
+                        crate::ValueDef::Param(_) => true,
+                        crate::ValueDef::Inst(i) => base.inst_is_live(i),
+                    }
+                    && !keep.contains(v)
+            })
+            .collect();
+        last = summary;
+        if new_values.is_empty() {
+            break;
+        }
+        keep.extend(new_values);
+    }
+    last
+}
+
+/// Like [`classify_function`], additionally returning the values whose
+/// absence made `avail` reconstruction fail (liveness-extension
+/// candidates).
+fn classify_collecting(
+    pair: &OsrPair<'_>,
+    dir: Direction,
+) -> (FeasibilitySummary, Vec<crate::ValueId>) {
+    use crate::reconstruct::SsaReconstructError;
+    let (src_fn, dst_fn) = match dir {
+        Direction::Forward => (pair.base.f, pair.opt.f),
+        Direction::Backward => (pair.opt.f, pair.base.f),
+    };
+    let mut s = FeasibilitySummary::default();
+    let mut wanted = Vec::new();
+    for p in osr_points(src_fn) {
+        s.total_points += 1;
+        let Some(landing) = landing_site(src_fn, dst_fn, pair.cm, p) else {
+            s.infeasible += 1;
+            continue;
+        };
+        match pair.build_entry_with_edge(dir, p, landing.loc, Variant::Live, landing.entry_edge) {
+            Ok(entry) if entry.comp.emit_count() == 0 => {
+                s.empty += 1;
+                s.live_comp_sizes.push(0);
+            }
+            Ok(entry) => {
+                s.live += 1;
+                s.live_comp_sizes.push(entry.comp.emit_count());
+            }
+            Err(_) => {
+                match pair.build_entry_with_edge(
+                    dir,
+                    p,
+                    landing.loc,
+                    Variant::Avail,
+                    landing.entry_edge,
+                ) {
+                    Ok(entry) => {
+                        s.avail += 1;
+                        s.avail_comp_sizes.push(entry.comp.emit_count());
+                        s.keep_sizes.push(entry.keep.len());
+                    }
+                    Err(e) => {
+                        s.infeasible += 1;
+                        match e {
+                            SsaReconstructError::PhiMultipleDefs(v)
+                            | SsaReconstructError::NotAvailable(v)
+                            | SsaReconstructError::CallResult(v)
+                            | SsaReconstructError::MemoryUnsafe(v) => wanted.push(v),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (s, wanted)
+}
+
+/// The Table 2 row for one benchmark: IR sizes and recorded action counts.
+#[derive(Clone, Debug)]
+pub struct IrFeatures {
+    /// `|f_base|`.
+    pub base_insts: usize,
+    /// `|φ_base|`.
+    pub base_phis: usize,
+    /// `|f_opt|`.
+    pub opt_insts: usize,
+    /// `|φ_opt|`.
+    pub opt_phis: usize,
+    /// Primitive actions recorded during optimization.
+    pub actions: osr::ActionCounts,
+}
+
+/// Collects the Table 2 metrics for a `(base, opt, mapper)` triple.
+pub fn ir_features(base: &Function, opt: &Function, cm: &SsaMapper) -> IrFeatures {
+    IrFeatures {
+        base_insts: base.live_inst_count(),
+        base_phis: base.phi_count(),
+        opt_insts: opt.live_inst_count(),
+        opt_phis: opt.phi_count(),
+        actions: cm.counts(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(super) fn sample_for_debug() -> Function {
+        sample()
+    }
+    use crate::passes::Pipeline;
+    use crate::{BinOp, FunctionBuilder, InstKind, Ty};
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64), ("n", Ty::I64)]);
+        let x = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let s = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let t = b.binop(BinOp::Mul, x, x);
+        let dup = b.binop(BinOp::Mul, x, x); // CSE fodder
+        let t2 = b.binop(BinOp::Add, t, dup);
+        let s2 = b.binop(BinOp::Add, s, t2);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let phi_i = f.block(header).insts[0];
+        let phi_s = f.block(header).insts[1];
+        f.inst_mut(phi_i).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        f.inst_mut(phi_s).kind = InstKind::Phi(vec![(entry, zero), (body, s2)]);
+        crate::verify(&f).unwrap();
+        f
+    }
+
+    #[test]
+    fn classify_both_directions() {
+        let base = sample();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        let pair = OsrPair::new(&base, &opt, &cm);
+        let fwd = classify_function(&pair, Direction::Forward);
+        let bwd = classify_function(&pair, Direction::Backward);
+        assert_eq!(fwd.total_points, osr_points(&base).len());
+        assert_eq!(bwd.total_points, osr_points(&opt).len());
+        // The paper's headline: avail brings feasibility close to 100%.
+        assert!(
+            fwd.frac_avail() > 0.8,
+            "forward: {:?} (of {})",
+            (fwd.empty, fwd.live, fwd.avail, fwd.infeasible),
+            fwd.total_points
+        );
+        assert!(
+            bwd.frac_avail() > 0.8,
+            "backward: {:?} (of {})",
+            (bwd.empty, bwd.live, bwd.avail, bwd.infeasible),
+            bwd.total_points
+        );
+    }
+
+    #[test]
+    fn landing_site_skips_deleted_and_moved() {
+        let base = sample();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        // Find a base instruction deleted in opt (the CSE duplicate).
+        let deleted = osr_points(&base)
+            .into_iter()
+            .find(|i| !opt.inst_is_live(*i));
+        if let Some(d) = deleted {
+            let l = landing_site(&base, &opt, &cm, d);
+            assert!(l.is_some(), "deleted point must find a later landing site");
+            assert_ne!(l.unwrap().loc, d);
+        }
+        // A moved instruction never anchors itself.
+        let moved = osr_points(&base).into_iter().find(|i| cm.is_moved(*i));
+        if let Some(mv) = moved {
+            if let Some(l) = landing_site(&base, &opt, &cm, mv) {
+                assert_ne!(l.loc, mv);
+            }
+        }
+    }
+
+    #[test]
+    fn ir_features_counts() {
+        let base = sample();
+        let (opt, cm, stats) = Pipeline::standard().optimize(&base);
+        let feat = ir_features(&base, &opt, &cm);
+        assert!(feat.base_insts > feat.opt_insts, "CSE/hoisting shrink f");
+        assert_eq!(feat.base_phis, 2);
+        assert!(feat.actions.total() > 0);
+        assert!(stats.iter().any(|s| s.changed));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::passes::Pipeline;
+    use crate::reconstruct::Variant;
+    use crate::{BinOp, FunctionBuilder, InstKind, Ty};
+
+    #[test]
+    fn dump_backward_classification() {
+        let base = super::tests::sample_for_debug();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        println!("BASE:\n{base}\nOPT:\n{opt}");
+        let pair = OsrPair::new(&base, &opt, &cm);
+        for p in osr_points(&opt) {
+            let dst = landing_site(&opt, &base, &cm, p);
+            match dst {
+                None => println!("{p}: no landing"),
+                Some(d) => {
+                    let live =
+                        pair.build_entry_with_edge(Direction::Backward, p, d.loc, Variant::Live, d.entry_edge);
+                    let avail =
+                        pair.build_entry_with_edge(Direction::Backward, p, d.loc, Variant::Avail, d.entry_edge);
+                    println!("{p} -> {d:?}: live={:?} avail={:?}",
+                        live.as_ref().map(|e| e.comp.emit_count()).map_err(|e| e.to_string()),
+                        avail.as_ref().map(|e| e.comp.emit_count()).map_err(|e| e.to_string()));
+                }
+            }
+        }
+        let _ = (BinOp::Add, InstKind::Const(0), Ty::I64);
+        let _ = FunctionBuilder::new("x", &[]);
+    }
+}

@@ -1,0 +1,802 @@
+//! The SSA intermediate representation: functions, blocks, instructions,
+//! and values.
+//!
+//! Identifiers are stable: cloning a function for optimization preserves
+//! every id, and deleting an instruction removes it from its block but
+//! keeps its id meaningful (tombstoned), so the `CodeMapper` can express
+//! correspondences between the base and optimized versions by id.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An SSA value: a parameter or an instruction result.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+/// An instruction identity — also the OSR notion of *program location*
+/// (the point just before the instruction executes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+/// A basic block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Debug for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Value types: 64-bit integers and opaque pointers (alloca addresses).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// Pointer into an alloca.
+    Ptr,
+}
+
+/// Binary operators (arithmetic and comparison; comparisons yield 0/1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division (division by zero yields 0).
+    Div,
+    /// Remainder (modulo zero yields 0).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (by low 6 bits).
+    Shl,
+    /// Arithmetic right shift (by low 6 bits).
+    Shr,
+    /// Less-than comparison.
+    Lt,
+    /// Less-or-equal comparison.
+    Le,
+    /// Greater-than comparison.
+    Gt,
+    /// Greater-or-equal comparison.
+    Ge,
+    /// Equality comparison.
+    Eq,
+    /// Disequality comparison.
+    Ne,
+}
+
+impl BinOp {
+    /// Applies the operator to two integers.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Lt => i64::from(a < b),
+            BinOp::Le => i64::from(a <= b),
+            BinOp::Gt => i64::from(a > b),
+            BinOp::Ge => i64::from(a >= b),
+            BinOp::Eq => i64::from(a == b),
+            BinOp::Ne => i64::from(a != b),
+        }
+    }
+
+    /// Whether the operator is commutative (used by CSE value numbering).
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+        }
+    }
+}
+
+/// Instruction opcodes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InstKind {
+    /// Integer constant.
+    Const(i64),
+    /// Binary operation.
+    Binop(BinOp, ValueId, ValueId),
+    /// Arithmetic negation.
+    Neg(ValueId),
+    /// Logical negation (0 → 1, non-zero → 0).
+    Not(ValueId),
+    /// `select cond, a, b` — `a` if `cond ≠ 0` else `b`.
+    Select {
+        /// Condition value.
+        cond: ValueId,
+        /// Value when the condition is non-zero.
+        then_v: ValueId,
+        /// Value when the condition is zero.
+        else_v: ValueId,
+    },
+    /// SSA φ-node: one incoming value per predecessor block.
+    Phi(Vec<(BlockId, ValueId)>),
+    /// Stack allocation of `size` 64-bit cells; `name` carries the source
+    /// variable for debug metadata.
+    Alloca {
+        /// Number of 64-bit cells.
+        size: u32,
+        /// Source-variable name, if this slot backs a named variable.
+        name: Option<String>,
+    },
+    /// Load a cell through a pointer.
+    Load {
+        /// Address to load from.
+        addr: ValueId,
+    },
+    /// Store a value through a pointer (no result).
+    Store {
+        /// Address to store to.
+        addr: ValueId,
+        /// Value stored.
+        value: ValueId,
+    },
+    /// Pointer arithmetic: `base + index` cells.
+    Gep {
+        /// Base pointer.
+        base: ValueId,
+        /// Cell index.
+        index: ValueId,
+    },
+    /// Call a module function (returns an i64).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument values.
+        args: Vec<ValueId>,
+    },
+    /// Transparent debug binding: "source variable `var` currently holds
+    /// `value`" (the `llvm.dbg.value` analogue, §7.2).  No result; ignored
+    /// by optimizations except for operand rewriting.
+    DbgValue {
+        /// Source-variable name.
+        var: String,
+        /// Current SSA value of the variable.
+        value: ValueId,
+    },
+}
+
+impl InstKind {
+    /// Whether the instruction produces a result value.
+    pub fn has_result(&self) -> bool {
+        !matches!(self, InstKind::Store { .. } | InstKind::DbgValue { .. })
+    }
+
+    /// Whether the instruction may write memory or have externally visible
+    /// effects (and therefore anchors ADCE and blocks reordering).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, InstKind::Store { .. } | InstKind::Call { .. })
+    }
+
+    /// Whether the instruction reads memory.
+    pub fn reads_memory(&self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Call { .. })
+    }
+
+    /// Whether this is a φ-node.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstKind::Phi(_))
+    }
+
+    /// Whether this is a transparent debug pseudo-instruction.
+    pub fn is_dbg(&self) -> bool {
+        matches!(self, InstKind::DbgValue { .. })
+    }
+
+    /// The operand values, in a fixed order.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            InstKind::Const(_) | InstKind::Alloca { .. } => vec![],
+            InstKind::Binop(_, a, b) => vec![*a, *b],
+            InstKind::Neg(a) | InstKind::Not(a) => vec![*a],
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => vec![*cond, *then_v, *else_v],
+            InstKind::Phi(incs) => incs.iter().map(|(_, v)| *v).collect(),
+            InstKind::Load { addr } => vec![*addr],
+            InstKind::Store { addr, value } => vec![*addr, *value],
+            InstKind::Gep { base, index } => vec![*base, *index],
+            InstKind::Call { args, .. } => args.clone(),
+            InstKind::DbgValue { value, .. } => vec![*value],
+        }
+    }
+
+    /// Rewrites every operand equal to `old` into `new` (RAUW support).
+    pub fn replace_operand(&mut self, old: ValueId, new: ValueId) {
+        let r = |v: &mut ValueId| {
+            if *v == old {
+                *v = new;
+            }
+        };
+        match self {
+            InstKind::Const(_) | InstKind::Alloca { .. } => {}
+            InstKind::Binop(_, a, b) => {
+                r(a);
+                r(b);
+            }
+            InstKind::Neg(a) | InstKind::Not(a) => r(a),
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                r(cond);
+                r(then_v);
+                r(else_v);
+            }
+            InstKind::Phi(incs) => {
+                for (_, v) in incs {
+                    r(v);
+                }
+            }
+            InstKind::Load { addr } => r(addr),
+            InstKind::Store { addr, value } => {
+                r(addr);
+                r(value);
+            }
+            InstKind::Gep { base, index } => {
+                r(base);
+                r(index);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    r(a);
+                }
+            }
+            InstKind::DbgValue { value, .. } => r(value),
+        }
+    }
+}
+
+/// An instruction: opcode, optional result, optional source line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstData {
+    /// The opcode and operands.
+    pub kind: InstKind,
+    /// The result value, if the instruction produces one.
+    pub result: Option<ValueId>,
+    /// Source line (breakpoint location) this instruction belongs to.
+    pub line: Option<u32>,
+}
+
+/// Block terminators.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on a value (non-zero → `then_bb`).
+    CondBr {
+        /// Branch condition.
+        cond: ValueId,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<ValueId>),
+}
+
+impl Terminator {
+    /// Successor blocks in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                if then_bb == else_bb {
+                    vec![*then_bb]
+                } else {
+                    vec![*then_bb, *else_bb]
+                }
+            }
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Values the terminator reads.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Terminator::Br(_) => vec![],
+            Terminator::CondBr { cond, .. } => vec![*cond],
+            Terminator::Ret(v) => v.iter().copied().collect(),
+        }
+    }
+
+    /// Rewrites operand `old` into `new`.
+    pub fn replace_operand(&mut self, old: ValueId, new: ValueId) {
+        match self {
+            Terminator::CondBr { cond, .. } if *cond == old => *cond = new,
+            Terminator::Ret(Some(v)) if *v == old => *v = new,
+            _ => {}
+        }
+    }
+
+    /// Retargets branches to `old` so they go to `new`.
+    pub fn retarget(&mut self, old: BlockId, new: BlockId) {
+        match self {
+            Terminator::Br(b) => {
+                if *b == old {
+                    *b = new;
+                }
+            }
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == old {
+                    *then_bb = new;
+                }
+                if *else_bb == old {
+                    *else_bb = new;
+                }
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+/// A basic block: ordered instruction list plus terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BlockData {
+    /// Human-readable label.
+    pub name: String,
+    /// Instructions in execution order (φ-nodes first).
+    pub insts: Vec<InstId>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+/// Where a value comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueDef {
+    /// The `i`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// An SSA function.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types; parameter `i` is value `ValueId(i)`.
+    pub params: Vec<(String, Ty)>,
+    /// Entry block.
+    pub entry: BlockId,
+    blocks: Vec<Option<BlockData>>,
+    insts: Vec<InstData>,
+    values: Vec<ValueDef>,
+    inst_block: Vec<Option<BlockId>>,
+}
+
+impl Function {
+    pub(crate) fn new(name: &str, params: &[(&str, Ty)]) -> Self {
+        Function {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            entry: BlockId(0),
+            blocks: Vec::new(),
+            insts: Vec::new(),
+            values: params
+                .iter()
+                .enumerate()
+                .map(|(i, _)| ValueDef::Param(i as u32))
+                .collect(),
+            inst_block: Vec::new(),
+        }
+    }
+
+    /// The value id of parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param_value(&self, i: usize) -> ValueId {
+        assert!(i < self.params.len(), "parameter index out of range");
+        ValueId(i as u32)
+    }
+
+    /// All live block ids in creation order.
+    pub fn block_ids(&self) -> Vec<BlockId> {
+        (0..self.blocks.len() as u32)
+            .map(BlockId)
+            .filter(|b| self.blocks[b.0 as usize].is_some())
+            .collect()
+    }
+
+    /// The block data for `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was removed.
+    pub fn block(&self, b: BlockId) -> &BlockData {
+        self.blocks[b.0 as usize].as_ref().expect("live block")
+    }
+
+    /// Mutable block data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was removed.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        self.blocks[b.0 as usize].as_mut().expect("live block")
+    }
+
+    /// Whether block `b` still exists.
+    pub fn block_exists(&self, b: BlockId) -> bool {
+        self.blocks
+            .get(b.0 as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// The instruction data for `i`.
+    pub fn inst(&self, i: InstId) -> &InstData {
+        &self.insts[i.0 as usize]
+    }
+
+    /// Mutable instruction data.
+    pub fn inst_mut(&mut self, i: InstId) -> &mut InstData {
+        &mut self.insts[i.0 as usize]
+    }
+
+    /// The block currently containing `i`, or `None` if the instruction was
+    /// removed.
+    pub fn block_of(&self, i: InstId) -> Option<BlockId> {
+        self.inst_block[i.0 as usize]
+    }
+
+    /// Whether instruction `i` is still in the function body.
+    pub fn inst_is_live(&self, i: InstId) -> bool {
+        self.block_of(i).is_some()
+    }
+
+    /// The definition site of a value.
+    pub fn value_def(&self, v: ValueId) -> ValueDef {
+        self.values[v.0 as usize]
+    }
+
+    /// The result value of instruction `i`, if any.
+    pub fn result_of(&self, i: InstId) -> Option<ValueId> {
+        self.inst(i).result
+    }
+
+    /// Total number of value ids ever created.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of instruction ids ever created (including removed).
+    pub fn inst_id_count(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of instructions currently in the body (the `|f|` of Table 2).
+    pub fn live_inst_count(&self) -> usize {
+        self.block_ids()
+            .iter()
+            .map(|b| self.block(*b).insts.len())
+            .sum()
+    }
+
+    /// Number of φ-nodes currently in the body (the `|φ|` of Table 2).
+    pub fn phi_count(&self) -> usize {
+        self.block_ids()
+            .iter()
+            .flat_map(|b| self.block(*b).insts.iter())
+            .filter(|i| self.inst(**i).kind.is_phi())
+            .count()
+    }
+
+    /// Iterates over `(block, inst)` pairs in block order.
+    pub fn inst_iter(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
+        self.block_ids().into_iter().flat_map(move |b| {
+            self.block(b)
+                .insts
+                .iter()
+                .map(move |i| (b, *i))
+                .collect::<Vec<_>>()
+        })
+    }
+
+    // ----- mutation primitives (used by builder and passes) -----
+
+    /// Creates a new, empty block terminated by `ret void`.
+    pub fn create_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Some(BlockData {
+            name: name.to_string(),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        }));
+        id
+    }
+
+    /// Creates a new instruction (with a fresh result value if applicable)
+    /// without inserting it into a block; pair with [`Function::push_inst`]
+    /// or [`Function::insert_inst`].
+    pub fn create_inst(&mut self, kind: InstKind, line: Option<u32>) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        let result = if kind.has_result() {
+            let v = ValueId(self.values.len() as u32);
+            self.values.push(ValueDef::Inst(id));
+            Some(v)
+        } else {
+            None
+        };
+        self.insts.push(InstData { kind, result, line });
+        self.inst_block.push(None);
+        id
+    }
+
+    /// Appends instruction `i` at the end of block `b`.
+    pub fn push_inst(&mut self, b: BlockId, i: InstId) {
+        self.block_mut(b).insts.push(i);
+        self.inst_block[i.0 as usize] = Some(b);
+    }
+
+    /// Inserts instruction `i` at position `pos` of block `b`.
+    pub fn insert_inst(&mut self, b: BlockId, pos: usize, i: InstId) {
+        self.block_mut(b).insts.insert(pos, i);
+        self.inst_block[i.0 as usize] = Some(b);
+    }
+
+    /// Removes instruction `i` from its block (the id stays valid for
+    /// mapper queries).
+    pub fn remove_inst(&mut self, i: InstId) {
+        if let Some(b) = self.block_of(i) {
+            self.block_mut(b).insts.retain(|x| *x != i);
+            self.inst_block[i.0 as usize] = None;
+        }
+    }
+
+    /// Moves instruction `i` to block `b` at position `pos`.
+    pub fn move_inst(&mut self, i: InstId, b: BlockId, pos: usize) {
+        self.remove_inst(i);
+        self.insert_inst(b, pos, i);
+    }
+
+    /// Creates and inserts a new instruction at the end of `b`, returning
+    /// `(inst, result)`.
+    pub fn append_new_inst(
+        &mut self,
+        b: BlockId,
+        kind: InstKind,
+        line: Option<u32>,
+    ) -> (InstId, Option<ValueId>) {
+        let i = self.create_inst(kind, line);
+        self.push_inst(b, i);
+        (i, self.inst(i).result)
+    }
+
+    /// Replaces every use of `old` with `new` in instructions and
+    /// terminators (LLVM's `replaceAllUsesWith`).
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        let blocks = self.block_ids();
+        for b in blocks {
+            let insts = self.block(b).insts.clone();
+            for i in insts {
+                self.inst_mut(i).kind.replace_operand(old, new);
+            }
+            self.block_mut(b).term.replace_operand(old, new);
+        }
+    }
+
+    /// Deletes block `b` and removes its instructions.
+    pub fn remove_block(&mut self, b: BlockId) {
+        let insts = self.block(b).insts.clone();
+        for i in insts {
+            self.inst_block[i.0 as usize] = None;
+        }
+        self.blocks[b.0 as usize] = None;
+    }
+
+    /// Collects, for every value, the list of instructions using it.
+    pub fn compute_uses(&self) -> BTreeMap<ValueId, Vec<InstId>> {
+        let mut uses: BTreeMap<ValueId, Vec<InstId>> = BTreeMap::new();
+        for (_, i) in self.inst_iter() {
+            for op in self.inst(i).kind.operands() {
+                uses.entry(op).or_default().push(i);
+            }
+        }
+        uses
+    }
+
+    /// Whether value `v` is used by any instruction or terminator.
+    pub fn value_is_used(&self, v: ValueId) -> bool {
+        for (b, i) in self.inst_iter() {
+            let _ = b;
+            if self.inst(i).kind.operands().contains(&v) {
+                return true;
+            }
+        }
+        self.block_ids()
+            .iter()
+            .any(|b| self.block(*b).term.operands().contains(&v))
+    }
+}
+
+/// A collection of functions callable by name.
+#[derive(Clone, Default, Debug)]
+pub struct Module {
+    /// Functions by name.
+    pub functions: BTreeMap<String, Function>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a function, replacing any previous one with the same name.
+    pub fn add(&mut self, f: Function) {
+        self.functions.insert(f.name.clone(), f);
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&Function> {
+        self.functions.get(name)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, (n, t)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {t:?} = %{i}")?;
+        }
+        writeln!(f, ") {{")?;
+        for b in self.block_ids() {
+            let bd = self.block(b);
+            writeln!(f, "{b} ({}):", bd.name)?;
+            for &i in &bd.insts {
+                let inst = self.inst(i);
+                match inst.result {
+                    Some(r) => writeln!(f, "  {r} = {:?}  ; {i}", inst.kind)?,
+                    None => writeln!(f, "  {:?}  ; {i}", inst.kind)?,
+                }
+            }
+            writeln!(f, "  {:?}", bd.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Div.apply(7, 0), 0);
+        assert_eq!(BinOp::Lt.apply(1, 2), 1);
+        assert_eq!(BinOp::Shl.apply(1, 65), 2);
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+    }
+
+    #[test]
+    fn inst_operand_rewrite() {
+        let mut k = InstKind::Binop(BinOp::Add, ValueId(1), ValueId(2));
+        k.replace_operand(ValueId(1), ValueId(9));
+        assert_eq!(k.operands(), vec![ValueId(9), ValueId(2)]);
+    }
+
+    #[test]
+    fn terminator_successors_dedup() {
+        let t = Terminator::CondBr {
+            cond: ValueId(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn side_effect_classification() {
+        assert!(InstKind::Store {
+            addr: ValueId(0),
+            value: ValueId(1)
+        }
+        .has_side_effects());
+        assert!(!InstKind::Const(3).has_side_effects());
+        assert!(InstKind::Load { addr: ValueId(0) }.reads_memory());
+        assert!(InstKind::DbgValue {
+            var: "x".into(),
+            value: ValueId(0)
+        }
+        .is_dbg());
+    }
+}

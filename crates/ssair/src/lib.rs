@@ -1,0 +1,60 @@
+//! An SSA-based compiler substrate standing in for LLVM (§5 of *On-Stack
+//! Replacement, Distilled*).
+//!
+//! The crate provides:
+//!
+//! * a typed-index SSA IR ([`Function`], [`InstKind`], [`Terminator`]) with
+//!   a [`FunctionBuilder`] and a [`verify`] pass;
+//! * the analyses the paper's techniques need: CFG utilities ([`cfg`]),
+//!   dominators ([`dom`]), natural loops ([`loops`]), liveness
+//!   ([`liveness`]);
+//! * [`mem2reg`] — stack-slot promotion with φ insertion, preserving
+//!   source-variable debug bindings as transparent [`InstKind::DbgValue`]
+//!   pseudo-instructions (mirroring `llvm.dbg.value`, §7.2);
+//! * OSR-aware optimization passes ([`passes`]): ADCE, constant
+//!   propagation, SCCP, CSE, LICM, code sinking, loop canonicalization and
+//!   LCSSA construction — each instrumented with the five primitive actions
+//!   of §5.1 via [`osr::CodeMapper`];
+//! * the SSA formulation of Algorithm 1 ([`reconstruct`]) and the OSR
+//!   feasibility analysis behind Figures 7–8 and Table 3
+//!   ([`feasibility`]);
+//! * a reference [`interp`]reter used for differential testing and by the
+//!   `tinyvm` runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use ssair::{BinOp, FunctionBuilder, Ty};
+//!
+//! let mut b = FunctionBuilder::new("double", &[("x", Ty::I64)]);
+//! let x = b.param(0);
+//! let two = b.const_i64(2);
+//! let r = b.binop(BinOp::Mul, x, two);
+//! b.ret(Some(r));
+//! let f = b.finish();
+//! assert!(ssair::verify(&f).is_ok());
+//! ```
+
+mod builder;
+pub mod cfg;
+pub mod dom;
+pub mod feasibility;
+pub mod interp;
+mod ir;
+pub mod liveness;
+pub mod loops;
+pub mod mem2reg;
+pub mod passes;
+pub mod reconstruct;
+mod verify;
+
+pub use builder::FunctionBuilder;
+pub use ir::{
+    BinOp, BlockData, BlockId, Function, InstData, InstId, InstKind, Module, Terminator, Ty,
+    ValueDef, ValueId,
+};
+pub use verify::{verify, VerifyError};
+
+/// The code-mapper type used throughout the substrate: locations are
+/// instruction ids, values are SSA value ids (§5.1).
+pub type SsaMapper = osr::CodeMapper<InstId, ValueId>;

@@ -1,0 +1,279 @@
+//! SSA value liveness.
+//!
+//! A value is *live* at a location if it will be read on some path ahead;
+//! it is *available* if its definition dominates the location (its register
+//! would still hold it if kept).  The distinction drives the `live` vs
+//! `avail` variants of the reconstruction algorithm (§5.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, ValueDef, ValueId};
+
+/// Per-block liveness sets plus per-location query support.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: BTreeMap<BlockId, BTreeSet<ValueId>>,
+    live_out: BTreeMap<BlockId, BTreeSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Computes block-level liveness for `f`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Liveness {
+        let mut live_in: BTreeMap<BlockId, BTreeSet<ValueId>> = BTreeMap::new();
+        let mut live_out: BTreeMap<BlockId, BTreeSet<ValueId>> = BTreeMap::new();
+        let blocks = f.block_ids();
+        for &b in &blocks {
+            live_in.insert(b, BTreeSet::new());
+            live_out.insert(b, BTreeSet::new());
+        }
+        // use[b]: upward-exposed uses; def[b]: values defined in b.
+        // φ operands count as live-out of the corresponding predecessor.
+        let mut uses: BTreeMap<BlockId, BTreeSet<ValueId>> = BTreeMap::new();
+        let mut defs: BTreeMap<BlockId, BTreeSet<ValueId>> = BTreeMap::new();
+        let mut phi_out: BTreeMap<BlockId, BTreeSet<ValueId>> = BTreeMap::new();
+        for &b in &blocks {
+            let mut u = BTreeSet::new();
+            let mut d = BTreeSet::new();
+            for &i in &f.block(b).insts {
+                let data = f.inst(i);
+                if let InstKind::Phi(incs) = &data.kind {
+                    for (p, v) in incs {
+                        phi_out.entry(*p).or_default().insert(*v);
+                    }
+                } else if !data.kind.is_dbg() {
+                    // Debug bindings are transparent: they must never keep
+                    // a value alive (mirroring llvm.dbg.value).
+                    for op in data.kind.operands() {
+                        if !d.contains(&op) {
+                            u.insert(op);
+                        }
+                    }
+                }
+                if let Some(r) = data.result {
+                    d.insert(r);
+                }
+            }
+            for op in f.block(b).term.operands() {
+                if !d.contains(&op) {
+                    u.insert(op);
+                }
+            }
+            uses.insert(b, u);
+            defs.insert(b, d);
+        }
+        loop {
+            let mut changed = false;
+            for &b in blocks.iter().rev() {
+                let mut out: BTreeSet<ValueId> =
+                    phi_out.get(&b).cloned().unwrap_or_default();
+                for &s in cfg.succs_of(b) {
+                    out.extend(live_in[&s].iter().copied());
+                    // φ values defined in s are not live-in of s via this
+                    // edge; their operands were handled by phi_out.
+                    for &i in &f.block(s).insts {
+                        if let Some(r) = f.inst(i).result {
+                            if f.inst(i).kind.is_phi() {
+                                out.remove(&r);
+                            }
+                        }
+                    }
+                }
+                let mut inn = uses[&b].clone();
+                inn.extend(out.difference(&defs[&b]).copied());
+                // φ results are defined at the top of the block; they are
+                // not upward-exposed into predecessors.
+                if inn != live_in[&b] || out != live_out[&b] {
+                    live_in.insert(b, inn);
+                    live_out.insert(b, out);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Liveness { live_in, live_out };
+            }
+        }
+    }
+
+    /// Values live at the start of block `b`.
+    pub fn live_in(&self, b: BlockId) -> &BTreeSet<ValueId> {
+        &self.live_in[&b]
+    }
+
+    /// Values live at the end of block `b`.
+    pub fn live_out(&self, b: BlockId) -> &BTreeSet<ValueId> {
+        &self.live_out[&b]
+    }
+
+    /// Values live just **before** instruction `at` executes — the OSR
+    /// transfer set for that location.
+    ///
+    /// φ results of the containing block count as live at its non-φ
+    /// locations (they were computed on block entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` has been removed from the function.
+    pub fn live_before(&self, f: &Function, at: InstId) -> BTreeSet<ValueId> {
+        let b = f.block_of(at).expect("live instruction");
+        let insts = &f.block(b).insts;
+        let pos = insts.iter().position(|i| *i == at).expect("in block");
+        // Walk backward from block end to `pos`.
+        let mut live = self.live_out[&b].clone();
+        for op in f.block(b).term.operands() {
+            live.insert(op);
+        }
+        for &i in insts[pos..].iter().rev() {
+            let data = f.inst(i);
+            if let Some(r) = data.result {
+                live.remove(&r);
+            }
+            if !data.kind.is_phi() && !data.kind.is_dbg() {
+                for op in data.kind.operands() {
+                    live.insert(op);
+                }
+            }
+        }
+        // Do not report φ results of instructions at or after `pos` — those
+        // are re-evaluated... φs only sit at the top, so if `at` is a non-φ
+        // location every φ of the block is before `pos` and its result may
+        // be live; if `at` IS a φ location, resuming there re-enters the
+        // block mid-φ-group, which the runtime forbids (OSR points are
+        // non-φ locations).
+        live
+    }
+}
+
+/// Availability: which values' definitions dominate a given location.
+#[derive(Clone, Debug)]
+pub struct Availability<'f> {
+    f: &'f Function,
+    dt: &'f DomTree,
+}
+
+impl<'f> Availability<'f> {
+    /// Creates the availability oracle.
+    pub fn new(f: &'f Function, dt: &'f DomTree) -> Self {
+        Availability { f, dt }
+    }
+
+    /// Whether `v`'s definition strictly precedes (dominates) location
+    /// `at`, i.e. the value has certainly been computed when execution sits
+    /// at `at`.
+    pub fn available_before(&self, v: ValueId, at: InstId) -> bool {
+        let use_block = match self.f.block_of(at) {
+            Some(b) => b,
+            None => return false,
+        };
+        match self.f.value_def(v) {
+            ValueDef::Param(_) => true,
+            ValueDef::Inst(d) => {
+                let Some(def_block) = self.f.block_of(d) else {
+                    return false;
+                };
+                if def_block == use_block {
+                    let insts = &self.f.block(def_block).insts;
+                    let dpos = insts.iter().position(|i| *i == d);
+                    let upos = insts.iter().position(|i| *i == at);
+                    match (dpos, upos) {
+                        (Some(dp), Some(up)) => dp < up,
+                        _ => false,
+                    }
+                } else {
+                    self.dt.dominates(def_block, use_block)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, FunctionBuilder, Ty};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let one = b.const_i64(1);
+        let y = b.binop(BinOp::Add, x, one);
+        let z = b.binop(BinOp::Mul, y, y);
+        b.ret(Some(z));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let entry = f.entry;
+        let insts = f.block(entry).insts.clone();
+        // Before `y = x + 1`: x and 1 live, y not yet.
+        let at_y = lv.live_before(&f, insts[1]);
+        assert!(at_y.contains(&x));
+        assert!(!at_y.contains(&y));
+        // Before `z = y * y`: y live, x dead.
+        let at_z = lv.live_before(&f, insts[2]);
+        assert!(at_z.contains(&y));
+        assert!(!at_z.contains(&x));
+    }
+
+    #[test]
+    fn loop_phi_liveness() {
+        // i = φ(entry: 0, body: i+1); live across the loop.
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let phi_inst = f.block(header).insts[0];
+        f.inst_mut(phi_inst).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        crate::verify(&f).unwrap();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // i2 is live-out of body (φ operand), i live-in of header’s body
+        // path.
+        assert!(lv.live_out(body).contains(&i2));
+        // n stays live inside the loop.
+        assert!(lv.live_in(body).contains(&n) || lv.live_out(body).contains(&n));
+        // i is live at the exit block (returned).
+        assert!(lv.live_in(exit).contains(&i));
+    }
+
+    #[test]
+    fn availability_follows_dominance() {
+        let mut b = FunctionBuilder::new("a", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        let v = b.const_i64(9);
+        b.br(j);
+        b.switch_to(j);
+        let w = b.binop(BinOp::Add, c, c);
+        b.ret(Some(w));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let avail = Availability::new(&f, &dt);
+        let w_inst = f.block(j).insts[0];
+        // v (defined in t) is NOT available at j (t does not dominate j).
+        assert!(!avail.available_before(v, w_inst));
+        // The parameter is always available.
+        assert!(avail.available_before(c, w_inst));
+        let _ = ValueDef::Param(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Natural-loop detection.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, Terminator};
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop header.
+    pub header: BlockId,
+    /// All blocks of the loop (header included).
+    pub blocks: BTreeSet<BlockId>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// The unique preheader, if the loop is in canonical form.
+    pub preheader: Option<BlockId>,
+    /// Blocks outside the loop that are targets of edges leaving it.
+    pub exits: Vec<BlockId>,
+}
+
+/// All natural loops of a function.
+#[derive(Clone, Debug, Default)]
+pub struct LoopInfo {
+    /// Loops, outermost-first by header RPO position.
+    pub loops: Vec<Loop>,
+}
+
+impl LoopInfo {
+    /// Detects natural loops via back edges (`u → h` with `h` dominating
+    /// `u`), merging loops that share a header.
+    pub fn compute(f: &Function, cfg: &Cfg, dt: &DomTree) -> LoopInfo {
+        let mut loops: Vec<Loop> = Vec::new();
+        for &u in &cfg.rpo {
+            for &h in cfg.succs_of(u) {
+                if dt.is_reachable(h) && dt.dominates(h, u) {
+                    // Back edge u → h; collect the natural loop.
+                    let mut blocks = BTreeSet::from([h]);
+                    let mut work = vec![u];
+                    while let Some(b) = work.pop() {
+                        if blocks.insert(b) {
+                            for &p in cfg.preds_of(b) {
+                                if dt.is_reachable(p) {
+                                    work.push(p);
+                                }
+                            }
+                        }
+                    }
+                    match loops.iter_mut().find(|l| l.header == h) {
+                        Some(l) => {
+                            l.blocks.extend(blocks);
+                            l.latches.push(u);
+                        }
+                        None => loops.push(Loop {
+                            header: h,
+                            blocks,
+                            latches: vec![u],
+                            preheader: None,
+                            exits: Vec::new(),
+                        }),
+                    }
+                }
+            }
+        }
+        for l in &mut loops {
+            l.preheader = find_preheader(f, cfg, l);
+            l.exits = l
+                .blocks
+                .iter()
+                .flat_map(|b| cfg.succs_of(*b).to_vec())
+                .filter(|s| !l.blocks.contains(s))
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+        }
+        // Outermost loops first: sort by block count descending.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        LoopInfo { loops }
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.blocks.contains(&b))
+            .min_by_key(|l| l.blocks.len())
+    }
+
+    /// The loop headed at `h`, if any.
+    pub fn loop_with_header(&self, h: BlockId) -> Option<&Loop> {
+        self.loops.iter().find(|l| l.header == h)
+    }
+}
+
+/// A preheader is the unique out-of-loop predecessor of the header, valid
+/// only if it branches unconditionally to the header.
+fn find_preheader(f: &Function, cfg: &Cfg, l: &Loop) -> Option<BlockId> {
+    let outside: Vec<BlockId> = cfg
+        .preds_of(l.header)
+        .iter()
+        .copied()
+        .filter(|p| !l.blocks.contains(p))
+        .collect();
+    match outside.as_slice() {
+        [p] => match f.block(*p).term {
+            Terminator::Br(t) if t == l.header => Some(*p),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, FunctionBuilder, InstKind, Ty};
+
+    fn loop_fn() -> (Function, BlockId, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("l", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let phi_inst = f.block(header).insts[0];
+        f.inst_mut(phi_inst).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        (f, entry, header, body, exit)
+    }
+
+    #[test]
+    fn detects_simple_loop() {
+        let (f, entry, header, body, exit) = loop_fn();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.blocks, BTreeSet::from([header, body]));
+        assert_eq!(l.latches, vec![body]);
+        assert_eq!(l.preheader, Some(entry));
+        assert_eq!(l.exits, vec![exit]);
+        assert!(li.innermost_containing(body).is_some());
+        assert!(li.innermost_containing(exit).is_none());
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let mut b = FunctionBuilder::new("dag", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        assert!(li.loops.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Promotion of stack slots to SSA registers (`mem2reg`).
+//!
+//! Front-ends place every source variable in an `alloca` and access it with
+//! loads and stores (§5.4); this pass promotes the promotable slots to SSA
+//! form with φ-nodes at iterated dominance frontiers, and materializes a
+//! [`crate::InstKind::DbgValue`] binding after every promoted store so the
+//! §7 debugging study can map source variables to SSA values.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, ValueId};
+
+/// Runs mem2reg on `f`, returning the number of promoted allocas.
+pub fn mem2reg(f: &mut Function) -> usize {
+    let promotable = find_promotable(f);
+    if promotable.is_empty() {
+        return 0;
+    }
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+
+    // Per alloca: blocks containing stores.
+    let mut store_blocks: BTreeMap<ValueId, Vec<BlockId>> = BTreeMap::new();
+    for (b, i) in f.inst_iter().collect::<Vec<_>>() {
+        if let InstKind::Store { addr, .. } = &f.inst(i).kind {
+            if promotable.contains_key(addr) {
+                store_blocks.entry(*addr).or_default().push(b);
+            }
+        }
+    }
+
+    // Insert φs at iterated dominance frontiers.
+    // phi_for[(block, alloca)] = inst id of the φ.
+    let mut phi_for: BTreeMap<(BlockId, ValueId), InstId> = BTreeMap::new();
+    for (&alloca, blocks) in &store_blocks {
+        for b in dt.iterated_frontier(blocks) {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            phi_for.entry((b, alloca)).or_insert_with(|| {
+                let i = f.create_inst(InstKind::Phi(Vec::new()), None);
+                f.insert_inst(b, 0, i);
+                i
+            });
+        }
+    }
+
+    // Rename along the dominator tree.
+    let mut stacks: BTreeMap<ValueId, Vec<ValueId>> = BTreeMap::new();
+    let mut zero_cache: Option<ValueId> = None;
+    rename(
+        f,
+        &cfg,
+        &dt,
+        f.entry,
+        &promotable,
+        &phi_for,
+        &mut stacks,
+        &mut zero_cache,
+    );
+
+    // Remove the allocas themselves.
+    for (&alloca, &inst) in &promotable {
+        let _ = alloca;
+        f.remove_inst(inst);
+    }
+    promotable.len()
+}
+
+/// An alloca is promotable if every use is a direct `load`/`store` address
+/// (no GEPs, no stores *of* the pointer, no calls receiving it).
+fn find_promotable(f: &Function) -> BTreeMap<ValueId, InstId> {
+    let mut candidates: BTreeMap<ValueId, InstId> = BTreeMap::new();
+    for (_, i) in f.inst_iter() {
+        if let InstKind::Alloca { size: 1, .. } = f.inst(i).kind {
+            if let Some(r) = f.inst(i).result {
+                candidates.insert(r, i);
+            }
+        }
+    }
+    for (_, i) in f.inst_iter() {
+        match &f.inst(i).kind {
+            InstKind::Load { .. } => {}
+            InstKind::Store { addr: _, value } => {
+                candidates.remove(value); // storing the pointer itself
+            }
+            other => {
+                for op in other.operands() {
+                    candidates.remove(&op);
+                }
+            }
+        }
+    }
+    candidates
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rename(
+    f: &mut Function,
+    cfg: &Cfg,
+    dt: &DomTree,
+    block: BlockId,
+    promotable: &BTreeMap<ValueId, InstId>,
+    phi_for: &BTreeMap<(BlockId, ValueId), InstId>,
+    stacks: &mut BTreeMap<ValueId, Vec<ValueId>>,
+    zero_cache: &mut Option<ValueId>,
+) {
+    let mut pushed: Vec<ValueId> = Vec::new();
+
+    // φs of this block define new values.
+    for ((b, alloca), &phi) in phi_for {
+        if *b == block {
+            let v = f.result_of(phi).expect("φ has a result");
+            stacks.entry(*alloca).or_default().push(v);
+            pushed.push(*alloca);
+        }
+    }
+
+    // Walk instructions: replace loads, record stores, drop both.
+    let insts = f.block(block).insts.clone();
+    for i in insts {
+        match f.inst(i).kind.clone() {
+            InstKind::Load { addr } if promotable.contains_key(&addr) => {
+                let current = current_value(f, block, &addr, stacks, zero_cache);
+                let r = f.result_of(i).expect("load has a result");
+                f.replace_all_uses(r, current);
+                f.remove_inst(i);
+            }
+            InstKind::Store { addr, value } if promotable.contains_key(&addr) => {
+                stacks.entry(addr).or_default().push(value);
+                pushed.push(addr);
+                // Materialize the debug binding for the source variable.
+                let name = promoted_name(f, promotable[&addr]);
+                let line = f.inst(i).line;
+                let pos = f.block(block).insts.iter().position(|x| *x == i).unwrap();
+                f.remove_inst(i);
+                if let Some(var) = name {
+                    let dbg = f.create_inst(InstKind::DbgValue { var, value }, line);
+                    f.insert_inst(block, pos, dbg);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Fill φ operands of successors.
+    for &s in cfg.succs_of(block) {
+        for ((b, alloca), &phi) in phi_for {
+            if *b == s {
+                let v = current_value(f, block, alloca, stacks, zero_cache);
+                if let InstKind::Phi(incs) = &mut f.inst_mut(phi).kind {
+                    if !incs.iter().any(|(p, _)| *p == block) {
+                        incs.push((block, v));
+                    }
+                }
+            }
+        }
+    }
+
+    // Recurse into dominator-tree children.
+    let children = dt.children.get(&block).cloned().unwrap_or_default();
+    for c in children {
+        rename(f, cfg, dt, c, promotable, phi_for, stacks, zero_cache);
+    }
+
+    for alloca in pushed {
+        stacks.get_mut(&alloca).map(Vec::pop);
+    }
+}
+
+/// The current SSA value of the promoted variable, or a zero constant for
+/// use-before-store (LLVM would use `undef`).
+fn current_value(
+    f: &mut Function,
+    _block: BlockId,
+    alloca: &ValueId,
+    stacks: &BTreeMap<ValueId, Vec<ValueId>>,
+    zero_cache: &mut Option<ValueId>,
+) -> ValueId {
+    if let Some(v) = stacks.get(alloca).and_then(|s| s.last()) {
+        return *v;
+    }
+    if let Some(z) = zero_cache {
+        return *z;
+    }
+    let entry = f.entry;
+    let i = f.create_inst(InstKind::Const(0), None);
+    f.insert_inst(entry, 0, i);
+    let v = f.result_of(i).expect("const has a result");
+    *zero_cache = Some(v);
+    v
+}
+
+fn promoted_name(f: &Function, alloca_inst: InstId) -> Option<String> {
+    match &f.inst(alloca_inst).kind {
+        InstKind::Alloca { name, .. } => name.clone(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    /// abs-like function written with allocas, as a front-end would emit.
+    fn alloca_style() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let slot = b.alloca_named(1, "y");
+        let zero = b.const_i64(0);
+        b.store(slot, zero);
+        let neg_bb = b.create_block("neg");
+        let join = b.create_block("join");
+        let cmp = b.binop(BinOp::Lt, x, zero);
+        b.cond_br(cmp, neg_bb, join);
+        b.switch_to(neg_bb);
+        let nx = b.neg(x);
+        b.store(slot, nx);
+        b.br(join);
+        b.switch_to(join);
+        let v = b.load(slot);
+        let r = b.binop(BinOp::Add, v, x);
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    #[test]
+    fn promotes_and_preserves_semantics() {
+        let f0 = alloca_style();
+        let mut f = f0.clone();
+        let promoted = mem2reg(&mut f);
+        assert_eq!(promoted, 1);
+        verify(&f).unwrap();
+        let m = Module::new();
+        for x in [-5i64, -1, 0, 3] {
+            assert_eq!(
+                run_function(&f0, &[Val::Int(x)], &m, 1000).unwrap(),
+                run_function(&f, &[Val::Int(x)], &m, 1000).unwrap(),
+                "x = {x}"
+            );
+        }
+        // No loads/stores/allocas remain.
+        for (_, i) in f.inst_iter() {
+            assert!(!matches!(
+                f.inst(i).kind,
+                InstKind::Load { .. } | InstKind::Store { .. } | InstKind::Alloca { .. }
+            ));
+        }
+        // φ inserted at the join.
+        assert!(f.phi_count() >= 1);
+        // Debug bindings for y were materialized.
+        let dbg_count = f
+            .inst_iter()
+            .filter(|(_, i)| f.inst(*i).kind.is_dbg())
+            .count();
+        assert_eq!(dbg_count, 2);
+    }
+
+    #[test]
+    fn array_alloca_not_promoted() {
+        let mut b = FunctionBuilder::new("arr", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let buf = b.alloca(4);
+        let idx = b.const_i64(1);
+        let p = b.gep(buf, idx);
+        b.store(p, x);
+        let v = b.load(p);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        assert_eq!(mem2reg(&mut f), 0);
+        verify(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_variable_promotion() {
+        // i := 0; while (i < n) i := i + 1; return i
+        let mut b = FunctionBuilder::new("loop", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let slot = b.alloca_named(1, "i");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.store(slot, zero);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(slot);
+        let cmp = b.binop(BinOp::Lt, iv, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(slot);
+        let inc = b.binop(BinOp::Add, iv2, one);
+        b.store(slot, inc);
+        b.br(header);
+        b.switch_to(exit);
+        let out = b.load(slot);
+        b.ret(Some(out));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        assert_eq!(mem2reg(&mut f), 1);
+        verify(&f).unwrap();
+        let m = Module::new();
+        for n in 0..6 {
+            assert_eq!(
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+        assert!(f.phi_count() >= 1, "loop variable needs a φ:\n{f}");
+    }
+}

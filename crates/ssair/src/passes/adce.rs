@@ -1,0 +1,160 @@
+//! Aggressive dead code elimination (the `ADCE` of Table 1).
+
+use std::collections::BTreeSet;
+
+use crate::ir::{Function, InstId, InstKind, ValueDef, ValueId};
+use crate::passes::{delete_inst, Pass};
+use crate::SsaMapper;
+
+/// Deletes every instruction not transitively needed by a side effect, a
+/// terminator, or the return value.  Works liveness-first (everything is
+/// presumed dead), like LLVM's ADCE.
+///
+/// The `keep` set implements the §5.2 liveness extension: values a
+/// deoptimization mapping needs are treated as roots, so the optimizer
+/// keeps them materialized even though the program never reads them again
+/// ("a code optimizer might decide to keep a variable alive to support
+/// deoptimization at some location").
+#[derive(Clone, Default, Debug)]
+pub struct Adce {
+    /// Values whose definitions must survive even if dead.
+    pub keep: BTreeSet<ValueId>,
+}
+
+impl Adce {
+    /// ADCE protecting the given values from deletion.
+    pub fn keeping(keep: BTreeSet<ValueId>) -> Self {
+        Adce { keep }
+    }
+}
+
+impl Pass for Adce {
+    fn name(&self) -> &'static str {
+        "ADCE"
+    }
+
+    fn hook_sites(&self) -> usize {
+        1 // delete_inst
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut live: BTreeSet<InstId> = BTreeSet::new();
+        let mut work: Vec<InstId> = Vec::new();
+
+        let mark_value = |v, work: &mut Vec<InstId>, live: &mut BTreeSet<InstId>| {
+            if let ValueDef::Inst(i) = f.value_def(v) {
+                if live.insert(i) {
+                    work.push(i);
+                }
+            }
+        };
+
+        // Roots: side-effecting instructions, terminator operands, and the
+        // externally requested keep-set (§5.2 liveness extension).
+        for (_, i) in f.inst_iter() {
+            if f.inst(i).kind.has_side_effects() {
+                live.insert(i);
+                work.push(i);
+            }
+        }
+        for &v in &self.keep {
+            if (v.0 as usize) < f.value_count() {
+                mark_value(v, &mut work, &mut live);
+            }
+        }
+        for b in f.block_ids() {
+            for v in f.block(b).term.operands() {
+                mark_value(v, &mut work, &mut live);
+            }
+        }
+        // Propagate through operands.
+        while let Some(i) = work.pop() {
+            for v in f.inst(i).kind.operands() {
+                mark_value(v, &mut work, &mut live);
+            }
+        }
+        let _ = &mark_value;
+
+        // Delete everything else (plus debug bindings whose value died).
+        let mut changed = false;
+        let all: Vec<InstId> = f.inst_iter().map(|(_, i)| i).collect();
+        for i in all {
+            let kind = &f.inst(i).kind;
+            let dead = match kind {
+                InstKind::DbgValue { value, .. } => match f.value_def(*value) {
+                    ValueDef::Inst(d) => !live.contains(&d),
+                    ValueDef::Param(_) => false,
+                },
+                k if k.has_side_effects() => false,
+                _ => !live.contains(&i),
+            };
+            if dead {
+                delete_inst(f, cm, i);
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn removes_dead_chain_keeps_live() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let d1 = b.binop(BinOp::Mul, x, x); // dead
+        let _d2 = b.binop(BinOp::Add, d1, x); // dead
+        let one = b.const_i64(1);
+        let r = b.binop(BinOp::Add, x, one); // live (returned)
+        b.ret(Some(r));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(Adce::default().run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert_eq!(cm.counts().delete, 2);
+        assert_eq!(f.live_inst_count(), 2);
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(3)], &m, 100).unwrap(),
+            Some(Val::Int(4))
+        );
+    }
+
+    #[test]
+    fn stores_and_calls_are_roots() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let buf = b.alloca(1);
+        b.store(buf, x);
+        let v = b.load(buf);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        // Nothing deletable: alloca feeds store (root) and load (returned).
+        assert!(!Adce::default().run(&mut f, &mut cm));
+    }
+
+    #[test]
+    fn dbg_binding_of_dead_value_is_dropped_silently() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let dead = b.binop(BinOp::Mul, x, x);
+        b.dbg_value("t", dead);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(Adce::default().run(&mut f, &mut cm));
+        // The dbg pseudo-instruction is not counted as a primitive action.
+        assert_eq!(cm.counts().delete, 1);
+        assert_eq!(
+            f.inst_iter().filter(|(_, i)| f.inst(*i).kind.is_dbg()).count(),
+            0
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Simple constant propagation/folding (the `CP` of Table 1).
+
+use std::collections::BTreeMap;
+
+use crate::ir::{Function, InstKind, ValueDef, ValueId};
+use crate::passes::{delete_inst, materialize_const, replace_all_uses, Pass};
+use crate::SsaMapper;
+
+/// Folds instructions whose operands are all constants, iterating to a
+/// fix-point.  Branch folding and unreachable-code removal are left to
+/// [`crate::passes::Sccp`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ConstProp;
+
+impl Pass for ConstProp {
+    fn name(&self) -> &'static str {
+        "CP"
+    }
+
+    fn hook_sites(&self) -> usize {
+        3 // materialize_const (add), replace_all_uses, delete_inst
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut changed = false;
+        loop {
+            let consts = known_constants(f);
+            let mut folded = None;
+            'search: for (_, i) in f.inst_iter() {
+                let data = f.inst(i);
+                if data.kind.is_phi() || data.kind.is_dbg() {
+                    continue;
+                }
+                if let Some(n) = fold(&data.kind, &consts) {
+                    // Skip if the instruction is already the canonical
+                    // constant (avoid infinite re-folding).
+                    if matches!(data.kind, InstKind::Const(_)) {
+                        continue;
+                    }
+                    folded = Some((i, n));
+                    break 'search;
+                }
+            }
+            match folded {
+                Some((i, n)) => {
+                    let old = f.result_of(i).expect("foldable insts have results");
+                    let new = materialize_const(f, cm, n);
+                    replace_all_uses(f, cm, old, new);
+                    delete_inst(f, cm, i);
+                    changed = true;
+                }
+                None => return changed,
+            }
+        }
+    }
+}
+
+fn known_constants(f: &Function) -> BTreeMap<ValueId, i64> {
+    let mut out = BTreeMap::new();
+    for (_, i) in f.inst_iter() {
+        if let InstKind::Const(n) = f.inst(i).kind {
+            if let Some(r) = f.inst(i).result {
+                out.insert(r, n);
+            }
+        }
+    }
+    out
+}
+
+fn fold(kind: &InstKind, consts: &BTreeMap<ValueId, i64>) -> Option<i64> {
+    let c = |v: &ValueId| consts.get(v).copied();
+    match kind {
+        InstKind::Binop(op, a, b) => Some(op.apply(c(a)?, c(b)?)),
+        InstKind::Neg(a) => Some(c(a)?.wrapping_neg()),
+        InstKind::Not(a) => Some(i64::from(c(a)? == 0)),
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => {
+            let cv = c(cond)?;
+            if cv != 0 {
+                c(then_v)
+            } else {
+                c(else_v)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Exposes constant-value lookup for other passes and for reconstruction:
+/// the constant a value is known to hold, if its defining chain folds.
+pub fn const_value(f: &Function, v: ValueId) -> Option<i64> {
+    match f.value_def(v) {
+        ValueDef::Param(_) => None,
+        ValueDef::Inst(i) => match &f.inst(i).kind {
+            InstKind::Const(n) => Some(*n),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn folds_chain() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let two = b.const_i64(2);
+        let three = b.const_i64(3);
+        let six = b.binop(BinOp::Mul, two, three);
+        let one = b.const_i64(1);
+        let seven = b.binop(BinOp::Add, six, one);
+        let r = b.binop(BinOp::Add, x, seven);
+        b.ret(Some(r));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(ConstProp.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        // Both binops on constants must be gone.
+        assert!(cm.counts().delete >= 2);
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(5)], &m, 100).unwrap(),
+            run_function(&f0, &[Val::Int(5)], &m, 100).unwrap(),
+        );
+    }
+
+    #[test]
+    fn select_with_const_cond_folds() {
+        let mut b = FunctionBuilder::new("s", &[]);
+        let one = b.const_i64(1);
+        let ten = b.const_i64(10);
+        let twenty = b.const_i64(20);
+        let sel = b.select(one, ten, twenty);
+        b.ret(Some(sel));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(ConstProp.run(&mut f, &mut cm));
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[], &m, 100).unwrap(),
+            Some(Val::Int(10))
+        );
+    }
+
+    #[test]
+    fn no_change_on_dynamic_code() {
+        let mut b = FunctionBuilder::new("d", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let y = b.binop(BinOp::Add, x, x);
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(!ConstProp.run(&mut f, &mut cm));
+        assert_eq!(cm.counts().total(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Dominator-scoped common subexpression elimination (the `CSE` of
+//! Table 1), modelled on LLVM's EarlyCSE — including the
+//! available-load table with generation counters shown in Figure 6.
+
+use std::collections::BTreeMap;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BinOp, Function, InstKind, ValueId};
+use crate::passes::{delete_inst, replace_all_uses, Pass};
+use crate::SsaMapper;
+
+/// Value-numbering key for pure instructions.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Key {
+    Const(i64),
+    Binop(BinOp, ValueId, ValueId),
+    Neg(ValueId),
+    Not(ValueId),
+    Select(ValueId, ValueId, ValueId),
+    Gep(ValueId, ValueId),
+}
+
+fn key_of(kind: &InstKind) -> Option<Key> {
+    Some(match kind {
+        InstKind::Const(n) => Key::Const(*n),
+        InstKind::Binop(op, a, b) => {
+            let (a, b) = if op.is_commutative() && b < a {
+                (*b, *a)
+            } else {
+                (*a, *b)
+            };
+            Key::Binop(*op, a, b)
+        }
+        InstKind::Neg(a) => Key::Neg(*a),
+        InstKind::Not(a) => Key::Not(*a),
+        InstKind::Select {
+            cond,
+            then_v,
+            else_v,
+        } => Key::Select(*cond, *then_v, *else_v),
+        InstKind::Gep { base, index } => Key::Gep(*base, *index),
+        _ => return None,
+    })
+}
+
+/// Scoped CSE over the dominator tree with an available-load table.
+///
+/// Loads are reused only when produced in the same memory *generation*;
+/// stores make the stored value available for their own address and bump
+/// the generation (conservative no-alias-information behaviour); calls
+/// invalidate everything.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Cse;
+
+impl Pass for Cse {
+    fn name(&self) -> &'static str {
+        "CSE"
+    }
+
+    fn hook_sites(&self) -> usize {
+        4 // expression replace+delete, load replace+delete (cf. Figure 6)
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let mut ctx = Ctx {
+            changed: false,
+            generation: 0,
+        };
+        let avail_values: BTreeMap<Key, ValueId> = BTreeMap::new();
+        let avail_loads: BTreeMap<ValueId, (ValueId, u64)> = BTreeMap::new();
+        walk(f, cm, &dt, f.entry, avail_values, avail_loads, &mut ctx);
+        ctx.changed
+    }
+}
+
+struct Ctx {
+    changed: bool,
+    generation: u64,
+}
+
+/// DFS over the dominator tree; the scoped tables are passed by value so
+/// sibling subtrees do not see each other's entries.
+fn walk(
+    f: &mut Function,
+    cm: &mut SsaMapper,
+    dt: &DomTree,
+    block: crate::BlockId,
+    mut avail_values: BTreeMap<Key, ValueId>,
+    mut avail_loads: BTreeMap<ValueId, (ValueId, u64)>,
+    ctx: &mut Ctx,
+) {
+    let insts = f.block(block).insts.clone();
+    for i in insts {
+        let kind = f.inst(i).kind.clone();
+        match &kind {
+            InstKind::Load { addr } => {
+                // Check for an available load/store value from the right
+                // generation (Figure 6).
+                if let Some((v, generation)) = avail_loads.get(addr) {
+                    if *generation == ctx.generation {
+                        let old = f.result_of(i).expect("load has a result");
+                        let v = *v;
+                        replace_all_uses(f, cm, old, v);
+                        delete_inst(f, cm, i);
+                        ctx.changed = true;
+                        continue;
+                    }
+                }
+                let r = f.result_of(i).expect("load has a result");
+                avail_loads.insert(*addr, (r, ctx.generation));
+            }
+            InstKind::Store { addr, value } => {
+                // New generation: conservatively clobber other addresses,
+                // but remember the stored value for this one.
+                ctx.generation += 1;
+                avail_loads.insert(*addr, (*value, ctx.generation));
+            }
+            InstKind::Call { .. } => {
+                ctx.generation += 1;
+                avail_loads.clear();
+            }
+            InstKind::Phi(_) | InstKind::DbgValue { .. } | InstKind::Alloca { .. } => {}
+            pure => {
+                if let Some(key) = key_of(pure) {
+                    if let Some(&v) = avail_values.get(&key) {
+                        let old = f.result_of(i).expect("pure insts have results");
+                        replace_all_uses(f, cm, old, v);
+                        delete_inst(f, cm, i);
+                        ctx.changed = true;
+                        continue;
+                    }
+                    if let Some(r) = f.result_of(i) {
+                        avail_values.insert(key, r);
+                    }
+                }
+            }
+        }
+    }
+    let children = dt.children.get(&block).cloned().unwrap_or_default();
+    for c in children {
+        walk(
+            f,
+            cm,
+            dt,
+            c,
+            avail_values.clone(),
+            avail_loads.clone(),
+            ctx,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn dedups_pure_expression() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let a = b.binop(BinOp::Mul, x, x);
+        let c = b.binop(BinOp::Mul, x, x); // duplicate
+        let r = b.binop(BinOp::Add, a, c);
+        b.ret(Some(r));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(Cse.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert_eq!(cm.counts().delete, 1);
+        assert_eq!(cm.counts().replace, 1);
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(3)], &m, 100).unwrap(),
+            Some(Val::Int(18))
+        );
+    }
+
+    #[test]
+    fn commutative_normalization() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64), ("y", Ty::I64)]);
+        let x = b.param(0);
+        let y = b.param(1);
+        let a = b.binop(BinOp::Add, x, y);
+        let c = b.binop(BinOp::Add, y, x); // same value, swapped operands
+        let r = b.binop(BinOp::Mul, a, c);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(Cse.run(&mut f, &mut cm));
+        assert_eq!(cm.counts().delete, 1);
+    }
+
+    #[test]
+    fn load_forwarded_from_store_same_generation() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let buf = b.alloca(1);
+        b.store(buf, x);
+        let v = b.load(buf); // forwardable from the store
+        b.ret(Some(v));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(Cse.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        // The load is gone; the returned value is x.
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(7)], &m, 100).unwrap(),
+            Some(Val::Int(7))
+        );
+        assert_eq!(cm.counts().delete, 1);
+    }
+
+    #[test]
+    fn intervening_store_blocks_load_reuse() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let buf = b.alloca(2);
+        let one = b.const_i64(1);
+        let p0 = b.gep(buf, one);
+        let l1 = b.load(p0);
+        b.store(buf, x); // different address, but no alias info → clobber
+        let l2 = b.load(p0);
+        let r = b.binop(BinOp::Add, l1, l2);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let before = f.live_inst_count();
+        let mut cm = SsaMapper::new();
+        Cse.run(&mut f, &mut cm);
+        // Neither load removed (store bumped the generation).
+        let loads = f
+            .inst_iter()
+            .filter(|(_, i)| matches!(f.inst(*i).kind, InstKind::Load { .. }))
+            .count();
+        assert_eq!(loads, 2);
+        assert!(f.live_inst_count() >= before - 1);
+    }
+
+    #[test]
+    fn no_cse_across_sibling_branches() {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64), ("x", Ty::I64)]);
+        let c = b.param(0);
+        let x = b.param(1);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let a1 = b.binop(BinOp::Mul, x, x);
+        b.br(j);
+        b.switch_to(e);
+        let a2 = b.binop(BinOp::Mul, x, x); // same expr, sibling branch
+        b.br(j);
+        b.switch_to(j);
+        let ph = b.phi(&[(t, a1), (e, a2)]);
+        b.ret(Some(ph));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        // Sibling scopes do not share tables: nothing to CSE.
+        assert!(!Cse.run(&mut f, &mut cm));
+    }
+}

@@ -1,0 +1,230 @@
+//! Loop-closed SSA construction (the `LCSSA` of Table 1).
+//!
+//! For every value defined inside a loop and used outside it, a φ-node is
+//! inserted at each dedicated exit block and the outside uses are rewritten
+//! to go through it.  These φs usually have a single incoming value — the
+//! "φ-nodes that always evaluate to the same value" that §5.4's
+//! `reconstruct` learns to see through.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, ValueId};
+use crate::loops::LoopInfo;
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Rewrites the function into loop-closed SSA form.
+///
+/// Exit blocks with predecessors outside the loop are skipped (run
+/// [`crate::passes::LoopSimplify`] first for canonical loops; fully
+/// dedicated exits are not enforced by this simplified implementation).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Lcssa;
+
+impl Pass for Lcssa {
+    fn name(&self) -> &'static str {
+        "LCSSA"
+    }
+
+    fn hook_sites(&self) -> usize {
+        2 // add (exit φ), replace (outside uses)
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let li = LoopInfo::compute(f, &cfg, &dt);
+        let mut changed = false;
+        for l in &li.loops {
+            // Values defined in the loop.
+            let mut defs: Vec<(InstId, ValueId)> = Vec::new();
+            for &b in &l.blocks {
+                for &i in &f.block(b).insts {
+                    if let Some(r) = f.inst(i).result {
+                        defs.push((i, r));
+                    }
+                }
+            }
+            for (_, v) in defs {
+                // Uses outside the loop (instructions and terminators).
+                let outside_users = collect_outside_users(f, v, &l.blocks);
+                if outside_users.is_empty() {
+                    continue;
+                }
+                for &exit in &l.exits {
+                    if !cfg.is_reachable(exit) {
+                        continue;
+                    }
+                    let preds = cfg.preds_of(exit);
+                    if !preds.iter().all(|p| l.blocks.contains(p)) {
+                        continue; // not a dedicated exit; skip
+                    }
+                    // Only create the φ if v dominates the exit (otherwise
+                    // the value does not flow out this way).
+                    let Some(def_block) = def_block_of(f, v) else {
+                        continue;
+                    };
+                    if !dt.dominates(def_block, exit) {
+                        continue;
+                    }
+                    let phi = f.create_inst(
+                        InstKind::Phi(preds.iter().map(|p| (*p, v)).collect()),
+                        None,
+                    );
+                    f.insert_inst(exit, 0, phi);
+                    cm.add(phi);
+                    let pv = f.result_of(phi).expect("φ has a result");
+                    // Rewrite uses outside the loop dominated by the exit.
+                    rewrite_dominated_uses(f, cm, &dt, v, pv, exit, phi, &l.blocks);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn def_block_of(f: &Function, v: ValueId) -> Option<BlockId> {
+    match f.value_def(v) {
+        crate::ir::ValueDef::Param(_) => Some(f.entry),
+        crate::ir::ValueDef::Inst(i) => f.block_of(i),
+    }
+}
+
+fn collect_outside_users(f: &Function, v: ValueId, loop_blocks: &BTreeSet<BlockId>) -> Vec<InstId> {
+    let mut out = Vec::new();
+    for (b, i) in f.inst_iter() {
+        if !loop_blocks.contains(&b) && f.inst(i).kind.operands().contains(&v) {
+            out.push(i);
+        }
+    }
+    for b in f.block_ids() {
+        if !loop_blocks.contains(&b) && f.block(b).term.operands().contains(&v) {
+            out.push(InstId(u32::MAX)); // sentinel: a terminator use exists
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_dominated_uses(
+    f: &mut Function,
+    cm: &mut SsaMapper,
+    dt: &DomTree,
+    old: ValueId,
+    new: ValueId,
+    exit: BlockId,
+    phi: InstId,
+    loop_blocks: &BTreeSet<BlockId>,
+) {
+    let mut replaced_any = false;
+    for b in f.block_ids() {
+        if loop_blocks.contains(&b) || !dt.is_reachable(b) {
+            continue;
+        }
+        if !dt.dominates(exit, b) {
+            continue;
+        }
+        let insts = f.block(b).insts.clone();
+        for i in insts {
+            if i == phi {
+                continue;
+            }
+            // φ uses are attributed to the incoming edge; only rewrite if
+            // that edge's source is dominated by the exit as well.
+            if let InstKind::Phi(incs) = &f.inst(i).kind {
+                let mut incs = incs.clone();
+                let mut touched = false;
+                for (p, v) in &mut incs {
+                    if *v == old && !loop_blocks.contains(p) && dt.dominates(exit, *p) {
+                        *v = new;
+                        touched = true;
+                    }
+                }
+                if touched {
+                    f.inst_mut(i).kind = InstKind::Phi(incs);
+                    replaced_any = true;
+                }
+            } else if f.inst(i).kind.operands().contains(&old) {
+                f.inst_mut(i).kind.replace_operand(old, new);
+                replaced_any = true;
+            }
+        }
+        let term = &mut f.block_mut(b).term;
+        if term.operands().contains(&old) {
+            term.replace_operand(old, new);
+            replaced_any = true;
+        }
+    }
+    if replaced_any {
+        cm.replace_scoped(old, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::passes::LoopSimplify;
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    fn loop_value_used_outside() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        // i used outside the loop.
+        let r = b.binop(BinOp::Mul, i, i);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let phi = f.block(header).insts[0];
+        f.inst_mut(phi).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        f
+    }
+
+    #[test]
+    fn inserts_exit_phi_and_rewrites_uses() {
+        let f0 = loop_value_used_outside();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        LoopSimplify.run(&mut f, &mut cm);
+        assert!(Lcssa.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(cm.counts().add >= 1);
+        assert!(cm.counts().replace >= 1);
+        // φ count grew (the LCSSA φ).
+        assert!(f.phi_count() > f0.phi_count());
+        let m = Module::new();
+        for n in [0, 1, 5] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(n)], &m, 100_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 100_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent_when_no_outside_uses() {
+        let mut b = FunctionBuilder::new("f", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        b.ret(Some(n));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(!Lcssa.run(&mut f, &mut cm));
+    }
+}

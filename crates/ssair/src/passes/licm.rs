@@ -1,0 +1,190 @@
+//! Loop-invariant code motion (the `LICM` of Table 1).
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{Function, InstId, InstKind, ValueDef, ValueId};
+use crate::loops::LoopInfo;
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Hoists loop-invariant pure instructions into the loop preheader.
+///
+/// Loads are hoisted only out of loops containing no stores or calls (no
+/// alias information — the conservative reading of the §5.3 store
+/// invariant).  Requires canonical loops; run
+/// [`crate::passes::LoopSimplify`] first.
+///
+/// Every instruction in our IR is total (division by zero yields 0), so
+/// speculative hoisting out of conditionally executed paths is safe.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Licm;
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "LICM"
+    }
+
+    fn hook_sites(&self) -> usize {
+        1 // hoist
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute(f, &cfg);
+        let li = LoopInfo::compute(f, &cfg, &dt);
+        let mut changed = false;
+        for l in &li.loops {
+            let Some(preheader) = l.preheader else {
+                continue;
+            };
+            let loop_has_memory_writes = l.blocks.iter().any(|b| {
+                f.block(*b)
+                    .insts
+                    .iter()
+                    .any(|i| f.inst(*i).kind.has_side_effects())
+            });
+            // Values defined inside the loop.
+            let mut defined_in_loop: BTreeSet<ValueId> = BTreeSet::new();
+            for &b in &l.blocks {
+                for &i in &f.block(b).insts {
+                    if let Some(r) = f.inst(i).result {
+                        defined_in_loop.insert(r);
+                    }
+                }
+            }
+            // Iterate to a fix-point inside this loop.
+            loop {
+                let mut hoisted_one = false;
+                let blocks: Vec<_> = l.blocks.iter().copied().collect();
+                'scan: for b in blocks {
+                    let insts = f.block(b).insts.clone();
+                    for i in insts {
+                        if !is_hoistable(f, i, &defined_in_loop, loop_has_memory_writes) {
+                            continue;
+                        }
+                        hoist(f, cm, i, preheader);
+                        if let Some(r) = f.inst(i).result {
+                            defined_in_loop.remove(&r);
+                        }
+                        hoisted_one = true;
+                        changed = true;
+                        break 'scan;
+                    }
+                }
+                if !hoisted_one {
+                    break;
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn is_hoistable(
+    f: &Function,
+    i: InstId,
+    defined_in_loop: &BTreeSet<ValueId>,
+    loop_has_memory_writes: bool,
+) -> bool {
+    let data = f.inst(i);
+    let movable = match &data.kind {
+        InstKind::Phi(_) | InstKind::DbgValue { .. } | InstKind::Alloca { .. } => false,
+        InstKind::Store { .. } | InstKind::Call { .. } => false,
+        // Constants are immediates in LLVM: they move freely (so their
+        // users can be hoisted) but the move is not a recorded action.
+        InstKind::Const(_) => true,
+        InstKind::Load { .. } => !loop_has_memory_writes,
+        _ => true,
+    };
+    movable
+        && data
+            .kind
+            .operands()
+            .iter()
+            .all(|op| !defined_in_loop.contains(op))
+}
+
+fn hoist(f: &mut Function, cm: &mut SsaMapper, i: InstId, preheader: crate::BlockId) {
+    let pos = f.block(preheader).insts.len();
+    // Record the action with the instruction's own id as the location; the
+    // Δ mapping is id-based, so moves keep the location identity (§5.1).
+    // Constant moves are free rematerializations and not recorded.
+    if !matches!(f.inst(i).kind, InstKind::Const(_)) {
+        cm.hoist(i, i);
+    }
+    f.move_inst(i, preheader, pos);
+    let _ = ValueDef::Param(0);
+    let _ = pos;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::passes::LoopSimplify;
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    /// while (i < n) { t = x*x; s += t; i += 1 }
+    fn loop_with_invariant() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64), ("n", Ty::I64)]);
+        let x = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let s = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let t = b.binop(BinOp::Mul, x, x); // invariant
+        let s2 = b.binop(BinOp::Add, s, t);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let phi_i = f.block(header).insts[0];
+        let phi_s = f.block(header).insts[1];
+        f.inst_mut(phi_i).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        f.inst_mut(phi_s).kind = InstKind::Phi(vec![(entry, zero), (body, s2)]);
+        f
+    }
+
+    #[test]
+    fn hoists_invariant_multiplication() {
+        let f0 = loop_with_invariant();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        LoopSimplify.run(&mut f, &mut cm);
+        assert!(Licm.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(cm.counts().hoist >= 1);
+        let m = Module::new();
+        for (x, n) in [(3, 4), (2, 0), (-1, 3)] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(x), Val::Int(n)], &m, 100_000).unwrap(),
+                run_function(&f0, &[Val::Int(x), Val::Int(n)], &m, 100_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn variant_instructions_stay() {
+        let f0 = loop_with_invariant();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        LoopSimplify.run(&mut f, &mut cm);
+        Licm.run(&mut f, &mut cm);
+        // s2 = s + t depends on the φ s → must stay in the loop body.
+        // Count: only the x*x should have been hoisted.
+        assert_eq!(cm.counts().hoist, 1);
+    }
+}

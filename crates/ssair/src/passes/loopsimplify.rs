@@ -1,0 +1,170 @@
+//! Loop canonicalization (the `LC` of Table 1): ensure every natural loop
+//! has a dedicated preheader.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{Function, InstKind, Terminator};
+use crate::loops::LoopInfo;
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Inserts preheader blocks for loops lacking one, rewriting header
+/// φ-nodes accordingly.  When the header has several out-of-loop
+/// predecessors, their φ incomings are merged through a new φ in the
+/// preheader (recorded as an `add` action).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct LoopSimplify;
+
+impl Pass for LoopSimplify {
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+
+    fn hook_sites(&self) -> usize {
+        1 // add (merged φ in the new preheader)
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut changed = false;
+        loop {
+            let cfg = Cfg::compute(f);
+            let dt = DomTree::compute(f, &cfg);
+            let li = LoopInfo::compute(f, &cfg, &dt);
+            let Some(l) = li.loops.iter().find(|l| l.preheader.is_none()) else {
+                return changed;
+            };
+            let header = l.header;
+            let outside: Vec<_> = cfg
+                .preds_of(header)
+                .iter()
+                .copied()
+                .filter(|p| !l.blocks.contains(p))
+                .collect();
+            let pre = f.create_block(&format!("{}.preheader", f.block(header).name));
+            // Retarget every outside predecessor to the preheader.
+            for &p in &outside {
+                f.block_mut(p).term.retarget(header, pre);
+            }
+            f.block_mut(pre).term = Terminator::Br(header);
+            // Rewrite header φs: outside incomings route through the
+            // preheader (merged with a new φ if there are several).
+            let header_insts = f.block(header).insts.clone();
+            for i in header_insts {
+                let InstKind::Phi(incs) = f.inst(i).kind.clone() else {
+                    break;
+                };
+                let (out_incs, in_incs): (Vec<_>, Vec<_>) = incs
+                    .into_iter()
+                    .partition(|(p, _)| outside.contains(p));
+                let mut new_incs = in_incs;
+                match out_incs.as_slice() {
+                    [] => {}
+                    [(_, v)] => new_incs.push((pre, *v)),
+                    many => {
+                        let merged = f.create_inst(
+                            InstKind::Phi(many.iter().map(|(p, v)| (*p, *v)).collect()),
+                            None,
+                        );
+                        f.insert_inst(pre, 0, merged);
+                        cm.add(merged);
+                        let mv = f.result_of(merged).expect("φ has a result");
+                        new_incs.push((pre, mv));
+                    }
+                }
+                f.inst_mut(i).kind = InstKind::Phi(new_incs);
+            }
+            changed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    /// A loop whose header is reachable from two outside blocks (no
+    /// preheader) and from its latch.
+    fn rotated_loop() -> Function {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64), ("n", Ty::I64)]);
+        let c = b.param(0);
+        let n = b.param(1);
+        let zero = b.const_i64(0);
+        let ten = b.const_i64(10);
+        let one = b.const_i64(1);
+        let left = b.create_block("left");
+        let right = b.create_block("right");
+        let header = b.create_block("header");
+        let exit = b.create_block("exit");
+        b.cond_br(c, left, right);
+        b.switch_to(left);
+        b.br(header);
+        b.switch_to(right);
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(left, zero), (right, ten)]);
+        let i2 = b.binop(BinOp::Add, i, one);
+        let cmp = b.binop(BinOp::Lt, i2, n);
+        b.cond_br(cmp, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(i2));
+        let mut f = b.finish();
+        let phi = f.block(header).insts[0];
+        f.inst_mut(phi).kind = InstKind::Phi(vec![(left, zero), (right, ten), (header, i2)]);
+        f
+    }
+
+    #[test]
+    fn inserts_preheader_and_merges_phis() {
+        let f0 = rotated_loop();
+        verify(&f0).unwrap();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(LoopSimplify.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        // A merged φ was added in the preheader.
+        assert_eq!(cm.counts().add, 1);
+        // Loop now has a preheader.
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let li = LoopInfo::compute(&f, &cfg, &dt);
+        assert!(li.loops.iter().all(|l| l.preheader.is_some()));
+        let m = Module::new();
+        for (c, n) in [(0, 15), (1, 5), (1, 0), (0, 0)] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(c), Val::Int(n)], &m, 100_000).unwrap(),
+                run_function(&f0, &[Val::Int(c), Val::Int(n)], &m, 100_000).unwrap(),
+                "c={c} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_loop_untouched() {
+        let mut b = FunctionBuilder::new("f", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        let mut f = b.finish();
+        let phi = f.block(header).insts[0];
+        f.inst_mut(phi).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        let mut cm = SsaMapper::new();
+        assert!(!LoopSimplify.run(&mut f, &mut cm));
+        assert_eq!(cm.counts().total(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! OSR-aware optimization passes (§5.4).
+//!
+//! Each pass implements [`Pass`] and records every IR manipulation it
+//! performs as one of the five primitive actions of §5.1 through the shared
+//! [`SsaMapper`] — mirroring how the paper instruments the corresponding
+//! LLVM passes (Table 1, Figure 6).  Transparent debug pseudo-instructions
+//! ([`crate::InstKind::DbgValue`]) are maintained but never recorded as
+//! actions, matching LLVM's treatment of `llvm.dbg.value`.
+//!
+//! [`Pipeline::standard`] reproduces the §5.4 pass mix: loop
+//! canonicalization (LC), LCSSA construction, LICM, CSE, constant
+//! propagation, SCCP, ADCE and code sinking.
+
+mod adce;
+mod constprop;
+mod cse;
+mod lcssa;
+mod licm;
+mod loopsimplify;
+mod sccp;
+mod sink;
+
+pub use adce::Adce;
+pub use constprop::ConstProp;
+pub use cse::Cse;
+pub use lcssa::Lcssa;
+pub use licm::Licm;
+pub use loopsimplify::LoopSimplify;
+pub use sccp::Sccp;
+pub use sink::Sink;
+
+use osr::ActionCounts;
+
+use crate::ir::Function;
+use crate::SsaMapper;
+
+/// An OSR-aware transformation pass.
+pub trait Pass {
+    /// Pass name as it appears in evaluation tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass on `f`, recording primitive actions in `cm`.
+    ///
+    /// Returns `true` if the function changed.
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool;
+
+    /// Number of instrumentation sites (CodeMapper hook calls) in this
+    /// pass's implementation — our analogue of the "actions" row of
+    /// Table 1.
+    fn hook_sites(&self) -> usize;
+}
+
+/// Per-pass statistics from a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PassStats {
+    /// Pass name.
+    pub name: &'static str,
+    /// Whether the pass changed the function.
+    pub changed: bool,
+    /// Actions recorded by this pass alone.
+    pub actions: ActionCounts,
+}
+
+/// A sequence of passes sharing one [`SsaMapper`].
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+    /// Verify the function after each pass (on by default; the cost is
+    /// negligible at our scale and it catches pass bugs early).
+    pub verify_between: bool,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from the given passes.
+    pub fn new(passes: Vec<Box<dyn Pass>>) -> Self {
+        Pipeline {
+            passes,
+            verify_between: true,
+        }
+    }
+
+    /// The §5.4 pass mix.
+    pub fn standard() -> Self {
+        Pipeline::standard_keeping(Default::default())
+    }
+
+    /// The §5.4 pass mix with a liveness-extension keep-set: the listed
+    /// values survive dead-code elimination so that deoptimization can
+    /// read them from the optimized frame (§5.2).
+    pub fn standard_keeping(keep: std::collections::BTreeSet<crate::ValueId>) -> Self {
+        Pipeline::new(vec![
+            Box::new(LoopSimplify),
+            Box::new(Lcssa),
+            Box::new(Licm),
+            Box::new(Cse),
+            Box::new(ConstProp),
+            Box::new(Sccp),
+            Box::new(Adce::keeping(keep.clone())),
+            Box::new(Sink::keeping(keep)),
+        ])
+    }
+
+    /// The passes in execution order.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Clones `base` (preserving every id) and optimizes the clone,
+    /// returning the optimized function, the accumulated code mapper, and
+    /// per-pass statistics — the `apply` of §4.2 at the SSA level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass breaks the IR invariants while `verify_between` is
+    /// set (this indicates a pass bug, never a user error).
+    pub fn optimize(&self, base: &Function) -> (Function, SsaMapper, Vec<PassStats>) {
+        let mut f = base.clone();
+        let mut cm = SsaMapper::new();
+        let mut stats = Vec::new();
+        for p in &self.passes {
+            let before = cm.counts();
+            let changed = p.run(&mut f, &mut cm);
+            let after = cm.counts();
+            stats.push(PassStats {
+                name: p.name(),
+                changed,
+                actions: ActionCounts {
+                    add: after.add - before.add,
+                    delete: after.delete - before.delete,
+                    hoist: after.hoist - before.hoist,
+                    sink: after.sink - before.sink,
+                    replace: after.replace - before.replace,
+                },
+            });
+            if self.verify_between {
+                if let Err(e) = crate::verify(&f) {
+                    panic!("pass {} broke the IR: {e}\n{f}", p.name());
+                }
+            }
+        }
+        (f, cm, stats)
+    }
+}
+
+/// Shared pass helper: delete a (non-dbg) instruction and record the
+/// action; dbg pseudo-instructions are removed silently.
+pub(crate) fn delete_inst(f: &mut Function, cm: &mut SsaMapper, i: crate::InstId) {
+    if !f.inst(i).kind.is_dbg() {
+        cm.delete(i);
+    }
+    f.remove_inst(i);
+}
+
+/// Shared pass helper: replace all uses of `old` with `new`, recording the
+/// action (cf. `OSR_CM->replaceAllUsesWith` in Figure 6).
+pub(crate) fn replace_all_uses(
+    f: &mut Function,
+    cm: &mut SsaMapper,
+    old: crate::ValueId,
+    new: crate::ValueId,
+) {
+    cm.replace(old, new);
+    f.replace_all_uses(old, new);
+}
+
+/// Shared pass helper: materialize an integer constant at the top of the
+/// entry block (constants dominate everything there), recording an `add`.
+pub(crate) fn materialize_const(f: &mut Function, cm: &mut SsaMapper, n: i64) -> crate::ValueId {
+    let entry = f.entry;
+    let i = f.create_inst(crate::InstKind::Const(n), None);
+    f.insert_inst(entry, 0, i);
+    cm.add(i);
+    f.result_of(i).expect("const has a result")
+}

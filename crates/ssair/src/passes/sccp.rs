@@ -1,0 +1,412 @@
+//! Sparse conditional constant propagation (the `SCCP` of Table 1),
+//! including constant-branch folding and unreachable-block elimination.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::ir::{BlockId, Function, InstKind, Terminator, ValueDef, ValueId};
+use crate::passes::{delete_inst, materialize_const, replace_all_uses, Pass};
+use crate::SsaMapper;
+
+/// The SCCP lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Lattice {
+    /// Not yet known (⊤).
+    Unknown,
+    /// Known constant.
+    Const(i64),
+    /// Over-defined (⊥).
+    Over,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Unknown, x) | (x, Lattice::Unknown) => x,
+            (Lattice::Const(a), Lattice::Const(b)) if a == b => Lattice::Const(a),
+            _ => Lattice::Over,
+        }
+    }
+}
+
+/// Wegman–Zadeck sparse conditional constant propagation over the SSA
+/// graph and CFG simultaneously, followed by rewriting: constant values are
+/// replaced, always-taken conditional branches folded, and blocks proven
+/// unreachable removed (every deletion recorded, cf. the ffmpeg row of
+/// Table 2).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Sccp;
+
+impl Pass for Sccp {
+    fn name(&self) -> &'static str {
+        "SCCP"
+    }
+
+    fn hook_sites(&self) -> usize {
+        4 // const add, RAUW, inst delete, unreachable-block inst delete
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let (values, executable) = analyze(f);
+        let mut changed = false;
+
+        // 1. Replace instructions proven constant.
+        let all: Vec<_> = f.inst_iter().collect();
+        for (b, i) in all {
+            if !executable.contains(&b) {
+                continue;
+            }
+            let Some(r) = f.inst(i).result else { continue };
+            if matches!(f.inst(i).kind, InstKind::Const(_)) {
+                continue;
+            }
+            if f.inst(i).kind.has_side_effects() || f.inst(i).kind.reads_memory() {
+                continue;
+            }
+            if matches!(f.inst(i).kind, InstKind::Alloca { .. } | InstKind::Gep { .. }) {
+                continue;
+            }
+            if let Some(Lattice::Const(n)) = values.get(&r) {
+                let new = materialize_const(f, cm, *n);
+                replace_all_uses(f, cm, r, new);
+                delete_inst(f, cm, i);
+                changed = true;
+            }
+        }
+
+        // 2. Fold conditional branches with known conditions.
+        for b in f.block_ids() {
+            if !executable.contains(&b) {
+                continue;
+            }
+            if let Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } = f.block(b).term.clone()
+            {
+                let taken = match values.get(&cond) {
+                    Some(Lattice::Const(n)) => Some(if *n != 0 { then_bb } else { else_bb }),
+                    _ => {
+                        // The condition may itself now be a folded constant
+                        // instruction; look through the def.
+                        const_of(f, cond).map(|n| if n != 0 { then_bb } else { else_bb })
+                    }
+                };
+                if let Some(t) = taken {
+                    let dead = if t == then_bb { else_bb } else { then_bb };
+                    f.block_mut(b).term = Terminator::Br(t);
+                    remove_phi_incoming(f, cm, dead, b);
+                    changed = true;
+                }
+            }
+        }
+
+        // 3. Remove blocks unreachable from the entry.
+        let reachable: BTreeSet<BlockId> = crate::cfg::Cfg::compute(f)
+            .rpo
+            .iter()
+            .copied()
+            .collect();
+        for b in f.block_ids() {
+            if reachable.contains(&b) {
+                continue;
+            }
+            // Remove φ incomings in reachable successors first.
+            for s in f.block(b).term.successors() {
+                if reachable.contains(&s) {
+                    remove_phi_incoming(f, cm, s, b);
+                }
+            }
+            let insts = f.block(b).insts.clone();
+            for i in insts {
+                delete_inst(f, cm, i);
+            }
+            f.remove_block(b);
+            changed = true;
+        }
+
+        // 4. Simplify trivial φs ((single incoming) → forward the value).
+        loop {
+            let mut simplified = false;
+            let all: Vec<_> = f.inst_iter().collect();
+            for (_, i) in all {
+                if let InstKind::Phi(incs) = f.inst(i).kind.clone() {
+                    let distinct: BTreeSet<ValueId> =
+                        incs.iter().map(|(_, v)| *v).collect();
+                    let r = f.inst(i).result.expect("φ has a result");
+                    if incs.len() == 1 || (distinct.len() == 1 && !distinct.contains(&r)) {
+                        let v = incs[0].1;
+                        replace_all_uses(f, cm, r, v);
+                        delete_inst(f, cm, i);
+                        simplified = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !simplified {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+fn const_of(f: &Function, v: ValueId) -> Option<i64> {
+    match f.value_def(v) {
+        ValueDef::Param(_) => None,
+        ValueDef::Inst(i) => match f.inst(i).kind {
+            InstKind::Const(n) => Some(n),
+            _ => None,
+        },
+    }
+}
+
+/// The sparse fix-point: returns the value lattice and the executable
+/// block set.
+fn analyze(f: &Function) -> (BTreeMap<ValueId, Lattice>, BTreeSet<BlockId>) {
+    let mut values: BTreeMap<ValueId, Lattice> = BTreeMap::new();
+    let mut executable: BTreeSet<BlockId> = BTreeSet::new();
+    let mut edge_executable: BTreeSet<(BlockId, BlockId)> = BTreeSet::new();
+    let mut block_work: VecDeque<BlockId> = VecDeque::from([f.entry]);
+    executable.insert(f.entry);
+
+    // Parameters are over-defined.
+    for (i, _) in f.params.iter().enumerate() {
+        values.insert(ValueId(i as u32), Lattice::Over);
+    }
+
+    let lookup = |values: &BTreeMap<ValueId, Lattice>, v: ValueId| -> Lattice {
+        values.get(&v).copied().unwrap_or(Lattice::Unknown)
+    };
+
+    // Iterate until stable: re-evaluate every executable block.
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        if iterations > 10_000 {
+            break; // defensive bound; lattice height ensures termination
+        }
+        let mut changed = false;
+        while let Some(b) = block_work.pop_front() {
+            executable.insert(b);
+            changed = true;
+        }
+        for &b in executable.clone().iter() {
+            for &i in &f.block(b).insts {
+                let data = f.inst(i);
+                let Some(r) = data.result else { continue };
+                let old = lookup(&values, r);
+                let new = match &data.kind {
+                    InstKind::Const(n) => Lattice::Const(*n),
+                    InstKind::Binop(op, a, bb) => {
+                        match (lookup(&values, *a), lookup(&values, *bb)) {
+                            (Lattice::Const(x), Lattice::Const(y)) => {
+                                Lattice::Const(op.apply(x, y))
+                            }
+                            (Lattice::Over, _) | (_, Lattice::Over) => Lattice::Over,
+                            _ => Lattice::Unknown,
+                        }
+                    }
+                    InstKind::Neg(a) => match lookup(&values, *a) {
+                        Lattice::Const(x) => Lattice::Const(x.wrapping_neg()),
+                        x => x,
+                    },
+                    InstKind::Not(a) => match lookup(&values, *a) {
+                        Lattice::Const(x) => Lattice::Const(i64::from(x == 0)),
+                        x => x,
+                    },
+                    InstKind::Select {
+                        cond,
+                        then_v,
+                        else_v,
+                    } => match lookup(&values, *cond) {
+                        Lattice::Const(c) => {
+                            lookup(&values, if c != 0 { *then_v } else { *else_v })
+                        }
+                        Lattice::Over => lookup(&values, *then_v)
+                            .meet(lookup(&values, *else_v)),
+                        Lattice::Unknown => Lattice::Unknown,
+                    },
+                    InstKind::Phi(incs) => {
+                        let mut acc = Lattice::Unknown;
+                        for (p, v) in incs {
+                            if edge_executable.contains(&(*p, b)) {
+                                acc = acc.meet(lookup(&values, *v));
+                            }
+                        }
+                        acc
+                    }
+                    // Memory, calls, pointers: over-defined.
+                    _ => Lattice::Over,
+                };
+                let merged = old.meet(new);
+                // meet() can only go downhill; but for phis/selects new may
+                // be more precise than old=Unknown: take new when old is
+                // Unknown.
+                let final_v = if old == Lattice::Unknown { new } else { merged };
+                if final_v != old {
+                    values.insert(r, final_v);
+                    changed = true;
+                }
+            }
+            // Propagate through the terminator.
+            match &f.block(b).term {
+                Terminator::Br(t) => {
+                    if edge_executable.insert((b, *t)) {
+                        changed = true;
+                    }
+                    if !executable.contains(t) {
+                        block_work.push_back(*t);
+                        changed = true;
+                    }
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let targets: Vec<BlockId> = match lookup(&values, *cond) {
+                        Lattice::Const(n) => {
+                            vec![if n != 0 { *then_bb } else { *else_bb }]
+                        }
+                        Lattice::Over => vec![*then_bb, *else_bb],
+                        Lattice::Unknown => vec![],
+                    };
+                    for t in targets {
+                        if edge_executable.insert((b, t)) {
+                            changed = true;
+                        }
+                        if !executable.contains(&t) {
+                            block_work.push_back(t);
+                            changed = true;
+                        }
+                    }
+                }
+                Terminator::Ret(_) => {}
+            }
+        }
+        if !changed && block_work.is_empty() {
+            break;
+        }
+    }
+    (values, executable)
+}
+
+/// Drops the `(pred → block)` incoming entry from every φ in `block`.
+fn remove_phi_incoming(f: &mut Function, _cm: &mut SsaMapper, block: BlockId, pred: BlockId) {
+    if !f.block_exists(block) {
+        return;
+    }
+    let insts = f.block(block).insts.clone();
+    for i in insts {
+        if let InstKind::Phi(incs) = f.inst(i).kind.clone() {
+            let filtered: Vec<_> = incs.into_iter().filter(|(p, _)| *p != pred).collect();
+            f.inst_mut(i).kind = InstKind::Phi(filtered);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn folds_branch_and_removes_dead_block() {
+        // if (1 < 2) r = x + 1 else r = x * 1000; return r
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let one = b.const_i64(1);
+        let two = b.const_i64(2);
+        let cond = b.binop(BinOp::Lt, one, two);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        b.cond_br(cond, t, e);
+        b.switch_to(t);
+        let r1 = b.binop(BinOp::Add, x, one);
+        b.br(j);
+        b.switch_to(e);
+        let k = b.const_i64(1000);
+        let r2 = b.binop(BinOp::Mul, x, k);
+        b.br(j);
+        b.switch_to(j);
+        let ph = b.phi(&[(t, r1), (e, r2)]);
+        b.ret(Some(ph));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(Sccp.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        // The else block is gone.
+        assert!(!f.block_exists(e) || !crate::cfg::Cfg::compute(&f).is_reachable(e));
+        // Deletions were recorded for its instructions.
+        assert!(cm.counts().delete >= 2, "{:?}", cm.counts());
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(5)], &m, 1000).unwrap(),
+            Some(Val::Int(6))
+        );
+    }
+
+    #[test]
+    fn constant_phi_through_executable_edges_only() {
+        // Both arms assign 7 → φ is constant 7.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let seven = b.const_i64(7);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let ph = b.phi(&[(t, seven), (e, seven)]);
+        let one = b.const_i64(1);
+        let r = b.binop(BinOp::Add, ph, one);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(Sccp.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        let m = Module::new();
+        for c in [0, 1] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(c)], &m, 1000).unwrap(),
+                Some(Val::Int(8))
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_branch_untouched() {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        b.switch_to(e);
+        let two = b.const_i64(2);
+        b.ret(Some(two));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        Sccp.run(&mut f, &mut cm);
+        verify(&f).unwrap();
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(0)], &m, 1000).unwrap(),
+            Some(Val::Int(2))
+        );
+        assert_eq!(
+            run_function(&f, &[Val::Int(9)], &m, 1000).unwrap(),
+            Some(Val::Int(1))
+        );
+    }
+}

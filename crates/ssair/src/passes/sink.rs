@@ -1,0 +1,258 @@
+//! Code sinking (the `Sink` of Table 1).
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, ValueId};
+use crate::loops::LoopInfo;
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Moves pure, memory-silent instructions down into the single block that
+/// contains all their uses, when that block is dominated by the current one
+/// and not at a deeper loop level.  Shrinks live ranges and removes work
+/// from paths that do not need the value.
+///
+/// The `keep` set implements the §5.2 liveness extension for sinking:
+/// protected values stay put so a deoptimization can read them where the
+/// mapping expects them.
+#[derive(Clone, Default, Debug)]
+pub struct Sink {
+    /// Values whose definitions must not move.
+    pub keep: std::collections::BTreeSet<ValueId>,
+}
+
+impl Sink {
+    /// Sink protecting the given values.
+    pub fn keeping(keep: std::collections::BTreeSet<ValueId>) -> Self {
+        Sink { keep }
+    }
+}
+
+impl Pass for Sink {
+    fn name(&self) -> &'static str {
+        "Sink"
+    }
+
+    fn hook_sites(&self) -> usize {
+        1 // sink
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut changed = false;
+        loop {
+            let cfg = Cfg::compute(f);
+            let dt = DomTree::compute(f, &cfg);
+            let li = LoopInfo::compute(f, &cfg, &dt);
+            let mut moved = false;
+            'scan: for b in f.block_ids() {
+                if !dt.is_reachable(b) {
+                    continue;
+                }
+                let insts = f.block(b).insts.clone();
+                for i in insts.into_iter().rev() {
+                    if f.inst(i)
+                        .result
+                        .is_some_and(|r| self.keep.contains(&r))
+                    {
+                        continue;
+                    }
+                    if let Some(target) = sink_target(f, &dt, &li, b, i) {
+                        // Insert after target's φs, before the first use.
+                        let pos = first_use_position(f, target, i);
+                        cm.sink(i, i);
+                        f.move_inst(i, target, pos);
+                        moved = true;
+                        changed = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !moved {
+                return changed;
+            }
+        }
+    }
+}
+
+fn loop_depth(li: &LoopInfo, b: BlockId) -> usize {
+    li.loops.iter().filter(|l| l.blocks.contains(&b)).count()
+}
+
+fn sink_target(
+    f: &Function,
+    dt: &DomTree,
+    li: &LoopInfo,
+    b: BlockId,
+    i: InstId,
+) -> Option<BlockId> {
+    let data = f.inst(i);
+    match data.kind {
+        InstKind::Phi(_)
+        | InstKind::DbgValue { .. }
+        | InstKind::Alloca { .. }
+        | InstKind::Store { .. }
+        | InstKind::Call { .. }
+        | InstKind::Load { .. }
+        | InstKind::Const(_) => return None,
+        _ => {}
+    }
+    let r = data.result?;
+    // All uses must be non-φ instruction uses in one block ≠ b; terminator
+    // uses pin the value to its block.
+    let mut use_blocks: BTreeSet<BlockId> = BTreeSet::new();
+    for (ub, ui) in f.inst_iter() {
+        let ud = f.inst(ui);
+        if ud.kind.is_dbg() {
+            continue; // debug bindings never pin a value (llvm.dbg.value)
+        }
+        if ud.kind.operands().contains(&r) {
+            if ud.kind.is_phi() {
+                return None;
+            }
+            use_blocks.insert(ub);
+        }
+    }
+    for tb in f.block_ids() {
+        if f.block(tb).term.operands().contains(&r) {
+            use_blocks.insert(tb);
+        }
+    }
+    let target = match use_blocks.iter().collect::<Vec<_>>().as_slice() {
+        [single] => **single,
+        _ => return None,
+    };
+    if target == b || !dt.is_reachable(target) || !dt.dominates(b, target) {
+        return None;
+    }
+    // Never sink INTO a deeper loop (would re-execute per iteration).
+    if loop_depth(li, target) > loop_depth(li, b) {
+        return None;
+    }
+    Some(target)
+}
+
+fn first_use_position(f: &Function, block: BlockId, inst: InstId) -> usize {
+    let r: Option<ValueId> = f.inst(inst).result;
+    let insts = &f.block(block).insts;
+    let mut pos = insts
+        .iter()
+        .take_while(|i| f.inst(**i).kind.is_phi())
+        .count();
+    if let Some(r) = r {
+        for (idx, &i) in insts.iter().enumerate() {
+            if f.inst(i).kind.operands().contains(&r) {
+                return idx.max(pos);
+            }
+        }
+        pos = pos.max(insts.len().min(pos));
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn sinks_into_use_branch() {
+        // v = x*x computed unconditionally, used only in the then-branch.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64), ("x", Ty::I64)]);
+        let c = b.param(0);
+        let x = b.param(1);
+        let v = b.binop(BinOp::Mul, x, x);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        let r = b.binop(BinOp::Add, v, one);
+        b.ret(Some(r));
+        b.switch_to(e);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(Sink::default().run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(cm.counts().sink >= 1);
+        // v now lives in block t.
+        let v_inst = match f.value_def(v) {
+            crate::ValueDef::Inst(i) => i,
+            _ => unreachable!(),
+        };
+        assert_eq!(f.block_of(v_inst), Some(t));
+        let m = Module::new();
+        for (c, x) in [(0, 5), (1, 5)] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(c), Val::Int(x)], &m, 1000).unwrap(),
+                run_function(&f0, &[Val::Int(c), Val::Int(x)], &m, 1000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn does_not_sink_into_loop() {
+        // v = x+1 used only inside a loop body: sinking would re-execute it.
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64), ("n", Ty::I64)]);
+        let x = b.param(0);
+        let n = b.param(1);
+        let one = b.const_i64(1);
+        let zero = b.const_i64(0);
+        let v = b.binop(BinOp::Add, x, one);
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("e");
+        let entry = b.current_block();
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(&[(entry, zero)]);
+        let s = b.phi(&[(entry, zero)]);
+        let cmp = b.binop(BinOp::Lt, i, n);
+        b.cond_br(cmp, body, exit);
+        b.switch_to(body);
+        let s2 = b.binop(BinOp::Add, s, v); // only use of v
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let phi_i = f.block(header).insts[0];
+        let phi_s = f.block(header).insts[1];
+        f.inst_mut(phi_i).kind = InstKind::Phi(vec![(entry, zero), (body, i2)]);
+        f.inst_mut(phi_s).kind = InstKind::Phi(vec![(entry, zero), (body, s2)]);
+        verify(&f).unwrap();
+        let mut cm = SsaMapper::new();
+        let v_inst = match f.value_def(v) {
+            crate::ValueDef::Inst(i) => i,
+            _ => unreachable!(),
+        };
+        Sink::default().run(&mut f, &mut cm);
+        assert_eq!(f.block_of(v_inst), Some(entry), "must not sink into loop");
+    }
+
+    #[test]
+    fn phi_uses_block_sinking() {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64), ("x", Ty::I64)]);
+        let c = b.param(0);
+        let x = b.param(1);
+        let v = b.binop(BinOp::Mul, x, x);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        let entry = BlockId(0);
+        let ph = b.phi(&[(t, v), (entry, x)]);
+        b.ret(Some(ph));
+        let mut f = b.finish();
+        verify(&f).unwrap();
+        let mut cm = SsaMapper::new();
+        assert!(!Sink::default().run(&mut f, &mut cm), "φ uses must block sinking");
+    }
+}

@@ -1,0 +1,310 @@
+//! IR verifier: structural and SSA well-formedness checks.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, ValueDef, ValueId};
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A terminator targets a removed block.
+    BranchToDeadBlock {
+        /// The branching block.
+        from: BlockId,
+        /// The missing target.
+        to: BlockId,
+    },
+    /// φ-nodes must be grouped at the top of their block.
+    PhiNotAtTop {
+        /// Offending instruction.
+        inst: InstId,
+    },
+    /// A φ-node's incoming blocks disagree with the CFG predecessors.
+    PhiPredMismatch {
+        /// Offending φ.
+        inst: InstId,
+    },
+    /// An instruction uses a value whose definition does not dominate it.
+    UseNotDominated {
+        /// The using instruction.
+        inst: InstId,
+        /// The value used.
+        value: ValueId,
+    },
+    /// A value is defined by an instruction that is no longer in the body.
+    UseOfRemovedDef {
+        /// The using instruction.
+        inst: InstId,
+        /// The dangling value.
+        value: ValueId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BranchToDeadBlock { from, to } => {
+                write!(f, "{from} branches to removed block {to}")
+            }
+            VerifyError::PhiNotAtTop { inst } => write!(f, "φ {inst} not at top of its block"),
+            VerifyError::PhiPredMismatch { inst } => {
+                write!(f, "φ {inst} incoming blocks do not match predecessors")
+            }
+            VerifyError::UseNotDominated { inst, value } => {
+                write!(f, "use of {value} at {inst} not dominated by its definition")
+            }
+            VerifyError::UseOfRemovedDef { inst, value } => {
+                write!(f, "use of {value} at {inst}, whose definition was removed")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies structural and SSA invariants of `f`.
+///
+/// Checks: branch targets exist; φ-nodes sit at block tops and list exactly
+/// the reachable CFG predecessors; every use of an instruction result is
+/// dominated by its definition (φ uses are checked at the incoming edge);
+/// no use refers to a removed instruction.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    // Structural checks first: the CFG cannot even be built over branches
+    // into removed blocks.
+    for b in f.block_ids() {
+        for t in f.block(b).term.successors() {
+            if !f.block_exists(t) {
+                return Err(VerifyError::BranchToDeadBlock { from: b, to: t });
+            }
+        }
+    }
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+
+    // Per-block instruction positions for intra-block dominance checks.
+    let mut pos: std::collections::BTreeMap<InstId, (BlockId, usize)> = Default::default();
+    for b in f.block_ids() {
+        for (i, &inst) in f.block(b).insts.iter().enumerate() {
+            pos.insert(inst, (b, i));
+        }
+    }
+
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            continue; // unreachable code is not held to SSA dominance rules
+        }
+        let insts = &f.block(b).insts;
+        let mut seen_non_phi = false;
+        for (idx, &inst) in insts.iter().enumerate() {
+            let data = f.inst(inst);
+            if data.kind.is_phi() {
+                if seen_non_phi {
+                    return Err(VerifyError::PhiNotAtTop { inst });
+                }
+                let preds: BTreeSet<BlockId> = cfg.preds_of(b).iter().copied().collect();
+                let reachable_preds: BTreeSet<BlockId> =
+                    preds.iter().copied().filter(|p| cfg.is_reachable(*p)).collect();
+                if let InstKind::Phi(incs) = &data.kind {
+                    let inc_blocks: BTreeSet<BlockId> = incs.iter().map(|(p, _)| *p).collect();
+                    if inc_blocks != reachable_preds {
+                        return Err(VerifyError::PhiPredMismatch { inst });
+                    }
+                    // φ operands must dominate the incoming edge's source.
+                    for (pred, v) in incs {
+                        check_use_at_block_end(f, &dt, &pos, *pred, *v, inst)?;
+                    }
+                }
+            } else {
+                seen_non_phi = true;
+                // Debug bindings are transparent and may dangle (a sunk or
+                // deleted definition leaves them pointing "forward", as
+                // LLVM's dbg.value does); they are not real reads.
+                if !data.kind.is_dbg() {
+                    for v in data.kind.operands() {
+                        check_use_at(f, &dt, &pos, b, idx, v, inst)?;
+                    }
+                }
+            }
+        }
+        for v in f.block(b).term.operands() {
+            check_use_at(f, &dt, &pos, b, insts.len(), v, InstId(u32::MAX))?;
+        }
+    }
+    Ok(())
+}
+
+fn def_site(f: &Function, v: ValueId) -> Result<Option<(BlockId, usize)>, ()> {
+    match f.value_def(v) {
+        ValueDef::Param(_) => Ok(None), // dominates everything
+        ValueDef::Inst(i) => match f.block_of(i) {
+            None => Err(()),
+            Some(b) => {
+                let idx = f
+                    .block(b)
+                    .insts
+                    .iter()
+                    .position(|x| *x == i)
+                    .expect("inst_block consistent");
+                Ok(Some((b, idx)))
+            }
+        },
+    }
+}
+
+fn check_use_at(
+    f: &Function,
+    dt: &DomTree,
+    _pos: &std::collections::BTreeMap<InstId, (BlockId, usize)>,
+    use_block: BlockId,
+    use_idx: usize,
+    v: ValueId,
+    user: InstId,
+) -> Result<(), VerifyError> {
+    match def_site(f, v) {
+        Err(()) => Err(VerifyError::UseOfRemovedDef { inst: user, value: v }),
+        Ok(None) => Ok(()),
+        Ok(Some((db, didx))) => {
+            let ok = if db == use_block {
+                didx < use_idx
+            } else {
+                dt.is_reachable(db) && dt.dominates(db, use_block)
+            };
+            if ok {
+                Ok(())
+            } else {
+                Err(VerifyError::UseNotDominated { inst: user, value: v })
+            }
+        }
+    }
+}
+
+fn check_use_at_block_end(
+    f: &Function,
+    dt: &DomTree,
+    pos: &std::collections::BTreeMap<InstId, (BlockId, usize)>,
+    edge_src: BlockId,
+    v: ValueId,
+    user: InstId,
+) -> Result<(), VerifyError> {
+    if !dt.is_reachable(edge_src) {
+        return Ok(());
+    }
+    let end = f.block(edge_src).insts.len();
+    check_use_at(f, dt, pos, edge_src, end, v, user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, FunctionBuilder, Terminator, Ty};
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut b = FunctionBuilder::new("ok", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let one = b.const_i64(1);
+        let y = b.binop(BinOp::Add, x, one);
+        b.ret(Some(y));
+        assert!(verify(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_blocks() {
+        let mut b = FunctionBuilder::new("bad", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        let v = b.const_i64(3);
+        b.br(j);
+        b.switch_to(j);
+        let one = b.const_i64(1);
+        let bad = b.binop(BinOp::Add, v, one); // v does not dominate j
+        b.ret(Some(bad));
+        let f = b.finish();
+        assert!(matches!(
+            verify(&f),
+            Err(VerifyError::UseNotDominated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut b = FunctionBuilder::new("bad", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let t = b.create_block("t");
+        let j = b.create_block("j");
+        b.cond_br(c, t, j);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(j);
+        // φ listing only one of the two predecessors.
+        let entry = b.create_block("unused"); // a block that is NOT a pred
+        let _ = entry;
+        let ph = b.phi(&[(t, c)]);
+        b.ret(Some(ph));
+        let f = b.finish();
+        assert!(matches!(verify(&f), Err(VerifyError::PhiPredMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_branch_to_removed_block() {
+        let mut b = FunctionBuilder::new("bad", &[]);
+        let dead = b.create_block("dead");
+        b.br(dead);
+        let mut f = b.finish();
+        f.remove_block(dead);
+        assert!(matches!(
+            verify(&f),
+            Err(VerifyError::BranchToDeadBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_use_of_removed_def() {
+        let mut b = FunctionBuilder::new("bad", &[]);
+        let v = b.const_i64(1);
+        let w = b.neg(v);
+        b.ret(Some(w));
+        let mut f = b.finish();
+        // Remove the const but keep the use.
+        let entry = f.entry;
+        let const_inst = f.block(entry).insts[0];
+        f.remove_inst(const_inst);
+        assert!(matches!(
+            verify(&f),
+            Err(VerifyError::UseOfRemovedDef { .. })
+        ));
+    }
+
+    #[test]
+    fn phi_not_at_top_rejected() {
+        let mut b = FunctionBuilder::new("bad", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let loop_bb = b.create_block("loop");
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        let k = b.const_i64(0);
+        let ph = b.phi(&[(b.current_block(), k)]);
+        let _ = ph;
+        b.cond_br(c, loop_bb, loop_bb);
+        let mut f = b.finish();
+        // Fix φ incomings to match preds (entry and loop itself).
+        let entry = f.entry;
+        let phi_inst = f.block(loop_bb).insts[1];
+        f.inst_mut(phi_inst).kind =
+            InstKind::Phi(vec![(entry, c), (loop_bb, c)]);
+        // φ sits after the const → PhiNotAtTop.
+        assert!(matches!(verify(&f), Err(VerifyError::PhiNotAtTop { .. })));
+        let _ = Terminator::Ret(None);
+    }
+}

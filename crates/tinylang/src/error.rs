@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing an ill-formed [`crate::Program`] (Definition 2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Programs need at least an `in` and an `out` instruction.
+    TooShort,
+    /// The first instruction must be `in …`.
+    MissingIn,
+    /// The last instruction must be `out …`.
+    MissingOut,
+    /// `in`/`out` may only appear at the first/last position.
+    MisplacedBoundary {
+        /// 1-based offending position.
+        point: usize,
+    },
+    /// A jump targets a point outside `[1, n]`.
+    JumpOutOfRange {
+        /// 1-based position of the jump.
+        point: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// Two programs being composed (Definition 3.3) are not composable.
+    NotComposable {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::TooShort => write!(f, "program must have at least two instructions"),
+            ProgramError::MissingIn => write!(f, "first instruction must be `in`"),
+            ProgramError::MissingOut => write!(f, "last instruction must be `out`"),
+            ProgramError::MisplacedBoundary { point } => {
+                write!(f, "`in`/`out` misplaced at point {point}")
+            }
+            ProgramError::JumpOutOfRange { point, target } => {
+                write!(f, "jump at point {point} targets out-of-range point {target}")
+            }
+            ProgramError::NotComposable { reason } => {
+                write!(f, "programs are not composable: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Error parsing the textual program syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<ProgramError> for ParseError {
+    fn from(e: ProgramError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,324 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Store, Var};
+
+/// Binary operators available in expressions.
+///
+/// The paper's grammar (Figure 1) lists `Expr + Expr | ...`; we flesh out the
+/// `...` with the usual arithmetic, comparison, and logical operators so that
+/// realistic compensation code and benchmark kernels can be expressed.
+/// Comparisons and logical operators evaluate to `0` (false) or `1` (true).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division; division by zero yields `0` (the language is
+    /// total on defined variables, mirroring the paper's abstract treatment).
+    Div,
+    /// Remainder; modulo zero yields `0`.
+    Rem,
+    /// Less-than, yielding `0` or `1`.
+    Lt,
+    /// Less-or-equal, yielding `0` or `1`.
+    Le,
+    /// Greater-than, yielding `0` or `1`.
+    Gt,
+    /// Greater-or-equal, yielding `0` or `1`.
+    Ge,
+    /// Equality, yielding `0` or `1`.
+    Eq,
+    /// Disequality, yielding `0` or `1`.
+    Ne,
+    /// Logical conjunction on truthiness (non-zero is true).
+    And,
+    /// Logical disjunction on truthiness.
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to two integer values.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    0
+                } else {
+                    a % b
+                }
+            }
+            BinOp::Lt => i64::from(a < b),
+            BinOp::Le => i64::from(a <= b),
+            BinOp::Gt => i64::from(a > b),
+            BinOp::Ge => i64::from(a >= b),
+            BinOp::Eq => i64::from(a == b),
+            BinOp::Ne => i64::from(a != b),
+            BinOp::And => i64::from(a != 0 && b != 0),
+            BinOp::Or => i64::from(a != 0 || b != 0),
+        }
+    }
+
+    /// The surface syntax of this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression (`Expr` in Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use tinylang::{Expr, Store, Var};
+///
+/// // x + 2
+/// let e = Expr::bin(tinylang::BinOp::Add, Expr::var("x"), Expr::num(2));
+/// let mut s = Store::new();
+/// s.set("x", 40);
+/// assert_eq!(e.eval(&s), Some(42));
+/// assert!(e.free_vars().contains(&Var::new("x")));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Expr {
+    /// A constant literal (`Num`).
+    Num(i64),
+    /// A variable reference.
+    Var(Var),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Logical negation (`!e`), yielding `0` or `1`.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a constant literal.
+    pub fn num(n: i64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<Var>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Evaluates the expression in `store` (the `⇓` relation of Figure 2).
+    ///
+    /// Returns `None` if any referenced variable is undefined (`⊥`), in which
+    /// case the enclosing program has undefined semantics at this state.
+    pub fn eval(&self, store: &Store) -> Option<i64> {
+        match self {
+            Expr::Num(n) => Some(*n),
+            Expr::Var(v) => store.get(v.as_str()),
+            Expr::Bin(op, a, b) => Some(op.apply(a.eval(store)?, b.eval(store)?)),
+            Expr::Neg(e) => Some(e.eval(store)?.wrapping_neg()),
+            Expr::Not(e) => Some(i64::from(e.eval(store)? == 0)),
+        }
+    }
+
+    /// The set of free variables of the expression (`freevar(x, e)` holds for
+    /// each member).
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free_vars(&mut out);
+        out
+    }
+
+    fn collect_free_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Bin(_, a, b) => {
+                a.collect_free_vars(out);
+                b.collect_free_vars(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.collect_free_vars(out),
+        }
+    }
+
+    /// Whether `x` occurs free in the expression (`freevar(x, e)`, §2.2).
+    pub fn has_free_var(&self, x: &Var) -> bool {
+        match self {
+            Expr::Num(_) => false,
+            Expr::Var(v) => v == x,
+            Expr::Bin(_, a, b) => a.has_free_var(x) || b.has_free_var(x),
+            Expr::Neg(e) | Expr::Not(e) => e.has_free_var(x),
+        }
+    }
+
+    /// Whether the expression is a constant literal (`conlit(c)`, §2.2).
+    pub fn is_const_literal(&self) -> bool {
+        matches!(self, Expr::Num(_))
+    }
+
+    /// Substitutes every free occurrence of `x` by `replacement`.
+    ///
+    /// Used by constant propagation (`x := e[v] ⇒ x := e[c]`, Figure 5).
+    #[must_use]
+    pub fn substitute(&self, x: &Var, replacement: &Expr) -> Expr {
+        match self {
+            Expr::Num(n) => Expr::Num(*n),
+            Expr::Var(v) => {
+                if v == x {
+                    replacement.clone()
+                } else {
+                    Expr::Var(v.clone())
+                }
+            }
+            Expr::Bin(op, a, b) => Expr::bin(
+                *op,
+                a.substitute(x, replacement),
+                b.substitute(x, replacement),
+            ),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.substitute(x, replacement))),
+            Expr::Not(e) => Expr::Not(Box::new(e.substitute(x, replacement))),
+        }
+    }
+
+    /// Structural size (number of AST nodes); handy for statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Num(_) | Expr::Var(_) => 1,
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Neg(e) | Expr::Not(e) => 1 + e.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(!{e})"),
+        }
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(n: i64) -> Self {
+        Expr::Num(n)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Self {
+        Expr::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(pairs: &[(&str, i64)]) -> Store {
+        let mut s = Store::new();
+        for (k, v) in pairs {
+            s.set(*k, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Add, Expr::var("x"), Expr::num(1)),
+            Expr::num(3),
+        );
+        assert_eq!(e.eval(&store(&[("x", 4)])), Some(15));
+    }
+
+    #[test]
+    fn eval_undefined_var_is_none() {
+        let e = Expr::bin(BinOp::Add, Expr::var("missing"), Expr::num(1));
+        assert_eq!(e.eval(&Store::new()), None);
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(BinOp::Div.apply(5, 0), 0);
+        assert_eq!(BinOp::Rem.apply(5, 0), 0);
+        assert_eq!(BinOp::Div.apply(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn comparisons_yield_bool_ints() {
+        assert_eq!(BinOp::Lt.apply(1, 2), 1);
+        assert_eq!(BinOp::Ge.apply(1, 2), 0);
+        assert_eq!(BinOp::And.apply(3, 0), 0);
+        assert_eq!(BinOp::Or.apply(0, -7), 1);
+    }
+
+    #[test]
+    fn free_vars_and_substitution() {
+        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::var("y"));
+        assert!(e.has_free_var(&Var::new("x")));
+        assert!(!e.has_free_var(&Var::new("z")));
+        let e2 = e.substitute(&Var::new("x"), &Expr::num(7));
+        assert_eq!(e2.to_string(), "(7 + y)");
+        assert!(!e2.has_free_var(&Var::new("x")));
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let e = Expr::Not(Box::new(Expr::bin(BinOp::Eq, Expr::var("a"), Expr::num(0))));
+        assert_eq!(e.to_string(), "(!(a == 0))");
+    }
+
+    #[test]
+    fn conlit_predicate() {
+        assert!(Expr::num(3).is_const_literal());
+        assert!(!Expr::var("x").is_const_literal());
+    }
+}

@@ -1,0 +1,177 @@
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{Expr, Point, Var};
+
+/// A program instruction (`Instr` in Figure 1).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `in x …`: declares the variables that must be defined on entry.
+    In(Vec<Var>),
+    /// `out x …`: declares the variables returned as output.
+    Out(Vec<Var>),
+    /// `x := e`.
+    Assign(Var, Expr),
+    /// `if (e) goto m`: jump to `m` when `e` evaluates non-zero.
+    IfGoto(Expr, Point),
+    /// `goto m`.
+    Goto(Point),
+    /// `skip`.
+    Skip,
+    /// `abort`: halts execution with undefined semantics.
+    Abort,
+}
+
+impl Instr {
+    /// The variable defined by this instruction, if any.
+    ///
+    /// Matches the `def(x)` predicate of Figure 3: assignments define their
+    /// left-hand side, and `in` defines every declared variable.
+    pub fn defs(&self) -> BTreeSet<Var> {
+        match self {
+            Instr::Assign(x, _) => BTreeSet::from([x.clone()]),
+            Instr::In(vars) => vars.iter().cloned().collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Whether this instruction defines `x` (`def(x)`, Figure 3).
+    pub fn defines(&self, x: &Var) -> bool {
+        match self {
+            Instr::Assign(y, _) => y == x,
+            Instr::In(vars) => vars.contains(x),
+            _ => false,
+        }
+    }
+
+    /// The variables used by this instruction (`use(x)`, Figure 3).
+    ///
+    /// `out` uses every declared output variable; branches use their
+    /// condition's free variables.
+    pub fn uses(&self) -> BTreeSet<Var> {
+        match self {
+            Instr::Assign(_, e) | Instr::IfGoto(e, _) => e.free_vars(),
+            Instr::Out(vars) => vars.iter().cloned().collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+
+    /// Whether this instruction uses `x` (`use(x)`, Figure 3).
+    pub fn uses_var(&self, x: &Var) -> bool {
+        match self {
+            Instr::Assign(_, e) | Instr::IfGoto(e, _) => e.has_free_var(x),
+            Instr::Out(vars) => vars.contains(x),
+            _ => false,
+        }
+    }
+
+    /// Whether no constituent of `e` is modified by this instruction
+    /// (`trans(e)`, Figure 3).
+    pub fn is_transparent_for(&self, e: &Expr) -> bool {
+        match self {
+            Instr::Assign(x, _) => !e.has_free_var(x),
+            Instr::In(vars) => !vars.iter().any(|v| e.has_free_var(v)),
+            _ => true,
+        }
+    }
+
+    /// The expression evaluated by this instruction, if any.
+    pub fn expr(&self) -> Option<&Expr> {
+        match self {
+            Instr::Assign(_, e) | Instr::IfGoto(e, _) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an `in` instruction.
+    pub fn is_in(&self) -> bool {
+        matches!(self, Instr::In(_))
+    }
+
+    /// Whether this is an `out` instruction.
+    pub fn is_out(&self) -> bool {
+        matches!(self, Instr::Out(_))
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn vars(f: &mut fmt::Formatter<'_>, vs: &[Var]) -> fmt::Result {
+            for v in vs {
+                write!(f, " {v}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Instr::In(vs) => {
+                write!(f, "in")?;
+                vars(f, vs)
+            }
+            Instr::Out(vs) => {
+                write!(f, "out")?;
+                vars(f, vs)
+            }
+            Instr::Assign(x, e) => write!(f, "{x} := {e}"),
+            Instr::IfGoto(e, m) => write!(f, "if ({e}) goto {m}"),
+            Instr::Goto(m) => write!(f, "goto {m}"),
+            Instr::Skip => write!(f, "skip"),
+            Instr::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+impl fmt::Debug for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinOp;
+
+    #[test]
+    fn defs_and_uses_of_assign() {
+        let i = Instr::Assign(
+            Var::new("x"),
+            Expr::bin(BinOp::Add, Expr::var("y"), Expr::var("z")),
+        );
+        assert!(i.defines(&Var::new("x")));
+        assert!(!i.defines(&Var::new("y")));
+        assert!(i.uses_var(&Var::new("y")));
+        assert!(i.uses_var(&Var::new("z")));
+        assert!(!i.uses_var(&Var::new("x")));
+    }
+
+    #[test]
+    fn in_defines_out_uses() {
+        let i = Instr::In(vec![Var::new("a"), Var::new("b")]);
+        assert!(i.defines(&Var::new("a")));
+        let o = Instr::Out(vec![Var::new("r")]);
+        assert!(o.uses_var(&Var::new("r")));
+        assert!(o.defs().is_empty());
+    }
+
+    #[test]
+    fn transparency() {
+        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::num(1));
+        assert!(!Instr::Assign(Var::new("x"), Expr::num(0)).is_transparent_for(&e));
+        assert!(Instr::Assign(Var::new("y"), Expr::num(0)).is_transparent_for(&e));
+        assert!(Instr::Skip.is_transparent_for(&e));
+        assert!(!Instr::In(vec![Var::new("x")]).is_transparent_for(&e));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Instr::IfGoto(Expr::var("c"), Point::new(7)).to_string(),
+            "if (c) goto 7"
+        );
+        assert_eq!(Instr::Goto(Point::new(2)).to_string(), "goto 2");
+        assert_eq!(
+            Instr::In(vec![Var::new("x"), Var::new("y")]).to_string(),
+            "in x y"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The minimal imperative language of *On-Stack Replacement, Distilled*
+//! (D'Elia & Demetrescu, PLDI 2018), Section 2.
+//!
+//! A [`Program`] is a sequence of instructions indexed by 1-based program
+//! points (Definition 2.1).  The first instruction must be [`Instr::In`] and
+//! the last [`Instr::Out`]; every other instruction is an assignment, a
+//! (conditional) jump, `skip`, or `abort` (Figure 1).
+//!
+//! The big-step semantics of Figure 2 is implemented by [`semantics::step`]
+//! and [`semantics::run`]; execution traces (Definition 2.6) by
+//! [`semantics::trace`].  Program composition `p ∘ p'` (Definition 3.3) is
+//! [`Program::compose`].
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use tinylang::{parse_program, Store, semantics::{run, Outcome}};
+//!
+//! let p = parse_program(
+//!     "in x
+//!      y := x + 1
+//!      out y",
+//! )?;
+//! let mut s = Store::new();
+//! s.set("x", 41);
+//! match run(&p, &s, 1_000) {
+//!     Outcome::Completed(out) => assert_eq!(out.get("y"), Some(42)),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod expr;
+mod instr;
+mod parser;
+mod point;
+mod program;
+pub mod semantics;
+mod store;
+mod var;
+
+pub use error::{ParseError, ProgramError};
+pub use expr::{BinOp, Expr};
+pub use instr::Instr;
+pub use parser::{parse_expr, parse_program};
+pub use point::Point;
+pub use program::Program;
+pub use store::Store;
+pub use var::Var;

@@ -1,0 +1,447 @@
+//! Parser for the textual program syntax.
+//!
+//! One instruction per line; program points are assigned in order of
+//! appearance (blank lines and `#`-comments are skipped).  Expressions use
+//! conventional C-like precedence.
+//!
+//! ```text
+//! in x n
+//! i := 0
+//! if (i >= n) goto 6
+//! i := i + x
+//! goto 3
+//! out i
+//! ```
+
+use crate::{BinOp, Expr, Instr, ParseError, Point, Program, Var};
+
+/// Parses a whole program from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pointing at the offending source line, or a
+/// program-level validation failure (reported at line 0).
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// let p = tinylang::parse_program("in x\nout x")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut instrs = Vec::new();
+    for (lineno0, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Accept (and ignore) a leading `N:` point label, as printed by
+        // `Program`'s `Display` implementation.
+        let line = match line.split_once(':') {
+            Some((label, rest))
+                if !label.is_empty()
+                    && label.chars().all(|c| c.is_ascii_digit())
+                    && !rest.starts_with('=') =>
+            {
+                rest.trim()
+            }
+            _ => line,
+        };
+        let instr = parse_instr(line).map_err(|message| ParseError {
+            line: lineno0 + 1,
+            message,
+        })?;
+        instrs.push(instr);
+    }
+    Program::new(instrs).map_err(ParseError::from)
+}
+
+fn parse_instr(line: &str) -> Result<Instr, String> {
+    if let Some(rest) = line.strip_prefix("in ").or(if line == "in" { Some("") } else { None }) {
+        return Ok(Instr::In(parse_var_list(rest)?));
+    }
+    if let Some(rest) = line.strip_prefix("out ").or(if line == "out" { Some("") } else { None }) {
+        return Ok(Instr::Out(parse_var_list(rest)?));
+    }
+    if line == "skip" {
+        return Ok(Instr::Skip);
+    }
+    if line == "abort" {
+        return Ok(Instr::Abort);
+    }
+    if let Some(rest) = line.strip_prefix("goto ") {
+        let target = parse_point(rest.trim())?;
+        return Ok(Instr::Goto(target));
+    }
+    if let Some(rest) = line.strip_prefix("if") {
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return Err("expected `(` after `if`".to_string());
+        };
+        let close = find_matching_paren(rest)?;
+        let cond_src = &rest[..close];
+        let tail = rest[close + 1..].trim();
+        let Some(target_src) = tail.strip_prefix("goto ") else {
+            return Err("expected `goto` after if-condition".to_string());
+        };
+        let cond = parse_expr_str(cond_src)?;
+        let target = parse_point(target_src.trim())?;
+        return Ok(Instr::IfGoto(cond, target));
+    }
+    if let Some(idx) = line.find(":=") {
+        let (lhs, rhs) = line.split_at(idx);
+        let var = parse_var(lhs.trim())?;
+        let expr = parse_expr_str(rhs[2..].trim())?;
+        return Ok(Instr::Assign(var, expr));
+    }
+    Err(format!("unrecognized instruction: `{line}`"))
+}
+
+fn find_matching_paren(s: &str) -> Result<usize, String> {
+    let mut depth = 1usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unbalanced parentheses".to_string())
+}
+
+fn parse_point(s: &str) -> Result<Point, String> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| format!("invalid program point `{s}`"))?;
+    if n == 0 {
+        return Err("program points are 1-based".to_string());
+    }
+    Ok(Point::new(n))
+}
+
+fn parse_var_list(s: &str) -> Result<Vec<Var>, String> {
+    s.split_whitespace().map(parse_var).collect()
+}
+
+fn parse_var(s: &str) -> Result<Var, String> {
+    if s.is_empty()
+        || !s
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        || !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+    {
+        return Err(format!("invalid variable name `{s}`"));
+    }
+    Ok(Var::new(s))
+}
+
+/// Parses a single expression; exposed for tests and compensation-code
+/// builders.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub(crate) fn parse_expr_str(s: &str) -> Result<Expr, String> {
+    let tokens = tokenize(s)?;
+    let mut p = ExprParser { tokens, pos: 0 };
+    let e = p.parse_or()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing tokens after expression in `{s}`"));
+    }
+    Ok(e)
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Num(i64),
+    Ident(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+}
+
+fn tokenize(s: &str) -> Result<Vec<Tok>, String> {
+    let mut out = Vec::new();
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = s[start..i]
+                    .parse()
+                    .map_err(|_| format!("integer literal overflow in `{s}`"))?;
+                out.push(Tok::Num(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(s[start..i].to_string()));
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &s[i..i + 2] } else { "" };
+                let op2 = ["<=", ">=", "==", "!=", "&&", "||"]
+                    .iter()
+                    .find(|o| **o == two);
+                if let Some(op) = op2 {
+                    out.push(Tok::Op(op));
+                    i += 2;
+                } else {
+                    let one = &s[i..i + 1];
+                    let op1 = ["+", "-", "*", "/", "%", "<", ">", "!"]
+                        .iter()
+                        .find(|o| **o == one);
+                    match op1 {
+                        Some(op) => {
+                            out.push(Tok::Op(op));
+                            i += 1;
+                        }
+                        None => return Err(format!("unexpected character `{c}` in `{s}`")),
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ExprParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl ExprParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat_op(&mut self, ops: &[&'static str]) -> Option<&'static str> {
+        if let Some(Tok::Op(o)) = self.peek() {
+            if ops.contains(o) {
+                let o = *o;
+                self.pos += 1;
+                return Some(o);
+            }
+        }
+        None
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_op(&["||"]).is_some() {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_op(&["&&"]).is_some() {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, String> {
+        let lhs = self.parse_add()?;
+        if let Some(op) = self.eat_op(&["<=", ">=", "==", "!=", "<", ">"]) {
+            let rhs = self.parse_add()?;
+            let b = match op {
+                "<" => BinOp::Lt,
+                "<=" => BinOp::Le,
+                ">" => BinOp::Gt,
+                ">=" => BinOp::Ge,
+                "==" => BinOp::Eq,
+                "!=" => BinOp::Ne,
+                _ => unreachable!(),
+            };
+            return Ok(Expr::bin(b, lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_mul()?;
+        while let Some(op) = self.eat_op(&["+", "-"]) {
+            let rhs = self.parse_mul()?;
+            let b = if op == "+" { BinOp::Add } else { BinOp::Sub };
+            lhs = Expr::bin(b, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.eat_op(&["*", "/", "%"]) {
+            let rhs = self.parse_unary()?;
+            let b = match op {
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                _ => BinOp::Rem,
+            };
+            lhs = Expr::bin(b, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        if self.eat_op(&["-"]).is_some() {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        if self.eat_op(&["!"]).is_some() {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, String> {
+        match self.peek().cloned() {
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                Ok(Expr::Num(n))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Expr::Var(Var::new(name)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.pos += 1;
+                        Ok(e)
+                    }
+                    _ => Err("expected `)`".to_string()),
+                }
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+/// Parses a standalone expression (useful for building compensation code and
+/// in tests).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (line 1) on malformed input.
+pub fn parse_expr(s: &str) -> Result<Expr, ParseError> {
+    parse_expr_str(s).map_err(|message| ParseError { line: 1, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_instruction_forms() {
+        let p = parse_program(
+            "in x y
+             z := x + y * 2
+             if (z <= 10) goto 5
+             goto 6
+             skip
+             out z",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.instr_at(Point::new(5)), &Instr::Skip);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let p = parse_program(
+            "# header comment
+             in x
+
+             # body
+             out x",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + (2 * 3))");
+    }
+
+    #[test]
+    fn precedence_cmp_over_and() {
+        let e = parse_expr("a < b && c != 0").unwrap();
+        assert_eq!(e.to_string(), "((a < b) && (c != 0))");
+    }
+
+    #[test]
+    fn unary_operators() {
+        let e = parse_expr("-x + !y").unwrap();
+        assert_eq!(e.to_string(), "((-x) + (!y))");
+    }
+
+    #[test]
+    fn nested_parens_in_if() {
+        let p = parse_program(
+            "in a b
+             if ((a + b) * 2 > 10) goto 3
+             out a",
+        )
+        .unwrap();
+        assert!(matches!(p.instr_at(Point::new(2)), Instr::IfGoto(_, _)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse_program("in x\nfrobnicate\nout x").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unrecognized"));
+    }
+
+    #[test]
+    fn rejects_bad_variable() {
+        assert!(parse_program("in 1x\nout y").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let src = "in x y
+            t := x * y + 1
+            if (t > 0) goto 5
+            t := -t
+            out t";
+        let p = parse_program(src).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p, p2);
+    }
+}

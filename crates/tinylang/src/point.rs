@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// A 1-based program point (the index `l` of Definition 2.3).
+///
+/// Point `1` addresses the `in` instruction and point `n = |p|` the `out`
+/// instruction.  The *final* state of a completed execution sits at the
+/// virtual point `n + 1` (Definition 2.4), which is representable but never
+/// addresses an instruction.
+///
+/// # Examples
+///
+/// ```
+/// use tinylang::Point;
+///
+/// let l = Point::new(3);
+/// assert_eq!(l.get(), 3);
+/// assert_eq!(l.next(), Point::new(4));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Point(usize);
+
+impl Point {
+    /// Creates a program point from a 1-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is zero; program points are 1-based.
+    pub fn new(index: usize) -> Self {
+        assert!(index >= 1, "program points are 1-based");
+        Point(index)
+    }
+
+    /// Returns the 1-based index.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// The point immediately after this one (`l + 1` in Figure 2).
+    #[must_use]
+    pub fn next(self) -> Point {
+        Point(self.0 + 1)
+    }
+
+    /// Returns the 0-based index into the instruction vector.
+    pub(crate) fn index0(self) -> usize {
+        self.0 - 1
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Point({})", self.0)
+    }
+}
+
+impl From<usize> for Point {
+    fn from(i: usize) -> Self {
+        Point::new(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Point::new(1).next().get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rejected() {
+        let _ = Point::new(0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Point::new(2) < Point::new(10));
+    }
+}

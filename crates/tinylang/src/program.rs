@@ -1,0 +1,357 @@
+use std::fmt;
+
+use crate::{Instr, Point, ProgramError, Var};
+
+/// A program `p = ⟨I₁, …, Iₙ⟩` (Definition 2.1).
+///
+/// Invariants enforced at construction:
+/// * `|p| ≥ 2`;
+/// * `I₁` is `in …` and `Iₙ` is `out …`;
+/// * no other instruction is `in`/`out`;
+/// * every jump target lies in `[1, n]`.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use tinylang::{Expr, Instr, Program, Var};
+///
+/// let p = Program::new(vec![
+///     Instr::In(vec![Var::new("x")]),
+///     Instr::Assign(Var::new("y"), Expr::var("x")),
+///     Instr::Out(vec![Var::new("y")]),
+/// ])?;
+/// assert_eq!(p.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Builds a program, checking the well-formedness conditions of
+    /// Definition 2.1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] describing the first violated condition.
+    pub fn new(instrs: Vec<Instr>) -> Result<Self, ProgramError> {
+        if instrs.len() < 2 {
+            return Err(ProgramError::TooShort);
+        }
+        if !instrs[0].is_in() {
+            return Err(ProgramError::MissingIn);
+        }
+        if !instrs[instrs.len() - 1].is_out() {
+            return Err(ProgramError::MissingOut);
+        }
+        let n = instrs.len();
+        for (i, instr) in instrs.iter().enumerate() {
+            let point = i + 1;
+            if (instr.is_in() && i != 0) || (instr.is_out() && i != n - 1) {
+                return Err(ProgramError::MisplacedBoundary { point });
+            }
+            let target = match instr {
+                Instr::Goto(m) | Instr::IfGoto(_, m) => Some(m.get()),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t < 1 || t > n {
+                    return Err(ProgramError::JumpOutOfRange { point, target: t });
+                }
+            }
+        }
+        Ok(Program { instrs })
+    }
+
+    /// Number of instructions `|p|`.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Programs are never empty; provided for clippy-friendliness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The instruction `Iₗ` at program point `l`, or `None` if `l > n`.
+    pub fn instr(&self, l: Point) -> Option<&Instr> {
+        self.instrs.get(l.index0())
+    }
+
+    /// The instruction at point `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > |p|`.
+    pub fn instr_at(&self, l: Point) -> &Instr {
+        &self.instrs[l.index0()]
+    }
+
+    /// All instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Iterates over `(point, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, &Instr)> + '_ {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, instr)| (Point::new(i + 1), instr))
+    }
+
+    /// All program points `1..=n`.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        (1..=self.len()).map(Point::new)
+    }
+
+    /// The input variables declared by `I₁ = in …`.
+    pub fn input_vars(&self) -> &[Var] {
+        match &self.instrs[0] {
+            Instr::In(vs) => vs,
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    /// The output variables declared by `Iₙ = out …`.
+    pub fn output_vars(&self) -> &[Var] {
+        match self.instrs.last() {
+            Some(Instr::Out(vs)) => vs,
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    /// Control-flow successors of point `l`.
+    ///
+    /// `out` (point `n`) has no successors inside the program; the virtual
+    /// final point `n + 1` is not part of the CFG.  `abort` has no
+    /// successors either.
+    pub fn successors(&self, l: Point) -> Vec<Point> {
+        let n = self.len();
+        match self.instr_at(l) {
+            Instr::Goto(m) => vec![*m],
+            Instr::IfGoto(_, m) => {
+                if l.get() < n && m.get() != l.get() + 1 {
+                    vec![l.next(), *m]
+                } else if l.get() < n {
+                    vec![l.next()]
+                } else {
+                    vec![*m]
+                }
+            }
+            Instr::Abort | Instr::Out(_) => vec![],
+            _ => {
+                if l.get() < n {
+                    vec![l.next()]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    /// Control-flow predecessors of point `l`.
+    pub fn predecessors(&self, l: Point) -> Vec<Point> {
+        self.points()
+            .filter(|&m| self.successors(m).contains(&l))
+            .collect()
+    }
+
+    /// Replaces the instruction at point `l`, revalidating the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the edit breaks well-formedness.
+    pub fn with_instr(&self, l: Point, instr: Instr) -> Result<Program, ProgramError> {
+        let mut instrs = self.instrs.clone();
+        instrs[l.index0()] = instr;
+        Program::new(instrs)
+    }
+
+    /// Program composition `p ∘ p'` (Definition 3.3).
+    ///
+    /// Requires `self` to end with `out x₁…xₖ` and `other` to start with
+    /// `in x'₁…x'ₖ'` where `{x'ᵢ} ⊆ {xᵢ}`.  Jump targets of `other` are
+    /// relocated by `n - 2` so that the concatenation behaves as running
+    /// `self` then `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::NotComposable`] if the interface sets do not
+    /// nest.
+    pub fn compose(&self, other: &Program) -> Result<Program, ProgramError> {
+        let outs = self.output_vars();
+        let ins = other.input_vars();
+        for v in ins {
+            if !outs.contains(v) {
+                return Err(ProgramError::NotComposable {
+                    reason: format!("input `{v}` of second program not produced by first"),
+                });
+            }
+        }
+        let n = self.len();
+        let mut instrs: Vec<Instr> = self.instrs[..n - 1].to_vec();
+        let shift = n - 2;
+        for instr in &other.instrs()[1..] {
+            let relocated = match instr {
+                Instr::Goto(m) => Instr::Goto(Point::new(m.get() + shift)),
+                Instr::IfGoto(e, m) => Instr::IfGoto(e.clone(), Point::new(m.get() + shift)),
+                other => other.clone(),
+            };
+            instrs.push(relocated);
+        }
+        Program::new(instrs)
+    }
+
+    /// Sum of all instruction sizes; a crude complexity measure used by the
+    /// evaluation harness.
+    pub fn total_size(&self) -> usize {
+        self.instrs
+            .iter()
+            .map(|i| 1 + i.expr().map_or(0, crate::Expr::size))
+            .sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (l, instr) in self.iter() {
+            writeln!(f, "{:>3}: {instr}", l.get())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Program[")?;
+        write!(f, "{self}")?;
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Expr};
+
+    fn sample() -> Program {
+        // 1: in x
+        // 2: y := x + 1
+        // 3: if (y < 10) goto 2
+        // 4: out y
+        Program::new(vec![
+            Instr::In(vec![Var::new("x")]),
+            Instr::Assign(
+                Var::new("y"),
+                Expr::bin(BinOp::Add, Expr::var("x"), Expr::num(1)),
+            ),
+            Instr::IfGoto(
+                Expr::bin(BinOp::Lt, Expr::var("y"), Expr::num(10)),
+                Point::new(2),
+            ),
+            Instr::Out(vec![Var::new("y")]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_programs() {
+        assert_eq!(
+            Program::new(vec![Instr::Skip]).unwrap_err(),
+            ProgramError::TooShort
+        );
+        assert_eq!(
+            Program::new(vec![Instr::Skip, Instr::Out(vec![])]).unwrap_err(),
+            ProgramError::MissingIn
+        );
+        assert_eq!(
+            Program::new(vec![Instr::In(vec![]), Instr::Skip]).unwrap_err(),
+            ProgramError::MissingOut
+        );
+        assert_eq!(
+            Program::new(vec![
+                Instr::In(vec![]),
+                Instr::Goto(Point::new(9)),
+                Instr::Out(vec![]),
+            ])
+            .unwrap_err(),
+            ProgramError::JumpOutOfRange { point: 2, target: 9 }
+        );
+    }
+
+    #[test]
+    fn successors_of_branch() {
+        let p = sample();
+        assert_eq!(p.successors(Point::new(1)), vec![Point::new(2)]);
+        assert_eq!(
+            p.successors(Point::new(3)),
+            vec![Point::new(4), Point::new(2)]
+        );
+        assert!(p.successors(Point::new(4)).is_empty());
+    }
+
+    #[test]
+    fn predecessors_invert_successors() {
+        let p = sample();
+        assert_eq!(
+            p.predecessors(Point::new(2)),
+            vec![Point::new(1), Point::new(3)]
+        );
+        assert_eq!(p.predecessors(Point::new(1)), vec![]);
+    }
+
+    #[test]
+    fn compose_relocates_targets() {
+        // p: in x; y := x; out y     p': in y; if (y) goto 3; skip; out y
+        let p = Program::new(vec![
+            Instr::In(vec![Var::new("x")]),
+            Instr::Assign(Var::new("y"), Expr::var("x")),
+            Instr::Out(vec![Var::new("y")]),
+        ])
+        .unwrap();
+        let q = Program::new(vec![
+            Instr::In(vec![Var::new("y")]),
+            Instr::IfGoto(Expr::var("y"), Point::new(4)),
+            Instr::Skip,
+            Instr::Out(vec![Var::new("y")]),
+        ])
+        .unwrap();
+        let c = p.compose(&q).unwrap();
+        assert_eq!(c.len(), 5);
+        // q's `if … goto 4` must now target 4 + (3 - 2) = 5.
+        assert_eq!(
+            c.instr_at(Point::new(3)),
+            &Instr::IfGoto(Expr::var("y"), Point::new(5))
+        );
+    }
+
+    #[test]
+    fn compose_rejects_missing_interface() {
+        let p = sample(); // outputs y
+        let q = Program::new(vec![
+            Instr::In(vec![Var::new("z")]),
+            Instr::Out(vec![Var::new("z")]),
+        ])
+        .unwrap();
+        assert!(matches!(
+            p.compose(&q),
+            Err(ProgramError::NotComposable { .. })
+        ));
+    }
+
+    #[test]
+    fn conditional_branch_to_fallthrough_has_single_successor() {
+        let p = Program::new(vec![
+            Instr::In(vec![Var::new("x")]),
+            Instr::IfGoto(Expr::var("x"), Point::new(3)),
+            Instr::Out(vec![Var::new("x")]),
+        ])
+        .unwrap();
+        assert_eq!(p.successors(Point::new(2)), vec![Point::new(3)]);
+    }
+}

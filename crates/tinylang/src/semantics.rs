@@ -1,0 +1,300 @@
+//! The big-step operational semantics of Figure 2.
+//!
+//! A [`State`] is a pair `(σ, l)` (Definition 2.3).  [`step`] implements the
+//! transition relation `⇒p`; [`run`] its reflexive-transitive closure up to
+//! the final state `(σ', n + 1)` (Definition 2.4); [`trace`] enumerates the
+//! unique trace `τpσ` from an initial store (Definition 2.6).
+
+use std::fmt;
+
+use crate::{Instr, Point, Program, Store};
+
+/// A program state `(σ, l)` (Definition 2.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct State {
+    /// The memory store `σ`.
+    pub store: Store,
+    /// The program point `l` of the next instruction.
+    pub point: Point,
+}
+
+impl State {
+    /// Creates the initial state `(σ, 1)`.
+    pub fn initial(store: Store) -> State {
+        State {
+            store,
+            point: Point::new(1),
+        }
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.store, self.point)
+    }
+}
+
+/// Why a single step could not be taken.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stuck {
+    /// The instruction evaluated an undefined variable, or `in`/`out`
+    /// referred to an undefined variable (premises of rules 6–7 fail).
+    UndefinedVariable,
+    /// `abort` was reached.
+    Aborted,
+    /// The point lies outside `[1, n]` (no transition rule applies).
+    NoInstruction,
+}
+
+/// Result of one transition attempt.
+pub type StepResult = Result<State, Stuck>;
+
+/// One transition `(σ, l) ⇒p (σ', l')` per the rules of Figure 2.
+///
+/// # Errors
+///
+/// Returns [`Stuck`] if no rule applies: undefined variable use, `abort`, or
+/// a point with no instruction.  Per the paper, a stuck execution means the
+/// program has undefined semantics on this input store.
+pub fn step(p: &Program, s: &State) -> StepResult {
+    let Some(instr) = p.instr(s.point) else {
+        return Err(Stuck::NoInstruction);
+    };
+    let l = s.point;
+    match instr {
+        // Rule (1): assignment.
+        Instr::Assign(x, e) => {
+            let v = e.eval(&s.store).ok_or(Stuck::UndefinedVariable)?;
+            Ok(State {
+                store: s.store.with(x.clone(), v),
+                point: l.next(),
+            })
+        }
+        // Rule (2): unconditional jump.
+        Instr::Goto(m) => Ok(State {
+            store: s.store.clone(),
+            point: *m,
+        }),
+        // Rule (3): skip.
+        Instr::Skip => Ok(State {
+            store: s.store.clone(),
+            point: l.next(),
+        }),
+        // Rules (4)–(5): conditional jump.
+        Instr::IfGoto(e, m) => {
+            let v = e.eval(&s.store).ok_or(Stuck::UndefinedVariable)?;
+            Ok(State {
+                store: s.store.clone(),
+                point: if v != 0 { *m } else { l.next() },
+            })
+        }
+        // Rule (6): `in` requires every declared variable to be defined.
+        Instr::In(vars) => {
+            if vars.iter().all(|v| s.store.is_defined(v.as_str())) {
+                Ok(State {
+                    store: s.store.clone(),
+                    point: l.next(),
+                })
+            } else {
+                Err(Stuck::UndefinedVariable)
+            }
+        }
+        // Rule (7): `out` restricts the store to the output variables.
+        Instr::Out(vars) => {
+            if vars.iter().all(|v| s.store.is_defined(v.as_str())) {
+                Ok(State {
+                    store: s.store.restrict(vars.iter().map(|v| v.as_str())),
+                    point: l.next(),
+                })
+            } else {
+                Err(Stuck::UndefinedVariable)
+            }
+        }
+        // No rule for abort: execution is stuck (undefined semantics).
+        Instr::Abort => Err(Stuck::Aborted),
+    }
+}
+
+/// Outcome of running a program to completion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Reached `(σ', n + 1)`; carries `σ'` restricted to the outputs.
+    Completed(Store),
+    /// Execution got stuck (undefined semantics).
+    Stuck(Stuck),
+    /// The fuel budget was exhausted (models non-termination).
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// The final store of a completed run, if any.
+    pub fn completed(self) -> Option<Store> {
+        match self {
+            Outcome::Completed(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `p` from initial store `σ̂`, taking at most `fuel` steps.
+///
+/// Implements the semantic function `[[p]]` of Definition 2.4, made
+/// effective by bounding the step count.
+pub fn run(p: &Program, initial: &Store, fuel: usize) -> Outcome {
+    resume(p, State::initial(initial.clone()), fuel)
+}
+
+/// Resumes execution from an arbitrary state — the primitive an OSR
+/// transition uses to continue in the target program at the landing point.
+pub fn resume(p: &Program, mut state: State, fuel: usize) -> Outcome {
+    let final_point = p.len() + 1;
+    for _ in 0..fuel {
+        if state.point.get() == final_point {
+            return Outcome::Completed(state.store);
+        }
+        match step(p, &state) {
+            Ok(next) => state = next,
+            Err(stuck) => return Outcome::Stuck(stuck),
+        }
+    }
+    if state.point.get() == final_point {
+        Outcome::Completed(state.store)
+    } else {
+        Outcome::OutOfFuel
+    }
+}
+
+/// The trace `τpσ` (Definition 2.6), truncated at `fuel` states.
+///
+/// The returned vector starts with `(σ̂, 1)` and contains every state the
+/// execution visits, including the final `(σ', n + 1)` state for completed
+/// runs.  Stuck executions end at the stuck state.
+pub fn trace(p: &Program, initial: &Store, fuel: usize) -> Vec<State> {
+    let mut states = vec![State::initial(initial.clone())];
+    let final_point = p.len() + 1;
+    for _ in 0..fuel {
+        let last = states.last().expect("trace is never empty");
+        if last.point.get() == final_point {
+            break;
+        }
+        match step(p, last) {
+            Ok(next) => states.push(next),
+            Err(_) => break,
+        }
+    }
+    states
+}
+
+/// Semantic equivalence check on a finite set of input stores
+/// (an effective under-approximation of Definition 2.5).
+///
+/// Returns the first store on which the two programs disagree, if any.
+pub fn differing_input<'a, I>(p1: &Program, p2: &Program, stores: I, fuel: usize) -> Option<&'a Store>
+where
+    I: IntoIterator<Item = &'a Store>,
+{
+    stores.into_iter().find(|s| run(p1, s, fuel) != run(p2, s, fuel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_program, Var};
+
+    fn store(pairs: &[(&str, i64)]) -> Store {
+        let mut s = Store::new();
+        for (k, v) in pairs {
+            s.set(*k, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn straight_line_run() {
+        let p = parse_program(
+            "in x
+             y := x * 2
+             out y",
+        )
+        .unwrap();
+        let out = run(&p, &store(&[("x", 21)]), 100).completed().unwrap();
+        assert_eq!(out.get("y"), Some(42));
+        // `out` restricts: x is gone.
+        assert_eq!(out.get("x"), None);
+    }
+
+    #[test]
+    fn loop_terminates() {
+        let p = parse_program(
+            "in n
+             i := 0
+             s := 0
+             if (i >= n) goto 8
+             s := s + i
+             i := i + 1
+             goto 4
+             out s",
+        )
+        .unwrap();
+        let out = run(&p, &store(&[("n", 5)]), 1000).completed().unwrap();
+        assert_eq!(out.get("s"), Some(0 + 1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn missing_input_is_stuck() {
+        let p = parse_program("in x\nout x").unwrap();
+        assert_eq!(
+            run(&p, &Store::new(), 10),
+            Outcome::Stuck(Stuck::UndefinedVariable)
+        );
+    }
+
+    #[test]
+    fn abort_is_stuck() {
+        let p = parse_program("in x\nabort\nout x").unwrap();
+        assert_eq!(run(&p, &store(&[("x", 0)]), 10), Outcome::Stuck(Stuck::Aborted));
+    }
+
+    #[test]
+    fn infinite_loop_out_of_fuel() {
+        let p = parse_program("in x\ngoto 2\nout x").unwrap();
+        assert_eq!(run(&p, &store(&[("x", 0)]), 50), Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn trace_records_every_state() {
+        let p = parse_program(
+            "in x
+             y := x + 1
+             out y",
+        )
+        .unwrap();
+        let t = trace(&p, &store(&[("x", 1)]), 100);
+        let points: Vec<usize> = t.iter().map(|s| s.point.get()).collect();
+        assert_eq!(points, vec![1, 2, 3, 4]);
+        assert_eq!(t.last().unwrap().store.get("y"), Some(2));
+    }
+
+    #[test]
+    fn out_restricts_store_to_outputs() {
+        let p = parse_program(
+            "in x
+             t := x + 1
+             y := t * t
+             out y",
+        )
+        .unwrap();
+        let out = run(&p, &store(&[("x", 2)]), 100).completed().unwrap();
+        assert_eq!(out.defined_vars().collect::<Vec<&Var>>().len(), 1);
+        assert_eq!(out.get("y"), Some(9));
+    }
+
+    #[test]
+    fn differing_input_finds_witness() {
+        let p1 = parse_program("in x\ny := x\nout y").unwrap();
+        let p2 = parse_program("in x\ny := x + 1\nout y").unwrap();
+        let stores = [store(&[("x", 0)])];
+        assert!(differing_input(&p1, &p2, &stores, 100).is_some());
+        assert!(differing_input(&p1, &p1, &stores, 100).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Var;
+
+/// A memory store `σ : Var → ℤ ∪ {⊥}` (Definition 2.2).
+///
+/// Undefined variables (`⊥`) are simply absent from the map.
+///
+/// # Examples
+///
+/// ```
+/// use tinylang::{Store, Var};
+///
+/// let mut s = Store::new();
+/// s.set("x", 3);
+/// assert_eq!(s.get("x"), Some(3));
+/// assert_eq!(s.get("y"), None); // ⊥
+///
+/// let restricted = s.restrict([Var::new("y")]);
+/// assert_eq!(restricted.get("x"), None);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Store {
+    map: BTreeMap<Var, i64>,
+}
+
+impl Store {
+    /// Creates an empty store (every variable `⊥`).
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Looks up a variable; `None` models `⊥`.
+    pub fn get(&self, var: &str) -> Option<i64> {
+        self.map.get(var).copied()
+    }
+
+    /// `σ[x ← v]` in place.
+    pub fn set(&mut self, var: impl Into<Var>, value: i64) {
+        self.map.insert(var.into(), value);
+    }
+
+    /// Functional update `σ[x ← v]` (Definition 2.2).
+    #[must_use]
+    pub fn with(&self, var: impl Into<Var>, value: i64) -> Store {
+        let mut s = self.clone();
+        s.set(var, value);
+        s
+    }
+
+    /// Whether the variable is defined (`σ(x) ≠ ⊥`).
+    pub fn is_defined(&self, var: &str) -> bool {
+        self.map.contains_key(var)
+    }
+
+    /// `σ|A`: restriction to the variables in `A` (Definition 2.2).
+    #[must_use]
+    pub fn restrict<I>(&self, vars: I) -> Store
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut out = Store::new();
+        for v in vars {
+            if let Some(val) = self.get(v.as_ref()) {
+                out.set(Var::new(v.as_ref()), val);
+            }
+        }
+        out
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, i64)> + '_ {
+        self.map.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// The set of defined variables.
+    pub fn defined_vars(&self) -> impl Iterator<Item = &Var> + '_ {
+        self.map.keys()
+    }
+
+    /// Number of defined variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is defined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges `other` into `self`, overwriting on conflict.
+    pub fn extend_from(&mut self, other: &Store) {
+        for (k, v) in other.iter() {
+            self.map.insert(k.clone(), v);
+        }
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromIterator<(Var, i64)> for Store {
+    fn from_iter<T: IntoIterator<Item = (Var, i64)>>(iter: T) -> Self {
+        Store {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Store {
+    type Item = (&'a Var, &'a i64);
+    type IntoIter = std::collections::btree_map::Iter<'a, Var, i64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.iter()
+    }
+}
+
+impl Extend<(Var, i64)> for Store {
+    fn extend<T: IntoIterator<Item = (Var, i64)>>(&mut self, iter: T) {
+        self.map.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restriction_keeps_only_listed() {
+        let mut s = Store::new();
+        s.set("a", 1);
+        s.set("b", 2);
+        let r = s.restrict(["a", "c"]);
+        assert_eq!(r.get("a"), Some(1));
+        assert_eq!(r.get("b"), None);
+        assert_eq!(r.get("c"), None);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn functional_update_leaves_original() {
+        let s = Store::new();
+        let s2 = s.with("x", 9);
+        assert!(s.is_empty());
+        assert_eq!(s2.get("x"), Some(9));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut s: Store = [(Var::new("x"), 1)].into_iter().collect();
+        s.extend([(Var::new("y"), 2)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(format!("{s}"), "{x=1, y=2}");
+    }
+
+    #[test]
+    fn equality_is_extensional() {
+        let mut a = Store::new();
+        a.set("x", 1);
+        let mut b = Store::new();
+        b.set("x", 1);
+        assert_eq!(a, b);
+        b.set("y", 0);
+        assert_ne!(a, b);
+    }
+}

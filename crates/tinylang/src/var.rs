@@ -1,0 +1,99 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A program variable (`Var` in Figure 1).
+///
+/// Variables are cheap to clone (reference-counted) and ordered, so they can
+/// be used as map keys in stores and live sets.
+///
+/// # Examples
+///
+/// ```
+/// use tinylang::Var;
+///
+/// let x = Var::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the variable name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+impl Borrow<str> for Var {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Var {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_eq() {
+        let a = Var::new("alpha");
+        let b: Var = "alpha".into();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a}"), "alpha");
+        assert_eq!(format!("{a:?}"), "Var(alpha)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Var::new("z"), Var::new("a"), Var::new("m")];
+        v.sort();
+        let names: Vec<_> = v.iter().map(Var::as_str).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Var::new("x"));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+}

@@ -1,0 +1,464 @@
+//! Generation of the continuation function `f'to` (§5.4): a specialization
+//! of the OSR target version whose unique entry point is the landing
+//! location.
+//!
+//! The landing block's tail (from the landing instruction onward) is
+//! duplicated into a fresh entry block; every value live at the landing
+//! point becomes a parameter; blocks unreachable from the landing point are
+//! pruned — "deleting unreachable blocks yields more compact code, possibly
+//! improving register allocation, too".
+
+use std::collections::BTreeMap;
+
+use ssair::cfg::Cfg;
+use ssair::{BlockId, Function, FunctionBuilder, InstId, InstKind, Terminator, Ty, ValueId};
+
+/// The generated continuation function plus the parameter order: calling
+/// `f_to(args)` with `args[i]` = the value of `live_ins[i]` at the OSR
+/// point resumes execution exactly at the landing location.
+#[derive(Clone, Debug)]
+pub struct Continuation {
+    /// The continuation function.
+    pub func: Function,
+    /// Target-version values expected as parameters, in order.
+    pub live_ins: Vec<ValueId>,
+}
+
+/// Extracts the continuation function for landing location `landing` of
+/// `target`, parameterized over `live_ins` (every target value live at the
+/// landing point).
+///
+/// # Panics
+///
+/// Panics if `landing` is not a live instruction of `target`, or if a
+/// copied instruction references a value that is neither a parameter nor
+/// defined in the copied region (i.e. `live_ins` was not the full live
+/// set) — both indicate caller bugs, not user errors.
+pub fn extract_continuation(
+    target: &Function,
+    landing: InstId,
+    live_ins: &[ValueId],
+) -> Continuation {
+    let landing_block = target.block_of(landing).expect("landing must be live");
+    let cfg = Cfg::compute(target);
+    let reachable = cfg.reachable_from(landing_block);
+
+    let params: Vec<(String, Ty)> = live_ins
+        .iter()
+        .map(|v| (format!("v{}", v.0), Ty::I64))
+        .collect();
+    let params_ref: Vec<(&str, Ty)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let mut b = FunctionBuilder::new(&format!("{}_to", target.name), &params_ref);
+
+    let mut param_map: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    for (i, v) in live_ins.iter().enumerate() {
+        param_map.insert(*v, b.param(i));
+    }
+
+    let mut bmap: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    for &tb in &reachable {
+        let name = target.block(tb).name.clone();
+        bmap.insert(tb, b.create_block(&name));
+    }
+    let entry_tail = b.current_block();
+    let mut func = b.finish();
+
+    // Phase A: copy instructions, building result maps.
+    let landing_pos = target
+        .block(landing_block)
+        .insts
+        .iter()
+        .position(|i| *i == landing)
+        .expect("landing in its block");
+
+    let mut tail_map: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    let mut tail_copies: Vec<InstId> = Vec::new();
+    for &i in target.block(landing_block).insts[landing_pos..].iter() {
+        let kind = target.inst(i).kind.clone();
+        if kind.is_phi() {
+            continue; // φ values arrive as parameters
+        }
+        let new_inst = func.create_inst(kind, target.inst(i).line);
+        func.push_inst(entry_tail, new_inst);
+        if let (Some(r), Some(nr)) = (target.inst(i).result, func.result_of(new_inst)) {
+            tail_map.insert(r, nr);
+        }
+        tail_copies.push(new_inst);
+    }
+    func.block_mut(entry_tail).term = target.block(landing_block).term.clone();
+
+    let mut body_map: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    let mut body_copies: Vec<(BlockId, InstId, InstId)> = Vec::new(); // (src block, src inst, copy)
+    for &tb in &reachable {
+        let nb = bmap[&tb];
+        for &i in &target.block(tb).insts {
+            let kind = target.inst(i).kind.clone();
+            let new_inst = func.create_inst(kind, target.inst(i).line);
+            func.push_inst(nb, new_inst);
+            if let (Some(r), Some(nr)) = (target.inst(i).result, func.result_of(new_inst)) {
+                body_map.insert(r, nr);
+            }
+            body_copies.push((tb, i, new_inst));
+        }
+        func.block_mut(nb).term = target.block(tb).term.clone();
+    }
+
+    let resolve_tail = |v: ValueId| -> ValueId {
+        tail_map
+            .get(&v)
+            .or_else(|| param_map.get(&v))
+            .copied()
+            .unwrap_or_else(|| panic!("value {v} not covered at the entry tail"))
+    };
+    let resolve_body = |v: ValueId| -> ValueId {
+        body_map
+            .get(&v)
+            .or_else(|| param_map.get(&v))
+            .copied()
+            .unwrap_or_else(|| panic!("value {v} not covered in the body"))
+    };
+    // On the duplicated (entry tail → successor) edge, tail definitions
+    // shadow parameters, which shadow nothing else.
+    let resolve_tail_edge = |v: ValueId| -> Option<ValueId> {
+        tail_map.get(&v).or_else(|| param_map.get(&v)).copied()
+    };
+
+    // Values with *two* definitions in the continuation: one on the entry
+    // path (a parameter or a tail copy) and one in the copied body (loop-
+    // carried values).  A body use must see whichever definition reaches it,
+    // which requires φ merges: route these values through temporary stack
+    // slots and let `mem2reg` rebuild proper SSA afterwards.
+    let conflicted: Vec<ValueId> = body_map
+        .keys()
+        .filter(|r| param_map.contains_key(r) || tail_map.contains_key(r))
+        .copied()
+        .collect();
+    let mut slot_of: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    for &r in &conflicted {
+        let slot_inst = func.create_inst(
+            InstKind::Alloca {
+                size: 1,
+                name: None,
+            },
+            None,
+        );
+        func.insert_inst(entry_tail, 0, slot_inst);
+        let slot = func.result_of(slot_inst).expect("alloca has a result");
+        slot_of.insert(r, slot);
+    }
+
+    // Phase B: rewrite operands.
+    for &i in &tail_copies {
+        let mut kind = func.inst(i).kind.clone();
+        for op in kind.operands() {
+            kind.replace_operand(op, resolve_tail(op));
+        }
+        func.inst_mut(i).kind = kind;
+    }
+    {
+        let mut term = func.block(entry_tail).term.clone();
+        for op in term.operands() {
+            term.replace_operand(op, resolve_tail(op));
+        }
+        retarget_term(&mut term, &bmap);
+        func.block_mut(entry_tail).term = term;
+    }
+
+    // Entry-path stores of conflicted values: after the slot allocas (for
+    // parameter-carried values) or right after the tail definition.
+    for &r in &conflicted {
+        let slot = slot_of[&r];
+        let ev = resolve_tail_edge(r).expect("conflicted values are entry-defined");
+        let store = func.create_inst(
+            InstKind::Store {
+                addr: slot,
+                value: ev,
+            },
+            None,
+        );
+        let pos = position_after_def(&func, entry_tail, ev);
+        func.insert_inst(entry_tail, pos, store);
+    }
+
+    for (_, src, copy) in &body_copies {
+        let copy = *copy;
+        let block = func.block_of(copy).expect("just inserted");
+        let mut kind = func.inst(copy).kind.clone();
+        if let InstKind::Phi(incs) = &mut kind {
+            let mut new_incs = Vec::new();
+            for (p, v) in incs.iter() {
+                let Some(&np) = bmap.get(p) else { continue };
+                let val = if slot_of.contains_key(v) {
+                    load_at_block_end(&mut func, np, slot_of[v])
+                } else {
+                    resolve_body(*v)
+                };
+                new_incs.push((np, val));
+                if *p == landing_block {
+                    // The same edge also arrives from the duplicated tail.
+                    let tv = if slot_of.contains_key(v) {
+                        load_at_block_end(&mut func, entry_tail, slot_of[v])
+                    } else if let Some(tv) = resolve_tail_edge(*v) {
+                        tv
+                    } else {
+                        continue;
+                    };
+                    new_incs.push((entry_tail, tv));
+                }
+            }
+            *incs = new_incs;
+        } else {
+            for op in kind.operands() {
+                let val = if slot_of.contains_key(&op) {
+                    let pos = func
+                        .block(block)
+                        .insts
+                        .iter()
+                        .position(|x| *x == copy)
+                        .expect("copy in block");
+                    let load = func.create_inst(
+                        InstKind::Load {
+                            addr: slot_of[&op],
+                        },
+                        None,
+                    );
+                    func.insert_inst(block, pos, load);
+                    func.result_of(load).expect("load has a result")
+                } else {
+                    resolve_body(op)
+                };
+                kind.replace_operand(op, val);
+            }
+        }
+        let _ = src;
+        func.inst_mut(copy).kind = kind;
+    }
+    // Body stores of conflicted values: right after their body definition.
+    for &r in &conflicted {
+        let bv = body_map[&r];
+        let def_inst = match func.value_def(bv) {
+            ssair::ValueDef::Inst(i) => i,
+            ssair::ValueDef::Param(_) => unreachable!("body defs are instructions"),
+        };
+        let block = func.block_of(def_inst).expect("body def inserted");
+        let pos = func
+            .block(block)
+            .insts
+            .iter()
+            .position(|x| *x == def_inst)
+            .expect("in block");
+        // After the φ group if the def is a φ (stores may not precede φs).
+        let phi_end = func
+            .block(block)
+            .insts
+            .iter()
+            .take_while(|i| func.inst(**i).kind.is_phi())
+            .count();
+        let store = func.create_inst(
+            InstKind::Store {
+                addr: slot_of[&r],
+                value: bv,
+            },
+            None,
+        );
+        func.insert_inst(block, (pos + 1).max(phi_end), store);
+    }
+    for (&tb, &nb) in &bmap {
+        let _ = tb;
+        let mut term = func.block(nb).term.clone();
+        for op in term.operands() {
+            let val = if slot_of.contains_key(&op) {
+                load_at_block_end(&mut func, nb, slot_of[&op])
+            } else {
+                resolve_body(op)
+            };
+            term.replace_operand(op, val);
+        }
+        retarget_term(&mut term, &bmap);
+        func.block_mut(nb).term = term;
+    }
+
+    prune_unreachable(&mut func);
+    // Rebuild SSA over the conflict slots.
+    ssair::mem2reg::mem2reg(&mut func);
+
+    Continuation {
+        func,
+        live_ins: live_ins.to_vec(),
+    }
+}
+
+/// Insertion index in `block` right after the definition of `v` (or after
+/// the leading allocas when `v` is a parameter).
+fn position_after_def(func: &Function, block: BlockId, v: ValueId) -> usize {
+    let insts = &func.block(block).insts;
+    if let ssair::ValueDef::Inst(d) = func.value_def(v) {
+        if let Some(p) = insts.iter().position(|x| *x == d) {
+            return p + 1;
+        }
+    }
+    insts
+        .iter()
+        .take_while(|i| matches!(func.inst(**i).kind, InstKind::Alloca { .. }))
+        .count()
+}
+
+/// Appends `load slot` at the end of `block` (before its terminator) and
+/// returns the loaded value.
+fn load_at_block_end(func: &mut Function, block: BlockId, slot: ValueId) -> ValueId {
+    let load = func.create_inst(InstKind::Load { addr: slot }, None);
+    func.push_inst(block, load);
+    func.result_of(load).expect("load has a result")
+}
+
+/// Removes blocks unreachable from the entry (e.g. the body copy of the
+/// landing block when no back edge returns to it), dropping their φ
+/// incomings from surviving successors.
+fn prune_unreachable(func: &mut Function) {
+    let cfg = Cfg::compute(func);
+    let dead: Vec<BlockId> = func
+        .block_ids()
+        .into_iter()
+        .filter(|b| !cfg.is_reachable(*b))
+        .collect();
+    for &b in &dead {
+        for s in func.block(b).term.successors() {
+            if cfg.is_reachable(s) {
+                let insts = func.block(s).insts.clone();
+                for i in insts {
+                    if let InstKind::Phi(incs) = func.inst(i).kind.clone() {
+                        let filtered: Vec<_> =
+                            incs.into_iter().filter(|(p, _)| *p != b).collect();
+                        func.inst_mut(i).kind = InstKind::Phi(filtered);
+                    }
+                }
+            }
+        }
+    }
+    for b in dead {
+        let insts = func.block(b).insts.clone();
+        for i in insts {
+            func.remove_inst(i);
+        }
+        func.remove_block(b);
+    }
+}
+
+fn retarget_term(term: &mut Terminator, bmap: &BTreeMap<BlockId, BlockId>) {
+    match term {
+        Terminator::Br(t) => *t = bmap[t],
+        Terminator::CondBr {
+            then_bb, else_bb, ..
+        } => {
+            *then_bb = bmap[then_bb];
+            *else_bb = bmap[else_bb];
+        }
+        Terminator::Ret(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssair::interp::{run_function, Val};
+    use ssair::liveness::Liveness;
+    use ssair::Module;
+
+    #[test]
+    fn continuation_resumes_mid_loop() {
+        let m = minic::compile(
+            "fn sum(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let f = m.get("sum").unwrap();
+        let cfg = Cfg::compute(f);
+        let lv = Liveness::compute(f, &cfg);
+        let landing = f
+            .inst_iter()
+            .map(|(_, i)| i)
+            .find(|i| matches!(f.inst(*i).kind, InstKind::Binop(ssair::BinOp::Lt, _, _)))
+            .expect("loop comparison");
+        let live: Vec<ValueId> = lv.live_before(f, landing).into_iter().collect();
+        let cont = extract_continuation(f, landing, &live);
+        ssair::verify(&cont.func).unwrap_or_else(|e| panic!("{e}\n{}", cont.func));
+
+        // Run the baseline to the 4th visit of the landing point (i == 3),
+        // then transfer the live frame slice into the continuation.
+        let module = Module::new();
+        let mut machine = ssair::interp::Machine::new(100_000);
+        let mut frame = ssair::interp::Frame::enter(f, &[Val::Int(10)]);
+        use std::cell::Cell;
+        let visits = Cell::new(0usize);
+        let out = ssair::interp::run_frame(
+            f,
+            &mut frame,
+            &mut machine,
+            &module,
+            Some(&|_f, _fr, i| {
+                if i == landing {
+                    visits.set(visits.get() + 1);
+                    visits.get() == 4
+                } else {
+                    false
+                }
+            }),
+        )
+        .unwrap();
+        assert!(matches!(out, ssair::interp::StepOutcome::Paused { .. }));
+        let args: Vec<Val> = cont.live_ins.iter().map(|v| frame.values[v]).collect();
+        let out = run_function(&cont.func, &args, &module, 100_000).unwrap();
+        assert_eq!(out, Some(Val::Int(45)), "sum(10) = 45 resumed mid-loop");
+    }
+
+    #[test]
+    fn continuation_prunes_unreachable() {
+        let m = minic::compile(
+            "fn f(x) {
+                 var r = 0;
+                 if (x > 0) { r = x * 2; } else { r = x - 1; }
+                 return r;
+             }",
+        )
+        .unwrap();
+        let f = m.get("f").unwrap();
+        let landing = f
+            .inst_iter()
+            .map(|(_, i)| i)
+            .find(|i| matches!(f.inst(*i).kind, InstKind::Binop(ssair::BinOp::Mul, _, _)))
+            .expect("then-branch multiply");
+        let cfg = Cfg::compute(f);
+        let lv = Liveness::compute(f, &cfg);
+        let live: Vec<ValueId> = lv.live_before(f, landing).into_iter().collect();
+        let cont = extract_continuation(f, landing, &live);
+        ssair::verify(&cont.func).unwrap_or_else(|e| panic!("{e}\n{}", cont.func));
+        assert!(
+            cont.func.live_inst_count() < f.live_inst_count(),
+            "pruning must shrink the function: {} vs {}",
+            cont.func.live_inst_count(),
+            f.live_inst_count()
+        );
+        // Behaviour: continuing from `r = x * 2` with x = 5 returns 10.
+        // Live-in values: the parameter x is 5; constants take their own
+        // value (they are live-in because their defining instruction sits
+        // before the landing point).
+        let module = Module::new();
+        let args: Vec<Val> = cont
+            .live_ins
+            .iter()
+            .map(|v| match f.value_def(*v) {
+                ssair::ValueDef::Param(0) => Val::Int(5),
+                ssair::ValueDef::Inst(i) => match f.inst(i).kind {
+                    InstKind::Const(n) => Val::Int(n),
+                    _ => Val::Int(0),
+                },
+                _ => Val::Int(0),
+            })
+            .collect();
+        let out = run_function(&cont.func, &args, &module, 1_000).unwrap();
+        assert_eq!(out, Some(Val::Int(10)));
+    }
+}

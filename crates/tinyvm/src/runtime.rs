@@ -1,0 +1,374 @@
+//! The VM: profiling interpretation with on-stack replacement.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ssair::feasibility::{landing_site, Landing};
+use ssair::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
+use ssair::liveness::Liveness;
+use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
+use ssair::{cfg::Cfg, dom::DomTree, loops::LoopInfo, Function, InstId, Module};
+
+use crate::continuation::extract_continuation;
+use crate::FunctionVersions;
+
+/// When and how the VM fires OSR transitions.
+#[derive(Clone, Debug)]
+pub struct OsrPolicy {
+    /// Number of visits to a loop-header OSR point before the transition
+    /// fires.
+    pub hotness_threshold: usize,
+    /// Which reconstruction variant to use.
+    pub variant: Variant,
+    /// Execute the transition through a generated continuation function
+    /// (`f'to`, as OSRKit does) instead of direct frame surgery.
+    pub use_continuation: bool,
+}
+
+impl Default for OsrPolicy {
+    fn default() -> Self {
+        OsrPolicy {
+            hotness_threshold: 10,
+            variant: Variant::Avail,
+            use_continuation: true,
+        }
+    }
+}
+
+/// A recorded transition.
+#[derive(Clone, Debug)]
+pub struct OsrEvent {
+    /// Source location (in the baseline version).
+    pub from: InstId,
+    /// Landing location (in the optimized version).
+    pub to: InstId,
+    /// `|c|`: generated compensation instructions executed.
+    pub comp_size: usize,
+    /// Number of live values transferred.
+    pub transferred: usize,
+    /// Whether a continuation function was generated.
+    pub via_continuation: bool,
+}
+
+impl fmt::Display for OsrEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OSR {} -> {} (|c| = {}, {} values{})",
+            self.from,
+            self.to,
+            self.comp_size,
+            self.transferred,
+            if self.via_continuation {
+                ", via continuation"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+/// The virtual machine: a module of functions plus transition machinery.
+pub struct Vm {
+    /// Functions callable from interpreted code.
+    pub module: Module,
+    fuel: usize,
+}
+
+impl Vm {
+    /// Creates a VM over `module` with the default fuel budget.
+    pub fn new(module: Module) -> Self {
+        Vm {
+            module,
+            fuel: 50_000_000,
+        }
+    }
+
+    /// Overrides the fuel budget.
+    pub fn with_fuel(mut self, fuel: usize) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs the baseline version of `versions`, firing an optimizing OSR at
+    /// the first loop-header OSR point that crosses the hotness threshold.
+    ///
+    /// Returns the function result together with the transitions performed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures ([`ExecError`]).
+    pub fn run_with_osr(
+        &mut self,
+        versions: &FunctionVersions,
+        args: &[Val],
+        policy: &OsrPolicy,
+    ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
+        let base = &versions.base;
+        let header_points = loop_header_points(base);
+        let mut machine = Machine::new(self.fuel);
+        let mut frame = Frame::enter(base, args);
+        let mut counters: BTreeMap<InstId, usize> = BTreeMap::new();
+        let mut events = Vec::new();
+
+        loop {
+            use std::cell::RefCell;
+            let counters_cell = RefCell::new(&mut counters);
+            let threshold = policy.hotness_threshold;
+            let outcome = run_frame(
+                base,
+                &mut frame,
+                &mut machine,
+                &self.module,
+                Some(&|_f, _fr, i| {
+                    if header_points.contains(&i) {
+                        let mut c = counters_cell.borrow_mut();
+                        let n = c.entry(i).or_insert(0);
+                        *n += 1;
+                        *n == threshold
+                    } else {
+                        false
+                    }
+                }),
+            )?;
+            match outcome {
+                StepOutcome::Returned(v) => return Ok((v, events)),
+                StepOutcome::Paused { at } => {
+                    match self.try_transition(versions, &frame, &mut machine, at, policy)? {
+                        Some((result, event)) => {
+                            events.push(event);
+                            return Ok((result, events));
+                        }
+                        None => {
+                            // Infeasible here: keep interpreting (counter
+                            // saturated, predicate no longer fires at `at`).
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts the OSR at baseline location `at`; on success runs the
+    /// optimized version to completion and returns its result.
+    fn try_transition(
+        &self,
+        versions: &FunctionVersions,
+        frame: &Frame,
+        machine: &mut Machine,
+        at: InstId,
+        policy: &OsrPolicy,
+    ) -> Result<Option<(Option<Val>, OsrEvent)>, ExecError> {
+        let pair = versions.pair();
+        let Some(Landing { loc, entry_edge }) =
+            landing_site(&versions.base, &versions.opt, &versions.cm, at)
+        else {
+            return Ok(None);
+        };
+        let Ok(entry) =
+            pair.build_entry_with_edge(Direction::Forward, at, loc, policy.variant, entry_edge)
+        else {
+            return Ok(None);
+        };
+        // Compensation code runs now, against the live source frame.
+        let Ok(env) = apply_comp(&entry, &versions.opt, &frame.values, machine) else {
+            return Ok(None);
+        };
+        let comp_size = entry.comp.emit_count();
+        let transferred = entry
+            .comp
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CompStep::Transfer { .. }))
+            .count();
+
+        let result = if policy.use_continuation {
+            // OSRKit-style: generate f'to and call it with the live state.
+            let live_ins: Vec<ssair::ValueId> = env.keys().copied().collect();
+            let cont = extract_continuation(&versions.opt, loc, &live_ins);
+            debug_assert!(
+                ssair::verify(&cont.func).is_ok(),
+                "continuation must verify"
+            );
+            let cargs: Vec<Val> = cont.live_ins.iter().map(|v| env[v]).collect();
+            let mut cframe = Frame::enter(&cont.func, &cargs);
+            match run_frame(&cont.func, &mut cframe, machine, &self.module, None)? {
+                StepOutcome::Returned(v) => v,
+                StepOutcome::Paused { .. } => unreachable!("no pause predicate"),
+            }
+        } else {
+            // Direct frame surgery: position a frame of the optimized
+            // function at the landing point.
+            let block = versions.opt.block_of(loc).expect("landing is live");
+            let index = versions.opt.block(block)
+                .insts
+                .iter()
+                .position(|i| *i == loc)
+                .expect("in block");
+            let mut oframe = Frame {
+                values: env,
+                block,
+                index,
+                came_from: None,
+            };
+            match run_frame(&versions.opt, &mut oframe, machine, &self.module, None)? {
+                StepOutcome::Returned(v) => v,
+                StepOutcome::Paused { .. } => unreachable!("no pause predicate"),
+            }
+        };
+        Ok(Some((
+            result,
+            OsrEvent {
+                from: at,
+                to: loc,
+                comp_size,
+                transferred,
+                via_continuation: policy.use_continuation,
+            },
+        )))
+    }
+
+    /// Runs a function without any OSR (reference behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures.
+    pub fn run_plain(&self, f: &Function, args: &[Val]) -> Result<Option<Val>, ExecError> {
+        ssair::interp::run_function(f, args, &self.module, self.fuel)
+    }
+}
+
+/// The OSR points the profiler instruments: the first non-φ instruction of
+/// every loop header (where HotSpot and Jikes place their counters, §8).
+pub fn loop_header_points(f: &Function) -> Vec<InstId> {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dt);
+    let lv = Liveness::compute(f, &cfg);
+    let _ = lv;
+    li.loops
+        .iter()
+        .filter_map(|l| {
+            f.block(l.header)
+                .insts
+                .iter()
+                .find(|i| !f.inst(**i).kind.is_phi() && !f.inst(**i).kind.is_dbg())
+                .copied()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_one(src: &str, name: &str) -> (Module, FunctionVersions) {
+        let m = minic::compile(src).unwrap();
+        let v = FunctionVersions::standard(m.get(name).unwrap().clone());
+        (m, v)
+    }
+
+    #[test]
+    fn osr_mid_loop_matches_plain_run() {
+        let (m, v) = compile_one(
+            "fn work(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     s = s + x * x + i;
+                 }
+                 return s;
+             }",
+            "work",
+        );
+        let mut vm = Vm::new(m);
+        for use_continuation in [true, false] {
+            let policy = OsrPolicy {
+                hotness_threshold: 5,
+                variant: Variant::Avail,
+                use_continuation,
+            };
+            let args = [Val::Int(7), Val::Int(50)];
+            let expected = vm.run_plain(&v.base, &args).unwrap();
+            let (got, events) = vm.run_with_osr(&v, &args, &policy).unwrap();
+            assert_eq!(got, expected, "continuation={use_continuation}");
+            assert_eq!(events.len(), 1);
+            assert!(events[0].transferred > 0);
+        }
+    }
+
+    #[test]
+    fn no_osr_when_loop_cold() {
+        let (m, v) = compile_one(
+            "fn work(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i; }
+                 return s;
+             }",
+            "work",
+        );
+        let mut vm = Vm::new(m);
+        let policy = OsrPolicy {
+            hotness_threshold: 1_000,
+            ..OsrPolicy::default()
+        };
+        let (got, events) = vm.run_with_osr(&v, &[Val::Int(5)], &policy).unwrap();
+        assert_eq!(got, Some(Val::Int(10)));
+        assert!(events.is_empty(), "threshold never reached");
+    }
+
+    #[test]
+    fn osr_with_nested_loops() {
+        let (m, v) = compile_one(
+            "fn mat(n) {
+                 var acc = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     for (var j = 0; j < n; j = j + 1) {
+                         acc = acc + i * j;
+                     }
+                 }
+                 return acc;
+             }",
+            "mat",
+        );
+        let mut vm = Vm::new(m);
+        let args = [Val::Int(12)];
+        let expected = vm.run_plain(&v.base, &args).unwrap();
+        let (got, events) = vm.run_with_osr(&v, &args, &OsrPolicy::default()).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn osr_with_memory_traffic() {
+        let (m, v) = compile_one(
+            "fn hist(n) {
+                 var buf[8];
+                 for (var i = 0; i < n; i = i + 1) {
+                     buf[i % 8] = buf[i % 8] + 1;
+                 }
+                 var s = 0;
+                 for (var i = 0; i < 8; i = i + 1) { s = s + buf[i] * i; }
+                 return s;
+             }",
+            "hist",
+        );
+        let mut vm = Vm::new(m);
+        let args = [Val::Int(100)];
+        let expected = vm.run_plain(&v.base, &args).unwrap();
+        let (got, _events) = vm.run_with_osr(&v, &args, &OsrPolicy::default()).unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn osr_events_format() {
+        let e = OsrEvent {
+            from: InstId(3),
+            to: InstId(3),
+            comp_size: 2,
+            transferred: 4,
+            via_continuation: true,
+        };
+        assert!(e.to_string().contains("|c| = 2"));
+    }
+}

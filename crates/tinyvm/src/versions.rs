@@ -1,0 +1,71 @@
+use ssair::passes::{PassStats, Pipeline};
+use ssair::reconstruct::OsrPair;
+use ssair::{Function, SsaMapper};
+
+/// A baseline function together with its optimized clone and the action
+/// record connecting them — the unit the runtime fires OSR transitions
+/// between.
+#[derive(Clone, Debug)]
+pub struct FunctionVersions {
+    /// The baseline (`fbase`) version.
+    pub base: Function,
+    /// The optimized (`fopt`) version.
+    pub opt: Function,
+    /// Primitive actions recorded while optimizing.
+    pub cm: SsaMapper,
+    /// Per-pass statistics from the pipeline run.
+    pub stats: Vec<PassStats>,
+}
+
+impl FunctionVersions {
+    /// Optimizes `base` with the given pipeline.
+    pub fn new(base: Function, pipeline: &Pipeline) -> Self {
+        let (opt, cm, stats) = pipeline.optimize(&base);
+        FunctionVersions {
+            base,
+            opt,
+            cm,
+            stats,
+        }
+    }
+
+    /// Optimizes `base` with the standard §5.4 pipeline.
+    pub fn standard(base: Function) -> Self {
+        FunctionVersions::new(base, &Pipeline::standard())
+    }
+
+    /// Builds the analysis pair for OSR-mapping queries.
+    pub fn pair(&self) -> OsrPair<'_> {
+        OsrPair::new(&self.base, &self.opt, &self.cm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssair::interp::{run_function, Val};
+    use ssair::Module;
+
+    #[test]
+    fn optimized_version_is_equivalent() {
+        let m = minic::compile(
+            "fn f(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     s = s + x * x + i;
+                 }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let v = FunctionVersions::standard(m.get("f").unwrap().clone());
+        assert!(v.opt.live_inst_count() <= v.base.live_inst_count());
+        let empty = Module::new();
+        for (x, n) in [(3, 10), (0, 0), (-2, 5)] {
+            assert_eq!(
+                run_function(&v.base, &[Val::Int(x), Val::Int(n)], &empty, 100_000).unwrap(),
+                run_function(&v.opt, &[Val::Int(x), Val::Int(n)], &empty, 100_000).unwrap(),
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Seeded generator of SPEC-like function corpora for the §7 debugging
+//! study (Table 4's benchmark rows).
+//!
+//! Each benchmark profile controls how many functions are generated and
+//! their structural mix (size, loop depth, branch density, array usage).
+//! Function counts are the paper's `|F_tot|` scaled by `1/scale` (default
+//! 10) so the study runs in seconds; pass `scale = 1` for full-size runs.
+
+use minic::compile;
+use ssair::Module;
+
+use crate::gen::{SplitMix, SrcBuilder};
+
+/// A corpus profile (one Table 4 row).
+#[derive(Clone, Debug)]
+pub struct CorpusSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `|F_tot|` from the paper.
+    pub paper_functions: usize,
+    /// Mean statement count per function.
+    pub mean_stmts: usize,
+    /// Probability (percent) that a generated statement opens a branch.
+    pub branchiness: u64,
+    /// Probability (percent) that a generated statement opens a loop.
+    pub loopiness: u64,
+    /// Probability (percent) of array traffic in a function.
+    pub arrays: u64,
+}
+
+/// The twelve SPEC CPU2006 C benchmarks of Table 4.
+pub fn corpus_benchmarks() -> Vec<CorpusSpec> {
+    vec![
+        CorpusSpec { name: "bzip2", paper_functions: 100, mean_stmts: 28, branchiness: 22, loopiness: 14, arrays: 60 },
+        CorpusSpec { name: "gcc", paper_functions: 5577, mean_stmts: 22, branchiness: 30, loopiness: 8, arrays: 30 },
+        CorpusSpec { name: "gobmk", paper_functions: 2523, mean_stmts: 24, branchiness: 34, loopiness: 10, arrays: 45 },
+        CorpusSpec { name: "h264ref", paper_functions: 590, mean_stmts: 34, branchiness: 24, loopiness: 16, arrays: 70 },
+        CorpusSpec { name: "hmmer", paper_functions: 538, mean_stmts: 26, branchiness: 18, loopiness: 16, arrays: 55 },
+        CorpusSpec { name: "lbm", paper_functions: 19, mean_stmts: 40, branchiness: 12, loopiness: 20, arrays: 80 },
+        CorpusSpec { name: "libquantum", paper_functions: 115, mean_stmts: 16, branchiness: 16, loopiness: 12, arrays: 40 },
+        CorpusSpec { name: "mcf", paper_functions: 24, mean_stmts: 30, branchiness: 26, loopiness: 18, arrays: 50 },
+        CorpusSpec { name: "milc", paper_functions: 235, mean_stmts: 24, branchiness: 14, loopiness: 18, arrays: 65 },
+        CorpusSpec { name: "perlbench", paper_functions: 1870, mean_stmts: 26, branchiness: 32, loopiness: 8, arrays: 35 },
+        CorpusSpec { name: "sjeng", paper_functions: 144, mean_stmts: 28, branchiness: 36, loopiness: 10, arrays: 45 },
+        CorpusSpec { name: "sphinx3", paper_functions: 369, mean_stmts: 24, branchiness: 20, loopiness: 16, arrays: 55 },
+    ]
+}
+
+/// Generates the corpus for one benchmark, compiled to baseline SSA.
+///
+/// Returns a module with `paper_functions / scale` functions named
+/// `f0, f1, …` (minimum 2).  Deterministic in `(name, scale)`.
+pub fn generate_corpus(spec: &CorpusSpec, scale: usize) -> Module {
+    let n = (spec.paper_functions / scale.max(1)).max(2);
+    let mut seed = 0xC0FFEE_u64;
+    for b in spec.name.bytes() {
+        seed = seed.wrapping_mul(31).wrapping_add(b as u64);
+    }
+    let mut rng = SplitMix(seed);
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&generate_function(&format!("f{i}"), spec, &mut rng));
+        src.push('\n');
+    }
+    compile(&src).expect("generated code always parses")
+}
+
+/// Emits one random function following the profile.
+fn generate_function(name: &str, spec: &CorpusSpec, rng: &mut SplitMix) -> String {
+    let mut b = SrcBuilder::new();
+    let nparams = rng.range(1, 4) as usize;
+    let params: Vec<String> = (0..nparams).map(|i| format!("p{i}")).collect();
+    let params_ref: Vec<&str> = params.iter().map(String::as_str).collect();
+    b.open(format!("fn {name}({})", params_ref.join(", ")));
+
+    let mut ctx = GenCtx {
+        rng,
+        spec,
+        vars: params.clone(),
+        loop_vars: Vec::new(),
+        arrays: Vec::new(),
+        fresh: 0,
+        depth: 0,
+    };
+    if ctx.rng.chance(spec.arrays, 100) {
+        b.line("var data[16];");
+        ctx.arrays.push("data".to_string());
+        b.open("for (var ii = 0; ii < 16; ii = ii + 1)");
+        b.linef(format_args!("data[ii] = ii * {} + p0;", ctx.rng.range(1, 9)));
+        b.close();
+    }
+    let stmts = (spec.mean_stmts as i64 / 2
+        + ctx.rng.range(0, spec.mean_stmts as i64)) as usize;
+    for _ in 0..stmts {
+        emit_stmt(&mut b, &mut ctx);
+    }
+    // Return a mix of everything still in scope.
+    let ret = ctx
+        .vars
+        .iter()
+        .take(4)
+        .cloned()
+        .collect::<Vec<_>>()
+        .join(" + ");
+    b.linef(format_args!("return {ret};"));
+    b.close();
+    b.finish()
+}
+
+struct GenCtx<'r> {
+    rng: &'r mut SplitMix,
+    spec: &'r CorpusSpec,
+    vars: Vec<String>,
+    /// Loop counters: readable but never assignment targets (termination).
+    loop_vars: Vec<String>,
+    arrays: Vec<String>,
+    fresh: usize,
+    depth: usize,
+}
+
+impl GenCtx<'_> {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("t{}", self.fresh)
+    }
+
+    fn expr(&mut self) -> String {
+        let ops = ["+", "-", "*", "/", "%", "&", "|", "^"];
+        let depth = self.rng.range(1, 3);
+        let mut e = self.atom();
+        for _ in 0..depth {
+            let op = self.rng.pick(&ops);
+            let rhs = self.atom();
+            e = format!("({e} {op} {rhs})");
+        }
+        e
+    }
+
+    fn atom(&mut self) -> String {
+        match self.rng.below(4) {
+            0 => format!("{}", self.rng.range(1, 64)),
+            1 | 2 => self.rng.pick(&self.vars).clone(),
+            _ => {
+                if self.arrays.is_empty() {
+                    self.rng.pick(&self.vars).clone()
+                } else {
+                    let a = self.rng.pick(&self.arrays).clone();
+                    let i = self.rng.pick(&self.vars).clone();
+                    format!("{a}[({i}) & 15]")
+                }
+            }
+        }
+    }
+}
+
+fn emit_stmt(b: &mut SrcBuilder, ctx: &mut GenCtx<'_>) {
+    let branch = ctx.rng.chance(ctx.spec.branchiness, 100) && ctx.depth < 3;
+    let looped = ctx.rng.chance(ctx.spec.loopiness, 100) && ctx.depth < 2;
+    if looped {
+        let i = ctx.fresh_var();
+        let bound = ctx.rng.range(2, 12);
+        b.open(format!("for (var {i} = 0; {i} < {bound}; {i} = {i} + 1)"));
+        ctx.vars.push(i.clone());
+        ctx.loop_vars.push(i);
+        ctx.depth += 1;
+        let inner = ctx.rng.range(1, 4);
+        for _ in 0..inner {
+            emit_simple(b, ctx);
+        }
+        ctx.depth -= 1;
+        b.close();
+        ctx.vars.pop();
+        ctx.loop_vars.pop();
+    } else if branch {
+        let cond = format!(
+            "{} {} {}",
+            ctx.rng.pick(&ctx.vars).clone(),
+            ctx.rng.pick(&["<", ">", "==", "!=", "<=", ">="]),
+            ctx.rng.range(-8, 32)
+        );
+        b.open(format!("if ({cond})"));
+        ctx.depth += 1;
+        let inner = ctx.rng.range(1, 3);
+        for _ in 0..inner {
+            emit_simple(b, ctx);
+        }
+        ctx.depth -= 1;
+        b.close();
+        if ctx.rng.chance(40, 100) {
+            b.open("else");
+            ctx.depth += 1;
+            emit_simple(b, ctx);
+            ctx.depth -= 1;
+            b.close();
+        }
+    } else {
+        emit_simple(b, ctx);
+    }
+}
+
+fn emit_simple(b: &mut SrcBuilder, ctx: &mut GenCtx<'_>) {
+    match ctx.rng.below(4) {
+        // New variable (only at top level so it dominates later uses).
+        0 if ctx.depth == 0 => {
+            let v = ctx.fresh_var();
+            let e = ctx.expr();
+            b.linef(format_args!("var {v} = {e};"));
+            ctx.vars.push(v);
+        }
+        1 if !ctx.arrays.is_empty() => {
+            let a = ctx.rng.pick(&ctx.arrays).clone();
+            let i = ctx.rng.pick(&ctx.vars).clone();
+            let e = ctx.expr();
+            b.linef(format_args!("{a}[({i}) & 15] = {e};"));
+        }
+        _ => {
+            let assignable: Vec<String> = ctx
+                .vars
+                .iter()
+                .filter(|v| !ctx.loop_vars.contains(v))
+                .cloned()
+                .collect();
+            let v = ctx.rng.pick(&assignable).clone();
+            let e = ctx.expr();
+            b.linef(format_args!("{v} = {e};"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssair::interp::{run_function, Val};
+
+    #[test]
+    fn corpora_compile_and_run() {
+        for spec in corpus_benchmarks().iter().take(4) {
+            let m = generate_corpus(spec, 50);
+            assert!(m.functions.len() >= 2, "{}", spec.name);
+            for (name, f) in &m.functions {
+                ssair::verify(f).unwrap_or_else(|e| panic!("{}/{name}: {e}", spec.name));
+                let args: Vec<Val> = (0..f.params.len()).map(|i| Val::Int(i as i64 + 1)).collect();
+                run_function(f, &args, &m, 1_000_000)
+                    .unwrap_or_else(|e| panic!("{}/{name}: {e}", spec.name));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let spec = &corpus_benchmarks()[0];
+        let a = generate_corpus(spec, 20);
+        let b = generate_corpus(spec, 20);
+        assert_eq!(a.functions.len(), b.functions.len());
+        for (name, f) in &a.functions {
+            assert_eq!(
+                f.live_inst_count(),
+                b.functions[name].live_inst_count(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_controls_function_count() {
+        let spec = &corpus_benchmarks()[1]; // gcc: 5577 functions
+        let small = generate_corpus(spec, 1000);
+        assert!(small.functions.len() >= 2);
+        assert!(small.functions.len() <= 10);
+    }
+
+    #[test]
+    fn benchmark_list_matches_table4() {
+        let names: Vec<&str> = corpus_benchmarks().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"gcc"));
+        assert!(names.contains(&"sphinx3"));
+    }
+}

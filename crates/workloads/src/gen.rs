@@ -1,0 +1,127 @@
+//! Small helpers for emitting MiniC source programmatically.
+
+use std::fmt::Write as _;
+
+/// Incremental MiniC source builder with indentation.
+pub(crate) struct SrcBuilder {
+    out: String,
+    indent: usize,
+}
+
+impl SrcBuilder {
+    pub fn new() -> Self {
+        SrcBuilder {
+            out: String::new(),
+            indent: 0,
+        }
+    }
+
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s.as_ref());
+        self.out.push('\n');
+        self
+    }
+
+    pub fn linef(&mut self, args: std::fmt::Arguments<'_>) -> &mut Self {
+        let mut s = String::new();
+        let _ = write!(s, "{args}");
+        self.line(s)
+    }
+
+    pub fn open(&mut self, header: impl AsRef<str>) -> &mut Self {
+        self.line(format!("{} {{", header.as_ref()));
+        self.indent += 1;
+        self
+    }
+
+    pub fn close(&mut self) -> &mut Self {
+        self.indent = self.indent.saturating_sub(1);
+        self.line("}")
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Emits `fn <name>(<params>) { body }`.
+pub(crate) fn function(name: &str, params: &[&str], body: impl FnOnce(&mut SrcBuilder)) -> String {
+    let mut b = SrcBuilder::new();
+    b.open(format!("fn {name}({})", params.join(", ")));
+    body(&mut b);
+    b.close();
+    b.finish()
+}
+
+/// A tiny deterministic PRNG (SplitMix64) so workload shapes do not depend
+/// on the `rand` crate's version-to-version stream changes.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix(pub u64);
+
+impl SplitMix {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Picks an element.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_indents() {
+        let mut b = SrcBuilder::new();
+        b.open("fn f()");
+        b.line("var x = 1;");
+        b.close();
+        let s = b.finish();
+        assert_eq!(s, "fn f() {\n    var x = 1;\n}\n");
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix(42);
+        let mut b = SplitMix(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = SplitMix(7);
+        for _ in 0..1000 {
+            let v = r.range(-3, 3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+}

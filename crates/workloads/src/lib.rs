@@ -1,0 +1,24 @@
+//! Benchmark workloads for the evaluation (§6.1, §7.3).
+//!
+//! The paper profiles the hottest function of twelve SPEC CPU2006 /
+//! Phoronix C/C++ benchmarks (Table 2) and analyzes every function of the
+//! SPEC CPU2006 C suite (Table 4).  Shipping those sources is not possible,
+//! so this crate provides:
+//!
+//! * [`kernels`] — twelve hand-modelled MiniC kernels, one per Table 2
+//!   row, shaped after each benchmark's hot function (loop nests,
+//!   branching density, arithmetic mix) and sized to the same order of
+//!   magnitude of baseline IR instructions;
+//! * [`corpus`] — a seeded generator producing a SPEC-like corpus of
+//!   functions per benchmark for the §7 debugging study, with function
+//!   counts scaled from the paper's `|F_tot|` column.
+//!
+//! Both are deterministic: the same seed yields the same IR, so the
+//! regenerated tables are reproducible.
+
+pub mod corpus;
+mod gen;
+pub mod kernels;
+
+pub use corpus::{corpus_benchmarks, generate_corpus, CorpusSpec};
+pub use kernels::{all_kernels, kernel_source, Kernel};

@@ -1,0 +1,71 @@
+//! Adaptive optimization: TinyVM interprets the baseline version of a MiniC
+//! function, detects a hot loop, and fires an optimizing OSR into the
+//! optimized version mid-iteration — generating compensation code and the
+//! `f'to` continuation function on the fly (§5.4).
+//!
+//! ```sh
+//! cargo run -p examples --example hot_loop_osr
+//! ```
+
+use ssair::interp::Val;
+use tinyvm::runtime::{OsrPolicy, Vm};
+use tinyvm::FunctionVersions;
+
+fn main() {
+    let module = minic::compile(
+        "fn checksum(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 var k = x * x + 17;        // loop-invariant: LICM hoists it
+                 var t = (i * k) % 8191;    // loop-variant work
+                 acc = (acc + t) % 65521;
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles");
+
+    let base = module.get("checksum").expect("function exists").clone();
+    let versions = FunctionVersions::standard(base);
+
+    println!(
+        "baseline:  {} instructions, {} φ-nodes",
+        versions.base.live_inst_count(),
+        versions.base.phi_count()
+    );
+    println!(
+        "optimized: {} instructions, {} φ-nodes",
+        versions.opt.live_inst_count(),
+        versions.opt.phi_count()
+    );
+    println!("actions recorded: {}", versions.cm.counts());
+    for s in &versions.stats {
+        if s.changed {
+            println!("  pass {:<6} -> {}", s.name, s.actions);
+        }
+    }
+
+    let mut vm = Vm::new(module);
+    let args = [Val::Int(12), Val::Int(100_000)];
+    let expected = vm.run_plain(&versions.base, &args).expect("plain run");
+
+    let policy = OsrPolicy {
+        hotness_threshold: 1_000, // fire after 1000 loop-header visits
+        ..OsrPolicy::default()
+    };
+    let (result, events) = vm
+        .run_with_osr(&versions, &args, &policy)
+        .expect("OSR run");
+
+    for e in &events {
+        println!("transition: {e}");
+    }
+    assert_eq!(result, expected, "OSR must not change the result");
+    println!(
+        "checksum(12, 100000) = {} — identical with and without OSR ✓",
+        match result {
+            Some(Val::Int(n)) => n,
+            other => panic!("unexpected {other:?}"),
+        }
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the paper's formal pipeline end to end on the minimal
+//! language — write a program, make a transformation OSR-aware, build the
+//! bidirectional mappings, and fire a transition mid-run.
+//!
+//! ```sh
+//! cargo run -p examples --example quickstart
+//! ```
+
+use osr::{execute_transition, osr_trans, validate_mapping, Variant};
+use rewrite::{bisim::input_grid, ConstProp};
+use tinylang::semantics::{resume, run, trace};
+use tinylang::{parse_program, Point, Store};
+
+fn main() {
+    // A program with a propagatable constant `k`.
+    let p = parse_program(
+        "in x
+         k := 7
+         y := x + k
+         t := y * y
+         z := t + k
+         out z",
+    )
+    .expect("well-formed program");
+    println!("base program p:\n{p}");
+
+    // Make constant propagation OSR-aware: OSR_trans builds p' together
+    // with the forward and backward OSR mappings (Theorem 4.6).
+    let result = osr_trans(&p, &ConstProp, Variant::Live);
+    println!("optimized program p' = ⌈CP⌉(p):\n{}", result.optimized);
+    println!("forward OSR mapping M_pp' (point -> point with compensation):");
+    println!("{}", result.forward);
+
+    // Validate the mapping on a grid of input stores (Definition 3.1).
+    let stores = input_grid(&p, -5, 5);
+    let fired = validate_mapping(&p, &result.optimized, &result.forward, &stores, 100_000)
+        .expect("forward mapping is correct");
+    println!("validated forward mapping: {fired} transitions checked OK");
+
+    // Fire one transition interactively: run p to point 4, jump to p'.
+    let store = Store::new().with("x", 5);
+    let expected = run(&p, &store, 1_000);
+    let state_at_4 = trace(&p, &store, 1_000)
+        .into_iter()
+        .find(|s| s.point == Point::new(4))
+        .expect("execution reaches point 4");
+    println!("state at point 4: {state_at_4}");
+    let landed = execute_transition(&state_at_4, &result.forward, &result.optimized)
+        .expect("mapping defined at point 4");
+    println!("landed in p' at:  {landed}");
+    let outcome = resume(&result.optimized, landed, 1_000);
+    println!("resumed outcome:  {outcome:?}");
+    assert_eq!(outcome, expected, "OSR must preserve the program's output");
+    println!("\nOSR transition produced the same output as running p alone ✓");
+}

@@ -1,0 +1,86 @@
+//! Integration test of the §7 debugging study over a generated corpus.
+
+use debugger::{analyze_function, StudySummary};
+use ssair::passes::Pipeline;
+
+/// The study runs end-to-end on a scaled-down corpus and reproduces the
+/// paper's qualitative findings.
+#[test]
+fn study_reproduces_headline_shapes() {
+    let mut rows = Vec::new();
+    for spec in workloads::corpus_benchmarks().into_iter().take(4) {
+        let module = workloads::generate_corpus(&spec, 40);
+        let mut reports = Vec::new();
+        let mut weights = Vec::new();
+        for (_n, base) in &module.functions {
+            let (opt, cm, _) = Pipeline::standard().optimize(base);
+            reports.push(analyze_function(base, &opt, &cm));
+            weights.push(base.live_inst_count());
+        }
+        let summary = StudySummary::aggregate(&reports, &weights);
+        rows.push((spec.name, summary));
+    }
+    for (name, s) in &rows {
+        // §7.3: a sizable fraction of functions is optimized at all.
+        assert!(
+            s.optimized_functions * 2 >= s.total_functions,
+            "{name}: most generated functions should be optimizable"
+        );
+        // §7.4: avail recoverability dominates live and stays high.
+        assert!(
+            s.recoverability_avail >= s.recoverability_live,
+            "{name}: avail must dominate live"
+        );
+        if s.endangered_functions > 0 {
+            assert!(
+                s.recoverability_avail > 0.8,
+                "{name}: avail recoverability {:.2} too low",
+                s.recoverability_avail
+            );
+        }
+    }
+}
+
+/// Recoverability accounting is internally consistent.
+#[test]
+fn per_function_accounting_invariants() {
+    let spec = &workloads::corpus_benchmarks()[0];
+    let module = workloads::generate_corpus(spec, 20);
+    for (name, base) in &module.functions {
+        let (opt, cm, _) = Pipeline::standard().optimize(base);
+        let r = analyze_function(base, &opt, &cm);
+        assert!(r.recoverable_live <= r.endangered_total, "{name}");
+        assert!(r.recoverable_avail <= r.endangered_total, "{name}");
+        assert!(r.recoverable_avail >= r.recoverable_live, "{name}");
+        assert_eq!(
+            r.endangered_total,
+            r.endangered_per_point.iter().sum::<usize>(),
+            "{name}"
+        );
+        assert!(r.affected_points <= r.total_points, "{name}");
+        if r.endangered_total == 0 {
+            assert!(r.keep_set.is_empty(), "{name}");
+        }
+    }
+}
+
+/// An unoptimized module yields a fully clean report (negative control).
+#[test]
+fn identity_pipeline_has_no_endangered_vars() {
+    let module = minic::compile(
+        "fn plain(a, b) {
+             var c = a + b;
+             var d = c * 2;
+             return d;
+         }",
+    )
+    .expect("compiles");
+    let base = module.get("plain").expect("exists").clone();
+    // Empty pipeline: opt is a verbatim clone.
+    let empty = Pipeline::new(vec![]);
+    let (opt, cm, _) = empty.optimize(&base);
+    let r = analyze_function(&base, &opt, &cm);
+    assert_eq!(r.endangered_total, 0);
+    assert!(!r.optimized);
+    assert!((r.recoverability(true) - 1.0).abs() < f64::EPSILON);
+}

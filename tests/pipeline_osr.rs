@@ -1,0 +1,186 @@
+//! Cross-crate integration: MiniC → SSA → OSR-aware pipeline → runtime
+//! transitions, checked for semantic transparency on every kernel.
+
+use ssair::feasibility::{
+    classify_function, classify_function_with_extension, landing_site, osr_points,
+};
+use ssair::interp::{run_function, Val};
+use ssair::passes::Pipeline;
+use ssair::reconstruct::{apply_comp, Direction, OsrPair, Variant};
+use tinyvm::runtime::{OsrPolicy, Vm};
+use tinyvm::FunctionVersions;
+
+/// Optimizing every kernel preserves its behaviour on the sample inputs.
+#[test]
+fn kernels_optimize_equivalently() {
+    for k in workloads::all_kernels() {
+        let module = minic::compile(&k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let base = module.get(k.entry).expect("entry").clone();
+        let (opt, _cm, _) = Pipeline::standard().optimize(&base);
+        ssair::verify(&opt).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let args: Vec<Val> = k.sample_args.iter().map(|n| Val::Int(*n)).collect();
+        assert_eq!(
+            run_function(&base, &args, &module, 100_000_000).expect("base runs"),
+            run_function(&opt, &args, &module, 100_000_000).expect("opt runs"),
+            "{}",
+            k.name
+        );
+    }
+}
+
+/// The avail variant makes (nearly) all points feasible in both directions
+/// — the paper's headline claim — on the small kernels.
+#[test]
+fn feasibility_headline_claims() {
+    for name in ["soplex", "fhourstones", "dcraw", "vp8"] {
+        let k = workloads::kernel_source(name).expect("kernel");
+        let module = minic::compile(&k.source).expect("compiles");
+        let base = module.get(k.entry).expect("entry").clone();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        let pair = OsrPair::new(&base, &opt, &cm);
+        let fwd = classify_function(&pair, Direction::Forward);
+        assert!(
+            fwd.frac_avail() > 0.5,
+            "{name} forward avail fraction {:.2}",
+            fwd.frac_avail()
+        );
+        // Compensation code stays small in both directions on these
+        // kernels (the aggregate forward ≫ backward claim of §6.2 is
+        // checked over the full kernel set in EXPERIMENTS.md).
+        assert!(fwd.avg_live_comp() < 100.0, "{name}");
+        // Deopt uses the §5.2/§7.4 liveness extension, like the paper.
+        let bwd = classify_function_with_extension(&base, Direction::Backward, 3);
+        assert!(bwd.avg_live_comp() < 100.0, "{name}");
+        assert!(
+            bwd.frac_avail() > 0.5,
+            "{name} backward avail fraction {:.2}",
+            bwd.frac_avail()
+        );
+    }
+}
+
+/// Fires a forward OSR at EVERY feasible loop-header point of a kernel and
+/// checks the result each time (an exhaustive version of what the VM does).
+#[test]
+fn transitions_at_every_header_point() {
+    let k = workloads::kernel_source("fhourstones").expect("kernel");
+    let module = minic::compile(&k.source).expect("compiles");
+    let versions = FunctionVersions::standard(module.get(k.entry).expect("entry").clone());
+    let args: Vec<Val> = k.sample_args.iter().map(|n| Val::Int(*n)).collect();
+    let mut vm = Vm::new(module);
+    let expected = vm.run_plain(&versions.base, &args).expect("plain");
+    let mut fired = 0;
+    for threshold in [1, 2, 5, 10] {
+        let policy = OsrPolicy {
+            hotness_threshold: threshold,
+            variant: Variant::Avail,
+            use_continuation: threshold % 2 == 0,
+        };
+        let (got, events) = vm.run_with_osr(&versions, &args, &policy).expect("runs");
+        assert_eq!(got, expected, "threshold {threshold}");
+        fired += events.len();
+    }
+    assert!(fired > 0, "at least one transition must fire");
+}
+
+/// Compensation code executes correctly at an arbitrary mid-function point:
+/// build the entry, transfer a synthetic frame, and re-run both sides.
+#[test]
+fn compensation_code_respects_interpreter_state() {
+    let module = minic::compile(
+        "fn f(x, n) {
+             var s = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 var t = x * x + 3;
+                 s = s + t - i;
+             }
+             return s;
+         }",
+    )
+    .expect("compiles");
+    let base = module.get("f").expect("entry").clone();
+    let (opt, cm, _) = Pipeline::standard().optimize(&base);
+    let pair = OsrPair::new(&base, &opt, &cm);
+
+    // Drive the base interpreter to each loop-header visit and fire.
+    let headers = tinyvm::runtime::loop_header_points(&base);
+    let header = headers[0];
+    let args = [Val::Int(4), Val::Int(20)];
+    let expected = run_function(&base, &args, &module, 1_000_000).expect("plain");
+
+    for visit in 1..10 {
+        let mut machine = ssair::interp::Machine::new(1_000_000);
+        let mut frame = ssair::interp::Frame::enter(&base, &args);
+        use std::cell::Cell;
+        let count = Cell::new(0usize);
+        let out = ssair::interp::run_frame(
+            &base,
+            &mut frame,
+            &mut machine,
+            &module,
+            Some(&|_f, _fr, i| {
+                if i == header {
+                    count.set(count.get() + 1);
+                    count.get() == visit
+                } else {
+                    false
+                }
+            }),
+        )
+        .expect("runs");
+        if !matches!(out, ssair::interp::StepOutcome::Paused { .. }) {
+            break;
+        }
+        let landing = landing_site(&base, &opt, &cm, header).expect("landing");
+        let entry = pair
+            .build_entry_with_edge(
+                Direction::Forward,
+                header,
+                landing.loc,
+                Variant::Avail,
+                landing.entry_edge,
+            )
+            .expect("feasible");
+        let env = apply_comp(&entry, &opt, &frame.values, &mut machine).expect("comp runs");
+        let block = opt.block_of(landing.loc).expect("live");
+        let index = opt
+            .block(block)
+            .insts
+            .iter()
+            .position(|i| *i == landing.loc)
+            .expect("in block");
+        let mut oframe = ssair::interp::Frame {
+            values: env,
+            block,
+            index,
+            came_from: None,
+        };
+        let got = ssair::interp::run_frame(&opt, &mut oframe, &mut machine, &module, None)
+            .expect("resumes");
+        assert_eq!(
+            got,
+            ssair::interp::StepOutcome::Returned(expected),
+            "OSR at visit {visit} diverged"
+        );
+    }
+}
+
+/// Every OSR point of a kernel classifies without panicking, and the
+/// classification is stable across runs (determinism).
+#[test]
+fn classification_is_total_and_deterministic() {
+    let k = workloads::kernel_source("soplex").expect("kernel");
+    let module = minic::compile(&k.source).expect("compiles");
+    let base = module.get(k.entry).expect("entry").clone();
+    let (opt, cm, _) = Pipeline::standard().optimize(&base);
+    let pair = OsrPair::new(&base, &opt, &cm);
+    let a = classify_function(&pair, Direction::Forward);
+    let b = classify_function(&pair, Direction::Backward);
+    assert_eq!(a.total_points, osr_points(&base).len());
+    assert_eq!(b.total_points, osr_points(&opt).len());
+    let a2 = classify_function(&pair, Direction::Forward);
+    assert_eq!(a.empty, a2.empty);
+    assert_eq!(a.live, a2.live);
+    assert_eq!(a.avail, a2.avail);
+    assert_eq!(a.infeasible, a2.infeasible);
+}

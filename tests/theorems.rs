@@ -1,0 +1,231 @@
+//! Executable checks of the paper's theorems on the formal language,
+//! including randomized (property-based) variants.
+
+use proptest::prelude::*;
+use rewrite::bisim::{check_lvb, input_grid};
+use rewrite::{ConstProp, DeadCodeElim, Hoist, LveTransform, TransformSeq};
+use tinylang::semantics::{resume, run, trace, Outcome};
+use tinylang::{parse_program, Point, Program, Store, Var};
+
+const FUEL: usize = 200_000;
+
+fn sample_programs() -> Vec<Program> {
+    [
+        // Constant chains for CP, dead values for DCE.
+        "in x
+         a := 5
+         b := a + 1
+         c := b * x
+         d := x * x
+         e := c + a
+         out e",
+        // Loop with hoistable invariant.
+        "in x n
+         i := 0
+         skip
+         t := x * x
+         i := i + t
+         if (i < n) goto 4
+         out i",
+        // Branches with constants on both sides.
+        "in x c
+         k := 3
+         if (c) goto 6
+         y := x + k
+         goto 7
+         y := x - k
+         out y",
+        // Nested loop accumulation.
+        "in n
+         k := 2
+         s := 0
+         i := 0
+         if (i >= n) goto 10
+         s := s + i * k
+         skip
+         i := i + 1
+         goto 5
+         out s",
+    ]
+    .into_iter()
+    .map(|src| parse_program(src).expect("sample parses"))
+    .collect()
+}
+
+/// Theorem 3.2: truncating the store to live variables mid-trace never
+/// changes the final output.
+#[test]
+fn theorem_3_2_live_store_replacement() {
+    for p in sample_programs() {
+        let oracle = ctl::LivenessOracle::new(&p);
+        for store in input_grid(&p, -3, 3) {
+            let expected = run(&p, &store, FUEL);
+            if matches!(expected, Outcome::OutOfFuel) {
+                continue;
+            }
+            for state in trace(&p, &store, FUEL) {
+                if state.point.get() < 2 || state.point.get() > p.len() {
+                    continue;
+                }
+                let live = oracle.live_at(state.point);
+                let truncated = tinylang::semantics::State {
+                    store: state.store.restrict(live.iter().map(Var::as_str)),
+                    point: state.point,
+                };
+                let got = resume(&p, truncated, FUEL);
+                assert_eq!(got, expected, "at {} on {}", state.point, store);
+            }
+        }
+    }
+}
+
+/// Theorem 4.5: CP, DCE and Hoist are live-variable equivalent.
+#[test]
+fn theorem_4_5_lve_transformations() {
+    let transforms: Vec<Box<dyn LveTransform>> = vec![
+        Box::new(ConstProp),
+        Box::new(DeadCodeElim),
+        Box::new(Hoist),
+    ];
+    for p in sample_programs() {
+        let stores = input_grid(&p, -3, 3);
+        for t in &transforms {
+            let (p2, edits) = t.apply_fixpoint(&p, 1_000);
+            if edits.is_empty() {
+                continue;
+            }
+            check_lvb(&p, &p2, &stores, FUEL)
+                .unwrap_or_else(|w| panic!("{} not LVE on\n{p}\nwitness {w:?}", t.name()));
+        }
+    }
+}
+
+/// Theorem 4.6: OSR_trans yields strict, correct forward and backward
+/// mappings for every LVE transformation on every sample program.
+#[test]
+fn theorem_4_6_osr_trans_correctness() {
+    let transforms: Vec<Box<dyn LveTransform>> = vec![
+        Box::new(ConstProp),
+        Box::new(DeadCodeElim),
+        Box::new(Hoist),
+    ];
+    for p in sample_programs() {
+        let stores = input_grid(&p, -3, 3);
+        for t in &transforms {
+            for variant in [osr::Variant::Live, osr::Variant::Avail] {
+                let r = osr::osr_trans(&p, t.as_ref(), variant);
+                osr::validate_mapping(&p, &r.optimized, &r.forward, &stores, FUEL)
+                    .unwrap_or_else(|e| panic!("{} fwd {variant}: {e}\n{p}", t.name()));
+                osr::validate_mapping(&r.optimized, &p, &r.backward, &stores, FUEL)
+                    .unwrap_or_else(|e| panic!("{} bwd {variant}: {e}\n{p}", t.name()));
+            }
+        }
+    }
+}
+
+/// Theorem 3.4: composed mappings are correct end to end.
+#[test]
+fn theorem_3_4_mapping_composition() {
+    for p in sample_programs() {
+        let stores = input_grid(&p, -3, 3);
+        for variant in [osr::Variant::Live, osr::Variant::Avail] {
+            let r = osr::osr_trans_seq(&p, &TransformSeq::standard(), variant);
+            let fwd = r.composed_forward();
+            osr::validate_mapping(&p, r.optimized(), &fwd, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("composed fwd {variant}: {e}\n{p}"));
+            let bwd = r.composed_backward();
+            osr::validate_mapping(r.optimized(), &p, &bwd, &stores, FUEL)
+                .unwrap_or_else(|e| panic!("composed bwd {variant}: {e}\n{p}"));
+        }
+    }
+}
+
+// ---------- property-based: random straight-line-and-loop programs ----------
+
+/// Builds a random but well-formed program from a proptest recipe: a
+/// prologue of constant/affine assignments, an optional counted loop, and
+/// an output over a randomly chosen defined variable.
+fn arbitrary_program() -> impl Strategy<Value = Program> {
+    let assign = (0usize..6, 0usize..6, -4i64..5);
+    proptest::collection::vec(assign, 1..10).prop_map(|assigns| {
+        let vars = ["v0", "v1", "v2", "v3", "v4", "v5"];
+        let mut src = String::from("in x\n");
+        // Ensure every variable is defined before use.
+        for v in vars {
+            src.push_str(&format!("{v} := x\n"));
+        }
+        for (d, s, k) in &assigns {
+            src.push_str(&format!("{} := {} + {k}\n", vars[*d], vars[*s]));
+        }
+        src.push_str("out v0 v3\n");
+        parse_program(&src).expect("generated program is well-formed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pipeline outputs stay semantically equivalent on random programs.
+    #[test]
+    fn prop_pipeline_preserves_semantics(p in arbitrary_program(), x in -20i64..20) {
+        let store = Store::new().with("x", x);
+        let (opt, _) = TransformSeq::standard().apply(&p);
+        prop_assert_eq!(run(&p, &store, FUEL), run(&opt, &store, FUEL));
+    }
+
+    /// Every mapping OSR_trans builds validates on random programs.
+    #[test]
+    fn prop_osr_trans_validates(p in arbitrary_program(), x in -10i64..10) {
+        let stores = vec![Store::new().with("x", x)];
+        let r = osr::osr_trans(&p, &ConstProp, osr::Variant::Avail);
+        prop_assert!(osr::validate_mapping(&p, &r.optimized, &r.forward, &stores, FUEL).is_ok());
+        prop_assert!(osr::validate_mapping(&r.optimized, &p, &r.backward, &stores, FUEL).is_ok());
+    }
+
+    /// CTL liveness and dataflow liveness agree on random programs.
+    #[test]
+    fn prop_ctl_matches_dataflow_liveness(p in arbitrary_program()) {
+        for l in p.points() {
+            prop_assert_eq!(ctl::live_vars(&p, l), ctl::live_vars_ctl(&p, l));
+        }
+    }
+}
+
+/// The strict-mapping notion: for semantics-preserving transformations the
+/// same initial store works on both sides (sanity check of Definition 3.1's
+/// strictness on a concrete case).
+#[test]
+fn strict_mapping_shares_initial_store() {
+    let p = parse_program(
+        "in x
+         k := 7
+         y := x + k
+         out y",
+    )
+    .expect("parses");
+    let r = osr::osr_trans(&p, &ConstProp, osr::Variant::Live);
+    let store = Store::new().with("x", 3);
+    // Trace both programs from the SAME store; at every mapped point the
+    // compensated state must agree with the target's own trace state on
+    // live variables.
+    let target_trace = trace(&r.optimized, &store, FUEL);
+    for state in trace(&p, &store, FUEL) {
+        let Some(entry) = r.forward.get(state.point) else {
+            continue;
+        };
+        let landed = osr::execute_transition(&state, &r.forward, &r.optimized).expect("mapped");
+        let twin = target_trace
+            .iter()
+            .find(|s| s.point == entry.target)
+            .expect("strict mapping: same-store trace reaches the target point");
+        for v in ctl::live_vars(&r.optimized, entry.target) {
+            assert_eq!(
+                landed.store.get(v.as_str()),
+                twin.store.get(v.as_str()),
+                "live var {v} differs at {}",
+                entry.target
+            );
+        }
+    }
+    let _ = Point::new(1);
+}
