@@ -1,0 +1,114 @@
+//! Tiered-engine throughput: batched multi-threaded execution of a
+//! SPEC-like corpus against the shared code cache, with background OSR
+//! tier-up and debugger-attach tier-down.
+//!
+//! Beyond timing, this bench *checks* the acceptance properties of the
+//! engine: a ≥ 32-request corpus batch completes with at least one
+//! background tier-up OSR and at least one deopt, per-request results are
+//! deterministic (same seed → same outputs), and repeated batches hit the
+//! code cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{Engine, EnginePolicy, Request};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+
+fn service_module() -> Module {
+    let spec = workloads::corpus_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "bzip2")
+        .expect("bzip2 spec");
+    let mut module = workloads::generate_corpus(&spec, 10);
+    let kernel = workloads::kernel_source("soplex").expect("kernel");
+    for f in minic::compile(&kernel.source)
+        .expect("compiles")
+        .functions
+        .into_values()
+    {
+        module.add(f);
+    }
+    module
+}
+
+fn policy() -> EnginePolicy {
+    EnginePolicy {
+        hotness_threshold: 24,
+        compile_workers: 2,
+        batch_workers: 4,
+        ..EnginePolicy::default()
+    }
+}
+
+fn batch(module: &Module) -> Vec<Request> {
+    let mut requests: Vec<Request> = workloads::request_mix(module, 36, 0xBEEF)
+        .into_iter()
+        .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
+        .collect();
+    for seed in 0..4 {
+        requests.push(Request::debug(
+            "soplex_pivot",
+            vec![Val::Int(10), Val::Int(17 + seed)],
+        ));
+    }
+    assert!(requests.len() >= 32, "acceptance: >= 32-request batch");
+    requests
+}
+
+/// Runs `rounds` batches on a fresh engine, verifying the acceptance
+/// properties, and returns the per-request results of the first batch.
+fn run_rounds(module: &Module, rounds: usize) -> Vec<Option<Val>> {
+    let engine = Engine::new(module.clone(), policy());
+    let requests = batch(module);
+    let mut tier_ups = 0;
+    let mut deopts = 0;
+    let mut first = Vec::new();
+    for round in 0..rounds {
+        let report = engine.run_batch(&requests);
+        tier_ups += report.transitions(Direction::Forward);
+        deopts += report.transitions(Direction::Backward);
+        let results: Vec<Option<Val>> = report
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect();
+        if round == 0 {
+            first = results;
+        }
+    }
+    let metrics = engine.metrics();
+    assert!(tier_ups >= 1, "no background tier-up fired: {metrics}");
+    assert!(deopts >= 1, "no deopt fired: {metrics}");
+    assert!(metrics.cache_hits > 0, "no cache hits: {metrics}");
+    assert!(metrics.compiles >= 1, "nothing compiled: {metrics}");
+    first
+}
+
+fn bench_engine_batches(c: &mut Criterion) {
+    let module = service_module();
+
+    // Determinism check across independent engines before timing anything.
+    let a = run_rounds(&module, 3);
+    let b = run_rounds(&module, 3);
+    assert_eq!(a, b, "same seed must give same per-request results");
+
+    // Steady-state batch throughput against a warm cache.
+    let engine = Engine::new(module.clone(), policy());
+    let requests = batch(&module);
+    engine.run_batch(&requests); // warm-up: trigger compiles
+    c.bench_function("engine_batch_40req_warm", |bch| {
+        bch.iter(|| engine.run_batch(&requests))
+    });
+    println!("final metrics: {}", engine.metrics());
+
+    // Cold engine including compile + precompute work.
+    c.bench_function("engine_batch_40req_cold", |bch| {
+        bch.iter(|| {
+            let engine = Engine::new(module.clone(), policy());
+            engine.run_batch(&requests)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine_batches);
+criterion_main!(benches);

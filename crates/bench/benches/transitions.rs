@@ -24,7 +24,7 @@ fn setup() -> (Vm, FunctionVersions) {
 }
 
 fn bench_transition(c: &mut Criterion) {
-    let (mut vm, versions) = setup();
+    let (vm, versions) = setup();
     let args = [Val::Int(9), Val::Int(2_000)];
 
     c.bench_function("run_base_plain", |b| {

@@ -8,7 +8,7 @@
 
 use bench::{analyze_all_kernels, fmt_f, KernelResult};
 use debugger::{analyze_function, FunctionReport, StudySummary};
-use ssair::passes::{Pass, Pipeline};
+use ssair::passes::Pipeline;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,10 +27,12 @@ fn main() {
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected = ["table1", "table2", "fig7", "fig8", "table3", "table4", "fig9", "table5"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+        selected = [
+            "table1", "table2", "fig7", "fig8", "table3", "table4", "fig9", "table5",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     }
 
     let needs_kernels = selected
@@ -85,7 +87,16 @@ fn table2(kernels: &[KernelResult]) {
     println!("\nTable 2: IR features of analyzed code");
     println!(
         "\n{:<12} {:>7} {:>7} {:>7} {:>7} {:>6} {:>7} {:>6} {:>5} {:>8}",
-        "benchmark", "|fbase|", "|phib|", "|fopt|", "|phio|", "add", "delete", "hoist", "sink", "replace"
+        "benchmark",
+        "|fbase|",
+        "|phib|",
+        "|fopt|",
+        "|phio|",
+        "add",
+        "delete",
+        "hoist",
+        "sink",
+        "replace"
     );
     for k in kernels {
         let f = &k.features;
@@ -141,8 +152,18 @@ fn table3(kernels: &[KernelResult]) {
     println!(
         "{:<12} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "benchmark",
-        "liveAvg", "liveMax", "avAvg", "avMax", "KAvg", "KMax",
-        "liveAvg", "liveMax", "avAvg", "avMax", "KAvg", "KMax"
+        "liveAvg",
+        "liveMax",
+        "avAvg",
+        "avMax",
+        "KAvg",
+        "KMax",
+        "liveAvg",
+        "liveMax",
+        "avAvg",
+        "avMax",
+        "KAvg",
+        "KMax"
     );
     for k in kernels {
         let f = &k.forward;
@@ -179,7 +200,7 @@ fn run_study(scale: usize) -> Vec<StudyRow> {
         let module = workloads::generate_corpus(&spec, scale);
         let mut reports = Vec::new();
         let mut weights = Vec::new();
-        for (_name, base) in &module.functions {
+        for base in module.functions.values() {
             let (opt, cm, _) = Pipeline::standard().optimize(base);
             reports.push(analyze_function(base, &opt, &cm));
             weights.push(base.live_inst_count());
@@ -242,7 +263,10 @@ fn fig9(rows: &[StudyRow]) {
 /// Table 5: values to preserve for the avail variant.
 fn table5(rows: &[StudyRow]) {
     println!("\nTable 5: values to be preserved for avail (per endangered function)");
-    println!("\n{:<12} {:>7} {:>7} {:>7}", "benchmark", "frac", "avg", "sd");
+    println!(
+        "\n{:<12} {:>7} {:>7} {:>7}",
+        "benchmark", "frac", "avg", "sd"
+    );
     for r in rows {
         let s = &r.summary;
         println!(

@@ -38,8 +38,8 @@ pub struct KernelResult {
 /// Panics if the kernel source fails to compile — kernels are fixed inputs,
 /// so that is a build error, not a runtime condition.
 pub fn analyze_kernel(kernel: &Kernel) -> KernelResult {
-    let module = minic::compile(&kernel.source)
-        .unwrap_or_else(|e| panic!("kernel {}: {e}", kernel.name));
+    let module =
+        minic::compile(&kernel.source).unwrap_or_else(|e| panic!("kernel {}: {e}", kernel.name));
     let base = module
         .get(kernel.entry)
         .unwrap_or_else(|| panic!("kernel {} lacks entry {}", kernel.name, kernel.entry))
@@ -67,7 +67,10 @@ pub fn analyze_kernel(kernel: &Kernel) -> KernelResult {
 
 /// Analyzes all twelve kernels (the full §6 evaluation).
 pub fn analyze_all_kernels() -> Vec<KernelResult> {
-    workloads::all_kernels().iter().map(analyze_kernel).collect()
+    workloads::all_kernels()
+        .iter()
+        .map(analyze_kernel)
+        .collect()
 }
 
 /// Formats a float with fixed precision, rendering exact zeros as `0`.

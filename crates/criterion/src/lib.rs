@@ -1,0 +1,171 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, so the workspace builds in offline environments.
+//!
+//! It implements the subset of the criterion 0.5 API the benches use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups, [`BenchmarkId`]) with a simple fixed-budget timing
+//! loop: each benchmark is warmed up once and then measured for a bounded
+//! number of iterations, reporting the mean time per iteration.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub use std::hint::black_box;
+
+/// Iteration budget per measurement (kept small: this harness exists to
+/// validate and smoke-time benches, not to do rigorous statistics).
+const MAX_ITERS: u64 = 50;
+/// Wall-clock budget per measurement.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+/// Identifier for a parameterized benchmark, e.g. `optimize/bzip2`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter` ids like criterion does.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within the iteration and
+    /// wall-clock budgets.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration, unmeasured.
+        black_box(routine());
+        let started = Instant::now();
+        for _ in 0..MAX_ITERS {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (not measured)");
+        } else {
+            let per = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+            println!("{name:<40} {per:>12.2?}/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample sizing.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark of the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_api_matches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", "x"), &3, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+}

@@ -67,9 +67,7 @@ impl<'p> Checker<'p> {
         match formula {
             Formula::True => vec![true; n],
             Formula::False => vec![false; n],
-            Formula::Atom(a) => (1..=n)
-                .map(|i| self.atom_holds(a, Point::new(i)))
-                .collect(),
+            Formula::Atom(a) => (1..=n).map(|i| self.atom_holds(a, Point::new(i))).collect(),
             Formula::Not(f) => self.sat_set(f).into_iter().map(|b| !b).collect(),
             Formula::And(a, b) => zip_with(self.sat_set(a), self.sat_set(b), |x, y| x && y),
             Formula::Or(a, b) => zip_with(self.sat_set(a), self.sat_set(b), |x, y| x || y),

@@ -115,11 +115,7 @@ impl BindingAnalysis {
     /// Panics if `at` has been removed from the function.
     pub fn bindings_before(&self, f: &Function, at: InstId) -> Env {
         let b = f.block_of(at).expect("live instruction");
-        let mut env = self
-            .block_in
-            .get(&b)
-            .cloned()
-            .unwrap_or_default();
+        let mut env = self.block_in.get(&b).cloned().unwrap_or_default();
         for &i in &f.block(b).insts {
             if i == at {
                 break;
@@ -198,14 +194,13 @@ mod tests {
         )
         .unwrap();
         let f = m.get("f").unwrap();
-        let ba = BindingAnalysis::compute(f);
+        let _ba = BindingAnalysis::compute(f);
         // Inside the loop the binding of s from entry conflicts with the
         // one from the latch.
-        let in_loop = f
-            .inst_iter()
-            .map(|(_, i)| i)
-            .find(|i| matches!(&f.inst(*i).kind, InstKind::DbgValue { var, .. } if var == "s")
-                && f.inst(*i).line.is_some());
+        let in_loop = f.inst_iter().map(|(_, i)| i).find(|i| {
+            matches!(&f.inst(*i).kind, InstKind::DbgValue { var, .. } if var == "s")
+                && f.inst(*i).line.is_some()
+        });
         assert!(in_loop.is_some());
     }
 }

@@ -137,12 +137,11 @@ pub fn analyze_function(base: &Function, opt: &Function, cm: &SsaMapper) -> Func
             {
                 report.recoverable_live += 1;
             }
-            match pair.reconstruct_value(Direction::Backward, p, landing.loc, Variant::Avail, v) {
-                Ok(entry) => {
-                    report.recoverable_avail += 1;
-                    report.keep_set.extend(entry.keep.iter().copied());
-                }
-                Err(_) => {}
+            if let Ok(entry) =
+                pair.reconstruct_value(Direction::Backward, p, landing.loc, Variant::Avail, v)
+            {
+                report.recoverable_avail += 1;
+                report.keep_set.extend(entry.keep.iter().copied());
             }
         }
         if endangered_here > 0 {

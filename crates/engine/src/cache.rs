@@ -1,0 +1,343 @@
+//! The shared code cache: compiled function versions with precomputed,
+//! validated OSR entry tables, keyed by `(function, pass pipeline)`.
+//!
+//! The cache is the rendezvous point between interpreters and the
+//! background compiler pool: interpreters probe it on every hot visit,
+//! compile workers publish into it, and both tier-up and tier-down
+//! transitions are served from the precomputed tables it stores (so a
+//! transition at run time is a table lookup, never a reconstruction).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ssair::feasibility::{precompute_entries, EntryTable};
+use ssair::passes::Pipeline;
+use ssair::reconstruct::{CompStep, Direction, Variant};
+use ssair::{Function, ValueDef, ValueId};
+use tinyvm::FunctionVersions;
+
+/// Which optimization pipeline a cached artifact was produced by.
+///
+/// Identified by name so the key stays hashable; workers materialize the
+/// actual [`Pipeline`] (which holds trait objects) on their own thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PipelineSpec {
+    /// The §5.4 standard pass mix.
+    Standard,
+}
+
+impl PipelineSpec {
+    /// Builds the pipeline this spec names.
+    pub fn build(self) -> Pipeline {
+        match self {
+            PipelineSpec::Standard => Pipeline::standard(),
+        }
+    }
+
+    /// Stable display name (used in metrics and cache keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineSpec::Standard => "standard",
+        }
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Cache key: one function under one pipeline.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Function name in the engine's module.
+    pub function: String,
+    /// Pipeline the artifact was (or will be) produced by.
+    pub pipeline: PipelineSpec,
+}
+
+impl CacheKey {
+    /// Key for `function` under the standard pipeline.
+    pub fn standard(function: impl Into<String>) -> Self {
+        CacheKey {
+            function: function.into(),
+            pipeline: PipelineSpec::Standard,
+        }
+    }
+}
+
+/// A compiled artifact: the version pair plus both precomputed OSR entry
+/// tables and compile-time metadata.
+pub struct CompiledVersion {
+    /// Baseline/optimized pair with the recorded action mapper.
+    pub versions: Arc<FunctionVersions>,
+    /// Forward (tier-up) entries: baseline point → compensation.
+    pub tier_up: Arc<EntryTable>,
+    /// Backward (tier-down / deopt) entries: optimized point → compensation.
+    pub tier_down: Arc<EntryTable>,
+    /// Wall-clock compile + precompute latency.
+    pub compile_nanos: u64,
+}
+
+/// Why a compiled version was rejected from the cache.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// A precomputed entry table failed its structural validation.
+    InvalidTable {
+        /// Which direction's table failed.
+        direction: Direction,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidTable { direction, reason } => {
+                write!(f, "invalid {direction:?} entry table: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles `base` under `spec`: optimizes, precomputes both OSR entry
+/// tables, and validates them structurally (see [`validate_table`]).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a precomputed table fails validation — the
+/// artifact must then stay out of the cache.
+pub fn compile_function(
+    base: Function,
+    spec: PipelineSpec,
+    variant: Variant,
+) -> Result<CompiledVersion, CompileError> {
+    let t0 = Instant::now();
+    let versions = FunctionVersions::new(base, &spec.build());
+    let pair = versions.pair();
+    let tier_up = precompute_entries(&pair, Direction::Forward, variant);
+    let tier_down = precompute_entries(&pair, Direction::Backward, variant);
+    validate_table(&tier_up, &versions.base, &versions.opt)?;
+    validate_table(&tier_down, &versions.opt, &versions.base)?;
+    drop(pair);
+    Ok(CompiledVersion {
+        versions: Arc::new(versions),
+        tier_up: Arc::new(tier_up),
+        tier_down: Arc::new(tier_down),
+        compile_nanos: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Structural validation of a precomputed entry table: every step of every
+/// entry must be executable against *some* source frame — transfers read
+/// values the source version defines, copies and emits only consume values
+/// produced by earlier steps, and each landing location is live in the
+/// target version.  (Semantic correctness is Algorithm 1's theorem; this
+/// check catches table corruption before the artifact is shared.)
+pub fn validate_table(
+    table: &EntryTable,
+    src_fn: &Function,
+    dst_fn: &Function,
+) -> Result<(), CompileError> {
+    let fail = |reason: String| {
+        Err(CompileError::InvalidTable {
+            direction: table.direction,
+            reason,
+        })
+    };
+    for (at, (landing, entry)) in &table.entries {
+        if !dst_fn.inst_is_live(landing.loc) {
+            return fail(format!(
+                "landing {} for {at} not live in target",
+                landing.loc
+            ));
+        }
+        let mut produced: std::collections::BTreeSet<ValueId> = Default::default();
+        for step in &entry.comp.steps {
+            match step {
+                CompStep::Transfer { src, dst } => {
+                    if (src.0 as usize) >= src_fn.value_count() {
+                        return fail(format!("transfer of {src} undefined in source"));
+                    }
+                    if let ValueDef::Inst(i) = src_fn.value_def(*src) {
+                        if !src_fn.inst_is_live(i) {
+                            return fail(format!("transfer of dead source value {src}"));
+                        }
+                    }
+                    produced.insert(*dst);
+                }
+                CompStep::CopyDst { from, to } => {
+                    if !produced.contains(from) {
+                        return fail(format!("copy of unproduced value {from} at {at}"));
+                    }
+                    produced.insert(*to);
+                }
+                CompStep::Emit { inst } | CompStep::Materialize { inst } => {
+                    let data = dst_fn.inst(*inst);
+                    for op in data.kind.operands() {
+                        // Loads may read memory cells; pure operands must
+                        // have been produced by earlier steps.
+                        if !produced.contains(&op)
+                            && !matches!(data.kind, ssair::InstKind::Load { .. })
+                        {
+                            return fail(format!("emit at {at} reads unproduced {op}"));
+                        }
+                    }
+                    if let Some(r) = data.result {
+                        produced.insert(r);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// State of one cache slot.
+enum Slot {
+    /// A compile job has been claimed/enqueued but not yet published.
+    Compiling,
+    /// Ready to serve transitions.
+    Ready(Arc<CompiledVersion>),
+}
+
+/// The concurrent code cache.
+///
+/// Lookups are counted once per *request* by the engine (not once per
+/// probe), so hit/miss counters reflect request-level cache behaviour.
+#[derive(Default)]
+pub struct CodeCache {
+    slots: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CodeCache::default()
+    }
+
+    /// Returns the ready artifact for `key`, if published.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledVersion>> {
+        match self.slots.lock().expect("cache lock").get(key) {
+            Some(Slot::Ready(cv)) => Some(Arc::clone(cv)),
+            _ => None,
+        }
+    }
+
+    /// Records a request-level hit.
+    pub fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request-level miss.
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically claims the right to compile `key`.  Returns `true` when
+    /// the caller must enqueue (or perform) the compile; `false` when the
+    /// artifact is ready or someone else already claimed it.
+    pub fn claim(&self, key: &CacheKey) -> bool {
+        let mut slots = self.slots.lock().expect("cache lock");
+        if slots.contains_key(key) {
+            return false;
+        }
+        slots.insert(key.clone(), Slot::Compiling);
+        true
+    }
+
+    /// Publishes a compiled artifact (fulfilling a prior [`CodeCache::claim`]).
+    pub fn publish(&self, key: &CacheKey, cv: Arc<CompiledVersion>) {
+        self.slots
+            .lock()
+            .expect("cache lock")
+            .insert(key.clone(), Slot::Ready(cv));
+    }
+
+    /// Drops a claim without publishing (compile failed validation).
+    pub fn abandon(&self, key: &CacheKey) {
+        let mut slots = self.slots.lock().expect("cache lock");
+        if let Some(Slot::Compiling) = slots.get(key) {
+            slots.remove(key);
+        }
+    }
+
+    /// Number of ready artifacts.
+    pub fn ready_count(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Request-level (hits, misses) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiled() -> CompiledVersion {
+        let m = minic::compile(
+            "fn f(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        compile_function(
+            m.get("f").unwrap().clone(),
+            PipelineSpec::Standard,
+            Variant::Avail,
+        )
+        .expect("compiles and validates")
+    }
+
+    #[test]
+    fn compile_precomputes_both_tables() {
+        let cv = compiled();
+        assert!(cv.tier_up.coverage() > 0.8, "forward mostly feasible");
+        assert!(cv.tier_down.coverage() > 0.8, "backward mostly feasible");
+        assert!(cv.compile_nanos > 0);
+    }
+
+    #[test]
+    fn cache_claim_publish_lookup() {
+        let cache = CodeCache::new();
+        let key = CacheKey::standard("f");
+        assert!(cache.get(&key).is_none());
+        assert!(cache.claim(&key), "first claim wins");
+        assert!(!cache.claim(&key), "second claim loses");
+        assert!(cache.get(&key).is_none(), "not ready while compiling");
+        cache.publish(&key, Arc::new(compiled()));
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.ready_count(), 1);
+    }
+
+    #[test]
+    fn abandon_releases_claim() {
+        let cache = CodeCache::new();
+        let key = CacheKey::standard("g");
+        assert!(cache.claim(&key));
+        cache.abandon(&key);
+        assert!(cache.claim(&key), "claim available again");
+    }
+}

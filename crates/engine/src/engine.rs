@@ -1,0 +1,534 @@
+//! The tiered-execution service: shared cache + compiler pool + batched
+//! request execution.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ssair::interp::{ExecError, Val};
+use ssair::reconstruct::Direction;
+use ssair::{InstId, Module};
+use tinyvm::profile::{TierController, TierDecision};
+use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
+
+use crate::cache::{CacheKey, CodeCache, CompiledVersion, PipelineSpec};
+use crate::metrics::{EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
+use crate::pool::{run_job, CompileJob, CompilerPool};
+
+/// Engine-wide policy knobs.
+#[derive(Clone, Debug)]
+pub struct EnginePolicy {
+    /// Cumulative visits of a function's OSR points (across *all*
+    /// requests) before a background compile is requested and tier-up
+    /// becomes eligible.
+    pub hotness_threshold: u64,
+    /// Background compile workers.
+    pub compile_workers: usize,
+    /// Concurrent request-execution threads per batch.
+    pub batch_workers: usize,
+    /// Transition mechanics (variant, continuation vs frame surgery).
+    pub options: TransitionOptions,
+    /// Tier-down policy for debugger-attach requests.
+    pub deopt: DeoptPolicy,
+    /// Interpreter fuel per request.
+    pub fuel: usize,
+    /// Pipeline used for tier-up compiles.
+    pub pipeline: PipelineSpec,
+}
+
+impl Default for EnginePolicy {
+    fn default() -> Self {
+        EnginePolicy {
+            hotness_threshold: 32,
+            compile_workers: 2,
+            batch_workers: 4,
+            options: TransitionOptions::default(),
+            deopt: DeoptPolicy::default(),
+            fuel: 50_000_000,
+            pipeline: PipelineSpec::Standard,
+        }
+    }
+}
+
+/// How a request wants to be executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Normal tiered execution: interpret, tier up when hot and compiled.
+    Tiered,
+    /// Debugger attach: run the optimized version and tier *down* through
+    /// the precomputed backward table at the first opportunity.
+    Debug,
+}
+
+/// One unit of work for [`Engine::run_batch`].
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Function to execute.
+    pub function: String,
+    /// Arguments.
+    pub args: Vec<Val>,
+    /// Execution mode.
+    pub mode: ExecMode,
+}
+
+impl Request {
+    /// A tiered request.
+    pub fn tiered(function: impl Into<String>, args: Vec<Val>) -> Self {
+        Request {
+            function: function.into(),
+            args,
+            mode: ExecMode::Tiered,
+        }
+    }
+
+    /// A debugger-attach (deopt) request.
+    pub fn debug(function: impl Into<String>, args: Vec<Val>) -> Self {
+        Request {
+            function: function.into(),
+            args,
+            mode: ExecMode::Debug,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The requested function does not exist in the engine's module.
+    UnknownFunction(String),
+    /// The interpreter failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EngineError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// The outcome of one batch.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-request results, in request order.
+    pub results: Vec<Result<Option<Val>, EngineError>>,
+    /// Events recorded while the batch ran (transitions, compiles).
+    pub events: Vec<EngineEvent>,
+    /// Aggregate metrics at batch end (cumulative over the engine's life).
+    pub metrics: MetricsSnapshot,
+}
+
+impl BatchReport {
+    /// Transitions of the given direction fired during this batch.
+    pub fn transitions(&self, direction: Direction) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, EngineEvent::Transition { event, .. }
+                         if event.direction == direction)
+            })
+            .count()
+    }
+}
+
+/// Shared cross-request hotness counters, one per function.
+#[derive(Default)]
+pub struct ProfileTable {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+}
+
+impl ProfileTable {
+    /// The shared counter for `function` (created on first use).
+    pub fn counter(&self, function: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().expect("profile lock");
+        Arc::clone(
+            map.entry(function.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Current hotness of `function`.
+    pub fn hotness(&self, function: &str) -> u64 {
+        self.counter(function).load(Ordering::Relaxed)
+    }
+}
+
+/// A multi-tenant tiered-execution service over one module.
+///
+/// See the crate docs for the full tier-up / tier-down lifecycle.
+pub struct Engine {
+    vm: Vm,
+    policy: EnginePolicy,
+    cache: Arc<CodeCache>,
+    pool: CompilerPool,
+    metrics: Arc<EngineMetrics>,
+    events: Arc<EventLog>,
+    profiles: ProfileTable,
+}
+
+impl Engine {
+    /// Builds an engine over `module` and spawns its compile workers.
+    pub fn new(module: Module, policy: EnginePolicy) -> Self {
+        let cache = Arc::new(CodeCache::new());
+        let metrics = Arc::new(EngineMetrics::default());
+        let events = Arc::new(EventLog::default());
+        let pool = CompilerPool::new(
+            policy.compile_workers,
+            policy.options.variant,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            Arc::clone(&events),
+        );
+        Engine {
+            vm: Vm::new(module).with_fuel(policy.fuel),
+            policy,
+            cache,
+            pool,
+            metrics,
+            events,
+            profiles: ProfileTable::default(),
+        }
+    }
+
+    /// The engine's module.
+    pub fn module(&self) -> &Module {
+        &self.vm.module
+    }
+
+    /// The shared code cache.
+    pub fn cache(&self) -> &CodeCache {
+        &self.cache
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let (hits, misses) = self.cache.counters();
+        self.metrics.snapshot(hits, misses)
+    }
+
+    /// Current cross-request hotness of `function`.
+    pub fn hotness(&self, function: &str) -> u64 {
+        self.profiles.hotness(function)
+    }
+
+    /// Executes `requests` concurrently against the shared cache, using up
+    /// to `policy.batch_workers` threads.  Results are deterministic per
+    /// request (OSR preserves semantics, so a request's value does not
+    /// depend on when — or whether — transitions fire); events and metrics
+    /// reflect the actual interleaving.
+    pub fn run_batch(&self, requests: &[Request]) -> BatchReport {
+        type ResultSlot = Mutex<Option<Result<Option<Val>, EngineError>>>;
+        let workers = self.policy.batch_workers.clamp(1, requests.len().max(1));
+        let next = AtomicUsize::new(0);
+        let results: Vec<ResultSlot> = requests.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let out = self.run_one(i, &requests[i]);
+                    *results[i].lock().expect("result slot") = Some(out);
+                });
+            }
+        });
+
+        let results = results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every request executed")
+            })
+            .collect();
+        BatchReport {
+            results,
+            events: self.events.drain(),
+            metrics: self.metrics(),
+        }
+    }
+
+    /// Executes one request on the current thread.
+    fn run_one(&self, index: usize, req: &Request) -> Result<Option<Val>, EngineError> {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        // Borrow the function from the module; it is only cloned when a
+        // compile job actually needs an owned copy.
+        let base = self
+            .vm
+            .module
+            .get(&req.function)
+            .ok_or_else(|| EngineError::UnknownFunction(req.function.clone()))?;
+        let key = CacheKey {
+            function: req.function.clone(),
+            pipeline: self.policy.pipeline,
+        };
+        match req.mode {
+            ExecMode::Tiered => {
+                let mut controller = EngineController {
+                    engine: self,
+                    key,
+                    base,
+                    counter: self.profiles.counter(&req.function),
+                    accounted: false,
+                    enqueued: false,
+                    failed_points: BTreeSet::new(),
+                };
+                let (value, events) =
+                    self.vm
+                        .run_tiered(base, &req.args, &self.policy.options, &mut controller)?;
+                self.record_events(index, &req.function, events);
+                Ok(value)
+            }
+            ExecMode::Debug => {
+                // Debugger attach: the optimized version must exist *now*;
+                // compile synchronously when the cache has no artifact yet.
+                let cv = self.ensure_compiled(&key, base);
+                let (value, events) = self.vm.run_with_deopt_table(
+                    &cv.versions,
+                    &req.args,
+                    &self.policy.deopt,
+                    &cv.tier_down,
+                )?;
+                self.record_events(index, &req.function, events);
+                Ok(value)
+            }
+        }
+    }
+
+    fn record_events(&self, request: usize, function: &str, events: Vec<OsrEvent>) {
+        for event in events {
+            match event.direction {
+                Direction::Forward => self.metrics.tier_ups.fetch_add(1, Ordering::Relaxed),
+                Direction::Backward => self.metrics.deopts.fetch_add(1, Ordering::Relaxed),
+            };
+            self.events.push(EngineEvent::Transition {
+                request,
+                function: function.to_string(),
+                event,
+            });
+        }
+    }
+
+    /// Returns the compiled artifact for `key`, compiling on the calling
+    /// thread if no one has yet, or waiting for an in-flight background
+    /// compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compile is rejected by entry-table validation — that
+    /// indicates a mapping-construction bug, never a user error.
+    fn ensure_compiled(&self, key: &CacheKey, base: &ssair::Function) -> Arc<CompiledVersion> {
+        if let Some(cv) = self.cache.get(key) {
+            self.cache.count_hit();
+            return cv;
+        }
+        self.cache.count_miss();
+        loop {
+            if let Some(cv) = self.cache.get(key) {
+                return cv;
+            }
+            if self.cache.claim(key) {
+                self.metrics.job_enqueued();
+                run_job(
+                    CompileJob {
+                        key: key.clone(),
+                        base: base.clone(),
+                    },
+                    &self.cache,
+                    &self.metrics,
+                    &self.events,
+                    self.policy.options.variant,
+                );
+                return self
+                    .cache
+                    .get(key)
+                    .expect("synchronous compile failed entry-table validation");
+            }
+            // A background worker claimed the slot; its publish is imminent.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// The engine's [`TierController`]: aggregates hotness across requests,
+/// kicks off background compiles at the policy threshold, and fires
+/// tier-up only from a published cache artifact (through its precomputed
+/// forward table).
+struct EngineController<'e> {
+    engine: &'e Engine,
+    key: CacheKey,
+    base: &'e ssair::Function,
+    counter: Arc<AtomicU64>,
+    /// Whether this request already recorded its cache hit/miss.
+    accounted: bool,
+    /// Whether this request already enqueued the compile job.
+    enqueued: bool,
+    /// Points where a transition was infeasible (never retried).
+    failed_points: BTreeSet<InstId>,
+}
+
+impl TierController for EngineController<'_> {
+    fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
+        let total = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if total < self.engine.policy.hotness_threshold {
+            return TierDecision::Continue;
+        }
+        if self.failed_points.contains(&at) {
+            return TierDecision::Continue;
+        }
+        match self.engine.cache.get(&self.key) {
+            Some(cv) => {
+                if !self.accounted {
+                    self.engine.cache.count_hit();
+                    self.accounted = true;
+                }
+                TierDecision::TierUpPrecomputed(Arc::clone(&cv.versions), Arc::clone(&cv.tier_up))
+            }
+            None => {
+                if !self.accounted {
+                    self.engine.cache.count_miss();
+                    self.accounted = true;
+                }
+                if !self.enqueued {
+                    self.enqueued = true;
+                    if self.engine.cache.claim(&self.key) {
+                        self.engine.pool.submit(
+                            CompileJob {
+                                key: self.key.clone(),
+                                base: self.base.clone(),
+                            },
+                            &self.engine.metrics,
+                        );
+                    }
+                }
+                TierDecision::Continue
+            }
+        }
+    }
+
+    fn on_infeasible(&mut self, at: InstId) {
+        self.failed_points.insert(at);
+        self.engine
+            .metrics
+            .infeasible
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module() -> Module {
+        minic::compile(
+            "fn hot(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     s = s + x * x + i;
+                 }
+                 return s;
+             }
+             fn cold(x) {
+                 return x * 2 + 1;
+             }",
+        )
+        .unwrap()
+    }
+
+    fn policy() -> EnginePolicy {
+        EnginePolicy {
+            hotness_threshold: 8,
+            compile_workers: 1,
+            batch_workers: 2,
+            ..EnginePolicy::default()
+        }
+    }
+
+    #[test]
+    fn batch_results_match_plain_interpretation() {
+        let m = module();
+        let engine = Engine::new(m.clone(), policy());
+        let requests: Vec<Request> = (0..12)
+            .map(|k| Request::tiered("hot", vec![Val::Int(k % 5), Val::Int(40 + k)]))
+            .collect();
+        let report = engine.run_batch(&requests);
+        let vm = Vm::new(m);
+        for (req, got) in requests.iter().zip(&report.results) {
+            let expected = vm
+                .run_plain(vm.module.get("hot").unwrap(), &req.args)
+                .unwrap();
+            assert_eq!(got.as_ref().unwrap(), &expected);
+        }
+        assert_eq!(report.metrics.requests, 12);
+    }
+
+    #[test]
+    fn hot_function_tiers_up_in_background() {
+        let m = module();
+        let engine = Engine::new(m, policy());
+        // Enough independent requests that later ones find the artifact.
+        let requests: Vec<Request> = (0..16)
+            .map(|k| Request::tiered("hot", vec![Val::Int(3), Val::Int(60 + k)]))
+            .collect();
+        let mut tier_ups = 0;
+        for _ in 0..4 {
+            let report = engine.run_batch(&requests);
+            tier_ups += report.transitions(Direction::Forward);
+        }
+        assert!(tier_ups > 0, "a background tier-up eventually fires");
+        assert!(engine.metrics().compiles >= 1);
+        assert_eq!(engine.cache().ready_count(), 1);
+    }
+
+    #[test]
+    fn debug_requests_deopt_through_cache() {
+        let m = module();
+        let engine = Engine::new(m.clone(), policy());
+        let req = Request::debug("hot", vec![Val::Int(2), Val::Int(50)]);
+        let report = engine.run_batch(std::slice::from_ref(&req));
+        let vm = Vm::new(m);
+        let expected = vm
+            .run_plain(vm.module.get("hot").unwrap(), &req.args)
+            .unwrap();
+        assert_eq!(report.results[0].as_ref().unwrap(), &expected);
+        assert_eq!(report.transitions(Direction::Backward), 1, "deopt fired");
+        assert!(engine.metrics().deopts >= 1);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let engine = Engine::new(module(), policy());
+        let report = engine.run_batch(&[Request::tiered("nope", vec![])]);
+        assert!(matches!(
+            report.results[0],
+            Err(EngineError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn cold_functions_never_compile() {
+        let m = module();
+        let engine = Engine::new(m, policy());
+        let requests: Vec<Request> = (0..8)
+            .map(|k| Request::tiered("cold", vec![Val::Int(k)]))
+            .collect();
+        let report = engine.run_batch(&requests);
+        assert!(report.results.iter().all(Result::is_ok));
+        assert_eq!(engine.metrics().compiles, 0, "no loops, no hotness");
+        assert_eq!(engine.cache().ready_count(), 0);
+    }
+}

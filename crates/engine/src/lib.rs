@@ -1,0 +1,94 @@
+//! A concurrent tiered-execution service over the OSR machinery: the role
+//! a production VM's execution manager plays around OSRKit/MCJIT in
+//! §5.4/§6.1 of *On-Stack Replacement, Distilled*, scaled from "one
+//! function at a time" to batched multi-tenant traffic.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   requests ──► Engine::run_batch ──► N request threads (interpreters)
+//!                                         │ hotness (shared counters)
+//!                                         ▼
+//!                 ┌──────────────── TierController ───────────────┐
+//!                 │ cold: keep interpreting                       │
+//!                 │ hot + no artifact: claim slot, enqueue job ───┼──► CompileQueue
+//!                 │ hot + artifact ready: fire tier-up OSR        │        │
+//!                 └───────────────▲───────────────────────────────┘        ▼
+//!                                 │ publish                        compile workers
+//!                            CodeCache ◄──────────────────────────  (background)
+//!                    (FunctionVersions + precomputed,
+//!                     validated OSR entry tables)
+//! ```
+//!
+//! # Tier-up lifecycle
+//!
+//! 1. Every request interprets its function's **baseline** version; the
+//!    interpreter reports each loop-header OSR-point visit to the
+//!    engine's [`tinyvm::profile::TierController`].
+//! 2. Visits accumulate in a **shared, cross-request counter** per
+//!    function ([`ProfileTable`]).  When the counter crosses
+//!    [`EnginePolicy::hotness_threshold`], the controller claims the
+//!    cache slot and enqueues a [`pool::CompileJob`]; the request keeps
+//!    interpreting — compilation never blocks the request thread.
+//! 3. A background worker optimizes the function (recording the §5.1
+//!    primitive actions), **precomputes both OSR entry tables**
+//!    (`ssair::feasibility::precompute_entries`, the SSA analogue of the
+//!    `osr` crate's validated mapping precomputation), validates them
+//!    structurally, and publishes the artifact to the [`cache::CodeCache`].
+//! 4. The next hot visit — by *any* request of *any* batch — finds the
+//!    artifact and fires an optimizing OSR through the precomputed
+//!    forward table: compensation code runs against the live frame and
+//!    execution continues in the optimized version (via a generated
+//!    continuation function or direct frame surgery,
+//!    [`tinyvm::runtime::TransitionOptions`]).
+//!
+//! # Tier-down lifecycle
+//!
+//! A request in [`ExecMode::Debug`] models a debugger attach (§7): the
+//! optimized version must stop being the one that runs.  The engine
+//! ensures an artifact exists (compiling synchronously if needed — the
+//! only blocking compile), runs the **optimized** version, and at the
+//! first instrumented visit fires a deoptimizing OSR through the
+//! precomputed *backward* table — `reconstruct`'s compensation code
+//! rebuilds the baseline frame state (Algorithm 1, `avail` variant by
+//! default) and execution finishes in the baseline version, where every
+//! source variable is inspectable.
+//!
+//! # Observability
+//!
+//! Every transition, compile and rejection is recorded as an
+//! [`metrics::EngineEvent`]; aggregate counters (tier-ups, deopts,
+//! cache hits/misses, queue depth/peak, compile latency) are available
+//! as a [`metrics::MetricsSnapshot`] from [`Engine::metrics`] and in
+//! every [`BatchReport`].
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{Engine, EnginePolicy, Request};
+//! use ssair::interp::Val;
+//!
+//! let module = minic::compile(
+//!     "fn work(x, n) {
+//!          var s = 0;
+//!          for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
+//!          return s;
+//!      }",
+//! ).unwrap();
+//! let policy = EnginePolicy { hotness_threshold: 16, ..Default::default() };
+//! let engine = Engine::new(module, policy);
+//! let requests: Vec<Request> = (0..8)
+//!     .map(|k| Request::tiered("work", vec![Val::Int(2), Val::Int(50 + k)]))
+//!     .collect();
+//! let report = engine.run_batch(&requests);
+//! assert!(report.results.iter().all(Result::is_ok));
+//! ```
+
+pub mod cache;
+mod engine;
+pub mod metrics;
+pub mod pool;
+
+pub use cache::{CacheKey, CodeCache, CompiledVersion, PipelineSpec};
+pub use engine::{BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request};
+pub use metrics::{EngineEvent, EngineMetrics, MetricsSnapshot};

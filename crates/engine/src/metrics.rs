@@ -1,0 +1,212 @@
+//! Aggregated engine metrics and the per-batch event stream.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tinyvm::runtime::OsrEvent;
+
+/// Monotonic counters shared by interpreters, compile workers and the
+/// batch driver.  All updates are relaxed: the counters are telemetry,
+/// not synchronization.
+#[derive(Default)]
+pub struct EngineMetrics {
+    /// Requests executed.
+    pub requests: AtomicU64,
+    /// Optimizing (tier-up) transitions fired.
+    pub tier_ups: AtomicU64,
+    /// Deoptimizing (tier-down) transitions fired.
+    pub deopts: AtomicU64,
+    /// Transition attempts that were infeasible at the attempted point.
+    pub infeasible: AtomicU64,
+    /// Background + synchronous compiles performed.
+    pub compiles: AtomicU64,
+    /// Total wall-clock nanoseconds spent compiling (incl. precompute).
+    pub compile_nanos: AtomicU64,
+    /// Compile jobs currently queued or running.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_peak: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Notes one enqueued compile job.
+    pub fn job_enqueued(&self) {
+        let d = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Notes one finished compile job.
+    pub fn job_finished(&self, nanos: u64) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compile_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter (cache counters are merged in
+    /// by the engine, which owns the cache).
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            tier_ups: self.tier_ups.load(Ordering::Relaxed),
+            deopts: self.deopts.load(Ordering::Relaxed),
+            infeasible: self.infeasible.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+/// A point-in-time view of [`EngineMetrics`] plus cache counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests executed.
+    pub requests: u64,
+    /// Tier-up transitions fired.
+    pub tier_ups: u64,
+    /// Tier-down transitions fired.
+    pub deopts: u64,
+    /// Infeasible transition attempts.
+    pub infeasible: u64,
+    /// Compiles performed.
+    pub compiles: u64,
+    /// Total compile latency in nanoseconds.
+    pub compile_nanos: u64,
+    /// Compile jobs queued or running at snapshot time.
+    pub queue_depth: u64,
+    /// High-water mark of the compile queue.
+    pub queue_peak: u64,
+    /// Request-level cache hits.
+    pub cache_hits: u64,
+    /// Request-level cache misses.
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean compile latency in microseconds (0 when nothing compiled).
+    pub fn mean_compile_micros(&self) -> u64 {
+        self.compile_nanos.checked_div(self.compiles).unwrap_or(0) / 1_000
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} tier_ups={} deopts={} infeasible={} compiles={} \
+             mean_compile={}us queue(depth={}, peak={}) cache(hits={}, misses={})",
+            self.requests,
+            self.tier_ups,
+            self.deopts,
+            self.infeasible,
+            self.compiles,
+            self.mean_compile_micros(),
+            self.queue_depth,
+            self.queue_peak,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+/// One entry of the engine's event stream.
+#[derive(Clone, Debug)]
+pub enum EngineEvent {
+    /// A transition fired while serving a request.
+    Transition {
+        /// Index of the request in its batch.
+        request: usize,
+        /// Function the request executed.
+        function: String,
+        /// The underlying VM event (direction distinguishes tier-up from
+        /// deopt).
+        event: OsrEvent,
+    },
+    /// A compile job was published to the code cache.
+    Compiled {
+        /// Function compiled.
+        function: String,
+        /// Pipeline name.
+        pipeline: &'static str,
+        /// Compile + precompute latency in microseconds.
+        micros: u64,
+    },
+    /// A compile was rejected by entry-table validation.
+    CompileRejected {
+        /// Function whose artifact was rejected.
+        function: String,
+        /// Failure description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EngineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineEvent::Transition {
+                request,
+                function,
+                event,
+            } => write!(f, "[req {request}] {function}: {event}"),
+            EngineEvent::Compiled {
+                function,
+                pipeline,
+                micros,
+            } => write!(f, "[compile] {function} ({pipeline}) in {micros}us"),
+            EngineEvent::CompileRejected { function, reason } => {
+                write!(f, "[compile] {function} REJECTED: {reason}")
+            }
+        }
+    }
+}
+
+/// A shared, append-only event log drained per batch.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<EngineEvent>>,
+}
+
+impl EventLog {
+    /// Appends one event.
+    pub fn push(&self, e: EngineEvent) {
+        self.events.lock().expect("event lock").push(e);
+    }
+
+    /// Takes every event recorded since the last drain.
+    pub fn drain(&self) -> Vec<EngineEvent> {
+        std::mem::take(&mut *self.events.lock().expect("event lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_tracks_peak() {
+        let m = EngineMetrics::default();
+        m.job_enqueued();
+        m.job_enqueued();
+        m.job_finished(1_000);
+        m.job_enqueued();
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.queue_peak, 2);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.compiles, 1);
+    }
+
+    #[test]
+    fn snapshot_formats() {
+        let m = EngineMetrics::default();
+        m.job_enqueued();
+        m.job_finished(2_000_000);
+        let s = m.snapshot(3, 1);
+        let text = s.to_string();
+        assert!(text.contains("hits=3"));
+        assert!(text.contains("mean_compile=2000us"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The background compile queue and worker pool.
+//!
+//! Interpreters never compile on their request thread: once a function's
+//! shared hotness counter crosses the policy threshold, a [`CompileJob`]
+//! is enqueued here and a worker tiers the function up off-thread —
+//! optimizing, precomputing both OSR entry tables, validating them, and
+//! publishing the artifact to the shared [`CodeCache`].  Requests keep
+//! interpreting the baseline until a later hot visit finds the artifact
+//! ready.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ssair::reconstruct::Variant;
+use ssair::Function;
+
+use crate::cache::{compile_function, CacheKey, CodeCache};
+use crate::metrics::{EngineEvent, EngineMetrics, EventLog};
+
+/// One unit of background compilation work.
+pub struct CompileJob {
+    /// Cache slot the artifact will be published under (already claimed).
+    pub key: CacheKey,
+    /// The baseline function to optimize.
+    pub base: Function,
+}
+
+/// A fixed pool of compile workers draining a shared queue.
+pub struct CompilerPool {
+    tx: Mutex<Option<Sender<CompileJob>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompilerPool {
+    /// Spawns `workers` background compile threads publishing into
+    /// `cache`.
+    pub fn new(
+        workers: usize,
+        variant: Variant,
+        cache: Arc<CodeCache>,
+        metrics: Arc<EngineMetrics>,
+        events: Arc<EventLog>,
+    ) -> Self {
+        let (tx, rx) = channel::<CompileJob>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&metrics);
+                let events = Arc::clone(&events);
+                std::thread::Builder::new()
+                    .name(format!("osr-compile-{i}"))
+                    .spawn(move || worker_loop(&rx, &cache, &metrics, &events, variant))
+                    .expect("spawn compile worker")
+            })
+            .collect();
+        CompilerPool {
+            tx: Mutex::new(Some(tx)),
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job (the caller must have claimed the cache slot).
+    pub fn submit(&self, job: CompileJob, metrics: &EngineMetrics) {
+        metrics.job_enqueued();
+        let guard = self.tx.lock().expect("pool lock");
+        if let Some(tx) = guard.as_ref() {
+            // A send can only fail after shutdown, when no one waits for
+            // the artifact anyway.
+            let _ = tx.send(job);
+        }
+    }
+}
+
+impl Drop for CompilerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker drain remaining jobs and
+        // exit; joining keeps artifacts from being dropped mid-publish.
+        *self.tx.lock().expect("pool lock") = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<CompileJob>>,
+    cache: &CodeCache,
+    metrics: &EngineMetrics,
+    events: &EventLog,
+    variant: Variant,
+) {
+    loop {
+        // Hold the lock only while popping, never while compiling.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        run_job(job, cache, metrics, events, variant);
+    }
+}
+
+/// Compiles one job and publishes (or abandons) its cache slot.  Shared
+/// with the engine's synchronous compile path for debugger-attach
+/// requests.
+pub fn run_job(
+    job: CompileJob,
+    cache: &CodeCache,
+    metrics: &EngineMetrics,
+    events: &EventLog,
+    variant: Variant,
+) {
+    let function = job.key.function.clone();
+    match compile_function(job.base, job.key.pipeline, variant) {
+        Ok(cv) => {
+            let nanos = cv.compile_nanos;
+            cache.publish(&job.key, Arc::new(cv));
+            metrics.job_finished(nanos);
+            events.push(EngineEvent::Compiled {
+                function,
+                pipeline: job.key.pipeline.name(),
+                micros: nanos / 1_000,
+            });
+        }
+        Err(e) => {
+            cache.abandon(&job.key);
+            metrics.job_finished(0);
+            events.push(EngineEvent::CompileRejected {
+                function,
+                reason: e.to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pool_compiles_and_publishes() {
+        let cache = Arc::new(CodeCache::new());
+        let metrics = Arc::new(EngineMetrics::default());
+        let events = Arc::new(EventLog::default());
+        let pool = CompilerPool::new(
+            2,
+            Variant::Avail,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            Arc::clone(&events),
+        );
+        let m = minic::compile(
+            "fn f(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i * 3; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let key = CacheKey::standard("f");
+        assert!(cache.claim(&key));
+        pool.submit(
+            CompileJob {
+                key: key.clone(),
+                base: m.get("f").unwrap().clone(),
+            },
+            &metrics,
+        );
+        // Wait for the background publish.
+        for _ in 0..500 {
+            if cache.get(&key).is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let cv = cache.get(&key).expect("artifact published");
+        assert!(cv.tier_up.coverage() > 0.0);
+        drop(pool);
+        let snap = metrics.snapshot(0, 0);
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(snap.queue_depth, 0);
+        assert!(matches!(
+            events.drain().as_slice(),
+            [EngineEvent::Compiled { .. }]
+        ));
+    }
+}

@@ -74,15 +74,11 @@ impl Lowerer {
         match s {
             Stmt::VarDecl { name, init, line } => {
                 self.b.set_line(*line);
-                let slot = self
-                    .scalars
-                    .get(name)
-                    .copied()
-                    .unwrap_or_else(|| {
-                        let slot = self.b.alloca_named(1, name);
-                        self.scalars.insert(name.clone(), slot);
-                        slot
-                    });
+                let slot = self.scalars.get(name).copied().unwrap_or_else(|| {
+                    let slot = self.b.alloca_named(1, name);
+                    self.scalars.insert(name.clone(), slot);
+                    slot
+                });
                 let v = self.expr(init);
                 self.b.store(slot, v);
             }
@@ -343,7 +339,7 @@ mod tests {
              }",
         )
         .unwrap();
-        assert_eq!(run1(&m, "f", &[4]), 0 + 1 + 4 + 9);
+        assert_eq!(run1(&m, "f", &[4]), 1 + 4 + 9);
     }
 
     #[test]
@@ -422,10 +418,7 @@ mod tests {
     fn lines_attached_to_instructions() {
         let m = compile("fn f(x) {\n  var y = x + 1;\n  return y;\n}").unwrap();
         let f = m.get("f").unwrap();
-        let lines: Vec<u32> = f
-            .inst_iter()
-            .filter_map(|(_, i)| f.inst(i).line)
-            .collect();
+        let lines: Vec<u32> = f.inst_iter().filter_map(|(_, i)| f.inst(i).line).collect();
         assert!(lines.contains(&2));
         assert!(lines.contains(&3));
     }

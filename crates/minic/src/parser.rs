@@ -136,9 +136,8 @@ impl Parser {
                     let size = match self.advance().kind {
                         TokenKind::Num(n) if n > 0 && n < (1 << 20) => n as u32,
                         other => {
-                            return self.err(format!(
-                                "expected positive array size, found `{other}`"
-                            ))
+                            return self
+                                .err(format!("expected positive array size, found `{other}`"))
                         }
                     };
                     self.expect_punct("]")?;
@@ -239,11 +238,7 @@ impl Parser {
                 let value = self.expr()?;
                 return Ok(Stmt::Assign {
                     name: name.clone(),
-                    value: Expr::Binary(
-                        BinExprOp::Add,
-                        Box::new(Expr::Var(name)),
-                        Box::new(value),
-                    ),
+                    value: Expr::Binary(BinExprOp::Add, Box::new(Expr::Var(name)), Box::new(value)),
                     line,
                 });
             }
@@ -251,11 +246,7 @@ impl Parser {
                 let value = self.expr()?;
                 return Ok(Stmt::Assign {
                     name: name.clone(),
-                    value: Expr::Binary(
-                        BinExprOp::Sub,
-                        Box::new(Expr::Var(name)),
-                        Box::new(value),
-                    ),
+                    value: Expr::Binary(BinExprOp::Sub, Box::new(Expr::Var(name)), Box::new(value)),
                     line,
                 });
             }
@@ -507,10 +498,7 @@ mod tests {
     #[test]
     fn compound_assignment() {
         let p = parse("fn f(a) { a += 2; a -= 1; return a; }").unwrap();
-        assert!(matches!(
-            p.functions[0].body[0],
-            Stmt::Assign { .. }
-        ));
+        assert!(matches!(p.functions[0].body[0], Stmt::Assign { .. }));
     }
 
     #[test]

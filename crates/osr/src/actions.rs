@@ -297,7 +297,10 @@ mod tests {
         assert!(cm.is_added(9));
         cm.delete(9);
         assert!(!cm.is_added(9));
-        assert!(!cm.is_deleted(9), "deleting an added inst is not a base deletion");
+        assert!(
+            !cm.is_deleted(9),
+            "deleting an added inst is not a base deletion"
+        );
         assert_eq!(cm.counts().total(), 2);
     }
 
@@ -337,6 +340,9 @@ mod tests {
         cm.sink(5, 9);
         cm.replace(1, 2);
         let c = cm.counts();
-        assert_eq!((c.add, c.delete, c.hoist, c.sink, c.replace), (1, 2, 1, 1, 1));
+        assert_eq!(
+            (c.add, c.delete, c.hoist, c.sink, c.replace),
+            (1, 2, 1, 1, 1)
+        );
     }
 }

@@ -174,9 +174,7 @@ mod tests {
     fn to_program_round_trips() {
         let mut c = CompCode::empty();
         c.push(Var::new("y"), parse_expr("x * 3").unwrap());
-        let p = c
-            .to_program([Var::new("x")], [Var::new("y")])
-            .unwrap();
+        let p = c.to_program([Var::new("x")], [Var::new("y")]).unwrap();
         let s = Store::new().with("x", 2);
         let out = tinylang::semantics::run(&p, &s, 100).completed().unwrap();
         assert_eq!(out.get("y"), Some(6));

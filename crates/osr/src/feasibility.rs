@@ -272,14 +272,16 @@ mod tests {
 
     #[test]
     fn summary_statistics_sane() {
-        let mut s = FeasibilitySummary::default();
-        s.total_points = 4;
-        s.empty = 1;
-        s.live = 2;
-        s.avail = 1;
-        s.live_comp_sizes = vec![0, 2, 4];
-        s.avail_comp_sizes = vec![3];
-        s.keep_sizes = vec![2];
+        let s = FeasibilitySummary {
+            total_points: 4,
+            empty: 1,
+            live: 2,
+            avail: 1,
+            live_comp_sizes: vec![0, 2, 4],
+            avail_comp_sizes: vec![3],
+            keep_sizes: vec![2],
+            ..Default::default()
+        };
         assert_eq!(s.frac_empty(), 0.25);
         assert_eq!(s.frac_live(), 0.75);
         assert_eq!(s.frac_avail(), 1.0);

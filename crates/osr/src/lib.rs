@@ -49,6 +49,7 @@ mod actions;
 mod compcode;
 mod feasibility;
 mod mapping;
+mod precompute;
 mod reconstruct;
 mod transition;
 mod validate;
@@ -57,6 +58,7 @@ pub use actions::{Action, ActionCounts, CodeMapper};
 pub use compcode::CompCode;
 pub use feasibility::{classify_point, classify_program, Feasibility, FeasibilitySummary};
 pub use mapping::{MappingEntry, OsrMapping};
+pub use precompute::{precompute_transition, PrecomputedTransition};
 pub use reconstruct::{build_entry, reconstruct, ReconstructError, Variant};
 pub use transition::{execute_transition, osr_trans, osr_trans_seq, OsrTransResult, SeqResult};
 pub use validate::{validate_mapping, ValidationFailure};

@@ -1,0 +1,111 @@
+//! Mapping precomputation: build *and validate* the bidirectional OSR
+//! mappings for a transformation ahead of time.
+//!
+//! `OSR_trans` (§4.2) already constructs forward and backward mappings
+//! lazily correct-by-construction; a tiered runtime additionally wants
+//! them **checked** before a compiled version enters a shared code cache,
+//! so that every transition the cache serves is known-good (the executable
+//! Definition 3.1 check of [`crate::validate_mapping`]).  This module is
+//! that entry point at the formal-language level; the SSA substrate
+//! mirrors it with `ssair::feasibility::precompute_entries`.
+
+use rewrite::LveTransform;
+use tinylang::{Program, Store};
+
+use crate::transition::osr_trans;
+use crate::validate::{validate_mapping, ValidationFailure};
+use crate::{OsrTransResult, Variant};
+
+/// A transformation's OSR mappings, validated in both directions.
+#[derive(Clone, Debug)]
+pub struct PrecomputedTransition {
+    /// The underlying `OSR_trans` result (optimized program + mappings).
+    pub result: OsrTransResult,
+    /// Fraction of source points the forward mapping serves.
+    pub forward_coverage: f64,
+    /// Fraction of optimized points the backward mapping serves.
+    pub backward_coverage: f64,
+}
+
+impl PrecomputedTransition {
+    /// The optimized program version.
+    pub fn optimized(&self) -> &Program {
+        &self.result.optimized
+    }
+}
+
+/// Runs `OSR_trans(p, t)` and validates both produced mappings against the
+/// given input stores (Definition 3.1, checked executably), returning the
+/// mappings together with their point coverage.
+///
+/// # Errors
+///
+/// Returns the first [`ValidationFailure`] if either mapping is incorrect
+/// on some store — which would indicate a bug in mapping construction, and
+/// must keep the version out of any code cache.
+pub fn precompute_transition(
+    p: &Program,
+    t: &dyn LveTransform,
+    variant: Variant,
+    stores: &[Store],
+    fuel: usize,
+) -> Result<PrecomputedTransition, Box<ValidationFailure>> {
+    let result = osr_trans(p, t, variant);
+    validate_mapping(p, &result.optimized, &result.forward, stores, fuel)?;
+    validate_mapping(&result.optimized, p, &result.backward, stores, fuel)?;
+    // Points 2..=n are the candidate domain (point 1, the `in`
+    // instruction, is excluded by construction).
+    let fwd_candidates = p.len().saturating_sub(1).max(1);
+    let bwd_candidates = result.optimized.len().saturating_sub(1).max(1);
+    Ok(PrecomputedTransition {
+        forward_coverage: result.forward.len() as f64 / fwd_candidates as f64,
+        backward_coverage: result.backward.len() as f64 / bwd_candidates as f64,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rewrite::bisim::input_grid;
+    use rewrite::{ConstProp, DeadCodeElim};
+    use tinylang::parse_program;
+
+    const FUEL: usize = 100_000;
+
+    fn sample() -> Program {
+        parse_program(
+            "in x
+             k := 7
+             y := x + k
+             t := y * y
+             z := y + k
+             out z",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn precompute_validates_both_directions() {
+        let p = sample();
+        let stores = input_grid(&p, -3, 3);
+        for variant in [Variant::Live, Variant::Avail] {
+            let pc = precompute_transition(&p, &ConstProp, variant, &stores, FUEL)
+                .expect("CP mappings validate");
+            assert!(pc.forward_coverage > 0.5, "forward covers most points");
+            assert!(pc.backward_coverage > 0.5, "backward covers most points");
+            assert!(!pc.result.edits.is_empty());
+        }
+    }
+
+    #[test]
+    fn precompute_agrees_with_osr_trans() {
+        let p = sample();
+        let stores = input_grid(&p, -2, 2);
+        let pc = precompute_transition(&p, &DeadCodeElim, Variant::Avail, &stores, FUEL).unwrap();
+        let direct = osr_trans(&p, &DeadCodeElim, Variant::Avail);
+        assert_eq!(pc.result.forward.len(), direct.forward.len());
+        assert_eq!(pc.result.backward.len(), direct.backward.len());
+        assert_eq!(pc.optimized().len(), direct.optimized.len());
+    }
+}

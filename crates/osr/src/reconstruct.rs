@@ -60,7 +60,10 @@ impl fmt::Display for ReconstructError {
                 write!(f, "no unique reaching definition for `{var}` at {at}")
             }
             ReconstructError::InputNotAvailable { var } => {
-                write!(f, "input variable `{var}` not retrievable at the OSR source")
+                write!(
+                    f,
+                    "input variable `{var}` not retrievable at the OSR source"
+                )
             }
         }
     }
@@ -297,8 +300,7 @@ mod tests {
             live,
             Err(ReconstructError::InputNotAvailable { .. })
         ));
-        let avail =
-            build_entry(&p, Point::new(4), &popt, Point::new(4), Variant::Avail).unwrap();
+        let avail = build_entry(&p, Point::new(4), &popt, Point::new(4), Variant::Avail).unwrap();
         assert_eq!(avail.comp.len(), 1);
         assert_eq!(avail.comp.assigns()[0].0, Var::new("t"));
         assert!(avail.keep.is_empty(), "x is live at the source");

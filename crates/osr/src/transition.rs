@@ -142,11 +142,7 @@ pub fn osr_trans_seq(p: &Program, seq: &TransformSeq, variant: Variant) -> SeqRe
 /// Returns `None` if the mapping is undefined at the current point or the
 /// compensation code reads an undefined variable (either indicates a bug in
 /// mapping construction).
-pub fn execute_transition(
-    state: &State,
-    mapping: &OsrMapping,
-    dst: &Program,
-) -> Option<State> {
+pub fn execute_transition(state: &State, mapping: &OsrMapping, dst: &Program) -> Option<State> {
     let entry = mapping.get(state.point)?;
     let fixed = entry.comp.eval(&state.store)?;
     let live = ctl::live_vars(dst, entry.target);
@@ -162,8 +158,8 @@ mod tests {
     use super::*;
     use rewrite::bisim::input_grid;
     use rewrite::{ConstProp, DeadCodeElim};
-    use tinylang::semantics::{resume, run, trace, Outcome};
     use tinylang::parse_program;
+    use tinylang::semantics::{resume, run, trace, Outcome};
 
     const FUEL: usize = 100_000;
 

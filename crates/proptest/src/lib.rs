@@ -1,0 +1,192 @@
+//! A minimal, dependency-free stand-in for `proptest`, so the workspace
+//! builds and the property tests run in offline environments.
+//!
+//! The subset implemented is exactly what the test suite uses: integer
+//! range strategies, tuple strategies, `collection::vec`, `prop_map`, the
+//! `proptest!` macro with a `ProptestConfig`, and the `prop_assert*`
+//! macros.  Generation is deterministic: case `i` of a test always sees
+//! the same inputs, so failures are reproducible without persistence
+//! files.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(pub u64);
+
+impl TestRng {
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = (hi as i128 - lo as i128) as u128;
+        let r = (u128::from(self.next_u64())) % span;
+        (lo as i128 + r as i128) as i64
+    }
+}
+
+/// Test-runner configuration (only the `cases` knob is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of `element` with length in `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.in_range_i64(self.len.start as i64, self.len.end as i64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs one property body over `cases` deterministic cases.
+///
+/// Used by the [`proptest!`] macro; not part of the public proptest API.
+pub fn run_cases<F: FnMut(&mut TestRng)>(config: &ProptestConfig, mut body: F) {
+    for case in 0..config.cases {
+        // Distinct, reproducible stream per case.
+        let mut rng = TestRng(0xA076_1D64_78BD_642F ^ (u64::from(case) << 17));
+        body(&mut rng);
+    }
+}
+
+/// The `proptest!` macro: expands each property into an ordinary test that
+/// generates inputs from the listed strategies for each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&config, |rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                $body
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!`: plain assertion in this stand-in.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain equality assertion in this stand-in.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_are_in_bounds_and_deterministic() {
+        let strat = -5i64..7;
+        let a: Vec<i64> = {
+            let mut out = Vec::new();
+            crate::run_cases(&ProptestConfig::with_cases(32), |rng| {
+                out.push(strat.generate(rng));
+            });
+            out
+        };
+        assert!(a.iter().all(|v| (-5..7).contains(v)));
+        let b: Vec<i64> = {
+            let mut out = Vec::new();
+            crate::run_cases(&ProptestConfig::with_cases(32), |rng| {
+                out.push(strat.generate(rng));
+            });
+            out
+        };
+        assert_eq!(a, b, "same case index yields same value");
+        assert!(a.iter().collect::<std::collections::BTreeSet<_>>().len() > 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_tuples_and_vecs(
+            v in crate::collection::vec((0usize..4, -2i64..3), 1..6),
+            x in 0i64..10,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!(*a < 4);
+                prop_assert!((-2..3).contains(b));
+            }
+            prop_assert_eq!(x - x, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strat = (0usize..3).prop_map(|n| vec![0u8; n]);
+        crate::run_cases(&ProptestConfig::with_cases(8), |rng| {
+            assert!(strat.generate(rng).len() < 3);
+        });
+    }
+}

@@ -1,0 +1,3 @@
+//! Test-runner types, re-exported for API compatibility with `proptest`.
+
+pub use crate::{ProptestConfig, TestRng};

@@ -310,7 +310,11 @@ impl Rule {
     }
 }
 
-fn product<T>(substs: Vec<Subst>, candidates: &[T], bind: impl Fn(&mut Subst, &T) -> bool) -> Vec<Subst> {
+fn product<T>(
+    substs: Vec<Subst>,
+    candidates: &[T],
+    bind: impl Fn(&mut Subst, &T) -> bool,
+) -> Vec<Subst> {
     let mut out = Vec::new();
     for s in substs {
         for c in candidates {

@@ -47,8 +47,6 @@ mod pattern;
 mod rules;
 
 pub use engine::{ApplyOutcome, Rule, SideCond};
-pub use lve::{
-    ConstProp, DeadCodeElim, Edit, Hoist, LveTransform, TransformSeq,
-};
+pub use lve::{ConstProp, DeadCodeElim, Edit, Hoist, LveTransform, TransformSeq};
 pub use pattern::{CtlPat, ExprTerm, InstrPat, PatAtom, PointTerm, Subst, VarTerm};
 pub use rules::{cp_rule, dce_rule, hoist_rule, strength_reduction_rule};

@@ -279,7 +279,8 @@ impl TransformSeq {
         let mut programs = vec![p.clone()];
         let mut all_edits = Vec::new();
         for t in &self.transforms {
-            let (next, edits) = t.apply_fixpoint(programs.last().expect("non-empty"), self.max_steps);
+            let (next, edits) =
+                t.apply_fixpoint(programs.last().expect("non-empty"), self.max_steps);
             programs.push(next);
             all_edits.push(edits);
         }
@@ -400,8 +401,7 @@ mod tests {
         // d := x*x is dead and must be gone.
         assert!(
             opt.iter()
-                .all(|(_, i)| !i.defines(&Var::new("d"))
-                    || matches!(i, Instr::Skip)),
+                .all(|(_, i)| !i.defines(&Var::new("d")) || matches!(i, Instr::Skip)),
             "dead store to d must be eliminated:\n{opt}"
         );
     }

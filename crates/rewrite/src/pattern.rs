@@ -175,11 +175,9 @@ impl Subst {
             ExprTerm::Num(k) => Some(Expr::Num(*k)),
             ExprTerm::NumMeta(n) => self.num(n).map(Expr::Num),
             ExprTerm::Var(v) => self.resolve_var(v).map(Expr::Var),
-            ExprTerm::Bin(op, a, b) => Some(Expr::bin(
-                *op,
-                self.ground_expr(a)?,
-                self.ground_expr(b)?,
-            )),
+            ExprTerm::Bin(op, a, b) => {
+                Some(Expr::bin(*op, self.ground_expr(a)?, self.ground_expr(b)?))
+            }
             ExprTerm::SubstInto {
                 expr_meta,
                 var,
@@ -199,14 +197,12 @@ impl Subst {
     /// grounded).
     pub fn ground_instr(&self, pat: &InstrPat) -> Option<Instr> {
         match pat {
-            InstrPat::Assign(x, e) => Some(Instr::Assign(
-                self.resolve_var(x)?,
-                self.ground_expr(e)?,
-            )),
-            InstrPat::IfGoto(e, m) => Some(Instr::IfGoto(
-                self.ground_expr(e)?,
-                self.resolve_point(m)?,
-            )),
+            InstrPat::Assign(x, e) => {
+                Some(Instr::Assign(self.resolve_var(x)?, self.ground_expr(e)?))
+            }
+            InstrPat::IfGoto(e, m) => {
+                Some(Instr::IfGoto(self.ground_expr(e)?, self.resolve_point(m)?))
+            }
             InstrPat::Goto(m) => Some(Instr::Goto(self.resolve_point(m)?)),
             InstrPat::Skip => Some(Instr::Skip),
             InstrPat::Abort => Some(Instr::Abort),

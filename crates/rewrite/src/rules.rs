@@ -67,7 +67,9 @@ pub fn cp_rule() -> Rule {
             SideCond::At(
                 "m".into(),
                 CtlPat::Bau(
-                    Box::new(CtlPat::Not(Box::new(CtlPat::Atom(PatAtom::Def(vmeta("v")))))),
+                    Box::new(CtlPat::Not(Box::new(CtlPat::Atom(PatAtom::Def(vmeta(
+                        "v",
+                    )))))),
                     Box::new(CtlPat::Atom(PatAtom::Stmt(InstrPat::Assign(
                         vmeta("v"),
                         ExprTerm::NumMeta("c".into()),
@@ -127,7 +129,9 @@ pub fn hoist_rule() -> Rule {
             SideCond::At(
                 "p".into(),
                 CtlPat::Au(
-                    Box::new(CtlPat::Not(Box::new(CtlPat::Atom(PatAtom::Use(vmeta("x")))))),
+                    Box::new(CtlPat::Not(Box::new(CtlPat::Atom(PatAtom::Use(vmeta(
+                        "x",
+                    )))))),
                     Box::new(CtlPat::Atom(PatAtom::Point(
                         crate::pattern::PointTerm::Meta("q".into()),
                     ))),

@@ -109,13 +109,11 @@ pub fn landing_site(
                 }
                 // The nearest chain block (before the landing block) that
                 // exists in the target and appears among the φ incomings.
-                let phi_preds: Vec<crate::BlockId> = match &target_fn
-                    .inst(target_fn.block(landing_block).insts[0])
-                    .kind
-                {
-                    crate::InstKind::Phi(incs) => incs.iter().map(|(p, _)| *p).collect(),
-                    _ => unreachable!("has_phis"),
-                };
+                let phi_preds: Vec<crate::BlockId> =
+                    match &target_fn.inst(target_fn.block(landing_block).insts[0]).kind {
+                        crate::InstKind::Phi(incs) => incs.iter().map(|(p, _)| *p).collect(),
+                        _ => unreachable!("has_phis"),
+                    };
                 let edge = chain
                     .iter()
                     .rev()
@@ -151,8 +149,7 @@ pub fn classify_point(
     src_loc: InstId,
     landing: Landing,
 ) -> PointClass {
-    match pair.build_entry_with_edge(dir, src_loc, landing.loc, Variant::Live, landing.entry_edge)
-    {
+    match pair.build_entry_with_edge(dir, src_loc, landing.loc, Variant::Live, landing.entry_edge) {
         Ok(entry) => {
             let size = entry.comp.emit_count();
             if size == 0 {
@@ -316,6 +313,70 @@ fn classify_collecting(
     (s, wanted)
 }
 
+/// A precomputed OSR-entry table: the landing site and compensation code
+/// for every feasible OSR point of the source version, built once so a
+/// runtime transition becomes a table lookup instead of an on-demand
+/// reconstruction — what a shared code cache stores next to each compiled
+/// function version.
+#[derive(Clone, Debug)]
+pub struct EntryTable {
+    /// Transfer direction the table serves.
+    pub direction: Direction,
+    /// Reconstruction variant used.
+    pub variant: Variant,
+    /// Feasible points: source location → (landing, compensation entry).
+    pub entries: std::collections::BTreeMap<InstId, (Landing, crate::reconstruct::SsaEntry)>,
+    /// OSR points of the source version that admit no transition.
+    pub infeasible: usize,
+}
+
+impl EntryTable {
+    /// The precomputed entry for source location `at`, if feasible.
+    pub fn get(&self, at: InstId) -> Option<&(Landing, crate::reconstruct::SsaEntry)> {
+        self.entries.get(&at)
+    }
+
+    /// Fraction of OSR points served by the table.
+    pub fn coverage(&self) -> f64 {
+        let total = self.entries.len() + self.infeasible;
+        if total == 0 {
+            return 1.0;
+        }
+        self.entries.len() as f64 / total as f64
+    }
+}
+
+/// Precomputes the OSR mapping for every point of the source version in
+/// direction `dir` — the mapping-precomputation entry point the tiered
+/// engine calls at compile time, producing exactly the entries
+/// [`classify_function`] classifies (validated the same way).
+pub fn precompute_entries(pair: &OsrPair<'_>, dir: Direction, variant: Variant) -> EntryTable {
+    let (src_fn, dst_fn) = match dir {
+        Direction::Forward => (pair.base.f, pair.opt.f),
+        Direction::Backward => (pair.opt.f, pair.base.f),
+    };
+    let mut entries = std::collections::BTreeMap::new();
+    let mut infeasible = 0;
+    for p in osr_points(src_fn) {
+        let Some(landing) = landing_site(src_fn, dst_fn, pair.cm, p) else {
+            infeasible += 1;
+            continue;
+        };
+        match pair.build_entry_with_edge(dir, p, landing.loc, variant, landing.entry_edge) {
+            Ok(entry) => {
+                entries.insert(p, (landing, entry));
+            }
+            Err(_) => infeasible += 1,
+        }
+    }
+    EntryTable {
+        direction: dir,
+        variant,
+        entries,
+        infeasible,
+    }
+}
+
 /// The Table 2 row for one benchmark: IR sizes and recorded action counts.
 #[derive(Clone, Debug)]
 pub struct IrFeatures {
@@ -433,6 +494,36 @@ mod tests {
     }
 
     #[test]
+    fn precomputed_entries_match_classification() {
+        let base = sample();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        let pair = OsrPair::new(&base, &opt, &cm);
+        for dir in [Direction::Forward, Direction::Backward] {
+            let table = precompute_entries(&pair, dir, Variant::Avail);
+            let summary = classify_function(&pair, dir);
+            assert_eq!(
+                table.entries.len() + table.infeasible,
+                summary.total_points,
+                "{dir:?}: table covers every OSR point"
+            );
+            assert!(table.coverage() > 0.8, "{dir:?}: avail serves most points");
+            // Each precomputed entry must match an on-demand reconstruction.
+            for (at, (landing, entry)) in &table.entries {
+                let fresh = pair
+                    .build_entry_with_edge(
+                        dir,
+                        *at,
+                        landing.loc,
+                        Variant::Avail,
+                        landing.entry_edge,
+                    )
+                    .expect("feasible point rebuilds");
+                assert_eq!(&fresh, entry, "{dir:?} entry at {at} is stable");
+            }
+        }
+    }
+
+    #[test]
     fn ir_features_counts() {
         let base = sample();
         let (opt, cm, stats) = Pipeline::standard().optimize(&base);
@@ -462,13 +553,30 @@ mod debug_tests {
             match dst {
                 None => println!("{p}: no landing"),
                 Some(d) => {
-                    let live =
-                        pair.build_entry_with_edge(Direction::Backward, p, d.loc, Variant::Live, d.entry_edge);
-                    let avail =
-                        pair.build_entry_with_edge(Direction::Backward, p, d.loc, Variant::Avail, d.entry_edge);
-                    println!("{p} -> {d:?}: live={:?} avail={:?}",
-                        live.as_ref().map(|e| e.comp.emit_count()).map_err(|e| e.to_string()),
-                        avail.as_ref().map(|e| e.comp.emit_count()).map_err(|e| e.to_string()));
+                    let live = pair.build_entry_with_edge(
+                        Direction::Backward,
+                        p,
+                        d.loc,
+                        Variant::Live,
+                        d.entry_edge,
+                    );
+                    let avail = pair.build_entry_with_edge(
+                        Direction::Backward,
+                        p,
+                        d.loc,
+                        Variant::Avail,
+                        d.entry_edge,
+                    );
+                    println!(
+                        "{p} -> {d:?}: live={:?} avail={:?}",
+                        live.as_ref()
+                            .map(|e| e.comp.emit_count())
+                            .map_err(|e| e.to_string()),
+                        avail
+                            .as_ref()
+                            .map(|e| e.comp.emit_count())
+                            .map_err(|e| e.to_string())
+                    );
                 }
             }
         }

@@ -259,6 +259,8 @@ pub fn run_frame(
 }
 
 trait IntChecked {
+    // `Val` is `Copy`; taking it by value is the natural calling convention.
+    #[allow(clippy::wrong_self_convention)]
     fn as_int_checked(self) -> Result<i64, ExecError>;
 }
 
@@ -314,9 +316,10 @@ fn exec_inst(
     let data = f.inst(inst_id);
     let result: Option<Val> = match &data.kind {
         InstKind::Const(n) => Some(Val::Int(*n)),
-        InstKind::Binop(op, a, b) => Some(Val::Int(
-            op.apply(frame.get(*a)?.as_int_checked()?, frame.get(*b)?.as_int_checked()?),
-        )),
+        InstKind::Binop(op, a, b) => Some(Val::Int(op.apply(
+            frame.get(*a)?.as_int_checked()?,
+            frame.get(*b)?.as_int_checked()?,
+        ))),
         InstKind::Neg(a) => Some(Val::Int(frame.get(*a)?.as_int_checked()?.wrapping_neg())),
         InstKind::Not(a) => Some(Val::Int(i64::from(frame.get(*a)?.as_int_checked()? == 0))),
         InstKind::Select {
@@ -439,10 +442,7 @@ mod tests {
         b.ret(Some(v));
         let f = b.finish();
         let m = Module::new();
-        assert_eq!(
-            run_function(&f, &[], &m, 100),
-            Err(ExecError::OutOfBounds)
-        );
+        assert_eq!(run_function(&f, &[], &m, 100), Err(ExecError::OutOfBounds));
     }
 
     #[test]

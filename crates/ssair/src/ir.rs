@@ -329,6 +329,52 @@ impl InstKind {
             InstKind::DbgValue { value, .. } => r(value),
         }
     }
+
+    /// Rewrites every operand through `f` **simultaneously**: each original
+    /// operand is mapped exactly once.  Unlike a sequence of
+    /// [`InstKind::replace_operand`] calls, a rewritten operand can never
+    /// be captured by a later rewrite — which matters whenever the old and
+    /// new value-id spaces overlap (e.g. when cloning a function region
+    /// into a fresh id space).
+    pub fn map_operands(&mut self, mut f: impl FnMut(ValueId) -> ValueId) {
+        match self {
+            InstKind::Const(_) | InstKind::Alloca { .. } => {}
+            InstKind::Binop(_, a, b) => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            InstKind::Neg(a) | InstKind::Not(a) => *a = f(*a),
+            InstKind::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                *cond = f(*cond);
+                *then_v = f(*then_v);
+                *else_v = f(*else_v);
+            }
+            InstKind::Phi(incs) => {
+                for (_, v) in incs {
+                    *v = f(*v);
+                }
+            }
+            InstKind::Load { addr } => *addr = f(*addr),
+            InstKind::Store { addr, value } => {
+                *addr = f(*addr);
+                *value = f(*value);
+            }
+            InstKind::Gep { base, index } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            InstKind::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            InstKind::DbgValue { value, .. } => *value = f(*value),
+        }
+    }
 }
 
 /// An instruction: opcode, optional result, optional source line.
@@ -458,10 +504,7 @@ impl Function {
     pub(crate) fn new(name: &str, params: &[(&str, Ty)]) -> Self {
         Function {
             name: name.to_string(),
-            params: params
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
+            params: params.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
             entry: BlockId(0),
             blocks: Vec::new(),
             insts: Vec::new(),
@@ -512,9 +555,7 @@ impl Function {
 
     /// Whether block `b` still exists.
     pub fn block_exists(&self, b: BlockId) -> bool {
-        self.blocks
-            .get(b.0 as usize)
-            .is_some_and(Option::is_some)
+        self.blocks.get(b.0 as usize).is_some_and(Option::is_some)
     }
 
     /// The instruction data for `i`.

@@ -66,8 +66,7 @@ impl Liveness {
         loop {
             let mut changed = false;
             for &b in blocks.iter().rev() {
-                let mut out: BTreeSet<ValueId> =
-                    phi_out.get(&b).cloned().unwrap_or_default();
+                let mut out: BTreeSet<ValueId> = phi_out.get(&b).cloned().unwrap_or_default();
                 for &s in cfg.succs_of(b) {
                     out.extend(live_in[&s].iter().copied());
                     // φ values defined in s are not live-in of s via this

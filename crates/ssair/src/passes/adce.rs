@@ -153,7 +153,9 @@ mod tests {
         // The dbg pseudo-instruction is not counted as a primitive action.
         assert_eq!(cm.counts().delete, 1);
         assert_eq!(
-            f.inst_iter().filter(|(_, i)| f.inst(*i).kind.is_dbg()).count(),
+            f.inst_iter()
+                .filter(|(_, i)| f.inst(*i).kind.is_dbg())
+                .count(),
             0
         );
     }

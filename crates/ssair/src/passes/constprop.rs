@@ -144,10 +144,7 @@ mod tests {
         let mut cm = SsaMapper::new();
         assert!(ConstProp.run(&mut f, &mut cm));
         let m = Module::new();
-        assert_eq!(
-            run_function(&f, &[], &m, 100).unwrap(),
-            Some(Val::Int(10))
-        );
+        assert_eq!(run_function(&f, &[], &m, 100).unwrap(), Some(Val::Int(10)));
     }
 
     #[test]

@@ -71,7 +71,16 @@ impl Pass for Cse {
         };
         let avail_values: BTreeMap<Key, ValueId> = BTreeMap::new();
         let avail_loads: BTreeMap<ValueId, (ValueId, u64)> = BTreeMap::new();
-        walk(f, cm, &dt, f.entry, avail_values, avail_loads, &mut ctx);
+        walk(
+            f,
+            cm,
+            &cfg,
+            &dt,
+            f.entry,
+            avail_values,
+            avail_loads,
+            &mut ctx,
+        );
         ctx.changed
     }
 }
@@ -83,15 +92,27 @@ struct Ctx {
 
 /// DFS over the dominator tree; the scoped tables are passed by value so
 /// sibling subtrees do not see each other's entries.
+#[allow(clippy::too_many_arguments)]
 fn walk(
     f: &mut Function,
     cm: &mut SsaMapper,
+    cfg: &Cfg,
     dt: &DomTree,
     block: crate::BlockId,
     mut avail_values: BTreeMap<Key, ValueId>,
     mut avail_loads: BTreeMap<ValueId, (ValueId, u64)>,
     ctx: &mut Ctx,
 ) {
+    // A block with several CFG predecessors (a merge point or loop header)
+    // can be reached through paths the dominator-tree walk has not visited
+    // yet — e.g. the join of a diamond whose storing branch is a *sibling*
+    // subtree, or a loop header re-entered after stores in the loop body.
+    // Like LLVM's EarlyCSE, start a fresh memory generation so no load is
+    // forwarded across those unseen paths (the SSA value table stays valid:
+    // dominance guarantees its entries).
+    if cfg.preds_of(block).len() >= 2 {
+        ctx.generation += 1;
+    }
     let insts = f.block(block).insts.clone();
     for i in insts {
         let kind = f.inst(i).kind.clone();
@@ -144,6 +165,7 @@ fn walk(
         walk(
             f,
             cm,
+            cfg,
             dt,
             c,
             avail_values.clone(),
@@ -240,6 +262,48 @@ mod tests {
             .count();
         assert_eq!(loads, 2);
         assert!(f.live_inst_count() >= before - 1);
+    }
+
+    #[test]
+    fn no_load_forwarding_into_merge_blocks() {
+        // Regression test: the join of a diamond is a dominator-tree child
+        // of the block before the branch, and may be walked before the
+        // storing branch.  Forwarding the pre-branch load into the join
+        // would read stale memory whenever the storing path runs.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64), ("x", Ty::I64)]);
+        let c = b.param(0);
+        let x = b.param(1);
+        let buf = b.alloca(1);
+        b.store(buf, x);
+        let l1 = b.load(buf);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let j = b.create_block("j");
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        let x1 = b.binop(BinOp::Add, l1, one);
+        b.store(buf, x1);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        let l2 = b.load(buf); // must NOT be forwarded from l1
+        b.ret(Some(l2));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        Cse.run(&mut f, &mut cm);
+        verify(&f).unwrap();
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(1), Val::Int(7)], &m, 100).unwrap(),
+            Some(Val::Int(8)),
+            "the taken store must be observed at the join"
+        );
+        assert_eq!(
+            run_function(&f, &[Val::Int(0), Val::Int(7)], &m, 100).unwrap(),
+            Some(Val::Int(7))
+        );
     }
 
     #[test]

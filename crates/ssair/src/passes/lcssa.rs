@@ -69,10 +69,8 @@ impl Pass for Lcssa {
                     if !dt.dominates(def_block, exit) {
                         continue;
                     }
-                    let phi = f.create_inst(
-                        InstKind::Phi(preds.iter().map(|p| (*p, v)).collect()),
-                        None,
-                    );
+                    let phi =
+                        f.create_inst(InstKind::Phi(preds.iter().map(|p| (*p, v)).collect()), None);
                     f.insert_inst(exit, 0, phi);
                     cm.add(phi);
                     let pv = f.result_of(phi).expect("φ has a result");

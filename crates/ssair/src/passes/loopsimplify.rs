@@ -53,9 +53,8 @@ impl Pass for LoopSimplify {
                 let InstKind::Phi(incs) = f.inst(i).kind.clone() else {
                     break;
                 };
-                let (out_incs, in_incs): (Vec<_>, Vec<_>) = incs
-                    .into_iter()
-                    .partition(|(p, _)| outside.contains(p));
+                let (out_incs, in_incs): (Vec<_>, Vec<_>) =
+                    incs.into_iter().partition(|(p, _)| outside.contains(p));
                 let mut new_incs = in_incs;
                 match out_incs.as_slice() {
                     [] => {}

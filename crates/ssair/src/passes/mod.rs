@@ -21,7 +21,7 @@ mod sccp;
 mod sink;
 
 pub use adce::Adce;
-pub use constprop::ConstProp;
+pub use constprop::{const_value, ConstProp};
 pub use cse::Cse;
 pub use lcssa::Lcssa;
 pub use licm::Licm;

@@ -62,7 +62,10 @@ impl Pass for Sccp {
             if f.inst(i).kind.has_side_effects() || f.inst(i).kind.reads_memory() {
                 continue;
             }
-            if matches!(f.inst(i).kind, InstKind::Alloca { .. } | InstKind::Gep { .. }) {
+            if matches!(
+                f.inst(i).kind,
+                InstKind::Alloca { .. } | InstKind::Gep { .. }
+            ) {
                 continue;
             }
             if let Some(Lattice::Const(n)) = values.get(&r) {
@@ -102,11 +105,8 @@ impl Pass for Sccp {
         }
 
         // 3. Remove blocks unreachable from the entry.
-        let reachable: BTreeSet<BlockId> = crate::cfg::Cfg::compute(f)
-            .rpo
-            .iter()
-            .copied()
-            .collect();
+        let reachable: BTreeSet<BlockId> =
+            crate::cfg::Cfg::compute(f).rpo.iter().copied().collect();
         for b in f.block_ids() {
             if reachable.contains(&b) {
                 continue;
@@ -131,8 +131,7 @@ impl Pass for Sccp {
             let all: Vec<_> = f.inst_iter().collect();
             for (_, i) in all {
                 if let InstKind::Phi(incs) = f.inst(i).kind.clone() {
-                    let distinct: BTreeSet<ValueId> =
-                        incs.iter().map(|(_, v)| *v).collect();
+                    let distinct: BTreeSet<ValueId> = incs.iter().map(|(_, v)| *v).collect();
                     let r = f.inst(i).result.expect("φ has a result");
                     if incs.len() == 1 || (distinct.len() == 1 && !distinct.contains(&r)) {
                         let v = incs[0].1;
@@ -223,8 +222,7 @@ fn analyze(f: &Function) -> (BTreeMap<ValueId, Lattice>, BTreeSet<BlockId>) {
                         Lattice::Const(c) => {
                             lookup(&values, if c != 0 { *then_v } else { *else_v })
                         }
-                        Lattice::Over => lookup(&values, *then_v)
-                            .meet(lookup(&values, *else_v)),
+                        Lattice::Over => lookup(&values, *then_v).meet(lookup(&values, *else_v)),
                         Lattice::Unknown => Lattice::Unknown,
                     },
                     InstKind::Phi(incs) => {

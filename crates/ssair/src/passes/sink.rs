@@ -52,10 +52,7 @@ impl Pass for Sink {
                 }
                 let insts = f.block(b).insts.clone();
                 for i in insts.into_iter().rev() {
-                    if f.inst(i)
-                        .result
-                        .is_some_and(|r| self.keep.contains(&r))
-                    {
+                    if f.inst(i).result.is_some_and(|r| self.keep.contains(&r)) {
                         continue;
                     }
                     if let Some(target) = sink_target(f, &dt, &li, b, i) {
@@ -253,6 +250,9 @@ mod tests {
         let mut f = b.finish();
         verify(&f).unwrap();
         let mut cm = SsaMapper::new();
-        assert!(!Sink::default().run(&mut f, &mut cm), "φ uses must block sinking");
+        assert!(
+            !Sink::default().run(&mut f, &mut cm),
+            "φ uses must block sinking"
+        );
     }
 }

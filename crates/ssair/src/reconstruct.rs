@@ -92,12 +92,7 @@ impl CompCode {
     pub fn emit_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| {
-                !matches!(
-                    s,
-                    CompStep::Transfer { .. } | CompStep::Materialize { .. }
-                )
-            })
+            .filter(|s| !matches!(s, CompStep::Transfer { .. } | CompStep::Materialize { .. }))
             .count()
     }
 }
@@ -558,10 +553,9 @@ pub fn apply_comp(
             }
             CompStep::Emit { inst } | CompStep::Materialize { inst } => {
                 let data = dst_fn.inst(*inst);
-                let result = eval_pure(&data.kind, &env, machine)
-                    .ok_or_else(|| {
-                        SsaReconstructError::NotAvailable(data.result.unwrap_or(ValueId(0)))
-                    })?;
+                let result = eval_pure(&data.kind, &env, machine).ok_or_else(|| {
+                    SsaReconstructError::NotAvailable(data.result.unwrap_or(ValueId(0)))
+                })?;
                 if let Some(r) = data.result {
                     env.insert(r, result);
                 }

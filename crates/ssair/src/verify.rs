@@ -55,7 +55,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "φ {inst} incoming blocks do not match predecessors")
             }
             VerifyError::UseNotDominated { inst, value } => {
-                write!(f, "use of {value} at {inst} not dominated by its definition")
+                write!(
+                    f,
+                    "use of {value} at {inst} not dominated by its definition"
+                )
             }
             VerifyError::UseOfRemovedDef { inst, value } => {
                 write!(f, "use of {value} at {inst}, whose definition was removed")
@@ -110,8 +113,11 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
                     return Err(VerifyError::PhiNotAtTop { inst });
                 }
                 let preds: BTreeSet<BlockId> = cfg.preds_of(b).iter().copied().collect();
-                let reachable_preds: BTreeSet<BlockId> =
-                    preds.iter().copied().filter(|p| cfg.is_reachable(*p)).collect();
+                let reachable_preds: BTreeSet<BlockId> = preds
+                    .iter()
+                    .copied()
+                    .filter(|p| cfg.is_reachable(*p))
+                    .collect();
                 if let InstKind::Phi(incs) = &data.kind {
                     let inc_blocks: BTreeSet<BlockId> = incs.iter().map(|(p, _)| *p).collect();
                     if inc_blocks != reachable_preds {
@@ -169,7 +175,10 @@ fn check_use_at(
     user: InstId,
 ) -> Result<(), VerifyError> {
     match def_site(f, v) {
-        Err(()) => Err(VerifyError::UseOfRemovedDef { inst: user, value: v }),
+        Err(()) => Err(VerifyError::UseOfRemovedDef {
+            inst: user,
+            value: v,
+        }),
         Ok(None) => Ok(()),
         Ok(Some((db, didx))) => {
             let ok = if db == use_block {
@@ -180,7 +189,10 @@ fn check_use_at(
             if ok {
                 Ok(())
             } else {
-                Err(VerifyError::UseNotDominated { inst: user, value: v })
+                Err(VerifyError::UseNotDominated {
+                    inst: user,
+                    value: v,
+                })
             }
         }
     }
@@ -253,7 +265,10 @@ mod tests {
         let ph = b.phi(&[(t, c)]);
         b.ret(Some(ph));
         let f = b.finish();
-        assert!(matches!(verify(&f), Err(VerifyError::PhiPredMismatch { .. })));
+        assert!(matches!(
+            verify(&f),
+            Err(VerifyError::PhiPredMismatch { .. })
+        ));
     }
 
     #[test]
@@ -301,8 +316,7 @@ mod tests {
         // Fix φ incomings to match preds (entry and loop itself).
         let entry = f.entry;
         let phi_inst = f.block(loop_bb).insts[1];
-        f.inst_mut(phi_inst).kind =
-            InstKind::Phi(vec![(entry, c), (loop_bb, c)]);
+        f.inst_mut(phi_inst).kind = InstKind::Phi(vec![(entry, c), (loop_bb, c)]);
         // φ sits after the const → PhiNotAtTop.
         assert!(matches!(verify(&f), Err(VerifyError::PhiNotAtTop { .. })));
         let _ = Terminator::Ret(None);

@@ -39,7 +39,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "`in`/`out` misplaced at point {point}")
             }
             ProgramError::JumpOutOfRange { point, target } => {
-                write!(f, "jump at point {point} targets out-of-range point {target}")
+                write!(
+                    f,
+                    "jump at point {point} targets out-of-range point {target}"
+                )
             }
             ProgramError::NotComposable { reason } => {
                 write!(f, "programs are not composable: {reason}")

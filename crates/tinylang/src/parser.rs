@@ -62,10 +62,16 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 }
 
 fn parse_instr(line: &str) -> Result<Instr, String> {
-    if let Some(rest) = line.strip_prefix("in ").or(if line == "in" { Some("") } else { None }) {
+    if let Some(rest) = line
+        .strip_prefix("in ")
+        .or(if line == "in" { Some("") } else { None })
+    {
         return Ok(Instr::In(parse_var_list(rest)?));
     }
-    if let Some(rest) = line.strip_prefix("out ").or(if line == "out" { Some("") } else { None }) {
+    if let Some(rest) = line
+        .strip_prefix("out ")
+        .or(if line == "out" { Some("") } else { None })
+    {
         return Ok(Instr::Out(parse_var_list(rest)?));
     }
     if line == "skip" {
@@ -139,7 +145,9 @@ fn parse_var(s: &str) -> Result<Var, String> {
             .chars()
             .next()
             .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        || !s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        || !s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
     {
         return Err(format!("invalid variable name `{s}`"));
     }

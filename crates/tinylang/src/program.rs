@@ -280,7 +280,10 @@ mod tests {
                 Instr::Out(vec![]),
             ])
             .unwrap_err(),
-            ProgramError::JumpOutOfRange { point: 2, target: 9 }
+            ProgramError::JumpOutOfRange {
+                point: 2,
+                target: 9
+            }
         );
     }
 

@@ -189,11 +189,18 @@ pub fn trace(p: &Program, initial: &Store, fuel: usize) -> Vec<State> {
 /// (an effective under-approximation of Definition 2.5).
 ///
 /// Returns the first store on which the two programs disagree, if any.
-pub fn differing_input<'a, I>(p1: &Program, p2: &Program, stores: I, fuel: usize) -> Option<&'a Store>
+pub fn differing_input<'a, I>(
+    p1: &Program,
+    p2: &Program,
+    stores: I,
+    fuel: usize,
+) -> Option<&'a Store>
 where
     I: IntoIterator<Item = &'a Store>,
 {
-    stores.into_iter().find(|s| run(p1, s, fuel) != run(p2, s, fuel))
+    stores
+        .into_iter()
+        .find(|s| run(p1, s, fuel) != run(p2, s, fuel))
 }
 
 #[cfg(test)]
@@ -237,7 +244,7 @@ mod tests {
         )
         .unwrap();
         let out = run(&p, &store(&[("n", 5)]), 1000).completed().unwrap();
-        assert_eq!(out.get("s"), Some(0 + 1 + 2 + 3 + 4));
+        assert_eq!(out.get("s"), Some(1 + 2 + 3 + 4));
     }
 
     #[test]
@@ -252,7 +259,10 @@ mod tests {
     #[test]
     fn abort_is_stuck() {
         let p = parse_program("in x\nabort\nout x").unwrap();
-        assert_eq!(run(&p, &store(&[("x", 0)]), 10), Outcome::Stuck(Stuck::Aborted));
+        assert_eq!(
+            run(&p, &store(&[("x", 0)]), 10),
+            Outcome::Stuck(Stuck::Aborted)
+        );
     }
 
     #[test]

@@ -82,7 +82,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![Var::new("z"), Var::new("a"), Var::new("m")];
+        let mut v = [Var::new("z"), Var::new("a"), Var::new("m")];
         v.sort();
         let names: Vec<_> = v.iter().map(Var::as_str).collect();
         assert_eq!(names, ["a", "m", "z"]);

@@ -119,9 +119,8 @@ pub fn extract_continuation(
     };
     // On the duplicated (entry tail → successor) edge, tail definitions
     // shadow parameters, which shadow nothing else.
-    let resolve_tail_edge = |v: ValueId| -> Option<ValueId> {
-        tail_map.get(&v).or_else(|| param_map.get(&v)).copied()
-    };
+    let resolve_tail_edge =
+        |v: ValueId| -> Option<ValueId> { tail_map.get(&v).or_else(|| param_map.get(&v)).copied() };
 
     // Values with *two* definitions in the continuation: one on the entry
     // path (a parameter or a tail copy) and one in the copied body (loop-
@@ -147,12 +146,13 @@ pub fn extract_continuation(
         slot_of.insert(r, slot);
     }
 
-    // Phase B: rewrite operands.
+    // Phase B: rewrite operands.  Every rewrite below maps the operands of
+    // one instruction *simultaneously* (`map_operands`): the copies live in
+    // a fresh value-id space that overlaps the target's, so sequential
+    // `replace_operand` calls could capture an already-rewritten operand.
     for &i in &tail_copies {
         let mut kind = func.inst(i).kind.clone();
-        for op in kind.operands() {
-            kind.replace_operand(op, resolve_tail(op));
-        }
+        kind.map_operands(resolve_tail);
         func.inst_mut(i).kind = kind;
     }
     {
@@ -208,7 +208,11 @@ pub fn extract_continuation(
             }
             *incs = new_incs;
         } else {
+            let mut mapped: BTreeMap<ValueId, ValueId> = BTreeMap::new();
             for op in kind.operands() {
+                if mapped.contains_key(&op) {
+                    continue;
+                }
                 let val = if slot_of.contains_key(&op) {
                     let pos = func
                         .block(block)
@@ -216,19 +220,15 @@ pub fn extract_continuation(
                         .iter()
                         .position(|x| *x == copy)
                         .expect("copy in block");
-                    let load = func.create_inst(
-                        InstKind::Load {
-                            addr: slot_of[&op],
-                        },
-                        None,
-                    );
+                    let load = func.create_inst(InstKind::Load { addr: slot_of[&op] }, None);
                     func.insert_inst(block, pos, load);
                     func.result_of(load).expect("load has a result")
                 } else {
                     resolve_body(op)
                 };
-                kind.replace_operand(op, val);
+                mapped.insert(op, val);
             }
+            kind.map_operands(|op| mapped[&op]);
         }
         let _ = src;
         func.inst_mut(copy).kind = kind;
@@ -327,8 +327,7 @@ fn prune_unreachable(func: &mut Function) {
                 let insts = func.block(s).insts.clone();
                 for i in insts {
                     if let InstKind::Phi(incs) = func.inst(i).kind.clone() {
-                        let filtered: Vec<_> =
-                            incs.into_iter().filter(|(p, _)| *p != b).collect();
+                        let filtered: Vec<_> = incs.into_iter().filter(|(p, _)| *p != b).collect();
                         func.inst_mut(i).kind = InstKind::Phi(filtered);
                     }
                 }

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod continuation;
+pub mod profile;
 pub mod runtime;
 mod versions;
 

@@ -1,0 +1,173 @@
+//! Profiling and tier-decision hooks, split out of [`crate::runtime::Vm`]
+//! so external runtimes can subscribe to hotness information and drive
+//! tiering themselves.
+//!
+//! The interpreter instruments the OSR points returned by
+//! [`loop_header_points`] (the first non-φ instruction of every loop
+//! header, where HotSpot and Jikes place their counters, §8 of the paper).
+//! Each visit is counted by a [`HotnessProfiler`] and reported to a
+//! [`TierController`], which decides whether to keep interpreting or to
+//! attempt an optimizing OSR into a prepared [`FunctionVersions`] pair.
+//!
+//! Two controllers ship with the crate:
+//!
+//! * [`ThresholdController`] — the classic single-function policy: fire at
+//!   a fixed visit count (this is what [`crate::runtime::Vm::run_with_osr`]
+//!   uses under the hood);
+//! * the `engine` crate implements its own controller that aggregates
+//!   counters across concurrent requests, compiles in the background, and
+//!   only fires once the shared code cache holds a ready version.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ssair::cfg::Cfg;
+use ssair::dom::DomTree;
+use ssair::feasibility::EntryTable;
+use ssair::loops::LoopInfo;
+use ssair::{Function, InstId};
+
+use crate::FunctionVersions;
+
+/// The OSR points the profiler instruments: the first non-φ, non-debug
+/// instruction of every loop header.
+pub fn loop_header_points(f: &Function) -> Vec<InstId> {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute(f, &cfg);
+    let li = LoopInfo::compute(f, &cfg, &dt);
+    li.loops
+        .iter()
+        .filter_map(|l| {
+            f.block(l.header)
+                .insts
+                .iter()
+                .find(|i| !f.inst(**i).kind.is_phi() && !f.inst(**i).kind.is_dbg())
+                .copied()
+        })
+        .collect()
+}
+
+/// What a [`TierController`] tells the interpreter to do at an
+/// instrumented point.
+pub enum TierDecision {
+    /// Keep interpreting the current version.
+    Continue,
+    /// Attempt an optimizing OSR into the optimized half of the given
+    /// version pair, reconstructing compensation code on demand; if
+    /// infeasible at this point, interpretation continues and
+    /// [`TierController::on_infeasible`] is invoked.
+    TierUp(Arc<FunctionVersions>),
+    /// Like [`TierDecision::TierUp`], but serve the transition from a
+    /// precomputed [`EntryTable`] (as a shared code cache does) instead of
+    /// reconstructing at transition time.
+    TierUpPrecomputed(Arc<FunctionVersions>, Arc<EntryTable>),
+}
+
+/// Receives visit counts for instrumented points and decides when the
+/// interpreter should attempt a tier-up transition.
+pub trait TierController {
+    /// Called on every visit of instrumented point `at`; `count` is the
+    /// cumulative visit count within the current frame.
+    fn observe(&mut self, at: InstId, count: usize) -> TierDecision;
+
+    /// Called when a requested transition was infeasible at `at` (no
+    /// landing site or no compensation code); the interpreter carries on
+    /// in the current version.
+    fn on_infeasible(&mut self, _at: InstId) {}
+}
+
+/// Per-frame hotness counters over a fixed set of instrumented points.
+#[derive(Clone, Debug, Default)]
+pub struct HotnessProfiler {
+    points: Vec<InstId>,
+    counters: BTreeMap<InstId, usize>,
+}
+
+impl HotnessProfiler {
+    /// A profiler over an explicit point set.
+    pub fn new(points: Vec<InstId>) -> Self {
+        HotnessProfiler {
+            points,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// A profiler over the loop-header OSR points of `f`.
+    pub fn for_function(f: &Function) -> Self {
+        HotnessProfiler::new(loop_header_points(f))
+    }
+
+    /// Whether `at` is instrumented.
+    pub fn is_instrumented(&self, at: InstId) -> bool {
+        self.points.contains(&at)
+    }
+
+    /// Counts one visit of `at`; returns the updated count, or `None` if
+    /// the point is not instrumented.
+    pub fn visit(&mut self, at: InstId) -> Option<usize> {
+        if !self.is_instrumented(at) {
+            return None;
+        }
+        let n = self.counters.entry(at).or_insert(0);
+        *n += 1;
+        Some(*n)
+    }
+
+    /// The accumulated counters.
+    pub fn counters(&self) -> &BTreeMap<InstId, usize> {
+        &self.counters
+    }
+}
+
+/// The classic fixed-threshold policy: attempt the OSR into a prepared
+/// version pair exactly when a point's visit count reaches the threshold.
+pub struct ThresholdController {
+    threshold: usize,
+    versions: Arc<FunctionVersions>,
+}
+
+impl ThresholdController {
+    /// Fires into `versions` once any instrumented point reaches
+    /// `threshold` visits.
+    pub fn new(threshold: usize, versions: Arc<FunctionVersions>) -> Self {
+        ThresholdController {
+            threshold,
+            versions,
+        }
+    }
+}
+
+impl TierController for ThresholdController {
+    fn observe(&mut self, _at: InstId, count: usize) -> TierDecision {
+        if count == self.threshold {
+            TierDecision::TierUp(Arc::clone(&self.versions))
+        } else {
+            TierDecision::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_controller_fires_exactly_at_threshold() {
+        let m = minic::compile("fn id(x) { return x; }").unwrap();
+        let versions = Arc::new(FunctionVersions::standard(m.get("id").unwrap().clone()));
+        let mut c = ThresholdController::new(3, versions);
+        assert!(matches!(c.observe(InstId(0), 1), TierDecision::Continue));
+        assert!(matches!(c.observe(InstId(0), 2), TierDecision::Continue));
+        assert!(matches!(c.observe(InstId(0), 3), TierDecision::TierUp(_)));
+        assert!(matches!(c.observe(InstId(0), 4), TierDecision::Continue));
+    }
+
+    #[test]
+    fn profiler_counts_only_instrumented_points() {
+        let mut p = HotnessProfiler::new(vec![InstId(3)]);
+        assert_eq!(p.visit(InstId(4)), None);
+        assert_eq!(p.visit(InstId(3)), Some(1));
+        assert_eq!(p.visit(InstId(3)), Some(2));
+        assert_eq!(p.counters().get(&InstId(3)), Some(&2));
+    }
+}

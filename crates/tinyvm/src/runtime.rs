@@ -1,16 +1,26 @@
 //! The VM: profiling interpretation with on-stack replacement.
+//!
+//! Profiling and tiering *policy* live in [`crate::profile`]; this module
+//! owns transition *mechanics*: landing-site resolution, compensation-code
+//! execution, and resuming in the target version (directly or through a
+//! generated continuation function).  The interpreter reports hotness to a
+//! [`TierController`] and fires whatever the controller decides, which is
+//! how the `engine` crate plugs background compilation into the same loop.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
 
-use ssair::feasibility::{landing_site, Landing};
+use ssair::feasibility::{landing_site, EntryTable, Landing};
 use ssair::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
-use ssair::liveness::Liveness;
 use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
-use ssair::{cfg::Cfg, dom::DomTree, loops::LoopInfo, Function, InstId, Module};
+use ssair::{Function, InstId, Module};
 
 use crate::continuation::extract_continuation;
+use crate::profile::{HotnessProfiler, TierController, TierDecision};
 use crate::FunctionVersions;
+
+pub use crate::profile::loop_header_points;
 
 /// When and how the VM fires OSR transitions.
 #[derive(Clone, Debug)]
@@ -35,12 +45,65 @@ impl Default for OsrPolicy {
     }
 }
 
+/// How a fired transition is executed (the policy knobs that are about
+/// mechanics rather than *when* to fire — the latter is the controller's
+/// job).
+#[derive(Clone, Copy, Debug)]
+pub struct TransitionOptions {
+    /// Which reconstruction variant to use.
+    pub variant: Variant,
+    /// Execute through a generated continuation function instead of direct
+    /// frame surgery.
+    pub use_continuation: bool,
+}
+
+impl Default for TransitionOptions {
+    fn default() -> Self {
+        TransitionOptions {
+            variant: Variant::Avail,
+            use_continuation: true,
+        }
+    }
+}
+
+impl From<&OsrPolicy> for TransitionOptions {
+    fn from(p: &OsrPolicy) -> Self {
+        TransitionOptions {
+            variant: p.variant,
+            use_continuation: p.use_continuation,
+        }
+    }
+}
+
+/// When the VM fires a deoptimizing (tier-down) transition while running
+/// the optimized version — the debugger-attach scenario of §7.
+#[derive(Clone, Debug)]
+pub struct DeoptPolicy {
+    /// Visits to an optimized-code loop-header point before deoptimizing
+    /// (1 deoptimizes at the first opportunity, as a debugger would).
+    pub after_visits: usize,
+    /// Transition mechanics.
+    pub options: TransitionOptions,
+}
+
+impl Default for DeoptPolicy {
+    fn default() -> Self {
+        DeoptPolicy {
+            after_visits: 1,
+            options: TransitionOptions::default(),
+        }
+    }
+}
+
 /// A recorded transition.
 #[derive(Clone, Debug)]
 pub struct OsrEvent {
-    /// Source location (in the baseline version).
+    /// Transition direction: `Forward` is an optimizing tier-up
+    /// (`fbase → fopt`), `Backward` a deoptimizing tier-down.
+    pub direction: Direction,
+    /// Source location (in the version being left).
     pub from: InstId,
-    /// Landing location (in the optimized version).
+    /// Landing location (in the version being entered).
     pub to: InstId,
     /// `|c|`: generated compensation instructions executed.
     pub comp_size: usize,
@@ -54,7 +117,11 @@ impl fmt::Display for OsrEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "OSR {} -> {} (|c| = {}, {} values{})",
+            "{} {} -> {} (|c| = {}, {} values{})",
+            match self.direction {
+                Direction::Forward => "OSR",
+                Direction::Backward => "Deopt",
+            },
             self.from,
             self.to,
             self.comp_size,
@@ -90,6 +157,11 @@ impl Vm {
         self
     }
 
+    /// The configured fuel budget.
+    pub fn fuel(&self) -> usize {
+        self.fuel
+    }
+
     /// Runs the baseline version of `versions`, firing an optimizing OSR at
     /// the first loop-header OSR point that crosses the hotness threshold.
     ///
@@ -99,49 +171,111 @@ impl Vm {
     ///
     /// Propagates interpreter failures ([`ExecError`]).
     pub fn run_with_osr(
-        &mut self,
+        &self,
         versions: &FunctionVersions,
         args: &[Val],
         policy: &OsrPolicy,
     ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
-        let base = &versions.base;
-        let header_points = loop_header_points(base);
+        // Clone the version pair only if the threshold actually fires; cold
+        // runs (threshold never reached) stay allocation-free.
+        struct LazyThreshold<'a> {
+            threshold: usize,
+            versions: &'a FunctionVersions,
+            cached: Option<Arc<FunctionVersions>>,
+        }
+        impl TierController for LazyThreshold<'_> {
+            fn observe(&mut self, _at: InstId, count: usize) -> TierDecision {
+                if count == self.threshold {
+                    let v = self
+                        .cached
+                        .get_or_insert_with(|| Arc::new(self.versions.clone()));
+                    TierDecision::TierUp(Arc::clone(v))
+                } else {
+                    TierDecision::Continue
+                }
+            }
+        }
+        let mut controller = LazyThreshold {
+            threshold: policy.hotness_threshold,
+            versions,
+            cached: None,
+        };
+        self.run_tiered(&versions.base, args, &policy.into(), &mut controller)
+    }
+
+    /// The tiered-execution core: interprets `base`, counts visits to its
+    /// loop-header OSR points, and consults `controller` at each visit.
+    /// When the controller returns [`TierDecision::TierUp`], an optimizing
+    /// transition into the supplied version pair is attempted; on success
+    /// the optimized version runs to completion, otherwise interpretation
+    /// continues and the controller is notified via
+    /// [`TierController::on_infeasible`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures ([`ExecError`]).
+    pub fn run_tiered(
+        &self,
+        base: &Function,
+        args: &[Val],
+        options: &TransitionOptions,
+        controller: &mut dyn TierController,
+    ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
         let mut machine = Machine::new(self.fuel);
         let mut frame = Frame::enter(base, args);
-        let mut counters: BTreeMap<InstId, usize> = BTreeMap::new();
         let mut events = Vec::new();
+        let profiler = RefCell::new(HotnessProfiler::for_function(base));
+        let controller = RefCell::new(controller);
+        type Pending = Option<(Arc<FunctionVersions>, Option<Arc<EntryTable>>)>;
+        let pending: RefCell<Pending> = RefCell::new(None);
 
         loop {
-            use std::cell::RefCell;
-            let counters_cell = RefCell::new(&mut counters);
-            let threshold = policy.hotness_threshold;
             let outcome = run_frame(
                 base,
                 &mut frame,
                 &mut machine,
                 &self.module,
                 Some(&|_f, _fr, i| {
-                    if header_points.contains(&i) {
-                        let mut c = counters_cell.borrow_mut();
-                        let n = c.entry(i).or_insert(0);
-                        *n += 1;
-                        *n == threshold
-                    } else {
-                        false
+                    let Some(count) = profiler.borrow_mut().visit(i) else {
+                        return false;
+                    };
+                    match controller.borrow_mut().observe(i, count) {
+                        TierDecision::Continue => false,
+                        TierDecision::TierUp(versions) => {
+                            *pending.borrow_mut() = Some((versions, None));
+                            true
+                        }
+                        TierDecision::TierUpPrecomputed(versions, table) => {
+                            *pending.borrow_mut() = Some((versions, Some(table)));
+                            true
+                        }
                     }
                 }),
             )?;
             match outcome {
                 StepOutcome::Returned(v) => return Ok((v, events)),
                 StepOutcome::Paused { at } => {
-                    match self.try_transition(versions, &frame, &mut machine, at, policy)? {
+                    let (versions, table) = pending
+                        .borrow_mut()
+                        .take()
+                        .expect("paused only when a tier-up was requested");
+                    match self.transition(
+                        &versions,
+                        Direction::Forward,
+                        &frame,
+                        &mut machine,
+                        at,
+                        options,
+                        table.as_deref(),
+                    )? {
                         Some((result, event)) => {
                             events.push(event);
                             return Ok((result, events));
                         }
                         None => {
-                            // Infeasible here: keep interpreting (counter
-                            // saturated, predicate no longer fires at `at`).
+                            // Infeasible here: keep interpreting (the
+                            // predicate no longer fires at `at`).
+                            controller.borrow_mut().on_infeasible(at);
                             continue;
                         }
                     }
@@ -150,29 +284,136 @@ impl Vm {
         }
     }
 
-    /// Attempts the OSR at baseline location `at`; on success runs the
-    /// optimized version to completion and returns its result.
-    fn try_transition(
+    /// Runs the *optimized* version of `versions` and fires a deoptimizing
+    /// (tier-down) transition back into the baseline version once a
+    /// loop-header point of the optimized code has been visited
+    /// `policy.after_visits` times — the on-demand deoptimization a
+    /// debugger attach triggers (§7).  If no visited point admits a
+    /// backward transition, the optimized version simply runs to
+    /// completion (no event is recorded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures ([`ExecError`]).
+    pub fn run_with_deopt(
         &self,
         versions: &FunctionVersions,
+        args: &[Val],
+        policy: &DeoptPolicy,
+    ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
+        self.run_deopt_inner(versions, args, policy, None)
+    }
+
+    /// Like [`Vm::run_with_deopt`], but serves the backward transition from
+    /// a precomputed [`EntryTable`] (direction `Backward`) instead of
+    /// reconstructing compensation code at transition time — the path a
+    /// shared code cache uses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures ([`ExecError`]).
+    pub fn run_with_deopt_table(
+        &self,
+        versions: &FunctionVersions,
+        args: &[Val],
+        policy: &DeoptPolicy,
+        table: &EntryTable,
+    ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
+        self.run_deopt_inner(versions, args, policy, Some(table))
+    }
+
+    fn run_deopt_inner(
+        &self,
+        versions: &FunctionVersions,
+        args: &[Val],
+        policy: &DeoptPolicy,
+        table: Option<&EntryTable>,
+    ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
+        let opt = &versions.opt;
+        let mut machine = Machine::new(self.fuel);
+        let mut frame = Frame::enter(opt, args);
+        let mut events = Vec::new();
+        let profiler = RefCell::new(HotnessProfiler::for_function(opt));
+        let threshold = policy.after_visits;
+
+        loop {
+            let outcome = run_frame(
+                opt,
+                &mut frame,
+                &mut machine,
+                &self.module,
+                Some(&|_f, _fr, i| profiler.borrow_mut().visit(i) == Some(threshold)),
+            )?;
+            match outcome {
+                StepOutcome::Returned(v) => return Ok((v, events)),
+                StepOutcome::Paused { at } => {
+                    match self.transition(
+                        versions,
+                        Direction::Backward,
+                        &frame,
+                        &mut machine,
+                        at,
+                        &policy.options,
+                        table,
+                    )? {
+                        Some((result, event)) => {
+                            events.push(event);
+                            return Ok((result, events));
+                        }
+                        None => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts a transition at source location `at`; on success runs the
+    /// target version to completion and returns its result.
+    ///
+    /// `Forward` leaves the baseline for the optimized version, `Backward`
+    /// deoptimizes from the optimized version back into the baseline.
+    #[allow(clippy::too_many_arguments)]
+    fn transition(
+        &self,
+        versions: &FunctionVersions,
+        direction: Direction,
         frame: &Frame,
         machine: &mut Machine,
         at: InstId,
-        policy: &OsrPolicy,
+        options: &TransitionOptions,
+        table: Option<&EntryTable>,
     ) -> Result<Option<(Option<Val>, OsrEvent)>, ExecError> {
-        let pair = versions.pair();
-        let Some(Landing { loc, entry_edge }) =
-            landing_site(&versions.base, &versions.opt, &versions.cm, at)
-        else {
-            return Ok(None);
+        let (src_fn, dst_fn) = match direction {
+            Direction::Forward => (&versions.base, &versions.opt),
+            Direction::Backward => (&versions.opt, &versions.base),
         };
-        let Ok(entry) =
-            pair.build_entry_with_edge(Direction::Forward, at, loc, policy.variant, entry_edge)
-        else {
-            return Ok(None);
+        // Precomputed path: a code cache already resolved the landing site
+        // and built (validated) compensation code for every feasible point.
+        let (loc, entry_owned);
+        let entry = if let Some(table) = table {
+            debug_assert_eq!(table.direction, direction, "table direction matches");
+            let Some((landing, entry)) = table.get(at) else {
+                return Ok(None);
+            };
+            loc = landing.loc;
+            entry
+        } else {
+            let Some(Landing { loc: l, entry_edge }) =
+                landing_site(src_fn, dst_fn, &versions.cm, at)
+            else {
+                return Ok(None);
+            };
+            let pair = versions.pair();
+            let Ok(e) = pair.build_entry_with_edge(direction, at, l, options.variant, entry_edge)
+            else {
+                return Ok(None);
+            };
+            loc = l;
+            entry_owned = e;
+            &entry_owned
         };
         // Compensation code runs now, against the live source frame.
-        let Ok(env) = apply_comp(&entry, &versions.opt, &frame.values, machine) else {
+        let Ok(env) = apply_comp(entry, dst_fn, &frame.values, machine) else {
             return Ok(None);
         };
         let comp_size = entry.comp.emit_count();
@@ -183,10 +424,10 @@ impl Vm {
             .filter(|s| matches!(s, CompStep::Transfer { .. }))
             .count();
 
-        let result = if policy.use_continuation {
+        let result = if options.use_continuation {
             // OSRKit-style: generate f'to and call it with the live state.
             let live_ins: Vec<ssair::ValueId> = env.keys().copied().collect();
-            let cont = extract_continuation(&versions.opt, loc, &live_ins);
+            let cont = extract_continuation(dst_fn, loc, &live_ins);
             debug_assert!(
                 ssair::verify(&cont.func).is_ok(),
                 "continuation must verify"
@@ -198,21 +439,22 @@ impl Vm {
                 StepOutcome::Paused { .. } => unreachable!("no pause predicate"),
             }
         } else {
-            // Direct frame surgery: position a frame of the optimized
-            // function at the landing point.
-            let block = versions.opt.block_of(loc).expect("landing is live");
-            let index = versions.opt.block(block)
+            // Direct frame surgery: position a frame of the target function
+            // at the landing point.
+            let block = dst_fn.block_of(loc).expect("landing is live");
+            let index = dst_fn
+                .block(block)
                 .insts
                 .iter()
                 .position(|i| *i == loc)
                 .expect("in block");
-            let mut oframe = Frame {
+            let mut dframe = Frame {
                 values: env,
                 block,
                 index,
                 came_from: None,
             };
-            match run_frame(&versions.opt, &mut oframe, machine, &self.module, None)? {
+            match run_frame(dst_fn, &mut dframe, machine, &self.module, None)? {
                 StepOutcome::Returned(v) => v,
                 StepOutcome::Paused { .. } => unreachable!("no pause predicate"),
             }
@@ -220,11 +462,12 @@ impl Vm {
         Ok(Some((
             result,
             OsrEvent {
+                direction,
                 from: at,
                 to: loc,
                 comp_size,
                 transferred,
-                via_continuation: policy.use_continuation,
+                via_continuation: options.use_continuation,
             },
         )))
     }
@@ -237,26 +480,6 @@ impl Vm {
     pub fn run_plain(&self, f: &Function, args: &[Val]) -> Result<Option<Val>, ExecError> {
         ssair::interp::run_function(f, args, &self.module, self.fuel)
     }
-}
-
-/// The OSR points the profiler instruments: the first non-φ instruction of
-/// every loop header (where HotSpot and Jikes place their counters, §8).
-pub fn loop_header_points(f: &Function) -> Vec<InstId> {
-    let cfg = Cfg::compute(f);
-    let dt = DomTree::compute(f, &cfg);
-    let li = LoopInfo::compute(f, &cfg, &dt);
-    let lv = Liveness::compute(f, &cfg);
-    let _ = lv;
-    li.loops
-        .iter()
-        .filter_map(|l| {
-            f.block(l.header)
-                .insts
-                .iter()
-                .find(|i| !f.inst(**i).kind.is_phi() && !f.inst(**i).kind.is_dbg())
-                .copied()
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -281,7 +504,7 @@ mod tests {
              }",
             "work",
         );
-        let mut vm = Vm::new(m);
+        let vm = Vm::new(m);
         for use_continuation in [true, false] {
             let policy = OsrPolicy {
                 hotness_threshold: 5,
@@ -294,6 +517,7 @@ mod tests {
             assert_eq!(got, expected, "continuation={use_continuation}");
             assert_eq!(events.len(), 1);
             assert!(events[0].transferred > 0);
+            assert_eq!(events[0].direction, Direction::Forward);
         }
     }
 
@@ -307,7 +531,7 @@ mod tests {
              }",
             "work",
         );
-        let mut vm = Vm::new(m);
+        let vm = Vm::new(m);
         let policy = OsrPolicy {
             hotness_threshold: 1_000,
             ..OsrPolicy::default()
@@ -331,7 +555,7 @@ mod tests {
              }",
             "mat",
         );
-        let mut vm = Vm::new(m);
+        let vm = Vm::new(m);
         let args = [Val::Int(12)];
         let expected = vm.run_plain(&v.base, &args).unwrap();
         let (got, events) = vm.run_with_osr(&v, &args, &OsrPolicy::default()).unwrap();
@@ -353,7 +577,7 @@ mod tests {
              }",
             "hist",
         );
-        let mut vm = Vm::new(m);
+        let vm = Vm::new(m);
         let args = [Val::Int(100)];
         let expected = vm.run_plain(&v.base, &args).unwrap();
         let (got, _events) = vm.run_with_osr(&v, &args, &OsrPolicy::default()).unwrap();
@@ -361,8 +585,123 @@ mod tests {
     }
 
     #[test]
+    fn deopt_mid_loop_matches_plain_run() {
+        let (m, v) = compile_one(
+            "fn work(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     s = s + x * x + i;
+                 }
+                 return s;
+             }",
+            "work",
+        );
+        let vm = Vm::new(m);
+        for use_continuation in [true, false] {
+            let policy = DeoptPolicy {
+                after_visits: 3,
+                options: TransitionOptions {
+                    variant: Variant::Avail,
+                    use_continuation,
+                },
+            };
+            let args = [Val::Int(7), Val::Int(40)];
+            let expected = vm.run_plain(&v.base, &args).unwrap();
+            let (got, events) = vm.run_with_deopt(&v, &args, &policy).unwrap();
+            assert_eq!(got, expected, "continuation={use_continuation}");
+            assert_eq!(events.len(), 1, "deopt fired");
+            assert_eq!(events[0].direction, Direction::Backward);
+        }
+    }
+
+    #[test]
+    fn deopt_continuation_with_overlapping_id_spaces() {
+        // Regression test: continuation extraction copies a region into a
+        // fresh value-id space that overlaps the source's; operand
+        // rewriting must substitute simultaneously or a rewritten operand
+        // gets captured by a later rewrite (seen as a store writing its
+        // value to the wrong address on this shape: an init loop feeding
+        // arrays read by a later loop with branch joins).
+        let (m, v) = compile_one(
+            "fn h(n, seed) {
+                 var mmx[8]; var imx[8];
+                 var s = seed;
+                 for (var k = 0; k < 8; k = k + 1) { mmx[k] = 0; imx[k] = -1000; }
+                 for (var i = 0; i < n; i = i + 1) {
+                     s = (s * 75 + 74) % 65537;
+                     var m1 = mmx[0] + (s & 31);
+                     var i1 = imx[0] + 3;
+                     if (i1 > m1) { m1 = i1; }
+                     mmx[1] = m1;
+                     imx[1] = m1 - (s & 7);
+                 }
+                 return mmx[1] + imx[1];
+             }",
+            "h",
+        );
+        let vm = Vm::new(m);
+        let args = [Val::Int(24), Val::Int(5)];
+        let expected = vm.run_plain(&v.base, &args).unwrap();
+        let policy = DeoptPolicy {
+            after_visits: 2,
+            options: TransitionOptions {
+                variant: Variant::Avail,
+                use_continuation: true,
+            },
+        };
+        let (got, events) = vm.run_with_deopt(&v, &args, &policy).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn custom_controller_observes_counts() {
+        use crate::profile::{TierController, TierDecision};
+
+        struct Recorder {
+            versions: Arc<FunctionVersions>,
+            visits: usize,
+            fire_at: usize,
+        }
+        impl TierController for Recorder {
+            fn observe(&mut self, _at: InstId, _count: usize) -> TierDecision {
+                self.visits += 1;
+                if self.visits == self.fire_at {
+                    TierDecision::TierUp(Arc::clone(&self.versions))
+                } else {
+                    TierDecision::Continue
+                }
+            }
+        }
+
+        let (m, v) = compile_one(
+            "fn work(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + i * 3; }
+                 return s;
+             }",
+            "work",
+        );
+        let vm = Vm::new(m);
+        let args = [Val::Int(30)];
+        let expected = vm.run_plain(&v.base, &args).unwrap();
+        let mut ctl = Recorder {
+            versions: Arc::new(v.clone()),
+            visits: 0,
+            fire_at: 7,
+        };
+        let (got, events) = vm
+            .run_tiered(&v.base, &args, &TransitionOptions::default(), &mut ctl)
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(events.len(), 1);
+        assert!(ctl.visits >= 7, "controller saw every instrumented visit");
+    }
+
+    #[test]
     fn osr_events_format() {
         let e = OsrEvent {
+            direction: Direction::Forward,
             from: InstId(3),
             to: InstId(3),
             comp_size: 2,
@@ -370,5 +709,10 @@ mod tests {
             via_continuation: true,
         };
         assert!(e.to_string().contains("|c| = 2"));
+        let d = OsrEvent {
+            direction: Direction::Backward,
+            ..e
+        };
+        assert!(d.to_string().starts_with("Deopt"));
     }
 }

@@ -31,18 +31,102 @@ pub struct CorpusSpec {
 /// The twelve SPEC CPU2006 C benchmarks of Table 4.
 pub fn corpus_benchmarks() -> Vec<CorpusSpec> {
     vec![
-        CorpusSpec { name: "bzip2", paper_functions: 100, mean_stmts: 28, branchiness: 22, loopiness: 14, arrays: 60 },
-        CorpusSpec { name: "gcc", paper_functions: 5577, mean_stmts: 22, branchiness: 30, loopiness: 8, arrays: 30 },
-        CorpusSpec { name: "gobmk", paper_functions: 2523, mean_stmts: 24, branchiness: 34, loopiness: 10, arrays: 45 },
-        CorpusSpec { name: "h264ref", paper_functions: 590, mean_stmts: 34, branchiness: 24, loopiness: 16, arrays: 70 },
-        CorpusSpec { name: "hmmer", paper_functions: 538, mean_stmts: 26, branchiness: 18, loopiness: 16, arrays: 55 },
-        CorpusSpec { name: "lbm", paper_functions: 19, mean_stmts: 40, branchiness: 12, loopiness: 20, arrays: 80 },
-        CorpusSpec { name: "libquantum", paper_functions: 115, mean_stmts: 16, branchiness: 16, loopiness: 12, arrays: 40 },
-        CorpusSpec { name: "mcf", paper_functions: 24, mean_stmts: 30, branchiness: 26, loopiness: 18, arrays: 50 },
-        CorpusSpec { name: "milc", paper_functions: 235, mean_stmts: 24, branchiness: 14, loopiness: 18, arrays: 65 },
-        CorpusSpec { name: "perlbench", paper_functions: 1870, mean_stmts: 26, branchiness: 32, loopiness: 8, arrays: 35 },
-        CorpusSpec { name: "sjeng", paper_functions: 144, mean_stmts: 28, branchiness: 36, loopiness: 10, arrays: 45 },
-        CorpusSpec { name: "sphinx3", paper_functions: 369, mean_stmts: 24, branchiness: 20, loopiness: 16, arrays: 55 },
+        CorpusSpec {
+            name: "bzip2",
+            paper_functions: 100,
+            mean_stmts: 28,
+            branchiness: 22,
+            loopiness: 14,
+            arrays: 60,
+        },
+        CorpusSpec {
+            name: "gcc",
+            paper_functions: 5577,
+            mean_stmts: 22,
+            branchiness: 30,
+            loopiness: 8,
+            arrays: 30,
+        },
+        CorpusSpec {
+            name: "gobmk",
+            paper_functions: 2523,
+            mean_stmts: 24,
+            branchiness: 34,
+            loopiness: 10,
+            arrays: 45,
+        },
+        CorpusSpec {
+            name: "h264ref",
+            paper_functions: 590,
+            mean_stmts: 34,
+            branchiness: 24,
+            loopiness: 16,
+            arrays: 70,
+        },
+        CorpusSpec {
+            name: "hmmer",
+            paper_functions: 538,
+            mean_stmts: 26,
+            branchiness: 18,
+            loopiness: 16,
+            arrays: 55,
+        },
+        CorpusSpec {
+            name: "lbm",
+            paper_functions: 19,
+            mean_stmts: 40,
+            branchiness: 12,
+            loopiness: 20,
+            arrays: 80,
+        },
+        CorpusSpec {
+            name: "libquantum",
+            paper_functions: 115,
+            mean_stmts: 16,
+            branchiness: 16,
+            loopiness: 12,
+            arrays: 40,
+        },
+        CorpusSpec {
+            name: "mcf",
+            paper_functions: 24,
+            mean_stmts: 30,
+            branchiness: 26,
+            loopiness: 18,
+            arrays: 50,
+        },
+        CorpusSpec {
+            name: "milc",
+            paper_functions: 235,
+            mean_stmts: 24,
+            branchiness: 14,
+            loopiness: 18,
+            arrays: 65,
+        },
+        CorpusSpec {
+            name: "perlbench",
+            paper_functions: 1870,
+            mean_stmts: 26,
+            branchiness: 32,
+            loopiness: 8,
+            arrays: 35,
+        },
+        CorpusSpec {
+            name: "sjeng",
+            paper_functions: 144,
+            mean_stmts: 28,
+            branchiness: 36,
+            loopiness: 10,
+            arrays: 45,
+        },
+        CorpusSpec {
+            name: "sphinx3",
+            paper_functions: 369,
+            mean_stmts: 24,
+            branchiness: 20,
+            loopiness: 16,
+            arrays: 55,
+        },
     ]
 }
 
@@ -63,6 +147,24 @@ pub fn generate_corpus(spec: &CorpusSpec, scale: usize) -> Module {
         src.push('\n');
     }
     compile(&src).expect("generated code always parses")
+}
+
+/// A deterministic mix of execution requests over a corpus module: `n`
+/// `(function name, argument)` pairs drawn from the module's functions
+/// with small positive arguments — the request stream a tiered engine
+/// batch drives.  Deterministic in `(module contents, seed)`.
+pub fn request_mix(module: &Module, n: usize, seed: u64) -> Vec<(String, Vec<i64>)> {
+    let names: Vec<&String> = module.functions.keys().collect();
+    assert!(!names.is_empty(), "module has functions");
+    let mut rng = SplitMix(seed ^ 0x9E3779B97F4A7C15);
+    (0..n)
+        .map(|_| {
+            let name = names[rng.below(names.len() as u64) as usize];
+            let f = &module.functions[name.as_str()];
+            let args = (0..f.params.len()).map(|_| rng.range(1, 6)).collect();
+            (name.clone(), args)
+        })
+        .collect()
 }
 
 /// Emits one random function following the profile.
@@ -86,11 +188,13 @@ fn generate_function(name: &str, spec: &CorpusSpec, rng: &mut SplitMix) -> Strin
         b.line("var data[16];");
         ctx.arrays.push("data".to_string());
         b.open("for (var ii = 0; ii < 16; ii = ii + 1)");
-        b.linef(format_args!("data[ii] = ii * {} + p0;", ctx.rng.range(1, 9)));
+        b.linef(format_args!(
+            "data[ii] = ii * {} + p0;",
+            ctx.rng.range(1, 9)
+        ));
         b.close();
     }
-    let stmts = (spec.mean_stmts as i64 / 2
-        + ctx.rng.range(0, spec.mean_stmts as i64)) as usize;
+    let stmts = (spec.mean_stmts as i64 / 2 + ctx.rng.range(0, spec.mean_stmts as i64)) as usize;
     for _ in 0..stmts {
         emit_stmt(&mut b, &mut ctx);
     }
@@ -239,7 +343,9 @@ mod tests {
             assert!(m.functions.len() >= 2, "{}", spec.name);
             for (name, f) in &m.functions {
                 ssair::verify(f).unwrap_or_else(|e| panic!("{}/{name}: {e}", spec.name));
-                let args: Vec<Val> = (0..f.params.len()).map(|i| Val::Int(i as i64 + 1)).collect();
+                let args: Vec<Val> = (0..f.params.len())
+                    .map(|i| Val::Int(i as i64 + 1))
+                    .collect();
                 run_function(f, &args, &m, 1_000_000)
                     .unwrap_or_else(|e| panic!("{}/{name}: {e}", spec.name));
             }
@@ -267,6 +373,22 @@ mod tests {
         let small = generate_corpus(spec, 1000);
         assert!(small.functions.len() >= 2);
         assert!(small.functions.len() <= 10);
+    }
+
+    #[test]
+    fn request_mix_is_deterministic_and_well_formed() {
+        let spec = &corpus_benchmarks()[0];
+        let m = generate_corpus(spec, 50);
+        let a = request_mix(&m, 40, 7);
+        let b = request_mix(&m, 40, 7);
+        assert_eq!(a, b, "same seed, same mix");
+        let c = request_mix(&m, 40, 8);
+        assert_ne!(a, c, "different seed, different mix");
+        for (name, args) in &a {
+            let f = m.get(name).expect("names come from the module");
+            assert_eq!(args.len(), f.params.len());
+            assert!(args.iter().all(|v| (1..=6).contains(v)));
+        }
     }
 
     #[test]

@@ -94,7 +94,12 @@ fn bzip2() -> Kernel {
         b.line("var salt1 = (seed * 77 + 5) & 1023;");
         b.line("var salt2 = salt1 * 3 + seed;");
         b.line("var probe = salt2 ^ (seed << 2);");
-        mix_statements(b, &mut rng, &["h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"], 96);
+        mix_statements(
+            b,
+            &mut rng,
+            &["h0", "h1", "h2", "h3", "h4", "h5", "h6", "h7"],
+            96,
+        );
         b.line("h0 = h0 + cnt[r & 63] + salt1;");
         b.open("if (r & 1)");
         b.line("h2 = h2 + probe;");
@@ -241,12 +246,24 @@ fn namd() -> Kernel {
                 b.linef(format_args!(
                     "var coef{pair} = inv{pair} * (inv{pair} - 64);"
                 ));
-                b.linef(format_args!("fx[{i}] = fx[{i}] + coef{pair} * dx{pair} / 64;"));
-                b.linef(format_args!("fy[{i}] = fy[{i}] + coef{pair} * dy{pair} / 64;"));
-                b.linef(format_args!("fz[{i}] = fz[{i}] + coef{pair} * dz{pair} / 64;"));
-                b.linef(format_args!("fx[{j}] = fx[{j}] - coef{pair} * dx{pair} / 64;"));
-                b.linef(format_args!("fy[{j}] = fy[{j}] - coef{pair} * dy{pair} / 64;"));
-                b.linef(format_args!("fz[{j}] = fz[{j}] - coef{pair} * dz{pair} / 64;"));
+                b.linef(format_args!(
+                    "fx[{i}] = fx[{i}] + coef{pair} * dx{pair} / 64;"
+                ));
+                b.linef(format_args!(
+                    "fy[{i}] = fy[{i}] + coef{pair} * dy{pair} / 64;"
+                ));
+                b.linef(format_args!(
+                    "fz[{i}] = fz[{i}] + coef{pair} * dz{pair} / 64;"
+                ));
+                b.linef(format_args!(
+                    "fx[{j}] = fx[{j}] - coef{pair} * dx{pair} / 64;"
+                ));
+                b.linef(format_args!(
+                    "fy[{j}] = fy[{j}] - coef{pair} * dy{pair} / 64;"
+                ));
+                b.linef(format_args!(
+                    "fz[{j}] = fz[{j}] - coef{pair} * dz{pair} / 64;"
+                ));
             }
         }
         b.line("var e0 = seed + 1; var e1 = seed + 2; var e2 = seed + 3; var e3 = seed + 4;");
@@ -567,8 +584,14 @@ fn ffmpeg() -> Kernel {
         b.open("for (var row = 0; row < 8; row = row + 1)");
         b.line("var base = row * 8;");
         for k in 0..4 {
-            b.linef(format_args!("var a{k} = blk[base + {k}] + blk[base + {}];", 7 - k));
-            b.linef(format_args!("var b{k} = blk[base + {k}] - blk[base + {}];", 7 - k));
+            b.linef(format_args!(
+                "var a{k} = blk[base + {k}] + blk[base + {}];",
+                7 - k
+            ));
+            b.linef(format_args!(
+                "var b{k} = blk[base + {k}] - blk[base + {}];",
+                7 - k
+            ));
         }
         b.line("var t0 = a0 + a3; var t1 = a1 + a2;");
         b.line("var t2 = a0 - a3; var t3 = a1 - a2;");
@@ -709,7 +732,9 @@ mod tests {
         for k in all_kernels() {
             let m = minic::compile(&k.source)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
-            let f = m.get(k.entry).unwrap_or_else(|| panic!("{} missing", k.entry));
+            let f = m
+                .get(k.entry)
+                .unwrap_or_else(|| panic!("{} missing", k.entry));
             ssair::verify(f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             let args: Vec<Val> = k.sample_args.iter().map(|n| Val::Int(*n)).collect();
             let out = run_function(f, &args, &m, 50_000_000)

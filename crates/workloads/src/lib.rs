@@ -20,5 +20,5 @@ pub mod corpus;
 mod gen;
 pub mod kernels;
 
-pub use corpus::{corpus_benchmarks, generate_corpus, CorpusSpec};
+pub use corpus::{corpus_benchmarks, generate_corpus, request_mix, CorpusSpec};
 pub use kernels::{all_kernels, kernel_source, Kernel};

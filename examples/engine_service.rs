@@ -1,0 +1,78 @@
+//! The tiered-execution engine end to end: a multi-tenant batch over a
+//! SPEC-like corpus, with background tier-up compiles, cache-served OSR
+//! transitions, and a debugger-attach deopt — printing the event stream
+//! and aggregate metrics.
+//!
+//! Run with: `cargo run --release --example engine_service`
+
+use engine::{Engine, EnginePolicy, Request};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+
+fn main() {
+    // A corpus of SPEC-like functions plus one Table 2 kernel.
+    let spec = workloads::corpus_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "bzip2")
+        .expect("bzip2 spec");
+    let mut module = workloads::generate_corpus(&spec, 10);
+    let kernel = workloads::kernel_source("soplex").expect("kernel");
+    for f in minic::compile(&kernel.source)
+        .expect("kernel compiles")
+        .functions
+        .into_values()
+    {
+        module.add(f);
+    }
+    println!("module: {} functions", module.functions.len());
+
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            hotness_threshold: 24,
+            compile_workers: 2,
+            batch_workers: 4,
+            ..EnginePolicy::default()
+        },
+    );
+
+    // 36 tiered requests from the deterministic mix, plus 4 debugger
+    // attaches that force tier-down through the precomputed backward
+    // tables.
+    let mut requests: Vec<Request> = workloads::request_mix(&module, 36, 0xBEEF)
+        .into_iter()
+        .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
+        .collect();
+    for seed in 0..4 {
+        requests.push(Request::debug(
+            "soplex_pivot",
+            vec![Val::Int(10), Val::Int(17 + seed)],
+        ));
+    }
+
+    for round in 1..=3 {
+        let report = engine.run_batch(&requests);
+        let ok = report.results.iter().filter(|r| r.is_ok()).count();
+        println!(
+            "\n=== batch {round}: {ok}/{} ok, {} tier-ups, {} deopts",
+            report.results.len(),
+            report.transitions(Direction::Forward),
+            report.transitions(Direction::Backward),
+        );
+        for event in report.events.iter().take(12) {
+            println!("  {event}");
+        }
+        if report.events.len() > 12 {
+            println!("  ... {} more events", report.events.len() - 12);
+        }
+        println!("  metrics: {}", report.metrics);
+    }
+
+    println!("\nhot functions:");
+    for name in module.functions.keys() {
+        let h = engine.hotness(name);
+        if h > 0 {
+            println!("  {name}: {h} instrumented visits");
+        }
+    }
+}

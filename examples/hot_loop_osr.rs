@@ -45,7 +45,7 @@ fn main() {
         }
     }
 
-    let mut vm = Vm::new(module);
+    let vm = Vm::new(module);
     let args = [Val::Int(12), Val::Int(100_000)];
     let expected = vm.run_plain(&versions.base, &args).expect("plain run");
 
@@ -53,9 +53,7 @@ fn main() {
         hotness_threshold: 1_000, // fire after 1000 loop-header visits
         ..OsrPolicy::default()
     };
-    let (result, events) = vm
-        .run_with_osr(&versions, &args, &policy)
-        .expect("OSR run");
+    let (result, events) = vm.run_with_osr(&versions, &args, &policy).expect("OSR run");
 
     for e in &events {
         println!("transition: {e}");

@@ -1,0 +1,33 @@
+//! Umbrella crate for the *On-Stack Replacement, Distilled* (PLDI 2018)
+//! reproduction.
+//!
+//! The workspace is layered bottom-up:
+//!
+//! * [`tinylang`] — the formal language of §2–§4 (programs, stores, traces);
+//! * [`ctl`] — the CTL model checker discharging rewrite side conditions;
+//! * [`rewrite`] — LVE program transformations (CP, DCE, Hoist);
+//! * [`osr`] — OSR mappings, compensation code, Algorithm 1, `OSR_trans`;
+//! * [`ssair`] — the SSA compiler substrate with OSR-aware passes (§5);
+//! * [`minic`] — a small C-like frontend lowering to `ssair`;
+//! * [`debugger`] — the §7 source-level debugging study;
+//! * [`workloads`] — Table 2 kernels and the seeded SPEC-like corpus;
+//! * [`tinyvm`] — a profiling interpreter firing real OSR transitions;
+//! * [`engine`] — a concurrent tiered-execution service with a shared code
+//!   cache and background OSR tier-up;
+//! * [`bench`] — table/figure regeneration and Criterion-style benches.
+//!
+//! This crate only re-exports the members; the top-level `tests/` and
+//! `examples/` directories compile against it.
+
+// (`bench` is not re-exported: its name collides with the built-in
+// `#[bench]` attribute in the macro namespace; depend on it directly.)
+pub use ctl;
+pub use debugger;
+pub use engine;
+pub use minic;
+pub use osr;
+pub use rewrite;
+pub use ssair;
+pub use tinylang;
+pub use tinyvm;
+pub use workloads;

@@ -12,7 +12,7 @@ fn study_reproduces_headline_shapes() {
         let module = workloads::generate_corpus(&spec, 40);
         let mut reports = Vec::new();
         let mut weights = Vec::new();
-        for (_n, base) in &module.functions {
+        for base in module.functions.values() {
             let (opt, cm, _) = Pipeline::standard().optimize(base);
             reports.push(analyze_function(base, &opt, &cm));
             weights.push(base.live_inst_count());

@@ -58,7 +58,7 @@ fn minic_module_with_calls_and_osr() {
     )
     .expect("compiles");
     let versions = FunctionVersions::standard(module.get("main_fn").expect("exists").clone());
-    let mut vm = Vm::new(module);
+    let vm = Vm::new(module);
     let args = [Val::Int(5), Val::Int(500)];
     let expected = vm.run_plain(&versions.base, &args).expect("plain");
     let (got, events) = vm

@@ -1,0 +1,122 @@
+//! End-to-end test of the tiered-execution engine over a SPEC-like corpus:
+//! batched concurrent execution against the shared code cache, background
+//! tier-up, debugger-attach tier-down, determinism, and cache behaviour
+//! across repeated batches.
+
+use engine::{Engine, EnginePolicy, Request};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+/// The corpus module plus one Table 2 kernel with guaranteed-hot loops.
+fn service_module() -> Module {
+    let spec = workloads::corpus_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "bzip2")
+        .expect("bzip2 spec");
+    let mut module = workloads::generate_corpus(&spec, 10);
+    let kernel = workloads::kernel_source("soplex").expect("kernel");
+    let kernel_module = minic::compile(&kernel.source).expect("kernel compiles");
+    for f in kernel_module.functions.into_values() {
+        module.add(f);
+    }
+    module
+}
+
+fn service_policy() -> EnginePolicy {
+    EnginePolicy {
+        hotness_threshold: 24,
+        compile_workers: 2,
+        batch_workers: 4,
+        ..EnginePolicy::default()
+    }
+}
+
+/// A 40-request batch over the corpus: mostly tiered traffic plus a few
+/// debugger-attach requests on the kernel (which deopts reliably).
+fn batch(module: &Module) -> Vec<Request> {
+    let mut requests: Vec<Request> = workloads::request_mix(module, 36, 0xBEEF)
+        .into_iter()
+        .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
+        .collect();
+    for seed in 0..4 {
+        requests.push(Request::debug(
+            "soplex_pivot",
+            vec![Val::Int(10), Val::Int(17 + seed)],
+        ));
+    }
+    requests
+}
+
+#[test]
+fn corpus_batches_tier_up_deopt_and_hit_the_cache() {
+    let module = service_module();
+    let engine = Engine::new(module.clone(), service_policy());
+    let requests = batch(&module);
+    assert!(requests.len() >= 32, "acceptance: a >= 32-request batch");
+
+    // Reference results by plain baseline interpretation.
+    let vm = Vm::new(module);
+    let expected: Vec<Option<Val>> = requests
+        .iter()
+        .map(|r| {
+            vm.run_plain(vm.module.get(&r.function).expect("exists"), &r.args)
+                .expect("baseline runs")
+        })
+        .collect();
+
+    let mut tier_ups = 0;
+    let mut deopts = 0;
+    let mut reports = Vec::new();
+    for _ in 0..3 {
+        let report = engine.run_batch(&requests);
+        for (got, want) in report.results.iter().zip(&expected) {
+            assert_eq!(got.as_ref().expect("request succeeds"), want);
+        }
+        tier_ups += report.transitions(Direction::Forward);
+        deopts += report.transitions(Direction::Backward);
+        reports.push(report);
+    }
+
+    assert!(tier_ups >= 1, "at least one background tier-up OSR fired");
+    assert!(deopts >= 1, "at least one deopt fired");
+    let metrics = engine.metrics();
+    assert!(metrics.compiles >= 1, "background compiles happened");
+    assert!(
+        metrics.cache_hits > 0,
+        "repeated batches hit the shared cache: {metrics}"
+    );
+    assert!(metrics.queue_peak >= 1, "compile queue was exercised");
+    assert_eq!(
+        metrics.requests,
+        (requests.len() * 3) as u64,
+        "every request accounted"
+    );
+}
+
+#[test]
+fn batch_results_are_deterministic_across_engines() {
+    let module = service_module();
+    let requests = batch(&module);
+    let run = |policy: EnginePolicy| -> Vec<Option<Val>> {
+        let engine = Engine::new(module.clone(), policy);
+        engine
+            .run_batch(&requests)
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+    let a = run(service_policy());
+    let b = run(service_policy());
+    assert_eq!(a, b, "same seed, same per-request results");
+    // Radically different tiering schedule, same results.
+    let c = run(EnginePolicy {
+        hotness_threshold: 2,
+        compile_workers: 1,
+        batch_workers: 8,
+        ..EnginePolicy::default()
+    });
+    assert_eq!(a, c, "tiering schedule cannot change results");
+}

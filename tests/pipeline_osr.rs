@@ -67,7 +67,7 @@ fn transitions_at_every_header_point() {
     let module = minic::compile(&k.source).expect("compiles");
     let versions = FunctionVersions::standard(module.get(k.entry).expect("entry").clone());
     let args: Vec<Val> = k.sample_args.iter().map(|n| Val::Int(*n)).collect();
-    let mut vm = Vm::new(module);
+    let vm = Vm::new(module);
     let expected = vm.run_plain(&versions.base, &args).expect("plain");
     let mut fired = 0;
     for threshold in [1, 2, 5, 10] {

@@ -82,11 +82,8 @@ fn theorem_3_2_live_store_replacement() {
 /// Theorem 4.5: CP, DCE and Hoist are live-variable equivalent.
 #[test]
 fn theorem_4_5_lve_transformations() {
-    let transforms: Vec<Box<dyn LveTransform>> = vec![
-        Box::new(ConstProp),
-        Box::new(DeadCodeElim),
-        Box::new(Hoist),
-    ];
+    let transforms: Vec<Box<dyn LveTransform>> =
+        vec![Box::new(ConstProp), Box::new(DeadCodeElim), Box::new(Hoist)];
     for p in sample_programs() {
         let stores = input_grid(&p, -3, 3);
         for t in &transforms {
@@ -104,11 +101,8 @@ fn theorem_4_5_lve_transformations() {
 /// mappings for every LVE transformation on every sample program.
 #[test]
 fn theorem_4_6_osr_trans_correctness() {
-    let transforms: Vec<Box<dyn LveTransform>> = vec![
-        Box::new(ConstProp),
-        Box::new(DeadCodeElim),
-        Box::new(Hoist),
-    ];
+    let transforms: Vec<Box<dyn LveTransform>> =
+        vec![Box::new(ConstProp), Box::new(DeadCodeElim), Box::new(Hoist)];
     for p in sample_programs() {
         let stores = input_grid(&p, -3, 3);
         for t in &transforms {
