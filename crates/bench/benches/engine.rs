@@ -1,17 +1,17 @@
-//! Tiered-engine throughput: batched multi-threaded execution of a
-//! SPEC-like corpus against the shared code cache, with background OSR
-//! tier-up and debugger-attach tier-down.
+//! Tiered-engine throughput: a persistent session executing Zipf-skewed
+//! SPEC-like traffic against the shared sharded code cache, with
+//! background OSR tier-up along the O1/O2 ladder (including composed
+//! O1→O2 hops) and debugger-attach tier-down.
 //!
 //! Beyond timing, this bench *checks* the acceptance properties of the
-//! engine: a ≥ 32-request corpus batch completes with at least one
-//! background tier-up OSR and at least one deopt, per-request results are
-//! deterministic (same seed → same outputs), and repeated batches hit the
-//! code cache.
+//! engine: a persistent-session run over a ≥ 32-request mix completes
+//! with at least one composed O1→O2 tier-up and at least one deopt in the
+//! metrics snapshot, per-request results are deterministic (same seed →
+//! same outputs), and repeated traffic hits the code cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use engine::{Engine, EnginePolicy, Request};
 use ssair::interp::Val;
-use ssair::reconstruct::Direction;
 use ssair::Module;
 
 fn service_module() -> Module {
@@ -33,82 +33,94 @@ fn service_module() -> Module {
 
 fn policy() -> EnginePolicy {
     EnginePolicy {
-        hotness_threshold: 24,
         compile_workers: 2,
         batch_workers: 4,
-        ..EnginePolicy::default()
+        ..EnginePolicy::two_tier(16, 48)
     }
 }
 
-fn batch(module: &Module) -> Vec<Request> {
+fn traffic(module: &Module) -> Vec<Request> {
     let mut requests: Vec<Request> = workloads::request_mix(module, 36, 0xBEEF)
         .into_iter()
         .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
         .collect();
+    // One long request that climbs the whole ladder in a single frame…
+    requests.push(Request::tiered(
+        "soplex_pivot",
+        vec![Val::Int(40), Val::Int(23)],
+    ));
+    // …and a few debugger attaches that force tier-down.
     for seed in 0..4 {
         requests.push(Request::debug(
             "soplex_pivot",
             vec![Val::Int(10), Val::Int(17 + seed)],
         ));
     }
-    assert!(requests.len() >= 32, "acceptance: >= 32-request batch");
+    assert!(requests.len() >= 32, "acceptance: >= 32-request mix");
     requests
 }
 
-/// Runs `rounds` batches on a fresh engine, verifying the acceptance
-/// properties, and returns the per-request results of the first batch.
-fn run_rounds(module: &Module, rounds: usize) -> Vec<Option<Val>> {
+/// Runs the traffic through a fresh engine's persistent session,
+/// verifying the acceptance properties, and returns the per-request
+/// results in submission order.
+fn run_session(module: &Module) -> Vec<Option<Val>> {
     let engine = Engine::new(module.clone(), policy());
-    let requests = batch(module);
-    let mut tier_ups = 0;
-    let mut deopts = 0;
-    let mut first = Vec::new();
-    for round in 0..rounds {
-        let report = engine.run_batch(&requests);
-        tier_ups += report.transitions(Direction::Forward);
-        deopts += report.transitions(Direction::Backward);
-        let results: Vec<Option<Val>> = report
-            .results
-            .into_iter()
-            .map(|r| r.expect("request succeeds"))
-            .collect();
-        if round == 0 {
-            first = results;
-        }
-    }
-    let metrics = engine.metrics();
-    assert!(tier_ups >= 1, "no background tier-up fired: {metrics}");
-    assert!(deopts >= 1, "no deopt fired: {metrics}");
-    assert!(metrics.cache_hits > 0, "no cache hits: {metrics}");
-    assert!(metrics.compiles >= 1, "nothing compiled: {metrics}");
-    first
+    // Warm the kernel's ladder so the composed O1→O2 hop is deterministic.
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+    let session = engine.start();
+    let requests = traffic(module);
+    let ids: Vec<_> = requests.iter().map(|r| session.submit(r.clone())).collect();
+    let report = session.shutdown();
+    let metrics = &report.metrics;
+    assert!(metrics.tier_ups >= 1, "no tier-up fired: {metrics}");
+    assert!(
+        metrics.composed_tier_ups >= 1,
+        "no composed O1→O2 tier-up fired: {metrics}"
+    );
+    assert!(metrics.deopts >= 1, "no deopt fired: {metrics}");
+    assert!(metrics.compiles >= 2, "both rungs compiled: {metrics}");
+    let results = report.results();
+    ids.iter()
+        .map(|id| results[id].clone().expect("request succeeds"))
+        .collect()
 }
 
-fn bench_engine_batches(c: &mut Criterion) {
+fn bench_engine_sessions(c: &mut Criterion) {
     let module = service_module();
 
     // Determinism check across independent engines before timing anything.
-    let a = run_rounds(&module, 3);
-    let b = run_rounds(&module, 3);
+    let a = run_session(&module);
+    let b = run_session(&module);
     assert_eq!(a, b, "same seed must give same per-request results");
 
-    // Steady-state batch throughput against a warm cache.
+    // Steady-state session throughput against a warm cache.
     let engine = Engine::new(module.clone(), policy());
-    let requests = batch(&module);
-    engine.run_batch(&requests); // warm-up: trigger compiles
-    c.bench_function("engine_batch_40req_warm", |bch| {
-        bch.iter(|| engine.run_batch(&requests))
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+    let requests = traffic(&module);
+    engine.run_batch(&requests); // warm-up: trigger remaining compiles
+    c.bench_function("engine_session_41req_warm", |bch| {
+        bch.iter(|| {
+            let session = engine.start();
+            for r in &requests {
+                session.submit(r.clone());
+            }
+            session.shutdown()
+        })
     });
     println!("final metrics: {}", engine.metrics());
 
-    // Cold engine including compile + precompute work.
-    c.bench_function("engine_batch_40req_cold", |bch| {
+    // Cold engine including compile + precompute + composed-table work.
+    c.bench_function("engine_session_41req_cold", |bch| {
         bch.iter(|| {
             let engine = Engine::new(module.clone(), policy());
-            engine.run_batch(&requests)
+            let session = engine.start();
+            for r in &requests {
+                session.submit(r.clone());
+            }
+            session.shutdown()
         })
     });
 }
 
-criterion_group!(benches, bench_engine_batches);
+criterion_group!(benches, bench_engine_sessions);
 criterion_main!(benches);

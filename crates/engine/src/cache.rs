@@ -1,46 +1,79 @@
-//! The shared code cache: compiled function versions with precomputed,
-//! validated OSR entry tables, keyed by `(function, pass pipeline)`.
+//! The shared code cache: per-tier compiled function versions with
+//! precomputed, validated OSR entry tables, keyed by `(function, pipeline
+//! spec)`, plus lazily-built composed version-to-version tables.
 //!
 //! The cache is the rendezvous point between interpreters and the
 //! background compiler pool: interpreters probe it on every hot visit,
-//! compile workers publish into it, and both tier-up and tier-down
-//! transitions are served from the precomputed tables it stores (so a
-//! transition at run time is a table lookup, never a reconstruction).
+//! compile workers publish into it, and every transition — tier-up,
+//! tier-down, and composed `fopt → fopt'` hops — is served from the
+//! precomputed tables it stores (a transition at run time is a table
+//! lookup, never a reconstruction).
+//!
+//! The slot map is sharded by key hash (8 `Mutex`-guarded shards) so that
+//! hot-path probes from many request workers do not serialize on one lock.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ssair::feasibility::{precompute_entries, EntryTable};
-use ssair::passes::Pipeline;
-use ssair::reconstruct::{CompStep, Direction, Variant};
-use ssair::{Function, ValueDef, ValueId};
+use ssair::feasibility::{compose_entries, precompute_entries, EntryTable};
+use ssair::interp::{run_frame, run_function, Frame, Machine, StepOutcome, Val};
+use ssair::passes::{PassId, Pipeline};
+use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
+use ssair::{Function, InstId, Module, ValueDef, ValueId};
 use tinyvm::FunctionVersions;
 
-/// Which optimization pipeline a cached artifact was produced by.
+/// Which optimization pipeline a cached artifact was produced by — one
+/// rung of the engine's tier ladder.
 ///
-/// Identified by name so the key stays hashable; workers materialize the
-/// actual [`Pipeline`] (which holds trait objects) on their own thread.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// Identified by name/pass-list (hashable) rather than by a built
+/// [`Pipeline`] (which holds trait objects); workers materialize the
+/// actual pipeline on their own thread via [`PipelineSpec::build`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PipelineSpec {
-    /// The §5.4 standard pass mix.
-    Standard,
+    /// Light CSE + DCE-style mix (`ssair::passes::Pipeline::light`): cheap
+    /// to run, cheap to OSR out of — the first optimized rung.
+    O1,
+    /// The §5.4 standard mix including LICM hoisting
+    /// (`ssair::passes::Pipeline::standard`) — the top rung.
+    O2,
+    /// A named custom pass list (see [`PipelineSpec::custom`]).
+    Custom {
+        /// Stable display name (used in metrics and cache keys).
+        name: String,
+        /// The passes to run, in order.
+        passes: Vec<PassId>,
+    },
 }
 
 impl PipelineSpec {
-    /// Builds the pipeline this spec names.
-    pub fn build(self) -> Pipeline {
-        match self {
-            PipelineSpec::Standard => Pipeline::standard(),
+    /// A named custom-pass-list spec.
+    pub fn custom(name: impl Into<String>, passes: Vec<PassId>) -> Self {
+        PipelineSpec::Custom {
+            name: name.into(),
+            passes,
         }
     }
 
-    /// Stable display name (used in metrics and cache keys).
-    pub fn name(self) -> &'static str {
+    /// Builds the pipeline this spec names.
+    pub fn build(&self) -> Pipeline {
         match self {
-            PipelineSpec::Standard => "standard",
+            PipelineSpec::O1 => Pipeline::light(),
+            PipelineSpec::O2 => Pipeline::standard(),
+            PipelineSpec::Custom { passes, .. } => Pipeline::from_ids(passes),
+        }
+    }
+
+    /// Stable display name (used in metrics and event streams).
+    pub fn name(&self) -> &str {
+        match self {
+            PipelineSpec::O1 => "O1",
+            PipelineSpec::O2 => "O2",
+            PipelineSpec::Custom { name, .. } => name,
         }
     }
 }
@@ -51,30 +84,36 @@ impl fmt::Display for PipelineSpec {
     }
 }
 
-/// Cache key: one function under one pipeline.
+/// Cache key: one function under one pipeline spec.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
     /// Function name in the engine's module.
     pub function: String,
     /// Pipeline the artifact was (or will be) produced by.
-    pub pipeline: PipelineSpec,
+    pub spec: PipelineSpec,
 }
 
 impl CacheKey {
-    /// Key for `function` under the standard pipeline.
-    pub fn standard(function: impl Into<String>) -> Self {
+    /// Key for `function` under `spec`.
+    pub fn new(function: impl Into<String>, spec: PipelineSpec) -> Self {
         CacheKey {
             function: function.into(),
-            pipeline: PipelineSpec::Standard,
+            spec,
         }
     }
 }
 
-/// A compiled artifact: the version pair plus both precomputed OSR entry
-/// tables and compile-time metadata.
+/// A compiled artifact: the `(baseline, optimized)` version pair for one
+/// ladder rung plus both precomputed OSR entry tables and compile-time
+/// metadata.
 pub struct CompiledVersion {
+    /// The spec this artifact was produced by.
+    pub spec: PipelineSpec,
     /// Baseline/optimized pair with the recorded action mapper.
     pub versions: Arc<FunctionVersions>,
+    /// The optimized version, shared so ladder hops can continue executing
+    /// it (`versions.opt` under an `Arc`).
+    pub opt: Arc<Function>,
     /// Forward (tier-up) entries: baseline point → compensation.
     pub tier_up: Arc<EntryTable>,
     /// Backward (tier-down / deopt) entries: optimized point → compensation.
@@ -83,7 +122,7 @@ pub struct CompiledVersion {
     pub compile_nanos: u64,
 }
 
-/// Why a compiled version was rejected from the cache.
+/// Why a compiled version (or composed table) was rejected from the cache.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CompileError {
     /// A precomputed entry table failed its structural validation.
@@ -93,6 +132,15 @@ pub enum CompileError {
         /// Human-readable reason.
         reason: String,
     },
+    /// Differential validation replayed an entry's compensation steps on a
+    /// sampled concrete frame and the transitioned run diverged from the
+    /// reference run.
+    Divergence {
+        /// The OSR point whose entry diverged.
+        at: InstId,
+        /// Human-readable description of the divergence.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -100,6 +148,9 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::InvalidTable { direction, reason } => {
                 write!(f, "invalid {direction:?} entry table: {reason}")
+            }
+            CompileError::Divergence { at, reason } => {
+                write!(f, "differential validation diverged at {at}: {reason}")
             }
         }
     }
@@ -116,7 +167,7 @@ impl std::error::Error for CompileError {}
 /// artifact must then stay out of the cache.
 pub fn compile_function(
     base: Function,
-    spec: PipelineSpec,
+    spec: &PipelineSpec,
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
     let t0 = Instant::now();
@@ -127,8 +178,11 @@ pub fn compile_function(
     validate_table(&tier_up, &versions.base, &versions.opt)?;
     validate_table(&tier_down, &versions.opt, &versions.base)?;
     drop(pair);
+    let opt = Arc::new(versions.opt.clone());
     Ok(CompiledVersion {
+        spec: spec.clone(),
         versions: Arc::new(versions),
+        opt,
         tier_up: Arc::new(tier_up),
         tier_down: Arc::new(tier_down),
         compile_nanos: t0.elapsed().as_nanos() as u64,
@@ -194,6 +248,132 @@ pub fn validate_table(
                         produced.insert(r);
                     }
                 }
+                // Instructions captured inline by table composition: the
+                // kind is self-contained, so every operand — including a
+                // load's address — must come from earlier steps.
+                CompStep::Inline { kind, result } => {
+                    for op in kind.operands() {
+                        if !produced.contains(&op) {
+                            return fail(format!("inline emit at {at} reads unproduced {op}"));
+                        }
+                    }
+                    if let Some(r) = result {
+                        produced.insert(*r);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Differential validation — the SSA analogue of `osr::validate_mapping`:
+/// replays up to `samples` of the table's entries on *concrete* frames.
+/// For each sampled OSR point, the source version is run on small
+/// deterministic arguments until the point is reached (preferring a
+/// second, mid-loop visit), the entry's compensation steps are applied to
+/// the live frame, execution finishes in the target version from the
+/// landing site, and the result is compared against a pure source-version
+/// run.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Divergence`] when a transitioned run disagrees
+/// with the reference run (or the compensation code fails to execute on a
+/// reached frame).  Samples whose point is never reached are skipped.
+pub fn differential_validate(
+    table: &EntryTable,
+    src_fn: &Function,
+    dst_fn: &Function,
+    module: &Module,
+    samples: usize,
+) -> Result<(), CompileError> {
+    const FUEL: usize = 2_000_000;
+    let arg_sets: Vec<Vec<Val>> = [2i64, 3, 5]
+        .iter()
+        .map(|&k| {
+            (0..src_fn.params.len())
+                .map(|i| Val::Int(k + i as i64))
+                .collect()
+        })
+        .collect();
+    if table.entries.is_empty() {
+        return Ok(());
+    }
+    // Reference results depend only on the argument set, not on the
+    // sampled point: compute each lazily, once.
+    let mut references: Vec<Option<Result<Option<Val>, ()>>> = vec![None; arg_sets.len()];
+    let step = (table.entries.len() / samples.max(1)).max(1);
+    for (at, (landing, entry)) in table.entries.iter().step_by(step).take(samples.max(1)) {
+        'args: for (ai, args) in arg_sets.iter().enumerate() {
+            // Prefer pausing at the second visit (a mid-loop frame with
+            // back-edge φ state); fall back to the first.
+            for visit_target in [2usize, 1] {
+                let mut machine = Machine::new(FUEL);
+                let mut frame = Frame::enter(src_fn, args);
+                let seen = std::cell::Cell::new(0usize);
+                let outcome = run_frame(
+                    src_fn,
+                    &mut frame,
+                    &mut machine,
+                    module,
+                    Some(&|_f, _fr, i| {
+                        if i == *at {
+                            seen.set(seen.get() + 1);
+                            seen.get() == visit_target
+                        } else {
+                            false
+                        }
+                    }),
+                );
+                let Ok(StepOutcome::Paused { .. }) = outcome else {
+                    continue; // point not reached at this visit count
+                };
+                // Reference: what this activation produces without the
+                // transition (OSR must preserve exactly this value).
+                let reference = *references[ai].get_or_insert_with(|| {
+                    run_function(src_fn, args, module, FUEL).map_err(|_| ())
+                });
+                let Ok(expected) = reference else {
+                    continue 'args; // reference itself fails; nothing to compare
+                };
+                let env = apply_comp(entry, dst_fn, &frame.values, &mut machine).map_err(|e| {
+                    CompileError::Divergence {
+                        at: *at,
+                        reason: format!("compensation failed on a live frame: {e}"),
+                    }
+                })?;
+                let loc = landing.loc;
+                let block = dst_fn.block_of(loc).expect("validated landing is live");
+                let index = dst_fn
+                    .block(block)
+                    .insts
+                    .iter()
+                    .position(|i| *i == loc)
+                    .expect("landing is in its block");
+                let mut dframe = Frame {
+                    values: env,
+                    block,
+                    index,
+                    came_from: None,
+                };
+                let got = match run_frame(dst_fn, &mut dframe, &mut machine, module, None) {
+                    Ok(StepOutcome::Returned(v)) => v,
+                    Ok(StepOutcome::Paused { .. }) => unreachable!("no pause predicate"),
+                    Err(e) => {
+                        return Err(CompileError::Divergence {
+                            at: *at,
+                            reason: format!("target run failed after transition: {e}"),
+                        })
+                    }
+                };
+                if got != expected {
+                    return Err(CompileError::Divergence {
+                        at: *at,
+                        reason: format!("args {args:?}: got {got:?}, expected {expected:?}"),
+                    });
+                }
+                continue 'args; // one reached frame per arg set suffices
             }
         }
     }
@@ -208,15 +388,45 @@ enum Slot {
     Ready(Arc<CompiledVersion>),
 }
 
-/// The concurrent code cache.
+/// Key of a composed version-to-version table: `function`'s `from`-spec
+/// version hopping straight to its `to`-spec version.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ComposedKey {
+    function: String,
+    from: PipelineSpec,
+    to: PipelineSpec,
+}
+
+const SHARD_COUNT: usize = 8;
+
+fn shard_index<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARD_COUNT
+}
+
+type ComposedResult = Result<Arc<EntryTable>, CompileError>;
+
+/// The concurrent code cache, sharded by key hash.
 ///
 /// Lookups are counted once per *request* by the engine (not once per
 /// probe), so hit/miss counters reflect request-level cache behaviour.
-#[derive(Default)]
 pub struct CodeCache {
-    slots: Mutex<HashMap<CacheKey, Slot>>,
+    shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
+    composed: Vec<Mutex<HashMap<ComposedKey, ComposedResult>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        CodeCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            composed: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl CodeCache {
@@ -225,9 +435,13 @@ impl CodeCache {
         CodeCache::default()
     }
 
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Slot>> {
+        &self.shards[shard_index(key)]
+    }
+
     /// Returns the ready artifact for `key`, if published.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<CompiledVersion>> {
-        match self.slots.lock().expect("cache lock").get(key) {
+        match self.shard(key).lock().expect("cache lock").get(key) {
             Some(Slot::Ready(cv)) => Some(Arc::clone(cv)),
             _ => None,
         }
@@ -247,7 +461,7 @@ impl CodeCache {
     /// the caller must enqueue (or perform) the compile; `false` when the
     /// artifact is ready or someone else already claimed it.
     pub fn claim(&self, key: &CacheKey) -> bool {
-        let mut slots = self.slots.lock().expect("cache lock");
+        let mut slots = self.shard(key).lock().expect("cache lock");
         if slots.contains_key(key) {
             return false;
         }
@@ -257,7 +471,7 @@ impl CodeCache {
 
     /// Publishes a compiled artifact (fulfilling a prior [`CodeCache::claim`]).
     pub fn publish(&self, key: &CacheKey, cv: Arc<CompiledVersion>) {
-        self.slots
+        self.shard(key)
             .lock()
             .expect("cache lock")
             .insert(key.clone(), Slot::Ready(cv));
@@ -265,7 +479,7 @@ impl CodeCache {
 
     /// Drops a claim without publishing (compile failed validation).
     pub fn abandon(&self, key: &CacheKey) {
-        let mut slots = self.slots.lock().expect("cache lock");
+        let mut slots = self.shard(key).lock().expect("cache lock");
         if let Some(Slot::Compiling) = slots.get(key) {
             slots.remove(key);
         }
@@ -273,12 +487,16 @@ impl CodeCache {
 
     /// Number of ready artifacts.
     pub fn ready_count(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("cache lock")
-            .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache lock")
+                    .values()
+                    .filter(|s| matches!(s, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// Request-level (hits, misses) counters.
@@ -288,56 +506,224 @@ impl CodeCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// The composed `from.opt → to.opt` entry table for `function`,
+    /// building (and memoizing) it on first use: the two direct tables are
+    /// composed through their shared baseline
+    /// ([`ssair::feasibility::compose_entries`], the SSA analogue of
+    /// Theorem 3.4), validated structurally, and differentially replayed
+    /// on sampled concrete frames before it is published.  Failures are
+    /// memoized too, so a rejected composition is not rebuilt on every hot
+    /// visit.
+    ///
+    /// The boolean is `true` when this call built the table (the caller
+    /// may want to log the outcome exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly memoized) [`CompileError`] when the composed
+    /// table fails validation.
+    pub fn composed(
+        &self,
+        function: &str,
+        from: &CompiledVersion,
+        to: &CompiledVersion,
+        module: &Module,
+    ) -> (ComposedResult, bool) {
+        let key = ComposedKey {
+            function: function.to_string(),
+            from: from.spec.clone(),
+            to: to.spec.clone(),
+        };
+        let idx = shard_index(&key);
+        if let Some(r) = self.composed[idx].lock().expect("composed lock").get(&key) {
+            return (r.clone(), false);
+        }
+        // Build outside the lock; composition is deterministic, so racing
+        // builders produce identical tables, first publish wins, and only
+        // the publisher reports `built` (losers duplicated the work but
+        // must not duplicate the build event).
+        let result = build_composed(from, to, module).map(Arc::new);
+        let mut map = self.composed[idx].lock().expect("composed lock");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(result.clone());
+                (result, true)
+            }
+        }
+    }
+
+    /// Number of successfully composed tables currently memoized.
+    pub fn composed_count(&self) -> usize {
+        self.composed
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("composed lock")
+                    .values()
+                    .filter(|r| r.is_ok())
+                    .count()
+            })
+            .sum()
+    }
+}
+
+/// Builds and validates one composed version-to-version table:
+/// `from.opt → baseline → to.opt`, flattened so the runtime hop never
+/// touches the baseline.  The first stage is reconstructed on demand from
+/// `from`'s recorded actions (`compose_entries`); the result is validated
+/// structurally and then differentially replayed on sampled concrete
+/// frames.
+fn build_composed(
+    from: &CompiledVersion,
+    to: &CompiledVersion,
+    module: &Module,
+) -> Result<EntryTable, CompileError> {
+    let pair = from.versions.pair();
+    let table = compose_entries(&pair, Direction::Backward, &to.tier_up);
+    drop(pair);
+    validate_table(&table, &from.versions.opt, &to.versions.opt)?;
+    differential_validate(&table, &from.versions.opt, &to.versions.opt, module, 3)?;
+    Ok(table)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn compiled() -> CompiledVersion {
-        let m = minic::compile(
-            "fn f(x, n) {
-                 var s = 0;
-                 for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
-                 return s;
-             }",
-        )
-        .unwrap();
-        compile_function(
-            m.get("f").unwrap().clone(),
-            PipelineSpec::Standard,
-            Variant::Avail,
-        )
-        .expect("compiles and validates")
+    const SRC: &str = "fn f(x, n) {
+         var s = 0;
+         for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
+         return s;
+     }";
+
+    fn compiled(spec: PipelineSpec) -> CompiledVersion {
+        let m = minic::compile(SRC).unwrap();
+        compile_function(m.get("f").unwrap().clone(), &spec, Variant::Avail)
+            .expect("compiles and validates")
     }
 
     #[test]
     fn compile_precomputes_both_tables() {
-        let cv = compiled();
+        let cv = compiled(PipelineSpec::O2);
         assert!(cv.tier_up.coverage() > 0.8, "forward mostly feasible");
         assert!(cv.tier_down.coverage() > 0.8, "backward mostly feasible");
         assert!(cv.compile_nanos > 0);
     }
 
     #[test]
+    fn light_pipeline_compiles_too() {
+        let cv = compiled(PipelineSpec::O1);
+        assert!(cv.tier_up.coverage() > 0.8);
+        assert_eq!(cv.spec.name(), "O1");
+    }
+
+    #[test]
+    fn custom_spec_builds_named_pipeline() {
+        let spec = PipelineSpec::custom("cse-only", vec![PassId::Cse, PassId::Adce]);
+        assert_eq!(spec.name(), "cse-only");
+        let cv = compiled(spec.clone());
+        assert_eq!(cv.spec, spec);
+    }
+
+    #[test]
     fn cache_claim_publish_lookup() {
         let cache = CodeCache::new();
-        let key = CacheKey::standard("f");
+        let key = CacheKey::new("f", PipelineSpec::O2);
         assert!(cache.get(&key).is_none());
         assert!(cache.claim(&key), "first claim wins");
         assert!(!cache.claim(&key), "second claim loses");
         assert!(cache.get(&key).is_none(), "not ready while compiling");
-        cache.publish(&key, Arc::new(compiled()));
+        cache.publish(&key, Arc::new(compiled(PipelineSpec::O2)));
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.ready_count(), 1);
     }
 
     #[test]
+    fn per_tier_slots_are_independent() {
+        let cache = CodeCache::new();
+        let k1 = CacheKey::new("f", PipelineSpec::O1);
+        let k2 = CacheKey::new("f", PipelineSpec::O2);
+        assert!(cache.claim(&k1));
+        assert!(cache.claim(&k2), "same function, different rung");
+        cache.publish(&k1, Arc::new(compiled(PipelineSpec::O1)));
+        cache.publish(&k2, Arc::new(compiled(PipelineSpec::O2)));
+        assert_eq!(cache.ready_count(), 2);
+    }
+
+    #[test]
     fn abandon_releases_claim() {
         let cache = CodeCache::new();
-        let key = CacheKey::standard("g");
+        let key = CacheKey::new("g", PipelineSpec::O2);
         assert!(cache.claim(&key));
         cache.abandon(&key);
         assert!(cache.claim(&key), "claim available again");
+    }
+
+    #[test]
+    fn composed_table_is_built_validated_and_memoized() {
+        let module = minic::compile(SRC).unwrap();
+        let cache = CodeCache::new();
+        let o1 = compiled(PipelineSpec::O1);
+        let o2 = compiled(PipelineSpec::O2);
+        let (r, built) = cache.composed("f", &o1, &o2, &module);
+        let table = r.expect("composition validates");
+        assert!(built, "first call builds");
+        assert!(
+            !table.entries.is_empty(),
+            "composed O1→O2 table serves points"
+        );
+        assert_eq!(table.direction, Direction::Forward);
+        let (r2, built2) = cache.composed("f", &o1, &o2, &module);
+        assert!(!built2, "second call is memoized");
+        assert!(Arc::ptr_eq(&table, &r2.unwrap()));
+        assert_eq!(cache.composed_count(), 1);
+    }
+
+    #[test]
+    fn differential_validation_accepts_direct_tables() {
+        let module = minic::compile(SRC).unwrap();
+        let cv = compiled(PipelineSpec::O2);
+        differential_validate(&cv.tier_up, &cv.versions.base, &cv.versions.opt, &module, 4)
+            .expect("forward table replays cleanly");
+        differential_validate(
+            &cv.tier_down,
+            &cv.versions.opt,
+            &cv.versions.base,
+            &module,
+            4,
+        )
+        .expect("backward table replays cleanly");
+    }
+
+    #[test]
+    fn differential_validation_rejects_corrupted_entries() {
+        use ssair::reconstruct::CompStep;
+        let module = minic::compile(SRC).unwrap();
+        let cv = compiled(PipelineSpec::O2);
+        let mut broken = (*cv.tier_up).clone();
+        // Corrupt every entry: bolt a bogus constant re-definition of each
+        // transferred value onto the end of the compensation code.
+        for (_, entry) in broken.entries.values_mut() {
+            let dsts: Vec<_> = entry
+                .comp
+                .steps
+                .iter()
+                .filter_map(|s| match s {
+                    CompStep::Transfer { dst, .. } => Some(*dst),
+                    _ => None,
+                })
+                .collect();
+            for dst in dsts {
+                entry.comp.steps.push(CompStep::Inline {
+                    kind: ssair::InstKind::Const(987_654_321),
+                    result: Some(dst),
+                });
+            }
+        }
+        let err = differential_validate(&broken, &cv.versions.base, &cv.versions.opt, &module, 4)
+            .expect_err("corrupted table must diverge");
+        assert!(matches!(err, CompileError::Divergence { .. }));
     }
 }

@@ -1,53 +1,73 @@
-//! The tiered-execution service: shared cache + compiler pool + batched
-//! request execution.
+//! The tiered-execution service core: shared cache + compiler pool + the
+//! ladder controller, with `run_batch` kept as a thin compatibility
+//! wrapper over the persistent session API ([`crate::EngineHandle`]).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ssair::interp::{ExecError, Val};
 use ssair::reconstruct::Direction;
-use ssair::{InstId, Module};
-use tinyvm::profile::{TierController, TierDecision};
+use ssair::{Function, InstId, Module};
+use tinyvm::profile::{Tier, TierController, TierDecision, TierTarget};
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
-use crate::cache::{CacheKey, CodeCache, CompiledVersion, PipelineSpec};
+use crate::cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
 use crate::metrics::{EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
 use crate::pool::{run_job, CompileJob, CompilerPool};
+use crate::session::{RequestId, ResultEvent};
+use crate::tiers::{LadderPolicy, TierPolicy};
+
+pub use tinyvm::profile::ProfileTable;
 
 /// Engine-wide policy knobs.
 #[derive(Clone, Debug)]
 pub struct EnginePolicy {
-    /// Cumulative visits of a function's OSR points (across *all*
-    /// requests) before a background compile is requested and tier-up
-    /// becomes eligible.
-    pub hotness_threshold: u64,
+    /// The tier ladder: pipelines per rung and per-tier hotness
+    /// thresholds.
+    pub tiers: Arc<dyn TierPolicy>,
     /// Background compile workers.
     pub compile_workers: usize,
-    /// Concurrent request-execution threads per batch.
+    /// Request-execution workers per session (and per `run_batch`).
     pub batch_workers: usize,
-    /// Transition mechanics (variant, continuation vs frame surgery).
+    /// Transition mechanics (variant, continuation vs frame surgery) for
+    /// run-to-completion tier-ups; ladder hops always use frame surgery.
     pub options: TransitionOptions,
     /// Tier-down policy for debugger-attach requests.
     pub deopt: DeoptPolicy,
     /// Interpreter fuel per request.
     pub fuel: usize,
-    /// Pipeline used for tier-up compiles.
-    pub pipeline: PipelineSpec,
+}
+
+impl EnginePolicy {
+    /// The default two-rung O1/O2 ladder with explicit thresholds.
+    pub fn two_tier(o1_after: u64, o2_after: u64) -> Self {
+        EnginePolicy {
+            tiers: Arc::new(LadderPolicy::two_tier(o1_after, o2_after)),
+            ..EnginePolicy::default()
+        }
+    }
+
+    /// A single-rung ladder (the pre-ladder engine behaviour).
+    pub fn single_tier(spec: PipelineSpec, after: u64) -> Self {
+        EnginePolicy {
+            tiers: Arc::new(LadderPolicy::single(spec, after)),
+            ..EnginePolicy::default()
+        }
+    }
 }
 
 impl Default for EnginePolicy {
     fn default() -> Self {
         EnginePolicy {
-            hotness_threshold: 32,
+            tiers: Arc::new(LadderPolicy::two_tier(32, 96)),
             compile_workers: 2,
             batch_workers: 4,
             options: TransitionOptions::default(),
             deopt: DeoptPolicy::default(),
             fuel: 50_000_000,
-            pipeline: PipelineSpec::Standard,
         }
     }
 }
@@ -55,14 +75,17 @@ impl Default for EnginePolicy {
 /// How a request wants to be executed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ExecMode {
-    /// Normal tiered execution: interpret, tier up when hot and compiled.
+    /// Normal tiered execution: interpret, climb the ladder while hot and
+    /// compiled (`O0 → O1 → … → top`).
     Tiered,
-    /// Debugger attach: run the optimized version and tier *down* through
-    /// the precomputed backward table at the first opportunity.
+    /// Debugger attach: run the *top-tier* version and tier down to the
+    /// baseline through the precomputed backward table at the first
+    /// opportunity.
     Debug,
 }
 
-/// One unit of work for [`Engine::run_batch`].
+/// One unit of work for [`crate::EngineHandle::submit`] /
+/// [`Engine::run_batch`].
 #[derive(Clone, Debug)]
 pub struct Request {
     /// Function to execute.
@@ -100,6 +123,9 @@ pub enum EngineError {
     UnknownFunction(String),
     /// The interpreter failed.
     Exec(ExecError),
+    /// An engine-internal failure (e.g. a request worker panicked); the
+    /// request did not complete.
+    Internal(String),
 }
 
 impl fmt::Display for EngineError {
@@ -107,6 +133,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             EngineError::Exec(e) => write!(f, "execution failed: {e}"),
+            EngineError::Internal(reason) => write!(f, "engine-internal failure: {reason}"),
         }
     }
 }
@@ -119,7 +146,7 @@ impl From<ExecError> for EngineError {
     }
 }
 
-/// The outcome of one batch.
+/// The outcome of one [`Engine::run_batch`] call.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-request results, in request order.
@@ -143,39 +170,28 @@ impl BatchReport {
     }
 }
 
-/// Shared cross-request hotness counters, one per function.
-#[derive(Default)]
-pub struct ProfileTable {
-    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
-}
-
-impl ProfileTable {
-    /// The shared counter for `function` (created on first use).
-    pub fn counter(&self, function: &str) -> Arc<AtomicU64> {
-        let mut map = self.counters.lock().expect("profile lock");
-        Arc::clone(
-            map.entry(function.to_string())
-                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
-        )
-    }
-
-    /// Current hotness of `function`.
-    pub fn hotness(&self, function: &str) -> u64 {
-        self.counter(function).load(Ordering::Relaxed)
-    }
+/// Everything a request worker needs, shared between the [`Engine`] front
+/// end, its persistent sessions, and the compile pool.
+pub(crate) struct EngineCore {
+    pub(crate) vm: Vm,
+    pub(crate) policy: EnginePolicy,
+    pub(crate) cache: Arc<CodeCache>,
+    pub(crate) pool: CompilerPool,
+    pub(crate) metrics: Arc<EngineMetrics>,
+    pub(crate) events: Arc<EventLog>,
+    pub(crate) profiles: ProfileTable,
+    /// Engine-global request-id allocator (ids stay unique across every
+    /// concurrent session).
+    pub(crate) next_request_id: AtomicU64,
 }
 
 /// A multi-tenant tiered-execution service over one module.
 ///
-/// See the crate docs for the full tier-up / tier-down lifecycle.
+/// See the crate docs for the full ladder lifecycle.  Cloning an `Engine`
+/// is cheap and shares the cache, metrics and compile pool.
+#[derive(Clone)]
 pub struct Engine {
-    vm: Vm,
-    policy: EnginePolicy,
-    cache: Arc<CodeCache>,
-    pool: CompilerPool,
-    metrics: Arc<EngineMetrics>,
-    events: Arc<EventLog>,
-    profiles: ProfileTable,
+    pub(crate) core: Arc<EngineCore>,
 }
 
 impl Engine {
@@ -192,78 +208,133 @@ impl Engine {
             Arc::clone(&events),
         );
         Engine {
-            vm: Vm::new(module).with_fuel(policy.fuel),
-            policy,
-            cache,
-            pool,
-            metrics,
-            events,
-            profiles: ProfileTable::default(),
+            core: Arc::new(EngineCore {
+                vm: Vm::new(module).with_fuel(policy.fuel),
+                policy,
+                cache,
+                pool,
+                metrics,
+                events,
+                profiles: ProfileTable::default(),
+                next_request_id: AtomicU64::new(0),
+            }),
         }
     }
 
     /// The engine's module.
     pub fn module(&self) -> &Module {
-        &self.vm.module
+        &self.core.vm.module
     }
 
     /// The shared code cache.
     pub fn cache(&self) -> &CodeCache {
-        &self.cache
+        &self.core.cache
+    }
+
+    /// The engine's policy.
+    pub fn policy(&self) -> &EnginePolicy {
+        &self.core.policy
     }
 
     /// Cumulative metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Current cross-request hotness of `function` at `tier`.
+    pub fn hotness(&self, function: &str, tier: Tier) -> u64 {
+        self.core.profiles.hotness(function, tier)
+    }
+
+    /// Total cross-request hotness of `function` across every tier.
+    pub fn total_hotness(&self, function: &str) -> u64 {
+        self.core.profiles.total_hotness(function)
+    }
+
+    /// Synchronously compiles every ladder rung of `function` and builds
+    /// (and validates) the composed tables between adjacent rungs, so
+    /// subsequent traffic climbs the whole ladder without waiting on
+    /// background compiles — how a service warms its cache before taking
+    /// load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownFunction`] when the module has no such
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rung's compile is rejected by entry-table validation
+    /// (a mapping-construction bug, never a user error).  A rejected
+    /// *composed* table is not fatal — the engine simply never serves that
+    /// hop — but is recorded as a [`EngineEvent::CompileRejected`].
+    pub fn prewarm(&self, function: &str) -> Result<(), EngineError> {
+        let base = self
+            .core
+            .vm
+            .module
+            .get(function)
+            .ok_or_else(|| EngineError::UnknownFunction(function.to_string()))?;
+        let tiers = Arc::clone(&self.core.policy.tiers);
+        let mut prev: Option<Arc<CompiledVersion>> = None;
+        for rung in 1..=tiers.top().0 {
+            let spec = tiers.spec(Tier(rung)).expect("rung within ladder").clone();
+            let cv = self
+                .core
+                .ensure_compiled(&CacheKey::new(function, spec), base);
+            if let Some(p) = &prev {
+                let _ = self.core.composed_table(function, p, &cv);
+            }
+            prev = Some(cv);
+        }
+        Ok(())
+    }
+
+    /// Executes `requests` concurrently against the shared cache and waits
+    /// for all of them — a thin compatibility wrapper over the persistent
+    /// session API ([`Engine::start`](crate::Engine::start) /
+    /// [`crate::EngineHandle`]).  Results are deterministic per request
+    /// (OSR preserves semantics, so a request's value does not depend on
+    /// when — or whether — transitions fire); events and metrics reflect
+    /// the actual interleaving.
+    pub fn run_batch(&self, requests: &[Request]) -> BatchReport {
+        let handle = self.start();
+        let ids: Vec<RequestId> = requests.iter().map(|r| handle.submit(r.clone())).collect();
+        let index_of: HashMap<RequestId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut results: Vec<Option<Result<Option<Val>, EngineError>>> =
+            requests.iter().map(|_| None).collect();
+        let mut remaining = requests.len();
+        while remaining > 0 {
+            let Some(event) = handle.next_event() else {
+                break;
+            };
+            if let ResultEvent::Completed { id, result } = event {
+                let i = index_of[&id];
+                results[i] = Some(result);
+                remaining -= 1;
+            }
+        }
+        handle.shutdown();
+        BatchReport {
+            results: results
+                .into_iter()
+                .map(|slot| slot.expect("every request completed"))
+                .collect(),
+            events: self.core.events.drain(),
+            metrics: self.metrics(),
+        }
+    }
+}
+
+impl EngineCore {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let (hits, misses) = self.cache.counters();
         self.metrics.snapshot(hits, misses)
     }
 
-    /// Current cross-request hotness of `function`.
-    pub fn hotness(&self, function: &str) -> u64 {
-        self.profiles.hotness(function)
-    }
-
-    /// Executes `requests` concurrently against the shared cache, using up
-    /// to `policy.batch_workers` threads.  Results are deterministic per
-    /// request (OSR preserves semantics, so a request's value does not
-    /// depend on when — or whether — transitions fire); events and metrics
-    /// reflect the actual interleaving.
-    pub fn run_batch(&self, requests: &[Request]) -> BatchReport {
-        type ResultSlot = Mutex<Option<Result<Option<Val>, EngineError>>>;
-        let workers = self.policy.batch_workers.clamp(1, requests.len().max(1));
-        let next = AtomicUsize::new(0);
-        let results: Vec<ResultSlot> = requests.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= requests.len() {
-                        break;
-                    }
-                    let out = self.run_one(i, &requests[i]);
-                    *results[i].lock().expect("result slot") = Some(out);
-                });
-            }
-        });
-
-        let results = results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
-                    .expect("every request executed")
-            })
-            .collect();
-        BatchReport {
-            results,
-            events: self.events.drain(),
-            metrics: self.metrics(),
-        }
-    }
-
     /// Executes one request on the current thread.
-    fn run_one(&self, index: usize, req: &Request) -> Result<Option<Val>, EngineError> {
+    pub(crate) fn run_one(&self, id: u64, req: &Request) -> Result<Option<Val>, EngineError> {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         // Borrow the function from the module; it is only cloned when a
         // compile job actually needs an owned copy.
@@ -272,52 +343,72 @@ impl Engine {
             .module
             .get(&req.function)
             .ok_or_else(|| EngineError::UnknownFunction(req.function.clone()))?;
-        let key = CacheKey {
-            function: req.function.clone(),
-            pipeline: self.policy.pipeline,
-        };
         match req.mode {
             ExecMode::Tiered => {
-                let mut controller = EngineController {
-                    engine: self,
-                    key,
-                    base,
-                    counter: self.profiles.counter(&req.function),
-                    accounted: false,
-                    enqueued: false,
-                    failed_points: BTreeSet::new(),
-                };
+                let mut controller = EngineController::new(self, &req.function, base);
                 let (value, events) =
                     self.vm
                         .run_tiered(base, &req.args, &self.policy.options, &mut controller)?;
-                self.record_events(index, &req.function, events);
+                self.record_events(id, &req.function, events, &controller.hops);
                 Ok(value)
             }
             ExecMode::Debug => {
-                // Debugger attach: the optimized version must exist *now*;
+                // Debugger attach: the top-tier version must exist *now*;
                 // compile synchronously when the cache has no artifact yet.
-                let cv = self.ensure_compiled(&key, base);
+                let top = self.policy.tiers.top();
+                let Some(spec) = self.policy.tiers.spec(top).cloned() else {
+                    // Empty ladder: nothing to deoptimize from.
+                    return Ok(self.vm.run_plain(base, &req.args)?);
+                };
+                let cv = self.ensure_compiled(&CacheKey::new(&req.function, spec), base);
                 let (value, events) = self.vm.run_with_deopt_table(
                     &cv.versions,
                     &req.args,
                     &self.policy.deopt,
                     &cv.tier_down,
                 )?;
-                self.record_events(index, &req.function, events);
+                let labels = vec![(top, Tier::BASELINE, false); events.len()];
+                self.record_events(id, &req.function, events, &labels);
                 Ok(value)
             }
         }
     }
 
-    fn record_events(&self, request: usize, function: &str, events: Vec<OsrEvent>) {
-        for event in events {
+    /// Records one request's transitions: events arrive in hop order, and
+    /// `labels` carries the controller's `(from, to, composed)` tier
+    /// labels in the same order.
+    fn record_events(
+        &self,
+        request: u64,
+        function: &str,
+        events: Vec<OsrEvent>,
+        labels: &[(Tier, Tier, bool)],
+    ) {
+        for (i, event) in events.into_iter().enumerate() {
+            let (from_tier, to_tier, composed) =
+                labels
+                    .get(i)
+                    .copied()
+                    .unwrap_or((Tier::BASELINE, Tier::BASELINE, false));
             match event.direction {
-                Direction::Forward => self.metrics.tier_ups.fetch_add(1, Ordering::Relaxed),
-                Direction::Backward => self.metrics.deopts.fetch_add(1, Ordering::Relaxed),
+                Direction::Forward => {
+                    self.metrics.tier_ups.fetch_add(1, Ordering::Relaxed);
+                    if composed {
+                        self.metrics
+                            .composed_tier_ups
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Direction::Backward => {
+                    self.metrics.deopts.fetch_add(1, Ordering::Relaxed);
+                }
             };
             self.events.push(EngineEvent::Transition {
                 request,
                 function: function.to_string(),
+                from_tier,
+                to_tier,
+                composed,
                 event,
             });
         }
@@ -331,7 +422,7 @@ impl Engine {
     ///
     /// Panics if the compile is rejected by entry-table validation — that
     /// indicates a mapping-construction bug, never a user error.
-    fn ensure_compiled(&self, key: &CacheKey, base: &ssair::Function) -> Arc<CompiledVersion> {
+    pub(crate) fn ensure_compiled(&self, key: &CacheKey, base: &Function) -> Arc<CompiledVersion> {
         if let Some(cv) = self.cache.get(key) {
             self.cache.count_hit();
             return cv;
@@ -362,58 +453,142 @@ impl Engine {
             std::thread::sleep(Duration::from_micros(200));
         }
     }
+
+    /// The composed `from.opt → to.opt` table for `function`, built (and
+    /// logged) on first use, memoized in the cache afterwards.
+    pub(crate) fn composed_table(
+        &self,
+        function: &str,
+        from: &CompiledVersion,
+        to: &CompiledVersion,
+    ) -> Result<Arc<ssair::feasibility::EntryTable>, CompileError> {
+        let (result, built) = self.cache.composed(function, from, to, &self.vm.module);
+        if built {
+            match &result {
+                Ok(table) => self.events.push(EngineEvent::Composed {
+                    function: function.to_string(),
+                    from: from.spec.name().to_string(),
+                    to: to.spec.name().to_string(),
+                    points: table.entries.len(),
+                }),
+                Err(e) => self.events.push(EngineEvent::CompileRejected {
+                    function: function.to_string(),
+                    reason: format!("composed {}→{}: {e}", from.spec.name(), to.spec.name()),
+                }),
+            }
+        }
+        result
+    }
 }
 
-/// The engine's [`TierController`]: aggregates hotness across requests,
-/// kicks off background compiles at the policy threshold, and fires
-/// tier-up only from a published cache artifact (through its precomputed
-/// forward table).
+/// The engine's [`TierController`]: aggregates per-`(function, tier)`
+/// hotness across requests, kicks off background compiles of the next
+/// rung at the policy threshold, and hops only through published cache
+/// artifacts — directly off the baseline, through a composed (validated)
+/// version-to-version table off any higher rung.
 struct EngineController<'e> {
-    engine: &'e Engine,
-    key: CacheKey,
-    base: &'e ssair::Function,
+    core: &'e EngineCore,
+    function: &'e str,
+    base: &'e Function,
+    /// Rung the frame currently runs.
+    tier: Tier,
+    /// Artifact of the current rung (`None` at baseline).
+    current: Option<Arc<CompiledVersion>>,
+    /// Shared `(function, tier)` counter of the current rung.
     counter: Arc<AtomicU64>,
+    /// Hop requested but not yet landed.
+    pending: Option<(Tier, Arc<CompiledVersion>)>,
+    /// Committed hops, in order: `(from, to, composed)`.
+    hops: Vec<(Tier, Tier, bool)>,
     /// Whether this request already recorded its cache hit/miss.
     accounted: bool,
-    /// Whether this request already enqueued the compile job.
-    enqueued: bool,
-    /// Points where a transition was infeasible (never retried).
-    failed_points: BTreeSet<InstId>,
+    /// Specs this request already enqueued compile jobs for.
+    enqueued: HashSet<PipelineSpec>,
+    /// `(tier, point)` pairs where a hop was infeasible (never retried).
+    failed_points: BTreeSet<(u8, InstId)>,
+    /// Rungs whose outgoing composed table was rejected (never retried).
+    blocked: BTreeSet<u8>,
+}
+
+impl<'e> EngineController<'e> {
+    fn new(core: &'e EngineCore, function: &'e str, base: &'e Function) -> Self {
+        EngineController {
+            core,
+            function,
+            base,
+            tier: Tier::BASELINE,
+            current: None,
+            counter: core.profiles.counter(function, Tier::BASELINE),
+            pending: None,
+            hops: Vec::new(),
+            accounted: false,
+            enqueued: HashSet::new(),
+            failed_points: BTreeSet::new(),
+            blocked: BTreeSet::new(),
+        }
+    }
+
+    fn account(&mut self, hit: bool) {
+        if !self.accounted {
+            if hit {
+                self.core.cache.count_hit();
+            } else {
+                self.core.cache.count_miss();
+            }
+            self.accounted = true;
+        }
+    }
 }
 
 impl TierController for EngineController<'_> {
     fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
+        let tiers = &self.core.policy.tiers;
+        // Count the visit first: top-rung frames still contribute to the
+        // per-(function, tier) hotness profile.
         let total = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if total < self.engine.policy.hotness_threshold {
+        let Some(next) = tiers.next_tier(self.tier) else {
+            return TierDecision::Continue; // already at the top
+        };
+        if total < tiers.threshold(self.tier) {
             return TierDecision::Continue;
         }
-        if self.failed_points.contains(&at) {
+        if self.blocked.contains(&self.tier.0) || self.failed_points.contains(&(self.tier.0, at)) {
             return TierDecision::Continue;
         }
-        match self.engine.cache.get(&self.key) {
+        let spec = tiers.spec(next).expect("next is a ladder rung").clone();
+        let key = CacheKey::new(self.function, spec);
+        match self.core.cache.get(&key) {
             Some(cv) => {
-                if !self.accounted {
-                    self.engine.cache.count_hit();
-                    self.accounted = true;
-                }
-                TierDecision::TierUpPrecomputed(Arc::clone(&cv.versions), Arc::clone(&cv.tier_up))
+                self.account(true);
+                let (target, table) = if self.tier.is_baseline() {
+                    (Arc::clone(&cv.opt), Arc::clone(&cv.tier_up))
+                } else {
+                    let cur = self
+                        .current
+                        .as_ref()
+                        .expect("an optimized rung has an artifact");
+                    match self.core.composed_table(self.function, cur, &cv) {
+                        Ok(table) => (Arc::clone(&cv.opt), table),
+                        Err(_) => {
+                            // Rejected composition: this rung can never hop.
+                            self.blocked.insert(self.tier.0);
+                            return TierDecision::Continue;
+                        }
+                    }
+                };
+                self.pending = Some((next, cv));
+                TierDecision::Transition(TierTarget { target, table })
             }
             None => {
-                if !self.accounted {
-                    self.engine.cache.count_miss();
-                    self.accounted = true;
-                }
-                if !self.enqueued {
-                    self.enqueued = true;
-                    if self.engine.cache.claim(&self.key) {
-                        self.engine.pool.submit(
-                            CompileJob {
-                                key: self.key.clone(),
-                                base: self.base.clone(),
-                            },
-                            &self.engine.metrics,
-                        );
-                    }
+                self.account(false);
+                if self.enqueued.insert(key.spec.clone()) && self.core.cache.claim(&key) {
+                    self.core.pool.submit(
+                        CompileJob {
+                            key,
+                            base: self.base.clone(),
+                        },
+                        &self.core.metrics,
+                    );
                 }
                 TierDecision::Continue
             }
@@ -421,11 +596,20 @@ impl TierController for EngineController<'_> {
     }
 
     fn on_infeasible(&mut self, at: InstId) {
-        self.failed_points.insert(at);
-        self.engine
-            .metrics
-            .infeasible
-            .fetch_add(1, Ordering::Relaxed);
+        self.pending = None;
+        self.failed_points.insert((self.tier.0, at));
+        self.core.metrics.infeasible.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_transition(&mut self, _at: InstId) {
+        let (next, cv) = self
+            .pending
+            .take()
+            .expect("a hop landed only after being requested");
+        self.hops.push((self.tier, next, !self.tier.is_baseline()));
+        self.tier = next;
+        self.counter = self.core.profiles.counter(self.function, next);
+        self.current = Some(cv);
     }
 }
 
@@ -451,10 +635,9 @@ mod tests {
 
     fn policy() -> EnginePolicy {
         EnginePolicy {
-            hotness_threshold: 8,
             compile_workers: 1,
             batch_workers: 2,
-            ..EnginePolicy::default()
+            ..EnginePolicy::two_tier(8, 24)
         }
     }
 
@@ -491,7 +674,45 @@ mod tests {
         }
         assert!(tier_ups > 0, "a background tier-up eventually fires");
         assert!(engine.metrics().compiles >= 1);
-        assert_eq!(engine.cache().ready_count(), 1);
+        assert!(engine.cache().ready_count() >= 1);
+    }
+
+    #[test]
+    fn prewarmed_ladder_climbs_to_the_top_in_one_frame() {
+        let m = module();
+        let engine = Engine::new(m.clone(), policy());
+        engine.prewarm("hot").expect("hot exists");
+        assert_eq!(engine.cache().ready_count(), 2, "O1 and O2 artifacts");
+        assert_eq!(engine.cache().composed_count(), 1, "O1→O2 table");
+        let req = Request::tiered("hot", vec![Val::Int(2), Val::Int(500)]);
+        let report = engine.run_batch(std::slice::from_ref(&req));
+        let vm = Vm::new(m);
+        let expected = vm
+            .run_plain(vm.module.get("hot").unwrap(), &req.args)
+            .unwrap();
+        assert_eq!(report.results[0].as_ref().unwrap(), &expected);
+        let hops: Vec<(Tier, Tier, bool)> = report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::Transition {
+                    from_tier,
+                    to_tier,
+                    composed,
+                    ..
+                } => Some((*from_tier, *to_tier, *composed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            hops,
+            vec![
+                (Tier(0), Tier(1), false),
+                (Tier(1), Tier(2), true), // composed, never re-entering O0
+            ],
+            "one frame climbs the whole ladder"
+        );
+        assert_eq!(report.metrics.composed_tier_ups, 1);
     }
 
     #[test]
@@ -507,6 +728,15 @@ mod tests {
         assert_eq!(report.results[0].as_ref().unwrap(), &expected);
         assert_eq!(report.transitions(Direction::Backward), 1, "deopt fired");
         assert!(engine.metrics().deopts >= 1);
+        // The deopt left the top rung for the baseline.
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            EngineEvent::Transition {
+                from_tier: Tier(2),
+                to_tier: Tier(0),
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -517,6 +747,7 @@ mod tests {
             report.results[0],
             Err(EngineError::UnknownFunction(_))
         ));
+        assert!(engine.prewarm("nope").is_err());
     }
 
     #[test]

@@ -1,71 +1,82 @@
 //! A concurrent tiered-execution service over the OSR machinery: the role
 //! a production VM's execution manager plays around OSRKit/MCJIT in
 //! §5.4/§6.1 of *On-Stack Replacement, Distilled*, scaled from "one
-//! function at a time" to batched multi-tenant traffic.
+//! function at a time" to sustained multi-tenant traffic over a tier
+//! ladder.
 //!
 //! # Architecture
 //!
 //! ```text
-//!   requests ──► Engine::run_batch ──► N request threads (interpreters)
-//!                                         │ hotness (shared counters)
-//!                                         ▼
-//!                 ┌──────────────── TierController ───────────────┐
-//!                 │ cold: keep interpreting                       │
-//!                 │ hot + no artifact: claim slot, enqueue job ───┼──► CompileQueue
-//!                 │ hot + artifact ready: fire tier-up OSR        │        │
-//!                 └───────────────▲───────────────────────────────┘        ▼
-//!                                 │ publish                        compile workers
-//!                            CodeCache ◄──────────────────────────  (background)
-//!                    (FunctionVersions + precomputed,
-//!                     validated OSR entry tables)
+//!  submit(Request) ──► EngineHandle ──► persistent worker pool (interpreters)
+//!       │                  ▲                      │ per-(function, tier)
+//!   RequestId              │ ResultEvents         ▼ shared hotness
+//!                          │            ┌── EngineController ──────────────┐
+//!  run_batch ──────────────┘            │ cold: keep interpreting          │
+//!  (compat wrapper)                     │ hot + rung not compiled: enqueue ┼─► CompileQueue
+//!                                       │ hot + artifact ready: hop        │      │
+//!                                       └───────▲──────────────────────────┘      ▼
+//!                                               │ publish                  compile workers
+//!                        tier ladder (TierPolicy)                           (background)
+//!                  O0 ──direct──► O1 ──composed──► O2      │
+//!                  ▲◄────────────direct deopt──────┘       │
+//!                  └──────────── CodeCache ◄───────────────┘
+//!            (8 hash shards: per-tier FunctionVersions + validated
+//!             entry tables + lazily-built composed O1→O2 tables)
 //! ```
 //!
-//! # Tier-up lifecycle
+//! # The tier ladder
 //!
-//! 1. Every request interprets its function's **baseline** version; the
-//!    interpreter reports each loop-header OSR-point visit to the
-//!    engine's [`tinyvm::profile::TierController`].
-//! 2. Visits accumulate in a **shared, cross-request counter** per
-//!    function ([`ProfileTable`]).  When the counter crosses
-//!    [`EnginePolicy::hotness_threshold`], the controller claims the
-//!    cache slot and enqueues a [`pool::CompileJob`]; the request keeps
-//!    interpreting — compilation never blocks the request thread.
-//! 3. A background worker optimizes the function (recording the §5.1
-//!    primitive actions), **precomputes both OSR entry tables**
-//!    (`ssair::feasibility::precompute_entries`, the SSA analogue of the
-//!    `osr` crate's validated mapping precomputation), validates them
-//!    structurally, and publishes the artifact to the [`cache::CodeCache`].
-//! 4. The next hot visit — by *any* request of *any* batch — finds the
-//!    artifact and fires an optimizing OSR through the precomputed
-//!    forward table: compensation code runs against the live frame and
-//!    execution continues in the optimized version (via a generated
-//!    continuation function or direct frame surgery,
-//!    [`tinyvm::runtime::TransitionOptions`]).
+//! A [`TierPolicy`] defines the rungs above the baseline interpreter —
+//! by default [`PipelineSpec::O1`] (a light CSE+DCE mix) then
+//! [`PipelineSpec::O2`] (the §5.4 standard mix including LICM hoisting) —
+//! and a hotness threshold *per tier*.  Visits of a version's loop-header
+//! OSR points accumulate in shared per-`(function, tier)` counters
+//! ([`ProfileTable`]); when the counter of the rung a frame currently
+//! runs crosses its threshold, the controller enqueues a background
+//! compile of the *next* rung (from the shared baseline) and — once the
+//! artifact is published — hops the live frame into it:
 //!
-//! # Tier-down lifecycle
+//! * **O0 → O1** through the artifact's direct, precomputed forward table;
+//! * **O1 → O2** through a *composed* `fopt → fopt'` table
+//!   ([`ssair::feasibility::compose_entries`], the SSA analogue of
+//!   Theorem 3.4's mapping composition): the O1→baseline and baseline→O2
+//!   tables are flattened into one, so the frame transfers straight to O2
+//!   and never re-enters the baseline.  Composed tables are built lazily,
+//!   validated structurally *and differentially* (compensation steps are
+//!   replayed on sampled concrete frames, the SSA analogue of
+//!   `osr::validate_mapping`), memoized in the cache, and rejected with
+//!   [`cache::CompileError::Divergence`] if any replay disagrees with a
+//!   reference run.
 //!
-//! A request in [`ExecMode::Debug`] models a debugger attach (§7): the
-//! optimized version must stop being the one that runs.  The engine
-//! ensures an artifact exists (compiling synchronously if needed — the
-//! only blocking compile), runs the **optimized** version, and at the
-//! first instrumented visit fires a deoptimizing OSR through the
-//! precomputed *backward* table — `reconstruct`'s compensation code
-//! rebuilds the baseline frame state (Algorithm 1, `avail` variant by
-//! default) and execution finishes in the baseline version, where every
-//! source variable is inspectable.
+//! After every hop the frame stays under profiling, so one frame can
+//! climb the whole ladder mid-loop.  A request in [`ExecMode::Debug`]
+//! models a debugger attach (§7): it runs the *top*-tier version and
+//! tiers down O2 → baseline through the precomputed backward table at the
+//! first instrumented visit, where every source variable is inspectable.
+//!
+//! # Sessions
+//!
+//! [`Engine::start`] spawns a persistent worker pool;
+//! [`EngineHandle::submit`] enqueues work and returns a [`RequestId`];
+//! completions and engine events stream over the handle's channel as
+//! [`ResultEvent`]s; [`EngineHandle::shutdown`] drains in-flight work.
+//! Multiple sessions share one engine (cache, counters, compile pool).
+//! [`Engine::run_batch`] remains as a thin compatibility wrapper that
+//! submits a slice of requests and waits for all of them.
 //!
 //! # Observability
 //!
-//! Every transition, compile and rejection is recorded as an
-//! [`metrics::EngineEvent`]; aggregate counters (tier-ups, deopts,
-//! cache hits/misses, queue depth/peak, compile latency) are available
-//! as a [`metrics::MetricsSnapshot`] from [`Engine::metrics`] and in
-//! every [`BatchReport`].
+//! Every transition (with its tier pair and whether it was composed),
+//! compile, composed-table build and rejection is recorded as an
+//! [`metrics::EngineEvent`]; aggregate counters (tier-ups, composed
+//! tier-ups, deopts, cache hits/misses, queue depth, compile latency) are
+//! available as a [`metrics::MetricsSnapshot`] from [`Engine::metrics`],
+//! in every [`BatchReport`], and in every [`SessionReport`].
 //!
 //! # Example
 //!
 //! ```
-//! use engine::{Engine, EnginePolicy, Request};
+//! use engine::{Engine, EnginePolicy, Request, ResultEvent};
 //! use ssair::interp::Val;
 //!
 //! let module = minic::compile(
@@ -75,20 +86,28 @@
 //!          return s;
 //!      }",
 //! ).unwrap();
-//! let policy = EnginePolicy { hotness_threshold: 16, ..Default::default() };
-//! let engine = Engine::new(module, policy);
-//! let requests: Vec<Request> = (0..8)
-//!     .map(|k| Request::tiered("work", vec![Val::Int(2), Val::Int(50 + k)]))
+//! let engine = Engine::new(module, EnginePolicy::two_tier(8, 24));
+//! engine.prewarm("work").unwrap(); // compile O1, O2 and the O1→O2 table
+//!
+//! let session = engine.start();
+//! let ids: Vec<_> = (0..8)
+//!     .map(|k| session.submit(Request::tiered("work", vec![Val::Int(2), Val::Int(200 + k)])))
 //!     .collect();
-//! let report = engine.run_batch(&requests);
-//! assert!(report.results.iter().all(Result::is_ok));
+//! let report = session.shutdown(); // drains all in-flight work
+//! let results = report.results();
+//! assert!(ids.iter().all(|id| results[id].is_ok()));
+//! assert!(report.metrics.tier_ups >= 1);
 //! ```
 
 pub mod cache;
 mod engine;
 pub mod metrics;
 pub mod pool;
+mod session;
+pub mod tiers;
 
-pub use cache::{CacheKey, CodeCache, CompiledVersion, PipelineSpec};
+pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
 pub use engine::{BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request};
 pub use metrics::{EngineEvent, EngineMetrics, MetricsSnapshot};
+pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport};
+pub use tiers::{LadderPolicy, Tier, TierPolicy};

@@ -1,20 +1,29 @@
-//! Aggregated engine metrics and the per-batch event stream.
+//! Aggregated engine metrics and the engine event stream.
+//!
+//! Events are appended to a shared [`EventLog`] (drained per batch by the
+//! [`crate::Engine::run_batch`] compatibility wrapper) and simultaneously
+//! fanned out to any live subscribers — which is how a persistent session
+//! ([`crate::EngineHandle`]) streams them to its consumer.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use tinyvm::profile::Tier;
 use tinyvm::runtime::OsrEvent;
 
 /// Monotonic counters shared by interpreters, compile workers and the
-/// batch driver.  All updates are relaxed: the counters are telemetry,
-/// not synchronization.
+/// session/batch drivers.  All updates are relaxed: the counters are
+/// telemetry, not synchronization.
 #[derive(Default)]
 pub struct EngineMetrics {
     /// Requests executed.
     pub requests: AtomicU64,
-    /// Optimizing (tier-up) transitions fired.
+    /// Optimizing (tier-up) transitions fired (all rungs).
     pub tier_ups: AtomicU64,
+    /// Tier-ups served by a *composed* version-to-version table
+    /// (`fopt → fopt'`, e.g. O1→O2) rather than a direct baseline table.
+    pub composed_tier_ups: AtomicU64,
     /// Deoptimizing (tier-down) transitions fired.
     pub deopts: AtomicU64,
     /// Transition attempts that were infeasible at the attempted point.
@@ -49,6 +58,7 @@ impl EngineMetrics {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             tier_ups: self.tier_ups.load(Ordering::Relaxed),
+            composed_tier_ups: self.composed_tier_ups.load(Ordering::Relaxed),
             deopts: self.deopts.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
@@ -66,8 +76,10 @@ impl EngineMetrics {
 pub struct MetricsSnapshot {
     /// Requests executed.
     pub requests: u64,
-    /// Tier-up transitions fired.
+    /// Tier-up transitions fired (all rungs).
     pub tier_ups: u64,
+    /// Tier-ups served by composed version-to-version tables (e.g. O1→O2).
+    pub composed_tier_ups: u64,
     /// Tier-down transitions fired.
     pub deopts: u64,
     /// Infeasible transition attempts.
@@ -97,10 +109,11 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} tier_ups={} deopts={} infeasible={} compiles={} \
+            "requests={} tier_ups={} (composed={}) deopts={} infeasible={} compiles={} \
              mean_compile={}us queue(depth={}, peak={}) cache(hits={}, misses={})",
             self.requests,
             self.tier_ups,
+            self.composed_tier_ups,
             self.deopts,
             self.infeasible,
             self.compiles,
@@ -118,10 +131,19 @@ impl fmt::Display for MetricsSnapshot {
 pub enum EngineEvent {
     /// A transition fired while serving a request.
     Transition {
-        /// Index of the request in its batch.
-        request: usize,
+        /// Id of the request (a [`crate::RequestId`] value; the index for
+        /// `run_batch` submissions).
+        request: u64,
         /// Function the request executed.
         function: String,
+        /// Rung the frame left.
+        from_tier: Tier,
+        /// Rung the frame entered.
+        to_tier: Tier,
+        /// Whether the hop was served by a composed version-to-version
+        /// table (never re-entering the baseline) rather than a direct
+        /// table.
+        composed: bool,
         /// The underlying VM event (direction distinguishes tier-up from
         /// deopt).
         event: OsrEvent,
@@ -130,12 +152,24 @@ pub enum EngineEvent {
     Compiled {
         /// Function compiled.
         function: String,
-        /// Pipeline name.
-        pipeline: &'static str,
+        /// Pipeline spec name.
+        pipeline: String,
         /// Compile + precompute latency in microseconds.
         micros: u64,
     },
-    /// A compile was rejected by entry-table validation.
+    /// A composed version-to-version table was built, validated and
+    /// memoized in the code cache.
+    Composed {
+        /// Function the table belongs to.
+        function: String,
+        /// Source rung's pipeline name.
+        from: String,
+        /// Destination rung's pipeline name.
+        to: String,
+        /// Number of OSR points the composed table serves.
+        points: usize,
+    },
+    /// A compile (or composed-table build) was rejected by validation.
     CompileRejected {
         /// Function whose artifact was rejected.
         function: String,
@@ -150,13 +184,29 @@ impl fmt::Display for EngineEvent {
             EngineEvent::Transition {
                 request,
                 function,
+                from_tier,
+                to_tier,
+                composed,
                 event,
-            } => write!(f, "[req {request}] {function}: {event}"),
+            } => write!(
+                f,
+                "[req {request}] {function}: {from_tier}→{to_tier}{} {event}",
+                if *composed { " (composed)" } else { "" }
+            ),
             EngineEvent::Compiled {
                 function,
                 pipeline,
                 micros,
             } => write!(f, "[compile] {function} ({pipeline}) in {micros}us"),
+            EngineEvent::Composed {
+                function,
+                from,
+                to,
+                points,
+            } => write!(
+                f,
+                "[compose] {function} {from}→{to}: {points} points validated"
+            ),
             EngineEvent::CompileRejected { function, reason } => {
                 write!(f, "[compile] {function} REJECTED: {reason}")
             }
@@ -164,21 +214,68 @@ impl fmt::Display for EngineEvent {
     }
 }
 
-/// A shared, append-only event log drained per batch.
+type Subscriber = Box<dyn Fn(&EngineEvent) + Send + Sync>;
+
+/// How many undrained events the log retains.  Sessions stream events and
+/// may never drain the log, so the backing store is a bounded ring: once
+/// full, the oldest events are discarded (and counted in
+/// [`EventLog::dropped`]).  A `run_batch` drains after every batch and
+/// stays far below the cap.
+pub const EVENT_LOG_CAPACITY: usize = 1 << 16;
+
+/// A shared, bounded event log, drained per batch and fanned out to
+/// session subscribers as events arrive.
 #[derive(Default)]
 pub struct EventLog {
-    events: Mutex<Vec<EngineEvent>>,
+    events: Mutex<std::collections::VecDeque<EngineEvent>>,
+    subscribers: Mutex<Vec<(u64, Subscriber)>>,
+    next_subscriber: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl EventLog {
-    /// Appends one event.
+    /// Appends one event and forwards a copy to every subscriber; the
+    /// oldest undrained event is discarded once the log holds
+    /// [`EVENT_LOG_CAPACITY`] entries.
     pub fn push(&self, e: EngineEvent) {
-        self.events.lock().expect("event lock").push(e);
+        for (_, s) in self.subscribers.lock().expect("subscriber lock").iter() {
+            s(&e);
+        }
+        let mut events = self.events.lock().expect("event lock");
+        if events.len() >= EVENT_LOG_CAPACITY {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(e);
     }
 
     /// Takes every event recorded since the last drain.
     pub fn drain(&self) -> Vec<EngineEvent> {
-        std::mem::take(&mut *self.events.lock().expect("event lock"))
+        std::mem::take(&mut *self.events.lock().expect("event lock")).into()
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Registers a live-event subscriber; returns a token for
+    /// [`EventLog::unsubscribe`].
+    pub fn subscribe(&self, f: impl Fn(&EngineEvent) + Send + Sync + 'static) -> u64 {
+        let id = self.next_subscriber.fetch_add(1, Ordering::Relaxed);
+        self.subscribers
+            .lock()
+            .expect("subscriber lock")
+            .push((id, Box::new(f)));
+        id
+    }
+
+    /// Removes a subscriber registered by [`EventLog::subscribe`].
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers
+            .lock()
+            .expect("subscriber lock")
+            .retain(|(sid, _)| *sid != id);
     }
 }
 
@@ -208,5 +305,48 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("hits=3"));
         assert!(text.contains("mean_compile=2000us"));
+        assert!(text.contains("composed=0"));
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let log = EventLog::default();
+        for i in 0..(EVENT_LOG_CAPACITY as u64 + 10) {
+            log.push(EngineEvent::Compiled {
+                function: "f".into(),
+                pipeline: "O1".into(),
+                micros: i,
+            });
+        }
+        assert_eq!(log.dropped(), 10, "oldest events discarded at capacity");
+        let drained = log.drain();
+        assert_eq!(drained.len(), EVENT_LOG_CAPACITY);
+        assert!(
+            matches!(drained[0], EngineEvent::Compiled { micros: 10, .. }),
+            "ring dropped from the front"
+        );
+    }
+
+    #[test]
+    fn subscribers_receive_pushes_until_unsubscribed() {
+        use std::sync::mpsc::channel;
+        let log = EventLog::default();
+        let (tx, rx) = channel();
+        let id = log.subscribe(move |e| {
+            let _ = tx.send(e.to_string());
+        });
+        log.push(EngineEvent::Compiled {
+            function: "f".into(),
+            pipeline: "O2".into(),
+            micros: 7,
+        });
+        assert!(rx.recv().unwrap().contains("(O2)"));
+        log.unsubscribe(id);
+        log.push(EngineEvent::CompileRejected {
+            function: "f".into(),
+            reason: "nope".into(),
+        });
+        assert!(rx.try_recv().is_err(), "unsubscribed");
+        assert_eq!(log.drain().len(), 2, "log keeps everything");
     }
 }

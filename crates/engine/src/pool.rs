@@ -114,14 +114,14 @@ pub fn run_job(
     variant: Variant,
 ) {
     let function = job.key.function.clone();
-    match compile_function(job.base, job.key.pipeline, variant) {
+    match compile_function(job.base, &job.key.spec, variant) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
             cache.publish(&job.key, Arc::new(cv));
             metrics.job_finished(nanos);
             events.push(EngineEvent::Compiled {
                 function,
-                pipeline: job.key.pipeline.name(),
+                pipeline: job.key.spec.name().to_string(),
                 micros: nanos / 1_000,
             });
         }
@@ -161,7 +161,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let key = CacheKey::standard("f");
+        let key = CacheKey::new("f", crate::cache::PipelineSpec::O2);
         assert!(cache.claim(&key));
         pool.submit(
             CompileJob {

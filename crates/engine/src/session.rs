@@ -1,0 +1,406 @@
+//! Persistent engine sessions: a long-lived worker pool fed by
+//! [`EngineHandle::submit`], streaming [`ResultEvent`]s as requests
+//! complete and engine events (transitions, compiles, composed-table
+//! builds) occur — the sustained multi-tenant traffic shape `run_batch`'s
+//! batch-scoped `thread::scope` could not model.
+//!
+//! ```text
+//!   submit(Request) ─► work queue ─► N persistent workers ─► run_one
+//!        │                                                     │
+//!        ▼                                                     ▼
+//!   RequestId                       events channel ◄── Completed / Engine(…)
+//!        │                                │
+//!        └── shutdown() drains in-flight ─┘
+//! ```
+//!
+//! Multiple sessions may run concurrently over one [`Engine`]; they share
+//! the code cache, profile counters, compile pool and metrics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+
+use crate::engine::{Engine, EngineCore, EngineError, Request};
+use crate::metrics::{EngineEvent, MetricsSnapshot};
+
+/// Identifies one submitted request within a session (monotonically
+/// increasing in submission order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One entry of a session's streamed event channel.
+#[derive(Clone, Debug)]
+pub enum ResultEvent {
+    /// A submitted request finished.
+    Completed {
+        /// The id [`EngineHandle::submit`] returned.
+        id: RequestId,
+        /// The request's result.
+        result: Result<Option<Val>, EngineError>,
+    },
+    /// An engine event (transition, compile, composed-table build,
+    /// rejection) observed while the session was live.
+    Engine(EngineEvent),
+}
+
+/// What a session did, returned by [`EngineHandle::shutdown`].
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Requests submitted over the session's lifetime.
+    pub submitted: u64,
+    /// Every event still in the stream at shutdown (events already
+    /// consumed via [`EngineHandle::next_event`] are not repeated).
+    pub events: Vec<ResultEvent>,
+    /// Cumulative engine metrics at shutdown.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SessionReport {
+    /// The per-request results present in [`SessionReport::events`], in
+    /// request-id order.
+    pub fn results(&self) -> BTreeMap<RequestId, &Result<Option<Val>, EngineError>> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ResultEvent::Completed { id, result } => Some((*id, result)),
+                ResultEvent::Engine(_) => None,
+            })
+            .collect()
+    }
+
+    /// Transitions of the given direction present in the event stream.
+    pub fn transitions(&self, direction: Direction) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, ResultEvent::Engine(EngineEvent::Transition { event, .. })
+                         if event.direction == direction)
+            })
+            .count()
+    }
+
+    /// Tier-ups served by composed version-to-version tables.
+    pub fn composed_transitions(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    ResultEvent::Engine(EngineEvent::Transition { composed: true, .. })
+                )
+            })
+            .count()
+    }
+}
+
+/// A live session over an [`Engine`]: submit requests, stream results,
+/// shut down gracefully.  Dropping the handle without calling
+/// [`EngineHandle::shutdown`] still drains in-flight work and joins the
+/// workers.
+pub struct EngineHandle {
+    core: Arc<EngineCore>,
+    work_tx: Option<Sender<(RequestId, Request)>>,
+    events_rx: Receiver<ResultEvent>,
+    subscription: Option<u64>,
+    workers: Vec<JoinHandle<()>>,
+    /// Ids submitted through *this* session (ids themselves are
+    /// engine-global, so concurrent sessions never collide).
+    mine: Arc<Mutex<std::collections::HashSet<u64>>>,
+    submitted: AtomicU64,
+}
+
+impl Engine {
+    /// Starts a persistent session: spawns `policy.batch_workers` request
+    /// workers that outlive any individual submission and stream
+    /// [`ResultEvent`]s as work completes.
+    pub fn start(&self) -> EngineHandle {
+        let core = Arc::clone(&self.core);
+        let (work_tx, work_rx) = channel::<(RequestId, Request)>();
+        let (events_tx, events_rx) = channel::<ResultEvent>();
+        let mine: Arc<Mutex<std::collections::HashSet<u64>>> = Arc::default();
+        // Engine events are forwarded into the session's stream for as
+        // long as it lives: per-request Transition events only for *this*
+        // session's requests; engine-wide events (compiles, composed-table
+        // builds, rejections) to every session, since any of them may be
+        // serving the artifact.
+        let sub_tx = events_tx.clone();
+        let sub_mine = Arc::clone(&mine);
+        let subscription = core.events.subscribe(move |e| {
+            if let EngineEvent::Transition { request, .. } = e {
+                if !sub_mine.lock().expect("session id lock").contains(request) {
+                    return;
+                }
+            }
+            let _ = sub_tx.send(ResultEvent::Engine(e.clone()));
+        });
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let workers = (0..core.policy.batch_workers.max(1))
+            .map(|i| {
+                let core = Arc::clone(&core);
+                let work_rx = Arc::clone(&work_rx);
+                let events_tx = events_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{i}"))
+                    .spawn(move || worker_loop(&core, &work_rx, &events_tx))
+                    .expect("spawn session worker")
+            })
+            .collect();
+        EngineHandle {
+            core,
+            work_tx: Some(work_tx),
+            events_rx,
+            subscription: Some(subscription),
+            workers,
+            mine,
+            submitted: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EngineHandle {
+    /// Enqueues one request onto the session's persistent worker pool and
+    /// returns its id; the matching [`ResultEvent::Completed`] arrives on
+    /// the event stream once a worker finishes it.  Ids are unique across
+    /// every session of the engine.
+    pub fn submit(&self, request: Request) -> RequestId {
+        let id = RequestId(self.core.next_request_id.fetch_add(1, Ordering::Relaxed));
+        // Register before enqueueing so no event for this id can race past
+        // the subscription filter.
+        self.mine.lock().expect("session id lock").insert(id.0);
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.work_tx
+            .as_ref()
+            .expect("session is live until shutdown")
+            .send((id, request))
+            .expect("session workers outlive the queue");
+        id
+    }
+
+    /// Blocks for the next streamed event; `None` once the session is
+    /// shut down and the stream is drained.
+    pub fn next_event(&self) -> Option<ResultEvent> {
+        self.events_rx.recv().ok()
+    }
+
+    /// The next streamed event, if one is already pending.
+    pub fn try_event(&self) -> Option<ResultEvent> {
+        self.events_rx.try_recv().ok()
+    }
+
+    /// Cumulative engine metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Requests submitted through this session so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Closes the queue, drains every in-flight and still-queued request,
+    /// joins the workers, and returns the remaining event stream plus
+    /// final metrics.
+    pub fn shutdown(mut self) -> SessionReport {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> SessionReport {
+        // Closing the queue lets each worker drain remaining work and exit.
+        self.work_tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(sub) = self.subscription.take() {
+            self.core.events.unsubscribe(sub);
+        }
+        SessionReport {
+            submitted: self.submitted(),
+            events: self.events_rx.try_iter().collect(),
+            metrics: self.core.snapshot(),
+        }
+    }
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() || self.subscription.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn worker_loop(
+    core: &EngineCore,
+    work_rx: &Mutex<Receiver<(RequestId, Request)>>,
+    events_tx: &Sender<ResultEvent>,
+) {
+    loop {
+        // Hold the lock only while popping, never while executing.
+        let job = match work_rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok((id, request)) = job else { return };
+        // A panicking request (e.g. an engine-bug assertion in the compile
+        // path) must not take the worker down: the `thread::scope` this
+        // API replaced would re-raise the panic to the caller, but here a
+        // silently dead worker would leave the submitter blocked forever
+        // on a Completed event that never comes.  Convert it to an error
+        // result instead.
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            core.run_one(id.0, &request)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(EngineError::Internal(format!(
+                    "request worker panicked: {msg}"
+                )))
+            }
+        };
+        // A send can only fail after the handle is gone; the result is
+        // then unobservable anyway.
+        let _ = events_tx.send(ResultEvent::Completed { id, result });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EnginePolicy;
+    use tinyvm::runtime::Vm;
+
+    fn engine() -> Engine {
+        let m = minic::compile(
+            "fn hot(x, n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        Engine::new(
+            m,
+            EnginePolicy {
+                compile_workers: 1,
+                batch_workers: 2,
+                ..EnginePolicy::two_tier(8, 24)
+            },
+        )
+    }
+
+    #[test]
+    fn session_streams_completions_for_every_submission() {
+        let engine = engine();
+        let handle = engine.start();
+        let ids: Vec<RequestId> = (0..10)
+            .map(|k| handle.submit(Request::tiered("hot", vec![Val::Int(2), Val::Int(30 + k)])))
+            .collect();
+        assert_eq!(handle.submitted(), 10);
+        let report = handle.shutdown();
+        let results = report.results();
+        assert_eq!(results.len(), 10, "every submission completed");
+        let vm = Vm::new(engine.module().clone());
+        for (i, id) in ids.iter().enumerate() {
+            let expected = vm
+                .run_plain(
+                    vm.module.get("hot").unwrap(),
+                    &[Val::Int(2), Val::Int(30 + i as i64)],
+                )
+                .unwrap();
+            assert_eq!(results[id].as_ref().unwrap(), &expected);
+        }
+        assert_eq!(report.metrics.requests, 10);
+    }
+
+    #[test]
+    fn events_can_be_consumed_while_the_session_runs() {
+        let engine = engine();
+        let handle = engine.start();
+        let id = handle.submit(Request::tiered("hot", vec![Val::Int(1), Val::Int(20)]));
+        // Block on the stream until our completion arrives.
+        let mut seen = None;
+        while let Some(event) = handle.next_event() {
+            if let ResultEvent::Completed { id: got, result } = event {
+                seen = Some((got, result));
+                break;
+            }
+        }
+        let (got, result) = seen.expect("completion streamed");
+        assert_eq!(got, id);
+        assert!(result.is_ok());
+        let report = handle.shutdown();
+        assert!(
+            report.results().is_empty(),
+            "already-consumed completions are not repeated"
+        );
+    }
+
+    #[test]
+    fn two_sessions_share_one_cache_but_not_request_events() {
+        let engine = engine();
+        engine.prewarm("hot").unwrap();
+        let compiled_once = engine.metrics().compiles;
+        let a = engine.start();
+        let b = engine.start();
+        let mut a_ids = std::collections::HashSet::new();
+        let mut b_ids = std::collections::HashSet::new();
+        for k in 0..6 {
+            a_ids.insert(a.submit(Request::tiered("hot", vec![Val::Int(2), Val::Int(50 + k)])));
+            b_ids.insert(b.submit(Request::tiered("hot", vec![Val::Int(3), Val::Int(50 + k)])));
+        }
+        assert!(
+            a_ids.is_disjoint(&b_ids),
+            "request ids are engine-global, never reused across sessions"
+        );
+        let ra = a.shutdown();
+        let rb = b.shutdown();
+        assert_eq!(ra.results().len(), 6);
+        assert_eq!(rb.results().len(), 6);
+        // Per-request transition events stay within their own session.
+        let foreign = |report: &SessionReport, own: &std::collections::HashSet<RequestId>| {
+            report
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(e, ResultEvent::Engine(EngineEvent::Transition { request, .. })
+                             if !own.contains(&RequestId(*request)))
+                })
+                .count()
+        };
+        assert_eq!(foreign(&ra, &a_ids), 0, "a's stream has only a's requests");
+        assert_eq!(foreign(&rb, &b_ids), 0, "b's stream has only b's requests");
+        assert_eq!(
+            engine.metrics().compiles,
+            compiled_once,
+            "prewarmed artifacts served both sessions"
+        );
+    }
+
+    #[test]
+    fn dropping_a_handle_drains_in_flight_work() {
+        let engine = engine();
+        let handle = engine.start();
+        for k in 0..8 {
+            handle.submit(Request::tiered("hot", vec![Val::Int(1), Val::Int(10 + k)]));
+        }
+        drop(handle); // must not wedge or leak workers
+        assert_eq!(engine.metrics().requests, 8, "queued work still ran");
+    }
+}

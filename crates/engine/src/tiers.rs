@@ -1,0 +1,131 @@
+//! The tier ladder: which pipeline each rung runs and when a hot function
+//! climbs to the next one.
+//!
+//! A [`TierPolicy`] replaces the old single `hotness_threshold` knob with
+//! a threshold *per tier*: the [`crate::Engine`]'s controller reads the
+//! shared `(function, tier)` counter of the tier a frame currently runs
+//! ([`tinyvm::profile::ProfileTable`]) and consults the policy to pick the
+//! *next* pipeline once that counter crosses the tier's threshold.
+
+use std::fmt;
+
+use crate::cache::PipelineSpec;
+
+pub use tinyvm::profile::Tier;
+
+/// Policy hook deciding the engine's tier ladder: the ordered pipeline
+/// rungs above the baseline interpreter, and the per-tier hotness
+/// thresholds that gate each climb.
+pub trait TierPolicy: fmt::Debug + Send + Sync {
+    /// The optimized rungs in ascending order: `ladder()[k-1]` is the
+    /// pipeline of `Tier(k)`.  An empty ladder never tiers up.
+    fn ladder(&self) -> &[PipelineSpec];
+
+    /// Cumulative shared `(function, tier)` OSR-point visits at `from`
+    /// before the hop to `from.next()` becomes eligible (compile enqueued,
+    /// then transition once the artifact and — off the baseline — the
+    /// composed table are ready).
+    fn threshold(&self, from: Tier) -> u64;
+
+    /// The highest rung.
+    fn top(&self) -> Tier {
+        Tier(self.ladder().len() as u8)
+    }
+
+    /// The pipeline of `tier` (`None` for the baseline or rungs above the
+    /// ladder).
+    fn spec(&self, tier: Tier) -> Option<&PipelineSpec> {
+        if tier.is_baseline() {
+            None
+        } else {
+            self.ladder().get(tier.0 as usize - 1)
+        }
+    }
+
+    /// The rung above `from`, if the ladder has one.
+    fn next_tier(&self, from: Tier) -> Option<Tier> {
+        ((from.0 as usize) < self.ladder().len()).then(|| from.next())
+    }
+}
+
+/// The standard [`TierPolicy`]: an explicit list of `(pipeline, threshold)`
+/// rungs.
+#[derive(Clone, Debug)]
+pub struct LadderPolicy {
+    specs: Vec<PipelineSpec>,
+    thresholds: Vec<u64>,
+}
+
+impl LadderPolicy {
+    /// A ladder from explicit `(pipeline, threshold)` rungs; `threshold`
+    /// of rung `k` is the visit count at `Tier(k-1)` that makes the climb
+    /// to `Tier(k)` eligible.
+    pub fn new(rungs: Vec<(PipelineSpec, u64)>) -> Self {
+        let (specs, thresholds) = rungs.into_iter().unzip();
+        LadderPolicy { specs, thresholds }
+    }
+
+    /// The default two-rung ladder: `O1` once a function's baseline
+    /// visits reach `o1_after`, then `O2` once its O1 visits reach
+    /// `o2_after`.
+    pub fn two_tier(o1_after: u64, o2_after: u64) -> Self {
+        LadderPolicy::new(vec![
+            (PipelineSpec::O1, o1_after),
+            (PipelineSpec::O2, o2_after),
+        ])
+    }
+
+    /// A single-rung ladder (the pre-ladder engine behaviour): `spec`
+    /// once baseline visits reach `after`.
+    pub fn single(spec: PipelineSpec, after: u64) -> Self {
+        LadderPolicy::new(vec![(spec, after)])
+    }
+}
+
+impl TierPolicy for LadderPolicy {
+    fn ladder(&self) -> &[PipelineSpec] {
+        &self.specs
+    }
+
+    fn threshold(&self, from: Tier) -> u64 {
+        self.thresholds
+            .get(from.0 as usize)
+            .copied()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_indexing() {
+        let p = LadderPolicy::two_tier(8, 24);
+        assert_eq!(p.top(), Tier(2));
+        assert_eq!(p.spec(Tier::BASELINE), None);
+        assert_eq!(p.spec(Tier(1)), Some(&PipelineSpec::O1));
+        assert_eq!(p.spec(Tier(2)), Some(&PipelineSpec::O2));
+        assert_eq!(p.spec(Tier(3)), None);
+        assert_eq!(p.threshold(Tier::BASELINE), 8);
+        assert_eq!(p.threshold(Tier(1)), 24);
+        assert_eq!(p.threshold(Tier(2)), u64::MAX, "top never climbs");
+        assert_eq!(p.next_tier(Tier::BASELINE), Some(Tier(1)));
+        assert_eq!(p.next_tier(Tier(2)), None);
+    }
+
+    #[test]
+    fn empty_ladder_never_tiers() {
+        let p = LadderPolicy::new(vec![]);
+        assert_eq!(p.top(), Tier::BASELINE);
+        assert_eq!(p.next_tier(Tier::BASELINE), None);
+    }
+
+    #[test]
+    fn tier_display() {
+        assert_eq!(Tier::BASELINE.to_string(), "O0");
+        assert_eq!(Tier(2).to_string(), "O2");
+        assert!(Tier::BASELINE.is_baseline());
+        assert_eq!(Tier::BASELINE.next(), Tier(1));
+    }
+}

@@ -234,12 +234,13 @@ pub(crate) fn build_entry_with(
     })
 }
 
-/// Convenience wrapper around [`build_entry_with`] that computes the
-/// analyses on the fly.  Use [`crate::osr_trans`] to build whole mappings.
+/// Convenience wrapper around the analysis-supplied entry builder that
+/// computes the analyses on the fly.  Use [`crate::osr_trans`] to build
+/// whole mappings.
 ///
 /// # Errors
 ///
-/// See [`build_entry_with`].
+/// Propagates [`ReconstructError`] from entry construction.
 pub fn build_entry(
     src: &Program,
     l: Point,

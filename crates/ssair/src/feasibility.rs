@@ -71,7 +71,17 @@ pub fn landing_site(
     from: InstId,
 ) -> Option<Landing> {
     let anchor_ok = |i: InstId| {
-        (i.0 as usize) < target_fn.inst_id_count() && target_fn.inst_is_live(i) && !cm.is_moved(i)
+        (i.0 as usize) < target_fn.inst_id_count()
+            && target_fn.inst_is_live(i)
+            && !cm.is_moved(i)
+            // Belt and braces over the recorded actions: a constant hoisted
+            // by LICM is a free rematerialization and deliberately *not*
+            // recorded as a move (§5.1), but its location is still not
+            // control-equivalent — anchoring on it would land the frame in
+            // the preheader and restart the loop.  Block identity is
+            // preserved by every pass, so an unmoved anchor must sit in
+            // the same block in both versions.
+            && target_fn.block_of(i) == points_fn.block_of(i)
     };
     let start_block = points_fn.block_of(from)?;
     let mut block = start_block;
@@ -374,6 +384,170 @@ pub fn precompute_entries(pair: &OsrPair<'_>, dir: Direction, variant: Variant) 
         variant,
         entries,
         infeasible,
+    }
+}
+
+/// Composes OSR mappings through a shared intermediate program version —
+/// the SSA analogue of the `osr` crate's Theorem 3.4 mapping composition
+/// (`OsrMapping::compose`).
+///
+/// `first` is the analysis pair relating some version `A` to the
+/// intermediate version `I` (`first_dir` names the `A → I` direction
+/// within the pair), and `second` is a precomputed entry table mapping
+/// `I`'s points into some version `B`.  The result maps `A`'s points
+/// straight into `B`, so a frame running `A` transitions to `B` without
+/// ever executing `I` — e.g. a version-to-version `fopt → fopt'` tier-up
+/// routed through the common baseline.
+///
+/// Composition is *demand-driven*, which realizes Theorem 3.4's `avail`
+/// refinement (`e2.keep ⊆ e1.provides()`) constructively: instead of
+/// requiring a full first-stage entry (which may be infeasible because
+/// dead intermediate state is formally live there), only the values the
+/// second stage's compensation code actually *reads* are reconstructed
+/// from the live `A` frame, one [`OsrPair::reconstruct_value`] query each
+/// (the same per-variable Algorithm 1 query a symbolic debugger issues).
+/// Points where any needed value cannot be reconstructed are dropped,
+/// keeping the table partial-but-correct.
+///
+/// Step composition works on the value environment: the reconstruction
+/// steps run against the live `A` frame and produce the intermediate
+/// state the second stage reads; the second entry's `Transfer`s become
+/// [`crate::reconstruct::CompStep::CopyDst`] reads of that state, and first-stage
+/// re-emissions are captured as [`crate::reconstruct::CompStep::Inline`] (their instructions
+/// live in `I`, which the composed table's consumers never see).
+pub fn compose_entries(
+    first: &OsrPair<'_>,
+    first_dir: Direction,
+    second: &EntryTable,
+) -> EntryTable {
+    use crate::reconstruct::{CompCode, CompStep, SsaEntry};
+    use crate::ValueId;
+    use std::collections::BTreeSet;
+
+    let (src_fn, mid_fn) = match first_dir {
+        Direction::Forward => (first.base.f, first.opt.f),
+        Direction::Backward => (first.opt.f, first.base.f),
+    };
+    let mut entries = std::collections::BTreeMap::new();
+    let mut infeasible = 0;
+    'points: for p in osr_points(src_fn) {
+        let Some(land1) = landing_site(src_fn, mid_fn, first.cm, p) else {
+            infeasible += 1;
+            continue;
+        };
+        let Some((land2, e2)) = second.get(land1.loc) else {
+            infeasible += 1;
+            continue;
+        };
+        // The intermediate values the second stage reads from "its" frame.
+        let reads: Vec<ValueId> = e2
+            .comp
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                CompStep::Transfer { src, .. } => Some(*src),
+                _ => None,
+            })
+            .collect();
+        let mut produced: BTreeSet<ValueId> = BTreeSet::new();
+        let mut steps: Vec<CompStep> = Vec::new();
+        let mut keep: BTreeSet<ValueId> = BTreeSet::new();
+        for v in reads {
+            if produced.contains(&v) {
+                continue;
+            }
+            let Ok(mini) = first.reconstruct_value(first_dir, p, land1.loc, second.variant, v)
+            else {
+                infeasible += 1;
+                continue 'points;
+            };
+            keep.extend(mini.keep.iter().copied());
+            append_inlined(&mini, mid_fn, &mut produced, &mut steps);
+        }
+        // Replay the second stage over the reconstructed intermediate
+        // state: its frame reads become environment copies; its emissions
+        // already reference `B` and carry over unchanged.
+        for step in &e2.comp.steps {
+            match step {
+                CompStep::Transfer { src, dst } => {
+                    if !produced.contains(src) {
+                        infeasible += 1;
+                        continue 'points;
+                    }
+                    produced.insert(*dst);
+                    steps.push(CompStep::CopyDst {
+                        from: *src,
+                        to: *dst,
+                    });
+                }
+                other => {
+                    if let CompStep::CopyDst { to, .. } = other {
+                        produced.insert(*to);
+                    }
+                    steps.push(other.clone());
+                }
+            }
+        }
+        entries.insert(
+            p,
+            (
+                *land2,
+                SsaEntry {
+                    target: land2.loc,
+                    comp: CompCode { steps },
+                    keep,
+                },
+            ),
+        );
+    }
+    EntryTable {
+        direction: second.direction,
+        variant: second.variant,
+        entries,
+        infeasible,
+    }
+}
+
+/// Appends one reconstruction entry's steps to a composed step list,
+/// skipping values already produced (reconstruction is deterministic, so
+/// a duplicate step would redefine the same value with the same content)
+/// and capturing intermediate-function emissions inline.
+fn append_inlined(
+    entry: &crate::reconstruct::SsaEntry,
+    intermediate: &Function,
+    produced: &mut std::collections::BTreeSet<crate::ValueId>,
+    steps: &mut Vec<crate::reconstruct::CompStep>,
+) {
+    use crate::reconstruct::CompStep;
+    for step in &entry.comp.steps {
+        match step {
+            CompStep::Transfer { dst, .. } => {
+                if produced.insert(*dst) {
+                    steps.push(step.clone());
+                }
+            }
+            CompStep::CopyDst { to, .. } => {
+                if produced.insert(*to) {
+                    steps.push(step.clone());
+                }
+            }
+            CompStep::Emit { inst } | CompStep::Materialize { inst } => {
+                let data = intermediate.inst(*inst);
+                let fresh = data.result.is_none_or(|r| produced.insert(r));
+                if fresh {
+                    steps.push(CompStep::Inline {
+                        kind: data.kind.clone(),
+                        result: data.result,
+                    });
+                }
+            }
+            CompStep::Inline { result, .. } => {
+                let fresh = result.is_none_or(|r| produced.insert(r));
+                if fresh {
+                    steps.push(step.clone());
+                }
+            }
+        }
     }
 }
 

@@ -171,7 +171,7 @@ impl BinOp {
 }
 
 /// Instruction opcodes.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum InstKind {
     /// Integer constant.
     Const(i64),

@@ -5,7 +5,7 @@
 //!
 //! * a typed-index SSA IR ([`Function`], [`InstKind`], [`Terminator`]) with
 //!   a [`FunctionBuilder`] and a [`verify`] pass;
-//! * the analyses the paper's techniques need: CFG utilities ([`cfg`]),
+//! * the analyses the paper's techniques need: CFG utilities ([`mod@cfg`]),
 //!   dominators ([`dom`]), natural loops ([`loops`]), liveness
 //!   ([`liveness`]);
 //! * [`mem2reg`] — stack-slot promotion with φ insertion, preserving

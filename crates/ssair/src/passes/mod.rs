@@ -61,6 +61,59 @@ pub struct PassStats {
     pub actions: ActionCounts,
 }
 
+/// A stable, hashable name for each shipped pass — what a pipeline *spec*
+/// (e.g. a tiered engine's cache key) stores instead of the trait objects
+/// a built [`Pipeline`] holds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PassId {
+    /// Loop canonicalization (LC).
+    LoopSimplify,
+    /// LCSSA construction.
+    Lcssa,
+    /// Loop-invariant code motion (hoisting).
+    Licm,
+    /// Common-subexpression elimination.
+    Cse,
+    /// Constant propagation.
+    ConstProp,
+    /// Sparse conditional constant propagation.
+    Sccp,
+    /// Aggressive dead-code elimination.
+    Adce,
+    /// Code sinking.
+    Sink,
+}
+
+impl PassId {
+    /// Instantiates the pass this id names.
+    pub fn build(self) -> Box<dyn Pass> {
+        match self {
+            PassId::LoopSimplify => Box::new(LoopSimplify),
+            PassId::Lcssa => Box::new(Lcssa),
+            PassId::Licm => Box::new(Licm),
+            PassId::Cse => Box::new(Cse),
+            PassId::ConstProp => Box::new(ConstProp),
+            PassId::Sccp => Box::new(Sccp),
+            PassId::Adce => Box::new(Adce::keeping(Default::default())),
+            PassId::Sink => Box::new(Sink::keeping(Default::default())),
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::LoopSimplify => "loop-simplify",
+            PassId::Lcssa => "lcssa",
+            PassId::Licm => "licm",
+            PassId::Cse => "cse",
+            PassId::ConstProp => "constprop",
+            PassId::Sccp => "sccp",
+            PassId::Adce => "adce",
+            PassId::Sink => "sink",
+        }
+    }
+}
+
 /// A sequence of passes sharing one [`SsaMapper`].
 pub struct Pipeline {
     passes: Vec<Box<dyn Pass>>,
@@ -97,6 +150,18 @@ impl Pipeline {
             Box::new(Adce::keeping(keep.clone())),
             Box::new(Sink::keeping(keep)),
         ])
+    }
+
+    /// A light CSE + DCE-style mix (no loop restructuring): the O1 rung of
+    /// a tier ladder, cheap to run and cheap to OSR out of.
+    pub fn light() -> Self {
+        Pipeline::from_ids(&[PassId::Cse, PassId::ConstProp, PassId::Adce])
+    }
+
+    /// Builds a pipeline from a list of pass ids (the custom-pass-list
+    /// constructor pipeline specs use).
+    pub fn from_ids(ids: &[PassId]) -> Self {
+        Pipeline::new(ids.iter().map(|id| id.build()).collect())
     }
 
     /// The passes in execution order.

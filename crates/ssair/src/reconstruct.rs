@@ -77,6 +77,18 @@ pub enum CompStep {
         /// The constant-producing instruction in the target function.
         inst: InstId,
     },
+    /// Re-execute an instruction captured from an *intermediate* program
+    /// version at composition time (`feasibility::compose_entries`, the SSA
+    /// analogue of Theorem 3.4).  The instruction has no home in either
+    /// endpoint function of the composed table, so its kind is stored
+    /// inline.  Counted in `|c|` unless it materializes a constant.
+    Inline {
+        /// The captured instruction kind (operands are values produced by
+        /// earlier steps of the same compensation code).
+        kind: InstKind,
+        /// The value the instruction defines, if any.
+        result: Option<ValueId>,
+    },
 }
 
 /// Compensation code for one OSR point pair.
@@ -92,7 +104,11 @@ impl CompCode {
     pub fn emit_count(&self) -> usize {
         self.steps
             .iter()
-            .filter(|s| !matches!(s, CompStep::Transfer { .. } | CompStep::Materialize { .. }))
+            .filter(|s| match s {
+                CompStep::Transfer { .. } | CompStep::Materialize { .. } => false,
+                CompStep::Inline { kind, .. } => !matches!(kind, InstKind::Const(_)),
+                CompStep::Emit { .. } | CompStep::CopyDst { .. } => true,
+            })
             .count()
     }
 }
@@ -558,6 +574,14 @@ pub fn apply_comp(
                 })?;
                 if let Some(r) = data.result {
                     env.insert(r, result);
+                }
+            }
+            CompStep::Inline { kind, result } => {
+                let v = eval_pure(kind, &env, machine).ok_or_else(|| {
+                    SsaReconstructError::NotAvailable(result.unwrap_or(ValueId(0)))
+                })?;
+                if let Some(r) = result {
+                    env.insert(*r, v);
                 }
             }
         }

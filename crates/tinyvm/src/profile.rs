@@ -18,8 +18,10 @@
 //!   counters across concurrent requests, compiles in the background, and
 //!   only fires once the shared code cache holds a ready version.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ssair::cfg::Cfg;
 use ssair::dom::DomTree;
@@ -28,6 +30,69 @@ use ssair::loops::LoopInfo;
 use ssair::{Function, InstId};
 
 use crate::FunctionVersions;
+
+/// A rung of an optimization tier ladder.  `Tier(0)` is the baseline
+/// (interpreted) version; `Tier(k)` for `k ≥ 1` names the k-th optimized
+/// version a policy ladder defines (conventionally `O1`, `O2`, …).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tier(pub u8);
+
+impl Tier {
+    /// The baseline (unoptimized, interpreted) tier.
+    pub const BASELINE: Tier = Tier(0);
+
+    /// The rung above this one.
+    #[must_use]
+    pub fn next(self) -> Tier {
+        Tier(self.0 + 1)
+    }
+
+    /// Whether this is the baseline tier.
+    pub fn is_baseline(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// Shared cross-request hotness counters, one per `(function, tier)` pair:
+/// how often instrumented OSR points of `function`'s `tier` version have
+/// been visited across *all* frames of *all* requests.  A multi-tier
+/// policy reads the counter of the tier a frame currently runs to decide
+/// when the next rung becomes eligible.
+#[derive(Default)]
+pub struct ProfileTable {
+    counters: Mutex<HashMap<(String, Tier), Arc<AtomicU64>>>,
+}
+
+impl ProfileTable {
+    /// The shared counter for `function` at `tier` (created on first use).
+    pub fn counter(&self, function: &str, tier: Tier) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().expect("profile lock");
+        Arc::clone(
+            map.entry((function.to_string(), tier))
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Current hotness of `function` at `tier`.
+    pub fn hotness(&self, function: &str, tier: Tier) -> u64 {
+        self.counter(function, tier).load(Ordering::Relaxed)
+    }
+
+    /// Total hotness of `function` across every tier.
+    pub fn total_hotness(&self, function: &str) -> u64 {
+        let map = self.counters.lock().expect("profile lock");
+        map.iter()
+            .filter(|((f, _), _)| f == function)
+            .map(|(_, c)| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
 
 /// The OSR points the profiler instruments: the first non-φ, non-debug
 /// instruction of every loop header.
@@ -61,6 +126,27 @@ pub enum TierDecision {
     /// precomputed [`EntryTable`] (as a shared code cache does) instead of
     /// reconstructing at transition time.
     TierUpPrecomputed(Arc<FunctionVersions>, Arc<EntryTable>),
+    /// Hop to an arbitrary program version through a precomputed (possibly
+    /// composed, `fopt → fopt'`) entry table and *keep profiling there*:
+    /// unlike the `TierUp*` decisions, execution does not run to
+    /// completion after the transition — the interpreter re-instruments
+    /// the target version's OSR points and keeps consulting the
+    /// controller, so a frame can climb a whole tier ladder (and the
+    /// controller is told each landing via
+    /// [`TierController::on_transition`]).
+    Transition(TierTarget),
+}
+
+/// The destination of a [`TierDecision::Transition`] hop.
+#[derive(Clone)]
+pub struct TierTarget {
+    /// The program version to continue execution in.
+    pub target: Arc<Function>,
+    /// Precomputed entries mapping the *current* version's OSR points to
+    /// landing sites and compensation code in `target`.  May be a direct
+    /// table or a composed version-to-version table
+    /// (`ssair::feasibility::compose_entries`).
+    pub table: Arc<EntryTable>,
 }
 
 /// Receives visit counts for instrumented points and decides when the
@@ -74,6 +160,12 @@ pub trait TierController {
     /// landing site or no compensation code); the interpreter carries on
     /// in the current version.
     fn on_infeasible(&mut self, _at: InstId) {}
+
+    /// Called after a [`TierDecision::Transition`] hop landed successfully
+    /// (the frame now runs the requested target version); `at` is the
+    /// source location the frame left.  Controllers tracking a tier ladder
+    /// commit their pending rung here.
+    fn on_transition(&mut self, _at: InstId) {}
 }
 
 /// Per-frame hotness counters over a fixed set of instrumented points.

@@ -17,7 +17,7 @@ use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
 use ssair::{Function, InstId, Module};
 
 use crate::continuation::extract_continuation;
-use crate::profile::{HotnessProfiler, TierController, TierDecision};
+use crate::profile::{HotnessProfiler, TierController, TierDecision, TierTarget};
 use crate::FunctionVersions;
 
 pub use crate::profile::loop_header_points;
@@ -203,13 +203,22 @@ impl Vm {
         self.run_tiered(&versions.base, args, &policy.into(), &mut controller)
     }
 
-    /// The tiered-execution core: interprets `base`, counts visits to its
-    /// loop-header OSR points, and consults `controller` at each visit.
-    /// When the controller returns [`TierDecision::TierUp`], an optimizing
-    /// transition into the supplied version pair is attempted; on success
-    /// the optimized version runs to completion, otherwise interpretation
-    /// continues and the controller is notified via
-    /// [`TierController::on_infeasible`].
+    /// The tiered-execution core: interprets `base`, counts visits to the
+    /// running version's loop-header OSR points, and consults `controller`
+    /// at each visit.
+    ///
+    /// When the controller returns [`TierDecision::TierUp`] (or its
+    /// precomputed flavour), an optimizing transition into the supplied
+    /// version pair is attempted; on success the optimized version runs to
+    /// completion.  When it returns [`TierDecision::Transition`], the frame
+    /// hops into the target version through the supplied (possibly
+    /// composed) entry table via direct frame surgery and *stays under
+    /// profiling*: the target's OSR points are instrumented and the
+    /// controller keeps observing, so a frame can climb a whole tier
+    /// ladder (`O0 → O1 → O2 → …`) without ever re-entering an earlier
+    /// version.  Infeasible attempts of either kind notify
+    /// [`TierController::on_infeasible`] and interpretation continues;
+    /// successful ladder hops notify [`TierController::on_transition`].
     ///
     /// # Errors
     ///
@@ -221,62 +230,98 @@ impl Vm {
         options: &TransitionOptions,
         controller: &mut dyn TierController,
     ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
+        enum Pending {
+            Legacy(Arc<FunctionVersions>, Option<Arc<EntryTable>>),
+            Ladder(TierTarget),
+        }
+
         let mut machine = Machine::new(self.fuel);
         let mut frame = Frame::enter(base, args);
         let mut events = Vec::new();
-        let profiler = RefCell::new(HotnessProfiler::for_function(base));
-        let controller = RefCell::new(controller);
-        type Pending = Option<(Arc<FunctionVersions>, Option<Arc<EntryTable>>)>;
-        let pending: RefCell<Pending> = RefCell::new(None);
+        // The version currently executing: the borrowed baseline until the
+        // first ladder hop replaces it with a shared target version.
+        let mut owned: Option<Arc<Function>> = None;
 
-        loop {
-            let outcome = run_frame(
-                base,
-                &mut frame,
-                &mut machine,
-                &self.module,
-                Some(&|_f, _fr, i| {
-                    let Some(count) = profiler.borrow_mut().visit(i) else {
-                        return false;
-                    };
-                    match controller.borrow_mut().observe(i, count) {
-                        TierDecision::Continue => false,
-                        TierDecision::TierUp(versions) => {
-                            *pending.borrow_mut() = Some((versions, None));
-                            true
+        'version: loop {
+            let current: &Function = owned.as_deref().unwrap_or(base);
+            let profiler = RefCell::new(HotnessProfiler::for_function(current));
+            let controller = RefCell::new(&mut *controller);
+            let pending: RefCell<Option<Pending>> = RefCell::new(None);
+
+            loop {
+                let outcome = run_frame(
+                    current,
+                    &mut frame,
+                    &mut machine,
+                    &self.module,
+                    Some(&|_f, _fr, i| {
+                        let Some(count) = profiler.borrow_mut().visit(i) else {
+                            return false;
+                        };
+                        match controller.borrow_mut().observe(i, count) {
+                            TierDecision::Continue => false,
+                            TierDecision::TierUp(versions) => {
+                                *pending.borrow_mut() = Some(Pending::Legacy(versions, None));
+                                true
+                            }
+                            TierDecision::TierUpPrecomputed(versions, table) => {
+                                *pending.borrow_mut() =
+                                    Some(Pending::Legacy(versions, Some(table)));
+                                true
+                            }
+                            TierDecision::Transition(target) => {
+                                *pending.borrow_mut() = Some(Pending::Ladder(target));
+                                true
+                            }
                         }
-                        TierDecision::TierUpPrecomputed(versions, table) => {
-                            *pending.borrow_mut() = Some((versions, Some(table)));
-                            true
-                        }
-                    }
-                }),
-            )?;
-            match outcome {
-                StepOutcome::Returned(v) => return Ok((v, events)),
-                StepOutcome::Paused { at } => {
-                    let (versions, table) = pending
-                        .borrow_mut()
-                        .take()
-                        .expect("paused only when a tier-up was requested");
-                    match self.transition(
-                        &versions,
-                        Direction::Forward,
-                        &frame,
-                        &mut machine,
-                        at,
-                        options,
-                        table.as_deref(),
-                    )? {
-                        Some((result, event)) => {
-                            events.push(event);
-                            return Ok((result, events));
-                        }
-                        None => {
-                            // Infeasible here: keep interpreting (the
-                            // predicate no longer fires at `at`).
-                            controller.borrow_mut().on_infeasible(at);
-                            continue;
+                    }),
+                )?;
+                match outcome {
+                    StepOutcome::Returned(v) => return Ok((v, events)),
+                    StepOutcome::Paused { at } => {
+                        let hop = pending
+                            .borrow_mut()
+                            .take()
+                            .expect("paused only when a transition was requested");
+                        match hop {
+                            Pending::Legacy(versions, table) => {
+                                match self.transition(
+                                    &versions,
+                                    Direction::Forward,
+                                    &frame,
+                                    &mut machine,
+                                    at,
+                                    options,
+                                    table.as_deref(),
+                                )? {
+                                    Some((result, event)) => {
+                                        events.push(event);
+                                        return Ok((result, events));
+                                    }
+                                    None => {
+                                        // Infeasible here: keep interpreting
+                                        // (the controller must not re-request
+                                        // at this point).
+                                        controller.borrow_mut().on_infeasible(at);
+                                        continue;
+                                    }
+                                }
+                            }
+                            Pending::Ladder(t) => {
+                                match table_hop(&t.table, &t.target, &frame, &mut machine, at) {
+                                    Some((next_frame, event)) => {
+                                        events.push(event);
+                                        controller.borrow_mut().on_transition(at);
+                                        frame = next_frame;
+                                        owned = Some(t.target);
+                                        continue 'version;
+                                    }
+                                    None => {
+                                        controller.borrow_mut().on_infeasible(at);
+                                        continue;
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -480,6 +525,56 @@ impl Vm {
     pub fn run_plain(&self, f: &Function, args: &[Val]) -> Result<Option<Val>, ExecError> {
         ssair::interp::run_function(f, args, &self.module, self.fuel)
     }
+}
+
+/// Serves one table-driven ladder hop: resolves `at` in the entry table,
+/// runs the compensation code against the live source frame, and builds a
+/// frame of `target` positioned at the landing location (direct frame
+/// surgery — continuation functions renumber instruction ids, which would
+/// orphan the target's precomputed tables for later hops).
+///
+/// Returns `None` when the table has no entry at `at` or the compensation
+/// code cannot execute (the hop is infeasible here).
+fn table_hop(
+    table: &EntryTable,
+    target: &Function,
+    frame: &Frame,
+    machine: &mut Machine,
+    at: InstId,
+) -> Option<(Frame, OsrEvent)> {
+    let (landing, entry) = table.get(at)?;
+    let env = apply_comp(entry, target, &frame.values, machine).ok()?;
+    let loc = landing.loc;
+    let block = target.block_of(loc).expect("landing is live");
+    let index = target
+        .block(block)
+        .insts
+        .iter()
+        .position(|i| *i == loc)
+        .expect("landing is in its block");
+    let comp_size = entry.comp.emit_count();
+    let transferred = entry
+        .comp
+        .steps
+        .iter()
+        .filter(|s| matches!(s, CompStep::Transfer { .. }))
+        .count();
+    Some((
+        Frame {
+            values: env,
+            block,
+            index,
+            came_from: None,
+        },
+        OsrEvent {
+            direction: table.direction,
+            from: at,
+            to: loc,
+            comp_size,
+            transferred,
+            via_continuation: false,
+        },
+    ))
 }
 
 #[cfg(test)]

@@ -149,17 +149,48 @@ pub fn generate_corpus(spec: &CorpusSpec, scale: usize) -> Module {
     compile(&src).expect("generated code always parses")
 }
 
+/// The default Zipf exponent for [`request_mix`]: a realistic skew where
+/// the most popular function draws an order of magnitude more traffic
+/// than the tail.
+pub const DEFAULT_ZIPF_EXPONENT: f64 = 1.0;
+
 /// A deterministic mix of execution requests over a corpus module: `n`
 /// `(function name, argument)` pairs drawn from the module's functions
 /// with small positive arguments — the request stream a tiered engine
-/// batch drives.  Deterministic in `(module contents, seed)`.
+/// drives.  Function popularity is Zipf-distributed with
+/// [`DEFAULT_ZIPF_EXPONENT`] (rank by name order), so a shared code cache
+/// sees realistically skewed traffic: a few functions go hot fast, the
+/// tail stays interpreted.  Deterministic in `(module contents, seed)`.
 pub fn request_mix(module: &Module, n: usize, seed: u64) -> Vec<(String, Vec<i64>)> {
+    request_mix_zipf(module, n, seed, DEFAULT_ZIPF_EXPONENT)
+}
+
+/// Like [`request_mix`], with an explicit Zipf exponent: function of rank
+/// `k` (1-based, by name order) is drawn with weight `k^-exponent`.
+/// An exponent of `0.0` is the uniform mix.  Deterministic in
+/// `(module contents, seed, exponent)`.
+pub fn request_mix_zipf(
+    module: &Module,
+    n: usize,
+    seed: u64,
+    exponent: f64,
+) -> Vec<(String, Vec<i64>)> {
     let names: Vec<&String> = module.functions.keys().collect();
     assert!(!names.is_empty(), "module has functions");
+    // Cumulative Zipf weights over the ranked functions.
+    let mut cumulative = Vec::with_capacity(names.len());
+    let mut total = 0.0_f64;
+    for k in 1..=names.len() {
+        total += (k as f64).powf(-exponent);
+        cumulative.push(total);
+    }
     let mut rng = SplitMix(seed ^ 0x9E3779B97F4A7C15);
     (0..n)
         .map(|_| {
-            let name = names[rng.below(names.len() as u64) as usize];
+            // A uniform draw in [0, total), mapped through the CDF.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let idx = cumulative.partition_point(|c| *c <= u).min(names.len() - 1);
+            let name = names[idx];
             let f = &module.functions[name.as_str()];
             let args = (0..f.params.len()).map(|_| rng.range(1, 6)).collect();
             (name.clone(), args)
@@ -389,6 +420,28 @@ mod tests {
             assert_eq!(args.len(), f.params.len());
             assert!(args.iter().all(|v| (1..=6).contains(v)));
         }
+    }
+
+    #[test]
+    fn request_mix_is_zipf_skewed() {
+        let spec = &corpus_benchmarks()[0];
+        let m = generate_corpus(spec, 20);
+        assert!(m.functions.len() >= 2);
+        let head = m.functions.keys().next().unwrap().clone();
+        let count = |mix: &[(String, Vec<i64>)]| mix.iter().filter(|(f, _)| *f == head).count();
+        let skewed = request_mix_zipf(&m, 600, 7, 1.2);
+        let uniform = request_mix_zipf(&m, 600, 7, 0.0);
+        assert!(
+            count(&skewed) > count(&uniform) * 3 / 2,
+            "rank-1 function dominates under Zipf: {} vs {}",
+            count(&skewed),
+            count(&uniform)
+        );
+        // The default mix is the documented exponent.
+        assert_eq!(
+            request_mix(&m, 60, 11),
+            request_mix_zipf(&m, 60, 11, DEFAULT_ZIPF_EXPONENT)
+        );
     }
 
     #[test]

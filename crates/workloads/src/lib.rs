@@ -20,5 +20,8 @@ pub mod corpus;
 mod gen;
 pub mod kernels;
 
-pub use corpus::{corpus_benchmarks, generate_corpus, request_mix, CorpusSpec};
+pub use corpus::{
+    corpus_benchmarks, generate_corpus, request_mix, request_mix_zipf, CorpusSpec,
+    DEFAULT_ZIPF_EXPONENT,
+};
 pub use kernels::{all_kernels, kernel_source, Kernel};

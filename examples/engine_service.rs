@@ -1,11 +1,11 @@
-//! The tiered-execution engine end to end: a multi-tenant batch over a
-//! SPEC-like corpus, with background tier-up compiles, cache-served OSR
-//! transitions, and a debugger-attach deopt — printing the event stream
-//! and aggregate metrics.
+//! The tiered-execution engine end to end: a persistent session over a
+//! SPEC-like corpus with Zipf-skewed traffic, background tier-up compiles
+//! along the O1/O2 ladder, a composed O1→O2 hop, and a debugger-attach
+//! deopt — printing the streamed events and aggregate metrics.
 //!
 //! Run with: `cargo run --release --example engine_service`
 
-use engine::{Engine, EnginePolicy, Request};
+use engine::{Engine, EnginePolicy, Request, ResultEvent, Tier};
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
 
@@ -29,50 +29,73 @@ fn main() {
     let engine = Engine::new(
         module.clone(),
         EnginePolicy {
-            hotness_threshold: 24,
             compile_workers: 2,
             batch_workers: 4,
-            ..EnginePolicy::default()
+            ..EnginePolicy::two_tier(24, 48)
         },
     );
+    // Warm the kernel's whole ladder (O1, O2 and the composed O1→O2
+    // table) before taking traffic, as a service would.
+    engine.prewarm("soplex_pivot").expect("kernel exists");
 
-    // 36 tiered requests from the deterministic mix, plus 4 debugger
-    // attaches that force tier-down through the precomputed backward
-    // tables.
-    let mut requests: Vec<Request> = workloads::request_mix(&module, 36, 0xBEEF)
-        .into_iter()
-        .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
-        .collect();
+    // A persistent session: 36 tiered requests from the deterministic
+    // Zipf-skewed mix, plus 4 debugger attaches that force tier-down
+    // through the precomputed backward tables, plus a long-running kernel
+    // request that climbs the whole ladder in one frame.
+    let session = engine.start();
+    for (f, args) in workloads::request_mix(&module, 36, 0xBEEF) {
+        session.submit(Request::tiered(f, args.into_iter().map(Val::Int).collect()));
+    }
+    session.submit(Request::tiered(
+        "soplex_pivot",
+        vec![Val::Int(40), Val::Int(striding(7))],
+    ));
     for seed in 0..4 {
-        requests.push(Request::debug(
+        session.submit(Request::debug(
             "soplex_pivot",
             vec![Val::Int(10), Val::Int(17 + seed)],
         ));
     }
+    println!("submitted {} requests; draining...", session.submitted());
 
-    for round in 1..=3 {
-        let report = engine.run_batch(&requests);
-        let ok = report.results.iter().filter(|r| r.is_ok()).count();
-        println!(
-            "\n=== batch {round}: {ok}/{} ok, {} tier-ups, {} deopts",
-            report.results.len(),
-            report.transitions(Direction::Forward),
-            report.transitions(Direction::Backward),
-        );
-        for event in report.events.iter().take(12) {
-            println!("  {event}");
-        }
-        if report.events.len() > 12 {
-            println!("  ... {} more events", report.events.len() - 12);
-        }
-        println!("  metrics: {}", report.metrics);
+    let report = session.shutdown();
+    let ok = report.results().values().filter(|r| r.is_ok()).count();
+    println!(
+        "\nsession: {ok}/{} ok, {} tier-ups ({} composed), {} deopts",
+        report.results().len(),
+        report.transitions(Direction::Forward),
+        report.composed_transitions(),
+        report.transitions(Direction::Backward),
+    );
+    let engine_events: Vec<String> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(ev) => Some(ev.to_string()),
+            ResultEvent::Completed { .. } => None,
+        })
+        .collect();
+    for line in engine_events.iter().take(16) {
+        println!("  {line}");
     }
+    if engine_events.len() > 16 {
+        println!("  ... {} more events", engine_events.len() - 16);
+    }
+    println!("  metrics: {}", report.metrics);
 
-    println!("\nhot functions:");
+    println!("\nhot functions (visits per tier):");
     for name in module.functions.keys() {
-        let h = engine.hotness(name);
-        if h > 0 {
-            println!("  {name}: {h} instrumented visits");
+        let per_tier: Vec<String> = (0..=2u8)
+            .map(Tier)
+            .map(|t| format!("{t}={}", engine.hotness(name, t)))
+            .collect();
+        if engine.total_hotness(name) > 0 {
+            println!("  {name}: {}", per_tier.join(" "));
         }
     }
+}
+
+/// A deterministic argument wiggle so the long request is not constant.
+fn striding(k: i64) -> i64 {
+    17 + (k * 13) % 11
 }

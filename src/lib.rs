@@ -12,9 +12,11 @@
 //! * [`debugger`] — the §7 source-level debugging study;
 //! * [`workloads`] — Table 2 kernels and the seeded SPEC-like corpus;
 //! * [`tinyvm`] — a profiling interpreter firing real OSR transitions;
-//! * [`engine`] — a concurrent tiered-execution service with a shared code
-//!   cache and background OSR tier-up;
-//! * [`bench`] — table/figure regeneration and Criterion-style benches.
+//! * [`engine`] — a concurrent multi-tier execution service: O1/O2 pipeline
+//!   ladder, composed version-to-version OSR, persistent sessions, sharded
+//!   code cache;
+//! * [`bench`](https://docs.rs/bench) (workspace member) — table/figure
+//!   regeneration and Criterion-style benches.
 //!
 //! This crate only re-exports the members; the top-level `tests/` and
 //! `examples/` directories compile against it.

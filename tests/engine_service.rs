@@ -1,7 +1,7 @@
 //! End-to-end test of the tiered-execution engine over a SPEC-like corpus:
-//! batched concurrent execution against the shared code cache, background
-//! tier-up, debugger-attach tier-down, determinism, and cache behaviour
-//! across repeated batches.
+//! batched concurrent execution against the shared sharded code cache,
+//! background tier-up along the O1/O2 ladder, debugger-attach tier-down,
+//! determinism, and cache behaviour across repeated batches.
 
 use engine::{Engine, EnginePolicy, Request};
 use ssair::interp::Val;
@@ -26,15 +26,15 @@ fn service_module() -> Module {
 
 fn service_policy() -> EnginePolicy {
     EnginePolicy {
-        hotness_threshold: 24,
         compile_workers: 2,
         batch_workers: 4,
-        ..EnginePolicy::default()
+        ..EnginePolicy::two_tier(24, 64)
     }
 }
 
-/// A 40-request batch over the corpus: mostly tiered traffic plus a few
-/// debugger-attach requests on the kernel (which deopts reliably).
+/// A 40-request batch over the corpus: mostly tiered traffic (Zipf mix)
+/// plus a few debugger-attach requests on the kernel (which deopts
+/// reliably).
 fn batch(module: &Module) -> Vec<Request> {
     let mut requests: Vec<Request> = workloads::request_mix(module, 36, 0xBEEF)
         .into_iter()
@@ -113,10 +113,36 @@ fn batch_results_are_deterministic_across_engines() {
     assert_eq!(a, b, "same seed, same per-request results");
     // Radically different tiering schedule, same results.
     let c = run(EnginePolicy {
-        hotness_threshold: 2,
         compile_workers: 1,
         batch_workers: 8,
-        ..EnginePolicy::default()
+        ..EnginePolicy::two_tier(2, 6)
     });
     assert_eq!(a, c, "tiering schedule cannot change results");
+}
+
+#[test]
+fn persistent_session_matches_run_batch_results() {
+    let module = service_module();
+    let requests = batch(&module);
+    let engine = Engine::new(module.clone(), service_policy());
+    let batch_results: Vec<Option<Val>> = engine
+        .run_batch(&requests)
+        .results
+        .into_iter()
+        .map(|r| r.expect("request succeeds"))
+        .collect();
+
+    // The same traffic through an explicit persistent session.
+    let session = engine.start();
+    let ids: Vec<_> = requests.iter().map(|r| session.submit(r.clone())).collect();
+    let report = session.shutdown();
+    let results = report.results();
+    assert_eq!(results.len(), requests.len(), "all submissions drained");
+    for (id, want) in ids.iter().zip(&batch_results) {
+        assert_eq!(
+            results[id].as_ref().expect("request succeeds"),
+            want,
+            "session and batch agree"
+        );
+    }
 }

@@ -1,0 +1,150 @@
+//! Acceptance test for the multi-tier pipeline API: one function climbs
+//! the whole ladder (O0 → O1 → O2) within a single frame — the O1→O2 hop
+//! served by a *composed*, validated entry table, never re-entering the
+//! baseline — and deopts O2 → baseline under `ExecMode::Debug`, with the
+//! session event stream showing every transition.
+
+use engine::{Engine, EngineEvent, EnginePolicy, Request, ResultEvent, Tier};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+fn module() -> Module {
+    // Note: no loop-local `var` — a named loop-local would lower to a
+    // baseline φ that is dead in O2 yet needed on the loop's immediate
+    // exit path, which blocks the backward (deopt) entry at the header
+    // until the engine grows §5.2-style liveness extension.
+    minic::compile(
+        "fn climber(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 acc = acc + (x * x + i) - ((x * x + i) % 7);
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles")
+}
+
+fn policy() -> EnginePolicy {
+    EnginePolicy {
+        compile_workers: 1,
+        batch_workers: 2,
+        ..EnginePolicy::two_tier(8, 24)
+    }
+}
+
+#[test]
+fn one_frame_climbs_o0_o1_o2_via_composed_table_and_debug_deopts() {
+    let m = module();
+    let engine = Engine::new(m.clone(), policy());
+    // Warm the ladder so the climb is deterministic (both rungs and the
+    // composed O1→O2 table are ready before the frame gets hot).
+    engine.prewarm("climber").expect("climber exists");
+    assert_eq!(engine.cache().ready_count(), 2, "O1 and O2 artifacts");
+    assert_eq!(engine.cache().composed_count(), 1, "composed O1→O2 table");
+
+    let vm = Vm::new(m);
+    let long = Request::tiered("climber", vec![Val::Int(3), Val::Int(400)]);
+    let attach = Request::debug("climber", vec![Val::Int(5), Val::Int(60)]);
+
+    let session = engine.start();
+    let long_id = session.submit(long.clone());
+    let attach_id = session.submit(attach.clone());
+    let report = session.shutdown();
+
+    // Semantics: both results equal pure baseline interpretation.
+    let results = report.results();
+    let f = vm.module.get("climber").unwrap();
+    assert_eq!(
+        results[&long_id].as_ref().expect("tiered request succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    assert_eq!(
+        results[&attach_id]
+            .as_ref()
+            .expect("debug request succeeds"),
+        &vm.run_plain(f, &attach.args).unwrap()
+    );
+
+    // The event stream shows the long frame's full climb, in order.
+    let hops: Vec<(Tier, Tier, bool, Direction)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request,
+                from_tier,
+                to_tier,
+                composed,
+                event,
+                ..
+            }) if *request == long_id.0 => Some((*from_tier, *to_tier, *composed, event.direction)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        hops,
+        vec![
+            (Tier(0), Tier(1), false, Direction::Forward),
+            (Tier(1), Tier(2), true, Direction::Forward),
+        ],
+        "O0→O1 direct, then O1→O2 composed — never re-entering baseline"
+    );
+
+    // The debugger attach ran the top tier and deopted to the baseline.
+    let deopts: Vec<(Tier, Tier)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request,
+                from_tier,
+                to_tier,
+                event,
+                ..
+            }) if *request == attach_id.0 && event.direction == Direction::Backward => {
+                Some((*from_tier, *to_tier))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(deopts, vec![(Tier(2), Tier(0))], "O2→baseline deopt");
+
+    // Metrics agree with the stream.
+    let metrics = report.metrics;
+    assert!(metrics.tier_ups >= 2);
+    assert_eq!(metrics.composed_tier_ups, 1);
+    assert!(metrics.deopts >= 1);
+}
+
+#[test]
+fn ladder_climb_is_deterministic_and_matches_baseline_under_load() {
+    let m = module();
+    let run = |threshold_pair: (u64, u64)| -> Vec<Option<Val>> {
+        let engine = Engine::new(
+            m.clone(),
+            EnginePolicy {
+                compile_workers: 2,
+                batch_workers: 4,
+                ..EnginePolicy::two_tier(threshold_pair.0, threshold_pair.1)
+            },
+        );
+        engine.prewarm("climber").unwrap();
+        let requests: Vec<Request> = (0..24)
+            .map(|k| Request::tiered("climber", vec![Val::Int(k % 4), Val::Int(50 + 10 * k)]))
+            .collect();
+        engine
+            .run_batch(&requests)
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+    let a = run((8, 24));
+    let b = run((8, 24));
+    assert_eq!(a, b, "same policy, same results");
+    let c = run((2, 4)); // aggressive climbing cannot change results
+    assert_eq!(a, c, "tiering schedule cannot change results");
+}
