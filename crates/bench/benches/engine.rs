@@ -28,6 +28,18 @@ fn service_module() -> Module {
     {
         module.add(f);
     }
+    // Call-graph kernels: entries calling helpers, so the Zipf mix drives
+    // cross-function traffic through the shared cache (helpers and
+    // entries compete for compile workers and cache slots).
+    for k in workloads::call_graph_kernels() {
+        for f in minic::compile(&k.source)
+            .expect("compiles")
+            .functions
+            .into_values()
+        {
+            module.add(f);
+        }
+    }
     module
 }
 
@@ -39,8 +51,8 @@ fn policy() -> EnginePolicy {
     }
 }
 
-fn traffic(module: &Module) -> Vec<Request> {
-    let mut requests: Vec<Request> = workloads::request_mix(module, 36, 0xBEEF)
+fn traffic(module: &Module, zipf_exponent: f64) -> Vec<Request> {
+    let mut requests: Vec<Request> = workloads::request_mix_zipf(module, 36, 0xBEEF, zipf_exponent)
         .into_iter()
         .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
         .collect();
@@ -63,12 +75,12 @@ fn traffic(module: &Module) -> Vec<Request> {
 /// Runs the traffic through a fresh engine's persistent session,
 /// verifying the acceptance properties, and returns the per-request
 /// results in submission order.
-fn run_session(module: &Module) -> Vec<Option<Val>> {
+fn run_session(module: &Module, zipf_exponent: f64) -> Vec<Option<Val>> {
     let engine = Engine::new(module.clone(), policy());
     // Warm the kernel's ladder so the composed O1→O2 hop is deterministic.
     engine.prewarm("soplex_pivot").expect("kernel exists");
     let session = engine.start();
-    let requests = traffic(module);
+    let requests = traffic(module, zipf_exponent);
     let ids: Vec<_> = requests.iter().map(|r| session.submit(r.clone())).collect();
     let report = session.shutdown();
     let metrics = &report.metrics;
@@ -89,27 +101,33 @@ fn bench_engine_sessions(c: &mut Criterion) {
     let module = service_module();
 
     // Determinism check across independent engines before timing anything.
-    let a = run_session(&module);
-    let b = run_session(&module);
+    let a = run_session(&module, workloads::DEFAULT_ZIPF_EXPONENT);
+    let b = run_session(&module, workloads::DEFAULT_ZIPF_EXPONENT);
     assert_eq!(a, b, "same seed must give same per-request results");
 
-    // Steady-state session throughput against a warm cache.
-    let engine = Engine::new(module.clone(), policy());
-    engine.prewarm("soplex_pivot").expect("kernel exists");
-    let requests = traffic(&module);
-    engine.run_batch(&requests); // warm-up: trigger remaining compiles
-    c.bench_function("engine_session_41req_warm", |bch| {
-        bch.iter(|| {
-            let session = engine.start();
-            for r in &requests {
-                session.submit(r.clone());
-            }
-            session.shutdown()
-        })
-    });
-    println!("final metrics: {}", engine.metrics());
+    // Steady-state session throughput against a warm cache, across Zipf
+    // skews: 0.0 is uniform traffic (the cold tail gets real share), 1.2
+    // concentrates most requests on the head functions.
+    for zipf_exponent in [0.0, workloads::DEFAULT_ZIPF_EXPONENT, 1.2] {
+        let engine = Engine::new(module.clone(), policy());
+        engine.prewarm("soplex_pivot").expect("kernel exists");
+        let requests = traffic(&module, zipf_exponent);
+        engine.run_batch(&requests); // warm-up: trigger remaining compiles
+        let name = format!("engine_session_41req_warm_zipf_{zipf_exponent}");
+        c.bench_function(&name, |bch| {
+            bch.iter(|| {
+                let session = engine.start();
+                for r in &requests {
+                    session.submit(r.clone());
+                }
+                session.shutdown()
+            })
+        });
+        println!("final metrics (zipf {zipf_exponent}): {}", engine.metrics());
+    }
 
     // Cold engine including compile + precompute + composed-table work.
+    let requests = traffic(&module, workloads::DEFAULT_ZIPF_EXPONENT);
     c.bench_function("engine_session_41req_cold", |bch| {
         bch.iter(|| {
             let engine = Engine::new(module.clone(), policy());

@@ -20,11 +20,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ssair::feasibility::{compose_entries, precompute_entries, EntryTable};
+use ssair::feasibility::{
+    compose_entries, extension_candidates, precompute_entries, precompute_entries_collecting,
+    EntryTable,
+};
 use ssair::interp::{run_frame, run_function, Frame, Machine, StepOutcome, Val};
 use ssair::passes::{PassId, Pipeline};
 use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
 use ssair::{Function, InstId, Module, ValueDef, ValueId};
+use tinyvm::profile::loop_header_points;
 use tinyvm::FunctionVersions;
 
 /// Which optimization pipeline a cached artifact was produced by — one
@@ -61,10 +65,18 @@ impl PipelineSpec {
 
     /// Builds the pipeline this spec names.
     pub fn build(&self) -> Pipeline {
+        self.build_keeping(&Default::default())
+    }
+
+    /// Builds the pipeline with a §5.2 liveness-extension keep-set: the
+    /// listed values survive dead-code elimination and sinking, which is
+    /// how a blocked deoptimization entry gets its needed state back at
+    /// the cost of keeping a few extra values live.
+    pub fn build_keeping(&self, keep: &std::collections::BTreeSet<ValueId>) -> Pipeline {
         match self {
-            PipelineSpec::O1 => Pipeline::light(),
-            PipelineSpec::O2 => Pipeline::standard(),
-            PipelineSpec::Custom { passes, .. } => Pipeline::from_ids(passes),
+            PipelineSpec::O1 => Pipeline::light_keeping(keep),
+            PipelineSpec::O2 => Pipeline::standard_keeping(keep.clone()),
+            PipelineSpec::Custom { passes, .. } => Pipeline::from_ids_keeping(passes, keep),
         }
     }
 
@@ -114,10 +126,20 @@ pub struct CompiledVersion {
     /// The optimized version, shared so ladder hops can continue executing
     /// it (`versions.opt` under an `Arc`).
     pub opt: Arc<Function>,
+    /// The baseline version, shared so a guard-driven tier-down can hop a
+    /// live frame back into it (`versions.base` under an `Arc`).
+    pub base: Arc<Function>,
     /// Forward (tier-up) entries: baseline point → compensation.
     pub tier_up: Arc<EntryTable>,
     /// Backward (tier-down / deopt) entries: optimized point → compensation.
     pub tier_down: Arc<EntryTable>,
+    /// §5.2 liveness-extension keep-set size: values kept alive through
+    /// dead-code elimination so blocked deopt entries become feasible
+    /// (`0` when the plain pipeline sufficed).
+    pub keep: usize,
+    /// Keep-set recompile rounds performed (`0` when the plain pipeline's
+    /// backward table already served every loop-header entry).
+    pub extension_rounds: usize,
     /// Wall-clock compile + precompute latency.
     pub compile_nanos: u64,
 }
@@ -158,8 +180,23 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Maximum §5.2 keep-set recompile rounds per compile job.
+pub const MAX_EXTENSION_ROUNDS: usize = 3;
+
 /// Compiles `base` under `spec`: optimizes, precomputes both OSR entry
 /// tables, and validates them structurally (see [`validate_table`]).
+///
+/// A compile job must produce an artifact every climbed frame can *leave*
+/// again: deoptimization fires at the optimized version's loop-header OSR
+/// points, so when the backward table cannot serve a header entry —
+/// typically because a baseline φ is dead in the optimized code yet
+/// needed on the loop's exit path (§5.2) — the function is recompiled
+/// with the blocking values in a liveness-extension keep-set
+/// ([`PipelineSpec::build_keeping`]) and the precompute retried, up to
+/// [`MAX_EXTENSION_ROUNDS`] times.  The published artifact is then the
+/// keep-set recompiled version, not the plain pipeline's output; its
+/// [`CompiledVersion::extension_rounds`] and [`CompiledVersion::keep`]
+/// record the recompile.
 ///
 /// # Errors
 ///
@@ -171,22 +208,50 @@ pub fn compile_function(
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
     let t0 = Instant::now();
-    let versions = FunctionVersions::new(base, &spec.build());
-    let pair = versions.pair();
-    let tier_up = precompute_entries(&pair, Direction::Forward, variant);
-    let tier_down = precompute_entries(&pair, Direction::Backward, variant);
-    validate_table(&tier_up, &versions.base, &versions.opt)?;
-    validate_table(&tier_down, &versions.opt, &versions.base)?;
-    drop(pair);
-    let opt = Arc::new(versions.opt.clone());
-    Ok(CompiledVersion {
-        spec: spec.clone(),
-        versions: Arc::new(versions),
-        opt,
-        tier_up: Arc::new(tier_up),
-        tier_down: Arc::new(tier_down),
-        compile_nanos: t0.elapsed().as_nanos() as u64,
-    })
+    let mut keep: std::collections::BTreeSet<ValueId> = Default::default();
+    let mut rounds = 0;
+    loop {
+        let versions = FunctionVersions::new(base.clone(), &spec.build_keeping(&keep));
+        let pair = versions.pair();
+        let tier_up = precompute_entries(&pair, Direction::Forward, variant);
+        let (tier_down, wanted) =
+            precompute_entries_collecting(&pair, Direction::Backward, variant);
+        drop(pair);
+        // §5.2 keep-set recompile: a deopt-critical (loop-header) backward
+        // entry is blocked — keep the values blocking *those* entries
+        // alive and recompile.  Blockers of non-header points are left
+        // alone: keeping them would pessimize the optimized code for
+        // entries no deopt fires from.
+        let headers = loop_header_points(&versions.opt);
+        let header_blocked = headers.iter().any(|h| tier_down.get(*h).is_none());
+        if header_blocked && rounds < MAX_EXTENSION_ROUNDS {
+            let header_blockers = wanted
+                .into_iter()
+                .filter(|(p, _)| headers.contains(p))
+                .map(|(_, v)| v);
+            let fresh = extension_candidates(&versions.base, header_blockers, &keep);
+            if !fresh.is_empty() {
+                keep.extend(fresh);
+                rounds += 1;
+                continue;
+            }
+        }
+        validate_table(&tier_up, &versions.base, &versions.opt)?;
+        validate_table(&tier_down, &versions.opt, &versions.base)?;
+        let opt = Arc::new(versions.opt.clone());
+        let base = Arc::new(versions.base.clone());
+        return Ok(CompiledVersion {
+            spec: spec.clone(),
+            versions: Arc::new(versions),
+            opt,
+            base,
+            tier_up: Arc::new(tier_up),
+            tier_down: Arc::new(tier_down),
+            keep: keep.len(),
+            extension_rounds: rounds,
+            compile_nanos: t0.elapsed().as_nanos() as u64,
+        });
+    }
 }
 
 /// Structural validation of a precomputed entry table: every step of every

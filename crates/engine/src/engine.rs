@@ -10,17 +10,17 @@ use std::time::Duration;
 
 use ssair::interp::{ExecError, Val};
 use ssair::reconstruct::Direction;
-use ssair::{Function, InstId, Module};
+use ssair::{BlockId, Function, InstId, Module};
 use tinyvm::profile::{Tier, TierController, TierDecision, TierTarget};
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
 use crate::cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
-use crate::metrics::{EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
+use crate::metrics::{DeoptReason, EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
 use crate::pool::{run_job, CompileJob, CompilerPool};
 use crate::session::{RequestId, ResultEvent};
 use crate::tiers::{LadderPolicy, TierPolicy};
 
-pub use tinyvm::profile::ProfileTable;
+pub use tinyvm::profile::{ProfileTable, SpeculationPolicy};
 
 /// Engine-wide policy knobs.
 #[derive(Clone, Debug)]
@@ -39,6 +39,11 @@ pub struct EnginePolicy {
     pub deopt: DeoptPolicy,
     /// Interpreter fuel per request.
     pub fuel: usize,
+    /// Maximum requests waiting (submitted but not yet picked up by a
+    /// worker) per session before [`crate::EngineHandle::try_submit`]
+    /// reports [`crate::SubmitError::QueueFull`] and
+    /// [`crate::EngineHandle::submit`] blocks.
+    pub queue_depth: usize,
 }
 
 impl EnginePolicy {
@@ -68,6 +73,7 @@ impl Default for EnginePolicy {
             options: TransitionOptions::default(),
             deopt: DeoptPolicy::default(),
             fuel: 50_000_000,
+            queue_depth: 1024,
         }
     }
 }
@@ -251,6 +257,23 @@ impl Engine {
         self.core.profiles.total_hotness(function)
     }
 
+    /// Total uncommon-path hits climbed frames of `function` have
+    /// recorded against its baseline branch profile — how contested the
+    /// function's speculation currently is (high values with few
+    /// [`MetricsSnapshot::guard_failures`] mean the profile tolerates the
+    /// cold traffic; high values *with* guard failures mean the traffic
+    /// shifted).
+    pub fn uncommon_hits(&self, function: &str) -> u64 {
+        self.core.profiles.uncommon_hits(function)
+    }
+
+    /// Speculation-failure deopts recorded against `function` (the input
+    /// to the ladder's adaptive threshold demotion,
+    /// [`TierPolicy::threshold_after_deopts`]).
+    pub fn deopt_count(&self, function: &str) -> u64 {
+        self.core.profiles.deopt_count(function)
+    }
+
     /// Synchronously compiles every ladder rung of `function` and builds
     /// (and validates) the composed tables between adjacent rungs, so
     /// subsequent traffic climbs the whole ladder without waiting on
@@ -346,9 +369,14 @@ impl EngineCore {
         match req.mode {
             ExecMode::Tiered => {
                 let mut controller = EngineController::new(self, &req.function, base);
-                let (value, events) =
+                let outcome =
                     self.vm
-                        .run_tiered(base, &req.args, &self.policy.options, &mut controller)?;
+                        .run_tiered(base, &req.args, &self.policy.options, &mut controller);
+                // Observations since the last instrumented visit still
+                // belong to the shared speculation profile — even when the
+                // request itself failed (e.g. fuel exhaustion).
+                controller.flush_profile();
+                let (value, events) = outcome?;
                 self.record_events(id, &req.function, events, &controller.hops);
                 Ok(value)
             }
@@ -367,7 +395,16 @@ impl EngineCore {
                     &self.policy.deopt,
                     &cv.tier_down,
                 )?;
-                let labels = vec![(top, Tier::BASELINE, false); events.len()];
+                let labels = vec![
+                    HopLabel {
+                        from: top,
+                        to: Tier::BASELINE,
+                        composed: false,
+                        deopt: Some(DeoptReason::DebuggerAttach),
+                        reclimb: false,
+                    };
+                    events.len()
+                ];
                 self.record_events(id, &req.function, events, &labels);
                 Ok(value)
             }
@@ -375,40 +412,59 @@ impl EngineCore {
     }
 
     /// Records one request's transitions: events arrive in hop order, and
-    /// `labels` carries the controller's `(from, to, composed)` tier
-    /// labels in the same order.
+    /// `labels` carries the controller's tier annotations in the same
+    /// order.  Backward hops additionally emit an [`EngineEvent::Deopt`]
+    /// carrying the *why*; forward hops of frames that deopted earlier in
+    /// the request emit an [`EngineEvent::Reclimb`].
     fn record_events(
         &self,
         request: u64,
         function: &str,
         events: Vec<OsrEvent>,
-        labels: &[(Tier, Tier, bool)],
+        labels: &[HopLabel],
     ) {
         for (i, event) in events.into_iter().enumerate() {
-            let (from_tier, to_tier, composed) =
-                labels
-                    .get(i)
-                    .copied()
-                    .unwrap_or((Tier::BASELINE, Tier::BASELINE, false));
+            let label = labels.get(i).cloned().unwrap_or_default();
             match event.direction {
                 Direction::Forward => {
                     self.metrics.tier_ups.fetch_add(1, Ordering::Relaxed);
-                    if composed {
+                    if label.composed {
                         self.metrics
                             .composed_tier_ups
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                    if label.reclimb {
+                        self.metrics.reclimbs.fetch_add(1, Ordering::Relaxed);
+                        self.events.push(EngineEvent::Reclimb {
+                            request,
+                            function: function.to_string(),
+                            from_tier: label.from,
+                            to_tier: label.to,
+                        });
+                    }
                 }
                 Direction::Backward => {
                     self.metrics.deopts.fetch_add(1, Ordering::Relaxed);
+                    if let Some(reason) = &label.deopt {
+                        if matches!(reason, DeoptReason::GuardFailure { .. }) {
+                            self.metrics.guard_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.events.push(EngineEvent::Deopt {
+                            request,
+                            function: function.to_string(),
+                            from_tier: label.from,
+                            to_tier: label.to,
+                            reason: reason.clone(),
+                        });
+                    }
                 }
             };
             self.events.push(EngineEvent::Transition {
                 request,
                 function: function.to_string(),
-                from_tier,
-                to_tier,
-                composed,
+                from_tier: label.from,
+                to_tier: label.to,
+                composed: label.composed,
                 event,
             });
         }
@@ -438,6 +494,9 @@ impl EngineCore {
                     CompileJob {
                         key: key.clone(),
                         base: base.clone(),
+                        // Synchronous path: the job never queues, so its
+                        // priority is moot — mark it maximally urgent.
+                        priority: u64::MAX,
                     },
                     &self.cache,
                     &self.metrics,
@@ -481,11 +540,48 @@ impl EngineCore {
     }
 }
 
+/// One committed hop of a frame, as the engine labels it for the event
+/// stream.
+#[derive(Clone, Default)]
+struct HopLabel {
+    /// Rung the frame left.
+    from: Tier,
+    /// Rung the frame entered.
+    to: Tier,
+    /// Whether a composed version-to-version table served the hop.
+    composed: bool,
+    /// `Some` when the hop was a deopt, with the why.
+    deopt: Option<DeoptReason>,
+    /// Whether this upward hop re-climbs after an earlier deopt in the
+    /// same request.
+    reclimb: bool,
+}
+
+/// A hop the controller has requested but that has not landed yet.
+struct PendingHop {
+    to: Tier,
+    /// Artifact of the destination rung (`None` when falling to the
+    /// baseline).
+    artifact: Option<Arc<CompiledVersion>>,
+    composed: bool,
+    deopt: Option<DeoptReason>,
+}
+
 /// The engine's [`TierController`]: aggregates per-`(function, tier)`
 /// hotness across requests, kicks off background compiles of the next
 /// rung at the policy threshold, and hops only through published cache
 /// artifacts — directly off the baseline, through a composed (validated)
 /// version-to-version table off any higher rung.
+///
+/// It also runs the speculation lifecycle.  At the baseline it records
+/// every conditional-branch edge into the shared profile; in a climbed
+/// frame it checks each taken edge against the profiled bias and, once a
+/// branch's uncommon path has been taken [`SpeculationPolicy::tolerance`]
+/// times within the frame, deopts the frame mid-loop — to the policy's
+/// [`TierPolicy::deopt_target`] rung via the artifact's precomputed
+/// backward table (or a composed down-table for a partial fall).  The
+/// landed frame stays under profiling and re-climbs once the (adaptively
+/// demoted, [`TierPolicy::threshold_after_deopts`]) thresholds allow.
 struct EngineController<'e> {
     core: &'e EngineCore,
     function: &'e str,
@@ -496,10 +592,30 @@ struct EngineController<'e> {
     current: Option<Arc<CompiledVersion>>,
     /// Shared `(function, tier)` counter of the current rung.
     counter: Arc<AtomicU64>,
+    /// Shared speculation-failure deopt counter of the function (cached so
+    /// the hot observe path never takes the profile-table lock).
+    deopt_counter: Arc<AtomicU64>,
     /// Hop requested but not yet landed.
-    pending: Option<(Tier, Arc<CompiledVersion>)>,
-    /// Committed hops, in order: `(from, to, composed)`.
-    hops: Vec<(Tier, Tier, bool)>,
+    pending: Option<PendingHop>,
+    /// Committed hops, in order.
+    hops: Vec<HopLabel>,
+    /// Whether this frame has deopted (used to label re-climbs).
+    deopted: bool,
+    /// Baseline-tier edge observations, flushed to the shared profile at
+    /// instrumented visits (so the shared map is not locked per branch).
+    local_edges: HashMap<(BlockId, BlockId), u64>,
+    /// Frame-local `(hot hits, uncommon hits)` per guarded branch since
+    /// the last hop — the deopt decider: a guard fires only when the
+    /// uncommon count reaches the policy tolerance *and* the observed
+    /// uncommon rate exceeds what the profiled bias already allowed, so
+    /// steady profile-consistent traffic never thrashes.
+    guard_stats: HashMap<BlockId, (u64, u64)>,
+    /// Uncommon-path hits not yet flushed to the shared profile (batched
+    /// like `local_edges`, so a stuck cold-path frame never locks the
+    /// shared map per iteration).
+    unflushed_uncommon: HashMap<BlockId, u64>,
+    /// Memoized per-branch bias verdicts for the current climb.
+    bias_cache: HashMap<BlockId, Option<BlockId>>,
     /// Whether this request already recorded its cache hit/miss.
     accounted: bool,
     /// Specs this request already enqueued compile jobs for.
@@ -519,8 +635,14 @@ impl<'e> EngineController<'e> {
             tier: Tier::BASELINE,
             current: None,
             counter: core.profiles.counter(function, Tier::BASELINE),
+            deopt_counter: core.profiles.deopt_counter(function),
             pending: None,
             hops: Vec::new(),
+            deopted: false,
+            local_edges: HashMap::new(),
+            guard_stats: HashMap::new(),
+            unflushed_uncommon: HashMap::new(),
+            bias_cache: HashMap::new(),
             accounted: false,
             enqueued: HashSet::new(),
             failed_points: BTreeSet::new(),
@@ -538,10 +660,74 @@ impl<'e> EngineController<'e> {
             self.accounted = true;
         }
     }
+
+    fn flush_profile(&mut self) {
+        if !self.local_edges.is_empty() {
+            self.core
+                .profiles
+                .record_edges(self.function, self.local_edges.drain());
+        }
+        if !self.unflushed_uncommon.is_empty() {
+            self.core.profiles.record_uncommon_batch(
+                self.function,
+                self.tier,
+                self.unflushed_uncommon.drain(),
+            );
+        }
+    }
+
+    /// Builds the guard-failure tier-down hop: to the policy's target rung
+    /// through the current artifact's direct backward table (baseline) or
+    /// a composed down-table (intermediate rung), falling back to the
+    /// baseline when the partial fall is unavailable.
+    fn tier_down_target(&mut self, reason: DeoptReason) -> Option<TierTarget> {
+        let cur = Arc::clone(self.current.as_ref()?);
+        let tiers = &self.core.policy.tiers;
+        let mut to = tiers.deopt_target(self.tier);
+        if to >= self.tier {
+            to = Tier::BASELINE;
+        }
+        if !to.is_baseline() {
+            let spec = tiers.spec(to).expect("target is a ladder rung").clone();
+            if let Some(tcv) = self.core.cache.get(&CacheKey::new(self.function, spec)) {
+                if let Ok(table) = self.core.composed_table(self.function, &cur, &tcv) {
+                    let target = Arc::clone(&tcv.opt);
+                    self.pending = Some(PendingHop {
+                        to,
+                        artifact: Some(tcv),
+                        composed: true,
+                        deopt: Some(reason),
+                    });
+                    return Some(TierTarget {
+                        target,
+                        table,
+                        direction: Direction::Backward,
+                    });
+                }
+            }
+            // Partial fall unavailable: fall to the baseline instead.
+        }
+        self.pending = Some(PendingHop {
+            to: Tier::BASELINE,
+            artifact: None,
+            composed: false,
+            deopt: Some(reason),
+        });
+        Some(TierTarget {
+            target: Arc::clone(&cur.base),
+            table: Arc::clone(&cur.tier_down),
+            direction: Direction::Backward,
+        })
+    }
 }
 
 impl TierController for EngineController<'_> {
+    fn observes_edges(&self) -> bool {
+        true // the speculation lifecycle runs on edge observations
+    }
+
     fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
+        self.flush_profile();
         let tiers = &self.core.policy.tiers;
         // Count the visit first: top-rung frames still contribute to the
         // per-(function, tier) hotness profile.
@@ -549,7 +735,8 @@ impl TierController for EngineController<'_> {
         let Some(next) = tiers.next_tier(self.tier) else {
             return TierDecision::Continue; // already at the top
         };
-        if total < tiers.threshold(self.tier) {
+        let deopts = self.deopt_counter.load(Ordering::Relaxed);
+        if total < tiers.threshold_after_deopts(self.tier, deopts) {
             return TierDecision::Continue;
         }
         if self.blocked.contains(&self.tier.0) || self.failed_points.contains(&(self.tier.0, at)) {
@@ -576,8 +763,17 @@ impl TierController for EngineController<'_> {
                         }
                     }
                 };
-                self.pending = Some((next, cv));
-                TierDecision::Transition(TierTarget { target, table })
+                self.pending = Some(PendingHop {
+                    to: next,
+                    artifact: Some(cv),
+                    composed: !self.tier.is_baseline(),
+                    deopt: None,
+                });
+                TierDecision::Transition(TierTarget {
+                    target,
+                    table,
+                    direction: Direction::Forward,
+                })
             }
             None => {
                 self.account(false);
@@ -586,12 +782,56 @@ impl TierController for EngineController<'_> {
                         CompileJob {
                             key,
                             base: self.base.clone(),
+                            priority: total,
                         },
                         &self.core.metrics,
                     );
                 }
                 TierDecision::Continue
             }
+        }
+    }
+
+    fn observe_edge(&mut self, from: BlockId, to: BlockId, at: InstId) -> TierDecision {
+        if self.tier.is_baseline() {
+            // Profile: every edge taken at the baseline feeds the shared
+            // speculation profile (batched; flushed at instrumented
+            // visits).
+            *self.local_edges.entry((from, to)).or_insert(0) += 1;
+            return TierDecision::Continue;
+        }
+        // Guard: compare the taken edge against the profiled bias.
+        let policy = self.core.policy.tiers.speculation();
+        let profiles = &self.core.profiles;
+        let function = self.function;
+        let bias = *self
+            .bias_cache
+            .entry(from)
+            .or_insert_with(|| profiles.edge_bias(function, from, &policy));
+        let Some(hot) = bias else {
+            return TierDecision::Continue;
+        };
+        let stats = self.guard_stats.entry(from).or_insert((0, 0));
+        if to == hot {
+            stats.0 += 1;
+            return TierDecision::Continue;
+        }
+        stats.1 += 1;
+        let (hot_hits, hits) = *stats;
+        *self.unflushed_uncommon.entry(from).or_insert(0) += 1;
+        // Fire only on *wrong* speculation: enough uncommon hits, taken at
+        // a higher rate than the profiled bias already tolerated.
+        let allowed_percent = (100 - policy.bias_percent.min(100)) as u64;
+        let within_allowance = hits * 100 <= (hot_hits + hits) * allowed_percent;
+        if hits < policy.tolerance
+            || within_allowance
+            || self.failed_points.contains(&(self.tier.0, at))
+        {
+            return TierDecision::Continue;
+        }
+        match self.tier_down_target(DeoptReason::GuardFailure { at, uncommon: hits }) {
+            Some(target) => TierDecision::Transition(target),
+            None => TierDecision::Continue,
         }
     }
 
@@ -602,14 +842,31 @@ impl TierController for EngineController<'_> {
     }
 
     fn on_transition(&mut self, _at: InstId) {
-        let (next, cv) = self
+        // Unflushed guard observations belong to the rung being left.
+        self.flush_profile();
+        let hop = self
             .pending
             .take()
             .expect("a hop landed only after being requested");
-        self.hops.push((self.tier, next, !self.tier.is_baseline()));
-        self.tier = next;
-        self.counter = self.core.profiles.counter(self.function, next);
-        self.current = Some(cv);
+        let down = hop.to < self.tier;
+        self.hops.push(HopLabel {
+            from: self.tier,
+            to: hop.to,
+            composed: hop.composed,
+            deopt: hop.deopt.clone(),
+            reclimb: self.deopted && hop.to > self.tier,
+        });
+        if down {
+            self.deopted = true;
+            self.deopt_counter.fetch_add(1, Ordering::Relaxed);
+        }
+        // The profile the frame gathered about this climb is stale after
+        // any hop: biases are re-queried and guard counters restart.
+        self.guard_stats.clear();
+        self.bias_cache.clear();
+        self.tier = hop.to;
+        self.counter = self.core.profiles.counter(self.function, hop.to);
+        self.current = hop.artifact;
     }
 }
 

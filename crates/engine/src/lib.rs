@@ -7,19 +7,20 @@
 //! # Architecture
 //!
 //! ```text
-//!  submit(Request) ──► EngineHandle ──► persistent worker pool (interpreters)
-//!       │                  ▲                      │ per-(function, tier)
-//!   RequestId              │ ResultEvents         ▼ shared hotness
-//!                          │            ┌── EngineController ──────────────┐
-//!  run_batch ──────────────┘            │ cold: keep interpreting          │
+//!  submit / try_submit ─► EngineHandle ─► persistent worker pool (interpreters)
+//!       │ bounded queue      ▲                     │ per-(function, tier)
+//!   RequestId / QueueFull    │ ResultEvents        ▼ shared hotness + edge profile
+//!                            │          ┌── EngineController ──────────────┐
+//!  run_batch ────────────────┘          │ cold: keep interpreting          │
 //!  (compat wrapper)                     │ hot + rung not compiled: enqueue ┼─► CompileQueue
-//!                                       │ hot + artifact ready: hop        │      │
-//!                                       └───────▲──────────────────────────┘      ▼
-//!                                               │ publish                  compile workers
-//!                        tier ladder (TierPolicy)                           (background)
-//!                  O0 ──direct──► O1 ──composed──► O2      │
-//!                  ▲◄────────────direct deopt──────┘       │
-//!                  └──────────── CodeCache ◄───────────────┘
+//!                                       │ hot + artifact ready: hop up     │  (hot-first
+//!                                       │ guard failed: hop DOWN mid-loop  │   priority)
+//!                                       └───────▲──────────────────────────┘      │
+//!                                               │ publish                         ▼
+//!                        tier ladder (TierPolicy)                          compile workers
+//!                  O0 ──direct──► O1 ──composed──► O2      │                (background,
+//!                  ▲◄── guard deopt + debug deopt ─┴───────┤              §5.2 keep-set
+//!                  └──────────── CodeCache ◄───────────────┘               recompiles)
 //!            (8 hash shards: per-tier FunctionVersions + validated
 //!             entry tables + lazily-built composed O1→O2 tables)
 //! ```
@@ -53,6 +54,68 @@
 //! models a debugger attach (§7): it runs the *top*-tier version and
 //! tiers down O2 → baseline through the precomputed backward table at the
 //! first instrumented visit, where every source variable is inspectable.
+//!
+//! # The speculation lifecycle (guard → deopt → re-climb → demotion)
+//!
+//! Deoptimization is not a debugger-only special case: the same
+//! validated-transition machinery runs *speculation guards* in every
+//! `Tiered` frame, making tier transitions fully bidirectional.
+//!
+//! 1. **Profile.** While a function runs at the baseline, the controller
+//!    records which successor every conditional branch takes into the
+//!    shared [`ProfileTable`] (batched per frame, flushed at instrumented
+//!    visits).  A branch becomes a *guard* once its profile is biased
+//!    enough ([`SpeculationPolicy`]: `min_samples`, `bias_percent`).
+//! 2. **Guard.** A climbed frame checks every taken conditional edge
+//!    against the recorded bias.  Executions of the cold edge count as
+//!    guard failures; after `tolerance` failures within one frame, the
+//!    speculation is declared wrong.
+//! 3. **Deopt.** The frame hops *down* mid-loop — to
+//!    [`TierPolicy::deopt_target`] (the baseline by default, via the
+//!    artifact's precomputed backward table; an intermediate rung falls
+//!    through a composed down-table).  The event stream records an
+//!    [`EngineEvent::Deopt`] with [`DeoptReason::GuardFailure`] next to
+//!    the backward [`EngineEvent::Transition`].  Constants the landed
+//!    frame never computed are rematerialized at hop time (§5.1: free
+//!    rematerializations), so the deopt-landed frame can take tables
+//!    back out again.
+//! 4. **Re-climb.** The landed frame keeps profiling: branch edges update
+//!    the (now-corrected) profile and hotness keeps accumulating, so the
+//!    frame climbs again — recorded as [`EngineEvent::Reclimb`].  If the
+//!    traffic shift was real, the refreshed profile dissolves the stale
+//!    bias and the re-climbed frame stays up.
+//! 5. **Demotion.** Every guard-failure deopt of a function raises its
+//!    climb thresholds adaptively
+//!    ([`TierPolicy::threshold_after_deopts`] doubles per recorded
+//!    deopt), so repeat offenders re-earn each rung with a longer
+//!    profile.
+//!
+//! # §5.2 keep-set recompiles
+//!
+//! A climbed frame must always be able to *leave* its version, but some
+//! shapes block the deopt-critical backward entry at the loop header —
+//! typically a named loop-local whose baseline φ is dead in O2 yet needed
+//! on the loop's exit path.  Compile jobs detect this during table
+//! precompute ([`ssair::feasibility::precompute_entries_collecting`]) and
+//! recompile with the blocking values in a liveness-extension keep-set
+//! ([`PipelineSpec::build_keeping`]; ADCE and sinking treat them as
+//! roots), retrying until every loop-header entry of the backward table
+//! is served.  The published artifact is then the keep-set recompiled
+//! version — cached under the same `(function, pipeline)` key, recorded
+//! as [`EngineEvent::ExtensionRecompiled`] — rather than a fast version
+//! that could never deoptimize.
+//!
+//! # Back-pressure and compile priorities
+//!
+//! [`EngineHandle::submit`] is bounded by
+//! [`EnginePolicy::queue_depth`]: when that many requests wait for a
+//! worker, `submit` blocks and [`EngineHandle::try_submit`] returns
+//! [`SubmitError::QueueFull`] (handing the request back) so a front end
+//! can shed load instead of queueing unboundedly.  The background compile
+//! queue is a hot-first priority queue: jobs carry the submitting
+//! function's hotness, and workers pop the hottest job first, so under
+//! skewed traffic the functions serving the most requests get their
+//! artifacts earliest.
 //!
 //! # Sessions
 //!
@@ -107,7 +170,10 @@ mod session;
 pub mod tiers;
 
 pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
-pub use engine::{BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request};
-pub use metrics::{EngineEvent, EngineMetrics, MetricsSnapshot};
-pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport};
+pub use engine::{
+    BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request,
+    SpeculationPolicy,
+};
+pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot};
+pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport, SubmitError};
 pub use tiers::{LadderPolicy, Tier, TierPolicy};

@@ -9,6 +9,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use ssair::InstId;
 use tinyvm::profile::Tier;
 use tinyvm::runtime::OsrEvent;
 
@@ -26,6 +27,15 @@ pub struct EngineMetrics {
     pub composed_tier_ups: AtomicU64,
     /// Deoptimizing (tier-down) transitions fired.
     pub deopts: AtomicU64,
+    /// Deopts fired by a speculation guard (a climbed frame repeatedly
+    /// taking a branch path the baseline profile bet against).
+    pub guard_failures: AtomicU64,
+    /// Upward transitions of frames that had previously deopted within
+    /// the same request — the re-climb half of the speculation lifecycle.
+    pub reclimbs: AtomicU64,
+    /// Compiles that needed §5.2 keep-set recompile rounds to unblock
+    /// deopt-critical backward entries.
+    pub extension_recompiles: AtomicU64,
     /// Transition attempts that were infeasible at the attempted point.
     pub infeasible: AtomicU64,
     /// Background + synchronous compiles performed.
@@ -60,6 +70,9 @@ impl EngineMetrics {
             tier_ups: self.tier_ups.load(Ordering::Relaxed),
             composed_tier_ups: self.composed_tier_ups.load(Ordering::Relaxed),
             deopts: self.deopts.load(Ordering::Relaxed),
+            guard_failures: self.guard_failures.load(Ordering::Relaxed),
+            reclimbs: self.reclimbs.load(Ordering::Relaxed),
+            extension_recompiles: self.extension_recompiles.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
@@ -82,6 +95,13 @@ pub struct MetricsSnapshot {
     pub composed_tier_ups: u64,
     /// Tier-down transitions fired.
     pub deopts: u64,
+    /// Deopts fired by a speculation guard.
+    pub guard_failures: u64,
+    /// Upward transitions of frames that had previously deopted within
+    /// the same request.
+    pub reclimbs: u64,
+    /// Compiles that needed §5.2 keep-set recompile rounds.
+    pub extension_recompiles: u64,
     /// Infeasible transition attempts.
     pub infeasible: u64,
     /// Compiles performed.
@@ -109,20 +129,53 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} tier_ups={} (composed={}) deopts={} infeasible={} compiles={} \
-             mean_compile={}us queue(depth={}, peak={}) cache(hits={}, misses={})",
+            "requests={} tier_ups={} (composed={}, reclimbs={}) deopts={} (guard={}) \
+             infeasible={} compiles={} (ext={}) mean_compile={}us \
+             queue(depth={}, peak={}) cache(hits={}, misses={})",
             self.requests,
             self.tier_ups,
             self.composed_tier_ups,
+            self.reclimbs,
             self.deopts,
+            self.guard_failures,
             self.infeasible,
             self.compiles,
+            self.extension_recompiles,
             self.mean_compile_micros(),
             self.queue_depth,
             self.queue_peak,
             self.cache_hits,
             self.cache_misses,
         )
+    }
+}
+
+/// Why a frame tiered down.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeoptReason {
+    /// A speculation guard fired: the frame repeatedly entered `uncommon`
+    /// times the branch successor the baseline profile bet against, at
+    /// instruction `at` of the optimized version.
+    GuardFailure {
+        /// The optimized-version instruction that witnessed the uncommon
+        /// path when the guard fired.
+        at: InstId,
+        /// Uncommon-path hits accumulated by the frame when it fired.
+        uncommon: u64,
+    },
+    /// A debugger attach ([`crate::ExecMode::Debug`]) forced the frame to
+    /// the baseline at the first instrumented visit (§7).
+    DebuggerAttach,
+}
+
+impl fmt::Display for DeoptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeoptReason::GuardFailure { at, uncommon } => {
+                write!(f, "guard failure at {at} ({uncommon} uncommon hits)")
+            }
+            DeoptReason::DebuggerAttach => write!(f, "debugger attach"),
+        }
     }
 }
 
@@ -169,6 +222,44 @@ pub enum EngineEvent {
         /// Number of OSR points the composed table serves.
         points: usize,
     },
+    /// A frame tiered down (emitted alongside the backward
+    /// [`EngineEvent::Transition`], with the *why*).
+    Deopt {
+        /// Id of the deopting request.
+        request: u64,
+        /// Function the request executed.
+        function: String,
+        /// Rung the frame fell from.
+        from_tier: Tier,
+        /// Rung the frame landed on.
+        to_tier: Tier,
+        /// Why the frame tiered down.
+        reason: DeoptReason,
+    },
+    /// A frame that had deopted earlier in the same request climbed again
+    /// (emitted alongside the forward [`EngineEvent::Transition`]).
+    Reclimb {
+        /// Id of the re-climbing request.
+        request: u64,
+        /// Function the request executed.
+        function: String,
+        /// Rung the frame left.
+        from_tier: Tier,
+        /// Rung the frame re-entered.
+        to_tier: Tier,
+    },
+    /// A compile needed §5.2 keep-set recompile rounds before its
+    /// backward table served every deopt-critical (loop-header) entry.
+    ExtensionRecompiled {
+        /// Function compiled.
+        function: String,
+        /// Pipeline spec name.
+        pipeline: String,
+        /// Recompile rounds performed.
+        rounds: usize,
+        /// Values kept alive through dead-code elimination.
+        kept: usize,
+    },
     /// A compile (or composed-table build) was rejected by validation.
     CompileRejected {
         /// Function whose artifact was rejected.
@@ -206,6 +297,35 @@ impl fmt::Display for EngineEvent {
             } => write!(
                 f,
                 "[compose] {function} {from}→{to}: {points} points validated"
+            ),
+            EngineEvent::Deopt {
+                request,
+                function,
+                from_tier,
+                to_tier,
+                reason,
+            } => write!(
+                f,
+                "[req {request}] {function}: deopt {from_tier}→{to_tier} ({reason})"
+            ),
+            EngineEvent::Reclimb {
+                request,
+                function,
+                from_tier,
+                to_tier,
+            } => write!(
+                f,
+                "[req {request}] {function}: re-climb {from_tier}→{to_tier}"
+            ),
+            EngineEvent::ExtensionRecompiled {
+                function,
+                pipeline,
+                rounds,
+                kept,
+            } => write!(
+                f,
+                "[compile] {function} ({pipeline}) §5.2 keep-set recompile: \
+                 {rounds} round(s), {kept} value(s) kept"
             ),
             EngineEvent::CompileRejected { function, reason } => {
                 write!(f, "[compile] {function} REJECTED: {reason}")

@@ -7,9 +7,15 @@
 //! publishing the artifact to the shared [`CodeCache`].  Requests keep
 //! interpreting the baseline until a later hot visit finds the artifact
 //! ready.
+//!
+//! The queue is a *priority* queue, not FIFO: each job carries the
+//! submitting function's hotness at enqueue time, and workers pop the
+//! hottest job first — under skewed traffic the functions serving the
+//! most requests get their artifacts earliest, while cold-tail jobs wait.
+//! Ties pop in submission order.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ssair::reconstruct::Variant;
@@ -24,11 +30,118 @@ pub struct CompileJob {
     pub key: CacheKey,
     /// The baseline function to optimize.
     pub base: Function,
+    /// Scheduling priority: the submitting function's profile hotness at
+    /// enqueue time.  Hotter jobs pop before colder ones.
+    pub priority: u64,
 }
 
-/// A fixed pool of compile workers draining a shared queue.
+/// Heap entry: max by priority, then FIFO (lowest sequence first) among
+/// equal priorities.
+struct QueuedJob {
+    priority: u64,
+    seq: u64,
+    job: CompileJob,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher priority wins; among equals the
+        // *lower* sequence number must surface first.
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The shared hot-first compile queue ([`CompilerPool`]'s backing store,
+/// exposed for direct use in tests).
+#[derive(Default)]
+pub struct CompileQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    closed: bool,
+}
+
+impl CompileQueue {
+    /// Pushes a job; hotter jobs pop first.
+    pub fn push(&self, job: CompileJob) {
+        let mut state = self.state.lock().expect("queue lock");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(QueuedJob {
+            priority: job.priority,
+            seq,
+            job,
+        });
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the hottest queued job; `None` once the queue is closed
+    /// and drained.
+    pub fn pop(&self) -> Option<CompileJob> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some(entry.job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// The hottest queued job, if one is already pending (non-blocking).
+    pub fn try_pop(&self) -> Option<CompileJob> {
+        self.state
+            .lock()
+            .expect("queue lock")
+            .heap
+            .pop()
+            .map(|e| e.job)
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: workers drain what is left, then exit.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A fixed pool of compile workers draining a shared hot-first queue.
 pub struct CompilerPool {
-    tx: Mutex<Option<Sender<CompileJob>>>,
+    queue: Arc<CompileQueue>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -42,22 +155,21 @@ impl CompilerPool {
         metrics: Arc<EngineMetrics>,
         events: Arc<EventLog>,
     ) -> Self {
-        let (tx, rx) = channel::<CompileJob>();
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(CompileQueue::default());
         let handles = (0..workers.max(1))
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let cache = Arc::clone(&cache);
                 let metrics = Arc::clone(&metrics);
                 let events = Arc::clone(&events);
                 std::thread::Builder::new()
                     .name(format!("osr-compile-{i}"))
-                    .spawn(move || worker_loop(&rx, &cache, &metrics, &events, variant))
+                    .spawn(move || worker_loop(&queue, &cache, &metrics, &events, variant))
                     .expect("spawn compile worker")
             })
             .collect();
         CompilerPool {
-            tx: Mutex::new(Some(tx)),
+            queue,
             workers: handles,
         }
     }
@@ -65,20 +177,15 @@ impl CompilerPool {
     /// Enqueues a job (the caller must have claimed the cache slot).
     pub fn submit(&self, job: CompileJob, metrics: &EngineMetrics) {
         metrics.job_enqueued();
-        let guard = self.tx.lock().expect("pool lock");
-        if let Some(tx) = guard.as_ref() {
-            // A send can only fail after shutdown, when no one waits for
-            // the artifact anyway.
-            let _ = tx.send(job);
-        }
+        self.queue.push(job);
     }
 }
 
 impl Drop for CompilerPool {
     fn drop(&mut self) {
-        // Closing the channel lets every worker drain remaining jobs and
+        // Closing the queue lets every worker drain remaining jobs and
         // exit; joining keeps artifacts from being dropped mid-publish.
-        *self.tx.lock().expect("pool lock") = None;
+        self.queue.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -86,19 +193,13 @@ impl Drop for CompilerPool {
 }
 
 fn worker_loop(
-    rx: &Mutex<Receiver<CompileJob>>,
+    queue: &CompileQueue,
     cache: &CodeCache,
     metrics: &EngineMetrics,
     events: &EventLog,
     variant: Variant,
 ) {
-    loop {
-        // Hold the lock only while popping, never while compiling.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(job) = job else { return };
+    while let Some(job) = queue.pop() {
         run_job(job, cache, metrics, events, variant);
     }
 }
@@ -113,12 +214,23 @@ pub fn run_job(
     events: &EventLog,
     variant: Variant,
 ) {
+    use std::sync::atomic::Ordering;
     let function = job.key.function.clone();
     match compile_function(job.base, &job.key.spec, variant) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
+            let extension = (cv.extension_rounds > 0).then_some((cv.extension_rounds, cv.keep));
             cache.publish(&job.key, Arc::new(cv));
             metrics.job_finished(nanos);
+            if let Some((rounds, kept)) = extension {
+                metrics.extension_recompiles.fetch_add(1, Ordering::Relaxed);
+                events.push(EngineEvent::ExtensionRecompiled {
+                    function: function.clone(),
+                    pipeline: job.key.spec.name().to_string(),
+                    rounds,
+                    kept,
+                });
+            }
             events.push(EngineEvent::Compiled {
                 function,
                 pipeline: job.key.spec.name().to_string(),
@@ -167,6 +279,7 @@ mod tests {
             CompileJob {
                 key: key.clone(),
                 base: m.get("f").unwrap().clone(),
+                priority: 1,
             },
             &metrics,
         );
@@ -187,5 +300,41 @@ mod tests {
             events.drain().as_slice(),
             [EngineEvent::Compiled { .. }]
         ));
+    }
+
+    #[test]
+    fn queue_pops_hottest_job_first_fifo_on_ties() {
+        let m = minic::compile("fn f(x) { return x; }").unwrap();
+        let base = m.get("f").unwrap();
+        let job = |name: &str, priority: u64| CompileJob {
+            key: CacheKey::new(name, crate::cache::PipelineSpec::O1),
+            base: base.clone(),
+            priority,
+        };
+        let queue = CompileQueue::default();
+        queue.push(job("cold", 2));
+        queue.push(job("hot", 90));
+        queue.push(job("warm", 40));
+        queue.push(job("warm-later", 40));
+        assert_eq!(queue.len(), 4);
+        let order: Vec<String> = std::iter::from_fn(|| queue.try_pop())
+            .map(|j| j.key.function)
+            .collect();
+        assert_eq!(order, ["hot", "warm", "warm-later", "cold"]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn closed_queue_drains_then_ends() {
+        let m = minic::compile("fn f(x) { return x; }").unwrap();
+        let queue = CompileQueue::default();
+        queue.push(CompileJob {
+            key: CacheKey::new("f", crate::cache::PipelineSpec::O1),
+            base: m.get("f").unwrap().clone(),
+            priority: 7,
+        });
+        queue.close();
+        assert!(queue.pop().is_some(), "queued work survives the close");
+        assert!(queue.pop().is_none(), "then the queue ends");
     }
 }

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use ssair::interp::Val;
@@ -33,6 +33,31 @@ use crate::metrics::{EngineEvent, MetricsSnapshot};
 /// increasing in submission order).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RequestId(pub u64);
+
+/// Why a non-blocking submission was not accepted.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The session's waiting-request queue is at
+    /// [`crate::EnginePolicy::queue_depth`]; the rejected request is
+    /// returned so the caller can retry or shed it.
+    QueueFull(Request),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull(r) => {
+                write!(
+                    f,
+                    "session queue full; rejected request for `{}`",
+                    r.function
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 impl fmt::Display for RequestId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -119,6 +144,20 @@ pub struct EngineHandle {
     /// engine-global, so concurrent sessions never collide).
     mine: Arc<Mutex<std::collections::HashSet<u64>>>,
     submitted: AtomicU64,
+    /// Requests submitted but not yet picked up by a worker — the
+    /// back-pressure gauge [`EngineHandle::try_submit`] checks against
+    /// [`crate::EnginePolicy::queue_depth`].
+    waiting: Arc<WaitGauge>,
+}
+
+/// The bounded-queue gauge: how many requests are waiting for a worker,
+/// plus the condvar blocked [`EngineHandle::submit`] callers sleep on
+/// (workers signal it as they pick requests up, so a blocked producer
+/// wakes exactly when room frees instead of polling).
+#[derive(Default)]
+struct WaitGauge {
+    count: Mutex<u64>,
+    freed: Condvar,
 }
 
 impl Engine {
@@ -138,7 +177,12 @@ impl Engine {
         let sub_tx = events_tx.clone();
         let sub_mine = Arc::clone(&mine);
         let subscription = core.events.subscribe(move |e| {
-            if let EngineEvent::Transition { request, .. } = e {
+            // Per-request events are forwarded only when the request is
+            // this session's own.
+            if let EngineEvent::Transition { request, .. }
+            | EngineEvent::Deopt { request, .. }
+            | EngineEvent::Reclimb { request, .. } = e
+            {
                 if !sub_mine.lock().expect("session id lock").contains(request) {
                     return;
                 }
@@ -146,14 +190,16 @@ impl Engine {
             let _ = sub_tx.send(ResultEvent::Engine(e.clone()));
         });
         let work_rx = Arc::new(Mutex::new(work_rx));
+        let waiting: Arc<WaitGauge> = Arc::default();
         let workers = (0..core.policy.batch_workers.max(1))
             .map(|i| {
                 let core = Arc::clone(&core);
                 let work_rx = Arc::clone(&work_rx);
                 let events_tx = events_tx.clone();
+                let waiting = Arc::clone(&waiting);
                 std::thread::Builder::new()
                     .name(format!("engine-worker-{i}"))
-                    .spawn(move || worker_loop(&core, &work_rx, &events_tx))
+                    .spawn(move || worker_loop(&core, &work_rx, &events_tx, &waiting))
                     .expect("spawn session worker")
             })
             .collect();
@@ -165,6 +211,7 @@ impl Engine {
             workers,
             mine,
             submitted: AtomicU64::new(0),
+            waiting,
         }
     }
 }
@@ -174,7 +221,48 @@ impl EngineHandle {
     /// returns its id; the matching [`ResultEvent::Completed`] arrives on
     /// the event stream once a worker finishes it.  Ids are unique across
     /// every session of the engine.
+    ///
+    /// The waiting queue is bounded by
+    /// [`crate::EnginePolicy::queue_depth`]: when full, this call *blocks*
+    /// until a worker makes room.  Use [`EngineHandle::try_submit`] to
+    /// shed load instead of waiting.
     pub fn submit(&self, request: Request) -> RequestId {
+        let depth = self.core.policy.queue_depth.max(1) as u64;
+        let mut count = self.waiting.count.lock().expect("wait gauge lock");
+        while *count >= depth {
+            count = self.waiting.freed.wait(count).expect("wait gauge lock");
+        }
+        *count += 1;
+        drop(count);
+        self.enqueue(request)
+    }
+
+    /// Non-blocking [`EngineHandle::submit`]: enqueues the request unless
+    /// the session already has [`crate::EnginePolicy::queue_depth`]
+    /// requests waiting for a worker, in which case the request is handed
+    /// back inside [`SubmitError::QueueFull`] — the back-pressure signal a
+    /// load-shedding front end acts on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the waiting queue is at
+    /// capacity.
+    pub fn try_submit(&self, request: Request) -> Result<RequestId, SubmitError> {
+        // Reserve a slot under the gauge lock so the bound cannot be
+        // breached by racing submitters.
+        let depth = self.core.policy.queue_depth.max(1) as u64;
+        let mut count = self.waiting.count.lock().expect("wait gauge lock");
+        if *count >= depth {
+            return Err(SubmitError::QueueFull(request));
+        }
+        *count += 1;
+        drop(count);
+        Ok(self.enqueue(request))
+    }
+
+    /// Sends one slot-holding request to the workers (shared tail of
+    /// [`EngineHandle::submit`] and [`EngineHandle::try_submit`]).
+    fn enqueue(&self, request: Request) -> RequestId {
         let id = RequestId(self.core.next_request_id.fetch_add(1, Ordering::Relaxed));
         // Register before enqueueing so no event for this id can race past
         // the subscription filter.
@@ -186,6 +274,11 @@ impl EngineHandle {
             .send((id, request))
             .expect("session workers outlive the queue");
         id
+    }
+
+    /// Requests currently waiting for a worker.
+    pub fn waiting(&self) -> u64 {
+        *self.waiting.count.lock().expect("wait gauge lock")
     }
 
     /// Blocks for the next streamed event; `None` once the session is
@@ -245,6 +338,7 @@ fn worker_loop(
     core: &EngineCore,
     work_rx: &Mutex<Receiver<(RequestId, Request)>>,
     events_tx: &Sender<ResultEvent>,
+    waiting: &WaitGauge,
 ) {
     loop {
         // Hold the lock only while popping, never while executing.
@@ -253,6 +347,10 @@ fn worker_loop(
             Err(_) => return,
         };
         let Ok((id, request)) = job else { return };
+        // Picked up: the request no longer occupies a waiting slot; wake
+        // one blocked submitter.
+        *waiting.count.lock().expect("wait gauge lock") -= 1;
+        waiting.freed.notify_one();
         // A panicking request (e.g. an engine-bug assertion in the compile
         // path) must not take the worker down: the `thread::scope` this
         // API replaced would re-raise the panic to the caller, but here a

@@ -6,12 +6,21 @@
 //! shared `(function, tier)` counter of the tier a frame currently runs
 //! ([`tinyvm::profile::ProfileTable`]) and consults the policy to pick the
 //! *next* pipeline once that counter crosses the tier's threshold.
+//!
+//! The policy also owns the *speculation* knobs: when a climbed frame's
+//! guard fails ([`SpeculationPolicy`]), which rung it falls back to
+//! ([`TierPolicy::deopt_target`]), and how aggressively repeated deopts of
+//! the same function demote its climb thresholds
+//! ([`TierPolicy::threshold_after_deopts`] — each recorded deopt doubles
+//! the visits required before the function becomes climb-eligible again,
+//! so a function that keeps speculating wrong spends progressively longer
+//! re-profiling at lower rungs).
 
 use std::fmt;
 
 use crate::cache::PipelineSpec;
 
-pub use tinyvm::profile::Tier;
+pub use tinyvm::profile::{SpeculationPolicy, Tier};
 
 /// Policy hook deciding the engine's tier ladder: the ordered pipeline
 /// rungs above the baseline interpreter, and the per-tier hotness
@@ -46,14 +55,42 @@ pub trait TierPolicy: fmt::Debug + Send + Sync {
     fn next_tier(&self, from: Tier) -> Option<Tier> {
         ((from.0 as usize) < self.ladder().len()).then(|| from.next())
     }
+
+    /// The speculation-guard knobs climbed frames run under.
+    fn speculation(&self) -> SpeculationPolicy {
+        SpeculationPolicy::default()
+    }
+
+    /// The rung a frame falls back to when a speculation guard fails at
+    /// `from`.  Must be below `from`; the controller clamps anything else
+    /// to the baseline.  Default: all the way down to the baseline, where
+    /// the full profile (hotness *and* branch edges) keeps accumulating.
+    fn deopt_target(&self, _from: Tier) -> Tier {
+        Tier::BASELINE
+    }
+
+    /// The climb threshold at `from` after `deopts` recorded
+    /// speculation-failure deopts of the function: adaptive demotion.
+    /// Default: the base threshold doubles per deopt, capped at 64× —
+    /// a function that repeatedly speculates wrong re-earns each rung
+    /// with a longer profile, but a long-lived service never pins a
+    /// function to the interpreter permanently (demotion is a delay, not
+    /// a one-way ratchet).
+    fn threshold_after_deopts(&self, from: Tier, deopts: u64) -> u64 {
+        const MAX_DEMOTION_SHIFT: u64 = 6;
+        let factor = 1u64 << deopts.min(MAX_DEMOTION_SHIFT);
+        self.threshold(from).saturating_mul(factor)
+    }
 }
 
 /// The standard [`TierPolicy`]: an explicit list of `(pipeline, threshold)`
-/// rungs.
+/// rungs, with configurable speculation knobs.
 #[derive(Clone, Debug)]
 pub struct LadderPolicy {
     specs: Vec<PipelineSpec>,
     thresholds: Vec<u64>,
+    speculation: SpeculationPolicy,
+    deopt_target: Tier,
 }
 
 impl LadderPolicy {
@@ -62,7 +99,27 @@ impl LadderPolicy {
     /// to `Tier(k)` eligible.
     pub fn new(rungs: Vec<(PipelineSpec, u64)>) -> Self {
         let (specs, thresholds) = rungs.into_iter().unzip();
-        LadderPolicy { specs, thresholds }
+        LadderPolicy {
+            specs,
+            thresholds,
+            speculation: SpeculationPolicy::default(),
+            deopt_target: Tier::BASELINE,
+        }
+    }
+
+    /// Overrides the speculation-guard knobs.
+    #[must_use]
+    pub fn with_speculation(mut self, speculation: SpeculationPolicy) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Overrides the guard-failure fallback rung (clamped below the
+    /// deopting frame's rung at fire time).
+    #[must_use]
+    pub fn with_deopt_target(mut self, target: Tier) -> Self {
+        self.deopt_target = target;
+        self
     }
 
     /// The default two-rung ladder: `O1` once a function's baseline
@@ -92,6 +149,14 @@ impl TierPolicy for LadderPolicy {
             .get(from.0 as usize)
             .copied()
             .unwrap_or(u64::MAX)
+    }
+
+    fn speculation(&self) -> SpeculationPolicy {
+        self.speculation
+    }
+
+    fn deopt_target(&self, _from: Tier) -> Tier {
+        self.deopt_target
     }
 }
 
@@ -127,5 +192,47 @@ mod tests {
         assert_eq!(Tier(2).to_string(), "O2");
         assert!(Tier::BASELINE.is_baseline());
         assert_eq!(Tier::BASELINE.next(), Tier(1));
+    }
+
+    #[test]
+    fn thresholds_demote_adaptively_after_deopts() {
+        let p = LadderPolicy::two_tier(8, 24);
+        assert_eq!(p.threshold_after_deopts(Tier::BASELINE, 0), 8);
+        assert_eq!(p.threshold_after_deopts(Tier::BASELINE, 1), 16);
+        assert_eq!(p.threshold_after_deopts(Tier::BASELINE, 3), 64);
+        assert_eq!(p.threshold_after_deopts(Tier(1), 2), 96);
+        assert_eq!(
+            p.threshold_after_deopts(Tier::BASELINE, 200),
+            8 * 64,
+            "demotion is capped: a function can always re-climb eventually"
+        );
+        assert_eq!(
+            p.threshold_after_deopts(Tier(2), 1),
+            u64::MAX,
+            "rungs above the ladder stay unclimbable"
+        );
+    }
+
+    #[test]
+    fn speculation_knobs_are_configurable() {
+        let p = LadderPolicy::two_tier(8, 24);
+        assert_eq!(
+            p.deopt_target(Tier(2)),
+            Tier::BASELINE,
+            "default: all the way down"
+        );
+        assert_eq!(
+            p.speculation().tolerance,
+            SpeculationPolicy::default().tolerance
+        );
+        let custom = LadderPolicy::two_tier(8, 24)
+            .with_deopt_target(Tier(1))
+            .with_speculation(SpeculationPolicy {
+                min_samples: 4,
+                bias_percent: 75,
+                tolerance: 2,
+            });
+        assert_eq!(custom.deopt_target(Tier(2)), Tier(1));
+        assert_eq!(custom.speculation().bias_percent, 75);
     }
 }

@@ -245,17 +245,7 @@ pub fn classify_function_with_extension(
         let (opt, cm, _) = Pipeline::standard_keeping(keep.clone()).optimize(base);
         let pair = OsrPair::new(base, &opt, &cm);
         let (summary, wanted) = classify_collecting(&pair, dir);
-        let new_values: BTreeSet<ValueId> = wanted
-            .into_iter()
-            .filter(|v| {
-                (v.0 as usize) < base.value_count()
-                    && match base.value_def(*v) {
-                        crate::ValueDef::Param(_) => true,
-                        crate::ValueDef::Inst(i) => base.inst_is_live(i),
-                    }
-                    && !keep.contains(v)
-            })
-            .collect();
+        let new_values: BTreeSet<ValueId> = extension_candidates(base, wanted, &keep);
         last = summary;
         if new_values.is_empty() {
             break;
@@ -361,12 +351,32 @@ impl EntryTable {
 /// engine calls at compile time, producing exactly the entries
 /// [`classify_function`] classifies (validated the same way).
 pub fn precompute_entries(pair: &OsrPair<'_>, dir: Direction, variant: Variant) -> EntryTable {
+    precompute_entries_collecting(pair, dir, variant).0
+}
+
+/// Like [`precompute_entries`], additionally returning, per infeasible
+/// point, the value whose absence made reconstruction fail there — the
+/// §5.2 liveness-extension candidates a keep-set recompile loop feeds
+/// back into the optimizer
+/// ([`crate::passes::Pipeline::from_ids_keeping`]).  Carrying the point
+/// alongside each blocker lets the caller extend the keep-set only for
+/// the points it actually needs served (e.g. the backward loop-header
+/// entries a deopt requires) instead of keeping every blocked point's
+/// values alive.  This is the table-precompute analogue of
+/// [`classify_function_with_extension`]'s collecting pass.
+pub fn precompute_entries_collecting(
+    pair: &OsrPair<'_>,
+    dir: Direction,
+    variant: Variant,
+) -> (EntryTable, Vec<(InstId, crate::ValueId)>) {
+    use crate::reconstruct::SsaReconstructError;
     let (src_fn, dst_fn) = match dir {
         Direction::Forward => (pair.base.f, pair.opt.f),
         Direction::Backward => (pair.opt.f, pair.base.f),
     };
     let mut entries = std::collections::BTreeMap::new();
     let mut infeasible = 0;
+    let mut wanted = Vec::new();
     for p in osr_points(src_fn) {
         let Some(landing) = landing_site(src_fn, dst_fn, pair.cm, p) else {
             infeasible += 1;
@@ -376,15 +386,48 @@ pub fn precompute_entries(pair: &OsrPair<'_>, dir: Direction, variant: Variant) 
             Ok(entry) => {
                 entries.insert(p, (landing, entry));
             }
-            Err(_) => infeasible += 1,
+            Err(e) => {
+                infeasible += 1;
+                match e {
+                    SsaReconstructError::PhiMultipleDefs(v)
+                    | SsaReconstructError::NotAvailable(v)
+                    | SsaReconstructError::CallResult(v)
+                    | SsaReconstructError::MemoryUnsafe(v) => wanted.push((p, v)),
+                }
+            }
         }
     }
-    EntryTable {
-        direction: dir,
-        variant,
-        entries,
-        infeasible,
-    }
+    (
+        EntryTable {
+            direction: dir,
+            variant,
+            entries,
+            infeasible,
+        },
+        wanted,
+    )
+}
+
+/// Filters liveness-extension candidates to the ones a keep-set recompile
+/// of `base` can actually honour: values `base` defines (parameters or
+/// live instructions) that are not already kept.  Shared by
+/// [`classify_function_with_extension`] and engine-side recompile loops.
+pub fn extension_candidates(
+    base: &Function,
+    wanted: impl IntoIterator<Item = crate::ValueId>,
+    keep: &std::collections::BTreeSet<crate::ValueId>,
+) -> std::collections::BTreeSet<crate::ValueId> {
+    wanted
+        .into_iter()
+        .filter(|v| {
+            (v.0 as usize) < base.value_count()
+                && match base.value_def(*v) {
+                    crate::ValueDef::Param(_) => true,
+                    crate::ValueDef::Inst(i) => base.inst_is_live(i),
+                }
+                && !keep.contains(v)
+        })
+        .collect()
 }
 
 /// Composes OSR mappings through a shared intermediate program version —
@@ -693,6 +736,31 @@ mod tests {
                     )
                     .expect("feasible point rebuilds");
                 assert_eq!(&fresh, entry, "{dir:?} entry at {at} is stable");
+            }
+        }
+    }
+
+    #[test]
+    fn collecting_precompute_matches_and_names_blockers() {
+        let base = sample();
+        let (opt, cm, _) = Pipeline::standard().optimize(&base);
+        let pair = OsrPair::new(&base, &opt, &cm);
+        for dir in [Direction::Forward, Direction::Backward] {
+            let plain = precompute_entries(&pair, dir, Variant::Avail);
+            let (collected, wanted) = precompute_entries_collecting(&pair, dir, Variant::Avail);
+            assert_eq!(plain.entries.len(), collected.entries.len(), "{dir:?}");
+            assert_eq!(plain.infeasible, collected.infeasible, "{dir:?}");
+            // Every named blocker is attached to an infeasible point;
+            // candidates filter to the values a keep-set recompile can
+            // honour.
+            for (p, _) in &wanted {
+                assert!(collected.get(*p).is_none(), "{dir:?}: blocker at {p}");
+            }
+            let candidates =
+                extension_candidates(&base, wanted.iter().map(|(_, v)| *v), &Default::default());
+            assert!(candidates.len() <= wanted.len());
+            for v in &candidates {
+                assert!((v.0 as usize) < base.value_count());
             }
         }
     }

@@ -87,6 +87,14 @@ pub enum PassId {
 impl PassId {
     /// Instantiates the pass this id names.
     pub fn build(self) -> Box<dyn Pass> {
+        self.build_keeping(&Default::default())
+    }
+
+    /// Instantiates the pass with a §5.2 liveness-extension keep-set: the
+    /// listed values survive dead-code elimination and sinking so that
+    /// deoptimization can read them from the optimized frame.  Passes
+    /// without a keep-set knob ignore it.
+    pub fn build_keeping(self, keep: &std::collections::BTreeSet<crate::ValueId>) -> Box<dyn Pass> {
         match self {
             PassId::LoopSimplify => Box::new(LoopSimplify),
             PassId::Lcssa => Box::new(Lcssa),
@@ -94,8 +102,8 @@ impl PassId {
             PassId::Cse => Box::new(Cse),
             PassId::ConstProp => Box::new(ConstProp),
             PassId::Sccp => Box::new(Sccp),
-            PassId::Adce => Box::new(Adce::keeping(Default::default())),
-            PassId::Sink => Box::new(Sink::keeping(Default::default())),
+            PassId::Adce => Box::new(Adce::keeping(keep.clone())),
+            PassId::Sink => Box::new(Sink::keeping(keep.clone())),
         }
     }
 
@@ -155,13 +163,29 @@ impl Pipeline {
     /// A light CSE + DCE-style mix (no loop restructuring): the O1 rung of
     /// a tier ladder, cheap to run and cheap to OSR out of.
     pub fn light() -> Self {
-        Pipeline::from_ids(&[PassId::Cse, PassId::ConstProp, PassId::Adce])
+        Pipeline::light_keeping(&Default::default())
+    }
+
+    /// The light mix with a §5.2 liveness-extension keep-set.
+    pub fn light_keeping(keep: &std::collections::BTreeSet<crate::ValueId>) -> Self {
+        Pipeline::from_ids_keeping(&[PassId::Cse, PassId::ConstProp, PassId::Adce], keep)
     }
 
     /// Builds a pipeline from a list of pass ids (the custom-pass-list
     /// constructor pipeline specs use).
     pub fn from_ids(ids: &[PassId]) -> Self {
-        Pipeline::new(ids.iter().map(|id| id.build()).collect())
+        Pipeline::from_ids_keeping(ids, &Default::default())
+    }
+
+    /// Like [`Pipeline::from_ids`], with a §5.2 liveness-extension
+    /// keep-set threaded into every pass that honours one (ADCE, Sink):
+    /// how a tiered engine recompiles an arbitrary pipeline spec when a
+    /// deoptimization entry needs values the plain mix optimizes away.
+    pub fn from_ids_keeping(
+        ids: &[PassId],
+        keep: &std::collections::BTreeSet<crate::ValueId>,
+    ) -> Self {
+        Pipeline::new(ids.iter().map(|id| id.build_keeping(keep)).collect())
     }
 
     /// The passes in execution order.

@@ -18,7 +18,7 @@
 //!   counters across concurrent requests, compiles in the background, and
 //!   only fires once the shared code cache holds a ready version.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -26,8 +26,10 @@ use std::sync::{Arc, Mutex};
 use ssair::cfg::Cfg;
 use ssair::dom::DomTree;
 use ssair::feasibility::EntryTable;
+use ssair::interp::Frame;
 use ssair::loops::LoopInfo;
-use ssair::{Function, InstId};
+use ssair::reconstruct::Direction;
+use ssair::{BlockId, Function, InstId, Terminator};
 
 use crate::FunctionVersions;
 
@@ -64,9 +66,46 @@ impl fmt::Display for Tier {
 /// been visited across *all* frames of *all* requests.  A multi-tier
 /// policy reads the counter of the tier a frame currently runs to decide
 /// when the next rung becomes eligible.
+///
+/// Beyond hotness, the table holds the *speculation profile*: per-branch
+/// edge counters recorded while a function runs at the baseline tier
+/// (which successor each conditional branch took), shared uncommon-path
+/// hit counters for climbed frames whose execution contradicts that
+/// profile (observability: how contested a function's speculation is),
+/// and per-function deopt counts an adaptive ladder policy reads to
+/// demote its thresholds.  Block identity is preserved by every
+/// optimization pass, so edges profiled on the baseline CFG remain
+/// meaningful in any optimized version.
 #[derive(Default)]
 pub struct ProfileTable {
     counters: Mutex<HashMap<(String, Tier), Arc<AtomicU64>>>,
+    /// Baseline-profiled edge executions, nested per function (so reads
+    /// and steady-state flushes look up by `&str` without allocating) and
+    /// grouped per branch (so a bias query touches one entry).
+    edges: Mutex<HashMap<String, HashMap<BlockId, EdgeCounts>>>,
+    /// Uncommon-path hits observed from climbed frames, nested per
+    /// function: `tier, branch block → count`.
+    uncommon: Mutex<HashMap<String, UncommonCounts>>,
+    /// Speculation-failure deopts per function.
+    deopts: Mutex<HashMap<String, Arc<AtomicU64>>>,
+}
+
+/// Per-branch successor counts: which blocks a conditional branch jumped
+/// to, and how often (a conditional has two successors, so a flat vector
+/// beats a map).
+type EdgeCounts = Vec<(BlockId, u64)>;
+
+/// One function's uncommon-path hits, per `(tier, branch block)`.
+type UncommonCounts = HashMap<(Tier, BlockId), u64>;
+
+/// Looks up `map[function]` mutably, inserting an empty entry first when
+/// absent — without allocating a `String` on the steady-state (present)
+/// path.
+fn per_function<'m, V: Default>(map: &'m mut HashMap<String, V>, function: &str) -> &'m mut V {
+    if !map.contains_key(function) {
+        map.insert(function.to_string(), V::default());
+    }
+    map.get_mut(function).expect("just ensured")
 }
 
 impl ProfileTable {
@@ -91,6 +130,257 @@ impl ProfileTable {
             .filter(|((f, _), _)| f == function)
             .map(|(_, c)| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Records baseline-tier branch-edge executions in bulk (a frame's
+    /// controller batches its local observations and flushes them at
+    /// instrumented visits, so the shared map is not locked per branch).
+    pub fn record_edges(
+        &self,
+        function: &str,
+        batch: impl IntoIterator<Item = ((BlockId, BlockId), u64)>,
+    ) {
+        let mut map = self.edges.lock().expect("edge lock");
+        let branches = per_function(&mut map, function);
+        for ((from, to), n) in batch {
+            let succs = branches.entry(from).or_default();
+            match succs.iter_mut().find(|(s, _)| *s == to) {
+                Some((_, count)) => *count += n,
+                None => succs.push((to, n)),
+            }
+        }
+    }
+
+    /// The speculation verdict for `function`'s conditional branch at
+    /// `branch`, under `policy`: `Some(hot successor)` when the baseline
+    /// profile is biased enough to guard on, `None` when the branch is
+    /// unprofiled or too balanced.  Ties between equally-hot successors
+    /// break toward the lowest block id, so the verdict is deterministic
+    /// even under a degenerate `bias_percent ≤ 50`.
+    pub fn edge_bias(
+        &self,
+        function: &str,
+        branch: BlockId,
+        policy: &SpeculationPolicy,
+    ) -> Option<BlockId> {
+        let map = self.edges.lock().expect("edge lock");
+        let succs = map.get(function)?.get(&branch)?;
+        let mut total = 0u64;
+        let mut hot: Option<(BlockId, u64)> = None;
+        for (to, n) in succs {
+            total += n;
+            if hot.is_none_or(|(b, best)| *n > best || (*n == best && *to < b)) {
+                hot = Some((*to, *n));
+            }
+        }
+        let (succ, n) = hot?;
+        (total >= policy.min_samples && n * 100 >= total * policy.bias_percent as u64)
+            .then_some(succ)
+    }
+
+    /// Records uncommon-path hits in bulk (a frame's controller batches
+    /// its guard observations and flushes them at instrumented visits, so
+    /// the shared map is not locked per hit).
+    pub fn record_uncommon_batch(
+        &self,
+        function: &str,
+        tier: Tier,
+        batch: impl IntoIterator<Item = (BlockId, u64)>,
+    ) {
+        let mut map = self.uncommon.lock().expect("uncommon lock");
+        let hits = per_function(&mut map, function);
+        for (branch, n) in batch {
+            *hits.entry((tier, branch)).or_insert(0) += n;
+        }
+    }
+
+    /// The shared speculation-failure deopt counter for `function`
+    /// (created on first use) — cache the `Arc` instead of calling
+    /// [`ProfileTable::deopt_count`] on a hot path.
+    pub fn deopt_counter(&self, function: &str) -> Arc<AtomicU64> {
+        let mut map = self.deopts.lock().expect("deopt lock");
+        Arc::clone(
+            map.entry(function.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Total uncommon-path hits recorded for `function` across all tiers
+    /// and branches.
+    pub fn uncommon_hits(&self, function: &str) -> u64 {
+        let map = self.uncommon.lock().expect("uncommon lock");
+        map.get(function).map_or(0, |hits| hits.values().sum())
+    }
+
+    /// Counts one speculation-failure deopt of `function`; returns the
+    /// updated count.
+    pub fn record_deopt(&self, function: &str) -> u64 {
+        self.deopt_counter(function).fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Speculation-failure deopts recorded for `function`.
+    pub fn deopt_count(&self, function: &str) -> u64 {
+        let map = self.deopts.lock().expect("deopt lock");
+        map.get(function).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// When a climbed frame's speculation guards fire.
+///
+/// While a function runs at the baseline, every conditional branch's taken
+/// edge is profiled.  A branch whose profile is *biased* (at least
+/// `min_samples` observations, the hot successor drawing at least
+/// `bias_percent` of them) becomes a speculation guard in every climbed
+/// version: the optimized code is presumed shaped for the hot path, and
+/// each execution of the cold edge counts as an uncommon-path hit.
+///
+/// A guard fires only when the speculation is actually *wrong*, i.e. the
+/// frame's observed traffic contradicts the profile: at least `tolerance`
+/// uncommon hits on the branch since the last hop, **and** the frame's
+/// observed cold-path rate on that branch exceeds the rate the profile
+/// already allowed (`100 - bias_percent`).  A steady 95/5 branch under a
+/// 90% bias therefore never deopts — its cold path runs at the profiled
+/// rate — while a hot path that flips crosses both conditions within a
+/// few iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeculationPolicy {
+    /// Minimum profiled executions of a branch before it can bias.
+    pub min_samples: u64,
+    /// Percentage of executions the hot successor must draw (> 50).
+    pub bias_percent: u8,
+    /// Minimum uncommon-path hits on a branch within one climbed frame
+    /// before its guard may fire (the rate condition must also hold).
+    pub tolerance: u64,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        SpeculationPolicy {
+            min_samples: 16,
+            bias_percent: 90,
+            tolerance: 4,
+        }
+    }
+}
+
+/// Maps the instruction boundaries where conditional-branch outcomes
+/// become observable: the first non-φ, non-debug instruction of every
+/// block, paired with the block it opens.  When the interpreter pauses at
+/// such an instruction and the frame's `came_from` block ends in a
+/// conditional branch, exactly one edge `(came_from → block)` has been
+/// taken — which is how [`crate::runtime::Vm::run_tiered`] feeds
+/// [`TierController::observe_edge`] without any interpreter support
+/// beyond the existing per-instruction hook.
+///
+/// A branch arm may carry no observable instruction at all — lowering
+/// emits empty `else`/join blocks, and optimization can empty an arm the
+/// baseline profiled (CSE/sink/ADCE).  Such *transparent* blocks would be
+/// blind spots: the edge into them never fires the hook, and the next
+/// hook fires with `came_from` naming the empty block, not the branch.
+/// The observer therefore resolves single-predecessor chains of empty
+/// blocks back to their conditional branch at construction time, so an
+/// edge through an emptied arm is still attributed to the branch — and to
+/// the *same* successor id the baseline profiled, keeping bias keys
+/// comparable across versions.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeObserver {
+    /// First real instruction of each block → the block it opens.
+    entry_of: BTreeMap<InstId, BlockId>,
+    /// Blocks terminated by a conditional branch.
+    cond_blocks: BTreeSet<BlockId>,
+    /// Arriving with `came_from` = key witnesses this conditional edge:
+    /// the key block has no observable instruction, exactly one
+    /// predecessor, and chains (through equally transparent blocks) back
+    /// to a conditional branch.
+    transparent: BTreeMap<BlockId, (BlockId, BlockId)>,
+}
+
+impl EdgeObserver {
+    /// Builds the observer for one program version.
+    pub fn for_function(f: &Function) -> Self {
+        let blocks = f.block_ids();
+        let mut entry_of = BTreeMap::new();
+        let mut cond_blocks = BTreeSet::new();
+        let mut empty: BTreeSet<BlockId> = BTreeSet::new();
+        let mut preds: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for &b in &blocks {
+            match f
+                .block(b)
+                .insts
+                .iter()
+                .find(|i| !f.inst(**i).kind.is_phi() && !f.inst(**i).kind.is_dbg())
+            {
+                Some(first) => {
+                    entry_of.insert(*first, b);
+                }
+                None => {
+                    empty.insert(b);
+                }
+            }
+            match f.block(b).term {
+                Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    cond_blocks.insert(b);
+                    preds.entry(then_bb).or_default().push(b);
+                    preds.entry(else_bb).or_default().push(b);
+                }
+                Terminator::Br(t) => preds.entry(t).or_default().push(b),
+                Terminator::Ret(_) => {}
+            }
+        }
+        // Resolve each empty single-predecessor block to the conditional
+        // edge that dominates it, following chains of equally transparent
+        // blocks (chains are acyclic and short; iterate to a fixpoint).
+        let mut transparent: BTreeMap<BlockId, (BlockId, BlockId)> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for &b in &empty {
+                if transparent.contains_key(&b) {
+                    continue;
+                }
+                let Some([p]) = preds.get(&b).map(|v| v.as_slice()) else {
+                    continue; // no or multiple predecessors: ambiguous
+                };
+                let resolved = if cond_blocks.contains(p) {
+                    Some((*p, b))
+                } else {
+                    transparent.get(p).copied()
+                };
+                if let Some(edge) = resolved {
+                    transparent.insert(b, edge);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        EdgeObserver {
+            entry_of,
+            cond_blocks,
+            transparent,
+        }
+    }
+
+    /// The conditional edge `(branch block, taken successor)` whose
+    /// execution the pause at `at` witnesses, if any: `at` opens its
+    /// block, and the frame arrived either directly from a conditional
+    /// branch or through a transparent (empty, single-predecessor) chain
+    /// from one.  The free checks run first — this is consulted for every
+    /// instruction the interpreter executes.
+    pub fn taken_edge(&self, frame: &Frame, at: InstId) -> Option<(BlockId, BlockId)> {
+        let from = frame.came_from?;
+        let edge = if self.cond_blocks.contains(&from) {
+            None // the direct edge, resolved after the entry check
+        } else {
+            Some(*self.transparent.get(&from)?)
+        };
+        let block = *self.entry_of.get(&at)?;
+        if block != frame.block {
+            return None;
+        }
+        Some(edge.unwrap_or((from, block)))
     }
 }
 
@@ -126,14 +416,22 @@ pub enum TierDecision {
     /// precomputed [`EntryTable`] (as a shared code cache does) instead of
     /// reconstructing at transition time.
     TierUpPrecomputed(Arc<FunctionVersions>, Arc<EntryTable>),
+    /// Attempt a deoptimizing (backward) transition out of the optimized
+    /// half of the given version pair into its baseline, reconstructing
+    /// compensation code on demand; on success the baseline runs to
+    /// completion — the debugger-attach tier-down of §7.
+    TierDown(Arc<FunctionVersions>),
+    /// Like [`TierDecision::TierDown`], but serve the backward transition
+    /// from a precomputed [`EntryTable`].
+    TierDownPrecomputed(Arc<FunctionVersions>, Arc<EntryTable>),
     /// Hop to an arbitrary program version through a precomputed (possibly
     /// composed, `fopt → fopt'`) entry table and *keep profiling there*:
-    /// unlike the `TierUp*` decisions, execution does not run to
-    /// completion after the transition — the interpreter re-instruments
+    /// unlike the `TierUp*`/`TierDown*` decisions, execution does not run
+    /// to completion after the transition — the interpreter re-instruments
     /// the target version's OSR points and keeps consulting the
-    /// controller, so a frame can climb a whole tier ladder (and the
-    /// controller is told each landing via
-    /// [`TierController::on_transition`]).
+    /// controller, so a frame can climb a whole tier ladder, fall back off
+    /// it when a speculation guard fails, and climb again (the controller
+    /// is told each landing via [`TierController::on_transition`]).
     Transition(TierTarget),
 }
 
@@ -147,6 +445,13 @@ pub struct TierTarget {
     /// table or a composed version-to-version table
     /// (`ssair::feasibility::compose_entries`).
     pub table: Arc<EntryTable>,
+    /// The *semantic* direction of the hop — `Forward` for a climb,
+    /// `Backward` for a guard-driven tier-down.  Recorded on the resulting
+    /// [`crate::runtime::OsrEvent`] instead of the table's own direction,
+    /// because a composed down-hop (e.g. `O2 → O1` routed through the
+    /// baseline) is served by a table whose final stage is a *forward*
+    /// entry table.
+    pub direction: Direction,
 }
 
 /// Receives visit counts for instrumented points and decides when the
@@ -155,6 +460,28 @@ pub trait TierController {
     /// Called on every visit of instrumented point `at`; `count` is the
     /// cumulative visit count within the current frame.
     fn observe(&mut self, at: InstId, count: usize) -> TierDecision;
+
+    /// Whether this controller wants [`TierController::observe_edge`]
+    /// callbacks.  Defaults to `false`, which lets the interpreter skip
+    /// building and consulting the per-instruction [`EdgeObserver`]
+    /// entirely — controllers that implement `observe_edge` must override
+    /// this to `true`.
+    fn observes_edges(&self) -> bool {
+        false
+    }
+
+    /// Called whenever the frame enters a block along a conditional-branch
+    /// edge `from → to`, at the block's first real instruction `at` (or
+    /// the first real instruction downstream of a transparent chain, see
+    /// [`EdgeObserver`]) — the speculation-guard hook.  Only consulted
+    /// when [`TierController::observes_edges`] returns `true`.  A
+    /// controller profiles these at the baseline tier and, in a climbed
+    /// frame, may answer with a deoptimizing [`TierDecision::Transition`]
+    /// when the taken edge contradicts the recorded bias often enough.
+    /// Default: keep going.
+    fn observe_edge(&mut self, _from: BlockId, _to: BlockId, _at: InstId) -> TierDecision {
+        TierDecision::Continue
+    }
 
     /// Called when a requested transition was infeasible at `at` (no
     /// landing site or no compensation code); the interpreter carries on
@@ -261,5 +588,126 @@ mod tests {
         assert_eq!(p.visit(InstId(3)), Some(1));
         assert_eq!(p.visit(InstId(3)), Some(2));
         assert_eq!(p.counters().get(&InstId(3)), Some(&2));
+    }
+
+    #[test]
+    fn edge_bias_needs_samples_and_skew() {
+        let t = ProfileTable::default();
+        let policy = SpeculationPolicy {
+            min_samples: 10,
+            bias_percent: 90,
+            tolerance: 4,
+        };
+        let branch = BlockId(5);
+        let hot = BlockId(6);
+        let cold = BlockId(7);
+        assert_eq!(t.edge_bias("f", branch, &policy), None, "unprofiled");
+        t.record_edges("f", [((branch, hot), 9u64)]);
+        assert_eq!(t.edge_bias("f", branch, &policy), None, "below min_samples");
+        t.record_edges("f", [((branch, hot), 9u64)]);
+        assert_eq!(t.edge_bias("f", branch, &policy), Some(hot), "18/18 hot");
+        t.record_edges("f", [((branch, cold), 3u64)]);
+        assert_eq!(
+            t.edge_bias("f", branch, &policy),
+            None,
+            "18/21 < 90%: the bias dissolves once the cold path gets share"
+        );
+        assert_eq!(t.edge_bias("g", branch, &policy), None, "per function");
+    }
+
+    #[test]
+    fn deopt_and_uncommon_counters_accumulate() {
+        let t = ProfileTable::default();
+        assert_eq!(t.deopt_count("f"), 0);
+        assert_eq!(t.record_deopt("f"), 1);
+        assert_eq!(t.record_deopt("f"), 2);
+        assert_eq!(t.deopt_count("f"), 2);
+        assert_eq!(t.deopt_count("g"), 0);
+        t.deopt_counter("f").fetch_add(1, Ordering::Relaxed);
+        assert_eq!(t.deopt_count("f"), 3, "counter Arc is the same counter");
+        t.record_uncommon_batch("f", Tier(2), [(BlockId(1), 2)]);
+        t.record_uncommon_batch("f", Tier(1), [(BlockId(1), 1)]);
+        assert_eq!(t.uncommon_hits("f"), 3);
+        assert_eq!(t.uncommon_hits("g"), 0);
+    }
+
+    #[test]
+    fn edge_observer_sees_conditional_entries_only() {
+        let m = minic::compile(
+            "fn f(x) {
+                 var r = 0;
+                 if (x > 3) { r = x * 2; } else { r = x - 1; }
+                 return r;
+             }",
+        )
+        .unwrap();
+        let f = m.get("f").unwrap();
+        let obs = EdgeObserver::for_function(f);
+        // Find the conditional branch and its successors.
+        let (branch, then_bb) = f
+            .block_ids()
+            .into_iter()
+            .find_map(|b| match f.block(b).term {
+                ssair::Terminator::CondBr { then_bb, .. } => Some((b, then_bb)),
+                _ => None,
+            })
+            .expect("an if lowers to a cond-br");
+        let entry = f
+            .block(then_bb)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| !f.inst(*i).kind.is_phi() && !f.inst(*i).kind.is_dbg())
+            .expect("then block has a real instruction");
+        let mut frame = crate::runtime::Vm::new(m.clone())
+            .module
+            .get("f")
+            .map(|f| ssair::interp::Frame::enter(f, &[ssair::interp::Val::Int(5)]))
+            .unwrap();
+        frame.block = then_bb;
+        frame.came_from = Some(branch);
+        assert_eq!(obs.taken_edge(&frame, entry), Some((branch, then_bb)));
+        frame.came_from = None;
+        assert_eq!(obs.taken_edge(&frame, entry), None, "no incoming edge");
+    }
+
+    #[test]
+    fn edge_observer_attributes_edges_through_empty_arms() {
+        use ssair::{BinOp, FunctionBuilder, Ty};
+        // cond ──► empty_arm ──► join        (then: no real instruction)
+        //      └──────────────► join        (else: direct)
+        let mut b = FunctionBuilder::new("g", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let three = b.const_i64(3);
+        let cmp = b.binop(BinOp::Gt, x, three);
+        let cond = b.current_block();
+        let empty_arm = b.create_block("empty_arm");
+        let join = b.create_block("join");
+        b.cond_br(cmp, empty_arm, join);
+        b.switch_to(empty_arm);
+        b.br(join);
+        b.switch_to(join);
+        let r = b.binop(BinOp::Add, x, three);
+        b.ret(Some(r));
+        let f = b.finish();
+        ssair::verify(&f).unwrap();
+
+        let obs = EdgeObserver::for_function(&f);
+        let join_entry = f
+            .block(join)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| !f.inst(*i).kind.is_phi() && !f.inst(*i).kind.is_dbg())
+            .unwrap();
+        let mut frame = ssair::interp::Frame::enter(&f, &[ssair::interp::Val::Int(5)]);
+        frame.block = join;
+        // Through the empty arm: attributed to the branch's edge into the
+        // arm (the id the baseline would have profiled, were it non-empty).
+        frame.came_from = Some(empty_arm);
+        assert_eq!(obs.taken_edge(&frame, join_entry), Some((cond, empty_arm)));
+        // Direct else edge: attributed as usual.
+        frame.came_from = Some(cond);
+        assert_eq!(obs.taken_edge(&frame, join_entry), Some((cond, join)));
     }
 }

@@ -11,13 +11,16 @@ use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
 use ssair::feasibility::{landing_site, EntryTable, Landing};
 use ssair::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
-use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
-use ssair::{Function, InstId, Module};
+use ssair::reconstruct::{apply_comp, CompStep, Direction, SsaEntry, Variant};
+use ssair::{Function, InstId, InstKind, Module, ValueDef, ValueId};
 
 use crate::continuation::extract_continuation;
-use crate::profile::{HotnessProfiler, TierController, TierDecision, TierTarget};
+use crate::profile::{EdgeObserver, HotnessProfiler, TierController, TierDecision, TierTarget};
 use crate::FunctionVersions;
 
 pub use crate::profile::loop_header_points;
@@ -203,20 +206,27 @@ impl Vm {
         self.run_tiered(&versions.base, args, &policy.into(), &mut controller)
     }
 
-    /// The tiered-execution core: interprets `base`, counts visits to the
-    /// running version's loop-header OSR points, and consults `controller`
-    /// at each visit.
+    /// The tiered-execution core — the single frame-surgery code path
+    /// every execution mode is built on.  Interprets `base`, counts visits
+    /// to the running version's loop-header OSR points, reports every
+    /// conditional-branch edge taken (the speculation-guard hook,
+    /// [`TierController::observe_edge`]), and consults `controller` at
+    /// each observation.
     ///
     /// When the controller returns [`TierDecision::TierUp`] (or its
     /// precomputed flavour), an optimizing transition into the supplied
     /// version pair is attempted; on success the optimized version runs to
-    /// completion.  When it returns [`TierDecision::Transition`], the frame
-    /// hops into the target version through the supplied (possibly
-    /// composed) entry table via direct frame surgery and *stays under
-    /// profiling*: the target's OSR points are instrumented and the
-    /// controller keeps observing, so a frame can climb a whole tier
-    /// ladder (`O0 → O1 → O2 → …`) without ever re-entering an earlier
-    /// version.  Infeasible attempts of either kind notify
+    /// completion.  [`TierDecision::TierDown`] and its precomputed
+    /// flavour are the symmetric deoptimizing run-to-completion
+    /// transitions (the §7 debugger attach).  When the controller returns
+    /// [`TierDecision::Transition`], the frame hops into the target
+    /// version through the supplied (possibly composed) entry table via
+    /// direct frame surgery and *stays under profiling*: the target's OSR
+    /// points and branch edges are re-instrumented and the controller
+    /// keeps observing, so a frame can climb a whole tier ladder
+    /// (`O0 → O1 → O2 → …`), deopt back down mid-loop when a speculation
+    /// guard fails (the hop's [`TierTarget::direction`] marks it
+    /// `Backward`), and re-climb.  Infeasible attempts of any kind notify
     /// [`TierController::on_infeasible`] and interpretation continues;
     /// successful ladder hops notify [`TierController::on_transition`].
     ///
@@ -231,7 +241,7 @@ impl Vm {
         controller: &mut dyn TierController,
     ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
         enum Pending {
-            Legacy(Arc<FunctionVersions>, Option<Arc<EntryTable>>),
+            Legacy(Arc<FunctionVersions>, Option<Arc<EntryTable>>, Direction),
             Ladder(TierTarget),
         }
 
@@ -245,8 +255,18 @@ impl Vm {
         'version: loop {
             let current: &Function = owned.as_deref().unwrap_or(base);
             let profiler = RefCell::new(HotnessProfiler::for_function(current));
+            // Edge observation is opt-in: modes without speculation guards
+            // (debugger deopts, plain thresholds) pay nothing for it.
+            let edges = controller
+                .observes_edges()
+                .then(|| EdgeObserver::for_function(current));
             let controller = RefCell::new(&mut *controller);
             let pending: RefCell<Option<Pending>> = RefCell::new(None);
+            // After an infeasible hop the frame resumes at the very
+            // instruction it paused on, and the hook would observe the
+            // same physical visit (edge and hotness) a second time —
+            // suppress exactly that one re-entry.
+            let suppress = std::cell::Cell::new(None::<InstId>);
 
             loop {
                 let outcome = run_frame(
@@ -254,19 +274,50 @@ impl Vm {
                     &mut frame,
                     &mut machine,
                     &self.module,
-                    Some(&|_f, _fr, i| {
-                        let Some(count) = profiler.borrow_mut().visit(i) else {
+                    Some(&|_f, fr, i| {
+                        if suppress.take() == Some(i) {
                             return false;
-                        };
-                        match controller.borrow_mut().observe(i, count) {
+                        }
+                        // Speculation guards first: entering a block along
+                        // a conditional edge is reported before the
+                        // hotness check, so a guard can fire at the very
+                        // instruction that witnessed the uncommon path.
+                        let mut decision = TierDecision::Continue;
+                        if let Some((from, to)) = edges.as_ref().and_then(|e| e.taken_edge(fr, i)) {
+                            decision = controller.borrow_mut().observe_edge(from, to, i);
+                        }
+                        if matches!(decision, TierDecision::Continue) {
+                            let Some(count) = profiler.borrow_mut().visit(i) else {
+                                return false;
+                            };
+                            decision = controller.borrow_mut().observe(i, count);
+                        }
+                        match decision {
                             TierDecision::Continue => false,
                             TierDecision::TierUp(versions) => {
-                                *pending.borrow_mut() = Some(Pending::Legacy(versions, None));
+                                *pending.borrow_mut() =
+                                    Some(Pending::Legacy(versions, None, Direction::Forward));
                                 true
                             }
                             TierDecision::TierUpPrecomputed(versions, table) => {
+                                *pending.borrow_mut() = Some(Pending::Legacy(
+                                    versions,
+                                    Some(table),
+                                    Direction::Forward,
+                                ));
+                                true
+                            }
+                            TierDecision::TierDown(versions) => {
                                 *pending.borrow_mut() =
-                                    Some(Pending::Legacy(versions, Some(table)));
+                                    Some(Pending::Legacy(versions, None, Direction::Backward));
+                                true
+                            }
+                            TierDecision::TierDownPrecomputed(versions, table) => {
+                                *pending.borrow_mut() = Some(Pending::Legacy(
+                                    versions,
+                                    Some(table),
+                                    Direction::Backward,
+                                ));
                                 true
                             }
                             TierDecision::Transition(target) => {
@@ -284,10 +335,10 @@ impl Vm {
                             .take()
                             .expect("paused only when a transition was requested");
                         match hop {
-                            Pending::Legacy(versions, table) => {
+                            Pending::Legacy(versions, table, direction) => {
                                 match self.transition(
                                     &versions,
-                                    Direction::Forward,
+                                    direction,
                                     &frame,
                                     &mut machine,
                                     at,
@@ -303,12 +354,13 @@ impl Vm {
                                         // (the controller must not re-request
                                         // at this point).
                                         controller.borrow_mut().on_infeasible(at);
+                                        suppress.set(Some(at));
                                         continue;
                                     }
                                 }
                             }
                             Pending::Ladder(t) => {
-                                match table_hop(&t.table, &t.target, &frame, &mut machine, at) {
+                                match table_hop(&t, current, &frame, &mut machine, at) {
                                     Some((next_frame, event)) => {
                                         events.push(event);
                                         controller.borrow_mut().on_transition(at);
@@ -318,6 +370,7 @@ impl Vm {
                                     }
                                     None => {
                                         controller.borrow_mut().on_infeasible(at);
+                                        suppress.set(Some(at));
                                         continue;
                                     }
                                 }
@@ -367,6 +420,12 @@ impl Vm {
         self.run_deopt_inner(versions, args, policy, Some(table))
     }
 
+    /// The deopt path is the same tiered loop as everything else: a
+    /// threshold controller over the *optimized* version's instrumented
+    /// points answers [`TierDecision::TierDown`] (or its precomputed
+    /// flavour) once a point reaches `policy.after_visits`, and
+    /// [`Vm::run_tiered`] performs the backward transition through the
+    /// shared frame-surgery machinery.
     fn run_deopt_inner(
         &self,
         versions: &FunctionVersions,
@@ -374,42 +433,39 @@ impl Vm {
         policy: &DeoptPolicy,
         table: Option<&EntryTable>,
     ) -> Result<(Option<Val>, Vec<OsrEvent>), ExecError> {
-        let opt = &versions.opt;
-        let mut machine = Machine::new(self.fuel);
-        let mut frame = Frame::enter(opt, args);
-        let mut events = Vec::new();
-        let profiler = RefCell::new(HotnessProfiler::for_function(opt));
-        let threshold = policy.after_visits;
-
-        loop {
-            let outcome = run_frame(
-                opt,
-                &mut frame,
-                &mut machine,
-                &self.module,
-                Some(&|_f, _fr, i| profiler.borrow_mut().visit(i) == Some(threshold)),
-            )?;
-            match outcome {
-                StepOutcome::Returned(v) => return Ok((v, events)),
-                StepOutcome::Paused { at } => {
-                    match self.transition(
-                        versions,
-                        Direction::Backward,
-                        &frame,
-                        &mut machine,
-                        at,
-                        &policy.options,
-                        table,
-                    )? {
-                        Some((result, event)) => {
-                            events.push(event);
-                            return Ok((result, events));
-                        }
-                        None => continue,
+        // Clone the version pair (and table) only if the threshold fires.
+        struct DeoptThreshold<'a> {
+            threshold: usize,
+            versions: &'a FunctionVersions,
+            table: Option<&'a EntryTable>,
+            cached: Option<(Arc<FunctionVersions>, Option<Arc<EntryTable>>)>,
+        }
+        impl TierController for DeoptThreshold<'_> {
+            fn observe(&mut self, _at: InstId, count: usize) -> TierDecision {
+                if count != self.threshold {
+                    return TierDecision::Continue;
+                }
+                let (versions, table) = self.cached.get_or_insert_with(|| {
+                    (
+                        Arc::new(self.versions.clone()),
+                        self.table.map(|t| Arc::new(t.clone())),
+                    )
+                });
+                match table {
+                    Some(t) => {
+                        TierDecision::TierDownPrecomputed(Arc::clone(versions), Arc::clone(t))
                     }
+                    None => TierDecision::TierDown(Arc::clone(versions)),
                 }
             }
         }
+        let mut controller = DeoptThreshold {
+            threshold: policy.after_visits,
+            versions,
+            table,
+            cached: None,
+        };
+        self.run_tiered(&versions.opt, args, &policy.options, &mut controller)
     }
 
     /// Attempts a transition at source location `at`; on success runs the
@@ -457,8 +513,10 @@ impl Vm {
             entry_owned = e;
             &entry_owned
         };
-        // Compensation code runs now, against the live source frame.
-        let Ok(env) = apply_comp(entry, dst_fn, &frame.values, machine) else {
+        // Compensation code runs now, against the live source frame
+        // (rehydrated: see [`with_remat_consts`]).
+        let values = with_remat_consts(entry, src_fn, &frame.values);
+        let Ok(env) = apply_comp(entry, dst_fn, &values, machine) else {
             return Ok(None);
         };
         let comp_size = entry.comp.emit_count();
@@ -527,23 +585,69 @@ impl Vm {
     }
 }
 
+/// Rehydrates a frame for an outgoing transition: any `Transfer` source
+/// the frame is missing whose definition in the *source* version is a
+/// plain constant is rematerialized into the value map.
+///
+/// A frame that entered its version mid-function — a deopt landing, or
+/// any ladder hop — carries only the values the incoming compensation
+/// transferred (the live set at the landing).  A later outgoing entry may
+/// read a value that every *normally-entered* frame has computed but this
+/// one never will, most commonly an entry-block constant the optimizer
+/// reuses (CSE) deeper in the function.  Constants are free
+/// rematerializations (the §5.1 observation that lets LICM hoist them
+/// without recording a move), so supplying them here is always sound —
+/// and it is exactly what keeps the speculation lifecycle closed: without
+/// it, a frame that deopted mid-loop could never take the tier-up table
+/// back out of the baseline.
+fn with_remat_consts<'v>(
+    entry: &SsaEntry,
+    source: &Function,
+    values: &'v BTreeMap<ValueId, Val>,
+) -> Cow<'v, BTreeMap<ValueId, Val>> {
+    let mut out = Cow::Borrowed(values);
+    for step in &entry.comp.steps {
+        let CompStep::Transfer { src, .. } = step else {
+            continue;
+        };
+        if values.contains_key(src) || (src.0 as usize) >= source.value_count() {
+            continue;
+        }
+        let ValueDef::Inst(i) = source.value_def(*src) else {
+            continue;
+        };
+        if !source.inst_is_live(i) {
+            continue;
+        }
+        if let InstKind::Const(n) = source.inst(i).kind {
+            out.to_mut().insert(*src, Val::Int(n));
+        }
+    }
+    out
+}
+
 /// Serves one table-driven ladder hop: resolves `at` in the entry table,
 /// runs the compensation code against the live source frame, and builds a
-/// frame of `target` positioned at the landing location (direct frame
-/// surgery — continuation functions renumber instruction ids, which would
-/// orphan the target's precomputed tables for later hops).
+/// frame of the target version positioned at the landing location (direct
+/// frame surgery — continuation functions renumber instruction ids, which
+/// would orphan the target's precomputed tables for later hops).  The
+/// recorded event carries the hop's *semantic* direction
+/// ([`TierTarget::direction`]), not the table's: a composed down-hop ends
+/// in a forward table but is still a deopt.
 ///
 /// Returns `None` when the table has no entry at `at` or the compensation
 /// code cannot execute (the hop is infeasible here).
 fn table_hop(
-    table: &EntryTable,
-    target: &Function,
+    t: &TierTarget,
+    source: &Function,
     frame: &Frame,
     machine: &mut Machine,
     at: InstId,
 ) -> Option<(Frame, OsrEvent)> {
-    let (landing, entry) = table.get(at)?;
-    let env = apply_comp(entry, target, &frame.values, machine).ok()?;
+    let target: &Function = &t.target;
+    let (landing, entry) = t.table.get(at)?;
+    let values = with_remat_consts(entry, source, &frame.values);
+    let env = apply_comp(entry, target, &values, machine).ok()?;
     let loc = landing.loc;
     let block = target.block_of(loc).expect("landing is live");
     let index = target
@@ -567,7 +671,7 @@ fn table_hop(
             came_from: None,
         },
         OsrEvent {
-            direction: table.direction,
+            direction: t.direction,
             from: at,
             to: loc,
             comp_size,

@@ -41,9 +41,179 @@ pub fn all_kernels() -> Vec<Kernel> {
     ]
 }
 
-/// The MiniC source of one kernel by name.
+/// The MiniC source of one kernel by name (searching the Table 2 set, the
+/// speculation set and the call-graph set).
 pub fn kernel_source(name: &str) -> Option<Kernel> {
-    all_kernels().into_iter().find(|k| k.name == name)
+    all_kernels()
+        .into_iter()
+        .chain(speculation_kernels())
+        .chain(call_graph_kernels())
+        .find(|k| k.name == name)
+}
+
+/// Branch-skewed kernels whose hot path *flips* mid-stream: the first
+/// `flip` iterations overwhelmingly take one side of a conditional (long
+/// enough for a profile-driven engine to bias and tier up on it), after
+/// which the traffic shifts to the other side — forcing real speculation
+/// failures, guard-driven deopts, and (once the shared profile catches up
+/// with the shift) re-climbs.  Both arms depend on loop-carried state so
+/// the optimizer cannot hoist or sink either away.
+pub fn speculation_kernels() -> Vec<Kernel> {
+    vec![branch_flip(), phase_filter()]
+}
+
+/// Kernels whose entry function calls helper functions (some with their
+/// own hot loops), so a shared code cache sees cross-function traffic:
+/// requests for the entry, the helpers, or both compete for compile
+/// workers and cache slots.
+pub fn call_graph_kernels() -> Vec<Kernel> {
+    vec![poly_sum(), checksum_pipeline(), grid_blur()]
+}
+
+/// branch_flip: an accumulation loop whose data-dependent branch takes the
+/// "fast" arm for the first `flip` iterations and the "slow" arm after.
+fn branch_flip() -> Kernel {
+    let source = function("branch_flip", &["n", "flip"], |b| {
+        b.line("var acc = 0;");
+        b.open("for (var i = 0; i < n; i = i + 1)");
+        b.open("if (i < flip)");
+        b.line("acc = acc + i * 3 - (acc >> 4);");
+        b.close();
+        b.open("else");
+        b.line("acc = acc + ((i ^ acc) & 255) * 7 - (acc % 13);");
+        b.close();
+        b.close();
+        b.line("return acc;");
+    });
+    Kernel {
+        name: "branch_flip",
+        source,
+        entry: "branch_flip",
+        sample_args: vec![400, 300],
+    }
+}
+
+/// phase_filter: a windowed filter whose clamp branch almost never fires
+/// during the warm-up phase and almost always fires after it.
+fn phase_filter() -> Kernel {
+    let source = function("phase_filter", &["n", "flip"], |b| {
+        b.line("var px[64];");
+        b.open("for (var i = 0; i < 64; i = i + 1)");
+        b.line("px[i] = (i * 37) & 255;");
+        b.close();
+        b.line("var acc = 0;");
+        b.open("for (var i = 0; i < n; i = i + 1)");
+        b.line("var idx = i & 63;");
+        b.line("var v = px[idx] + (acc & 7);");
+        b.open("if (i < flip)");
+        b.line("acc = acc + v;");
+        b.close();
+        b.open("else");
+        b.line("px[idx] = v / 2 + 1;");
+        b.line("acc = acc + px[idx] * 3 - (acc % 11);");
+        b.close();
+        b.close();
+        b.line("return acc;");
+    });
+    Kernel {
+        name: "phase_filter",
+        source,
+        entry: "phase_filter",
+        sample_args: vec![500, 350],
+    }
+}
+
+/// poly_sum: Horner-step helper called twice per iteration of the driver
+/// loop; the helper is straight-line, the driver owns the hot loop.
+fn poly_sum() -> Kernel {
+    let mut b = SrcBuilder::new();
+    b.open("fn poly_step(acc, c, x)");
+    b.line("return acc * x + c;");
+    b.close();
+    b.open("fn poly_sum(n, seed)");
+    b.line("var acc = 0;");
+    b.line("var x = (seed & 7) + 2;");
+    b.open("for (var i = 0; i < n; i = i + 1)");
+    b.line("var h = 1;");
+    b.line("h = poly_step(h, 3 + (i & 3), x);");
+    b.line("h = poly_step(h, 5, x - 1);");
+    b.line("acc = (acc + h) % 65537;");
+    b.close();
+    b.line("return acc;");
+    b.close();
+    Kernel {
+        name: "poly_sum",
+        source: b.finish(),
+        entry: "poly_sum",
+        sample_args: vec![60, 9],
+    }
+}
+
+/// checksum_pipeline: a mixing helper with its *own* loop (so the helper
+/// tiers up independently under direct traffic) called by the driver.
+fn checksum_pipeline() -> Kernel {
+    let mut b = SrcBuilder::new();
+    b.open("fn mix_rounds(v, rounds)");
+    b.line("var m = v;");
+    b.open("for (var r = 0; r < rounds; r = r + 1)");
+    b.line("m = ((m << 3) ^ (m >> 5)) + r * 2654435761;");
+    b.line("m = m % 1048576;");
+    b.close();
+    b.line("return m;");
+    b.close();
+    b.open("fn checksum(n, seed)");
+    b.line("var acc = seed;");
+    b.open("for (var i = 0; i < n; i = i + 1)");
+    b.line("acc = (acc + mix_rounds(acc + i, 6)) % 2147483647;");
+    b.close();
+    b.line("return acc;");
+    b.close();
+    Kernel {
+        name: "checksum",
+        source: b.finish(),
+        entry: "checksum",
+        sample_args: vec![40, 123],
+    }
+}
+
+/// grid_blur: neighbour averaging over a grid, clamping through a helper
+/// call on every pixel.
+fn grid_blur() -> Kernel {
+    let mut b = SrcBuilder::new();
+    b.open("fn clamp255(v)");
+    b.open("if (v < 0)");
+    b.line("return 0;");
+    b.close();
+    b.open("if (v > 255)");
+    b.line("return 255;");
+    b.close();
+    b.line("return v;");
+    b.close();
+    b.open("fn grid_blur(n, seed)");
+    b.line("var img[64];");
+    b.line("var s = seed;");
+    b.open("for (var i = 0; i < 64; i = i + 1)");
+    b.line("s = (s * 48271) % 2147483647;");
+    b.line("img[i] = s & 255;");
+    b.close();
+    b.open("for (var pass = 0; pass < n; pass = pass + 1)");
+    b.open("for (var i = 1; i < 63; i = i + 1)");
+    b.line("var v = (img[i - 1] + 2 * img[i] + img[i + 1]) / 4;");
+    b.line("img[i] = clamp255(v - pass + 1);");
+    b.close();
+    b.close();
+    b.line("var acc = 0;");
+    b.open("for (var i = 0; i < 64; i = i + 1)");
+    b.line("acc = acc + img[i] * (i + 1);");
+    b.close();
+    b.line("return acc;");
+    b.close();
+    Kernel {
+        name: "grid_blur",
+        source: b.finish(),
+        entry: "grid_blur",
+        sample_args: vec![5, 77],
+    }
 }
 
 /// Emits `count` mixing statements over the given scalar pool.
@@ -726,6 +896,52 @@ fn vp8() -> Kernel {
 mod tests {
     use super::*;
     use ssair::interp::{run_function, Val};
+
+    #[test]
+    fn speculation_and_call_graph_kernels_compile_and_run() {
+        for k in speculation_kernels()
+            .into_iter()
+            .chain(call_graph_kernels())
+        {
+            let m = minic::compile(&k.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
+            let f = m
+                .get(k.entry)
+                .unwrap_or_else(|| panic!("{} missing", k.entry));
+            ssair::verify(f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let args: Vec<Val> = k.sample_args.iter().map(|n| Val::Int(*n)).collect();
+            let out = run_function(f, &args, &m, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
+            assert!(out.is_some(), "{} returns a value", k.name);
+        }
+    }
+
+    #[test]
+    fn call_graph_kernels_have_multiple_functions() {
+        for k in call_graph_kernels() {
+            let m = minic::compile(&k.source).unwrap();
+            assert!(
+                m.functions.len() >= 2,
+                "{}: a call-graph kernel ships its callees",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_kernels_flip_their_hot_branch() {
+        // The two phases must produce different work (different results
+        // for all-common vs all-uncommon traffic), or the flip would not
+        // exercise the guards.
+        for k in speculation_kernels() {
+            let m = minic::compile(&k.source).unwrap();
+            let f = m.get(k.entry).unwrap();
+            let n = 200;
+            let common = run_function(f, &[Val::Int(n), Val::Int(n)], &m, 50_000_000).unwrap();
+            let uncommon = run_function(f, &[Val::Int(n), Val::Int(0)], &m, 50_000_000).unwrap();
+            assert_ne!(common, uncommon, "{}: phases must differ", k.name);
+        }
+    }
 
     #[test]
     fn all_kernels_compile_and_run() {

@@ -8,7 +8,12 @@
 //! * [`kernels`] — twelve hand-modelled MiniC kernels, one per Table 2
 //!   row, shaped after each benchmark's hot function (loop nests,
 //!   branching density, arithmetic mix) and sized to the same order of
-//!   magnitude of baseline IR instructions;
+//!   magnitude of baseline IR instructions; plus two stress sets for the
+//!   tiered engine: [`kernels::speculation_kernels`] (branch-skewed loops
+//!   whose hot path flips mid-stream, forcing guard-driven deopts and
+//!   re-climbs) and [`kernels::call_graph_kernels`] (entries calling
+//!   helper functions, so the shared code cache sees cross-function
+//!   traffic);
 //! * [`corpus`] — a seeded generator producing a SPEC-like corpus of
 //!   functions per benchmark for the §7 debugging study, with function
 //!   counts scaled from the paper's `|F_tot|` column.
@@ -24,4 +29,4 @@ pub use corpus::{
     corpus_benchmarks, generate_corpus, request_mix, request_mix_zipf, CorpusSpec,
     DEFAULT_ZIPF_EXPONENT,
 };
-pub use kernels::{all_kernels, kernel_source, Kernel};
+pub use kernels::{all_kernels, call_graph_kernels, kernel_source, speculation_kernels, Kernel};

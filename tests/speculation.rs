@@ -1,0 +1,430 @@
+//! Acceptance tests for the speculation subsystem: guard-driven
+//! tier-down, re-climb, and §5.2 keep-set recompiles.
+//!
+//! The first test drives the full speculation lifecycle through a single
+//! `ExecMode::Tiered` frame: baseline edge profiling biases a branch, the
+//! frame climbs to the top rung, the traffic flips to the uncommon path,
+//! a speculation guard deopts the frame mid-loop (O2 → O0, `Backward`,
+//! asserted from the engine event stream), and — still under profiling —
+//! the frame re-climbs.  The second set checks that a kernel whose named
+//! loop-local blocks the backward header entry under the plain O2
+//! pipeline (§5.2) is served by a keep-set recompiled version instead of
+//! falling back to baseline-only execution.
+
+use engine::{
+    DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
+    ResultEvent, SessionReport, Tier,
+};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+/// `(request, from, to, direction)` transition tuples of one request, in
+/// hop order.
+fn transitions(report: &SessionReport, request: u64) -> Vec<(Tier, Tier, Direction)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request: r,
+                from_tier,
+                to_tier,
+                event,
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier, event.direction)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn tiered_frame_deopts_on_guard_failure_and_reclimbs() {
+    let kernel = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "branch_flip")
+        .expect("branch_flip ships");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            // High O0 threshold: the warm-up requests below must stay at
+            // the baseline, feeding the edge profile only.
+            tiers: std::sync::Arc::new(LadderPolicy::two_tier(64, 24)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("branch_flip").expect("kernel exists");
+
+    let session = engine.start();
+    // Warm-up: short all-common-path runs bias the branch profile without
+    // crossing the O0 climb threshold (3 × ~9 header visits < 64).
+    for _ in 0..3 {
+        session.submit(Request::tiered(
+            "branch_flip",
+            vec![Val::Int(8), Val::Int(1_000_000)],
+        ));
+    }
+    // The long frame: common path until iteration 200 (climbing O0 → O1 →
+    // O2 on the way), uncommon path for the remaining 3800 iterations.
+    let long = Request::tiered("branch_flip", vec![Val::Int(4000), Val::Int(200)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    // Semantics are untouched by the whole lifecycle.
+    let vm = Vm::new(module);
+    let f = vm.module.get("branch_flip").unwrap();
+    let results = report.results();
+    assert_eq!(
+        results[&long_id].as_ref().expect("request succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    // The event stream shows a guard-driven deopt from the top rung…
+    let guard_deopts: Vec<(Tier, Tier, u64)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request,
+                from_tier,
+                to_tier,
+                reason: DeoptReason::GuardFailure { uncommon, .. },
+                ..
+            }) if *request == long_id.0 => Some((*from_tier, *to_tier, *uncommon)),
+            _ => None,
+        })
+        .collect();
+    // The guard needs both the tolerance and the rate condition: with
+    // ~139 conforming iterations on record before the flip, it fires
+    // once the cold path outweighs the profiled 10% allowance.
+    assert!(
+        guard_deopts
+            .iter()
+            .any(|(from, to, uncommon)| *from == Tier(2) && *to == Tier(0) && *uncommon >= 4),
+        "a speculation guard deopted the frame O2→O0: {guard_deopts:?}"
+    );
+
+    // …and a subsequent re-climb of the same frame.
+    let reclimbs: Vec<(Tier, Tier)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Reclimb {
+                request,
+                from_tier,
+                to_tier,
+                ..
+            }) if *request == long_id.0 => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        reclimbs.iter().any(|(from, _)| from.is_baseline()),
+        "the deopted frame re-climbed off the baseline: {reclimbs:?}"
+    );
+
+    // The hop sequence interleaves: climb to the top, fall off it, climb
+    // again — all within one frame, mid-loop.
+    let hops = transitions(&report, long_id.0);
+    let first_deopt = hops
+        .iter()
+        .position(|(_, _, d)| *d == Direction::Backward)
+        .expect("a backward hop fired");
+    assert_eq!(hops[first_deopt].0, Tier(2), "fell from the top rung");
+    assert!(
+        hops[first_deopt + 1..]
+            .iter()
+            .any(|(_, _, d)| *d == Direction::Forward),
+        "a forward hop follows the deopt: {hops:?}"
+    );
+
+    // Metrics agree with the stream, and the adaptive ladder recorded the
+    // speculation failures.
+    let metrics = report.metrics;
+    assert!(metrics.guard_failures >= 1, "{metrics}");
+    assert!(metrics.reclimbs >= 1, "{metrics}");
+    assert!(metrics.deopts >= 1, "{metrics}");
+    assert!(engine.total_hotness("branch_flip") > 0);
+    assert!(
+        engine.uncommon_hits("branch_flip") >= 4,
+        "the shared profile recorded the contested branch"
+    );
+    assert_eq!(engine.deopt_count("branch_flip"), metrics.deopts);
+}
+
+#[test]
+fn profile_consistent_traffic_never_deopts() {
+    // A branch that is cold a steady 1-in-20 iterations runs *at* its
+    // profiled rate: the guard's rate condition must keep the frame at
+    // the top rung instead of thrashing on absolute cold-hit counts.
+    let module = minic::compile(
+        "fn steady(n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 if ((i % 20) == 0) {
+                     acc = acc + (acc % 13) + 5;
+                 } else {
+                     acc = acc + i * 3 - (acc >> 4);
+                 }
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            // Profile long enough at the baseline to bias the branch
+            // (~61 common vs ~4 rare edges), then climb.
+            tiers: std::sync::Arc::new(LadderPolicy::two_tier(64, 24)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("steady").expect("kernel exists");
+    let long = Request::tiered("steady", vec![Val::Int(4000)]);
+    let report = engine.run_batch(std::slice::from_ref(&long));
+    let vm = Vm::new(module);
+    let f = vm.module.get("steady").unwrap();
+    assert_eq!(
+        report.results[0].as_ref().expect("request succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    assert!(
+        report.metrics.tier_ups >= 2,
+        "the frame climbed the ladder: {}",
+        report.metrics
+    );
+    assert_eq!(
+        report.metrics.guard_failures, 0,
+        "correct speculation must not be punished: {}",
+        report.metrics
+    );
+    assert_eq!(report.metrics.deopts, 0, "{}", report.metrics);
+}
+
+#[test]
+fn guard_deopts_are_deterministic_and_semantics_preserving() {
+    let kernel = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "phase_filter")
+        .expect("phase_filter ships");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let run = || -> Vec<Option<Val>> {
+        let engine = Engine::new(
+            module.clone(),
+            EnginePolicy {
+                tiers: std::sync::Arc::new(LadderPolicy::two_tier(16, 16)),
+                compile_workers: 1,
+                batch_workers: 1,
+                ..EnginePolicy::default()
+            },
+        );
+        engine.prewarm("phase_filter").unwrap();
+        let requests: Vec<Request> = (0..6)
+            .map(|k| Request::tiered("phase_filter", vec![Val::Int(600 + 50 * k), Val::Int(120)]))
+            .collect();
+        engine
+            .run_batch(&requests)
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "speculation cannot make results nondeterministic");
+    let vm = Vm::new(module.clone());
+    let f = vm.module.get("phase_filter").unwrap();
+    for (k, got) in a.iter().enumerate() {
+        let expected = vm
+            .run_plain(f, &[Val::Int(600 + 50 * k as i64), Val::Int(120)])
+            .unwrap();
+        assert_eq!(got, &expected, "request {k}");
+    }
+}
+
+/// A named loop-local lowers to a baseline φ that is dead in O2 yet
+/// needed on the loop's immediate exit path — the §5.2 scenario.
+fn blocked_module() -> Module {
+    minic::compile(
+        "fn blocked(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 var t = x * x + i;
+                 acc = acc + t - (t % 7);
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles")
+}
+
+#[test]
+fn plain_o2_blocks_the_backward_header_entry() {
+    // Negative control: without the keep-set recompile, the deopt-critical
+    // loop-header entry of the backward table is infeasible.
+    use ssair::feasibility::precompute_entries;
+    use ssair::passes::Pipeline;
+    use ssair::reconstruct::{OsrPair, Variant};
+
+    let module = blocked_module();
+    let base = module.get("blocked").unwrap().clone();
+    let (opt, cm, _) = Pipeline::standard().optimize(&base);
+    let pair = OsrPair::new(&base, &opt, &cm);
+    let table = precompute_entries(&pair, Direction::Backward, Variant::Avail);
+    let headers = tinyvm::profile::loop_header_points(&opt);
+    assert!(!headers.is_empty());
+    assert!(
+        headers.iter().any(|h| table.get(*h).is_none()),
+        "the plain O2 pipeline must reject the header entry for this \
+         kernel (else the keep-set test below proves nothing)"
+    );
+}
+
+#[test]
+fn engine_serves_blocked_kernel_through_keep_set_recompile() {
+    let module = blocked_module();
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::two_tier(8, 24)
+        },
+    );
+    // Start the session first: compile-side events (the keep-set
+    // recompile) stream to live subscribers only.
+    let session = engine.start();
+    engine.prewarm("blocked").expect("kernel exists");
+    // The published O2 artifact is the §5.2 keep-set recompiled version.
+    let cv = engine
+        .cache()
+        .get(&engine::CacheKey::new("blocked", PipelineSpec::O2))
+        .expect("O2 artifact published");
+    assert!(cv.extension_rounds >= 1, "keep-set recompile happened");
+    assert!(cv.keep >= 1, "at least one value kept alive");
+    let headers = tinyvm::profile::loop_header_points(&cv.opt);
+    assert!(
+        headers.iter().all(|h| cv.tier_down.get(*h).is_some()),
+        "every deopt-critical header entry is served after the recompile"
+    );
+
+    // A debugger attach deopts from the recompiled top rung through the
+    // previously-blocked header entry…
+    let attach = Request::debug("blocked", vec![Val::Int(5), Val::Int(60)]);
+    let attach_id = session.submit(attach.clone());
+    // …and a tiered request still climbs the whole ladder on the
+    // recompiled artifacts (composed O1→O2 included).
+    let long = Request::tiered("blocked", vec![Val::Int(3), Val::Int(400)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("blocked").unwrap();
+    let results = report.results();
+    assert_eq!(
+        results[&attach_id].as_ref().expect("attach succeeds"),
+        &vm.run_plain(f, &attach.args).unwrap()
+    );
+    assert_eq!(
+        results[&long_id].as_ref().expect("tiered succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    assert_eq!(
+        transitions(&report, attach_id.0),
+        vec![(Tier(2), Tier(0), Direction::Backward)],
+        "the attach deopted through the keep-set recompiled backward table"
+    );
+    assert_eq!(
+        transitions(&report, long_id.0),
+        vec![
+            (Tier(0), Tier(1), Direction::Forward),
+            (Tier(1), Tier(2), Direction::Forward),
+        ],
+        "the tiered frame climbed the recompiled ladder"
+    );
+
+    // The recompile is observable in the event stream and metrics.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::ExtensionRecompiled {
+                function,
+                pipeline,
+                rounds,
+                kept,
+            }) if function == "blocked" && pipeline == "O2" && *rounds >= 1 && *kept >= 1
+        )),
+        "an ExtensionRecompiled event streamed"
+    );
+    assert!(report.metrics.extension_recompiles >= 1);
+    assert_eq!(
+        report
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ResultEvent::Engine(EngineEvent::Deopt {
+                    request, reason, ..
+                }) if *request == attach_id.0 => Some(reason.clone()),
+                _ => None,
+            })
+            .collect::<Vec<_>>(),
+        vec![DeoptReason::DebuggerAttach],
+        "the attach deopt carries its reason"
+    );
+}
+
+#[test]
+fn try_submit_sheds_load_when_the_session_queue_is_full() {
+    use engine::SubmitError;
+
+    let module = minic::compile(
+        "fn spin(n) {
+             var s = 0;
+             for (var i = 0; i < n; i = i + 1) { s = (s + i * 7) % 65537; }
+             return s;
+         }",
+    )
+    .unwrap();
+    let engine = Engine::new(
+        module,
+        EnginePolicy {
+            // Empty ladder: requests interpret all the way, keeping the
+            // single worker busy long enough to observe the bound.
+            tiers: std::sync::Arc::new(LadderPolicy::new(vec![])),
+            compile_workers: 1,
+            batch_workers: 1,
+            queue_depth: 2,
+            ..EnginePolicy::default()
+        },
+    );
+    let session = engine.start();
+    let slow = |n: i64| Request::tiered("spin", vec![Val::Int(n)]);
+    // Occupy the worker, then give it time to pick the request up.
+    session.submit(slow(2_000_000));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while session.waiting() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(session.waiting(), 0, "worker picked up the slow request");
+    // Two more fit in the bounded queue…
+    session.try_submit(slow(10)).expect("first queued");
+    session.try_submit(slow(10)).expect("second queued");
+    // …the third is shed, and the request comes back to the caller.
+    match session.try_submit(slow(10)) {
+        Err(SubmitError::QueueFull(r)) => assert_eq!(r.function, "spin"),
+        Ok(_) => panic!("queue depth 2 must reject the third waiting request"),
+    }
+    assert_eq!(session.waiting(), 2);
+    // Shedding never loses accepted work.
+    let report = session.shutdown();
+    assert_eq!(report.submitted, 3);
+    assert!(report.results().values().all(|r| r.is_ok()));
+}

@@ -11,10 +11,12 @@ use ssair::Module;
 use tinyvm::runtime::Vm;
 
 fn module() -> Module {
-    // Note: no loop-local `var` — a named loop-local would lower to a
-    // baseline φ that is dead in O2 yet needed on the loop's immediate
-    // exit path, which blocks the backward (deopt) entry at the header
-    // until the engine grows §5.2-style liveness extension.
+    // Note: no loop-local `var`, so the plain O2 pipeline serves every
+    // backward entry and this test exercises the ladder in isolation.
+    // (A named loop-local would lower to a baseline φ that is dead in O2
+    // yet needed on the loop's immediate exit path; the engine now
+    // handles that shape with a §5.2 keep-set recompile — covered by
+    // `tests/speculation.rs`.)
     minic::compile(
         "fn climber(x, n) {
              var acc = 0;
