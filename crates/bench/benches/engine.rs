@@ -1,16 +1,20 @@
 //! Tiered-engine throughput: a persistent session executing Zipf-skewed
 //! SPEC-like traffic against the shared sharded code cache, with
 //! background OSR tier-up along the O1/O2 ladder (including composed
-//! O1→O2 hops) and debugger-attach tier-down.
+//! O1→O2 hops) and debugger-attach tier-down — plus an O3-enabled
+//! session over the full `O0 → O1 → O2 → O3` transition graph.
 //!
 //! Beyond timing, this bench *checks* the acceptance properties of the
 //! engine: a persistent-session run over a ≥ 32-request mix completes
 //! with at least one composed O1→O2 tier-up and at least one deopt in the
 //! metrics snapshot, per-request results are deterministic (same seed →
-//! same outputs), and repeated traffic hits the code cache.
+//! same outputs), repeated traffic hits the code cache, and the
+//! O3-enabled session fires at least one *chained* composed tier-up
+//! (`O2 → O3`, never re-entering the baseline) with its per-rung
+//! residency reported next to the metrics printout.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use engine::{Engine, EnginePolicy, Request};
+use engine::{Engine, EnginePolicy, Request, Tier};
 use ssair::interp::Val;
 use ssair::Module;
 
@@ -97,8 +101,53 @@ fn run_session(module: &Module, zipf_exponent: f64) -> Vec<Option<Val>> {
         .collect()
 }
 
+/// The O3-enabled acceptance run: a session over the full transition
+/// graph whose long kernel request climbs `O0 → O1 → O2 → O3` — the
+/// `O2 → O3` hop through a chained composed table — with per-rung
+/// residency reported in the metrics printout.
+fn o3_session(module: &Module) {
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 2,
+            batch_workers: 4,
+            ..EnginePolicy::three_tier(8, 16, 16)
+        },
+    );
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+    let session = engine.start();
+    for r in traffic(module, workloads::DEFAULT_ZIPF_EXPONENT) {
+        session.submit(r);
+    }
+    let report = session.shutdown();
+    let metrics = &report.metrics;
+    assert!(
+        metrics.composed_tier_ups >= 2,
+        "the O3 graph chains composed hops (O1→O2 and O2→O3): {metrics}"
+    );
+    assert!(metrics.deopts >= 1, "no deopt fired: {metrics}");
+    let residency = engine.rung_residency();
+    assert!(
+        residency.get(&Tier(3)).copied().unwrap_or(0) > 0,
+        "traffic resided at the O3 rung: {residency:?}"
+    );
+    let total: u64 = residency.values().sum();
+    println!("o3 session metrics: {metrics}");
+    print!("o3 per-rung residency:");
+    for (tier, visits) in &residency {
+        print!(
+            " {tier}={visits} ({:.1}%)",
+            *visits as f64 * 100.0 / total as f64
+        );
+    }
+    println!();
+}
+
 fn bench_engine_sessions(c: &mut Criterion) {
     let module = service_module();
+
+    // The O3 acceptance session runs (and asserts) before any timing.
+    o3_session(&module);
 
     // Determinism check across independent engines before timing anything.
     let a = run_session(&module, workloads::DEFAULT_ZIPF_EXPONENT);

@@ -21,8 +21,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use ssair::feasibility::{
-    compose_entries, extension_candidates, precompute_entries, precompute_entries_collecting,
-    EntryTable,
+    compose_entries_chain, compose_table_pair, extension_candidates, precompute_entries,
+    precompute_entries_collecting, EntryTable,
 };
 use ssair::interp::{run_frame, run_function, Frame, Machine, StepOutcome, Val};
 use ssair::passes::{PassId, Pipeline};
@@ -43,8 +43,12 @@ pub enum PipelineSpec {
     /// to run, cheap to OSR out of — the first optimized rung.
     O1,
     /// The §5.4 standard mix including LICM hoisting
-    /// (`ssair::passes::Pipeline::standard`) — the top rung.
+    /// (`ssair::passes::Pipeline::standard`).
     O2,
+    /// The aggressive mix (`ssair::passes::Pipeline::aggressive`): the
+    /// standard passes plus a second SCCP + sinking round — the top rung
+    /// of the default transition graph, hardest to OSR out of.
+    O3,
     /// A named custom pass list (see [`PipelineSpec::custom`]).
     Custom {
         /// Stable display name (used in metrics and cache keys).
@@ -76,6 +80,7 @@ impl PipelineSpec {
         match self {
             PipelineSpec::O1 => Pipeline::light_keeping(keep),
             PipelineSpec::O2 => Pipeline::standard_keeping(keep.clone()),
+            PipelineSpec::O3 => Pipeline::aggressive_keeping(keep),
             PipelineSpec::Custom { passes, .. } => Pipeline::from_ids_keeping(passes, keep),
         }
     }
@@ -85,6 +90,7 @@ impl PipelineSpec {
         match self {
             PipelineSpec::O1 => "O1",
             PipelineSpec::O2 => "O2",
+            PipelineSpec::O3 => "O3",
             PipelineSpec::Custom { name, .. } => name,
         }
     }
@@ -479,8 +485,14 @@ type ComposedResult = Result<Arc<EntryTable>, CompileError>;
 pub struct CodeCache {
     shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
     composed: Vec<Mutex<HashMap<ComposedKey, ComposedResult>>>,
+    /// Per-`(function, pipeline)` probe history — how often a climb-ready
+    /// frame found the artifact published vs. still compiling.  An
+    /// adaptive ladder reads these to cheapen climbs whose compiles are
+    /// effectively free ([`crate::TierPolicy::threshold_with_cache`]).
+    probes: Vec<Mutex<HashMap<CacheKey, (u64, u64)>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for CodeCache {
@@ -488,8 +500,10 @@ impl Default for CodeCache {
         CodeCache {
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             composed: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            probes: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -522,6 +536,29 @@ impl CodeCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one climb-eligible probe of `key` (at most one per request
+    /// per rung — the controller batches): `hit` when the artifact was
+    /// published.
+    pub fn note_probe(&self, key: &CacheKey, hit: bool) {
+        let mut map = self.probes[shard_index(key)].lock().expect("probe lock");
+        let stats = map.entry(key.clone()).or_insert((0, 0));
+        if hit {
+            stats.0 += 1;
+        } else {
+            stats.1 += 1;
+        }
+    }
+
+    /// The accumulated `(hits, misses)` probe history of `key`.
+    pub fn probe_stats(&self, key: &CacheKey) -> (u64, u64) {
+        self.probes[shard_index(key)]
+            .lock()
+            .expect("probe lock")
+            .get(key)
+            .copied()
+            .unwrap_or((0, 0))
+    }
+
     /// Atomically claims the right to compile `key`.  Returns `true` when
     /// the caller must enqueue (or perform) the compile; `false` when the
     /// artifact is ready or someone else already claimed it.
@@ -534,12 +571,68 @@ impl CodeCache {
         true
     }
 
-    /// Publishes a compiled artifact (fulfilling a prior [`CodeCache::claim`]).
+    /// Publishes a compiled artifact (fulfilling a prior
+    /// [`CodeCache::claim`]).  *Re*publishing over a ready artifact —
+    /// e.g. a §5.2 keep-set recompile replacing a rung — invalidates
+    /// every memoized composed table routing through that rung (either
+    /// endpoint), so the next hop re-composes against the republished
+    /// version instead of transferring into a stale one.
     pub fn publish(&self, key: &CacheKey, cv: Arc<CompiledVersion>) {
-        self.shard(key)
-            .lock()
-            .expect("cache lock")
-            .insert(key.clone(), Slot::Ready(cv));
+        let replaced = {
+            let mut slots = self.shard(key).lock().expect("cache lock");
+            matches!(
+                slots.insert(key.clone(), Slot::Ready(cv)),
+                Some(Slot::Ready(_))
+            )
+        };
+        if replaced {
+            self.invalidate_composed(&key.function, &key.spec);
+        }
+    }
+
+    /// Drops every memoized composed table of `function` that has `spec`
+    /// as either endpoint (including memoized failures, which may now
+    /// succeed against the republished artifact).
+    fn invalidate_composed(&self, function: &str, spec: &PipelineSpec) {
+        let mut dropped = 0u64;
+        for shard in &self.composed {
+            let mut map = shard.lock().expect("composed lock");
+            map.retain(|k, _| {
+                let stale = k.function == function && (&k.from == spec || &k.to == spec);
+                if stale {
+                    dropped += 1;
+                }
+                !stale
+            });
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Composed tables dropped by rung republications.
+    pub fn composed_invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Whether `cv` does not conflict with the published artifact for
+    /// its key — the memoization guard against a republish racing a
+    /// composed-table build: a table built (outside the lock) against a
+    /// since-replaced artifact must not be inserted, or it would
+    /// resurrect exactly the stale entry [`CodeCache::publish`]'s
+    /// invalidation just dropped.  (The *returned* table is still
+    /// correct for the caller, whose own `Arc`s keep its build
+    /// self-consistent.)  An unpublished `cv` conflicts with nothing: a
+    /// republish always replaces a `Ready` slot in place, so mid-race
+    /// the slot is never absent.  Callers hold a composed shard lock
+    /// while checking; `publish` releases the slot lock before
+    /// invalidating, so the orders interleave safely: a slot replaced
+    /// before the check fails it, and one replaced after is followed by
+    /// an invalidation that must wait for the shard lock and then drops
+    /// the fresh insert.
+    fn is_current(&self, function: &str, cv: &CompiledVersion) -> bool {
+        match self.get(&CacheKey::new(function, cv.spec.clone())) {
+            Some(cur) => std::ptr::eq(Arc::as_ptr(&cur), std::ptr::from_ref(cv)),
+            None => true,
+        }
     }
 
     /// Drops a claim without publishing (compile failed validation).
@@ -604,16 +697,79 @@ impl CodeCache {
         if let Some(r) = self.composed[idx].lock().expect("composed lock").get(&key) {
             return (r.clone(), false);
         }
-        // Build outside the lock; composition is deterministic, so racing
-        // builders produce identical tables, first publish wins, and only
-        // the publisher reports `built` (losers duplicated the work but
-        // must not duplicate the build event).
+        // Build outside the lock; identical-version racing builders
+        // produce identical tables, first publish wins, and only the
+        // publisher reports `built` (losers duplicated the work but must
+        // not duplicate the build event).  Memoize only when both
+        // endpoints are still the published artifacts — see
+        // [`CodeCache::is_current`].
         let result = build_composed(from, to, module).map(Arc::new);
         let mut map = self.composed[idx].lock().expect("composed lock");
         match map.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(result.clone());
+                if self.is_current(function, from) && self.is_current(function, to) {
+                    e.insert(result.clone());
+                }
+                (result, true)
+            }
+        }
+    }
+
+    /// Extends a memoized composed-chain *prefix* by one rung — the
+    /// table-level fold step of
+    /// [`ssair::feasibility::compose_entries_chain`]: `prefix` maps
+    /// `from.opt` straight into `via.opt`, `adjacent` maps `via.opt` into
+    /// `to.opt`, and the result (validated structurally and
+    /// differentially, memoized under `from → to` like any composed
+    /// table) maps `from.opt` straight into `to.opt`.  Extending a chain
+    /// by one rung therefore costs one fold, never a recomposition of
+    /// the whole sequence.
+    ///
+    /// The boolean is `true` when this call built the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (possibly memoized) [`CompileError`] when the folded
+    /// table fails validation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn composed_prefix(
+        &self,
+        function: &str,
+        from: &CompiledVersion,
+        via: &CompiledVersion,
+        to: &CompiledVersion,
+        prefix: &EntryTable,
+        adjacent: &EntryTable,
+        module: &Module,
+    ) -> (ComposedResult, bool) {
+        let key = ComposedKey {
+            function: function.to_string(),
+            from: from.spec.clone(),
+            to: to.spec.clone(),
+        };
+        let idx = shard_index(&key);
+        if let Some(r) = self.composed[idx].lock().expect("composed lock").get(&key) {
+            return (r.clone(), false);
+        }
+        let result = compose_table_pair(prefix, &via.versions.opt, adjacent);
+        let result = validate_table(&result, &from.versions.opt, &to.versions.opt)
+            .and_then(|()| {
+                differential_validate(&result, &from.versions.opt, &to.versions.opt, module, 3)
+            })
+            .map(|()| Arc::new(result));
+        let mut map = self.composed[idx].lock().expect("composed lock");
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // Every version the fold read must still be published —
+                // see [`CodeCache::is_current`].
+                if self.is_current(function, from)
+                    && self.is_current(function, via)
+                    && self.is_current(function, to)
+                {
+                    e.insert(result.clone());
+                }
                 (result, true)
             }
         }
@@ -636,17 +792,25 @@ impl CodeCache {
 
 /// Builds and validates one composed version-to-version table:
 /// `from.opt → baseline → to.opt`, flattened so the runtime hop never
-/// touches the baseline.  The first stage is reconstructed on demand from
-/// `from`'s recorded actions (`compose_entries`); the result is validated
+/// touches the baseline — the single-stage case of the Theorem 3.4 chain
+/// fold ([`compose_entries_chain`]; the first stage is reconstructed on
+/// demand from `from`'s recorded actions).  The result is validated
 /// structurally and then differentially replayed on sampled concrete
-/// frames.
+/// frames.  Longer chains extend these tables one fold at a time via
+/// [`CodeCache::composed_prefix`].
 fn build_composed(
     from: &CompiledVersion,
     to: &CompiledVersion,
     module: &Module,
 ) -> Result<EntryTable, CompileError> {
     let pair = from.versions.pair();
-    let table = compose_entries(&pair, Direction::Backward, &to.tier_up);
+    let table = compose_entries_chain(
+        &pair,
+        Direction::Backward,
+        &[(&from.versions.base, &to.tier_up)],
+    )
+    .pop()
+    .expect("one stage, one prefix");
     drop(pair);
     validate_table(&table, &from.versions.opt, &to.versions.opt)?;
     differential_validate(&table, &from.versions.opt, &to.versions.opt, module, 3)?;
@@ -682,6 +846,77 @@ mod tests {
         let cv = compiled(PipelineSpec::O1);
         assert!(cv.tier_up.coverage() > 0.8);
         assert_eq!(cv.spec.name(), "O1");
+    }
+
+    #[test]
+    fn aggressive_pipeline_compiles_as_o3() {
+        let cv = compiled(PipelineSpec::O3);
+        assert_eq!(cv.spec.name(), "O3");
+        assert!(cv.tier_up.coverage() > 0.7, "forward mostly feasible");
+        assert!(cv.tier_down.coverage() > 0.7, "backward mostly feasible");
+    }
+
+    #[test]
+    fn republish_invalidates_composed_tables_through_the_rung() {
+        let module = minic::compile(SRC).unwrap();
+        let cache = CodeCache::new();
+        let o1 = Arc::new(compiled(PipelineSpec::O1));
+        let o2 = Arc::new(compiled(PipelineSpec::O2));
+        let o3 = Arc::new(compiled(PipelineSpec::O3));
+        let k1 = CacheKey::new("f", PipelineSpec::O1);
+        let k2 = CacheKey::new("f", PipelineSpec::O2);
+        assert!(cache.claim(&k1) && cache.claim(&k2));
+        cache.publish(&k1, Arc::clone(&o1));
+        cache.publish(&k2, Arc::clone(&o2));
+        cache.composed("f", &o1, &o2, &module).0.unwrap();
+        cache.composed("f", &o2, &o3, &module).0.unwrap();
+        assert_eq!(cache.composed_count(), 2);
+        assert_eq!(cache.composed_invalidations(), 0, "first publishes free");
+        // A keep-set recompile republishes O2: both tables route through
+        // it and must go; a fresh composition then rebuilds.
+        cache.publish(&k2, Arc::new(compiled(PipelineSpec::O2)));
+        assert_eq!(cache.composed_count(), 0);
+        assert_eq!(cache.composed_invalidations(), 2);
+        let (r, built) = cache.composed("f", &o1, &o2, &module);
+        assert!(built, "invalidation forces a rebuild");
+        r.unwrap();
+    }
+
+    #[test]
+    fn composed_prefix_extends_the_chain_one_fold_at_a_time() {
+        let module = minic::compile(SRC).unwrap();
+        let cache = CodeCache::new();
+        let o1 = Arc::new(compiled(PipelineSpec::O1));
+        let o2 = Arc::new(compiled(PipelineSpec::O2));
+        let o3 = Arc::new(compiled(PipelineSpec::O3));
+        let (p12, _) = cache.composed("f", &o1, &o2, &module);
+        let p12 = p12.expect("O1→O2 composes");
+        let (a23, _) = cache.composed("f", &o2, &o3, &module);
+        let a23 = a23.expect("O2→O3 composes");
+        let (p13, built) = cache.composed_prefix("f", &o1, &o2, &o3, &p12, &a23, &module);
+        let p13 = p13.expect("the chained O1→O3 prefix validates");
+        assert!(built);
+        assert!(!p13.entries.is_empty(), "the chained table serves points");
+        assert_eq!(cache.composed_count(), 3, "every prefix is memoized");
+        let (again, built2) = cache.composed_prefix("f", &o1, &o2, &o3, &p12, &a23, &module);
+        assert!(!built2, "memoized");
+        assert!(Arc::ptr_eq(&p13, &again.unwrap()));
+    }
+
+    #[test]
+    fn probe_stats_accumulate_per_key() {
+        let cache = CodeCache::new();
+        let k = CacheKey::new("f", PipelineSpec::O2);
+        assert_eq!(cache.probe_stats(&k), (0, 0));
+        cache.note_probe(&k, false);
+        cache.note_probe(&k, true);
+        cache.note_probe(&k, true);
+        assert_eq!(cache.probe_stats(&k), (2, 1));
+        assert_eq!(
+            cache.probe_stats(&CacheKey::new("f", PipelineSpec::O1)),
+            (0, 0),
+            "per (function, pipeline)"
+        );
     }
 
     #[test]

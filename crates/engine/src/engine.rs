@@ -47,10 +47,18 @@ pub struct EnginePolicy {
 }
 
 impl EnginePolicy {
-    /// The default two-rung O1/O2 ladder with explicit thresholds.
+    /// A two-rung O1/O2 chain with explicit thresholds.
     pub fn two_tier(o1_after: u64, o2_after: u64) -> Self {
         EnginePolicy {
             tiers: Arc::new(LadderPolicy::two_tier(o1_after, o2_after)),
+            ..EnginePolicy::default()
+        }
+    }
+
+    /// The full `O0 → O1 → O2 → O3` chain with explicit thresholds.
+    pub fn three_tier(o1_after: u64, o2_after: u64, o3_after: u64) -> Self {
+        EnginePolicy {
+            tiers: Arc::new(LadderPolicy::three_tier(o1_after, o2_after, o3_after)),
             ..EnginePolicy::default()
         }
     }
@@ -67,7 +75,7 @@ impl EnginePolicy {
 impl Default for EnginePolicy {
     fn default() -> Self {
         EnginePolicy {
-            tiers: Arc::new(LadderPolicy::two_tier(32, 96)),
+            tiers: Arc::new(LadderPolicy::default()),
             compile_workers: 2,
             batch_workers: 4,
             options: TransitionOptions::default(),
@@ -100,6 +108,14 @@ pub struct Request {
     pub args: Vec<Val>,
     /// Execution mode.
     pub mode: ExecMode,
+    /// Queueing budget in *ticks* (microseconds) since submission: a
+    /// request still waiting for a worker when its budget has elapsed is
+    /// dropped instead of executed, streamed as
+    /// [`crate::ResultEvent::DeadlineExpired`] and counted in
+    /// [`MetricsSnapshot::deadline_expired`] — serving a reply nobody
+    /// waits for anymore only steals a worker from live traffic.  `None`
+    /// (the default) never expires.
+    pub deadline: Option<u64>,
 }
 
 impl Request {
@@ -109,6 +125,7 @@ impl Request {
             function: function.into(),
             args,
             mode: ExecMode::Tiered,
+            deadline: None,
         }
     }
 
@@ -118,7 +135,17 @@ impl Request {
             function: function.into(),
             args,
             mode: ExecMode::Debug,
+            deadline: None,
         }
+    }
+
+    /// Sets the queueing budget: the request is dropped (never executed)
+    /// if it is still waiting for a worker `ticks` microseconds after
+    /// submission.
+    #[must_use]
+    pub fn with_deadline(mut self, ticks: u64) -> Self {
+        self.deadline = Some(ticks);
+        self
     }
 }
 
@@ -129,6 +156,9 @@ pub enum EngineError {
     UnknownFunction(String),
     /// The interpreter failed.
     Exec(ExecError),
+    /// The request's [`Request::deadline`] elapsed while it waited for a
+    /// worker; it was dropped without executing.
+    DeadlineExpired,
     /// An engine-internal failure (e.g. a request worker panicked); the
     /// request did not complete.
     Internal(String),
@@ -139,6 +169,9 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             EngineError::Exec(e) => write!(f, "execution failed: {e}"),
+            EngineError::DeadlineExpired => {
+                write!(f, "deadline elapsed while the request was queued")
+            }
             EngineError::Internal(reason) => write!(f, "engine-internal failure: {reason}"),
         }
     }
@@ -274,11 +307,13 @@ impl Engine {
         self.core.profiles.deopt_count(function)
     }
 
-    /// Synchronously compiles every ladder rung of `function` and builds
-    /// (and validates) the composed tables between adjacent rungs, so
-    /// subsequent traffic climbs the whole ladder without waiting on
-    /// background compiles — how a service warms its cache before taking
-    /// load.
+    /// Synchronously compiles every rung of `function`'s transition graph
+    /// and builds (and validates) the composed tables along the whole
+    /// rung chain — adjacent hops plus every chained prefix
+    /// (`O1 → O2`, `O2 → O3`, `O1 → O3`, …; each prefix one Theorem 3.4
+    /// fold over the previous, memoized individually) — so subsequent
+    /// traffic climbs the whole graph without waiting on background
+    /// compiles: how a service warms its cache before taking load.
     ///
     /// # Errors
     ///
@@ -299,18 +334,21 @@ impl Engine {
             .get(function)
             .ok_or_else(|| EngineError::UnknownFunction(function.to_string()))?;
         let tiers = Arc::clone(&self.core.policy.tiers);
-        let mut prev: Option<Arc<CompiledVersion>> = None;
-        for rung in 1..=tiers.top().0 {
-            let spec = tiers.spec(Tier(rung)).expect("rung within ladder").clone();
-            let cv = self
-                .core
-                .ensure_compiled(&CacheKey::new(function, spec), base);
-            if let Some(p) = &prev {
-                let _ = self.core.composed_table(function, p, &cv);
-            }
-            prev = Some(cv);
-        }
+        let rungs: Vec<Arc<CompiledVersion>> = (1..=tiers.top().0)
+            .map(|rung| {
+                let spec = tiers.spec(Tier(rung)).expect("rung within graph").clone();
+                self.core
+                    .ensure_compiled(&CacheKey::new(function, spec), base)
+            })
+            .collect();
+        self.core.composed_chain(function, &rungs);
         Ok(())
+    }
+
+    /// Cumulative instrumented visits per rung across every function —
+    /// how much of the traffic actually ran at each tier of the graph.
+    pub fn rung_residency(&self) -> std::collections::BTreeMap<Tier, u64> {
+        self.core.profiles.per_tier_totals()
     }
 
     /// Executes `requests` concurrently against the shared cache and waits
@@ -332,10 +370,16 @@ impl Engine {
             let Some(event) = handle.next_event() else {
                 break;
             };
-            if let ResultEvent::Completed { id, result } = event {
-                let i = index_of[&id];
-                results[i] = Some(result);
-                remaining -= 1;
+            match event {
+                ResultEvent::Completed { id, result } => {
+                    results[index_of[&id]] = Some(result);
+                    remaining -= 1;
+                }
+                ResultEvent::DeadlineExpired { id, .. } => {
+                    results[index_of[&id]] = Some(Err(EngineError::DeadlineExpired));
+                    remaining -= 1;
+                }
+                ResultEvent::Engine(_) => {}
             }
         }
         handle.shutdown();
@@ -523,20 +567,67 @@ impl EngineCore {
     ) -> Result<Arc<ssair::feasibility::EntryTable>, CompileError> {
         let (result, built) = self.cache.composed(function, from, to, &self.vm.module);
         if built {
-            match &result {
-                Ok(table) => self.events.push(EngineEvent::Composed {
-                    function: function.to_string(),
-                    from: from.spec.name().to_string(),
-                    to: to.spec.name().to_string(),
-                    points: table.entries.len(),
-                }),
-                Err(e) => self.events.push(EngineEvent::CompileRejected {
-                    function: function.to_string(),
-                    reason: format!("composed {}→{}: {e}", from.spec.name(), to.spec.name()),
-                }),
-            }
+            self.log_composed(function, from, to, &result);
         }
         result
+    }
+
+    fn log_composed(
+        &self,
+        function: &str,
+        from: &CompiledVersion,
+        to: &CompiledVersion,
+        result: &Result<Arc<ssair::feasibility::EntryTable>, CompileError>,
+    ) {
+        match result {
+            Ok(table) => self.events.push(EngineEvent::Composed {
+                function: function.to_string(),
+                from: from.spec.name().to_string(),
+                to: to.spec.name().to_string(),
+                points: table.entries.len(),
+            }),
+            Err(e) => self.events.push(EngineEvent::CompileRejected {
+                function: function.to_string(),
+                reason: format!("composed {}→{}: {e}", from.spec.name(), to.spec.name()),
+            }),
+        }
+    }
+
+    /// Builds (and memoizes) the composed tables along a whole rung
+    /// sequence: each adjacent `rungs[k-1] → rungs[k]` hop, plus every
+    /// chained prefix `rungs[0] → rungs[k]` — the engine-side driver of
+    /// [`ssair::feasibility::compose_entries_chain`]'s fold, with each
+    /// prefix extended from the previous one by a single
+    /// [`CodeCache::composed_prefix`] fold and memoized under its own
+    /// rung pair.  A failed adjacent composition ends the chain (later
+    /// prefixes would route through the rejected hop).
+    pub(crate) fn composed_chain(&self, function: &str, rungs: &[Arc<CompiledVersion>]) {
+        let mut prefix: Option<Arc<ssair::feasibility::EntryTable>> = None;
+        for k in 1..rungs.len() {
+            let Ok(adjacent) = self.composed_table(function, &rungs[k - 1], &rungs[k]) else {
+                break;
+            };
+            prefix = if k == 1 {
+                Some(adjacent)
+            } else {
+                let (result, built) = self.cache.composed_prefix(
+                    function,
+                    &rungs[0],
+                    &rungs[k - 1],
+                    &rungs[k],
+                    prefix.as_ref().expect("prefix exists past the first fold"),
+                    &adjacent,
+                    &self.vm.module,
+                );
+                if built {
+                    self.log_composed(function, &rungs[0], &rungs[k], &result);
+                }
+                match result {
+                    Ok(table) => Some(table),
+                    Err(_) => break,
+                }
+            };
+        }
     }
 }
 
@@ -569,19 +660,23 @@ struct PendingHop {
 
 /// The engine's [`TierController`]: aggregates per-`(function, tier)`
 /// hotness across requests, kicks off background compiles of the next
-/// rung at the policy threshold, and hops only through published cache
+/// rung at the (cache- and deopt-adapted) edge threshold, and follows
+/// only the [`crate::TierGraph`]'s edges through published cache
 /// artifacts — directly off the baseline, through a composed (validated)
 /// version-to-version table off any higher rung.
 ///
-/// It also runs the speculation lifecycle.  At the baseline it records
-/// every conditional-branch edge into the shared profile; in a climbed
-/// frame it checks each taken edge against the profiled bias and, once a
-/// branch's uncommon path has been taken [`SpeculationPolicy::tolerance`]
-/// times within the frame, deopts the frame mid-loop — to the policy's
-/// [`TierPolicy::deopt_target`] rung via the artifact's precomputed
-/// backward table (or a composed down-table for a partial fall).  The
-/// landed frame stays under profiling and re-climbs once the (adaptively
-/// demoted, [`TierPolicy::threshold_after_deopts`]) thresholds allow.
+/// It also runs the speculation lifecycle.  At every rung it records the
+/// conditional-branch edges its rung does not guard into the shared
+/// per-rung profile; for guarded branches in a climbed frame it checks
+/// each taken edge against the profiled bias and, once a branch's
+/// uncommon path has been taken [`SpeculationPolicy::tolerance`] times
+/// within the frame, deopts the frame mid-loop — along a graph down edge
+/// chosen by [`TierPolicy::deopt_strategy`]: adaptively one rung when
+/// the rung below is bias-neutral for the failing branch (via a composed
+/// down-table), all the way to the baseline otherwise (via the
+/// artifact's precomputed backward table).  The landed frame stays under
+/// profiling and re-climbs once the (adaptively demoted,
+/// [`TierPolicy::threshold_after_deopts`]) thresholds allow.
 struct EngineController<'e> {
     core: &'e EngineCore,
     function: &'e str,
@@ -601,8 +696,14 @@ struct EngineController<'e> {
     hops: Vec<HopLabel>,
     /// Whether this frame has deopted (used to label re-climbs).
     deopted: bool,
-    /// Baseline-tier edge observations, flushed to the shared profile at
-    /// instrumented visits (so the shared map is not locked per branch).
+    /// Memoized `(deopts, threshold)` of the current rung's up edge —
+    /// the cache-probe lookup behind [`TierPolicy::threshold_with_cache`]
+    /// runs once per climb epoch, not once per loop iteration.  Cleared
+    /// on every hop; recomputed when the deopt count moves.
+    threshold_memo: Option<(u64, u64)>,
+    /// Edge observations at the current rung, flushed to the shared
+    /// profile at instrumented visits (so the shared map is not locked
+    /// per branch).
     local_edges: HashMap<(BlockId, BlockId), u64>,
     /// Frame-local `(hot hits, uncommon hits)` per guarded branch since
     /// the last hop — the deopt decider: a guard fires only when the
@@ -618,6 +719,10 @@ struct EngineController<'e> {
     bias_cache: HashMap<BlockId, Option<BlockId>>,
     /// Whether this request already recorded its cache hit/miss.
     accounted: bool,
+    /// Specs whose per-key probe history this request already fed (one
+    /// probe per request per rung, so a long frame does not drown the
+    /// hit-rate signal).
+    probed: HashSet<PipelineSpec>,
     /// Specs this request already enqueued compile jobs for.
     enqueued: HashSet<PipelineSpec>,
     /// `(tier, point)` pairs where a hop was infeasible (never retried).
@@ -639,11 +744,13 @@ impl<'e> EngineController<'e> {
             pending: None,
             hops: Vec::new(),
             deopted: false,
+            threshold_memo: None,
             local_edges: HashMap::new(),
             guard_stats: HashMap::new(),
             unflushed_uncommon: HashMap::new(),
             bias_cache: HashMap::new(),
             accounted: false,
+            probed: HashSet::new(),
             enqueued: HashSet::new(),
             failed_points: BTreeSet::new(),
             blocked: BTreeSet::new(),
@@ -665,7 +772,7 @@ impl<'e> EngineController<'e> {
         if !self.local_edges.is_empty() {
             self.core
                 .profiles
-                .record_edges(self.function, self.local_edges.drain());
+                .record_edges(self.function, self.tier, self.local_edges.drain());
         }
         if !self.unflushed_uncommon.is_empty() {
             self.core.profiles.record_uncommon_batch(
@@ -676,19 +783,80 @@ impl<'e> EngineController<'e> {
         }
     }
 
-    /// Builds the guard-failure tier-down hop: to the policy's target rung
-    /// through the current artifact's direct backward table (baseline) or
-    /// a composed down-table (intermediate rung), falling back to the
-    /// baseline when the partial fall is unavailable.
-    fn tier_down_target(&mut self, reason: DeoptReason) -> Option<TierTarget> {
+    /// The adapted climb threshold of the current rung's up edge
+    /// ([`TierPolicy::threshold_with_cache`]), memoized per climb epoch:
+    /// the per-key probe lookup and the adaptation metrics run once per
+    /// `(hop, deopt-count)` epoch instead of once per loop iteration.
+    fn adapted_threshold(&mut self, next_spec: &PipelineSpec, deopts: u64) -> u64 {
+        if let Some((d, t)) = self.threshold_memo {
+            if d == deopts {
+                return t;
+            }
+        }
+        let tiers = &self.core.policy.tiers;
+        let key = CacheKey::new(self.function, next_spec.clone());
+        let (hits, misses) = self.core.cache.probe_stats(&key);
+        let threshold = tiers.threshold_with_cache(self.tier, deopts, hits, misses);
+        let unadapted = tiers.threshold_after_deopts(self.tier, deopts);
+        if threshold < unadapted {
+            self.core
+                .metrics
+                .threshold_lowers
+                .fetch_add(1, Ordering::Relaxed);
+        } else if threshold > unadapted {
+            self.core
+                .metrics
+                .threshold_raises
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.threshold_memo = Some((deopts, threshold));
+        threshold
+    }
+
+    /// Resolves where a guard failure at `branch` lands, following the
+    /// graph's down edges under the policy's [`DeoptStrategy`]: adaptive
+    /// falls pick the highest candidate rung that is *bias-neutral* for
+    /// the failing branch — its speculation policy would not guard the
+    /// branch, so the landed frame keeps running optimized code instead
+    /// of thrashing straight back into the same guard.
+    fn deopt_landing(&self, branch: BlockId) -> Tier {
+        let tiers = &self.core.policy.tiers;
+        match tiers.deopt_strategy(self.tier) {
+            // A fixed target must be below the frame and reachable along
+            // a declared down edge; the baseline is always a legal
+            // emergency landing (every artifact carries a direct
+            // backward table), so anything else clamps to it.
+            crate::tiers::DeoptStrategy::Fixed(t)
+                if t < self.tier && (t.is_baseline() || tiers.graph().has_edge(self.tier, t)) =>
+            {
+                t
+            }
+            crate::tiers::DeoptStrategy::Fixed(_) => Tier::BASELINE,
+            crate::tiers::DeoptStrategy::Adaptive => tiers
+                .graph()
+                .down_targets(self.tier)
+                .find(|d| {
+                    d.is_baseline()
+                        || self
+                            .core
+                            .profiles
+                            .edge_bias(self.function, branch, &tiers.speculation_at(*d))
+                            .is_none()
+                })
+                .unwrap_or(Tier::BASELINE),
+        }
+    }
+
+    /// Builds the guard-failure tier-down hop: to the resolved landing
+    /// rung through the current artifact's direct backward table
+    /// (baseline) or a composed down-table (intermediate rung), falling
+    /// back to the baseline when the partial fall is unavailable.
+    fn tier_down_target(&mut self, reason: DeoptReason, branch: BlockId) -> Option<TierTarget> {
         let cur = Arc::clone(self.current.as_ref()?);
         let tiers = &self.core.policy.tiers;
-        let mut to = tiers.deopt_target(self.tier);
-        if to >= self.tier {
-            to = Tier::BASELINE;
-        }
+        let to = self.deopt_landing(branch);
         if !to.is_baseline() {
-            let spec = tiers.spec(to).expect("target is a ladder rung").clone();
+            let spec = tiers.spec(to).expect("target is a graph rung").clone();
             if let Some(tcv) = self.core.cache.get(&CacheKey::new(self.function, spec)) {
                 if let Ok(table) = self.core.composed_table(self.function, &cur, &tcv) {
                     let target = Arc::clone(&tcv.opt);
@@ -702,6 +870,7 @@ impl<'e> EngineController<'e> {
                         target,
                         table,
                         direction: Direction::Backward,
+                        rung: to,
                     });
                 }
             }
@@ -717,6 +886,7 @@ impl<'e> EngineController<'e> {
             target: Arc::clone(&cur.base),
             table: Arc::clone(&cur.tier_down),
             direction: Direction::Backward,
+            rung: Tier::BASELINE,
         })
     }
 }
@@ -733,20 +903,25 @@ impl TierController for EngineController<'_> {
         // per-(function, tier) hotness profile.
         let total = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
         let Some(next) = tiers.next_tier(self.tier) else {
-            return TierDecision::Continue; // already at the top
+            return TierDecision::Continue; // no up edge out of this rung
         };
+        // Borrow the next rung's spec; it is only cloned past the
+        // threshold (the steady cold-frame path allocates nothing).
+        let spec = tiers.spec(next).expect("next is a graph rung");
         let deopts = self.deopt_counter.load(Ordering::Relaxed);
-        if total < tiers.threshold_after_deopts(self.tier, deopts) {
+        if total < self.adapted_threshold(spec, deopts) {
             return TierDecision::Continue;
         }
         if self.blocked.contains(&self.tier.0) || self.failed_points.contains(&(self.tier.0, at)) {
             return TierDecision::Continue;
         }
-        let spec = tiers.spec(next).expect("next is a ladder rung").clone();
-        let key = CacheKey::new(self.function, spec);
+        let key = CacheKey::new(self.function, spec.clone());
         match self.core.cache.get(&key) {
             Some(cv) => {
                 self.account(true);
+                if self.probed.insert(key.spec.clone()) {
+                    self.core.cache.note_probe(&key, true);
+                }
                 let (target, table) = if self.tier.is_baseline() {
                     (Arc::clone(&cv.opt), Arc::clone(&cv.tier_up))
                 } else {
@@ -773,10 +948,14 @@ impl TierController for EngineController<'_> {
                     target,
                     table,
                     direction: Direction::Forward,
+                    rung: next,
                 })
             }
             None => {
                 self.account(false);
+                if self.probed.insert(key.spec.clone()) {
+                    self.core.cache.note_probe(&key, false);
+                }
                 if self.enqueued.insert(key.spec.clone()) && self.core.cache.claim(&key) {
                     self.core.pool.submit(
                         CompileJob {
@@ -800,8 +979,10 @@ impl TierController for EngineController<'_> {
             *self.local_edges.entry((from, to)).or_insert(0) += 1;
             return TierDecision::Continue;
         }
-        // Guard: compare the taken edge against the profiled bias.
-        let policy = self.core.policy.tiers.speculation();
+        // Guard: compare the taken edge against the profiled bias, under
+        // the *rung-specific* speculation policy (deeper rungs guard more
+        // branches).
+        let policy = self.core.policy.tiers.speculation_at(self.tier);
         let profiles = &self.core.profiles;
         let function = self.function;
         let bias = *self
@@ -809,6 +990,11 @@ impl TierController for EngineController<'_> {
             .entry(from)
             .or_insert_with(|| profiles.edge_bias(function, from, &policy));
         let Some(hot) = bias else {
+            // This rung does not speculate on the branch: record the edge
+            // into the per-rung profile instead, so a partially-deopted
+            // frame keeps correcting the bias without re-entering the
+            // baseline.
+            *self.local_edges.entry((from, to)).or_insert(0) += 1;
             return TierDecision::Continue;
         };
         let stats = self.guard_stats.entry(from).or_insert((0, 0));
@@ -829,7 +1015,7 @@ impl TierController for EngineController<'_> {
         {
             return TierDecision::Continue;
         }
-        match self.tier_down_target(DeoptReason::GuardFailure { at, uncommon: hits }) {
+        match self.tier_down_target(DeoptReason::GuardFailure { at, uncommon: hits }, from) {
             Some(target) => TierDecision::Transition(target),
             None => TierDecision::Continue,
         }
@@ -861,9 +1047,12 @@ impl TierController for EngineController<'_> {
             self.deopt_counter.fetch_add(1, Ordering::Relaxed);
         }
         // The profile the frame gathered about this climb is stale after
-        // any hop: biases are re-queried and guard counters restart.
+        // any hop: biases are re-queried (under the landed rung's
+        // policy), guard counters restart, and the climb threshold is
+        // re-adapted.
         self.guard_stats.clear();
         self.bias_cache.clear();
+        self.threshold_memo = None;
         self.tier = hop.to;
         self.counter = self.core.profiles.counter(self.function, hop.to);
         self.current = hop.artifact;

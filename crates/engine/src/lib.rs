@@ -8,52 +8,69 @@
 //!
 //! ```text
 //!  submit / try_submit ─► EngineHandle ─► persistent worker pool (interpreters)
-//!       │ bounded queue      ▲                     │ per-(function, tier)
-//!   RequestId / QueueFull    │ ResultEvents        ▼ shared hotness + edge profile
-//!                            │          ┌── EngineController ──────────────┐
-//!  run_batch ────────────────┘          │ cold: keep interpreting          │
-//!  (compat wrapper)                     │ hot + rung not compiled: enqueue ┼─► CompileQueue
-//!                                       │ hot + artifact ready: hop up     │  (hot-first
-//!                                       │ guard failed: hop DOWN mid-loop  │   priority)
+//!       │ bounded queue      ▲    │ deadline check at pickup: expired work
+//!   RequestId / QueueFull    │    ▼ is dropped (DeadlineExpired), never run
+//!       │              ResultEvents               │ per-(function, rung)
+//!  run_batch ────────────────┘                    ▼ shared hotness + edge profile
+//!  (compat wrapper)                     ┌── EngineController ──────────────┐
+//!                                       │ cold: keep interpreting          │
+//!                                       │ hot + rung not compiled: enqueue ┼─► CompileQueue
+//!                                       │ hot + artifact ready: up edge    │  (hot-first
+//!                                       │ guard failed: down edge mid-loop │   priority)
 //!                                       └───────▲──────────────────────────┘      │
-//!                                               │ publish                         ▼
-//!                        tier ladder (TierPolicy)                          compile workers
-//!                  O0 ──direct──► O1 ──composed──► O2      │                (background,
-//!                  ▲◄── guard deopt + debug deopt ─┴───────┤              §5.2 keep-set
-//!                  └──────────── CodeCache ◄───────────────┘               recompiles)
-//!            (8 hash shards: per-tier FunctionVersions + validated
-//!             entry tables + lazily-built composed O1→O2 tables)
+//!                                               │ publish (republish ⇒            ▼
+//!                 transition graph (TierGraph)  │  composed invalidation)  compile workers
+//!            O0 ──direct──► O1 ──composed──► O2 ──composed──► O3    (background, §5.2
+//!            ▲               ▲◄─ adaptive one-rung deopt ─────┘   keep-set recompiles)
+//!            └◄──────── full deopt + debug deopt ◄────────────┘
+//!                           └──── CodeCache ◄───────┘
+//!          (8 hash shards: per-rung FunctionVersions + validated entry
+//!           tables + chained composed tables for arbitrary rung pairs)
 //! ```
 //!
-//! # The tier ladder
+//! # The transition graph
 //!
-//! A [`TierPolicy`] defines the rungs above the baseline interpreter —
-//! by default [`PipelineSpec::O1`] (a light CSE+DCE mix) then
-//! [`PipelineSpec::O2`] (the §5.4 standard mix including LICM hoisting) —
-//! and a hotness threshold *per tier*.  Visits of a version's loop-header
-//! OSR points accumulate in shared per-`(function, tier)` counters
-//! ([`ProfileTable`]); when the counter of the rung a frame currently
-//! runs crosses its threshold, the controller enqueues a background
-//! compile of the *next* rung (from the shared baseline) and — once the
-//! artifact is published — hops the live frame into it:
+//! A [`TierPolicy`] exposes a [`TierGraph`] — N pipeline rungs above the
+//! baseline interpreter plus the allowed up/down edges between them, each
+//! up edge gated by its own hotness threshold.  The default graph is the
+//! chain `O0 → O1 → O2 → O3` ([`PipelineSpec::O1`] light CSE+DCE,
+//! [`PipelineSpec::O2`] the §5.4 standard mix, [`PipelineSpec::O3`] the
+//! aggressive mix with a second SCCP + sinking round), with down edges
+//! `k → k-1` and `k → 0` out of every optimized rung.  Visits of a
+//! version's loop-header OSR points accumulate in shared
+//! per-`(function, tier)` counters ([`ProfileTable`]); when the counter
+//! of the rung a frame currently runs crosses its (adapted — see below)
+//! edge threshold, the controller enqueues a background compile of the
+//! next rung (from the shared baseline) and — once the artifact is
+//! published — hops the live frame into it:
 //!
 //! * **O0 → O1** through the artifact's direct, precomputed forward table;
-//! * **O1 → O2** through a *composed* `fopt → fopt'` table
-//!   ([`ssair::feasibility::compose_entries`], the SSA analogue of
-//!   Theorem 3.4's mapping composition): the O1→baseline and baseline→O2
-//!   tables are flattened into one, so the frame transfers straight to O2
-//!   and never re-enters the baseline.  Composed tables are built lazily,
-//!   validated structurally *and differentially* (compensation steps are
-//!   replayed on sampled concrete frames, the SSA analogue of
-//!   `osr::validate_mapping`), memoized in the cache, and rejected with
-//!   [`cache::CompileError::Divergence`] if any replay disagrees with a
-//!   reference run.
+//! * **any higher hop** (O1 → O2, O2 → O3, and every down edge between
+//!   optimized rungs) through a *composed* `fopt → fopt'` table — the
+//!   SSA analogue of Theorem 3.4's mapping composition, folded over the
+//!   whole rung sequence by
+//!   [`ssair::feasibility::compose_entries_chain`]: adjacent hops are
+//!   composed through the shared baseline
+//!   ([`ssair::feasibility::compose_entries`]), and longer prefixes
+//!   (e.g. the `O1 → O3` table [`Engine::prewarm`] memoizes) extend the
+//!   previous prefix by a single table-level fold
+//!   ([`ssair::feasibility::compose_table_pair`]) — so a frame transfers
+//!   straight between optimized versions and never re-enters the
+//!   baseline.  Composed tables are built lazily, validated structurally
+//!   *and differentially* (compensation steps are replayed on sampled
+//!   concrete frames, the SSA analogue of `osr::validate_mapping`),
+//!   memoized in the cache per rung pair (both directions), and rejected
+//!   with [`cache::CompileError::Divergence`] if any replay disagrees
+//!   with a reference run.  When a §5.2 keep-set recompile *republishes*
+//!   a rung, every memoized composed table routing through it is
+//!   invalidated and rebuilt on the next hop.
 //!
 //! After every hop the frame stays under profiling, so one frame can
-//! climb the whole ladder mid-loop.  A request in [`ExecMode::Debug`]
-//! models a debugger attach (§7): it runs the *top*-tier version and
-//! tiers down O2 → baseline through the precomputed backward table at the
-//! first instrumented visit, where every source variable is inspectable.
+//! climb the whole graph mid-loop.  A request in [`ExecMode::Debug`]
+//! models a debugger attach (§7): it runs the *top*-rung version and
+//! tiers down to the baseline through the precomputed backward table at
+//! the first instrumented visit, where every source variable is
+//! inspectable.
 //!
 //! # The speculation lifecycle (guard → deopt → re-climb → demotion)
 //!
@@ -61,34 +78,59 @@
 //! validated-transition machinery runs *speculation guards* in every
 //! `Tiered` frame, making tier transitions fully bidirectional.
 //!
-//! 1. **Profile.** While a function runs at the baseline, the controller
-//!    records which successor every conditional branch takes into the
-//!    shared [`ProfileTable`] (batched per frame, flushed at instrumented
-//!    visits).  A branch becomes a *guard* once its profile is biased
-//!    enough ([`SpeculationPolicy`]: `min_samples`, `bias_percent`).
+//! 1. **Profile.** The controller records which successor every
+//!    conditional branch takes into the shared [`ProfileTable`], keyed
+//!    per rung (batched per frame, flushed at instrumented visits): the
+//!    baseline records every branch, a climbed frame every branch its
+//!    rung does not guard — so a partially-deoptimized frame keeps
+//!    correcting the profile without re-entering the baseline.  A branch
+//!    becomes a *guard* at a rung once its aggregate profile is biased
+//!    enough for that rung's policy ([`TierPolicy::speculation_at`]:
+//!    under [`LadderPolicy`]'s default gradient, each rung below the top
+//!    demands 5 more points of bias — deeper rungs speculate more).
 //! 2. **Guard.** A climbed frame checks every taken conditional edge
 //!    against the recorded bias.  Executions of the cold edge count as
-//!    guard failures; after `tolerance` failures within one frame, the
-//!    speculation is declared wrong.
-//! 3. **Deopt.** The frame hops *down* mid-loop — to
-//!    [`TierPolicy::deopt_target`] (the baseline by default, via the
-//!    artifact's precomputed backward table; an intermediate rung falls
-//!    through a composed down-table).  The event stream records an
-//!    [`EngineEvent::Deopt`] with [`DeoptReason::GuardFailure`] next to
-//!    the backward [`EngineEvent::Transition`].  Constants the landed
-//!    frame never computed are rematerialized at hop time (§5.1: free
+//!    guard failures; after `tolerance` failures within one frame (at a
+//!    rate above what the profile already allowed), the speculation is
+//!    declared wrong.
+//! 3. **Deopt.** The frame hops *down* mid-loop, along a graph down edge
+//!    picked by [`TierPolicy::deopt_strategy`].  The default
+//!    [`DeoptStrategy::Adaptive`] falls **one rung** when the rung below
+//!    is *bias-neutral* for the failing branch (its policy would not
+//!    guard it — the landed frame keeps most of its optimization and
+//!    cannot immediately re-fire the same guard), and **all the way to
+//!    the baseline** when every intermediate candidate still speculates
+//!    on the branch.  One-rung falls go through a composed down-table;
+//!    full deopts through the artifact's precomputed backward table.
+//!    The event stream records an [`EngineEvent::Deopt`] with
+//!    [`DeoptReason::GuardFailure`] next to the backward
+//!    [`EngineEvent::Transition`].  Constants the landed frame never
+//!    computed are rematerialized at hop time (§5.1: free
 //!    rematerializations), so the deopt-landed frame can take tables
 //!    back out again.
 //! 4. **Re-climb.** The landed frame keeps profiling: branch edges update
-//!    the (now-corrected) profile and hotness keeps accumulating, so the
-//!    frame climbs again — recorded as [`EngineEvent::Reclimb`].  If the
-//!    traffic shift was real, the refreshed profile dissolves the stale
-//!    bias and the re-climbed frame stays up.
+//!    the (now-corrected, rung-keyed) profile and hotness keeps
+//!    accumulating, so the frame climbs again — recorded as
+//!    [`EngineEvent::Reclimb`].  If the traffic shift was real, the
+//!    refreshed profile dissolves the stale bias and the re-climbed frame
+//!    stays up.
 //! 5. **Demotion.** Every guard-failure deopt of a function raises its
 //!    climb thresholds adaptively
 //!    ([`TierPolicy::threshold_after_deopts`] doubles per recorded
 //!    deopt), so repeat offenders re-earn each rung with a longer
 //!    profile.
+//!
+//! # Adaptive climb thresholds
+//!
+//! Beyond deopt demotion, each up edge's threshold reacts to the code
+//! cache: the controller records one probe per request per rung (was the
+//! next rung's artifact ready when the frame got hot?), and
+//! [`TierPolicy::threshold_with_cache`] halves the threshold once at
+//! least ¾ of the probes for that `(function, pipeline)` hit (compiling
+//! is effectively free — climb sooner) and doubles it under sustained
+//! misses (the compile pipeline is behind — don't pile on).  Both
+//! adjustments are surfaced in [`MetricsSnapshot::threshold_lowers`] /
+//! [`MetricsSnapshot::threshold_raises`].
 //!
 //! # §5.2 keep-set recompiles
 //!
@@ -105,17 +147,23 @@
 //! as [`EngineEvent::ExtensionRecompiled`] — rather than a fast version
 //! that could never deoptimize.
 //!
-//! # Back-pressure and compile priorities
+//! # Back-pressure, deadlines and compile priorities
 //!
 //! [`EngineHandle::submit`] is bounded by
 //! [`EnginePolicy::queue_depth`]: when that many requests wait for a
 //! worker, `submit` blocks and [`EngineHandle::try_submit`] returns
 //! [`SubmitError::QueueFull`] (handing the request back) so a front end
-//! can shed load instead of queueing unboundedly.  The background compile
-//! queue is a hot-first priority queue: jobs carry the submitting
-//! function's hotness, and workers pop the hottest job first, so under
-//! skewed traffic the functions serving the most requests get their
-//! artifacts earliest.
+//! can shed load instead of queueing unboundedly.  A request may also
+//! carry a [`Request::deadline`] — a queueing budget in ticks
+//! (microseconds) since submission: work still waiting for a worker past
+//! its budget is *dropped* at pickup (the caller stopped waiting;
+//! running it would only steal the worker from live traffic), streamed
+//! as [`ResultEvent::DeadlineExpired`] and counted in
+//! [`MetricsSnapshot::deadline_expired`].  The background compile queue
+//! is a hot-first priority queue: jobs carry the submitting function's
+//! hotness, and workers pop the hottest job first, so under skewed
+//! traffic the functions serving the most requests get their artifacts
+//! earliest.
 //!
 //! # Sessions
 //!
@@ -149,8 +197,8 @@
 //!          return s;
 //!      }",
 //! ).unwrap();
-//! let engine = Engine::new(module, EnginePolicy::two_tier(8, 24));
-//! engine.prewarm("work").unwrap(); // compile O1, O2 and the O1→O2 table
+//! let engine = Engine::new(module, EnginePolicy::three_tier(8, 24, 24));
+//! engine.prewarm("work").unwrap(); // compile O1..O3 + the chained composed tables
 //!
 //! let session = engine.start();
 //! let ids: Vec<_> = (0..8)
@@ -176,4 +224,4 @@ pub use engine::{
 };
 pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot};
 pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport, SubmitError};
-pub use tiers::{LadderPolicy, Tier, TierPolicy};
+pub use tiers::{DeoptStrategy, LadderPolicy, Tier, TierEdge, TierGraph, TierPolicy};

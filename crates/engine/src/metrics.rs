@@ -38,6 +38,15 @@ pub struct EngineMetrics {
     pub extension_recompiles: AtomicU64,
     /// Transition attempts that were infeasible at the attempted point.
     pub infeasible: AtomicU64,
+    /// Requests dropped because their queueing deadline elapsed before a
+    /// worker picked them up.
+    pub deadline_expired: AtomicU64,
+    /// Climb epochs whose threshold the cache hit rate *lowered*
+    /// (compiles for that rung are routinely ready — climbing got
+    /// cheaper, [`crate::TierPolicy::threshold_with_cache`]).
+    pub threshold_lowers: AtomicU64,
+    /// Climb epochs whose threshold sustained cache misses *raised*.
+    pub threshold_raises: AtomicU64,
     /// Background + synchronous compiles performed.
     pub compiles: AtomicU64,
     /// Total wall-clock nanoseconds spent compiling (incl. precompute).
@@ -74,6 +83,9 @@ impl EngineMetrics {
             reclimbs: self.reclimbs.load(Ordering::Relaxed),
             extension_recompiles: self.extension_recompiles.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            threshold_lowers: self.threshold_lowers.load(Ordering::Relaxed),
+            threshold_raises: self.threshold_raises.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             compile_nanos: self.compile_nanos.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -104,6 +116,12 @@ pub struct MetricsSnapshot {
     pub extension_recompiles: u64,
     /// Infeasible transition attempts.
     pub infeasible: u64,
+    /// Requests dropped on an expired queueing deadline.
+    pub deadline_expired: u64,
+    /// Climb epochs whose threshold the cache hit rate lowered.
+    pub threshold_lowers: u64,
+    /// Climb epochs whose threshold sustained cache misses raised.
+    pub threshold_raises: u64,
     /// Compiles performed.
     pub compiles: u64,
     /// Total compile latency in nanoseconds.
@@ -129,10 +147,12 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} tier_ups={} (composed={}, reclimbs={}) deopts={} (guard={}) \
-             infeasible={} compiles={} (ext={}) mean_compile={}us \
+            "requests={} (expired={}) tier_ups={} (composed={}, reclimbs={}) \
+             deopts={} (guard={}) infeasible={} compiles={} (ext={}) \
+             mean_compile={}us thresholds(lowered={}, raised={}) \
              queue(depth={}, peak={}) cache(hits={}, misses={})",
             self.requests,
+            self.deadline_expired,
             self.tier_ups,
             self.composed_tier_ups,
             self.reclimbs,
@@ -142,6 +162,8 @@ impl fmt::Display for MetricsSnapshot {
             self.compiles,
             self.extension_recompiles,
             self.mean_compile_micros(),
+            self.threshold_lowers,
+            self.threshold_raises,
             self.queue_depth,
             self.queue_peak,
             self.cache_hits,

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
@@ -75,6 +76,15 @@ pub enum ResultEvent {
         /// The request's result.
         result: Result<Option<Val>, EngineError>,
     },
+    /// A submitted request's [`crate::Request::deadline`] elapsed while
+    /// it waited for a worker: it was dropped without executing (counted
+    /// in [`crate::MetricsSnapshot::deadline_expired`]).
+    DeadlineExpired {
+        /// The id [`EngineHandle::submit`] returned.
+        id: RequestId,
+        /// Ticks (microseconds) the request actually waited.
+        waited: u64,
+    },
     /// An engine event (transition, compile, composed-table build,
     /// rejection) observed while the session was live.
     Engine(EngineEvent),
@@ -94,13 +104,25 @@ pub struct SessionReport {
 
 impl SessionReport {
     /// The per-request results present in [`SessionReport::events`], in
-    /// request-id order.
+    /// request-id order (deadline-dropped requests have no result — see
+    /// [`SessionReport::expired`]).
     pub fn results(&self) -> BTreeMap<RequestId, &Result<Option<Val>, EngineError>> {
         self.events
             .iter()
             .filter_map(|e| match e {
                 ResultEvent::Completed { id, result } => Some((*id, result)),
-                ResultEvent::Engine(_) => None,
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Requests dropped on an expired deadline, in request-id order.
+    pub fn expired(&self) -> Vec<RequestId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                ResultEvent::DeadlineExpired { id, .. } => Some(*id),
+                _ => None,
             })
             .collect()
     }
@@ -136,7 +158,7 @@ impl SessionReport {
 /// workers.
 pub struct EngineHandle {
     core: Arc<EngineCore>,
-    work_tx: Option<Sender<(RequestId, Request)>>,
+    work_tx: Option<Sender<(RequestId, Request, Instant)>>,
     events_rx: Receiver<ResultEvent>,
     subscription: Option<u64>,
     workers: Vec<JoinHandle<()>>,
@@ -166,7 +188,7 @@ impl Engine {
     /// [`ResultEvent`]s as work completes.
     pub fn start(&self) -> EngineHandle {
         let core = Arc::clone(&self.core);
-        let (work_tx, work_rx) = channel::<(RequestId, Request)>();
+        let (work_tx, work_rx) = channel::<(RequestId, Request, Instant)>();
         let (events_tx, events_rx) = channel::<ResultEvent>();
         let mine: Arc<Mutex<std::collections::HashSet<u64>>> = Arc::default();
         // Engine events are forwarded into the session's stream for as
@@ -261,7 +283,9 @@ impl EngineHandle {
     }
 
     /// Sends one slot-holding request to the workers (shared tail of
-    /// [`EngineHandle::submit`] and [`EngineHandle::try_submit`]).
+    /// [`EngineHandle::submit`] and [`EngineHandle::try_submit`]),
+    /// stamping the submission instant its [`crate::Request::deadline`]
+    /// counts from.
     fn enqueue(&self, request: Request) -> RequestId {
         let id = RequestId(self.core.next_request_id.fetch_add(1, Ordering::Relaxed));
         // Register before enqueueing so no event for this id can race past
@@ -271,7 +295,7 @@ impl EngineHandle {
         self.work_tx
             .as_ref()
             .expect("session is live until shutdown")
-            .send((id, request))
+            .send((id, request, Instant::now()))
             .expect("session workers outlive the queue");
         id
     }
@@ -336,7 +360,7 @@ impl Drop for EngineHandle {
 
 fn worker_loop(
     core: &EngineCore,
-    work_rx: &Mutex<Receiver<(RequestId, Request)>>,
+    work_rx: &Mutex<Receiver<(RequestId, Request, Instant)>>,
     events_tx: &Sender<ResultEvent>,
     waiting: &WaitGauge,
 ) {
@@ -346,11 +370,26 @@ fn worker_loop(
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        let Ok((id, request)) = job else { return };
+        let Ok((id, request, submitted_at)) = job else {
+            return;
+        };
         // Picked up: the request no longer occupies a waiting slot; wake
         // one blocked submitter.
         *waiting.count.lock().expect("wait gauge lock") -= 1;
         waiting.freed.notify_one();
+        // Deadline check at pickup: work whose queueing budget elapsed is
+        // dropped, not executed — the caller stopped waiting, and running
+        // it anyway would only steal this worker from live traffic.
+        if let Some(deadline) = request.deadline {
+            let waited = submitted_at.elapsed().as_micros() as u64;
+            if waited > deadline {
+                core.metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = events_tx.send(ResultEvent::DeadlineExpired { id, waited });
+                continue;
+            }
+        }
         // A panicking request (e.g. an engine-bug assertion in the compile
         // path) must not take the worker down: the `thread::scope` this
         // API replaced would re-raise the panic to the caller, but here a
@@ -489,6 +528,66 @@ mod tests {
             compiled_once,
             "prewarmed artifacts served both sessions"
         );
+    }
+
+    #[test]
+    fn expired_deadlines_drop_work_and_stream_the_event() {
+        use crate::engine::EngineError;
+        use crate::tiers::LadderPolicy;
+        let m = minic::compile(
+            "fn spin(n) {
+                 var s = 0;
+                 for (var i = 0; i < n; i = i + 1) { s = (s + i * 7) % 65537; }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let engine = Engine::new(
+            m,
+            crate::engine::EnginePolicy {
+                // Empty ladder + one worker: the long request keeps the
+                // worker busy while the doomed request's budget elapses.
+                tiers: std::sync::Arc::new(LadderPolicy::new(vec![])),
+                compile_workers: 1,
+                batch_workers: 1,
+                ..crate::engine::EnginePolicy::default()
+            },
+        );
+        let session = engine.start();
+        let slow = session.submit(Request::tiered("spin", vec![Val::Int(300_000)]));
+        // Zero-tick budget: expired by the time the busy worker reaches it.
+        let doomed = session.submit(Request::tiered("spin", vec![Val::Int(10)]).with_deadline(0));
+        // Effectively-unbounded budget: must still run.
+        let patient =
+            session.submit(Request::tiered("spin", vec![Val::Int(10)]).with_deadline(u64::MAX));
+        let report = session.shutdown();
+        assert_eq!(report.expired(), vec![doomed], "the doomed request dropped");
+        let results = report.results();
+        assert!(results[&slow].is_ok());
+        assert!(results[&patient].is_ok(), "a live deadline still executes");
+        assert!(!results.contains_key(&doomed), "dropped work has no result");
+        assert_eq!(report.metrics.deadline_expired, 1);
+        assert_eq!(
+            report.metrics.requests, 2,
+            "the dropped request never reached run_one"
+        );
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e,
+                ResultEvent::DeadlineExpired { id, .. } if *id == doomed
+            )),
+            "the drop is observable on the stream"
+        );
+        // The compat wrapper surfaces the drop as a per-request error.
+        let batch = engine.run_batch(&[
+            Request::tiered("spin", vec![Val::Int(300_000)]),
+            Request::tiered("spin", vec![Val::Int(10)]).with_deadline(0),
+        ]);
+        assert!(batch.results[0].is_ok());
+        assert!(matches!(
+            batch.results[1],
+            Err(EngineError::DeadlineExpired)
+        ));
     }
 
     #[test]

@@ -510,26 +510,9 @@ pub fn compose_entries(
         // Replay the second stage over the reconstructed intermediate
         // state: its frame reads become environment copies; its emissions
         // already reference `B` and carry over unchanged.
-        for step in &e2.comp.steps {
-            match step {
-                CompStep::Transfer { src, dst } => {
-                    if !produced.contains(src) {
-                        infeasible += 1;
-                        continue 'points;
-                    }
-                    produced.insert(*dst);
-                    steps.push(CompStep::CopyDst {
-                        from: *src,
-                        to: *dst,
-                    });
-                }
-                other => {
-                    if let CompStep::CopyDst { to, .. } = other {
-                        produced.insert(*to);
-                    }
-                    steps.push(other.clone());
-                }
-            }
+        if !replay_second_stage(e2, &mut produced, &mut steps) {
+            infeasible += 1;
+            continue 'points;
         }
         entries.insert(
             p,
@@ -549,6 +532,133 @@ pub fn compose_entries(
         entries,
         infeasible,
     }
+}
+
+/// Replays a second-stage entry's compensation over a composed
+/// environment (the shared tail of [`compose_entries`] and
+/// [`compose_table_pair`]): frame reads (`Transfer`) become environment
+/// copies and must have been produced by the first stage; every other
+/// step — emissions already reference the final target version — carries
+/// over unchanged.  Returns `false` when a read is unproduced (the point
+/// is infeasible and must be dropped).
+fn replay_second_stage(
+    e2: &crate::reconstruct::SsaEntry,
+    produced: &mut std::collections::BTreeSet<crate::ValueId>,
+    steps: &mut Vec<crate::reconstruct::CompStep>,
+) -> bool {
+    use crate::reconstruct::CompStep;
+    for step in &e2.comp.steps {
+        match step {
+            CompStep::Transfer { src, dst } => {
+                if !produced.contains(src) {
+                    return false;
+                }
+                produced.insert(*dst);
+                steps.push(CompStep::CopyDst {
+                    from: *src,
+                    to: *dst,
+                });
+            }
+            other => {
+                if let CompStep::CopyDst { to, .. } = other {
+                    produced.insert(*to);
+                }
+                steps.push(other.clone());
+            }
+        }
+    }
+    true
+}
+
+/// Composes two *precomputed* entry tables — the table-level Theorem 3.4:
+/// `first` maps version `A`'s points into an intermediate version `M`
+/// (its landings are `M` locations), `second` maps `M`'s points into some
+/// version `B`.  The result maps `A`'s points straight into `B`.
+///
+/// Unlike [`compose_entries`] (which reconstructs intermediate values on
+/// demand from the recorded actions), this works purely on the two
+/// compensation programs: the first entry's steps run against the live
+/// `A` frame and produce the `M` state the second entry reads, so the
+/// second entry's `Transfer`s become environment copies
+/// ([`crate::reconstruct::CompStep::CopyDst`]) and its emissions (which
+/// already reference `B`) carry over unchanged.  First-stage emissions
+/// reference `M` — whose instructions the composed table's consumers
+/// never see — and are captured inline, which is why the `M` function
+/// `mid` is needed.  Points whose second stage reads an `M` value the
+/// first stage does not produce are dropped (partial-but-correct, as in
+/// [`compose_entries`]).
+pub fn compose_table_pair(first: &EntryTable, mid: &Function, second: &EntryTable) -> EntryTable {
+    use crate::reconstruct::{CompCode, CompStep, SsaEntry};
+
+    let mut entries = std::collections::BTreeMap::new();
+    let mut infeasible = first.infeasible;
+    'points: for (p, (land1, e1)) in &first.entries {
+        let Some((land2, e2)) = second.get(land1.loc) else {
+            infeasible += 1;
+            continue;
+        };
+        let mut produced: std::collections::BTreeSet<crate::ValueId> = Default::default();
+        let mut steps: Vec<CompStep> = Vec::new();
+        // The composed entry's keep names *A*-version values (its
+        // compensation reads only the `A` frame): carry the first
+        // stage's keep and drop `e2.keep`, whose ids live in `M`'s value
+        // space and would alias unrelated `A` values.
+        let keep = e1.keep.clone();
+        append_inlined(e1, mid, &mut produced, &mut steps);
+        if !replay_second_stage(e2, &mut produced, &mut steps) {
+            infeasible += 1;
+            continue 'points;
+        }
+        entries.insert(
+            *p,
+            (
+                *land2,
+                SsaEntry {
+                    target: land2.loc,
+                    comp: CompCode { steps },
+                    keep,
+                },
+            ),
+        );
+    }
+    EntryTable {
+        direction: second.direction,
+        variant: second.variant,
+        entries,
+        infeasible,
+    }
+}
+
+/// Folds Theorem 3.4 over a whole chain of program versions instead of a
+/// single pair: `first`/`first_dir` relate version `A` to the shared
+/// intermediate (as in [`compose_entries`]), and each `stages[k]` is
+/// `(source version of the stage table, the stage table)` — stage `0`'s
+/// table maps the intermediate's points into `V1`, stage `1`'s maps
+/// `V1`'s points into `V2`, and so on.
+///
+/// Returns every *prefix* of the fold: element `k` maps `A`'s points
+/// straight into `V(k+1)`.  Callers memoize the prefixes (a tiered
+/// engine caches each as the composed table for the corresponding rung
+/// pair), so extending a chain by one rung costs exactly one more
+/// [`compose_table_pair`] fold, never a recomposition from scratch.
+///
+/// The first fold step is the demand-driven [`compose_entries`] (best
+/// coverage: it reconstructs only what stage 0 reads); the remaining
+/// steps are table-level [`compose_table_pair`] folds.
+pub fn compose_entries_chain(
+    first: &OsrPair<'_>,
+    first_dir: Direction,
+    stages: &[(&Function, &EntryTable)],
+) -> Vec<EntryTable> {
+    let mut prefixes: Vec<EntryTable> = Vec::with_capacity(stages.len());
+    for (stage_src, table) in stages {
+        let next = match prefixes.last() {
+            None => compose_entries(first, first_dir, table),
+            Some(prev) => compose_table_pair(prev, stage_src, table),
+        };
+        prefixes.push(next);
+    }
+    prefixes
 }
 
 /// Appends one reconstruction entry's steps to a composed step list,
@@ -763,6 +873,134 @@ mod tests {
                 assert!((v.0 as usize) < base.value_count());
             }
         }
+    }
+
+    #[test]
+    fn aggressive_pipeline_optimizes_and_stays_feasible() {
+        let base = sample();
+        let (opt, cm, _) = Pipeline::aggressive().optimize(&base);
+        crate::verify(&opt).expect("aggressive output verifies");
+        let pair = OsrPair::new(&base, &opt, &cm);
+        for dir in [Direction::Forward, Direction::Backward] {
+            let table = precompute_entries(&pair, dir, Variant::Avail);
+            assert!(
+                table.coverage() > 0.7,
+                "{dir:?}: the extra SCCP+sink round keeps most points feasible"
+            );
+        }
+        assert!(
+            opt.live_inst_count() <= Pipeline::standard().optimize(&base).0.live_inst_count(),
+            "the second round never grows the artifact"
+        );
+    }
+
+    /// Runs `src_fn` until `at` is visited a second (else first) time,
+    /// applies `entry`'s compensation to the live frame, finishes in
+    /// `dst_fn` from the landing, and compares against a pure `src_fn`
+    /// run — a one-point differential replay.
+    fn replay_point(
+        src_fn: &Function,
+        dst_fn: &Function,
+        at: InstId,
+        landing: &Landing,
+        entry: &crate::reconstruct::SsaEntry,
+    ) -> Option<bool> {
+        use crate::interp::{run_frame, run_function, Frame, Machine, StepOutcome, Val};
+        use crate::reconstruct::apply_comp;
+        let module = crate::ir::Module::default();
+        let args: Vec<Val> = (0..src_fn.params.len())
+            .map(|i| Val::Int(3 + i as i64))
+            .collect();
+        for visit_target in [2usize, 1] {
+            let mut machine = Machine::new(1_000_000);
+            let mut frame = Frame::enter(src_fn, &args);
+            let seen = std::cell::Cell::new(0usize);
+            let outcome = run_frame(
+                src_fn,
+                &mut frame,
+                &mut machine,
+                &module,
+                Some(&|_f, _fr, i| {
+                    if i == at {
+                        seen.set(seen.get() + 1);
+                        seen.get() == visit_target
+                    } else {
+                        false
+                    }
+                }),
+            );
+            let Ok(StepOutcome::Paused { .. }) = outcome else {
+                continue;
+            };
+            let expected = run_function(src_fn, &args, &module, 1_000_000).ok()?;
+            let env = apply_comp(entry, dst_fn, &frame.values, &mut machine).ok()?;
+            let block = dst_fn.block_of(landing.loc)?;
+            let index = dst_fn
+                .block(block)
+                .insts
+                .iter()
+                .position(|i| *i == landing.loc)?;
+            let mut dframe = Frame {
+                values: env,
+                block,
+                index,
+                came_from: None,
+            };
+            let got = match run_frame(dst_fn, &mut dframe, &mut machine, &module, None) {
+                Ok(StepOutcome::Returned(v)) => v,
+                _ => return Some(false),
+            };
+            return Some(got == expected);
+        }
+        None
+    }
+
+    #[test]
+    fn chain_composition_folds_theorem_3_4_over_three_rungs() {
+        let base = sample();
+        let (o1, cm1, _) = Pipeline::light().optimize(&base);
+        let (o2, cm2, _) = Pipeline::standard().optimize(&base);
+        let (o3, cm3, _) = Pipeline::aggressive().optimize(&base);
+        let pair1 = OsrPair::new(&base, &o1, &cm1);
+        let pair2 = OsrPair::new(&base, &o2, &cm2);
+        let pair3 = OsrPair::new(&base, &o3, &cm3);
+        let up2 = precompute_entries(&pair2, Direction::Forward, Variant::Avail);
+        let up3 = precompute_entries(&pair3, Direction::Forward, Variant::Avail);
+        // Adjacent composed hop O2 → O3 (through the shared baseline).
+        let o2_to_o3 = compose_entries(&pair2, Direction::Backward, &up3);
+        assert!(!o2_to_o3.entries.is_empty(), "adjacent composition serves");
+
+        // The chain O1 → O2 → O3, every prefix returned.
+        let prefixes = compose_entries_chain(
+            &pair1,
+            Direction::Backward,
+            &[(&base, &up2), (&o2, &o2_to_o3)],
+        );
+        assert_eq!(prefixes.len(), 2, "one prefix per stage");
+        // Prefix 0 is exactly the single-pair composition.
+        let direct = compose_entries(&pair1, Direction::Backward, &up2);
+        assert_eq!(
+            prefixes[0].entries.keys().collect::<Vec<_>>(),
+            direct.entries.keys().collect::<Vec<_>>(),
+            "a one-stage chain is the plain composition"
+        );
+        // Prefix 1 maps O1's points straight into O3.
+        let chained = &prefixes[1];
+        assert!(
+            !chained.entries.is_empty(),
+            "the chained O1→O3 table serves points"
+        );
+        let mut replayed = 0;
+        for (at, (landing, entry)) in &chained.entries {
+            if let Some(ok) = replay_point(&o1, &o3, *at, landing, entry) {
+                assert!(ok, "chained entry at {at} diverged");
+                replayed += 1;
+            }
+        }
+        assert!(
+            replayed > 0,
+            "at least one chained entry replays concretely"
+        );
     }
 
     #[test]

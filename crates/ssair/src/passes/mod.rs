@@ -160,6 +160,25 @@ impl Pipeline {
         ])
     }
 
+    /// The aggressive mix: the §5.4 standard passes followed by a second
+    /// SCCP + sinking round over the already-hoisted, already-CSE'd code —
+    /// the O3 rung of a tier ladder.  The extra round folds branches the
+    /// first SCCP could not see until CSE/LICM rewrote their operands and
+    /// sinks the survivors, so the artifact is strictly harder to OSR out
+    /// of (more moved/deleted state) — exactly the trade a top rung makes.
+    pub fn aggressive() -> Self {
+        Pipeline::aggressive_keeping(&Default::default())
+    }
+
+    /// The aggressive mix with a §5.2 liveness-extension keep-set.
+    pub fn aggressive_keeping(keep: &std::collections::BTreeSet<crate::ValueId>) -> Self {
+        let mut p = Pipeline::standard_keeping(keep.clone());
+        p.passes.push(Box::new(Sccp));
+        p.passes.push(Box::new(Adce::keeping(keep.clone())));
+        p.passes.push(Box::new(Sink::keeping(keep.clone())));
+        p
+    }
+
     /// A light CSE + DCE-style mix (no loop restructuring): the O1 rung of
     /// a tier ladder, cheap to run and cheap to OSR out of.
     pub fn light() -> Self {

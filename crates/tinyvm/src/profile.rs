@@ -79,9 +79,14 @@ impl fmt::Display for Tier {
 #[derive(Default)]
 pub struct ProfileTable {
     counters: Mutex<HashMap<(String, Tier), Arc<AtomicU64>>>,
-    /// Baseline-profiled edge executions, nested per function (so reads
-    /// and steady-state flushes look up by `&str` without allocating) and
-    /// grouped per branch (so a bias query touches one entry).
+    /// Profiled edge executions, nested per function (so reads and
+    /// steady-state flushes look up by `&str` without allocating),
+    /// grouped per branch (so a bias query touches one entry), and keyed
+    /// per *rung* within the branch: a frame records the edges it takes
+    /// at whatever tier it runs (the baseline always; a climbed frame for
+    /// every branch its rung does not guard), so a partially-deoptimized
+    /// frame keeps correcting the profile without re-entering the
+    /// baseline.  Bias queries aggregate over the rungs.
     edges: Mutex<HashMap<String, HashMap<BlockId, EdgeCounts>>>,
     /// Uncommon-path hits observed from climbed frames, nested per
     /// function: `tier, branch block → count`.
@@ -90,10 +95,11 @@ pub struct ProfileTable {
     deopts: Mutex<HashMap<String, Arc<AtomicU64>>>,
 }
 
-/// Per-branch successor counts: which blocks a conditional branch jumped
-/// to, and how often (a conditional has two successors, so a flat vector
-/// beats a map).
-type EdgeCounts = Vec<(BlockId, u64)>;
+/// Per-branch successor counts, keyed by the rung that observed them:
+/// which blocks a conditional branch jumped to, how often, and at which
+/// tier (a conditional has two successors and few rungs observe it, so a
+/// flat vector beats a map).
+type EdgeCounts = Vec<((Tier, BlockId), u64)>;
 
 /// One function's uncommon-path hits, per `(tier, branch block)`.
 type UncommonCounts = HashMap<(Tier, BlockId), u64>;
@@ -132,31 +138,51 @@ impl ProfileTable {
             .sum()
     }
 
-    /// Records baseline-tier branch-edge executions in bulk (a frame's
-    /// controller batches its local observations and flushes them at
-    /// instrumented visits, so the shared map is not locked per branch).
+    /// Cumulative instrumented visits per rung, summed over every
+    /// function — the per-rung *residency* a service reports (how much of
+    /// the traffic actually runs at each tier of the graph).
+    pub fn per_tier_totals(&self) -> BTreeMap<Tier, u64> {
+        let map = self.counters.lock().expect("profile lock");
+        let mut out: BTreeMap<Tier, u64> = BTreeMap::new();
+        for ((_, tier), c) in map.iter() {
+            *out.entry(*tier).or_insert(0) += c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Records branch-edge executions observed at `tier` in bulk (a
+    /// frame's controller batches its local observations and flushes them
+    /// at instrumented visits, so the shared map is not locked per
+    /// branch).  The baseline records every conditional edge; a climbed
+    /// frame records the branches its rung does not guard, so the profile
+    /// keeps converging even for frames that never touch the baseline.
     pub fn record_edges(
         &self,
         function: &str,
+        tier: Tier,
         batch: impl IntoIterator<Item = ((BlockId, BlockId), u64)>,
     ) {
         let mut map = self.edges.lock().expect("edge lock");
         let branches = per_function(&mut map, function);
         for ((from, to), n) in batch {
             let succs = branches.entry(from).or_default();
-            match succs.iter_mut().find(|(s, _)| *s == to) {
+            match succs.iter_mut().find(|(k, _)| *k == (tier, to)) {
                 Some((_, count)) => *count += n,
-                None => succs.push((to, n)),
+                None => succs.push(((tier, to), n)),
             }
         }
     }
 
     /// The speculation verdict for `function`'s conditional branch at
-    /// `branch`, under `policy`: `Some(hot successor)` when the baseline
-    /// profile is biased enough to guard on, `None` when the branch is
-    /// unprofiled or too balanced.  Ties between equally-hot successors
-    /// break toward the lowest block id, so the verdict is deterministic
-    /// even under a degenerate `bias_percent ≤ 50`.
+    /// `branch`, under `policy`: `Some(hot successor)` when the profile —
+    /// aggregated over every rung that observed the branch — is biased
+    /// enough to guard on, `None` when the branch is unprofiled or too
+    /// balanced.  Because a policy may hand different `policy` knobs to
+    /// different rungs, the same branch can bias at one rung and stay
+    /// neutral at another — the adaptive-deopt decider.  Ties between
+    /// equally-hot successors break toward the lowest block id, so the
+    /// verdict is deterministic even under a degenerate
+    /// `bias_percent ≤ 50`.
     pub fn edge_bias(
         &self,
         function: &str,
@@ -166,11 +192,19 @@ impl ProfileTable {
         let map = self.edges.lock().expect("edge lock");
         let succs = map.get(function)?.get(&branch)?;
         let mut total = 0u64;
-        let mut hot: Option<(BlockId, u64)> = None;
-        for (to, n) in succs {
+        // Aggregate per successor across rungs (a conditional has two).
+        let mut by_succ: Vec<(BlockId, u64)> = Vec::with_capacity(2);
+        for ((_, to), n) in succs {
             total += n;
-            if hot.is_none_or(|(b, best)| *n > best || (*n == best && *to < b)) {
-                hot = Some((*to, *n));
+            match by_succ.iter_mut().find(|(s, _)| s == to) {
+                Some((_, count)) => *count += n,
+                None => by_succ.push((*to, *n)),
+            }
+        }
+        let mut hot: Option<(BlockId, u64)> = None;
+        for (to, n) in by_succ {
+            if hot.is_none_or(|(b, best)| n > best || (n == best && to < b)) {
+                hot = Some((to, n));
             }
         }
         let (succ, n) = hot?;
@@ -443,15 +477,22 @@ pub struct TierTarget {
     /// Precomputed entries mapping the *current* version's OSR points to
     /// landing sites and compensation code in `target`.  May be a direct
     /// table or a composed version-to-version table
-    /// (`ssair::feasibility::compose_entries`).
+    /// (`ssair::feasibility::compose_entries`,
+    /// `ssair::feasibility::compose_entries_chain`).
     pub table: Arc<EntryTable>,
     /// The *semantic* direction of the hop — `Forward` for a climb,
     /// `Backward` for a guard-driven tier-down.  Recorded on the resulting
     /// [`crate::runtime::OsrEvent`] instead of the table's own direction,
-    /// because a composed down-hop (e.g. `O2 → O1` routed through the
+    /// because a composed down-hop (e.g. `O3 → O2` routed through the
     /// baseline) is served by a table whose final stage is a *forward*
     /// entry table.
     pub direction: Direction,
+    /// The *rung index* of the destination version, as the controller's
+    /// tier graph numbers it — what makes hops rung-based rather than
+    /// pair-based: one frame can climb `O0 → O1 → O2 → O3` and fall
+    /// `O3 → O2` without the runtime ever assuming a two-version world.
+    /// Recorded on the resulting [`crate::runtime::OsrEvent`].
+    pub rung: Tier,
 }
 
 /// Receives visit counts for instrumented points and decides when the
@@ -602,17 +643,60 @@ mod tests {
         let hot = BlockId(6);
         let cold = BlockId(7);
         assert_eq!(t.edge_bias("f", branch, &policy), None, "unprofiled");
-        t.record_edges("f", [((branch, hot), 9u64)]);
+        t.record_edges("f", Tier::BASELINE, [((branch, hot), 9u64)]);
         assert_eq!(t.edge_bias("f", branch, &policy), None, "below min_samples");
-        t.record_edges("f", [((branch, hot), 9u64)]);
+        t.record_edges("f", Tier::BASELINE, [((branch, hot), 9u64)]);
         assert_eq!(t.edge_bias("f", branch, &policy), Some(hot), "18/18 hot");
-        t.record_edges("f", [((branch, cold), 3u64)]);
+        t.record_edges("f", Tier::BASELINE, [((branch, cold), 3u64)]);
         assert_eq!(
             t.edge_bias("f", branch, &policy),
             None,
             "18/21 < 90%: the bias dissolves once the cold path gets share"
         );
         assert_eq!(t.edge_bias("g", branch, &policy), None, "per function");
+    }
+
+    #[test]
+    fn edge_profile_aggregates_across_rungs() {
+        let t = ProfileTable::default();
+        let policy = SpeculationPolicy {
+            min_samples: 10,
+            bias_percent: 90,
+            tolerance: 4,
+        };
+        let branch = BlockId(5);
+        let hot = BlockId(6);
+        let cold = BlockId(7);
+        t.record_edges("f", Tier::BASELINE, [((branch, hot), 18u64)]);
+        assert_eq!(t.edge_bias("f", branch, &policy), Some(hot));
+        // Cold edges recorded by a partially-deoptimized frame at O2 count
+        // against the same bias: the profile converges without the frame
+        // ever re-entering the baseline.
+        t.record_edges("f", Tier(2), [((branch, cold), 3u64)]);
+        assert_eq!(
+            t.edge_bias("f", branch, &policy),
+            None,
+            "18/21 < 90%: rung-keyed observations share one bias"
+        );
+        // A tighter per-rung policy sees the same aggregate differently.
+        let loose = SpeculationPolicy {
+            bias_percent: 80,
+            ..policy
+        };
+        assert_eq!(t.edge_bias("f", branch, &loose), Some(hot), "18/21 ≥ 80%");
+    }
+
+    #[test]
+    fn per_tier_totals_report_residency() {
+        let t = ProfileTable::default();
+        t.counter("f", Tier::BASELINE)
+            .fetch_add(7, Ordering::Relaxed);
+        t.counter("f", Tier(2)).fetch_add(5, Ordering::Relaxed);
+        t.counter("g", Tier(2)).fetch_add(1, Ordering::Relaxed);
+        let totals = t.per_tier_totals();
+        assert_eq!(totals.get(&Tier::BASELINE), Some(&7));
+        assert_eq!(totals.get(&Tier(2)), Some(&6), "summed across functions");
+        assert_eq!(totals.get(&Tier(1)), None, "never-visited rung absent");
     }
 
     #[test]

@@ -108,6 +108,10 @@ pub struct OsrEvent {
     pub from: InstId,
     /// Landing location (in the version being entered).
     pub to: InstId,
+    /// Rung index of the version entered, as the controller numbers it
+    /// ([`TierTarget::rung`] for ladder hops; legacy run-to-completion
+    /// transitions land on `Tier(1)` forward and the baseline backward).
+    pub rung: crate::profile::Tier,
     /// `|c|`: generated compensation instructions executed.
     pub comp_size: usize,
     /// Number of live values transferred.
@@ -120,13 +124,14 @@ impl fmt::Display for OsrEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {} -> {} (|c| = {}, {} values{})",
+            "{} {} -> {} lands {} (|c| = {}, {} values{})",
             match self.direction {
                 Direction::Forward => "OSR",
                 Direction::Backward => "Deopt",
             },
             self.from,
             self.to,
+            self.rung,
             self.comp_size,
             self.transferred,
             if self.via_continuation {
@@ -568,6 +573,10 @@ impl Vm {
                 direction,
                 from: at,
                 to: loc,
+                rung: match direction {
+                    Direction::Forward => crate::profile::Tier(1),
+                    Direction::Backward => crate::profile::Tier::BASELINE,
+                },
                 comp_size,
                 transferred,
                 via_continuation: options.use_continuation,
@@ -674,6 +683,7 @@ fn table_hop(
             direction: t.direction,
             from: at,
             to: loc,
+            rung: t.rung,
             comp_size,
             transferred,
             via_continuation: false,
@@ -903,6 +913,7 @@ mod tests {
             direction: Direction::Forward,
             from: InstId(3),
             to: InstId(3),
+            rung: crate::profile::Tier(2),
             comp_size: 2,
             transferred: 4,
             via_continuation: true,

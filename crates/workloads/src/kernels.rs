@@ -59,7 +59,7 @@ pub fn kernel_source(name: &str) -> Option<Kernel> {
 /// with the shift) re-climbs.  Both arms depend on loop-carried state so
 /// the optimizer cannot hoist or sink either away.
 pub fn speculation_kernels() -> Vec<Kernel> {
-    vec![branch_flip(), phase_filter()]
+    vec![branch_flip(), phase_filter(), rare_path()]
 }
 
 /// Kernels whose entry function calls helper functions (some with their
@@ -120,6 +120,37 @@ fn phase_filter() -> Kernel {
         source,
         entry: "phase_filter",
         sample_args: vec![500, 350],
+    }
+}
+
+/// rare_path: a loop whose cold arm runs a steady 1-in-13 iterations
+/// before the flip — a *partial* bias (~92%), strong enough for an
+/// aggressive top rung to guard on but too weak for a conservative
+/// intermediate rung — and 12-in-13 after it.  This is the adaptive
+/// one-rung-deopt shape: when the top rung's guard fails, the rung below
+/// is bias-neutral for the branch and the frame falls a single rung
+/// instead of all the way to the baseline.  (No phase branch: the flip
+/// is arithmetic, so the *only* contested conditional is the guarded
+/// one.)
+fn rare_path() -> Kernel {
+    let source = function("rare_path", &["n", "flip"], |b| {
+        b.line("var acc = 0;");
+        b.open("for (var i = 0; i < n; i = i + 1)");
+        b.line("var phase = i / (flip + 1);");
+        b.open("if ((i % 13) < 1 + 11 * phase)");
+        b.line("acc = acc + 5 + (acc % 9);");
+        b.close();
+        b.open("else");
+        b.line("acc = acc + i * 3 - (acc >> 4);");
+        b.close();
+        b.close();
+        b.line("return acc;");
+    });
+    Kernel {
+        name: "rare_path",
+        source,
+        entry: "rare_path",
+        sample_args: vec![400, 300],
     }
 }
 

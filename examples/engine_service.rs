@@ -72,7 +72,7 @@ fn main() {
         .iter()
         .filter_map(|e| match e {
             ResultEvent::Engine(ev) => Some(ev.to_string()),
-            ResultEvent::Completed { .. } => None,
+            ResultEvent::Completed { .. } | ResultEvent::DeadlineExpired { .. } => None,
         })
         .collect();
     for line in engine_events.iter().take(16) {

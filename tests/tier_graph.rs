@@ -1,0 +1,284 @@
+//! Acceptance tests for the N-rung transition graph: a frame climbs the
+//! whole default `O0 → O1 → O2 → O3` chain — the `O1 → O2` and `O2 → O3`
+//! hops served by *chained* composed tables, never re-entering the
+//! baseline — and guard failures take the graph's *adaptive* down edges:
+//! one rung (`O3 → O2`, through a composed down-table) when the rung
+//! below is bias-neutral for the failing branch, all the way to the
+//! baseline when it still speculates on it.  All observed from the
+//! session event stream.
+
+use engine::{
+    DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, Request, ResultEvent,
+    SessionReport, Tier,
+};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+/// `(from, to, composed, direction)` transition tuples of one request, in
+/// hop order.
+fn transitions(report: &SessionReport, request: u64) -> Vec<(Tier, Tier, bool, Direction)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request: r,
+                from_tier,
+                to_tier,
+                composed,
+                event,
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier, *composed, event.direction)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request: r,
+                from_tier,
+                to_tier,
+                reason: DeoptReason::GuardFailure { .. },
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn kernel_module(name: &str) -> Module {
+    let kernel = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("{name} ships"));
+    minic::compile(&kernel.source).expect("compiles")
+}
+
+#[test]
+fn one_frame_climbs_all_four_rungs_via_chained_composed_tables() {
+    // A kernel with no contested branch, so the climb is pure.
+    let module = minic::compile(
+        "fn climber(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 acc = acc + (x * x + i) - ((x * x + i) % 7);
+             }
+             return acc;
+         }",
+    )
+    .expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::three_tier(8, 24, 24)
+        },
+    );
+    engine.prewarm("climber").expect("climber exists");
+    assert_eq!(engine.cache().ready_count(), 3, "O1, O2 and O3 artifacts");
+    assert!(
+        engine.cache().composed_count() >= 3,
+        "adjacent O1→O2, O2→O3 plus the chained O1→O3 prefix: {}",
+        engine.cache().composed_count()
+    );
+
+    let session = engine.start();
+    let long = Request::tiered("climber", vec![Val::Int(3), Val::Int(400)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("climber").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    assert_eq!(
+        transitions(&report, long_id.0),
+        vec![
+            (Tier(0), Tier(1), false, Direction::Forward),
+            (Tier(1), Tier(2), true, Direction::Forward),
+            (Tier(2), Tier(3), true, Direction::Forward),
+        ],
+        "one frame climbs the whole graph; every off-baseline hop is a \
+         chained composed table and the baseline is never re-entered"
+    );
+    assert_eq!(report.metrics.composed_tier_ups, 2);
+    assert_eq!(report.metrics.deopts, 0);
+}
+
+#[test]
+fn partial_bias_takes_the_one_rung_down_edge() {
+    // rare_path's branch is ~92% biased after warm-up: guarded at O3
+    // (bias requirement 90) but *not* at O2 (95, under the default
+    // speculation gradient) — so when the flip fires the O3 guard, O2 is
+    // bias-neutral for the branch and the frame falls exactly one rung.
+    let module = kernel_module("rare_path");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            // High O0 threshold: warm-up requests profile without
+            // climbing (3 × ~14 header visits < 64).
+            tiers: std::sync::Arc::new(LadderPolicy::three_tier(64, 24, 24)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("rare_path").expect("kernel exists");
+    let session = engine.start();
+    // Warm-up: phase-0 traffic (flip beyond n) biases the branch ~12/13.
+    for _ in 0..3 {
+        session.submit(Request::tiered(
+            "rare_path",
+            vec![Val::Int(13), Val::Int(1_000_000)],
+        ));
+    }
+    // The long frame climbs to O3 before i = 300, then the cold arm takes
+    // over and the O3 guard fires.
+    let long = Request::tiered("rare_path", vec![Val::Int(600), Val::Int(300)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("rare_path").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    let deopts = guard_deopts(&report, long_id.0);
+    assert!(
+        deopts.contains(&(Tier(3), Tier(2))),
+        "the guard failure fell exactly one rung: {deopts:?}"
+    );
+    let hops = transitions(&report, long_id.0);
+    assert!(
+        hops.contains(&(Tier(3), Tier(2), true, Direction::Backward)),
+        "the one-rung fall went through a composed down-table: {hops:?}"
+    );
+    assert!(
+        hops.iter().all(|(_, to, _, _)| !to.is_baseline()),
+        "the frame never re-entered the baseline: {hops:?}"
+    );
+    assert!(report.metrics.guard_failures >= 1);
+}
+
+#[test]
+fn total_bias_still_falls_all_the_way_to_baseline() {
+    // branch_flip's branch is ~100% biased after warm-up: every rung
+    // (O2 needs 95, O1 needs 100) still speculates on it, so no
+    // intermediate rung is bias-neutral and the guard failure deopts
+    // straight to the baseline — where the corrected profile dissolves
+    // the bias and the frame re-climbs.
+    let module = kernel_module("branch_flip");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            tiers: std::sync::Arc::new(LadderPolicy::three_tier(64, 24, 24)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("branch_flip").expect("kernel exists");
+    let session = engine.start();
+    for _ in 0..3 {
+        session.submit(Request::tiered(
+            "branch_flip",
+            vec![Val::Int(8), Val::Int(1_000_000)],
+        ));
+    }
+    let long = Request::tiered("branch_flip", vec![Val::Int(4000), Val::Int(200)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("branch_flip").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    let deopts = guard_deopts(&report, long_id.0);
+    assert!(
+        deopts.contains(&(Tier(3), Tier(0))),
+        "a totally-biased branch forces the full deopt: {deopts:?}"
+    );
+    assert!(
+        !deopts.contains(&(Tier(3), Tier(2))),
+        "no one-rung fall when the rung below still speculates: {deopts:?}"
+    );
+    // The landed frame re-climbs off the corrected baseline profile.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::Reclimb { request, from_tier, .. })
+                if *request == long_id.0 && from_tier.is_baseline()
+        )),
+        "the deopted frame re-climbed"
+    );
+}
+
+#[test]
+fn graph_execution_is_deterministic_under_aggressive_thresholds() {
+    let climber = "fn climber(x, n) {
+             var acc = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 acc = acc + (x * x + i) - ((x * x + i) % 7);
+             }
+             return acc;
+         }";
+    let rare = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "rare_path")
+        .unwrap();
+    let mut module = minic::compile(climber).unwrap();
+    for f in minic::compile(&rare.source)
+        .unwrap()
+        .functions
+        .into_values()
+    {
+        module.add(f);
+    }
+    let run = |thresholds: (u64, u64, u64)| -> Vec<Option<Val>> {
+        let engine = Engine::new(
+            module.clone(),
+            EnginePolicy {
+                compile_workers: 1,
+                batch_workers: 1,
+                ..EnginePolicy::three_tier(thresholds.0, thresholds.1, thresholds.2)
+            },
+        );
+        engine.prewarm("climber").unwrap();
+        engine.prewarm("rare_path").unwrap();
+        let requests: Vec<Request> = (0..8)
+            .flat_map(|k| {
+                [
+                    Request::tiered("climber", vec![Val::Int(k % 4), Val::Int(60 + 20 * k)]),
+                    Request::tiered("rare_path", vec![Val::Int(200 + 40 * k), Val::Int(120)]),
+                    Request::debug("climber", vec![Val::Int(k), Val::Int(40)]),
+                ]
+            })
+            .collect();
+        engine
+            .run_batch(&requests)
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+    let a = run((8, 24, 24));
+    let b = run((8, 24, 24));
+    assert_eq!(a, b, "same graph, same results");
+    let c = run((2, 4, 6));
+    assert_eq!(a, c, "an aggressive climb schedule cannot change results");
+}
