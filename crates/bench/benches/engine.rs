@@ -14,7 +14,7 @@
 //! residency reported next to the metrics printout.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use engine::{Engine, EnginePolicy, Request, Tier};
+use engine::{Engine, EnginePolicy, LadderPolicy, Request, Tier, ValueSpeculationPolicy};
 use ssair::interp::Val;
 use ssair::Module;
 
@@ -143,11 +143,67 @@ fn o3_session(module: &Module) {
     println!();
 }
 
+/// The value-speculation acceptance run: a stable-argument stream
+/// compiles (and enters) a constant-seeded specialized version, then a
+/// flipped argument fires its value guard — both visible in the metrics
+/// snapshot.
+fn value_speculation_session() {
+    let kernel = workloads::value_speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "mode_blend")
+        .expect("mode_blend ships");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let engine = Engine::new(
+        module,
+        EnginePolicy {
+            tiers: std::sync::Arc::new(LadderPolicy::two_tier(8, 24).with_value_speculation(Some(
+                ValueSpeculationPolicy {
+                    min_samples: 4,
+                    stability_percent: 80,
+                },
+            ))),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    let session = engine.start();
+    // A stream holding the configuration argument stable…
+    for k in 0..8 {
+        session.submit(Request::tiered(
+            "mode_blend",
+            vec![Val::Int(1), Val::Int(400 + k)],
+        ));
+    }
+    // …then the stable value flips mid-stream.  (Long enough that the
+    // violating frame climbs into the specialized version and the guard
+    // fires; short enough that the subsequent branch-profile correction
+    // doesn't dominate the acceptance run.)
+    session.submit(Request::tiered(
+        "mode_blend",
+        vec![Val::Int(2), Val::Int(1200)],
+    ));
+    let report = session.shutdown();
+    let metrics = &report.metrics;
+    assert!(report.results().values().all(|r| r.is_ok()));
+    assert!(
+        metrics.value_specialized_tier_ups >= 1,
+        "no value-specialized tier-up fired: {metrics}"
+    );
+    assert!(
+        metrics.value_guard_failures >= 1,
+        "the flipped argument fired no value guard: {metrics}"
+    );
+    println!("value speculation session metrics: {metrics}");
+}
+
 fn bench_engine_sessions(c: &mut Criterion) {
     let module = service_module();
 
-    // The O3 acceptance session runs (and asserts) before any timing.
+    // The O3 and value-speculation acceptance sessions run (and assert)
+    // before any timing.
     o3_session(&module);
+    value_speculation_session();
 
     // Determinism check across independent engines before timing anything.
     let a = run_session(&module, workloads::DEFAULT_ZIPF_EXPONENT);

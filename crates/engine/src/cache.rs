@@ -1,6 +1,7 @@
 //! The shared code cache: per-tier compiled function versions with
 //! precomputed, validated OSR entry tables, keyed by `(function, pipeline
-//! spec)`, plus lazily-built composed version-to-version tables.
+//! spec, value speculation)`, plus lazily-built composed
+//! version-to-version tables.
 //!
 //! The cache is the rendezvous point between interpreters and the
 //! background compiler pool: interpreters probe it on every hot visit,
@@ -102,22 +103,132 @@ impl fmt::Display for PipelineSpec {
     }
 }
 
-/// Cache key: one function under one pipeline spec.
+/// A value-speculation assumption: the listed parameter slots hold the
+/// given constants.  An empty speculation is the unspecialized (generic)
+/// artifact.
+///
+/// A speculation is part of the cache key — the cache holds one artifact
+/// per `(function, pipeline, speculation)` — and travels with the
+/// compiled artifact ([`CompiledVersion::speculation`]) as its *entry
+/// guard*: the engine admits a frame into the specialized version only
+/// after checking the frame's actual arguments against it (or, when it
+/// hops a violating frame in deliberately, fires the guard at the landing
+/// before a single specialized instruction runs).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Speculation {
+    /// `(parameter slot, speculated value)` pairs, sorted by slot.
+    seeds: Vec<(usize, i64)>,
+}
+
+impl Speculation {
+    /// The empty (generic, unspecialized) speculation.
+    pub fn none() -> Self {
+        Speculation::default()
+    }
+
+    /// A speculation over the given `(slot, value)` seeds (sorted and
+    /// deduplicated by slot; the first value per slot wins).
+    pub fn on(seeds: impl IntoIterator<Item = (usize, i64)>) -> Self {
+        let mut seeds: Vec<(usize, i64)> = seeds.into_iter().collect();
+        seeds.sort_by_key(|(slot, _)| *slot);
+        seeds.dedup_by_key(|(slot, _)| *slot);
+        Speculation { seeds }
+    }
+
+    /// Whether this is the empty speculation.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The `(slot, value)` seeds, sorted by slot.
+    pub fn seeds(&self) -> &[(usize, i64)] {
+        &self.seeds
+    }
+
+    /// The entry-guard check: whether `args` satisfy every seed.
+    pub fn matches(&self, args: &[Val]) -> bool {
+        self.seeds
+            .iter()
+            .all(|(slot, v)| matches!(args.get(*slot), Some(Val::Int(n)) if n == v))
+    }
+
+    /// The first seed `args` violate, if any: `(slot, expected, actual)`
+    /// — `actual` is `None` when the slot holds no integer at all (a
+    /// missing argument or a pointer), so diagnostics never fabricate a
+    /// concrete value.
+    pub fn violation(&self, args: &[Val]) -> Option<(usize, i64, Option<i64>)> {
+        self.seeds
+            .iter()
+            .find_map(|(slot, v)| match args.get(*slot) {
+                Some(Val::Int(n)) if n == v => None,
+                Some(Val::Int(n)) => Some((*slot, *v, Some(*n))),
+                _ => Some((*slot, *v, None)),
+            })
+    }
+}
+
+impl fmt::Display for Speculation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (slot, v)) in self.seeds.iter().enumerate() {
+            write!(f, "{}p{slot}={v}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// Cache key: one function under one pipeline spec and one value
+/// speculation.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
     /// Function name in the engine's module.
     pub function: String,
     /// Pipeline the artifact was (or will be) produced by.
     pub spec: PipelineSpec,
+    /// Value speculation the artifact is specialized on (empty for the
+    /// generic artifact).
+    pub speculation: Speculation,
 }
 
 impl CacheKey {
-    /// Key for `function` under `spec`.
+    /// Key for the generic (unspecialized) `function` artifact under
+    /// `spec`.
     pub fn new(function: impl Into<String>, spec: PipelineSpec) -> Self {
         CacheKey {
             function: function.into(),
             spec,
+            speculation: Speculation::none(),
         }
+    }
+
+    /// Key for `function`'s `speculation`-specialized artifact under
+    /// `spec`.
+    pub fn speculated(
+        function: impl Into<String>,
+        spec: PipelineSpec,
+        speculation: Speculation,
+    ) -> Self {
+        CacheKey {
+            function: function.into(),
+            spec,
+            speculation,
+        }
+    }
+
+    /// Display label: the pipeline name, with the speculation suffixed
+    /// for specialized artifacts (e.g. `O2[p0=3]`) — what metrics and
+    /// event streams show.
+    pub fn pipeline_label(&self) -> String {
+        pipeline_label(&self.spec, &self.speculation)
+    }
+}
+
+/// The `O2[p0=3]`-style display label for a `(pipeline, speculation)`
+/// pair; plain pipeline name when the speculation is empty.
+pub fn pipeline_label(spec: &PipelineSpec, speculation: &Speculation) -> String {
+    if speculation.is_empty() {
+        spec.name().to_string()
+    } else {
+        format!("{}[{speculation}]", spec.name())
     }
 }
 
@@ -127,6 +238,13 @@ impl CacheKey {
 pub struct CompiledVersion {
     /// The spec this artifact was produced by.
     pub spec: PipelineSpec,
+    /// The value speculation this artifact is specialized on — its entry
+    /// guard.  Empty for generic artifacts.
+    pub speculation: Speculation,
+    /// The instrumented (loop-header) OSR points of the optimized
+    /// version, precomputed so the engine's value-guard vetting never
+    /// recomputes loop info on a hot path.
+    pub header_points: Vec<InstId>,
     /// Baseline/optimized pair with the recorded action mapper.
     pub versions: Arc<FunctionVersions>,
     /// The optimized version, shared so ladder hops can continue executing
@@ -213,11 +331,41 @@ pub fn compile_function(
     spec: &PipelineSpec,
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
+    compile_speculated(base, spec, &Speculation::none(), variant)
+}
+
+/// Like [`compile_function`], specialized on a value speculation: the
+/// speculated parameter slots are seeded as constants
+/// ([`ssair::passes::SeedValues`] prepended to the rung's normal mix, so
+/// SCCP/DCE/branch folding run over the seeded constants) and the
+/// speculation is recorded on the artifact as its entry guard.  The
+/// *baseline* half of the pair stays the unspecialized original — the
+/// version a violating frame deopts back into.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a precomputed table fails validation.
+pub fn compile_speculated(
+    base: Function,
+    spec: &PipelineSpec,
+    speculation: &Speculation,
+    variant: Variant,
+) -> Result<CompiledVersion, CompileError> {
     let t0 = Instant::now();
+    let seeds: Vec<(ValueId, i64)> = speculation
+        .seeds()
+        .iter()
+        .filter(|(slot, _)| *slot < base.params.len())
+        .map(|(slot, v)| (base.param_value(*slot), *v))
+        .collect();
     let mut keep: std::collections::BTreeSet<ValueId> = Default::default();
     let mut rounds = 0;
     loop {
-        let versions = FunctionVersions::new(base.clone(), &spec.build_keeping(&keep));
+        let mut pipeline = spec.build_keeping(&keep);
+        if !seeds.is_empty() {
+            pipeline = pipeline.prepended(Box::new(ssair::passes::SeedValues::new(seeds.clone())));
+        }
+        let versions = FunctionVersions::new(base.clone(), &pipeline);
         let pair = versions.pair();
         let tier_up = precompute_entries(&pair, Direction::Forward, variant);
         let (tier_down, wanted) =
@@ -248,6 +396,8 @@ pub fn compile_function(
         let base = Arc::new(versions.base.clone());
         return Ok(CompiledVersion {
             spec: spec.clone(),
+            speculation: speculation.clone(),
+            header_points: headers,
             versions: Arc::new(versions),
             opt,
             base,
@@ -359,12 +509,32 @@ pub fn differential_validate(
     module: &Module,
     samples: usize,
 ) -> Result<(), CompileError> {
+    differential_validate_pinned(table, src_fn, dst_fn, module, samples, &Speculation::none())
+}
+
+/// [`differential_validate`] with speculated argument slots *pinned* to
+/// their seeded values.  A table whose endpoint is a constant-seeded
+/// specialized version is only claimed correct for conforming frames (the
+/// engine's value guard keeps violating frames out), so the replay must
+/// sample conforming arguments — free-running samples would "diverge"
+/// on exactly the inputs the speculation excludes.
+pub fn differential_validate_pinned(
+    table: &EntryTable,
+    src_fn: &Function,
+    dst_fn: &Function,
+    module: &Module,
+    samples: usize,
+    pin: &Speculation,
+) -> Result<(), CompileError> {
     const FUEL: usize = 2_000_000;
     let arg_sets: Vec<Vec<Val>> = [2i64, 3, 5]
         .iter()
         .map(|&k| {
             (0..src_fn.params.len())
-                .map(|i| Val::Int(k + i as i64))
+                .map(|i| {
+                    let seeded = pin.seeds().iter().find(|(slot, _)| *slot == i);
+                    Val::Int(seeded.map_or(k + i as i64, |(_, v)| *v))
+                })
                 .collect()
         })
         .collect();
@@ -451,6 +621,81 @@ pub fn differential_validate(
     Ok(())
 }
 
+/// Vets the *violating-frame round trip* — hop into a specialized
+/// version via `fwd_entry`, fire the value guard at the forward landing
+/// before a single specialized instruction executes, and hop straight out
+/// via `escape_entry` — for soundness on a frame whose arguments violate
+/// the speculation.
+///
+/// The specialized version's recorded actions equate values with the
+/// seeded constants, which holds only *under* the speculation: any value
+/// that reaches the escaping frame through a specialized-version mapping
+/// (an emitted constant, a replace-chain alias) may encode the speculated
+/// constant and corrupt a violating frame.  The escape must therefore
+/// read nothing the specialized version computed.  Two kinds of frame
+/// state are provably *real* at the landing: (a) values the forward entry
+/// transferred **under their own id** (`src == dst` — an identity copy of
+/// untouched source-frame state, still addressable by the id the
+/// speculation-free escape table reads), and (b) parameters (always
+/// re-suppliable with the real arguments,
+/// [`tinyvm::profile::TierTarget::pinned`]).  The round trip is safe
+/// exactly when every value `escape_entry` reads is one of those; its
+/// remaining steps are vetted transitively — emissions reference only the
+/// escape target's (unspecialized) instructions and read only values
+/// produced by earlier steps.
+///
+/// A third kind of provably-real state extends the two above: a value
+/// whose *baseline* definition is a plain constant.  Constants are
+/// version-independent literal facts (every version derived from the
+/// baseline preserves the id and the literal — the §5.1 free-remat
+/// observation), so the escape may pin them regardless of what the
+/// specialized version did to them.  On success the returned pins are the
+/// `(value, constant)` pairs the escape hop must supply
+/// ([`tinyvm::profile::TierTarget::pinned`]); `None` means the round trip
+/// cannot be proven safe and the violating frame must stay out.
+///
+/// The escape table itself must also be speculation-free — the engine
+/// uses the generic artifact's own direct forward table at the landing,
+/// never a table composed through the specialized version's mappings.
+pub fn vet_value_roundtrip(
+    fwd_entry: &ssair::reconstruct::SsaEntry,
+    escape_entry: &ssair::reconstruct::SsaEntry,
+    base: &Function,
+) -> Option<Vec<(ValueId, Val)>> {
+    let identity: std::collections::BTreeSet<ValueId> = fwd_entry
+        .comp
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            CompStep::Transfer { src, dst } if src == dst => Some(*dst),
+            _ => None,
+        })
+        .collect();
+    let mut pins = Vec::new();
+    for step in &escape_entry.comp.steps {
+        let CompStep::Transfer { src, .. } = step else {
+            continue;
+        };
+        if identity.contains(src) || (src.0 as usize) < base.params.len() {
+            continue;
+        }
+        let base_const = ((src.0 as usize) < base.value_count())
+            .then(|| base.value_def(*src))
+            .and_then(|def| match def {
+                ssair::ValueDef::Inst(i) if base.inst_is_live(i) => match base.inst(i).kind {
+                    ssair::InstKind::Const(n) => Some(n),
+                    _ => None,
+                },
+                _ => None,
+            });
+        match base_const {
+            Some(n) => pins.push((*src, Val::Int(n))),
+            None => return None,
+        }
+    }
+    Some(pins)
+}
+
 /// State of one cache slot.
 enum Slot {
     /// A compile job has been claimed/enqueued but not yet published.
@@ -459,13 +704,25 @@ enum Slot {
     Ready(Arc<CompiledVersion>),
 }
 
-/// Key of a composed version-to-version table: `function`'s `from`-spec
-/// version hopping straight to its `to`-spec version.
+/// Key of a composed version-to-version table: `function`'s `from`
+/// version hopping straight to its `to` version.  Each endpoint is a full
+/// `(pipeline, speculation)` rung identity, so specialized and generic
+/// artifacts of the same rung memoize independent tables.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct ComposedKey {
     function: String,
-    from: PipelineSpec,
-    to: PipelineSpec,
+    from: (PipelineSpec, Speculation),
+    to: (PipelineSpec, Speculation),
+}
+
+impl ComposedKey {
+    fn between(function: &str, from: &CompiledVersion, to: &CompiledVersion) -> Self {
+        ComposedKey {
+            function: function.to_string(),
+            from: (from.spec.clone(), from.speculation.clone()),
+            to: (to.spec.clone(), to.speculation.clone()),
+        }
+    }
 }
 
 const SHARD_COUNT: usize = 8;
@@ -586,19 +843,20 @@ impl CodeCache {
             )
         };
         if replaced {
-            self.invalidate_composed(&key.function, &key.spec);
+            self.invalidate_composed(&key.function, &key.spec, &key.speculation);
         }
     }
 
-    /// Drops every memoized composed table of `function` that has `spec`
-    /// as either endpoint (including memoized failures, which may now
-    /// succeed against the republished artifact).
-    fn invalidate_composed(&self, function: &str, spec: &PipelineSpec) {
+    /// Drops every memoized composed table of `function` that has the
+    /// `(spec, speculation)` rung as either endpoint (including memoized
+    /// failures, which may now succeed against the republished artifact).
+    fn invalidate_composed(&self, function: &str, spec: &PipelineSpec, speculation: &Speculation) {
         let mut dropped = 0u64;
+        let endpoint = (spec.clone(), speculation.clone());
         for shard in &self.composed {
             let mut map = shard.lock().expect("composed lock");
             map.retain(|k, _| {
-                let stale = k.function == function && (&k.from == spec || &k.to == spec);
+                let stale = k.function == function && (k.from == endpoint || k.to == endpoint);
                 if stale {
                     dropped += 1;
                 }
@@ -629,7 +887,8 @@ impl CodeCache {
     /// an invalidation that must wait for the shard lock and then drops
     /// the fresh insert.
     fn is_current(&self, function: &str, cv: &CompiledVersion) -> bool {
-        match self.get(&CacheKey::new(function, cv.spec.clone())) {
+        let key = CacheKey::speculated(function, cv.spec.clone(), cv.speculation.clone());
+        match self.get(&key) {
             Some(cur) => std::ptr::eq(Arc::as_ptr(&cur), std::ptr::from_ref(cv)),
             None => true,
         }
@@ -688,11 +947,7 @@ impl CodeCache {
         to: &CompiledVersion,
         module: &Module,
     ) -> (ComposedResult, bool) {
-        let key = ComposedKey {
-            function: function.to_string(),
-            from: from.spec.clone(),
-            to: to.spec.clone(),
-        };
+        let key = ComposedKey::between(function, from, to);
         let idx = shard_index(&key);
         if let Some(r) = self.composed[idx].lock().expect("composed lock").get(&key) {
             return (r.clone(), false);
@@ -743,11 +998,7 @@ impl CodeCache {
         adjacent: &EntryTable,
         module: &Module,
     ) -> (ComposedResult, bool) {
-        let key = ComposedKey {
-            function: function.to_string(),
-            from: from.spec.clone(),
-            to: to.spec.clone(),
-        };
+        let key = ComposedKey::between(function, from, to);
         let idx = shard_index(&key);
         if let Some(r) = self.composed[idx].lock().expect("composed lock").get(&key) {
             return (r.clone(), false);
@@ -755,7 +1006,14 @@ impl CodeCache {
         let result = compose_table_pair(prefix, &via.versions.opt, adjacent);
         let result = validate_table(&result, &from.versions.opt, &to.versions.opt)
             .and_then(|()| {
-                differential_validate(&result, &from.versions.opt, &to.versions.opt, module, 3)
+                differential_validate_pinned(
+                    &result,
+                    &from.versions.opt,
+                    &to.versions.opt,
+                    module,
+                    3,
+                    &pin_for(from, to),
+                )
             })
             .map(|()| Arc::new(result));
         let mut map = self.composed[idx].lock().expect("composed lock");
@@ -813,8 +1071,30 @@ fn build_composed(
     .expect("one stage, one prefix");
     drop(pair);
     validate_table(&table, &from.versions.opt, &to.versions.opt)?;
-    differential_validate(&table, &from.versions.opt, &to.versions.opt, module, 3)?;
+    differential_validate_pinned(
+        &table,
+        &from.versions.opt,
+        &to.versions.opt,
+        module,
+        3,
+        &pin_for(from, to),
+    )?;
     Ok(table)
+}
+
+/// The argument pin for differentially replaying a table between `from`
+/// and `to`: the union of both endpoints' speculations (the table is only
+/// claimed correct for frames conforming to both — the engine's value
+/// guard keeps every other frame out).  The endpoints an engine composes
+/// never conflict on a slot; if a custom caller's do, `from`'s seed wins.
+fn pin_for(from: &CompiledVersion, to: &CompiledVersion) -> Speculation {
+    Speculation::on(
+        from.speculation
+            .seeds()
+            .iter()
+            .chain(to.speculation.seeds())
+            .copied(),
+    )
 }
 
 #[cfg(test)]
@@ -904,6 +1184,118 @@ mod tests {
     }
 
     #[test]
+    fn stale_prefix_extension_after_republish_is_never_memoized() {
+        // The §5.2-republish window, closed by `is_current`: a caller
+        // builds a chained prefix against the pre-republish endpoints, a
+        // keep-set recompile republishes the middle rung (invalidating
+        // every table routing through it), and the caller — still holding
+        // `Arc`s to the stale artifacts — extends and tries to publish
+        // the fold.  The returned table is self-consistent for the
+        // caller, but memoizing it would resurrect exactly the entry the
+        // invalidation dropped.
+        let module = minic::compile(SRC).unwrap();
+        let cache = CodeCache::new();
+        let o1 = Arc::new(compiled(PipelineSpec::O1));
+        let o2_old = Arc::new(compiled(PipelineSpec::O2));
+        let o3 = Arc::new(compiled(PipelineSpec::O3));
+        let (k1, k2, k3) = (
+            CacheKey::new("f", PipelineSpec::O1),
+            CacheKey::new("f", PipelineSpec::O2),
+            CacheKey::new("f", PipelineSpec::O3),
+        );
+        assert!(cache.claim(&k1) && cache.claim(&k2) && cache.claim(&k3));
+        cache.publish(&k1, Arc::clone(&o1));
+        cache.publish(&k2, Arc::clone(&o2_old));
+        cache.publish(&k3, Arc::clone(&o3));
+        let p12 = cache.composed("f", &o1, &o2_old, &module).0.unwrap();
+        let a23 = cache.composed("f", &o2_old, &o3, &module).0.unwrap();
+        assert_eq!(cache.composed_count(), 2);
+        // The keep-set recompile republishes O2 mid-extension.
+        cache.publish(&k2, Arc::new(compiled(PipelineSpec::O2)));
+        assert_eq!(cache.composed_count(), 0, "both stale tables dropped");
+        // Extending the stale prefix still *returns* a table (correct for
+        // the holder's own Arcs) but must not be memoized under O1→O3.
+        let (stale, built) = cache.composed_prefix("f", &o1, &o2_old, &o3, &p12, &a23, &module);
+        stale.expect("the fold itself validates against the held Arcs");
+        assert!(built, "nothing memoized to return");
+        assert_eq!(
+            cache.composed_count(),
+            0,
+            "a fold through a replaced endpoint must not resurrect the \
+             invalidated O1→O3 entry"
+        );
+        // Ditto for a plain composition against the replaced endpoint.
+        let (r, _) = cache.composed("f", &o1, &o2_old, &module);
+        r.unwrap();
+        assert_eq!(cache.composed_count(), 0, "stale O1→O2 not re-memoized");
+        // Fresh endpoints memoize again as usual.
+        let o2_new = cache.get(&k2).expect("republished artifact");
+        cache.composed("f", &o1, &o2_new, &module).0.unwrap();
+        assert_eq!(cache.composed_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_republish_and_composition_leave_no_stale_tables() {
+        // Build/republish interleaving under real concurrency: builders
+        // race composed-table construction against keep-set-style
+        // republishes of the shared middle rung.  Afterwards, every
+        // memoized table must have current endpoints — republishing once
+        // more must drop *at most* what the final round of builders
+        // inserted against the final artifact, never a stale survivor.
+        let module = minic::compile(SRC).unwrap();
+        let cache = Arc::new(CodeCache::new());
+        let o1 = Arc::new(compiled(PipelineSpec::O1));
+        let o2: Vec<Arc<CompiledVersion>> = (0..4)
+            .map(|_| Arc::new(compiled(PipelineSpec::O2)))
+            .collect();
+        let (k1, k2) = (
+            CacheKey::new("f", PipelineSpec::O1),
+            CacheKey::new("f", PipelineSpec::O2),
+        );
+        assert!(cache.claim(&k1) && cache.claim(&k2));
+        cache.publish(&k1, Arc::clone(&o1));
+        cache.publish(&k2, Arc::clone(&o2[0]));
+        std::thread::scope(|s| {
+            for versions in o2.chunks(2) {
+                let cache = Arc::clone(&cache);
+                let k2 = k2.clone();
+                s.spawn(move || {
+                    for cv in versions {
+                        cache.publish(&k2, Arc::clone(cv));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let cache = Arc::clone(&cache);
+                let o1 = Arc::clone(&o1);
+                let o2 = &o2;
+                let module = &module;
+                s.spawn(move || {
+                    for cv in o2 {
+                        let _ = cache.composed("f", &o1, cv, module);
+                    }
+                });
+            }
+        });
+        // Whatever survived the storm was built against *some* endpoints;
+        // verify none are stale: every memoized O1→O2 table must match
+        // the currently-published O2, so composing with the current
+        // artifact either hits the memo or rebuilds — and a final
+        // republish drops exactly the current-endpoint tables, leaving
+        // the map empty.
+        let current = cache.get(&k2).expect("an O2 artifact is published");
+        let (r, _) = cache.composed("f", &o1, &current, &module);
+        r.unwrap();
+        cache.publish(&k2, Arc::new(compiled(PipelineSpec::O2)));
+        let dropped_all = cache.composed_count();
+        assert_eq!(
+            dropped_all, 0,
+            "after invalidating the only shared endpoint, no composed \
+             table may survive — a survivor would be a stale fold"
+        );
+    }
+
+    #[test]
     fn probe_stats_accumulate_per_key() {
         let cache = CodeCache::new();
         let k = CacheKey::new("f", PipelineSpec::O2);
@@ -917,6 +1309,139 @@ mod tests {
             (0, 0),
             "per (function, pipeline)"
         );
+    }
+
+    #[test]
+    fn speculation_guard_checks_and_labels() {
+        let s = Speculation::on([(1, 7), (0, 3), (1, 99)]);
+        assert_eq!(s.seeds(), &[(0, 3), (1, 7)], "sorted, first per slot");
+        assert!(s.matches(&[Val::Int(3), Val::Int(7)]));
+        assert!(!s.matches(&[Val::Int(3), Val::Int(8)]));
+        assert!(!s.matches(&[Val::Int(3)]), "a missing slot violates");
+        assert_eq!(s.violation(&[Val::Int(3), Val::Int(7)]), None);
+        assert_eq!(
+            s.violation(&[Val::Int(4), Val::Int(7)]),
+            Some((0, 3, Some(4)))
+        );
+        assert_eq!(
+            s.violation(&[Val::Int(3)]),
+            Some((1, 7, None)),
+            "a missing slot reports no fabricated value"
+        );
+        assert_eq!(s.to_string(), "p0=3,p1=7");
+        assert_eq!(pipeline_label(&PipelineSpec::O2, &s), "O2[p0=3,p1=7]");
+        assert_eq!(
+            pipeline_label(&PipelineSpec::O2, &Speculation::none()),
+            "O2"
+        );
+        assert!(Speculation::none().matches(&[]));
+        assert_eq!(
+            CacheKey::speculated("f", PipelineSpec::O1, s.clone()).pipeline_label(),
+            "O1[p0=3,p1=7]"
+        );
+        assert_ne!(
+            CacheKey::new("f", PipelineSpec::O1),
+            CacheKey::speculated("f", PipelineSpec::O1, s),
+            "specialized and generic artifacts occupy distinct slots"
+        );
+    }
+
+    #[test]
+    fn speculated_compile_folds_and_guards() {
+        let m = minic::compile(
+            "fn g(mode, n) {
+                 var acc = 0;
+                 for (var i = 0; i < n; i = i + 1) {
+                     if (mode > 6) { acc = acc + (acc % 11) + i; }
+                     else { acc = acc + i * (mode + 2); }
+                 }
+                 return acc;
+             }",
+        )
+        .unwrap();
+        let base = m.get("g").unwrap().clone();
+        let spec = compile_speculated(
+            base.clone(),
+            &PipelineSpec::O2,
+            &Speculation::on([(0, 3)]),
+            Variant::Avail,
+        )
+        .expect("specialized compile validates");
+        let generic =
+            compile_function(base, &PipelineSpec::O2, Variant::Avail).expect("generic compiles");
+        assert_eq!(spec.speculation, Speculation::on([(0, 3)]));
+        assert!(generic.speculation.is_empty());
+        assert!(
+            spec.opt.live_inst_count() < generic.opt.live_inst_count(),
+            "seeding mode=3 must fold the dispatch branch: {} !< {}",
+            spec.opt.live_inst_count(),
+            generic.opt.live_inst_count()
+        );
+        // The specialized version is equivalent under the speculation —
+        // checked on concrete frames with the speculated slot pinned.
+        differential_validate_pinned(
+            &spec.tier_up,
+            &spec.versions.base,
+            &spec.versions.opt,
+            &m,
+            4,
+            &spec.speculation,
+        )
+        .expect("conforming frames transfer correctly");
+        assert!(!spec.header_points.is_empty(), "headers precomputed");
+    }
+
+    #[test]
+    fn roundtrip_vet_rejects_speculation_tainted_reads() {
+        use ssair::reconstruct::{CompCode, SsaEntry};
+        let m = minic::compile("fn id(a, b) { return a + b; }").unwrap();
+        let base = m.get("id").unwrap();
+        let entry = |steps: Vec<CompStep>| SsaEntry {
+            target: InstId(0),
+            comp: CompCode { steps },
+            keep: Default::default(),
+        };
+        let id = |n: u32| ValueId(n);
+        let fwd = entry(vec![
+            CompStep::Transfer {
+                src: id(10),
+                dst: id(10),
+            }, // identity: real
+            CompStep::Transfer {
+                src: id(11),
+                dst: id(20),
+            }, // renamed: not addressable by the escape
+        ]);
+        // Reads an identity value and both params: safe, no pins.
+        let ok = entry(vec![
+            CompStep::Transfer {
+                src: id(10),
+                dst: id(10),
+            },
+            CompStep::Transfer {
+                src: id(0),
+                dst: id(0),
+            },
+            CompStep::Transfer {
+                src: id(1),
+                dst: id(1),
+            },
+        ]);
+        assert_eq!(vet_value_roundtrip(&fwd, &ok, base), Some(vec![]));
+        // Reads the *renamed* transfer's destination: the real value is
+        // there but under a different id — rejected.
+        let renamed = entry(vec![CompStep::Transfer {
+            src: id(20),
+            dst: id(20),
+        }]);
+        assert_eq!(vet_value_roundtrip(&fwd, &renamed, base), None);
+        // Reads a value the forward leg never provided at all: rejected
+        // (it could only come from the specialized version's mappings).
+        let unprovided = entry(vec![CompStep::Transfer {
+            src: id(11),
+            dst: id(11),
+        }]);
+        assert_eq!(vet_value_roundtrip(&fwd, &unprovided, base), None);
     }
 
     #[test]

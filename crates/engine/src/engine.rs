@@ -14,13 +14,16 @@ use ssair::{BlockId, Function, InstId, Module};
 use tinyvm::profile::{Tier, TierController, TierDecision, TierTarget};
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
-use crate::cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
+use crate::cache::{
+    vet_value_roundtrip, CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec,
+    Speculation,
+};
 use crate::metrics::{DeoptReason, EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
 use crate::pool::{run_job, CompileJob, CompilerPool};
 use crate::session::{RequestId, ResultEvent};
 use crate::tiers::{LadderPolicy, TierPolicy};
 
-pub use tinyvm::profile::{ProfileTable, SpeculationPolicy};
+pub use tinyvm::profile::{ProfileTable, SpeculationPolicy, ValueSpeculationPolicy};
 
 /// Engine-wide policy knobs.
 #[derive(Clone, Debug)]
@@ -108,13 +111,14 @@ pub struct Request {
     pub args: Vec<Val>,
     /// Execution mode.
     pub mode: ExecMode,
-    /// Queueing budget in *ticks* (microseconds) since submission: a
-    /// request still waiting for a worker when its budget has elapsed is
-    /// dropped instead of executed, streamed as
+    /// Queueing budget in *microseconds* since submission: a request
+    /// still waiting for a worker once it has waited longer than its
+    /// budget is dropped instead of executed, streamed as
     /// [`crate::ResultEvent::DeadlineExpired`] and counted in
     /// [`MetricsSnapshot::deadline_expired`] — serving a reply nobody
-    /// waits for anymore only steals a worker from live traffic.  `None`
-    /// (the default) never expires.
+    /// waits for anymore only steals a worker from live traffic.  A
+    /// budget of `0` expires unconditionally at pickup; `None` (the
+    /// default) never expires.
     pub deadline: Option<u64>,
 }
 
@@ -140,11 +144,11 @@ impl Request {
     }
 
     /// Sets the queueing budget: the request is dropped (never executed)
-    /// if it is still waiting for a worker `ticks` microseconds after
-    /// submission.
+    /// once it has waited for a worker longer than `micros` microseconds
+    /// after submission (`0` always expires).
     #[must_use]
-    pub fn with_deadline(mut self, ticks: u64) -> Self {
-        self.deadline = Some(ticks);
+    pub fn with_deadline(mut self, micros: u64) -> Self {
+        self.deadline = Some(micros);
         self
     }
 }
@@ -412,7 +416,7 @@ impl EngineCore {
             .ok_or_else(|| EngineError::UnknownFunction(req.function.clone()))?;
         match req.mode {
             ExecMode::Tiered => {
-                let mut controller = EngineController::new(self, &req.function, base);
+                let mut controller = EngineController::new(self, &req.function, base, &req.args);
                 let outcome =
                     self.vm
                         .run_tiered(base, &req.args, &self.policy.options, &mut controller);
@@ -444,6 +448,8 @@ impl EngineCore {
                         from: top,
                         to: Tier::BASELINE,
                         composed: false,
+                        speculated: false,
+                        guard_entry: false,
                         deopt: Some(DeoptReason::DebuggerAttach),
                         reclimb: false,
                     };
@@ -477,6 +483,14 @@ impl EngineCore {
                             .composed_tier_ups
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                    if label.speculated && !label.guard_entry {
+                        // A violating frame's deliberate guard entry is
+                        // not a successful specialization — only hops of
+                        // conforming frames count.
+                        self.metrics
+                            .value_specialized_tier_ups
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     if label.reclimb {
                         self.metrics.reclimbs.fetch_add(1, Ordering::Relaxed);
                         self.events.push(EngineEvent::Reclimb {
@@ -492,6 +506,11 @@ impl EngineCore {
                     if let Some(reason) = &label.deopt {
                         if matches!(reason, DeoptReason::GuardFailure { .. }) {
                             self.metrics.guard_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if matches!(reason, DeoptReason::ValueGuard { .. }) {
+                            self.metrics
+                                .value_guard_failures
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         self.events.push(EngineEvent::Deopt {
                             request,
@@ -509,6 +528,7 @@ impl EngineCore {
                 from_tier: label.from,
                 to_tier: label.to,
                 composed: label.composed,
+                speculated: label.speculated,
                 event,
             });
         }
@@ -641,6 +661,13 @@ struct HopLabel {
     to: Tier,
     /// Whether a composed version-to-version table served the hop.
     composed: bool,
+    /// Whether the version entered is value-specialized (constant-seeded).
+    speculated: bool,
+    /// Whether this forward hop is a deliberate *guard entry* — a
+    /// violating frame hopping in only so its value guard can fire at
+    /// the landing.  Guard entries are not counted as successful
+    /// specialized tier-ups.
+    guard_entry: bool,
     /// `Some` when the hop was a deopt, with the why.
     deopt: Option<DeoptReason>,
     /// Whether this upward hop re-climbs after an earlier deopt in the
@@ -655,7 +682,31 @@ struct PendingHop {
     /// baseline).
     artifact: Option<Arc<CompiledVersion>>,
     composed: bool,
+    /// Whether the destination artifact is value-specialized.
+    speculated: bool,
+    /// Whether this is a violating frame's deliberate guard entry.
+    guard_entry: bool,
     deopt: Option<DeoptReason>,
+}
+
+/// A planned value-guard escape, armed when the controller deliberately
+/// hops a *violating* frame into a specialized version: the guard fires
+/// at the forward landing — the first instrumented visit after the hop,
+/// before a single specialized instruction executes — and takes this
+/// pre-vetted route back out.  Every route is vetted with
+/// [`vet_value_roundtrip`] at climb time, so the escape can never
+/// launder speculation-tainted values into the violating frame.
+struct ValueEscape {
+    /// The vetted escape hop.
+    target: TierTarget,
+    /// Rung the escape lands on.
+    to: Tier,
+    /// Artifact of the landing rung (`None` for the baseline).
+    artifact: Option<Arc<CompiledVersion>>,
+    /// Whether a composed table serves the escape.
+    composed: bool,
+    /// The value-guard reason recorded on the deopt.
+    reason: DeoptReason,
 }
 
 /// The engine's [`TierController`]: aggregates per-`(function, tier)`
@@ -681,6 +732,27 @@ struct EngineController<'e> {
     core: &'e EngineCore,
     function: &'e str,
     base: &'e Function,
+    /// The request's actual arguments — what the value guard checks a
+    /// specialized artifact's speculation against, and the source of the
+    /// parameter pins every hop carries
+    /// ([`tinyvm::profile::TierTarget::pinned`]).
+    args: &'e [Val],
+    /// Parameter pins: `param value id → actual argument`, supplied to
+    /// every hop so an OSR-entered frame can always re-read its arguments.
+    pinned: Vec<(ssair::ValueId, Val)>,
+    /// One-shot argument-value observations, flushed into the shared
+    /// value profile with the first edge flush.
+    local_values: Option<Vec<((usize, i64), u64)>>,
+    /// Memoized value-speculation verdict for the current climb epoch.
+    spec_memo: Option<Speculation>,
+    /// Frame-local value-speculation poison: set once a value guard fired
+    /// (or a speculative route failed vetting), so this frame re-climbs
+    /// on generic artifacts only — "without the stale assumption".
+    no_value_spec: bool,
+    /// The pre-vetted escape for a violating frame currently hopping into
+    /// a specialized version; fired at the first observation after the
+    /// landing.
+    value_escape: Option<ValueEscape>,
     /// Rung the frame currently runs.
     tier: Tier,
     /// Artifact of the current rung (`None` at baseline).
@@ -719,12 +791,12 @@ struct EngineController<'e> {
     bias_cache: HashMap<BlockId, Option<BlockId>>,
     /// Whether this request already recorded its cache hit/miss.
     accounted: bool,
-    /// Specs whose per-key probe history this request already fed (one
+    /// Keys whose per-key probe history this request already fed (one
     /// probe per request per rung, so a long frame does not drown the
     /// hit-rate signal).
-    probed: HashSet<PipelineSpec>,
-    /// Specs this request already enqueued compile jobs for.
-    enqueued: HashSet<PipelineSpec>,
+    probed: HashSet<CacheKey>,
+    /// Keys this request already enqueued compile jobs for.
+    enqueued: HashSet<CacheKey>,
     /// `(tier, point)` pairs where a hop was infeasible (never retried).
     failed_points: BTreeSet<(u8, InstId)>,
     /// Rungs whose outgoing composed table was rejected (never retried).
@@ -732,11 +804,32 @@ struct EngineController<'e> {
 }
 
 impl<'e> EngineController<'e> {
-    fn new(core: &'e EngineCore, function: &'e str, base: &'e Function) -> Self {
+    fn new(core: &'e EngineCore, function: &'e str, base: &'e Function, args: &'e [Val]) -> Self {
+        let pinned: Vec<(ssair::ValueId, Val)> = args
+            .iter()
+            .enumerate()
+            .take(base.params.len())
+            .map(|(i, a)| (base.param_value(i), *a))
+            .collect();
+        let local_values: Vec<((usize, i64), u64)> = args
+            .iter()
+            .enumerate()
+            .take(base.params.len())
+            .filter_map(|(i, a)| match a {
+                Val::Int(n) => Some(((i, *n), 1)),
+                Val::Ptr(..) => None,
+            })
+            .collect();
         EngineController {
             core,
             function,
             base,
+            args,
+            pinned,
+            local_values: Some(local_values),
+            spec_memo: None,
+            no_value_spec: false,
+            value_escape: None,
             tier: Tier::BASELINE,
             current: None,
             counter: core.profiles.counter(function, Tier::BASELINE),
@@ -769,6 +862,11 @@ impl<'e> EngineController<'e> {
     }
 
     fn flush_profile(&mut self) {
+        if let Some(values) = self.local_values.take() {
+            if !values.is_empty() {
+                self.core.profiles.record_values(self.function, values);
+            }
+        }
         if !self.local_edges.is_empty() {
             self.core
                 .profiles
@@ -783,19 +881,49 @@ impl<'e> EngineController<'e> {
         }
     }
 
+    /// The value speculation the next climb should target, memoized per
+    /// climb epoch: empty when the policy disables value speculation, the
+    /// frame's speculation is poisoned, or no argument slot is stable; at
+    /// a specialized rung, the current artifact's own speculation (so a
+    /// climb stays consistent along the whole ladder).
+    fn desired_speculation(&mut self) -> Speculation {
+        if let Some(memo) = &self.spec_memo {
+            return memo.clone();
+        }
+        let spec = if self.no_value_spec {
+            Speculation::none()
+        } else if let Some(cur) = self
+            .current
+            .as_ref()
+            .filter(|cv| !cv.speculation.is_empty())
+        {
+            cur.speculation.clone()
+        } else if let Some(policy) = self.core.policy.tiers.value_speculation() {
+            Speculation::on((0..self.base.params.len()).filter_map(|slot| {
+                self.core
+                    .profiles
+                    .stable_value(self.function, slot, &policy)
+                    .map(|v| (slot, v))
+            }))
+        } else {
+            Speculation::none()
+        };
+        self.spec_memo = Some(spec.clone());
+        spec
+    }
+
     /// The adapted climb threshold of the current rung's up edge
     /// ([`TierPolicy::threshold_with_cache`]), memoized per climb epoch:
     /// the per-key probe lookup and the adaptation metrics run once per
     /// `(hop, deopt-count)` epoch instead of once per loop iteration.
-    fn adapted_threshold(&mut self, next_spec: &PipelineSpec, deopts: u64) -> u64 {
+    fn adapted_threshold(&mut self, key: &CacheKey, deopts: u64) -> u64 {
         if let Some((d, t)) = self.threshold_memo {
             if d == deopts {
                 return t;
             }
         }
         let tiers = &self.core.policy.tiers;
-        let key = CacheKey::new(self.function, next_spec.clone());
-        let (hits, misses) = self.core.cache.probe_stats(&key);
+        let (hits, misses) = self.core.cache.probe_stats(key);
         let threshold = tiers.threshold_with_cache(self.tier, deopts, hits, misses);
         let unadapted = tiers.threshold_after_deopts(self.tier, deopts);
         if threshold < unadapted {
@@ -864,6 +992,8 @@ impl<'e> EngineController<'e> {
                         to,
                         artifact: Some(tcv),
                         composed: true,
+                        speculated: false,
+                        guard_entry: false,
                         deopt: Some(reason),
                     });
                     return Some(TierTarget {
@@ -871,6 +1001,8 @@ impl<'e> EngineController<'e> {
                         table,
                         direction: Direction::Backward,
                         rung: to,
+                        pinned: self.pinned.clone(),
+                        mandatory: false,
                     });
                 }
             }
@@ -880,6 +1012,8 @@ impl<'e> EngineController<'e> {
             to: Tier::BASELINE,
             artifact: None,
             composed: false,
+            speculated: false,
+            guard_entry: false,
             deopt: Some(reason),
         });
         Some(TierTarget {
@@ -887,6 +1021,132 @@ impl<'e> EngineController<'e> {
             table: Arc::clone(&cur.tier_down),
             direction: Direction::Backward,
             rung: Tier::BASELINE,
+            pinned: self.pinned.clone(),
+            mandatory: false,
+        })
+    }
+
+    /// Poisons value speculation for this frame: it re-climbs on generic
+    /// artifacts only, and the next visit re-decides the climb afresh.
+    fn poison_value_spec(&mut self) {
+        self.no_value_spec = true;
+        self.spec_memo = None;
+        self.threshold_memo = None;
+    }
+
+    /// Hops a *violating* frame into the ready specialized artifact so
+    /// its entry guard fires — the interpreter-level model of a compiled
+    /// prologue guard: the frame transfers in, the guard trips at the
+    /// landing (the first instrumented visit, before any specialized
+    /// instruction executes), and a pre-vetted escape hops it straight
+    /// out onto the *same rung's generic artifact*, where it re-climbs
+    /// without the assumption.
+    ///
+    /// The escape deliberately uses no specialized-version mapping at
+    /// all: the forward leg's identity transfers leave real source-frame
+    /// values addressable under their own (version-independent) ids, and
+    /// the generic artifact's *direct* forward table at the landing reads
+    /// exactly such values — vetted by [`roundtrip_is_value_safe`], so a
+    /// seeded constant can never launder into the violating frame.  The
+    /// escape is marked mandatory: if it somehow cannot be served at fire
+    /// time, the request aborts instead of running wrong code.
+    ///
+    /// Returns `None` (caller continues interpreting; speculation is
+    /// poisoned frame-locally) when any leg of the round trip cannot be
+    /// proven safe for a violating frame.
+    fn violating_hop(
+        &mut self,
+        at: InstId,
+        spec_cv: Arc<CompiledVersion>,
+        next: Tier,
+    ) -> Option<TierTarget> {
+        let (slot, expected, actual) = spec_cv
+            .speculation
+            .violation(self.args)
+            .expect("caller checked the mismatch");
+        // The escape target: the same rung's generic artifact.  Without
+        // it there is no speculation-free way out — stay generic instead.
+        let generic_key = CacheKey::new(self.function, spec_cv.spec.clone());
+        let Some(gcv) = self.core.cache.get(&generic_key) else {
+            self.poison_value_spec();
+            return None;
+        };
+        // Forward leg: direct off the baseline, composed off a higher rung.
+        let (fwd_table, fwd_composed) = if self.tier.is_baseline() {
+            (Arc::clone(&spec_cv.tier_up), false)
+        } else {
+            let cur = self
+                .current
+                .as_ref()
+                .expect("an optimized rung has an artifact");
+            match self.core.composed_table(self.function, cur, &spec_cv) {
+                Ok(table) => (table, true),
+                Err(_) => {
+                    self.poison_value_spec();
+                    return None;
+                }
+            }
+        };
+        let Some((landing, fwd_entry)) = fwd_table.get(at) else {
+            self.poison_value_spec();
+            return None;
+        };
+        let land = landing.loc;
+        // The guard must trip at the landing, before anything executes:
+        // the landing has to be an instrumented point of the specialized
+        // version.
+        if !spec_cv.header_points.contains(&land) {
+            self.poison_value_spec();
+            return None;
+        }
+        // Escape leg: the generic artifact's own (speculation-free)
+        // forward table at the landing, reading only identity-transferred
+        // real values and pinned parameters.
+        let Some((_, escape_entry)) = gcv.tier_up.get(land) else {
+            self.poison_value_spec();
+            return None;
+        };
+        let Some(const_pins) = vet_value_roundtrip(fwd_entry, escape_entry, self.base) else {
+            self.poison_value_spec();
+            return None;
+        };
+        let mut escape_pinned = self.pinned.clone();
+        escape_pinned.extend(const_pins);
+        self.value_escape = Some(ValueEscape {
+            target: TierTarget {
+                target: Arc::clone(&gcv.opt),
+                table: Arc::clone(&gcv.tier_up),
+                direction: Direction::Backward,
+                rung: next,
+                pinned: escape_pinned,
+                mandatory: true,
+            },
+            to: next,
+            artifact: Some(gcv),
+            composed: false,
+            reason: DeoptReason::ValueGuard {
+                at: land,
+                slot,
+                expected,
+                actual,
+            },
+        });
+        let target = Arc::clone(&spec_cv.opt);
+        self.pending = Some(PendingHop {
+            to: next,
+            artifact: Some(spec_cv),
+            composed: fwd_composed,
+            speculated: true,
+            guard_entry: true,
+            deopt: None,
+        });
+        Some(TierTarget {
+            target,
+            table: fwd_table,
+            direction: Direction::Forward,
+            rung: next,
+            pinned: self.pinned.clone(),
+            mandatory: false,
         })
     }
 }
@@ -898,10 +1158,25 @@ impl TierController for EngineController<'_> {
 
     fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
         self.flush_profile();
-        let tiers = &self.core.policy.tiers;
         // Count the visit first: top-rung frames still contribute to the
         // per-(function, tier) hotness profile.
         let total = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        // A pre-vetted value-guard escape fires at the first instrumented
+        // visit after the violating hop landed — this very instruction,
+        // before any specialized code has executed.
+        if let Some(escape) = self.value_escape.take() {
+            self.poison_value_spec();
+            self.pending = Some(PendingHop {
+                to: escape.to,
+                artifact: escape.artifact,
+                composed: escape.composed,
+                speculated: false,
+                guard_entry: false,
+                deopt: Some(escape.reason),
+            });
+            return TierDecision::Transition(escape.target);
+        }
+        let tiers = &self.core.policy.tiers;
         let Some(next) = tiers.next_tier(self.tier) else {
             return TierDecision::Continue; // no up edge out of this rung
         };
@@ -909,18 +1184,42 @@ impl TierController for EngineController<'_> {
         // threshold (the steady cold-frame path allocates nothing).
         let spec = tiers.spec(next).expect("next is a graph rung");
         let deopts = self.deopt_counter.load(Ordering::Relaxed);
-        if total < self.adapted_threshold(spec, deopts) {
+        if self.threshold_memo.is_none_or(|(d, _)| d != deopts) {
+            // New climb epoch: re-decide the value speculation alongside
+            // the threshold (both are profile queries, memoized together
+            // and refreshed together — a stale verdict would otherwise
+            // survive until the next hop).
+            let spec = spec.clone();
+            self.spec_memo = None;
+            let speculation = self.desired_speculation();
+            let key = CacheKey::speculated(self.function, spec, speculation);
+            self.adapted_threshold(&key, deopts);
+        }
+        let (_, threshold) = self.threshold_memo.expect("just memoized");
+        if total < threshold {
             return TierDecision::Continue;
         }
         if self.blocked.contains(&self.tier.0) || self.failed_points.contains(&(self.tier.0, at)) {
             return TierDecision::Continue;
         }
-        let key = CacheKey::new(self.function, spec.clone());
+        let key = CacheKey::speculated(self.function, spec.clone(), self.desired_speculation());
         match self.core.cache.get(&key) {
             Some(cv) => {
                 self.account(true);
-                if self.probed.insert(key.spec.clone()) {
+                if self.probed.insert(key.clone()) {
                     self.core.cache.note_probe(&key, true);
+                }
+                let speculated = !cv.speculation.is_empty();
+                if speculated && !cv.speculation.matches(self.args) {
+                    // Entry guard: the ready artifact speculates on a value
+                    // this frame's arguments violate.  Hop in to fire the
+                    // guard (sound: the vetted escape runs before any
+                    // specialized instruction) — or, when the round trip
+                    // cannot be vetted, stay out and re-climb generic.
+                    return match self.violating_hop(at, cv, next) {
+                        Some(target) => TierDecision::Transition(target),
+                        None => TierDecision::Continue,
+                    };
                 }
                 let (target, table) = if self.tier.is_baseline() {
                     (Arc::clone(&cv.opt), Arc::clone(&cv.tier_up))
@@ -931,6 +1230,12 @@ impl TierController for EngineController<'_> {
                         .expect("an optimized rung has an artifact");
                     match self.core.composed_table(self.function, cur, &cv) {
                         Ok(table) => (Arc::clone(&cv.opt), table),
+                        Err(_) if speculated => {
+                            // Rejected speculative composition: re-climb
+                            // generic instead of blocking the rung.
+                            self.poison_value_spec();
+                            return TierDecision::Continue;
+                        }
                         Err(_) => {
                             // Rejected composition: this rung can never hop.
                             self.blocked.insert(self.tier.0);
@@ -942,6 +1247,8 @@ impl TierController for EngineController<'_> {
                     to: next,
                     artifact: Some(cv),
                     composed: !self.tier.is_baseline(),
+                    speculated,
+                    guard_entry: false,
                     deopt: None,
                 });
                 TierDecision::Transition(TierTarget {
@@ -949,14 +1256,16 @@ impl TierController for EngineController<'_> {
                     table,
                     direction: Direction::Forward,
                     rung: next,
+                    pinned: self.pinned.clone(),
+                    mandatory: false,
                 })
             }
             None => {
                 self.account(false);
-                if self.probed.insert(key.spec.clone()) {
+                if self.probed.insert(key.clone()) {
                     self.core.cache.note_probe(&key, false);
                 }
-                if self.enqueued.insert(key.spec.clone()) && self.core.cache.claim(&key) {
+                if self.enqueued.insert(key.clone()) && self.core.cache.claim(&key) {
                     self.core.pool.submit(
                         CompileJob {
                             key,
@@ -1023,6 +1332,9 @@ impl TierController for EngineController<'_> {
 
     fn on_infeasible(&mut self, at: InstId) {
         self.pending = None;
+        // An infeasible forward leg of a violating round trip disarms the
+        // escape with it (the frame never entered the specialized code).
+        self.value_escape = None;
         self.failed_points.insert((self.tier.0, at));
         self.core.metrics.infeasible.fetch_add(1, Ordering::Relaxed);
     }
@@ -1034,11 +1346,15 @@ impl TierController for EngineController<'_> {
             .pending
             .take()
             .expect("a hop landed only after being requested");
-        let down = hop.to < self.tier;
+        // Every deopt-labelled hop counts — including the same-rung
+        // value-guard escape onto the rung's generic artifact.
+        let down = hop.deopt.is_some();
         self.hops.push(HopLabel {
             from: self.tier,
             to: hop.to,
             composed: hop.composed,
+            speculated: hop.speculated,
+            guard_entry: hop.guard_entry,
             deopt: hop.deopt.clone(),
             reclimb: self.deopted && hop.to > self.tier,
         });
@@ -1048,11 +1364,12 @@ impl TierController for EngineController<'_> {
         }
         // The profile the frame gathered about this climb is stale after
         // any hop: biases are re-queried (under the landed rung's
-        // policy), guard counters restart, and the climb threshold is
-        // re-adapted.
+        // policy), guard counters restart, and the climb threshold and
+        // value-speculation verdict are re-decided.
         self.guard_stats.clear();
         self.bias_cache.clear();
         self.threshold_memo = None;
+        self.spec_memo = None;
         self.tier = hop.to;
         self.counter = self.core.profiles.counter(self.function, hop.to);
         self.current = hop.artifact;

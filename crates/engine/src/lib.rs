@@ -120,6 +120,48 @@
 //!    deopt), so repeat offenders re-earn each rung with a longer
 //!    profile.
 //!
+//! # Value speculation (stable arguments → constant-seeded versions)
+//!
+//! Beyond branch edges, every `Tiered` request records its concrete
+//! integer arguments into the shared *value profile*
+//! ([`ProfileTable::record_values`], batched and flushed with the edge
+//! profile).  When an argument slot is **stable** — at least
+//! [`ValueSpeculationPolicy::min_samples`] observations dominated by one
+//! value ([`TierPolicy::value_speculation`]; disable with `None`) — a
+//! climb targets a *constant-seeded specialized version*: the cache key
+//! grows a third component, `(function, pipeline, speculation)`
+//! ([`Speculation`]), and the compile prepends
+//! [`ssair::passes::SeedValues`] to the rung's normal mix, materializing
+//! the stable value as a constant so SCCP/DCE/branch folding collapse
+//! everything the argument decides (the dispatch arm, the weight chain).
+//! The artifact records the speculation as its **entry guard**.
+//!
+//! Entries into specialized code are guarded, and violations deopt
+//! through the same `TierGraph` machinery as branch guards:
+//!
+//! * a frame whose arguments *match* hops in normally (the hop is
+//!   labelled `speculated` in the event stream and counted in
+//!   [`MetricsSnapshot::value_specialized_tier_ups`]);
+//! * a frame whose arguments *violate* the speculation still hops in —
+//!   the interpreter-level model of a compiled prologue guard — and the
+//!   guard fires at the landing, **before a single specialized
+//!   instruction executes**: the frame escapes onto the same rung's
+//!   generic artifact ([`EngineEvent::Deopt`] with
+//!   [`DeoptReason::ValueGuard`], [`MetricsSnapshot::value_guard_failures`])
+//!   and re-climbs without the assumption.  The round trip is only taken
+//!   when it is provably sound for a violating frame
+//!   ([`cache::vet_value_roundtrip`]): the escape reads nothing the
+//!   specialized version computed — only identity-transferred real
+//!   values, pinned parameters (arguments are re-suppliable at any hop),
+//!   and baseline constants — and is *mandatory* (if unservable at fire
+//!   time the request aborts rather than run wrong code).  Round trips
+//!   that cannot be vetted are declined at climb time and the frame
+//!   climbs generic.
+//! * violating requests keep recording their arguments, so a stream that
+//!   flips its stable value dissolves the stability
+//!   ([`ProfileTable::stable_value`] goes `None`) and later traffic stops
+//!   speculating until a new value stabilizes.
+//!
 //! # Adaptive climb thresholds
 //!
 //! Beyond deopt demotion, each up edge's threshold reacts to the code
@@ -154,11 +196,12 @@
 //! worker, `submit` blocks and [`EngineHandle::try_submit`] returns
 //! [`SubmitError::QueueFull`] (handing the request back) so a front end
 //! can shed load instead of queueing unboundedly.  A request may also
-//! carry a [`Request::deadline`] — a queueing budget in ticks
-//! (microseconds) since submission: work still waiting for a worker past
-//! its budget is *dropped* at pickup (the caller stopped waiting;
-//! running it would only steal the worker from live traffic), streamed
-//! as [`ResultEvent::DeadlineExpired`] and counted in
+//! carry a [`Request::deadline`] — a queueing budget in *microseconds*
+//! since submission: work still waiting for a worker once it has waited
+//! longer than its budget (a zero budget expires unconditionally) is
+//! *dropped* at pickup (the caller stopped waiting; running it would
+//! only steal the worker from live traffic), streamed as
+//! [`ResultEvent::DeadlineExpired`] and counted in
 //! [`MetricsSnapshot::deadline_expired`].  The background compile queue
 //! is a hot-first priority queue: jobs carry the submitting function's
 //! hotness, and workers pop the hottest job first, so under skewed
@@ -217,10 +260,10 @@ pub mod pool;
 mod session;
 pub mod tiers;
 
-pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec};
+pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec, Speculation};
 pub use engine::{
     BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request,
-    SpeculationPolicy,
+    SpeculationPolicy, ValueSpeculationPolicy,
 };
 pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot};
 pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport, SubmitError};

@@ -30,6 +30,14 @@ pub struct EngineMetrics {
     /// Deopts fired by a speculation guard (a climbed frame repeatedly
     /// taking a branch path the baseline profile bet against).
     pub guard_failures: AtomicU64,
+    /// Deopts fired by a *value* guard (a frame entered a constant-seeded
+    /// specialized version whose speculated argument its own arguments
+    /// violate; the guard fires at the landing, before any specialized
+    /// instruction runs).
+    pub value_guard_failures: AtomicU64,
+    /// Tier-ups whose destination artifact is a value-specialized
+    /// (constant-seeded) version.
+    pub value_specialized_tier_ups: AtomicU64,
     /// Upward transitions of frames that had previously deopted within
     /// the same request — the re-climb half of the speculation lifecycle.
     pub reclimbs: AtomicU64,
@@ -80,6 +88,8 @@ impl EngineMetrics {
             composed_tier_ups: self.composed_tier_ups.load(Ordering::Relaxed),
             deopts: self.deopts.load(Ordering::Relaxed),
             guard_failures: self.guard_failures.load(Ordering::Relaxed),
+            value_guard_failures: self.value_guard_failures.load(Ordering::Relaxed),
+            value_specialized_tier_ups: self.value_specialized_tier_ups.load(Ordering::Relaxed),
             reclimbs: self.reclimbs.load(Ordering::Relaxed),
             extension_recompiles: self.extension_recompiles.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
@@ -109,6 +119,11 @@ pub struct MetricsSnapshot {
     pub deopts: u64,
     /// Deopts fired by a speculation guard.
     pub guard_failures: u64,
+    /// Deopts fired by a value guard (a violating frame escaping a
+    /// constant-seeded specialized version at its landing).
+    pub value_guard_failures: u64,
+    /// Tier-ups into value-specialized (constant-seeded) artifacts.
+    pub value_specialized_tier_ups: u64,
     /// Upward transitions of frames that had previously deopted within
     /// the same request.
     pub reclimbs: u64,
@@ -147,17 +162,19 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} (expired={}) tier_ups={} (composed={}, reclimbs={}) \
-             deopts={} (guard={}) infeasible={} compiles={} (ext={}) \
+            "requests={} (expired={}) tier_ups={} (composed={}, specialized={}, reclimbs={}) \
+             deopts={} (guard={}, value_guard={}) infeasible={} compiles={} (ext={}) \
              mean_compile={}us thresholds(lowered={}, raised={}) \
              queue(depth={}, peak={}) cache(hits={}, misses={})",
             self.requests,
             self.deadline_expired,
             self.tier_ups,
             self.composed_tier_ups,
+            self.value_specialized_tier_ups,
             self.reclimbs,
             self.deopts,
             self.guard_failures,
+            self.value_guard_failures,
             self.infeasible,
             self.compiles,
             self.extension_recompiles,
@@ -188,6 +205,23 @@ pub enum DeoptReason {
     /// A debugger attach ([`crate::ExecMode::Debug`]) forced the frame to
     /// the baseline at the first instrumented visit (§7).
     DebuggerAttach,
+    /// A *value* guard fired: the frame entered a constant-seeded
+    /// specialized version whose speculated argument its own arguments
+    /// violate.  The guard fires at the entry landing — before a single
+    /// specialized instruction executes — and the frame escapes to an
+    /// unspecialized version, re-climbing without the stale assumption.
+    ValueGuard {
+        /// The specialized-version instruction the frame landed on when
+        /// the guard fired.
+        at: InstId,
+        /// The violated parameter slot.
+        slot: usize,
+        /// The value the artifact speculated.
+        expected: i64,
+        /// The frame's actual argument (`None` when the slot held no
+        /// integer — a missing argument or a pointer).
+        actual: Option<i64>,
+    },
 }
 
 impl fmt::Display for DeoptReason {
@@ -197,6 +231,21 @@ impl fmt::Display for DeoptReason {
                 write!(f, "guard failure at {at} ({uncommon} uncommon hits)")
             }
             DeoptReason::DebuggerAttach => write!(f, "debugger attach"),
+            DeoptReason::ValueGuard {
+                at,
+                slot,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "value guard at {at}: p{slot} speculated {expected}, got "
+                )?;
+                match actual {
+                    Some(n) => write!(f, "{n}"),
+                    None => write!(f, "a non-integer"),
+                }
+            }
         }
     }
 }
@@ -219,6 +268,9 @@ pub enum EngineEvent {
         /// table (never re-entering the baseline) rather than a direct
         /// table.
         composed: bool,
+        /// Whether the version entered is a value-specialized
+        /// (constant-seeded) artifact.
+        speculated: bool,
         /// The underlying VM event (direction distinguishes tier-up from
         /// deopt).
         event: OsrEvent,
@@ -300,11 +352,13 @@ impl fmt::Display for EngineEvent {
                 from_tier,
                 to_tier,
                 composed,
+                speculated,
                 event,
             } => write!(
                 f,
-                "[req {request}] {function}: {from_tier}→{to_tier}{} {event}",
-                if *composed { " (composed)" } else { "" }
+                "[req {request}] {function}: {from_tier}→{to_tier}{}{} {event}",
+                if *composed { " (composed)" } else { "" },
+                if *speculated { " (specialized)" } else { "" }
             ),
             EngineEvent::Compiled {
                 function,

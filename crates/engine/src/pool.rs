@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use ssair::reconstruct::Variant;
 use ssair::Function;
 
-use crate::cache::{compile_function, CacheKey, CodeCache};
+use crate::cache::{compile_speculated, CacheKey, CodeCache};
 use crate::metrics::{EngineEvent, EngineMetrics, EventLog};
 
 /// One unit of background compilation work.
@@ -216,7 +216,8 @@ pub fn run_job(
 ) {
     use std::sync::atomic::Ordering;
     let function = job.key.function.clone();
-    match compile_function(job.base, &job.key.spec, variant) {
+    let label = job.key.pipeline_label();
+    match compile_speculated(job.base, &job.key.spec, &job.key.speculation, variant) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
             let extension = (cv.extension_rounds > 0).then_some((cv.extension_rounds, cv.keep));
@@ -226,14 +227,14 @@ pub fn run_job(
                 metrics.extension_recompiles.fetch_add(1, Ordering::Relaxed);
                 events.push(EngineEvent::ExtensionRecompiled {
                     function: function.clone(),
-                    pipeline: job.key.spec.name().to_string(),
+                    pipeline: label.clone(),
                     rounds,
                     kept,
                 });
             }
             events.push(EngineEvent::Compiled {
                 function,
-                pipeline: job.key.spec.name().to_string(),
+                pipeline: label,
                 micros: nanos / 1_000,
             });
         }

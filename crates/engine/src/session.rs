@@ -82,7 +82,7 @@ pub enum ResultEvent {
     DeadlineExpired {
         /// The id [`EngineHandle::submit`] returned.
         id: RequestId,
-        /// Ticks (microseconds) the request actually waited.
+        /// Microseconds the request actually waited.
         waited: u64,
     },
     /// An engine event (transition, compile, composed-table build,
@@ -379,10 +379,14 @@ fn worker_loop(
         waiting.freed.notify_one();
         // Deadline check at pickup: work whose queueing budget elapsed is
         // dropped, not executed — the caller stopped waiting, and running
-        // it anyway would only steal this worker from live traffic.
+        // it anyway would only steal this worker from live traffic.  A
+        // request expires once it has waited *longer than* its budget; a
+        // zero budget expires unconditionally (deterministically, not
+        // only when the scheduler happens to burn a microsecond before
+        // pickup — `waited > 0` is a coin flip at µs resolution).
         if let Some(deadline) = request.deadline {
             let waited = submitted_at.elapsed().as_micros() as u64;
-            if waited > deadline {
+            if deadline == 0 || waited > deadline {
                 core.metrics
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
@@ -555,7 +559,7 @@ mod tests {
         );
         let session = engine.start();
         let slow = session.submit(Request::tiered("spin", vec![Val::Int(300_000)]));
-        // Zero-tick budget: expired by the time the busy worker reaches it.
+        // Zero-µs budget: always expired by the time a worker reaches it.
         let doomed = session.submit(Request::tiered("spin", vec![Val::Int(10)]).with_deadline(0));
         // Effectively-unbounded budget: must still run.
         let patient =
@@ -588,6 +592,29 @@ mod tests {
             batch.results[1],
             Err(EngineError::DeadlineExpired)
         ));
+    }
+
+    #[test]
+    fn zero_budget_deadline_expires_deterministically() {
+        // Regression: expiry used to be `waited > deadline`, which made a
+        // zero-budget request's fate depend on whether the worker burned
+        // a microsecond before pickup.  A zero budget now always expires
+        // — even on an idle session whose worker is ready immediately.
+        let engine = engine();
+        for _ in 0..16 {
+            let session = engine.start();
+            let doomed = session
+                .submit(Request::tiered("hot", vec![Val::Int(1), Val::Int(5)]).with_deadline(0));
+            let report = session.shutdown();
+            assert_eq!(
+                report.expired(),
+                vec![doomed],
+                "a zero budget expires even with an idle worker"
+            );
+            assert!(!report.results().contains_key(&doomed));
+        }
+        assert_eq!(engine.metrics().deadline_expired, 16);
+        assert_eq!(engine.metrics().requests, 0, "nothing ever executed");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::fmt;
 
 use crate::cache::PipelineSpec;
 
-pub use tinyvm::profile::{SpeculationPolicy, Tier};
+pub use tinyvm::profile::{SpeculationPolicy, Tier, ValueSpeculationPolicy};
 
 /// One allowed transition of a [`TierGraph`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -238,6 +238,16 @@ pub trait TierPolicy: fmt::Debug + Send + Sync {
         DeoptStrategy::Adaptive
     }
 
+    /// The *value*-speculation knobs: when an argument slot's observed
+    /// values are stable enough that a climb may target a constant-seeded
+    /// specialized version of the next rung ([`ValueSpeculationPolicy`]).
+    /// `None` disables value speculation entirely (climbs only ever use
+    /// generic artifacts).  Default: the standard knobs (16 samples, 90%
+    /// stability).
+    fn value_speculation(&self) -> Option<ValueSpeculationPolicy> {
+        Some(ValueSpeculationPolicy::default())
+    }
+
     /// The climb threshold at `from` after `deopts` recorded
     /// speculation-failure deopts of the function: adaptive demotion.
     /// Default: the base threshold doubles per deopt, capped at 64× —
@@ -288,6 +298,7 @@ pub const DEFAULT_BIAS_STEP: u8 = 5;
 pub struct LadderPolicy {
     graph: TierGraph,
     speculation: SpeculationPolicy,
+    value_speculation: Option<ValueSpeculationPolicy>,
     strategy: DeoptStrategy,
     /// Per-rung bias tightening below the top (percentage points per
     /// rung): rung `top - d` guards a branch only at
@@ -308,6 +319,7 @@ impl LadderPolicy {
         LadderPolicy {
             graph,
             speculation: SpeculationPolicy::default(),
+            value_speculation: Some(ValueSpeculationPolicy::default()),
             strategy: DeoptStrategy::Adaptive,
             bias_step: DEFAULT_BIAS_STEP,
         }
@@ -326,6 +338,14 @@ impl LadderPolicy {
     #[must_use]
     pub fn with_deopt_target(mut self, target: Tier) -> Self {
         self.strategy = DeoptStrategy::Fixed(target);
+        self
+    }
+
+    /// Overrides the value-speculation knobs; `None` disables value
+    /// speculation (climbs only ever target generic artifacts).
+    #[must_use]
+    pub fn with_value_speculation(mut self, policy: Option<ValueSpeculationPolicy>) -> Self {
+        self.value_speculation = policy;
         self
     }
 
@@ -397,6 +417,10 @@ impl TierPolicy for LadderPolicy {
 
     fn deopt_strategy(&self, _from: Tier) -> DeoptStrategy {
         self.strategy
+    }
+
+    fn value_speculation(&self) -> Option<ValueSpeculationPolicy> {
+        self.value_speculation
     }
 }
 

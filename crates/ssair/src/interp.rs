@@ -56,6 +56,10 @@ pub enum ExecError {
     UnknownFunction(String),
     /// Pointer/integer confusion.
     TypeError,
+    /// A transition the runtime had committed to (e.g. a mandatory
+    /// guard-escape out of speculative code) could not be served; the
+    /// activation cannot soundly continue in its current version.
+    MandatoryTransitionFailed,
 }
 
 impl fmt::Display for ExecError {
@@ -66,6 +70,9 @@ impl fmt::Display for ExecError {
             ExecError::OutOfBounds => write!(f, "memory access out of bounds"),
             ExecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             ExecError::TypeError => write!(f, "pointer/integer type confusion"),
+            ExecError::MandatoryTransitionFailed => {
+                write!(f, "a mandatory transition could not be served")
+            }
         }
     }
 }

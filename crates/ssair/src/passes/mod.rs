@@ -18,6 +18,7 @@ mod lcssa;
 mod licm;
 mod loopsimplify;
 mod sccp;
+mod seed;
 mod sink;
 
 pub use adce::Adce;
@@ -27,6 +28,7 @@ pub use lcssa::Lcssa;
 pub use licm::Licm;
 pub use loopsimplify::LoopSimplify;
 pub use sccp::Sccp;
+pub use seed::SeedValues;
 pub use sink::Sink;
 
 use osr::ActionCounts;
@@ -210,6 +212,15 @@ impl Pipeline {
     /// The passes in execution order.
     pub fn passes(&self) -> &[Box<dyn Pass>] {
         &self.passes
+    }
+
+    /// Returns the pipeline with `pass` prepended — how a value-speculating
+    /// engine runs [`SeedValues`] ahead of a rung's normal mix, so the
+    /// seeded constants feed every downstream fold.
+    #[must_use]
+    pub fn prepended(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.insert(0, pass);
+        self
     }
 
     /// Clones `base` (preserving every id) and optimizes the clone,

@@ -1,0 +1,131 @@
+//! Constant seeding for value-speculative compilation.
+//!
+//! A tiered engine that profiles *values* (not just branch edges) may find
+//! that a function's argument or memory cell is stable across requests.
+//! [`SeedValues`] turns that observation into optimization fuel: each
+//! speculated value is materialized as an entry-block constant and every
+//! use is rewritten to read the constant — recorded as the same `add` +
+//! `replace` primitive actions any folding pass records, so the OSR
+//! mapping between the unspecialized and specialized versions stays exact.
+//! Running the normal pass mix afterwards then folds arithmetic over the
+//! seeded constant (CP/SCCP), deletes branches the constant decides, and
+//! DCEs whole arms — wins no value-agnostic pipeline can reach.
+//!
+//! The pass is purely mechanical and makes *no* correctness claim by
+//! itself: the specialized version computes the right answer only for
+//! frames whose speculated values actually hold.  Guarding entries into
+//! the specialized code — and deoptimizing frames out of it when the
+//! speculation is violated — is the engine's job.
+
+use crate::ir::{Function, ValueId};
+use crate::passes::{materialize_const, replace_all_uses, Pass};
+use crate::SsaMapper;
+
+/// Seeds speculated values as entry-block constants (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct SeedValues {
+    seeds: Vec<(ValueId, i64)>,
+}
+
+impl SeedValues {
+    /// A pass seeding each `(value, constant)` pair.  Values outside the
+    /// function's value space are ignored (a profile may outlive a
+    /// version).
+    pub fn new(seeds: Vec<(ValueId, i64)>) -> Self {
+        SeedValues { seeds }
+    }
+
+    /// The seeds this pass applies.
+    pub fn seeds(&self) -> &[(ValueId, i64)] {
+        &self.seeds
+    }
+}
+
+impl Pass for SeedValues {
+    fn name(&self) -> &'static str {
+        "Seed"
+    }
+
+    fn hook_sites(&self) -> usize {
+        2 // materialize_const (add), replace_all_uses
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut changed = false;
+        for (v, n) in &self.seeds {
+            if (v.0 as usize) >= f.value_count() {
+                continue;
+            }
+            let c = materialize_const(f, cm, *n);
+            replace_all_uses(f, cm, *v, c);
+            changed = true;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::passes::Pipeline;
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    /// `f(mode, x) = mode > 6 ? x * 11 : x + mode` — a dispatch branch a
+    /// seeded `mode` decides statically.
+    fn dispatch() -> crate::Function {
+        let mut b = FunctionBuilder::new("f", &[("mode", Ty::I64), ("x", Ty::I64)]);
+        let mode = b.param(0);
+        let x = b.param(1);
+        let six = b.const_i64(6);
+        let cmp = b.binop(BinOp::Gt, mode, six);
+        let then_bb = b.create_block("then");
+        let else_bb = b.create_block("else");
+        let join = b.create_block("join");
+        b.cond_br(cmp, then_bb, else_bb);
+        b.switch_to(then_bb);
+        let eleven = b.const_i64(11);
+        let t = b.binop(BinOp::Mul, x, eleven);
+        b.br(join);
+        b.switch_to(else_bb);
+        let e = b.binop(BinOp::Add, x, mode);
+        b.br(join);
+        b.switch_to(join);
+        let r = b.phi(&[(then_bb, t), (else_bb, e)]);
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    #[test]
+    fn seeding_a_param_unlocks_branch_folding() {
+        let base = dispatch();
+        let seed = base.param_value(0);
+        let pipeline = Pipeline::standard().prepended(Box::new(SeedValues::new(vec![(seed, 3)])));
+        let (spec, _cm, _) = pipeline.optimize(&base);
+        verify(&spec).unwrap();
+        let (plain, _, _) = Pipeline::standard().optimize(&base);
+        assert!(
+            spec.live_inst_count() < plain.live_inst_count(),
+            "seeding mode=3 folds the dispatch branch away: {} !< {}",
+            spec.live_inst_count(),
+            plain.live_inst_count()
+        );
+        // The specialized version is equivalent *under the speculation*.
+        let module = Module::new();
+        for x in [0i64, 5, 23] {
+            assert_eq!(
+                run_function(&spec, &[Val::Int(3), Val::Int(x)], &module, 100_000).unwrap(),
+                run_function(&base, &[Val::Int(3), Val::Int(x)], &module, 100_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_seeds_are_ignored() {
+        let mut f = dispatch();
+        let mut cm = SsaMapper::new();
+        let bogus = ValueId(10_000);
+        assert!(!SeedValues::new(vec![(bogus, 7)]).run(&mut f, &mut cm));
+        assert_eq!(cm.counts().total(), 0);
+    }
+}

@@ -93,7 +93,24 @@ pub struct ProfileTable {
     uncommon: Mutex<HashMap<String, UncommonCounts>>,
     /// Speculation-failure deopts per function.
     deopts: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    /// The *value* profile: per-function, per-argument-slot observations
+    /// of the concrete integer each request supplied — the input to value
+    /// speculation ([`ProfileTable::stable_value`]).  Batched and flushed
+    /// by controllers exactly like the edge profile.
+    values: Mutex<HashMap<String, HashMap<usize, ValueProfile>>>,
 }
+
+/// Observed values of one argument slot: distinct values with counts, plus
+/// an overflow bucket once the slot has shown more distinct values than
+/// worth tracking (such a slot can never be stable anyway).
+#[derive(Default)]
+struct ValueProfile {
+    counts: Vec<(i64, u64)>,
+    other: u64,
+}
+
+/// Distinct values tracked per argument slot before overflowing.
+const MAX_TRACKED_VALUES: usize = 16;
 
 /// Per-branch successor counts, keyed by the rung that observed them:
 /// which blocks a conditional branch jumped to, how often, and at which
@@ -256,6 +273,84 @@ impl ProfileTable {
     pub fn deopt_count(&self, function: &str) -> u64 {
         let map = self.deopts.lock().expect("deopt lock");
         map.get(function).map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Records argument-value observations in bulk: each batch item is
+    /// `((slot, value), count)` — one per integer argument per request,
+    /// batched by the controller and flushed with the edge profile so the
+    /// shared map is locked once per flush, not once per observation.
+    pub fn record_values(
+        &self,
+        function: &str,
+        batch: impl IntoIterator<Item = ((usize, i64), u64)>,
+    ) {
+        let mut map = self.values.lock().expect("value lock");
+        let slots = per_function(&mut map, function);
+        for ((slot, value), n) in batch {
+            let profile = slots.entry(slot).or_default();
+            if let Some((_, count)) = profile.counts.iter_mut().find(|(v, _)| *v == value) {
+                *count += n;
+            } else if profile.counts.len() < MAX_TRACKED_VALUES {
+                profile.counts.push((value, n));
+            } else {
+                profile.other += n;
+            }
+        }
+    }
+
+    /// The value-speculation verdict for `function`'s argument `slot`
+    /// under `policy`: `Some(v)` when at least
+    /// [`ValueSpeculationPolicy::min_samples`] observations have been
+    /// recorded and a single value `v` drew at least
+    /// [`ValueSpeculationPolicy::stability_percent`] of them — a *stable*
+    /// value an engine may compile a constant-seeded specialized version
+    /// for.  Ties break toward the smallest value, so the verdict is
+    /// deterministic even under a degenerate `stability_percent ≤ 50`.
+    pub fn stable_value(
+        &self,
+        function: &str,
+        slot: usize,
+        policy: &ValueSpeculationPolicy,
+    ) -> Option<i64> {
+        let map = self.values.lock().expect("value lock");
+        let profile = map.get(function)?.get(&slot)?;
+        let total: u64 = profile.other + profile.counts.iter().map(|(_, n)| *n).sum::<u64>();
+        let mut hot: Option<(i64, u64)> = None;
+        for (v, n) in &profile.counts {
+            if hot.is_none_or(|(bv, best)| *n > best || (*n == best && *v < bv)) {
+                hot = Some((*v, *n));
+            }
+        }
+        let (value, n) = hot?;
+        (total >= policy.min_samples && n * 100 >= total * policy.stability_percent as u64)
+            .then_some(value)
+    }
+}
+
+/// When a profiled value is *stable* enough to specialize on.
+///
+/// Beyond branch-edge bias, a controller records the concrete integer
+/// arguments every request supplies ([`ProfileTable::record_values`]).  An
+/// argument slot whose observations are dominated by a single value — at
+/// least `min_samples` observations, the dominant value drawing at least
+/// `stability_percent` of them — is *stable*: an engine may compile a
+/// specialized version with that value seeded as a constant, guard entries
+/// into it, and deoptimize any frame whose actual argument violates the
+/// speculation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValueSpeculationPolicy {
+    /// Minimum recorded observations of a slot before it can be stable.
+    pub min_samples: u64,
+    /// Percentage of observations the dominant value must draw (> 50).
+    pub stability_percent: u8,
+}
+
+impl Default for ValueSpeculationPolicy {
+    fn default() -> Self {
+        ValueSpeculationPolicy {
+            min_samples: 16,
+            stability_percent: 90,
+        }
     }
 }
 
@@ -493,6 +588,25 @@ pub struct TierTarget {
     /// `O3 → O2` without the runtime ever assuming a two-version world.
     /// Recorded on the resulting [`crate::runtime::OsrEvent`].
     pub rung: Tier,
+    /// Values pinned into the *source* frame before the compensation code
+    /// runs, supplied only where the frame is missing them — parameter
+    /// rematerialization, the argument analogue of the §5.1 constant
+    /// rematerialization: an activation's arguments never change in SSA,
+    /// so a controller that knows them (the engine knows every request's
+    /// args) can always re-supply a parameter an OSR-entered frame never
+    /// transferred.  Without this, a frame that hopped into a version
+    /// where a parameter is dead (e.g. a constant-seeded specialized
+    /// version) could never take a table whose compensation reads it back
+    /// out.
+    pub pinned: Vec<(ssair::ValueId, ssair::interp::Val)>,
+    /// Whether the frame *must not* keep running its current version if
+    /// this hop proves infeasible: instead of notifying
+    /// [`TierController::on_infeasible`] and continuing, the run aborts
+    /// with [`ssair::interp::ExecError::MandatoryTransitionFailed`].
+    /// Used for guard escapes out of value-specialized code, where the
+    /// current version is not semantically valid for the frame — wrong
+    /// answers are never an acceptable fallback.
+    pub mandatory: bool,
 }
 
 /// Receives visit counts for instrumented points and decides when the
@@ -687,6 +801,51 @@ mod tests {
     }
 
     #[test]
+    fn value_profile_needs_samples_and_dominance() {
+        let t = ProfileTable::default();
+        let policy = ValueSpeculationPolicy {
+            min_samples: 10,
+            stability_percent: 90,
+        };
+        assert_eq!(t.stable_value("f", 0, &policy), None, "unprofiled");
+        t.record_values("f", [((0usize, 3i64), 9u64)]);
+        assert_eq!(t.stable_value("f", 0, &policy), None, "below min_samples");
+        t.record_values("f", [((0, 3), 9)]);
+        assert_eq!(t.stable_value("f", 0, &policy), Some(3), "18/18 of 3");
+        t.record_values("f", [((0, 5), 3)]);
+        assert_eq!(
+            t.stable_value("f", 0, &policy),
+            None,
+            "18/21 < 90%: stability dissolves once another value gets share"
+        );
+        assert_eq!(t.stable_value("f", 1, &policy), None, "per slot");
+        assert_eq!(t.stable_value("g", 0, &policy), None, "per function");
+    }
+
+    #[test]
+    fn value_profile_overflow_bucket_blocks_stability() {
+        let t = ProfileTable::default();
+        let policy = ValueSpeculationPolicy {
+            min_samples: 4,
+            stability_percent: 60,
+        };
+        // Flood the slot with more distinct values than the profile
+        // tracks; the overflow bucket keeps the denominator honest, so a
+        // late flurry of one value cannot fake dominance.
+        for v in 0..40i64 {
+            t.record_values("f", [((0usize, v), 1u64)]);
+        }
+        t.record_values("f", [((0, 1), 20)]);
+        assert_eq!(
+            t.stable_value("f", 0, &policy),
+            None,
+            "21/60 is not dominance even though only 16 values are tracked"
+        );
+        t.record_values("f", [((0, 1), 100)]);
+        assert_eq!(t.stable_value("f", 0, &policy), Some(1), "121/160 ≥ 60%");
+    }
+
+    #[test]
     fn per_tier_totals_report_residency() {
         let t = ProfileTable::default();
         t.counter("f", Tier::BASELINE)
@@ -753,6 +912,128 @@ mod tests {
         assert_eq!(obs.taken_edge(&frame, entry), Some((branch, then_bb)));
         frame.came_from = None;
         assert_eq!(obs.taken_edge(&frame, entry), None, "no incoming edge");
+    }
+
+    #[test]
+    fn edge_observer_survives_constant_seeded_branch_folding() {
+        // Regression companion to the value-speculation pass: when
+        // constant seeding lets SCCP fold a *guarded* branch away
+        // entirely, the specialized version's observer must (a) not
+        // misattribute traffic flowing through the blocks the fold
+        // emptied, and (b) keep attributing the *surviving* conditional's
+        // edges — including through arms the folding emptied — to the
+        // same block ids the baseline profiled.  A blind spot here would
+        // let a partially-specialized frame run guarded branches
+        // unobserved.
+        use ssair::passes::{Pipeline, SeedValues};
+        use ssair::{BinOp, FunctionBuilder, Ty};
+
+        // entry: cond_br (p > 3) armA armB     — the branch seeding folds
+        // armA:  a = p + 1       ; br mid
+        // armB:  a2 = x * 2      ; br mid
+        // mid:   m = φ(a, a2); cond_br (x > m) c d   — survives
+        // c:     cc = p + 2      ; br join     — emptied by the fold
+        // d:     dd = x - 1      ; br join
+        // join:  φ(cc, dd); ret
+        let mut b = FunctionBuilder::new("g", &[("p", Ty::I64), ("x", Ty::I64)]);
+        let p = b.param(0);
+        let x = b.param(1);
+        let three = b.const_i64(3);
+        let one = b.const_i64(1);
+        let two = b.const_i64(2);
+        let cmp1 = b.binop(BinOp::Gt, p, three);
+        let arm_a = b.create_block("armA");
+        let arm_b = b.create_block("armB");
+        let mid = b.create_block("mid");
+        let c = b.create_block("c");
+        let d = b.create_block("d");
+        let join = b.create_block("join");
+        b.cond_br(cmp1, arm_a, arm_b);
+        b.switch_to(arm_a);
+        let a = b.binop(BinOp::Add, p, one);
+        b.br(mid);
+        b.switch_to(arm_b);
+        let a2 = b.binop(BinOp::Mul, x, two);
+        b.br(mid);
+        b.switch_to(mid);
+        let m = b.phi(&[(arm_a, a), (arm_b, a2)]);
+        let cmp2 = b.binop(BinOp::Gt, x, m);
+        b.cond_br(cmp2, c, d);
+        b.switch_to(c);
+        let cc = b.binop(BinOp::Add, p, two);
+        b.br(join);
+        b.switch_to(d);
+        let dd = b.binop(BinOp::Sub, x, one);
+        b.br(join);
+        b.switch_to(join);
+        let r = b.phi(&[(c, cc), (d, dd)]);
+        let out = b.binop(BinOp::Add, r, x);
+        b.ret(Some(out));
+        let base = b.finish();
+        ssair::verify(&base).unwrap();
+
+        // Specialize on p = 5: `p > 3` folds, armB dies, and the
+        // constant chains empty both armA and c.
+        let pipeline = Pipeline::standard()
+            .prepended(Box::new(SeedValues::new(vec![(base.param_value(0), 5)])));
+        let (spec, _cm, _) = pipeline.optimize(&base);
+        ssair::verify(&spec).unwrap();
+        assert!(
+            !spec.block_exists(arm_b)
+                || spec
+                    .block(arm_b)
+                    .insts
+                    .iter()
+                    .all(|i| { !spec.inst_is_live(*i) }),
+            "seeding p=5 must fold the guarded branch's dead arm away"
+        );
+        assert!(
+            !matches!(
+                spec.block(spec.entry).term,
+                ssair::Terminator::CondBr { .. }
+            ),
+            "the guarded branch itself folded to an unconditional edge"
+        );
+
+        let obs = EdgeObserver::for_function(&spec);
+        let first_real = |block: BlockId| {
+            spec.block(block)
+                .insts
+                .iter()
+                .copied()
+                .find(|i| !spec.inst(*i).kind.is_phi() && !spec.inst(*i).kind.is_dbg())
+        };
+        let mut frame = ssair::interp::Frame::enter(&spec, &[]);
+
+        // (b) the surviving conditional still attributes both edges — the
+        // direct one and the one through the arm the fold emptied — under
+        // the baseline's block ids.
+        let join_entry = first_real(join).expect("join keeps a real instruction");
+        frame.block = join;
+        frame.came_from = Some(c);
+        assert_eq!(
+            obs.taken_edge(&frame, join_entry),
+            Some((mid, c)),
+            "the emptied arm still attributes to the surviving branch"
+        );
+        if let Some(d_entry) = first_real(d) {
+            frame.block = d;
+            frame.came_from = Some(mid);
+            assert_eq!(obs.taken_edge(&frame, d_entry), Some((mid, d)));
+        }
+
+        // (a) traffic through the blocks the *folded* branch left behind
+        // is not misattributed to any branch: the chain upstream of `mid`
+        // ends at an unconditional entry block now.
+        let mid_entry = first_real(mid).expect("mid keeps the live comparison");
+        frame.block = mid;
+        frame.came_from = Some(arm_a);
+        assert_eq!(
+            obs.taken_edge(&frame, mid_entry),
+            None,
+            "no conditional edge exists upstream anymore — attributing one \
+             would poison the shared profile"
+        );
     }
 
     #[test]

@@ -373,6 +373,13 @@ impl Vm {
                                         owned = Some(t.target);
                                         continue 'version;
                                     }
+                                    None if t.mandatory => {
+                                        // The current version is not valid
+                                        // for this frame (a guard escape
+                                        // failed): abort rather than keep
+                                        // executing it.
+                                        return Err(ExecError::MandatoryTransitionFailed);
+                                    }
                                     None => {
                                         controller.borrow_mut().on_infeasible(at);
                                         suppress.set(Some(at));
@@ -655,7 +662,19 @@ fn table_hop(
 ) -> Option<(Frame, OsrEvent)> {
     let target: &Function = &t.target;
     let (landing, entry) = t.table.get(at)?;
-    let values = with_remat_consts(entry, source, &frame.values);
+    // Pin controller-supplied values (parameters the frame never
+    // transferred — see [`TierTarget::pinned`]) before rematerializing
+    // constants, so both rehydrations compose.
+    let mut pinned = Cow::Borrowed(&frame.values);
+    for (v, val) in &t.pinned {
+        if !pinned.contains_key(v) {
+            pinned.to_mut().insert(*v, *val);
+        }
+    }
+    let values = match with_remat_consts(entry, source, &pinned) {
+        Cow::Borrowed(_) => pinned,
+        Cow::Owned(map) => Cow::Owned(map),
+    };
     let env = apply_comp(entry, target, &values, machine).ok()?;
     let loc = landing.loc;
     let block = target.block_of(loc).expect("landing is live");

@@ -42,12 +42,13 @@ pub fn all_kernels() -> Vec<Kernel> {
 }
 
 /// The MiniC source of one kernel by name (searching the Table 2 set, the
-/// speculation set and the call-graph set).
+/// speculation set, the call-graph set and the value-speculation set).
 pub fn kernel_source(name: &str) -> Option<Kernel> {
     all_kernels()
         .into_iter()
         .chain(speculation_kernels())
         .chain(call_graph_kernels())
+        .chain(value_speculation_kernels())
         .find(|k| k.name == name)
 }
 
@@ -68,6 +69,76 @@ pub fn speculation_kernels() -> Vec<Kernel> {
 /// workers and cache slots.
 pub fn call_graph_kernels() -> Vec<Kernel> {
     vec![poly_sum(), checksum_pipeline(), grid_blur()]
+}
+
+/// Kernels whose first argument is a *configuration* value a request
+/// stream typically holds stable — the value-speculation shape: a
+/// constant-seeded specialized version folds the argument through the
+/// loop body (SCCP decides the dispatch branch, DCE deletes the dead
+/// arm), and a stream that flips the stable value mid-stream forces value
+/// guards to fire and the specialization to dissolve.
+pub fn value_speculation_kernels() -> Vec<Kernel> {
+    vec![mode_blend(), scaled_checksum()]
+}
+
+/// mode_blend: a pixel loop dispatching on a `mode` configuration
+/// argument.  Seeding `mode` decides the dispatch chain statically, so a
+/// specialized version keeps exactly one arm; the other arms (and the
+/// comparisons feeding them) fold away.
+fn mode_blend() -> Kernel {
+    let source = function("mode_blend", &["mode", "n"], |b| {
+        b.line("var px[32];");
+        b.open("for (var i = 0; i < 32; i = i + 1)");
+        b.line("px[i] = (i * 29 + 7) & 255;");
+        b.close();
+        b.line("var acc = 0;");
+        b.open("for (var i = 0; i < n; i = i + 1)");
+        b.line("var idx = i & 31;");
+        b.open("if (mode == 0)");
+        b.line("acc = acc + px[idx] + (mode + 1);");
+        b.close();
+        b.open("else if (mode == 1)");
+        b.line("acc = acc + px[idx] * 3 - (acc >> 2);");
+        b.close();
+        b.open("else");
+        b.line("px[idx] = (px[idx] + acc) & 255;");
+        b.line("acc = acc + px[idx] * (mode + 2);");
+        b.close();
+        b.close();
+        b.line("return acc;");
+    });
+    Kernel {
+        name: "mode_blend",
+        source,
+        entry: "mode_blend",
+        sample_args: vec![1, 300],
+    }
+}
+
+/// scaled_checksum: an accumulation loop whose per-iteration weight is
+/// arithmetic over a `scale` argument.  Seeding `scale` folds the weight
+/// chain to constants and decides the wide-path branch, shrinking the
+/// loop body.
+fn scaled_checksum() -> Kernel {
+    let source = function("scaled_checksum", &["scale", "n"], |b| {
+        b.line("var acc = 0;");
+        b.open("for (var i = 0; i < n; i = i + 1)");
+        b.line("var w = scale * scale + 3;");
+        b.open("if (scale > 6)");
+        b.line("acc = acc + (acc % (w + 5)) + i * scale;");
+        b.close();
+        b.open("else");
+        b.line("acc = acc + i * w - (acc >> 3);");
+        b.close();
+        b.close();
+        b.line("return acc;");
+    });
+    Kernel {
+        name: "scaled_checksum",
+        source,
+        entry: "scaled_checksum",
+        sample_args: vec![3, 400],
+    }
 }
 
 /// branch_flip: an accumulation loop whose data-dependent branch takes the
@@ -944,6 +1015,25 @@ mod tests {
             let out = run_function(f, &args, &m, 50_000_000)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
             assert!(out.is_some(), "{} returns a value", k.name);
+        }
+    }
+
+    #[test]
+    fn value_speculation_kernels_compile_and_config_matters() {
+        // Each kernel must run, and its configuration argument must
+        // change the result — otherwise a specialized version would be
+        // trivially correct for violating inputs and the value guard
+        // would prove nothing.
+        for k in value_speculation_kernels() {
+            let m = minic::compile(&k.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", k.name, k.source));
+            let f = m.get(k.entry).unwrap();
+            ssair::verify(f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let run = |cfg: i64| {
+                run_function(f, &[Val::Int(cfg), Val::Int(200)], &m, 50_000_000)
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", k.name))
+            };
+            assert_ne!(run(1), run(9), "{}: config must matter", k.name);
         }
     }
 

@@ -29,4 +29,7 @@ pub use corpus::{
     corpus_benchmarks, generate_corpus, request_mix, request_mix_zipf, CorpusSpec,
     DEFAULT_ZIPF_EXPONENT,
 };
-pub use kernels::{all_kernels, call_graph_kernels, kernel_source, speculation_kernels, Kernel};
+pub use kernels::{
+    all_kernels, call_graph_kernels, kernel_source, speculation_kernels, value_speculation_kernels,
+    Kernel,
+};

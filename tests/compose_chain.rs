@@ -1,0 +1,129 @@
+//! Property tests for the Theorem 3.4 chain fold
+//! (`ssair::feasibility::compose_entries_chain`): over *random* rung
+//! sequences, the chain's returned prefixes must equal the iterated
+//! [`compose_table_pair`] folds a caller could build by hand — and each
+//! prefix must be semantically correct, checked by replaying sampled
+//! entries on concrete frames.
+
+use engine::cache::differential_validate;
+use proptest::prelude::*;
+use ssair::feasibility::{
+    compose_entries, compose_entries_chain, compose_table_pair, precompute_entries, EntryTable,
+};
+use ssair::passes::{PassId, Pipeline};
+use ssair::reconstruct::{Direction, Variant};
+use ssair::Module;
+use tinyvm::FunctionVersions;
+
+/// The pass pool random rungs draw from (loop passes excluded: a rung is
+/// a pass mix, and these five already produce meaningfully different
+/// versions — CSE'd, folded, branch-pruned, sunk).
+const POOL: [PassId; 5] = [
+    PassId::Cse,
+    PassId::ConstProp,
+    PassId::Sccp,
+    PassId::Adce,
+    PassId::Sink,
+];
+
+fn kernel() -> Module {
+    minic::compile(
+        "fn k(x, n) {
+             var s = 0;
+             for (var i = 0; i < n; i = i + 1) {
+                 var t = x * x + 3;
+                 if (t > i) { s = s + t - i; }
+                 else { s = s + i * 2; }
+             }
+             return s;
+         }",
+    )
+    .expect("kernel compiles")
+}
+
+/// A random rung sequence: 2–4 rungs, each a non-empty pass list over the
+/// pool (duplicates legal — running CSE twice is a valid pipeline).
+fn arbitrary_rungs() -> impl Strategy<Value = Vec<Vec<PassId>>> {
+    proptest::collection::vec(proptest::collection::vec(0usize..POOL.len(), 1..4), 2..5).prop_map(
+        |rungs| {
+            rungs
+                .into_iter()
+                .map(|ids| ids.into_iter().map(|i| POOL[i]).collect())
+                .collect()
+        },
+    )
+}
+
+/// Structural equality of two entry tables (landings, compensation
+/// programs, keep-sets, coverage).
+fn tables_equal(a: &EntryTable, b: &EntryTable) -> bool {
+    a.direction == b.direction
+        && a.variant == b.variant
+        && a.infeasible == b.infeasible
+        && a.entries == b.entries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `compose_entries_chain` over a random rung sequence equals the
+    /// iterated `compose_table_pair` fold, prefix by prefix — and every
+    /// prefix replays correctly on concrete frames.
+    #[test]
+    fn prop_chain_fold_equals_iterated_table_pairs(rung_passes in arbitrary_rungs()) {
+        let module = kernel();
+        let base = module.get("k").expect("kernel entry").clone();
+        // Compile every rung off the shared baseline, as an engine would.
+        let rungs: Vec<FunctionVersions> = rung_passes
+            .iter()
+            .map(|ids| FunctionVersions::new(base.clone(), &Pipeline::from_ids(ids)))
+            .collect();
+        let ups: Vec<EntryTable> = rungs
+            .iter()
+            .map(|r| precompute_entries(&r.pair(), Direction::Forward, Variant::Avail))
+            .collect();
+        // Stage k maps rung k's optimized version into rung k+1's: the
+        // first stage is rung 1's direct forward table off the baseline,
+        // later stages are adjacent version-to-version compositions.
+        let adjacent: Vec<EntryTable> = (1..rungs.len())
+            .map(|k| compose_entries(&rungs[k - 1].pair(), Direction::Backward, &ups[k]))
+            .collect();
+        let mut stages: Vec<(&ssair::Function, &EntryTable)> = vec![(&base, &ups[1])];
+        for (k, table) in adjacent.iter().enumerate().skip(1) {
+            stages.push((&rungs[k].opt, table));
+        }
+
+        let chain = compose_entries_chain(&rungs[0].pair(), Direction::Backward, &stages);
+        prop_assert_eq!(chain.len(), stages.len(), "one prefix per stage");
+
+        // The iterated counterpart a caller would build by hand: the
+        // demand-driven composition for the first stage, then one
+        // table-level fold per further stage.
+        let mut manual: Vec<EntryTable> = Vec::new();
+        for (k, (stage_src, table)) in stages.iter().enumerate() {
+            let next = match manual.last() {
+                None => compose_entries(&rungs[0].pair(), Direction::Backward, table),
+                Some(prev) => compose_table_pair(prev, stage_src, table),
+            };
+            prop_assert!(
+                tables_equal(&chain[k], &next),
+                "prefix {} of the chain diverges from the iterated fold \
+                 (rungs: {:?})",
+                k,
+                rung_passes
+            );
+            manual.push(next);
+        }
+
+        // Each prefix maps rung 1's points straight into rung k+1's
+        // version; replay sampled entries concretely.
+        for (k, prefix) in chain.iter().enumerate() {
+            let dst = &rungs[k + 1].opt;
+            differential_validate(prefix, &rungs[0].opt, dst, &module, 3).unwrap_or_else(|e| {
+                panic!(
+                    "prefix {k} failed concrete replay (rungs: {rung_passes:?}): {e}"
+                )
+            });
+        }
+    }
+}

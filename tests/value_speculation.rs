@@ -1,0 +1,335 @@
+//! Acceptance tests for value speculation: the full lifecycle asserted
+//! end-to-end from the engine event stream.
+//!
+//! 1. *profile* — a stream of requests with a stable configuration
+//!    argument feeds the shared value profile until the slot is stable;
+//! 2. *specialize* — a climb past that point compiles a constant-seeded
+//!    specialized version (`Compiled` event with a `[p0=…]` pipeline
+//!    label, observable constant-folding win in the artifact);
+//! 3. *run* — conforming frames tier up into the specialized version
+//!    (`Transition { speculated: true }`,
+//!    `MetricsSnapshot::value_specialized_tier_ups`);
+//! 4. *guard* — a violating input hops in and its entry guard fires at
+//!    the landing, before a single specialized instruction executes:
+//!    `DeoptReason::ValueGuard` mid-loop, through the same `TierGraph`
+//!    machinery as branch-guard deopts;
+//! 5. *re-climb* — the violating frame lands on an unspecialized version
+//!    and climbs again without the assumption (a later forward hop with
+//!    `speculated: false`), and the recorded violations dissolve the
+//!    stability so later traffic stops speculating.
+
+use engine::{
+    DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
+    ResultEvent, SessionReport, Speculation, Tier, ValueSpeculationPolicy,
+};
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+fn kernel_module(name: &str) -> Module {
+    let kernel = workloads::value_speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("{name} ships"));
+    minic::compile(&kernel.source).expect("compiles")
+}
+
+/// An aggressive value-speculation policy: stability after 4 samples, so
+/// a short warm-up stream suffices.
+fn policy(o1_after: u64, o2_after: u64) -> EnginePolicy {
+    EnginePolicy {
+        tiers: std::sync::Arc::new(
+            LadderPolicy::two_tier(o1_after, o2_after).with_value_speculation(Some(
+                ValueSpeculationPolicy {
+                    min_samples: 4,
+                    stability_percent: 80,
+                },
+            )),
+        ),
+        compile_workers: 1,
+        batch_workers: 1,
+        ..EnginePolicy::default()
+    }
+}
+
+/// `(from, to, speculated, direction)` transition tuples of one request,
+/// in hop order.
+fn transitions(report: &SessionReport, request: u64) -> Vec<(Tier, Tier, bool, Direction)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request: r,
+                from_tier,
+                to_tier,
+                speculated,
+                event,
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier, *speculated, event.direction)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn value_guard_deopts(
+    report: &SessionReport,
+    request: u64,
+) -> Vec<(Tier, Tier, usize, i64, Option<i64>)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request: r,
+                from_tier,
+                to_tier,
+                reason:
+                    DeoptReason::ValueGuard {
+                        slot,
+                        expected,
+                        actual,
+                        ..
+                    },
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier, *slot, *expected, *actual)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn full_value_speculation_lifecycle() {
+    let module = kernel_module("mode_blend");
+    let engine = Engine::new(module.clone(), policy(8, 24));
+    let session = engine.start();
+
+    // Warm-up: a stream holding mode=1 stable.  Each request records its
+    // arguments into the shared value profile; the later ones climb past
+    // the threshold and compile (then enter) the specialized version.
+    let warm: Vec<_> = (0..8)
+        .map(|k| {
+            session.submit(Request::tiered(
+                "mode_blend",
+                vec![Val::Int(1), Val::Int(400 + k)],
+            ))
+        })
+        .collect();
+    // The violating input: same function, mode flipped mid-stream.
+    let violating = Request::tiered("mode_blend", vec![Val::Int(2), Val::Int(4000)]);
+    let violating_id = session.submit(violating.clone());
+    let report = session.shutdown();
+
+    // 0. Semantics are untouched by the whole lifecycle.
+    let vm = Vm::new(module);
+    let f = vm.module.get("mode_blend").unwrap();
+    let results = report.results();
+    for (k, id) in warm.iter().enumerate() {
+        let expected = vm
+            .run_plain(f, &[Val::Int(1), Val::Int(400 + k as i64)])
+            .unwrap();
+        assert_eq!(results[id].as_ref().expect("warm-up succeeds"), &expected);
+    }
+    assert_eq!(
+        results[&violating_id].as_ref().expect("violating succeeds"),
+        &vm.run_plain(f, &violating.args).unwrap()
+    );
+
+    // 1–2. The profile marked the argument stable and a climb compiled a
+    // constant-seeded specialized version, observable in the stream.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::Compiled { function, pipeline, .. })
+                if function == "mode_blend" && pipeline.contains("[p0=1]")
+        )),
+        "a specialized compile streamed"
+    );
+    // The specialized artifact carries its speculation and a real
+    // constant-folding win over the generic artifact of the same rung.
+    let spec_cv = engine
+        .cache()
+        .get(&engine::CacheKey::speculated(
+            "mode_blend",
+            PipelineSpec::O1,
+            Speculation::on([(0, 1)]),
+        ))
+        .expect("specialized O1 artifact published");
+    let generic_cv = engine
+        .cache()
+        .get(&engine::CacheKey::new("mode_blend", PipelineSpec::O1))
+        .expect("generic O1 artifact published (the violating frame re-climbed on it)");
+    assert_eq!(spec_cv.speculation, Speculation::on([(0, 1)]));
+    assert!(
+        spec_cv.opt.live_inst_count() < generic_cv.opt.live_inst_count(),
+        "seeding mode=1 folds the dispatch chain: {} !< {}",
+        spec_cv.opt.live_inst_count(),
+        generic_cv.opt.live_inst_count()
+    );
+
+    // 3. Conforming warm-up frames ran the specialized version.
+    let metrics = &report.metrics;
+    assert!(
+        metrics.value_specialized_tier_ups >= 1,
+        "a conforming frame tiered up into the specialized version: {metrics}"
+    );
+
+    // 4. The violating input hopped in and its value guard fired
+    // mid-loop, with the violation spelled out.
+    let guards = value_guard_deopts(&report, violating_id.0);
+    assert!(
+        guards
+            .iter()
+            .any(|(_, _, slot, expected, actual)| *slot == 0
+                && *expected == 1
+                && *actual == Some(2)),
+        "the value guard reported p0: expected 1, got 2: {guards:?}"
+    );
+    assert!(metrics.value_guard_failures >= 1, "{metrics}");
+
+    // 5. The violating frame's hop sequence: into the specialized version
+    // (forward, speculated), straight back out (backward — the value
+    // guard), then a re-climb on generic artifacts only.
+    let hops = transitions(&report, violating_id.0);
+    let guard_at = hops
+        .iter()
+        .position(|(_, _, _, d)| *d == Direction::Backward)
+        .expect("the value-guard deopt is a backward hop");
+    assert!(guard_at >= 1, "the frame hopped in before the guard fired");
+    assert!(
+        hops[guard_at - 1].2,
+        "the hop before the guard entered the specialized version: {hops:?}"
+    );
+    let reclimbs: Vec<_> = hops[guard_at + 1..]
+        .iter()
+        .filter(|(_, _, _, d)| *d == Direction::Forward)
+        .collect();
+    assert!(
+        !reclimbs.is_empty(),
+        "the frame re-climbed after the value guard: {hops:?}"
+    );
+    assert!(
+        reclimbs.iter().all(|(_, _, speculated, _)| !speculated),
+        "the re-climb dropped the stale assumption: {hops:?}"
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::Reclimb { request, .. })
+                if *request == violating_id.0
+        )),
+        "the re-climb streamed as a Reclimb event"
+    );
+    // The metrics agree with the stream.
+    assert!(metrics.tier_ups >= 2, "{metrics}");
+    assert!(metrics.deopts >= 1, "{metrics}");
+}
+
+#[test]
+fn violating_traffic_dissolves_the_stability() {
+    // After enough contradicting observations the slot is no longer
+    // stable, and fresh traffic stops speculating entirely — no value
+    // guards fire because no specialized version is entered.
+    let module = kernel_module("scaled_checksum");
+    let engine = Engine::new(module.clone(), policy(8, 24));
+    let session = engine.start();
+    for k in 0..6 {
+        session.submit(Request::tiered(
+            "scaled_checksum",
+            vec![Val::Int(3), Val::Int(300 + k)],
+        ));
+    }
+    // The flip: the "stable" value moves mid-stream.  The first flipped
+    // requests fire guards; once 3's share drops below 80% the stability
+    // dissolves and later requests climb generic from the start.
+    for k in 0..6 {
+        session.submit(Request::tiered(
+            "scaled_checksum",
+            vec![Val::Int(9), Val::Int(300 + k)],
+        ));
+    }
+    let probe = Request::tiered("scaled_checksum", vec![Val::Int(9), Val::Int(4000)]);
+    let probe_id = session.submit(probe.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("scaled_checksum").unwrap();
+    assert_eq!(
+        report.results()[&probe_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &probe.args).unwrap()
+    );
+    // The probe climbed without touching any specialized artifact.
+    let hops = transitions(&report, probe_id.0);
+    assert!(
+        hops.iter().all(|(_, _, speculated, _)| !speculated),
+        "dissolved stability must stop speculative climbs: {hops:?}"
+    );
+    assert!(
+        value_guard_deopts(&report, probe_id.0).is_empty(),
+        "no guard fires when nothing speculates"
+    );
+    assert!(
+        hops.iter().any(|(_, _, _, d)| *d == Direction::Forward),
+        "the probe still climbed the generic ladder: {hops:?}"
+    );
+}
+
+#[test]
+fn value_speculation_is_deterministic_under_aggressive_thresholds() {
+    let module = kernel_module("mode_blend");
+    let run = |o1: u64, o2: u64| -> Vec<Option<Val>> {
+        let engine = Engine::new(module.clone(), policy(o1, o2));
+        let requests: Vec<Request> = (0..10)
+            .map(|k| {
+                // Mostly mode=1 with mode=2 interlopers: specialized
+                // climbs, value guards and generic re-climbs all mix.
+                let mode = if k % 4 == 3 { 2 } else { 1 };
+                Request::tiered("mode_blend", vec![Val::Int(mode), Val::Int(300 + 40 * k)])
+            })
+            .collect();
+        engine
+            .run_batch(&requests)
+            .results
+            .into_iter()
+            .map(|r| r.expect("request succeeds"))
+            .collect()
+    };
+    let a = run(8, 24);
+    let b = run(8, 24);
+    assert_eq!(a, b, "same stream, same results");
+    let c = run(2, 4);
+    assert_eq!(a, c, "an aggressive climb schedule cannot change results");
+    // Reference semantics.
+    let vm = Vm::new(module);
+    let f = vm.module.get("mode_blend").unwrap();
+    for (k, got) in a.iter().enumerate() {
+        let mode = if k % 4 == 3 { 2 } else { 1 };
+        let expected = vm
+            .run_plain(f, &[Val::Int(mode), Val::Int(300 + 40 * k as i64)])
+            .unwrap();
+        assert_eq!(got, &expected, "request {k}");
+    }
+}
+
+#[test]
+fn disabled_value_speculation_never_specializes() {
+    let module = kernel_module("mode_blend");
+    let engine = Engine::new(
+        module,
+        EnginePolicy {
+            tiers: std::sync::Arc::new(LadderPolicy::two_tier(8, 24).with_value_speculation(None)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    let requests: Vec<Request> = (0..8)
+        .map(|k| Request::tiered("mode_blend", vec![Val::Int(1), Val::Int(400 + k)]))
+        .collect();
+    let report = engine.run_batch(&requests);
+    assert!(report.results.iter().all(Result::is_ok));
+    assert_eq!(report.metrics.value_specialized_tier_ups, 0);
+    assert_eq!(report.metrics.value_guard_failures, 0);
+    assert!(report.metrics.tier_ups >= 1, "generic climbs still fire");
+}
