@@ -126,18 +126,31 @@ fn o3_session(module: &Module) {
         "the O3 graph chains composed hops (O1→O2 and O2→O3): {metrics}"
     );
     assert!(metrics.deopts >= 1, "no deopt fired: {metrics}");
-    let residency = engine.rung_residency();
+    let residency = engine.rung_visit_residency();
     assert!(
         residency.get(&Tier(3)).copied().unwrap_or(0) > 0,
         "traffic resided at the O3 rung: {residency:?}"
     );
     let total: u64 = residency.values().sum();
     println!("o3 session metrics: {metrics}");
-    print!("o3 per-rung residency:");
+    print!("o3 per-rung visits:");
     for (tier, visits) in &residency {
         print!(
             " {tier}={visits} ({:.1}%)",
             *visits as f64 * 100.0 / total as f64
+        );
+    }
+    println!();
+    // Visits say where frames *land*; time says where they *run* — the
+    // upper rungs should dominate wall-clock even with few visits.
+    let time = engine.rung_time_residency();
+    let total_nanos: u64 = time.values().sum::<u64>().max(1);
+    print!("o3 per-rung time:");
+    for (tier, nanos) in &time {
+        print!(
+            " {tier}={}us ({:.1}%)",
+            nanos / 1_000,
+            *nanos as f64 * 100.0 / total_nanos as f64
         );
     }
     println!();
@@ -168,8 +181,11 @@ fn value_speculation_session() {
         },
     );
     let session = engine.start();
-    // A stream holding the configuration argument stable…
-    for k in 0..8 {
+    // A stream holding the configuration argument stable — long enough
+    // that conforming frames are still running when the background
+    // specialized compile lands (a short stream raced the compile worker
+    // and the specialized-tier-up assertion below flaked)…
+    for k in 0..16 {
         session.submit(Request::tiered(
             "mode_blend",
             vec![Val::Int(1), Val::Int(400 + k)],
@@ -195,6 +211,65 @@ fn value_speculation_session() {
         "the flipped argument fired no value guard: {metrics}"
     );
     println!("value speculation session metrics: {metrics}");
+}
+
+/// Measures one warm and one cold session with explicit wall-clock
+/// timing, snapshots the warm engine's metrics and residency, and writes
+/// the `BENCH_engine.json` perf report at the repository root.  The
+/// report is validated before it is written — a regression fails the
+/// bench run here rather than surfacing later in `bench_gate`.
+fn write_perf_report(module: &Module) {
+    let requests = traffic(module, workloads::DEFAULT_ZIPF_EXPONENT);
+
+    // Warm: prewarmed engine, one warm-up batch to settle compiles, then
+    // one timed session.  The explicit `Instant` is deliberate — the
+    // in-tree criterion stand-in does not expose its measurements.
+    let engine = Engine::new(module.clone(), policy());
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+    engine.run_batch(&requests);
+    let started = std::time::Instant::now();
+    let session = engine.start();
+    for r in &requests {
+        session.submit(r.clone());
+    }
+    session.shutdown();
+    let warm_micros = started.elapsed().as_micros() as u64;
+
+    // Cold: fresh engine, empty cache — compile + precompute + composed
+    // tables all inside the measurement.
+    let cold_engine = Engine::new(module.clone(), policy());
+    let started = std::time::Instant::now();
+    let session = cold_engine.start();
+    for r in &requests {
+        session.submit(r.clone());
+    }
+    session.shutdown();
+    let cold_micros = started.elapsed().as_micros() as u64;
+
+    // Counters and residency accumulate across the warm-up batch and the
+    // timed session — the distributions, not one run's noise.
+    let metrics = engine.metrics();
+    let report = bench::perf_gate::report(
+        warm_micros,
+        cold_micros,
+        &metrics,
+        &engine.rung_visit_residency(),
+        &engine.rung_time_residency(),
+    );
+    if let Err(errors) = bench::perf_gate::validate(&report) {
+        panic!("generated perf report fails its own gate: {errors:#?}");
+    }
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json");
+    std::fs::write(&path, report.to_pretty()).expect("write BENCH_engine.json");
+    println!(
+        "wrote {} (warm {warm_micros}us, cold {cold_micros}us, \
+         request latency p50={}us p99={}us)",
+        path.display(),
+        metrics.request_latency.p50,
+        metrics.request_latency.p99,
+    );
 }
 
 fn bench_engine_sessions(c: &mut Criterion) {
@@ -243,6 +318,9 @@ fn bench_engine_sessions(c: &mut Criterion) {
             session.shutdown()
         })
     });
+
+    // Serialize the perf gate's report from dedicated measured sessions.
+    write_perf_report(&module);
 }
 
 criterion_group!(benches, bench_engine_sessions);

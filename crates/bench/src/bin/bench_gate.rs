@@ -1,0 +1,67 @@
+//! Validates the committed `BENCH_engine.json` perf report.
+//!
+//! ```text
+//! cargo run -p bench --bin bench_gate [path/to/BENCH_engine.json]
+//! ```
+//!
+//! With no argument the report is read from the repository root.  Exits
+//! nonzero — listing every failure — when the file is missing, malformed,
+//! lacks a required field, carries non-monotone quantiles, or regresses a
+//! tier-1 invariant (≥ 1 composed tier-up, ≥ 1 deopt).  Regenerate the
+//! report with `cargo bench -p bench --bench engine`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::json::Json;
+use bench::perf_gate;
+
+fn default_path() -> PathBuf {
+    // crates/bench → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_engine.json")
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(default_path);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", path.display());
+            eprintln!("bench_gate: regenerate with `cargo bench -p bench --bench engine`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench_gate: {} is not valid JSON: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf_gate::validate(&doc) {
+        Ok(()) => {
+            println!(
+                "bench_gate: {} OK — warm {}us, cold {}us, request latency p50={}us p99={}us",
+                path.display(),
+                doc.num_at("warm_session_micros").unwrap_or(0),
+                doc.num_at("cold_session_micros").unwrap_or(0),
+                doc.num_at("request_latency_micros.p50").unwrap_or(0),
+                doc.num_at("request_latency_micros.p99").unwrap_or(0),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            eprintln!("bench_gate: {} FAILED:", path.display());
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            eprintln!("bench_gate: regenerate with `cargo bench -p bench --bench engine`");
+            ExitCode::FAILURE
+        }
+    }
+}

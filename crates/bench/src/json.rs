@@ -1,0 +1,365 @@
+//! A minimal hand-rolled JSON value, writer and parser — the workspace is
+//! offline, so the perf gate (`BENCH_engine.json`) serializes and
+//! validates with no external dependency.
+//!
+//! The subset is exactly what the gate needs: objects (order-preserving),
+//! arrays, strings, unsigned integers, booleans and null.  Numbers are
+//! `u64` — every gate field is a count, a microsecond value or a
+//! nanosecond value; fractions and negatives are rejected by the parser
+//! so a malformed file fails loudly.
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Json {
+    /// An object, in insertion order (stable diffs matter for a
+    /// committed-in-repo file).
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a dotted path (`"speculation.deopts"`) through nested
+    /// objects.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for key in path.split('.') {
+            let Json::Obj(pairs) = node else {
+                return None;
+            };
+            node = &pairs.iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(node)
+    }
+
+    /// The value at a dotted path, as a number.
+    pub fn num_at(&self, path: &str) -> Option<u64> {
+        match self.get_path(path) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline —
+    /// the committed-file format.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, depth: usize| {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\": ");
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    v.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated message on malformed input (including
+    /// fractional or negative numbers, which the gate never writes).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty())
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at byte {} (found {:?})",
+            c as char,
+            *pos,
+            bytes.get(*pos).map(|b| *b as char)
+        ))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'0'..=b'9') => parse_num(bytes, pos),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        other => Err(format!(
+            "unexpected {:?} at byte {}",
+            other.map(|b| *b as char),
+            *pos
+        )),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{lit}' at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if matches!(bytes.get(*pos), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+        return Err(format!(
+            "non-integer number at byte {start} (the gate writes unsigned integers only)"
+        ));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(format!("bad escape {other:?} at byte {}", *pos));
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are trustworthy).
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8".to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at byte {} (found {:?})",
+                    *pos,
+                    other.map(|b| *b as char)
+                ));
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or ']' at byte {} (found {:?})",
+                    *pos,
+                    other.map(|b| *b as char)
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_gate_shape() {
+        let doc = Json::obj([
+            ("schema", Json::Str("bench-engine-v1".into())),
+            ("warm_session_micros", Json::Num(12_345)),
+            (
+                "speculation",
+                Json::obj([("deopts", Json::Num(3)), ("tier_ups", Json::Num(9))]),
+            ),
+            (
+                "rungs",
+                Json::Arr(vec![Json::Str("O0".into()), Json::Str("O1".into())]),
+            ),
+            ("empty", Json::Obj(Vec::new())),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+        ]);
+        let text = doc.to_pretty();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.num_at("speculation.deopts"), Some(3));
+        assert_eq!(back.num_at("speculation.missing"), None);
+        assert_eq!(back.num_at("schema"), None, "strings are not numbers");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("1.5").is_err(), "gate numbers are integers");
+        assert!(Json::parse("-3").is_err());
+        assert!(Json::parse("{\"a\": 1} x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let doc = Json::Str("a \"b\"\n\tc\\d".into());
+        let back = Json::parse(&doc.to_pretty()).expect("parses");
+        assert_eq!(back, doc);
+    }
+}

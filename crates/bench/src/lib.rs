@@ -4,6 +4,15 @@
 //! every table and figure of the evaluation; this library holds the
 //! reusable computation so that Criterion benches and integration tests
 //! can call the same code.
+//!
+//! The [`perf_gate`] module is the engine's performance gate: the engine
+//! bench writes a `BENCH_engine.json` report at the repository root (via
+//! the hand-rolled [`json`] writer — the workspace is offline) and the
+//! `bench_gate` binary (`cargo run -p bench --bin bench_gate`) validates
+//! it in CI.
+
+pub mod json;
+pub mod perf_gate;
 
 use ssair::feasibility::{classify_function_with_extension, ir_features, IrFeatures};
 use ssair::passes::Pipeline;

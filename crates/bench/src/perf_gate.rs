@@ -1,0 +1,365 @@
+//! The `BENCH_engine.json` perf gate: report builder and validator.
+//!
+//! The engine bench (`cargo bench -p bench --bench engine`) measures a
+//! warm and a cold session, snapshots the engine's metrics and per-rung
+//! residency, and writes the whole thing as `BENCH_engine.json` at the
+//! repository root via [`report`] — committed in-repo so the numbers ride
+//! along with the code that produced them.  CI (and anyone locally) then
+//! runs `cargo run -p bench --bin bench_gate`, which re-reads the file
+//! and applies [`validate`]: every [`required_fields`] path must be
+//! present, quantiles must be monotone (`p50 <= p90 <= p99 <= max`), and
+//! the tier-1 behavioural invariants must hold (at least one composed
+//! tier-up, at least one deopt — the same properties the acceptance tests
+//! assert from live sessions).
+//!
+//! The speculation block is built from
+//! [`MetricsSnapshot::fields`], so a counter added to the snapshot shows
+//! up in the report automatically (and the snapshot's own completeness
+//! test refuses to compile if a field is dropped).
+
+use std::collections::BTreeMap;
+
+use engine::{MetricsSnapshot, Tier};
+
+use crate::json::Json;
+
+/// Schema tag the gate accepts.
+pub const SCHEMA: &str = "bench-engine-v1";
+
+/// Builds the `BENCH_engine.json` document.
+///
+/// `warm_session_micros` / `cold_session_micros` are the measured
+/// wall-clock latencies of one full warm (prewarmed engine, warmed cache)
+/// and cold (fresh engine, empty cache) session over the acceptance
+/// traffic.  `time_residency_nanos` is [`engine::Engine::rung_time_residency`]
+/// output; it is converted to microseconds in the report.
+pub fn report(
+    warm_session_micros: u64,
+    cold_session_micros: u64,
+    metrics: &MetricsSnapshot,
+    visit_residency: &BTreeMap<Tier, u64>,
+    time_residency_nanos: &BTreeMap<Tier, u64>,
+) -> Json {
+    let rung_map = |m: &BTreeMap<Tier, u64>, scale: u64| {
+        Json::Obj(
+            m.iter()
+                .map(|(tier, v)| (tier.to_string(), Json::Num(v / scale)))
+                .collect(),
+        )
+    };
+    let mut doc = vec![
+        ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+        (
+            "warm_session_micros".to_string(),
+            Json::Num(warm_session_micros),
+        ),
+        (
+            "cold_session_micros".to_string(),
+            Json::Num(cold_session_micros),
+        ),
+    ];
+    for (name, h) in metrics.histograms() {
+        doc.push((
+            name.to_string(),
+            Json::obj([
+                ("count", Json::Num(h.count)),
+                ("p50", Json::Num(h.p50)),
+                ("p90", Json::Num(h.p90)),
+                ("p99", Json::Num(h.p99)),
+                ("max", Json::Num(h.max)),
+            ]),
+        ));
+    }
+    doc.push((
+        "rung_visit_residency".to_string(),
+        rung_map(visit_residency, 1),
+    ));
+    doc.push((
+        "rung_time_micros".to_string(),
+        rung_map(time_residency_nanos, 1_000),
+    ));
+    // All scalar counters; the dotted entries are the histograms above.
+    doc.push((
+        "speculation".to_string(),
+        Json::Obj(
+            metrics
+                .fields()
+                .into_iter()
+                .filter(|(name, _)| !name.contains('.'))
+                .map(|(name, value)| (name, Json::Num(value)))
+                .collect(),
+        ),
+    ));
+    Json::Obj(doc)
+}
+
+/// Histogram keys the report carries (same names as
+/// [`MetricsSnapshot::histograms`]).
+pub const HISTOGRAMS: [&str; 4] = [
+    "request_latency_micros",
+    "queue_wait_micros",
+    "compile_latency_micros",
+    "transition_cost_nanos",
+];
+
+/// Every dotted path that must resolve to a number in a valid report.
+pub fn required_fields() -> Vec<String> {
+    let mut fields = vec![
+        "warm_session_micros".to_string(),
+        "cold_session_micros".to_string(),
+    ];
+    for hist in HISTOGRAMS {
+        for sub in ["count", "p50", "p90", "p99", "max"] {
+            fields.push(format!("{hist}.{sub}"));
+        }
+    }
+    for counter in [
+        "requests",
+        "tier_ups",
+        "composed_tier_ups",
+        "deopts",
+        "guard_failures",
+        "value_guard_failures",
+        "value_specialized_tier_ups",
+        "reclimbs",
+        "extension_recompiles",
+        "infeasible",
+        "deadline_expired",
+        "threshold_lowers",
+        "threshold_raises",
+        "compiles",
+        "compile_nanos",
+        "queue_depth",
+        "queue_peak",
+        "cache_hits",
+        "cache_misses",
+    ] {
+        fields.push(format!("speculation.{counter}"));
+    }
+    fields
+}
+
+/// Validates a parsed report; returns every failure, not just the first.
+///
+/// Checks, in order: the schema tag, [`required_fields`] presence,
+/// quantile monotonicity per histogram, non-empty per-rung maps (both of
+/// which must include the `O0` baseline rung), positive session
+/// latencies, observation counts where the traffic guarantees them, and
+/// the tier-1 behavioural invariants (≥ 1 composed tier-up, ≥ 1 deopt).
+pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+
+    match doc.get_path("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => errors.push(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        _ => errors.push("schema tag missing".to_string()),
+    }
+
+    for field in required_fields() {
+        if doc.num_at(&field).is_none() {
+            errors.push(format!("required field {field} missing or non-numeric"));
+        }
+    }
+
+    for hist in HISTOGRAMS {
+        let at = |sub: &str| doc.num_at(&format!("{hist}.{sub}"));
+        if let (Some(p50), Some(p90), Some(p99), Some(max)) =
+            (at("p50"), at("p90"), at("p99"), at("max"))
+        {
+            if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                errors.push(format!(
+                    "{hist}: quantiles not monotone (p50={p50} p90={p90} p99={p99} max={max})"
+                ));
+            }
+        }
+        if at("count") == Some(0) {
+            errors.push(format!("{hist}: no observations recorded"));
+        }
+    }
+
+    for map in ["rung_visit_residency", "rung_time_micros"] {
+        match doc.get_path(map) {
+            Some(Json::Obj(pairs)) if !pairs.is_empty() => {
+                if !pairs.iter().any(|(k, _)| k == "O0") {
+                    errors.push(format!("{map} lacks the O0 baseline rung"));
+                }
+                for (k, v) in pairs {
+                    if !matches!(v, Json::Num(_)) {
+                        errors.push(format!("{map}.{k} is not a number"));
+                    }
+                }
+            }
+            Some(Json::Obj(_)) => errors.push(format!("{map} is empty")),
+            _ => errors.push(format!("{map} missing or not an object")),
+        }
+    }
+
+    for field in ["warm_session_micros", "cold_session_micros"] {
+        if doc.num_at(field) == Some(0) {
+            errors.push(format!("{field} is zero — the session was not measured"));
+        }
+    }
+
+    // The tier-1 invariants the acceptance tests assert from live
+    // sessions must survive into the committed report.
+    for (path, floor, why) in [
+        ("speculation.tier_ups", 1, "no tier-up fired"),
+        (
+            "speculation.composed_tier_ups",
+            1,
+            "no composed version-to-version tier-up fired",
+        ),
+        ("speculation.deopts", 1, "no deopt fired"),
+        ("speculation.compiles", 2, "both ladder rungs must compile"),
+        (
+            "speculation.requests",
+            32,
+            "acceptance traffic is >= 32 requests",
+        ),
+    ] {
+        if let Some(n) = doc.num_at(path) {
+            if n < floor {
+                errors.push(format!("{path} = {n} < {floor}: {why}"));
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::HistogramSnapshot;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: 41,
+            tier_ups: 5,
+            composed_tier_ups: 2,
+            deopts: 3,
+            compiles: 4,
+            compile_nanos: 9_000_000,
+            request_latency: HistogramSnapshot {
+                count: 41,
+                sum: 45_000,
+                max: 9_000,
+                p50: 700,
+                p90: 2_200,
+                p99: 9_000,
+            },
+            queue_wait: HistogramSnapshot {
+                count: 41,
+                sum: 4_100,
+                max: 700,
+                p50: 80,
+                p90: 300,
+                p99: 700,
+            },
+            compile_latency: HistogramSnapshot {
+                count: 4,
+                sum: 9_000,
+                max: 4_000,
+                p50: 2_000,
+                p90: 4_000,
+                p99: 4_000,
+            },
+            transition_cost: HistogramSnapshot {
+                count: 8,
+                sum: 80_000,
+                max: 30_000,
+                p50: 8_000,
+                p90: 20_000,
+                p99: 30_000,
+            },
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    fn sample_report() -> Json {
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
+        let nanos = BTreeMap::from([
+            (Tier::BASELINE, 600_000u64),
+            (Tier(1), 1_900_000),
+            (Tier(2), 2_400_000),
+        ]);
+        report(150_000, 900_000, &sample_snapshot(), &visits, &nanos)
+    }
+
+    #[test]
+    fn valid_report_passes_and_round_trips() {
+        let doc = sample_report();
+        let reparsed = Json::parse(&doc.to_pretty()).expect("parses");
+        assert_eq!(reparsed, doc);
+        validate(&reparsed).expect("valid report");
+        assert_eq!(reparsed.num_at("rung_time_micros.O1"), Some(1_900));
+        assert_eq!(reparsed.num_at("rung_visit_residency.O0"), Some(41));
+        assert_eq!(reparsed.num_at("speculation.requests"), Some(41));
+    }
+
+    #[test]
+    fn every_required_field_is_emitted() {
+        let doc = sample_report();
+        for field in required_fields() {
+            assert!(
+                doc.num_at(&field).is_some(),
+                "report() must emit required field {field}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_invariants_fail() {
+        let mut snapshot = sample_snapshot();
+        snapshot.composed_tier_ups = 0;
+        snapshot.deopts = 0;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(1, 1, &snapshot, &visits, &visits);
+        let errors = validate(&doc).expect_err("invariants regressed");
+        assert!(errors.iter().any(|e| e.contains("composed_tier_ups")));
+        assert!(errors.iter().any(|e| e.contains("deopts")));
+    }
+
+    #[test]
+    fn non_monotone_quantiles_fail() {
+        let text = sample_report().to_pretty().replace(
+            "\"p90\": 2200",
+            "\"p90\": 10000", // above p99=9000
+        );
+        let doc = Json::parse(&text).expect("parses");
+        let errors = validate(&doc).expect_err("non-monotone");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("request_latency_micros") && e.contains("monotone")));
+    }
+
+    #[test]
+    fn missing_fields_and_schema_fail() {
+        let errors = validate(&Json::obj([("schema", Json::Str("bogus".into()))]))
+            .expect_err("everything missing");
+        assert!(errors.iter().any(|e| e.contains("expected")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("warm_session_micros missing")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("speculation.deopts missing")));
+        assert!(errors.iter().any(|e| e.contains("rung_time_micros")));
+    }
+
+    #[test]
+    fn empty_histograms_fail() {
+        let mut snapshot = sample_snapshot();
+        snapshot.request_latency = HistogramSnapshot::default();
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(1, 1, &snapshot, &visits, &visits);
+        let errors = validate(&doc).expect_err("no observations");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("request_latency_micros: no observations")));
+    }
+}

@@ -6,7 +6,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ssair::interp::{ExecError, Val};
 use ssair::reconstruct::Direction;
@@ -22,6 +22,7 @@ use crate::metrics::{DeoptReason, EngineEvent, EngineMetrics, EventLog, MetricsS
 use crate::pool::{run_job, CompileJob, CompilerPool};
 use crate::session::{RequestId, ResultEvent};
 use crate::tiers::{LadderPolicy, TierPolicy};
+use crate::trace::{RequestTrace, TableKind, TraceStore, TraceTransition};
 
 pub use tinyvm::profile::{ProfileTable, SpeculationPolicy, ValueSpeculationPolicy};
 
@@ -223,6 +224,8 @@ pub(crate) struct EngineCore {
     pub(crate) metrics: Arc<EngineMetrics>,
     pub(crate) events: Arc<EventLog>,
     pub(crate) profiles: ProfileTable,
+    /// Per-request lifecycle traces (bounded; see [`crate::trace`]).
+    pub(crate) traces: TraceStore,
     /// Engine-global request-id allocator (ids stay unique across every
     /// concurrent session).
     pub(crate) next_request_id: AtomicU64,
@@ -259,6 +262,7 @@ impl Engine {
                 metrics,
                 events,
                 profiles: ProfileTable::default(),
+                traces: TraceStore::default(),
                 next_request_id: AtomicU64::new(0),
             }),
         }
@@ -349,10 +353,29 @@ impl Engine {
         Ok(())
     }
 
-    /// Cumulative instrumented visits per rung across every function —
-    /// how much of the traffic actually ran at each tier of the graph.
-    pub fn rung_residency(&self) -> std::collections::BTreeMap<Tier, u64> {
+    /// Cumulative instrumented *visits* per rung across every function —
+    /// how often traffic reached each tier's OSR points.  This counts
+    /// visits, **not** time; for wall-clock residency see
+    /// [`Engine::rung_time_residency`].  (Renamed from `rung_residency`,
+    /// whose name hid exactly that distinction.)
+    pub fn rung_visit_residency(&self) -> std::collections::BTreeMap<Tier, u64> {
         self.core.profiles.per_tier_totals()
+    }
+
+    /// Cumulative execution *time* per rung across every function,
+    /// nanoseconds — how long traffic actually ran at each tier.
+    /// Measured by the request controllers with one `Instant` stamp per
+    /// hop (batched, never on the interpreter loop), so short-lived rungs
+    /// cost nothing to attribute.
+    pub fn rung_time_residency(&self) -> std::collections::BTreeMap<Tier, u64> {
+        self.core.profiles.per_tier_time_nanos()
+    }
+
+    /// The lifecycle trace of a request served by any of this engine's
+    /// sessions, at whatever stage it has reached (`None` for unknown or
+    /// long-evicted ids).
+    pub fn trace(&self, id: RequestId) -> Option<RequestTrace> {
+        self.core.traces.get(id.0)
     }
 
     /// Executes `requests` concurrently against the shared cache and waits
@@ -424,8 +447,17 @@ impl EngineCore {
                 // belong to the shared speculation profile — even when the
                 // request itself failed (e.g. fuel exhaustion).
                 controller.flush_profile();
+                // Close the final rung's time slice and flush the whole
+                // batch of per-rung deltas (one lock per request).
+                controller.finish_timing();
                 let (value, events) = outcome?;
-                self.record_events(id, &req.function, events, &controller.hops);
+                self.record_events(
+                    id,
+                    &req.function,
+                    events,
+                    &controller.hops,
+                    controller.rung_nanos.clone(),
+                );
                 Ok(value)
             }
             ExecMode::Debug => {
@@ -452,10 +484,11 @@ impl EngineCore {
                         guard_entry: false,
                         deopt: Some(DeoptReason::DebuggerAttach),
                         reclimb: false,
+                        at_micros: self.events.now_micros(),
                     };
                     events.len()
                 ];
-                self.record_events(id, &req.function, events, &labels);
+                self.record_events(id, &req.function, events, &labels, Vec::new());
                 Ok(value)
             }
         }
@@ -465,16 +498,37 @@ impl EngineCore {
     /// `labels` carries the controller's tier annotations in the same
     /// order.  Backward hops additionally emit an [`EngineEvent::Deopt`]
     /// carrying the *why*; forward hops of frames that deopted earlier in
-    /// the request emit an [`EngineEvent::Reclimb`].
+    /// the request emit an [`EngineEvent::Reclimb`].  Each hop also lands
+    /// in the request's lifecycle trace (with the controller's `rung_nanos`
+    /// time attribution) and feeds the transition-cost histogram.
     fn record_events(
         &self,
         request: u64,
         function: &str,
         events: Vec<OsrEvent>,
         labels: &[HopLabel],
+        rung_nanos: Vec<(Tier, u64)>,
     ) {
+        let mut trace_transitions = Vec::with_capacity(events.len());
         for (i, event) in events.into_iter().enumerate() {
             let label = labels.get(i).cloned().unwrap_or_default();
+            self.metrics.transition_cost.record(event.nanos);
+            trace_transitions.push(TraceTransition {
+                at_micros: label.at_micros,
+                from: label.from,
+                to: label.to,
+                direction: event.direction,
+                kind: if label.speculated {
+                    TableKind::ValueSpecialized
+                } else if label.composed {
+                    TableKind::Composed
+                } else {
+                    TableKind::Direct
+                },
+                reclimb: label.reclimb,
+                deopt: label.deopt.clone(),
+                hop_nanos: event.nanos,
+            });
             match event.direction {
                 Direction::Forward => {
                     self.metrics.tier_ups.fetch_add(1, Ordering::Relaxed);
@@ -532,6 +586,8 @@ impl EngineCore {
                 event,
             });
         }
+        self.traces
+            .record_execution(request, trace_transitions, rung_nanos);
     }
 
     /// Returns the compiled artifact for `key`, compiling on the calling
@@ -673,6 +729,8 @@ struct HopLabel {
     /// Whether this upward hop re-climbs after an earlier deopt in the
     /// same request.
     reclimb: bool,
+    /// When the hop landed, microseconds since the engine epoch.
+    at_micros: u64,
 }
 
 /// A hop the controller has requested but that has not landed yet.
@@ -766,6 +824,13 @@ struct EngineController<'e> {
     pending: Option<PendingHop>,
     /// Committed hops, in order.
     hops: Vec<HopLabel>,
+    /// When the frame entered its current rung — stamped at controller
+    /// creation and at each hop, *never* on the observe path.
+    rung_entered: Instant,
+    /// Execution nanoseconds per visited rung, in visit order: the
+    /// batched per-request time attribution, flushed to the shared
+    /// profile (and the request's trace) once the request finishes.
+    rung_nanos: Vec<(Tier, u64)>,
     /// Whether this frame has deopted (used to label re-climbs).
     deopted: bool,
     /// Memoized `(deopts, threshold)` of the current rung's up edge —
@@ -836,6 +901,8 @@ impl<'e> EngineController<'e> {
             deopt_counter: core.profiles.deopt_counter(function),
             pending: None,
             hops: Vec::new(),
+            rung_entered: Instant::now(),
+            rung_nanos: Vec::new(),
             deopted: false,
             threshold_memo: None,
             local_edges: HashMap::new(),
@@ -859,6 +926,19 @@ impl<'e> EngineController<'e> {
             }
             self.accounted = true;
         }
+    }
+
+    /// Closes the current rung's time slice and flushes the per-rung
+    /// deltas to the shared profile — called once when the request
+    /// finishes (the visit-order vector stays intact for the trace).
+    fn finish_timing(&mut self) {
+        let now = Instant::now();
+        let nanos = now.duration_since(self.rung_entered).as_nanos() as u64;
+        self.rung_nanos.push((self.tier, nanos));
+        self.rung_entered = now;
+        self.core
+            .profiles
+            .record_time(self.function, self.rung_nanos.iter().copied());
     }
 
     fn flush_profile(&mut self) {
@@ -1346,6 +1426,12 @@ impl TierController for EngineController<'_> {
             .pending
             .take()
             .expect("a hop landed only after being requested");
+        // Time spent since the last hop (or frame entry) belongs to the
+        // rung being left — one Instant stamp per hop, batched locally.
+        let now = Instant::now();
+        let nanos = now.duration_since(self.rung_entered).as_nanos() as u64;
+        self.rung_nanos.push((self.tier, nanos));
+        self.rung_entered = now;
         // Every deopt-labelled hop counts — including the same-rung
         // value-guard escape onto the rung's generic artifact.
         let down = hop.deopt.is_some();
@@ -1357,6 +1443,7 @@ impl TierController for EngineController<'_> {
             guard_entry: hop.guard_entry,
             deopt: hop.deopt.clone(),
             reclimb: self.deopted && hop.to > self.tier,
+            at_micros: self.core.events.now_micros(),
         });
         if down {
             self.deopted = true;

@@ -1,0 +1,252 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The engine records four latency distributions (request latency, queue
+//! wait, compile latency, per-transition cost) without taking a lock or
+//! allocating per observation. [`LogHistogram`] is a hand-rolled HDR-lite:
+//! a fixed array of relaxed [`AtomicU64`] buckets laid out so that each
+//! power of two is split into [`SUB_BUCKETS`] linear sub-buckets.
+//!
+//! # Error bounds
+//!
+//! Values below `2 * SUB_BUCKETS` land in exact single-value buckets.
+//! Above that, a bucket covering `[lo, hi]` has width `lo / SUB_BUCKETS`,
+//! so a reported quantile `q` overstates the true sorted-percentile value
+//! `x` by at most `x / SUB_BUCKETS` (12.5% with the default 8 sub-buckets):
+//! `x <= q <= x + x / SUB_BUCKETS`. Quantiles report the *upper* edge of
+//! the bucket holding the target rank, clamped to the observed maximum, so
+//! they are conservative and `p99 <= max` always holds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two. Must be a power of two.
+pub const SUB_BUCKETS: u64 = 8;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Enough buckets to index every `u64` value (see [`bucket_index`]).
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value: exact below `2 * SUB_BUCKETS`, logarithmic
+/// with `SUB_BUCKETS` linear sub-buckets per octave above.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize) * SUB_BUCKETS as usize + (value >> shift) as usize
+    }
+}
+
+/// Inclusive upper edge of bucket `index` (the largest value that maps to it).
+fn bucket_upper_edge(index: usize) -> u64 {
+    let index = index as u64;
+    if index < 2 * SUB_BUCKETS {
+        index
+    } else {
+        let shift = index / SUB_BUCKETS - 1;
+        let base = (index % SUB_BUCKETS + SUB_BUCKETS) << shift;
+        base.saturating_add((1u64 << shift) - 1)
+    }
+}
+
+/// A fixed-size, lock-free histogram with bounded relative error.
+///
+/// `record` is wait-free: one relaxed `fetch_add` on a bucket plus three
+/// on the aggregate counters. No allocation, no locking, no ordering
+/// constraints — safe to call from the interpreter-adjacent paths that the
+/// engine's batched-flush discipline allows (hop boundaries, worker pickup,
+/// compile completion), and cheap enough that it wouldn't matter if it ran
+/// hotter.
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Box::new([const { AtomicU64::new(0) }; BUCKETS]),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Wait-free; relaxed atomics only.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current contents into a [`HistogramSnapshot`].
+    ///
+    /// Concurrent `record`s may straddle the snapshot; each individual
+    /// observation is either fully in or fully out up to the usual relaxed
+    /// skew, which is fine for telemetry.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let mut counts = [0u64; BUCKETS];
+        let mut seen = 0u64;
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+            seen += *slot;
+        }
+        // Quantile of rank r (1-based): upper edge of the bucket where the
+        // cumulative count first reaches r, clamped to the observed max.
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * seen as f64).ceil() as u64).clamp(1, seen);
+            let mut cumulative = 0u64;
+            for (index, bucket_count) in counts.iter().enumerate() {
+                cumulative += bucket_count;
+                if cumulative >= rank {
+                    return bucket_upper_edge(index).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`LogHistogram`]: counts plus conservative
+/// p50/p90/p99 (upper bucket edges, error bound in the module docs).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+}
+
+impl std::fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|shift| {
+                [0u64, 1, 2, 3]
+                    .into_iter()
+                    .map(move |offset| (1u64 << shift).saturating_add(offset))
+            })
+            .chain([0, u64::MAX - 1, u64::MAX])
+            .collect();
+        values.sort_unstable();
+        let mut previous = 0usize;
+        for value in values {
+            let index = bucket_index(value);
+            assert!(index < BUCKETS, "index {index} out of range for {value}");
+            assert!(index >= previous, "bucketing not monotone at {value}");
+            previous = index;
+        }
+    }
+
+    #[test]
+    fn upper_edge_bounds_its_bucket() {
+        for value in (0..4096u64).chain([1 << 20, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            let index = bucket_index(value);
+            let edge = bucket_upper_edge(index);
+            assert!(edge >= value, "edge {edge} below value {value}");
+            if edge < u64::MAX {
+                assert!(
+                    bucket_index(edge + 1) > index,
+                    "edge {edge} not tight for bucket {index}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 16);
+        assert_eq!(snap.max, 15);
+        assert_eq!(snap.p50, 7);
+        assert_eq!(snap.p99, 15);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = LogHistogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn one_sample() {
+        let h = LogHistogram::new();
+        h.record(12_345);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, 12_345);
+        assert_eq!(snap.p50, snap.p99);
+        assert!(snap.p50 >= 12_345);
+        assert!(snap.p50 <= 12_345 + 12_345 / SUB_BUCKETS);
+    }
+
+    #[test]
+    fn saturating_extremes() {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max, u64::MAX);
+        assert_eq!(snap.p99, u64::MAX);
+        assert_eq!(snap.p50, 0);
+    }
+}

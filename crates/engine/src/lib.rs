@@ -220,9 +220,63 @@
 //!
 //! # Observability
 //!
-//! Every transition (with its tier pair and whether it was composed),
-//! compile, composed-table build and rejection is recorded as an
-//! [`metrics::EngineEvent`]; aggregate counters (tier-ups, composed
+//! The engine can *time* its machinery, not just count it — the
+//! observability layer has three parts, all measured on one monotone
+//! clock (the **engine epoch**, the creation instant of the shared
+//! [`metrics::EventLog`]; every timestamp below is microseconds since
+//! that epoch).
+//!
+//! **Per-request lifecycle traces.**  Every submitted request is traced
+//! through submit → worker pickup (the queue wait) → each OSR transition
+//! (source/destination rung, table kind — direct, composed, or
+//! value-specialized — climb/deopt/re-climb, per-hop cost) → completion,
+//! as a [`RequestTrace`] queryable from [`EngineHandle::trace`] (or
+//! [`Engine::trace`]) and rendered as a human-readable tree by its
+//! `Display` impl (see `examples/engine_trace.rs`).  Timestamps within a
+//! trace are monotone.  The same events stream live as timestamped
+//! [`metrics::TimedEngineEvent`]s through [`metrics::EventLog::subscribe`]
+//! / [`metrics::EventLog::drain_timed`].  The trace store is bounded
+//! ([`trace::TRACE_CAPACITY`]); the oldest traces are evicted first.
+//!
+//! **Per-rung time residency.**  [`Engine::rung_visit_residency`] counts
+//! instrumented *visits* per rung; [`Engine::rung_time_residency`]
+//! attributes wall-clock *time* (nanoseconds) per rung.  Time is measured
+//! by the request controller with one `Instant` stamp per hop — batched
+//! exactly like the edge profile, so the interpreter observe path stays
+//! lock-free and allocation-free.
+//!
+//! **Latency histograms.**  Four lock-free log-bucketed histograms
+//! ([`histogram::LogHistogram`]) record end-to-end request latency, queue
+//! wait, compile latency (all µs) and per-transition cost (ns); their
+//! p50/p90/p99 surface in [`metrics::MetricsSnapshot`] (fields
+//! `request_latency`, `queue_wait`, `compile_latency`,
+//! `transition_cost`).  Quantiles are conservative upper bucket edges
+//! with bounded relative error — at most `1/8` (12.5%) above the true
+//! sorted-percentile value, exact for small values; see the
+//! [`histogram`] module docs.  Recording is one relaxed `fetch_add` per
+//! observation, and observations happen only at lifecycle boundaries
+//! (pickup, completion, compile publish, hop landing), never per loop
+//! iteration.
+//!
+//! **Reading `BENCH_engine.json`.**  The bench harness
+//! (`crates/bench/benches/engine.rs`) serializes a perf-gate snapshot to
+//! `BENCH_engine.json` at the repo root, committed in-repo so the perf
+//! trajectory of every PR stays diffable.  Keys: `schema` (currently
+//! `"bench-engine-v1"`), `warm_session_micros` / `cold_session_micros`
+//! (median wall-clock of a full Zipf session with a warm/cold cache),
+//! `request_latency_micros` / `queue_wait_micros` /
+//! `compile_latency_micros` / `transition_cost_nanos` (objects with
+//! `count`/`p50`/`p90`/`p99`/`max`), `rung_visit_residency` and
+//! `rung_time_micros` (per-rung maps keyed `"O0"`, `"O1"`, …), and
+//! `speculation` (the full counter set of [`metrics::MetricsSnapshot`]).
+//! CI regenerates the file and `cargo run -p bench --bin bench_gate`
+//! fails the build when required fields are missing, quantiles are not
+//! monotone (`p50 ≤ p90 ≤ p99`), or the tier-1 invariants (≥ 1 composed
+//! tier-up, ≥ 1 deopt) regress.
+//!
+//! Beyond timing, every transition (with its tier pair and whether it was
+//! composed), compile, composed-table build and rejection is recorded as
+//! an [`metrics::EngineEvent`]; aggregate counters (tier-ups, composed
 //! tier-ups, deopts, cache hits/misses, queue depth, compile latency) are
 //! available as a [`metrics::MetricsSnapshot`] from [`Engine::metrics`],
 //! in every [`BatchReport`], and in every [`SessionReport`].
@@ -255,16 +309,20 @@
 
 pub mod cache;
 mod engine;
+pub mod histogram;
 pub mod metrics;
 pub mod pool;
 mod session;
 pub mod tiers;
+pub mod trace;
 
 pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec, Speculation};
 pub use engine::{
     BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request,
     SpeculationPolicy, ValueSpeculationPolicy,
 };
-pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot};
+pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot, TimedEngineEvent};
 pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport, SubmitError};
 pub use tiers::{DeoptStrategy, LadderPolicy, Tier, TierEdge, TierGraph, TierPolicy};
+pub use trace::{RequestTrace, TableKind, TraceTransition};

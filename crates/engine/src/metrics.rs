@@ -8,10 +8,13 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use ssair::InstId;
 use tinyvm::profile::Tier;
 use tinyvm::runtime::OsrEvent;
+
+use crate::histogram::{HistogramSnapshot, LogHistogram};
 
 /// Monotonic counters shared by interpreters, compile workers and the
 /// session/batch drivers.  All updates are relaxed: the counters are
@@ -63,6 +66,19 @@ pub struct EngineMetrics {
     pub queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
     pub queue_peak: AtomicU64,
+    /// End-to-end request latency (submit → completion), microseconds.
+    /// One wait-free record per completed request.
+    pub request_latency: LogHistogram,
+    /// Time requests spent waiting for a worker (submit → pickup),
+    /// microseconds.  One wait-free record per pickup.
+    pub queue_wait: LogHistogram,
+    /// Per-job compile latency (incl. precompute), microseconds — the
+    /// distribution behind the `compile_nanos` total.
+    pub compile_latency: LogHistogram,
+    /// Cost of each OSR hop itself (landing-site resolution, compensation
+    /// code, frame surgery — [`OsrEvent::nanos`]), nanoseconds.  One
+    /// wait-free record per transition, never per loop iteration.
+    pub transition_cost: LogHistogram,
 }
 
 impl EngineMetrics {
@@ -77,6 +93,7 @@ impl EngineMetrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.compiles.fetch_add(1, Ordering::Relaxed);
         self.compile_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.compile_latency.record(nanos / 1_000);
     }
 
     /// A point-in-time copy of every counter (cache counters are merged in
@@ -102,6 +119,10 @@ impl EngineMetrics {
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
+            request_latency: self.request_latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            compile_latency: self.compile_latency.snapshot(),
+            transition_cost: self.transition_cost.snapshot(),
         }
     }
 }
@@ -149,12 +170,110 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Request-level cache misses.
     pub cache_misses: u64,
+    /// End-to-end request latency distribution, microseconds.
+    pub request_latency: HistogramSnapshot,
+    /// Queue-wait (submit → pickup) distribution, microseconds.
+    pub queue_wait: HistogramSnapshot,
+    /// Per-job compile latency distribution, microseconds.
+    pub compile_latency: HistogramSnapshot,
+    /// Per-hop transition cost distribution, nanoseconds.
+    pub transition_cost: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
     /// Mean compile latency in microseconds (0 when nothing compiled).
     pub fn mean_compile_micros(&self) -> u64 {
         self.compile_nanos.checked_div(self.compiles).unwrap_or(0) / 1_000
+    }
+
+    /// Every scalar the snapshot carries, as `(name, value)` pairs:
+    /// the counters, then each histogram's count/p50/p90/p99/max.
+    ///
+    /// This is the one place that enumerates the snapshot — the perf-gate
+    /// JSON writer serializes it and the completeness test pins it, so a
+    /// counter added to the struct without being listed here fails a test
+    /// instead of silently vanishing from both.
+    pub fn fields(&self) -> Vec<(String, u64)> {
+        // Destructured without `..` so adding a snapshot field refuses to
+        // compile until this list (and its consumers) see it.
+        let MetricsSnapshot {
+            requests,
+            tier_ups,
+            composed_tier_ups,
+            deopts,
+            guard_failures,
+            value_guard_failures,
+            value_specialized_tier_ups,
+            reclimbs,
+            extension_recompiles,
+            infeasible,
+            deadline_expired,
+            threshold_lowers,
+            threshold_raises,
+            compiles,
+            compile_nanos,
+            queue_depth,
+            queue_peak,
+            cache_hits,
+            cache_misses,
+            request_latency,
+            queue_wait,
+            compile_latency,
+            transition_cost,
+        } = self;
+        let mut out: Vec<(String, u64)> = [
+            ("requests", *requests),
+            ("tier_ups", *tier_ups),
+            ("composed_tier_ups", *composed_tier_ups),
+            ("deopts", *deopts),
+            ("guard_failures", *guard_failures),
+            ("value_guard_failures", *value_guard_failures),
+            ("value_specialized_tier_ups", *value_specialized_tier_ups),
+            ("reclimbs", *reclimbs),
+            ("extension_recompiles", *extension_recompiles),
+            ("infeasible", *infeasible),
+            ("deadline_expired", *deadline_expired),
+            ("threshold_lowers", *threshold_lowers),
+            ("threshold_raises", *threshold_raises),
+            ("compiles", *compiles),
+            ("compile_nanos", *compile_nanos),
+            ("queue_depth", *queue_depth),
+            ("queue_peak", *queue_peak),
+            ("cache_hits", *cache_hits),
+            ("cache_misses", *cache_misses),
+        ]
+        .into_iter()
+        .map(|(name, value)| (name.to_string(), value))
+        .collect();
+        for (prefix, h) in [
+            ("request_latency_micros", request_latency),
+            ("queue_wait_micros", queue_wait),
+            ("compile_latency_micros", compile_latency),
+            ("transition_cost_nanos", transition_cost),
+        ] {
+            for (suffix, value) in [
+                ("count", h.count),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+                ("max", h.max),
+            ] {
+                out.push((format!("{prefix}.{suffix}"), value));
+            }
+        }
+        out
+    }
+
+    /// The snapshot's latency histograms, as `(name, snapshot)` pairs —
+    /// names match the [`MetricsSnapshot::fields`] prefixes and the
+    /// `BENCH_engine.json` keys.
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 4] {
+        [
+            ("request_latency_micros", &self.request_latency),
+            ("queue_wait_micros", &self.queue_wait),
+            ("compile_latency_micros", &self.compile_latency),
+            ("transition_cost_nanos", &self.transition_cost),
+        ]
     }
 }
 
@@ -165,7 +284,9 @@ impl fmt::Display for MetricsSnapshot {
             "requests={} (expired={}) tier_ups={} (composed={}, specialized={}, reclimbs={}) \
              deopts={} (guard={}, value_guard={}) infeasible={} compiles={} (ext={}) \
              mean_compile={}us thresholds(lowered={}, raised={}) \
-             queue(depth={}, peak={}) cache(hits={}, misses={})",
+             queue(depth={}, peak={}) cache(hits={}, misses={}) \
+             latency_us(p50={}, p99={}) queue_wait_us(p50={}, p99={}) \
+             compile_us(p50={}, p99={}) hop_ns(p50={}, p99={})",
             self.requests,
             self.deadline_expired,
             self.tier_ups,
@@ -185,6 +306,14 @@ impl fmt::Display for MetricsSnapshot {
             self.queue_peak,
             self.cache_hits,
             self.cache_misses,
+            self.request_latency.p50,
+            self.request_latency.p99,
+            self.queue_wait.p50,
+            self.queue_wait.p99,
+            self.compile_latency.p50,
+            self.compile_latency.p99,
+            self.transition_cost.p50,
+            self.transition_cost.p99,
         )
     }
 }
@@ -410,7 +539,25 @@ impl fmt::Display for EngineEvent {
     }
 }
 
-type Subscriber = Box<dyn Fn(&EngineEvent) + Send + Sync>;
+/// An [`EngineEvent`] stamped with when it happened, in microseconds
+/// since the owning [`EventLog`]'s creation (the engine epoch — the same
+/// clock [`crate::RequestTrace`] timestamps use, so events and traces
+/// line up).
+#[derive(Clone, Debug)]
+pub struct TimedEngineEvent {
+    /// Microseconds since the engine epoch.
+    pub micros: u64,
+    /// The event.
+    pub event: EngineEvent,
+}
+
+impl fmt::Display for TimedEngineEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[t+{}us] {}", self.micros, self.event)
+    }
+}
+
+type Subscriber = Box<dyn Fn(&TimedEngineEvent) + Send + Sync>;
 
 /// How many undrained events the log retains.  Sessions stream events and
 /// may never drain the log, so the backing store is a bounded ring: once
@@ -420,33 +567,62 @@ type Subscriber = Box<dyn Fn(&EngineEvent) + Send + Sync>;
 pub const EVENT_LOG_CAPACITY: usize = 1 << 16;
 
 /// A shared, bounded event log, drained per batch and fanned out to
-/// session subscribers as events arrive.
-#[derive(Default)]
+/// session subscribers as events arrive.  Every event is stamped against
+/// the log's creation instant (the engine epoch).
 pub struct EventLog {
-    events: Mutex<std::collections::VecDeque<EngineEvent>>,
+    epoch: Instant,
+    events: Mutex<std::collections::VecDeque<TimedEngineEvent>>,
     subscribers: Mutex<Vec<(u64, Subscriber)>>,
     next_subscriber: AtomicU64,
     dropped: AtomicU64,
 }
 
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            epoch: Instant::now(),
+            events: Mutex::default(),
+            subscribers: Mutex::default(),
+            next_subscriber: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
 impl EventLog {
-    /// Appends one event and forwards a copy to every subscriber; the
-    /// oldest undrained event is discarded once the log holds
-    /// [`EVENT_LOG_CAPACITY`] entries.
+    /// Microseconds elapsed since the engine epoch — the monotone clock
+    /// every timestamp in the observability layer is measured on.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Stamps and appends one event, forwarding a copy to every
+    /// subscriber; the oldest undrained event is discarded once the log
+    /// holds [`EVENT_LOG_CAPACITY`] entries.
     pub fn push(&self, e: EngineEvent) {
+        let timed = TimedEngineEvent {
+            micros: self.now_micros(),
+            event: e,
+        };
         for (_, s) in self.subscribers.lock().expect("subscriber lock").iter() {
-            s(&e);
+            s(&timed);
         }
         let mut events = self.events.lock().expect("event lock");
         if events.len() >= EVENT_LOG_CAPACITY {
             events.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
-        events.push_back(e);
+        events.push_back(timed);
     }
 
-    /// Takes every event recorded since the last drain.
+    /// Takes every event recorded since the last drain (timestamps
+    /// stripped; see [`EventLog::drain_timed`]).
     pub fn drain(&self) -> Vec<EngineEvent> {
+        self.drain_timed().into_iter().map(|t| t.event).collect()
+    }
+
+    /// Takes every timestamped event recorded since the last drain.
+    pub fn drain_timed(&self) -> Vec<TimedEngineEvent> {
         std::mem::take(&mut *self.events.lock().expect("event lock")).into()
     }
 
@@ -455,9 +631,10 @@ impl EventLog {
         self.dropped.load(Ordering::Relaxed)
     }
 
-    /// Registers a live-event subscriber; returns a token for
+    /// Registers a live-event subscriber (called with each event and its
+    /// epoch-relative timestamp); returns a token for
     /// [`EventLog::unsubscribe`].
-    pub fn subscribe(&self, f: impl Fn(&EngineEvent) + Send + Sync + 'static) -> u64 {
+    pub fn subscribe(&self, f: impl Fn(&TimedEngineEvent) + Send + Sync + 'static) -> u64 {
         let id = self.next_subscriber.fetch_add(1, Ordering::Relaxed);
         self.subscribers
             .lock()
@@ -502,6 +679,118 @@ mod tests {
         assert!(text.contains("hits=3"));
         assert!(text.contains("mean_compile=2000us"));
         assert!(text.contains("composed=0"));
+        assert!(text.contains("latency_us(p50="));
+        assert!(text.contains("hop_ns(p50="));
+    }
+
+    #[test]
+    fn job_finished_feeds_the_compile_histogram() {
+        let m = EngineMetrics::default();
+        m.job_enqueued();
+        m.job_finished(2_000_000);
+        m.job_enqueued();
+        m.job_finished(4_000_000);
+        let s = m.snapshot(0, 0);
+        assert_eq!(s.compile_latency.count, 2);
+        assert!(s.compile_latency.p50 >= 2_000, "micros, not nanos");
+        assert!(s.compile_latency.max >= 4_000);
+        assert!(s.compile_latency.p50 <= s.compile_latency.p99);
+    }
+
+    /// The completeness pin (ISSUE 6 satellite): every snapshot counter —
+    /// including everything PRs 3–5 added (`value_guard_failures`,
+    /// `threshold_lowers`/`raises`, `deadline_expired`, `reclimbs`,
+    /// `extension_recompiles`, …) — must surface in
+    /// [`MetricsSnapshot::fields`] *and* in the `Display` output.  The
+    /// exhaustive destructuring inside `fields()` already refuses to
+    /// compile when a struct field is missing from the list; this test
+    /// closes the remaining gap by checking each listed value is visible
+    /// in the rendered text.
+    #[test]
+    fn no_snapshot_field_is_silently_dropped() {
+        // Distinct primes per counter so each value is identifiable.
+        let m = EngineMetrics::default();
+        m.requests.store(2, Ordering::Relaxed);
+        m.tier_ups.store(3, Ordering::Relaxed);
+        m.composed_tier_ups.store(5, Ordering::Relaxed);
+        m.deopts.store(7, Ordering::Relaxed);
+        m.guard_failures.store(11, Ordering::Relaxed);
+        m.value_guard_failures.store(13, Ordering::Relaxed);
+        m.value_specialized_tier_ups.store(17, Ordering::Relaxed);
+        m.reclimbs.store(19, Ordering::Relaxed);
+        m.extension_recompiles.store(23, Ordering::Relaxed);
+        m.infeasible.store(29, Ordering::Relaxed);
+        m.deadline_expired.store(31, Ordering::Relaxed);
+        m.threshold_lowers.store(37, Ordering::Relaxed);
+        m.threshold_raises.store(41, Ordering::Relaxed);
+        m.compiles.store(43, Ordering::Relaxed);
+        m.compile_nanos.store(47_000 * 43, Ordering::Relaxed);
+        m.queue_depth.store(53, Ordering::Relaxed);
+        m.queue_peak.store(59, Ordering::Relaxed);
+        let s = m.snapshot(61, 67);
+
+        let fields = s.fields();
+        let scalar_count = 19;
+        let histogram_count = 4 * 5;
+        assert_eq!(
+            fields.len(),
+            scalar_count + histogram_count,
+            "fields() must enumerate every snapshot scalar"
+        );
+        for name in [
+            "value_guard_failures",
+            "threshold_lowers",
+            "threshold_raises",
+            "deadline_expired",
+            "reclimbs",
+            "extension_recompiles",
+            "request_latency_micros.p99",
+            "queue_wait_micros.p50",
+            "compile_latency_micros.count",
+            "transition_cost_nanos.max",
+        ] {
+            assert!(
+                fields.iter().any(|(n, _)| n == name),
+                "{name} missing from fields()"
+            );
+        }
+
+        // Every *distinct* counter value must appear in the Display text —
+        // a field dropped from the format string fails here.
+        let text = s.to_string();
+        for (name, value) in fields.iter().filter(|(n, _)| !n.contains('.')) {
+            if *name == "compile_nanos" {
+                // Rendered as mean_compile micros instead.
+                assert!(
+                    text.contains(&format!("mean_compile={}us", s.mean_compile_micros())),
+                    "compile_nanos not rendered as a mean"
+                );
+                continue;
+            }
+            assert!(
+                text.contains(&value.to_string()),
+                "{name}={value} missing from Display: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_are_stamped_monotonically_against_the_epoch() {
+        let log = EventLog::default();
+        for i in 0..3u64 {
+            log.push(EngineEvent::Compiled {
+                function: "f".into(),
+                pipeline: "O1".into(),
+                micros: i,
+            });
+        }
+        let timed = log.drain_timed();
+        assert_eq!(timed.len(), 3);
+        for pair in timed.windows(2) {
+            assert!(pair[0].micros <= pair[1].micros, "stamps are monotone");
+        }
+        assert!(log.now_micros() >= timed[2].micros);
+        assert!(timed[0].to_string().starts_with("[t+"));
     }
 
     #[test]
@@ -529,7 +818,7 @@ mod tests {
         let log = EventLog::default();
         let (tx, rx) = channel();
         let id = log.subscribe(move |e| {
-            let _ = tx.send(e.to_string());
+            let _ = tx.send(e.event.to_string());
         });
         log.push(EngineEvent::Compiled {
             function: "f".into(),

@@ -198,18 +198,18 @@ impl Engine {
         // serving the artifact.
         let sub_tx = events_tx.clone();
         let sub_mine = Arc::clone(&mine);
-        let subscription = core.events.subscribe(move |e| {
+        let subscription = core.events.subscribe(move |timed| {
             // Per-request events are forwarded only when the request is
             // this session's own.
             if let EngineEvent::Transition { request, .. }
             | EngineEvent::Deopt { request, .. }
-            | EngineEvent::Reclimb { request, .. } = e
+            | EngineEvent::Reclimb { request, .. } = &timed.event
             {
                 if !sub_mine.lock().expect("session id lock").contains(request) {
                     return;
                 }
             }
-            let _ = sub_tx.send(ResultEvent::Engine(e.clone()));
+            let _ = sub_tx.send(ResultEvent::Engine(timed.event.clone()));
         });
         let work_rx = Arc::new(Mutex::new(work_rx));
         let waiting: Arc<WaitGauge> = Arc::default();
@@ -292,6 +292,11 @@ impl EngineHandle {
         // the subscription filter.
         self.mine.lock().expect("session id lock").insert(id.0);
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        // Open the lifecycle trace before the workers can see the job, so
+        // pickup can never be stamped on a missing trace.
+        self.core
+            .traces
+            .begin(id.0, &request.function, self.core.events.now_micros());
         self.work_tx
             .as_ref()
             .expect("session is live until shutdown")
@@ -319,6 +324,14 @@ impl EngineHandle {
     /// Cumulative engine metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.snapshot()
+    }
+
+    /// The lifecycle trace of a submitted request, at whatever stage it
+    /// has reached: submitted, picked up, expired, or completed (with its
+    /// transitions and per-rung times).  `None` for ids this engine never
+    /// saw or that the bounded store already evicted.
+    pub fn trace(&self, id: RequestId) -> Option<crate::trace::RequestTrace> {
+        self.core.traces.get(id.0)
     }
 
     /// Requests submitted through this session so far.
@@ -377,6 +390,9 @@ fn worker_loop(
         // one blocked submitter.
         *waiting.count.lock().expect("wait gauge lock") -= 1;
         waiting.freed.notify_one();
+        let waited = submitted_at.elapsed().as_micros() as u64;
+        core.metrics.queue_wait.record(waited);
+        core.traces.pickup(id.0, core.events.now_micros());
         // Deadline check at pickup: work whose queueing budget elapsed is
         // dropped, not executed — the caller stopped waiting, and running
         // it anyway would only steal this worker from live traffic.  A
@@ -385,11 +401,11 @@ fn worker_loop(
         // only when the scheduler happens to burn a microsecond before
         // pickup — `waited > 0` is a coin flip at µs resolution).
         if let Some(deadline) = request.deadline {
-            let waited = submitted_at.elapsed().as_micros() as u64;
             if deadline == 0 || waited > deadline {
                 core.metrics
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
+                core.traces.expire(id.0);
                 let _ = events_tx.send(ResultEvent::DeadlineExpired { id, waited });
                 continue;
             }
@@ -415,6 +431,10 @@ fn worker_loop(
                 )))
             }
         };
+        core.metrics
+            .request_latency
+            .record(submitted_at.elapsed().as_micros() as u64);
+        core.traces.complete(id.0, core.events.now_micros());
         // A send can only fail after the handle is gone; the result is
         // then unobservable anyway.
         let _ = events_tx.send(ResultEvent::Completed { id, result });

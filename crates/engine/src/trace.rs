@@ -1,0 +1,302 @@
+//! Per-request lifecycle traces.
+//!
+//! Every request the engine serves is traced through its whole lifecycle
+//! — submit, worker pickup (the queue wait), each OSR transition with its
+//! rungs and table kind, completion — against the engine epoch (the same
+//! monotone clock [`crate::TimedEngineEvent`]s are stamped on).  The
+//! trace also carries the request's per-rung execution time, measured by
+//! the controller with one `Instant` stamp per hop (never per loop
+//! iteration: the interpreter hot path stays untouched).
+//!
+//! Traces live in a bounded store keyed by request id, queryable from
+//! [`crate::Engine::trace`] and [`crate::EngineHandle::trace`]; once the
+//! store holds [`TRACE_CAPACITY`] traces the oldest is evicted.  All
+//! store operations are per-lifecycle-event (a handful per request), so
+//! the single mutex inside is far off the hot path.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Mutex;
+
+use ssair::reconstruct::Direction;
+use tinyvm::profile::Tier;
+
+use crate::metrics::DeoptReason;
+
+/// Which kind of entry table served a transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableKind {
+    /// A direct baseline table (`fbase ↔ fopt`).
+    Direct,
+    /// A composed version-to-version table (e.g. O1→O2, Theorem 3.4).
+    Composed,
+    /// The version entered is a value-specialized (constant-seeded)
+    /// artifact — reached via a direct or composed table, but the
+    /// speculation is the defining property of the hop.
+    ValueSpecialized,
+}
+
+impl fmt::Display for TableKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableKind::Direct => write!(f, "direct"),
+            TableKind::Composed => write!(f, "composed"),
+            TableKind::ValueSpecialized => write!(f, "value-specialized"),
+        }
+    }
+}
+
+/// One transition of a traced request.
+#[derive(Clone, Debug)]
+pub struct TraceTransition {
+    /// When the hop landed, microseconds since the engine epoch.
+    pub at_micros: u64,
+    /// Rung the frame left.
+    pub from: Tier,
+    /// Rung the frame entered.
+    pub to: Tier,
+    /// Semantic direction (`Forward` climb, `Backward` deopt).
+    pub direction: Direction,
+    /// Which kind of table served the hop.
+    pub kind: TableKind,
+    /// Whether this upward hop re-climbs after an earlier deopt.
+    pub reclimb: bool,
+    /// `Some` with the why when the hop was a deopt.
+    pub deopt: Option<DeoptReason>,
+    /// Cost of the hop itself (compensation + frame surgery), nanoseconds.
+    pub hop_nanos: u64,
+}
+
+/// The full lifecycle of one request, stamped on the engine epoch.
+///
+/// All timestamps are monotone: `submitted <= picked_up <= transitions
+/// (in order) <= completed`.
+#[derive(Clone, Debug, Default)]
+pub struct RequestTrace {
+    /// The request id ([`crate::RequestId`] value).
+    pub id: u64,
+    /// Function the request executed.
+    pub function: String,
+    /// When the request entered the queue.
+    pub submitted_micros: u64,
+    /// When a worker picked it up (`None` while still queued).
+    pub picked_up_micros: Option<u64>,
+    /// When its result was produced (`None` while running; stays `None`
+    /// for an expired request).
+    pub completed_micros: Option<u64>,
+    /// Whether the request was dropped on an expired queueing deadline.
+    pub expired: bool,
+    /// Every OSR transition the request's frame took, in order.
+    pub transitions: Vec<TraceTransition>,
+    /// Execution time the request spent at each rung it visited,
+    /// nanoseconds, in visit order (a rung revisited after a deopt
+    /// appears again).
+    pub rung_nanos: Vec<(Tier, u64)>,
+}
+
+impl RequestTrace {
+    /// Queue wait (submit → pickup), microseconds.
+    pub fn queue_wait_micros(&self) -> Option<u64> {
+        self.picked_up_micros
+            .map(|p| p.saturating_sub(self.submitted_micros))
+    }
+
+    /// End-to-end latency (submit → completion), microseconds.
+    pub fn total_micros(&self) -> Option<u64> {
+        self.completed_micros
+            .map(|c| c.saturating_sub(self.submitted_micros))
+    }
+}
+
+/// Renders the trace as a human-readable tree: queue wait, then the
+/// per-rung residencies interleaved with the transitions that moved the
+/// frame between them.
+impl fmt::Display for RequestTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req {} {}", self.id, self.function)?;
+        match (self.total_micros(), self.expired) {
+            (_, true) => write!(f, " — EXPIRED in queue")?,
+            (Some(total), _) => write!(f, " — {total}us total")?,
+            (None, _) => write!(f, " — in flight")?,
+        }
+        if let Some(wait) = self.queue_wait_micros() {
+            write!(f, " (queue {wait}us)")?;
+        }
+        writeln!(f)?;
+        let mut rungs = self.rung_nanos.iter();
+        if let Some((tier, nanos)) = rungs.next() {
+            writeln!(f, "  {tier}  {}us", nanos / 1_000)?;
+        }
+        for t in &self.transitions {
+            write!(
+                f,
+                "  ├─ t+{}us {} {}→{} ({}, hop {}ns",
+                t.at_micros.saturating_sub(self.submitted_micros),
+                match t.direction {
+                    Direction::Forward if t.reclimb => "re-climb",
+                    Direction::Forward => "climb",
+                    Direction::Backward => "deopt",
+                },
+                t.from,
+                t.to,
+                t.kind,
+                t.hop_nanos,
+            )?;
+            match &t.deopt {
+                Some(reason) => writeln!(f, "; {reason})")?,
+                None => writeln!(f, ")")?,
+            }
+            if let Some((tier, nanos)) = rungs.next() {
+                writeln!(f, "  {tier}  {}us", nanos / 1_000)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How many completed traces the store retains before evicting the
+/// oldest.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// The engine's bounded trace store.
+#[derive(Default)]
+pub(crate) struct TraceStore {
+    inner: Mutex<Traces>,
+}
+
+#[derive(Default)]
+struct Traces {
+    /// Insertion order, for eviction.
+    order: VecDeque<u64>,
+    by_id: HashMap<u64, RequestTrace>,
+}
+
+impl TraceStore {
+    /// Opens a trace at submission time.
+    pub(crate) fn begin(&self, id: u64, function: &str, submitted_micros: u64) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        while inner.order.len() >= TRACE_CAPACITY {
+            if let Some(evicted) = inner.order.pop_front() {
+                inner.by_id.remove(&evicted);
+            }
+        }
+        inner.order.push_back(id);
+        inner.by_id.insert(
+            id,
+            RequestTrace {
+                id,
+                function: function.to_string(),
+                submitted_micros,
+                ..RequestTrace::default()
+            },
+        );
+    }
+
+    /// Stamps worker pickup.
+    pub(crate) fn pickup(&self, id: u64, micros: u64) {
+        if let Some(t) = self.inner.lock().expect("trace lock").by_id.get_mut(&id) {
+            t.picked_up_micros = Some(micros);
+        }
+    }
+
+    /// Attaches the transitions and per-rung times a finished execution
+    /// produced.
+    pub(crate) fn record_execution(
+        &self,
+        id: u64,
+        transitions: Vec<TraceTransition>,
+        rung_nanos: Vec<(Tier, u64)>,
+    ) {
+        if let Some(t) = self.inner.lock().expect("trace lock").by_id.get_mut(&id) {
+            t.transitions = transitions;
+            t.rung_nanos = rung_nanos;
+        }
+    }
+
+    /// Stamps completion.
+    pub(crate) fn complete(&self, id: u64, micros: u64) {
+        if let Some(t) = self.inner.lock().expect("trace lock").by_id.get_mut(&id) {
+            t.completed_micros = Some(micros);
+        }
+    }
+
+    /// Marks an expired-in-queue request.
+    pub(crate) fn expire(&self, id: u64) {
+        if let Some(t) = self.inner.lock().expect("trace lock").by_id.get_mut(&id) {
+            t.expired = true;
+        }
+    }
+
+    /// A copy of the trace for `id`, at whatever lifecycle stage it has
+    /// reached.
+    pub(crate) fn get(&self, id: u64) -> Option<RequestTrace> {
+        self.inner
+            .lock()
+            .expect("trace lock")
+            .by_id
+            .get(&id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_stamps_accumulate() {
+        let store = TraceStore::default();
+        store.begin(7, "hot", 100);
+        store.pickup(7, 150);
+        store.record_execution(
+            7,
+            vec![TraceTransition {
+                at_micros: 180,
+                from: Tier::BASELINE,
+                to: Tier(1),
+                direction: Direction::Forward,
+                kind: TableKind::Direct,
+                reclimb: false,
+                deopt: None,
+                hop_nanos: 900,
+            }],
+            vec![(Tier::BASELINE, 30_000), (Tier(1), 50_000)],
+        );
+        store.complete(7, 240);
+        let t = store.get(7).expect("trace exists");
+        assert_eq!(t.queue_wait_micros(), Some(50));
+        assert_eq!(t.total_micros(), Some(140));
+        assert_eq!(t.transitions.len(), 1);
+        assert_eq!(t.rung_nanos.len(), 2);
+        assert!(!t.expired);
+        let tree = t.to_string();
+        assert!(tree.contains("140us total"));
+        assert!(tree.contains("climb O0→O1"));
+        assert!(tree.contains("(direct, hop 900ns)"));
+        assert!(store.get(8).is_none());
+    }
+
+    #[test]
+    fn expired_requests_stay_marked() {
+        let store = TraceStore::default();
+        store.begin(1, "hot", 10);
+        store.pickup(1, 3000);
+        store.expire(1);
+        let t = store.get(1).expect("trace exists");
+        assert!(t.expired);
+        assert_eq!(t.completed_micros, None);
+        assert!(t.to_string().contains("EXPIRED"));
+    }
+
+    #[test]
+    fn store_is_bounded() {
+        let store = TraceStore::default();
+        for id in 0..(TRACE_CAPACITY as u64 + 5) {
+            store.begin(id, "hot", id);
+        }
+        assert!(store.get(0).is_none(), "oldest evicted");
+        assert!(store.get(4).is_none(), "oldest evicted");
+        assert!(store.get(5).is_some());
+        assert!(store.get(TRACE_CAPACITY as u64 + 4).is_some());
+    }
+}

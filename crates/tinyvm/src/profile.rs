@@ -98,6 +98,12 @@ pub struct ProfileTable {
     /// speculation ([`ProfileTable::stable_value`]).  Batched and flushed
     /// by controllers exactly like the edge profile.
     values: Mutex<HashMap<String, HashMap<usize, ValueProfile>>>,
+    /// Wall-clock nanoseconds spent *executing* at each `(function, tier)`
+    /// — the time sibling of the visit counters above.  Controllers
+    /// accumulate per-rung deltas locally (one `Instant` stamp per hop,
+    /// never per instruction) and flush once per request, so this map is
+    /// locked a handful of times per request, off the interpreter loop.
+    time_nanos: Mutex<HashMap<(String, Tier), u64>>,
 }
 
 /// Observed values of one argument slot: distinct values with counts, plus
@@ -155,14 +161,46 @@ impl ProfileTable {
             .sum()
     }
 
-    /// Cumulative instrumented visits per rung, summed over every
-    /// function — the per-rung *residency* a service reports (how much of
-    /// the traffic actually runs at each tier of the graph).
+    /// Cumulative instrumented *visits* per rung, summed over every
+    /// function — the count dimension of per-rung residency (how often
+    /// traffic reaches each tier's OSR points, **not** how long it runs
+    /// there; for wall-clock time see
+    /// [`ProfileTable::per_tier_time_nanos`]).
     pub fn per_tier_totals(&self) -> BTreeMap<Tier, u64> {
         let map = self.counters.lock().expect("profile lock");
         let mut out: BTreeMap<Tier, u64> = BTreeMap::new();
         for ((_, tier), c) in map.iter() {
             *out.entry(*tier).or_insert(0) += c.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Records `nanos` of execution time attributed to `function` running
+    /// at `tier`, in bulk: a controller stamps `Instant`s only at frame
+    /// creation and hop boundaries, accumulates the deltas locally, and
+    /// flushes the whole batch here once per request.
+    pub fn record_time(&self, function: &str, batch: impl IntoIterator<Item = (Tier, u64)>) {
+        let mut map = self.time_nanos.lock().expect("time lock");
+        for (tier, nanos) in batch {
+            if nanos == 0 {
+                continue;
+            }
+            if let Some(slot) = map.get_mut(&(function.to_string(), tier)) {
+                *slot = slot.saturating_add(nanos);
+            } else {
+                map.insert((function.to_string(), tier), nanos);
+            }
+        }
+    }
+
+    /// Cumulative execution nanoseconds per rung, summed over every
+    /// function — the *time* dimension of per-rung residency, alongside
+    /// the visit counts of [`ProfileTable::per_tier_totals`].
+    pub fn per_tier_time_nanos(&self) -> BTreeMap<Tier, u64> {
+        let map = self.time_nanos.lock().expect("time lock");
+        let mut out: BTreeMap<Tier, u64> = BTreeMap::new();
+        for ((_, tier), nanos) in map.iter() {
+            *out.entry(*tier).or_insert(0) += nanos;
         }
         out
     }
@@ -856,6 +894,19 @@ mod tests {
         assert_eq!(totals.get(&Tier::BASELINE), Some(&7));
         assert_eq!(totals.get(&Tier(2)), Some(&6), "summed across functions");
         assert_eq!(totals.get(&Tier(1)), None, "never-visited rung absent");
+    }
+
+    #[test]
+    fn per_tier_time_accumulates_batches() {
+        let t = ProfileTable::default();
+        assert!(t.per_tier_time_nanos().is_empty());
+        t.record_time("f", [(Tier::BASELINE, 100), (Tier(2), 40)]);
+        t.record_time("f", [(Tier(2), 10), (Tier(1), 0)]);
+        t.record_time("g", [(Tier(2), 1)]);
+        let times = t.per_tier_time_nanos();
+        assert_eq!(times.get(&Tier::BASELINE), Some(&100));
+        assert_eq!(times.get(&Tier(2)), Some(&51), "summed across functions");
+        assert_eq!(times.get(&Tier(1)), None, "zero deltas are not recorded");
     }
 
     #[test]

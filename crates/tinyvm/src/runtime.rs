@@ -118,6 +118,11 @@ pub struct OsrEvent {
     pub transferred: usize,
     /// Whether a continuation function was generated.
     pub via_continuation: bool,
+    /// Wall-clock cost of the hop itself: resolving the landing site,
+    /// running compensation code, and constructing the target frame —
+    /// excluding execution in the entered version.  One `Instant` pair per
+    /// transition, never touched on the interpreter loop.
+    pub nanos: u64,
 }
 
 impl fmt::Display for OsrEvent {
@@ -496,6 +501,7 @@ impl Vm {
         options: &TransitionOptions,
         table: Option<&EntryTable>,
     ) -> Result<Option<(Option<Val>, OsrEvent)>, ExecError> {
+        let hop_started = std::time::Instant::now();
         let (src_fn, dst_fn) = match direction {
             Direction::Forward => (&versions.base, &versions.opt),
             Direction::Backward => (&versions.opt, &versions.base),
@@ -538,6 +544,8 @@ impl Vm {
             .iter()
             .filter(|s| matches!(s, CompStep::Transfer { .. }))
             .count();
+        // The run-to-completion below is ordinary execution, not hop cost.
+        let hop_nanos = hop_started.elapsed().as_nanos() as u64;
 
         let result = if options.use_continuation {
             // OSRKit-style: generate f'to and call it with the live state.
@@ -587,6 +595,7 @@ impl Vm {
                 comp_size,
                 transferred,
                 via_continuation: options.use_continuation,
+                nanos: hop_nanos,
             },
         )))
     }
@@ -660,6 +669,7 @@ fn table_hop(
     machine: &mut Machine,
     at: InstId,
 ) -> Option<(Frame, OsrEvent)> {
+    let hop_started = std::time::Instant::now();
     let target: &Function = &t.target;
     let (landing, entry) = t.table.get(at)?;
     // Pin controller-supplied values (parameters the frame never
@@ -706,6 +716,7 @@ fn table_hop(
             comp_size,
             transferred,
             via_continuation: false,
+            nanos: hop_started.elapsed().as_nanos() as u64,
         },
     ))
 }
@@ -936,6 +947,7 @@ mod tests {
             comp_size: 2,
             transferred: 4,
             via_continuation: true,
+            nanos: 0,
         };
         assert!(e.to_string().contains("|c| = 2"));
         let d = OsrEvent {

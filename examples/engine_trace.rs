@@ -1,0 +1,110 @@
+//! Per-request lifecycle tracing: a small Zipf-skewed session whose
+//! every request is traced — submit, queue wait, worker pickup, each OSR
+//! transition (with the table kind that served it and the hop's own
+//! cost), per-rung execution time, and completion — printed as
+//! human-readable trace trees, most interesting first.
+//!
+//! Run with: `cargo run --release --example engine_trace`
+
+use engine::{Engine, EnginePolicy, Request, RequestTrace};
+use ssair::interp::Val;
+
+fn main() {
+    // A small corpus plus the soplex kernel whose hot loops climb the
+    // whole ladder.
+    let spec = workloads::corpus_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "bzip2")
+        .expect("bzip2 spec");
+    let mut module = workloads::generate_corpus(&spec, 10);
+    let kernel = workloads::kernel_source("soplex").expect("kernel");
+    for f in minic::compile(&kernel.source)
+        .expect("kernel compiles")
+        .functions
+        .into_values()
+    {
+        module.add(f);
+    }
+
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 2,
+            batch_workers: 4,
+            ..EnginePolicy::two_tier(16, 48)
+        },
+    );
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+
+    // A short Zipf session: 16 mixed requests, one long ladder-climbing
+    // kernel request, one debugger attach that forces a deopt.
+    let session = engine.start();
+    let mut ids = Vec::new();
+    for (f, args) in
+        workloads::request_mix_zipf(&module, 16, 0xBEEF, workloads::DEFAULT_ZIPF_EXPONENT)
+    {
+        ids.push(session.submit(Request::tiered(
+            f,
+            args.into_iter().map(Val::Int).collect(),
+        )));
+    }
+    ids.push(session.submit(Request::tiered(
+        "soplex_pivot",
+        vec![Val::Int(40), Val::Int(23)],
+    )));
+    ids.push(session.submit(Request::debug(
+        "soplex_pivot",
+        vec![Val::Int(10), Val::Int(17)],
+    )));
+    let report = session.shutdown();
+    println!(
+        "session drained: {} requests, metrics: {}\n",
+        report.results().len(),
+        report.metrics
+    );
+
+    // Every submission has a trace; print the eventful ones first (most
+    // transitions, then slowest), then a one-line summary of the rest.
+    let mut traces: Vec<RequestTrace> = ids
+        .iter()
+        .filter_map(|id| engine.trace(*id))
+        .collect();
+    traces.sort_by_key(|t| {
+        (
+            std::cmp::Reverse(t.transitions.len()),
+            std::cmp::Reverse(t.total_micros().unwrap_or(0)),
+        )
+    });
+    let (eventful, quiet): (Vec<_>, Vec<_>) =
+        traces.into_iter().partition(|t| !t.transitions.is_empty());
+    for trace in &eventful {
+        println!("{trace}");
+    }
+    println!("... and {} requests that never left their rung:", quiet.len());
+    for trace in quiet.iter().take(5) {
+        println!(
+            "  req {} {} — {}us total (queue {}us)",
+            trace.id,
+            trace.function,
+            trace.total_micros().unwrap_or(0),
+            trace.queue_wait_micros().unwrap_or(0),
+        );
+    }
+    if quiet.len() > 5 {
+        println!("  ... {} more", quiet.len() - 5);
+    }
+
+    // Where the session's wall-clock actually went, per rung.
+    let time = engine.rung_time_residency();
+    let visits = engine.rung_visit_residency();
+    let total: u64 = time.values().sum::<u64>().max(1);
+    println!("\nper-rung residency (time vs visits):");
+    for (tier, nanos) in &time {
+        println!(
+            "  {tier}: {}us ({:.1}%) across {} visits",
+            nanos / 1_000,
+            *nanos as f64 * 100.0 / total as f64,
+            visits.get(tier).copied().unwrap_or(0),
+        );
+    }
+}

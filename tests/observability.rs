@@ -1,0 +1,257 @@
+//! Acceptance tests for the observability layer: per-request lifecycle
+//! traces from a live session (submit → pickup → transitions →
+//! completion, all stamped monotonically on the engine epoch), latency
+//! histogram sanity, per-rung *time* residency — and property tests
+//! pinning the log-bucketed histogram's quantiles to an exact
+//! sorted-percentile reference within the documented error bound.
+
+use engine::histogram::SUB_BUCKETS;
+use engine::{Engine, EnginePolicy, HistogramSnapshot, LogHistogram, Request, TableKind, Tier};
+use proptest::prelude::*;
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+
+/// The bench's service corpus: bzip2-shaped traffic plus the soplex
+/// kernel whose hot loops climb the whole ladder.
+fn service_module() -> Module {
+    let spec = workloads::corpus_benchmarks()
+        .into_iter()
+        .find(|s| s.name == "bzip2")
+        .expect("bzip2 spec");
+    let mut module = workloads::generate_corpus(&spec, 10);
+    let kernel = workloads::kernel_source("soplex").expect("kernel");
+    for f in minic::compile(&kernel.source)
+        .expect("compiles")
+        .functions
+        .into_values()
+    {
+        module.add(f);
+    }
+    module
+}
+
+fn policy() -> EnginePolicy {
+    EnginePolicy {
+        compile_workers: 2,
+        batch_workers: 4,
+        ..EnginePolicy::two_tier(16, 48)
+    }
+}
+
+#[test]
+fn live_session_traces_cover_the_whole_lifecycle() {
+    let module = service_module();
+    let engine = Engine::new(module.clone(), policy());
+    engine.prewarm("soplex_pivot").expect("kernel exists");
+    let session = engine.start();
+
+    let mut requests: Vec<Request> = workloads::request_mix_zipf(
+        &module,
+        36,
+        0xBEEF,
+        workloads::DEFAULT_ZIPF_EXPONENT,
+    )
+    .into_iter()
+    .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
+    .collect();
+    // One long request that climbs the ladder in a single frame, and a
+    // few debugger attaches that force tier-down.
+    requests.push(Request::tiered(
+        "soplex_pivot",
+        vec![Val::Int(40), Val::Int(23)],
+    ));
+    for seed in 0..4 {
+        requests.push(Request::debug(
+            "soplex_pivot",
+            vec![Val::Int(10), Val::Int(17 + seed)],
+        ));
+    }
+    let ids: Vec<_> = requests.iter().map(|r| session.submit(r.clone())).collect();
+    let report = session.shutdown();
+    assert!(report.results().values().all(|r| r.is_ok()));
+
+    let mut transitions_seen = 0usize;
+    let mut timed_traces = 0usize;
+    let mut composed_seen = false;
+    let mut deopt_seen = false;
+    for (id, request) in ids.iter().zip(&requests) {
+        let trace = engine.trace(*id).expect("every submission is traced");
+        assert_eq!(trace.id, id.0);
+        assert_eq!(trace.function, request.function);
+        assert!(!trace.expired, "no deadline configured");
+
+        // Lifecycle stamps exist and are monotone on the engine epoch
+        // (microsecond stamps can tie, so <=).
+        let picked_up = trace.picked_up_micros.expect("picked up");
+        let completed = trace.completed_micros.expect("completed");
+        assert!(trace.submitted_micros <= picked_up, "submit before pickup");
+        assert!(picked_up <= completed, "pickup before completion");
+        assert_eq!(
+            trace.queue_wait_micros(),
+            Some(picked_up - trace.submitted_micros)
+        );
+
+        // Transitions are stamped inside the execution window, in order.
+        let mut previous = picked_up;
+        for t in &trace.transitions {
+            assert!(previous <= t.at_micros, "transitions in stamp order");
+            assert!(t.at_micros <= completed, "transition inside lifecycle");
+            assert_ne!(t.from, t.to, "a hop moves between rungs");
+            previous = t.at_micros;
+            transitions_seen += 1;
+            composed_seen |= t.kind == TableKind::Composed;
+            if t.direction == Direction::Backward {
+                deopt_seen = true;
+                assert!(t.deopt.is_some(), "deopts carry their reason");
+            } else {
+                assert!(t.deopt.is_none(), "climbs carry no deopt reason");
+            }
+        }
+        // A tiered frame that hopped also has per-rung time: one entry
+        // per rung visit, starting at the rung the frame entered on.
+        // (Debug-arm executions trace their forced tier-down but carry no
+        // controller timing, so their rung_nanos stays empty.)
+        if !trace.rung_nanos.is_empty() {
+            assert!(
+                trace.rung_nanos.len() > trace.transitions.len(),
+                "n hops imply n+1 rung residencies: {trace}"
+            );
+            assert!(
+                trace.rung_nanos.iter().any(|(_, nanos)| *nanos > 0),
+                "the frame ran somewhere: {trace}"
+            );
+            timed_traces += 1;
+            // The rendered tree carries the whole story.
+            let tree = trace.to_string();
+            assert!(tree.contains("us total"));
+            assert!(tree.contains("queue "));
+            if !trace.transitions.is_empty() {
+                assert!(tree.contains("→"));
+            }
+        }
+    }
+    assert!(transitions_seen >= 2, "the session transitioned");
+    assert!(timed_traces >= 1, "a tiered frame accumulated rung time");
+    assert!(composed_seen, "a composed version-to-version hop was traced");
+    assert!(deopt_seen, "a debugger attach forced a traced deopt");
+
+    // Histogram sanity: counts match the traffic, quantiles are monotone.
+    let metrics = engine.metrics();
+    assert_eq!(metrics.request_latency.count, requests.len() as u64);
+    assert_eq!(metrics.queue_wait.count, requests.len() as u64);
+    assert!(metrics.compile_latency.count >= 2, "both rungs compiled");
+    assert!(
+        metrics.transition_cost.count >= transitions_seen as u64,
+        "every traced hop recorded its cost"
+    );
+    for (name, h) in metrics.histograms() {
+        assert!(
+            h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max,
+            "{name} quantiles not monotone: {h}"
+        );
+    }
+    assert!(
+        metrics.request_latency.p50 > 0,
+        "requests take measurable time: {}",
+        metrics.request_latency
+    );
+
+    // Visits say where frames land; time says where they run.
+    let visits = engine.rung_visit_residency();
+    let time = engine.rung_time_residency();
+    assert!(visits.get(&Tier::BASELINE).copied().unwrap_or(0) > 0);
+    assert!(
+        time.values().sum::<u64>() > 0,
+        "per-rung time accumulated: {time:?}"
+    );
+    assert!(
+        time.len() >= 2,
+        "tiered traffic ran at more than one rung: {time:?}"
+    );
+}
+
+/// Exact sorted-percentile reference for rank-based quantiles.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram quantiles bound the exact sorted-percentile value from
+    /// above, within the documented relative error (`x <= q <= x + x/8`).
+    #[test]
+    fn quantiles_track_the_exact_percentiles(
+        values in proptest::collection::vec(0i64..4_000_000_000, 1..250)
+    ) {
+        let histogram = LogHistogram::new();
+        let mut sorted: Vec<u64> = values.iter().map(|v| *v as u64).collect();
+        for v in &sorted {
+            histogram.record(*v);
+        }
+        sorted.sort_unstable();
+        let snap = histogram.snapshot();
+        prop_assert_eq!(snap.count, sorted.len() as u64);
+        prop_assert_eq!(snap.max, *sorted.last().expect("non-empty"));
+        prop_assert_eq!(snap.sum, sorted.iter().sum::<u64>());
+        for (q, got) in [(0.50, snap.p50), (0.90, snap.p90), (0.99, snap.p99)] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                got >= exact,
+                "p{} = {} under-reports exact {}", (q * 100.0) as u32, got, exact
+            );
+            prop_assert!(
+                got <= exact + exact / SUB_BUCKETS,
+                "p{} = {} exceeds exact {} by more than 1/{}",
+                (q * 100.0) as u32, got, exact, SUB_BUCKETS
+            );
+        }
+        prop_assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.max);
+    }
+
+    /// Small values live in exact buckets: quantiles are not merely
+    /// bounded but equal to the reference.
+    #[test]
+    fn small_value_quantiles_are_exact(
+        values in proptest::collection::vec(0i64..16, 1..100)
+    ) {
+        let histogram = LogHistogram::new();
+        let mut sorted: Vec<u64> = values.iter().map(|v| *v as u64).collect();
+        for v in &sorted {
+            histogram.record(*v);
+        }
+        sorted.sort_unstable();
+        let snap = histogram.snapshot();
+        prop_assert_eq!(snap.p50, exact_quantile(&sorted, 0.50));
+        prop_assert_eq!(snap.p90, exact_quantile(&sorted, 0.90));
+        prop_assert_eq!(snap.p99, exact_quantile(&sorted, 0.99));
+    }
+}
+
+#[test]
+fn histogram_edge_cases() {
+    // Empty: all-zero snapshot.
+    let empty = LogHistogram::new().snapshot();
+    assert_eq!(empty, HistogramSnapshot::default());
+    assert_eq!(empty.mean(), 0);
+
+    // One sample: every quantile is that sample's bucket edge.
+    let one = LogHistogram::new();
+    one.record(777_777);
+    let snap = one.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!((snap.p50, snap.p90), (snap.p99, snap.p99));
+    assert!(snap.p50 >= 777_777 && snap.p50 <= 777_777 + 777_777 / SUB_BUCKETS);
+
+    // Saturating extremes: u64::MAX records without overflow and stays
+    // the max/p99; the zero keeps p50 at the bottom.
+    let extremes = LogHistogram::new();
+    extremes.record(u64::MAX);
+    extremes.record(0);
+    let snap = extremes.snapshot();
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.p99, u64::MAX);
+    assert_eq!(snap.p50, 0);
+}

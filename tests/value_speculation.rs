@@ -108,7 +108,11 @@ fn full_value_speculation_lifecycle() {
     // Warm-up: a stream holding mode=1 stable.  Each request records its
     // arguments into the shared value profile; the later ones climb past
     // the threshold and compile (then enter) the specialized version.
-    let warm: Vec<_> = (0..8)
+    // The stream is long enough that conforming frames are still running
+    // when the background specialized compile lands — with a short stream
+    // the `value_specialized_tier_ups` assertion below raced the compile
+    // worker and flaked.
+    let warm: Vec<_> = (0..16)
         .map(|k| {
             session.submit(Request::tiered(
                 "mode_blend",
@@ -324,6 +328,10 @@ fn disabled_value_speculation_never_specializes() {
             ..EnginePolicy::default()
         },
     );
+    // Prewarm so the generic climb does not race the single compile
+    // worker against this short request stream (the `tier_ups >= 1`
+    // assertion below was flaky without it).
+    engine.prewarm("mode_blend").expect("kernel exists");
     let requests: Vec<Request> = (0..8)
         .map(|k| Request::tiered("mode_blend", vec![Val::Int(1), Val::Int(400 + k)]))
         .collect();
