@@ -26,19 +26,40 @@ use crate::json::Json;
 /// Schema tag the gate accepts.
 pub const SCHEMA: &str = "bench-engine-v1";
 
+/// Measurements of the machine-rung (O4) acceptance session: a warm and
+/// a cold session over the default machine-topped graph, the same
+/// session timed against an O3-topped engine for the speedup ratio, and
+/// the O4 engine's per-rung residency.
+#[derive(Clone, Debug)]
+pub struct O4Session {
+    /// Wall-clock of one warm session on the machine-topped graph.
+    pub warm_session_micros: u64,
+    /// Wall-clock of one cold session (fresh engine, empty cache).
+    pub cold_session_micros: u64,
+    /// `o3_warm_micros * 1000 / o4_warm_micros` — the warm O4-vs-O3
+    /// session speedup in permille (1000 = parity, larger = O4 faster).
+    pub speedup_vs_o3_permille: u64,
+    /// [`engine::Engine::rung_visit_residency`] of the O4 engine.
+    pub visit_residency: BTreeMap<Tier, u64>,
+    /// [`engine::Engine::rung_time_residency`] of the O4 engine (nanos).
+    pub time_residency_nanos: BTreeMap<Tier, u64>,
+}
+
 /// Builds the `BENCH_engine.json` document.
 ///
 /// `warm_session_micros` / `cold_session_micros` are the measured
 /// wall-clock latencies of one full warm (prewarmed engine, warmed cache)
 /// and cold (fresh engine, empty cache) session over the acceptance
 /// traffic.  `time_residency_nanos` is [`engine::Engine::rung_time_residency`]
-/// output; it is converted to microseconds in the report.
+/// output; it is converted to microseconds in the report.  `o4` carries
+/// the machine-rung session block (see [`O4Session`]).
 pub fn report(
     warm_session_micros: u64,
     cold_session_micros: u64,
     metrics: &MetricsSnapshot,
     visit_residency: &BTreeMap<Tier, u64>,
     time_residency_nanos: &BTreeMap<Tier, u64>,
+    o4: &O4Session,
 ) -> Json {
     let rung_map = |m: &BTreeMap<Tier, u64>, scale: u64| {
         Json::Obj(
@@ -90,6 +111,22 @@ pub fn report(
                 .collect(),
         ),
     ));
+    doc.push((
+        "o4_session".to_string(),
+        Json::obj([
+            ("warm_session_micros", Json::Num(o4.warm_session_micros)),
+            ("cold_session_micros", Json::Num(o4.cold_session_micros)),
+            (
+                "speedup_vs_o3_permille",
+                Json::Num(o4.speedup_vs_o3_permille),
+            ),
+            ("rung_visit_residency", rung_map(&o4.visit_residency, 1)),
+            (
+                "rung_time_micros",
+                rung_map(&o4.time_residency_nanos, 1_000),
+            ),
+        ]),
+    ));
     Json::Obj(doc)
 }
 
@@ -135,6 +172,13 @@ pub fn required_fields() -> Vec<String> {
         "cache_misses",
     ] {
         fields.push(format!("speculation.{counter}"));
+    }
+    for field in [
+        "warm_session_micros",
+        "cold_session_micros",
+        "speedup_vs_o3_permille",
+    ] {
+        fields.push(format!("o4_session.{field}"));
     }
     fields
 }
@@ -194,10 +238,62 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         }
     }
 
-    for field in ["warm_session_micros", "cold_session_micros"] {
+    for field in [
+        "warm_session_micros",
+        "cold_session_micros",
+        "o4_session.warm_session_micros",
+        "o4_session.cold_session_micros",
+    ] {
         if doc.num_at(field) == Some(0) {
             errors.push(format!("{field} is zero — the session was not measured"));
         }
+    }
+
+    // The machine-rung session block: O4 must exist in both residency
+    // maps, hold the time-residency plurality (frames *run* mostly in
+    // registers even if they *land* mostly below), and the O4-vs-O3
+    // speedup must be a measured, non-zero ratio.
+    match doc.get_path("o4_session.rung_time_micros") {
+        Some(Json::Obj(pairs)) if !pairs.is_empty() => {
+            let at = |k: &str| {
+                pairs.iter().find_map(|(name, v)| match v {
+                    Json::Num(n) if name == k => Some(*n),
+                    _ => None,
+                })
+            };
+            match at("O4") {
+                Some(o4_micros) => {
+                    if let Some((rung, micros)) = pairs
+                        .iter()
+                        .filter_map(|(name, v)| match v {
+                            Json::Num(n) if name != "O4" => Some((name.clone(), *n)),
+                            _ => None,
+                        })
+                        .find(|(_, micros)| *micros > o4_micros)
+                    {
+                        errors.push(format!(
+                            "o4_session: machine rung lost the time-residency \
+                             plurality (O4={o4_micros}us < {rung}={micros}us)"
+                        ));
+                    }
+                }
+                None => {
+                    errors.push("o4_session.rung_time_micros lacks the O4 machine rung".to_string())
+                }
+            }
+        }
+        _ => errors.push("o4_session.rung_time_micros missing or empty".to_string()),
+    }
+    match doc.get_path("o4_session.rung_visit_residency") {
+        Some(Json::Obj(pairs))
+            if pairs
+                .iter()
+                .any(|(k, v)| k == "O4" && matches!(v, Json::Num(n) if *n > 0)) => {}
+        _ => errors
+            .push("o4_session.rung_visit_residency: no frames visited the O4 rung".to_string()),
+    }
+    if doc.num_at("o4_session.speedup_vs_o3_permille") == Some(0) {
+        errors.push("o4_session.speedup_vs_o3_permille is zero — not measured".to_string());
     }
 
     // The tier-1 invariants the acceptance tests assert from live
@@ -280,6 +376,20 @@ mod tests {
         }
     }
 
+    fn sample_o4_session() -> O4Session {
+        O4Session {
+            warm_session_micros: 120_000,
+            cold_session_micros: 800_000,
+            speedup_vs_o3_permille: 1_250,
+            visit_residency: BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(3), 4), (Tier(4), 5)]),
+            time_residency_nanos: BTreeMap::from([
+                (Tier::BASELINE, 700_000u64),
+                (Tier(3), 1_100_000),
+                (Tier(4), 3_600_000),
+            ]),
+        }
+    }
+
     fn sample_report() -> Json {
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
         let nanos = BTreeMap::from([
@@ -287,7 +397,14 @@ mod tests {
             (Tier(1), 1_900_000),
             (Tier(2), 2_400_000),
         ]);
-        report(150_000, 900_000, &sample_snapshot(), &visits, &nanos)
+        report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &nanos,
+            &sample_o4_session(),
+        )
     }
 
     #[test]
@@ -299,6 +416,14 @@ mod tests {
         assert_eq!(reparsed.num_at("rung_time_micros.O1"), Some(1_900));
         assert_eq!(reparsed.num_at("rung_visit_residency.O0"), Some(41));
         assert_eq!(reparsed.num_at("speculation.requests"), Some(41));
+        assert_eq!(
+            reparsed.num_at("o4_session.speedup_vs_o3_permille"),
+            Some(1_250)
+        );
+        assert_eq!(
+            reparsed.num_at("o4_session.rung_time_micros.O4"),
+            Some(3_600)
+        );
     }
 
     #[test]
@@ -318,10 +443,39 @@ mod tests {
         snapshot.composed_tier_ups = 0;
         snapshot.deopts = 0;
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(1, 1, &snapshot, &visits, &visits);
+        let doc = report(1, 1, &snapshot, &visits, &visits, &sample_o4_session());
         let errors = validate(&doc).expect_err("invariants regressed");
         assert!(errors.iter().any(|e| e.contains("composed_tier_ups")));
         assert!(errors.iter().any(|e| e.contains("deopts")));
+    }
+
+    #[test]
+    fn o4_session_must_keep_the_time_residency_plurality() {
+        let mut o4 = sample_o4_session();
+        // The SSA rung below outruns the machine rung: a regression.
+        o4.time_residency_nanos.insert(Tier(3), 9_000_000);
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(150_000, 900_000, &sample_snapshot(), &visits, &visits, &o4);
+        let errors = validate(&doc).expect_err("plurality lost");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("time-residency") && e.contains("O3")));
+    }
+
+    #[test]
+    fn o4_session_without_machine_rung_traffic_fails() {
+        let mut o4 = sample_o4_session();
+        o4.visit_residency.remove(&Tier(4));
+        o4.time_residency_nanos.remove(&Tier(4));
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(150_000, 900_000, &sample_snapshot(), &visits, &visits, &o4);
+        let errors = validate(&doc).expect_err("no O4 traffic");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("rung_time_micros lacks the O4")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("no frames visited the O4 rung")));
     }
 
     #[test]
@@ -349,6 +503,9 @@ mod tests {
             .iter()
             .any(|e| e.contains("speculation.deopts missing")));
         assert!(errors.iter().any(|e| e.contains("rung_time_micros")));
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("o4_session.speedup_vs_o3_permille missing")));
     }
 
     #[test]
@@ -356,7 +513,7 @@ mod tests {
         let mut snapshot = sample_snapshot();
         snapshot.request_latency = HistogramSnapshot::default();
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(1, 1, &snapshot, &visits, &visits);
+        let doc = report(1, 1, &snapshot, &visits, &visits, &sample_o4_session());
         let errors = validate(&doc).expect_err("no observations");
         assert!(errors
             .iter()

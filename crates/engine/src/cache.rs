@@ -50,6 +50,14 @@ pub enum PipelineSpec {
     /// standard passes plus a second SCCP + sinking round — the top rung
     /// of the default transition graph, hardest to OSR out of.
     O3,
+    /// The machine rung: the same aggressive mix as
+    /// [`PipelineSpec::O3`], but *executed on the register-allocated
+    /// machine substrate* — the optimized SSA is lowered to linear
+    /// micro-IR ([`ssair::machine`]), colored onto a fixed register
+    /// file, and dispatched without per-value hashing.  All OSR entry
+    /// tables are the SSA tables unchanged; the artifact's location
+    /// maps bridge registers and SSA values at every lowered point.
+    O4,
     /// A named custom pass list (see [`PipelineSpec::custom`]).
     Custom {
         /// Stable display name (used in metrics and cache keys).
@@ -81,7 +89,7 @@ impl PipelineSpec {
         match self {
             PipelineSpec::O1 => Pipeline::light_keeping(keep),
             PipelineSpec::O2 => Pipeline::standard_keeping(keep.clone()),
-            PipelineSpec::O3 => Pipeline::aggressive_keeping(keep),
+            PipelineSpec::O3 | PipelineSpec::O4 => Pipeline::aggressive_keeping(keep),
             PipelineSpec::Custom { passes, .. } => Pipeline::from_ids_keeping(passes, keep),
         }
     }
@@ -92,6 +100,7 @@ impl PipelineSpec {
             PipelineSpec::O1 => "O1",
             PipelineSpec::O2 => "O2",
             PipelineSpec::O3 => "O3",
+            PipelineSpec::O4 => "O4",
             PipelineSpec::Custom { name, .. } => name,
         }
     }
@@ -266,6 +275,13 @@ pub struct CompiledVersion {
     pub extension_rounds: usize,
     /// Wall-clock compile + precompute latency.
     pub compile_nanos: u64,
+    /// The register-allocated machine artifact backing `opt` when this
+    /// rung executes on the machine substrate ([`PipelineSpec::O4`]);
+    /// `None` for SSA-interpreted rungs.  The artifact's shadow roots
+    /// are the backward table's transfer sources plus the keep set, so
+    /// a deopt out of registers can always rebuild the SSA environment
+    /// the validated tables read.
+    pub machine: Option<Arc<ssair::machine::MachineArtifact>>,
 }
 
 /// Why a compiled version (or composed table) was rejected from the cache.
@@ -392,6 +408,16 @@ pub fn compile_speculated(
         }
         validate_table(&tier_up, &versions.base, &versions.opt)?;
         validate_table(&tier_down, &versions.opt, &versions.base)?;
+        let machine = if matches!(spec, PipelineSpec::O4) {
+            Some(Arc::new(lower_machine(
+                &versions.opt,
+                &tier_down,
+                &keep,
+                speculation,
+            )?))
+        } else {
+            None
+        };
         let opt = Arc::new(versions.opt.clone());
         let base = Arc::new(versions.base.clone());
         return Ok(CompiledVersion {
@@ -406,8 +432,75 @@ pub fn compile_speculated(
             keep: keep.len(),
             extension_rounds: rounds,
             compile_nanos: t0.elapsed().as_nanos() as u64,
+            machine,
         });
     }
+}
+
+/// Lowers the optimized version onto the register-allocated machine
+/// substrate and differentially validates the artifact before it may
+/// ship inside a [`CompiledVersion`].
+///
+/// The shadow-root set — SSA values the artifact must keep reachable in
+/// spill slots after their registers die — is the union of the backward
+/// (deopt) table's transfer sources and the §5.2 keep set: exactly the
+/// state a deopt out of registers reads when rebuilding the SSA
+/// environment the validated entry tables consume.
+///
+/// Validation replays the machine entry-to-return against the SSA
+/// interpreter on small deterministic arguments (speculated slots
+/// pinned).  Functions whose reference run needs other functions are
+/// skipped here — no module is in scope at compile time — and are
+/// covered instead by the engine's tier-level differential replay of
+/// every table that routes through the rung.
+fn lower_machine(
+    opt: &Function,
+    tier_down: &EntryTable,
+    keep: &std::collections::BTreeSet<ValueId>,
+    pin: &Speculation,
+) -> Result<ssair::machine::MachineArtifact, CompileError> {
+    let mut roots: std::collections::BTreeSet<ValueId> = keep.clone();
+    for (_, entry) in tier_down.entries.values() {
+        for step in &entry.comp.steps {
+            if let CompStep::Transfer { src, .. } = step {
+                roots.insert(*src);
+            }
+        }
+    }
+    let art = ssair::machine::lower_function(opt, &roots);
+    const FUEL: usize = 2_000_000;
+    let empty = Module::new();
+    for k in [2i64, 3, 5] {
+        let args: Vec<Val> = (0..opt.params.len())
+            .map(|i| {
+                let seeded = pin.seeds().iter().find(|(slot, _)| *slot == i);
+                Val::Int(seeded.map_or(k + i as i64, |(_, v)| *v))
+            })
+            .collect();
+        let Ok(expected) = run_function(opt, &args, &empty, FUEL) else {
+            continue; // needs a module (calls) or faults: not comparable here
+        };
+        let mut machine = Machine::new(FUEL);
+        let mut frame = art.enter_args(&args);
+        match art.run_machine(art.entry_pc, &mut frame, &mut machine, &empty) {
+            Ok(got) if got == expected => {}
+            Ok(got) => {
+                return Err(CompileError::Divergence {
+                    at: art.pc_of.keys().next().copied().unwrap_or(InstId(0)),
+                    reason: format!(
+                        "machine lowering: args {args:?}: got {got:?}, expected {expected:?}"
+                    ),
+                })
+            }
+            Err(e) => {
+                return Err(CompileError::Divergence {
+                    at: art.pc_of.keys().next().copied().unwrap_or(InstId(0)),
+                    reason: format!("machine lowering: args {args:?}: execution failed: {e}"),
+                })
+            }
+        }
+    }
+    Ok(art)
 }
 
 /// Structural validation of a precomputed entry table: every step of every

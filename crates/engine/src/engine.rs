@@ -67,6 +67,17 @@ impl EnginePolicy {
         }
     }
 
+    /// The machine-topped `O0 → O1 → O2 → O3 → O4` chain with explicit
+    /// thresholds.
+    pub fn four_tier(o1_after: u64, o2_after: u64, o3_after: u64, o4_after: u64) -> Self {
+        EnginePolicy {
+            tiers: Arc::new(LadderPolicy::four_tier(
+                o1_after, o2_after, o3_after, o4_after,
+            )),
+            ..EnginePolicy::default()
+        }
+    }
+
     /// A single-rung ladder (the pre-ladder engine behaviour).
     pub fn single_tier(spec: PipelineSpec, after: u64) -> Self {
         EnginePolicy {
@@ -316,12 +327,16 @@ impl Engine {
     }
 
     /// Synchronously compiles every rung of `function`'s transition graph
-    /// and builds (and validates) the composed tables along the whole
-    /// rung chain — adjacent hops plus every chained prefix
-    /// (`O1 → O2`, `O2 → O3`, `O1 → O3`, …; each prefix one Theorem 3.4
-    /// fold over the previous, memoized individually) — so subsequent
-    /// traffic climbs the whole graph without waiting on background
-    /// compiles: how a service warms its cache before taking load.
+    /// — including the machine rung's register-allocated artifact when
+    /// the graph tops out at [`PipelineSpec::O4`] — and builds (and
+    /// validates) the composed tables along *every* rung-chain suffix:
+    /// adjacent hops plus every chained prefix from every starting rung
+    /// (`O1 → O2`, `O1 → O3`, `O2 → O4`, …; each one Theorem 3.4 fold
+    /// over the previous, memoized individually).  Subsequent traffic
+    /// therefore climbs the whole graph — from whichever rung it
+    /// currently runs — without waiting on background compiles or
+    /// first-hop composition: how a service warms its cache before
+    /// taking load.
     ///
     /// # Errors
     ///
@@ -349,7 +364,13 @@ impl Engine {
                     .ensure_compiled(&CacheKey::new(function, spec), base)
             })
             .collect();
-        self.core.composed_chain(function, &rungs);
+        // Every suffix of the chain, so a frame sitting at any rung has
+        // its straight-to-top table ready (O1→O4, O2→O4, O3→O4, …).
+        // Later suffixes re-fold only memoized tables, so this is one
+        // build per distinct (from, to) pair, not a quadratic recompose.
+        for j in 0..rungs.len() {
+            self.core.composed_chain(function, &rungs[j..]);
+        }
         Ok(())
     }
 
@@ -481,6 +502,7 @@ impl EngineCore {
                         to: Tier::BASELINE,
                         composed: false,
                         speculated: false,
+                        machine: false,
                         guard_entry: false,
                         deopt: Some(DeoptReason::DebuggerAttach),
                         reclimb: false,
@@ -520,6 +542,8 @@ impl EngineCore {
                 direction: event.direction,
                 kind: if label.speculated {
                     TableKind::ValueSpecialized
+                } else if label.machine {
+                    TableKind::Machine
                 } else if label.composed {
                     TableKind::Composed
                 } else {
@@ -719,6 +743,9 @@ struct HopLabel {
     composed: bool,
     /// Whether the version entered is value-specialized (constant-seeded).
     speculated: bool,
+    /// Whether the version entered executes on the register-allocated
+    /// machine substrate (the O4 rung).
+    machine: bool,
     /// Whether this forward hop is a deliberate *guard entry* — a
     /// violating frame hopping in only so its value guard can fire at
     /// the landing.  Guard entries are not counted as successful
@@ -1068,6 +1095,7 @@ impl<'e> EngineController<'e> {
             if let Some(tcv) = self.core.cache.get(&CacheKey::new(self.function, spec)) {
                 if let Ok(table) = self.core.composed_table(self.function, &cur, &tcv) {
                     let target = Arc::clone(&tcv.opt);
+                    let machine = tcv.machine.clone();
                     self.pending = Some(PendingHop {
                         to,
                         artifact: Some(tcv),
@@ -1083,6 +1111,7 @@ impl<'e> EngineController<'e> {
                         rung: to,
                         pinned: self.pinned.clone(),
                         mandatory: false,
+                        machine,
                     });
                 }
             }
@@ -1103,6 +1132,7 @@ impl<'e> EngineController<'e> {
             rung: Tier::BASELINE,
             pinned: self.pinned.clone(),
             mandatory: false,
+            machine: None,
         })
     }
 
@@ -1200,6 +1230,7 @@ impl<'e> EngineController<'e> {
                 rung: next,
                 pinned: escape_pinned,
                 mandatory: true,
+                machine: gcv.machine.clone(),
             },
             to: next,
             artifact: Some(gcv),
@@ -1212,6 +1243,7 @@ impl<'e> EngineController<'e> {
             },
         });
         let target = Arc::clone(&spec_cv.opt);
+        let machine = spec_cv.machine.clone();
         self.pending = Some(PendingHop {
             to: next,
             artifact: Some(spec_cv),
@@ -1227,6 +1259,7 @@ impl<'e> EngineController<'e> {
             rung: next,
             pinned: self.pinned.clone(),
             mandatory: false,
+            machine,
         })
     }
 }
@@ -1323,6 +1356,7 @@ impl TierController for EngineController<'_> {
                         }
                     }
                 };
+                let machine = cv.machine.clone();
                 self.pending = Some(PendingHop {
                     to: next,
                     artifact: Some(cv),
@@ -1338,6 +1372,7 @@ impl TierController for EngineController<'_> {
                     rung: next,
                     pinned: self.pinned.clone(),
                     mandatory: false,
+                    machine,
                 })
             }
             None => {
@@ -1440,6 +1475,7 @@ impl TierController for EngineController<'_> {
             to: hop.to,
             composed: hop.composed,
             speculated: hop.speculated,
+            machine: hop.artifact.as_ref().is_some_and(|a| a.machine.is_some()),
             guard_entry: hop.guard_entry,
             deopt: hop.deopt.clone(),
             reclimb: self.deopted && hop.to > self.tier,

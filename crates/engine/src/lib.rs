@@ -20,9 +20,9 @@
 //!                                       └───────▲──────────────────────────┘      │
 //!                                               │ publish (republish ⇒            ▼
 //!                 transition graph (TierGraph)  │  composed invalidation)  compile workers
-//!            O0 ──direct──► O1 ──composed──► O2 ──composed──► O3    (background, §5.2
-//!            ▲               ▲◄─ adaptive one-rung deopt ─────┘   keep-set recompiles)
-//!            └◄──────── full deopt + debug deopt ◄────────────┘
+//!      O0 ──direct──► O1 ──composed──► O2 ──composed──► O3 ──composed──► O4 (machine)
+//!      ▲               ▲◄────── adaptive one-rung deopt ─────┴───────────┘ (background,
+//!      └◄──────── full deopt + debug deopt ◄──────────┘        §5.2 keep-set recompiles)
 //!                           └──── CodeCache ◄───────┘
 //!          (8 hash shards: per-rung FunctionVersions + validated entry
 //!           tables + chained composed tables for arbitrary rung pairs)
@@ -33,10 +33,12 @@
 //! A [`TierPolicy`] exposes a [`TierGraph`] — N pipeline rungs above the
 //! baseline interpreter plus the allowed up/down edges between them, each
 //! up edge gated by its own hotness threshold.  The default graph is the
-//! chain `O0 → O1 → O2 → O3` ([`PipelineSpec::O1`] light CSE+DCE,
+//! chain `O0 → O1 → O2 → O3 → O4` ([`PipelineSpec::O1`] light CSE+DCE,
 //! [`PipelineSpec::O2`] the §5.4 standard mix, [`PipelineSpec::O3`] the
-//! aggressive mix with a second SCCP + sinking round), with down edges
-//! `k → k-1` and `k → 0` out of every optimized rung.  Visits of a
+//! aggressive mix with a second SCCP + sinking round,
+//! [`PipelineSpec::O4`] the same SSA mix executed on the
+//! register-allocated machine substrate — see the next section), with
+//! down edges `k → k-1` and `k → 0` out of every optimized rung.  Visits of a
 //! version's loop-header OSR points accumulate in shared
 //! per-`(function, tier)` counters ([`ProfileTable`]); when the counter
 //! of the rung a frame currently runs crosses its (adapted — see below)
@@ -71,6 +73,39 @@
 //! tiers down to the baseline through the precomputed backward table at
 //! the first instrumented visit, where every source variable is
 //! inspectable.
+//!
+//! # The machine rung (O4)
+//!
+//! The top rung of the default graph changes the *execution substrate*,
+//! not the SSA program: an O4 compile runs the same aggressive pipeline
+//! as O3, precomputes and validates the same entry tables, and then
+//! additionally lowers the optimized function to a linear micro-IR
+//! ([`ssair::machine`]) — branches and jumps over flat program counters,
+//! operands register-allocated by liveness/interference coloring onto a
+//! sixteen-register file ([`ssair::machine::NUM_REGS`]) with overflow in
+//! numbered spill slots, φ-nodes resolved into parallel edge copies.
+//! Frames that climb into O4 execute in a dedicated dispatch loop over
+//! the register file instead of the SSA interpreter.
+//!
+//! OSR in and out of registers is bridged by the artifact's *location
+//! maps* ([`ssair::machine::LocationMap`]): every instrumented SSA point
+//! keeps a bidirectional mapping between live SSA values and the
+//! register/slot each lives in at that program counter.  Climbing in
+//! takes the ordinary (direct or composed) SSA table to the landing
+//! environment and then *scatters* it into registers; deopting out —
+//! guard failure, debugger attach, value-guard escape — *gathers* the
+//! registers back into an SSA environment and leaves through the same
+//! validated tables every SSA rung uses.  Values the register allocator
+//! rematerializes or spills are read from their *shadow slots*
+//! (write-through copies maintained for every OSR-visible value), so
+//! Algorithm 1's compensation steps see exactly the environment they
+//! were validated against: deopt-from-registers is no weaker than
+//! deopt-from-SSA.  Each O4 compile is additionally differentially
+//! validated at build time — the micro-IR artifact is executed against
+//! the SSA interpreter on sampled arguments and rejected on any
+//! divergence ([`cache::CompileError::Divergence`]).  In the event
+//! stream and request traces, hops landing in O4 carry
+//! [`TableKind::Machine`].
 //!
 //! # The speculation lifecycle (guard → deopt → re-climb → demotion)
 //!
@@ -228,8 +263,9 @@
 //!
 //! **Per-request lifecycle traces.**  Every submitted request is traced
 //! through submit → worker pickup (the queue wait) → each OSR transition
-//! (source/destination rung, table kind — direct, composed, or
-//! value-specialized — climb/deopt/re-climb, per-hop cost) → completion,
+//! (source/destination rung, table kind — direct, composed,
+//! value-specialized, or machine — climb/deopt/re-climb, per-hop cost) →
+//! completion,
 //! as a [`RequestTrace`] queryable from [`EngineHandle::trace`] (or
 //! [`Engine::trace`]) and rendered as a human-readable tree by its
 //! `Display` impl (see `examples/engine_trace.rs`).  Timestamps within a
@@ -267,12 +303,16 @@
 //! `request_latency_micros` / `queue_wait_micros` /
 //! `compile_latency_micros` / `transition_cost_nanos` (objects with
 //! `count`/`p50`/`p90`/`p99`/`max`), `rung_visit_residency` and
-//! `rung_time_micros` (per-rung maps keyed `"O0"`, `"O1"`, …), and
-//! `speculation` (the full counter set of [`metrics::MetricsSnapshot`]).
+//! `rung_time_micros` (per-rung maps keyed `"O0"`, `"O1"`, …),
+//! `speculation` (the full counter set of [`metrics::MetricsSnapshot`]),
+//! and `o4_session` (the machine-rung acceptance session: its own
+//! warm/cold wall-clock, the measured warm O4-vs-O3 session speedup in
+//! permille, and the O4 engine's per-rung residency maps).
 //! CI regenerates the file and `cargo run -p bench --bin bench_gate`
 //! fails the build when required fields are missing, quantiles are not
-//! monotone (`p50 ≤ p90 ≤ p99`), or the tier-1 invariants (≥ 1 composed
-//! tier-up, ≥ 1 deopt) regress.
+//! monotone (`p50 ≤ p90 ≤ p99`), the tier-1 invariants (≥ 1 composed
+//! tier-up, ≥ 1 deopt) regress, or the machine rung loses the plurality
+//! of `o4_session` execution time.
 //!
 //! Beyond timing, every transition (with its tier pair and whether it was
 //! composed), compile, composed-table build and rejection is recorded as

@@ -360,13 +360,25 @@ impl LadderPolicy {
         self
     }
 
-    /// The default graph: the full `O0 → O1 → O2 → O3` chain with the
-    /// default thresholds.
+    /// The full SSA chain `O0 → O1 → O2 → O3` (the pre-machine default
+    /// graph).
     pub fn three_tier(o1_after: u64, o2_after: u64, o3_after: u64) -> Self {
         LadderPolicy::new(vec![
             (PipelineSpec::O1, o1_after),
             (PipelineSpec::O2, o2_after),
             (PipelineSpec::O3, o3_after),
+        ])
+    }
+
+    /// The default graph: the `O0 → O1 → O2 → O3 → O4` chain ending at
+    /// the register-allocated machine rung ([`PipelineSpec::O4`]) with
+    /// the default thresholds.
+    pub fn four_tier(o1_after: u64, o2_after: u64, o3_after: u64, o4_after: u64) -> Self {
+        LadderPolicy::new(vec![
+            (PipelineSpec::O1, o1_after),
+            (PipelineSpec::O2, o2_after),
+            (PipelineSpec::O3, o3_after),
+            (PipelineSpec::O4, o4_after),
         ])
     }
 
@@ -387,9 +399,10 @@ impl LadderPolicy {
 }
 
 impl Default for LadderPolicy {
-    /// The default transition graph: `O0 → O1 → O2 → O3`.
+    /// The default transition graph: `O0 → O1 → O2 → O3 → O4`, topped
+    /// by the register-allocated machine rung.
     fn default() -> Self {
-        LadderPolicy::three_tier(32, 96, 224)
+        LadderPolicy::four_tier(32, 96, 224, 448)
     }
 }
 
@@ -444,14 +457,19 @@ mod tests {
     }
 
     #[test]
-    fn default_graph_is_the_three_rung_chain() {
+    fn default_graph_is_the_machine_topped_chain() {
         let p = LadderPolicy::default();
-        assert_eq!(p.top(), Tier(3));
+        assert_eq!(p.top(), Tier(4));
         assert_eq!(
             p.ladder(),
-            &[PipelineSpec::O1, PipelineSpec::O2, PipelineSpec::O3]
+            &[
+                PipelineSpec::O1,
+                PipelineSpec::O2,
+                PipelineSpec::O3,
+                PipelineSpec::O4
+            ]
         );
-        assert_eq!(p.next_tier(Tier(2)), Some(Tier(3)));
+        assert_eq!(p.next_tier(Tier(3)), Some(Tier(4)));
     }
 
     #[test]

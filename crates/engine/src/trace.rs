@@ -34,6 +34,11 @@ pub enum TableKind {
     /// artifact — reached via a direct or composed table, but the
     /// speculation is the defining property of the hop.
     ValueSpecialized,
+    /// The version entered executes on the register-allocated machine
+    /// substrate (the O4 rung) — the hop's table is a direct or composed
+    /// SSA table, and the landing additionally enters the artifact's
+    /// register file through its location maps.
+    Machine,
 }
 
 impl fmt::Display for TableKind {
@@ -42,6 +47,7 @@ impl fmt::Display for TableKind {
             TableKind::Direct => write!(f, "direct"),
             TableKind::Composed => write!(f, "composed"),
             TableKind::ValueSpecialized => write!(f, "value-specialized"),
+            TableKind::Machine => write!(f, "machine"),
         }
     }
 }

@@ -102,7 +102,7 @@ impl Machine {
         Val::Ptr(self.allocs.len() - 1, 0)
     }
 
-    fn load(&self, p: Val) -> Result<i64, ExecError> {
+    pub(crate) fn load(&self, p: Val) -> Result<i64, ExecError> {
         let Val::Ptr(a, o) = p else {
             return Err(ExecError::TypeError);
         };
@@ -113,7 +113,7 @@ impl Machine {
             .ok_or(ExecError::OutOfBounds)
     }
 
-    fn store(&mut self, p: Val, v: i64) -> Result<(), ExecError> {
+    pub(crate) fn store(&mut self, p: Val, v: i64) -> Result<(), ExecError> {
         let Val::Ptr(a, o) = p else {
             return Err(ExecError::TypeError);
         };

@@ -43,6 +43,7 @@ pub mod interp;
 mod ir;
 pub mod liveness;
 pub mod loops;
+pub mod machine;
 pub mod mem2reg;
 pub mod passes;
 pub mod reconstruct;

@@ -68,16 +68,13 @@ impl Liveness {
             for &b in blocks.iter().rev() {
                 let mut out: BTreeSet<ValueId> = phi_out.get(&b).cloned().unwrap_or_default();
                 for &s in cfg.succs_of(b) {
+                    // live_in(s) never contains s's own φ results (they are
+                    // block defs, and uses are upward-exposed only), so the
+                    // union cannot smuggle them in.  Crucially, a φ result
+                    // of s that is *also* a φ operand over this edge (a
+                    // φ-swap) stays live-out of b via phi_out — its old
+                    // value is read on the edge.
                     out.extend(live_in[&s].iter().copied());
-                    // φ values defined in s are not live-in of s via this
-                    // edge; their operands were handled by phi_out.
-                    for &i in &f.block(s).insts {
-                        if let Some(r) = f.inst(i).result {
-                            if f.inst(i).kind.is_phi() {
-                                out.remove(&r);
-                            }
-                        }
-                    }
                 }
                 let mut inn = uses[&b].clone();
                 inn.extend(out.difference(&defs[&b]).copied());

@@ -1,0 +1,182 @@
+//! The machine dispatch loop: direct-indexed execution of the linear
+//! micro-IR.
+//!
+//! Each [`MInst`] costs one unit of fuel, reads its operands straight out
+//! of the frame's register/slot vectors, and advances a plain `usize` pc —
+//! no `ValueId → Val` hashing anywhere.  Semantics mirror the SSA
+//! interpreter instruction for instruction (same wrapping arithmetic, same
+//! pointer/integer checking, same shared memory arena); calls recurse into
+//! the SSA interpreter for the callee so cross-function behavior, fuel
+//! accounting inside callees, and the allocation arena are shared with
+//! every other tier.
+//!
+//! The loop is deliberately *not* instrumented here: [`exec_inst`] executes
+//! exactly one micro-instruction and reports whether it crossed a CFG edge
+//! ([`MachineStep::Jumped`]), which is what the runtime's tiered loop hooks
+//! its edge observer and hotness profiler onto.  [`run_machine`] is the
+//! uninstrumented run-to-completion used for differential validation of
+//! register-level entry tables.
+//!
+//! [`exec_inst`]: MachineArtifact::exec_inst
+
+use crate::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
+use crate::ir::{BlockId, Module};
+
+use super::{MInst, MachineArtifact, MachineFrame};
+
+/// What one micro-instruction did to control flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineStep {
+    /// Fell through to `pc + 1`.
+    Next,
+    /// Crossed CFG edge `from → to`, landing at `pc` — the runtime's cue
+    /// to update its notion of the current block and feed the edge
+    /// observer.
+    Jumped {
+        /// Source block of the edge.
+        from: BlockId,
+        /// Destination block of the edge.
+        to: BlockId,
+        /// The pc jumped to.
+        pc: usize,
+    },
+    /// Transferred to an edge trampoline at `pc`.  Not an edge crossing
+    /// yet — the trampoline's trailing [`MInst::Jump`] reports the edge.
+    Branched(usize),
+    /// The function returned.
+    Returned(Option<Val>),
+}
+
+fn int(v: Val) -> Result<i64, ExecError> {
+    match v {
+        Val::Int(n) => Ok(n),
+        Val::Ptr(..) => Err(ExecError::TypeError),
+    }
+}
+
+impl MachineArtifact {
+    /// Executes the micro-instruction at `pc`, spending one unit of fuel.
+    ///
+    /// # Errors
+    ///
+    /// The same failures as the SSA interpreter: fuel exhaustion, memory
+    /// errors, pointer/integer confusion, unknown callees.
+    pub fn exec_inst(
+        &self,
+        pc: usize,
+        frame: &mut MachineFrame,
+        machine: &mut Machine,
+        module: &Module,
+    ) -> Result<MachineStep, ExecError> {
+        if machine.fuel == 0 {
+            return Err(ExecError::OutOfFuel);
+        }
+        machine.fuel -= 1;
+        match &self.code[pc] {
+            MInst::Const { dst, value } => frame.write(*dst, Val::Int(*value)),
+            MInst::Bin { op, dst, a, b } => {
+                let r = op.apply(int(frame.read(*a))?, int(frame.read(*b))?);
+                frame.write(*dst, Val::Int(r));
+            }
+            MInst::Neg { dst, src } => {
+                let r = int(frame.read(*src))?.wrapping_neg();
+                frame.write(*dst, Val::Int(r));
+            }
+            MInst::Not { dst, src } => {
+                let r = i64::from(int(frame.read(*src))? == 0);
+                frame.write(*dst, Val::Int(r));
+            }
+            MInst::Select {
+                dst,
+                cond,
+                then_v,
+                else_v,
+            } => {
+                let c = int(frame.read(*cond))?;
+                let v = frame.read(if c != 0 { *then_v } else { *else_v });
+                frame.write(*dst, v);
+            }
+            MInst::Copy { dst, src } => {
+                let v = frame.read(*src);
+                frame.write(*dst, v);
+            }
+            MInst::Alloca { dst, size } => {
+                let p = machine.alloc(*size);
+                frame.write(*dst, p);
+            }
+            MInst::Load { dst, addr } => {
+                let v = machine.load(frame.read(*addr))?;
+                frame.write(*dst, Val::Int(v));
+            }
+            MInst::Store { addr, value } => {
+                let v = int(frame.read(*value))?;
+                machine.store(frame.read(*addr), v)?;
+            }
+            MInst::Gep { dst, base, index } => {
+                let Val::Ptr(a, o) = frame.read(*base) else {
+                    return Err(ExecError::TypeError);
+                };
+                let i = int(frame.read(*index))?;
+                frame.write(*dst, Val::Ptr(a, o + i));
+            }
+            MInst::Call { dst, callee, args } => {
+                let callee_fn = module
+                    .get(callee)
+                    .ok_or_else(|| ExecError::UnknownFunction(callee.clone()))?;
+                let vals: Vec<Val> = args.iter().map(|a| frame.read(*a)).collect();
+                let mut inner = Frame::enter(callee_fn, &vals);
+                match run_frame(callee_fn, &mut inner, machine, module, None)? {
+                    StepOutcome::Returned(v) => frame.write(*dst, v.unwrap_or(Val::Int(0))),
+                    StepOutcome::Paused { .. } => unreachable!("no pause in calls"),
+                }
+            }
+            MInst::Jump { pc, from, to } => {
+                return Ok(MachineStep::Jumped {
+                    from: *from,
+                    to: *to,
+                    pc: *pc,
+                });
+            }
+            MInst::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                let c = int(frame.read(*cond))?;
+                // Branch targets are edge trampolines (copies + Jump); the
+                // transfer itself is not yet an edge crossing.
+                let target = if c != 0 { *then_pc } else { *else_pc };
+                return Ok(MachineStep::Branched(target));
+            }
+            MInst::Ret { value } => {
+                return Ok(MachineStep::Returned(value.map(|l| frame.read(l))));
+            }
+        }
+        Ok(MachineStep::Next)
+    }
+
+    /// Runs the frame from `pc` to return, uninstrumented — the validation
+    /// path: entry tables over the machine substrate are differentially
+    /// replayed through this before an artifact is published.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachineArtifact::exec_inst`].
+    pub fn run_machine(
+        &self,
+        mut pc: usize,
+        frame: &mut MachineFrame,
+        machine: &mut Machine,
+        module: &Module,
+    ) -> Result<Option<Val>, ExecError> {
+        loop {
+            match self.exec_inst(pc, frame, machine, module)? {
+                MachineStep::Next => pc += 1,
+                MachineStep::Jumped { pc: target, .. } | MachineStep::Branched(target) => {
+                    pc = target;
+                }
+                MachineStep::Returned(v) => return Ok(v),
+            }
+        }
+    }
+}

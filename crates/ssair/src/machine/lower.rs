@@ -1,0 +1,295 @@
+//! Lowering SSA to the linear micro-IR: one machine instruction per
+//! non-φ SSA instruction, φ-nodes resolved into parallel copies on the
+//! incoming edges, every branch an explicit jump-to-pc.
+//!
+//! Control flow is normalized so that *every* inter-block transfer ends
+//! in a [`MInst::Jump`] carrying the CFG edge it realizes: unconditional
+//! terminators lower to their edge-copy sequence inline, conditional
+//! terminators branch to per-edge trampolines appended after the block
+//! bodies.  The dispatch loop thereby maintains the current block and
+//! `came_from` exactly as the SSA interpreter's `jump` does, which keeps
+//! the [`crate::Function`]-derived edge observer and hotness profiler
+//! valid over machine execution.
+//!
+//! φ-elimination is a genuine parallel copy: all copies of one edge read
+//! the *pre-transfer* state, so a swap (`i, j ← j, i`) is sequentialized
+//! with a scratch slot rather than executed left-to-right.  Each cycle
+//! break allocates a fresh scratch slot — never a register — so scratch
+//! traffic cannot perturb the coloring.
+//!
+//! Values named in `shadow_roots` (the values the artifact's backward
+//! entry tables may read after the value's last register use) get a
+//! *shadow spill slot*: a write-through [`MInst::Copy`] after each
+//! definition whose home is a register.  A value spilled by the allocator
+//! is its own shadow — its definition already writes the slot.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::ir::{BlockId, Function, InstId, InstKind, Terminator, ValueId};
+use crate::liveness::{Availability, Liveness};
+
+use super::regalloc::allocate;
+use super::{Loc, LocationMap, MInst, MachineArtifact};
+
+/// Lowers `f` into a register-allocated machine artifact.
+///
+/// `shadow_roots` names the SSA values that must stay reachable for OSR
+/// reconstruction even after their registers die — in practice the
+/// transfer sources of the artifact's backward entry tables plus its
+/// keep set.  Values outside the set are reconstructible only while
+/// live (registers) or by the entry tables' own rematerialization.
+pub fn lower_function(f: &Function, shadow_roots: &BTreeSet<ValueId>) -> MachineArtifact {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let alloc = allocate(f, &live);
+    let loc_of = alloc.loc_of;
+    let mut next_slot = alloc.num_slots as u32;
+
+    // Shadow slots: spilled roots shadow themselves; register-resident
+    // roots get a dedicated slot written through at the definition.
+    let mut shadow_slot: BTreeMap<ValueId, u32> = BTreeMap::new();
+    for v in shadow_roots {
+        match loc_of.get(v) {
+            Some(Loc::Slot(s)) => {
+                shadow_slot.insert(*v, *s);
+            }
+            Some(Loc::Reg(_)) => {
+                shadow_slot.insert(*v, next_slot);
+                next_slot += 1;
+            }
+            None => {}
+        }
+    }
+
+    let loc = |v: ValueId| -> Loc {
+        *loc_of
+            .get(&v)
+            .unwrap_or_else(|| panic!("value {v} used but never allocated"))
+    };
+
+    let mut code: Vec<MInst> = Vec::new();
+    let mut pc_of: BTreeMap<InstId, usize> = BTreeMap::new();
+    let mut block_start: BTreeMap<BlockId, usize> = BTreeMap::new();
+    // Conditional edges whose trampolines are emitted after the bodies;
+    // `branch_patches[i]` names the Branch pc and its two edges.
+    let mut branch_patches: Vec<(usize, (BlockId, BlockId), (BlockId, BlockId))> = Vec::new();
+    let mut edge_start: BTreeMap<(BlockId, BlockId), usize> = BTreeMap::new();
+
+    // The parallel copies realizing edge `from → to` (φ-elimination),
+    // sequentialized with fresh scratch slots for cycles, followed by
+    // shadow write-through and the edge's Jump.
+    let emit_edge = |code: &mut Vec<MInst>, next_slot: &mut u32, from: BlockId, to: BlockId| {
+        let mut pending: Vec<(Loc, Loc)> = Vec::new();
+        let mut shadow_writes: Vec<(u32, Loc)> = Vec::new();
+        for &i in &f.block(to).insts {
+            let InstKind::Phi(incs) = &f.inst(i).kind else {
+                continue;
+            };
+            let d = f.result_of(i).expect("φ has a result");
+            let (_, v) = incs
+                .iter()
+                .find(|(p, _)| *p == from)
+                .unwrap_or_else(|| panic!("φ {i} lacks an incoming for {from}"));
+            let (dst, src) = (loc(d), loc(*v));
+            if dst != src {
+                pending.push((dst, src));
+            }
+            if let (Some(s), Loc::Reg(_)) = (shadow_slot.get(&d), dst) {
+                shadow_writes.push((*s, dst));
+            }
+        }
+        while !pending.is_empty() {
+            if let Some(ix) = pending
+                .iter()
+                .position(|(d, _)| !pending.iter().any(|(_, s)| s == d))
+            {
+                let (dst, src) = pending.remove(ix);
+                code.push(MInst::Copy { dst, src });
+            } else {
+                // Every pending destination is still read by another
+                // pending copy: a cycle.  Park one value in a scratch
+                // slot and retarget its readers.
+                let (d0, _) = pending[0];
+                let scratch = Loc::Slot(*next_slot);
+                *next_slot += 1;
+                code.push(MInst::Copy {
+                    dst: scratch,
+                    src: d0,
+                });
+                for (_, s) in pending.iter_mut() {
+                    if *s == d0 {
+                        *s = scratch;
+                    }
+                }
+            }
+        }
+        for (slot, src) in shadow_writes {
+            code.push(MInst::Copy {
+                dst: Loc::Slot(slot),
+                src,
+            });
+        }
+        // Target pc patched once every block start is known.
+        code.push(MInst::Jump {
+            pc: usize::MAX,
+            from,
+            to,
+        });
+    };
+
+    for b in f.block_ids() {
+        block_start.insert(b, code.len());
+        for &i in &f.block(b).insts {
+            let kind = &f.inst(i).kind;
+            if kind.is_phi() || kind.is_dbg() {
+                continue;
+            }
+            pc_of.insert(i, code.len());
+            let dst = f.result_of(i).map(&loc);
+            code.push(match kind {
+                InstKind::Const(n) => MInst::Const {
+                    dst: dst.expect("const has a result"),
+                    value: *n,
+                },
+                InstKind::Binop(op, a, b2) => MInst::Bin {
+                    op: *op,
+                    dst: dst.expect("binop has a result"),
+                    a: loc(*a),
+                    b: loc(*b2),
+                },
+                InstKind::Neg(a) => MInst::Neg {
+                    dst: dst.expect("neg has a result"),
+                    src: loc(*a),
+                },
+                InstKind::Not(a) => MInst::Not {
+                    dst: dst.expect("not has a result"),
+                    src: loc(*a),
+                },
+                InstKind::Select {
+                    cond,
+                    then_v,
+                    else_v,
+                } => MInst::Select {
+                    dst: dst.expect("select has a result"),
+                    cond: loc(*cond),
+                    then_v: loc(*then_v),
+                    else_v: loc(*else_v),
+                },
+                InstKind::Alloca { size, .. } => MInst::Alloca {
+                    dst: dst.expect("alloca has a result"),
+                    size: *size,
+                },
+                InstKind::Load { addr } => MInst::Load {
+                    dst: dst.expect("load has a result"),
+                    addr: loc(*addr),
+                },
+                InstKind::Store { addr, value } => MInst::Store {
+                    addr: loc(*addr),
+                    value: loc(*value),
+                },
+                InstKind::Gep { base, index } => MInst::Gep {
+                    dst: dst.expect("gep has a result"),
+                    base: loc(*base),
+                    index: loc(*index),
+                },
+                InstKind::Call { callee, args } => MInst::Call {
+                    dst: dst.expect("call has a result"),
+                    callee: callee.clone(),
+                    args: args.iter().map(|a| loc(*a)).collect(),
+                },
+                InstKind::Phi(_) | InstKind::DbgValue { .. } => unreachable!("filtered above"),
+            });
+            // Shadow write-through: keep the value reachable for backward
+            // tables after its register is reused.
+            if let Some(d) = f.result_of(i) {
+                if let (Some(s), Some(Loc::Reg(_))) = (shadow_slot.get(&d), loc_of.get(&d)) {
+                    code.push(MInst::Copy {
+                        dst: Loc::Slot(*s),
+                        src: loc(d),
+                    });
+                }
+            }
+        }
+        match &f.block(b).term {
+            Terminator::Ret(v) => code.push(MInst::Ret { value: v.map(&loc) }),
+            Terminator::Br(t) => emit_edge(&mut code, &mut next_slot, b, *t),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                branch_patches.push((code.len(), (b, *then_bb), (b, *else_bb)));
+                code.push(MInst::Branch {
+                    cond: loc(*cond),
+                    then_pc: usize::MAX,
+                    else_pc: usize::MAX,
+                });
+            }
+        }
+    }
+
+    // Edge trampolines for the conditional edges (deduplicated: two
+    // branches can share an edge only if they share source and target,
+    // i.e. they are the same branch).
+    for &(_, e1, e2) in &branch_patches {
+        for e in [e1, e2] {
+            edge_start.entry(e).or_insert_with(|| {
+                let pc = code.len();
+                emit_edge(&mut code, &mut next_slot, e.0, e.1);
+                pc
+            });
+        }
+    }
+
+    // Patch the control-flow targets now that every label is placed.
+    for (pc, then_edge, else_edge) in branch_patches {
+        let (t, e) = (edge_start[&then_edge], edge_start[&else_edge]);
+        let MInst::Branch {
+            then_pc, else_pc, ..
+        } = &mut code[pc]
+        else {
+            unreachable!("patch list points at a Branch");
+        };
+        *then_pc = t;
+        *else_pc = e;
+    }
+    for inst in &mut code {
+        if let MInst::Jump { pc, to, .. } = inst {
+            *pc = block_start[to];
+        }
+    }
+
+    // Location maps at every lowered point: live values at their homes,
+    // shadowed values where the definition dominates the point.
+    let dt = DomTree::compute(f, &cfg);
+    let avail = Availability::new(f, &dt);
+    let mut osr_maps: BTreeMap<InstId, LocationMap> = BTreeMap::new();
+    for &i in pc_of.keys() {
+        let live_set = live.live_before(f, i);
+        let mut map = LocationMap::default();
+        for v in &live_set {
+            if let Some(l) = loc_of.get(v) {
+                map.live.push((*v, *l));
+            }
+        }
+        for (v, slot) in &shadow_slot {
+            if !live_set.contains(v) && avail.available_before(*v, i) {
+                map.shadow.push((*v, *slot));
+            }
+        }
+        osr_maps.insert(i, map);
+    }
+
+    MachineArtifact {
+        entry_pc: block_start[&f.entry],
+        code,
+        num_regs: alloc.num_regs,
+        num_slots: next_slot as usize,
+        pc_of,
+        osr_maps,
+        loc_of,
+        shadow_slot,
+    }
+}

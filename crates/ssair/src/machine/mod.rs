@@ -1,0 +1,640 @@
+//! The machine backend: a linear, register-allocated micro-IR plus the
+//! bidirectional location maps that connect it back to SSA.
+//!
+//! Every other program version in this repository *interprets SSA*: a
+//! frame is a `ValueId → Val` map and each instruction looks its operands
+//! up by name.  The machine backend is the compiled-tier analogue.
+//! [`lower::lower_function`] flattens an SSA function into a linear
+//! sequence of [`MInst`]s over physical [`Loc`]ations — a fixed register
+//! file plus indexed spill slots — with φ-nodes resolved into parallel
+//! copies on the incoming edges and every branch turned into an explicit
+//! jump-to-pc.  [`regalloc`] colors SSA values onto the register file via
+//! liveness-derived interference, spilling the overflow.  [`exec`] is the
+//! dispatch loop: a [`MachineFrame`] is two flat `Vec<Val>`s (registers
+//! and slots) indexed directly, with no value-map hashing anywhere on the
+//! hot path.
+//!
+//! What makes the backend a *tier* rather than a toy is the OSR
+//! integration: the artifact carries a [`LocationMap`] for every lowered
+//! SSA point, naming — in both directions — which SSA value lives in
+//! which physical location at that point.  Climbing *into* machine code
+//! ([`MachineArtifact::enter`]) writes an SSA frame produced by an entry
+//! table's compensation code into registers; deoptimizing *out of*
+//! registers ([`MachineArtifact::reconstruct`]) rebuilds the SSA frame an
+//! entry table's compensation code expects to read.  Values the backward
+//! tables may read after their register died are kept reachable through
+//! write-through *shadow slots* (see [`lower`]), with per-slot
+//! initialization bits turning any gap into a dynamic infeasibility
+//! instead of a wrong answer — the same failure mode Algorithm 1 assigns
+//! to a missing landing site.
+
+pub mod exec;
+pub mod lower;
+pub mod regalloc;
+
+use std::collections::BTreeMap;
+
+use crate::interp::Val;
+use crate::ir::{BinOp, BlockId, InstId, ValueId};
+
+pub use exec::MachineStep;
+pub use lower::lower_function;
+
+/// Size of the fixed register file values are colored onto.
+pub const NUM_REGS: usize = 16;
+
+/// A physical location: a register of the fixed file, or a spill slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Loc {
+    /// Register `r` of the fixed file (`r < NUM_REGS`).
+    Reg(u8),
+    /// Spill slot `s` in the frame's slot array.
+    Slot(u32),
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Loc::Reg(r) => write!(f, "r{r}"),
+            Loc::Slot(s) => write!(f, "s{s}"),
+        }
+    }
+}
+
+/// One linear micro-instruction over physical locations.
+///
+/// Control flow is explicit: `Jump`/`Branch` name target pcs, and every
+/// inter-block transfer funnels through a `Jump` carrying the CFG edge it
+/// realizes, which is how the dispatch loop maintains the current block
+/// and `came_from` for edge observation without per-pc tags.
+#[derive(Clone, Debug)]
+pub enum MInst {
+    /// `dst ← value`.
+    Const {
+        /// Destination.
+        dst: Loc,
+        /// Immediate.
+        value: i64,
+    },
+    /// `dst ← a op b` (integer operands, interpreter semantics).
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Destination.
+        dst: Loc,
+        /// Left operand.
+        a: Loc,
+        /// Right operand.
+        b: Loc,
+    },
+    /// `dst ← -src` (wrapping).
+    Neg {
+        /// Destination.
+        dst: Loc,
+        /// Operand.
+        src: Loc,
+    },
+    /// `dst ← (src == 0)`.
+    Not {
+        /// Destination.
+        dst: Loc,
+        /// Operand.
+        src: Loc,
+    },
+    /// `dst ← cond ≠ 0 ? then_v : else_v`.
+    Select {
+        /// Destination.
+        dst: Loc,
+        /// Condition.
+        cond: Loc,
+        /// Value when non-zero.
+        then_v: Loc,
+        /// Value when zero.
+        else_v: Loc,
+    },
+    /// `dst ← src` — φ-elimination edge copies and shadow write-through.
+    Copy {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Loc,
+    },
+    /// `dst ← fresh allocation of `size` zeroed cells`.
+    Alloca {
+        /// Destination (receives the pointer).
+        dst: Loc,
+        /// Cells to allocate.
+        size: u32,
+    },
+    /// `dst ← memory[addr]`.
+    Load {
+        /// Destination.
+        dst: Loc,
+        /// Address operand.
+        addr: Loc,
+    },
+    /// `memory[addr] ← value`.
+    Store {
+        /// Address operand.
+        addr: Loc,
+        /// Value stored (must be an integer).
+        value: Loc,
+    },
+    /// `dst ← base + index` cells (pointer arithmetic).
+    Gep {
+        /// Destination.
+        dst: Loc,
+        /// Base pointer.
+        base: Loc,
+        /// Cell index.
+        index: Loc,
+    },
+    /// `dst ← callee(args…)` — recurses into the SSA interpreter for the
+    /// callee, sharing the memory arena and fuel budget.
+    Call {
+        /// Destination.
+        dst: Loc,
+        /// Callee name.
+        callee: String,
+        /// Argument locations in order.
+        args: Vec<Loc>,
+    },
+    /// Unconditional transfer to `pc`, realizing CFG edge `from → to`.
+    Jump {
+        /// Target pc.
+        pc: usize,
+        /// Source block of the edge.
+        from: BlockId,
+        /// Destination block of the edge.
+        to: BlockId,
+    },
+    /// Two-way transfer on `cond` (non-zero → `then_pc`).  Both targets
+    /// point at edge-copy sequences that end in a [`MInst::Jump`].
+    Branch {
+        /// Condition.
+        cond: Loc,
+        /// Target when non-zero.
+        then_pc: usize,
+        /// Target when zero.
+        else_pc: usize,
+    },
+    /// Function return.
+    Ret {
+        /// Returned location, if any.
+        value: Option<Loc>,
+    },
+}
+
+/// The register↔SSA location map at one lowered SSA point: which SSA
+/// value can be found in (or must be written to) which physical location
+/// when execution stands at that point.
+#[derive(Clone, Debug, Default)]
+pub struct LocationMap {
+    /// Values *live* at the point, with their home location.  Registers
+    /// here are trustworthy by construction: a live value's register
+    /// cannot have been reused (interference), and its definition
+    /// dominates the point.  Entering machine code requires every one of
+    /// these; leaving reads them out of the register file.
+    pub live: Vec<(ValueId, Loc)>,
+    /// Values *available but dead* at the point whose shadow slot may
+    /// still hold them — the register-machine analogue of the `Avail`
+    /// liveness extension: a backward table's compensation code may read
+    /// them even though no machine instruction will.  Reads are gated on
+    /// the slot's initialization bit.
+    pub shadow: Vec<(ValueId, u32)>,
+}
+
+/// A lowered, register-allocated program plus its OSR location maps.
+#[derive(Debug)]
+pub struct MachineArtifact {
+    /// The linear micro-IR.
+    pub code: Vec<MInst>,
+    /// pc of the function entry block (arguments in their home
+    /// locations, start here).
+    pub entry_pc: usize,
+    /// Registers actually used (≤ [`NUM_REGS`]).
+    pub num_regs: usize,
+    /// Spill + shadow + scratch slots used.
+    pub num_slots: usize,
+    /// pc of the micro-instruction lowered from each SSA instruction
+    /// (φ-nodes and debug pseudo-instructions have no pc — φs become edge
+    /// copies, debug bindings lower to nothing).
+    pub pc_of: BTreeMap<InstId, usize>,
+    /// The location map at every lowered SSA point — every point a
+    /// validated entry table can land on or leave from.
+    pub osr_maps: BTreeMap<InstId, LocationMap>,
+    /// Home location of every allocated SSA value.
+    pub loc_of: BTreeMap<ValueId, Loc>,
+    /// Shadow slot of every value the backward tables may need after its
+    /// register dies (write-through at the definition).
+    pub shadow_slot: BTreeMap<ValueId, u32>,
+}
+
+/// A machine activation: flat register and slot files indexed by
+/// [`Loc`], with per-slot initialization bits.
+///
+/// Registers are always readable (a map only names a register for a
+/// *live* value, whose definition has executed and whose register cannot
+/// have been reused).  Slots carry an initialization bit because a frame
+/// that OSR-entered mid-function may never execute the definition that
+/// would have filled a slot — reading such a slot during reconstruction
+/// must surface as a *missing value* (dynamic infeasibility), never as
+/// garbage.
+#[derive(Clone, Debug)]
+pub struct MachineFrame {
+    /// The register file.
+    pub regs: Vec<Val>,
+    /// Spill, shadow and scratch slots.
+    pub slots: Vec<Val>,
+    /// Which slots hold a value this activation actually produced.
+    pub slot_init: Vec<bool>,
+}
+
+impl MachineFrame {
+    /// A fresh (all-zero, no slot initialized) frame for `art`.
+    pub fn new(art: &MachineArtifact) -> Self {
+        MachineFrame {
+            regs: vec![Val::Int(0); art.num_regs],
+            slots: vec![Val::Int(0); art.num_slots],
+            slot_init: vec![false; art.num_slots],
+        }
+    }
+
+    /// Reads a location unconditionally (executing code only reads
+    /// locations its own definitions or the validated entry wrote).
+    #[inline]
+    pub fn read(&self, loc: Loc) -> Val {
+        match loc {
+            Loc::Reg(r) => self.regs[r as usize],
+            Loc::Slot(s) => self.slots[s as usize],
+        }
+    }
+
+    /// Writes a location, marking slot writes initialized.
+    #[inline]
+    pub fn write(&mut self, loc: Loc, v: Val) {
+        match loc {
+            Loc::Reg(r) => self.regs[r as usize] = v,
+            Loc::Slot(s) => {
+                self.slots[s as usize] = v;
+                self.slot_init[s as usize] = true;
+            }
+        }
+    }
+
+    /// Reads a location for *reconstruction*: slot reads are gated on the
+    /// initialization bit (`None` = this activation never produced the
+    /// value — a dynamic infeasibility, not an error).
+    pub fn read_checked(&self, loc: Loc) -> Option<Val> {
+        match loc {
+            Loc::Reg(r) => Some(self.regs[r as usize]),
+            Loc::Slot(s) => self.slot_init[s as usize].then(|| self.slots[s as usize]),
+        }
+    }
+}
+
+impl MachineArtifact {
+    /// Builds a machine frame positioned at the lowered SSA point `at`
+    /// from an SSA value environment (the output of an entry table's
+    /// compensation code) — the climb-in direction of the location map.
+    ///
+    /// Every *live* value at `at` must be present (the machine code past
+    /// `at` will read its register unconditionally); if any is missing,
+    /// or `at` was never lowered, returns `None` and the caller falls
+    /// back to interpreting the same SSA function — identical semantics,
+    /// no substrate.  Shadow values are written when present and left
+    /// uninitialized otherwise.  Live values that also own a shadow slot
+    /// are written through immediately, so a later exit at a point where
+    /// they have died can still read them.
+    pub fn enter(&self, at: InstId, values: &BTreeMap<ValueId, Val>) -> Option<MachineFrame> {
+        let map = self.osr_maps.get(&at)?;
+        let mut frame = MachineFrame::new(self);
+        for (v, loc) in &map.live {
+            let val = *values.get(v)?;
+            frame.write(*loc, val);
+            if let Some(slot) = self.shadow_slot.get(v) {
+                frame.write(Loc::Slot(*slot), val);
+            }
+        }
+        for (v, slot) in &map.shadow {
+            if let Some(val) = values.get(v) {
+                frame.write(Loc::Slot(*slot), *val);
+            }
+        }
+        Some(frame)
+    }
+
+    /// Rebuilds the SSA value environment at point `at` out of the
+    /// physical frame — the deopt-out direction of the location map: live
+    /// values are read from their home locations (registers included —
+    /// this is what "deoptimizing out of registers" means), dead-but-
+    /// available values from their shadow slots where initialized.
+    ///
+    /// The result feeds the ordinary entry-table machinery
+    /// (`with_remat_consts` + `apply_comp`): a value this frame never
+    /// produced is simply absent, and a table whose compensation code
+    /// needs it fails feasibility dynamically — sound, and already the
+    /// handled `on_infeasible` path.
+    pub fn reconstruct(&self, frame: &MachineFrame, at: InstId) -> Option<BTreeMap<ValueId, Val>> {
+        let map = self.osr_maps.get(&at)?;
+        let mut out = BTreeMap::new();
+        for (v, loc) in &map.live {
+            if let Some(val) = frame.read_checked(*loc) {
+                out.insert(*v, val);
+            }
+        }
+        for (v, slot) in &map.shadow {
+            if let Some(val) = frame.read_checked(Loc::Slot(*slot)) {
+                out.entry(*v).or_insert(val);
+            }
+        }
+        Some(out)
+    }
+
+    /// The pc of lowered SSA point `at`, if `at` was lowered.
+    pub fn pc_at(&self, at: InstId) -> Option<usize> {
+        self.pc_of.get(&at).copied()
+    }
+
+    /// A frame positioned at [`MachineArtifact::entry_pc`] with `args`
+    /// bound to the parameters' home locations (parameters are the first
+    /// value ids, `ValueId(0..n)`), shadow slots written through.
+    pub fn enter_args(&self, args: &[Val]) -> MachineFrame {
+        let mut frame = MachineFrame::new(self);
+        for (i, a) in args.iter().enumerate() {
+            let v = ValueId(i as u32);
+            if let Some(l) = self.loc_of.get(&v) {
+                frame.write(*l, *a);
+            }
+            if let Some(s) = self.shadow_slot.get(&v) {
+                frame.write(Loc::Slot(*s), *a);
+            }
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+
+    use super::*;
+    use crate::interp::Machine;
+    use crate::liveness::Liveness;
+    use crate::{mem2reg, BinOp, Function, FunctionBuilder, Module, Ty};
+
+    fn run_lowered(f: &Function, args: &[Val], module: &Module, fuel: usize) -> Option<Val> {
+        let art = lower_function(f, &BTreeSet::new());
+        let mut frame = art.enter_args(args);
+        let mut machine = Machine::new(fuel);
+        art.run_machine(art.entry_pc, &mut frame, &mut machine, module)
+            .expect("machine run succeeds")
+    }
+
+    fn differential(f: &Function, module: &Module, inputs: &[i64]) {
+        for &x in inputs {
+            let expect = crate::interp::run_function(f, &[Val::Int(x)], module, 1_000_000)
+                .expect("interp run succeeds");
+            let got = run_lowered(f, &[Val::Int(x)], module, 1_000_000);
+            assert_eq!(got, expect, "machine vs interp diverged on input {x}");
+        }
+    }
+
+    /// `sum(n) = Σ_{i<n} (i*i % 7)`, built with memory variables then
+    /// mem2reg'd so the loop carries real φ-nodes.
+    fn loop_fn() -> Function {
+        let mut b = FunctionBuilder::new("sum", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let seven = b.const_i64(7);
+        let acc = b.alloca_named(1, "acc");
+        let iv = b.alloca_named(1, "i");
+        b.store(acc, zero);
+        b.store(iv, zero);
+        let head = b.create_block("head");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.br(head);
+        b.switch_to(head);
+        let i = b.load(iv);
+        let c = b.binop(BinOp::Lt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.load(iv);
+        let sq = b.binop(BinOp::Mul, i2, i2);
+        let m = b.binop(BinOp::Rem, sq, seven);
+        let a = b.load(acc);
+        let a2 = b.binop(BinOp::Add, a, m);
+        b.store(acc, a2);
+        let i3 = b.binop(BinOp::Add, i2, one);
+        b.store(iv, i3);
+        b.br(head);
+        b.switch_to(exit);
+        let r = b.load(acc);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert!(mem2reg::mem2reg(&mut f) > 0, "variables promoted to φs");
+        crate::verify(&f).expect("promoted function verifies");
+        f
+    }
+
+    /// Two loop-carried variables swapped every iteration: mem2reg turns
+    /// this into a φ-swap, exercising the parallel-copy cycle breaker.
+    fn swap_fn() -> Function {
+        let mut b = FunctionBuilder::new("swap", &[("n", Ty::I64)]);
+        let n = b.param(0);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let two = b.const_i64(2);
+        let va = b.alloca_named(1, "a");
+        let vb = b.alloca_named(1, "b");
+        let iv = b.alloca_named(1, "i");
+        b.store(va, one);
+        b.store(vb, two);
+        b.store(iv, zero);
+        let head = b.create_block("head");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.br(head);
+        b.switch_to(head);
+        let i = b.load(iv);
+        let c = b.binop(BinOp::Lt, i, n);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let a = b.load(va);
+        let bv = b.load(vb);
+        b.store(va, bv);
+        b.store(vb, a);
+        let i2 = b.binop(BinOp::Add, i, one);
+        b.store(iv, i2);
+        b.br(head);
+        b.switch_to(exit);
+        let ra = b.load(va);
+        let rb = b.load(vb);
+        let ten = b.const_i64(10);
+        let hi = b.binop(BinOp::Mul, ra, ten);
+        let r = b.binop(BinOp::Add, hi, rb);
+        b.ret(Some(r));
+        let mut f = b.finish();
+        assert!(mem2reg::mem2reg(&mut f) > 0);
+        crate::verify(&f).expect("promoted function verifies");
+        f
+    }
+
+    #[test]
+    fn straight_line_matches_interpreter() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let two = b.const_i64(2);
+        let sq = b.binop(BinOp::Mul, x, x);
+        let neg = b.neg(sq);
+        let nz = b.not(neg);
+        let cmp = b.binop(BinOp::Gt, sq, two);
+        let sel = b.select(cmp, sq, nz);
+        b.ret(Some(sel));
+        let f = b.finish();
+        differential(&f, &Module::new(), &[-3, 0, 1, 7]);
+    }
+
+    #[test]
+    fn memory_matches_interpreter() {
+        let mut b = FunctionBuilder::new("mem", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let buf = b.alloca(4);
+        let idx = b.const_i64(2);
+        let p = b.gep(buf, idx);
+        b.store(p, x);
+        let v = b.load(p);
+        let d = b.binop(BinOp::Add, v, v);
+        b.ret(Some(d));
+        let f = b.finish();
+        differential(&f, &Module::new(), &[0, 5, -9]);
+    }
+
+    #[test]
+    fn phi_loop_matches_interpreter() {
+        differential(&loop_fn(), &Module::new(), &[0, 1, 2, 17]);
+    }
+
+    #[test]
+    fn phi_swap_cycle_matches_interpreter() {
+        // Odd and even iteration counts land the swapped pair in both
+        // orders; both must match the interpreter's parallel φ semantics.
+        differential(&swap_fn(), &Module::new(), &[0, 1, 2, 3, 8, 9]);
+    }
+
+    #[test]
+    fn calls_share_machine_and_fuel() {
+        let mut callee = FunctionBuilder::new("inc", &[("a", Ty::I64)]);
+        let a = callee.param(0);
+        let one = callee.const_i64(1);
+        let r = callee.binop(BinOp::Add, a, one);
+        callee.ret(Some(r));
+        let mut caller = FunctionBuilder::new("main", &[("x", Ty::I64)]);
+        let x = caller.param(0);
+        let c = caller.call("inc", &[x]);
+        let c2 = caller.call("inc", &[c]);
+        caller.ret(Some(c2));
+        let mut m = Module::new();
+        m.add(callee.finish());
+        differential(&caller.finish(), &m, &[5, -1]);
+    }
+
+    #[test]
+    fn enter_and_reconstruct_roundtrip_live_values() {
+        let f = loop_fn();
+        let cfg = crate::cfg::Cfg::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        // Every lowered point: an SSA environment holding exactly the live
+        // values enters, and reconstruction returns all of them unchanged.
+        let art = lower_function(&f, &BTreeSet::new());
+        for (&at, map) in &art.osr_maps {
+            let live_set = live.live_before(&f, at);
+            assert_eq!(
+                map.live.len(),
+                live_set.len(),
+                "location map covers the live set at {at}"
+            );
+            let mut env = BTreeMap::new();
+            for (k, (v, _)) in map.live.iter().enumerate() {
+                env.insert(*v, Val::Int(100 + k as i64));
+            }
+            let frame = art.enter(at, &env).expect("full environment enters");
+            let back = art
+                .reconstruct(&frame, at)
+                .expect("mapped point reconstructs");
+            for (v, val) in &env {
+                assert_eq!(back.get(v), Some(val), "{v} survives the roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn enter_refuses_partial_environments() {
+        let f = loop_fn();
+        let art = lower_function(&f, &BTreeSet::new());
+        let (&at, map) = art
+            .osr_maps
+            .iter()
+            .find(|(_, m)| !m.live.is_empty())
+            .expect("some point has live values");
+        let mut env = BTreeMap::new();
+        for (v, _) in map.live.iter().skip(1) {
+            env.insert(*v, Val::Int(1));
+        }
+        assert!(
+            art.enter(at, &env).is_none(),
+            "a missing live value must refuse machine entry"
+        );
+    }
+
+    #[test]
+    fn shadow_slots_outlive_register_death() {
+        let f = loop_fn();
+        // Shadow every value: whatever dies must still reconstruct from
+        // its write-through slot at any point its definition dominates.
+        let all: BTreeSet<ValueId> = (0..f.value_count() as u32).map(ValueId).collect();
+        let art = lower_function(&f, &all);
+        let module = Module::new();
+        let mut frame = art.enter_args(&[Val::Int(6)]);
+        let mut machine = Machine::new(1_000_000);
+        let got = art
+            .run_machine(art.entry_pc, &mut frame, &mut machine, &module)
+            .unwrap();
+        let expect = crate::interp::run_function(&f, &[Val::Int(6)], &module, 1_000_000).unwrap();
+        assert_eq!(got, expect, "shadowed lowering preserves semantics");
+        // After the run, reconstruct at the first lowered point of the
+        // exit path: dead-but-shadowed values must be present.
+        let shadowed = art
+            .osr_maps
+            .values()
+            .flat_map(|m| m.shadow.iter().map(|(v, _)| *v))
+            .collect::<BTreeSet<_>>();
+        assert!(
+            !shadowed.is_empty(),
+            "shadowing every value yields dead-but-available entries"
+        );
+    }
+
+    #[test]
+    fn spill_pressure_still_matches_interpreter() {
+        // More simultaneously-live values than registers: force spills.
+        let mut b = FunctionBuilder::new("wide", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let mut vals = Vec::new();
+        for k in 1..=(NUM_REGS as i64 + 8) {
+            let c = b.const_i64(k);
+            vals.push(b.binop(BinOp::Mul, x, c));
+        }
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.binop(BinOp::Add, acc, v);
+        }
+        b.ret(Some(acc));
+        let f = b.finish();
+        let art = lower_function(&f, &BTreeSet::new());
+        assert!(art.num_regs <= NUM_REGS);
+        differential(&f, &Module::new(), &[0, 1, -3, 1000]);
+    }
+}

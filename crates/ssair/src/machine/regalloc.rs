@@ -1,0 +1,138 @@
+//! Register allocation for the machine backend: liveness-derived
+//! interference, greedy coloring onto the fixed register file, spill
+//! slots for the overflow.
+//!
+//! Values are SSA values, so every value has exactly one definition and
+//! the classic interference criterion applies directly: two values
+//! interfere when one is live across the other's definition.  φ-results
+//! are defined "on the edge" (the lowering turns them into parallel
+//! copies at the end of each predecessor), so each block's φ-results are
+//! treated as defined simultaneously at block entry: they interfere with
+//! everything live into the block and with each other.  Parameters are
+//! likewise defined simultaneously at function entry.
+//!
+//! Coloring is greedy in descending use count (hot values get registers
+//! first), breaking ties by value id so allocation is deterministic.
+//! Values that find no free register get a spill slot; spilled values'
+//! definitions write the slot directly, so a slot is its own shadow.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::{Function, ValueId};
+use crate::liveness::Liveness;
+
+use super::{Loc, NUM_REGS};
+
+/// The coloring result: every allocatable value's home location, plus the
+/// sizes the frame needs.
+#[derive(Debug)]
+pub struct Allocation {
+    /// Home location per value.
+    pub loc_of: BTreeMap<ValueId, Loc>,
+    /// Registers used (≤ [`NUM_REGS`]).
+    pub num_regs: usize,
+    /// Spill slots used (the lowering appends shadow and scratch slots
+    /// after these).
+    pub num_slots: usize,
+}
+
+/// Colors every value of `f` (parameters and instruction results) onto
+/// the register file, spilling the overflow.
+pub fn allocate(f: &Function, live: &Liveness) -> Allocation {
+    let mut interference: BTreeMap<ValueId, BTreeSet<ValueId>> = BTreeMap::new();
+    let mut values: BTreeSet<ValueId> = (0..f.params.len()).map(|i| f.param_value(i)).collect();
+    let edge = |interference: &mut BTreeMap<ValueId, BTreeSet<ValueId>>, a: ValueId, b: ValueId| {
+        if a != b {
+            interference.entry(a).or_default().insert(b);
+            interference.entry(b).or_default().insert(a);
+        }
+    };
+
+    for b in f.block_ids() {
+        let mut live_now: BTreeSet<ValueId> = live.live_out(b).clone();
+        let mut phi_results: Vec<ValueId> = Vec::new();
+        for &i in f.block(b).insts.iter().rev() {
+            let inst = f.inst(i);
+            if inst.kind.is_dbg() {
+                continue;
+            }
+            if inst.kind.is_phi() {
+                if let Some(d) = f.result_of(i) {
+                    phi_results.push(d);
+                }
+                continue;
+            }
+            if let Some(d) = f.result_of(i) {
+                values.insert(d);
+                for &w in &live_now {
+                    edge(&mut interference, d, w);
+                }
+                live_now.remove(&d);
+            }
+            for u in inst.kind.operands() {
+                live_now.insert(u);
+            }
+        }
+        // φ-results: defined simultaneously at block entry — they clash
+        // with everything live into the block and with each other (a swap
+        // needs two homes even though the copies are parallel).
+        for (k, &d) in phi_results.iter().enumerate() {
+            values.insert(d);
+            for &w in &live_now {
+                edge(&mut interference, d, w);
+            }
+            for &d2 in &phi_results[k + 1..] {
+                edge(&mut interference, d, d2);
+            }
+        }
+        if b == f.entry {
+            // Parameters: defined simultaneously at function entry.
+            let params: Vec<ValueId> = (0..f.params.len()).map(|i| f.param_value(i)).collect();
+            for (k, &p) in params.iter().enumerate() {
+                for &w in &live_now {
+                    edge(&mut interference, p, w);
+                }
+                for &p2 in &params[k + 1..] {
+                    edge(&mut interference, p, p2);
+                }
+                for &d in &phi_results {
+                    edge(&mut interference, p, d);
+                }
+            }
+        }
+    }
+
+    // Greedy coloring, hot values first.
+    let uses = f.compute_uses();
+    let mut order: Vec<ValueId> = values.iter().copied().collect();
+    order.sort_by_key(|v| (std::cmp::Reverse(uses.get(v).map_or(0, Vec::len)), v.0));
+
+    let mut loc_of: BTreeMap<ValueId, Loc> = BTreeMap::new();
+    let mut num_regs = 0usize;
+    let mut num_slots = 0u32;
+    let empty = BTreeSet::new();
+    for v in order {
+        let neighbors = interference.get(&v).unwrap_or(&empty);
+        let mut taken = [false; NUM_REGS];
+        for w in neighbors {
+            if let Some(Loc::Reg(r)) = loc_of.get(w) {
+                taken[*r as usize] = true;
+            }
+        }
+        match taken.iter().position(|t| !t) {
+            Some(r) => {
+                num_regs = num_regs.max(r + 1);
+                loc_of.insert(v, Loc::Reg(r as u8));
+            }
+            None => {
+                loc_of.insert(v, Loc::Slot(num_slots));
+                num_slots += 1;
+            }
+        }
+    }
+    Allocation {
+        loc_of,
+        num_regs,
+        num_slots: num_slots as usize,
+    }
+}

@@ -645,6 +645,16 @@ pub struct TierTarget {
     /// current version is not semantically valid for the frame — wrong
     /// answers are never an acceptable fallback.
     pub mandatory: bool,
+    /// The register-allocated machine artifact backing `target`, when the
+    /// destination rung executes on the machine substrate instead of the
+    /// SSA interpreter.  After the table hop lands, the runtime tries
+    /// [`ssair::machine::MachineArtifact::enter`] at the landing point;
+    /// if the location map accepts the reconstructed environment, the
+    /// frame runs in registers (same semantics, no value-map hashing)
+    /// until it returns or a controller decision hops it elsewhere.  On
+    /// refusal the frame interprets the same SSA function — the artifact
+    /// is an execution substrate, never a semantic requirement.
+    pub machine: Option<Arc<ssair::machine::MachineArtifact>>,
 }
 
 /// Receives visit counts for instrumented points and decides when the

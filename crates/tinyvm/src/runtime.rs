@@ -16,8 +16,9 @@ use std::collections::BTreeMap;
 
 use ssair::feasibility::{landing_site, EntryTable, Landing};
 use ssair::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
+use ssair::machine::{MachineArtifact, MachineStep};
 use ssair::reconstruct::{apply_comp, CompStep, Direction, SsaEntry, Variant};
-use ssair::{Function, InstId, InstKind, Module, ValueDef, ValueId};
+use ssair::{BlockId, Function, InstId, InstKind, Module, ValueDef, ValueId};
 
 use crate::continuation::extract_continuation;
 use crate::profile::{EdgeObserver, HotnessProfiler, TierController, TierDecision, TierTarget};
@@ -261,6 +262,12 @@ impl Vm {
         // The version currently executing: the borrowed baseline until the
         // first ladder hop replaces it with a shared target version.
         let mut owned: Option<Arc<Function>> = None;
+        // The machine artifact backing the current version, if the last
+        // ladder hop supplied one ([`TierTarget::machine`]).  The frame
+        // runs on the machine substrate whenever the artifact's location
+        // map accepts it at the landing point; otherwise the same SSA
+        // function is interpreted (identical semantics).
+        let mut machine_art: Option<Arc<MachineArtifact>> = None;
 
         'version: loop {
             let current: &Function = owned.as_deref().unwrap_or(base);
@@ -277,6 +284,189 @@ impl Vm {
             // same physical visit (edge and hotness) a second time —
             // suppress exactly that one re-entry.
             let suppress = std::cell::Cell::new(None::<InstId>);
+
+            // Machine substrate: if the hop that entered this version
+            // carried an artifact whose location map accepts the frame at
+            // its landing point, execution proceeds over the register
+            // file instead of the SSA value map — same observation
+            // points, same controller protocol, no hashing.
+            if let Some(art) = machine_art.clone() {
+                let entered = current
+                    .block(frame.block)
+                    .insts
+                    .get(frame.index)
+                    .copied()
+                    .and_then(|at| art.enter(at, &frame.values).map(|mf| (at, mf)));
+                match entered {
+                    Some((start, mut mframe)) => {
+                        // pc → SSA point, for the observation hooks.
+                        let mut at_pc: Vec<Option<InstId>> = vec![None; art.code.len()];
+                        for (i, p) in &art.pc_of {
+                            at_pc[*p] = Some(*i);
+                        }
+                        let mut pc = art.pc_at(start).expect("entered point is lowered");
+                        let mut cur_block = current.block_of(start).expect("landing is live");
+                        // The dispatch loop maintains block and arrival
+                        // edge exactly as the interpreter's `jump` does
+                        // (every lowered transfer funnels through a
+                        // `Jump` carrying its CFG edge), which keeps the
+                        // edge observer sound over machine execution.
+                        let mut came_from: Option<BlockId> = None;
+                        loop {
+                            if let Some(at) = at_pc[pc] {
+                                let mut decision = TierDecision::Continue;
+                                if let Some(e) = edges.as_ref() {
+                                    let probe = Frame {
+                                        values: BTreeMap::new(),
+                                        block: cur_block,
+                                        index: 0,
+                                        came_from,
+                                    };
+                                    if let Some((from, to)) = e.taken_edge(&probe, at) {
+                                        decision =
+                                            controller.borrow_mut().observe_edge(from, to, at);
+                                    }
+                                }
+                                if matches!(decision, TierDecision::Continue) {
+                                    if let Some(count) = profiler.borrow_mut().visit(at) {
+                                        decision = controller.borrow_mut().observe(at, count);
+                                    }
+                                }
+                                match decision {
+                                    TierDecision::Continue => {}
+                                    TierDecision::Transition(t) => {
+                                        // Deoptimize out of registers: the
+                                        // backward location map rebuilds
+                                        // the SSA environment the entry
+                                        // table's compensation code reads.
+                                        let hopped = art.reconstruct(&mframe, at).and_then(|env| {
+                                            let block = current
+                                                .block_of(at)
+                                                .expect("observed point is live");
+                                            let index = current
+                                                .block(block)
+                                                .insts
+                                                .iter()
+                                                .position(|i| *i == at)
+                                                .expect("in block");
+                                            let sframe = Frame {
+                                                values: env,
+                                                block,
+                                                index,
+                                                came_from,
+                                            };
+                                            table_hop(&t, current, &sframe, &mut machine, at)
+                                        });
+                                        match hopped {
+                                            Some((next_frame, event)) => {
+                                                events.push(event);
+                                                controller.borrow_mut().on_transition(at);
+                                                frame = next_frame;
+                                                machine_art = t.machine.clone();
+                                                owned = Some(t.target);
+                                                continue 'version;
+                                            }
+                                            None if t.mandatory => {
+                                                return Err(ExecError::MandatoryTransitionFailed);
+                                            }
+                                            None => {
+                                                controller.borrow_mut().on_infeasible(at);
+                                                // Observation and execution
+                                                // share this iteration, so
+                                                // falling through cannot
+                                                // double-count the visit —
+                                                // no suppress needed.
+                                            }
+                                        }
+                                    }
+                                    other => {
+                                        // Run-to-completion decisions need
+                                        // the SSA substrate; reconstruct
+                                        // and serve them through the same
+                                        // legacy transition path.
+                                        let (versions, table, direction) = match other {
+                                            TierDecision::TierUp(v) => {
+                                                (v, None, Direction::Forward)
+                                            }
+                                            TierDecision::TierUpPrecomputed(v, t) => {
+                                                (v, Some(t), Direction::Forward)
+                                            }
+                                            TierDecision::TierDown(v) => {
+                                                (v, None, Direction::Backward)
+                                            }
+                                            TierDecision::TierDownPrecomputed(v, t) => {
+                                                (v, Some(t), Direction::Backward)
+                                            }
+                                            TierDecision::Continue
+                                            | TierDecision::Transition(_) => unreachable!(),
+                                        };
+                                        match art.reconstruct(&mframe, at) {
+                                            Some(env) => {
+                                                let block = current
+                                                    .block_of(at)
+                                                    .expect("observed point is live");
+                                                let index = current
+                                                    .block(block)
+                                                    .insts
+                                                    .iter()
+                                                    .position(|i| *i == at)
+                                                    .expect("in block");
+                                                let sframe = Frame {
+                                                    values: env,
+                                                    block,
+                                                    index,
+                                                    came_from,
+                                                };
+                                                match self.transition(
+                                                    &versions,
+                                                    direction,
+                                                    &sframe,
+                                                    &mut machine,
+                                                    at,
+                                                    options,
+                                                    table.as_deref(),
+                                                )? {
+                                                    Some((result, event)) => {
+                                                        events.push(event);
+                                                        return Ok((result, events));
+                                                    }
+                                                    None => {
+                                                        controller.borrow_mut().on_infeasible(at);
+                                                    }
+                                                }
+                                            }
+                                            None => {
+                                                controller.borrow_mut().on_infeasible(at);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            match art.exec_inst(pc, &mut mframe, &mut machine, &self.module)? {
+                                MachineStep::Next => pc += 1,
+                                MachineStep::Branched(target) => pc = target,
+                                MachineStep::Jumped {
+                                    from,
+                                    to,
+                                    pc: target,
+                                } => {
+                                    cur_block = to;
+                                    came_from = Some(from);
+                                    pc = target;
+                                }
+                                MachineStep::Returned(v) => return Ok((v, events)),
+                            }
+                        }
+                    }
+                    None => {
+                        // The artifact refused the frame (unlowered landing
+                        // or a missing live value): fall through to the SSA
+                        // interpreter loop below — identical semantics, no
+                        // substrate.  Every next version entry reassigns
+                        // the artifact, so no reset is needed here.
+                    }
+                }
+            }
 
             loop {
                 let outcome = run_frame(
@@ -375,6 +565,7 @@ impl Vm {
                                         events.push(event);
                                         controller.borrow_mut().on_transition(at);
                                         frame = next_frame;
+                                        machine_art = t.machine.clone();
                                         owned = Some(t.target);
                                         continue 'version;
                                     }

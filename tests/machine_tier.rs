@@ -1,0 +1,404 @@
+//! Acceptance tests for the register-allocated machine rung (O4): the
+//! default graph is now `O0 → O1 → O2 → O3 → O4`, where O4 runs the same
+//! aggressive SSA mix as O3 but *executes* it on the linear micro-IR
+//! backend — sixteen liveness-colored registers plus spill slots — with
+//! location maps bridging the register file and the SSA entry tables in
+//! both directions.  The tests check (1) the machine substrate changes no
+//! result on any workloads kernel over zipf request streams, (2) a
+//! property-style sweep of the same, (3) the full O4 lifecycle from the
+//! session event stream — climb into registers via a chained composed
+//! table, guard deopt *out of registers* onto an SSA rung, re-climb —
+//! and (4) a prewarmed O4 climb never re-enters the baseline.
+
+use engine::{
+    DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, Request, ResultEvent,
+    SessionReport, TableKind, Tier,
+};
+use proptest::prelude::*;
+use ssair::interp::Val;
+use ssair::reconstruct::Direction;
+use ssair::Module;
+use tinyvm::runtime::Vm;
+use workloads::Kernel;
+
+/// `(from, to, composed, direction)` transition tuples of one request, in
+/// hop order.
+fn transitions(report: &SessionReport, request: u64) -> Vec<(Tier, Tier, bool, Direction)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request: r,
+                from_tier,
+                to_tier,
+                composed,
+                event,
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier, *composed, event.direction)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request: r,
+                from_tier,
+                to_tier,
+                reason: DeoptReason::GuardFailure { .. },
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Every kernel the workloads crate ships: the Table 2 set plus the
+/// speculation, call-graph and value-speculation stress sets.
+fn every_kernel() -> Vec<Kernel> {
+    workloads::all_kernels()
+        .into_iter()
+        .chain(workloads::speculation_kernels())
+        .chain(workloads::call_graph_kernels())
+        .chain(workloads::value_speculation_kernels())
+        .collect()
+}
+
+fn machine_engine(module: &Module) -> Engine {
+    Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::four_tier(8, 16, 16, 16)
+        },
+    )
+}
+
+fn ssa_engine(module: &Module) -> Engine {
+    Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::three_tier(8, 16, 16)
+        },
+    )
+}
+
+const CLIMBER: &str = "fn climber(x, n) {
+         var acc = 0;
+         for (var i = 0; i < n; i = i + 1) {
+             acc = acc + (x * x + i) - ((x * x + i) % 7);
+         }
+         return acc;
+     }";
+
+/// Table 2 kernels whose optimized-rung compiles (entry-table precompute
+/// across hundreds of instructions) each cost tens of seconds — far more
+/// than every request in this sweep combined.  They run the same
+/// five-rung graph but with cold climb thresholds, so the stream
+/// exercises the engine path without paying four rungs of compilation;
+/// result equality against the plain interpreter is still asserted.
+/// Machine-rung execution of large functions stays covered by the
+/// remaining Table 2 kernels (bzip2, vp8, dcraw, ffmpeg, …).
+const COMPILE_HEAVY: [&str; 6] = ["h264ref", "namd", "perlbench", "bullet", "sjeng", "hmmer"];
+
+/// One kernel's differential check: identical request streams through a
+/// machine-topped engine, a pre-machine SSA engine, and the plain
+/// interpreter must agree on every result.
+fn check_kernel(kernel: &Kernel, seed: u64) {
+    let module = minic::compile(&kernel.source).expect("kernel compiles");
+    let mut requests = Vec::new();
+    // Repeat the kernel's own sample size so the entry's frames get hot
+    // enough to reach the machine rung...
+    for _ in 0..2 {
+        requests.push(Request::tiered(
+            kernel.entry,
+            kernel.sample_args.iter().copied().map(Val::Int).collect(),
+        ));
+    }
+    // ...then a skewed mix over every function in the module (the
+    // call-graph kernels' helpers get direct traffic too).
+    for (name, args) in workloads::request_mix_zipf(&module, 10, 0xD1E5 ^ (seed << 8), 1.2) {
+        requests.push(Request::tiered(
+            name,
+            args.into_iter().map(Val::Int).collect(),
+        ));
+    }
+
+    let heavy = COMPILE_HEAVY.contains(&kernel.name);
+    let cold = 1 << 40; // threshold no stream here reaches
+    let o4 = if heavy {
+        Engine::new(
+            module.clone(),
+            EnginePolicy {
+                compile_workers: 1,
+                batch_workers: 1,
+                ..EnginePolicy::four_tier(cold, cold, cold, cold)
+            },
+        )
+    } else {
+        machine_engine(&module)
+    };
+    if !heavy {
+        o4.prewarm(kernel.entry).expect("entry exists");
+    }
+    let o3 = if heavy {
+        Engine::new(
+            module.clone(),
+            EnginePolicy {
+                compile_workers: 1,
+                batch_workers: 1,
+                ..EnginePolicy::three_tier(cold, cold, cold)
+            },
+        )
+    } else {
+        ssa_engine(&module)
+    };
+    let got_o4 = o4.run_batch(&requests).results;
+    let got_o3 = o3.run_batch(&requests).results;
+
+    let vm = Vm::new(module);
+    // The sample repetitions share one reference run.
+    let mut references: Vec<((&str, &[Val]), Option<Val>)> = Vec::new();
+    for (req, (r4, r3)) in requests.iter().zip(got_o4.iter().zip(got_o3.iter())) {
+        let key = (req.function.as_str(), req.args.as_slice());
+        if !references.iter().any(|(k, _)| *k == key) {
+            let f = vm.module.get(&req.function).expect("function exists");
+            let reference = vm.run_plain(f, &req.args).expect("plain run succeeds");
+            references.push((key, reference));
+        }
+        let expected = &references.iter().find(|(k, _)| *k == key).unwrap().1;
+        assert_eq!(
+            r4.as_ref().expect("O4 graph succeeds"),
+            expected,
+            "kernel {} fn {} args {:?}: machine-topped graph diverged",
+            kernel.name,
+            req.function,
+            req.args
+        );
+        assert_eq!(
+            r3.as_ref().expect("O3 graph succeeds"),
+            expected,
+            "kernel {} fn {} args {:?}: SSA graph diverged",
+            kernel.name,
+            req.function,
+            req.args
+        );
+    }
+}
+
+/// Every workloads kernel produces identical results under the
+/// machine-topped graph, the pre-machine SSA graph and the plain
+/// interpreter, over the kernel's own sample arguments and a zipf-skewed
+/// request mix.  The per-kernel checks are independent, so the sweep is
+/// sharded across threads to keep the debug-mode suite quick.
+#[test]
+fn every_kernel_agrees_with_the_ssa_graph_over_zipf_streams() {
+    let kernels = every_kernel();
+    let shard_len = kernels.len().div_ceil(4);
+    std::thread::scope(|scope| {
+        for (shard, chunk) in kernels.chunks(shard_len).enumerate() {
+            scope.spawn(move || {
+                for (i, kernel) in chunk.iter().enumerate() {
+                    let started = std::time::Instant::now();
+                    check_kernel(kernel, (shard * shard_len + i) as u64);
+                    eprintln!("{}: {:?}", kernel.name, started.elapsed());
+                }
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Property sweep: for arbitrary arguments, a hot loop executed
+    /// through the full machine-topped climb equals the plain
+    /// interpreter.
+    #[test]
+    fn machine_rung_preserves_results_for_arbitrary_args(
+        x in 1i64..40,
+        n in 80i64..240,
+    ) {
+        let module = minic::compile(CLIMBER).expect("compiles");
+        let engine = Engine::new(
+            module.clone(),
+            EnginePolicy {
+                compile_workers: 1,
+                batch_workers: 1,
+                ..EnginePolicy::four_tier(8, 12, 12, 12)
+            },
+        );
+        engine.prewarm("climber").expect("climber exists");
+        let requests = vec![Request::tiered("climber", vec![Val::Int(x), Val::Int(n)])];
+        let got = engine.run_batch(&requests).results;
+        let vm = Vm::new(module);
+        let f = vm.module.get("climber").unwrap();
+        prop_assert_eq!(
+            got[0].as_ref().expect("succeeds"),
+            &vm.run_plain(f, &requests[0].args).unwrap()
+        );
+    }
+}
+
+/// The full O4 lifecycle, observed from the session event stream on a
+/// five-rung graph: the frame climbs into the machine rung through a
+/// chained composed table, a guard failure deopts it *out of the
+/// register file* onto the SSA rung below (which is bias-neutral for the
+/// failing branch under the speculation gradient), and the frame
+/// re-climbs — without ever re-entering the baseline.
+#[test]
+fn guard_deopt_leaves_the_register_file_for_an_ssa_rung_and_reclimbs() {
+    // rare_path's branch is ~92% biased after warm-up: guarded at O4
+    // (bias requirement 90) but not at O3 (95) — so the flip fires the
+    // O4 guard and the frame falls exactly one rung, out of registers.
+    let kernel = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "rare_path")
+        .expect("rare_path ships");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            // High O0 threshold: warm-up requests profile without
+            // climbing (3 × ~14 header visits < 64).
+            tiers: std::sync::Arc::new(LadderPolicy::four_tier(64, 16, 16, 16)),
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("rare_path").expect("kernel exists");
+    let session = engine.start();
+    for _ in 0..3 {
+        session.submit(Request::tiered(
+            "rare_path",
+            vec![Val::Int(13), Val::Int(1_000_000)],
+        ));
+    }
+    // Climbs to O4 during the biased phase, flips at i = 300, then runs
+    // long enough afterwards for the corrected profile to re-climb.
+    let long = Request::tiered("rare_path", vec![Val::Int(3_000), Val::Int(300)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("rare_path").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    let hops = transitions(&report, long_id.0);
+    assert!(
+        hops.contains(&(Tier(3), Tier(4), true, Direction::Forward)),
+        "the frame climbed into the machine rung via a composed table: {hops:?}"
+    );
+    let deopts = guard_deopts(&report, long_id.0);
+    assert!(
+        deopts.contains(&(Tier(4), Tier(3))),
+        "the guard failure left the register file for the SSA rung below: {deopts:?}"
+    );
+    assert!(
+        hops.contains(&(Tier(4), Tier(3), true, Direction::Backward)),
+        "the deopt out of registers went through a composed down-table: {hops:?}"
+    );
+    assert!(
+        hops.iter().all(|(_, to, _, _)| !to.is_baseline()),
+        "the frame never re-entered the baseline: {hops:?}"
+    );
+    // The landed frame re-climbs off the corrected profile.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::Reclimb { request, from_tier, .. })
+                if *request == long_id.0 && *from_tier == Tier(3)
+        )),
+        "the frame re-climbed from the SSA rung it deopted onto"
+    );
+    assert!(report.metrics.guard_failures >= 1);
+
+    // The request trace labels the machine landing: the hop *into* O4
+    // carries the machine table kind, the hop out of it does not.
+    let trace = engine.trace(long_id).expect("trace retained");
+    assert!(
+        trace
+            .transitions
+            .iter()
+            .any(|t| t.to == Tier(4) && t.kind == TableKind::Machine),
+        "the climb into O4 is labeled machine: {:?}",
+        trace.transitions
+    );
+    assert!(
+        trace
+            .transitions
+            .iter()
+            .all(|t| t.to == Tier(4) || t.kind != TableKind::Machine),
+        "only machine-rung landings carry the machine kind"
+    );
+    assert!(trace.to_string().contains("machine"));
+}
+
+/// Prewarm regression: on the *default* five-rung graph, a prewarmed
+/// function's first hot frame climbs straight to the machine rung on
+/// chained composed tables — four forward hops, no deopt, and the
+/// baseline is never re-entered.
+#[test]
+fn prewarmed_o4_climb_never_reenters_the_baseline() {
+    let module = minic::compile(CLIMBER).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::default()
+        },
+    );
+    engine.prewarm("climber").expect("climber exists");
+    assert_eq!(engine.cache().ready_count(), 4, "O1..O4 artifacts");
+    assert!(
+        engine.cache().composed_count() >= 6,
+        "every rung-pair fold, straight-to-top included: {}",
+        engine.cache().composed_count()
+    );
+
+    let session = engine.start();
+    // Default thresholds: 32 + 96 + 224 + 448 header visits with slack.
+    let long = Request::tiered("climber", vec![Val::Int(3), Val::Int(1_500)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("climber").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    assert_eq!(
+        transitions(&report, long_id.0),
+        vec![
+            (Tier(0), Tier(1), false, Direction::Forward),
+            (Tier(1), Tier(2), true, Direction::Forward),
+            (Tier(2), Tier(3), true, Direction::Forward),
+            (Tier(3), Tier(4), true, Direction::Forward),
+        ],
+        "one frame climbs the whole five-rung graph; every off-baseline \
+         hop is a chained composed table and the baseline is never \
+         re-entered"
+    );
+    assert_eq!(report.metrics.composed_tier_ups, 3);
+    assert_eq!(report.metrics.deopts, 0);
+    let trace = engine.trace(long_id).expect("trace retained");
+    assert_eq!(
+        trace.transitions.last().map(|t| t.kind),
+        Some(TableKind::Machine),
+        "the final hop lands in the register file"
+    );
+}
