@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! cargo run -p bench --bin bench_gate [path/to/BENCH_engine.json]
+//! cargo run -p bench --bin bench_gate -- diff-layout OLD.json NEW.json [TOLERANCE_PERMILLE]
 //! ```
 //!
 //! With no argument the report is read from the repository root.  Exits
 //! nonzero — listing every failure — when the file is missing, malformed,
 //! lacks a required field, carries non-monotone quantiles, or regresses a
-//! tier-1 invariant (≥ 1 composed tier-up, ≥ 1 deopt).  Regenerate the
-//! report with `cargo bench -p bench --bench engine`.
+//! tier-1 invariant (≥ 1 composed tier-up, ≥ 1 deopt, layout-on warm
+//! session ≤ layout-off).  Regenerate the report with
+//! `cargo bench -p bench --bench engine`.
+//!
+//! The `diff-layout` mode compares the `layout` block of a regenerated
+//! report against a committed one within a tolerance (default 500‰):
+//! warm-session drift is bounded as a fraction of the larger timing,
+//! taken-jump *shares* as absolute permille points — the bench-smoke
+//! job's check that a PR changed layout behaviour, not just the noise.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -23,35 +31,87 @@ fn default_path() -> PathBuf {
         .join("BENCH_engine.json")
 }
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(default_path);
-    let text = match std::fs::read_to_string(&path) {
+fn read_report(path: &PathBuf) -> Result<Json, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("bench_gate: cannot read {}: {e}", path.display());
             eprintln!("bench_gate: regenerate with `cargo bench -p bench --bench engine`");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match Json::parse(&text) {
+        Ok(doc) => Ok(doc),
+        Err(e) => {
+            eprintln!("bench_gate: {} is not valid JSON: {e}", path.display());
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn diff_layout(args: &[String]) -> ExitCode {
+    let (Some(old_path), Some(new_path)) = (args.first(), args.get(1)) else {
+        eprintln!("bench_gate: diff-layout needs OLD.json NEW.json [TOLERANCE_PERMILLE]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: u64 = match args.get(2).map(|t| t.parse()) {
+        None => 500,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("bench_gate: bad tolerance: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(doc) => doc,
-        Err(e) => {
-            eprintln!("bench_gate: {} is not valid JSON: {e}", path.display());
-            return ExitCode::FAILURE;
+    let (old_path, new_path) = (PathBuf::from(old_path), PathBuf::from(new_path));
+    let (committed, regenerated) = match (read_report(&old_path), read_report(&new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match perf_gate::diff_layout(&committed, &regenerated, tolerance) {
+        Ok(()) => {
+            println!(
+                "bench_gate: layout block of {} within {tolerance}‰ of {}",
+                new_path.display(),
+                old_path.display(),
+            );
+            ExitCode::SUCCESS
         }
+        Err(errors) => {
+            eprintln!(
+                "bench_gate: layout block drifted past tolerance ({} vs {}):",
+                new_path.display(),
+                old_path.display(),
+            );
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff-layout") {
+        return diff_layout(&args[1..]);
+    }
+    let path = args.first().map(PathBuf::from).unwrap_or_else(default_path);
+    let doc = match read_report(&path) {
+        Ok(doc) => doc,
+        Err(code) => return code,
     };
     match perf_gate::validate(&doc) {
         Ok(()) => {
             println!(
-                "bench_gate: {} OK — warm {}us, cold {}us, request latency p50={}us p99={}us",
+                "bench_gate: {} OK — warm {}us, cold {}us, request latency p50={}us p99={}us, \
+                 layout on {}us <= off {}us",
                 path.display(),
                 doc.num_at("warm_session_micros").unwrap_or(0),
                 doc.num_at("cold_session_micros").unwrap_or(0),
                 doc.num_at("request_latency_micros.p50").unwrap_or(0),
                 doc.num_at("request_latency_micros.p99").unwrap_or(0),
+                doc.num_at("layout.warm_session_micros_on").unwrap_or(0),
+                doc.num_at("layout.warm_session_micros_off").unwrap_or(0),
             );
             ExitCode::SUCCESS
         }

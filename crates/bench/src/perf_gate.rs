@@ -45,14 +45,42 @@ pub struct O4Session {
     pub time_residency_nanos: BTreeMap<Tier, u64>,
 }
 
+/// Measurements of the profile-guided layout A/B session: the same warm
+/// machine-rung traffic served by a layout-enabled and a layout-disabled
+/// engine, plus each O4 artifact's taken/fallthrough jump counters.
+#[derive(Clone, Debug)]
+pub struct LayoutSession {
+    /// Best warm-session wall-clock with profile-guided layout on.
+    pub warm_session_micros_on: u64,
+    /// Best warm-session wall-clock with layout off (creation order).
+    pub warm_session_micros_off: u64,
+    /// Taken jumps executed by the layout-on O4 artifact.
+    pub taken_jumps_on: u64,
+    /// Fallthrough jumps executed by the layout-on O4 artifact.
+    pub fallthrough_jumps_on: u64,
+    /// Taken jumps executed by the layout-off O4 artifact.
+    pub taken_jumps_off: u64,
+    /// Fallthrough jumps executed by the layout-off O4 artifact.
+    pub fallthrough_jumps_off: u64,
+}
+
+/// Converts a nanosecond count to *true* microseconds, rounding to the
+/// nearest rather than truncating — sub-microsecond residency must not
+/// silently vanish from (or be misread in) the committed report.
+pub fn nanos_to_micros(nanos: u64) -> u64 {
+    (nanos + 500) / 1_000
+}
+
 /// Builds the `BENCH_engine.json` document.
 ///
 /// `warm_session_micros` / `cold_session_micros` are the measured
 /// wall-clock latencies of one full warm (prewarmed engine, warmed cache)
 /// and cold (fresh engine, empty cache) session over the acceptance
 /// traffic.  `time_residency_nanos` is [`engine::Engine::rung_time_residency`]
-/// output; it is converted to microseconds in the report.  `o4` carries
-/// the machine-rung session block (see [`O4Session`]).
+/// output; it is converted to true microseconds ([`nanos_to_micros`]) in
+/// the report.  `o4` carries the machine-rung session block (see
+/// [`O4Session`]); `layout` carries the layout A/B block (see
+/// [`LayoutSession`]).
 pub fn report(
     warm_session_micros: u64,
     cold_session_micros: u64,
@@ -60,11 +88,15 @@ pub fn report(
     visit_residency: &BTreeMap<Tier, u64>,
     time_residency_nanos: &BTreeMap<Tier, u64>,
     o4: &O4Session,
+    layout: &LayoutSession,
 ) -> Json {
     let rung_map = |m: &BTreeMap<Tier, u64>, scale: u64| {
         Json::Obj(
             m.iter()
-                .map(|(tier, v)| (tier.to_string(), Json::Num(v / scale)))
+                .map(|(tier, v)| {
+                    let n = if scale == 1 { *v } else { nanos_to_micros(*v) };
+                    (tier.to_string(), Json::Num(n))
+                })
                 .collect(),
         )
     };
@@ -127,6 +159,29 @@ pub fn report(
             ),
         ]),
     ));
+    doc.push((
+        "layout".to_string(),
+        Json::obj([
+            (
+                "warm_session_micros_on",
+                Json::Num(layout.warm_session_micros_on),
+            ),
+            (
+                "warm_session_micros_off",
+                Json::Num(layout.warm_session_micros_off),
+            ),
+            ("taken_jumps_on", Json::Num(layout.taken_jumps_on)),
+            (
+                "fallthrough_jumps_on",
+                Json::Num(layout.fallthrough_jumps_on),
+            ),
+            ("taken_jumps_off", Json::Num(layout.taken_jumps_off)),
+            (
+                "fallthrough_jumps_off",
+                Json::Num(layout.fallthrough_jumps_off),
+            ),
+        ]),
+    ));
     Json::Obj(doc)
 }
 
@@ -179,6 +234,27 @@ pub fn required_fields() -> Vec<String> {
         "speedup_vs_o3_permille",
     ] {
         fields.push(format!("o4_session.{field}"));
+    }
+    // The residency maps key rungs dynamically, but the anchor rungs are
+    // guaranteed by the traffic: the baseline is always visited, and the
+    // o4 session must reach the machine rung.
+    for anchor in [
+        "rung_visit_residency.O0",
+        "rung_time_micros.O0",
+        "o4_session.rung_visit_residency.O4",
+        "o4_session.rung_time_micros.O4",
+    ] {
+        fields.push(anchor.to_string());
+    }
+    for field in [
+        "warm_session_micros_on",
+        "warm_session_micros_off",
+        "taken_jumps_on",
+        "fallthrough_jumps_on",
+        "taken_jumps_off",
+        "fallthrough_jumps_off",
+    ] {
+        fields.push(format!("layout.{field}"));
     }
     fields
 }
@@ -296,6 +372,45 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         errors.push("o4_session.speedup_vs_o3_permille is zero — not measured".to_string());
     }
 
+    // The layout A/B block: profile-guided layout must not slow the warm
+    // session (the tentpole's whole point), the laid-out artifact must
+    // actually have executed, and its taken-jump *share* must not exceed
+    // the creation-order artifact's — magnitudes vary with compile
+    // timing, the ratio does not.
+    if let (Some(on), Some(off)) = (
+        doc.num_at("layout.warm_session_micros_on"),
+        doc.num_at("layout.warm_session_micros_off"),
+    ) {
+        if on == 0 || off == 0 {
+            errors.push("layout: a warm session was not measured".to_string());
+        } else if on > off {
+            errors.push(format!(
+                "layout: layout-on warm session regressed past layout-off \
+                 ({on}us > {off}us)"
+            ));
+        }
+    }
+    if let (Some(taken_on), Some(fall_on), Some(taken_off), Some(fall_off)) = (
+        doc.num_at("layout.taken_jumps_on"),
+        doc.num_at("layout.fallthrough_jumps_on"),
+        doc.num_at("layout.taken_jumps_off"),
+        doc.num_at("layout.fallthrough_jumps_off"),
+    ) {
+        if fall_on == 0 {
+            errors.push(
+                "layout.fallthrough_jumps_on is zero — the laid-out O4 artifact never ran"
+                    .to_string(),
+            );
+        }
+        let (total_on, total_off) = (taken_on + fall_on, taken_off + fall_off);
+        if total_on > 0 && total_off > 0 && taken_on * total_off > taken_off * total_on {
+            errors.push(format!(
+                "layout: taken-jump share regressed with layout on \
+                 ({taken_on}/{total_on} > {taken_off}/{total_off})"
+            ));
+        }
+    }
+
     // The tier-1 invariants the acceptance tests assert from live
     // sessions must survive into the committed report.
     for (path, floor, why) in [
@@ -320,6 +435,67 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         }
     }
 
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Permille taken-jump share of a report's layout leg (`on`/`off`), if
+/// the counts are present and non-zero.
+fn taken_share_permille(doc: &Json, leg: &str) -> Option<u64> {
+    let taken = doc.num_at(&format!("layout.taken_jumps_{leg}"))?;
+    let fall = doc.num_at(&format!("layout.fallthrough_jumps_{leg}"))?;
+    let total = taken + fall;
+    (total > 0).then(|| taken * 1_000 / total)
+}
+
+/// Compares the `layout` block of a regenerated report against the
+/// committed one within `tolerance_permille`: each warm-session timing
+/// may drift by at most that fraction of the larger value (timings vary
+/// across machines), and each leg's taken-jump *share* by at most that
+/// many permille points (counts scale with compile timing, shares are
+/// stable).  Returns every violation — the bench-smoke job's answer to
+/// "did this PR change layout behaviour, not just re-roll the noise".
+pub fn diff_layout(
+    committed: &Json,
+    regenerated: &Json,
+    tolerance_permille: u64,
+) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for field in ["warm_session_micros_on", "warm_session_micros_off"] {
+        let path = format!("layout.{field}");
+        match (committed.num_at(&path), regenerated.num_at(&path)) {
+            (Some(old), Some(new)) => {
+                let drift = old.abs_diff(new);
+                let budget = old.max(new) * tolerance_permille / 1_000;
+                if drift > budget {
+                    errors.push(format!(
+                        "{path}: {old}us -> {new}us drifts {drift}us, \
+                         past the {tolerance_permille}‰ budget of {budget}us"
+                    ));
+                }
+            }
+            _ => errors.push(format!("{path} missing from a report")),
+        }
+    }
+    for leg in ["on", "off"] {
+        match (
+            taken_share_permille(committed, leg),
+            taken_share_permille(regenerated, leg),
+        ) {
+            (Some(old), Some(new)) => {
+                if old.abs_diff(new) > tolerance_permille {
+                    errors.push(format!(
+                        "layout ({leg}): taken-jump share moved {old}‰ -> {new}‰, \
+                         past the {tolerance_permille}‰ budget"
+                    ));
+                }
+            }
+            _ => errors.push(format!("layout ({leg}): jump counts missing from a report")),
+        }
+    }
     if errors.is_empty() {
         Ok(())
     } else {
@@ -390,6 +566,17 @@ mod tests {
         }
     }
 
+    fn sample_layout_session() -> LayoutSession {
+        LayoutSession {
+            warm_session_micros_on: 95_000,
+            warm_session_micros_off: 104_000,
+            taken_jumps_on: 4_000,
+            fallthrough_jumps_on: 11_000,
+            taken_jumps_off: 9_000,
+            fallthrough_jumps_off: 6_000,
+        }
+    }
+
     fn sample_report() -> Json {
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
         let nanos = BTreeMap::from([
@@ -404,6 +591,7 @@ mod tests {
             &visits,
             &nanos,
             &sample_o4_session(),
+            &sample_layout_session(),
         )
     }
 
@@ -443,7 +631,15 @@ mod tests {
         snapshot.composed_tier_ups = 0;
         snapshot.deopts = 0;
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(1, 1, &snapshot, &visits, &visits, &sample_o4_session());
+        let doc = report(
+            1,
+            1,
+            &snapshot,
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+        );
         let errors = validate(&doc).expect_err("invariants regressed");
         assert!(errors.iter().any(|e| e.contains("composed_tier_ups")));
         assert!(errors.iter().any(|e| e.contains("deopts")));
@@ -455,7 +651,15 @@ mod tests {
         // The SSA rung below outruns the machine rung: a regression.
         o4.time_residency_nanos.insert(Tier(3), 9_000_000);
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(150_000, 900_000, &sample_snapshot(), &visits, &visits, &o4);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &o4,
+            &sample_layout_session(),
+        );
         let errors = validate(&doc).expect_err("plurality lost");
         assert!(errors
             .iter()
@@ -468,7 +672,15 @@ mod tests {
         o4.visit_residency.remove(&Tier(4));
         o4.time_residency_nanos.remove(&Tier(4));
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(150_000, 900_000, &sample_snapshot(), &visits, &visits, &o4);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &o4,
+            &sample_layout_session(),
+        );
         let errors = validate(&doc).expect_err("no O4 traffic");
         assert!(errors
             .iter()
@@ -476,6 +688,137 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("no frames visited the O4 rung")));
+    }
+
+    #[test]
+    fn layout_ordering_regression_fails() {
+        let mut layout = sample_layout_session();
+        layout.warm_session_micros_on = layout.warm_session_micros_off + 1;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &layout,
+        );
+        let errors = validate(&doc).expect_err("ordering regressed");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("layout-on warm session regressed")));
+    }
+
+    #[test]
+    fn layout_taken_share_regression_fails() {
+        let mut layout = sample_layout_session();
+        // Layout on takes *more* jumps per executed jump than off: the
+        // reorder made things worse.
+        layout.taken_jumps_on = 12_000;
+        layout.fallthrough_jumps_on = 3_000;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &layout,
+        );
+        let errors = validate(&doc).expect_err("share regressed");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("taken-jump share regressed")));
+    }
+
+    #[test]
+    fn layout_without_machine_execution_fails() {
+        let mut layout = sample_layout_session();
+        layout.fallthrough_jumps_on = 0;
+        layout.taken_jumps_on = 0;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &layout,
+        );
+        let errors = validate(&doc).expect_err("artifact never ran");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("fallthrough_jumps_on is zero")));
+    }
+
+    #[test]
+    fn nanos_round_to_nearest_microsecond() {
+        assert_eq!(nanos_to_micros(0), 0);
+        assert_eq!(nanos_to_micros(499), 0);
+        assert_eq!(nanos_to_micros(500), 1);
+        assert_eq!(nanos_to_micros(1_499), 1);
+        assert_eq!(nanos_to_micros(1_500), 2);
+        // The map entries in the report use the same conversion.
+        let doc = sample_report();
+        assert_eq!(doc.num_at("rung_time_micros.O1"), Some(1_900));
+    }
+
+    #[test]
+    fn layout_diff_within_tolerance_passes() {
+        let committed = sample_report();
+        let mut drifted = sample_layout_session();
+        // ~4% timing drift and identical shares: machine noise.
+        drifted.warm_session_micros_on += 4_000;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
+        let nanos = BTreeMap::from([
+            (Tier::BASELINE, 600_000u64),
+            (Tier(1), 1_900_000),
+            (Tier(2), 2_400_000),
+        ]);
+        let regenerated = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &nanos,
+            &sample_o4_session(),
+            &drifted,
+        );
+        diff_layout(&committed, &regenerated, 500).expect("4% drift is noise");
+        let errors = diff_layout(&committed, &regenerated, 10).expect_err("4% > 1% budget");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("warm_session_micros_on") && e.contains("budget")));
+    }
+
+    #[test]
+    fn layout_diff_catches_share_shifts() {
+        let committed = sample_report();
+        let mut shifted = sample_layout_session();
+        // The on-leg share flips from ~27% taken to ~80% taken: a real
+        // behavioural change no timing tolerance should forgive.
+        shifted.taken_jumps_on = 12_000;
+        shifted.fallthrough_jumps_on = 3_000;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
+        let nanos = BTreeMap::from([
+            (Tier::BASELINE, 600_000u64),
+            (Tier(1), 1_900_000),
+            (Tier(2), 2_400_000),
+        ]);
+        let regenerated = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &nanos,
+            &sample_o4_session(),
+            &shifted,
+        );
+        let errors = diff_layout(&committed, &regenerated, 500).expect_err("share shifted");
+        assert!(errors.iter().any(|e| e.contains("taken-jump share moved")));
     }
 
     #[test]
@@ -513,7 +856,15 @@ mod tests {
         let mut snapshot = sample_snapshot();
         snapshot.request_latency = HistogramSnapshot::default();
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
-        let doc = report(1, 1, &snapshot, &visits, &visits, &sample_o4_session());
+        let doc = report(
+            1,
+            1,
+            &snapshot,
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+        );
         let errors = validate(&doc).expect_err("no observations");
         assert!(errors
             .iter()

@@ -26,7 +26,7 @@ use ssair::feasibility::{
     precompute_entries_collecting, EntryTable,
 };
 use ssair::interp::{run_frame, run_function, Frame, Machine, StepOutcome, Val};
-use ssair::passes::{PassId, Pipeline};
+use ssair::passes::{BlockFrequencies, LayoutBlocks, PassId, Pipeline};
 use ssair::reconstruct::{apply_comp, CompStep, Direction, Variant};
 use ssair::{Function, InstId, Module, ValueDef, ValueId};
 use tinyvm::profile::loop_header_points;
@@ -275,6 +275,13 @@ pub struct CompiledVersion {
     pub extension_rounds: usize,
     /// Wall-clock compile + precompute latency.
     pub compile_nanos: u64,
+    /// Digest of the [`BlockFrequencies`] snapshot that shaped this
+    /// artifact's block layout — `(branch block, hot successor)` pairs,
+    /// sorted.  Empty when no layout ran (no profile yet, layout
+    /// disabled, or a rung below O3).  A republish under a shifted
+    /// profile produces a different digest, which is how layout-stale
+    /// artifacts are told apart from fresh ones.
+    pub layout_digest: Vec<(ssair::BlockId, ssair::BlockId)>,
     /// The register-allocated machine artifact backing `opt` when this
     /// rung executes on the machine substrate ([`PipelineSpec::O4`]);
     /// `None` for SSA-interpreted rungs.  The artifact's shadow roots
@@ -347,7 +354,7 @@ pub fn compile_function(
     spec: &PipelineSpec,
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
-    compile_speculated(base, spec, &Speculation::none(), variant)
+    compile_speculated(base, spec, &Speculation::none(), None, variant)
 }
 
 /// Like [`compile_function`], specialized on a value speculation: the
@@ -365,9 +372,15 @@ pub fn compile_speculated(
     base: Function,
     spec: &PipelineSpec,
     speculation: &Speculation,
+    frequencies: Option<&BlockFrequencies>,
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
     let t0 = Instant::now();
+    // Profile-guided layout runs only on the hottest rungs (O3 and the
+    // machine rung it feeds) and only with a usable frequency summary —
+    // lower rungs recompile too often for a layout snapshot to pay off.
+    let layout = frequencies
+        .filter(|fr| !fr.is_empty() && matches!(spec, PipelineSpec::O3 | PipelineSpec::O4));
     let seeds: Vec<(ValueId, i64)> = speculation
         .seeds()
         .iter()
@@ -380,6 +393,9 @@ pub fn compile_speculated(
         let mut pipeline = spec.build_keeping(&keep);
         if !seeds.is_empty() {
             pipeline = pipeline.prepended(Box::new(ssair::passes::SeedValues::new(seeds.clone())));
+        }
+        if let Some(fr) = layout {
+            pipeline = pipeline.appended(Box::new(LayoutBlocks::new(fr.clone())));
         }
         let versions = FunctionVersions::new(base.clone(), &pipeline);
         let pair = versions.pair();
@@ -432,6 +448,7 @@ pub fn compile_speculated(
             keep: keep.len(),
             extension_rounds: rounds,
             compile_nanos: t0.elapsed().as_nanos() as u64,
+            layout_digest: layout.map(BlockFrequencies::digest).unwrap_or_default(),
             machine,
         });
     }
@@ -1457,6 +1474,7 @@ mod tests {
             base.clone(),
             &PipelineSpec::O2,
             &Speculation::on([(0, 3)]),
+            None,
             Variant::Avail,
         )
         .expect("specialized compile validates");

@@ -9,9 +9,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ssair::interp::{ExecError, Val};
+use ssair::passes::BlockFrequencies;
 use ssair::reconstruct::Direction;
 use ssair::{BlockId, Function, InstId, Module};
-use tinyvm::profile::{Tier, TierController, TierDecision, TierTarget};
+use tinyvm::profile::{LocalProfile, Tier, TierController, TierDecision, TierTarget};
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
 use crate::cache::{
@@ -48,6 +49,12 @@ pub struct EnginePolicy {
     /// reports [`crate::SubmitError::QueueFull`] and
     /// [`crate::EngineHandle::submit`] blocks.
     pub queue_depth: usize,
+    /// Profile-guided block layout: when set (the default), compile jobs
+    /// for the O3/O4 rungs snapshot the function's edge profile into a
+    /// [`BlockFrequencies`] summary and the optimizer reorders blocks
+    /// hot-fallthrough-first.  Disable to measure the layout's effect
+    /// (the benchmark suite's `layout` block does exactly that).
+    pub layout: bool,
 }
 
 impl EnginePolicy {
@@ -97,6 +104,7 @@ impl Default for EnginePolicy {
             deopt: DeoptPolicy::default(),
             fuel: 50_000_000,
             queue_depth: 1024,
+            layout: true,
         }
     }
 }
@@ -467,7 +475,7 @@ impl EngineCore {
                 // Observations since the last instrumented visit still
                 // belong to the shared speculation profile — even when the
                 // request itself failed (e.g. fuel exhaustion).
-                controller.flush_profile();
+                controller.flush_profile(true);
                 // Close the final rung's time slice and flush the whole
                 // batch of per-rung deltas (one lock per request).
                 controller.finish_timing();
@@ -614,6 +622,29 @@ impl EngineCore {
             .record_execution(request, trace_transitions, rung_nanos);
     }
 
+    /// Snapshots the shared edge profile into the frequency summary a
+    /// compile job lays blocks out by.  `None` below the O3 rung, when
+    /// [`EnginePolicy::layout`] is off, or when no branch has drawn
+    /// enough samples yet — the job then compiles layout-free.
+    ///
+    /// Advances the profile's drain epoch first: every controller holding
+    /// a thread-local buffer drains at its next flush check, so the
+    /// profile this snapshot misses is bounded by one flush interval and
+    /// the *next* snapshot (the artifact's republish) sees it.
+    pub(crate) fn layout_snapshot(
+        &self,
+        function: &str,
+        spec: &PipelineSpec,
+    ) -> Option<BlockFrequencies> {
+        if !self.policy.layout || !matches!(spec, PipelineSpec::O3 | PipelineSpec::O4) {
+            return None;
+        }
+        self.profiles.advance_epoch();
+        let min = SpeculationPolicy::default().min_samples;
+        let freqs = BlockFrequencies::from_edge_counts(&self.profiles.edge_totals(function), min);
+        (!freqs.is_empty()).then_some(freqs)
+    }
+
     /// Returns the compiled artifact for `key`, compiling on the calling
     /// thread if no one has yet, or waiting for an in-flight background
     /// compile.
@@ -641,6 +672,7 @@ impl EngineCore {
                         // Synchronous path: the job never queues, so its
                         // priority is moot — mark it maximally urgent.
                         priority: u64::MAX,
+                        profile: self.layout_snapshot(&key.function, &key.spec),
                     },
                     &self.cache,
                     &self.metrics,
@@ -825,9 +857,13 @@ struct EngineController<'e> {
     /// Parameter pins: `param value id → actual argument`, supplied to
     /// every hop so an OSR-entered frame can always re-read its arguments.
     pinned: Vec<(ssair::ValueId, Val)>,
-    /// One-shot argument-value observations, flushed into the shared
-    /// value profile with the first edge flush.
-    local_values: Option<Vec<((usize, i64), u64)>>,
+    /// Thread-local profile buffer: edge observations, uncommon-path
+    /// hits, and the one-shot argument-value observations, all batched
+    /// here and drained into the shared [`ProfileTable`] only when the
+    /// table's epoch advances (a compile was submitted), at hops, or at
+    /// request end — the steady-state observe path touches no shared
+    /// lock.
+    local: LocalProfile,
     /// Memoized value-speculation verdict for the current climb epoch.
     spec_memo: Option<Speculation>,
     /// Frame-local value-speculation poison: set once a value guard fired
@@ -865,20 +901,12 @@ struct EngineController<'e> {
     /// runs once per climb epoch, not once per loop iteration.  Cleared
     /// on every hop; recomputed when the deopt count moves.
     threshold_memo: Option<(u64, u64)>,
-    /// Edge observations at the current rung, flushed to the shared
-    /// profile at instrumented visits (so the shared map is not locked
-    /// per branch).
-    local_edges: HashMap<(BlockId, BlockId), u64>,
     /// Frame-local `(hot hits, uncommon hits)` per guarded branch since
     /// the last hop — the deopt decider: a guard fires only when the
     /// uncommon count reaches the policy tolerance *and* the observed
     /// uncommon rate exceeds what the profiled bias already allowed, so
     /// steady profile-consistent traffic never thrashes.
     guard_stats: HashMap<BlockId, (u64, u64)>,
-    /// Uncommon-path hits not yet flushed to the shared profile (batched
-    /// like `local_edges`, so a stuck cold-path frame never locks the
-    /// shared map per iteration).
-    unflushed_uncommon: HashMap<BlockId, u64>,
     /// Memoized per-branch bias verdicts for the current climb.
     bias_cache: HashMap<BlockId, Option<BlockId>>,
     /// Whether this request already recorded its cache hit/miss.
@@ -918,7 +946,7 @@ impl<'e> EngineController<'e> {
             base,
             args,
             pinned,
-            local_values: Some(local_values),
+            local: LocalProfile::new(local_values),
             spec_memo: None,
             no_value_spec: false,
             value_escape: None,
@@ -932,9 +960,7 @@ impl<'e> EngineController<'e> {
             rung_nanos: Vec::new(),
             deopted: false,
             threshold_memo: None,
-            local_edges: HashMap::new(),
             guard_stats: HashMap::new(),
-            unflushed_uncommon: HashMap::new(),
             bias_cache: HashMap::new(),
             accounted: false,
             probed: HashSet::new(),
@@ -968,24 +994,15 @@ impl<'e> EngineController<'e> {
             .record_time(self.function, self.rung_nanos.iter().copied());
     }
 
-    fn flush_profile(&mut self) {
-        if let Some(values) = self.local_values.take() {
-            if !values.is_empty() {
-                self.core.profiles.record_values(self.function, values);
-            }
-        }
-        if !self.local_edges.is_empty() {
-            self.core
-                .profiles
-                .record_edges(self.function, self.tier, self.local_edges.drain());
-        }
-        if !self.unflushed_uncommon.is_empty() {
-            self.core.profiles.record_uncommon_batch(
-                self.function,
-                self.tier,
-                self.unflushed_uncommon.drain(),
-            );
-        }
+    /// Drains the thread-local buffer into the shared profile.  `force`
+    /// drains unconditionally (request end, hops — the observations must
+    /// be visible to whatever runs next); otherwise the drain is gated on
+    /// [`ProfileTable::advance_epoch`] having moved since the last drain,
+    /// which costs one relaxed atomic load on the steady state.
+    fn flush_profile(&mut self, force: bool) {
+        self.core
+            .profiles
+            .flush_local(self.function, self.tier, &mut self.local, force);
     }
 
     /// The value speculation the next climb should target, memoized per
@@ -1270,7 +1287,9 @@ impl TierController for EngineController<'_> {
     }
 
     fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
-        self.flush_profile();
+        // Epoch-gated: on the steady state (no compile submitted since the
+        // last drain) this is one relaxed load, never a shared lock.
+        self.flush_profile(false);
         // Count the visit first: top-rung frames still contribute to the
         // per-(function, tier) hotness profile.
         let total = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
@@ -1381,11 +1400,16 @@ impl TierController for EngineController<'_> {
                     self.core.cache.note_probe(&key, false);
                 }
                 if self.enqueued.insert(key.clone()) && self.core.cache.claim(&key) {
+                    // This frame's own buffered edges belong in the layout
+                    // snapshot the job is about to take.
+                    self.flush_profile(true);
+                    let profile = self.core.layout_snapshot(self.function, &key.spec);
                     self.core.pool.submit(
                         CompileJob {
                             key,
                             base: self.base.clone(),
                             priority: total,
+                            profile,
                         },
                         &self.core.metrics,
                     );
@@ -1400,7 +1424,7 @@ impl TierController for EngineController<'_> {
             // Profile: every edge taken at the baseline feeds the shared
             // speculation profile (batched; flushed at instrumented
             // visits).
-            *self.local_edges.entry((from, to)).or_insert(0) += 1;
+            *self.local.edges.entry((from, to)).or_insert(0) += 1;
             return TierDecision::Continue;
         }
         // Guard: compare the taken edge against the profiled bias, under
@@ -1418,7 +1442,7 @@ impl TierController for EngineController<'_> {
             // into the per-rung profile instead, so a partially-deopted
             // frame keeps correcting the bias without re-entering the
             // baseline.
-            *self.local_edges.entry((from, to)).or_insert(0) += 1;
+            *self.local.edges.entry((from, to)).or_insert(0) += 1;
             return TierDecision::Continue;
         };
         let stats = self.guard_stats.entry(from).or_insert((0, 0));
@@ -1428,7 +1452,7 @@ impl TierController for EngineController<'_> {
         }
         stats.1 += 1;
         let (hot_hits, hits) = *stats;
-        *self.unflushed_uncommon.entry(from).or_insert(0) += 1;
+        *self.local.uncommon.entry(from).or_insert(0) += 1;
         // Fire only on *wrong* speculation: enough uncommon hits, taken at
         // a higher rate than the profiled bias already tolerated.
         let allowed_percent = (100 - policy.bias_percent.min(100)) as u64;
@@ -1456,7 +1480,7 @@ impl TierController for EngineController<'_> {
 
     fn on_transition(&mut self, _at: InstId) {
         // Unflushed guard observations belong to the rung being left.
-        self.flush_profile();
+        self.flush_profile(true);
         let hop = self
             .pending
             .take()

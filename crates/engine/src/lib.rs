@@ -107,6 +107,41 @@
 //! stream and request traces, hops landing in O4 carry
 //! [`TableKind::Machine`].
 //!
+//! # Profile-guided layout
+//!
+//! O3 and O4 compiles consume a snapshot of the edge profile
+//! ([`ssair::passes::BlockFrequencies`], built from
+//! [`ProfileTable`] edge counts) and append a
+//! [`ssair::passes::LayoutBlocks`] pass that reorders the optimized
+//! version's blocks hot-fallthrough-first; machine lowering then emits
+//! blocks in that order, so the micro-IR's hot successor is the literal
+//! `pc + 1` fallthrough and the hot path stops paying taken jumps.  The
+//! O2+ mixes already run `MergeBlocks` and `SimplifyJumps` — superblock
+//! formation and jump threading — with every action recorded in the
+//! mapper, so OSR entry tables over the laid-out version stay exact.
+//!
+//! **When the snapshot is taken.**  At compile-job submission: the
+//! requesting controller force-drains its thread-local buffer, the
+//! engine bumps the profile's drain epoch
+//! ([`ProfileTable::advance_epoch`] — which makes every other live
+//! frame's buffer drain at its next instrumented visit), and the
+//! aggregated per-block successor totals ride into the job.  A compile
+//! therefore sees the profile as of its submission, never a later one;
+//! the snapshot actually used is recorded on the artifact as
+//! [`cache::CompiledVersion::layout_digest`] (the `(block, hot
+//! successor)` pairs the layout honored).  Rungs below O3, prewarmed
+//! compiles, and engines with [`EnginePolicy::layout`] cleared compile
+//! with no layout (an empty digest, creation order).
+//!
+//! **Layout-stale artifacts.**  A cached artifact keeps its layout until
+//! the rung is *republished*: any §5.2 keep-set recompile — or an
+//! explicit republish after the profile shifts, e.g. when a speculation
+//! demotion already forces one — re-snapshots the current profile, so
+//! the replacement artifact is laid out for the traffic that actually
+//! runs.  Layout staleness alone never invalidates an artifact: the old
+//! order stays *correct* (block order changes execution cost, not
+//! results), so eager invalidation would only churn the cache.
+//!
 //! # The speculation lifecycle (guard → deopt → re-climb → demotion)
 //!
 //! Deoptimization is not a debugger-only special case: the same
@@ -303,16 +338,25 @@
 //! `request_latency_micros` / `queue_wait_micros` /
 //! `compile_latency_micros` / `transition_cost_nanos` (objects with
 //! `count`/`p50`/`p90`/`p99`/`max`), `rung_visit_residency` and
-//! `rung_time_micros` (per-rung maps keyed `"O0"`, `"O1"`, …),
+//! `rung_time_micros` (per-rung maps keyed `"O0"`, `"O1"`, … — the time
+//! map holds *true* microseconds, rounded to the nearest from the
+//! nanosecond residency counters rather than truncated),
 //! `speculation` (the full counter set of [`metrics::MetricsSnapshot`]),
-//! and `o4_session` (the machine-rung acceptance session: its own
+//! `o4_session` (the machine-rung acceptance session: its own
 //! warm/cold wall-clock, the measured warm O4-vs-O3 session speedup in
-//! permille, and the O4 engine's per-rung residency maps).
+//! permille, and the O4 engine's per-rung residency maps), and `layout`
+//! (the profile-guided-layout A/B: best warm-session micros with layout
+//! on vs off over identical probe traffic, plus each leg's O4
+//! taken/fallthrough jump counters).
 //! CI regenerates the file and `cargo run -p bench --bin bench_gate`
 //! fails the build when required fields are missing, quantiles are not
 //! monotone (`p50 ≤ p90 ≤ p99`), the tier-1 invariants (≥ 1 composed
-//! tier-up, ≥ 1 deopt) regress, or the machine rung loses the plurality
-//! of `o4_session` execution time.
+//! tier-up, ≥ 1 deopt) regress, the machine rung loses the plurality
+//! of `o4_session` execution time, or the layout ordering regresses
+//! (layout-on warm micros must stay ≤ layout-off, and layout-on must
+//! not raise the taken-jump share).  The bench-smoke job additionally
+//! diffs a freshly regenerated `layout` block against the committed one
+//! within a tolerance (`bench_gate diff-layout`).
 //!
 //! Beyond timing, every transition (with its tier pair and whether it was
 //! composed), compile, composed-table build and rejection is recorded as
@@ -364,5 +408,5 @@ pub use engine::{
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use metrics::{DeoptReason, EngineEvent, EngineMetrics, MetricsSnapshot, TimedEngineEvent};
 pub use session::{EngineHandle, RequestId, ResultEvent, SessionReport, SubmitError};
-pub use tiers::{DeoptStrategy, LadderPolicy, Tier, TierEdge, TierGraph, TierPolicy};
+pub use tiers::{DeoptStrategy, LadderPolicy, Tier, TierEdge, TierGraph, TierPolicy, NEVER_HOT};
 pub use trace::{RequestTrace, TableKind, TraceTransition};

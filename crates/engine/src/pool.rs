@@ -18,6 +18,7 @@ use std::collections::BinaryHeap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use ssair::passes::BlockFrequencies;
 use ssair::reconstruct::Variant;
 use ssair::Function;
 
@@ -33,6 +34,11 @@ pub struct CompileJob {
     /// Scheduling priority: the submitting function's profile hotness at
     /// enqueue time.  Hotter jobs pop before colder ones.
     pub priority: u64,
+    /// Block-frequency summary snapshotted from the shared profile at
+    /// enqueue time — the input to profile-guided block layout on the
+    /// O3/O4 rungs.  `None` when the submitter had no profile to offer
+    /// (or layout is disabled); the worker then compiles layout-free.
+    pub profile: Option<BlockFrequencies>,
 }
 
 /// Heap entry: max by priority, then FIFO (lowest sequence first) among
@@ -217,7 +223,13 @@ pub fn run_job(
     use std::sync::atomic::Ordering;
     let function = job.key.function.clone();
     let label = job.key.pipeline_label();
-    match compile_speculated(job.base, &job.key.spec, &job.key.speculation, variant) {
+    match compile_speculated(
+        job.base,
+        &job.key.spec,
+        &job.key.speculation,
+        job.profile.as_ref(),
+        variant,
+    ) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
             let extension = (cv.extension_rounds > 0).then_some((cv.extension_rounds, cv.keep));
@@ -281,6 +293,7 @@ mod tests {
                 key: key.clone(),
                 base: m.get("f").unwrap().clone(),
                 priority: 1,
+                profile: None,
             },
             &metrics,
         );
@@ -311,6 +324,7 @@ mod tests {
             key: CacheKey::new(name, crate::cache::PipelineSpec::O1),
             base: base.clone(),
             priority,
+            profile: None,
         };
         let queue = CompileQueue::default();
         queue.push(job("cold", 2));
@@ -333,6 +347,7 @@ mod tests {
             key: CacheKey::new("f", crate::cache::PipelineSpec::O1),
             base: m.get("f").unwrap().clone(),
             priority: 7,
+            profile: None,
         });
         queue.close();
         assert!(queue.pop().is_some(), "queued work survives the close");

@@ -291,6 +291,12 @@ pub trait TierPolicy: fmt::Debug + Send + Sync {
 /// speculation gradient (see [`LadderPolicy::with_bias_step`]).
 pub const DEFAULT_BIAS_STEP: u8 = 5;
 
+/// A climb threshold no realistic request stream reaches (`2⁴⁰` visits).
+/// Ladders built with every threshold at this value never tier up — how
+/// differential tests drive compile-heavy kernels through the engine
+/// path without paying for their optimized-rung compiles.
+pub const NEVER_HOT: u64 = 1 << 40;
+
 /// The standard [`TierPolicy`]: a chain-shaped [`TierGraph`] from
 /// explicit `(pipeline, threshold)` rungs, a per-rung speculation
 /// gradient, and configurable deopt strategy.

@@ -498,6 +498,13 @@ pub struct Function {
     insts: Vec<InstData>,
     values: Vec<ValueDef>,
     inst_block: Vec<Option<BlockId>>,
+    /// Emission order of the live blocks.  Empty means creation order (the
+    /// frontend default); a layout pass installs an explicit permutation
+    /// via [`Function::set_layout`].  Purely a code-placement property:
+    /// semantics, dominance, and the CFG are unaffected, but everything
+    /// that walks [`Function::block_ids`] — display, machine lowering —
+    /// sees this order.
+    layout: Vec<BlockId>,
 }
 
 impl Function {
@@ -514,6 +521,7 @@ impl Function {
                 .map(|(i, _)| ValueDef::Param(i as u32))
                 .collect(),
             inst_block: Vec::new(),
+            layout: Vec::new(),
         }
     }
 
@@ -527,12 +535,54 @@ impl Function {
         ValueId(i as u32)
     }
 
-    /// All live block ids in creation order.
+    /// All live block ids in emission order: the explicit layout when one
+    /// has been installed ([`Function::set_layout`]), creation order
+    /// otherwise.
     pub fn block_ids(&self) -> Vec<BlockId> {
+        if !self.layout.is_empty() {
+            return self.layout.clone();
+        }
         (0..self.blocks.len() as u32)
             .map(BlockId)
             .filter(|b| self.blocks[b.0 as usize].is_some())
             .collect()
+    }
+
+    /// Installs an explicit block emission order.
+    ///
+    /// `order` must be a permutation of the live blocks.  Passing the
+    /// creation order (or an empty vector) clears the explicit layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the live blocks.
+    pub fn set_layout(&mut self, order: Vec<BlockId>) {
+        if order.is_empty() {
+            self.layout.clear();
+            return;
+        }
+        let creation: Vec<BlockId> = (0..self.blocks.len() as u32)
+            .map(BlockId)
+            .filter(|b| self.blocks[b.0 as usize].is_some())
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            order.len(),
+            "layout order contains a duplicate block"
+        );
+        assert_eq!(
+            sorted, creation,
+            "layout order is not a permutation of the live blocks"
+        );
+        self.layout = if order == creation { Vec::new() } else { order };
+    }
+
+    /// Whether an explicit (non-creation-order) layout is installed.
+    pub fn has_custom_layout(&self) -> bool {
+        !self.layout.is_empty()
     }
 
     /// The block data for `b`.
@@ -637,6 +687,9 @@ impl Function {
             insts: Vec::new(),
             term: Terminator::Ret(None),
         }));
+        if !self.layout.is_empty() {
+            self.layout.push(id);
+        }
         id
     }
 
@@ -717,6 +770,7 @@ impl Function {
             self.inst_block[i.0 as usize] = None;
         }
         self.blocks[b.0 as usize] = None;
+        self.layout.retain(|x| *x != b);
     }
 
     /// Collects, for every value, the list of instructions using it.

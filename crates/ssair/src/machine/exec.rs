@@ -18,6 +18,7 @@
 //! register-level entry tables.
 //!
 //! [`exec_inst`]: MachineArtifact::exec_inst
+//! [`run_machine`]: MachineArtifact::run_machine
 
 use crate::interp::{run_frame, ExecError, Frame, Machine, StepOutcome, Val};
 use crate::ir::{BlockId, Module};
@@ -130,11 +131,23 @@ impl MachineArtifact {
                     StepOutcome::Paused { .. } => unreachable!("no pause in calls"),
                 }
             }
-            MInst::Jump { pc, from, to } => {
+            MInst::Jump {
+                pc: target,
+                from,
+                to,
+            } => {
+                // Layout quality accounting: a jump to the very next pc is
+                // a fallthrough the dispatch loop pays nothing extra for.
+                let counter = if *target == pc + 1 {
+                    &self.fallthrough_jumps
+                } else {
+                    &self.taken_jumps
+                };
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 return Ok(MachineStep::Jumped {
                     from: *from,
                     to: *to,
-                    pc: *pc,
+                    pc: *target,
                 });
             }
             MInst::Branch {

@@ -139,7 +139,8 @@ pub fn lower_function(f: &Function, shadow_roots: &BTreeSet<ValueId>) -> Machine
         });
     };
 
-    for b in f.block_ids() {
+    let emission_order = f.block_ids();
+    for (bi, &b) in emission_order.iter().enumerate() {
         block_start.insert(b, code.len());
         for &i in &f.block(b).insts {
             let kind = &f.inst(i).kind;
@@ -226,6 +227,16 @@ pub fn lower_function(f: &Function, shadow_roots: &BTreeSet<ValueId>) -> Machine
                     then_pc: usize::MAX,
                     else_pc: usize::MAX,
                 });
+                // Layout honoring: when one arm's target is the next block
+                // in emission order (the hot successor under profile-guided
+                // layout), emit that arm's edge sequence inline so its
+                // trailing Jump lands on the very next pc — a fallthrough.
+                let next = emission_order.get(bi + 1);
+                if let Some(&n) = next.filter(|n| **n == *then_bb || **n == *else_bb) {
+                    let at = code.len();
+                    emit_edge(&mut code, &mut next_slot, b, n);
+                    edge_start.insert((b, n), at);
+                }
             }
         }
     }
@@ -291,5 +302,7 @@ pub fn lower_function(f: &Function, shadow_roots: &BTreeSet<ValueId>) -> Machine
         osr_maps,
         loc_of,
         shadow_slot,
+        taken_jumps: Default::default(),
+        fallthrough_jumps: Default::default(),
     }
 }

@@ -228,6 +228,37 @@ pub struct MachineArtifact {
     /// Shadow slot of every value the backward tables may need after its
     /// register dies (write-through at the definition).
     pub shadow_slot: BTreeMap<ValueId, u32>,
+    /// Dynamic count of [`MInst::Jump`]s whose target was *not* the next
+    /// pc — the jumps a better layout removes.  Relaxed: a monitoring
+    /// counter, never a synchronization point.
+    pub taken_jumps: std::sync::atomic::AtomicU64,
+    /// Dynamic count of [`MInst::Jump`]s whose target was exactly `pc + 1`
+    /// (pure fallthroughs after profile-guided layout).
+    pub fallthrough_jumps: std::sync::atomic::AtomicU64,
+}
+
+impl MachineArtifact {
+    /// Whether the CFG edge `from → to` is realized as a pc-fallthrough:
+    /// its [`MInst::Jump`] targets the instruction immediately after
+    /// itself.  This is the static property the dynamic
+    /// [`MachineArtifact::jump_counts`] measure — profile-guided layout
+    /// makes the hot successor of every biased branch a fallthrough.
+    pub fn edge_is_fallthrough(&self, from: BlockId, to: BlockId) -> bool {
+        self.code.iter().enumerate().any(|(at, inst)| {
+            matches!(inst, MInst::Jump { pc, from: f, to: t }
+                if *f == from && *t == to && *pc == at + 1)
+        })
+    }
+
+    /// `(taken, fallthrough)` jump counts accumulated by every execution
+    /// of this artifact.
+    pub fn jump_counts(&self) -> (u64, u64) {
+        (
+            self.taken_jumps.load(std::sync::atomic::Ordering::Relaxed),
+            self.fallthrough_jumps
+                .load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
 }
 
 /// A machine activation: flat register and slot files indexed by

@@ -1,0 +1,224 @@
+//! Profile-guided block layout (the `FrequentBlock`-style frequency
+//! classes of a layout-oriented backend, reduced to a hot-successor
+//! relation).
+//!
+//! [`BlockFrequencies`] condenses raw per-edge execution counts — as
+//! collected by a runtime profile table against *baseline* block ids,
+//! which every optimized clone preserves — into "the successor this block
+//! most often transfers to".  [`LayoutBlocks`] consumes the summary and
+//! installs an explicit emission order on the function
+//! ([`Function::set_layout`]): greedy traces from the entry that follow
+//! hot successors, so machine lowering places each hot successor
+//! immediately after its branch and the dispatch loop's jump becomes a
+//! pc-increment.
+//!
+//! Layout is a pure code-placement property: no instruction is touched,
+//! no §5.1 action recorded, and `LocationMap`s/entry tables are keyed by
+//! instruction id, so OSR mappings are unaffected by construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::{BlockId, Function};
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// A per-function summary of observed edge frequencies: for each branch
+/// block, the successor taken most often.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BlockFrequencies {
+    hot: BTreeMap<BlockId, BlockId>,
+}
+
+impl BlockFrequencies {
+    /// Summarizes raw `from-block → [(successor, count)]` totals.
+    ///
+    /// A block contributes a hot successor only when its total count
+    /// reaches `min_samples`; ties break to the lowest successor id (the
+    /// profile-table convention).
+    pub fn from_edge_counts(
+        counts: &BTreeMap<BlockId, Vec<(BlockId, u64)>>,
+        min_samples: u64,
+    ) -> Self {
+        let mut hot = BTreeMap::new();
+        for (from, outs) in counts {
+            let mut per_succ: BTreeMap<BlockId, u64> = BTreeMap::new();
+            for (to, n) in outs {
+                *per_succ.entry(*to).or_default() += n;
+            }
+            let total: u64 = per_succ.values().sum();
+            if total < min_samples {
+                continue;
+            }
+            // BTreeMap iteration is ascending, so `>` keeps the lowest id
+            // on ties.
+            let mut best: Option<(BlockId, u64)> = None;
+            for (to, n) in per_succ {
+                if best.map_or(true, |(_, m)| n > m) {
+                    best = Some((to, n));
+                }
+            }
+            if let Some((to, _)) = best {
+                hot.insert(*from, to);
+            }
+        }
+        BlockFrequencies { hot }
+    }
+
+    /// The hot successor of `b`, if the profile resolved one.
+    pub fn hot_successor(&self, b: BlockId) -> Option<BlockId> {
+        self.hot.get(&b).copied()
+    }
+
+    /// Whether the summary carries no information (layout is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.hot.is_empty()
+    }
+
+    /// A stable digest of the summary — what a compiled artifact records
+    /// so "compiled under which layout profile?" is answerable.
+    pub fn digest(&self) -> Vec<(BlockId, BlockId)> {
+        self.hot.iter().map(|(a, b)| (*a, *b)).collect()
+    }
+}
+
+/// Reorders blocks hot-fallthrough-first according to a
+/// [`BlockFrequencies`] summary.
+#[derive(Clone, Default, Debug)]
+pub struct LayoutBlocks {
+    freqs: BlockFrequencies,
+}
+
+impl LayoutBlocks {
+    /// Builds the pass around a profile summary.
+    pub fn new(freqs: BlockFrequencies) -> Self {
+        LayoutBlocks { freqs }
+    }
+}
+
+impl Pass for LayoutBlocks {
+    fn name(&self) -> &'static str {
+        "layout-blocks"
+    }
+
+    fn hook_sites(&self) -> usize {
+        0 // pure code placement, never a §5.1 action
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let _ = cm;
+        if self.freqs.is_empty() {
+            return false;
+        }
+        let before = f.block_ids();
+        let order = trace_order(f, &self.freqs);
+        f.set_layout(order);
+        f.block_ids() != before
+    }
+}
+
+/// Greedy trace formation: start at the entry, repeatedly append the hot
+/// successor (falling back to an unconditional successor to straighten
+/// unprofiled chains); seed further traces from the remaining blocks in
+/// creation order.
+fn trace_order(f: &Function, freqs: &BlockFrequencies) -> Vec<BlockId> {
+    let mut order: Vec<BlockId> = Vec::new();
+    let mut placed: BTreeSet<BlockId> = BTreeSet::new();
+    let seeds: Vec<BlockId> = std::iter::once(f.entry).chain(f.block_ids()).collect();
+    for seed in seeds {
+        let mut cur = seed;
+        while !placed.contains(&cur) {
+            order.push(cur);
+            placed.insert(cur);
+            let succs = f.block(cur).term.successors();
+            let hot = freqs
+                .hot_successor(cur)
+                .filter(|h| succs.contains(h) && !placed.contains(h));
+            let next = hot.or_else(|| succs.iter().copied().find(|s| !placed.contains(s)));
+            match next {
+                Some(n) => cur = n,
+                None => break,
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, FunctionBuilder, Module, Ty};
+
+    /// entry cond_br → cold / hot, both → join.
+    fn diamond() -> (Function, BlockId, BlockId, BlockId) {
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let cold = b.create_block("cold");
+        let hot = b.create_block("hot");
+        let join = b.create_block("join");
+        b.cond_br(c, cold, hot);
+        b.switch_to(cold);
+        let v1 = b.const_i64(1);
+        b.br(join);
+        b.switch_to(hot);
+        let v2 = b.const_i64(2);
+        b.br(join);
+        b.switch_to(join);
+        let ph = b.phi(&[(cold, v1), (hot, v2)]);
+        b.ret(Some(ph));
+        (b.finish(), cold, hot, join)
+    }
+
+    #[test]
+    fn hot_successor_comes_first() {
+        let (mut f, cold, hot, join) = diamond();
+        let entry = f.entry;
+        let freqs = BlockFrequencies::from_edge_counts(
+            &BTreeMap::from([(entry, vec![(hot, 95), (cold, 5)])]),
+            16,
+        );
+        assert_eq!(freqs.hot_successor(entry), Some(hot));
+        let f0 = f.clone();
+        let mut cm = SsaMapper::new();
+        assert!(LayoutBlocks::new(freqs).run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert_eq!(f.block_ids(), vec![entry, hot, join, cold]);
+        let m = Module::new();
+        for c in [0, 1] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(c)], &m, 1000).unwrap(),
+                run_function(&f0, &[Val::Int(c)], &m, 1000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn under_sampled_profiles_are_ignored() {
+        let (mut f, cold, hot, _) = diamond();
+        let entry = f.entry;
+        let freqs = BlockFrequencies::from_edge_counts(
+            &BTreeMap::from([(entry, vec![(hot, 3), (cold, 1)])]),
+            16,
+        );
+        assert!(freqs.is_empty());
+        let mut cm = SsaMapper::new();
+        assert!(!LayoutBlocks::new(freqs).run(&mut f, &mut cm));
+        assert!(!f.has_custom_layout());
+    }
+
+    #[test]
+    fn digest_is_stable_and_sorted() {
+        let freqs = BlockFrequencies::from_edge_counts(
+            &BTreeMap::from([
+                (BlockId(7), vec![(BlockId(9), 50)]),
+                (BlockId(2), vec![(BlockId(3), 40), (BlockId(4), 40)]),
+            ]),
+            16,
+        );
+        // The tie at bb2 resolves to the lowest successor id.
+        assert_eq!(
+            freqs.digest(),
+            vec![(BlockId(2), BlockId(3)), (BlockId(7), BlockId(9))]
+        );
+    }
+}

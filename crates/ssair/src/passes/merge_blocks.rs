@@ -1,0 +1,193 @@
+//! Block merging: fuse straight-line `Br` chains into their predecessor
+//! (the `block_merging` cleanup of a layout-oriented backend), OSR-aware.
+//!
+//! A block `B` is merged into its unique predecessor `A` only when doing
+//! so cannot disturb the landing-site machinery or the edge profiles that
+//! drive speculation:
+//!
+//! * `A` ends in `Br(B)` and is `B`'s *only* predecessor — the fusion is a
+//!   pure concatenation, no φ adjustment anywhere;
+//! * `B` ends in `Br(C)` — never a conditional branch (a conditional's
+//!   block id keys the edge profiles and guard statistics; moving it into
+//!   `A` would fragment them) and never a return;
+//! * `C` carries no φ-nodes, so the successor edge needs no incoming
+//!   rewrite and baseline φ-resolution chains stay intact.
+//!
+//! Every moved instruction is recorded as a `hoist` with its own id
+//! (LICM's convention), so [`crate::feasibility`]'s anchor logic knows the
+//! instruction is no longer control-equivalent to its baseline location
+//! and lands transitions at the surviving downstream anchors instead.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{BlockId, Function, InstKind, Terminator};
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Fuses single-predecessor/single-successor `Br` chains.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MergeBlocks;
+
+impl Pass for MergeBlocks {
+    fn name(&self) -> &'static str {
+        "merge-blocks"
+    }
+
+    fn hook_sites(&self) -> usize {
+        1 // hoist of each fused instruction
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut changed = false;
+        while let Some((a, b)) = find_candidate(f) {
+            let insts = f.block(b).insts.clone();
+            for i in insts {
+                // Constants are immediates (rematerialized freely) and dbg
+                // pseudo-instructions are transparent; neither move is a
+                // recorded action — matching LICM.
+                if !matches!(f.inst(i).kind, InstKind::Const(_)) && !f.inst(i).kind.is_dbg() {
+                    cm.hoist(i, i);
+                }
+                let pos = f.block(a).insts.len();
+                f.move_inst(i, a, pos);
+            }
+            let term = f.block(b).term.clone();
+            f.block_mut(a).term = term;
+            f.remove_block(b);
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// The next fusable `(pred, block)` pair, if any.
+fn find_candidate(f: &Function) -> Option<(BlockId, BlockId)> {
+    let mut pred_count: BTreeMap<BlockId, usize> = BTreeMap::new();
+    for a in f.block_ids() {
+        for s in f.block(a).term.successors() {
+            *pred_count.entry(s).or_default() += 1;
+        }
+    }
+    for a in f.block_ids() {
+        let Terminator::Br(b) = f.block(a).term else {
+            continue;
+        };
+        if b == a || b == f.entry || pred_count.get(&b) != Some(&1) {
+            continue;
+        }
+        if f.block(b).insts.iter().any(|i| f.inst(*i).kind.is_phi()) {
+            continue;
+        }
+        let Terminator::Br(c) = f.block(b).term else {
+            continue;
+        };
+        if c == a || c == b {
+            continue;
+        }
+        if f.block(c).insts.iter().any(|i| f.inst(*i).kind.is_phi()) {
+            continue;
+        }
+        return Some((a, b));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    /// entry → m1 → m2 → exit, a pure `Br` chain with work in every link.
+    fn chain_fn() -> Function {
+        let mut b = FunctionBuilder::new("chain", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let one = b.const_i64(1);
+        let m1 = b.create_block("m1");
+        let m2 = b.create_block("m2");
+        let exit = b.create_block("exit");
+        let t0 = b.binop(BinOp::Add, x, one);
+        b.br(m1);
+        b.switch_to(m1);
+        let t1 = b.binop(BinOp::Mul, t0, x);
+        b.br(m2);
+        b.switch_to(m2);
+        let t2 = b.binop(BinOp::Sub, t1, one);
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(Some(t2));
+        b.finish()
+    }
+
+    #[test]
+    fn fuses_the_whole_chain() {
+        let f0 = chain_fn();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(MergeBlocks.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        // entry absorbs m1 and m2; exit (Ret-terminated) stays separate.
+        assert_eq!(f.block_ids().len(), 2, "the Br chain collapses");
+        assert!(cm.counts().hoist >= 2, "moved insts are recorded");
+        let m = Module::new();
+        for x in [-3, 0, 7] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(x)], &m, 1000).unwrap(),
+                run_function(&f0, &[Val::Int(x)], &m, 1000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_conditional_blocks_alone() {
+        // entry → head; head ends in a conditional — head's body may fuse
+        // into entry, but the branch block itself must keep its identity…
+        // except the merge would move the CondBr into entry, which the
+        // candidate filter forbids.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let head = b.create_block("head");
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        b.br(head);
+        b.switch_to(head);
+        let one = b.const_i64(1);
+        let cc = b.binop(BinOp::Gt, c, one);
+        b.cond_br(cc, t, e);
+        b.switch_to(t);
+        let r1 = b.const_i64(10);
+        b.ret(Some(r1));
+        b.switch_to(e);
+        let r2 = b.const_i64(20);
+        b.ret(Some(r2));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(!MergeBlocks.run(&mut f, &mut cm), "no Br→Br link exists");
+        assert_eq!(f, f0);
+    }
+
+    #[test]
+    fn phi_successors_block_the_merge() {
+        // entry cond_br → a / b, both Br → join(φ): a and b are single-pred
+        // but their successor carries φs, so nothing merges.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let a = b.create_block("a");
+        let bb = b.create_block("b");
+        let join = b.create_block("join");
+        b.cond_br(c, a, bb);
+        b.switch_to(a);
+        let va = b.const_i64(1);
+        b.br(join);
+        b.switch_to(bb);
+        let vb = b.const_i64(2);
+        b.br(join);
+        b.switch_to(join);
+        let ph = b.phi(&[(a, va), (bb, vb)]);
+        b.ret(Some(ph));
+        let mut f = b.finish();
+        let mut cm = SsaMapper::new();
+        assert!(!MergeBlocks.run(&mut f, &mut cm));
+    }
+}

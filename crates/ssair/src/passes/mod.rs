@@ -14,21 +14,27 @@
 mod adce;
 mod constprop;
 mod cse;
+mod layout;
 mod lcssa;
 mod licm;
 mod loopsimplify;
+mod merge_blocks;
 mod sccp;
 mod seed;
+mod simplify_jumps;
 mod sink;
 
 pub use adce::Adce;
 pub use constprop::{const_value, ConstProp};
 pub use cse::Cse;
+pub use layout::{BlockFrequencies, LayoutBlocks};
 pub use lcssa::Lcssa;
 pub use licm::Licm;
 pub use loopsimplify::LoopSimplify;
+pub use merge_blocks::MergeBlocks;
 pub use sccp::Sccp;
 pub use seed::SeedValues;
+pub use simplify_jumps::SimplifyJumps;
 pub use sink::Sink;
 
 use osr::ActionCounts;
@@ -84,6 +90,10 @@ pub enum PassId {
     Adce,
     /// Code sinking.
     Sink,
+    /// Straight-line block merging.
+    MergeBlocks,
+    /// Jump threading / degenerate-branch collapsing.
+    SimplifyJumps,
 }
 
 impl PassId {
@@ -106,6 +116,8 @@ impl PassId {
             PassId::Sccp => Box::new(Sccp),
             PassId::Adce => Box::new(Adce::keeping(keep.clone())),
             PassId::Sink => Box::new(Sink::keeping(keep.clone())),
+            PassId::MergeBlocks => Box::new(MergeBlocks),
+            PassId::SimplifyJumps => Box::new(SimplifyJumps),
         }
     }
 
@@ -120,6 +132,8 @@ impl PassId {
             PassId::Sccp => "sccp",
             PassId::Adce => "adce",
             PassId::Sink => "sink",
+            PassId::MergeBlocks => "merge-blocks",
+            PassId::SimplifyJumps => "simplify-jumps",
         }
     }
 }
@@ -159,6 +173,8 @@ impl Pipeline {
             Box::new(Sccp),
             Box::new(Adce::keeping(keep.clone())),
             Box::new(Sink::keeping(keep)),
+            Box::new(SimplifyJumps),
+            Box::new(MergeBlocks),
         ])
     }
 
@@ -178,6 +194,10 @@ impl Pipeline {
         p.passes.push(Box::new(Sccp));
         p.passes.push(Box::new(Adce::keeping(keep.clone())));
         p.passes.push(Box::new(Sink::keeping(keep.clone())));
+        // Re-run the layout cleanups over whatever the second fold round
+        // exposed (folded branches leave degenerate jumps behind).
+        p.passes.push(Box::new(SimplifyJumps));
+        p.passes.push(Box::new(MergeBlocks));
         p
     }
 
@@ -220,6 +240,15 @@ impl Pipeline {
     #[must_use]
     pub fn prepended(mut self, pass: Box<dyn Pass>) -> Self {
         self.passes.insert(0, pass);
+        self
+    }
+
+    /// Returns the pipeline with `pass` appended — how a profile-guided
+    /// engine runs [`LayoutBlocks`] after a rung's normal mix, so the
+    /// emission order is computed over the final CFG.
+    #[must_use]
+    pub fn appended(mut self, pass: Box<dyn Pass>) -> Self {
+        self.passes.push(pass);
         self
     }
 

@@ -1,0 +1,265 @@
+//! Jump simplification: collapse degenerate conditional branches and
+//! thread empty forwarding blocks (the `simplify_jumps` cleanup of a
+//! layout-oriented backend), OSR-aware.
+//!
+//! Three rewrites, iterated to a fix-point:
+//!
+//! 1. a conditional branch whose arms coincide becomes an unconditional
+//!    branch;
+//! 2. a conditional branch on a constant becomes an unconditional branch
+//!    to the taken arm (the dead edge's φ-incomings are dropped, SCCP's
+//!    idiom);
+//! 3. a completely empty block `E` (no instructions, no φs) that merely
+//!    forwards `Br(T)` is threaded past: every predecessor that reaches
+//!    `E` *unconditionally* branches straight to `T`, with `T`'s φs
+//!    gaining the predecessor's incoming.  Conditional predecessors are
+//!    deliberately left routing through `E` — the conditional's block id
+//!    and its immediate successor ids key the edge profiles, and
+//!    [`tinyvm`-level observers](crate::Function) resolve empty chains
+//!    themselves.  `E` is removed once no predecessor remains.
+//!
+//! No instruction is created, deleted, or moved, so no §5.1 action is
+//! recorded: the baseline φ-resolution chains used by the landing-site
+//! logic scan the *whole* baseline `Br` chain and therefore resolve edges
+//! through threaded-away blocks to the surviving predecessor.
+
+use crate::ir::{BlockId, Function, InstKind, Terminator, ValueDef};
+use crate::passes::Pass;
+use crate::SsaMapper;
+
+/// Threads trivial forwarding blocks and collapses constant branches.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SimplifyJumps;
+
+impl Pass for SimplifyJumps {
+    fn name(&self) -> &'static str {
+        "simplify-jumps"
+    }
+
+    fn hook_sites(&self) -> usize {
+        0 // terminator and φ-incoming rewrites only, never a §5.1 action
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let _ = cm;
+        let mut changed = false;
+        loop {
+            let mut round = false;
+            round |= collapse_degenerate_branches(f);
+            round |= thread_empty_blocks(f);
+            if !round {
+                break;
+            }
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Rewrites `CondBr` terminators with equal arms or constant conditions
+/// into plain `Br`s.
+fn collapse_degenerate_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    for b in f.block_ids() {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = f.block(b).term.clone()
+        else {
+            continue;
+        };
+        if then_bb == else_bb {
+            f.block_mut(b).term = Terminator::Br(then_bb);
+            changed = true;
+            continue;
+        }
+        let constant = match f.value_def(cond) {
+            ValueDef::Param(_) => None,
+            ValueDef::Inst(i) => match f.inst(i).kind {
+                InstKind::Const(n) => Some(n),
+                _ => None,
+            },
+        };
+        if let Some(n) = constant {
+            let (taken, dead) = if n != 0 {
+                (then_bb, else_bb)
+            } else {
+                (else_bb, then_bb)
+            };
+            f.block_mut(b).term = Terminator::Br(taken);
+            remove_phi_incoming(f, dead, b);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Threads `P --Br--> E --Br--> T` past the empty `E` for unconditional
+/// predecessors `P`, removing `E` once unreferenced.
+fn thread_empty_blocks(f: &mut Function) -> bool {
+    let mut changed = false;
+    for e in f.block_ids() {
+        if e == f.entry || !f.block(e).insts.is_empty() {
+            continue;
+        }
+        let Terminator::Br(t) = f.block(e).term else {
+            continue;
+        };
+        if t == e {
+            continue;
+        }
+        // Predecessors of `e`, split by how they reach it.
+        let mut br_preds: Vec<BlockId> = Vec::new();
+        let mut other_preds = false;
+        for p in f.block_ids() {
+            if p == e {
+                continue;
+            }
+            match f.block(p).term {
+                Terminator::Br(x) if x == e => {
+                    if p != t {
+                        br_preds.push(p);
+                    } else {
+                        other_preds = true; // P == T would create a self-edge
+                    }
+                }
+                ref term if term.successors().contains(&e) => other_preds = true,
+                _ => {}
+            }
+        }
+        if br_preds.is_empty() {
+            continue;
+        }
+        // φs in T gain one incoming per threaded predecessor, mirroring
+        // the value that flowed along E → T (available at P's exit, since
+        // E computes nothing).
+        let t_insts = f.block(t).insts.clone();
+        for p in &br_preds {
+            for &i in &t_insts {
+                if let InstKind::Phi(incs) = &mut f.inst_mut(i).kind {
+                    if let Some(v) = incs.iter().find_map(|(pr, v)| (*pr == e).then_some(*v)) {
+                        incs.push((*p, v));
+                    }
+                }
+            }
+            f.block_mut(*p).term.retarget(e, t);
+        }
+        if !other_preds {
+            remove_phi_incoming(f, t, e);
+            f.remove_block(e);
+        }
+        changed = true;
+    }
+    changed
+}
+
+/// Drops the `(pred → block)` incoming entry from every φ in `block`.
+fn remove_phi_incoming(f: &mut Function, block: BlockId, pred: BlockId) {
+    if !f.block_exists(block) {
+        return;
+    }
+    let insts = f.block(block).insts.clone();
+    for i in insts {
+        if let InstKind::Phi(incs) = f.inst(i).kind.clone() {
+            let filtered: Vec<_> = incs.into_iter().filter(|(p, _)| *p != pred).collect();
+            f.inst_mut(i).kind = InstKind::Phi(filtered);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn threads_empty_forwarder_and_patches_phis() {
+        // p --Br--> e(empty) --Br--> t(φ); q --Br--> t directly.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let p = b.create_block("p");
+        let q = b.create_block("q");
+        let e = b.create_block("e");
+        let t = b.create_block("t");
+        b.cond_br(c, p, q);
+        b.switch_to(p);
+        let vp = b.const_i64(1);
+        b.br(e);
+        b.switch_to(q);
+        let vq = b.const_i64(2);
+        b.br(t);
+        b.switch_to(e);
+        b.br(t);
+        b.switch_to(t);
+        let ph = b.phi(&[(e, vp), (q, vq)]);
+        b.ret(Some(ph));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(SimplifyJumps.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(!f.block_exists(e), "the forwarder is gone");
+        let m = Module::new();
+        for c in [0, 1] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(c)], &m, 1000).unwrap(),
+                run_function(&f0, &[Val::Int(c)], &m, 1000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn conditional_predecessors_keep_routing_through_the_forwarder() {
+        // entry cond_br → e / q; e is empty and forwards to t.  The
+        // conditional edge must keep its profiled successor id `e`.
+        let mut b = FunctionBuilder::new("f", &[("c", Ty::I64)]);
+        let c = b.param(0);
+        let e = b.create_block("e");
+        let q = b.create_block("q");
+        let t = b.create_block("t");
+        b.cond_br(c, e, q);
+        b.switch_to(e);
+        b.br(t);
+        b.switch_to(q);
+        b.br(t);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        let mut f = b.finish();
+        let entry = f.entry;
+        let mut cm = SsaMapper::new();
+        SimplifyJumps.run(&mut f, &mut cm);
+        verify(&f).unwrap();
+        assert!(f.block_exists(e), "conditional edges are not threaded");
+        assert!(f.block(entry).term.successors().contains(&e));
+    }
+
+    #[test]
+    fn collapses_equal_arms_and_constant_conditions() {
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let one = b.const_i64(1);
+        let t = b.create_block("t");
+        let dead = b.create_block("dead");
+        b.cond_br(one, t, dead);
+        b.switch_to(t);
+        let r = b.binop(BinOp::Add, x, one);
+        b.ret(Some(r));
+        b.switch_to(dead);
+        b.ret(Some(x));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        assert!(SimplifyJumps.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        let entry = f.entry;
+        assert!(matches!(f.block(entry).term, Terminator::Br(b) if b == t));
+        let m = Module::new();
+        assert_eq!(
+            run_function(&f, &[Val::Int(5)], &m, 1000).unwrap(),
+            Some(Val::Int(6))
+        );
+    }
+}

@@ -104,6 +104,53 @@ pub struct ProfileTable {
     /// never per instruction) and flush once per request, so this map is
     /// locked a handful of times per request, off the interpreter loop.
     time_nanos: Mutex<HashMap<(String, Tier), u64>>,
+    /// The *drain epoch*: a monotone counter consumers bump
+    /// ([`ProfileTable::advance_epoch`]) whenever they are about to *read*
+    /// the profile (e.g. snapshotting it into a compile job).  A
+    /// [`LocalProfile`] buffer drains into the shared maps only when the
+    /// epoch moved past its last drain (or at a forced flush point), so
+    /// the steady-state observe path — including its periodic flush checks
+    /// — touches no shared lock at all.
+    epoch: AtomicU64,
+}
+
+/// A thread-local (per-frame) profile buffer: the observations a frame
+/// accumulates between drains into the shared [`ProfileTable`].
+///
+/// The buffer exists so the per-instruction observe path writes only
+/// unshared memory.  [`ProfileTable::flush_local`] drains it when the
+/// table's epoch has advanced (someone wants to read fresh data) or when
+/// the caller forces it (hop boundaries and request end, where the next
+/// consumer is the frame itself).
+#[derive(Debug, Default)]
+pub struct LocalProfile {
+    /// Edge observations `(from, to) → count` at the owning frame's
+    /// current rung.
+    pub edges: HashMap<(BlockId, BlockId), u64>,
+    /// Uncommon-path hits per guarded branch, not yet shared.
+    pub uncommon: HashMap<BlockId, u64>,
+    /// One-shot argument-value observations, drained with the first
+    /// flush.
+    pub values: Option<Vec<((usize, i64), u64)>>,
+    /// The table epoch this buffer last drained at.
+    seen_epoch: u64,
+}
+
+impl LocalProfile {
+    /// A fresh buffer carrying the request's one-shot value observations.
+    pub fn new(values: Vec<((usize, i64), u64)>) -> Self {
+        LocalProfile {
+            values: Some(values),
+            ..LocalProfile::default()
+        }
+    }
+
+    /// Whether the buffer currently holds nothing to drain.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+            && self.uncommon.is_empty()
+            && self.values.as_ref().map_or(true, Vec::is_empty)
+    }
 }
 
 /// Observed values of one argument slot: distinct values with counts, plus
@@ -362,6 +409,72 @@ impl ProfileTable {
         let (value, n) = hot?;
         (total >= policy.min_samples && n * 100 >= total * policy.stability_percent as u64)
             .then_some(value)
+    }
+
+    /// The current drain epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the drain epoch, asking every [`LocalProfile`] holder to
+    /// drain at its next flush check — called by consumers about to read
+    /// the profile (e.g. an engine snapshotting edge counts into a
+    /// compile job).  Returns the new epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Drains `local` into the shared maps when `force` is set or the
+    /// drain epoch advanced since the buffer's last drain; returns whether
+    /// a drain happened.  On the steady state (no epoch movement, not
+    /// forced) this is one relaxed atomic load — no shared lock.
+    pub fn flush_local(
+        &self,
+        function: &str,
+        tier: Tier,
+        local: &mut LocalProfile,
+        force: bool,
+    ) -> bool {
+        let now = self.epoch.load(Ordering::Relaxed);
+        if !force && now == local.seen_epoch {
+            return false;
+        }
+        local.seen_epoch = now;
+        if let Some(values) = local.values.take() {
+            if !values.is_empty() {
+                self.record_values(function, values);
+            }
+        }
+        if !local.edges.is_empty() {
+            self.record_edges(function, tier, local.edges.drain());
+        }
+        if !local.uncommon.is_empty() {
+            self.record_uncommon_batch(function, tier, local.uncommon.drain());
+        }
+        true
+    }
+
+    /// Raw per-branch successor totals for `function`, aggregated over
+    /// the rungs that observed each branch — the input to a layout
+    /// frequency summary (`ssair::passes::BlockFrequencies`).
+    pub fn edge_totals(&self, function: &str) -> BTreeMap<BlockId, Vec<(BlockId, u64)>> {
+        let map = self.edges.lock().expect("edge lock");
+        let Some(branches) = map.get(function) else {
+            return BTreeMap::new();
+        };
+        branches
+            .iter()
+            .map(|(from, succs)| {
+                let mut agg: Vec<(BlockId, u64)> = Vec::new();
+                for ((_, to), n) in succs {
+                    match agg.iter_mut().find(|(s, _)| s == to) {
+                        Some((_, count)) => *count += n,
+                        None => agg.push((*to, *n)),
+                    }
+                }
+                (*from, agg)
+            })
+            .collect()
     }
 }
 
@@ -1135,5 +1248,132 @@ mod tests {
         // Direct else edge: attributed as usual.
         frame.came_from = Some(cond);
         assert_eq!(obs.taken_edge(&frame, join_entry), Some((cond, join)));
+    }
+
+    #[test]
+    fn edge_observer_attributes_edges_to_merged_blocks() {
+        // Superblock formation (ssair's MergeBlocks) fuses a straight-line
+        // chain into one block.  The conditional's successor ids — the
+        // keys the baseline's edge profile biased on — survive the merge,
+        // and the fused-in tail must not open a second attribution point.
+        use ssair::passes::{MergeBlocks, Pass};
+        use ssair::{BinOp, FunctionBuilder, Ty};
+        // entry: cond_br (x > 3) a b
+        // a:     a1 = x + 1 ; br m
+        // m:     a2 = a1 * 2 ; br j     — fused into `a`
+        // b:     b1 = x - 1 ; br j
+        // j:     r = x * x ; ret r      — no φs, so the chain may fuse
+        let mut bld = FunctionBuilder::new("g", &[("x", Ty::I64)]);
+        let x = bld.param(0);
+        let three = bld.const_i64(3);
+        let one = bld.const_i64(1);
+        let two = bld.const_i64(2);
+        let cmp = bld.binop(BinOp::Gt, x, three);
+        let entry = bld.current_block();
+        let a = bld.create_block("a");
+        let m = bld.create_block("m");
+        let b = bld.create_block("b");
+        let j = bld.create_block("j");
+        bld.cond_br(cmp, a, b);
+        bld.switch_to(a);
+        let a1 = bld.binop(BinOp::Add, x, one);
+        bld.br(m);
+        bld.switch_to(m);
+        let _a2 = bld.binop(BinOp::Mul, a1, two);
+        bld.br(j);
+        bld.switch_to(b);
+        let _b1 = bld.binop(BinOp::Sub, x, one);
+        bld.br(j);
+        bld.switch_to(j);
+        let r = bld.binop(BinOp::Mul, x, x);
+        bld.ret(Some(r));
+        let mut f = bld.finish();
+        let mut cm = ssair::SsaMapper::new();
+        assert!(MergeBlocks.run(&mut f, &mut cm), "the a → m chain fuses");
+        ssair::verify(&f).unwrap();
+        assert!(!f.block_exists(m), "m was fused into a");
+
+        let obs = EdgeObserver::for_function(&f);
+        let mut frame = ssair::interp::Frame::enter(&f, &[ssair::interp::Val::Int(5)]);
+        frame.block = a;
+        frame.came_from = Some(entry);
+        // The conditional edge keys on the same successor id the baseline
+        // profiled, witnessed by exactly one instruction of the merged
+        // block (the fused-in tail is mid-block, not an entry point).
+        let attributions: Vec<_> = f
+            .block(a)
+            .insts
+            .iter()
+            .filter_map(|&i| obs.taken_edge(&frame, i))
+            .collect();
+        assert_eq!(attributions, vec![(entry, a)]);
+        // The merged block's outgoing edge is unconditional — never a
+        // guard key, so it must not attribute.
+        frame.block = j;
+        frame.came_from = Some(a);
+        let j_entry = f.block(j).insts[0];
+        assert_eq!(obs.taken_edge(&frame, j_entry), None);
+    }
+
+    #[test]
+    fn edge_observer_attributes_edges_through_threaded_forwarders() {
+        // Jump threading (ssair's SimplifyJumps) retargets unconditional
+        // predecessors of an empty forwarder while the conditional
+        // predecessor deliberately keeps routing through it: the observer
+        // must keep attributing the conditional's traffic to the
+        // forwarder's id — the successor the baseline profiled.
+        use ssair::passes::{Pass, SimplifyJumps};
+        use ssair::{BinOp, FunctionBuilder, Ty};
+        // entry: cond_br (x > 3) e q    — conditional predecessor of e
+        // q:     q1 = x + 1 ; br e      — unconditional: threaded past e
+        // e:     (empty) br t
+        // t:     r = x * x ; ret r
+        let mut bld = FunctionBuilder::new("g", &[("x", Ty::I64)]);
+        let x = bld.param(0);
+        let three = bld.const_i64(3);
+        let one = bld.const_i64(1);
+        let cmp = bld.binop(BinOp::Gt, x, three);
+        let entry = bld.current_block();
+        let e = bld.create_block("e");
+        let q = bld.create_block("q");
+        let t = bld.create_block("t");
+        bld.cond_br(cmp, e, q);
+        bld.switch_to(q);
+        let _q1 = bld.binop(BinOp::Add, x, one);
+        bld.br(e);
+        bld.switch_to(e);
+        bld.br(t);
+        bld.switch_to(t);
+        let r = bld.binop(BinOp::Mul, x, x);
+        bld.ret(Some(r));
+        let mut f = bld.finish();
+        let mut cm = ssair::SsaMapper::new();
+        assert!(SimplifyJumps.run(&mut f, &mut cm), "q threads past e");
+        ssair::verify(&f).unwrap();
+        assert!(f.block_exists(e), "the conditional predecessor keeps e");
+        assert!(
+            matches!(f.block(q).term, ssair::Terminator::Br(x2) if x2 == t),
+            "the unconditional predecessor branches straight to t"
+        );
+
+        let obs = EdgeObserver::for_function(&f);
+        let t_entry = f
+            .block(t)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| !f.inst(*i).kind.is_phi() && !f.inst(*i).kind.is_dbg())
+            .unwrap();
+        let mut frame = ssair::interp::Frame::enter(&f, &[ssair::interp::Val::Int(5)]);
+        frame.block = t;
+        // Through the surviving forwarder: attributed to the conditional's
+        // edge into it, exactly as the baseline profiled.
+        frame.came_from = Some(e);
+        assert_eq!(obs.taken_edge(&frame, t_entry), Some((entry, e)));
+        // The threaded predecessor's new direct edge is unconditional —
+        // not a guard key, no attribution (same as before the threading,
+        // where q reached t through the multi-predecessor e).
+        frame.came_from = Some(q);
+        assert_eq!(obs.taken_edge(&frame, t_entry), None);
     }
 }

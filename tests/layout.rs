@@ -1,0 +1,398 @@
+//! Acceptance and property tests for profile-guided code layout: the
+//! `MergeBlocks` / `SimplifyJumps` / `LayoutBlocks` trio must preserve
+//! results and keep every OSR entry table valid over random functions and
+//! random edge profiles, and an engine serving a stream with a ≥ 90%
+//! biased branch must produce O3/O4 artifacts whose hot successor is the
+//! literal pc fallthrough of the lowered conditional — without breaking
+//! the climb → guard deopt → re-climb lifecycle on the layout-reordered
+//! versions.
+
+use std::collections::BTreeMap;
+
+use engine::cache::differential_validate;
+use engine::{
+    CacheKey, DeoptReason, Engine, EngineEvent, EnginePolicy, PipelineSpec, Request, ResultEvent,
+    Tier,
+};
+use proptest::prelude::*;
+use ssair::feasibility::precompute_entries;
+use ssair::interp::{run_function, Val};
+use ssair::passes::{BlockFrequencies, LayoutBlocks, Pipeline};
+use ssair::reconstruct::{Direction, Variant};
+use ssair::{BlockId, Terminator};
+use tinyvm::runtime::Vm;
+use tinyvm::FunctionVersions;
+
+/// Kernels the random-profile sweep draws from — each entry is named `k`
+/// and takes `(x, n)`.  Together they cover a guarded diamond in a loop,
+/// a straight-line chain behind a branch (superblock fodder), and nested
+/// conditionals with an empty-ish arm (jump-threading fodder).
+const PROP_KERNELS: [&str; 3] = [
+    "fn k(x, n) {
+         var s = 0;
+         for (var i = 0; i < n; i = i + 1) {
+             var t = x * x + 3;
+             if (t > i) { s = s + t - i; }
+             else { s = s + i * 2; }
+         }
+         return s;
+     }",
+    "fn k(x, n) {
+         var s = 1;
+         if (x > n) {
+             var a = x * 3;
+             var b = a + n;
+             var c = b * b - a;
+             s = c - b + a;
+         } else {
+             s = n - x;
+         }
+         for (var i = 0; i < n; i = i + 1) { s = s + i; }
+         return s;
+     }",
+    "fn k(x, n) {
+         var s = 0;
+         for (var i = 0; i < n; i = i + 1) {
+             if (x > 0) {
+                 if (i > x) { s = s + 2; }
+                 else { s = s + 1; }
+             } else {
+                 s = s - 1;
+             }
+         }
+         return s;
+     }",
+];
+
+/// A random edge profile over `f`'s conditional branches, drawn from
+/// `raw` round-robin.
+fn random_profile(f: &ssair::Function, raw: &[u64], min_samples: u64) -> BlockFrequencies {
+    let mut counts: BTreeMap<BlockId, Vec<(BlockId, u64)>> = BTreeMap::new();
+    let mut i = 0;
+    for b in f.block_ids() {
+        let succs = f.block(b).term.successors();
+        if succs.len() < 2 {
+            continue;
+        }
+        let per: Vec<(BlockId, u64)> = succs
+            .iter()
+            .map(|s| {
+                let c = raw[i % raw.len()];
+                i += 1;
+                (*s, c)
+            })
+            .collect();
+        counts.insert(b, per);
+    }
+    BlockFrequencies::from_edge_counts(&counts, min_samples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Over random kernels, random edge profiles and random sampling
+    /// gates: the aggressive mix (which includes merge + jump threading)
+    /// with frequency-driven layout appended preserves results under
+    /// differential replay, and both OSR entry tables still validate —
+    /// structurally via [`precompute_entries`] and concretely by
+    /// replaying sampled entries on live frames.
+    #[test]
+    fn prop_layout_mix_preserves_results_and_entry_tables(
+        kernel in 0usize..PROP_KERNELS.len(),
+        raw in proptest::collection::vec(0i64..400, 8..24),
+        min_samples in 1i64..64,
+        x in -6i64..6,
+        n in 1i64..24,
+    ) {
+        let module = minic::compile(PROP_KERNELS[kernel]).expect("kernel compiles");
+        let base = module.get("k").expect("entry exists").clone();
+        let raw: Vec<u64> = raw.into_iter().map(|c| c as u64).collect();
+        let freqs = random_profile(&base, &raw, min_samples as u64);
+        let pipeline =
+            Pipeline::aggressive().appended(Box::new(LayoutBlocks::new(freqs)));
+        let versions = FunctionVersions::new(base, &pipeline);
+        ssair::verify(&versions.opt).expect("layout kept the IR valid");
+
+        // Differential replay: the reordered version computes what the
+        // baseline computes.
+        const FUEL: usize = 1_000_000;
+        let args = [Val::Int(x), Val::Int(n)];
+        prop_assert_eq!(
+            run_function(&versions.opt, &args, &module, FUEL).expect("opt runs"),
+            run_function(&versions.base, &args, &module, FUEL).expect("base runs"),
+            "kernel {} diverged under layout", kernel
+        );
+
+        // Both OSR entry tables still precompute and replay.
+        let pair = versions.pair();
+        let up = precompute_entries(&pair, Direction::Forward, Variant::Avail);
+        let down = precompute_entries(&pair, Direction::Backward, Variant::Avail);
+        drop(pair);
+        differential_validate(&up, &versions.base, &versions.opt, &module, 3)
+            .expect("forward table replays on the layout-reordered version");
+        differential_validate(&down, &versions.opt, &versions.base, &module, 3)
+            .expect("backward table replays out of the layout-reordered version");
+    }
+}
+
+/// A kernel whose inner branch is ~100% biased whenever `x > 3` holds for
+/// every request: the canonical layout beneficiary.
+const BIASED: &str = "fn biased(x, n) {
+         var acc = 0;
+         for (var i = 0; i < n; i = i + 1) {
+             if (x > 3) { acc = acc + x * 2 + i; }
+             else { acc = acc - i * 3; }
+         }
+         return acc;
+     }";
+
+/// Warm biased traffic drives the ladder to O4; the artifacts the engine
+/// compiled along the way must carry a layout snapshot, and the lowered
+/// machine code must realize every laid-out conditional's hot edge as the
+/// literal pc fallthrough.
+#[test]
+fn biased_branch_hot_successor_is_the_pc_fallthrough() {
+    let module = minic::compile(BIASED).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::four_tier(8, 16, 16, 16)
+        },
+    );
+    // Both argument slots vary (no value speculation kicks in), but the
+    // branch is hot-arm-only throughout: ≥ 90% biased by any sample.
+    let requests: Vec<Request> = (0..24)
+        .map(|k| {
+            Request::tiered(
+                "biased",
+                vec![Val::Int(4 + (k % 7)), Val::Int(220 + 13 * (k % 9))],
+            )
+        })
+        .collect();
+    let report = engine.run_batch(&requests);
+
+    // Nothing diverged while the ladder climbed.
+    let vm = Vm::new(module);
+    let f = vm.module.get("biased").unwrap();
+    for (req, got) in requests.iter().zip(report.results.iter()) {
+        assert_eq!(
+            got.as_ref().expect("request succeeds"),
+            &vm.run_plain(f, &req.args).expect("plain run succeeds")
+        );
+    }
+
+    // The O3 and O4 compiles each consumed a frequency snapshot.
+    let o3 = engine
+        .cache()
+        .get(&CacheKey::new("biased", PipelineSpec::O3))
+        .expect("the stream reached O3");
+    let o4 = engine
+        .cache()
+        .get(&CacheKey::new("biased", PipelineSpec::O4))
+        .expect("the stream reached O4");
+    assert!(
+        !o3.layout_digest.is_empty() && !o4.layout_digest.is_empty(),
+        "O3/O4 compiles snapshot the edge profile into a layout"
+    );
+    assert!(
+        o3.opt.has_custom_layout() && o4.opt.has_custom_layout(),
+        "the profile actually reordered the blocks"
+    );
+
+    // Lowered acceptance: every laid-out conditional that survived
+    // optimization has its hot successor as the pc fallthrough.
+    let art = o4.machine.as_ref().expect("O4 carries a machine artifact");
+    let mut checked = 0;
+    for &(b, hot) in &o4.layout_digest {
+        if !o4.opt.block_exists(b) {
+            continue;
+        }
+        let Terminator::CondBr {
+            then_bb, else_bb, ..
+        } = &o4.opt.block(b).term
+        else {
+            continue;
+        };
+        if hot != *then_bb && hot != *else_bb {
+            continue;
+        }
+        assert!(
+            art.edge_is_fallthrough(b, hot),
+            "hot edge {b:?} → {hot:?} is not the machine fallthrough"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 1, "at least one laid-out conditional survives");
+    // The warm requests executed on the artifact, so its fallthrough
+    // counter moved — taken jumps remain (loop back edges), but the hot
+    // arm stopped paying for one.
+    let (_taken, fallthrough) = art.jump_counts();
+    assert!(
+        fallthrough > 0,
+        "warm traffic exercised the fallthrough path"
+    );
+}
+
+/// The speculation lifecycle on layout-reordered versions: rare_path's
+/// ~92%-biased branch is guarded at O4 but not at O3, so the post-flip
+/// guard failure falls one rung out of the (laid-out) register artifact
+/// and the frame re-climbs — exactly as it did before layout existed.
+/// Unlike the prewarmed machine-tier variant, every artifact here is
+/// compiled *after* warm profiling, so the versions the lifecycle runs on
+/// really are layout-reordered.
+#[test]
+fn layout_reordered_versions_survive_the_deopt_lifecycle() {
+    let kernel = workloads::speculation_kernels()
+        .into_iter()
+        .find(|k| k.name == "rare_path")
+        .expect("rare_path ships");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::four_tier(8, 16, 16, 16)
+        },
+    );
+    let session = engine.start();
+    // Warm phase: biased traffic (flip far beyond n) profiles the branch
+    // at ~92% and climbs the ladder, compiling every rung under the warm
+    // snapshot.  Arguments vary so no value speculation engages.
+    for k in 0..24i64 {
+        session.submit(Request::tiered(
+            "rare_path",
+            vec![Val::Int(117 + 13 * (k % 5)), Val::Int(1_000_000 + k)],
+        ));
+    }
+    // The contested request: biased until i = 300, flipped after.
+    let long = Request::tiered("rare_path", vec![Val::Int(3_000), Val::Int(300)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("rare_path").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+
+    // The lifecycle ran on layout-reordered versions.
+    let o4 = engine
+        .cache()
+        .get(&CacheKey::new("rare_path", PipelineSpec::O4))
+        .expect("warm traffic compiled O4");
+    assert!(
+        !o4.layout_digest.is_empty() && o4.opt.has_custom_layout(),
+        "the O4 artifact the lifecycle exercised is layout-reordered"
+    );
+
+    // Climb into the machine rung, guard deopt one rung down, re-climb.
+    let hops: Vec<(Tier, Tier)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request,
+                from_tier,
+                to_tier,
+                ..
+            }) if *request == long_id.0 => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        hops.contains(&(Tier(3), Tier(4))),
+        "the frame climbed into the laid-out machine rung: {hops:?}"
+    );
+    let deopts: Vec<(Tier, Tier)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request,
+                from_tier,
+                to_tier,
+                reason: DeoptReason::GuardFailure { .. },
+                ..
+            }) if *request == long_id.0 => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        deopts.contains(&(Tier(4), Tier(3))),
+        "the flipped guard left the laid-out register artifact: {deopts:?}"
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            ResultEvent::Engine(EngineEvent::Reclimb { request, from_tier, .. })
+                if *request == long_id.0 && *from_tier == Tier(3)
+        )),
+        "the landed frame re-climbed off the corrected profile"
+    );
+}
+
+/// Layout can be switched off: with [`EnginePolicy::layout`] cleared the
+/// same stream compiles the same rungs with no layout digest and no
+/// custom block order — the control leg the benchmark suite measures
+/// against.
+#[test]
+fn layout_off_compiles_unordered_artifacts() {
+    let module = minic::compile(BIASED).expect("compiles");
+    let engine = Engine::new(
+        module,
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            layout: false,
+            ..EnginePolicy::four_tier(8, 16, 16, 16)
+        },
+    );
+    let requests: Vec<Request> = (0..24)
+        .map(|k| {
+            Request::tiered(
+                "biased",
+                vec![Val::Int(4 + (k % 7)), Val::Int(220 + 13 * (k % 9))],
+            )
+        })
+        .collect();
+    let report = engine.run_batch(&requests);
+    assert!(report.results.iter().all(Result::is_ok));
+    let o4 = engine
+        .cache()
+        .get(&CacheKey::new("biased", PipelineSpec::O4))
+        .expect("the stream reached O4");
+    assert!(
+        o4.layout_digest.is_empty() && !o4.opt.has_custom_layout(),
+        "layout off leaves blocks in creation order"
+    );
+}
+
+/// The same cold-threshold helper the machine-tier sweep uses: a ladder
+/// built entirely from [`engine::NEVER_HOT`] thresholds never climbs, so
+/// a layout-enabled engine behaves exactly like the plain interpreter.
+#[test]
+fn never_hot_ladder_stays_at_the_baseline_with_layout_enabled() {
+    let cold = engine::NEVER_HOT;
+    let module = minic::compile(BIASED).expect("compiles");
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::four_tier(cold, cold, cold, cold)
+        },
+    );
+    let req = Request::tiered("biased", vec![Val::Int(9), Val::Int(50)]);
+    let report = engine.run_batch(std::slice::from_ref(&req));
+    let vm = Vm::new(module);
+    let f = vm.module.get("biased").unwrap();
+    assert_eq!(
+        report.results[0].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &req.args).unwrap()
+    );
+    assert_eq!(report.metrics.tier_ups, 0, "NEVER_HOT never climbs");
+}

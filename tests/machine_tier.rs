@@ -133,7 +133,7 @@ fn check_kernel(kernel: &Kernel, seed: u64) {
     }
 
     let heavy = COMPILE_HEAVY.contains(&kernel.name);
-    let cold = 1 << 40; // threshold no stream here reaches
+    let cold = engine::NEVER_HOT; // threshold no stream here reaches
     let o4 = if heavy {
         Engine::new(
             module.clone(),
