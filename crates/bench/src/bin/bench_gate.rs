@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p bench --bin bench_gate [path/to/BENCH_engine.json]
 //! cargo run -p bench --bin bench_gate -- diff-layout OLD.json NEW.json [TOLERANCE_PERMILLE]
+//! cargo run -p bench --bin bench_gate -- diff-inline OLD.json NEW.json [TOLERANCE_PERMILLE]
 //! ```
 //!
 //! With no argument the report is read from the repository root.  Exits
@@ -17,6 +18,10 @@
 //! warm-session drift is bounded as a fraction of the larger timing,
 //! taken-jump *shares* as absolute permille points — the bench-smoke
 //! job's check that a PR changed layout behaviour, not just the noise.
+//! The `diff-inline` mode does the same for the `inline` block: bounded
+//! warm-session drift, and the spliced leg's share of total call
+//! dispatches (pinned near zero by the splice itself) within the same
+//! permille budget.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -90,10 +95,54 @@ fn diff_layout(args: &[String]) -> ExitCode {
     }
 }
 
+fn diff_inline(args: &[String]) -> ExitCode {
+    let (Some(old_path), Some(new_path)) = (args.first(), args.get(1)) else {
+        eprintln!("bench_gate: diff-inline needs OLD.json NEW.json [TOLERANCE_PERMILLE]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: u64 = match args.get(2).map(|t| t.parse()) {
+        None => 500,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("bench_gate: bad tolerance: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (old_path, new_path) = (PathBuf::from(old_path), PathBuf::from(new_path));
+    let (committed, regenerated) = match (read_report(&old_path), read_report(&new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match perf_gate::diff_inline(&committed, &regenerated, tolerance) {
+        Ok(()) => {
+            println!(
+                "bench_gate: inline block of {} within {tolerance}\u{2030} of {}",
+                new_path.display(),
+                old_path.display(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            eprintln!(
+                "bench_gate: inline block drifted past tolerance ({} vs {}):",
+                new_path.display(),
+                old_path.display(),
+            );
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("diff-layout") {
         return diff_layout(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("diff-inline") {
+        return diff_inline(&args[1..]);
     }
     let path = args.first().map(PathBuf::from).unwrap_or_else(default_path);
     let doc = match read_report(&path) {
@@ -104,7 +153,7 @@ fn main() -> ExitCode {
         Ok(()) => {
             println!(
                 "bench_gate: {} OK — warm {}us, cold {}us, request latency p50={}us p99={}us, \
-                 layout on {}us <= off {}us",
+                 layout on {}us <= off {}us, inline on {}us <= off {}us",
                 path.display(),
                 doc.num_at("warm_session_micros").unwrap_or(0),
                 doc.num_at("cold_session_micros").unwrap_or(0),
@@ -112,6 +161,8 @@ fn main() -> ExitCode {
                 doc.num_at("request_latency_micros.p99").unwrap_or(0),
                 doc.num_at("layout.warm_session_micros_on").unwrap_or(0),
                 doc.num_at("layout.warm_session_micros_off").unwrap_or(0),
+                doc.num_at("inline.warm_session_micros_on").unwrap_or(0),
+                doc.num_at("inline.warm_session_micros_off").unwrap_or(0),
             );
             ExitCode::SUCCESS
         }

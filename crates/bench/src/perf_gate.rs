@@ -64,6 +64,24 @@ pub struct LayoutSession {
     pub fallthrough_jumps_off: u64,
 }
 
+/// Measurements of the inline-speculation A/B session: the same warm
+/// call-graph traffic (the `callee_flip` driver and its leaf helper)
+/// served by an inlining-enabled and an inlining-disabled engine, plus
+/// each leg's dynamic call-dispatch count summed over the driver's
+/// machine-rung artifacts.  The spliced leg executes strictly fewer
+/// dispatches — the frame setups inline speculation exists to remove.
+#[derive(Clone, Debug)]
+pub struct InlineSession {
+    /// Best warm-session wall-clock with inline speculation on.
+    pub warm_session_micros_on: u64,
+    /// Best warm-session wall-clock with inlining off (calls preserved).
+    pub warm_session_micros_off: u64,
+    /// Calls dispatched by the inline-on driver's O4 artifacts.
+    pub call_dispatches_on: u64,
+    /// Calls dispatched by the inline-off driver's O4 artifacts.
+    pub call_dispatches_off: u64,
+}
+
 /// Converts a nanosecond count to *true* microseconds, rounding to the
 /// nearest rather than truncating — sub-microsecond residency must not
 /// silently vanish from (or be misread in) the committed report.
@@ -80,7 +98,8 @@ pub fn nanos_to_micros(nanos: u64) -> u64 {
 /// output; it is converted to true microseconds ([`nanos_to_micros`]) in
 /// the report.  `o4` carries the machine-rung session block (see
 /// [`O4Session`]); `layout` carries the layout A/B block (see
-/// [`LayoutSession`]).
+/// [`LayoutSession`]); `inline` carries the inline-speculation A/B block
+/// (see [`InlineSession`]).
 pub fn report(
     warm_session_micros: u64,
     cold_session_micros: u64,
@@ -89,6 +108,7 @@ pub fn report(
     time_residency_nanos: &BTreeMap<Tier, u64>,
     o4: &O4Session,
     layout: &LayoutSession,
+    inline: &InlineSession,
 ) -> Json {
     let rung_map = |m: &BTreeMap<Tier, u64>, scale: u64| {
         Json::Obj(
@@ -182,6 +202,21 @@ pub fn report(
             ),
         ]),
     ));
+    doc.push((
+        "inline".to_string(),
+        Json::obj([
+            (
+                "warm_session_micros_on",
+                Json::Num(inline.warm_session_micros_on),
+            ),
+            (
+                "warm_session_micros_off",
+                Json::Num(inline.warm_session_micros_off),
+            ),
+            ("call_dispatches_on", Json::Num(inline.call_dispatches_on)),
+            ("call_dispatches_off", Json::Num(inline.call_dispatches_off)),
+        ]),
+    ));
     Json::Obj(doc)
 }
 
@@ -213,6 +248,9 @@ pub fn required_fields() -> Vec<String> {
         "guard_failures",
         "value_guard_failures",
         "value_specialized_tier_ups",
+        "inlined_tier_ups",
+        "inline_guard_failures",
+        "inline_invalidations",
         "reclimbs",
         "extension_recompiles",
         "infeasible",
@@ -255,6 +293,14 @@ pub fn required_fields() -> Vec<String> {
         "fallthrough_jumps_off",
     ] {
         fields.push(format!("layout.{field}"));
+    }
+    for field in [
+        "warm_session_micros_on",
+        "warm_session_micros_off",
+        "call_dispatches_on",
+        "call_dispatches_off",
+    ] {
+        fields.push(format!("inline.{field}"));
     }
     fields
 }
@@ -411,6 +457,42 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
         }
     }
 
+    // The inline A/B block: splicing the hot callee must not slow the
+    // warm session, and the spliced driver must dispatch *strictly*
+    // fewer calls than its call-preserving sibling — the dispatch count
+    // is the deterministic witness that the splice actually happened
+    // (timings can tie in noise; removed call instructions cannot).
+    if let (Some(on), Some(off)) = (
+        doc.num_at("inline.warm_session_micros_on"),
+        doc.num_at("inline.warm_session_micros_off"),
+    ) {
+        if on == 0 || off == 0 {
+            errors.push("inline: a warm session was not measured".to_string());
+        } else if on > off {
+            errors.push(format!(
+                "inline: inline-on warm session regressed past inline-off \
+                 ({on}us > {off}us)"
+            ));
+        }
+    }
+    if let (Some(calls_on), Some(calls_off)) = (
+        doc.num_at("inline.call_dispatches_on"),
+        doc.num_at("inline.call_dispatches_off"),
+    ) {
+        if calls_off == 0 {
+            errors.push(
+                "inline.call_dispatches_off is zero — the call-preserving \
+                 driver never ran at the machine rung"
+                    .to_string(),
+            );
+        } else if calls_on >= calls_off {
+            errors.push(format!(
+                "inline: spliced driver did not dispatch strictly fewer calls \
+                 ({calls_on} >= {calls_off})"
+            ));
+        }
+    }
+
     // The tier-1 invariants the acceptance tests assert from live
     // sessions must survive into the committed report.
     for (path, floor, why) in [
@@ -503,6 +585,67 @@ pub fn diff_layout(
     }
 }
 
+/// Permille share of the inline block's dispatches drawn by the spliced
+/// leg (`on / (on + off)`), if both counts are present.  Zero when the
+/// splice removed every dispatch — the healthy steady state.
+fn dispatch_share_permille(doc: &Json) -> Option<u64> {
+    let on = doc.num_at("inline.call_dispatches_on")?;
+    let off = doc.num_at("inline.call_dispatches_off")?;
+    let total = on + off;
+    (total > 0).then(|| on * 1_000 / total)
+}
+
+/// Compares the `inline` block of a regenerated report against the
+/// committed one within `tolerance_permille`: each warm-session timing
+/// may drift by at most that fraction of the larger value, and the
+/// spliced leg's *share* of total call dispatches by at most that many
+/// permille points (absolute counts scale with compile timing; the share
+/// is pinned near zero by the splice itself).  Returns every violation —
+/// the bench-smoke job's answer to "did this PR change inlining
+/// behaviour, not just re-roll the noise".
+pub fn diff_inline(
+    committed: &Json,
+    regenerated: &Json,
+    tolerance_permille: u64,
+) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for field in ["warm_session_micros_on", "warm_session_micros_off"] {
+        let path = format!("inline.{field}");
+        match (committed.num_at(&path), regenerated.num_at(&path)) {
+            (Some(old), Some(new)) => {
+                let drift = old.abs_diff(new);
+                let budget = old.max(new) * tolerance_permille / 1_000;
+                if drift > budget {
+                    errors.push(format!(
+                        "{path}: {old}us -> {new}us drifts {drift}us, \
+                         past the {tolerance_permille}‰ budget of {budget}us"
+                    ));
+                }
+            }
+            _ => errors.push(format!("{path} missing from a report")),
+        }
+    }
+    match (
+        dispatch_share_permille(committed),
+        dispatch_share_permille(regenerated),
+    ) {
+        (Some(old), Some(new)) => {
+            if old.abs_diff(new) > tolerance_permille {
+                errors.push(format!(
+                    "inline: spliced dispatch share moved {old}‰ -> {new}‰, \
+                     past the {tolerance_permille}‰ budget"
+                ));
+            }
+        }
+        _ => errors.push("inline: call-dispatch counts missing from a report".to_string()),
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,6 +720,15 @@ mod tests {
         }
     }
 
+    fn sample_inline_session() -> InlineSession {
+        InlineSession {
+            warm_session_micros_on: 70_000,
+            warm_session_micros_off: 84_000,
+            call_dispatches_on: 0,
+            call_dispatches_off: 14_000,
+        }
+    }
+
     fn sample_report() -> Json {
         let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
         let nanos = BTreeMap::from([
@@ -592,6 +744,7 @@ mod tests {
             &nanos,
             &sample_o4_session(),
             &sample_layout_session(),
+            &sample_inline_session(),
         )
     }
 
@@ -639,6 +792,7 @@ mod tests {
             &visits,
             &sample_o4_session(),
             &sample_layout_session(),
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("invariants regressed");
         assert!(errors.iter().any(|e| e.contains("composed_tier_ups")));
@@ -659,6 +813,7 @@ mod tests {
             &visits,
             &o4,
             &sample_layout_session(),
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("plurality lost");
         assert!(errors
@@ -680,6 +835,7 @@ mod tests {
             &visits,
             &o4,
             &sample_layout_session(),
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("no O4 traffic");
         assert!(errors
@@ -703,6 +859,7 @@ mod tests {
             &visits,
             &sample_o4_session(),
             &layout,
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("ordering regressed");
         assert!(errors
@@ -726,6 +883,7 @@ mod tests {
             &visits,
             &sample_o4_session(),
             &layout,
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("share regressed");
         assert!(errors
@@ -747,6 +905,7 @@ mod tests {
             &visits,
             &sample_o4_session(),
             &layout,
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("artifact never ran");
         assert!(errors
@@ -786,6 +945,7 @@ mod tests {
             &nanos,
             &sample_o4_session(),
             &drifted,
+            &sample_inline_session(),
         );
         diff_layout(&committed, &regenerated, 500).expect("4% drift is noise");
         let errors = diff_layout(&committed, &regenerated, 10).expect_err("4% > 1% budget");
@@ -816,9 +976,118 @@ mod tests {
             &nanos,
             &sample_o4_session(),
             &shifted,
+            &sample_inline_session(),
         );
         let errors = diff_layout(&committed, &regenerated, 500).expect_err("share shifted");
         assert!(errors.iter().any(|e| e.contains("taken-jump share moved")));
+    }
+
+    #[test]
+    fn inline_ordering_regression_fails() {
+        let mut inline = sample_inline_session();
+        inline.warm_session_micros_on = inline.warm_session_micros_off + 1;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &inline,
+        );
+        let errors = validate(&doc).expect_err("ordering regressed");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("inline-on warm session regressed")));
+    }
+
+    #[test]
+    fn inline_dispatch_count_must_strictly_drop() {
+        let mut inline = sample_inline_session();
+        // The spliced leg dispatches as many calls as the preserved one:
+        // the splice never happened.
+        inline.call_dispatches_on = inline.call_dispatches_off;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &inline,
+        );
+        let errors = validate(&doc).expect_err("no dispatch drop");
+        assert!(errors.iter().any(|e| e.contains("strictly fewer calls")));
+
+        // And a zero off-leg means the preserved driver never reached the
+        // machine rung — not a pass.
+        inline.call_dispatches_on = 0;
+        inline.call_dispatches_off = 0;
+        let doc = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &inline,
+        );
+        let errors = validate(&doc).expect_err("off leg never ran");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("call_dispatches_off is zero")));
+    }
+
+    #[test]
+    fn inline_diff_bounds_timings_and_dispatch_share() {
+        let committed = sample_report();
+        let mut drifted = sample_inline_session();
+        // ~4% timing drift with the share unchanged: machine noise.
+        drifted.warm_session_micros_on += 3_000;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
+        let nanos = BTreeMap::from([
+            (Tier::BASELINE, 600_000u64),
+            (Tier(1), 1_900_000),
+            (Tier(2), 2_400_000),
+        ]);
+        let regenerated = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &nanos,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &drifted,
+        );
+        diff_inline(&committed, &regenerated, 500).expect("4% drift is noise");
+        let errors = diff_inline(&committed, &regenerated, 10).expect_err("4% > 1% budget");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("warm_session_micros_on") && e.contains("budget")));
+
+        // The spliced leg suddenly carrying three quarters of the
+        // dispatches is a real behavioural change no timing tolerance
+        // should forgive.
+        let mut shifted = sample_inline_session();
+        shifted.call_dispatches_on = 3 * shifted.call_dispatches_off;
+        let regenerated = report(
+            150_000,
+            900_000,
+            &sample_snapshot(),
+            &visits,
+            &nanos,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &shifted,
+        );
+        let errors = diff_inline(&committed, &regenerated, 500).expect_err("share shifted");
+        assert!(errors.iter().any(|e| e.contains("dispatch share moved")));
     }
 
     #[test]
@@ -864,6 +1133,7 @@ mod tests {
             &visits,
             &sample_o4_session(),
             &sample_layout_session(),
+            &sample_inline_session(),
         );
         let errors = validate(&doc).expect_err("no observations");
         assert!(errors

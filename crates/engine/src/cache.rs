@@ -185,8 +185,62 @@ impl fmt::Display for Speculation {
     }
 }
 
-/// Cache key: one function under one pipeline spec and one value
-/// speculation.
+/// An inlining assumption: the listed call sites were spliced with the
+/// named callees' bodies as they stood at the given *inline epochs*.  Like
+/// a [`Speculation`], this is a cache-key dimension — the cache holds one
+/// artifact per `(function, pipeline, speculation, inline)` — but its
+/// guard is version identity rather than argument values: republishing a
+/// callee bumps its epoch ([`CodeCache::inline_epoch`]), which evicts
+/// every caller artifact whose spec references an older epoch.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct InlineSpec {
+    /// `(call-site pc, callee name, callee inline epoch)` triples, sorted
+    /// by site pc.
+    sites: Vec<(InstId, String, u64)>,
+}
+
+impl InlineSpec {
+    /// The empty (no-inlining) spec.
+    pub fn none() -> Self {
+        InlineSpec::default()
+    }
+
+    /// A spec over the given `(site, callee, epoch)` triples (sorted and
+    /// deduplicated by site; the first entry per site wins).
+    pub fn on(sites: impl IntoIterator<Item = (InstId, String, u64)>) -> Self {
+        let mut sites: Vec<(InstId, String, u64)> = sites.into_iter().collect();
+        sites.sort_by_key(|(at, _, _)| *at);
+        sites.dedup_by_key(|(at, _, _)| *at);
+        InlineSpec { sites }
+    }
+
+    /// Whether this is the empty spec.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The `(site, callee, epoch)` triples, sorted by site pc.
+    pub fn sites(&self) -> &[(InstId, String, u64)] {
+        &self.sites
+    }
+
+    /// Whether any site splices `callee`.
+    pub fn involves(&self, callee: &str) -> bool {
+        self.sites.iter().any(|(_, c, _)| c == callee)
+    }
+}
+
+impl fmt::Display for InlineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, callee, epoch)) in self.sites.iter().enumerate() {
+            write!(f, "{}{callee}@{epoch}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// Cache key: one function under one pipeline spec, one value
+/// speculation, and one inlining assumption.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CacheKey {
     /// Function name in the engine's module.
@@ -196,6 +250,9 @@ pub struct CacheKey {
     /// Value speculation the artifact is specialized on (empty for the
     /// generic artifact).
     pub speculation: Speculation,
+    /// Inlining assumption the artifact was spliced under (empty for
+    /// call-preserving artifacts).
+    pub inline: InlineSpec,
 }
 
 impl CacheKey {
@@ -206,6 +263,7 @@ impl CacheKey {
             function: function.into(),
             spec,
             speculation: Speculation::none(),
+            inline: InlineSpec::none(),
         }
     }
 
@@ -220,14 +278,36 @@ impl CacheKey {
             function: function.into(),
             spec,
             speculation,
+            inline: InlineSpec::none(),
+        }
+    }
+
+    /// Key for `function`'s artifact spliced under `inline` (on top of an
+    /// optional value speculation).
+    pub fn inlined(
+        function: impl Into<String>,
+        spec: PipelineSpec,
+        speculation: Speculation,
+        inline: InlineSpec,
+    ) -> Self {
+        CacheKey {
+            function: function.into(),
+            spec,
+            speculation,
+            inline,
         }
     }
 
     /// Display label: the pipeline name, with the speculation suffixed
-    /// for specialized artifacts (e.g. `O2[p0=3]`) — what metrics and
+    /// for specialized artifacts (e.g. `O2[p0=3]`) and the inline spec
+    /// for spliced ones (e.g. `O3+inl[helper@1]`) — what metrics and
     /// event streams show.
     pub fn pipeline_label(&self) -> String {
-        pipeline_label(&self.spec, &self.speculation)
+        let mut label = pipeline_label(&self.spec, &self.speculation);
+        if !self.inline.is_empty() {
+            label.push_str(&format!("+inl[{}]", self.inline));
+        }
+        label
     }
 }
 
@@ -289,6 +369,51 @@ pub struct CompiledVersion {
     /// a deopt out of registers can always rebuild the SSA environment
     /// the validated tables read.
     pub machine: Option<Arc<ssair::machine::MachineArtifact>>,
+    /// The inlining assumption this artifact was spliced under (part of
+    /// its cache-key identity; empty for call-preserving artifacts).
+    pub inline_spec: InlineSpec,
+    /// The cross-function deopt plan when any site was actually spliced:
+    /// everything a runtime needs to exit an inlined region into a
+    /// reconstructed callee frame.  `None` when `inline_spec` is empty
+    /// *or* every requested site declined to splice.
+    pub inline: Option<Arc<InlinePlan>>,
+}
+
+/// The cross-function deopt plan of an inlined artifact.
+///
+/// A guard deopt at an optimized pc inside a spliced region cannot use the
+/// ordinary backward table: the caller baseline has no pc for the middle
+/// of a callee that, in baseline terms, is still a single `Call`.  The
+/// plan carries a second validated backward table targeting the *spliced*
+/// snapshot (the function as it stood right after [`ssair::passes::InlineCalls`] ran,
+/// where region pcs are real instructions), plus the per-splice
+/// [`ssair::passes::InlineRegion`] records that translate a spliced-frame environment
+/// into a reconstructed *callee* frame and a caller resumption at the
+/// call's continuation.
+pub struct InlinePlan {
+    /// The spliced (pre-optimization) caller the exit table lands in.
+    pub spliced: Arc<Function>,
+    /// Backward entries `optimized pc → spliced-snapshot compensation`,
+    /// structurally and differentially validated like every other table.
+    pub to_spliced: Arc<EntryTable>,
+    /// One record per performed splice.
+    pub regions: Vec<ssair::passes::InlineRegion>,
+    /// Callee body snapshots (what was spliced), by name — the function a
+    /// mid-region deopt re-enters.
+    pub callees: std::collections::BTreeMap<String, Arc<Function>>,
+    /// Speculatively biased branches that survived into the optimized
+    /// CFG: `(branch block, hot successor)` in optimized coordinates.  A
+    /// run that keeps taking a cold arm violates the inline speculation
+    /// and deopts with [`crate::DeoptReason::InlineGuard`].
+    pub guards: Vec<(ssair::BlockId, ssair::BlockId)>,
+}
+
+impl InlinePlan {
+    /// The region containing the spliced-snapshot pc `at`, if any — a
+    /// landing inside it must reconstruct that region's callee frame.
+    pub fn region_at(&self, at: InstId) -> Option<&ssair::passes::InlineRegion> {
+        self.regions.iter().find(|r| r.pc_map.contains_key(&at))
+    }
 }
 
 /// Why a compiled version (or composed table) was rejected from the cache.
@@ -375,6 +500,40 @@ pub fn compile_speculated(
     frequencies: Option<&BlockFrequencies>,
     variant: Variant,
 ) -> Result<CompiledVersion, CompileError> {
+    compile_inlined(
+        base,
+        spec,
+        speculation,
+        frequencies,
+        variant,
+        Vec::new(),
+        InlineSpec::none(),
+    )
+}
+
+/// Like [`compile_speculated`], with hot call sites spliced:
+/// [`ssair::passes::InlineCalls`] runs ahead of the rung's normal mix
+/// (before value seeding, so CP/CSE/SCCP optimize across the former call
+/// boundary), and the artifact carries an [`InlinePlan`] — a validated
+/// backward table into the spliced snapshot plus the region records a
+/// cross-function deopt reads.  `inline_spec` becomes the artifact's
+/// cache-key identity; sites that decline to splice (callee republished
+/// into something uninlinable, site optimized away) are simply absent
+/// from the plan.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if any precomputed table — including the
+/// inline exit table — fails validation.
+pub fn compile_inlined(
+    base: Function,
+    spec: &PipelineSpec,
+    speculation: &Speculation,
+    frequencies: Option<&BlockFrequencies>,
+    variant: Variant,
+    sites: Vec<ssair::passes::InlineSite>,
+    inline_spec: InlineSpec,
+) -> Result<CompiledVersion, CompileError> {
     let t0 = Instant::now();
     // Profile-guided layout runs only on the hottest rungs (O3 and the
     // machine rung it feeds) and only with a usable frequency summary —
@@ -394,6 +553,16 @@ pub fn compile_speculated(
         if !seeds.is_empty() {
             pipeline = pipeline.prepended(Box::new(ssair::passes::SeedValues::new(seeds.clone())));
         }
+        // Splicing runs first (prepended last): seeds and the rest of the
+        // mix then optimize over the spliced body.
+        let inline_slot = if sites.is_empty() {
+            None
+        } else {
+            let pass = ssair::passes::InlineCalls::new(sites.clone());
+            let slot = pass.outcome_slot();
+            pipeline = pipeline.prepended(Box::new(pass));
+            Some(slot)
+        };
         if let Some(fr) = layout {
             pipeline = pipeline.appended(Box::new(LayoutBlocks::new(fr.clone())));
         }
@@ -424,10 +593,23 @@ pub fn compile_speculated(
         }
         validate_table(&tier_up, &versions.base, &versions.opt)?;
         validate_table(&tier_down, &versions.opt, &versions.base)?;
+        let inline_plan = build_inline_plan(
+            inline_slot.as_ref(),
+            &versions,
+            &sites,
+            speculation,
+            variant,
+        )?;
         let machine = if matches!(spec, PipelineSpec::O4) {
+            let mut tables: Vec<&EntryTable> = vec![&tier_down];
+            if let Some(plan) = &inline_plan {
+                // A deopt out of registers inside a spliced region reads
+                // the exit table's sources too — they must stay shadowed.
+                tables.push(&plan.to_spliced);
+            }
             Some(Arc::new(lower_machine(
                 &versions.opt,
-                &tier_down,
+                &tables,
                 &keep,
                 speculation,
             )?))
@@ -450,8 +632,80 @@ pub fn compile_speculated(
             compile_nanos: t0.elapsed().as_nanos() as u64,
             layout_digest: layout.map(BlockFrequencies::digest).unwrap_or_default(),
             machine,
+            inline_spec: inline_spec.clone(),
+            inline: inline_plan.map(Arc::new),
         });
     }
+}
+
+/// Builds and validates the [`InlinePlan`] of a spliced compile, or `None`
+/// when nothing was spliced.
+///
+/// The spliced-base → optimized mapper is recovered by replaying the
+/// pipeline log's *suffix* (everything after [`InlineCalls`] deposited its
+/// outcome) into a fresh mapper — see `osr::CodeMapper::replay`.  The
+/// backward table precomputed from that pair lands mid-region deopts in
+/// the spliced snapshot, where region pcs are real instructions; it is
+/// validated structurally and differentially replayed (module-free, like
+/// machine lowering — entries whose runs need other functions are covered
+/// by the engine's tier-level replay instead).
+fn build_inline_plan(
+    inline_slot: Option<&std::sync::Arc<Mutex<Option<ssair::passes::InlineOutcome>>>>,
+    versions: &FunctionVersions,
+    sites: &[ssair::passes::InlineSite],
+    speculation: &Speculation,
+    variant: Variant,
+) -> Result<Option<InlinePlan>, CompileError> {
+    let Some(outcome) = inline_slot.and_then(|s| s.lock().expect("inline outcome lock").take())
+    else {
+        return Ok(None);
+    };
+    if outcome.regions.is_empty() {
+        return Ok(None);
+    }
+    let mut suffix = ssair::SsaMapper::new();
+    suffix.replay(&versions.cm.log()[outcome.prefix_actions..]);
+    let spliced = outcome.spliced;
+    let pair = ssair::reconstruct::OsrPair::new(&spliced, &versions.opt, &suffix);
+    let to_spliced = precompute_entries(&pair, Direction::Backward, variant);
+    drop(pair);
+    validate_table(&to_spliced, &versions.opt, &spliced)?;
+    differential_validate_pinned(
+        &to_spliced,
+        &versions.opt,
+        &spliced,
+        &Module::new(),
+        3,
+        speculation,
+    )?;
+    let callees = sites
+        .iter()
+        .map(|s| (s.callee.name.clone(), s.callee.clone()))
+        .collect();
+    // Speculatively biased callee branches that survived into the
+    // optimized CFG keep their cloned block ids; everything folded or
+    // threaded away needs no guard.
+    let guards = outcome
+        .regions
+        .iter()
+        .flat_map(|r| r.hot_arms.iter().copied())
+        .filter(|(b, hot)| {
+            versions.opt.block_exists(*b)
+                && match versions.opt.block(*b).term {
+                    ssair::Terminator::CondBr {
+                        then_bb, else_bb, ..
+                    } => then_bb == *hot || else_bb == *hot,
+                    _ => false,
+                }
+        })
+        .collect();
+    Ok(Some(InlinePlan {
+        spliced: Arc::new(spliced),
+        to_spliced: Arc::new(to_spliced),
+        regions: outcome.regions,
+        callees,
+        guards,
+    }))
 }
 
 /// Lowers the optimized version onto the register-allocated machine
@@ -472,15 +726,17 @@ pub fn compile_speculated(
 /// every table that routes through the rung.
 fn lower_machine(
     opt: &Function,
-    tier_down: &EntryTable,
+    tables: &[&EntryTable],
     keep: &std::collections::BTreeSet<ValueId>,
     pin: &Speculation,
 ) -> Result<ssair::machine::MachineArtifact, CompileError> {
     let mut roots: std::collections::BTreeSet<ValueId> = keep.clone();
-    for (_, entry) in tier_down.entries.values() {
-        for step in &entry.comp.steps {
-            if let CompStep::Transfer { src, .. } = step {
-                roots.insert(*src);
+    for table in tables {
+        for (_, entry) in table.entries.values() {
+            for step in &entry.comp.steps {
+                if let CompStep::Transfer { src, .. } = step {
+                    roots.insert(*src);
+                }
             }
         }
     }
@@ -821,18 +1077,28 @@ enum Slot {
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct ComposedKey {
     function: String,
-    from: (PipelineSpec, Speculation),
-    to: (PipelineSpec, Speculation),
+    from: (PipelineSpec, Speculation, InlineSpec),
+    to: (PipelineSpec, Speculation, InlineSpec),
 }
 
 impl ComposedKey {
     fn between(function: &str, from: &CompiledVersion, to: &CompiledVersion) -> Self {
         ComposedKey {
             function: function.to_string(),
-            from: (from.spec.clone(), from.speculation.clone()),
-            to: (to.spec.clone(), to.speculation.clone()),
+            from: endpoint(from),
+            to: endpoint(to),
         }
     }
+}
+
+/// The full rung identity of a compiled version (one composed-table
+/// endpoint).
+fn endpoint(cv: &CompiledVersion) -> (PipelineSpec, Speculation, InlineSpec) {
+    (
+        cv.spec.clone(),
+        cv.speculation.clone(),
+        cv.inline_spec.clone(),
+    )
 }
 
 const SHARD_COUNT: usize = 8;
@@ -857,9 +1123,15 @@ pub struct CodeCache {
     /// adaptive ladder reads these to cheapen climbs whose compiles are
     /// effectively free ([`crate::TierPolicy::threshold_with_cache`]).
     probes: Vec<Mutex<HashMap<CacheKey, (u64, u64)>>>,
+    /// Per-function inline epoch: bumped on every *re*publication of any
+    /// of the function's artifacts.  Callers splice a callee at a
+    /// specific epoch (recorded in their [`InlineSpec`]); a bump evicts
+    /// every caller artifact referencing an older one.
+    epochs: Mutex<HashMap<String, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    inline_invalidations: AtomicU64,
 }
 
 impl Default for CodeCache {
@@ -868,9 +1140,11 @@ impl Default for CodeCache {
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             composed: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             probes: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            epochs: Mutex::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            inline_invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -943,8 +1217,26 @@ impl CodeCache {
     /// e.g. a §5.2 keep-set recompile replacing a rung — invalidates
     /// every memoized composed table routing through that rung (either
     /// endpoint), so the next hop re-composes against the republished
-    /// version instead of transferring into a stale one.
+    /// version instead of transferring into a stale one; it also bumps
+    /// the function's *inline epoch*, evicting every caller artifact that
+    /// spliced this function at an older epoch (no stale-inline execution
+    /// is possible).
+    ///
+    /// An artifact whose own [`InlineSpec`] already references outdated
+    /// callee epochs — a callee was republished while this compile was in
+    /// flight — is *not* published: the claim is dropped and the eviction
+    /// counter bumped, exactly as if it had been published and evicted.
     pub fn publish(&self, key: &CacheKey, cv: Arc<CompiledVersion>) {
+        if key
+            .inline
+            .sites()
+            .iter()
+            .any(|(_, callee, epoch)| *epoch < self.inline_epoch(callee))
+        {
+            self.abandon(key);
+            self.inline_invalidations.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let replaced = {
             let mut slots = self.shard(key).lock().expect("cache lock");
             matches!(
@@ -953,16 +1245,68 @@ impl CodeCache {
             )
         };
         if replaced {
-            self.invalidate_composed(&key.function, &key.spec, &key.speculation);
+            self.invalidate_composed(&key.function, &key.spec, &key.speculation, &key.inline);
+            self.bump_inline_epoch(&key.function);
+        }
+    }
+
+    /// The current inline epoch of `function`: the version identity a
+    /// caller splices it at.  Starts at 0 and bumps on every
+    /// republication of any of the function's artifacts.
+    pub fn inline_epoch(&self, function: &str) -> u64 {
+        self.epochs
+            .lock()
+            .expect("epoch lock")
+            .get(function)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Bumps `function`'s inline epoch and evicts every ready artifact
+    /// (of any caller) whose inline spec references `function` at an
+    /// older epoch, dropping their composed tables with them.
+    fn bump_inline_epoch(&self, function: &str) {
+        let epoch = {
+            let mut epochs = self.epochs.lock().expect("epoch lock");
+            let e = epochs.entry(function.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let mut evicted: Vec<CacheKey> = Vec::new();
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("cache lock");
+            map.retain(|k, slot| {
+                let stale = matches!(slot, Slot::Ready(_))
+                    && k.inline
+                        .sites()
+                        .iter()
+                        .any(|(_, callee, e)| callee == function && *e < epoch);
+                if stale {
+                    evicted.push(k.clone());
+                }
+                !stale
+            });
+        }
+        self.inline_invalidations
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        for k in evicted {
+            self.invalidate_composed(&k.function, &k.spec, &k.speculation, &k.inline);
         }
     }
 
     /// Drops every memoized composed table of `function` that has the
-    /// `(spec, speculation)` rung as either endpoint (including memoized
-    /// failures, which may now succeed against the republished artifact).
-    fn invalidate_composed(&self, function: &str, spec: &PipelineSpec, speculation: &Speculation) {
+    /// `(spec, speculation, inline)` rung as either endpoint (including
+    /// memoized failures, which may now succeed against the republished
+    /// artifact).
+    fn invalidate_composed(
+        &self,
+        function: &str,
+        spec: &PipelineSpec,
+        speculation: &Speculation,
+        inline: &InlineSpec,
+    ) {
         let mut dropped = 0u64;
-        let endpoint = (spec.clone(), speculation.clone());
+        let endpoint = (spec.clone(), speculation.clone(), inline.clone());
         for shard in &self.composed {
             let mut map = shard.lock().expect("composed lock");
             map.retain(|k, _| {
@@ -981,6 +1325,12 @@ impl CodeCache {
         self.invalidations.load(Ordering::Relaxed)
     }
 
+    /// Inlined caller artifacts evicted by callee republications
+    /// (including in-flight compiles abandoned at publish time).
+    pub fn inline_invalidations(&self) -> u64 {
+        self.inline_invalidations.load(Ordering::Relaxed)
+    }
+
     /// Whether `cv` does not conflict with the published artifact for
     /// its key — the memoization guard against a republish racing a
     /// composed-table build: a table built (outside the lock) against a
@@ -997,7 +1347,12 @@ impl CodeCache {
     /// an invalidation that must wait for the shard lock and then drops
     /// the fresh insert.
     fn is_current(&self, function: &str, cv: &CompiledVersion) -> bool {
-        let key = CacheKey::speculated(function, cv.spec.clone(), cv.speculation.clone());
+        let key = CacheKey::inlined(
+            function,
+            cv.spec.clone(),
+            cv.speculation.clone(),
+            cv.inline_spec.clone(),
+        );
         match self.get(&key) {
             Some(cur) => std::ptr::eq(Arc::as_ptr(&cur), std::ptr::from_ref(cv)),
             None => true,
@@ -1010,6 +1365,27 @@ impl CodeCache {
         if let Some(Slot::Compiling) = slots.get(key) {
             slots.remove(key);
         }
+    }
+
+    /// Every ready artifact published for `function`, across all
+    /// pipeline/speculation/inline key dimensions — the inspection hook
+    /// for benches and tests that need an artifact without reconstructing
+    /// its exact (speculation, inline-epoch) coordinates.
+    pub fn ready_versions(&self, function: &str) -> Vec<Arc<CompiledVersion>> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache lock")
+                    .iter()
+                    .filter(|(key, _)| key.function == function)
+                    .filter_map(|(_, slot)| match slot {
+                        Slot::Ready(cv) => Some(Arc::clone(cv)),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Number of ready artifacts.
@@ -1661,5 +2037,129 @@ mod tests {
         let err = differential_validate(&broken, &cv.versions.base, &cv.versions.opt, &module, 4)
             .expect_err("corrupted table must diverge");
         assert!(matches!(err, CompileError::Divergence { .. }));
+    }
+
+    const CALL_SRC: &str = "fn poly_step(acc, c, x) {
+         if (x < c) { return acc - x; }
+         return acc * x + c;
+     }
+     fn f(x, n) {
+         var s = 0;
+         for (var i = 0; i < n; i = i + 1) { s = s + poly_step(s, x, 3); }
+         return s;
+     }";
+
+    fn call_site(f: &Function, callee: &str) -> InstId {
+        for b in f.block_ids() {
+            for &i in &f.block(b).insts {
+                if matches!(&f.inst(i).kind, ssair::InstKind::Call { callee: c, .. } if c == callee)
+                {
+                    return i;
+                }
+            }
+        }
+        panic!("no call to {callee}");
+    }
+
+    fn inline_compiled(spec: PipelineSpec) -> (Module, CompiledVersion, CacheKey) {
+        let m = minic::compile(CALL_SRC).unwrap();
+        let base = m.get("f").unwrap().clone();
+        let helper = Arc::new(m.get("poly_step").unwrap().clone());
+        let at = call_site(&base, "poly_step");
+        let sites = vec![ssair::passes::InlineSite {
+            at,
+            callee: helper,
+            bias: Vec::new(),
+        }];
+        let ispec = InlineSpec::on([(at, "poly_step".to_string(), 0)]);
+        let cv = compile_inlined(
+            base,
+            &spec,
+            &Speculation::none(),
+            None,
+            Variant::Avail,
+            sites,
+            ispec.clone(),
+        )
+        .expect("inlined compile validates");
+        let key = CacheKey::inlined("f", spec, Speculation::none(), ispec);
+        (m, cv, key)
+    }
+
+    #[test]
+    fn inlined_compile_splices_and_validates_an_exit_table() {
+        let (m, cv, key) = inline_compiled(PipelineSpec::O3);
+        assert_eq!(key.pipeline_label(), "O3+inl[poly_step@0]");
+        let plan = cv.inline.as_ref().expect("a region was spliced");
+        assert_eq!(plan.regions.len(), 1);
+        // The call dissolved: no dispatch remains in the optimized body.
+        for b in cv.versions.opt.block_ids() {
+            for &i in &cv.versions.opt.block(b).insts {
+                assert!(
+                    !matches!(cv.versions.opt.inst(i).kind, ssair::InstKind::Call { .. }),
+                    "no call survives inlining"
+                );
+            }
+        }
+        // The exit table serves entries, some of which land *inside* the
+        // spliced region — the cross-function deopt path.
+        assert!(!plan.to_spliced.entries.is_empty());
+        assert!(
+            plan.to_spliced
+                .entries
+                .values()
+                .any(|(landing, _)| plan.region_at(landing.loc).is_some()),
+            "at least one exit lands mid-region"
+        );
+        // The inlined artifact computes exactly what the calling base does.
+        for (x, n) in [(3i64, 10i64), (7, 1), (2, 25)] {
+            let args = vec![Val::Int(x), Val::Int(n)];
+            assert_eq!(
+                run_function(&cv.versions.opt, &args, &m, 2_000_000).unwrap(),
+                run_function(m.get("f").unwrap(), &args, &m, 2_000_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn republishing_a_callee_evicts_inlined_callers() {
+        let (m, cv, key) = inline_compiled(PipelineSpec::O3);
+        let cache = CodeCache::new();
+        let helper = m.get("poly_step").unwrap().clone();
+        let hkey = CacheKey::new("poly_step", PipelineSpec::O1);
+        let hcv = compile_function(helper.clone(), &PipelineSpec::O1, Variant::Avail).unwrap();
+        assert!(cache.claim(&hkey));
+        cache.publish(&hkey, Arc::new(hcv));
+        assert_eq!(cache.inline_epoch("poly_step"), 0, "first publish: no bump");
+        assert!(cache.claim(&key));
+        cache.publish(&key, Arc::new(cv));
+        assert!(cache.get(&key).is_some());
+        // A keep-set recompile (or layout re-snapshot) republishes the
+        // callee: the epoch bumps and the spliced caller is evicted.
+        let hcv2 = compile_function(helper, &PipelineSpec::O1, Variant::Avail).unwrap();
+        cache.publish(&hkey, Arc::new(hcv2));
+        assert_eq!(cache.inline_epoch("poly_step"), 1);
+        assert!(cache.get(&key).is_none(), "stale inlined caller evicted");
+        assert_eq!(cache.inline_invalidations(), 1);
+    }
+
+    #[test]
+    fn stale_inflight_inlined_compile_is_abandoned_at_publish() {
+        let cache = CodeCache::new();
+        let m = minic::compile(CALL_SRC).unwrap();
+        let helper = m.get("poly_step").unwrap().clone();
+        let hkey = CacheKey::new("poly_step", PipelineSpec::O1);
+        assert!(cache.claim(&hkey));
+        let hcv = compile_function(helper.clone(), &PipelineSpec::O1, Variant::Avail).unwrap();
+        cache.publish(&hkey, Arc::new(hcv));
+        let hcv2 = compile_function(helper, &PipelineSpec::O1, Variant::Avail).unwrap();
+        cache.publish(&hkey, Arc::new(hcv2)); // epoch → 1
+                                              // A caller compile that started before the republish references
+                                              // epoch 0; its publish must be dropped, not served stale.
+        let (_m, cv, key) = inline_compiled(PipelineSpec::O3);
+        assert!(cache.claim(&key));
+        cache.publish(&key, Arc::new(cv));
+        assert!(cache.get(&key).is_none(), "stale publish abandoned");
+        assert!(cache.inline_invalidations() >= 1);
     }
 }

@@ -9,15 +9,18 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ssair::interp::{ExecError, Val};
-use ssair::passes::BlockFrequencies;
+use ssair::passes::{BlockFrequencies, InlineCalls, InlineSite};
 use ssair::reconstruct::Direction;
 use ssair::{BlockId, Function, InstId, Module};
-use tinyvm::profile::{LocalProfile, Tier, TierController, TierDecision, TierTarget};
+use tinyvm::profile::{
+    InlineExitTarget, InlineSpeculationPolicy, LocalProfile, Tier, TierController, TierDecision,
+    TierTarget,
+};
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
 use crate::cache::{
-    vet_value_roundtrip, CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec,
-    Speculation,
+    vet_value_roundtrip, CacheKey, CodeCache, CompileError, CompiledVersion, InlineSpec,
+    PipelineSpec, Speculation,
 };
 use crate::metrics::{DeoptReason, EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
 use crate::pool::{run_job, CompileJob, CompilerPool};
@@ -55,6 +58,14 @@ pub struct EnginePolicy {
     /// hot-fallthrough-first.  Disable to measure the layout's effect
     /// (the benchmark suite's `layout` block does exactly that).
     pub layout: bool,
+    /// Profile-guided inlining: when set (the default), a climb into the
+    /// O3/O4 rungs consults the call-edge profile
+    /// ([`ProfileTable::inline_sites`]) and compiles a version with the
+    /// dominant callees spliced in ([`ssair::passes::InlineCalls`]),
+    /// guarded by cross-function deopt.  Disable to measure the
+    /// inlining's effect (the benchmark suite's `inline` block does
+    /// exactly that).
+    pub inlining: bool,
 }
 
 impl EnginePolicy {
@@ -105,6 +116,7 @@ impl Default for EnginePolicy {
             fuel: 50_000_000,
             queue_depth: 1024,
             layout: true,
+            inlining: true,
         }
     }
 }
@@ -453,7 +465,8 @@ impl Engine {
 impl EngineCore {
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let (hits, misses) = self.cache.counters();
-        self.metrics.snapshot(hits, misses)
+        self.metrics
+            .snapshot(hits, misses, self.cache.inline_invalidations())
     }
 
     /// Executes one request on the current thread.
@@ -511,6 +524,7 @@ impl EngineCore {
                         composed: false,
                         speculated: false,
                         machine: false,
+                        inlined: false,
                         guard_entry: false,
                         deopt: Some(DeoptReason::DebuggerAttach),
                         reclimb: false,
@@ -548,7 +562,9 @@ impl EngineCore {
                 from: label.from,
                 to: label.to,
                 direction: event.direction,
-                kind: if label.speculated {
+                kind: if matches!(label.deopt, Some(DeoptReason::InlineGuard { .. })) {
+                    TableKind::InlineExit
+                } else if label.speculated {
                     TableKind::ValueSpecialized
                 } else if label.machine {
                     TableKind::Machine
@@ -577,6 +593,11 @@ impl EngineCore {
                             .value_specialized_tier_ups
                             .fetch_add(1, Ordering::Relaxed);
                     }
+                    if label.inlined {
+                        self.metrics
+                            .inlined_tier_ups
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                     if label.reclimb {
                         self.metrics.reclimbs.fetch_add(1, Ordering::Relaxed);
                         self.events.push(EngineEvent::Reclimb {
@@ -598,6 +619,11 @@ impl EngineCore {
                                 .value_guard_failures
                                 .fetch_add(1, Ordering::Relaxed);
                         }
+                        if matches!(reason, DeoptReason::InlineGuard { .. }) {
+                            self.metrics
+                                .inline_guard_failures
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                         self.events.push(EngineEvent::Deopt {
                             request,
                             function: function.to_string(),
@@ -615,6 +641,7 @@ impl EngineCore {
                 to_tier: label.to,
                 composed: label.composed,
                 speculated: label.speculated,
+                inlined: label.inlined,
                 event,
             });
         }
@@ -673,6 +700,7 @@ impl EngineCore {
                         // priority is moot — mark it maximally urgent.
                         priority: u64::MAX,
                         profile: self.layout_snapshot(&key.function, &key.spec),
+                        sites: Vec::new(),
                     },
                     &self.cache,
                     &self.metrics,
@@ -778,6 +806,9 @@ struct HopLabel {
     /// Whether the version entered executes on the register-allocated
     /// machine substrate (the O4 rung).
     machine: bool,
+    /// Whether the version entered has hot call sites spliced in (an
+    /// inline-speculating artifact).
+    inlined: bool,
     /// Whether this forward hop is a deliberate *guard entry* — a
     /// violating frame hopping in only so its value guard can fire at
     /// the landing.  Guard entries are not counted as successful
@@ -870,6 +901,17 @@ struct EngineController<'e> {
     /// (or a speculative route failed vetting), so this frame re-climbs
     /// on generic artifacts only — "without the stale assumption".
     no_value_spec: bool,
+    /// Memoized inline-speculation verdict for the current climb epoch.
+    inline_memo: Option<InlineSpec>,
+    /// Frame-local inlining poison: set once an inline guard fired, so
+    /// this frame re-climbs on call-preserving artifacts only.
+    no_inline: bool,
+    /// Frame-local `(hot hits, uncommon hits)` per *inline-guarded*
+    /// branch since the last hop — the spliced analogue of
+    /// `guard_stats`, keyed by the optimized CFG's guard blocks from the
+    /// current artifact's [`crate::cache::InlinePlan::guards`] (the
+    /// caller's own profile knows nothing about cloned callee blocks).
+    inline_guard_stats: HashMap<BlockId, (u64, u64)>,
     /// The pre-vetted escape for a violating frame currently hopping into
     /// a specialized version; fired at the first observation after the
     /// landing.
@@ -949,6 +991,9 @@ impl<'e> EngineController<'e> {
             local: LocalProfile::new(local_values),
             spec_memo: None,
             no_value_spec: false,
+            inline_memo: None,
+            no_inline: false,
+            inline_guard_stats: HashMap::new(),
             value_escape: None,
             tier: Tier::BASELINE,
             current: None,
@@ -1034,6 +1079,126 @@ impl<'e> EngineController<'e> {
         };
         self.spec_memo = Some(spec.clone());
         spec
+    }
+
+    /// The inline speculation the next climb should target, memoized per
+    /// climb epoch alongside the value-speculation verdict: empty when
+    /// the engine disables inlining, the frame's inlining is poisoned, or
+    /// the destination rung sits below the splice rungs (only O3/O4
+    /// splice — lower rungs recompile too often for it to pay off).  At a
+    /// rung that already inlined, the current artifact's own spec is
+    /// carried up (a climb stays consistent along the ladder) as long as
+    /// no spliced callee has been republished since.
+    fn desired_inline(&mut self, spec: &PipelineSpec) -> InlineSpec {
+        if let Some(memo) = &self.inline_memo {
+            return memo.clone();
+        }
+        let mut verdict = InlineSpec::none();
+        if self.core.policy.inlining
+            && !self.no_inline
+            && matches!(spec, PipelineSpec::O3 | PipelineSpec::O4)
+        {
+            let carried = self
+                .current
+                .as_ref()
+                .filter(|cv| cv.inline.is_some())
+                .map(|cv| cv.inline_spec.clone());
+            verdict = match carried {
+                Some(spec)
+                    if spec.sites().iter().all(|(_, callee, epoch)| {
+                        self.core.cache.inline_epoch(callee) == *epoch
+                    }) =>
+                {
+                    spec
+                }
+                _ => {
+                    let policy = InlineSpeculationPolicy::default();
+                    let module = &self.core.vm.module;
+                    let sites = self
+                        .core
+                        .profiles
+                        .inline_sites(self.function, &policy, |callee| {
+                            module
+                                .get(callee)
+                                .filter(|f| InlineCalls::can_inline(f))
+                                .map(Function::live_inst_count)
+                        });
+                    InlineSpec::on(sites.into_iter().map(|(at, callee)| {
+                        let epoch = self.core.cache.inline_epoch(&callee);
+                        (at, callee, epoch)
+                    }))
+                }
+            };
+        }
+        self.inline_memo = Some(verdict.clone());
+        verdict
+    }
+
+    /// Materializes the compile-job payload for an inline spec: each
+    /// site's callee body snapshot plus the callee's *own* profiled
+    /// branch bias under the destination rung's speculation policy.
+    /// Nested call frames are never edge-observed, so the bias comes from
+    /// the callee's time as a directly-requested baseline function —
+    /// empty bias just means the spliced region carries no speculative
+    /// guards.
+    fn inline_sites_for(&self, next: Tier, spec: &InlineSpec) -> Vec<InlineSite> {
+        let spol = self.core.policy.tiers.speculation_at(next);
+        spec.sites()
+            .iter()
+            .filter_map(|(at, callee, _)| {
+                let f = self.core.vm.module.get(callee)?;
+                let bias = f
+                    .block_ids()
+                    .into_iter()
+                    .filter(|b| f.block(*b).term.successors().len() > 1)
+                    .filter_map(|b| {
+                        self.core
+                            .profiles
+                            .edge_bias(callee, b, &spol)
+                            .map(|hot| (b, hot))
+                    })
+                    .collect();
+                Some(InlineSite {
+                    at: *at,
+                    callee: Arc::new(f.clone()),
+                    bias,
+                })
+            })
+            .collect()
+    }
+
+    /// Builds the cross-function exit out of the current inlined
+    /// artifact: a backward hop through the plan's validated exit table
+    /// into the spliced snapshot, from which the runtime reconstructs the
+    /// callee frame (for mid-region landings) and resumes the true,
+    /// call-preserving baseline at the call's continuation.  The exit is
+    /// never mandatory — the spliced code is semantically exact, so an
+    /// infeasible exit point soundly keeps running it.
+    fn inline_exit_decision(&mut self, at: InstId, uncommon: u64) -> Option<TierDecision> {
+        let cur = self.current.as_ref()?;
+        let plan = Arc::clone(cur.inline.as_ref()?);
+        let target = InlineExitTarget {
+            spliced: Arc::clone(&plan.spliced),
+            table: Arc::clone(&plan.to_spliced),
+            base: Arc::clone(&cur.base),
+            regions: Arc::new(plan.regions.clone()),
+            callees: plan.callees.clone(),
+            rung: Tier::BASELINE,
+            pinned: self.pinned.clone(),
+            mandatory: false,
+        };
+        // The frame re-climbs without the stale splice assumption.
+        self.no_inline = true;
+        self.inline_memo = None;
+        self.pending = Some(PendingHop {
+            to: Tier::BASELINE,
+            artifact: None,
+            composed: false,
+            speculated: false,
+            guard_entry: false,
+            deopt: Some(DeoptReason::InlineGuard { at, uncommon }),
+        });
+        Some(TierDecision::InlineExit(target))
     }
 
     /// The adapted climb threshold of the current rung's up edge
@@ -1286,6 +1451,24 @@ impl TierController for EngineController<'_> {
         true // the speculation lifecycle runs on edge observations
     }
 
+    fn observes_calls(&self) -> bool {
+        // Call edges are only meaningful in baseline coordinates (every
+        // pass preserves `InstId`s, but a climbed frame's call may sit in
+        // dead-stripped or spliced code), and only worth buffering when
+        // inlining can consume them.  The runtime re-reads this flag on
+        // every version hop, so a frame stops observing the moment it
+        // climbs.
+        self.core.policy.inlining && self.tier.is_baseline()
+    }
+
+    fn observe_call(&mut self, at: InstId, callee: &str) {
+        *self
+            .local
+            .calls
+            .entry((at, callee.to_string()))
+            .or_insert(0) += 1;
+    }
+
     fn observe(&mut self, at: InstId, _count: usize) -> TierDecision {
         // Epoch-gated: on the steady state (no compile submitted since the
         // last drain) this is one relaxed load, never a shared lock.
@@ -1323,8 +1506,10 @@ impl TierController for EngineController<'_> {
             // survive until the next hop).
             let spec = spec.clone();
             self.spec_memo = None;
+            self.inline_memo = None;
             let speculation = self.desired_speculation();
-            let key = CacheKey::speculated(self.function, spec, speculation);
+            let inline = self.desired_inline(&spec);
+            let key = CacheKey::inlined(self.function, spec, speculation, inline);
             self.adapted_threshold(&key, deopts);
         }
         let (_, threshold) = self.threshold_memo.expect("just memoized");
@@ -1334,7 +1519,12 @@ impl TierController for EngineController<'_> {
         if self.blocked.contains(&self.tier.0) || self.failed_points.contains(&(self.tier.0, at)) {
             return TierDecision::Continue;
         }
-        let key = CacheKey::speculated(self.function, spec.clone(), self.desired_speculation());
+        let key = CacheKey::inlined(
+            self.function,
+            spec.clone(),
+            self.desired_speculation(),
+            self.desired_inline(spec),
+        );
         match self.core.cache.get(&key) {
             Some(cv) => {
                 self.account(true);
@@ -1404,12 +1594,14 @@ impl TierController for EngineController<'_> {
                     // snapshot the job is about to take.
                     self.flush_profile(true);
                     let profile = self.core.layout_snapshot(self.function, &key.spec);
+                    let sites = self.inline_sites_for(next, &key.inline);
                     self.core.pool.submit(
                         CompileJob {
                             key,
                             base: self.base.clone(),
                             priority: total,
                             profile,
+                            sites,
                         },
                         &self.core.metrics,
                     );
@@ -1426,6 +1618,41 @@ impl TierController for EngineController<'_> {
             // visits).
             *self.local.edges.entry((from, to)).or_insert(0) += 1;
             return TierDecision::Continue;
+        }
+        // Inline guards first: a spliced region's profiled branches are
+        // guarded against the *callee's* bias, recorded in the artifact's
+        // plan at compile time (the caller's own edge profile knows
+        // nothing about cloned callee blocks).
+        if let Some(plan) = self
+            .current
+            .as_ref()
+            .and_then(|cv| cv.inline.as_ref().map(Arc::clone))
+        {
+            if let Some(&(_, hot)) = plan.guards.iter().find(|(b, _)| *b == from) {
+                let policy = self.core.policy.tiers.speculation_at(self.tier);
+                let stats = self.inline_guard_stats.entry(from).or_insert((0, 0));
+                if to == hot {
+                    stats.0 += 1;
+                    return TierDecision::Continue;
+                }
+                stats.1 += 1;
+                let (hot_hits, hits) = *stats;
+                // Same wrongness test as value-bias guards: enough
+                // uncommon hits, at a rate above what the callee's
+                // profiled bias already tolerated.
+                let allowed_percent = (100 - policy.bias_percent.min(100)) as u64;
+                let within_allowance = hits * 100 <= (hot_hits + hits) * allowed_percent;
+                if hits < policy.tolerance
+                    || within_allowance
+                    || self.failed_points.contains(&(self.tier.0, at))
+                {
+                    return TierDecision::Continue;
+                }
+                return match self.inline_exit_decision(at, hits) {
+                    Some(decision) => decision,
+                    None => TierDecision::Continue,
+                };
+            }
         }
         // Guard: compare the taken edge against the profiled bias, under
         // the *rung-specific* speculation policy (deeper rungs guard more
@@ -1500,6 +1727,7 @@ impl TierController for EngineController<'_> {
             composed: hop.composed,
             speculated: hop.speculated,
             machine: hop.artifact.as_ref().is_some_and(|a| a.machine.is_some()),
+            inlined: hop.artifact.as_ref().is_some_and(|a| a.inline.is_some()),
             guard_entry: hop.guard_entry,
             deopt: hop.deopt.clone(),
             reclimb: self.deopted && hop.to > self.tier,
@@ -1514,9 +1742,11 @@ impl TierController for EngineController<'_> {
         // policy), guard counters restart, and the climb threshold and
         // value-speculation verdict are re-decided.
         self.guard_stats.clear();
+        self.inline_guard_stats.clear();
         self.bias_cache.clear();
         self.threshold_memo = None;
         self.spec_memo = None;
+        self.inline_memo = None;
         self.tier = hop.to;
         self.counter = self.core.profiles.counter(self.function, hop.to);
         self.current = hop.artifact;

@@ -232,6 +232,64 @@
 //!   ([`ProfileTable::stable_value`] goes `None`) and later traffic stops
 //!   speculating until a new value stabilizes.
 //!
+//! # Inlining + call-graph speculation
+//!
+//! The third speculative cache-key dimension is the *call graph*: which
+//! callees a version spliced into itself, and at which epoch of each
+//! callee's life.
+//!
+//! **Profiling.**  While a frame runs the baseline, every executed call
+//! feeds the per-`(caller, call-site, callee)` *call-edge profile*
+//! (buffered in the frame's `LocalProfile`, drained on the same epoch
+//! flush as the branch edges).  A site becomes inline-worthy when it has
+//! enough samples, one dominant callee, and that callee is spliceable —
+//! a leaf built from pure scalar instructions within the size budget
+//! ([`ssair::passes::InlineCalls::can_inline`],
+//! [`tinyvm::profile::InlineSpeculationPolicy`]).
+//!
+//! **Splicing.**  A climb to the O3/O4 rungs then targets an *inlined
+//! version*: the cache key grows a fourth component
+//! ([`cache::InlineSpec`] — the spliced sites, each with the callee's
+//! identity **and current inline epoch**), and the compile prepends
+//! [`ssair::passes::InlineCalls`] to the rung's mix.  The pass clones
+//! the callee's blocks into the caller, records every clone as ordinary
+//! OSR state-mapping actions plus a per-version *inline map*
+//! (`cloned pc → callee pc`), and guards the callee's profiled branches
+//! against the **callee's own** baseline bias (the caller's edge profile
+//! knows nothing about cloned blocks).  Entry tables for the spliced
+//! version come out of the same [`ssair::feasibility`] precomputation as
+//! every other rung — splices are just more recorded actions.  The O4
+//! rung lowers the spliced artifact unchanged, so the machine rung runs
+//! call-free too.
+//!
+//! **Cross-function deopt.**  When a spliced guard fires
+//! ([`DeoptReason::InlineGuard`], counted in
+//! [`MetricsSnapshot::inline_guard_failures`], labelled
+//! [`TableKind::InlineExit`] in the request trace), the frame exits to
+//! the baseline through the version's validated exit table.  A landing
+//! *inside* an inlined region **reconstructs the callee frame** from the
+//! inline map — the callee runs to its return in its own (true,
+//! call-preserving) function, the caller resumes at the call's
+//! continuation, and the transition event names the reconstructed callee
+//! (`OsrEvent::callee`, rendered as `reconstructing <callee>`).  The
+//! frame then re-climbs call-preserving (the splice assumption is
+//! poisoned for the rest of the request).
+//!
+//! **Invalidation.**  Republishing any version of a callee bumps the
+//! callee's *inline epoch* ([`CodeCache::inline_epoch`]) and evicts every
+//! ready artifact — any caller — whose [`cache::InlineSpec`] references
+//! that callee at an older epoch, plus abandons in-flight compiles with
+//! stale specs at publish time ([`CodeCache::inline_invalidations`],
+//! surfaced as [`MetricsSnapshot::inline_invalidations`]).  Epochs make
+//! the rule exact under concurrency: an inlined artifact is usable iff
+//! every spliced callee still sits at the epoch recorded in the key, so
+//! no stale-inline execution is possible even while a republish storm
+//! races live climbs.  Already-running frames soundly finish on their
+//! `Arc` — spliced code is semantically exact for the body it cloned.
+//! Inlining is on by default and gated by [`EnginePolicy::inlining`];
+//! forward hops into spliced versions are labelled `inlined` and counted
+//! in [`MetricsSnapshot::inlined_tier_ups`].
+//!
 //! # Adaptive climb thresholds
 //!
 //! Beyond deopt demotion, each up edge's threshold reacts to the code
@@ -344,19 +402,26 @@
 //! `speculation` (the full counter set of [`metrics::MetricsSnapshot`]),
 //! `o4_session` (the machine-rung acceptance session: its own
 //! warm/cold wall-clock, the measured warm O4-vs-O3 session speedup in
-//! permille, and the O4 engine's per-rung residency maps), and `layout`
+//! permille, and the O4 engine's per-rung residency maps), `layout`
 //! (the profile-guided-layout A/B: best warm-session micros with layout
 //! on vs off over identical probe traffic, plus each leg's O4
-//! taken/fallthrough jump counters).
+//! taken/fallthrough jump counters), and `inline` (the
+//! inline-speculation A/B: best warm-session micros with inlining on vs
+//! off over identical call-graph traffic, plus each leg's dynamic
+//! call-dispatch count summed over the driver's machine-rung artifacts).
 //! CI regenerates the file and `cargo run -p bench --bin bench_gate`
 //! fails the build when required fields are missing, quantiles are not
 //! monotone (`p50 ≤ p90 ≤ p99`), the tier-1 invariants (≥ 1 composed
 //! tier-up, ≥ 1 deopt) regress, the machine rung loses the plurality
-//! of `o4_session` execution time, or the layout ordering regresses
+//! of `o4_session` execution time, the layout ordering regresses
 //! (layout-on warm micros must stay ≤ layout-off, and layout-on must
-//! not raise the taken-jump share).  The bench-smoke job additionally
-//! diffs a freshly regenerated `layout` block against the committed one
-//! within a tolerance (`bench_gate diff-layout`).
+//! not raise the taken-jump share), or the inline block regresses
+//! (inline-on warm micros must stay ≤ inline-off, and the spliced leg
+//! must dispatch *strictly fewer* calls — the deterministic witness that
+//! the splice happened).  The bench-smoke job additionally diffs freshly
+//! regenerated `layout` and `inline` blocks against the committed ones
+//! within a tolerance (`bench_gate diff-layout` / `bench_gate
+//! diff-inline`).
 //!
 //! Beyond timing, every transition (with its tier pair and whether it was
 //! composed), compile, composed-table build and rejection is recorded as
@@ -400,7 +465,9 @@ mod session;
 pub mod tiers;
 pub mod trace;
 
-pub use cache::{CacheKey, CodeCache, CompileError, CompiledVersion, PipelineSpec, Speculation};
+pub use cache::{
+    CacheKey, CodeCache, CompileError, CompiledVersion, InlineSpec, PipelineSpec, Speculation,
+};
 pub use engine::{
     BatchReport, Engine, EngineError, EnginePolicy, ExecMode, ProfileTable, Request,
     SpeculationPolicy, ValueSpeculationPolicy,

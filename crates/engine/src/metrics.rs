@@ -41,6 +41,13 @@ pub struct EngineMetrics {
     /// Tier-ups whose destination artifact is a value-specialized
     /// (constant-seeded) version.
     pub value_specialized_tier_ups: AtomicU64,
+    /// Tier-ups whose destination artifact has hot call sites spliced
+    /// (an inline-speculating version).
+    pub inlined_tier_ups: AtomicU64,
+    /// Deopts fired by an *inline* guard (a frame in a spliced version
+    /// repeatedly taking a branch path the callee's profile bet against —
+    /// the cross-function half of the speculation lifecycle).
+    pub inline_guard_failures: AtomicU64,
     /// Upward transitions of frames that had previously deopted within
     /// the same request — the re-climb half of the speculation lifecycle.
     pub reclimbs: AtomicU64,
@@ -98,7 +105,12 @@ impl EngineMetrics {
 
     /// A point-in-time copy of every counter (cache counters are merged in
     /// by the engine, which owns the cache).
-    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> MetricsSnapshot {
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        inline_invalidations: u64,
+    ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             tier_ups: self.tier_ups.load(Ordering::Relaxed),
@@ -107,6 +119,9 @@ impl EngineMetrics {
             guard_failures: self.guard_failures.load(Ordering::Relaxed),
             value_guard_failures: self.value_guard_failures.load(Ordering::Relaxed),
             value_specialized_tier_ups: self.value_specialized_tier_ups.load(Ordering::Relaxed),
+            inlined_tier_ups: self.inlined_tier_ups.load(Ordering::Relaxed),
+            inline_guard_failures: self.inline_guard_failures.load(Ordering::Relaxed),
+            inline_invalidations,
             reclimbs: self.reclimbs.load(Ordering::Relaxed),
             extension_recompiles: self.extension_recompiles.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
@@ -145,6 +160,14 @@ pub struct MetricsSnapshot {
     pub value_guard_failures: u64,
     /// Tier-ups into value-specialized (constant-seeded) artifacts.
     pub value_specialized_tier_ups: u64,
+    /// Tier-ups into inline-speculating (call-site-spliced) artifacts.
+    pub inlined_tier_ups: u64,
+    /// Deopts fired by an inline guard (a spliced frame contradicting the
+    /// callee's profiled branch bias).
+    pub inline_guard_failures: u64,
+    /// Inlined artifacts evicted because their callee was republished
+    /// (merged in from the code cache, which owns the epoch counter).
+    pub inline_invalidations: u64,
     /// Upward transitions of frames that had previously deopted within
     /// the same request.
     pub reclimbs: u64,
@@ -204,6 +227,9 @@ impl MetricsSnapshot {
             guard_failures,
             value_guard_failures,
             value_specialized_tier_ups,
+            inlined_tier_ups,
+            inline_guard_failures,
+            inline_invalidations,
             reclimbs,
             extension_recompiles,
             infeasible,
@@ -229,6 +255,9 @@ impl MetricsSnapshot {
             ("guard_failures", *guard_failures),
             ("value_guard_failures", *value_guard_failures),
             ("value_specialized_tier_ups", *value_specialized_tier_ups),
+            ("inlined_tier_ups", *inlined_tier_ups),
+            ("inline_guard_failures", *inline_guard_failures),
+            ("inline_invalidations", *inline_invalidations),
             ("reclimbs", *reclimbs),
             ("extension_recompiles", *extension_recompiles),
             ("infeasible", *infeasible),
@@ -281,10 +310,11 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "requests={} (expired={}) tier_ups={} (composed={}, specialized={}, reclimbs={}) \
-             deopts={} (guard={}, value_guard={}) infeasible={} compiles={} (ext={}) \
+            "requests={} (expired={}) tier_ups={} (composed={}, specialized={}, inlined={}, \
+             reclimbs={}) deopts={} (guard={}, value_guard={}, inline_guard={}) infeasible={} \
+             compiles={} (ext={}) \
              mean_compile={}us thresholds(lowered={}, raised={}) \
-             queue(depth={}, peak={}) cache(hits={}, misses={}) \
+             queue(depth={}, peak={}) cache(hits={}, misses={}, inline_evicted={}) \
              latency_us(p50={}, p99={}) queue_wait_us(p50={}, p99={}) \
              compile_us(p50={}, p99={}) hop_ns(p50={}, p99={})",
             self.requests,
@@ -292,10 +322,12 @@ impl fmt::Display for MetricsSnapshot {
             self.tier_ups,
             self.composed_tier_ups,
             self.value_specialized_tier_ups,
+            self.inlined_tier_ups,
             self.reclimbs,
             self.deopts,
             self.guard_failures,
             self.value_guard_failures,
+            self.inline_guard_failures,
             self.infeasible,
             self.compiles,
             self.extension_recompiles,
@@ -306,6 +338,7 @@ impl fmt::Display for MetricsSnapshot {
             self.queue_peak,
             self.cache_hits,
             self.cache_misses,
+            self.inline_invalidations,
             self.request_latency.p50,
             self.request_latency.p99,
             self.queue_wait.p50,
@@ -351,6 +384,19 @@ pub enum DeoptReason {
         /// integer — a missing argument or a pointer).
         actual: Option<i64>,
     },
+    /// An *inline* guard fired: the frame runs a version with a hot call
+    /// site spliced in, and it repeatedly (`uncommon` times) took a branch
+    /// path inside the inlined region that the callee's baseline profile
+    /// bet against.  The frame exits across the former call boundary —
+    /// reconstructing the callee frame when the landing falls mid-region —
+    /// and resumes in call-preserving code.
+    InlineGuard {
+        /// The optimized-version instruction that witnessed the uncommon
+        /// path when the guard fired.
+        at: InstId,
+        /// Uncommon-path hits accumulated by the frame when it fired.
+        uncommon: u64,
+    },
 }
 
 impl fmt::Display for DeoptReason {
@@ -374,6 +420,9 @@ impl fmt::Display for DeoptReason {
                     Some(n) => write!(f, "{n}"),
                     None => write!(f, "a non-integer"),
                 }
+            }
+            DeoptReason::InlineGuard { at, uncommon } => {
+                write!(f, "inline guard failure at {at} ({uncommon} uncommon hits)")
             }
         }
     }
@@ -400,8 +449,12 @@ pub enum EngineEvent {
         /// Whether the version entered is a value-specialized
         /// (constant-seeded) artifact.
         speculated: bool,
+        /// Whether the version entered has hot call sites spliced in (an
+        /// inline-speculating artifact).
+        inlined: bool,
         /// The underlying VM event (direction distinguishes tier-up from
-        /// deopt).
+        /// deopt; [`OsrEvent::callee`] names the callee frame an inline
+        /// exit reconstructed).
         event: OsrEvent,
     },
     /// A compile job was published to the code cache.
@@ -482,12 +535,14 @@ impl fmt::Display for EngineEvent {
                 to_tier,
                 composed,
                 speculated,
+                inlined,
                 event,
             } => write!(
                 f,
-                "[req {request}] {function}: {from_tier}→{to_tier}{}{} {event}",
+                "[req {request}] {function}: {from_tier}→{to_tier}{}{}{} {event}",
                 if *composed { " (composed)" } else { "" },
-                if *speculated { " (specialized)" } else { "" }
+                if *speculated { " (specialized)" } else { "" },
+                if *inlined { " (inlined)" } else { "" }
             ),
             EngineEvent::Compiled {
                 function,
@@ -663,7 +718,7 @@ mod tests {
         m.job_enqueued();
         m.job_finished(1_000);
         m.job_enqueued();
-        let s = m.snapshot(0, 0);
+        let s = m.snapshot(0, 0, 0);
         assert_eq!(s.queue_peak, 2);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.compiles, 1);
@@ -674,7 +729,7 @@ mod tests {
         let m = EngineMetrics::default();
         m.job_enqueued();
         m.job_finished(2_000_000);
-        let s = m.snapshot(3, 1);
+        let s = m.snapshot(3, 1, 0);
         let text = s.to_string();
         assert!(text.contains("hits=3"));
         assert!(text.contains("mean_compile=2000us"));
@@ -690,7 +745,7 @@ mod tests {
         m.job_finished(2_000_000);
         m.job_enqueued();
         m.job_finished(4_000_000);
-        let s = m.snapshot(0, 0);
+        let s = m.snapshot(0, 0, 0);
         assert_eq!(s.compile_latency.count, 2);
         assert!(s.compile_latency.p50 >= 2_000, "micros, not nanos");
         assert!(s.compile_latency.max >= 4_000);
@@ -717,6 +772,8 @@ mod tests {
         m.guard_failures.store(11, Ordering::Relaxed);
         m.value_guard_failures.store(13, Ordering::Relaxed);
         m.value_specialized_tier_ups.store(17, Ordering::Relaxed);
+        m.inlined_tier_ups.store(71, Ordering::Relaxed);
+        m.inline_guard_failures.store(73, Ordering::Relaxed);
         m.reclimbs.store(19, Ordering::Relaxed);
         m.extension_recompiles.store(23, Ordering::Relaxed);
         m.infeasible.store(29, Ordering::Relaxed);
@@ -727,10 +784,10 @@ mod tests {
         m.compile_nanos.store(47_000 * 43, Ordering::Relaxed);
         m.queue_depth.store(53, Ordering::Relaxed);
         m.queue_peak.store(59, Ordering::Relaxed);
-        let s = m.snapshot(61, 67);
+        let s = m.snapshot(61, 67, 79);
 
         let fields = s.fields();
-        let scalar_count = 19;
+        let scalar_count = 22;
         let histogram_count = 4 * 5;
         assert_eq!(
             fields.len(),
@@ -744,6 +801,9 @@ mod tests {
             "deadline_expired",
             "reclimbs",
             "extension_recompiles",
+            "inlined_tier_ups",
+            "inline_guard_failures",
+            "inline_invalidations",
             "request_latency_micros.p99",
             "queue_wait_micros.p50",
             "compile_latency_micros.count",

@@ -22,7 +22,7 @@ use ssair::passes::BlockFrequencies;
 use ssair::reconstruct::Variant;
 use ssair::Function;
 
-use crate::cache::{compile_speculated, CacheKey, CodeCache};
+use crate::cache::{compile_inlined, CacheKey, CodeCache};
 use crate::metrics::{EngineEvent, EngineMetrics, EventLog};
 
 /// One unit of background compilation work.
@@ -39,6 +39,10 @@ pub struct CompileJob {
     /// O3/O4 rungs.  `None` when the submitter had no profile to offer
     /// (or layout is disabled); the worker then compiles layout-free.
     pub profile: Option<BlockFrequencies>,
+    /// Hot call sites to splice ([`ssair::passes::InlineCalls`] runs
+    /// ahead of the rung's mix), matching `key.inline` site for site.
+    /// Empty for call-preserving compiles.
+    pub sites: Vec<ssair::passes::InlineSite>,
 }
 
 /// Heap entry: max by priority, then FIFO (lowest sequence first) among
@@ -223,12 +227,14 @@ pub fn run_job(
     use std::sync::atomic::Ordering;
     let function = job.key.function.clone();
     let label = job.key.pipeline_label();
-    match compile_speculated(
+    match compile_inlined(
         job.base,
         &job.key.spec,
         &job.key.speculation,
         job.profile.as_ref(),
         variant,
+        job.sites,
+        job.key.inline.clone(),
     ) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
@@ -294,6 +300,7 @@ mod tests {
                 base: m.get("f").unwrap().clone(),
                 priority: 1,
                 profile: None,
+                sites: Vec::new(),
             },
             &metrics,
         );
@@ -307,7 +314,7 @@ mod tests {
         let cv = cache.get(&key).expect("artifact published");
         assert!(cv.tier_up.coverage() > 0.0);
         drop(pool);
-        let snap = metrics.snapshot(0, 0);
+        let snap = metrics.snapshot(0, 0, 0);
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.queue_depth, 0);
         assert!(matches!(
@@ -325,6 +332,7 @@ mod tests {
             base: base.clone(),
             priority,
             profile: None,
+            sites: Vec::new(),
         };
         let queue = CompileQueue::default();
         queue.push(job("cold", 2));
@@ -348,6 +356,7 @@ mod tests {
             base: m.get("f").unwrap().clone(),
             priority: 7,
             profile: None,
+            sites: Vec::new(),
         });
         queue.close();
         assert!(queue.pop().is_some(), "queued work survives the close");

@@ -39,6 +39,11 @@ pub enum TableKind {
     /// SSA table, and the landing additionally enters the artifact's
     /// register file through its location maps.
     Machine,
+    /// A cross-function inline exit: the hop left a version with hot call
+    /// sites spliced in through the artifact's inline-exit table, landing
+    /// in call-preserving code (reconstructing the callee frame when the
+    /// landing fell inside a spliced region).
+    InlineExit,
 }
 
 impl fmt::Display for TableKind {
@@ -48,6 +53,7 @@ impl fmt::Display for TableKind {
             TableKind::Composed => write!(f, "composed"),
             TableKind::ValueSpecialized => write!(f, "value-specialized"),
             TableKind::Machine => write!(f, "machine"),
+            TableKind::InlineExit => write!(f, "inline-exit"),
         }
     }
 }

@@ -46,6 +46,16 @@ pub enum Action<L, V> {
         /// Its replacement.
         new: V,
     },
+    /// A *scoped* `replace`: only some uses of `old` were rewritten (LCSSA
+    /// rewrites out-of-loop uses only), so `old` stays canonical.  Logged
+    /// distinctly so a log slice can be replayed into a fresh mapper
+    /// without turning the partial rewrite into a full one.
+    ScopedReplace {
+        /// The partially replaced operand (still canonical).
+        old: V,
+        /// The new value covering some of its uses.
+        new: V,
+    },
 }
 
 /// Per-kind action counts — the `add/delete/hoist/sink/replace` columns of
@@ -191,7 +201,30 @@ impl<L: Ord + Copy, V: Ord + Copy> CodeMapper<L, V> {
     /// action is logged for the Table 2 statistics, but `old` remains the
     /// canonical value — both values stay alive in the function.
     pub fn replace_scoped(&mut self, old: V, new: V) {
-        self.log.push(Action::Replace { old, new });
+        self.log.push(Action::ScopedReplace { old, new });
+    }
+
+    /// Re-applies a slice of another mapper's log to this one, through the
+    /// ordinary recording methods.
+    ///
+    /// Replaying a log *suffix* into a fresh mapper yields exactly the
+    /// mapper that would have been recorded had only those later passes
+    /// run — the correspondence between the mid-pipeline snapshot and the
+    /// final artifact.  (An instruction added before the split and deleted
+    /// after it correctly becomes a plain base deletion: it exists in the
+    /// snapshot.)  This is how inlined compiles recover the spliced-base →
+    /// optimized mapping from the full pipeline log.
+    pub fn replay(&mut self, log: &[Action<L, V>]) {
+        for a in log {
+            match *a {
+                Action::Add { loc } => self.add(loc),
+                Action::Delete { loc } => self.delete(loc),
+                Action::Hoist { loc, new_loc } => self.hoist(loc, new_loc),
+                Action::Sink { loc, new_loc } => self.sink(loc, new_loc),
+                Action::Replace { old, new } => self.replace(old, new),
+                Action::ScopedReplace { old, new } => self.replace_scoped(old, new),
+            }
+        }
     }
 
     /// Whether the instruction originally at `loc` was moved (hoisted or
@@ -264,7 +297,7 @@ impl<L: Ord + Copy, V: Ord + Copy> CodeMapper<L, V> {
                 Action::Delete { .. } => c.delete += 1,
                 Action::Hoist { .. } => c.hoist += 1,
                 Action::Sink { .. } => c.sink += 1,
-                Action::Replace { .. } => c.replace += 1,
+                Action::Replace { .. } | Action::ScopedReplace { .. } => c.replace += 1,
             }
         }
         c
@@ -328,6 +361,36 @@ mod tests {
         cm.delete(4);
         assert_eq!(cm.current_location(4), None);
         assert_eq!(cm.current_location(5), Some(5));
+    }
+
+    #[test]
+    fn scoped_replace_keeps_old_canonical_through_replay() {
+        let mut cm: CodeMapper<u32, u32> = CodeMapper::new();
+        cm.replace_scoped(1, 2);
+        assert_eq!(cm.resolve_value(1), 1, "old stays canonical");
+        assert_eq!(cm.counts().replace, 1, "still a Table 2 replace");
+        let mut fresh: CodeMapper<u32, u32> = CodeMapper::new();
+        fresh.replay(cm.log());
+        assert_eq!(fresh.resolve_value(1), 1, "replay preserves scoping");
+    }
+
+    #[test]
+    fn replaying_a_log_suffix_models_the_later_passes_alone() {
+        // Prefix: add(7).  Suffix: delete(7), hoist(4, 2), replace(1, 2).
+        let mut full: CodeMapper<u32, u32> = CodeMapper::new();
+        full.add(7);
+        let split = full.log().len();
+        full.delete(7);
+        full.hoist(4, 2);
+        full.replace(1, 2);
+        // In the full mapper add-then-delete cancelled; from the snapshot's
+        // point of view instruction 7 exists and was genuinely deleted.
+        assert!(!full.is_deleted(7));
+        let mut suffix: CodeMapper<u32, u32> = CodeMapper::new();
+        suffix.replay(&full.log()[split..]);
+        assert!(suffix.is_deleted(7), "snapshot-relative deletion");
+        assert_eq!(suffix.current_location(4), Some(2));
+        assert_eq!(suffix.resolve_value(1), 2);
     }
 
     #[test]

@@ -121,6 +121,8 @@ impl MachineArtifact {
                 frame.write(*dst, Val::Ptr(a, o + i));
             }
             MInst::Call { dst, callee, args } => {
+                self.call_dispatches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let callee_fn = module
                     .get(callee)
                     .ok_or_else(|| ExecError::UnknownFunction(callee.clone()))?;

@@ -304,5 +304,6 @@ pub fn lower_function(f: &Function, shadow_roots: &BTreeSet<ValueId>) -> Machine
         shadow_slot,
         taken_jumps: Default::default(),
         fallthrough_jumps: Default::default(),
+        call_dispatches: Default::default(),
     }
 }

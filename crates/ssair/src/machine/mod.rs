@@ -235,6 +235,11 @@ pub struct MachineArtifact {
     /// Dynamic count of [`MInst::Jump`]s whose target was exactly `pc + 1`
     /// (pure fallthroughs after profile-guided layout).
     pub fallthrough_jumps: std::sync::atomic::AtomicU64,
+    /// Dynamic count of [`MInst::Call`]s dispatched — the frame setups,
+    /// argument copies and returns inline speculation exists to remove.
+    /// An artifact lowered from a spliced caller executes strictly fewer
+    /// of these than its call-preserving sibling on the same traffic.
+    pub call_dispatches: std::sync::atomic::AtomicU64,
 }
 
 impl MachineArtifact {
@@ -258,6 +263,12 @@ impl MachineArtifact {
             self.fallthrough_jumps
                 .load(std::sync::atomic::Ordering::Relaxed),
         )
+    }
+
+    /// Calls dispatched by every execution of this artifact.
+    pub fn call_dispatch_count(&self) -> u64 {
+        self.call_dispatches
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -1,0 +1,680 @@
+//! Profile-guided call inlining — the cross-function extension of the
+//! framework's §5 composition story.
+//!
+//! [`InlineCalls`] splices a hot callee's body into the caller ahead of the
+//! aggressive mixes: arguments substitute for parameters, each cloned
+//! instruction is recorded as an ordinary §5.1 `add`, returns branch to a
+//! continuation block where a φ joins the return values, and the retired
+//! `Call` is an ordinary `replace` + `delete`.  Because the splice speaks
+//! only the five primitive actions, [`crate::feasibility`] keeps producing
+//! exact entry tables over the spliced function with no special cases —
+//! the cloned pcs are "added" instructions exactly like a seed guard or a
+//! materialized constant.
+//!
+//! What the table machinery *cannot* reconstruct on its own is the frame
+//! of the function that no longer gets called.  For that, every splice
+//! also records an [`InlineRegion`]: the cloned-pc → callee-pc map, the
+//! callee-value → spliced-value map, and the call's continuation
+//! coordinates.  A runtime that deoptimizes at a pc inside the region
+//! lands in the spliced base via the normal backward table, then uses the
+//! region to rebuild the *callee's* frame (running it to its return) and
+//! resume the caller at the continuation — cross-function OSR as the
+//! composition of two ordinary mappings.
+//!
+//! The pass is deliberately conservative about what it splices: only leaf
+//! callees (no nested calls) built from pure scalar instructions, whose
+//! every `ret` carries a value.  Memory state never needs to be
+//! reconstructed across the boundary, and a region entered is a region
+//! that provably reaches the continuation or deoptimizes inside it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+use crate::ir::{BlockId, Function, InstId, InstKind, Terminator, ValueId};
+use crate::passes::{delete_inst, replace_all_uses, Pass};
+use crate::SsaMapper;
+
+/// One call site chosen for inlining by the profile-driven policy.
+#[derive(Clone, Debug)]
+pub struct InlineSite {
+    /// The `Call` instruction in the caller's base version.
+    pub at: InstId,
+    /// Snapshot of the callee taken when the compile was requested; the
+    /// splice clones this body, so a republished callee leaves spliced
+    /// versions stale (the cache evicts them by epoch).
+    pub callee: Arc<Function>,
+    /// Biased conditional edges of the *callee* (`branch block → hot
+    /// successor`), translated into cloned-block ids so the runtime can
+    /// guard the speculation after optimization.
+    pub bias: Vec<(BlockId, BlockId)>,
+}
+
+/// The record of one performed splice: everything a runtime needs to
+/// rebuild the callee's frame from spliced-function state.
+#[derive(Clone, Debug)]
+pub struct InlineRegion {
+    /// Callee name (module key for re-entry and for epoch invalidation).
+    pub callee: String,
+    /// The retired `Call` instruction's id in the caller base.
+    pub call_inst: InstId,
+    /// Block that held the call (now branches into the region).
+    pub call_block: BlockId,
+    /// Index the call occupied in [`InlineRegion::call_block`]; the
+    /// caller resumes at `call_index` in the continuation's coordinates —
+    /// i.e. the first former tail instruction.
+    pub call_index: usize,
+    /// The call's result value in the caller base (replaced by `join`).
+    pub result: ValueId,
+    /// The value standing for the callee's return in the spliced function
+    /// (a φ at the continuation, or the lone return's value).
+    pub join: ValueId,
+    /// Cloned pc → callee pc.  A deopt landing on a key of this map is
+    /// *inside* the region and reconstructs the callee frame.
+    pub pc_map: BTreeMap<InstId, InstId>,
+    /// Callee value → spliced value (parameters map to the caller's
+    /// argument values, instruction results to their clones).
+    pub val_map: BTreeMap<ValueId, ValueId>,
+    /// The cloned blocks, in callee layout order.
+    pub blocks: BTreeSet<BlockId>,
+    /// Biased callee edges translated to cloned-block ids.
+    pub hot_arms: Vec<(BlockId, BlockId)>,
+}
+
+/// What [`InlineCalls`] learned while running inside a pipeline: the
+/// function as it stood immediately after splicing, the regions, and how
+/// many mapper actions the log held at that point.  Replaying the log
+/// *suffix* into a fresh mapper (see `osr::CodeMapper::replay`) yields the
+/// spliced-base → optimized correspondence the deopt tables need.
+#[derive(Clone, Debug)]
+pub struct InlineOutcome {
+    /// Clone of the function right after every splice was applied.
+    pub spliced: Function,
+    /// One record per splice actually performed (skipped sites are
+    /// absent).
+    pub regions: Vec<InlineRegion>,
+    /// `cm.log().len()` when the pass returned — the prefix of the full
+    /// pipeline log that belongs to splicing (plus any earlier pass).
+    pub prefix_actions: usize,
+}
+
+/// The OSR-aware inlining pass.  Runs ahead of the §5.4 mixes so that
+/// CP/CSE/LICM/layout optimize across the former call boundary.
+pub struct InlineCalls {
+    sites: Vec<InlineSite>,
+    outcome: Arc<Mutex<Option<InlineOutcome>>>,
+}
+
+impl InlineCalls {
+    /// A pass that will splice the given sites (in order).
+    pub fn new(sites: Vec<InlineSite>) -> Self {
+        InlineCalls {
+            sites,
+            outcome: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Shared slot the pass deposits its [`InlineOutcome`] into when run
+    /// (the `Pass` trait hands out `&self`, so the compile driver keeps a
+    /// clone of this handle).
+    pub fn outcome_slot(&self) -> Arc<Mutex<Option<InlineOutcome>>> {
+        self.outcome.clone()
+    }
+
+    /// Structural inlinability: a leaf callee of pure scalar instructions
+    /// whose every (reachable) `ret` returns a value.  (The *policy*
+    /// question — hot enough, small enough — is the profile layer's.)
+    pub fn can_inline(callee: &Function) -> bool {
+        let mut returns = 0usize;
+        for b in reachable_blocks(callee) {
+            for &i in &callee.block(b).insts {
+                match callee.inst(i).kind {
+                    InstKind::Const(_)
+                    | InstKind::Binop(..)
+                    | InstKind::Neg(_)
+                    | InstKind::Not(_)
+                    | InstKind::Select { .. }
+                    | InstKind::Phi(_)
+                    | InstKind::DbgValue { .. } => {}
+                    // Nested calls and memory state stay call-boundary
+                    // territory: reconstruction is scalar-only.
+                    _ => return false,
+                }
+            }
+            if let Terminator::Ret(v) = &callee.block(b).term {
+                if v.is_none() {
+                    return false;
+                }
+                returns += 1;
+            }
+        }
+        returns > 0
+    }
+}
+
+impl Pass for InlineCalls {
+    fn name(&self) -> &'static str {
+        "inline-calls"
+    }
+
+    fn hook_sites(&self) -> usize {
+        4 // add (clones, join φ), hoist (tail), replace (result), delete (call)
+    }
+
+    fn run(&self, f: &mut Function, cm: &mut SsaMapper) -> bool {
+        let mut regions = Vec::new();
+        for site in &self.sites {
+            if let Some(r) = splice_site(f, cm, site) {
+                regions.push(r);
+            }
+        }
+        let changed = !regions.is_empty();
+        *self.outcome.lock().unwrap() = Some(InlineOutcome {
+            spliced: f.clone(),
+            regions,
+            prefix_actions: cm.log().len(),
+        });
+        changed
+    }
+}
+
+/// The callee's blocks reachable from its entry, in layout order.  Only
+/// these are cloned: unreachable trailing blocks (a front end's
+/// `after.return` remnants) would otherwise donate predecessor-less
+/// φ-incomings to the continuation.
+fn reachable_blocks(callee: &Function) -> Vec<BlockId> {
+    let mut seen: BTreeSet<BlockId> = BTreeSet::from([callee.entry]);
+    let mut work = vec![callee.entry];
+    while let Some(b) = work.pop() {
+        for s in callee.block(b).term.successors() {
+            if seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    callee
+        .block_ids()
+        .into_iter()
+        .filter(|b| seen.contains(b))
+        .collect()
+}
+
+/// Performs one splice.  Returns `None` (leaving `f` untouched) when the
+/// site no longer matches — the call was optimized away, the arity drifted
+/// from the snapshot, or the callee is structurally uninlinable.
+fn splice_site(f: &mut Function, cm: &mut SsaMapper, site: &InlineSite) -> Option<InlineRegion> {
+    let callee = &*site.callee;
+    if !InlineCalls::can_inline(callee)
+        || (site.at.0 as usize) >= f.inst_id_count()
+        || !f.inst_is_live(site.at)
+    {
+        return None;
+    }
+    let at = site.at;
+    let args = match &f.inst(at).kind {
+        InstKind::Call { callee: n, args } if *n == callee.name => args.clone(),
+        _ => return None,
+    };
+    if args.len() != callee.params.len() {
+        return None;
+    }
+    let result = f.inst(at).result?;
+    let cb = f.block_of(at)?;
+    let idx = f.block(cb).insts.iter().position(|&i| i == at)?;
+
+    // 1. Split: a continuation block takes the call's tail and the block's
+    //    terminator.  Moved instructions keep their ids and are recorded
+    //    as self-hoists (MergeBlocks' convention), so the anchor logic
+    //    knows they are no longer control-equivalent to their base spots.
+    let cont = f.create_block(&format!("inl.cont.{}", callee.name));
+    let tail: Vec<InstId> = f.block(cb).insts[idx + 1..].to_vec();
+    for (k, &i) in tail.iter().enumerate() {
+        if !matches!(f.inst(i).kind, InstKind::Const(_)) && !f.inst(i).kind.is_dbg() {
+            cm.hoist(i, i);
+        }
+        f.move_inst(i, cont, k);
+    }
+    let old_term = std::mem::replace(&mut f.block_mut(cb).term, Terminator::Br(cont));
+    f.block_mut(cont).term = old_term.clone();
+    // The old successors' φs now receive their value from `cont`.
+    for s in old_term.successors() {
+        let insts = f.block(s).insts.clone();
+        for i in insts {
+            if let InstKind::Phi(incs) = &mut f.inst_mut(i).kind {
+                for (b, _) in incs.iter_mut() {
+                    if *b == cb {
+                        *b = cont;
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Clone the callee's (reachable) blocks and instructions; every
+    //    clone is an ordinary §5.1 `add`.  Parameters substitute for
+    //    arguments.
+    let reachable = reachable_blocks(callee);
+    let mut block_map: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+    for &b in &reachable {
+        let nb = f.create_block(&format!("inl.{}.{}", callee.name, callee.block(b).name));
+        block_map.insert(b, nb);
+    }
+    let mut val_map: BTreeMap<ValueId, ValueId> = BTreeMap::new();
+    for (i, &arg) in args.iter().enumerate() {
+        val_map.insert(callee.param_value(i), arg);
+    }
+    let mut pc_map: BTreeMap<InstId, InstId> = BTreeMap::new();
+    let mut clones: Vec<InstId> = Vec::new();
+    for &b in &reachable {
+        let nb = block_map[&b];
+        for &i in &callee.block(b).insts {
+            let data = callee.inst(i);
+            let ci = f.create_inst(data.kind.clone(), data.line);
+            f.push_inst(nb, ci);
+            cm.add(ci);
+            if let (Some(cv), Some(v)) = (f.result_of(ci), data.result) {
+                val_map.insert(v, cv);
+            }
+            pc_map.insert(ci, i);
+            clones.push(ci);
+        }
+    }
+    // Rewrite cloned operands into caller space.  The rewrite must be
+    // simultaneous (`map_operands`): callee ids and caller ids overlap.
+    for &ci in &clones {
+        let kind = &mut f.inst_mut(ci).kind;
+        if let InstKind::Phi(incs) = kind {
+            for (b, _) in incs.iter_mut() {
+                *b = block_map[b];
+            }
+        }
+        kind.map_operands(|v| val_map[&v]);
+    }
+
+    // 3. Terminators: branches stay branches; every `ret v` becomes a
+    //    branch to the continuation carrying `v` for the join.
+    let mut rets: Vec<(BlockId, ValueId)> = Vec::new();
+    for &b in &reachable {
+        let nb = block_map[&b];
+        let term = match callee.block(b).term.clone() {
+            Terminator::Br(t) => Terminator::Br(block_map[&t]),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
+                cond: val_map[&cond],
+                then_bb: block_map[&then_bb],
+                else_bb: block_map[&else_bb],
+            },
+            Terminator::Ret(v) => {
+                let v = v.expect("can_inline admits value-returning rets only");
+                rets.push((nb, val_map[&v]));
+                Terminator::Br(cont)
+            }
+        };
+        f.block_mut(nb).term = term;
+    }
+
+    // 4. The join: the lone return's value, or a φ over all of them.
+    let join = if rets.len() == 1 {
+        rets[0].1
+    } else {
+        let phi = f.create_inst(InstKind::Phi(rets.clone()), None);
+        f.insert_inst(cont, 0, phi);
+        cm.add(phi);
+        f.result_of(phi).expect("φ has a result")
+    };
+
+    // 5. Route the caller through the region and retire the call.
+    f.block_mut(cb).term = Terminator::Br(block_map[&callee.entry]);
+    replace_all_uses(f, cm, result, join);
+    delete_inst(f, cm, at);
+
+    let hot_arms = site
+        .bias
+        .iter()
+        .filter_map(|(b, s)| Some((*block_map.get(b)?, *block_map.get(s)?)))
+        .collect();
+    Some(InlineRegion {
+        callee: callee.name.clone(),
+        call_inst: at,
+        call_block: cb,
+        call_index: idx,
+        result,
+        join,
+        pc_map,
+        val_map,
+        blocks: block_map.values().copied().collect(),
+        hot_arms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run_function, Val};
+    use crate::passes::Pipeline;
+    use crate::{verify, BinOp, FunctionBuilder, Module, Ty, ValueDef};
+
+    fn helper_double_plus() -> Function {
+        // helper(a, b) = a * 2 + b — single block, single ret.
+        let mut b = FunctionBuilder::new("helper", &[("a", Ty::I64), ("b", Ty::I64)]);
+        let a = b.param(0);
+        let c2 = b.const_i64(2);
+        let t = b.binop(BinOp::Mul, a, c2);
+        let r = b.binop(BinOp::Add, t, b.param(1));
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    fn abs_callee() -> Function {
+        // abs(a): two rets, joined by a φ after splicing.
+        let mut b = FunctionBuilder::new("abs", &[("a", Ty::I64)]);
+        let a = b.param(0);
+        let zero = b.const_i64(0);
+        let neg = b.binop(BinOp::Lt, a, zero);
+        let bn = b.create_block("neg");
+        let bp = b.create_block("pos");
+        b.cond_br(neg, bn, bp);
+        b.switch_to(bn);
+        let flipped = b.binop(BinOp::Sub, zero, a);
+        b.ret(Some(flipped));
+        b.switch_to(bp);
+        b.ret(Some(a));
+        b.finish()
+    }
+
+    fn find_call(f: &Function, callee: &str) -> InstId {
+        for b in f.block_ids() {
+            for &i in &f.block(b).insts {
+                if matches!(&f.inst(i).kind, InstKind::Call { callee: n, .. } if n == callee) {
+                    return i;
+                }
+            }
+        }
+        panic!("no call to {callee}");
+    }
+
+    fn has_calls(f: &Function) -> bool {
+        f.block_ids().iter().any(|&b| {
+            f.block(b)
+                .insts
+                .iter()
+                .any(|&i| matches!(f.inst(i).kind, InstKind::Call { .. }))
+        })
+    }
+
+    #[test]
+    fn splices_single_ret_leaf_and_matches_call_semantics() {
+        let helper = Arc::new(helper_double_plus());
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let c3 = b.const_i64(3);
+        let y = b.call("helper", &[x, c3]);
+        let z = b.binop(BinOp::Add, y, x);
+        b.ret(Some(z));
+        let f0 = b.finish();
+
+        let mut m = Module::new();
+        m.add((*helper).clone());
+
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        let site = InlineSite {
+            at: find_call(&f0, "helper"),
+            callee: helper.clone(),
+            bias: Vec::new(),
+        };
+        let pass = InlineCalls::new(vec![site]);
+        assert!(pass.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(!has_calls(&f), "the call dissolved into the region");
+
+        let outcome = pass.outcome_slot().lock().unwrap().take().unwrap();
+        assert_eq!(outcome.regions.len(), 1);
+        let r = &outcome.regions[0];
+        assert_eq!(r.callee, "helper");
+        assert!(!f.inst_is_live(r.call_inst), "the Call was retired");
+        assert_eq!(cm.resolve_value(r.result), r.join);
+        // Every cloned pc is an added instruction mapping to a callee pc.
+        for (&clone, &orig) in &r.pc_map {
+            assert!(cm.is_added(clone));
+            assert!(helper.inst_is_live(orig));
+        }
+        // Parameters map to the caller's argument values.
+        assert_eq!(r.val_map[&helper.param_value(0)], x);
+
+        for n in [-4i64, 0, 9] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn multi_ret_callee_joins_through_a_phi() {
+        let callee = Arc::new(abs_callee());
+        let mut b = FunctionBuilder::new("g", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let y = b.call("abs", &[x]);
+        let one = b.const_i64(1);
+        let r = b.binop(BinOp::Add, y, one);
+        b.ret(Some(r));
+        let f0 = b.finish();
+        let mut m = Module::new();
+        m.add((*callee).clone());
+
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        let pass = InlineCalls::new(vec![InlineSite {
+            at: find_call(&f0, "abs"),
+            callee: callee.clone(),
+            bias: Vec::new(),
+        }]);
+        assert!(pass.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        let outcome = pass.outcome_slot().lock().unwrap().take().unwrap();
+        let region = &outcome.regions[0];
+        match f.value_def(region.join) {
+            ValueDef::Inst(i) => {
+                assert!(
+                    matches!(f.inst(i).kind, InstKind::Phi(_)),
+                    "rets join in a φ"
+                )
+            }
+            d => panic!("join defined by {d:?}"),
+        }
+        for n in [-5i64, 0, 7] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn continuation_takes_over_phi_incomings_of_old_successors() {
+        // entry cond_br → p / q; p holds the call then joins q at t's φ.
+        let helper = Arc::new(helper_double_plus());
+        let mut b = FunctionBuilder::new("h", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let p = b.create_block("p");
+        let q = b.create_block("q");
+        let t = b.create_block("t");
+        b.cond_br(x, p, q);
+        b.switch_to(p);
+        let c1 = b.const_i64(1);
+        let y = b.call("helper", &[x, c1]);
+        b.br(t);
+        b.switch_to(q);
+        let c9 = b.const_i64(9);
+        b.br(t);
+        b.switch_to(t);
+        let ph = b.phi(&[(p, y), (q, c9)]);
+        b.ret(Some(ph));
+        let f0 = b.finish();
+        let mut m = Module::new();
+        m.add((*helper).clone());
+
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        let pass = InlineCalls::new(vec![InlineSite {
+            at: find_call(&f0, "helper"),
+            callee: helper.clone(),
+            bias: Vec::new(),
+        }]);
+        assert!(pass.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        let outcome = pass.outcome_slot().lock().unwrap().take().unwrap();
+        let region = &outcome.regions[0];
+        // t's φ no longer names p as a predecessor; the region's join value
+        // arrives from the continuation instead.
+        let phi_incs = match &f.inst(f.block(t).insts[0]).kind {
+            InstKind::Phi(incs) => incs.clone(),
+            k => panic!("expected φ, got {k:?}"),
+        };
+        assert!(phi_incs.iter().all(|(blk, _)| *blk != p));
+        assert!(phi_incs.iter().any(|(_, v)| *v == region.join));
+        for n in [0i64, 2, -3] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn declines_non_leaf_memory_and_mismatched_sites() {
+        // A callee that itself calls is not a leaf.
+        let mut b = FunctionBuilder::new("wrapper", &[("a", Ty::I64)]);
+        let a = b.param(0);
+        let r = b.call("deeper", &[a]);
+        b.ret(Some(r));
+        let non_leaf = Arc::new(b.finish());
+        assert!(!InlineCalls::can_inline(&non_leaf));
+
+        let helper = Arc::new(helper_double_plus());
+        let mut b = FunctionBuilder::new("f", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let y = b.call("wrapper", &[x]);
+        b.ret(Some(y));
+        let f0 = b.finish();
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        // Site 1: uninlinable callee.  Site 2: callee snapshot whose name
+        // does not match the instruction.  Site 3: dead pc.
+        let pass = InlineCalls::new(vec![
+            InlineSite {
+                at: find_call(&f0, "wrapper"),
+                callee: non_leaf,
+                bias: Vec::new(),
+            },
+            InlineSite {
+                at: find_call(&f0, "wrapper"),
+                callee: helper.clone(),
+                bias: Vec::new(),
+            },
+            InlineSite {
+                at: InstId(10_000),
+                callee: helper,
+                bias: Vec::new(),
+            },
+        ]);
+        assert!(!pass.run(&mut f, &mut cm), "nothing spliced");
+        assert!(cm.log().is_empty());
+        assert!(has_calls(&f), "the call survives");
+        let outcome = pass.outcome_slot().lock().unwrap().take().unwrap();
+        assert!(outcome.regions.is_empty());
+    }
+
+    #[test]
+    fn two_sites_in_one_block_splice_sequentially() {
+        let helper = Arc::new(helper_double_plus());
+        let mut b = FunctionBuilder::new("f2", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let c1 = b.const_i64(1);
+        let y = b.call("helper", &[x, c1]);
+        let z = b.call("helper", &[y, x]);
+        let s = b.binop(BinOp::Add, y, z);
+        b.ret(Some(s));
+        let f0 = b.finish();
+        let mut m = Module::new();
+        m.add((*helper).clone());
+
+        let sites: Vec<InlineSite> = f0
+            .block(f0.entry)
+            .insts
+            .iter()
+            .filter(|&&i| matches!(f0.inst(i).kind, InstKind::Call { .. }))
+            .map(|&i| InlineSite {
+                at: i,
+                callee: helper.clone(),
+                bias: Vec::new(),
+            })
+            .collect();
+        assert_eq!(sites.len(), 2);
+        let mut f = f0.clone();
+        let mut cm = SsaMapper::new();
+        let pass = InlineCalls::new(sites);
+        assert!(pass.run(&mut f, &mut cm));
+        verify(&f).unwrap();
+        assert!(!has_calls(&f));
+        let outcome = pass.outcome_slot().lock().unwrap().take().unwrap();
+        assert_eq!(outcome.regions.len(), 2);
+        for n in [-2i64, 0, 5] {
+            assert_eq!(
+                run_function(&f, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn survives_the_aggressive_mix_and_the_log_suffix_replays() {
+        // Prepend the splice to the full aggressive pipeline: the former
+        // call boundary constant-folds away, and replaying the log suffix
+        // into a fresh mapper yields the spliced-base → optimized record.
+        let helper = Arc::new(helper_double_plus());
+        let mut b = FunctionBuilder::new("f3", &[("x", Ty::I64)]);
+        let x = b.param(0);
+        let c3 = b.const_i64(3);
+        let y = b.call("helper", &[x, c3]);
+        let z = b.binop(BinOp::Add, y, x);
+        b.ret(Some(z));
+        let f0 = b.finish();
+        let mut m = Module::new();
+        m.add((*helper).clone());
+
+        let pass = InlineCalls::new(vec![InlineSite {
+            at: find_call(&f0, "helper"),
+            callee: helper.clone(),
+            bias: Vec::new(),
+        }]);
+        let slot = pass.outcome_slot();
+        let pipeline = Pipeline::aggressive().prepended(Box::new(pass));
+        let (opt, cm, _stats) = pipeline.optimize(&f0);
+        verify(&opt).unwrap();
+        assert!(!has_calls(&opt));
+
+        let outcome = slot.lock().unwrap().take().unwrap();
+        assert!(outcome.prefix_actions <= cm.log().len());
+        verify(&outcome.spliced).unwrap();
+        let mut suffix = SsaMapper::new();
+        suffix.replay(&cm.log()[outcome.prefix_actions..]);
+        // The suffix mapper never deletes anything the spliced snapshot
+        // does not have.
+        for loc in suffix.deleted_locations() {
+            assert!(
+                outcome.spliced.inst_is_live(loc),
+                "suffix deletion {loc:?} must exist in the snapshot"
+            );
+        }
+        for n in [-1i64, 4, 11] {
+            assert_eq!(
+                run_function(&opt, &[Val::Int(n)], &m, 10_000).unwrap(),
+                run_function(&f0, &[Val::Int(n)], &m, 10_000).unwrap(),
+            );
+        }
+    }
+}

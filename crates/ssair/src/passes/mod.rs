@@ -14,6 +14,7 @@
 mod adce;
 mod constprop;
 mod cse;
+mod inline;
 mod layout;
 mod lcssa;
 mod licm;
@@ -27,6 +28,7 @@ mod sink;
 pub use adce::Adce;
 pub use constprop::{const_value, ConstProp};
 pub use cse::Cse;
+pub use inline::{InlineCalls, InlineOutcome, InlineRegion, InlineSite};
 pub use layout::{BlockFrequencies, LayoutBlocks};
 pub use lcssa::Lcssa;
 pub use licm::Licm;

@@ -104,6 +104,13 @@ pub struct ProfileTable {
     /// never per instruction) and flush once per request, so this map is
     /// locked a handful of times per request, off the interpreter loop.
     time_nanos: Mutex<HashMap<(String, Tier), u64>>,
+    /// The *call-edge* profile: per caller, per call-site pc, how often
+    /// each callee was invoked from that site — the input to inline
+    /// speculation ([`ProfileTable::inline_sites`]).  Sites are keyed by
+    /// the call's [`InstId`], which every pass preserves (block merging
+    /// and jump threading move instructions between blocks but never
+    /// renumber them), so attribution survives superblock formation.
+    calls: Mutex<HashMap<String, HashMap<InstId, Vec<(String, u64)>>>>,
     /// The *drain epoch*: a monotone counter consumers bump
     /// ([`ProfileTable::advance_epoch`]) whenever they are about to *read*
     /// the profile (e.g. snapshotting it into a compile job).  A
@@ -132,6 +139,9 @@ pub struct LocalProfile {
     /// One-shot argument-value observations, drained with the first
     /// flush.
     pub values: Option<Vec<((usize, i64), u64)>>,
+    /// Call-edge observations `(call-site pc, callee) → count`, recorded
+    /// while the frame runs the baseline.
+    pub calls: HashMap<(InstId, String), u64>,
     /// The table epoch this buffer last drained at.
     seen_epoch: u64,
 }
@@ -149,6 +159,7 @@ impl LocalProfile {
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
             && self.uncommon.is_empty()
+            && self.calls.is_empty()
             && self.values.as_ref().map_or(true, Vec::is_empty)
     }
 }
@@ -411,6 +422,87 @@ impl ProfileTable {
             .then_some(value)
     }
 
+    /// Records call-edge executions in bulk: each batch item is
+    /// `((call-site pc, callee), count)`, batched by the controller and
+    /// flushed with the edge profile so the shared map is locked once per
+    /// flush, not once per call.
+    pub fn record_calls(
+        &self,
+        function: &str,
+        batch: impl IntoIterator<Item = ((InstId, String), u64)>,
+    ) {
+        let mut map = self.calls.lock().expect("call lock");
+        let sites = per_function(&mut map, function);
+        for ((site, callee), n) in batch {
+            let callees = sites.entry(site).or_default();
+            match callees.iter_mut().find(|(c, _)| *c == callee) {
+                Some((_, count)) => *count += n,
+                None => callees.push((callee, n)),
+            }
+        }
+    }
+
+    /// Raw per-site callee totals for `function` — each call site's
+    /// observed callees with counts, sorted by site pc.
+    pub fn call_site_totals(&self, function: &str) -> BTreeMap<InstId, Vec<(String, u64)>> {
+        let map = self.calls.lock().expect("call lock");
+        map.get(function)
+            .map(|sites| {
+                sites
+                    .iter()
+                    .map(|(site, callees)| (*site, callees.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The inline-speculation verdict for `function` under `policy`: the
+    /// call sites whose profile is dominated by a single callee — at
+    /// least [`InlineSpeculationPolicy::min_samples`] observed calls, the
+    /// dominant callee drawing at least
+    /// [`InlineSpeculationPolicy::dominance_percent`] of them, and the
+    /// callee's body (as sized by `callee_size`, which also filters
+    /// non-inlinable callees by answering `None`) within
+    /// [`InlineSpeculationPolicy::callee_budget`].  Sites are returned
+    /// sorted by pc, so the verdict is deterministic; callee ties break
+    /// toward the lexicographically smallest name.
+    pub fn inline_sites(
+        &self,
+        function: &str,
+        policy: &InlineSpeculationPolicy,
+        mut callee_size: impl FnMut(&str) -> Option<usize>,
+    ) -> Vec<(InstId, String)> {
+        let map = self.calls.lock().expect("call lock");
+        let Some(sites) = map.get(function) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(InstId, String)> = Vec::new();
+        for (site, callees) in sites {
+            let total: u64 = callees.iter().map(|(_, n)| *n).sum();
+            if total < policy.min_samples {
+                continue;
+            }
+            let mut hot: Option<(&str, u64)> = None;
+            for (c, n) in callees {
+                if hot.is_none_or(|(bc, best)| *n > best || (*n == best && c.as_str() < bc)) {
+                    hot = Some((c, *n));
+                }
+            }
+            let Some((callee, n)) = hot else { continue };
+            if n * 100 < total * policy.dominance_percent as u64 {
+                continue;
+            }
+            match callee_size(callee) {
+                Some(size) if size <= policy.callee_budget => {
+                    out.push((*site, callee.to_string()));
+                }
+                _ => {}
+            }
+        }
+        out.sort_by_key(|(site, _)| *site);
+        out
+    }
+
     /// The current drain epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Relaxed)
@@ -450,6 +542,9 @@ impl ProfileTable {
         }
         if !local.uncommon.is_empty() {
             self.record_uncommon_batch(function, tier, local.uncommon.drain());
+        }
+        if !local.calls.is_empty() {
+            self.record_calls(function, local.calls.drain());
         }
         true
     }
@@ -501,6 +596,37 @@ impl Default for ValueSpeculationPolicy {
         ValueSpeculationPolicy {
             min_samples: 16,
             stability_percent: 90,
+        }
+    }
+}
+
+/// When a profiled call site is worth inlining.
+///
+/// While a function runs at the baseline, every `call` instruction's
+/// callee is profiled ([`ProfileTable::record_calls`]).  A site whose
+/// observations are dominated by a single callee — at least `min_samples`
+/// observed calls, the dominant callee drawing at least
+/// `dominance_percent` of them — is *inline-worthy* when the callee's
+/// body fits the size budget: an engine may splice the callee into the
+/// caller's optimized version, guard the inlined region's profiled
+/// branches, and deoptimize across the former call boundary when the
+/// speculation fails.
+#[derive(Clone, Copy, Debug)]
+pub struct InlineSpeculationPolicy {
+    /// Minimum profiled calls at a site before it can be inline-worthy.
+    pub min_samples: u64,
+    /// Percentage of calls the dominant callee must draw (> 50).
+    pub dominance_percent: u8,
+    /// Maximum live instruction count of an inlinable callee body.
+    pub callee_budget: usize,
+}
+
+impl Default for InlineSpeculationPolicy {
+    fn default() -> Self {
+        InlineSpeculationPolicy {
+            min_samples: 16,
+            dominance_percent: 90,
+            callee_budget: 48,
         }
     }
 }
@@ -713,6 +839,53 @@ pub enum TierDecision {
     /// it when a speculation guard fails, and climb again (the controller
     /// is told each landing via [`TierController::on_transition`]).
     Transition(TierTarget),
+    /// Deoptimize out of an *inlined* version — cross-function OSR.  The
+    /// frame hops backward into the spliced caller base through the
+    /// supplied table; if the landing falls inside an inlined region, the
+    /// callee's frame is reconstructed from the splice records and run to
+    /// its return, and the TRUE (pre-splice) caller base resumes at the
+    /// call's continuation with the result bound.  Like
+    /// [`TierDecision::Transition`], the frame stays under profiling so it
+    /// can re-climb.
+    InlineExit(InlineExitTarget),
+}
+
+/// The destination of a [`TierDecision::InlineExit`] hop: everything the
+/// runtime needs to undo a call-site splice at deoptimization time.
+///
+/// A guard failure at a pc *inside* an inlined region cannot simply land
+/// in the caller's true baseline — that function still performs the call,
+/// and the frame is part-way through the callee's logic.  Instead the hop
+/// composes two ordinary mappings: the normal backward entry table lands
+/// the frame in the *spliced* base (where the callee's body is ordinary
+/// caller code), and the [`ssair::passes::InlineRegion`] records translate
+/// that landing into a reconstructed frame of the *callee*, which runs to
+/// its return exactly as if it had been called.
+#[derive(Clone)]
+pub struct InlineExitTarget {
+    /// The spliced caller base — the backward table's target function.
+    pub spliced: Arc<Function>,
+    /// Backward entries mapping the optimized version's points into the
+    /// spliced base.
+    pub table: Arc<EntryTable>,
+    /// The TRUE (pre-splice) caller base the frame resumes in; the `call`
+    /// instructions still exist here.
+    pub base: Arc<Function>,
+    /// The splice records, one per inlined call site.
+    pub regions: Arc<Vec<ssair::passes::InlineRegion>>,
+    /// Callee snapshots by name, exactly as spliced (a republished callee
+    /// invalidates the whole version rather than mutating this map).
+    pub callees: BTreeMap<String, Arc<Function>>,
+    /// Rung index recorded on the resulting event (the caller lands back
+    /// on its baseline).
+    pub rung: Tier,
+    /// Values pinned into the source frame before compensation runs
+    /// (parameter rematerialization), as for [`TierTarget::pinned`].
+    pub pinned: Vec<(ssair::ValueId, ssair::interp::Val)>,
+    /// Whether failing this exit aborts the run, as for
+    /// [`TierTarget::mandatory`]: an inline-guard escape leaves code that
+    /// speculated on a callee body the frame is contradicting.
+    pub mandatory: bool,
 }
 
 /// The destination of a [`TierDecision::Transition`] hop.
@@ -798,6 +971,22 @@ pub trait TierController {
     fn observe_edge(&mut self, _from: BlockId, _to: BlockId, _at: InstId) -> TierDecision {
         TierDecision::Continue
     }
+
+    /// Whether this controller wants [`TierController::observe_call`]
+    /// callbacks.  Defaults to `false`, which keeps the per-instruction
+    /// hook free of the call check — controllers profiling call edges
+    /// (typically only while the frame runs the baseline) must override
+    /// this to `true`.
+    fn observes_calls(&self) -> bool {
+        false
+    }
+
+    /// Called when the frame is about to execute the `call` instruction
+    /// `at` invoking `callee` — the call-edge-profile hook.  Only
+    /// consulted when [`TierController::observes_calls`] returns `true`.
+    /// Purely observational: the interpreter proceeds with the call
+    /// either way.
+    fn observe_call(&mut self, _at: InstId, _callee: &str) {}
 
     /// Called when a requested transition was infeasible at `at` (no
     /// landing site or no compensation code); the interpreter carries on
@@ -1375,5 +1564,166 @@ mod tests {
         // where q reached t through the multi-predecessor e).
         frame.came_from = Some(q);
         assert_eq!(obs.taken_edge(&frame, t_entry), None);
+    }
+
+    #[test]
+    fn call_profile_aggregates_and_flushes_with_the_local_buffer() {
+        let t = ProfileTable::default();
+        let site = InstId(9);
+        let mut local = LocalProfile::default();
+        *local.calls.entry((site, "helper".to_string())).or_insert(0) += 12;
+        *local.calls.entry((site, "other".to_string())).or_insert(0) += 1;
+        assert!(!local.is_empty(), "call observations make the buffer dirty");
+        // Steady state: no epoch movement, no force — no drain.
+        assert!(!t.flush_local("caller", Tier::BASELINE, &mut local, false));
+        t.advance_epoch();
+        assert!(t.flush_local("caller", Tier::BASELINE, &mut local, false));
+        assert!(local.calls.is_empty(), "drained");
+        t.record_calls("caller", [((site, "helper".to_string()), 8)]);
+        let totals = t.call_site_totals("caller");
+        let callees = &totals[&site];
+        assert!(callees.contains(&("helper".to_string(), 20)));
+        assert!(callees.contains(&("other".to_string(), 1)));
+        assert!(t.call_site_totals("nobody").is_empty());
+    }
+
+    #[test]
+    fn inline_sites_need_samples_dominance_and_budget() {
+        let t = ProfileTable::default();
+        let policy = InlineSpeculationPolicy {
+            min_samples: 10,
+            dominance_percent: 90,
+            callee_budget: 20,
+        };
+        let hot = InstId(3);
+        let cold = InstId(5);
+        let mega = InstId(7);
+        t.record_calls("caller", [((hot, "helper".to_string()), 19)]);
+        t.record_calls("caller", [((hot, "rare".to_string()), 1)]);
+        t.record_calls("caller", [((cold, "helper".to_string()), 5)]);
+        t.record_calls(
+            "caller",
+            [
+                ((mega, "a".to_string()), 6),
+                ((mega, "b".to_string()), 6),
+                ((mega, "c".to_string()), 6),
+            ],
+        );
+        let sites = t.inline_sites("caller", &policy, |_| Some(10));
+        assert_eq!(
+            sites,
+            vec![(hot, "helper".to_string())],
+            "only the sampled, dominated site qualifies"
+        );
+        // The callee-size budget and the non-inlinable filter both veto.
+        assert!(t.inline_sites("caller", &policy, |_| Some(21)).is_empty());
+        assert!(t.inline_sites("caller", &policy, |_| None).is_empty());
+        assert!(t.inline_sites("nobody", &policy, |_| Some(1)).is_empty());
+    }
+
+    #[test]
+    fn call_site_attribution_survives_merge_blocks() {
+        // A call site fused into a superblock keeps its InstId — the key
+        // the call-edge profile attributes samples to — so samples
+        // recorded before block merging still nominate the surviving
+        // instruction afterwards.
+        use ssair::passes::{MergeBlocks, Pass};
+        use ssair::{BinOp, FunctionBuilder, Ty};
+        // entry → m (call helper) → exit: a pure Br chain MergeBlocks
+        // collapses into one superblock.
+        let mut bld = FunctionBuilder::new("caller", &[("x", Ty::I64)]);
+        let x = bld.param(0);
+        let entry = bld.current_block();
+        let m = bld.create_block("m");
+        let exit = bld.create_block("exit");
+        let one = bld.const_i64(1);
+        let t0 = bld.binop(BinOp::Add, x, one);
+        bld.br(m);
+        bld.switch_to(m);
+        let call = bld.call("helper", &[t0]);
+        bld.br(exit);
+        bld.switch_to(exit);
+        let r = bld.binop(BinOp::Mul, call, call);
+        bld.ret(Some(r));
+        let mut f = bld.finish();
+        let site = f
+            .block(m)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| matches!(f.inst(*i).kind, ssair::InstKind::Call { .. }))
+            .unwrap();
+
+        // Samples recorded against the pre-merge shape.
+        let t = ProfileTable::default();
+        t.record_calls("caller", [((site, "helper".to_string()), 32)]);
+
+        let mut cm = ssair::SsaMapper::new();
+        assert!(MergeBlocks.run(&mut f, &mut cm), "the Br chain fuses");
+        ssair::verify(&f).unwrap();
+        assert!(f.inst_is_live(site), "the call survives under its id");
+        assert_eq!(
+            f.block_of(site),
+            Some(entry),
+            "the site now lives in the surviving superblock"
+        );
+        let sites = t.inline_sites("caller", &InlineSpeculationPolicy::default(), |_| Some(4));
+        assert_eq!(
+            sites,
+            vec![(site, "helper".to_string())],
+            "attribution keyed by pc is untouched by the merge"
+        );
+    }
+
+    #[test]
+    fn call_site_attribution_survives_simplify_jumps() {
+        // Jump threading rewrites terminators and φ-incomings but never
+        // creates, deletes, or moves an instruction: a call site next to a
+        // threaded-away forwarder keeps both its id and its block, and
+        // call-edge samples keep attributing to it.
+        use ssair::passes::{Pass, SimplifyJumps};
+        use ssair::{BinOp, FunctionBuilder, Ty};
+        // entry: cond_br (x > 3) e q;  q: call helper; br e;
+        // e: (empty) br t;  t: ret — q threads straight to t.
+        let mut bld = FunctionBuilder::new("caller", &[("x", Ty::I64)]);
+        let x = bld.param(0);
+        let three = bld.const_i64(3);
+        let cmp = bld.binop(BinOp::Gt, x, three);
+        let e = bld.create_block("e");
+        let q = bld.create_block("q");
+        let t_bb = bld.create_block("t");
+        bld.cond_br(cmp, e, q);
+        bld.switch_to(q);
+        let call = bld.call("helper", &[x]);
+        bld.br(e);
+        bld.switch_to(e);
+        bld.br(t_bb);
+        bld.switch_to(t_bb);
+        let r = bld.binop(BinOp::Mul, x, x);
+        bld.ret(Some(r));
+        let _ = (call, r);
+        let mut f = bld.finish();
+        let site = f
+            .block(q)
+            .insts
+            .iter()
+            .copied()
+            .find(|i| matches!(f.inst(*i).kind, ssair::InstKind::Call { .. }))
+            .unwrap();
+
+        let table = ProfileTable::default();
+        table.record_calls("caller", [((site, "helper".to_string()), 32)]);
+
+        let mut cm = ssair::SsaMapper::new();
+        assert!(SimplifyJumps.run(&mut f, &mut cm), "q threads past e");
+        ssair::verify(&f).unwrap();
+        assert!(f.inst_is_live(site));
+        assert_eq!(f.block_of(site), Some(q), "the call never moved");
+        assert!(
+            matches!(f.block(q).term, ssair::Terminator::Br(x2) if x2 == t_bb),
+            "the threading rewired q's terminator around the forwarder"
+        );
+        let sites = table.inline_sites("caller", &InlineSpeculationPolicy::default(), |_| Some(4));
+        assert_eq!(sites, vec![(site, "helper".to_string())]);
     }
 }

@@ -21,7 +21,9 @@ use ssair::reconstruct::{apply_comp, CompStep, Direction, SsaEntry, Variant};
 use ssair::{BlockId, Function, InstId, InstKind, Module, ValueDef, ValueId};
 
 use crate::continuation::extract_continuation;
-use crate::profile::{EdgeObserver, HotnessProfiler, TierController, TierDecision, TierTarget};
+use crate::profile::{
+    EdgeObserver, HotnessProfiler, InlineExitTarget, TierController, TierDecision, TierTarget,
+};
 use crate::FunctionVersions;
 
 pub use crate::profile::loop_header_points;
@@ -119,6 +121,11 @@ pub struct OsrEvent {
     pub transferred: usize,
     /// Whether a continuation function was generated.
     pub via_continuation: bool,
+    /// For a cross-function inline exit that landed *inside* an inlined
+    /// region: the callee whose frame was reconstructed and run to its
+    /// return before the caller resumed.  `None` for every ordinary hop
+    /// and for inline exits that landed in caller code.
+    pub callee: Option<String>,
     /// Wall-clock cost of the hop itself: resolving the landing site,
     /// running compensation code, and constructing the target frame —
     /// excluding execution in the entered version.  One `Instant` pair per
@@ -145,7 +152,11 @@ impl fmt::Display for OsrEvent {
             } else {
                 ""
             }
-        )
+        )?;
+        if let Some(callee) = &self.callee {
+            write!(f, " reconstructing {callee}")?;
+        }
+        Ok(())
     }
 }
 
@@ -254,6 +265,7 @@ impl Vm {
         enum Pending {
             Legacy(Arc<FunctionVersions>, Option<Arc<EntryTable>>, Direction),
             Ladder(TierTarget),
+            Inline(InlineExitTarget),
         }
 
         let mut machine = Machine::new(self.fuel);
@@ -277,6 +289,9 @@ impl Vm {
             let edges = controller
                 .observes_edges()
                 .then(|| EdgeObserver::for_function(current));
+            // Call-edge observation is likewise opt-in (controllers
+            // profile call sites only at the baseline tier).
+            let calls_on = controller.observes_calls();
             let controller = RefCell::new(&mut *controller);
             let pending: RefCell<Option<Pending>> = RefCell::new(None);
             // After an infeasible hop the frame resumes at the very
@@ -379,6 +394,55 @@ impl Vm {
                                             }
                                         }
                                     }
+                                    TierDecision::InlineExit(t) => {
+                                        // Same deopt-out-of-registers step
+                                        // as a ladder hop, then the
+                                        // cross-function exit procedure.
+                                        let sframe = art.reconstruct(&mframe, at).map(|env| {
+                                            let block = current
+                                                .block_of(at)
+                                                .expect("observed point is live");
+                                            let index = current
+                                                .block(block)
+                                                .insts
+                                                .iter()
+                                                .position(|i| *i == at)
+                                                .expect("in block");
+                                            Frame {
+                                                values: env,
+                                                block,
+                                                index,
+                                                came_from,
+                                            }
+                                        });
+                                        let hopped = match sframe {
+                                            Some(sframe) => inline_exit(
+                                                &t,
+                                                current,
+                                                &sframe,
+                                                &mut machine,
+                                                &self.module,
+                                                at,
+                                            )?,
+                                            None => None,
+                                        };
+                                        match hopped {
+                                            Some((next_frame, event)) => {
+                                                events.push(event);
+                                                controller.borrow_mut().on_transition(at);
+                                                frame = next_frame;
+                                                machine_art = None;
+                                                owned = Some(Arc::clone(&t.base));
+                                                continue 'version;
+                                            }
+                                            None if t.mandatory => {
+                                                return Err(ExecError::MandatoryTransitionFailed);
+                                            }
+                                            None => {
+                                                controller.borrow_mut().on_infeasible(at);
+                                            }
+                                        }
+                                    }
                                     other => {
                                         // Run-to-completion decisions need
                                         // the SSA substrate; reconstruct
@@ -398,7 +462,8 @@ impl Vm {
                                                 (v, Some(t), Direction::Backward)
                                             }
                                             TierDecision::Continue
-                                            | TierDecision::Transition(_) => unreachable!(),
+                                            | TierDecision::Transition(_)
+                                            | TierDecision::InlineExit(_) => unreachable!(),
                                         };
                                         match art.reconstruct(&mframe, at) {
                                             Some(env) => {
@@ -474,9 +539,14 @@ impl Vm {
                     &mut frame,
                     &mut machine,
                     &self.module,
-                    Some(&|_f, fr, i| {
+                    Some(&|f, fr, i| {
                         if suppress.take() == Some(i) {
                             return false;
+                        }
+                        if calls_on {
+                            if let InstKind::Call { callee, .. } = &f.inst(i).kind {
+                                controller.borrow_mut().observe_call(i, callee);
+                            }
                         }
                         // Speculation guards first: entering a block along
                         // a conditional edge is reported before the
@@ -522,6 +592,10 @@ impl Vm {
                             }
                             TierDecision::Transition(target) => {
                                 *pending.borrow_mut() = Some(Pending::Ladder(target));
+                                true
+                            }
+                            TierDecision::InlineExit(target) => {
+                                *pending.borrow_mut() = Some(Pending::Inline(target));
                                 true
                             }
                         }
@@ -574,6 +648,33 @@ impl Vm {
                                         // for this frame (a guard escape
                                         // failed): abort rather than keep
                                         // executing it.
+                                        return Err(ExecError::MandatoryTransitionFailed);
+                                    }
+                                    None => {
+                                        controller.borrow_mut().on_infeasible(at);
+                                        suppress.set(Some(at));
+                                        continue;
+                                    }
+                                }
+                            }
+                            Pending::Inline(t) => {
+                                match inline_exit(
+                                    &t,
+                                    current,
+                                    &frame,
+                                    &mut machine,
+                                    &self.module,
+                                    at,
+                                )? {
+                                    Some((next_frame, event)) => {
+                                        events.push(event);
+                                        controller.borrow_mut().on_transition(at);
+                                        frame = next_frame;
+                                        machine_art = None;
+                                        owned = Some(Arc::clone(&t.base));
+                                        continue 'version;
+                                    }
+                                    None if t.mandatory => {
                                         return Err(ExecError::MandatoryTransitionFailed);
                                     }
                                     None => {
@@ -786,6 +887,7 @@ impl Vm {
                 comp_size,
                 transferred,
                 via_continuation: options.use_continuation,
+                callee: None,
                 nanos: hop_nanos,
             },
         )))
@@ -907,9 +1009,160 @@ fn table_hop(
             comp_size,
             transferred,
             via_continuation: false,
+            callee: None,
             nanos: hop_started.elapsed().as_nanos() as u64,
         },
     ))
+}
+
+/// Serves one cross-function inline exit: hops the frame backward into the
+/// *spliced* caller base through the precomputed table (exactly like
+/// [`table_hop`]), then undoes the splice the landing fell into.
+///
+/// Two cases, composed from the same landing environment:
+///
+/// * the landing is **inside an inlined region** — the callee's frame is
+///   reconstructed through the region's value map (parameters come back as
+///   the caller's argument values, cloned results as their clones), run to
+///   its return on the shared machine, and the TRUE caller base resumes
+///   *after* its `call` instruction with the result bound;
+/// * the landing is **ordinary caller code** — the same pc exists in the
+///   TRUE base (splicing only adds instructions), and the frame resumes
+///   there directly, with every known region join rebound to the retired
+///   call's result value.
+///
+/// Returns `None` when the table has no entry at `at`, the compensation
+/// code cannot execute, or the landing cannot be translated — the exit is
+/// infeasible here and the caller decides whether that is fatal
+/// ([`InlineExitTarget::mandatory`]).
+fn inline_exit(
+    t: &InlineExitTarget,
+    source: &Function,
+    frame: &Frame,
+    machine: &mut Machine,
+    module: &Module,
+    at: InstId,
+) -> Result<Option<(Frame, OsrEvent)>, ExecError> {
+    let hop_started = std::time::Instant::now();
+    let Some((landing, entry)) = t.table.get(at) else {
+        return Ok(None);
+    };
+    // Parameter pinning + constant rematerialization, exactly as for an
+    // ordinary ladder hop.
+    let mut pinned = Cow::Borrowed(&frame.values);
+    for (v, val) in &t.pinned {
+        if !pinned.contains_key(v) {
+            pinned.to_mut().insert(*v, *val);
+        }
+    }
+    let values = match with_remat_consts(entry, source, &pinned) {
+        Cow::Borrowed(_) => pinned,
+        Cow::Owned(map) => Cow::Owned(map),
+    };
+    let Ok(env) = apply_comp(entry, &t.spliced, &values, machine) else {
+        return Ok(None);
+    };
+    let loc = landing.loc;
+    let comp_size = entry.comp.emit_count();
+    let transferred = entry
+        .comp
+        .steps
+        .iter()
+        .filter(|s| matches!(s, CompStep::Transfer { .. }))
+        .count();
+
+    // The frame is now (virtually) in the spliced base at `loc`.  Values
+    // with caller ids carry over verbatim — splicing never renumbers —
+    // and every region whose join value the landing knows rebinds the
+    // retired call's result.
+    let mut base_values: BTreeMap<ValueId, Val> = env
+        .iter()
+        .filter(|(v, _)| (v.0 as usize) < t.base.value_count())
+        .map(|(v, val)| (*v, *val))
+        .collect();
+    for r in t.regions.iter() {
+        if let Some(val) = env.get(&r.join) {
+            base_values.insert(r.result, *val);
+        }
+    }
+
+    let region = t.regions.iter().find(|r| r.pc_map.contains_key(&loc));
+    let (block, index, callee_name) = match region {
+        Some(r) => {
+            let Some(callee) = t.callees.get(&r.callee) else {
+                return Ok(None);
+            };
+            let cpc = r.pc_map[&loc];
+            // Callee-live values at `cpc` correspond 1:1 (through the
+            // value map) to spliced-live values at `loc`, so the landing
+            // environment is exactly the callee frame's value map.
+            let cvalues: BTreeMap<ValueId, Val> = r
+                .val_map
+                .iter()
+                .filter_map(|(cv, sv)| env.get(sv).map(|val| (*cv, *val)))
+                .collect();
+            let cblock = callee
+                .block_of(cpc)
+                .expect("region pc is live in the callee");
+            let cindex = callee
+                .block(cblock)
+                .insts
+                .iter()
+                .position(|i| *i == cpc)
+                .expect("in block");
+            let mut cframe = Frame {
+                values: cvalues,
+                block: cblock,
+                index: cindex,
+                came_from: None,
+            };
+            let result = match run_frame(callee, &mut cframe, machine, module, None)? {
+                StepOutcome::Returned(v) => v,
+                StepOutcome::Paused { .. } => unreachable!("no pause predicate"),
+            };
+            let val = result.expect("inlinable callees always return a value");
+            base_values.insert(r.result, val);
+            // Resume the caller just past its (still present) `call`.
+            (r.call_block, r.call_index + 1, Some(r.callee.clone()))
+        }
+        None => {
+            // Ordinary caller code: the landing pc exists verbatim in the
+            // TRUE base (a pc neither in a region nor in the base would be
+            // a spliced-only join — never a landing site, but refuse
+            // rather than panic).
+            if (loc.0 as usize) >= t.base.inst_id_count() || !t.base.inst_is_live(loc) {
+                return Ok(None);
+            }
+            let block = t.base.block_of(loc).expect("landing is live");
+            let index = t
+                .base
+                .block(block)
+                .insts
+                .iter()
+                .position(|i| *i == loc)
+                .expect("in block");
+            (block, index, None)
+        }
+    };
+    Ok(Some((
+        Frame {
+            values: base_values,
+            block,
+            index,
+            came_from: None,
+        },
+        OsrEvent {
+            direction: Direction::Backward,
+            from: at,
+            to: loc,
+            rung: t.rung,
+            comp_size,
+            transferred,
+            via_continuation: false,
+            callee: callee_name,
+            nanos: hop_started.elapsed().as_nanos() as u64,
+        },
+    )))
 }
 
 #[cfg(test)]
@@ -1138,6 +1391,7 @@ mod tests {
             comp_size: 2,
             transferred: 4,
             via_continuation: true,
+            callee: None,
             nanos: 0,
         };
         assert!(e.to_string().contains("|c| = 2"));

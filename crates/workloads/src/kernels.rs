@@ -68,7 +68,7 @@ pub fn speculation_kernels() -> Vec<Kernel> {
 /// requests for the entry, the helpers, or both compete for compile
 /// workers and cache slots.
 pub fn call_graph_kernels() -> Vec<Kernel> {
-    vec![poly_sum(), checksum_pipeline(), grid_blur()]
+    vec![poly_sum(), checksum_pipeline(), grid_blur(), callee_flip()]
 }
 
 /// Kernels whose first argument is a *configuration* value a request
@@ -315,6 +315,47 @@ fn grid_blur() -> Kernel {
         source: b.finish(),
         entry: "grid_blur",
         sample_args: vec![5, 77],
+    }
+}
+
+/// callee_flip: the inline-speculation stress shape.  The driver's hot
+/// loop calls one small leaf helper on every iteration — a single
+/// dominant call edge, so a call-edge profile marks the site
+/// inline-worthy almost immediately — and the helper's conditional is
+/// *phase-biased*: `phase` stays 0 for the first `flip` driver
+/// iterations (the warm arm) and is ≥ 1 after (the cold arm), so an
+/// inlined caller version that speculated on the helper's hot arm takes
+/// a cross-function guard deopt mid-stream.  The helper is deliberately
+/// inlinable (leaf, pure-scalar, well under any sane size budget) and
+/// its diamond survives optimization (both arms feed the join
+/// differently), so mid-region deopt landings reconstruct a real callee
+/// frame.  Republishing the helper mid-stream (a §5.2 keep-set
+/// recompile) must evict every driver version that spliced it.
+fn callee_flip() -> Kernel {
+    let mut b = SrcBuilder::new();
+    b.open("fn mix_step(v, phase)");
+    b.line("var r = (v * 33 + 7) % 65536;");
+    b.open("if (phase < 1)");
+    b.line("r = r + (v & 15);");
+    b.close();
+    b.open("else");
+    b.line("r = r * 2 - (v & 7);");
+    b.close();
+    b.line("return (r + v) % 65537;");
+    b.close();
+    b.open("fn callee_flip(n, flip)");
+    b.line("var acc = 0;");
+    b.open("for (var i = 0; i < n; i = i + 1)");
+    b.line("var phase = i / (flip + 1);");
+    b.line("acc = (acc + mix_step(acc + i, phase)) % 2147483647;");
+    b.close();
+    b.line("return acc;");
+    b.close();
+    Kernel {
+        name: "callee_flip",
+        source: b.finish(),
+        entry: "callee_flip",
+        sample_args: vec![80, 60],
     }
 }
 
@@ -1062,6 +1103,27 @@ mod tests {
             let uncommon = run_function(f, &[Val::Int(n), Val::Int(0)], &m, 50_000_000).unwrap();
             assert_ne!(common, uncommon, "{}: phases must differ", k.name);
         }
+    }
+
+    #[test]
+    fn callee_flip_helper_is_inlinable_and_the_phase_matters() {
+        let k = kernel_source("callee_flip").expect("callee_flip ships");
+        let m = minic::compile(&k.source).unwrap();
+        let helper = m.get("mix_step").expect("the helper ships with the driver");
+        assert!(
+            ssair::passes::InlineCalls::can_inline(helper),
+            "mix_step must stay spliceable (leaf, pure-scalar, sane size)"
+        );
+        // The two phases must do different work, or an inlined version
+        // speculating on the warm arm would be trivially right and the
+        // cross-function guard would prove nothing.
+        let f = m.get(k.entry).unwrap();
+        let warm = run_function(f, &[Val::Int(120), Val::Int(200)], &m, 50_000_000).unwrap();
+        let flipped = run_function(f, &[Val::Int(120), Val::Int(30)], &m, 50_000_000).unwrap();
+        assert_ne!(
+            warm, flipped,
+            "the phase flip must change the helper's work"
+        );
     }
 
     #[test]

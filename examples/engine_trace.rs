@@ -43,10 +43,7 @@ fn main() {
     for (f, args) in
         workloads::request_mix_zipf(&module, 16, 0xBEEF, workloads::DEFAULT_ZIPF_EXPONENT)
     {
-        ids.push(session.submit(Request::tiered(
-            f,
-            args.into_iter().map(Val::Int).collect(),
-        )));
+        ids.push(session.submit(Request::tiered(f, args.into_iter().map(Val::Int).collect())));
     }
     ids.push(session.submit(Request::tiered(
         "soplex_pivot",
@@ -65,10 +62,7 @@ fn main() {
 
     // Every submission has a trace; print the eventful ones first (most
     // transitions, then slowest), then a one-line summary of the rest.
-    let mut traces: Vec<RequestTrace> = ids
-        .iter()
-        .filter_map(|id| engine.trace(*id))
-        .collect();
+    let mut traces: Vec<RequestTrace> = ids.iter().filter_map(|id| engine.trace(*id)).collect();
     traces.sort_by_key(|t| {
         (
             std::cmp::Reverse(t.transitions.len()),
@@ -80,7 +74,10 @@ fn main() {
     for trace in &eventful {
         println!("{trace}");
     }
-    println!("... and {} requests that never left their rung:", quiet.len());
+    println!(
+        "... and {} requests that never left their rung:",
+        quiet.len()
+    );
     for trace in quiet.iter().take(5) {
         println!(
             "  req {} {} — {}us total (queue {}us)",

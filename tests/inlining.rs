@@ -1,0 +1,538 @@
+//! Acceptance tests for profile-guided inlining: the full lifecycle
+//! asserted end-to-end from the engine event stream.
+//!
+//! 1. *profile* — baseline driver traffic feeds the per-`(caller,
+//!    call-site, callee)` call-edge profile, and direct helper traffic
+//!    biases the callee's own branch;
+//! 2. *splice* — a climb to the O3 rung compiles an inlined version
+//!    (`ssair::passes::InlineCalls` ahead of the aggressive mix) and the
+//!    frame enters it (`Transition { inlined: true }`,
+//!    `MetricsSnapshot::inlined_tier_ups`);
+//! 3. *guard* — when the helper's phase flips mid-stream, the spliced
+//!    hot-arm speculation is contradicted and the frame takes a
+//!    cross-function deopt (`DeoptReason::InlineGuard`,
+//!    `TableKind::InlineExit` in the request trace) whose landing inside
+//!    the inlined region *reconstructs the callee frame*
+//!    (`OsrEvent::callee`);
+//! 4. *re-climb* — the exited frame climbs again call-preserving
+//!    (`inlined: false` forward hops);
+//! 5. *invalidate* — republishing the callee (a §5.2 keep-set recompile)
+//!    bumps its inline epoch and evicts every caller version that
+//!    spliced it, including under a concurrent republish storm.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use engine::{
+    CacheKey, DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
+    ResultEvent, SessionReport, TableKind, Tier,
+};
+use proptest::prelude::*;
+use ssair::interp::Val;
+use ssair::reconstruct::{Direction, Variant};
+use ssair::Module;
+use tinyvm::runtime::Vm;
+
+fn kernel_module() -> Module {
+    let kernel = workloads::call_graph_kernels()
+        .into_iter()
+        .find(|k| k.name == "callee_flip")
+        .expect("callee_flip ships");
+    minic::compile(&kernel.source).expect("compiles")
+}
+
+/// The `Call` instruction in `f`'s base version dispatching `callee`.
+fn call_site(f: &ssair::Function, callee: &str) -> ssair::InstId {
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            if matches!(&f.inst(i).kind, ssair::InstKind::Call { callee: c, .. } if c == callee) {
+                return i;
+            }
+        }
+    }
+    panic!("no call to {callee}");
+}
+
+/// A three-rung graph (O3 on top — the first rung that splices), with
+/// the O0 threshold high enough that short warm-up requests profile
+/// without climbing.
+fn policy(inlining: bool, o0: u64, o1: u64, o2: u64) -> EnginePolicy {
+    EnginePolicy {
+        tiers: Arc::new(LadderPolicy::three_tier(o0, o1, o2)),
+        compile_workers: 1,
+        batch_workers: 1,
+        inlining,
+        ..EnginePolicy::default()
+    }
+}
+
+/// Direct helper traffic with `phase = 0`: biases `mix_step`'s
+/// conditional ~100% toward the warm arm in its own baseline edge
+/// profile (nested call frames are never edge-observed, so the callee's
+/// bias only exists if the helper serves requests of its own).
+fn bias_helper(session: &engine::EngineHandle) {
+    for v in 0..32 {
+        session.submit(Request::tiered(
+            "mix_step",
+            vec![Val::Int(100 + v), Val::Int(0)],
+        ));
+    }
+}
+
+/// Short baseline driver requests: each iteration records one
+/// call-edge sample at the `mix_step` site (the
+/// `InlineSpeculationPolicy` default wants ≥ 16 with ≥ 90% dominance).
+fn warm_call_profile(session: &engine::EngineHandle) {
+    for _ in 0..3 {
+        session.submit(Request::tiered(
+            "callee_flip",
+            vec![Val::Int(15), Val::Int(1_000_000)],
+        ));
+    }
+}
+
+/// `(from, to, inlined, direction, callee)` transition tuples of one
+/// request, in hop order.
+#[allow(clippy::type_complexity)]
+fn transitions(
+    report: &SessionReport,
+    request: u64,
+) -> Vec<(Tier, Tier, bool, Direction, Option<String>)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Transition {
+                request: r,
+                from_tier,
+                to_tier,
+                inlined,
+                event,
+                ..
+            }) if *r == request => Some((
+                *from_tier,
+                *to_tier,
+                *inlined,
+                event.direction,
+                event.callee.clone(),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+fn inline_guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)> {
+    report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            ResultEvent::Engine(EngineEvent::Deopt {
+                request: r,
+                from_tier,
+                to_tier,
+                reason: DeoptReason::InlineGuard { .. },
+                ..
+            }) if *r == request => Some((*from_tier, *to_tier)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn full_inlining_lifecycle() {
+    let module = kernel_module();
+    let engine = Engine::new(module.clone(), policy(true, 64, 16, 16));
+    let session = engine.start();
+
+    bias_helper(&session);
+    warm_call_profile(&session);
+
+    // The long request: climbs to the inlined O3 version during the
+    // warm phase (i < 600, helper phase 0), then the phase flips and the
+    // helper's cold arm runs every iteration — the spliced hot-arm
+    // speculation is wrong and the inline guard must fire, with enough
+    // stream left afterwards to re-climb call-preserving.
+    let long = Request::tiered("callee_flip", vec![Val::Int(6_000), Val::Int(600)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    // 0. Semantics are untouched by the whole lifecycle.
+    let vm = Vm::new(module);
+    let f = vm.module.get("callee_flip").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap(),
+        "the caller resumed correctly through every splice and exit"
+    );
+
+    // 1–2. The climb entered an inline-speculating artifact.
+    let hops = transitions(&report, long_id.0);
+    let inlined_climb = hops
+        .iter()
+        .position(|(_, to, inlined, d, _)| *to == Tier(3) && *inlined && *d == Direction::Forward)
+        .expect("the frame climbed into the inlined O3 version");
+    let metrics = &report.metrics;
+    assert!(metrics.inlined_tier_ups >= 1, "{metrics}");
+
+    // 3. The flip fired the cross-function guard: an InlineGuard deopt
+    // whose landing inside the inlined region reconstructed the callee
+    // frame before the caller resumed at the call continuation.
+    let deopts = inline_guard_deopts(&report, long_id.0);
+    assert!(
+        deopts
+            .iter()
+            .any(|(from, to)| *from == Tier(3) && to.is_baseline()),
+        "the inline exit left the spliced version for the baseline: {deopts:?}"
+    );
+    assert!(metrics.inline_guard_failures >= 1, "{metrics}");
+    let exit = hops[inlined_climb..]
+        .iter()
+        .position(|(_, _, _, d, _)| *d == Direction::Backward)
+        .map(|i| inlined_climb + i)
+        .expect("the guard deopt is a backward hop after the inlined climb");
+    assert_eq!(
+        hops[exit].4.as_deref(),
+        Some("mix_step"),
+        "the mid-region landing reconstructed the callee frame: {hops:?}"
+    );
+
+    // 4. The exited frame re-climbed call-preserving: every later
+    // forward hop enters a version with no splices.
+    let reclimbs: Vec<_> = hops[exit + 1..]
+        .iter()
+        .filter(|(_, _, _, d, _)| *d == Direction::Forward)
+        .collect();
+    assert!(
+        !reclimbs.is_empty(),
+        "the frame re-climbed after the inline exit: {hops:?}"
+    );
+    assert!(
+        reclimbs.iter().all(|(_, _, inlined, _, _)| !inlined),
+        "the re-climb dropped the contradicted splice: {hops:?}"
+    );
+
+    // The request trace labels the exit hop with the inline-exit table
+    // kind, and only that hop.
+    let trace = engine.trace(long_id).expect("trace retained");
+    assert!(
+        trace
+            .transitions
+            .iter()
+            .any(|t| t.kind == TableKind::InlineExit),
+        "the exit went through the artifact's inline-exit table: {:?}",
+        trace.transitions
+    );
+    assert!(trace.to_string().contains("inline-exit"));
+}
+
+#[test]
+fn republishing_the_callee_evicts_inlined_caller_versions() {
+    let module = kernel_module();
+    let engine = Engine::new(module.clone(), policy(true, 64, 16, 16));
+    let session = engine.start();
+    bias_helper(&session);
+    warm_call_profile(&session);
+    // A conforming long request: climbs into the inlined version and
+    // completes there (the phase never flips).
+    let long = Request::tiered("callee_flip", vec![Val::Int(2_500), Val::Int(1_000_000)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+    let vm = Vm::new(module.clone());
+    let f = vm.module.get("callee_flip").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    assert!(report.metrics.inlined_tier_ups >= 1, "{}", report.metrics);
+
+    // Republish the helper — the cache-level effect of a §5.2 keep-set
+    // recompile replacing one of its rungs.  The *first* publish fills a
+    // fresh slot (the loopless helper never climbed on its own) and must
+    // not evict anything; the second replaces a ready artifact, bumps
+    // the helper's inline epoch, and evicts every caller version that
+    // spliced it.
+    let cache = engine.cache();
+    let helper = module.get("mix_step").unwrap().clone();
+    let cv = Arc::new(
+        engine::cache::compile_function(helper, &PipelineSpec::O1, Variant::Avail)
+            .expect("the helper compiles standalone"),
+    );
+    let key = CacheKey::new("mix_step", PipelineSpec::O1);
+    assert!(cache.claim(&key));
+    cache.publish(&key, Arc::clone(&cv));
+    assert_eq!(
+        cache.inline_invalidations(),
+        0,
+        "a first publish is not a republication"
+    );
+    assert_eq!(cache.inline_epoch("mix_step"), 0);
+    cache.publish(&key, cv);
+    assert_eq!(
+        cache.inline_epoch("mix_step"),
+        1,
+        "the republish moved the epoch"
+    );
+    assert!(
+        cache.inline_invalidations() >= 1,
+        "every caller version that spliced mix_step was evicted"
+    );
+    assert!(
+        engine.metrics().inline_invalidations >= 1,
+        "the eviction surfaces in the metrics snapshot: {}",
+        engine.metrics()
+    );
+
+    // Fresh traffic re-climbs against the new epoch and stays correct.
+    let session = engine.start();
+    let probe = Request::tiered("callee_flip", vec![Val::Int(1_500), Val::Int(1_000_000)]);
+    let probe_id = session.submit(probe.clone());
+    let report = session.shutdown();
+    assert_eq!(
+        report.results()[&probe_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &probe.args).unwrap()
+    );
+}
+
+/// The acceptance pin for "no stale-inline execution possible": a
+/// background thread republishes the callee continuously while driver
+/// traffic climbs, deopts and re-climbs — in-flight inlined compiles are
+/// abandoned at publish time, published ones are evicted, and every
+/// result still matches the plain interpreter.
+#[test]
+fn concurrent_callee_republish_under_load_is_safe() {
+    let module = kernel_module();
+    let engine = Engine::new(
+        module.clone(),
+        EnginePolicy {
+            tiers: Arc::new(LadderPolicy::three_tier(8, 8, 8)),
+            compile_workers: 2,
+            batch_workers: 2,
+            inlining: true,
+            ..EnginePolicy::default()
+        },
+    );
+    // Seed the helper's slot so every storm publish is a *re*publish.
+    let cv = Arc::new(
+        engine::cache::compile_function(
+            module.get("mix_step").unwrap().clone(),
+            &PipelineSpec::O1,
+            Variant::Avail,
+        )
+        .expect("the helper compiles standalone"),
+    );
+    let key = CacheKey::new("mix_step", PipelineSpec::O1);
+    assert!(engine.cache().claim(&key));
+    engine.cache().publish(&key, Arc::clone(&cv));
+
+    let mut requests = Vec::new();
+    for v in 0..16 {
+        requests.push(Request::tiered(
+            "mix_step",
+            vec![Val::Int(100 + v), Val::Int(0)],
+        ));
+    }
+    for k in 0..24 {
+        // Conforming and flipping drivers mixed, long enough to climb.
+        let (n, flip) = if k % 3 == 0 {
+            (900, 300)
+        } else {
+            (700, 1_000_000)
+        };
+        requests.push(Request::tiered(
+            "callee_flip",
+            vec![Val::Int(n + k), Val::Int(flip)],
+        ));
+    }
+
+    let stop = AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                engine.cache().publish(&key, Arc::clone(&cv));
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let session = engine.start();
+        let ids: Vec<_> = requests.iter().map(|r| session.submit(r.clone())).collect();
+        let report = session.shutdown();
+        stop.store(true, Ordering::Relaxed);
+        (ids, report)
+    });
+    let (ids, report) = report;
+
+    let vm = Vm::new(module);
+    let results = report.results();
+    for (req, id) in requests.iter().zip(&ids) {
+        let f = vm.module.get(&req.function).unwrap();
+        assert_eq!(
+            results[id].as_ref().expect("request succeeds"),
+            &vm.run_plain(f, &req.args).unwrap(),
+            "fn {} args {:?} diverged under the republish storm",
+            req.function,
+            req.args
+        );
+    }
+    // Whether the storm itself caught an inlined caller version mid-air
+    // depends on compile timing (a slow build can finish the batch before
+    // any inlined artifact is live at a publish instant, and the storm's
+    // own deopts demote the climb thresholds).  Pin the invalidation
+    // semantics deterministically: hand-publish an inlined caller version
+    // at the *current* epoch, then republish the callee once more — the
+    // bump must evict the now-stale artifact.
+    let caller = vm.module.get("callee_flip").unwrap().clone();
+    let helper = Arc::new(vm.module.get("mix_step").unwrap().clone());
+    let at = call_site(&caller, "mix_step");
+    let epoch = engine.cache().inline_epoch("mix_step");
+    let ispec = engine::InlineSpec::on([(at, "mix_step".to_string(), epoch)]);
+    let inlined = Arc::new(
+        engine::cache::compile_inlined(
+            caller,
+            &PipelineSpec::O3,
+            &engine::Speculation::none(),
+            None,
+            Variant::Avail,
+            vec![ssair::passes::InlineSite {
+                at,
+                callee: helper,
+                bias: Vec::new(),
+            }],
+            ispec.clone(),
+        )
+        .expect("the spliced caller compiles"),
+    );
+    let ikey = CacheKey::inlined(
+        "callee_flip",
+        PipelineSpec::O3,
+        engine::Speculation::none(),
+        ispec,
+    );
+    // The storm traffic may already have compiled this exact version; a
+    // republish over it is just as valid a setup as a fresh publish.
+    let _ = engine.cache().claim(&ikey);
+    engine.cache().publish(&ikey, inlined);
+    let before = engine.cache().inline_invalidations();
+    engine.cache().publish(&key, Arc::clone(&cv));
+    assert!(
+        engine.cache().inline_invalidations() > before,
+        "republishing the callee evicted the epoch-stale inlined caller version"
+    );
+}
+
+#[test]
+fn disabled_inlining_never_splices() {
+    let module = kernel_module();
+    let engine = Engine::new(module.clone(), policy(false, 64, 16, 16));
+    let session = engine.start();
+    bias_helper(&session);
+    warm_call_profile(&session);
+    let long = Request::tiered("callee_flip", vec![Val::Int(6_000), Val::Int(600)]);
+    let long_id = session.submit(long.clone());
+    let report = session.shutdown();
+
+    let vm = Vm::new(module);
+    let f = vm.module.get("callee_flip").unwrap();
+    assert_eq!(
+        report.results()[&long_id].as_ref().expect("succeeds"),
+        &vm.run_plain(f, &long.args).unwrap()
+    );
+    let hops = transitions(&report, long_id.0);
+    assert!(
+        hops.iter().all(|(_, _, inlined, _, _)| !inlined),
+        "no hop entered a spliced version: {hops:?}"
+    );
+    assert!(
+        hops.iter().any(|(_, _, _, d, _)| *d == Direction::Forward),
+        "the generic ladder still climbed: {hops:?}"
+    );
+    let metrics = &report.metrics;
+    assert_eq!(metrics.inlined_tier_ups, 0, "{metrics}");
+    assert_eq!(metrics.inline_guard_failures, 0, "{metrics}");
+}
+
+/// Every call-graph kernel produces identical results with inlining on
+/// and off, over the kernel's own sample arguments and a zipf-skewed
+/// request mix (the helpers get direct traffic too, so inlined and
+/// call-preserving versions of the same functions coexist in the cache).
+#[test]
+fn every_call_graph_kernel_agrees_inlined_vs_not() {
+    for kernel in workloads::call_graph_kernels() {
+        let module = minic::compile(&kernel.source).expect("kernel compiles");
+        let mut requests = Vec::new();
+        for _ in 0..2 {
+            requests.push(Request::tiered(
+                kernel.entry,
+                kernel.sample_args.iter().copied().map(Val::Int).collect(),
+            ));
+        }
+        for (name, args) in workloads::request_mix_zipf(&module, 10, 0x1A11, 1.2) {
+            requests.push(Request::tiered(
+                name,
+                args.into_iter().map(Val::Int).collect(),
+            ));
+        }
+        let run = |inlining: bool| {
+            Engine::new(module.clone(), policy(inlining, 8, 16, 16))
+                .run_batch(&requests)
+                .results
+        };
+        let on = run(true);
+        let off = run(false);
+        let vm = Vm::new(module.clone());
+        for (req, (a, b)) in requests.iter().zip(on.iter().zip(off.iter())) {
+            let f = vm.module.get(&req.function).expect("function exists");
+            let expected = vm.run_plain(f, &req.args).expect("plain run succeeds");
+            assert_eq!(
+                a.as_ref().expect("inline-on succeeds"),
+                &expected,
+                "kernel {} fn {} args {:?}: inlining changed a result",
+                kernel.name,
+                req.function,
+                req.args
+            );
+            assert_eq!(
+                b.as_ref().expect("inline-off succeeds"),
+                &expected,
+                "kernel {} fn {} args {:?}: control diverged",
+                kernel.name,
+                req.function,
+                req.args
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property sweep: for arbitrary stream shapes (flip point, length,
+    /// helper operands), the inlined engine, the call-preserving engine
+    /// and the plain interpreter agree.
+    #[test]
+    fn inlined_results_match_for_arbitrary_flip_streams(
+        n in 300i64..900,
+        flip in 50i64..300,
+        v in 1i64..50,
+    ) {
+        let module = kernel_module();
+        let mut requests = Vec::new();
+        for k in 0..8 {
+            requests.push(Request::tiered("mix_step", vec![Val::Int(v + k), Val::Int(0)]));
+        }
+        requests.push(Request::tiered("callee_flip", vec![Val::Int(n), Val::Int(flip)]));
+        let run = |inlining: bool| {
+            Engine::new(module.clone(), policy(inlining, 8, 8, 8))
+                .run_batch(&requests)
+                .results
+        };
+        let on = run(true);
+        let off = run(false);
+        let vm = Vm::new(module.clone());
+        for (req, (a, b)) in requests.iter().zip(on.iter().zip(off.iter())) {
+            let f = vm.module.get(&req.function).unwrap();
+            let expected = vm.run_plain(f, &req.args).unwrap();
+            prop_assert_eq!(a.as_ref().expect("succeeds"), &expected);
+            prop_assert_eq!(b.as_ref().expect("succeeds"), &expected);
+        }
+    }
+}

@@ -46,15 +46,11 @@ fn live_session_traces_cover_the_whole_lifecycle() {
     engine.prewarm("soplex_pivot").expect("kernel exists");
     let session = engine.start();
 
-    let mut requests: Vec<Request> = workloads::request_mix_zipf(
-        &module,
-        36,
-        0xBEEF,
-        workloads::DEFAULT_ZIPF_EXPONENT,
-    )
-    .into_iter()
-    .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
-    .collect();
+    let mut requests: Vec<Request> =
+        workloads::request_mix_zipf(&module, 36, 0xBEEF, workloads::DEFAULT_ZIPF_EXPONENT)
+            .into_iter()
+            .map(|(f, args)| Request::tiered(f, args.into_iter().map(Val::Int).collect()))
+            .collect();
     // One long request that climbs the ladder in a single frame, and a
     // few debugger attaches that force tier-down.
     requests.push(Request::tiered(
@@ -133,7 +129,10 @@ fn live_session_traces_cover_the_whole_lifecycle() {
     }
     assert!(transitions_seen >= 2, "the session transitioned");
     assert!(timed_traces >= 1, "a tiered frame accumulated rung time");
-    assert!(composed_seen, "a composed version-to-version hop was traced");
+    assert!(
+        composed_seen,
+        "a composed version-to-version hop was traced"
+    );
     assert!(deopt_seen, "a debugger attach forced a traced deopt");
 
     // Histogram sanity: counts match the traffic, quantiles are monotone.
