@@ -250,7 +250,10 @@ pub fn required_fields() -> Vec<String> {
         "value_specialized_tier_ups",
         "inlined_tier_ups",
         "inline_guard_failures",
+        "composed_invalidations",
         "inline_invalidations",
+        "value_invalidations",
+        "assumption_invalidations",
         "reclimbs",
         "extension_recompiles",
         "infeasible",
@@ -310,8 +313,10 @@ pub fn required_fields() -> Vec<String> {
 /// Checks, in order: the schema tag, [`required_fields`] presence,
 /// quantile monotonicity per histogram, non-empty per-rung maps (both of
 /// which must include the `O0` baseline rung), positive session
-/// latencies, observation counts where the traffic guarantees them, and
-/// the tier-1 behavioural invariants (≥ 1 composed tier-up, ≥ 1 deopt).
+/// latencies, invalidation accounting (the per-kind counters must sum to
+/// `assumption_invalidations`), observation counts where the traffic
+/// guarantees them, and the tier-1 behavioural invariants (≥ 1 composed
+/// tier-up, ≥ 1 deopt).
 pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
 
@@ -368,6 +373,24 @@ pub fn validate(doc: &Json) -> Result<(), Vec<String>> {
     ] {
         if doc.num_at(field) == Some(0) {
             errors.push(format!("{field} is zero — the session was not measured"));
+        }
+    }
+
+    // Invalidation accounting: every eviction flows through the cache's
+    // unified `invalidate(entity)` path, so the per-kind counters must
+    // sum to the aggregate exactly.
+    if let (Some(composed), Some(inline), Some(value), Some(total)) = (
+        doc.num_at("speculation.composed_invalidations"),
+        doc.num_at("speculation.inline_invalidations"),
+        doc.num_at("speculation.value_invalidations"),
+        doc.num_at("speculation.assumption_invalidations"),
+    ) {
+        if composed + inline + value != total {
+            errors.push(format!(
+                "speculation.assumption_invalidations is {total}, \
+                 expected composed+inline+value = {}",
+                composed + inline + value
+            ));
         }
     }
 
@@ -1118,6 +1141,38 @@ mod tests {
         assert!(errors
             .iter()
             .any(|e| e.contains("o4_session.speedup_vs_o3_permille missing")));
+    }
+
+    #[test]
+    fn inconsistent_invalidation_accounting_fails() {
+        // A consistent snapshot (per-kind counters summing to the
+        // aggregate) passes; breaking only the aggregate fails.
+        let mut snapshot = sample_snapshot();
+        snapshot.composed_invalidations = 7;
+        snapshot.inline_invalidations = 2;
+        snapshot.value_invalidations = 1;
+        snapshot.assumption_invalidations = 10;
+        let visits = BTreeMap::from([(Tier::BASELINE, 41u64), (Tier(1), 9), (Tier(2), 3)]);
+        let doc = report(
+            150_000,
+            900_000,
+            &snapshot,
+            &visits,
+            &visits,
+            &sample_o4_session(),
+            &sample_layout_session(),
+            &sample_inline_session(),
+        );
+        validate(&doc).expect("consistent counters pass");
+        let text = doc.to_pretty().replace(
+            "\"assumption_invalidations\": 10",
+            "\"assumption_invalidations\": 9",
+        );
+        let skewed = Json::parse(&text).expect("parses");
+        let errors = validate(&skewed).expect_err("aggregate out of step");
+        assert!(errors
+            .iter()
+            .any(|e| e.contains("assumption_invalidations is 9")));
     }
 
     #[test]

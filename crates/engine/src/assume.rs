@@ -1,0 +1,738 @@
+//! The first-class assumption system: one vocabulary for everything the
+//! engine speculates on, one key shape for everything the cache stores,
+//! and one structured taxonomy for every guard-driven deopt.
+//!
+//! The engine speculates three ways — branch bias, stable argument
+//! values, and inlined callees — and each speculative artifact bakes its
+//! bets in as an ordered [`AssumptionSet`] of [`Assumption`]s.  A
+//! [`VersionKey`] (`function` + `pipeline` + assumptions) is the *only*
+//! way a compiled version is named anywhere in the workspace: the code
+//! cache's slot map, the composed-table memo, the cache-hit probe
+//! history and `prewarm` all key on it (the legacy `CacheKey` name is a
+//! thin alias).  Invalidation is driven by [`Entity`]: each published
+//! artifact registers the entities its assumptions depend on, and every
+//! eviction — callee republish, value-stability dissolution, rung
+//! republish — flows through [`crate::CodeCache::invalidate`].
+//!
+//! On the deopt side, [`DeoptReason::AssumptionViolated`] carries a
+//! structured [`ViolatedAssumption`] whose [`AssumptionKind`] labels the
+//! violated bet; the kind travels through `OsrEvent`, `EngineEvent` and
+//! `RequestTrace`, and its [`AssumptionKind::label`] is the single
+//! source of truth for the per-kind label strings.
+
+use std::fmt;
+
+use ssair::interp::Val;
+use ssair::{BlockId, InstId};
+
+pub use tinyvm::profile::AssumptionKind;
+
+use crate::cache::PipelineSpec;
+
+/// A value-speculation assumption: the listed parameter slots hold the
+/// given constants.  An empty speculation is the unspecialized (generic)
+/// artifact.
+///
+/// A speculation is one *view* of a [`VersionKey`]'s assumption set —
+/// the cache holds one artifact per `(function, pipeline, assumptions)`
+/// — and travels with the compiled artifact
+/// ([`crate::CompiledVersion::speculation`]) as its *entry guard*: the
+/// engine admits a frame into the specialized version only after
+/// checking the frame's actual arguments against it (or, when it hops a
+/// violating frame in deliberately, fires the guard at the landing
+/// before a single specialized instruction runs).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Speculation {
+    /// `(parameter slot, speculated value)` pairs, sorted by slot.
+    seeds: Vec<(usize, i64)>,
+}
+
+impl Speculation {
+    /// The empty (generic, unspecialized) speculation.
+    pub fn none() -> Self {
+        Speculation::default()
+    }
+
+    /// A speculation over the given `(slot, value)` seeds (sorted and
+    /// deduplicated by slot; the first value per slot wins).
+    pub fn on(seeds: impl IntoIterator<Item = (usize, i64)>) -> Self {
+        let mut seeds: Vec<(usize, i64)> = seeds.into_iter().collect();
+        seeds.sort_by_key(|(slot, _)| *slot);
+        seeds.dedup_by_key(|(slot, _)| *slot);
+        Speculation { seeds }
+    }
+
+    /// Whether this is the empty speculation.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The `(slot, value)` seeds, sorted by slot.
+    pub fn seeds(&self) -> &[(usize, i64)] {
+        &self.seeds
+    }
+
+    /// The entry-guard check: whether `args` satisfy every seed.
+    pub fn matches(&self, args: &[Val]) -> bool {
+        self.seeds
+            .iter()
+            .all(|(slot, v)| matches!(args.get(*slot), Some(Val::Int(n)) if n == v))
+    }
+
+    /// The first seed `args` violate, if any: `(slot, expected, actual)`
+    /// — `actual` is `None` when the slot holds no integer at all (a
+    /// missing argument or a pointer), so diagnostics never fabricate a
+    /// concrete value.
+    pub fn violation(&self, args: &[Val]) -> Option<(usize, i64, Option<i64>)> {
+        self.seeds
+            .iter()
+            .find_map(|(slot, v)| match args.get(*slot) {
+                Some(Val::Int(n)) if n == v => None,
+                Some(Val::Int(n)) => Some((*slot, *v, Some(*n))),
+                _ => Some((*slot, *v, None)),
+            })
+    }
+}
+
+impl fmt::Display for Speculation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (slot, v)) in self.seeds.iter().enumerate() {
+            write!(f, "{}p{slot}={v}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// An inlining assumption: the listed call sites were spliced with the
+/// named callees' bodies as they stood at the given *inline epochs*.
+/// Like a [`Speculation`], this is a view of a [`VersionKey`]'s
+/// assumption set, but its guard is version identity rather than
+/// argument values: republishing a callee bumps its epoch
+/// ([`crate::CodeCache::inline_epoch`]), which evicts — through
+/// [`crate::CodeCache::invalidate`] — every caller artifact whose
+/// assumptions reference an older epoch.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct InlineSpec {
+    /// `(call-site pc, callee name, callee inline epoch)` triples, sorted
+    /// by site pc.
+    sites: Vec<(InstId, String, u64)>,
+}
+
+impl InlineSpec {
+    /// The empty (no-inlining) spec.
+    pub fn none() -> Self {
+        InlineSpec::default()
+    }
+
+    /// A spec over the given `(site, callee, epoch)` triples (sorted and
+    /// deduplicated by site; the first entry per site wins).
+    pub fn on(sites: impl IntoIterator<Item = (InstId, String, u64)>) -> Self {
+        let mut sites: Vec<(InstId, String, u64)> = sites.into_iter().collect();
+        sites.sort_by_key(|(at, _, _)| *at);
+        sites.dedup_by_key(|(at, _, _)| *at);
+        InlineSpec { sites }
+    }
+
+    /// Whether this is the empty spec.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The `(site, callee, epoch)` triples, sorted by site pc.
+    pub fn sites(&self) -> &[(InstId, String, u64)] {
+        &self.sites
+    }
+
+    /// Whether any site splices `callee`.
+    pub fn involves(&self, callee: &str) -> bool {
+        self.sites.iter().any(|(_, c, _)| c == callee)
+    }
+}
+
+impl fmt::Display for InlineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, callee, epoch)) in self.sites.iter().enumerate() {
+            write!(f, "{}{callee}@{epoch}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// One speculative bet a compiled version bakes in.
+///
+/// Every variant carries enough identity to (a) participate in the cache
+/// key of the artifact that assumed it and (b) name the [`Entity`] whose
+/// change dissolves it.  The enum is deliberately open-ended: a future
+/// memory-cell kind (`CellStable { cell, value }` — speculating on a
+/// heap/global cell's content) slots in as a fourth variant without
+/// touching the key or invalidation plumbing.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Assumption {
+    /// Parameter `slot` holds the constant `value`
+    /// ([`AssumptionKind::Value`]; guarded at entry, escaped via the
+    /// vetted same-rung generic escape).
+    ValueStable {
+        /// The speculated parameter slot.
+        slot: usize,
+        /// The constant the artifact was seeded with.
+        value: i64,
+    },
+    /// The call at `site` was spliced with `callee`'s body as published
+    /// at inline-epoch `epoch` ([`AssumptionKind::Inline`]; dissolved by
+    /// a callee republish, escaped across the former call boundary).
+    InlinedCallee {
+        /// The call-site pc that was spliced.
+        site: InstId,
+        /// The callee whose body was inlined.
+        callee: String,
+        /// The callee's inline epoch at splice time.
+        epoch: u64,
+    },
+    /// The branch at `branch` overwhelmingly takes `hot_succ`
+    /// ([`AssumptionKind::Bias`]; guarded by uncommon-path counting,
+    /// escaped by a plain deopt).  Bias bets are profile-local — they
+    /// shape code layout rather than the cache key — so today no
+    /// published key carries one, but the variant keeps the taxonomy
+    /// closed over every guard the engine fires.
+    BiasGuard {
+        /// The biased branch's block.
+        branch: BlockId,
+        /// The successor the profile bet on.
+        hot_succ: BlockId,
+    },
+}
+
+impl Assumption {
+    /// The kind dimension of the taxonomy — the canonical label used by
+    /// metrics, traces and the event stream.
+    pub fn kind(&self) -> AssumptionKind {
+        match self {
+            Assumption::ValueStable { .. } => AssumptionKind::Value,
+            Assumption::InlinedCallee { .. } => AssumptionKind::Inline,
+            Assumption::BiasGuard { .. } => AssumptionKind::Bias,
+        }
+    }
+
+    /// Whether `other` bets on the same *subject* (same slot, same call
+    /// site, same branch) — the dedup dimension of an [`AssumptionSet`].
+    fn same_subject(&self, other: &Assumption) -> bool {
+        match (self, other) {
+            (Assumption::ValueStable { slot: a, .. }, Assumption::ValueStable { slot: b, .. }) => {
+                a == b
+            }
+            (
+                Assumption::InlinedCallee { site: a, .. },
+                Assumption::InlinedCallee { site: b, .. },
+            ) => a == b,
+            (Assumption::BiasGuard { branch: a, .. }, Assumption::BiasGuard { branch: b, .. }) => {
+                a == b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Assumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Assumption::ValueStable { slot, value } => write!(f, "p{slot}={value}"),
+            Assumption::InlinedCallee { callee, epoch, .. } => write!(f, "{callee}@{epoch}"),
+            Assumption::BiasGuard { branch, hot_succ } => {
+                write!(f, "bias({branch:?}→{hot_succ:?})")
+            }
+        }
+    }
+}
+
+/// An ordered, deduplicated set of [`Assumption`]s — the speculation
+/// dimension of a [`VersionKey`].
+///
+/// Canonical order (sorted, one assumption per subject) makes equal bets
+/// hash equal regardless of discovery order, which is what lets the set
+/// serve as a cache-key dimension and a serializable version name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct AssumptionSet {
+    /// Sorted, subject-deduplicated assumptions.
+    assumptions: Vec<Assumption>,
+}
+
+impl AssumptionSet {
+    /// The empty set (the generic, assumption-free artifact).
+    pub fn none() -> Self {
+        AssumptionSet::default()
+    }
+
+    /// A set over the given assumptions (sorted; one bet per subject,
+    /// the least under the derived order winning ties).
+    pub fn on(assumptions: impl IntoIterator<Item = Assumption>) -> Self {
+        let mut assumptions: Vec<Assumption> = assumptions.into_iter().collect();
+        assumptions.sort();
+        assumptions.dedup_by(|a, b| a.same_subject(b));
+        AssumptionSet { assumptions }
+    }
+
+    /// The set equivalent to a legacy `(speculation, inline)` pair.
+    pub fn compose(speculation: &Speculation, inline: &InlineSpec) -> Self {
+        AssumptionSet::on(
+            speculation
+                .seeds()
+                .iter()
+                .map(|&(slot, value)| Assumption::ValueStable { slot, value })
+                .chain(inline.sites().iter().map(|(site, callee, epoch)| {
+                    Assumption::InlinedCallee {
+                        site: *site,
+                        callee: callee.clone(),
+                        epoch: *epoch,
+                    }
+                })),
+        )
+    }
+
+    /// Whether the set is empty (a generic artifact).
+    pub fn is_empty(&self) -> bool {
+        self.assumptions.is_empty()
+    }
+
+    /// Number of assumptions in the set.
+    pub fn len(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// The assumptions, in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Assumption> {
+        self.assumptions.iter()
+    }
+
+    /// The value-speculation view: every [`Assumption::ValueStable`] bet
+    /// as a [`Speculation`].
+    pub fn speculation(&self) -> Speculation {
+        Speculation::on(self.assumptions.iter().filter_map(|a| match a {
+            Assumption::ValueStable { slot, value } => Some((*slot, *value)),
+            _ => None,
+        }))
+    }
+
+    /// The inlining view: every [`Assumption::InlinedCallee`] bet as an
+    /// [`InlineSpec`].
+    pub fn inline_spec(&self) -> InlineSpec {
+        InlineSpec::on(self.assumptions.iter().filter_map(|a| match a {
+            Assumption::InlinedCallee {
+                site,
+                callee,
+                epoch,
+            } => Some((*site, callee.clone(), *epoch)),
+            _ => None,
+        }))
+    }
+}
+
+impl<'a> IntoIterator for &'a AssumptionSet {
+    type Item = &'a Assumption;
+    type IntoIter = std::slice::Iter<'a, Assumption>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.assumptions.iter()
+    }
+}
+
+impl fmt::Display for AssumptionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.assumptions.iter().enumerate() {
+            write!(f, "{}{a}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
+}
+
+/// The one way a compiled version is named: one function, one pipeline
+/// rung, one assumption set.  Every map in the code cache — the slot
+/// shards, the composed-table memo (as endpoint pairs), the cache-hit
+/// probe history (as [`VersionKey::generic`] views) — and `prewarm` key
+/// on this shape; the legacy `CacheKey` alias points here.
+///
+/// The `Display` form (`f:O2[p0=3]+inl[g@1]`) is canonical and stable —
+/// a serializable version name suitable for persisted-artifact manifests.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct VersionKey {
+    /// Function name in the engine's module.
+    pub function: String,
+    /// Pipeline the artifact was (or will be) produced by.
+    pub pipeline: PipelineSpec,
+    /// The speculative bets the artifact bakes in (empty for the generic
+    /// artifact).
+    pub assumptions: AssumptionSet,
+}
+
+impl VersionKey {
+    /// Key for the generic (assumption-free) `function` artifact under
+    /// `pipeline`.
+    pub fn new(function: impl Into<String>, pipeline: PipelineSpec) -> Self {
+        VersionKey {
+            function: function.into(),
+            pipeline,
+            assumptions: AssumptionSet::none(),
+        }
+    }
+
+    /// Key for `function`'s `speculation`-specialized artifact under
+    /// `pipeline`.
+    pub fn speculated(
+        function: impl Into<String>,
+        pipeline: PipelineSpec,
+        speculation: Speculation,
+    ) -> Self {
+        VersionKey {
+            function: function.into(),
+            pipeline,
+            assumptions: AssumptionSet::compose(&speculation, &InlineSpec::none()),
+        }
+    }
+
+    /// Key for `function`'s artifact spliced under `inline` (on top of an
+    /// optional value speculation).
+    pub fn inlined(
+        function: impl Into<String>,
+        pipeline: PipelineSpec,
+        speculation: Speculation,
+        inline: InlineSpec,
+    ) -> Self {
+        VersionKey {
+            function: function.into(),
+            pipeline,
+            assumptions: AssumptionSet::compose(&speculation, &inline),
+        }
+    }
+
+    /// The value-speculation view of the key's assumptions.
+    pub fn speculation(&self) -> Speculation {
+        self.assumptions.speculation()
+    }
+
+    /// The inlining view of the key's assumptions.
+    pub fn inline_spec(&self) -> InlineSpec {
+        self.assumptions.inline_spec()
+    }
+
+    /// The assumption-free `(function, pipeline)` view — the key the
+    /// probe history aggregates under.
+    pub fn generic(&self) -> VersionKey {
+        VersionKey::new(self.function.clone(), self.pipeline.clone())
+    }
+
+    /// Display label: the pipeline name, with the speculation suffixed
+    /// for specialized artifacts (e.g. `O2[p0=3]`) and the inline spec
+    /// for spliced ones (e.g. `O3+inl[helper@1]`) — what metrics and
+    /// event streams show.
+    pub fn pipeline_label(&self) -> String {
+        let speculation = self.speculation();
+        let inline = self.inline_spec();
+        let mut label = pipeline_label(&self.pipeline, &speculation);
+        if !inline.is_empty() {
+            label.push_str(&format!("+inl[{inline}]"));
+        }
+        label
+    }
+}
+
+impl fmt::Display for VersionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.function, self.pipeline_label())
+    }
+}
+
+/// The `O2[p0=3]`-style display label for a `(pipeline, speculation)`
+/// pair; plain pipeline name when the speculation is empty.
+pub fn pipeline_label(spec: &PipelineSpec, speculation: &Speculation) -> String {
+    if speculation.is_empty() {
+        spec.name().to_string()
+    } else {
+        format!("{}[{speculation}]", spec.name())
+    }
+}
+
+/// Something a published artifact's assumptions depend on — the node
+/// vocabulary of the cache's dependency registry.
+///
+/// At publish time, [`crate::CodeCache::publish`] registers the artifact
+/// under one entity per assumption; [`crate::CodeCache::invalidate`]
+/// walks the registry and evicts every dependent through the one shared
+/// path, bumping the matching per-kind counter.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Entity {
+    /// A callee's identity — invalidated when the callee is republished
+    /// (its inline epoch advances), dissolving every
+    /// [`Assumption::InlinedCallee`] that referenced the older body.
+    Callee(String),
+    /// A published rung itself — invalidated when the artifact at this
+    /// key is replaced, dropping every memoized composed table routed
+    /// through it.
+    Rung(VersionKey),
+    /// The profile-stability of one argument slot — invalidated when the
+    /// profile stops reporting the slot stable, dissolving every
+    /// [`Assumption::ValueStable`] bet on it.
+    ValueStability {
+        /// The specializing function.
+        function: String,
+        /// The dissolved parameter slot.
+        slot: usize,
+    },
+}
+
+/// The per-kind invalidation counters the cache's dependency registry
+/// maintains — one counter per assumption family, summing to the
+/// `assumption_invalidations` aggregate surfaced in
+/// [`crate::MetricsSnapshot`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InvalidationCounts {
+    /// Composed tables dropped by [`Entity::Rung`] invalidations.
+    pub composed: u64,
+    /// Caller artifacts evicted (or abandoned in flight) by
+    /// [`Entity::Callee`] invalidations.
+    pub inline: u64,
+    /// Value-specialized artifacts evicted by [`Entity::ValueStability`]
+    /// invalidations.
+    pub value: u64,
+}
+
+impl InvalidationCounts {
+    /// The `assumption_invalidations` aggregate: every artifact or table
+    /// the unified path invalidated, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.composed + self.inline + self.value
+    }
+}
+
+/// The structured identity of a violated assumption — what fired, where,
+/// and with what evidence.  One taxonomy for all three guard families;
+/// [`ViolatedAssumption::kind`] is the label dimension.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ViolatedAssumption {
+    /// A branch-bias guard fired: the frame repeatedly entered `uncommon`
+    /// times the branch successor the baseline profile bet against, at
+    /// instruction `at` of the optimized version.
+    Bias {
+        /// The optimized-version instruction that witnessed the uncommon
+        /// path when the guard fired.
+        at: InstId,
+        /// Uncommon-path hits accumulated by the frame when it fired.
+        uncommon: u64,
+    },
+    /// A value guard fired: the frame entered a constant-seeded
+    /// specialized version whose speculated argument its own arguments
+    /// violate.  The guard fires at the entry landing — before a single
+    /// specialized instruction executes — and the frame escapes to an
+    /// unspecialized version, re-climbing without the stale assumption.
+    Value {
+        /// The specialized-version instruction the frame landed on when
+        /// the guard fired.
+        at: InstId,
+        /// The violated parameter slot.
+        slot: usize,
+        /// The value the artifact speculated.
+        expected: i64,
+        /// The frame's actual argument (`None` when the slot held no
+        /// integer — a missing argument or a pointer).
+        actual: Option<i64>,
+    },
+    /// An inline guard fired: the frame runs a version with a hot call
+    /// site spliced in, and it repeatedly (`uncommon` times) took a
+    /// branch path inside the inlined region that the callee's baseline
+    /// profile bet against.  The frame exits across the former call
+    /// boundary — reconstructing the callee frame when the landing falls
+    /// mid-region — and resumes in call-preserving code.
+    Inline {
+        /// The optimized-version instruction that witnessed the uncommon
+        /// path when the guard fired.
+        at: InstId,
+        /// Uncommon-path hits accumulated by the frame when it fired.
+        uncommon: u64,
+    },
+}
+
+impl ViolatedAssumption {
+    /// The kind dimension — the canonical label metrics, traces and the
+    /// event stream bucket by.
+    pub fn kind(&self) -> AssumptionKind {
+        match self {
+            ViolatedAssumption::Bias { .. } => AssumptionKind::Bias,
+            ViolatedAssumption::Value { .. } => AssumptionKind::Value,
+            ViolatedAssumption::Inline { .. } => AssumptionKind::Inline,
+        }
+    }
+}
+
+impl fmt::Display for ViolatedAssumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolatedAssumption::Bias { at, uncommon } => {
+                write!(f, "guard failure at {at} ({uncommon} uncommon hits)")
+            }
+            ViolatedAssumption::Value {
+                at,
+                slot,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "value guard at {at}: p{slot} speculated {expected}, got "
+                )?;
+                match actual {
+                    Some(n) => write!(f, "{n}"),
+                    None => write!(f, "a non-integer"),
+                }
+            }
+            ViolatedAssumption::Inline { at, uncommon } => {
+                write!(f, "inline guard failure at {at} ({uncommon} uncommon hits)")
+            }
+        }
+    }
+}
+
+/// Why a frame tiered down: either a speculative assumption it was
+/// running under was violated, or the debugger forced it to the
+/// baseline.  The single guard/deopt taxonomy — every guard family maps
+/// to an [`AssumptionViolated`](DeoptReason::AssumptionViolated) with
+/// its structured [`ViolatedAssumption`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DeoptReason {
+    /// A speculative assumption was violated; the payload says which
+    /// kind, where, and with what evidence.
+    AssumptionViolated(ViolatedAssumption),
+    /// A debugger attach ([`crate::ExecMode::Debug`]) forced the frame to
+    /// the baseline at the first instrumented visit (§7).
+    DebuggerAttach,
+}
+
+impl DeoptReason {
+    /// A branch-bias guard failure ([`AssumptionKind::Bias`]).
+    pub fn bias_guard(at: InstId, uncommon: u64) -> Self {
+        DeoptReason::AssumptionViolated(ViolatedAssumption::Bias { at, uncommon })
+    }
+
+    /// A value-guard failure ([`AssumptionKind::Value`]).
+    pub fn value_guard(at: InstId, slot: usize, expected: i64, actual: Option<i64>) -> Self {
+        DeoptReason::AssumptionViolated(ViolatedAssumption::Value {
+            at,
+            slot,
+            expected,
+            actual,
+        })
+    }
+
+    /// An inline-guard failure ([`AssumptionKind::Inline`]).
+    pub fn inline_guard(at: InstId, uncommon: u64) -> Self {
+        DeoptReason::AssumptionViolated(ViolatedAssumption::Inline { at, uncommon })
+    }
+
+    /// The violated assumption's kind, if this deopt fired a guard
+    /// (`None` for a debugger attach).
+    pub fn violated_kind(&self) -> Option<AssumptionKind> {
+        match self {
+            DeoptReason::AssumptionViolated(v) => Some(v.kind()),
+            DeoptReason::DebuggerAttach => None,
+        }
+    }
+}
+
+impl fmt::Display for DeoptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeoptReason::AssumptionViolated(v) => write!(f, "{v}"),
+            DeoptReason::DebuggerAttach => write!(f, "debugger attach"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assumption_sets_are_canonical() {
+        let a = AssumptionSet::on([
+            Assumption::ValueStable { slot: 1, value: 7 },
+            Assumption::ValueStable { slot: 0, value: 3 },
+        ]);
+        let b = AssumptionSet::on([
+            Assumption::ValueStable { slot: 0, value: 3 },
+            Assumption::ValueStable { slot: 1, value: 7 },
+        ]);
+        assert_eq!(a, b, "insertion order does not change the set");
+        assert_eq!(a.to_string(), "p0=3,p1=7");
+        assert_eq!(a.speculation(), Speculation::on([(0, 3), (1, 7)]));
+        assert!(a.inline_spec().is_empty());
+    }
+
+    #[test]
+    fn one_bet_per_subject() {
+        let s = AssumptionSet::on([
+            Assumption::ValueStable { slot: 0, value: 3 },
+            Assumption::ValueStable { slot: 0, value: 9 },
+        ]);
+        assert_eq!(s.len(), 1, "one value bet per slot");
+        let i = AssumptionSet::on([
+            Assumption::InlinedCallee {
+                site: InstId(4),
+                callee: "g".into(),
+                epoch: 0,
+            },
+            Assumption::InlinedCallee {
+                site: InstId(4),
+                callee: "h".into(),
+                epoch: 2,
+            },
+        ]);
+        assert_eq!(i.len(), 1, "one splice per call site");
+    }
+
+    #[test]
+    fn version_keys_round_trip_their_views() {
+        let spec = Speculation::on([(0, 3), (1, 7)]);
+        let inline = InlineSpec::on([(InstId(5), "helper".to_string(), 1)]);
+        let key = VersionKey::inlined("f", PipelineSpec::O3, spec.clone(), inline.clone());
+        assert_eq!(key.speculation(), spec);
+        assert_eq!(key.inline_spec(), inline);
+        assert_eq!(key.pipeline_label(), "O3[p0=3,p1=7]+inl[helper@1]");
+        assert_eq!(key.to_string(), "f:O3[p0=3,p1=7]+inl[helper@1]");
+        let generic = key.generic();
+        assert!(generic.assumptions.is_empty());
+        assert_eq!(generic, VersionKey::new("f", PipelineSpec::O3));
+        assert_ne!(key, generic);
+    }
+
+    #[test]
+    fn the_taxonomy_kinds_and_labels_line_up() {
+        let bias = DeoptReason::bias_guard(InstId(3), 4);
+        let value = DeoptReason::value_guard(InstId(0), 1, 7, Some(9));
+        let inline = DeoptReason::inline_guard(InstId(8), 4);
+        assert_eq!(bias.violated_kind(), Some(AssumptionKind::Bias));
+        assert_eq!(value.violated_kind(), Some(AssumptionKind::Value));
+        assert_eq!(inline.violated_kind(), Some(AssumptionKind::Inline));
+        assert_eq!(DeoptReason::DebuggerAttach.violated_kind(), None);
+        assert_eq!(AssumptionKind::Bias.label(), "bias");
+        assert_eq!(AssumptionKind::Value.label(), "value");
+        assert_eq!(AssumptionKind::Inline.label(), "inline");
+        assert_eq!(AssumptionKind::Memory.label(), "memory");
+    }
+
+    #[test]
+    fn deopt_reasons_render_their_legacy_strings() {
+        assert_eq!(
+            DeoptReason::bias_guard(InstId(3), 4).to_string(),
+            "guard failure at i3 (4 uncommon hits)"
+        );
+        assert_eq!(
+            DeoptReason::value_guard(InstId(0), 0, 3, Some(5)).to_string(),
+            "value guard at i0: p0 speculated 3, got 5"
+        );
+        assert_eq!(
+            DeoptReason::value_guard(InstId(0), 0, 3, None).to_string(),
+            "value guard at i0: p0 speculated 3, got a non-integer"
+        );
+        assert_eq!(
+            DeoptReason::inline_guard(InstId(8), 4).to_string(),
+            "inline guard failure at i8 (4 uncommon hits)"
+        );
+        assert_eq!(DeoptReason::DebuggerAttach.to_string(), "debugger attach");
+    }
+}

@@ -1,7 +1,8 @@
 //! The shared code cache: per-tier compiled function versions with
-//! precomputed, validated OSR entry tables, keyed by `(function, pipeline
-//! spec, value speculation)`, plus lazily-built composed
-//! version-to-version tables.
+//! precomputed, validated OSR entry tables, keyed by the unified
+//! [`VersionKey`] (`function` + `pipeline` + assumption set — see
+//! [`crate::assume`]), plus lazily-built composed version-to-version
+//! tables and the dependency registry every invalidation flows through.
 //!
 //! The cache is the rendezvous point between interpreters and the
 //! background compiler pool: interpreters probe it on every hot visit,
@@ -14,7 +15,7 @@
 //! hot-path probes from many request workers do not serialize on one lock.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,214 +113,16 @@ impl fmt::Display for PipelineSpec {
     }
 }
 
-/// A value-speculation assumption: the listed parameter slots hold the
-/// given constants.  An empty speculation is the unspecialized (generic)
-/// artifact.
-///
-/// A speculation is part of the cache key — the cache holds one artifact
-/// per `(function, pipeline, speculation)` — and travels with the
-/// compiled artifact ([`CompiledVersion::speculation`]) as its *entry
-/// guard*: the engine admits a frame into the specialized version only
-/// after checking the frame's actual arguments against it (or, when it
-/// hops a violating frame in deliberately, fires the guard at the landing
-/// before a single specialized instruction runs).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct Speculation {
-    /// `(parameter slot, speculated value)` pairs, sorted by slot.
-    seeds: Vec<(usize, i64)>,
-}
+pub use crate::assume::{
+    pipeline_label, Assumption, AssumptionKind, AssumptionSet, Entity, InlineSpec,
+    InvalidationCounts, Speculation, VersionKey,
+};
 
-impl Speculation {
-    /// The empty (generic, unspecialized) speculation.
-    pub fn none() -> Self {
-        Speculation::default()
-    }
-
-    /// A speculation over the given `(slot, value)` seeds (sorted and
-    /// deduplicated by slot; the first value per slot wins).
-    pub fn on(seeds: impl IntoIterator<Item = (usize, i64)>) -> Self {
-        let mut seeds: Vec<(usize, i64)> = seeds.into_iter().collect();
-        seeds.sort_by_key(|(slot, _)| *slot);
-        seeds.dedup_by_key(|(slot, _)| *slot);
-        Speculation { seeds }
-    }
-
-    /// Whether this is the empty speculation.
-    pub fn is_empty(&self) -> bool {
-        self.seeds.is_empty()
-    }
-
-    /// The `(slot, value)` seeds, sorted by slot.
-    pub fn seeds(&self) -> &[(usize, i64)] {
-        &self.seeds
-    }
-
-    /// The entry-guard check: whether `args` satisfy every seed.
-    pub fn matches(&self, args: &[Val]) -> bool {
-        self.seeds
-            .iter()
-            .all(|(slot, v)| matches!(args.get(*slot), Some(Val::Int(n)) if n == v))
-    }
-
-    /// The first seed `args` violate, if any: `(slot, expected, actual)`
-    /// — `actual` is `None` when the slot holds no integer at all (a
-    /// missing argument or a pointer), so diagnostics never fabricate a
-    /// concrete value.
-    pub fn violation(&self, args: &[Val]) -> Option<(usize, i64, Option<i64>)> {
-        self.seeds
-            .iter()
-            .find_map(|(slot, v)| match args.get(*slot) {
-                Some(Val::Int(n)) if n == v => None,
-                Some(Val::Int(n)) => Some((*slot, *v, Some(*n))),
-                _ => Some((*slot, *v, None)),
-            })
-    }
-}
-
-impl fmt::Display for Speculation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, (slot, v)) in self.seeds.iter().enumerate() {
-            write!(f, "{}p{slot}={v}", if i == 0 { "" } else { "," })?;
-        }
-        Ok(())
-    }
-}
-
-/// An inlining assumption: the listed call sites were spliced with the
-/// named callees' bodies as they stood at the given *inline epochs*.  Like
-/// a [`Speculation`], this is a cache-key dimension — the cache holds one
-/// artifact per `(function, pipeline, speculation, inline)` — but its
-/// guard is version identity rather than argument values: republishing a
-/// callee bumps its epoch ([`CodeCache::inline_epoch`]), which evicts
-/// every caller artifact whose spec references an older epoch.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct InlineSpec {
-    /// `(call-site pc, callee name, callee inline epoch)` triples, sorted
-    /// by site pc.
-    sites: Vec<(InstId, String, u64)>,
-}
-
-impl InlineSpec {
-    /// The empty (no-inlining) spec.
-    pub fn none() -> Self {
-        InlineSpec::default()
-    }
-
-    /// A spec over the given `(site, callee, epoch)` triples (sorted and
-    /// deduplicated by site; the first entry per site wins).
-    pub fn on(sites: impl IntoIterator<Item = (InstId, String, u64)>) -> Self {
-        let mut sites: Vec<(InstId, String, u64)> = sites.into_iter().collect();
-        sites.sort_by_key(|(at, _, _)| *at);
-        sites.dedup_by_key(|(at, _, _)| *at);
-        InlineSpec { sites }
-    }
-
-    /// Whether this is the empty spec.
-    pub fn is_empty(&self) -> bool {
-        self.sites.is_empty()
-    }
-
-    /// The `(site, callee, epoch)` triples, sorted by site pc.
-    pub fn sites(&self) -> &[(InstId, String, u64)] {
-        &self.sites
-    }
-
-    /// Whether any site splices `callee`.
-    pub fn involves(&self, callee: &str) -> bool {
-        self.sites.iter().any(|(_, c, _)| c == callee)
-    }
-}
-
-impl fmt::Display for InlineSpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, (_, callee, epoch)) in self.sites.iter().enumerate() {
-            write!(f, "{}{callee}@{epoch}", if i == 0 { "" } else { "," })?;
-        }
-        Ok(())
-    }
-}
-
-/// Cache key: one function under one pipeline spec, one value
-/// speculation, and one inlining assumption.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct CacheKey {
-    /// Function name in the engine's module.
-    pub function: String,
-    /// Pipeline the artifact was (or will be) produced by.
-    pub spec: PipelineSpec,
-    /// Value speculation the artifact is specialized on (empty for the
-    /// generic artifact).
-    pub speculation: Speculation,
-    /// Inlining assumption the artifact was spliced under (empty for
-    /// call-preserving artifacts).
-    pub inline: InlineSpec,
-}
-
-impl CacheKey {
-    /// Key for the generic (unspecialized) `function` artifact under
-    /// `spec`.
-    pub fn new(function: impl Into<String>, spec: PipelineSpec) -> Self {
-        CacheKey {
-            function: function.into(),
-            spec,
-            speculation: Speculation::none(),
-            inline: InlineSpec::none(),
-        }
-    }
-
-    /// Key for `function`'s `speculation`-specialized artifact under
-    /// `spec`.
-    pub fn speculated(
-        function: impl Into<String>,
-        spec: PipelineSpec,
-        speculation: Speculation,
-    ) -> Self {
-        CacheKey {
-            function: function.into(),
-            spec,
-            speculation,
-            inline: InlineSpec::none(),
-        }
-    }
-
-    /// Key for `function`'s artifact spliced under `inline` (on top of an
-    /// optional value speculation).
-    pub fn inlined(
-        function: impl Into<String>,
-        spec: PipelineSpec,
-        speculation: Speculation,
-        inline: InlineSpec,
-    ) -> Self {
-        CacheKey {
-            function: function.into(),
-            spec,
-            speculation,
-            inline,
-        }
-    }
-
-    /// Display label: the pipeline name, with the speculation suffixed
-    /// for specialized artifacts (e.g. `O2[p0=3]`) and the inline spec
-    /// for spliced ones (e.g. `O3+inl[helper@1]`) — what metrics and
-    /// event streams show.
-    pub fn pipeline_label(&self) -> String {
-        let mut label = pipeline_label(&self.spec, &self.speculation);
-        if !self.inline.is_empty() {
-            label.push_str(&format!("+inl[{}]", self.inline));
-        }
-        label
-    }
-}
-
-/// The `O2[p0=3]`-style display label for a `(pipeline, speculation)`
-/// pair; plain pipeline name when the speculation is empty.
-pub fn pipeline_label(spec: &PipelineSpec, speculation: &Speculation) -> String {
-    if speculation.is_empty() {
-        spec.name().to_string()
-    } else {
-        format!("{}[{speculation}]", spec.name())
-    }
-}
+/// The legacy name for [`VersionKey`] — kept as a thin alias so
+/// cache-facing call sites read naturally.  The key shape itself (and
+/// the `Speculation`/`InlineSpec` views re-exported above) lives in
+/// [`crate::assume`]; nothing outside that module defines a key.
+pub type CacheKey = VersionKey;
 
 /// A compiled artifact: the `(baseline, optimized)` version pair for one
 /// ladder rung plus both precomputed OSR entry tables and compile-time
@@ -404,7 +207,8 @@ pub struct InlinePlan {
     /// Speculatively biased branches that survived into the optimized
     /// CFG: `(branch block, hot successor)` in optimized coordinates.  A
     /// run that keeps taking a cold arm violates the inline speculation
-    /// and deopts with [`crate::DeoptReason::InlineGuard`].
+    /// and deopts with an inline-kind
+    /// [`crate::DeoptReason::AssumptionViolated`].
     pub guards: Vec<(ssair::BlockId, ssair::BlockId)>,
 }
 
@@ -1023,7 +827,7 @@ pub fn differential_validate_pinned(
 /// The escape table itself must also be speculation-free — the engine
 /// uses the generic artifact's own direct forward table at the landing,
 /// never a table composed through the specialized version's mappings.
-pub fn vet_value_roundtrip(
+pub fn vet_generic_escape(
     fwd_entry: &ssair::reconstruct::SsaEntry,
     escape_entry: &ssair::reconstruct::SsaEntry,
     base: &Function,
@@ -1062,6 +866,17 @@ pub fn vet_value_roundtrip(
     Some(pins)
 }
 
+/// The historical name for [`vet_generic_escape`]: the mechanism was
+/// introduced for value speculation's same-rung round trip and is now
+/// the one vetted generic-escape path any assumption kind can request.
+pub fn vet_value_roundtrip(
+    fwd_entry: &ssair::reconstruct::SsaEntry,
+    escape_entry: &ssair::reconstruct::SsaEntry,
+    base: &Function,
+) -> Option<Vec<(ValueId, Val)>> {
+    vet_generic_escape(fwd_entry, escape_entry, base)
+}
+
 /// State of one cache slot.
 enum Slot {
     /// A compile job has been claimed/enqueued but not yet published.
@@ -1070,31 +885,33 @@ enum Slot {
     Ready(Arc<CompiledVersion>),
 }
 
-/// Key of a composed version-to-version table: `function`'s `from`
-/// version hopping straight to its `to` version.  Each endpoint is a full
-/// `(pipeline, speculation)` rung identity, so specialized and generic
-/// artifacts of the same rung memoize independent tables.
+/// Key of a composed version-to-version table: the `from` version
+/// hopping straight to the `to` version.  Each endpoint is the full
+/// [`VersionKey`] rung identity (so specialized and generic artifacts of
+/// the same rung memoize independent tables) — which also makes the memo
+/// its own rung-dependency record: a table is registered under exactly
+/// the two [`Entity::Rung`]s it depends on, and
+/// [`CodeCache::invalidate`] drops it when either is republished.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct ComposedKey {
-    function: String,
-    from: (PipelineSpec, Speculation, InlineSpec),
-    to: (PipelineSpec, Speculation, InlineSpec),
+    from: VersionKey,
+    to: VersionKey,
 }
 
 impl ComposedKey {
     fn between(function: &str, from: &CompiledVersion, to: &CompiledVersion) -> Self {
         ComposedKey {
-            function: function.to_string(),
-            from: endpoint(from),
-            to: endpoint(to),
+            from: endpoint(function, from),
+            to: endpoint(function, to),
         }
     }
 }
 
-/// The full rung identity of a compiled version (one composed-table
-/// endpoint).
-fn endpoint(cv: &CompiledVersion) -> (PipelineSpec, Speculation, InlineSpec) {
-    (
+/// The full [`VersionKey`] rung identity of a compiled version (one
+/// composed-table endpoint).
+fn endpoint(function: &str, cv: &CompiledVersion) -> VersionKey {
+    VersionKey::inlined(
+        function,
         cv.spec.clone(),
         cv.speculation.clone(),
         cv.inline_spec.clone(),
@@ -1118,20 +935,33 @@ type ComposedResult = Result<Arc<EntryTable>, CompileError>;
 pub struct CodeCache {
     shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
     composed: Vec<Mutex<HashMap<ComposedKey, ComposedResult>>>,
-    /// Per-`(function, pipeline)` probe history — how often a climb-ready
-    /// frame found the artifact published vs. still compiling.  An
-    /// adaptive ladder reads these to cheapen climbs whose compiles are
-    /// effectively free ([`crate::TierPolicy::threshold_with_cache`]).
+    /// Probe history, keyed by [`VersionKey::generic`] views — how often
+    /// a climb-ready frame found the artifact for a `(function,
+    /// pipeline)` published vs. still compiling, aggregated across that
+    /// rung's speculative variants.  An adaptive ladder reads these to
+    /// cheapen climbs whose compiles are effectively free
+    /// ([`crate::TierPolicy::threshold_with_cache`]).
     probes: Vec<Mutex<HashMap<CacheKey, (u64, u64)>>>,
+    /// The dependency registry: for each [`Entity`], the published keys
+    /// whose assumptions depend on it.  [`CodeCache::publish`] registers
+    /// an artifact under one entity per assumption
+    /// ([`Assumption::InlinedCallee`] → [`Entity::Callee`],
+    /// [`Assumption::ValueStable`] → [`Entity::ValueStability`]);
+    /// [`CodeCache::invalidate`] drains an entity's entry and evicts the
+    /// registered dependents.  (Rung dependencies need no entry here —
+    /// the composed memo's own [`ComposedKey`] endpoints are the
+    /// registration.)
+    deps: Mutex<HashMap<Entity, HashSet<CacheKey>>>,
     /// Per-function inline epoch: bumped on every *re*publication of any
     /// of the function's artifacts.  Callers splice a callee at a
-    /// specific epoch (recorded in their [`InlineSpec`]); a bump evicts
-    /// every caller artifact referencing an older one.
+    /// specific epoch (recorded in their [`InlineSpec`] view); a bump
+    /// evicts every caller artifact referencing an older one.
     epochs: Mutex<HashMap<String, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
     inline_invalidations: AtomicU64,
+    value_invalidations: AtomicU64,
 }
 
 impl Default for CodeCache {
@@ -1140,11 +970,13 @@ impl Default for CodeCache {
             shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             composed: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
             probes: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            deps: Mutex::default(),
             epochs: Mutex::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             inline_invalidations: AtomicU64::new(0),
+            value_invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -1179,10 +1011,13 @@ impl CodeCache {
 
     /// Records one climb-eligible probe of `key` (at most one per request
     /// per rung — the controller batches): `hit` when the artifact was
-    /// published.
+    /// published.  History accumulates under the key's
+    /// [`VersionKey::generic`] view, so a rung's speculative variants
+    /// share one `(function, pipeline)` record.
     pub fn note_probe(&self, key: &CacheKey, hit: bool) {
-        let mut map = self.probes[shard_index(key)].lock().expect("probe lock");
-        let stats = map.entry(key.clone()).or_insert((0, 0));
+        let key = key.generic();
+        let mut map = self.probes[shard_index(&key)].lock().expect("probe lock");
+        let stats = map.entry(key).or_insert((0, 0));
         if hit {
             stats.0 += 1;
         } else {
@@ -1190,12 +1025,14 @@ impl CodeCache {
         }
     }
 
-    /// The accumulated `(hits, misses)` probe history of `key`.
+    /// The accumulated `(hits, misses)` probe history of `key`'s
+    /// [`VersionKey::generic`] view.
     pub fn probe_stats(&self, key: &CacheKey) -> (u64, u64) {
-        self.probes[shard_index(key)]
+        let key = key.generic();
+        self.probes[shard_index(&key)]
             .lock()
             .expect("probe lock")
-            .get(key)
+            .get(&key)
             .copied()
             .unwrap_or((0, 0))
     }
@@ -1213,26 +1050,29 @@ impl CodeCache {
     }
 
     /// Publishes a compiled artifact (fulfilling a prior
-    /// [`CodeCache::claim`]).  *Re*publishing over a ready artifact —
-    /// e.g. a §5.2 keep-set recompile replacing a rung — invalidates
-    /// every memoized composed table routing through that rung (either
-    /// endpoint), so the next hop re-composes against the republished
-    /// version instead of transferring into a stale one; it also bumps
-    /// the function's *inline epoch*, evicting every caller artifact that
-    /// spliced this function at an older epoch (no stale-inline execution
-    /// is possible).
+    /// [`CodeCache::claim`]) and registers it in the dependency registry
+    /// under every [`Entity`] its assumptions depend on.
     ///
-    /// An artifact whose own [`InlineSpec`] already references outdated
+    /// *Re*publishing over a ready artifact — e.g. a §5.2 keep-set
+    /// recompile replacing a rung — flows through
+    /// [`CodeCache::invalidate`] twice: once for the replaced
+    /// [`Entity::Rung`] (dropping every memoized composed table routing
+    /// through either endpoint, so the next hop re-composes against the
+    /// republished version instead of transferring into a stale one) and
+    /// once for the function's [`Entity::Callee`] identity (bumping its
+    /// inline epoch and evicting every caller artifact that spliced this
+    /// function at an older epoch — no stale-inline execution is
+    /// possible).
+    ///
+    /// An artifact whose own assumptions already reference outdated
     /// callee epochs — a callee was republished while this compile was in
     /// flight — is *not* published: the claim is dropped and the eviction
     /// counter bumped, exactly as if it had been published and evicted.
     pub fn publish(&self, key: &CacheKey, cv: Arc<CompiledVersion>) {
-        if key
-            .inline
-            .sites()
-            .iter()
-            .any(|(_, callee, epoch)| *epoch < self.inline_epoch(callee))
-        {
+        if key.assumptions.iter().any(|a| {
+            matches!(a, Assumption::InlinedCallee { callee, epoch, .. }
+                if *epoch < self.inline_epoch(callee))
+        }) {
             self.abandon(key);
             self.inline_invalidations.fetch_add(1, Ordering::Relaxed);
             return;
@@ -1244,10 +1084,154 @@ impl CodeCache {
                 Some(Slot::Ready(_))
             )
         };
+        self.register_dependencies(key);
         if replaced {
-            self.invalidate_composed(&key.function, &key.spec, &key.speculation, &key.inline);
-            self.bump_inline_epoch(&key.function);
+            self.invalidate(&Entity::Rung(key.clone()));
+            self.invalidate(&Entity::Callee(key.function.clone()));
         }
+    }
+
+    /// Registers `key` under every entity its assumptions depend on —
+    /// the publish half of the dependency registry.
+    fn register_dependencies(&self, key: &CacheKey) {
+        if key.assumptions.is_empty() {
+            return;
+        }
+        let mut deps = self.deps.lock().expect("deps lock");
+        for a in key.assumptions.iter() {
+            let entity = match a {
+                Assumption::InlinedCallee { callee, .. } => Entity::Callee(callee.clone()),
+                Assumption::ValueStable { slot, .. } => Entity::ValueStability {
+                    function: key.function.clone(),
+                    slot: *slot,
+                },
+                // Bias bets are profile-local: they shape the artifact,
+                // not its lifetime, and dissolve through republish.
+                Assumption::BiasGuard { .. } => continue,
+            };
+            deps.entry(entity).or_default().insert(key.clone());
+        }
+    }
+
+    /// The single invalidation path: every eviction — rung republish,
+    /// callee republish, value-stability dissolution — names the changed
+    /// [`Entity`] and flows through here.  Dependents registered at
+    /// publish time are evicted, their own composed tables cascade
+    /// through [`Entity::Rung`], and the matching per-kind counter
+    /// ([`CodeCache::composed_invalidations`] /
+    /// [`CodeCache::inline_invalidations`] /
+    /// [`CodeCache::value_invalidations`]) absorbs the count.  Returns
+    /// how many artifacts or tables this call invalidated.
+    pub fn invalidate(&self, entity: &Entity) -> u64 {
+        match entity {
+            Entity::Rung(key) => self.invalidate_rung(key),
+            Entity::Callee(function) => self.invalidate_callee(function),
+            Entity::ValueStability { function, slot } => self.invalidate_value(function, *slot),
+        }
+    }
+
+    /// Drops every memoized composed table with `key` as either endpoint
+    /// (including memoized failures, which may now succeed against the
+    /// republished artifact).
+    fn invalidate_rung(&self, key: &VersionKey) -> u64 {
+        let mut dropped = 0u64;
+        for shard in &self.composed {
+            let mut map = shard.lock().expect("composed lock");
+            map.retain(|k, _| {
+                let stale = k.from == *key || k.to == *key;
+                if stale {
+                    dropped += 1;
+                }
+                !stale
+            });
+        }
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Bumps `function`'s inline epoch and evicts every registered
+    /// dependent — any caller — whose assumptions splice `function` at an
+    /// older epoch, cascading each eviction through [`Entity::Rung`].
+    fn invalidate_callee(&self, function: &str) -> u64 {
+        let epoch = {
+            let mut epochs = self.epochs.lock().expect("epoch lock");
+            let e = epochs.entry(function.to_string()).or_insert(0);
+            *e += 1;
+            *e
+        };
+        let dependents: Vec<CacheKey> = {
+            let mut deps = self.deps.lock().expect("deps lock");
+            deps.remove(&Entity::Callee(function.to_string()))
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default()
+        };
+        let mut evicted: Vec<CacheKey> = Vec::new();
+        let mut spared: Vec<CacheKey> = Vec::new();
+        for k in dependents {
+            let stale = k.assumptions.iter().any(|a| {
+                matches!(a, Assumption::InlinedCallee { callee, epoch: e, .. }
+                    if callee == function && *e < epoch)
+            });
+            if !stale {
+                // A dependent already at the bumped epoch (it registered
+                // between our bump and our drain) stays live — put it
+                // back so the *next* republish still finds it.
+                spared.push(k);
+                continue;
+            }
+            let mut slots = self.shard(&k).lock().expect("cache lock");
+            if matches!(slots.get(&k), Some(Slot::Ready(_))) {
+                slots.remove(&k);
+                drop(slots);
+                evicted.push(k);
+            }
+        }
+        if !spared.is_empty() {
+            let mut deps = self.deps.lock().expect("deps lock");
+            let set = deps
+                .entry(Entity::Callee(function.to_string()))
+                .or_default();
+            set.extend(spared);
+        }
+        self.inline_invalidations
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        let count = evicted.len() as u64;
+        for k in evicted {
+            self.invalidate_rung(&k);
+        }
+        count
+    }
+
+    /// Evicts every registered dependent seeded on `function`'s `slot` —
+    /// the cache half of value-stability dissolution
+    /// ([`tinyvm::profile::ProfileTable::stable_value`] going `None`) —
+    /// cascading each eviction through [`Entity::Rung`].
+    fn invalidate_value(&self, function: &str, slot: usize) -> u64 {
+        let dependents: Vec<CacheKey> = {
+            let mut deps = self.deps.lock().expect("deps lock");
+            deps.remove(&Entity::ValueStability {
+                function: function.to_string(),
+                slot,
+            })
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default()
+        };
+        let mut evicted: Vec<CacheKey> = Vec::new();
+        for k in dependents {
+            let mut slots = self.shard(&k).lock().expect("cache lock");
+            if matches!(slots.get(&k), Some(Slot::Ready(_))) {
+                slots.remove(&k);
+                drop(slots);
+                evicted.push(k);
+            }
+        }
+        self.value_invalidations
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        let count = evicted.len() as u64;
+        for k in evicted {
+            self.invalidate_rung(&k);
+        }
+        count
     }
 
     /// The current inline epoch of `function`: the version identity a
@@ -1262,64 +1246,6 @@ impl CodeCache {
             .unwrap_or(0)
     }
 
-    /// Bumps `function`'s inline epoch and evicts every ready artifact
-    /// (of any caller) whose inline spec references `function` at an
-    /// older epoch, dropping their composed tables with them.
-    fn bump_inline_epoch(&self, function: &str) {
-        let epoch = {
-            let mut epochs = self.epochs.lock().expect("epoch lock");
-            let e = epochs.entry(function.to_string()).or_insert(0);
-            *e += 1;
-            *e
-        };
-        let mut evicted: Vec<CacheKey> = Vec::new();
-        for shard in &self.shards {
-            let mut map = shard.lock().expect("cache lock");
-            map.retain(|k, slot| {
-                let stale = matches!(slot, Slot::Ready(_))
-                    && k.inline
-                        .sites()
-                        .iter()
-                        .any(|(_, callee, e)| callee == function && *e < epoch);
-                if stale {
-                    evicted.push(k.clone());
-                }
-                !stale
-            });
-        }
-        self.inline_invalidations
-            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
-        for k in evicted {
-            self.invalidate_composed(&k.function, &k.spec, &k.speculation, &k.inline);
-        }
-    }
-
-    /// Drops every memoized composed table of `function` that has the
-    /// `(spec, speculation, inline)` rung as either endpoint (including
-    /// memoized failures, which may now succeed against the republished
-    /// artifact).
-    fn invalidate_composed(
-        &self,
-        function: &str,
-        spec: &PipelineSpec,
-        speculation: &Speculation,
-        inline: &InlineSpec,
-    ) {
-        let mut dropped = 0u64;
-        let endpoint = (spec.clone(), speculation.clone(), inline.clone());
-        for shard in &self.composed {
-            let mut map = shard.lock().expect("composed lock");
-            map.retain(|k, _| {
-                let stale = k.function == function && (k.from == endpoint || k.to == endpoint);
-                if stale {
-                    dropped += 1;
-                }
-                !stale
-            });
-        }
-        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
-    }
-
     /// Composed tables dropped by rung republications.
     pub fn composed_invalidations(&self) -> u64 {
         self.invalidations.load(Ordering::Relaxed)
@@ -1329,6 +1255,21 @@ impl CodeCache {
     /// (including in-flight compiles abandoned at publish time).
     pub fn inline_invalidations(&self) -> u64 {
         self.inline_invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Value-specialized artifacts evicted by stability dissolution.
+    pub fn value_invalidations(&self) -> u64 {
+        self.value_invalidations.load(Ordering::Relaxed)
+    }
+
+    /// The per-kind invalidation counters, bundled for a metrics
+    /// snapshot; their sum is the `assumption_invalidations` aggregate.
+    pub fn invalidation_counts(&self) -> InvalidationCounts {
+        InvalidationCounts {
+            composed: self.composed_invalidations(),
+            inline: self.inline_invalidations(),
+            value: self.value_invalidations(),
+        }
     }
 
     /// Whether `cv` does not conflict with the published artifact for

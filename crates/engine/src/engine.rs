@@ -13,13 +13,13 @@ use ssair::passes::{BlockFrequencies, InlineCalls, InlineSite};
 use ssair::reconstruct::Direction;
 use ssair::{BlockId, Function, InstId, Module};
 use tinyvm::profile::{
-    InlineExitTarget, InlineSpeculationPolicy, LocalProfile, Tier, TierController, TierDecision,
-    TierTarget,
+    AssumptionKind, InlineExitTarget, InlineSpeculationPolicy, LocalProfile, Tier, TierController,
+    TierDecision, TierTarget,
 };
 use tinyvm::runtime::{DeoptPolicy, OsrEvent, TransitionOptions, Vm};
 
 use crate::cache::{
-    vet_value_roundtrip, CacheKey, CodeCache, CompileError, CompiledVersion, InlineSpec,
+    vet_generic_escape, CacheKey, CodeCache, CompileError, CompiledVersion, InlineSpec,
     PipelineSpec, Speculation,
 };
 use crate::metrics::{DeoptReason, EngineEvent, EngineMetrics, EventLog, MetricsSnapshot};
@@ -466,7 +466,7 @@ impl EngineCore {
     pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let (hits, misses) = self.cache.counters();
         self.metrics
-            .snapshot(hits, misses, self.cache.inline_invalidations())
+            .snapshot(hits, misses, self.cache.invalidation_counts())
     }
 
     /// Executes one request on the current thread.
@@ -562,7 +562,12 @@ impl EngineCore {
                 from: label.from,
                 to: label.to,
                 direction: event.direction,
-                kind: if matches!(label.deopt, Some(DeoptReason::InlineGuard { .. })) {
+                kind: if label
+                    .deopt
+                    .as_ref()
+                    .and_then(DeoptReason::violated_kind)
+                    .is_some_and(|k| k == AssumptionKind::Inline)
+                {
                     TableKind::InlineExit
                 } else if label.speculated {
                     TableKind::ValueSpecialized
@@ -611,18 +616,21 @@ impl EngineCore {
                 Direction::Backward => {
                     self.metrics.deopts.fetch_add(1, Ordering::Relaxed);
                     if let Some(reason) = &label.deopt {
-                        if matches!(reason, DeoptReason::GuardFailure { .. }) {
-                            self.metrics.guard_failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                        if matches!(reason, DeoptReason::ValueGuard { .. }) {
-                            self.metrics
-                                .value_guard_failures
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        if matches!(reason, DeoptReason::InlineGuard { .. }) {
-                            self.metrics
-                                .inline_guard_failures
-                                .fetch_add(1, Ordering::Relaxed);
+                        match reason.violated_kind() {
+                            Some(AssumptionKind::Bias) => {
+                                self.metrics.guard_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(AssumptionKind::Value) => {
+                                self.metrics
+                                    .value_guard_failures
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(AssumptionKind::Inline) => {
+                                self.metrics
+                                    .inline_guard_failures
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(AssumptionKind::Memory) | None => {}
                         }
                         self.events.push(EngineEvent::Deopt {
                             request,
@@ -699,7 +707,7 @@ impl EngineCore {
                         // Synchronous path: the job never queues, so its
                         // priority is moot — mark it maximally urgent.
                         priority: u64::MAX,
-                        profile: self.layout_snapshot(&key.function, &key.spec),
+                        profile: self.layout_snapshot(&key.function, &key.pipeline),
                         sites: Vec::new(),
                     },
                     &self.cache,
@@ -842,7 +850,7 @@ struct PendingHop {
 /// at the forward landing — the first instrumented visit after the hop,
 /// before a single specialized instruction executes — and takes this
 /// pre-vetted route back out.  Every route is vetted with
-/// [`vet_value_roundtrip`] at climb time, so the escape can never
+/// [`vet_generic_escape`] at climb time, so the escape can never
 /// launder speculation-tainted values into the violating frame.
 struct ValueEscape {
     /// The vetted escape hop.
@@ -1186,6 +1194,7 @@ impl<'e> EngineController<'e> {
             rung: Tier::BASELINE,
             pinned: self.pinned.clone(),
             mandatory: false,
+            violated: Some(AssumptionKind::Inline),
         };
         // The frame re-climbs without the stale splice assumption.
         self.no_inline = true;
@@ -1196,7 +1205,7 @@ impl<'e> EngineController<'e> {
             composed: false,
             speculated: false,
             guard_entry: false,
-            deopt: Some(DeoptReason::InlineGuard { at, uncommon }),
+            deopt: Some(DeoptReason::inline_guard(at, uncommon)),
         });
         Some(TierDecision::InlineExit(target))
     }
@@ -1270,6 +1279,7 @@ impl<'e> EngineController<'e> {
     /// back to the baseline when the partial fall is unavailable.
     fn tier_down_target(&mut self, reason: DeoptReason, branch: BlockId) -> Option<TierTarget> {
         let cur = Arc::clone(self.current.as_ref()?);
+        let violated = reason.violated_kind();
         let tiers = &self.core.policy.tiers;
         let to = self.deopt_landing(branch);
         if !to.is_baseline() {
@@ -1294,6 +1304,7 @@ impl<'e> EngineController<'e> {
                         pinned: self.pinned.clone(),
                         mandatory: false,
                         machine,
+                        violated,
                     });
                 }
             }
@@ -1315,6 +1326,7 @@ impl<'e> EngineController<'e> {
             pinned: self.pinned.clone(),
             mandatory: false,
             machine: None,
+            violated,
         })
     }
 
@@ -1338,7 +1350,7 @@ impl<'e> EngineController<'e> {
     /// all: the forward leg's identity transfers leave real source-frame
     /// values addressable under their own (version-independent) ids, and
     /// the generic artifact's *direct* forward table at the landing reads
-    /// exactly such values — vetted by [`roundtrip_is_value_safe`], so a
+    /// exactly such values — vetted by [`vet_generic_escape`], so a
     /// seeded constant can never launder into the violating frame.  The
     /// escape is marked mandatory: if it somehow cannot be served at fire
     /// time, the request aborts instead of running wrong code.
@@ -1398,7 +1410,7 @@ impl<'e> EngineController<'e> {
             self.poison_value_spec();
             return None;
         };
-        let Some(const_pins) = vet_value_roundtrip(fwd_entry, escape_entry, self.base) else {
+        let Some(const_pins) = vet_generic_escape(fwd_entry, escape_entry, self.base) else {
             self.poison_value_spec();
             return None;
         };
@@ -1413,16 +1425,12 @@ impl<'e> EngineController<'e> {
                 pinned: escape_pinned,
                 mandatory: true,
                 machine: gcv.machine.clone(),
+                violated: Some(AssumptionKind::Value),
             },
             to: next,
             artifact: Some(gcv),
             composed: false,
-            reason: DeoptReason::ValueGuard {
-                at: land,
-                slot,
-                expected,
-                actual,
-            },
+            reason: DeoptReason::value_guard(land, slot, expected, actual),
         });
         let target = Arc::clone(&spec_cv.opt);
         let machine = spec_cv.machine.clone();
@@ -1442,6 +1450,7 @@ impl<'e> EngineController<'e> {
             pinned: self.pinned.clone(),
             mandatory: false,
             machine,
+            violated: None,
         })
     }
 }
@@ -1582,6 +1591,7 @@ impl TierController for EngineController<'_> {
                     pinned: self.pinned.clone(),
                     mandatory: false,
                     machine,
+                    violated: None,
                 })
             }
             None => {
@@ -1593,8 +1603,8 @@ impl TierController for EngineController<'_> {
                     // This frame's own buffered edges belong in the layout
                     // snapshot the job is about to take.
                     self.flush_profile(true);
-                    let profile = self.core.layout_snapshot(self.function, &key.spec);
-                    let sites = self.inline_sites_for(next, &key.inline);
+                    let profile = self.core.layout_snapshot(self.function, &key.pipeline);
+                    let sites = self.inline_sites_for(next, &key.inline_spec());
                     self.core.pool.submit(
                         CompileJob {
                             key,
@@ -1690,7 +1700,7 @@ impl TierController for EngineController<'_> {
         {
             return TierDecision::Continue;
         }
-        match self.tier_down_target(DeoptReason::GuardFailure { at, uncommon: hits }, from) {
+        match self.tier_down_target(DeoptReason::bias_guard(at, hits), from) {
             Some(target) => TierDecision::Transition(target),
             None => TierDecision::Continue,
         }

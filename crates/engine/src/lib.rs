@@ -63,9 +63,9 @@
 //!   concrete frames, the SSA analogue of `osr::validate_mapping`),
 //!   memoized in the cache per rung pair (both directions), and rejected
 //!   with [`cache::CompileError::Divergence`] if any replay disagrees
-//!   with a reference run.  When a §5.2 keep-set recompile *republishes*
-//!   a rung, every memoized composed table routing through it is
-//!   invalidated and rebuilt on the next hop.
+//!   with a reference run.  A republish drops every memoized composed
+//!   table routed through the replaced rung (see *Assumptions &
+//!   invalidation* below) and it is rebuilt on the next hop.
 //!
 //! After every hop the frame stays under profiling, so one frame can
 //! climb the whole graph mid-loop.  A request in [`ExecMode::Debug`]
@@ -172,8 +172,8 @@
 //!    the baseline** when every intermediate candidate still speculates
 //!    on the branch.  One-rung falls go through a composed down-table;
 //!    full deopts through the artifact's precomputed backward table.
-//!    The event stream records an [`EngineEvent::Deopt`] with
-//!    [`DeoptReason::GuardFailure`] next to the backward
+//!    The event stream records an [`EngineEvent::Deopt`] with a
+//!    bias-kind [`DeoptReason::AssumptionViolated`] next to the backward
 //!    [`EngineEvent::Transition`].  Constants the landed frame never
 //!    computed are rematerialized at hop time (§5.1: free
 //!    rematerializations), so the deopt-landed frame can take tables
@@ -216,11 +216,12 @@
 //!   the interpreter-level model of a compiled prologue guard — and the
 //!   guard fires at the landing, **before a single specialized
 //!   instruction executes**: the frame escapes onto the same rung's
-//!   generic artifact ([`EngineEvent::Deopt`] with
-//!   [`DeoptReason::ValueGuard`], [`MetricsSnapshot::value_guard_failures`])
+//!   generic artifact ([`EngineEvent::Deopt`] with a value-kind
+//!   [`DeoptReason::AssumptionViolated`],
+//!   [`MetricsSnapshot::value_guard_failures`])
 //!   and re-climbs without the assumption.  The round trip is only taken
 //!   when it is provably sound for a violating frame
-//!   ([`cache::vet_value_roundtrip`]): the escape reads nothing the
+//!   ([`cache::vet_generic_escape`]): the escape reads nothing the
 //!   specialized version computed — only identity-transferred real
 //!   values, pinned parameters (arguments are re-suppliable at any hop),
 //!   and baseline constants — and is *mandatory* (if unservable at fire
@@ -230,7 +231,9 @@
 //! * violating requests keep recording their arguments, so a stream that
 //!   flips its stable value dissolves the stability
 //!   ([`ProfileTable::stable_value`] goes `None`) and later traffic stops
-//!   speculating until a new value stabilizes.
+//!   speculating until a new value stabilizes; the dissolved slot can be
+//!   swept from the cache through the unified invalidation path (see
+//!   *Assumptions & invalidation* below).
 //!
 //! # Inlining + call-graph speculation
 //!
@@ -262,8 +265,8 @@
 //! rung lowers the spliced artifact unchanged, so the machine rung runs
 //! call-free too.
 //!
-//! **Cross-function deopt.**  When a spliced guard fires
-//! ([`DeoptReason::InlineGuard`], counted in
+//! **Cross-function deopt.**  When a spliced guard fires (an inline-kind
+//! [`DeoptReason::AssumptionViolated`], counted in
 //! [`MetricsSnapshot::inline_guard_failures`], labelled
 //! [`TableKind::InlineExit`] in the request trace), the frame exits to
 //! the baseline through the version's validated exit table.  A landing
@@ -275,20 +278,64 @@
 //! frame then re-climbs call-preserving (the splice assumption is
 //! poisoned for the rest of the request).
 //!
-//! **Invalidation.**  Republishing any version of a callee bumps the
-//! callee's *inline epoch* ([`CodeCache::inline_epoch`]) and evicts every
-//! ready artifact — any caller — whose [`cache::InlineSpec`] references
-//! that callee at an older epoch, plus abandons in-flight compiles with
-//! stale specs at publish time ([`CodeCache::inline_invalidations`],
-//! surfaced as [`MetricsSnapshot::inline_invalidations`]).  Epochs make
-//! the rule exact under concurrency: an inlined artifact is usable iff
-//! every spliced callee still sits at the epoch recorded in the key, so
-//! no stale-inline execution is possible even while a republish storm
-//! races live climbs.  Already-running frames soundly finish on their
-//! `Arc` — spliced code is semantically exact for the body it cloned.
-//! Inlining is on by default and gated by [`EnginePolicy::inlining`];
-//! forward hops into spliced versions are labelled `inlined` and counted
-//! in [`MetricsSnapshot::inlined_tier_ups`].
+//! **Invalidation.**  Republishing any version of a callee invalidates
+//! the callee *entity* — its inline epoch advances and every registered
+//! caller artifact spliced at an older epoch is evicted through the one
+//! shared path described under *Assumptions & invalidation* below.
+//! Epochs make the rule exact under concurrency: an inlined artifact is
+//! usable iff every spliced callee still sits at the epoch recorded in
+//! the key, so no stale-inline execution is possible even while a
+//! republish storm races live climbs.  Already-running frames soundly
+//! finish on their `Arc` — spliced code is semantically exact for the
+//! body it cloned.  Inlining is on by default and gated by
+//! [`EnginePolicy::inlining`]; forward hops into spliced versions are
+//! labelled `inlined` and counted in
+//! [`MetricsSnapshot::inlined_tier_ups`].
+//!
+//! # Assumptions & invalidation
+//!
+//! All three speculation families share one bookkeeping system, the
+//! [`assume`] module.  A speculative artifact's bets are an ordered
+//! [`AssumptionSet`] of [`Assumption`]s — `ValueStable` (a stable
+//! argument seeded as a constant), `InlinedCallee` (a call site spliced
+//! at a callee epoch), `BiasGuard` (a branch-bias bet; profile-local
+//! today, with room reserved for a future memory-cell kind) — and a
+//! compiled version is *named* exclusively by its [`VersionKey`]
+//! `{ function, pipeline, assumptions }`: the cache's slot shards, the
+//! composed-table memo (as endpoint-key pairs), the cache-hit probe
+//! history (as [`VersionKey::generic`] views) and [`Engine::prewarm`]
+//! all key on it.  The key's `Display` form is canonical and stable —
+//! the serializable version name the horizontal-scale roadmap item
+//! needs.
+//!
+//! Invalidation is one dependency registry inside the [`CodeCache`].  At
+//! publish time an artifact is registered under the [`Entity`] each of
+//! its assumptions depends on — the callee identity for `InlinedCallee`
+//! bets, the `(function, slot)` value-stability for `ValueStable` bets —
+//! and every eviction flows through [`CodeCache::invalidate`]:
+//!
+//! * [`Entity::Rung`] — a republish of a key drops every memoized
+//!   composed table routed through that endpoint, counted in
+//!   [`MetricsSnapshot::composed_invalidations`];
+//! * [`Entity::Callee`] — a callee republish bumps its inline epoch and
+//!   evicts every registered caller spliced at an older epoch (stale
+//!   in-flight compiles are abandoned at publish), counted in
+//!   [`MetricsSnapshot::inline_invalidations`];
+//! * [`Entity::ValueStability`] — a dissolved stable value evicts every
+//!   artifact seeded on that slot, counted in
+//!   [`MetricsSnapshot::value_invalidations`].
+//!
+//! The per-kind counters sum to
+//! [`MetricsSnapshot::assumption_invalidations`], and the bench gate
+//! checks that identity on every committed `BENCH_engine.json`.  On the
+//! deopt side the same taxonomy names every guard: a deopting frame
+//! carries a [`DeoptReason::AssumptionViolated`] with a structured
+//! [`ViolatedAssumption`] whose [`AssumptionKind`]
+//! (`bias`/`value`/`inline`) is the single label that metrics, request
+//! traces, [`OsrEvent::violated`](tinyvm::runtime::OsrEvent) and the
+//! event stream all render, and [`cache::vet_generic_escape`] is the one
+//! vetted same-rung generic-escape mechanism any assumption kind can
+//! request.
 //!
 //! # Adaptive climb thresholds
 //!
@@ -456,6 +503,7 @@
 //! assert!(report.metrics.tier_ups >= 1);
 //! ```
 
+pub mod assume;
 pub mod cache;
 mod engine;
 pub mod histogram;
@@ -465,6 +513,9 @@ mod session;
 pub mod tiers;
 pub mod trace;
 
+pub use assume::{
+    Assumption, AssumptionKind, AssumptionSet, Entity, VersionKey, ViolatedAssumption,
+};
 pub use cache::{
     CacheKey, CodeCache, CompileError, CompiledVersion, InlineSpec, PipelineSpec, Speculation,
 };

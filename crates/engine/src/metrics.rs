@@ -10,10 +10,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ssair::InstId;
 use tinyvm::profile::Tier;
 use tinyvm::runtime::OsrEvent;
 
+use crate::assume::InvalidationCounts;
 use crate::histogram::{HistogramSnapshot, LogHistogram};
 
 /// Monotonic counters shared by interpreters, compile workers and the
@@ -103,13 +103,15 @@ impl EngineMetrics {
         self.compile_latency.record(nanos / 1_000);
     }
 
-    /// A point-in-time copy of every counter (cache counters are merged in
-    /// by the engine, which owns the cache).
+    /// A point-in-time copy of every counter (cache counters — hits,
+    /// misses, and the per-kind [`InvalidationCounts`] from the unified
+    /// invalidation path — are merged in by the engine, which owns the
+    /// cache).
     pub fn snapshot(
         &self,
         cache_hits: u64,
         cache_misses: u64,
-        inline_invalidations: u64,
+        invalidations: InvalidationCounts,
     ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
@@ -121,7 +123,10 @@ impl EngineMetrics {
             value_specialized_tier_ups: self.value_specialized_tier_ups.load(Ordering::Relaxed),
             inlined_tier_ups: self.inlined_tier_ups.load(Ordering::Relaxed),
             inline_guard_failures: self.inline_guard_failures.load(Ordering::Relaxed),
-            inline_invalidations,
+            composed_invalidations: invalidations.composed,
+            inline_invalidations: invalidations.inline,
+            value_invalidations: invalidations.value,
+            assumption_invalidations: invalidations.total(),
             reclimbs: self.reclimbs.load(Ordering::Relaxed),
             extension_recompiles: self.extension_recompiles.load(Ordering::Relaxed),
             infeasible: self.infeasible.load(Ordering::Relaxed),
@@ -165,9 +170,20 @@ pub struct MetricsSnapshot {
     /// Deopts fired by an inline guard (a spliced frame contradicting the
     /// callee's profiled branch bias).
     pub inline_guard_failures: u64,
+    /// Composed tables dropped by [`crate::Entity::Rung`] invalidations
+    /// (rung republications; merged in from the code cache).
+    pub composed_invalidations: u64,
     /// Inlined artifacts evicted because their callee was republished
-    /// (merged in from the code cache, which owns the epoch counter).
+    /// ([`crate::Entity::Callee`] invalidations; merged in from the code
+    /// cache, which owns the epoch counter).
     pub inline_invalidations: u64,
+    /// Value-specialized artifacts evicted by stability dissolution
+    /// ([`crate::Entity::ValueStability`] invalidations; merged in from
+    /// the code cache).
+    pub value_invalidations: u64,
+    /// The aggregate of the unified invalidation path: the per-kind
+    /// counters above sum to this (the bench gate checks the identity).
+    pub assumption_invalidations: u64,
     /// Upward transitions of frames that had previously deopted within
     /// the same request.
     pub reclimbs: u64,
@@ -229,7 +245,10 @@ impl MetricsSnapshot {
             value_specialized_tier_ups,
             inlined_tier_ups,
             inline_guard_failures,
+            composed_invalidations,
             inline_invalidations,
+            value_invalidations,
+            assumption_invalidations,
             reclimbs,
             extension_recompiles,
             infeasible,
@@ -257,7 +276,10 @@ impl MetricsSnapshot {
             ("value_specialized_tier_ups", *value_specialized_tier_ups),
             ("inlined_tier_ups", *inlined_tier_ups),
             ("inline_guard_failures", *inline_guard_failures),
+            ("composed_invalidations", *composed_invalidations),
             ("inline_invalidations", *inline_invalidations),
+            ("value_invalidations", *value_invalidations),
+            ("assumption_invalidations", *assumption_invalidations),
             ("reclimbs", *reclimbs),
             ("extension_recompiles", *extension_recompiles),
             ("infeasible", *infeasible),
@@ -314,7 +336,8 @@ impl fmt::Display for MetricsSnapshot {
              reclimbs={}) deopts={} (guard={}, value_guard={}, inline_guard={}) infeasible={} \
              compiles={} (ext={}) \
              mean_compile={}us thresholds(lowered={}, raised={}) \
-             queue(depth={}, peak={}) cache(hits={}, misses={}, inline_evicted={}) \
+             queue(depth={}, peak={}) cache(hits={}, misses={}) \
+             invalidated(composed={}, inline={}, value={}, total={}) \
              latency_us(p50={}, p99={}) queue_wait_us(p50={}, p99={}) \
              compile_us(p50={}, p99={}) hop_ns(p50={}, p99={})",
             self.requests,
@@ -338,7 +361,10 @@ impl fmt::Display for MetricsSnapshot {
             self.queue_peak,
             self.cache_hits,
             self.cache_misses,
+            self.composed_invalidations,
             self.inline_invalidations,
+            self.value_invalidations,
+            self.assumption_invalidations,
             self.request_latency.p50,
             self.request_latency.p99,
             self.queue_wait.p50,
@@ -351,82 +377,10 @@ impl fmt::Display for MetricsSnapshot {
     }
 }
 
-/// Why a frame tiered down.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub enum DeoptReason {
-    /// A speculation guard fired: the frame repeatedly entered `uncommon`
-    /// times the branch successor the baseline profile bet against, at
-    /// instruction `at` of the optimized version.
-    GuardFailure {
-        /// The optimized-version instruction that witnessed the uncommon
-        /// path when the guard fired.
-        at: InstId,
-        /// Uncommon-path hits accumulated by the frame when it fired.
-        uncommon: u64,
-    },
-    /// A debugger attach ([`crate::ExecMode::Debug`]) forced the frame to
-    /// the baseline at the first instrumented visit (§7).
-    DebuggerAttach,
-    /// A *value* guard fired: the frame entered a constant-seeded
-    /// specialized version whose speculated argument its own arguments
-    /// violate.  The guard fires at the entry landing — before a single
-    /// specialized instruction executes — and the frame escapes to an
-    /// unspecialized version, re-climbing without the stale assumption.
-    ValueGuard {
-        /// The specialized-version instruction the frame landed on when
-        /// the guard fired.
-        at: InstId,
-        /// The violated parameter slot.
-        slot: usize,
-        /// The value the artifact speculated.
-        expected: i64,
-        /// The frame's actual argument (`None` when the slot held no
-        /// integer — a missing argument or a pointer).
-        actual: Option<i64>,
-    },
-    /// An *inline* guard fired: the frame runs a version with a hot call
-    /// site spliced in, and it repeatedly (`uncommon` times) took a branch
-    /// path inside the inlined region that the callee's baseline profile
-    /// bet against.  The frame exits across the former call boundary —
-    /// reconstructing the callee frame when the landing falls mid-region —
-    /// and resumes in call-preserving code.
-    InlineGuard {
-        /// The optimized-version instruction that witnessed the uncommon
-        /// path when the guard fired.
-        at: InstId,
-        /// Uncommon-path hits accumulated by the frame when it fired.
-        uncommon: u64,
-    },
-}
-
-impl fmt::Display for DeoptReason {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DeoptReason::GuardFailure { at, uncommon } => {
-                write!(f, "guard failure at {at} ({uncommon} uncommon hits)")
-            }
-            DeoptReason::DebuggerAttach => write!(f, "debugger attach"),
-            DeoptReason::ValueGuard {
-                at,
-                slot,
-                expected,
-                actual,
-            } => {
-                write!(
-                    f,
-                    "value guard at {at}: p{slot} speculated {expected}, got "
-                )?;
-                match actual {
-                    Some(n) => write!(f, "{n}"),
-                    None => write!(f, "a non-integer"),
-                }
-            }
-            DeoptReason::InlineGuard { at, uncommon } => {
-                write!(f, "inline guard failure at {at} ({uncommon} uncommon hits)")
-            }
-        }
-    }
-}
+// The guard/deopt taxonomy lives in the assumption system; re-exported
+// here so metrics-facing paths (`crate::metrics::DeoptReason`) keep
+// reading naturally.
+pub use crate::assume::{DeoptReason, ViolatedAssumption};
 
 /// One entry of the engine's event stream.
 #[derive(Clone, Debug)]
@@ -718,7 +672,7 @@ mod tests {
         m.job_enqueued();
         m.job_finished(1_000);
         m.job_enqueued();
-        let s = m.snapshot(0, 0, 0);
+        let s = m.snapshot(0, 0, InvalidationCounts::default());
         assert_eq!(s.queue_peak, 2);
         assert_eq!(s.queue_depth, 2);
         assert_eq!(s.compiles, 1);
@@ -729,7 +683,7 @@ mod tests {
         let m = EngineMetrics::default();
         m.job_enqueued();
         m.job_finished(2_000_000);
-        let s = m.snapshot(3, 1, 0);
+        let s = m.snapshot(3, 1, InvalidationCounts::default());
         let text = s.to_string();
         assert!(text.contains("hits=3"));
         assert!(text.contains("mean_compile=2000us"));
@@ -745,7 +699,7 @@ mod tests {
         m.job_finished(2_000_000);
         m.job_enqueued();
         m.job_finished(4_000_000);
-        let s = m.snapshot(0, 0, 0);
+        let s = m.snapshot(0, 0, InvalidationCounts::default());
         assert_eq!(s.compile_latency.count, 2);
         assert!(s.compile_latency.p50 >= 2_000, "micros, not nanos");
         assert!(s.compile_latency.max >= 4_000);
@@ -784,10 +738,23 @@ mod tests {
         m.compile_nanos.store(47_000 * 43, Ordering::Relaxed);
         m.queue_depth.store(53, Ordering::Relaxed);
         m.queue_peak.store(59, Ordering::Relaxed);
-        let s = m.snapshot(61, 67, 79);
+        let s = m.snapshot(
+            61,
+            67,
+            InvalidationCounts {
+                composed: 79,
+                inline: 83,
+                value: 89,
+            },
+        );
+        assert_eq!(
+            s.assumption_invalidations,
+            s.composed_invalidations + s.inline_invalidations + s.value_invalidations,
+            "per-kind counters sum to the aggregate"
+        );
 
         let fields = s.fields();
-        let scalar_count = 22;
+        let scalar_count = 25;
         let histogram_count = 4 * 5;
         assert_eq!(
             fields.len(),
@@ -803,7 +770,10 @@ mod tests {
             "extension_recompiles",
             "inlined_tier_ups",
             "inline_guard_failures",
+            "composed_invalidations",
             "inline_invalidations",
+            "value_invalidations",
+            "assumption_invalidations",
             "request_latency_micros.p99",
             "queue_wait_micros.p50",
             "compile_latency_micros.count",

@@ -40,8 +40,8 @@ pub struct CompileJob {
     /// (or layout is disabled); the worker then compiles layout-free.
     pub profile: Option<BlockFrequencies>,
     /// Hot call sites to splice ([`ssair::passes::InlineCalls`] runs
-    /// ahead of the rung's mix), matching `key.inline` site for site.
-    /// Empty for call-preserving compiles.
+    /// ahead of the rung's mix), matching the key's `InlinedCallee`
+    /// assumptions site for site.  Empty for call-preserving compiles.
     pub sites: Vec<ssair::passes::InlineSite>,
 }
 
@@ -229,12 +229,12 @@ pub fn run_job(
     let label = job.key.pipeline_label();
     match compile_inlined(
         job.base,
-        &job.key.spec,
-        &job.key.speculation,
+        &job.key.pipeline,
+        &job.key.speculation(),
         job.profile.as_ref(),
         variant,
         job.sites,
-        job.key.inline.clone(),
+        job.key.inline_spec(),
     ) {
         Ok(cv) => {
             let nanos = cv.compile_nanos;
@@ -314,7 +314,7 @@ mod tests {
         let cv = cache.get(&key).expect("artifact published");
         assert!(cv.tier_up.coverage() > 0.0);
         drop(pool);
-        let snap = metrics.snapshot(0, 0, 0);
+        let snap = metrics.snapshot(0, 0, crate::cache::InvalidationCounts::default());
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.queue_depth, 0);
         assert!(matches!(

@@ -27,6 +27,7 @@ use std::time::Instant;
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
 
+use crate::assume::AssumptionKind;
 use crate::engine::{Engine, EngineCore, EngineError, Request};
 use crate::metrics::{EngineEvent, MetricsSnapshot};
 
@@ -134,6 +135,20 @@ impl SessionReport {
             .filter(|e| {
                 matches!(e, ResultEvent::Engine(EngineEvent::Transition { event, .. })
                          if event.direction == direction)
+            })
+            .count()
+    }
+
+    /// Deopts in the stream that violated an assumption of the given
+    /// kind — the session-level view of the unified
+    /// [`crate::DeoptReason::AssumptionViolated`] taxonomy.
+    /// Debugger-attach deopts carry no kind and are never counted here.
+    pub fn assumption_deopts(&self, kind: AssumptionKind) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(e, ResultEvent::Engine(EngineEvent::Deopt { reason, .. })
+                         if reason.violated_kind() == Some(kind))
             })
             .count()
     }

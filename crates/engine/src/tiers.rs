@@ -162,7 +162,8 @@ impl TierGraph {
     }
 }
 
-/// Where a guard-failure deopt lands.
+/// Where a bias-kind assumption violation (a branch guard firing — see
+/// [`crate::DeoptReason::AssumptionViolated`]) lands the deopting frame.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DeoptStrategy {
     /// Follow the graph's down edges to the highest rung that is

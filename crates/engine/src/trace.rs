@@ -46,15 +46,25 @@ pub enum TableKind {
     InlineExit,
 }
 
+impl TableKind {
+    /// The canonical label for this table kind.  Every rendering — the
+    /// trace timeline, [`crate::EngineEvent`] `Display`, metrics dumps —
+    /// goes through this one impl (`Display` below delegates), so the
+    /// wire vocabulary cannot drift between surfaces.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableKind::Direct => "direct",
+            TableKind::Composed => "composed",
+            TableKind::ValueSpecialized => "value-specialized",
+            TableKind::Machine => "machine",
+            TableKind::InlineExit => "inline-exit",
+        }
+    }
+}
+
 impl fmt::Display for TableKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TableKind::Direct => write!(f, "direct"),
-            TableKind::Composed => write!(f, "composed"),
-            TableKind::ValueSpecialized => write!(f, "value-specialized"),
-            TableKind::Machine => write!(f, "machine"),
-            TableKind::InlineExit => write!(f, "inline-exit"),
-        }
+        f.write_str(self.label())
     }
 }
 

@@ -5,6 +5,12 @@
 //! types so that both the abstract `tinylang` level (`L = Point`,
 //! `V = Var`) and the SSA substrate (`L = InstId`, `V = ValueId`) can use
 //! it.
+//!
+//! Every *speculative* transformation in the stack — constant seeding,
+//! callee splicing, bias-guided folding — records its edits as these same
+//! five actions; the speculation itself lives one level up, as an
+//! assumption in the engine's version key, so the mapping stays exact
+//! whether or not the assumption later survives.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;

@@ -26,6 +26,12 @@
 //! every `ret` carries a value.  Memory state never needs to be
 //! reconstructed across the boundary, and a region entered is a region
 //! that provably reaches the continuation or deoptimizes inside it.
+//!
+//! In the engine above, each splice is an `InlinedCallee` assumption in
+//! the artifact's version key (callee identity + inline epoch); a fired
+//! region guard deopts as an inline-kind assumption violation
+//! (`tinyvm::profile::AssumptionKind::Inline`), and a callee republish
+//! invalidates the artifact through the cache's dependency registry.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};

@@ -15,7 +15,11 @@
 //! itself: the specialized version computes the right answer only for
 //! frames whose speculated values actually hold.  Guarding entries into
 //! the specialized code — and deoptimizing frames out of it when the
-//! speculation is violated — is the engine's job.
+//! speculation is violated — is the engine's job: each seed becomes a
+//! `ValueStable` assumption in the artifact's version key, and a
+//! violated seed deopts as a value-kind assumption violation
+//! (`tinyvm::profile::AssumptionKind::Value` in the engine's unified
+//! taxonomy).
 
 use crate::ir::{Function, ValueId};
 use crate::passes::{materialize_const, replace_all_uses, Pass};

@@ -61,6 +61,52 @@ impl fmt::Display for Tier {
     }
 }
 
+/// The kind of speculative assumption an optimized version baked in — the
+/// label dimension of the unified guard/deopt taxonomy.
+///
+/// Every speculation an engine compiles into a version (a branch-bias
+/// guard, a constant-seeded stable value, a spliced callee) is an
+/// *assumption*; every deoptimizing transition that fires because live
+/// execution contradicted one is an *assumption violation* of exactly one
+/// of these kinds.  The kind is carried on [`TierTarget::violated`] /
+/// [`InlineExitTarget::violated`] and stamped onto the resulting
+/// [`crate::runtime::OsrEvent`], so consumers (event streams, request
+/// traces, metrics) classify deopts without re-deriving the cause.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AssumptionKind {
+    /// A branch-bias guard: the profiled hot successor keeps winning.
+    Bias,
+    /// A stable-argument value speculation (constant-seeded version).
+    Value,
+    /// An inlined-callee speculation (call site spliced at a callee
+    /// epoch).
+    Inline,
+    /// Reserved for memory-cell stability — the future assumption kind a
+    /// heap-aware engine would guard on.  No current speculation produces
+    /// it.
+    Memory,
+}
+
+impl AssumptionKind {
+    /// The canonical label of this kind — the single source of truth for
+    /// every rendering (metrics `Display`, the event stream, request
+    /// traces, per-kind invalidation counters).
+    pub fn label(self) -> &'static str {
+        match self {
+            AssumptionKind::Bias => "bias",
+            AssumptionKind::Value => "value",
+            AssumptionKind::Inline => "inline",
+            AssumptionKind::Memory => "memory",
+        }
+    }
+}
+
+impl fmt::Display for AssumptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Shared cross-request hotness counters, one per `(function, tier)` pair:
 /// how often instrumented OSR points of `function`'s `tier` version have
 /// been visited across *all* frames of *all* requests.  A multi-tier
@@ -886,6 +932,10 @@ pub struct InlineExitTarget {
     /// [`TierTarget::mandatory`]: an inline-guard escape leaves code that
     /// speculated on a callee body the frame is contradicting.
     pub mandatory: bool,
+    /// The assumption kind whose violation forced this exit (always
+    /// [`AssumptionKind::Inline`] for a real inline exit), stamped onto
+    /// the resulting [`crate::runtime::OsrEvent`].
+    pub violated: Option<AssumptionKind>,
 }
 
 /// The destination of a [`TierDecision::Transition`] hop.
@@ -941,6 +991,12 @@ pub struct TierTarget {
     /// refusal the frame interprets the same SSA function — the artifact
     /// is an execution substrate, never a semantic requirement.
     pub machine: Option<Arc<ssair::machine::MachineArtifact>>,
+    /// For a deoptimizing hop: the kind of assumption whose violation
+    /// forced it ([`AssumptionKind::Bias`] for a branch-guard failure,
+    /// [`AssumptionKind::Value`] for a value-guard escape).  `None` for
+    /// climbs and non-speculative tier-downs (debugger attach).  Stamped
+    /// onto the resulting [`crate::runtime::OsrEvent`].
+    pub violated: Option<AssumptionKind>,
 }
 
 /// Receives visit counts for instrumented points and decides when the

@@ -131,6 +131,13 @@ pub struct OsrEvent {
     /// excluding execution in the entered version.  One `Instant` pair per
     /// transition, never touched on the interpreter loop.
     pub nanos: u64,
+    /// For a deoptimizing hop forced by a speculation failure: the kind of
+    /// assumption that was violated, copied from the controller's
+    /// [`crate::profile::TierTarget::violated`] /
+    /// [`crate::profile::InlineExitTarget::violated`].  `None` for climbs,
+    /// debugger-attach tier-downs, and legacy run-to-completion
+    /// transitions.
+    pub violated: Option<crate::profile::AssumptionKind>,
 }
 
 impl fmt::Display for OsrEvent {
@@ -889,6 +896,7 @@ impl Vm {
                 via_continuation: options.use_continuation,
                 callee: None,
                 nanos: hop_nanos,
+                violated: None,
             },
         )))
     }
@@ -1011,6 +1019,7 @@ fn table_hop(
             via_continuation: false,
             callee: None,
             nanos: hop_started.elapsed().as_nanos() as u64,
+            violated: t.violated,
         },
     ))
 }
@@ -1161,6 +1170,7 @@ fn inline_exit(
             via_continuation: false,
             callee: callee_name,
             nanos: hop_started.elapsed().as_nanos() as u64,
+            violated: t.violated,
         },
     )))
 }
@@ -1393,6 +1403,7 @@ mod tests {
             via_continuation: true,
             callee: None,
             nanos: 0,
+            violated: None,
         };
         assert!(e.to_string().contains("|c| = 2"));
         let d = OsrEvent {

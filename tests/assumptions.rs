@@ -1,0 +1,330 @@
+//! The unified assumption system's invalidation cross-matrix.
+//!
+//! Every speculative artifact the engine publishes — value-specialized,
+//! inlined, or merely an endpoint of a memoized composed table — names
+//! its bets as [`engine::Assumption`]s inside its [`engine::VersionKey`],
+//! and every eviction flows through the cache's single
+//! `invalidate(entity)` path.  These tests drive each cell of the
+//! republish × {value-specialized, inlined, composed-prefix} matrix
+//! through that one path and check the per-kind counters
+//! (`composed_invalidations` / `inline_invalidations` /
+//! `value_invalidations`) absorb exactly the evictions their kind owns,
+//! summing to the `assumption_invalidations` aggregate.  A concurrent
+//! republish-storm sweep then checks the dependency registry never
+//! leaves a stale-epoch inlined artifact servable once the storm
+//! settles.
+
+use std::sync::Arc;
+
+use engine::cache::{compile_function, CodeCache, CompiledVersion};
+use engine::{CacheKey, Entity, InlineSpec, PipelineSpec, Speculation, VersionKey};
+use proptest::prelude::*;
+use ssair::reconstruct::Variant;
+use ssair::InstId;
+
+const SRC: &str = "fn f(x, n) {
+     var s = 0;
+     for (var i = 0; i < n; i = i + 1) { s = s + x * x + i; }
+     return s;
+ }";
+
+fn compiled(spec: PipelineSpec) -> Arc<CompiledVersion> {
+    let m = minic::compile(SRC).unwrap();
+    Arc::new(
+        compile_function(m.get("f").unwrap().clone(), &spec, Variant::Avail)
+            .expect("compiles and validates"),
+    )
+}
+
+/// A caller key that splices `callee` at `epoch` — the inlined column of
+/// the matrix.  The artifact body is immaterial to key lifecycle tests;
+/// the key's `InlinedCallee` assumption is what the registry tracks.
+fn inlined_key(function: &str, callee: &str, epoch: u64) -> CacheKey {
+    CacheKey::inlined(
+        function,
+        PipelineSpec::O3,
+        Speculation::none(),
+        InlineSpec::on([(InstId(5), callee.to_string(), epoch)]),
+    )
+}
+
+#[test]
+fn value_dissolution_evicts_specialized_artifacts_through_one_path() {
+    let cache = CodeCache::new();
+    let key = CacheKey::speculated("f", PipelineSpec::O2, Speculation::on([(0, 5)]));
+    assert!(cache.claim(&key));
+    cache.publish(&key, compiled(PipelineSpec::O2));
+    assert!(cache.get(&key).is_some());
+
+    // Dissolving an unrelated slot's stability touches nothing.
+    assert_eq!(
+        cache.invalidate(&Entity::ValueStability {
+            function: "f".to_string(),
+            slot: 1,
+        }),
+        0
+    );
+    assert!(cache.get(&key).is_some());
+
+    // Dissolving the bet's own slot evicts through the registry.
+    let evicted = cache.invalidate(&Entity::ValueStability {
+        function: "f".to_string(),
+        slot: 0,
+    });
+    assert_eq!(evicted, 1);
+    assert!(cache.get(&key).is_none(), "specialized artifact evicted");
+    assert_eq!(cache.value_invalidations(), 1);
+
+    // The registry entry was drained with the eviction: a second
+    // dissolution of the same entity is a no-op, not a double count.
+    assert_eq!(
+        cache.invalidate(&Entity::ValueStability {
+            function: "f".to_string(),
+            slot: 0,
+        }),
+        0
+    );
+    assert_eq!(cache.value_invalidations(), 1);
+}
+
+#[test]
+fn callee_republish_evicts_inlined_callers_and_stale_publishes() {
+    let cache = CodeCache::new();
+    let caller = inlined_key("f", "g", 0);
+    assert!(cache.claim(&caller));
+    cache.publish(&caller, compiled(PipelineSpec::O3));
+    assert!(cache.get(&caller).is_some());
+
+    // Republishing the callee's own artifact bumps its epoch and evicts
+    // the caller spliced at the old one — all through `invalidate`.
+    let gk = CacheKey::new("g", PipelineSpec::O2);
+    assert!(cache.claim(&gk));
+    cache.publish(&gk, compiled(PipelineSpec::O2));
+    cache.publish(&gk, compiled(PipelineSpec::O2)); // the republish
+    assert_eq!(cache.inline_epoch("g"), 1);
+    assert!(cache.get(&caller).is_none(), "stale caller evicted");
+    assert_eq!(cache.inline_invalidations(), 1);
+
+    // An in-flight compile against the old epoch is refused at publish
+    // time and counted exactly like an eviction.
+    let stale = inlined_key("f", "g", 0);
+    assert!(cache.claim(&stale));
+    cache.publish(&stale, compiled(PipelineSpec::O3));
+    assert!(cache.get(&stale).is_none(), "stale publish abandoned");
+    assert_eq!(cache.inline_invalidations(), 2);
+
+    // A caller spliced at the *current* epoch is servable.
+    let fresh = inlined_key("f", "g", 1);
+    assert!(cache.claim(&fresh));
+    cache.publish(&fresh, compiled(PipelineSpec::O3));
+    assert!(cache.get(&fresh).is_some());
+}
+
+#[test]
+fn rung_republish_drops_composed_tables_through_both_endpoints() {
+    let module = minic::compile(SRC).unwrap();
+    let cache = CodeCache::new();
+    let o1 = compiled(PipelineSpec::O1);
+    let o2 = compiled(PipelineSpec::O2);
+    let o3 = compiled(PipelineSpec::O3);
+    let (k1, k2) = (
+        CacheKey::new("f", PipelineSpec::O1),
+        CacheKey::new("f", PipelineSpec::O2),
+    );
+    assert!(cache.claim(&k1) && cache.claim(&k2));
+    cache.publish(&k1, Arc::clone(&o1));
+    cache.publish(&k2, Arc::clone(&o2));
+    cache.composed("f", &o1, &o2, &module).0.unwrap();
+    cache.composed("f", &o2, &o3, &module).0.unwrap();
+    assert_eq!(cache.composed_count(), 2);
+
+    // Naming the republished rung explicitly drops every table routing
+    // through it — the same call `publish` makes internally.
+    let dropped = cache.invalidate(&Entity::Rung(k2.clone()));
+    assert_eq!(dropped, 2, "both tables route through O2");
+    assert_eq!(cache.composed_count(), 0);
+    assert_eq!(cache.composed_invalidations(), 2);
+
+    // The O1→O2 table rebuilds on demand against the same endpoints.
+    let (table, rebuilt) = cache.composed("f", &o1, &o2, &module);
+    table.unwrap();
+    assert!(rebuilt, "invalidation forces a rebuild");
+}
+
+#[test]
+fn the_full_matrix_sums_per_kind_counters_into_the_aggregate() {
+    let module = minic::compile(SRC).unwrap();
+    let cache = CodeCache::new();
+
+    // Column 1: a composed-prefix chain O1→O2→O3 routing through O2.
+    let o1 = compiled(PipelineSpec::O1);
+    let o2 = compiled(PipelineSpec::O2);
+    let o3 = compiled(PipelineSpec::O3);
+    let k2 = CacheKey::new("f", PipelineSpec::O2);
+    assert!(cache.claim(&k2));
+    cache.publish(&k2, Arc::clone(&o2));
+    let p12 = cache.composed("f", &o1, &o2, &module).0.unwrap();
+    let a23 = cache.composed("f", &o2, &o3, &module).0.unwrap();
+    cache
+        .composed_prefix("f", &o1, &o2, &o3, &p12, &a23, &module)
+        .0
+        .unwrap();
+    assert_eq!(cache.composed_count(), 3, "pair, pair, chained prefix");
+
+    // Column 2: an inlined caller spliced at g's current epoch.
+    let caller = inlined_key("f", "g", 0);
+    assert!(cache.claim(&caller));
+    cache.publish(&caller, compiled(PipelineSpec::O3));
+
+    // Column 3: a value-specialized artifact seeded on p0.
+    let spec_key = CacheKey::speculated("f", PipelineSpec::O2, Speculation::on([(0, 7)]));
+    assert!(cache.claim(&spec_key));
+    cache.publish(&spec_key, compiled(PipelineSpec::O2));
+
+    // The republish row: replacing O2 drops both tables routing through
+    // the O2 endpoint.  The chained O1→O3 prefix *survives* — its
+    // endpoints are still the published artifacts, so it stays sound.
+    cache.publish(&k2, compiled(PipelineSpec::O2));
+    assert_eq!(cache.composed_count(), 1, "only the O1→O3 prefix is left");
+    // Retiring the O3 rung itself sweeps the prefix through the same
+    // path.
+    cache.invalidate(&Entity::Rung(CacheKey::new("f", PipelineSpec::O3)));
+    assert_eq!(cache.composed_count(), 0);
+    // The dissolution row: g republished, p0 stability gone.
+    cache.invalidate(&Entity::Callee("g".to_string()));
+    assert!(cache.get(&caller).is_none());
+    cache.invalidate(&Entity::ValueStability {
+        function: "f".to_string(),
+        slot: 0,
+    });
+    assert!(cache.get(&spec_key).is_none());
+
+    let counts = cache.invalidation_counts();
+    assert_eq!(counts.composed, 3, "all three tables dropped");
+    assert_eq!(counts.inline, 1);
+    assert_eq!(counts.value, 1);
+    assert_eq!(
+        counts.total(),
+        counts.composed + counts.inline + counts.value,
+        "the aggregate is exactly the per-kind sum"
+    );
+    assert_eq!(counts.total(), 5);
+}
+
+#[test]
+fn version_keys_are_the_only_key_shape() {
+    // The views an engine derives from a key reconstruct the legacy
+    // coordinates exactly — no ad-hoc tuple survives outside the key.
+    let key = CacheKey::inlined(
+        "f",
+        PipelineSpec::O3,
+        Speculation::on([(1, 9)]),
+        InlineSpec::on([(InstId(2), "g".to_string(), 3)]),
+    );
+    assert_eq!(key.function, "f");
+    assert_eq!(key.pipeline, PipelineSpec::O3);
+    assert_eq!(key.speculation(), Speculation::on([(1, 9)]));
+    assert_eq!(
+        key.inline_spec(),
+        InlineSpec::on([(InstId(2), "g".to_string(), 3)])
+    );
+    // The generic view strips every assumption but keeps the rung — the
+    // shape probe history and escape targets key on.
+    let generic = key.generic();
+    assert!(generic.assumptions.is_empty());
+    assert_eq!(generic, VersionKey::new("f", PipelineSpec::O3));
+}
+
+proptest! {
+    // The concurrent republish storm: callers race to publish inlined
+    // artifacts against whatever epoch they observed while the callee
+    // keeps republishing.  However the race interleaves, once the storm
+    // settles (one final quiescent invalidation, standing in for the
+    // republish that would follow in live traffic) no servable artifact
+    // splices the callee at a stale epoch, and the inline counter saw
+    // every eviction and refused publish.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn republish_storm_never_leaves_a_stale_inlined_artifact(
+        publishers in 2usize..5,
+        publishes in 3usize..10,
+        republishes in 2usize..6,
+    ) {
+        let cache = Arc::new(CodeCache::new());
+        let artifact = compiled(PipelineSpec::O3);
+        let callee_artifact = compiled(PipelineSpec::O2);
+        let gk = CacheKey::new("g", PipelineSpec::O2);
+        prop_assert!(cache.claim(&gk));
+        cache.publish(&gk, Arc::clone(&callee_artifact));
+
+        let mut published: Vec<Vec<CacheKey>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for p in 0..publishers {
+                let cache = Arc::clone(&cache);
+                let artifact = Arc::clone(&artifact);
+                handles.push(s.spawn(move || {
+                    let mut keys = Vec::new();
+                    for i in 0..publishes {
+                        // Distinct speculations keep the keys distinct
+                        // per publisher, so claims never collide.
+                        let key = CacheKey::inlined(
+                            "f",
+                            PipelineSpec::O3,
+                            Speculation::on([(0, (p * 100 + i) as i64)]),
+                            InlineSpec::on([(
+                                InstId(5),
+                                "g".to_string(),
+                                cache.inline_epoch("g"),
+                            )]),
+                        );
+                        if cache.claim(&key) {
+                            cache.publish(&key, Arc::clone(&artifact));
+                            keys.push(key);
+                        }
+                    }
+                    keys
+                }));
+            }
+            let storm = {
+                let cache = Arc::clone(&cache);
+                let callee_artifact = Arc::clone(&callee_artifact);
+                let gk = gk.clone();
+                s.spawn(move || {
+                    for _ in 0..republishes {
+                        cache.publish(&gk, Arc::clone(&callee_artifact));
+                    }
+                })
+            };
+            for h in handles {
+                published.push(h.join().expect("publisher thread"));
+            }
+            storm.join().expect("republish thread");
+        });
+
+        // Settle: the invalidation that live traffic's next republish
+        // would run.  After it, servable ⇒ current epoch.
+        cache.invalidate(&Entity::Callee("g".to_string()));
+        let current = cache.inline_epoch("g");
+        for key in published.into_iter().flatten() {
+            let stale = key
+                .inline_spec()
+                .sites()
+                .iter()
+                .any(|(_, _, epoch)| *epoch < current);
+            if stale {
+                prop_assert!(
+                    cache.get(&key).is_none(),
+                    "stale-epoch artifact still servable after settle: {key}"
+                );
+            }
+        }
+        // Per-kind counters keep summing to the aggregate under
+        // concurrency — the identity the bench gate enforces.
+        let counts = cache.invalidation_counts();
+        prop_assert_eq!(
+            counts.total(),
+            counts.composed + counts.inline + counts.value
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //!    `MetricsSnapshot::inlined_tier_ups`);
 //! 3. *guard* — when the helper's phase flips mid-stream, the spliced
 //!    hot-arm speculation is contradicted and the frame takes a
-//!    cross-function deopt (`DeoptReason::InlineGuard`,
+//!    cross-function deopt (an inline-kind `DeoptReason::AssumptionViolated`,
 //!    `TableKind::InlineExit` in the request trace) whose landing inside
 //!    the inlined region *reconstructs the callee frame*
 //!    (`OsrEvent::callee`);
@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use engine::{
     CacheKey, DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
-    ResultEvent, SessionReport, TableKind, Tier,
+    ResultEvent, SessionReport, TableKind, Tier, ViolatedAssumption,
 };
 use proptest::prelude::*;
 use ssair::interp::Val;
@@ -131,7 +131,7 @@ fn inline_guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)
                 request: r,
                 from_tier,
                 to_tier,
-                reason: DeoptReason::InlineGuard { .. },
+                reason: DeoptReason::AssumptionViolated(ViolatedAssumption::Inline { .. }),
                 ..
             }) if *r == request => Some((*from_tier, *to_tier)),
             _ => None,

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use engine::cache::differential_validate;
 use engine::{
     CacheKey, DeoptReason, Engine, EngineEvent, EnginePolicy, PipelineSpec, Request, ResultEvent,
-    Tier,
+    Tier, ViolatedAssumption,
 };
 use proptest::prelude::*;
 use ssair::feasibility::precompute_entries;
@@ -315,7 +315,7 @@ fn layout_reordered_versions_survive_the_deopt_lifecycle() {
                 request,
                 from_tier,
                 to_tier,
-                reason: DeoptReason::GuardFailure { .. },
+                reason: DeoptReason::AssumptionViolated(ViolatedAssumption::Bias { .. }),
                 ..
             }) if *request == long_id.0 => Some((*from_tier, *to_tier)),
             _ => None,

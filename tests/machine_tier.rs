@@ -12,7 +12,7 @@
 
 use engine::{
     DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, Request, ResultEvent,
-    SessionReport, TableKind, Tier,
+    SessionReport, TableKind, Tier, ViolatedAssumption,
 };
 use proptest::prelude::*;
 use ssair::interp::Val;
@@ -50,7 +50,7 @@ fn guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)> {
                 request: r,
                 from_tier,
                 to_tier,
-                reason: DeoptReason::GuardFailure { .. },
+                reason: DeoptReason::AssumptionViolated(ViolatedAssumption::Bias { .. }),
                 ..
             }) if *r == request => Some((*from_tier, *to_tier)),
             _ => None,

@@ -12,8 +12,8 @@
 //! falling back to baseline-only execution.
 
 use engine::{
-    DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
-    ResultEvent, SessionReport, Tier,
+    AssumptionKind, DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec,
+    Request, ResultEvent, SessionReport, Tier, ViolatedAssumption,
 };
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
@@ -92,7 +92,7 @@ fn tiered_frame_deopts_on_guard_failure_and_reclimbs() {
                 request,
                 from_tier,
                 to_tier,
-                reason: DeoptReason::GuardFailure { uncommon, .. },
+                reason: DeoptReason::AssumptionViolated(ViolatedAssumption::Bias { uncommon, .. }),
                 ..
             }) if *request == long_id.0 => Some((*from_tier, *to_tier, *uncommon)),
             _ => None,
@@ -106,6 +106,11 @@ fn tiered_frame_deopts_on_guard_failure_and_reclimbs() {
             .iter()
             .any(|(from, to, uncommon)| *from == Tier(2) && *to == Tier(0) && *uncommon >= 4),
         "a speculation guard deopted the frame O2→O0: {guard_deopts:?}"
+    );
+    // The same deopts, counted through the unified assumption taxonomy.
+    assert!(
+        report.assumption_deopts(AssumptionKind::Bias) >= guard_deopts.len(),
+        "every guard deopt is a bias-kind assumption violation"
     );
 
     // …and a subsequent re-climb of the same frame.

@@ -9,7 +9,7 @@
 
 use engine::{
     DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, Request, ResultEvent,
-    SessionReport, Tier,
+    SessionReport, Tier, ViolatedAssumption,
 };
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
@@ -45,7 +45,7 @@ fn guard_deopts(report: &SessionReport, request: u64) -> Vec<(Tier, Tier)> {
                 request: r,
                 from_tier,
                 to_tier,
-                reason: DeoptReason::GuardFailure { .. },
+                reason: DeoptReason::AssumptionViolated(ViolatedAssumption::Bias { .. }),
                 ..
             }) if *r == request => Some((*from_tier, *to_tier)),
             _ => None,

@@ -11,7 +11,7 @@
 //!    `MetricsSnapshot::value_specialized_tier_ups`);
 //! 4. *guard* — a violating input hops in and its entry guard fires at
 //!    the landing, before a single specialized instruction executes:
-//!    `DeoptReason::ValueGuard` mid-loop, through the same `TierGraph`
+//!    a value-kind `DeoptReason::AssumptionViolated` mid-loop, through the same `TierGraph`
 //!    machinery as branch-guard deopts;
 //! 5. *re-climb* — the violating frame lands on an unspecialized version
 //!    and climbs again without the assumption (a later forward hop with
@@ -20,7 +20,7 @@
 
 use engine::{
     DeoptReason, Engine, EngineEvent, EnginePolicy, LadderPolicy, PipelineSpec, Request,
-    ResultEvent, SessionReport, Speculation, Tier, ValueSpeculationPolicy,
+    ResultEvent, SessionReport, Speculation, Tier, ValueSpeculationPolicy, ViolatedAssumption,
 };
 use ssair::interp::Val;
 use ssair::reconstruct::Direction;
@@ -86,12 +86,12 @@ fn value_guard_deopts(
                 from_tier,
                 to_tier,
                 reason:
-                    DeoptReason::ValueGuard {
+                    DeoptReason::AssumptionViolated(ViolatedAssumption::Value {
                         slot,
                         expected,
                         actual,
                         ..
-                    },
+                    }),
                 ..
             }) if *r == request => Some((*from_tier, *to_tier, *slot, *expected, *actual)),
             _ => None,
